@@ -1,0 +1,194 @@
+//===- Common.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "Common.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "baselines/IccLike.h"
+#include "baselines/PollyLike.h"
+#include "frontend/Compiler.h"
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <set>
+
+using namespace gr;
+using namespace gr::bench;
+
+namespace {
+
+std::unique_ptr<Module> compileBenchmark(const BenchmarkProgram &B) {
+  std::string Error;
+  auto M = compileMiniC(B.Source, B.Name, &Error);
+  if (!M)
+    reportFatalError(("benchmark failed to compile: " + Error).c_str());
+  return M;
+}
+
+} // namespace
+
+AnalysisRow gr::bench::analyzeBenchmark(const BenchmarkProgram &B) {
+  AnalysisRow Row;
+  Row.B = &B;
+  auto M = compileBenchmark(B);
+  auto Counts = countReductions(analyzeModule(*M));
+  Row.OurScalars = Counts.Scalars;
+  Row.OurHistograms = Counts.Histograms;
+  Row.Icc = runIccBaseline(*M);
+  PollyResult P = runPollyBaseline(*M);
+  Row.Polly = P.NumReductions;
+  Row.SCoPs = P.NumSCoPs;
+  Row.ReductionSCoPs = P.NumReductionSCoPs;
+  return Row;
+}
+
+void gr::bench::printFig8(const std::string &Suite, const char *Caption) {
+  OStream &OS = outs();
+  OS << Caption << '\n';
+  OS << "benchmark";
+  OS.padToColumn(18);
+  OS << "scalar";
+  OS.padToColumn(26);
+  OS << "histogram";
+  OS.padToColumn(38);
+  OS << "icc";
+  OS.padToColumn(44);
+  OS << "Polly+red\n";
+  unsigned TS = 0, TH = 0, TI = 0, TP = 0;
+  for (const BenchmarkProgram *B : corpusSuite(Suite)) {
+    AnalysisRow Row = analyzeBenchmark(*B);
+    OS << B->Name;
+    OS.padToColumn(18);
+    OS << Row.OurScalars;
+    OS.padToColumn(26);
+    OS << Row.OurHistograms;
+    OS.padToColumn(38);
+    OS << Row.Icc;
+    OS.padToColumn(44);
+    OS << Row.Polly << '\n';
+    TS += Row.OurScalars;
+    TH += Row.OurHistograms;
+    TI += Row.Icc;
+    TP += Row.Polly;
+  }
+  OS << "total";
+  OS.padToColumn(18);
+  OS << TS;
+  OS.padToColumn(26);
+  OS << TH;
+  OS.padToColumn(38);
+  OS << TI;
+  OS.padToColumn(44);
+  OS << TP << '\n';
+}
+
+void gr::bench::printSCoPs(const std::string &Suite, const char *Caption) {
+  OStream &OS = outs();
+  OS << Caption << '\n';
+  OS << "benchmark";
+  OS.padToColumn(18);
+  OS << "reduction SCoPs";
+  OS.padToColumn(36);
+  OS << "other SCoPs\n";
+  unsigned TR = 0, TO = 0;
+  for (const BenchmarkProgram *B : corpusSuite(Suite)) {
+    AnalysisRow Row = analyzeBenchmark(*B);
+    unsigned Other = Row.SCoPs - Row.ReductionSCoPs;
+    OS << B->Name;
+    OS.padToColumn(18);
+    OS << Row.ReductionSCoPs;
+    OS.padToColumn(36);
+    OS << Other << '\n';
+    TR += Row.ReductionSCoPs;
+    TO += Other;
+  }
+  OS << "total";
+  OS.padToColumn(18);
+  OS << TR;
+  OS.padToColumn(36);
+  OS << TO << '\n';
+}
+
+CoverageRow gr::bench::measureCoverage(const BenchmarkProgram &B) {
+  CoverageRow Row;
+  Row.B = &B;
+  auto M = compileBenchmark(B);
+  auto Reports = analyzeModule(*M);
+
+  Interpreter I(*M);
+  I.setStepLimit(200000000);
+  I.runMain();
+
+  // Attribute block-level work to histogram loops first, then scalar
+  // reduction loops (a loop carrying both counts as histogram work,
+  // matching the paper's runtime-coverage plots). Helper functions
+  // called from inside a reduction loop (e.g. tpacf's binary search)
+  // belong to the region too.
+  std::set<const BasicBlock *> HistBlocks, ScalarBlocks;
+  auto AddLoop = [](Loop *L, std::set<const BasicBlock *> &Into) {
+    std::vector<const Function *> Callees;
+    for (BasicBlock *BB : L->blocks()) {
+      Into.insert(BB);
+      for (Instruction *I : *BB)
+        if (auto *Call = dyn_cast<CallInst>(I))
+          if (!Call->getCallee()->isDeclaration())
+            Callees.push_back(Call->getCallee());
+    }
+    for (const Function *Callee : Callees)
+      for (BasicBlock *BB : *Callee)
+        Into.insert(BB);
+  };
+  for (const ReductionReport &R : Reports) {
+    DomTree DT(*R.F);
+    LoopInfo LI(*R.F, DT);
+    for (const HistogramReduction &H : R.Histograms)
+      if (Loop *L = LI.getLoopFor(H.Loop.LoopBegin))
+        AddLoop(L, HistBlocks);
+    for (const ScalarReduction &S : R.Scalars)
+      if (Loop *L = LI.getLoopFor(S.Loop.LoopBegin)) {
+        std::set<const BasicBlock *> Blocks;
+        AddLoop(L, Blocks);
+        for (const BasicBlock *BB : Blocks)
+          if (!HistBlocks.count(BB))
+            ScalarBlocks.insert(BB);
+      }
+  }
+
+  uint64_t Total = 0, Hist = 0, Scalar = 0;
+  for (const auto &[BB, Count] : I.getProfile().BlockCounts) {
+    uint64_t Work = Count * BB->size();
+    Total += Work;
+    if (HistBlocks.count(BB))
+      Hist += Work;
+    else if (ScalarBlocks.count(BB))
+      Scalar += Work;
+  }
+  if (Total == 0)
+    return Row;
+  Row.ScalarFraction = double(Scalar) / double(Total);
+  Row.HistogramFraction = double(Hist) / double(Total);
+  return Row;
+}
+
+void gr::bench::printCoverage(const std::string &Suite,
+                              const char *Caption) {
+  OStream &OS = outs();
+  OS << Caption << '\n';
+  OS << "benchmark";
+  OS.padToColumn(18);
+  OS << "scalar cov";
+  OS.padToColumn(32);
+  OS << "histogram cov\n";
+  for (const BenchmarkProgram *B : corpusSuite(Suite)) {
+    CoverageRow Row = measureCoverage(*B);
+    OS << B->Name;
+    OS.padToColumn(18);
+    OS << formatDouble(Row.ScalarFraction, 3);
+    OS.padToColumn(32);
+    OS << formatDouble(Row.HistogramFraction, 3) << '\n';
+  }
+}

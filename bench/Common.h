@@ -1,0 +1,56 @@
+//===- Common.h - shared figure-regeneration helpers ----------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-figure bench binaries: run all analyses
+/// over a corpus entry, measure runtime coverage with the interpreter
+/// profiler, and print the papers' bar charts as aligned text tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_BENCH_COMMON_H
+#define GR_BENCH_COMMON_H
+
+#include "corpus/Corpus.h"
+
+#include <string>
+
+namespace gr {
+namespace bench {
+
+/// Live analysis results for one benchmark (the bars of Fig 8-11).
+struct AnalysisRow {
+  const BenchmarkProgram *B = nullptr;
+  unsigned OurScalars = 0;
+  unsigned OurHistograms = 0;
+  unsigned Icc = 0;
+  unsigned Polly = 0;
+  unsigned SCoPs = 0;
+  unsigned ReductionSCoPs = 0;
+};
+
+/// Compiles and analyzes one benchmark with every detector.
+AnalysisRow analyzeBenchmark(const BenchmarkProgram &B);
+
+/// Prints one of Fig 8a/8b/8c for \p Suite.
+void printFig8(const std::string &Suite, const char *Caption);
+
+/// Prints one of Fig 9/10/11 for \p Suite.
+void printSCoPs(const std::string &Suite, const char *Caption);
+
+/// Fraction of dynamic work spent inside detected reduction loops.
+struct CoverageRow {
+  const BenchmarkProgram *B = nullptr;
+  double ScalarFraction = 0.0;
+  double HistogramFraction = 0.0;
+};
+
+/// Profiles one benchmark run and attributes work to reduction loops.
+CoverageRow measureCoverage(const BenchmarkProgram &B);
+
+/// Prints one of Fig 12/13/14 for \p Suite.
+void printCoverage(const std::string &Suite, const char *Caption);
+
+} // namespace bench
+} // namespace gr
+
+#endif // GR_BENCH_COMMON_H

@@ -1,0 +1,8 @@
+//===- fig10_scops_parboil.cpp - regenerates "Fig 10: SCoPs in Parboil" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printSCoPs("Parboil", "Fig 10: SCoPs in Parboil");
+  return 0;
+}

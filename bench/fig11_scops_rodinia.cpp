@@ -1,0 +1,8 @@
+//===- fig11_scops_rodinia.cpp - regenerates "Fig 11: SCoPs in Rodinia" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printSCoPs("Rodinia", "Fig 11: SCoPs in Rodinia");
+  return 0;
+}

@@ -1,0 +1,8 @@
+//===- fig12_coverage_nas.cpp - regenerates "Fig 12: runtime coverage in NAS" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printCoverage("NAS", "Fig 12: runtime coverage in NAS");
+  return 0;
+}

@@ -1,0 +1,8 @@
+//===- fig13_coverage_parboil.cpp - regenerates "Fig 13: runtime coverage in Parboil" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printCoverage("Parboil", "Fig 13: runtime coverage in Parboil");
+  return 0;
+}

@@ -1,0 +1,8 @@
+//===- fig14_coverage_rodinia.cpp - regenerates "Fig 14: runtime coverage of Rodinia" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printCoverage("Rodinia", "Fig 14: runtime coverage of Rodinia");
+  return 0;
+}

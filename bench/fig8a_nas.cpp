@@ -1,0 +1,8 @@
+//===- fig8a_nas.cpp - regenerates "Fig 8a: reductions detected in NAS" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printFig8("NAS", "Fig 8a: reductions detected in NAS");
+  return 0;
+}

@@ -1,0 +1,8 @@
+//===- fig8b_parboil.cpp - regenerates "Fig 8b: reductions detected in Parboil" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printFig8("Parboil", "Fig 8b: reductions detected in Parboil");
+  return 0;
+}

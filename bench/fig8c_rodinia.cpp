@@ -1,0 +1,8 @@
+//===- fig8c_rodinia.cpp - regenerates "Fig 8c: reductions detected in Rodinia" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printFig8("Rodinia", "Fig 8c: reductions detected in Rodinia");
+  return 0;
+}

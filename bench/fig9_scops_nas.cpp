@@ -1,0 +1,8 @@
+//===- fig9_scops_nas.cpp - regenerates "Fig 9: SCoPs in NAS" -===//
+
+#include "Common.h"
+
+int main() {
+  gr::bench::printSCoPs("NAS", "Fig 9: SCoPs in NAS");
+  return 0;
+}

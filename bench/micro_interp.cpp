@@ -1,0 +1,84 @@
+//===- micro_interp.cpp - interpreter microbenchmarks ---------*- C++ -*-===//
+///
+/// \file
+/// google-benchmark timings of the execution substrate: interpreter
+/// throughput on arithmetic, memory and call-heavy kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gr;
+
+namespace {
+
+void runKernel(benchmark::State &State, const char *Source) {
+  std::string Error;
+  auto M = compileMiniC(Source, "kernel", &Error);
+  if (!M)
+    std::abort();
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    Interpreter I(*M);
+    I.runMain();
+    Instructions = I.instructionCount();
+    benchmark::DoNotOptimize(Instructions);
+  }
+  State.counters["instructions"] = static_cast<double>(Instructions);
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Instructions));
+}
+
+void BM_InterpArith(benchmark::State &State) {
+  runKernel(State, R"(
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 20000; i++)
+    s = s + 1.5 * i - 0.25;
+  print_f64(s);
+  return 0;
+}
+)");
+}
+BENCHMARK(BM_InterpArith);
+
+void BM_InterpMemory(benchmark::State &State) {
+  runKernel(State, R"(
+double a[4096];
+int main() {
+  int i;
+  for (i = 0; i < 4096; i++)
+    a[i] = 0.5 * i;
+  double s = 0.0;
+  for (i = 0; i < 4096; i++)
+    s = s + a[(i * 17) % 4096];
+  print_f64(s);
+  return 0;
+}
+)");
+}
+BENCHMARK(BM_InterpMemory);
+
+void BM_InterpCalls(benchmark::State &State) {
+  runKernel(State, R"(
+double square(double x) { return x * x; }
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 5000; i++)
+    s = s + square(0.001 * i);
+  print_f64(s);
+  return 0;
+}
+)");
+}
+BENCHMARK(BM_InterpCalls);
+
+} // namespace
+
+BENCHMARK_MAIN();

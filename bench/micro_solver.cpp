@@ -1,0 +1,76 @@
+//===- micro_solver.cpp - solver microbenchmarks --------------*- C++ -*-===//
+///
+/// \file
+/// google-benchmark timings of the constraint machinery: full-module
+/// detection, for-loop spec alone, and analysis construction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Purity.h"
+#include "constraint/Context.h"
+#include "corpus/Corpus.h"
+#include "frontend/Compiler.h"
+#include "idioms/ForLoopIdiom.h"
+#include "idioms/ReductionAnalysis.h"
+#include "ir/Module.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gr;
+
+namespace {
+
+std::unique_ptr<Module> compiled(const char *Name) {
+  const BenchmarkProgram *B = findBenchmark(Name);
+  std::string Error;
+  auto M = compileMiniC(B->Source, Name, &Error);
+  if (!M)
+    std::abort();
+  return M;
+}
+
+void BM_CompileMiniC(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("EP");
+  for (auto _ : State) {
+    std::string Error;
+    auto M = compileMiniC(B->Source, "EP", &Error);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_CompileMiniC);
+
+void BM_FullDetection(benchmark::State &State) {
+  auto M = compiled("EP");
+  for (auto _ : State) {
+    auto Reports = analyzeModule(*M);
+    benchmark::DoNotOptimize(Reports);
+  }
+}
+BENCHMARK(BM_FullDetection);
+
+void BM_ForLoopSpecOnly(benchmark::State &State) {
+  auto M = compiled("UA");
+  PurityAnalysis PA(*M);
+  Function *F = M->getFunction("main");
+  for (auto _ : State) {
+    ConstraintContext Ctx(*F, PA);
+    auto Loops = findForLoops(Ctx);
+    benchmark::DoNotOptimize(Loops);
+  }
+}
+BENCHMARK(BM_ForLoopSpecOnly);
+
+void BM_ContextConstruction(benchmark::State &State) {
+  auto M = compiled("BT");
+  PurityAnalysis PA(*M);
+  Function *F = M->getFunction("main");
+  for (auto _ : State) {
+    ConstraintContext Ctx(*F, PA);
+    benchmark::DoNotOptimize(&Ctx);
+  }
+}
+BENCHMARK(BM_ContextConstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

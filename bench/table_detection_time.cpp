@@ -1,0 +1,71 @@
+//===- table_detection_time.cpp - §6.1 detection cost ---------*- C++ -*-===//
+///
+/// \file
+/// The paper reports an average detection cost of 3.77 seconds per
+/// benchmark program on full NAS/Parboil/Rodinia sources; our modeled
+/// kernels are far smaller, so the absolute numbers are milliseconds.
+/// What must hold is the paper's qualitative claim: "the detection
+/// compiler pass runs in a matter of seconds on all the benchmark
+/// programs" -- i.e. no benchmark explodes combinatorially.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "frontend/Compiler.h"
+#include "idioms/ReductionAnalysis.h"
+#include "ir/Module.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+
+using namespace gr;
+
+int main() {
+  OStream &OS = outs();
+  OS << "Detection time per benchmark (constraint solver, all specs)\n";
+  OS << "benchmark";
+  OS.padToColumn(20);
+  OS << "ms";
+  OS.padToColumn(30);
+  OS << "solver nodes";
+  OS.padToColumn(46);
+  OS << "candidates\n";
+
+  double TotalMs = 0.0;
+  unsigned N = 0;
+  for (const BenchmarkProgram &B : corpus()) {
+    std::string Error;
+    auto M = compileMiniC(B.Source, B.Name, &Error);
+    if (!M) {
+      OS << B.Name << " compile error\n";
+      continue;
+    }
+    DetectionStats Stats;
+    auto Start = std::chrono::steady_clock::now();
+    analyzeModule(*M, &Stats);
+    auto End = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    TotalMs += Ms;
+    ++N;
+    uint64_t Nodes = Stats.ForLoops.NodesVisited +
+                     Stats.Scalars.NodesVisited +
+                     Stats.Histograms.NodesVisited;
+    uint64_t Cands = Stats.ForLoops.CandidatesTried +
+                     Stats.Scalars.CandidatesTried +
+                     Stats.Histograms.CandidatesTried;
+    OS << B.Name;
+    OS.padToColumn(20);
+    OS << formatDouble(Ms, 1);
+    OS.padToColumn(30);
+    OS << Nodes;
+    OS.padToColumn(46);
+    OS << Cands << '\n';
+  }
+  OS << "average";
+  OS.padToColumn(20);
+  OS << formatDouble(TotalMs / N, 1)
+     << "  (paper: 3770 ms avg on the full-size original sources)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- custom_idiom.cpp - writing a new idiom in the DSL ------*- C++ -*-===//
+///
+/// \file
+/// The paper's pitch is that idioms are *specifications*, not
+/// hard-coded detectors. This example defines a brand new idiom in the
+/// embedded constraint DSL -- an array-copy loop "b[i] = a[i]" -- and
+/// lets the generic solver find it, without touching the library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Purity.h"
+#include "constraint/Context.h"
+#include "constraint/Formula.h"
+#include "constraint/Solver.h"
+#include "frontend/Compiler.h"
+#include "idioms/ForLoopIdiom.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "support/OStream.h"
+
+using namespace gr;
+
+static const char *Program = R"(
+double src[256];
+double dst[256];
+double other[256];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++)
+    dst[i] = src[i];          // the idiom: a plain copy loop
+  for (i = 0; i < 256; i++)
+    other[i] = src[i] * 2.0;  // not a copy: scaled
+  print_f64(dst[0] + other[0]);
+  return 0;
+}
+)";
+
+int main() {
+  OStream &OS = outs();
+  std::string Error;
+  auto M = compileMiniC(Program, "custom", &Error);
+  if (!M) {
+    errs() << "compile error: " << Error << '\n';
+    return 1;
+  }
+
+  // The new idiom: extend the for-loop spec of the paper's Fig 5 with
+  // four labels describing "load a[iterator]; store it to b[iterator]".
+  IdiomSpec Spec;
+  ForLoopLabels Loop = buildForLoopSpec(Spec);
+  unsigned Load = Spec.Labels.get("copy_load");
+  unsigned LoadPtr = Spec.Labels.get("copy_load_ptr");
+  unsigned Store = Spec.Labels.get("copy_store");
+  unsigned StorePtr = Spec.Labels.get("copy_store_ptr");
+  unsigned SrcBase = Spec.Labels.get("src_base");
+  unsigned DstBase = Spec.Labels.get("dst_base");
+
+  Formula &F = Spec.F;
+  F.require(std::make_unique<AtomLoadInLoop>(Load, LoadPtr, Loop.LoopBegin));
+  F.require(std::make_unique<AtomStoreInLoop>(Store, Load, StorePtr,
+                                              Loop.LoopBegin));
+  // Both sides are addressed by the loop iterator.
+  F.require(std::make_unique<AtomGEP>(LoadPtr, SrcBase, Loop.Iterator));
+  F.require(std::make_unique<AtomGEP>(StorePtr, DstBase, Loop.Iterator));
+  F.require(std::make_unique<AtomInvariantInLoop>(SrcBase, Loop.LoopBegin,
+                                                  true));
+  F.require(std::make_unique<AtomInvariantInLoop>(DstBase, Loop.LoopBegin,
+                                                  true));
+  F.require(std::make_unique<AtomDistinct>(SrcBase, DstBase));
+
+  PurityAnalysis PA(*M);
+  ConstraintContext Ctx(*M->getFunction("main"), PA);
+  Solver Solver(Spec.F, Spec.Labels.size());
+  unsigned Found = 0;
+  auto Stats = Solver.findAll(Ctx, [&](const Solution &S) {
+    ++Found;
+    OS << "copy loop found: " << valueShortName(S[SrcBase]) << " -> "
+       << valueShortName(S[DstBase]) << " (header "
+       << valueShortName(S[Loop.LoopBegin]) << ")\n";
+  });
+  OS << "solver visited " << Stats.NodesVisited << " nodes, tried "
+     << Stats.CandidatesTried << " candidates\n";
+  OS << "total matches: " << Found
+     << " (expected 1: the scaled loop must not match)\n";
+  return Found == 1 ? 0 : 1;
+}

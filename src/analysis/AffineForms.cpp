@@ -1,0 +1,128 @@
+//===- AffineForms.cpp ----------------------------------------*- C++ -*-===//
+
+#include "analysis/AffineForms.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/Instruction.h"
+
+using namespace gr;
+
+namespace {
+
+/// Recursive decomposition with a depth fuse against pathological
+/// expression trees.
+std::optional<AffineForm> decompose(Value *V, int Depth) {
+  if (Depth > 32)
+    return std::nullopt;
+
+  AffineForm Form;
+  if (auto *CI = dyn_cast<ConstantInt>(V)) {
+    Form.Constant = CI->getValue();
+    return Form;
+  }
+
+  auto *Bin = dyn_cast<BinaryInst>(V);
+  if (!Bin) {
+    Form.Terms[V] = 1; // Opaque leaf.
+    return Form;
+  }
+
+  using Op = BinaryInst::BinaryOp;
+  switch (Bin->getBinaryOp()) {
+  case Op::Add:
+  case Op::Sub: {
+    auto L = decompose(Bin->getLHS(), Depth + 1);
+    auto R = decompose(Bin->getRHS(), Depth + 1);
+    if (!L || !R)
+      return std::nullopt;
+    int64_t Sign = Bin->getBinaryOp() == Op::Add ? 1 : -1;
+    for (auto &[Base, Coeff] : R->Terms) {
+      L->Terms[Base] += Sign * Coeff;
+      if (L->Terms[Base] == 0)
+        L->Terms.erase(Base);
+    }
+    L->Constant += Sign * R->Constant;
+    return L;
+  }
+  case Op::Mul: {
+    auto L = decompose(Bin->getLHS(), Depth + 1);
+    auto R = decompose(Bin->getRHS(), Depth + 1);
+    if (!L || !R)
+      return std::nullopt;
+    // Exactly one side must be a pure constant.
+    const AffineForm *Scaled = nullptr;
+    int64_t Scale = 0;
+    if (L->Terms.empty()) {
+      Scaled = &*R;
+      Scale = L->Constant;
+    } else if (R->Terms.empty()) {
+      Scaled = &*L;
+      Scale = R->Constant;
+    } else {
+      // Product of two non-constants: treat the whole multiply as an
+      // opaque base. This is precisely what makes manually linearized
+      // "flat" indexing (i*n + j with runtime n) non-affine.
+      AffineForm Opaque;
+      Opaque.Terms[V] = 1;
+      return Opaque;
+    }
+    AffineForm Result;
+    for (auto &[Base, Coeff] : Scaled->Terms)
+      if (Coeff * Scale != 0)
+        Result.Terms[Base] = Coeff * Scale;
+    Result.Constant = Scaled->Constant * Scale;
+    return Result;
+  }
+  case Op::Shl: {
+    auto L = decompose(Bin->getLHS(), Depth + 1);
+    auto *Amount = dyn_cast<ConstantInt>(Bin->getRHS());
+    if (!L || !Amount || Amount->getValue() < 0 || Amount->getValue() > 32)
+      break;
+    int64_t Scale = int64_t(1) << Amount->getValue();
+    for (auto &[Base, Coeff] : L->Terms)
+      Coeff *= Scale;
+    L->Constant *= Scale;
+    return L;
+  }
+  default:
+    break;
+  }
+
+  Form.Terms[V] = 1; // Anything else is an opaque leaf.
+  return Form;
+}
+
+} // namespace
+
+std::optional<AffineForm> gr::computeAffineForm(Value *V) {
+  if (!V->getType()->isInt64())
+    return std::nullopt;
+  return decompose(V, 0);
+}
+
+bool gr::isAffineInLoop(Value *V, const Loop &L) {
+  auto Form = computeAffineForm(V);
+  if (!Form)
+    return false;
+  for (auto &[Base, Coeff] : Form->Terms) {
+    (void)Coeff;
+    if (Base == L.getCanonicalIterator())
+      continue;
+    if (!L.isInvariant(Base))
+      return false;
+  }
+  return true;
+}
+
+bool gr::isAffineOver(Value *V,
+                      const std::map<Value *, bool> &AllowedBases) {
+  auto Form = computeAffineForm(V);
+  if (!Form)
+    return false;
+  for (auto &[Base, Coeff] : Form->Terms) {
+    (void)Coeff;
+    if (!AllowedBases.count(Base))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,53 @@
+//===- AffineForms.h - linear decomposition of index math -----*- C++ -*-===//
+///
+/// \file
+/// A small scalar-evolution substitute: decomposes integer expressions
+/// into linear combinations of opaque base values plus a constant.
+/// Both the reduction idioms (condition 3 of §3.1.1: "indices affine in
+/// the loop iterator") and the SCoP detector are built on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_ANALYSIS_AFFINEFORMS_H
+#define GR_ANALYSIS_AFFINEFORMS_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace gr {
+
+class Loop;
+class Value;
+
+/// sum(Coeff_i * Base_i) + Constant over i64 values. Bases are opaque
+/// leaf values (phis, loads, arguments, calls...).
+struct AffineForm {
+  std::map<Value *, int64_t> Terms;
+  int64_t Constant = 0;
+
+  /// Coefficient of \p Base (0 when absent).
+  int64_t coeff(Value *Base) const {
+    auto It = Terms.find(Base);
+    return It == Terms.end() ? 0 : It->second;
+  }
+};
+
+/// Decomposes \p V (must be i64-typed) into an AffineForm. Returns
+/// nullopt for expressions whose linearity cannot be established
+/// (e.g. products of two non-constants).
+std::optional<AffineForm> computeAffineForm(Value *V);
+
+/// True if \p V is affine in \p L's canonical iterator: decomposable
+/// with every non-iterator base loop-invariant in \p L. A zero
+/// iterator coefficient still counts (loop-invariant index).
+bool isAffineInLoop(Value *V, const Loop &L);
+
+/// True if \p V is affine with every base drawn from \p AllowedBases
+/// (the SCoP notion: enclosing-loop iterators and function
+/// parameters).
+bool isAffineOver(Value *V, const std::map<Value *, bool> &AllowedBases);
+
+} // namespace gr
+
+#endif // GR_ANALYSIS_AFFINEFORMS_H

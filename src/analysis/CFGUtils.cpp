@@ -1,0 +1,67 @@
+//===- CFGUtils.cpp -------------------------------------------*- C++ -*-===//
+
+#include "analysis/CFGUtils.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace gr;
+
+std::vector<BasicBlock *> gr::reversePostOrder(const Function &F) {
+  std::vector<BasicBlock *> PostOrder;
+  std::set<BasicBlock *> Visited;
+  // Iterative DFS carrying an explicit successor cursor.
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  BasicBlock *Entry = F.getEntry();
+  Visited.insert(Entry);
+  Stack.push_back({Entry, 0});
+  while (!Stack.empty()) {
+    auto &[BB, Cursor] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (Cursor == Succs.size()) {
+      PostOrder.push_back(BB);
+      Stack.pop_back();
+      continue;
+    }
+    BasicBlock *Next = Succs[Cursor++];
+    if (Visited.insert(Next).second)
+      Stack.push_back({Next, 0});
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+bool gr::reachableWithout(BasicBlock *From, BasicBlock *To,
+                          const std::set<BasicBlock *> &Excluded) {
+  std::set<BasicBlock *> Visited;
+  std::vector<BasicBlock *> Worklist;
+  for (BasicBlock *S : From->successors())
+    Worklist.push_back(S);
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    if (BB == To)
+      return true;
+    if (Excluded.count(BB) || !Visited.insert(BB).second)
+      continue;
+    for (BasicBlock *S : BB->successors())
+      Worklist.push_back(S);
+  }
+  return false;
+}
+
+std::set<BasicBlock *> gr::reachableBlocks(const Function &F) {
+  std::set<BasicBlock *> Visited;
+  std::vector<BasicBlock *> Worklist{F.getEntry()};
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    if (!Visited.insert(BB).second)
+      continue;
+    for (BasicBlock *S : BB->successors())
+      Worklist.push_back(S);
+  }
+  return Visited;
+}

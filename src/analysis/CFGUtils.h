@@ -1,0 +1,37 @@
+//===- CFGUtils.h - CFG traversal helpers ---------------------*- C++ -*-===//
+///
+/// \file
+/// Reverse-post-order numbering and reachability helpers shared by the
+/// dominator, loop and constraint machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_ANALYSIS_CFGUTILS_H
+#define GR_ANALYSIS_CFGUTILS_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gr {
+
+class BasicBlock;
+class Function;
+
+/// Blocks of \p F in reverse post order from the entry. Unreachable
+/// blocks are excluded.
+std::vector<BasicBlock *> reversePostOrder(const Function &F);
+
+/// Returns true if \p To is reachable from \p From along CFG edges
+/// while never entering any block in \p Excluded. \p From itself is
+/// allowed even if excluded (the search starts at its successors when
+/// \p From == \p To would otherwise be trivial).
+bool reachableWithout(BasicBlock *From, BasicBlock *To,
+                      const std::set<BasicBlock *> &Excluded);
+
+/// All blocks reachable from the entry of \p F.
+std::set<BasicBlock *> reachableBlocks(const Function &F);
+
+} // namespace gr
+
+#endif // GR_ANALYSIS_CFGUTILS_H

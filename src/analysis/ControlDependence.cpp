@@ -1,0 +1,49 @@
+//===- ControlDependence.cpp ----------------------------------*- C++ -*-===//
+
+#include "analysis/ControlDependence.h"
+
+#include "analysis/Dominators.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+
+#include <algorithm>
+
+using namespace gr;
+
+ControlDependence::ControlDependence(const Function &F,
+                                     const PostDomTree &PDT) {
+  for (BasicBlock *BB : F)
+    for (BasicBlock *Controller : PDT.getFrontier(BB))
+      Controllers[BB].insert(Controller);
+}
+
+const std::set<BasicBlock *> &
+ControlDependence::getControllers(BasicBlock *BB) const {
+  auto It = Controllers.find(BB);
+  return It == Controllers.end() ? EmptySet : It->second;
+}
+
+std::vector<Value *> ControlDependence::getControllingConditions(
+    BasicBlock *BB, const std::set<BasicBlock *> *Region) const {
+  std::vector<Value *> Conditions;
+  std::set<BasicBlock *> Visited;
+  std::vector<BasicBlock *> Worklist{BB};
+  while (!Worklist.empty()) {
+    BasicBlock *Current = Worklist.back();
+    Worklist.pop_back();
+    if (!Visited.insert(Current).second)
+      continue;
+    for (BasicBlock *Controller : getControllers(Current)) {
+      if (Region && !Region->count(Controller))
+        continue;
+      auto *Br = dyn_cast_or_null<BranchInst>(Controller->getTerminator());
+      if (Br && Br->isConditional() &&
+          std::find(Conditions.begin(), Conditions.end(),
+                    Br->getCondition()) == Conditions.end())
+        Conditions.push_back(Br->getCondition());
+      Worklist.push_back(Controller);
+    }
+  }
+  return Conditions;
+}

@@ -1,0 +1,49 @@
+//===- ControlDependence.h - CDG from post-dominance frontiers *- C++ -*-===//
+///
+/// \file
+/// Control dependence: block A is control dependent on block B when B
+/// has a conditional branch deciding whether A executes (B is in A's
+/// post-dominance frontier). The reduction legality checks walk this
+/// relation to ensure branch conditions only depend on allowed
+/// origins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_ANALYSIS_CONTROLDEPENDENCE_H
+#define GR_ANALYSIS_CONTROLDEPENDENCE_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gr {
+
+class BasicBlock;
+class Function;
+class PostDomTree;
+class Value;
+
+/// Control dependence relation of one function.
+class ControlDependence {
+public:
+  ControlDependence(const Function &F, const PostDomTree &PDT);
+
+  /// Blocks whose branch decides execution of \p BB.
+  const std::set<BasicBlock *> &getControllers(BasicBlock *BB) const;
+
+  /// The branch conditions controlling \p BB, transitively closed
+  /// while staying inside \p Region (pass null to close over the whole
+  /// function). This is what the reduction spec checks against its
+  /// allowed-origin set.
+  std::vector<Value *>
+  getControllingConditions(BasicBlock *BB,
+                           const std::set<BasicBlock *> *Region) const;
+
+private:
+  std::map<BasicBlock *, std::set<BasicBlock *>> Controllers;
+  std::set<BasicBlock *> EmptySet;
+};
+
+} // namespace gr
+
+#endif // GR_ANALYSIS_CONTROLDEPENDENCE_H

@@ -1,0 +1,234 @@
+//===- Dominators.cpp -----------------------------------------*- C++ -*-===//
+
+#include "analysis/Dominators.h"
+
+#include "analysis/CFGUtils.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace gr;
+
+namespace {
+
+/// Index-based Cooper-Harvey-Kennedy core, shared by both trees.
+/// \p Order is a reverse post order with the root at index 0; \p Preds
+/// gives predecessor indices in the (possibly reversed) graph.
+/// Returns idom indices (idom[0] == 0).
+std::vector<unsigned>
+computeIDoms(const std::vector<std::vector<unsigned>> &Preds) {
+  size_t N = Preds.size();
+  constexpr unsigned Undef = ~0u;
+  std::vector<unsigned> IDom(N, Undef);
+  IDom[0] = 0;
+
+  auto Intersect = [&IDom](unsigned A, unsigned B) {
+    while (A != B) {
+      while (A > B)
+        A = IDom[A];
+      while (B > A)
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = 1; B != N; ++B) {
+      unsigned NewIDom = Undef;
+      for (unsigned P : Preds[B]) {
+        if (IDom[P] == Undef)
+          continue;
+        NewIDom = (NewIDom == Undef) ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != Undef && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  return IDom;
+}
+
+} // namespace
+
+DomTree::DomTree(const Function &F) : Root(F.getEntry()) {
+  std::vector<BasicBlock *> Order = reversePostOrder(F);
+  std::map<BasicBlock *, unsigned> Index;
+  for (unsigned I = 0, E = static_cast<unsigned>(Order.size()); I != E; ++I)
+    Index[Order[I]] = I;
+
+  std::vector<std::vector<unsigned>> Preds(Order.size());
+  for (unsigned I = 0, E = static_cast<unsigned>(Order.size()); I != E; ++I)
+    for (BasicBlock *P : Order[I]->predecessors())
+      if (Index.count(P))
+        Preds[I].push_back(Index[P]);
+
+  std::vector<unsigned> IDoms = computeIDoms(Preds);
+  for (unsigned I = 0, E = static_cast<unsigned>(Order.size()); I != E;
+       ++I) {
+    IDom[Order[I]] = (I == 0) ? nullptr : Order[IDoms[I]];
+    if (I != 0)
+      Children[Order[IDoms[I]]].push_back(Order[I]);
+  }
+
+  // Dominance frontiers (Cooper et al.): walk from each join point's
+  // predecessors up to the idom.
+  for (BasicBlock *BB : Order) {
+    std::vector<BasicBlock *> BlockPreds;
+    for (BasicBlock *P : BB->predecessors())
+      if (Index.count(P))
+        BlockPreds.push_back(P);
+    if (BlockPreds.size() < 2)
+      continue;
+    for (BasicBlock *P : BlockPreds) {
+      BasicBlock *Runner = P;
+      while (Runner && Runner != IDom[BB]) {
+        Frontier[Runner].insert(BB);
+        Runner = IDom[Runner];
+      }
+    }
+  }
+}
+
+BasicBlock *DomTree::getIDom(BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  return It == IDom.end() ? nullptr : It->second;
+}
+
+bool DomTree::dominates(BasicBlock *A, BasicBlock *B) const {
+  if (!contains(A) || !contains(B))
+    return false;
+  while (B) {
+    if (A == B)
+      return true;
+    B = getIDom(B);
+  }
+  return false;
+}
+
+bool DomTree::dominates(const Value *Def, const Instruction *User) const {
+  const auto *DefInst = dyn_cast<Instruction>(Def);
+  if (!DefInst)
+    return true;
+  BasicBlock *DefBB = DefInst->getParent();
+  BasicBlock *UseBB = User->getParent();
+  if (DefBB == UseBB)
+    return DefBB->indexOf(DefInst) < UseBB->indexOf(User);
+  return strictlyDominates(DefBB, UseBB);
+}
+
+const std::set<BasicBlock *> &DomTree::getFrontier(BasicBlock *BB) const {
+  auto It = Frontier.find(BB);
+  return It == Frontier.end() ? EmptySet : It->second;
+}
+
+const std::vector<BasicBlock *> &
+DomTree::getChildren(BasicBlock *BB) const {
+  auto It = Children.find(BB);
+  return It == Children.end() ? Empty : It->second;
+}
+
+PostDomTree::PostDomTree(const Function &F) {
+  // Collect reachable blocks and exit blocks (ret or no successors).
+  std::set<BasicBlock *> Reachable = reachableBlocks(F);
+  std::vector<BasicBlock *> Exits;
+  for (BasicBlock *BB : Reachable)
+    if (BB->successors().empty())
+      Exits.push_back(BB);
+  if (Exits.empty())
+    return; // Degenerate function (infinite loop); leave tree empty.
+
+  // Reverse-graph RPO from a virtual exit that precedes all real exits.
+  std::vector<BasicBlock *> Order; // post order of reverse DFS
+  std::set<BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  for (BasicBlock *Exit : Exits) {
+    if (!Visited.insert(Exit).second)
+      continue;
+    Stack.push_back({Exit, 0});
+    while (!Stack.empty()) {
+      auto &[BB, Cursor] = Stack.back();
+      std::vector<BasicBlock *> RSuccs; // reverse-graph successors
+      for (BasicBlock *P : BB->predecessors())
+        if (Reachable.count(P))
+          RSuccs.push_back(P);
+      if (Cursor == RSuccs.size()) {
+        Order.push_back(BB);
+        Stack.pop_back();
+        continue;
+      }
+      BasicBlock *Next = RSuccs[Cursor++];
+      if (Visited.insert(Next).second)
+        Stack.push_back({Next, 0});
+    }
+  }
+  std::reverse(Order.begin(), Order.end());
+
+  // Index 0 is the virtual exit; real blocks start at 1.
+  std::map<BasicBlock *, unsigned> Index;
+  for (unsigned I = 0, E = static_cast<unsigned>(Order.size()); I != E; ++I)
+    Index[Order[I]] = I + 1;
+
+  std::vector<std::vector<unsigned>> Preds(Order.size() + 1);
+  for (BasicBlock *BB : Order) {
+    unsigned I = Index[BB];
+    // Reverse-graph predecessors are forward successors.
+    for (BasicBlock *S : BB->successors())
+      if (Index.count(S))
+        Preds[I].push_back(Index[S]);
+    if (BB->successors().empty())
+      Preds[I].push_back(0); // Edge from the virtual exit.
+  }
+
+  std::vector<unsigned> IDoms = computeIDoms(Preds);
+  for (BasicBlock *BB : Order) {
+    unsigned I = Index[BB];
+    IPDom[BB] = (IDoms[I] == 0) ? nullptr : Order[IDoms[I] - 1];
+  }
+
+  // Post-dominance frontiers: the frontier computation on the reverse
+  // graph. A join point of the reverse graph is a block with two or
+  // more forward successors; run up the post-dominator tree from each.
+  for (BasicBlock *BB : Order) {
+    std::vector<BasicBlock *> FwdSuccs;
+    for (BasicBlock *S : BB->successors())
+      if (Index.count(S))
+        FwdSuccs.push_back(S);
+    if (FwdSuccs.size() < 2)
+      continue;
+    for (BasicBlock *S : FwdSuccs) {
+      BasicBlock *Runner = S;
+      while (Runner && Runner != IPDom[BB]) {
+        Frontier[Runner].insert(BB);
+        auto It = IPDom.find(Runner);
+        Runner = (It == IPDom.end()) ? nullptr : It->second;
+      }
+    }
+  }
+}
+
+BasicBlock *PostDomTree::getIPDom(BasicBlock *BB) const {
+  auto It = IPDom.find(BB);
+  return It == IPDom.end() ? nullptr : It->second;
+}
+
+bool PostDomTree::postDominates(BasicBlock *A, BasicBlock *B) const {
+  if (!contains(A) || !contains(B))
+    return false;
+  while (B) {
+    if (A == B)
+      return true;
+    B = getIPDom(B);
+  }
+  return false;
+}
+
+const std::set<BasicBlock *> &
+PostDomTree::getFrontier(BasicBlock *BB) const {
+  auto It = Frontier.find(BB);
+  return It == Frontier.end() ? EmptySet : It->second;
+}

@@ -1,0 +1,93 @@
+//===- Dominators.h - dominator and post-dominator trees ------*- C++ -*-===//
+///
+/// \file
+/// Dominator and post-dominator trees via the Cooper-Harvey-Kennedy
+/// iterative algorithm, plus dominance frontiers (used by mem2reg and
+/// the control-dependence analysis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_ANALYSIS_DOMINATORS_H
+#define GR_ANALYSIS_DOMINATORS_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gr {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Value;
+
+/// Forward dominator tree of one function.
+class DomTree {
+public:
+  explicit DomTree(const Function &F);
+
+  /// Immediate dominator, or null for the root.
+  BasicBlock *getIDom(BasicBlock *BB) const;
+
+  /// Reflexive dominance: A dominates A.
+  bool dominates(BasicBlock *A, BasicBlock *B) const;
+  bool strictlyDominates(BasicBlock *A, BasicBlock *B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Instruction-level dominance. A value dominates an instruction if
+  /// it is a non-instruction (argument/constant/global) or its defining
+  /// instruction strictly precedes the use position.
+  bool dominates(const Value *Def, const Instruction *User) const;
+
+  /// Dominance frontier of \p BB.
+  const std::set<BasicBlock *> &getFrontier(BasicBlock *BB) const;
+
+  /// Children of \p BB in the dominator tree.
+  const std::vector<BasicBlock *> &getChildren(BasicBlock *BB) const;
+
+  BasicBlock *getRoot() const { return Root; }
+
+  /// Whether \p BB was reachable (and thus has tree data).
+  bool contains(BasicBlock *BB) const { return IDom.count(BB) != 0; }
+
+private:
+  BasicBlock *Root;
+  std::map<BasicBlock *, BasicBlock *> IDom;
+  std::map<BasicBlock *, std::set<BasicBlock *>> Frontier;
+  std::map<BasicBlock *, std::vector<BasicBlock *>> Children;
+  std::vector<BasicBlock *> Empty;
+  std::set<BasicBlock *> EmptySet;
+};
+
+/// Post-dominator tree. Handles multiple ret blocks through a virtual
+/// exit node (represented by null).
+class PostDomTree {
+public:
+  explicit PostDomTree(const Function &F);
+
+  /// Immediate post-dominator, or null when the virtual exit is the
+  /// immediate post-dominator.
+  BasicBlock *getIPDom(BasicBlock *BB) const;
+
+  /// Reflexive post-dominance.
+  bool postDominates(BasicBlock *A, BasicBlock *B) const;
+  bool strictlyPostDominates(BasicBlock *A, BasicBlock *B) const {
+    return A != B && postDominates(A, B);
+  }
+
+  /// Post-dominance frontier of \p BB (the basis of control
+  /// dependence).
+  const std::set<BasicBlock *> &getFrontier(BasicBlock *BB) const;
+
+  bool contains(BasicBlock *BB) const { return IPDom.count(BB) != 0; }
+
+private:
+  std::map<BasicBlock *, BasicBlock *> IPDom; // null value = virtual exit
+  std::map<BasicBlock *, std::set<BasicBlock *>> Frontier;
+  std::set<BasicBlock *> EmptySet;
+};
+
+} // namespace gr
+
+#endif // GR_ANALYSIS_DOMINATORS_H

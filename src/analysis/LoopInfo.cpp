@@ -1,0 +1,166 @@
+//===- LoopInfo.cpp -------------------------------------------*- C++ -*-===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/Dominators.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+
+#include <algorithm>
+
+using namespace gr;
+
+bool Loop::contains(const Loop *Other) const {
+  return Other && Blocks.count(Other->getHeader()) != 0;
+}
+
+unsigned Loop::getDepth() const {
+  unsigned Depth = 1;
+  for (Loop *P = Parent; P; P = P->Parent)
+    ++Depth;
+  return Depth;
+}
+
+std::vector<BasicBlock *> Loop::exitBlocks() const {
+  std::vector<BasicBlock *> Exits;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *S : BB->successors())
+      if (!contains(S) &&
+          std::find(Exits.begin(), Exits.end(), S) == Exits.end())
+        Exits.push_back(S);
+  return Exits;
+}
+
+bool Loop::isInvariant(const Value *V) const {
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return true; // Constants, arguments, globals, functions, blocks.
+  return !contains(I->getParent());
+}
+
+LoopInfo::LoopInfo(const Function &F, const DomTree &DT) {
+  // Identify back edges; group them by header.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> BackEdges;
+  for (BasicBlock *BB : F) {
+    if (!DT.contains(BB))
+      continue;
+    for (BasicBlock *S : BB->successors())
+      if (DT.dominates(S, BB))
+        BackEdges[S].push_back(BB);
+  }
+
+  // Build one natural loop per header: all blocks that can reach a
+  // latch without passing through the header.
+  for (auto &[Header, Latches] : BackEdges) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latch = Latches.size() == 1 ? Latches.front() : nullptr;
+    L->Blocks.insert(Header);
+    std::vector<BasicBlock *> Worklist(Latches.begin(), Latches.end());
+    while (!Worklist.empty()) {
+      BasicBlock *BB = Worklist.back();
+      Worklist.pop_back();
+      if (!L->Blocks.insert(BB).second)
+        continue;
+      for (BasicBlock *P : BB->predecessors())
+        if (DT.contains(P))
+          Worklist.push_back(P);
+    }
+    // Preheader: the unique predecessor outside the loop.
+    BasicBlock *Pre = nullptr;
+    bool Unique = true;
+    for (BasicBlock *P : Header->predecessors()) {
+      if (L->contains(P))
+        continue;
+      if (Pre)
+        Unique = false;
+      Pre = P;
+    }
+    L->Preheader = Unique ? Pre : nullptr;
+    Loops.push_back(std::move(L));
+  }
+
+  // Establish nesting: parent = smallest strictly containing loop.
+  for (auto &L : Loops) {
+    Loop *Best = nullptr;
+    for (auto &Candidate : Loops) {
+      if (Candidate.get() == L.get() || !Candidate->contains(L.get()))
+        continue;
+      if (!Best || Best->blocks().size() > Candidate->blocks().size())
+        Best = Candidate.get();
+    }
+    L->Parent = Best;
+    if (Best)
+      Best->SubLoops.push_back(L.get());
+  }
+
+  for (auto &L : Loops)
+    analyzeInduction(*L);
+}
+
+void LoopInfo::analyzeInduction(Loop &L) {
+  if (!L.Preheader || !L.Latch)
+    return;
+  for (PhiInst *Phi : L.Header->phis()) {
+    if (Phi->getNumIncoming() != 2)
+      continue;
+    Value *Init = Phi->getIncomingValueFor(L.Preheader);
+    Value *Next = Phi->getIncomingValueFor(L.Latch);
+    if (!Init || !Next)
+      continue;
+    auto *Step = dyn_cast<BinaryInst>(Next);
+    if (!Step || Step->getBinaryOp() != BinaryInst::BinaryOp::Add)
+      continue;
+    Value *StepAmount = nullptr;
+    if (Step->getLHS() == Phi)
+      StepAmount = Step->getRHS();
+    else if (Step->getRHS() == Phi)
+      StepAmount = Step->getLHS();
+    if (!StepAmount || !L.isInvariant(StepAmount))
+      continue;
+    // Bound: the header must exit on a comparison against the phi.
+    auto *Term = dyn_cast_or_null<BranchInst>(L.Header->getTerminator());
+    Value *End = nullptr;
+    if (Term && Term->isConditional()) {
+      if (auto *Cmp = dyn_cast<CmpInst>(Term->getCondition())) {
+        if (Cmp->getLHS() == Phi && L.isInvariant(Cmp->getRHS()))
+          End = Cmp->getRHS();
+        else if (Cmp->getRHS() == Phi && L.isInvariant(Cmp->getLHS()))
+          End = Cmp->getLHS();
+      }
+    }
+    L.Iterator = Phi;
+    L.IterBegin = Init;
+    L.IterStep = StepAmount;
+    L.IterEnd = End;
+    return;
+  }
+}
+
+Loop *LoopInfo::getLoopFor(const BasicBlock *BB) const {
+  Loop *Best = nullptr;
+  for (const auto &L : Loops)
+    if (L->contains(BB) &&
+        (!Best || L->blocks().size() < Best->blocks().size()))
+      Best = L.get();
+  return Best;
+}
+
+std::vector<Loop *> LoopInfo::topLevelLoops() const {
+  std::vector<Loop *> Result;
+  for (const auto &L : Loops)
+    if (!L->getParent())
+      Result.push_back(L.get());
+  return Result;
+}
+
+std::vector<Loop *> LoopInfo::loopsInnermostFirst() const {
+  std::vector<Loop *> Result;
+  for (const auto &L : Loops)
+    Result.push_back(L.get());
+  std::sort(Result.begin(), Result.end(), [](Loop *A, Loop *B) {
+    return A->getDepth() > B->getDepth();
+  });
+  return Result;
+}

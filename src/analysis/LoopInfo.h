@@ -1,0 +1,104 @@
+//===- LoopInfo.h - natural loop detection --------------------*- C++ -*-===//
+///
+/// \file
+/// Natural-loop forest built from dominator-identified back edges,
+/// with the derived structure the reduction idioms need: preheader,
+/// latch, exits, nesting, canonical induction variable and trip
+/// bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_ANALYSIS_LOOPINFO_H
+#define GR_ANALYSIS_LOOPINFO_H
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace gr {
+
+class BasicBlock;
+class DomTree;
+class Function;
+class PhiInst;
+class Value;
+
+/// One natural loop.
+class Loop {
+public:
+  BasicBlock *getHeader() const { return Header; }
+  BasicBlock *getLatch() const { return Latch; }
+
+  /// The unique out-of-loop predecessor of the header, or null when
+  /// the loop is not in canonical form.
+  BasicBlock *getPreheader() const { return Preheader; }
+
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+  bool contains(const Loop *Other) const;
+  const std::set<BasicBlock *> &blocks() const { return Blocks; }
+
+  Loop *getParent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+  unsigned getDepth() const;
+
+  /// Blocks outside the loop that loop blocks branch to.
+  std::vector<BasicBlock *> exitBlocks() const;
+
+  /// The canonical induction variable: a header phi with exactly two
+  /// incoming values (preheader: init; latch: add(phi, step)), or null.
+  PhiInst *getCanonicalIterator() const { return Iterator; }
+  /// Iterator start value (from the preheader edge), or null.
+  Value *getIterBegin() const { return IterBegin; }
+  /// Iterator increment, or null.
+  Value *getIterStep() const { return IterStep; }
+  /// Loop bound: the value the header comparison tests against, or
+  /// null when the exit condition is not a simple compare.
+  Value *getIterEnd() const { return IterEnd; }
+
+  /// Returns true if \p V is invariant in this loop: constants,
+  /// arguments, globals and instructions defined outside the loop.
+  bool isInvariant(const Value *V) const;
+
+private:
+  friend class LoopInfo;
+
+  BasicBlock *Header = nullptr;
+  BasicBlock *Latch = nullptr;
+  BasicBlock *Preheader = nullptr;
+  std::set<BasicBlock *> Blocks;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+
+  PhiInst *Iterator = nullptr;
+  Value *IterBegin = nullptr;
+  Value *IterStep = nullptr;
+  Value *IterEnd = nullptr;
+};
+
+/// The loop forest of one function.
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const DomTree &DT);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *getLoopFor(const BasicBlock *BB) const;
+
+  /// Top-level (outermost) loops.
+  std::vector<Loop *> topLevelLoops() const;
+
+  /// All loops, innermost first (useful for bottom-up processing).
+  std::vector<Loop *> loopsInnermostFirst() const;
+
+private:
+  void analyzeInduction(Loop &L);
+
+  std::vector<std::unique_ptr<Loop>> Loops;
+};
+
+} // namespace gr
+
+#endif // GR_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,61 @@
+//===- Purity.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "analysis/Purity.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+using namespace gr;
+
+PurityAnalysis::PurityAnalysis(const Module &M) {
+  for (const auto &F : M.functions())
+    Kinds[F.get()] = classify(F.get(), /*Depth=*/0);
+}
+
+PurityKind PurityAnalysis::getKind(const Function *F) const {
+  auto It = Kinds.find(F);
+  return It == Kinds.end() ? PurityKind::Impure : It->second;
+}
+
+PurityKind PurityAnalysis::classify(const Function *F, int Depth) {
+  auto Memo = Kinds.find(F);
+  if (Memo != Kinds.end())
+    return Memo->second;
+  // Declarations: trust the attribute. Math builtins are StrictPure;
+  // other externals are Impure.
+  if (F->isDeclaration())
+    return F->isPure() ? PurityKind::StrictPure : PurityKind::Impure;
+  if (Depth > 16)
+    return PurityKind::Impure; // Deep or cyclic call chain: give up.
+
+  PurityKind Result = PurityKind::StrictPure;
+  auto Weaken = [&Result](PurityKind K) {
+    if (K > Result)
+      Result = K;
+  };
+
+  for (BasicBlock *BB : *F) {
+    for (Instruction *I : *BB) {
+      if (isa<StoreInst>(I))
+        return PurityKind::Impure;
+      if (isa<GlobalVariable>(I)) // Defensive; globals are not insts.
+        continue;
+      if (isa<LoadInst>(I)) {
+        Weaken(PurityKind::ReadOnly);
+        continue;
+      }
+      if (auto *Call = dyn_cast<CallInst>(I)) {
+        Weaken(classify(Call->getCallee(), Depth + 1));
+        if (Result == PurityKind::Impure)
+          return Result;
+        continue;
+      }
+      // Reads of globals' addresses are fine; loading through them was
+      // handled above. Allocas would imply local state we don't track.
+      if (isa<AllocaInst>(I))
+        Weaken(PurityKind::ReadOnly);
+    }
+  }
+  return Result;
+}

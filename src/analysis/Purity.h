@@ -1,0 +1,56 @@
+//===- Purity.h - side-effect classification of functions -----*- C++ -*-===//
+///
+/// \file
+/// Classifies every function of a module by its effect on memory. The
+/// reduction idioms accept calls inside the loop body only when the
+/// callee is at least read-only; icc's baseline uses a narrower
+/// whitelist (which is why it misses the fmin/fmax loops in cutcp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_ANALYSIS_PURITY_H
+#define GR_ANALYSIS_PURITY_H
+
+#include <map>
+
+namespace gr {
+
+class Function;
+class Module;
+
+/// How a call can interact with program state.
+enum class PurityKind {
+  /// No memory access at all; result depends only on scalar arguments
+  /// (sqrt, fabs, fmin, ...).
+  StrictPure,
+  /// No side effects, but may read memory through pointer arguments
+  /// (e.g. a binary search helper).
+  ReadOnly,
+  /// Writes memory, reads/writes globals, or calls something impure.
+  Impure,
+};
+
+/// Whole-module purity classification (bottom-up over calls; cyclic
+/// call graphs degrade to Impure).
+class PurityAnalysis {
+public:
+  explicit PurityAnalysis(const Module &M);
+
+  PurityKind getKind(const Function *F) const;
+
+  bool isStrictPure(const Function *F) const {
+    return getKind(F) == PurityKind::StrictPure;
+  }
+  bool isSideEffectFree(const Function *F) const {
+    return getKind(F) != PurityKind::Impure;
+  }
+
+private:
+  PurityKind classify(const Function *F, int Depth);
+
+  std::map<const Function *, PurityKind> Kinds;
+};
+
+} // namespace gr
+
+#endif // GR_ANALYSIS_PURITY_H

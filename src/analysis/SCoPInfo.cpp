@@ -1,0 +1,158 @@
+//===- SCoPInfo.cpp -------------------------------------------*- C++ -*-===//
+
+#include "analysis/SCoPInfo.h"
+
+#include "analysis/AffineForms.h"
+#include "analysis/LoopInfo.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+
+using namespace gr;
+
+namespace {
+
+/// Walks a GEP chain down to its base object. Returns null when the
+/// base is not a statically known object (alloca, global, argument).
+Value *getBaseObject(Value *Ptr, int Depth = 0) {
+  if (Depth > 16)
+    return nullptr;
+  if (auto *GEP = dyn_cast<GEPInst>(Ptr))
+    return getBaseObject(GEP->getPointer(), Depth + 1);
+  if (isa<AllocaInst>(Ptr) || isa<GlobalVariable>(Ptr) ||
+      isa<Argument>(Ptr))
+    return Ptr;
+  return nullptr;
+}
+
+/// Checks that every subscript on the GEP chain of \p Ptr is affine
+/// over \p Allowed.
+bool accessIsAffine(Value *Ptr, const std::map<Value *, bool> &Allowed) {
+  while (auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+    if (!isAffineOver(GEP->getIndex(), Allowed))
+      return false;
+    Ptr = GEP->getPointer();
+  }
+  return getBaseObject(Ptr) != nullptr;
+}
+
+/// Affine (static) branch condition: integer comparison of affine
+/// expressions, possibly combined with i1 logic.
+bool conditionIsStatic(Value *Cond, const std::map<Value *, bool> &Allowed,
+                       int Depth = 0) {
+  if (Depth > 8)
+    return false;
+  if (auto *Cmp = dyn_cast<CmpInst>(Cond))
+    return Cmp->isIntPredicate() &&
+           isAffineOver(Cmp->getLHS(), Allowed) &&
+           isAffineOver(Cmp->getRHS(), Allowed);
+  if (auto *Bin = dyn_cast<BinaryInst>(Cond)) {
+    using Op = BinaryInst::BinaryOp;
+    if (Bin->getBinaryOp() == Op::And || Bin->getBinaryOp() == Op::Or ||
+        Bin->getBinaryOp() == Op::Xor)
+      return conditionIsStatic(Bin->getLHS(), Allowed, Depth + 1) &&
+             conditionIsStatic(Bin->getRHS(), Allowed, Depth + 1);
+  }
+  if (auto *CI = dyn_cast<ConstantInt>(Cond))
+    return CI->getType()->isInt1();
+  return false;
+}
+
+/// Collects \p Root and all loops nested in it.
+std::vector<Loop *> nestLoops(Loop *Root, const LoopInfo &LI) {
+  std::vector<Loop *> Result;
+  for (const auto &L : LI.loops())
+    if (L.get() == Root || Root->contains(L.get()))
+      Result.push_back(L.get());
+  return Result;
+}
+
+/// True when some header phi in the nest is an associative-update
+/// accumulator (the pattern Polly's reduction extension exploits).
+bool nestHasReduction(const std::vector<Loop *> &Nest) {
+  for (Loop *L : Nest) {
+    if (!L->getLatch() || !L->getPreheader())
+      continue;
+    for (PhiInst *Phi : L->getHeader()->phis()) {
+      if (Phi == L->getCanonicalIterator() || Phi->getNumIncoming() != 2)
+        continue;
+      auto *Update =
+          dyn_cast_or_null<BinaryInst>(Phi->getIncomingValueFor(L->getLatch()));
+      if (!Update || !Update->isAssociative())
+        continue;
+      if (Update->getLHS() == Phi || Update->getRHS() == Phi)
+        return true;
+    }
+  }
+  return false;
+}
+
+/// Full qualification check for the nest rooted at \p Root.
+bool nestQualifies(Loop *Root, const Function &F, const LoopInfo &LI) {
+  std::vector<Loop *> Nest = nestLoops(Root, LI);
+
+  // Allowed affine bases: canonical iterators of the nest plus the
+  // function's parameters (Polly's "parameters of the SCoP").
+  std::map<Value *, bool> Allowed;
+  for (Loop *L : Nest) {
+    if (!L->getCanonicalIterator() || !L->getIterEnd() ||
+        !L->getPreheader() || !L->getLatch())
+      return false;
+    Allowed[L->getCanonicalIterator()] = true;
+  }
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+    Allowed[F.getArg(I)] = true;
+
+  // Iteration spaces must be affine over parameters and outer
+  // iterators (runtime bounds loaded from memory disqualify).
+  for (Loop *L : Nest)
+    if (!isAffineOver(L->getIterBegin(), Allowed) ||
+        !isAffineOver(L->getIterEnd(), Allowed) ||
+        !isAffineOver(L->getIterStep(), Allowed))
+      return false;
+
+  for (BasicBlock *BB : Root->blocks()) {
+    for (Instruction *I : *BB) {
+      if (isa<CallInst>(I))
+        return false; // Polly rejects call-containing regions.
+      if (auto *Load = dyn_cast<LoadInst>(I)) {
+        if (!accessIsAffine(Load->getPointer(), Allowed))
+          return false;
+        continue;
+      }
+      if (auto *Store = dyn_cast<StoreInst>(I)) {
+        if (!accessIsAffine(Store->getPointer(), Allowed))
+          return false;
+        continue;
+      }
+      if (auto *Br = dyn_cast<BranchInst>(I)) {
+        if (Br->isConditional() &&
+            !conditionIsStatic(Br->getCondition(), Allowed))
+          return false;
+        continue;
+      }
+    }
+  }
+  return true;
+}
+
+/// Recursive maximal-region search: an outermost qualifying loop forms
+/// one SCoP; otherwise descend into subloops.
+void collectSCoPs(Loop *L, const Function &F, const LoopInfo &LI,
+                  std::vector<SCoP> &Out) {
+  if (nestQualifies(L, F, LI)) {
+    Out.push_back({L, nestHasReduction(nestLoops(L, LI))});
+    return;
+  }
+  for (Loop *Sub : L->subLoops())
+    collectSCoPs(Sub, F, LI, Out);
+}
+
+} // namespace
+
+std::vector<SCoP> gr::findSCoPs(const Function &F, const LoopInfo &LI) {
+  std::vector<SCoP> Result;
+  for (Loop *Top : LI.topLevelLoops())
+    collectSCoPs(Top, F, LI, Result);
+  return Result;
+}

@@ -1,0 +1,43 @@
+//===- SCoPInfo.h - static control part detection -------------*- C++ -*-===//
+///
+/// \file
+/// Polly-style SCoP detection: maximal loop nests with statically known
+/// (affine) iteration spaces, affine memory subscripts, static control
+/// flow and no calls. This is the substrate for the Polly+Reduction
+/// baseline and the Fig 9/10/11 SCoP counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_ANALYSIS_SCOPINFO_H
+#define GR_ANALYSIS_SCOPINFO_H
+
+#include <vector>
+
+namespace gr {
+
+class Function;
+class Loop;
+class LoopInfo;
+
+/// One detected static control part (rooted at an outermost qualifying
+/// loop).
+struct SCoP {
+  Loop *Root;
+  /// True when the SCoP contains a scalar reduction pattern
+  /// (accumulator phi updated with an associative operator).
+  bool HasReduction;
+};
+
+/// Finds all maximal SCoPs in \p F.
+///
+/// A loop nest qualifies when every loop in it has a canonical
+/// induction variable with loop-invariant, affine bounds built only
+/// from constants and function arguments; every load/store subscript
+/// is affine over enclosing iterators and arguments; every branch
+/// condition inside compares affine expressions; and no calls occur
+/// anywhere in the nest.
+std::vector<SCoP> findSCoPs(const Function &F, const LoopInfo &LI);
+
+} // namespace gr
+
+#endif // GR_ANALYSIS_SCOPINFO_H

@@ -1,0 +1,127 @@
+//===- IccLike.cpp --------------------------------------------*- C++ -*-===//
+
+#include "baselines/IccLike.h"
+
+#include "analysis/AffineForms.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "idioms/Associativity.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+/// Vectorizer-friendly math calls icc parallelizes through. fmin/fmax
+/// are deliberately absent (see the paper's cutcp discussion).
+bool isWhitelistedCall(const CallInst *Call) {
+  static const char *Whitelist[] = {"sqrt", "log", "exp",   "sin",
+                                    "cos",  "pow", "floor", "fabs"};
+  const std::string &Name = Call->getCallee()->getName();
+  for (const char *W : Whitelist)
+    if (Name == W)
+      return true;
+  return false;
+}
+
+/// Does the in-loop backward slice of \p V reach a header phi other
+/// than the induction variable? (That would mean a cross-iteration
+/// value escapes into memory or control.)
+bool sliceTouchesAccumulator(Value *V, Loop *L) {
+  std::set<Value *> Visited;
+  std::vector<Value *> Worklist{V};
+  while (!Worklist.empty()) {
+    Value *Current = Worklist.back();
+    Worklist.pop_back();
+    if (!Visited.insert(Current).second)
+      continue;
+    auto *I = dyn_cast<Instruction>(Current);
+    if (!I || !L->contains(I->getParent()))
+      continue;
+    if (auto *Phi = dyn_cast<PhiInst>(I))
+      if (Phi->getParent() == L->getHeader() &&
+          Phi != L->getCanonicalIterator())
+        return true;
+    for (Value *Op : I->operands())
+      if (!isa<BasicBlock>(Op))
+        Worklist.push_back(Op);
+  }
+  return false;
+}
+
+/// Every GEP subscript on the pointer affine in \p L, base statically
+/// known.
+bool affineAddress(Value *Ptr, Loop *L) {
+  while (auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+    if (!isAffineInLoop(GEP->getIndex(), *L))
+      return false;
+    Ptr = GEP->getPointer();
+  }
+  return isa<GlobalVariable>(Ptr) || isa<Argument>(Ptr) ||
+         isa<AllocaInst>(Ptr) ||
+         (isa<Instruction>(Ptr) &&
+          !L->contains(cast<Instruction>(Ptr)->getParent()));
+}
+
+/// Loop-level legality for icc's auto-parallelizer.
+bool loopParallelizable(Loop *L) {
+  if (!L->getCanonicalIterator() || !L->getLatch() || !L->getPreheader())
+    return false;
+  // Gives up on reductions buried in loop nests (the SP miss).
+  if (!L->subLoops().empty())
+    return false;
+  for (BasicBlock *BB : L->blocks()) {
+    for (Instruction *I : *BB) {
+      if (auto *Call = dyn_cast<CallInst>(I)) {
+        if (!isWhitelistedCall(Call))
+          return false;
+        continue;
+      }
+      if (auto *Store = dyn_cast<StoreInst>(I)) {
+        // Histograms: indirect writes defeat the dependence test.
+        if (!affineAddress(Store->getPointer(), L))
+          return false;
+        // Writing accumulator-derived values exposes partial results.
+        if (sliceTouchesAccumulator(Store->getStoredValue(), L))
+          return false;
+        continue;
+      }
+    }
+  }
+  return true;
+}
+
+unsigned countLoopReductions(Loop *L) {
+  unsigned Count = 0;
+  for (PhiInst *Phi : L->getHeader()->phis()) {
+    if (Phi == L->getCanonicalIterator() || Phi->getNumIncoming() != 2)
+      continue;
+    Value *Update = Phi->getIncomingValueFor(L->getLatch());
+    if (!Update)
+      continue;
+    if (classifyUpdate(Update, Phi) != ReductionOperator::Unknown)
+      ++Count;
+  }
+  return Count;
+}
+
+} // namespace
+
+unsigned gr::runIccBaseline(Module &M) {
+  unsigned Count = 0;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    DomTree DT(*F);
+    LoopInfo LI(*F, DT);
+    for (const auto &L : LI.loops())
+      if (loopParallelizable(L.get()))
+        Count += countLoopReductions(L.get());
+  }
+  return Count;
+}

@@ -1,0 +1,26 @@
+//===- IccLike.h - dependence-based auto-parallel baseline ----*- C++ -*-===//
+///
+/// \file
+/// Models the Intel icc auto-parallelizer's reduction recognition as
+/// observed in the paper: robust to runtime trip counts and general
+/// code, but (a) scalar accumulators only -- no histograms; (b) gives
+/// up when the accumulator's loop contains a nested loop (the SP
+/// middle-of-the-nest miss); (c) gives up when the loop body calls
+/// anything outside its vector-math whitelist -- fmin/fmax block
+/// parallelization (the cutcp miss) while sqrt/log do not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_BASELINES_ICCLIKE_H
+#define GR_BASELINES_ICCLIKE_H
+
+namespace gr {
+
+class Module;
+
+/// Number of parallelizable reductions icc would report for \p M.
+unsigned runIccBaseline(Module &M);
+
+} // namespace gr
+
+#endif // GR_BASELINES_ICCLIKE_H

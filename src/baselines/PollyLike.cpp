@@ -1,0 +1,55 @@
+//===- PollyLike.cpp ------------------------------------------*- C++ -*-===//
+
+#include "baselines/PollyLike.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/SCoPInfo.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+using namespace gr;
+
+namespace {
+
+/// Counts associative header-phi accumulators in the nest rooted at
+/// \p Root (each is one reduction Polly's extension can schedule).
+unsigned countNestReductions(Loop *Root, const LoopInfo &LI) {
+  unsigned Count = 0;
+  for (const auto &L : LI.loops()) {
+    if (L.get() != Root && !Root->contains(L.get()))
+      continue;
+    if (!L->getLatch() || !L->getPreheader())
+      continue;
+    for (PhiInst *Phi : L->getHeader()->phis()) {
+      if (Phi == L->getCanonicalIterator() || Phi->getNumIncoming() != 2)
+        continue;
+      auto *Update = dyn_cast_or_null<BinaryInst>(
+          Phi->getIncomingValueFor(L->getLatch()));
+      if (Update && Update->isAssociative() &&
+          (Update->getLHS() == Phi || Update->getRHS() == Phi))
+        ++Count;
+    }
+  }
+  return Count;
+}
+
+} // namespace
+
+PollyResult gr::runPollyBaseline(Module &M) {
+  PollyResult Result;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    DomTree DT(*F);
+    LoopInfo LI(*F, DT);
+    for (const SCoP &S : findSCoPs(*F, LI)) {
+      ++Result.NumSCoPs;
+      if (S.HasReduction) {
+        ++Result.NumReductionSCoPs;
+        Result.NumReductions += countNestReductions(S.Root, LI);
+      }
+    }
+  }
+  return Result;
+}

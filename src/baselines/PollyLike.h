@@ -1,0 +1,34 @@
+//===- PollyLike.h - polyhedral reduction baseline ------------*- C++ -*-===//
+///
+/// \file
+/// Models Polly+Reduction [Doerfert et al.]: reductions are only found
+/// inside SCoPs (static control parts), so anything with runtime
+/// bounds loaded from memory, non-affine subscripts, calls or
+/// data-dependent control flow is out of reach. Provides both the
+/// SCoP counts (Fig 9/10/11) and the reduction counts (Fig 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_BASELINES_POLLYLIKE_H
+#define GR_BASELINES_POLLYLIKE_H
+
+namespace gr {
+
+class Module;
+
+/// Result of the Polly-style analysis over one module.
+struct PollyResult {
+  unsigned NumSCoPs = 0;
+  unsigned NumReductionSCoPs = 0;
+  /// Scalar reductions contained in SCoPs (what Fig 8 plots as
+  /// "Polly+reductions"). Histograms are never found: indirect
+  /// subscripts contradict the affine access condition.
+  unsigned NumReductions = 0;
+};
+
+/// Runs SCoP detection + in-SCoP reduction matching over \p M.
+PollyResult runPollyBaseline(Module &M);
+
+} // namespace gr
+
+#endif // GR_BASELINES_POLLYLIKE_H

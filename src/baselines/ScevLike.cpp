@@ -1,0 +1,80 @@
+//===- ScevLike.cpp -------------------------------------------*- C++ -*-===//
+
+#include "baselines/ScevLike.h"
+
+#include "analysis/AffineForms.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+using namespace gr;
+
+namespace {
+
+bool isStraightLineLoop(Loop *L) {
+  if (!L->getCanonicalIterator() || !L->getLatch() || !L->getPreheader())
+    return false;
+  if (!L->subLoops().empty())
+    return false;
+  for (BasicBlock *BB : L->blocks()) {
+    // The only conditional branch allowed is the header's exit test.
+    auto *Br = dyn_cast_or_null<BranchInst>(BB->getTerminator());
+    if (Br && Br->isConditional() && BB != L->getHeader())
+      return false;
+    for (Instruction *I : *BB)
+      if (isa<CallInst>(I))
+        return false;
+  }
+  return true;
+}
+
+/// A direct associative update whose other operand is an affine load
+/// or invariant.
+bool isScevReduction(PhiInst *Phi, Loop *L) {
+  if (Phi == L->getCanonicalIterator() || Phi->getNumIncoming() != 2)
+    return false;
+  auto *Update =
+      dyn_cast_or_null<BinaryInst>(Phi->getIncomingValueFor(L->getLatch()));
+  if (!Update || !Update->isAssociative())
+    return false;
+  Value *Other;
+  if (Update->getLHS() == Phi)
+    Other = Update->getRHS();
+  else if (Update->getRHS() == Phi)
+    Other = Update->getLHS();
+  else
+    return false;
+  if (L->isInvariant(Other))
+    return true;
+  if (auto *Load = dyn_cast<LoadInst>(Other)) {
+    Value *Ptr = Load->getPointer();
+    while (auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+      if (!isAffineInLoop(GEP->getIndex(), *L))
+        return false;
+      Ptr = GEP->getPointer();
+    }
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+unsigned gr::runScevBaseline(Module &M) {
+  unsigned Count = 0;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    DomTree DT(*F);
+    LoopInfo LI(*F, DT);
+    for (const auto &L : LI.loops()) {
+      if (!isStraightLineLoop(L.get()))
+        continue;
+      for (PhiInst *Phi : L->getHeader()->phis())
+        if (isScevReduction(Phi, L.get()))
+          ++Count;
+    }
+  }
+  return Count;
+}

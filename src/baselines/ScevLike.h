@@ -1,0 +1,23 @@
+//===- ScevLike.h - scalar-evolution-style baseline -----------*- C++ -*-===//
+///
+/// \file
+/// Models detection by LLVM's scalar evolution as discussed in §6.1:
+/// fundamentally limited to straight-line scalar reductions -- no
+/// control flow in the body, no calls, no histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_BASELINES_SCEVLIKE_H
+#define GR_BASELINES_SCEVLIKE_H
+
+namespace gr {
+
+class Module;
+
+/// Number of straight-line scalar reductions scalar evolution can
+/// describe in \p M.
+unsigned runScevBaseline(Module &M);
+
+} // namespace gr
+
+#endif // GR_BASELINES_SCEVLIKE_H

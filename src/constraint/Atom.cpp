@@ -1,0 +1,494 @@
+//===- Atom.cpp -----------------------------------------------*- C++ -*-===//
+
+#include "constraint/Atom.h"
+
+#include "analysis/CFGUtils.h"
+#include "constraint/OriginCheck.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace gr;
+
+Atom::~Atom() = default;
+
+unsigned Atom::maxLabel() const {
+  return *std::max_element(Labels.begin(), Labels.end());
+}
+
+namespace {
+
+BasicBlock *asBlock(const Solution &S, unsigned Label) {
+  return dyn_cast_or_null<BasicBlock>(S[Label]);
+}
+
+/// The loop headed by the block bound to \p Label, or null.
+Loop *loopOf(const ConstraintContext &Ctx, const Solution &S,
+             unsigned Label) {
+  BasicBlock *Header = asBlock(S, Label);
+  if (!Header)
+    return nullptr;
+  Loop *L = Ctx.getLoopInfo().getLoopFor(Header);
+  return (L && L->getHeader() == Header) ? L : nullptr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AtomUncondBr
+//===----------------------------------------------------------------------===//
+
+bool AtomUncondBr::evaluate(const ConstraintContext &,
+                            const Solution &S) const {
+  BasicBlock *A = asBlock(S, Labels[0]);
+  BasicBlock *B = asBlock(S, Labels[1]);
+  if (!A || !B)
+    return false;
+  auto *Br = dyn_cast_or_null<BranchInst>(A->getTerminator());
+  return Br && !Br->isConditional() && Br->getSuccessor(0) == B;
+}
+
+bool AtomUncondBr::suggest(const ConstraintContext &, const Solution &S,
+                           unsigned Label,
+                           std::vector<Value *> &Out) const {
+  // "return false" means cannot narrow (prerequisite unbound);
+  // "return true" with no candidates means dead end -- a label bound
+  // to a value of the wrong kind must prune, not widen, the search.
+  if (Label == Labels[1]) {
+    if (!S[Labels[0]])
+      return false;
+    BasicBlock *A = asBlock(S, Labels[0]);
+    if (!A)
+      return true;
+    auto *Br = dyn_cast_or_null<BranchInst>(A->getTerminator());
+    if (Br && !Br->isConditional())
+      Out.push_back(Br->getSuccessor(0));
+    return true;
+  }
+  if (Label == Labels[0]) {
+    if (!S[Labels[1]])
+      return false;
+    BasicBlock *B = asBlock(S, Labels[1]);
+    if (!B)
+      return true;
+    for (BasicBlock *P : B->predecessors()) {
+      auto *Br = dyn_cast_or_null<BranchInst>(P->getTerminator());
+      if (Br && !Br->isConditional())
+        Out.push_back(P);
+    }
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// AtomCondBr
+//===----------------------------------------------------------------------===//
+
+bool AtomCondBr::evaluate(const ConstraintContext &,
+                          const Solution &S) const {
+  BasicBlock *A = asBlock(S, Labels[0]);
+  if (!A)
+    return false;
+  auto *Br = dyn_cast_or_null<BranchInst>(A->getTerminator());
+  return Br && Br->isConditional() &&
+         Br->getCondition() == S[Labels[1]] &&
+         Br->getSuccessor(0) == S[Labels[2]] &&
+         Br->getSuccessor(1) == S[Labels[3]];
+}
+
+bool AtomCondBr::suggest(const ConstraintContext &, const Solution &S,
+                         unsigned Label, std::vector<Value *> &Out) const {
+  if (S[Labels[0]] && !isa<BasicBlock>(S[Labels[0]]))
+    return true; // Bound to a non-block: dead end.
+  BasicBlock *A = asBlock(S, Labels[0]);
+  if (A) {
+    auto *Br = dyn_cast_or_null<BranchInst>(A->getTerminator());
+    if (!Br || !Br->isConditional())
+      return true; // Knows the answer: no candidates.
+    if (Label == Labels[1])
+      Out.push_back(Br->getCondition());
+    else if (Label == Labels[2])
+      Out.push_back(Br->getSuccessor(0));
+    else if (Label == Labels[3])
+      Out.push_back(Br->getSuccessor(1));
+    else
+      return false;
+    return true;
+  }
+  // Suggest the block from a bound target.
+  if (Label == Labels[0]) {
+    for (unsigned TargetIdx : {Labels[2], Labels[3]}) {
+      if (S[TargetIdx] && !isa<BasicBlock>(S[TargetIdx]))
+        return true; // Bound to a non-block target: dead end.
+      BasicBlock *T = asBlock(S, TargetIdx);
+      if (!T)
+        continue;
+      for (BasicBlock *P : T->predecessors()) {
+        auto *Br = dyn_cast_or_null<BranchInst>(P->getTerminator());
+        if (Br && Br->isConditional())
+          Out.push_back(P);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Dominance atoms
+//===----------------------------------------------------------------------===//
+
+bool AtomDominates::evaluate(const ConstraintContext &Ctx,
+                             const Solution &S) const {
+  BasicBlock *A = asBlock(S, Labels[0]);
+  BasicBlock *B = asBlock(S, Labels[1]);
+  if (!A || !B)
+    return false;
+  return Strict ? Ctx.getDomTree().strictlyDominates(A, B)
+                : Ctx.getDomTree().dominates(A, B);
+}
+
+bool AtomPostDominates::evaluate(const ConstraintContext &Ctx,
+                                 const Solution &S) const {
+  BasicBlock *A = asBlock(S, Labels[0]);
+  BasicBlock *B = asBlock(S, Labels[1]);
+  if (!A || !B)
+    return false;
+  return Strict ? Ctx.getPostDomTree().strictlyPostDominates(A, B)
+                : Ctx.getPostDomTree().postDominates(A, B);
+}
+
+bool AtomBlocked::evaluate(const ConstraintContext &,
+                           const Solution &S) const {
+  BasicBlock *From = asBlock(S, Labels[0]);
+  BasicBlock *To = asBlock(S, Labels[1]);
+  BasicBlock *Without = asBlock(S, Labels[2]);
+  if (!From || !To || !Without)
+    return false;
+  return !reachableWithout(From, To, {Without});
+}
+
+bool AtomDistinct::evaluate(const ConstraintContext &,
+                            const Solution &S) const {
+  return S[Labels[0]] != S[Labels[1]];
+}
+
+//===----------------------------------------------------------------------===//
+// Value shape atoms
+//===----------------------------------------------------------------------===//
+
+bool AtomIntComparison::evaluate(const ConstraintContext &,
+                                 const Solution &S) const {
+  auto *Cmp = dyn_cast_or_null<CmpInst>(S[Labels[0]]);
+  if (!Cmp || !Cmp->isIntPredicate())
+    return false;
+  Value *A = S[Labels[1]], *B = S[Labels[2]];
+  return (Cmp->getLHS() == A && Cmp->getRHS() == B) ||
+         (Cmp->getLHS() == B && Cmp->getRHS() == A);
+}
+
+bool AtomIntComparison::suggest(const ConstraintContext &,
+                                const Solution &S, unsigned Label,
+                                std::vector<Value *> &Out) const {
+  if (!S[Labels[0]])
+    return false;
+  auto *Cmp = dyn_cast<CmpInst>(S[Labels[0]]);
+  if (!Cmp || !Cmp->isIntPredicate())
+    return true; // Bound to something that is no integer compare.
+  if (Label == Labels[1] || Label == Labels[2]) {
+    // If the sibling operand is bound, the candidate is the other one;
+    // otherwise both operands are candidates.
+    unsigned Sibling = Label == Labels[1] ? Labels[2] : Labels[1];
+    if (S[Sibling] == Cmp->getLHS())
+      Out.push_back(Cmp->getRHS());
+    else if (S[Sibling] == Cmp->getRHS())
+      Out.push_back(Cmp->getLHS());
+    else {
+      Out.push_back(Cmp->getLHS());
+      Out.push_back(Cmp->getRHS());
+    }
+    return true;
+  }
+  return false;
+}
+
+bool AtomAdd::evaluate(const ConstraintContext &, const Solution &S) const {
+  auto *Bin = dyn_cast_or_null<BinaryInst>(S[Labels[0]]);
+  if (!Bin || Bin->getBinaryOp() != BinaryInst::BinaryOp::Add)
+    return false;
+  Value *A = S[Labels[1]], *B = S[Labels[2]];
+  return (Bin->getLHS() == A && Bin->getRHS() == B) ||
+         (Bin->getLHS() == B && Bin->getRHS() == A);
+}
+
+bool AtomAdd::suggest(const ConstraintContext &, const Solution &S,
+                      unsigned Label, std::vector<Value *> &Out) const {
+  auto *Bin = dyn_cast_or_null<BinaryInst>(S[Labels[0]]);
+  if (!Bin || Bin->getBinaryOp() != BinaryInst::BinaryOp::Add)
+    return S[Labels[0]] != nullptr; // Bound non-add: no candidates.
+  if (Label == Labels[1] || Label == Labels[2]) {
+    unsigned Sibling = Label == Labels[1] ? Labels[2] : Labels[1];
+    if (S[Sibling] == Bin->getLHS())
+      Out.push_back(Bin->getRHS());
+    else if (S[Sibling] == Bin->getRHS())
+      Out.push_back(Bin->getLHS());
+    else {
+      Out.push_back(Bin->getLHS());
+      Out.push_back(Bin->getRHS());
+    }
+    return true;
+  }
+  return false;
+}
+
+bool AtomPhi::evaluate(const ConstraintContext &, const Solution &S) const {
+  auto *Phi = dyn_cast_or_null<PhiInst>(S[Labels[0]]);
+  BasicBlock *Block = asBlock(S, Labels[1]);
+  if (!Phi || !Block || Phi->getParent() != Block)
+    return false;
+  if (Phi->getNumIncoming() != 2)
+    return false;
+  Value *A = S[Labels[2]], *B = S[Labels[3]];
+  Value *In0 = Phi->getIncomingValue(0), *In1 = Phi->getIncomingValue(1);
+  return (In0 == A && In1 == B) || (In0 == B && In1 == A);
+}
+
+bool AtomPhi::suggest(const ConstraintContext &, const Solution &S,
+                      unsigned Label, std::vector<Value *> &Out) const {
+  if (Label == Labels[0]) {
+    if (!S[Labels[1]])
+      return false;
+    BasicBlock *Block = asBlock(S, Labels[1]);
+    if (!Block)
+      return true; // Bound to a non-block: dead end.
+    for (PhiInst *Phi : Block->phis())
+      if (Phi->getNumIncoming() == 2)
+        Out.push_back(Phi);
+    return true;
+  }
+  auto *Phi = dyn_cast_or_null<PhiInst>(S[Labels[0]]);
+  if (!Phi || Phi->getNumIncoming() != 2)
+    return S[Labels[0]] != nullptr;
+  if (Label == Labels[2] || Label == Labels[3]) {
+    unsigned Sibling = Label == Labels[2] ? Labels[3] : Labels[2];
+    Value *In0 = Phi->getIncomingValue(0), *In1 = Phi->getIncomingValue(1);
+    if (S[Sibling] == In0)
+      Out.push_back(In1);
+    else if (S[Sibling] == In1)
+      Out.push_back(In0);
+    else {
+      Out.push_back(In0);
+      Out.push_back(In1);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool AtomPhiAt::evaluate(const ConstraintContext &,
+                         const Solution &S) const {
+  auto *Phi = dyn_cast_or_null<PhiInst>(S[Labels[0]]);
+  BasicBlock *Block = asBlock(S, Labels[1]);
+  return Phi && Block && Phi->getParent() == Block;
+}
+
+bool AtomPhiAt::suggest(const ConstraintContext &, const Solution &S,
+                        unsigned Label, std::vector<Value *> &Out) const {
+  if (Label != Labels[0] || !S[Labels[1]])
+    return false;
+  BasicBlock *Block = asBlock(S, Labels[1]);
+  if (!Block)
+    return true; // Bound to a non-block: dead end.
+  for (PhiInst *Phi : Block->phis())
+    Out.push_back(Phi);
+  return true;
+}
+
+bool AtomPhiIncoming::evaluate(const ConstraintContext &,
+                               const Solution &S) const {
+  auto *Phi = dyn_cast_or_null<PhiInst>(S[Labels[0]]);
+  BasicBlock *From = asBlock(S, Labels[2]);
+  if (!Phi || !From)
+    return false;
+  return Phi->getIncomingValueFor(From) == S[Labels[1]];
+}
+
+bool AtomPhiIncoming::suggest(const ConstraintContext &, const Solution &S,
+                              unsigned Label,
+                              std::vector<Value *> &Out) const {
+  if (Label != Labels[1])
+    return false;
+  if (!S[Labels[0]] || !S[Labels[2]])
+    return false;
+  auto *Phi = dyn_cast<PhiInst>(S[Labels[0]]);
+  BasicBlock *From = asBlock(S, Labels[2]);
+  if (!Phi || !From)
+    return true; // Bound to the wrong kinds: dead end.
+  if (Value *V = Phi->getIncomingValueFor(From))
+    Out.push_back(V);
+  return true;
+}
+
+bool AtomGEP::evaluate(const ConstraintContext &, const Solution &S) const {
+  auto *GEP = dyn_cast_or_null<GEPInst>(S[Labels[0]]);
+  return GEP && GEP->getPointer() == S[Labels[1]] &&
+         GEP->getIndex() == S[Labels[2]];
+}
+
+bool AtomGEP::suggest(const ConstraintContext &, const Solution &S,
+                      unsigned Label, std::vector<Value *> &Out) const {
+  auto *GEP = dyn_cast_or_null<GEPInst>(S[Labels[0]]);
+  if (!GEP)
+    return S[Labels[0]] != nullptr;
+  if (Label == Labels[1]) {
+    Out.push_back(GEP->getPointer());
+    return true;
+  }
+  if (Label == Labels[2]) {
+    Out.push_back(GEP->getIndex());
+    return true;
+  }
+  return false;
+}
+
+bool AtomInvariantInLoop::evaluate(const ConstraintContext &Ctx,
+                                   const Solution &S) const {
+  Value *V = S[Labels[0]];
+  Loop *L = loopOf(Ctx, S, Labels[1]);
+  if (!V || !L)
+    return false;
+  return L->isInvariant(V) == Expected;
+}
+
+bool AtomIsConstantOrArg::evaluate(const ConstraintContext &,
+                                   const Solution &S) const {
+  Value *V = S[Labels[0]];
+  return V && (isa<ConstantInt>(V) || isa<ConstantFloat>(V) ||
+               isa<Argument>(V));
+}
+
+bool AtomAvailableAt::evaluate(const ConstraintContext &Ctx,
+                               const Solution &S) const {
+  Value *V = S[Labels[0]];
+  BasicBlock *Block = asBlock(S, Labels[1]);
+  if (!V || !Block)
+    return false;
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return true;
+  return Ctx.getDomTree().dominates(I->getParent(), Block);
+}
+
+bool AtomLoadInLoop::evaluate(const ConstraintContext &Ctx,
+                              const Solution &S) const {
+  auto *Load = dyn_cast_or_null<LoadInst>(S[Labels[0]]);
+  Loop *L = loopOf(Ctx, S, Labels[2]);
+  return Load && L && L->contains(Load->getParent()) &&
+         Load->getPointer() == S[Labels[1]];
+}
+
+bool AtomLoadInLoop::suggest(const ConstraintContext &Ctx,
+                             const Solution &S, unsigned Label,
+                             std::vector<Value *> &Out) const {
+  if (Label == Labels[0]) {
+    if (!S[Labels[2]])
+      return false;
+    Loop *L = loopOf(Ctx, S, Labels[2]);
+    if (!L)
+      return true; // Bound to a non-header: dead end.
+    for (BasicBlock *BB : L->blocks())
+      for (Instruction *I : *BB)
+        if (isa<LoadInst>(I))
+          Out.push_back(I);
+    return true;
+  }
+  if (Label == Labels[1]) {
+    if (!S[Labels[0]])
+      return false;
+    if (auto *Load = dyn_cast<LoadInst>(S[Labels[0]]))
+      Out.push_back(Load->getPointer());
+    return true;
+  }
+  return false;
+}
+
+bool AtomStoreInLoop::evaluate(const ConstraintContext &Ctx,
+                               const Solution &S) const {
+  auto *Store = dyn_cast_or_null<StoreInst>(S[Labels[0]]);
+  Loop *L = loopOf(Ctx, S, Labels[3]);
+  return Store && L && L->contains(Store->getParent()) &&
+         Store->getStoredValue() == S[Labels[1]] &&
+         Store->getPointer() == S[Labels[2]];
+}
+
+bool AtomStoreInLoop::suggest(const ConstraintContext &Ctx,
+                              const Solution &S, unsigned Label,
+                              std::vector<Value *> &Out) const {
+  if (Label == Labels[0]) {
+    if (!S[Labels[3]])
+      return false;
+    Loop *L = loopOf(Ctx, S, Labels[3]);
+    if (!L)
+      return true; // Bound to a non-header: dead end.
+    for (BasicBlock *BB : L->blocks())
+      for (Instruction *I : *BB)
+        if (isa<StoreInst>(I))
+          Out.push_back(I);
+    return true;
+  }
+  if (!S[Labels[0]])
+    return false;
+  auto *Store = dyn_cast<StoreInst>(S[Labels[0]]);
+  if (!Store)
+    return true; // Bound to a non-store: dead end.
+  if (Label == Labels[1]) {
+    Out.push_back(Store->getStoredValue());
+    return true;
+  }
+  if (Label == Labels[2]) {
+    Out.push_back(Store->getPointer());
+    return true;
+  }
+  return false;
+}
+
+bool AtomSameAddress::evaluate(const ConstraintContext &,
+                               const Solution &S) const {
+  Value *A = S[Labels[0]], *B = S[Labels[1]];
+  if (!A || !B)
+    return false;
+  if (A == B)
+    return true;
+  auto *GA = dyn_cast<GEPInst>(A);
+  auto *GB = dyn_cast<GEPInst>(B);
+  return GA && GB && GA->getPointer() == GB->getPointer() &&
+         GA->getIndex() == GB->getIndex();
+}
+
+//===----------------------------------------------------------------------===//
+// AtomComputedFrom
+//===----------------------------------------------------------------------===//
+
+AtomComputedFrom::AtomComputedFrom(unsigned Out, unsigned Header,
+                                   std::vector<unsigned> OriginLabels,
+                                   OriginFlags Flags)
+    : Atom({Out, Header}), OriginLabels(std::move(OriginLabels)),
+      Flags(Flags) {
+  for (unsigned L : this->OriginLabels)
+    Labels.push_back(L);
+}
+
+bool AtomComputedFrom::evaluate(const ConstraintContext &Ctx,
+                                const Solution &S) const {
+  Value *Out = S[Labels[0]];
+  Loop *L = loopOf(Ctx, S, Labels[1]);
+  if (!Out || !L)
+    return false;
+  OriginQuery Q{Ctx, L, {}, Flags, collectStoredBases(L)};
+  for (unsigned OriginLabel : OriginLabels)
+    if (S[OriginLabel])
+      Q.DataOrigins.insert(S[OriginLabel]);
+  return computedFromOrigins(Out, Q);
+}

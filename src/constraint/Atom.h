@@ -1,0 +1,326 @@
+//===- Atom.h - atomic constraints ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The atomic constraints of the idiom description language (paper
+/// §3.1): CFG edges, (post)dominance, blocked paths, instruction shape
+/// atoms (branch, comparison, add, phi, load, store, gep), constancy,
+/// and the generalized graph-domination constraint ("computed only
+/// from allowed origins") that powers the reduction specifications.
+///
+/// Each atom knows which labels it mentions, can evaluate itself once
+/// those labels are bound, and can optionally *suggest* candidate
+/// values for one unbound label given the others — the hook the
+/// backtracking solver uses to avoid enumerating the whole universe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CONSTRAINT_ATOM_H
+#define GR_CONSTRAINT_ATOM_H
+
+#include "constraint/Context.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class Value;
+
+/// A (partial) assignment of labels to IR values; null = unbound.
+using Solution = std::vector<Value *>;
+
+/// Base class of all atomic constraints.
+class Atom {
+public:
+  virtual ~Atom();
+
+  const std::vector<unsigned> &labels() const { return Labels; }
+
+  /// Largest label mentioned (labels() is never empty).
+  unsigned maxLabel() const;
+
+  /// Evaluates the atom; every mentioned label must be bound.
+  virtual bool evaluate(const ConstraintContext &Ctx,
+                        const Solution &S) const = 0;
+
+  /// If this atom can enumerate candidates for \p Label when all its
+  /// other labels are bound, appends them to \p Out and returns true.
+  virtual bool suggest(const ConstraintContext &Ctx, const Solution &S,
+                       unsigned Label, std::vector<Value *> &Out) const {
+    (void)Ctx;
+    (void)S;
+    (void)Label;
+    (void)Out;
+    return false;
+  }
+
+  /// One-line rendering for diagnostics.
+  virtual std::string describe() const = 0;
+
+protected:
+  explicit Atom(std::vector<unsigned> Labels) : Labels(std::move(Labels)) {}
+
+  std::vector<unsigned> Labels;
+};
+
+//===----------------------------------------------------------------------===//
+// CFG shape atoms
+//===----------------------------------------------------------------------===//
+
+/// Block \p A ends in an unconditional branch to block \p B.
+class AtomUncondBr : public Atom {
+public:
+  AtomUncondBr(unsigned A, unsigned B) : Atom({A, B}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "uncond_br"; }
+};
+
+/// Block \p A ends in a conditional branch on \p Cond with true target
+/// \p T and false target \p F.
+class AtomCondBr : public Atom {
+public:
+  AtomCondBr(unsigned A, unsigned Cond, unsigned T, unsigned F)
+      : Atom({A, Cond, T, F}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "cond_br"; }
+};
+
+/// Block \p A dominates block \p B (strictly if Strict).
+class AtomDominates : public Atom {
+public:
+  AtomDominates(unsigned A, unsigned B, bool Strict)
+      : Atom({A, B}), Strict(Strict) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override {
+    return Strict ? "dominates_strict" : "dominates";
+  }
+
+private:
+  bool Strict;
+};
+
+/// Block \p A post-dominates block \p B (strictly if Strict).
+class AtomPostDominates : public Atom {
+public:
+  AtomPostDominates(unsigned A, unsigned B, bool Strict)
+      : Atom({A, B}), Strict(Strict) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override {
+    return Strict ? "postdominates_strict" : "postdominates";
+  }
+
+private:
+  bool Strict;
+};
+
+/// No CFG path from block \p From to block \p To that avoids block
+/// \p Without (ConstraintCFGBlocked in the paper's Fig. 7).
+class AtomBlocked : public Atom {
+public:
+  AtomBlocked(unsigned From, unsigned To, unsigned Without)
+      : Atom({From, To, Without}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override { return "blocked"; }
+};
+
+/// Labels bind distinct values.
+class AtomDistinct : public Atom {
+public:
+  AtomDistinct(unsigned A, unsigned B) : Atom({A, B}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override { return "distinct"; }
+};
+
+//===----------------------------------------------------------------------===//
+// Value shape atoms
+//===----------------------------------------------------------------------===//
+
+/// \p X is an integer comparison whose operands are {\p A, \p B} in
+/// either order.
+class AtomIntComparison : public Atom {
+public:
+  AtomIntComparison(unsigned X, unsigned A, unsigned B)
+      : Atom({X, A, B}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "int_comparison"; }
+};
+
+/// \p X is an integer add with operands {\p A, \p B} in either order.
+class AtomAdd : public Atom {
+public:
+  AtomAdd(unsigned X, unsigned A, unsigned B) : Atom({X, A, B}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "add"; }
+};
+
+/// \p X is a phi node in block \p Block with exactly two incoming
+/// values {\p A, \p B} (unordered).
+class AtomPhi : public Atom {
+public:
+  AtomPhi(unsigned X, unsigned Block, unsigned A, unsigned B)
+      : Atom({X, Block, A, B}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "phi"; }
+};
+
+/// \p X is some phi node residing in block \p Block (the coarse
+/// "look for phis here" generator; AtomPhiIncoming refines it).
+class AtomPhiAt : public Atom {
+public:
+  AtomPhiAt(unsigned X, unsigned Block) : Atom({X, Block}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "phi_at"; }
+};
+
+/// Phi \p X has the incoming entry (\p V, \p FromBlock).
+class AtomPhiIncoming : public Atom {
+public:
+  AtomPhiIncoming(unsigned X, unsigned V, unsigned FromBlock)
+      : Atom({X, V, FromBlock}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "phi_incoming"; }
+};
+
+/// \p X is a GEP with pointer operand \p Ptr and index \p Index.
+class AtomGEP : public Atom {
+public:
+  AtomGEP(unsigned X, unsigned Ptr, unsigned Index)
+      : Atom({X, Ptr, Index}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "gep"; }
+};
+
+/// \p V is (or is not, when Expected is false) invariant in the loop
+/// headed by \p Header.
+class AtomInvariantInLoop : public Atom {
+public:
+  AtomInvariantInLoop(unsigned V, unsigned Header, bool Expected)
+      : Atom({V, Header}), Expected(Expected) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override {
+    return Expected ? "invariant" : "not_invariant";
+  }
+
+private:
+  bool Expected;
+};
+
+/// \p X is a compile-time constant or a function argument
+/// ("x in constant" in the paper's Fig. 5).
+class AtomIsConstantOrArg : public Atom {
+public:
+  explicit AtomIsConstantOrArg(unsigned X) : Atom({X}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override { return "constant"; }
+};
+
+/// The definition of value \p V is available on entry to block
+/// \p Block: constants/arguments/globals always, instructions when
+/// their block dominates \p Block ("x dominates entry").
+class AtomAvailableAt : public Atom {
+public:
+  AtomAvailableAt(unsigned V, unsigned Block) : Atom({V, Block}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override { return "available_at"; }
+};
+
+/// \p X is a load through pointer \p Ptr, located in a block inside
+/// the loop headed by \p Header.
+class AtomLoadInLoop : public Atom {
+public:
+  AtomLoadInLoop(unsigned X, unsigned Ptr, unsigned Header)
+      : Atom({X, Ptr, Header}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "load_in_loop"; }
+};
+
+/// \p X is a store of \p Val through pointer \p Ptr, located inside
+/// the loop headed by \p Header.
+class AtomStoreInLoop : public Atom {
+public:
+  AtomStoreInLoop(unsigned X, unsigned Val, unsigned Ptr, unsigned Header)
+      : Atom({X, Val, Ptr, Header}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  bool suggest(const ConstraintContext &, const Solution &, unsigned,
+               std::vector<Value *> &) const override;
+  std::string describe() const override { return "store_in_loop"; }
+};
+
+/// Pointers \p A and \p B denote the same address: identical values,
+/// or GEPs with the same base and the same index value.
+class AtomSameAddress : public Atom {
+public:
+  AtomSameAddress(unsigned A, unsigned B) : Atom({A, B}) {}
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override { return "same_address"; }
+};
+
+//===----------------------------------------------------------------------===//
+// Generalized graph domination (paper §3.1.2)
+//===----------------------------------------------------------------------===//
+
+/// Origin classes permitted by AtomComputedFrom, beyond the explicit
+/// origin labels.
+struct OriginFlags {
+  /// Loads with subscripts affine in the loop iterator from arrays not
+  /// written inside the loop.
+  bool AffineLoads = true;
+  /// Loads with arbitrary (data-dependent) subscripts from arrays not
+  /// written inside the loop. Needed for tpacf-style index
+  /// computations (binary search in an auxiliary array).
+  bool ReadOnlyLoads = true;
+  /// Values defined outside the loop, arguments, globals, constants.
+  bool Invariants = true;
+  /// Calls to side-effect-free functions (recursing into arguments).
+  bool PureCalls = true;
+  /// The loop's canonical induction variable. True for data/control
+  /// walks of reduction updates; false for the histogram *index*
+  /// (§3.1.2 condition 3 derives idx from array values and loop
+  /// constants only -- an iterator-addressed update is an independent
+  /// affine write, not a histogram).
+  bool AllowIterator = true;
+};
+
+/// Every path to \p Out in the data-flow graph *and* the control
+/// dominance graph terminates at an allowed origin: one of the
+/// explicit origin labels, the loop's canonical iterator, or a value
+/// class enabled in OriginFlags — all relative to the loop headed by
+/// \p Header. Phi nodes inside the loop are traversed through both
+/// their incoming values and the branch conditions controlling them;
+/// branch conditions are checked against the *control* origin set,
+/// which excludes the explicit origins (this rejects the paper's
+/// "t1 <= sx" mutation of Fig. 2).
+class AtomComputedFrom : public Atom {
+public:
+  AtomComputedFrom(unsigned Out, unsigned Header,
+                   std::vector<unsigned> OriginLabels, OriginFlags Flags);
+  bool evaluate(const ConstraintContext &, const Solution &) const override;
+  std::string describe() const override { return "computed_from"; }
+
+private:
+  std::vector<unsigned> OriginLabels;
+  OriginFlags Flags;
+};
+
+} // namespace gr
+
+#endif // GR_CONSTRAINT_ATOM_H

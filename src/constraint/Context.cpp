@@ -1,0 +1,25 @@
+//===- Context.cpp --------------------------------------------*- C++ -*-===//
+
+#include "constraint/Context.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <set>
+
+using namespace gr;
+
+ConstraintContext::ConstraintContext(Function &F,
+                                     const PurityAnalysis &Purity)
+    : F(F), Purity(Purity), DT(F), PDT(F), LI(F, DT), CD(F, PDT) {
+  Universe = F.allValues();
+  // Constants and globals referenced by the function join the
+  // universe exactly once.
+  std::set<Value *> Seen(Universe.begin(), Universe.end());
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      for (Value *Op : I->operands())
+        if (!isa<BasicBlock>(Op) && !isa<Instruction>(Op) &&
+            Seen.insert(Op).second)
+          Universe.push_back(Op);
+}

@@ -1,0 +1,54 @@
+//===- Context.h - analyses bundle for constraint solving -----*- C++ -*-===//
+///
+/// \file
+/// ConstraintContext packages one function together with the analyses
+/// the atomic constraints consult (dominators, post-dominators, loops,
+/// control dependence, purity) and the value universe the solver
+/// enumerates ("values(F)" in the paper: instructions, arguments,
+/// blocks, plus the constants and globals used by the function).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CONSTRAINT_CONTEXT_H
+#define GR_CONSTRAINT_CONTEXT_H
+
+#include "analysis/ControlDependence.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Purity.h"
+
+#include <vector>
+
+namespace gr {
+
+class Function;
+class Value;
+
+/// Immutable analysis bundle for one function.
+class ConstraintContext {
+public:
+  ConstraintContext(Function &F, const PurityAnalysis &Purity);
+
+  Function &getFunction() const { return F; }
+  const DomTree &getDomTree() const { return DT; }
+  const PostDomTree &getPostDomTree() const { return PDT; }
+  const LoopInfo &getLoopInfo() const { return LI; }
+  const ControlDependence &getControlDependence() const { return CD; }
+  const PurityAnalysis &getPurity() const { return Purity; }
+
+  /// The solver's enumeration universe.
+  const std::vector<Value *> &getUniverse() const { return Universe; }
+
+private:
+  Function &F;
+  const PurityAnalysis &Purity;
+  DomTree DT;
+  PostDomTree PDT;
+  LoopInfo LI;
+  ControlDependence CD;
+  std::vector<Value *> Universe;
+};
+
+} // namespace gr
+
+#endif // GR_CONSTRAINT_CONTEXT_H

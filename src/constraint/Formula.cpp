@@ -1,0 +1,33 @@
+//===- Formula.cpp --------------------------------------------*- C++ -*-===//
+
+#include "constraint/Formula.h"
+
+#include <algorithm>
+
+using namespace gr;
+
+unsigned LabelTable::get(const std::string &Name) {
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    if (Names[I] == Name)
+      return I;
+  Names.push_back(Name);
+  return size() - 1;
+}
+
+void Formula::require(std::unique_ptr<Atom> A) {
+  Clause C;
+  C.MaxLabel = A->maxLabel();
+  C.Atoms.push_back(A.get());
+  Atoms.push_back(std::move(A));
+  Clauses.push_back(std::move(C));
+}
+
+void Formula::requireAnyOf(std::vector<std::unique_ptr<Atom>> Alternatives) {
+  Clause C;
+  for (auto &A : Alternatives) {
+    C.MaxLabel = std::max(C.MaxLabel, A->maxLabel());
+    C.Atoms.push_back(A.get());
+    Atoms.push_back(std::move(A));
+  }
+  Clauses.push_back(std::move(C));
+}

@@ -1,0 +1,69 @@
+//===- Formula.h - constraint formulas and label tables -------*- C++ -*-===//
+///
+/// \file
+/// A constraint specification is a set of named labels plus a
+/// conjunction of clauses, each clause a disjunction of atoms (the
+/// paper's ConstraintAnd/ConstraintOr combinators normalize to this
+/// form). SpecBuilder is the embedded DSL used to write idiom
+/// specifications in C++.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CONSTRAINT_FORMULA_H
+#define GR_CONSTRAINT_FORMULA_H
+
+#include "constraint/Atom.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+/// Maps human-readable label names to solver indices.
+class LabelTable {
+public:
+  /// Registers (or retrieves) a label. Registration order is the
+  /// solver's enumeration order, which the paper notes is "very
+  /// important for the runtime behavior".
+  unsigned get(const std::string &Name);
+
+  unsigned size() const { return static_cast<unsigned>(Names.size()); }
+  const std::string &nameOf(unsigned Label) const { return Names[Label]; }
+
+private:
+  std::vector<std::string> Names;
+};
+
+/// One disjunctive clause.
+struct Clause {
+  std::vector<const Atom *> Atoms;
+  unsigned MaxLabel = 0;
+};
+
+/// Conjunction of clauses over a label table; owns its atoms.
+class Formula {
+public:
+  const std::vector<Clause> &clauses() const { return Clauses; }
+  const std::vector<std::unique_ptr<Atom>> &atoms() const { return Atoms; }
+
+  /// Adds a one-atom clause (a plain conjunct).
+  void require(std::unique_ptr<Atom> A);
+
+  /// Adds a disjunctive clause over \p Alternatives.
+  void requireAnyOf(std::vector<std::unique_ptr<Atom>> Alternatives);
+
+private:
+  std::vector<std::unique_ptr<Atom>> Atoms;
+  std::vector<Clause> Clauses;
+};
+
+/// A complete idiom specification: labels + formula.
+struct IdiomSpec {
+  LabelTable Labels;
+  Formula F;
+};
+
+} // namespace gr
+
+#endif // GR_CONSTRAINT_FORMULA_H

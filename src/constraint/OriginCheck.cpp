@@ -1,0 +1,201 @@
+//===- OriginCheck.cpp ----------------------------------------*- C++ -*-===//
+
+#include "constraint/OriginCheck.h"
+
+#include "analysis/AffineForms.h"
+#include "constraint/Atom.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <map>
+
+using namespace gr;
+
+Value *gr::baseObjectOf(Value *Ptr) {
+  int Fuel = 32;
+  while (Fuel-- > 0) {
+    if (auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+      Ptr = GEP->getPointer();
+      continue;
+    }
+    if (isa<AllocaInst>(Ptr) || isa<GlobalVariable>(Ptr) ||
+        isa<Argument>(Ptr))
+      return Ptr;
+    return nullptr;
+  }
+  return nullptr;
+}
+
+std::set<Value *> gr::collectStoredBases(Loop *L) {
+  std::set<Value *> Bases;
+  for (BasicBlock *BB : L->blocks())
+    for (Instruction *I : *BB)
+      if (auto *Store = dyn_cast<StoreInst>(I))
+        if (Value *Base = baseObjectOf(Store->getPointer()))
+          Bases.insert(Base);
+  return Bases;
+}
+
+namespace {
+
+/// Walk state: memoized tri-state per (value, walk kind). InProgress
+/// hits mean a cycle through non-origin values, i.e. a loop-carried
+/// recurrence that is not the accumulator -> reject.
+enum class WalkState { InProgress, Good, Bad };
+
+class OriginWalker {
+public:
+  explicit OriginWalker(const OriginQuery &Q) : Q(Q) {}
+
+  bool walkData(Value *V) { return walk(V, /*Control=*/false, 0); }
+  bool walkControl(Value *V) { return walk(V, /*Control=*/true, 0); }
+
+  /// Checks the branch conditions controlling \p BB inside the loop.
+  bool controlOf(BasicBlock *BB) {
+    const ControlDependence &CD = Q.Ctx.getControlDependence();
+    for (Value *Cond :
+         CD.getControllingConditions(BB, &Q.L->blocks()))
+      if (!walkControl(Cond))
+        return false;
+    return true;
+  }
+
+private:
+  bool walk(Value *V, bool Control, int Depth) {
+    if (Depth > 256)
+      return false;
+    if (!Control && Q.DataOrigins.count(V))
+      return true;
+    // The induction variable: always fine in control position (every
+    // loop-body condition is governed by the exit test), but only an
+    // allowed *data* origin when the flags say so (histogram indices
+    // must not be iterator-addressed).
+    if (V == Q.L->getCanonicalIterator())
+      return Control || Q.Flags.AllowIterator;
+
+    auto *I = dyn_cast<Instruction>(V);
+    if (!I)
+      return Q.Flags.Invariants; // Constants, arguments, globals.
+    if (!Q.L->contains(I->getParent()))
+      return Q.Flags.Invariants; // Loop-invariant instruction.
+
+    auto &Memo = Control ? CtrlMemo : DataMemo;
+    auto It = Memo.find(V);
+    if (It != Memo.end()) {
+      if (It->second == WalkState::InProgress)
+        return false; // Loop-carried cycle that is not an origin.
+      return It->second == WalkState::Good;
+    }
+    Memo[V] = WalkState::InProgress;
+    bool Ok = walkInstruction(I, Control, Depth);
+    Memo[V] = Ok ? WalkState::Good : WalkState::Bad;
+    return Ok;
+  }
+
+  bool walkInstruction(Instruction *I, bool Control, int Depth) {
+    switch (I->getKind()) {
+    case Value::ValueKind::InstPhi: {
+      auto *Phi = cast<PhiInst>(I);
+      // Data paths: all incoming values. Control paths: the branch
+      // conditions selecting among the incoming blocks.
+      for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K)
+        if (!walk(Phi->getIncomingValue(K), Control, Depth + 1))
+          return false;
+      for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+        BasicBlock *In = Phi->getIncomingBlock(K);
+        if (Q.L->contains(In) && !controlOf(In))
+          return false;
+      }
+      return true;
+    }
+    case Value::ValueKind::InstLoad: {
+      auto *Load = cast<LoadInst>(I);
+      Value *Base = baseObjectOf(Load->getPointer());
+      if (!Base || Q.StoredBases.count(Base))
+        return false; // Unknown base or array written in the loop.
+      // Invariant base plus subscripts that are either affine in the
+      // iterator or themselves computed from origins (data-dependent
+      // reads from read-only arrays, e.g. tpacf's binary search).
+      bool AllAffine = true;
+      Value *Ptr = Load->getPointer();
+      while (auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+        if (!isAffineInLoop(GEP->getIndex(), *Q.L))
+          AllAffine = false;
+        Ptr = GEP->getPointer();
+      }
+      if (AllAffine && Q.Flags.AffineLoads)
+        return true;
+      if (!Q.Flags.ReadOnlyLoads)
+        return false;
+      Ptr = Load->getPointer();
+      while (auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+        if (!walk(GEP->getIndex(), Control, Depth + 1))
+          return false;
+        Ptr = GEP->getPointer();
+      }
+      return true;
+    }
+    case Value::ValueKind::InstCall: {
+      auto *Call = cast<CallInst>(I);
+      PurityKind Kind = Q.Ctx.getPurity().getKind(Call->getCallee());
+      if (Kind == PurityKind::Impure || !Q.Flags.PureCalls)
+        return false;
+      for (unsigned K = 0, E = Call->getNumArgs(); K != E; ++K) {
+        Value *Arg = Call->getArg(K);
+        if (Arg->getType()->isPointer()) {
+          // Read-only callees may read through pointer arguments; the
+          // pointed-to array must not be written in the loop.
+          Value *Base = baseObjectOf(Arg);
+          if (!Base || Q.StoredBases.count(Base))
+            return false;
+          continue;
+        }
+        if (!walk(Arg, Control, Depth + 1))
+          return false;
+      }
+      return true;
+    }
+    case Value::ValueKind::InstSelect: {
+      auto *Select = cast<SelectInst>(I);
+      // The condition picks the value: control semantics.
+      return walk(Select->getCondition(), /*Control=*/true, Depth + 1) &&
+             walk(Select->getTrueValue(), Control, Depth + 1) &&
+             walk(Select->getFalseValue(), Control, Depth + 1);
+    }
+    case Value::ValueKind::InstBinary:
+    case Value::ValueKind::InstCmp:
+    case Value::ValueKind::InstCast:
+    case Value::ValueKind::InstGEP: {
+      for (Value *Op : I->operands())
+        if (!walk(Op, Control, Depth + 1))
+          return false;
+      return true;
+    }
+    default:
+      return false; // Stores, branches, allocas, rets never qualify.
+    }
+  }
+
+  const OriginQuery &Q;
+  std::map<Value *, WalkState> DataMemo;
+  std::map<Value *, WalkState> CtrlMemo;
+};
+
+} // namespace
+
+bool gr::computedFromOrigins(Value *Out, const OriginQuery &Q) {
+  OriginWalker Walker(Q);
+  if (!Walker.walkData(Out))
+    return false;
+  // Control dominance side: the conditions deciding whether the
+  // defining block executes at all.
+  if (auto *I = dyn_cast<Instruction>(Out))
+    if (Q.L->contains(I->getParent()) && !Walker.controlOf(I->getParent()))
+      return false;
+  return true;
+}
+
+bool gr::conditionFromOrigins(Value *Cond, const OriginQuery &Q) {
+  OriginWalker Walker(Q);
+  return Walker.walkControl(Cond);
+}

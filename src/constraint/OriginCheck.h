@@ -1,0 +1,57 @@
+//===- OriginCheck.h - generalized graph domination -----------*- C++ -*-===//
+///
+/// \file
+/// The generalized graph-domination check of the paper (§3.1): a value
+/// is "computed only from allowed origins" when every path to it in
+/// the data-flow graph and in the control dominance graph terminates
+/// at an allowed origin. Memory reads and impure calls are the
+/// potential path origins and must each be individually allowed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CONSTRAINT_ORIGINCHECK_H
+#define GR_CONSTRAINT_ORIGINCHECK_H
+
+#include <set>
+
+namespace gr {
+
+class ConstraintContext;
+class Loop;
+class Value;
+struct OriginFlags;
+
+/// One generalized-domination query, scoped to a loop.
+struct OriginQuery {
+  const ConstraintContext &Ctx;
+  Loop *L;
+  /// Explicit data origins (e.g. the accumulator phi, the histogram's
+  /// loaded value). The loop's canonical iterator is always allowed.
+  std::set<Value *> DataOrigins;
+  const OriginFlags &Flags;
+  /// Base objects written anywhere inside the loop (precomputed).
+  std::set<Value *> StoredBases;
+};
+
+/// Builds the StoredBases set for \p L.
+std::set<Value *> collectStoredBases(Loop *L);
+
+/// Walks the base-object chain of a pointer; null when the base is not
+/// an alloca/global/argument.
+Value *baseObjectOf(Value *Ptr);
+
+/// Returns true when every data-flow path into \p Out terminates at an
+/// allowed origin, and every branch condition controlling \p Out's
+/// block (within the loop) is itself computed from allowed *control*
+/// origins — the control set excludes the explicit data origins, which
+/// is what rejects control dependence on intermediate reduction
+/// results.
+bool computedFromOrigins(Value *Out, const OriginQuery &Q);
+
+/// The control-side walk alone: checks \p Cond against the control
+/// origin set (iterator + flag classes, no explicit origins).
+bool conditionFromOrigins(Value *Cond, const OriginQuery &Q);
+
+} // namespace gr
+
+#endif // GR_CONSTRAINT_ORIGINCHECK_H

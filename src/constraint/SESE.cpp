@@ -1,0 +1,91 @@
+//===- SESE.cpp -----------------------------------------------*- C++ -*-===//
+
+#include "constraint/SESE.h"
+
+#include "ir/BasicBlock.h"
+
+namespace gr {
+
+namespace {
+
+/// Block \p A has a CFG edge to block \p B (either branch arm).
+/// Fig 7's ConstraintCFGEdge; expressed here as a disjunction over
+/// the unconditional-branch atom and the conditional-branch targets
+/// would require extra labels, so a dedicated atom keeps the composite
+/// faithful and compact.
+class AtomCFGEdge : public Atom {
+public:
+  AtomCFGEdge(unsigned A, unsigned B) : Atom({A, B}) {}
+
+  bool evaluate(const ConstraintContext &,
+                const Solution &S) const override {
+    auto *A = dyn_cast_or_null<BasicBlock>(S[labels()[0]]);
+    auto *B = dyn_cast_or_null<BasicBlock>(S[labels()[1]]);
+    if (!A || !B)
+      return false;
+    for (BasicBlock *Succ : A->successors())
+      if (Succ == B)
+        return true;
+    return false;
+  }
+
+  bool suggest(const ConstraintContext &, const Solution &S,
+               unsigned Label, std::vector<Value *> &Out) const override {
+    if (Label == labels()[1]) {
+      if (!S[labels()[0]])
+        return false;
+      auto *A = dyn_cast<BasicBlock>(S[labels()[0]]);
+      if (!A)
+        return true;
+      for (BasicBlock *Succ : A->successors())
+        Out.push_back(Succ);
+      return true;
+    }
+    if (Label == labels()[0]) {
+      if (!S[labels()[1]])
+        return false;
+      auto *B = dyn_cast<BasicBlock>(S[labels()[1]]);
+      if (!B)
+        return true;
+      for (BasicBlock *Pred : B->predecessors())
+        Out.push_back(Pred);
+      return true;
+    }
+    return false;
+  }
+
+  std::string describe() const override { return "cfg_edge"; }
+};
+
+} // namespace
+
+SESELabels addSESEConstraints(IdiomSpec &Spec) {
+  LabelTable &L = Spec.Labels;
+  Formula &F = Spec.F;
+
+  SESELabels Ls;
+  Ls.Precursor = L.get("precursor");
+  Ls.Begin = L.get("begin");
+  Ls.End = L.get("end");
+  Ls.Successor = L.get("successor");
+
+  // The eight conjuncts of the paper's Fig 7, in order.
+  F.require(std::make_unique<AtomCFGEdge>(Ls.Precursor, Ls.Begin));
+  F.require(std::make_unique<AtomCFGEdge>(Ls.End, Ls.Successor));
+  F.require(std::make_unique<AtomDominates>(Ls.Begin, Ls.End, false));
+  F.require(std::make_unique<AtomPostDominates>(Ls.End, Ls.Begin, false));
+  F.require(
+      std::make_unique<AtomDominates>(Ls.Precursor, Ls.Begin, true));
+  F.require(
+      std::make_unique<AtomPostDominates>(Ls.Successor, Ls.End, true));
+  // Cycles around the region must round-trip through its boundary:
+  // from the end one can only get back to the begin via the precursor,
+  // and from the successor only back to the end via the begin.
+  F.require(
+      std::make_unique<AtomBlocked>(Ls.End, Ls.Begin, Ls.Precursor));
+  F.require(
+      std::make_unique<AtomBlocked>(Ls.Successor, Ls.End, Ls.Begin));
+  return Ls;
+}
+
+} // namespace gr

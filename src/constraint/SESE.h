@@ -1,0 +1,37 @@
+//===- SESE.h - the paper's Fig 7 SESE composite ---------------*- C++ -*-===//
+///
+/// \file
+/// The ConstraintSESE class of the paper's Figure 7, reproduced with
+/// this library's combinators: four block labels (precursor, begin,
+/// end, successor) related by CFG edges, (strict) dominance /
+/// post-dominance, and two blocked-path conditions. Composite
+/// constraints like this are how larger idioms are assembled from
+/// atoms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CONSTRAINT_SESE_H
+#define GR_CONSTRAINT_SESE_H
+
+#include "constraint/Formula.h"
+
+namespace gr {
+
+/// Label set of one SESE region match.
+struct SESELabels {
+  unsigned Precursor;
+  unsigned Begin;
+  unsigned End;
+  unsigned Successor;
+};
+
+/// Appends the paper's Fig 7 constraint conjunction for a
+/// single-entry single-exit region spanning [begin, end], entered from
+/// precursor and left into successor, to \p Spec. Returns the label
+/// assignment (labels are created in the order precursor, begin, end,
+/// successor unless they already exist).
+SESELabels addSESEConstraints(IdiomSpec &Spec);
+
+} // namespace gr
+
+#endif // GR_CONSTRAINT_SESE_H

@@ -1,0 +1,112 @@
+//===- Solver.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "constraint/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace gr;
+
+Solver::Solver(const Formula &F, unsigned NumLabels)
+    : F(F), NumLabels(NumLabels), ClausesAt(NumLabels),
+      SuggestersAt(NumLabels) {
+  const auto &Clauses = F.clauses();
+  for (unsigned CI = 0, CE = static_cast<unsigned>(Clauses.size());
+       CI != CE; ++CI) {
+    assert(Clauses[CI].MaxLabel < NumLabels &&
+           "clause references unknown label");
+    ClausesAt[Clauses[CI].MaxLabel].push_back(CI);
+  }
+  // Only atoms in singleton clauses are *required* to hold, so only
+  // they may prune the candidate space. An atom may narrow any label
+  // it mentions; suggest() itself guards against unbound
+  // prerequisites, and its candidate sets are supersets of the
+  // admissible values, so pruning stays sound.
+  for (const Clause &C : Clauses) {
+    if (C.Atoms.size() != 1)
+      continue;
+    const Atom *A = C.Atoms.front();
+    std::set<unsigned> Mentioned(A->labels().begin(), A->labels().end());
+    for (unsigned Label : Mentioned)
+      SuggestersAt[Label].push_back(A);
+  }
+}
+
+bool Solver::clausesHoldAt(const ConstraintContext &Ctx, const Solution &S,
+                           unsigned K) const {
+  for (unsigned CI : ClausesAt[K]) {
+    const Clause &C = F.clauses()[CI];
+    bool Any = false;
+    for (const Atom *A : C.Atoms) {
+      if (A->evaluate(Ctx, S)) {
+        Any = true;
+        break;
+      }
+    }
+    if (!Any)
+      return false;
+  }
+  return true;
+}
+
+SolverStats Solver::findAll(
+    const ConstraintContext &Ctx,
+    const std::function<void(const Solution &)> &Yield, Solution Seed,
+    uint64_t MaxSolutions, uint64_t MaxCandidates) const {
+  SolverStats Stats;
+  Solution S = std::move(Seed);
+  S.resize(NumLabels, nullptr);
+  search(Ctx, S, 0, Yield, Stats, MaxSolutions, MaxCandidates);
+  return Stats;
+}
+
+void Solver::search(const ConstraintContext &Ctx, Solution &S, unsigned K,
+                    const std::function<void(const Solution &)> &Yield,
+                    SolverStats &Stats, uint64_t MaxSolutions,
+                    uint64_t MaxCandidates) const {
+  if (Stats.Solutions >= MaxSolutions ||
+      Stats.CandidatesTried >= MaxCandidates)
+    return;
+  if (K == NumLabels) {
+    ++Stats.Solutions;
+    Yield(S);
+    return;
+  }
+  ++Stats.NodesVisited;
+
+  // Pre-bound label (seeded search): verify and descend.
+  if (S[K]) {
+    if (clausesHoldAt(Ctx, S, K))
+      search(Ctx, S, K + 1, Yield, Stats, MaxSolutions, MaxCandidates);
+    return;
+  }
+
+  // Candidate generation: the first conjunctive atom able to narrow
+  // the choice wins; remaining clauses filter the rest.
+  std::vector<Value *> Candidates;
+  bool Narrowed = false;
+  for (const Atom *A : SuggestersAt[K]) {
+    if (A->suggest(Ctx, S, K, Candidates)) {
+      Narrowed = true;
+      break;
+    }
+  }
+  if (!Narrowed)
+    Candidates = Ctx.getUniverse();
+
+  // Deduplicate while preserving order (suggesters may repeat values).
+  std::set<Value *> Seen;
+  for (Value *C : Candidates) {
+    if (!C || !Seen.insert(C).second)
+      continue;
+    ++Stats.CandidatesTried;
+    S[K] = C;
+    if (clausesHoldAt(Ctx, S, K))
+      search(Ctx, S, K + 1, Yield, Stats, MaxSolutions, MaxCandidates);
+    S[K] = nullptr;
+    if (Stats.Solutions >= MaxSolutions ||
+        Stats.CandidatesTried >= MaxCandidates)
+      return;
+  }
+}

@@ -1,0 +1,66 @@
+//===- Solver.h - backtracking constraint solver --------------*- C++ -*-===//
+///
+/// \file
+/// The generic DETECT procedure of the paper (§3.3): a depth-first
+/// backtracking search over label assignments. At each depth the
+/// solver prefers candidates *suggested* by already-satisfiable atoms
+/// (successor-of, operand-of, phi-of...) and falls back to the full
+/// value universe only when no conjunctive atom can narrow the choice;
+/// clauses are checked as soon as all their labels are bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CONSTRAINT_SOLVER_H
+#define GR_CONSTRAINT_SOLVER_H
+
+#include "constraint/Formula.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace gr {
+
+/// Search statistics, used by the enumeration-order ablation.
+struct SolverStats {
+  uint64_t NodesVisited = 0;
+  uint64_t CandidatesTried = 0;
+  uint64_t Solutions = 0;
+};
+
+/// Solves one formula against one function context.
+class Solver {
+public:
+  Solver(const Formula &F, unsigned NumLabels);
+
+  /// Enumerates all satisfying assignments, invoking \p Yield for
+  /// each. \p Seed may pre-bind labels (pass an empty vector for a
+  /// fresh search). Stops after \p MaxSolutions; \p MaxCandidates is
+  /// a fuel budget that abandons pathological searches (the
+  /// enumeration-order ablation relies on it).
+  SolverStats findAll(const ConstraintContext &Ctx,
+                      const std::function<void(const Solution &)> &Yield,
+                      Solution Seed = {},
+                      uint64_t MaxSolutions = UINT64_MAX,
+                      uint64_t MaxCandidates = UINT64_MAX) const;
+
+private:
+  void search(const ConstraintContext &Ctx, Solution &S, unsigned K,
+              const std::function<void(const Solution &)> &Yield,
+              SolverStats &Stats, uint64_t MaxSolutions,
+              uint64_t MaxCandidates) const;
+
+  bool clausesHoldAt(const ConstraintContext &Ctx, const Solution &S,
+                     unsigned K) const;
+
+  const Formula &F;
+  unsigned NumLabels;
+  /// Clause indices becoming fully bound at each label depth.
+  std::vector<std::vector<unsigned>> ClausesAt;
+  /// Conjunctive atoms that mention label k with all other labels
+  /// earlier in the order — the candidate generators for depth k.
+  std::vector<std::vector<const Atom *>> SuggestersAt;
+};
+
+} // namespace gr
+
+#endif // GR_CONSTRAINT_SOLVER_H

@@ -1,0 +1,47 @@
+//===- Corpus.cpp - corpus registry ---------------------------*- C++ -*-===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+const std::vector<BenchmarkProgram> &gr::corpus() {
+  static const std::vector<BenchmarkProgram> All = {
+      makeNasBT(),          makeNasCG(),
+      makeNasDC(),          makeNasEP(),
+      makeNasFT(),          makeNasIS(),
+      makeNasLU(),          makeNasMG(),
+      makeNasSP(),          makeNasUA(),
+      makeParboilBfs(),     makeParboilCutcp(),
+      makeParboilHisto(),   makeParboilLbm(),
+      makeParboilMriGridding(), makeParboilMriQ(),
+      makeParboilSad(),     makeParboilSgemm(),
+      makeParboilSpmv(),    makeParboilStencil(),
+      makeParboilTpacf(),   makeRodiniaBackprop(),
+      makeRodiniaBfs(),     makeRodiniaBtree(),
+      makeRodiniaCfd(),     makeRodiniaHeartwall(),
+      makeRodiniaHotspot(), makeRodiniaHotspot3D(),
+      makeRodiniaKmeans(),  makeRodiniaLavaMD(),
+      makeRodiniaLeukocyte(), makeRodiniaLud(),
+      makeRodiniaMummergpu(), makeRodiniaMyocyte(),
+      makeRodiniaNn(),      makeRodiniaNw(),
+      makeRodiniaParticlefilter(), makeRodiniaPathfinder(),
+      makeRodiniaSrad(),    makeRodiniaStreamcluster(),
+  };
+  return All;
+}
+
+std::vector<const BenchmarkProgram *>
+gr::corpusSuite(const std::string &Suite) {
+  std::vector<const BenchmarkProgram *> Result;
+  for (const BenchmarkProgram &B : corpus())
+    if (Suite == B.Suite)
+      Result.push_back(&B);
+  return Result;
+}
+
+const BenchmarkProgram *gr::findBenchmark(const std::string &Name) {
+  for (const BenchmarkProgram &B : corpus())
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,98 @@
+//===- Corpus.h - the benchmark corpus ------------------------*- C++ -*-===//
+///
+/// \file
+/// MiniC models of the 40 benchmark programs the paper evaluates on
+/// (NAS, Parboil, Rodinia). Each kernel reproduces the *structural*
+/// features that drive every tool's hits and misses on the original C
+/// code: runtime vs constant bounds, flat vs multi-dimensional arrays,
+/// pure math calls vs fmin/fmax vs helper functions, affine vs
+/// indirect subscripts, loop nesting, and conditional updates. The
+/// expected counts encode the paper's Fig 8-11 (see DESIGN.md for the
+/// documented reconciliation of the paper's totals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CORPUS_CORPUS_H
+#define GR_CORPUS_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace gr {
+
+/// Per-benchmark expected analysis results (the bars of Fig 8-11).
+struct BenchmarkExpectations {
+  unsigned OurScalars = 0;
+  unsigned OurHistograms = 0;
+  unsigned Icc = 0;
+  unsigned Polly = 0;
+  unsigned SCoPs = 0;
+  unsigned ReductionSCoPs = 0;
+};
+
+/// One corpus entry.
+struct BenchmarkProgram {
+  const char *Suite; ///< "NAS", "Parboil" or "Rodinia".
+  const char *Name;
+  const char *Source; ///< MiniC source of the modeled kernels.
+  BenchmarkExpectations Expected;
+  /// Benchmark appears in the Fig 15 speedup study.
+  bool InSpeedupStudy = false;
+};
+
+/// All 40 benchmarks, NAS then Parboil then Rodinia.
+const std::vector<BenchmarkProgram> &corpus();
+
+/// The subset belonging to \p Suite, in figure order.
+std::vector<const BenchmarkProgram *> corpusSuite(const std::string &Suite);
+
+/// Lookup by name (e.g. "EP", "tpacf"); null when absent.
+const BenchmarkProgram *findBenchmark(const std::string &Name);
+
+// Factories (one translation unit per benchmark).
+BenchmarkProgram makeNasBT();
+BenchmarkProgram makeNasCG();
+BenchmarkProgram makeNasDC();
+BenchmarkProgram makeNasEP();
+BenchmarkProgram makeNasFT();
+BenchmarkProgram makeNasIS();
+BenchmarkProgram makeNasLU();
+BenchmarkProgram makeNasMG();
+BenchmarkProgram makeNasSP();
+BenchmarkProgram makeNasUA();
+
+BenchmarkProgram makeParboilBfs();
+BenchmarkProgram makeParboilCutcp();
+BenchmarkProgram makeParboilHisto();
+BenchmarkProgram makeParboilLbm();
+BenchmarkProgram makeParboilMriGridding();
+BenchmarkProgram makeParboilMriQ();
+BenchmarkProgram makeParboilSad();
+BenchmarkProgram makeParboilSgemm();
+BenchmarkProgram makeParboilSpmv();
+BenchmarkProgram makeParboilStencil();
+BenchmarkProgram makeParboilTpacf();
+
+BenchmarkProgram makeRodiniaBackprop();
+BenchmarkProgram makeRodiniaBfs();
+BenchmarkProgram makeRodiniaBtree();
+BenchmarkProgram makeRodiniaCfd();
+BenchmarkProgram makeRodiniaHeartwall();
+BenchmarkProgram makeRodiniaHotspot();
+BenchmarkProgram makeRodiniaHotspot3D();
+BenchmarkProgram makeRodiniaKmeans();
+BenchmarkProgram makeRodiniaLavaMD();
+BenchmarkProgram makeRodiniaLeukocyte();
+BenchmarkProgram makeRodiniaLud();
+BenchmarkProgram makeRodiniaMummergpu();
+BenchmarkProgram makeRodiniaMyocyte();
+BenchmarkProgram makeRodiniaNn();
+BenchmarkProgram makeRodiniaNw();
+BenchmarkProgram makeRodiniaParticlefilter();
+BenchmarkProgram makeRodiniaPathfinder();
+BenchmarkProgram makeRodiniaSrad();
+BenchmarkProgram makeRodiniaStreamcluster();
+
+} // namespace gr
+
+#endif // GR_CORPUS_CORPUS_H

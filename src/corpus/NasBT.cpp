@@ -1,0 +1,123 @@
+//===- NasBT.cpp - NAS BT model -------------------------------*- C++ -*-===//
+///
+/// Block-tridiagonal solver model. Structure: a runtime-count time
+/// loop driving constant-bound stencil sweeps (Polly's SCoP harvest in
+/// the paper comes mostly from BT/LU/SP/MG), one constant-bound norm
+/// reduction that lands inside a SCoP (the BT hit in Fig 8a), and
+/// three runtime-bound reductions that only icc and the constraint
+/// approach see.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double u[66][66];
+double rhs[66][66];
+double forcing[66][66];
+double r[2048];
+double p[2048];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 66; i++) {
+    for (j = 0; j < 66; j++) {
+      u[i][j] = sin(0.7 * i + 0.3 * j);
+      rhs[i][j] = cos(0.2 * i) * 0.5;
+      forcing[i][j] = 0.25 * cos(0.11 * (i + j));
+    }
+  }
+  for (i = 0; i < 2048; i++) {
+    r[i] = sin(0.001 * i);
+    p[i] = cos(0.002 * i);
+  }
+  cfg[0] = 2048;
+  cfg[1] = 3;
+}
+
+// Constant-bound sweeps: x/y solves and the rhs update. Each of the
+// three nests is one SCoP per time step region.
+void sweeps() {
+  int i;
+  int j;
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      rhs[i][j] = forcing[i][j] + 0.2 * (u[i-1][j] + u[i+1][j]);
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      u[i][j] = u[i][j] + 0.8 * rhs[i][j];
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      forcing[i][j] = 0.99 * forcing[i][j] + 0.01 * u[i][j];
+}
+
+int main() {
+  init_data();
+  int steps = cfg[1];
+  int n = cfg[0];
+  int it;
+  int i;
+  int j;
+
+  for (it = 0; it < steps; it++)
+    sweeps();
+
+  // Additional constant-bound stencil passes (6 more SCoPs).
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      u[i][j] = 0.5 * (u[i][j-1] + u[i][j+1]);
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      rhs[i][j] = rhs[i][j] - 0.1 * u[i][j];
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      forcing[i][j] = forcing[i][j] + 0.05 * rhs[i][j];
+  for (j = 1; j < 65; j++)
+    for (i = 1; i < 65; i++)
+      u[i][j] = u[i][j] + 0.01 * forcing[i][j];
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++)
+      rhs[i][j] = rhs[i][j] * 0.999;
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++)
+      forcing[i][j] = forcing[i][j] * 1.001;
+
+  // Constant-bound norm reduction: inside a SCoP, so Polly+Reduction
+  // finds it too (the single BT hit in Fig 8a).
+  double rnorm = 0.0;
+  for (i = 0; i < 2048; i++)
+    rnorm = rnorm + r[i] * r[i];
+
+  // Runtime-bound reductions: outside any SCoP, icc still finds them.
+  double dotrp = 0.0;
+  for (i = 0; i < n; i++)
+    dotrp = dotrp + r[i] * p[i];
+  double pnorm = 0.0;
+  for (i = 0; i < n; i++)
+    pnorm = pnorm + p[i] * p[i];
+  double usum = 0.0;
+  for (i = 0; i < n; i++)
+    usum = usum + r[(3*i) % 2048] * 0.5;
+
+  print_f64(rnorm);
+  print_f64(dotrp);
+  print_f64(pnorm);
+  print_f64(usum);
+  print_f64(u[32][32]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasBT() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "BT";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/4, /*OurHistograms=*/0, /*Icc=*/4,
+                /*Polly=*/1, /*SCoPs=*/10, /*ReductionSCoPs=*/1};
+  return B;
+}

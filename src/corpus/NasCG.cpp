@@ -1,0 +1,95 @@
+//===- NasCG.cpp - NAS CG model -------------------------------*- C++ -*-===//
+///
+/// Conjugate gradient: sparse matrix-vector products with CSR-style
+/// indirection and runtime bounds. Nothing here is a SCoP (Polly finds
+/// zero SCoPs in CG per Fig 9); the three dot-product style reductions
+/// are visible to icc and to the constraint approach.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int rowptr[257];
+int colidx[4096];
+double aval[4096];
+double x[256];
+double y[256];
+double rr[256];
+double pp[256];
+
+void init_data() {
+  int i;
+  int nnz = 0;
+  for (i = 0; i < 256; i++) {
+    x[i] = 1.0 + 0.001 * i;
+    rr[i] = sin(0.01 * i);
+    pp[i] = cos(0.02 * i);
+    rowptr[i] = nnz;
+    nnz = nnz + 7 + (i % 9);
+    if (nnz > 4090) nnz = 4090;
+  }
+  rowptr[256] = nnz;
+  int maxnnz = cfg[1] + 4096;
+  for (i = 0; i < maxnnz; i++) {
+    colidx[i] = (i * 37) % 256;
+    aval[i] = 0.5 + 0.0001 * i;
+  }
+  cfg[0] = 256;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 8;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 4096; sim_k++)
+      aval[sim_k] = aval[sim_k] * 0.9995 +
+                     0.00025 * aval[(sim_k + 7) % 4096];
+
+  int nrows = cfg[0];
+  int row;
+  int j;
+  int i;
+
+  // CSR sparse matvec: inner reduction with loaded bounds and
+  // indirect loads. Dependence analysis is fine with this; the
+  // polyhedral model is not.
+  for (row = 0; row < nrows; row++) {
+    double s = 0.0;
+    int rend = rowptr[row+1];
+    for (j = rowptr[row]; j < rend; j++)
+      s = s + aval[j] * x[colidx[j]];
+    y[row] = s;
+  }
+
+  // Dot product and residual norm over runtime bounds.
+  double dot = 0.0;
+  for (i = 0; i < nrows; i++)
+    dot = dot + pp[i] * rr[i];
+  double rnorm = 0.0;
+  for (i = 0; i < nrows; i++)
+    rnorm = rnorm + rr[i] * rr[i];
+
+  print_f64(y[10]);
+  print_f64(dot);
+  print_f64(rnorm);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasCG() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "CG";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/3, /*OurHistograms=*/0, /*Icc=*/3,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,64 @@
+//===- NasDC.cpp - NAS DC model -------------------------------*- C++ -*-===//
+///
+/// Data Cube: aggregation of measures into hash buckets. The view
+/// computation is one histogram (hash-addressed += of a measure) plus
+/// two scalar aggregates living in the same loop. The indirect store
+/// makes icc reject the whole loop; nothing is affine enough for a
+/// SCoP.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int dim_a[8192];
+int dim_b[8192];
+double measure[8192];
+double view[1024];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 8192;
+  for (i = 0; i < n; i++) {
+    dim_a[i] = (i * 131) % 97;
+    dim_b[i] = (i * 29) % 53;
+    measure[i] = 0.5 + 0.001 * (i % 701);
+  }
+  cfg[0] = 8192;
+}
+
+int main() {
+  init_data();
+  int ntuples = cfg[0];
+  int i;
+
+  // Cube view aggregation: histogram over a hashed key, plus the
+  // total and the tuple count as scalar reductions in the same loop.
+  double total = 0.0;
+  double wsum = 0.0;
+  for (i = 0; i < ntuples; i++) {
+    int key = (dim_a[i] * 53 + dim_b[i]) % 1024;
+    view[key] = view[key] + measure[i];
+    total = total + measure[i];
+    wsum = wsum + 0.25;
+  }
+
+  print_f64(view[11]);
+  print_f64(total);
+  print_f64(wsum);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasDC() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "DC";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/1, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,68 @@
+//===- NasEP.cpp - NAS EP model -------------------------------*- C++ -*-===//
+///
+/// Embarrassingly Parallel: the paper's running example (Fig 2). The
+/// Gaussian-pair loop carries two scalar reductions (sx, sy) and one
+/// histogram (q) under data-dependent control flow with pure sqrt/log
+/// calls. icc rejects the loop because of the indirect q update; the
+/// calls and the conditional keep it out of any SCoP.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+double x[65536];
+double q[16];
+
+void gen_pairs() {
+  // Pseudo-random pair generation (deterministic, pure-math model of
+  // the NAS linear congruential stream).
+  int i;
+  for (i = 0; i < 65536; i++) {
+    double t = sin(0.381 * i + 0.17);
+    x[i] = t * t;
+  }
+}
+
+int main() {
+  gen_pairs();
+  int i;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (i = 0; i < 32768; i++) {
+    double x1 = 2.0 * x[2*i] - 1.0;
+    double x2 = 2.0 * x[2*i+1] - 1.0;
+    double t1 = x1 * x1 + x2 * x2;
+    if (t1 <= 1.0) {
+      double t2 = sqrt(-2.0 * log(t1 + 0.0000001) / (t1 + 0.0000001));
+      double t3 = x1 * t2;
+      double t4 = x2 * t2;
+      int l = fmax(fabs(t3), fabs(t4));
+      if (l > 15)
+        l = 15;
+      q[l] = q[l] + 1.0;
+      sx = sx + t3;
+      sy = sy + t4;
+    }
+  }
+  int k;
+  for (k = 0; k < 16; k++)
+    print_f64(q[k]);
+  print_f64(sx);
+  print_f64(sy);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasEP() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "EP";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/1, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  B.InSpeedupStudy = true;
+  return B;
+}

@@ -1,0 +1,73 @@
+//===- NasFT.cpp - NAS FT model -------------------------------*- C++ -*-===//
+///
+/// 3-D FFT model: constant-bound twiddle/copy passes (the three FT
+/// SCoPs of Fig 9) and the checksum, which reads the spectrum at
+/// scrambled strides under a runtime bound -- two scalar reductions
+/// that icc and the constraint approach find but Polly cannot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double u_re[4096];
+double u_im[4096];
+double w_re[4096];
+double w_im[4096];
+double scratch[4096];
+
+void init_data() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    u_re[i] = cos(0.003 * i);
+    u_im[i] = sin(0.003 * i);
+  }
+  cfg[0] = 1024;
+}
+
+int main() {
+  init_data();
+  int ncheck = cfg[0];
+  int i;
+
+  // Twiddle application and layout passes: affine, constant bounds,
+  // no calls -> three SCoPs.
+  for (i = 0; i < 4096; i++) {
+    w_re[i] = u_re[i] * 0.998 - u_im[i] * 0.05;
+    w_im[i] = u_re[i] * 0.05 + u_im[i] * 0.998;
+  }
+  for (i = 0; i < 2048; i++) {
+    scratch[2*i] = w_re[i];
+    scratch[2*i+1] = w_im[i];
+  }
+  for (i = 0; i < 4096; i++)
+    u_re[i] = scratch[i] * 0.5 + w_re[i] * 0.5;
+
+  // Checksum: strided scrambled reads, runtime repetition count.
+  double sum_re = 0.0;
+  double sum_im = 0.0;
+  for (i = 1; i <= ncheck; i++) {
+    int j = (i * 17) % 4096;
+    sum_re = sum_re + u_re[j];
+    sum_im = sum_im + u_im[j];
+  }
+
+  print_f64(sum_re);
+  print_f64(sum_im);
+  print_f64(u_re[100]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasFT() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "FT";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/0, /*Icc=*/2,
+                /*Polly=*/0, /*SCoPs=*/3, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,64 @@
+//===- NasIS.cpp - NAS IS model -------------------------------*- C++ -*-===//
+///
+/// Integer Sort: the performance bottleneck is the plain key histogram
+/// `key_buff[key_buff2[i]]++` (quoted verbatim in the paper). A
+/// sequential ranking pass follows, which bounds whole-program
+/// speedup. icc and Polly find nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int key_buff2[262144];
+int key_buff[32768];
+int rank_of[32768];
+
+void gen_keys() {
+  int i;
+  int n = cfg[2] + 262144;
+  for (i = 0; i < n; i++)
+    key_buff2[i] = (i * 2654435761) % 32768;
+}
+
+int main() {
+  gen_keys();
+  int num_keys = cfg[0] + 262144;
+  int i;
+
+  // The histogram: one increment per key, over several ranking
+  // iterations (NPB IS re-ranks repeatedly).
+  int iters = cfg[3] + 2;
+  int it;
+  for (it = 0; it < iters; it++)
+    for (i = 0; i < num_keys; i++)
+      key_buff[key_buff2[i]]++;
+
+  // Sequential ranking (prefix sums are not a reduction idiom).
+  int nbins = cfg[1] + 32768;
+  int running = 0;
+  for (i = 0; i < nbins; i++) {
+    rank_of[i] = running;
+    running = running + key_buff[i];
+  }
+
+  print_i64(key_buff[1]);
+  print_i64(key_buff[77]);
+  print_i64(rank_of[32767]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasIS() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "IS";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/1, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  B.InSpeedupStudy = true;
+  return B;
+}

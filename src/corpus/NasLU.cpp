@@ -1,0 +1,114 @@
+//===- NasLU.cpp - NAS LU model -------------------------------*- C++ -*-===//
+///
+/// LU (SSOR) solver: the richest SCoP source in the paper's Fig 9.
+/// Constant-bound lower/upper sweeps provide ten SCoPs with no
+/// reductions; the four residual-norm reductions all run under
+/// runtime bounds, so only icc and the constraint approach see them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double v[66][66];
+double rsd[66][66];
+double frct[66][66];
+double flux[4096];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++) {
+      v[i][j] = sin(0.05 * i) * cos(0.04 * j);
+      rsd[i][j] = 0.3 * cos(0.09 * (i + j));
+      frct[i][j] = 0.01 * (i - j);
+    }
+  for (i = 0; i < 4096; i++)
+    flux[i] = sin(0.002 * i);
+  cfg[0] = 4096;
+  cfg[1] = 66;
+}
+
+// Lower-triangular and upper-triangular sweeps plus the right hand
+// side: ten constant-bound affine nests in total.
+void ssor_sweeps() {
+  int i;
+  int j;
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      rsd[i][j] = frct[i][j] - 0.1 * (v[i-1][j] + v[i][j-1]);
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      v[i][j] = v[i][j] + 0.9 * rsd[i][j];
+  for (i = 64; i >= 1; i = i + -1)
+    for (j = 1; j < 65; j++)
+      rsd[i][j] = rsd[i][j] * 0.98;
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      frct[i][j] = frct[i][j] + 0.02 * v[i][j];
+  for (j = 1; j < 65; j++)
+    for (i = 1; i < 65; i++)
+      v[i][j] = 0.5 * (v[i][j] + frct[i][j]);
+}
+
+int main() {
+  init_data();
+  int n = cfg[0];
+  int i;
+  int j;
+
+  ssor_sweeps();
+
+  // Five more constant-bound nests.
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++)
+      rsd[i][j] = rsd[i][j] * 1.0001;
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      v[i][j] = v[i][j] - 0.001 * rsd[i][j];
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      frct[i][j] = frct[i][j] * 0.999;
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++)
+      v[i][j] = v[i][j] + 0.0001;
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      rsd[i][j] = rsd[i][j] + 0.05 * (frct[i-1][j] + frct[i+1][j]);
+
+  // Residual norms: runtime-bound reductions.
+  double n1 = 0.0;
+  for (i = 0; i < n; i++)
+    n1 = n1 + flux[i] * flux[i];
+  double n2 = 0.0;
+  for (i = 0; i < n; i++)
+    n2 = n2 + flux[i] * 0.5;
+  double n3 = 0.0;
+  for (i = 0; i < n; i++)
+    n3 = n3 + flux[(i * 3) % 4096];
+  double n4 = 0.0;
+  for (i = 0; i < n; i++)
+    n4 = n4 + flux[i] * flux[(i + 7) % 4096];
+
+  print_f64(n1);
+  print_f64(n2);
+  print_f64(n3);
+  print_f64(n4);
+  print_f64(v[30][30]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasLU() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "LU";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/4, /*OurHistograms=*/0, /*Icc=*/4,
+                /*Polly=*/0, /*SCoPs=*/10, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,92 @@
+//===- NasMG.cpp - NAS MG model -------------------------------*- C++ -*-===//
+///
+/// Multigrid: restriction/prolongation/smoothing passes over constant
+/// grids (eight SCoPs) and three runtime-bound norm reductions that
+/// Polly cannot reach.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double fine[130][34];
+double coarse[66][18];
+double resid[130][34];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 130; i++)
+    for (j = 0; j < 34; j++) {
+      fine[i][j] = sin(0.021 * i + 0.3 * j);
+      resid[i][j] = 0.1 * cos(0.033 * i);
+    }
+  cfg[0] = 130;
+}
+
+int main() {
+  init_data();
+  int n = cfg[0];
+  int i;
+  int j;
+
+  // Smoothing, residual, restriction, prolongation: eight affine
+  // constant-bound nests.
+  for (i = 1; i < 129; i++)
+    for (j = 1; j < 33; j++)
+      fine[i][j] = fine[i][j] + 0.25 * (resid[i-1][j] + resid[i+1][j]);
+  for (i = 1; i < 129; i++)
+    for (j = 1; j < 33; j++)
+      resid[i][j] = 0.5 * (fine[i][j-1] + fine[i][j+1]) - fine[i][j];
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 17; j++)
+      coarse[i][j] = 0.25 * (resid[2*i][2*j] + resid[2*i+1][2*j] +
+                             resid[2*i][2*j+1] + resid[2*i+1][2*j+1]);
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 17; j++)
+      coarse[i][j] = coarse[i][j] * 0.9;
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 17; j++)
+      fine[2*i][2*j] = fine[2*i][2*j] + coarse[i][j] * 0.1;
+  for (i = 0; i < 130; i++)
+    for (j = 0; j < 34; j++)
+      resid[i][j] = resid[i][j] * 0.995;
+  for (i = 1; i < 129; i++)
+    for (j = 1; j < 33; j++)
+      fine[i][j] = 0.8 * fine[i][j] + 0.2 * resid[i][j];
+  for (i = 0; i < 130; i++)
+    for (j = 0; j < 34; j++)
+      resid[i][j] = resid[i][j] + 0.001;
+
+  // Norms under runtime bounds.
+  double l2 = 0.0;
+  for (i = 0; i < n; i++)
+    l2 = l2 + fine[i][5] * fine[i][5];
+  double rsum = 0.0;
+  for (i = 0; i < n; i++)
+    rsum = rsum + resid[i][7];
+  double csum = 0.0;
+  int nhalf = n / 2;
+  for (i = 0; i < nhalf; i++)
+    csum = csum + coarse[i % 66][3];
+
+  print_f64(l2);
+  print_f64(rsum);
+  print_f64(csum);
+  print_f64(fine[64][16]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasMG() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "MG";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/3, /*OurHistograms=*/0, /*Icc=*/3,
+                /*Polly=*/0, /*SCoPs=*/8, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,139 @@
+//===- NasSP.cpp - NAS SP model -------------------------------*- C++ -*-===//
+///
+/// Scalar-pentadiagonal solver. Reproduces two findings from the
+/// paper: (a) the rms residual written as a reduction in the middle of
+/// a deep perfect nest is missed by everyone including the constraint
+/// approach (§6.1's SP listing); (b) four per-plane norm reductions
+/// whose loops contain inner loops, which icc gives up on, while one
+/// of them sits in a constant-bound nest that Polly captures as a
+/// reduction SCoP.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double rhs[18][18][18][5];
+double rms[5];
+double u[66][66];
+double lhs[66][66];
+double ws[66];
+
+void init_data() {
+  int k;
+  int j;
+  int i;
+  int m;
+  for (k = 0; k < 18; k++)
+    for (j = 0; j < 18; j++)
+      for (i = 0; i < 18; i++)
+        for (m = 0; m < 5; m++)
+          rhs[k][j][i][m] = sin(0.3 * k + 0.2 * j + 0.1 * i + m);
+  for (i = 0; i < 66; i++) {
+    ws[i] = cos(0.04 * i);
+    for (j = 0; j < 66; j++) {
+      u[i][j] = sin(0.02 * i * j);
+      lhs[i][j] = 0.2 * cos(0.05 * (i - j));
+    }
+  }
+  cfg[0] = 66;
+  cfg[1] = 16;
+}
+
+int main() {
+  init_data();
+  int n = cfg[0];
+  int nz2 = cfg[1];
+  int k;
+  int j;
+  int i;
+  int m;
+
+  // The paper's §6.1 example: the reduction accumulator rms[m] sits in
+  // the middle of a perfectly nested loop. Nobody detects this one
+  // (by design).
+  for (k = 1; k <= nz2; k++)
+    for (j = 1; j <= 16; j++)
+      for (i = 1; i <= 16; i++)
+        for (m = 0; m < 5; m++) {
+          double add = rhs[k][j][i][m];
+          rms[m] = rms[m] + add * add;
+        }
+
+  // Constant-bound plane norm with an inner stencil: a reduction SCoP
+  // (the Polly hit), still invisible to icc because of the inner loop.
+  double pnorm = 0.0;
+  for (i = 1; i < 65; i++) {
+    for (j = 1; j < 65; j++)
+      lhs[i][j] = lhs[i][j] + 0.3 * u[i][j];
+    pnorm = pnorm + ws[i] * ws[i];
+  }
+
+  // Three more norms over runtime bounds, also with inner work.
+  int nm1 = n - 1;
+  double xnorm = 0.0;
+  for (i = 1; i < nm1; i++) {
+    for (j = 1; j < 65; j++)
+      u[i][j] = u[i][j] * 0.9999;
+    xnorm = xnorm + ws[i];
+  }
+  double ynorm = 0.0;
+  for (i = 1; i < nm1; i++) {
+    for (j = 1; j < 65; j++)
+      u[i][j] = u[i][j] + 0.0001 * lhs[i][j];
+    ynorm = ynorm + ws[i] * 0.5;
+  }
+  double znorm = 0.0;
+  for (i = 1; i < nm1; i++) {
+    for (j = 1; j < 65; j++)
+      lhs[i][j] = lhs[i][j] * 1.0001;
+    znorm = znorm + ws[i] * ws[i] * ws[i];
+  }
+
+  // Eight standalone constant-bound sweeps.
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      u[i][j] = 0.5 * (u[i-1][j] + u[i+1][j]);
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      lhs[i][j] = lhs[i][j] + 0.1 * u[i][j];
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++)
+      u[i][j] = u[i][j] * 0.999;
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      u[i][j] = u[i][j] + 0.02 * (lhs[i][j-1] + lhs[i][j+1]);
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++)
+      lhs[i][j] = lhs[i][j] * 0.998;
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      u[i][j] = 0.25 * (u[i][j-1] + u[i][j+1] + lhs[i][j] + u[i][j]);
+  for (i = 0; i < 66; i++)
+    ws[i] = ws[i] * 0.5 + 0.1;
+  for (i = 1; i < 65; i++)
+    ws[i] = ws[i] + 0.01 * (ws[i-1] + 0.5);
+
+  for (m = 0; m < 5; m++)
+    print_f64(rms[m]);
+  print_f64(pnorm);
+  print_f64(xnorm);
+  print_f64(ynorm);
+  print_f64(znorm);
+  print_f64(u[33][33]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasSP() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "SP";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/4, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/1, /*SCoPs=*/9, /*ReductionSCoPs=*/1};
+  return B;
+}

@@ -1,0 +1,143 @@
+//===- NasUA.cpp - NAS UA model -------------------------------*- C++ -*-===//
+///
+/// Unstructured Adaptive: the NAS benchmark with the most reductions
+/// in Fig 8a (eleven). Mortar-point sums, element energies and error
+/// estimates accumulate over irregular (index-array) meshes with
+/// runtime element counts; two of the reductions fold with fmax/fmin,
+/// which icc's parallelizer refuses. Two constant-bound smoothing
+/// passes are the only SCoPs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int elem_to_node[4096];
+double node_val[1024];
+double elem_val[4096];
+double mortar[1024];
+double smooth_a[2048];
+double smooth_b[2048];
+
+void init_data() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    elem_to_node[i] = (i * 19) % 1024;
+    elem_val[i] = sin(0.006 * i);
+  }
+  for (i = 0; i < 1024; i++) {
+    node_val[i] = cos(0.013 * i);
+    mortar[i] = 0.2 + 0.0003 * i;
+  }
+  for (i = 0; i < 2048; i++) {
+    smooth_a[i] = sin(0.004 * i);
+    smooth_b[i] = 0.0;
+  }
+  cfg[0] = 4096;
+  cfg[1] = 1024;
+}
+
+double elem_energy() {
+  // The active element count lives in the runtime mesh descriptor, so
+  // the iteration space is not a static SCoP parameter.
+  int n = cfg[0];
+  double e = 0.0;
+  int i;
+  for (i = 0; i < n; i++)
+    e = e + elem_val[i] * elem_val[i];
+  return e;
+}
+
+double mortar_sum(int nmortar) {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < nmortar; i++)
+    s = s + mortar[i] * node_val[(i * 7) % 1024];
+  return s;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 10;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 4096; sim_k++)
+      elem_val[sim_k] = elem_val[sim_k] * 0.9995 +
+                     0.00025 * elem_val[(sim_k + 7) % 4096];
+
+  int nelem = cfg[0];
+  int nnode = cfg[1];
+  int i;
+
+  // Two constant-bound affine smoothing passes: the UA SCoPs.
+  for (i = 1; i < 2047; i++)
+    smooth_b[i] = 0.25 * (smooth_a[i-1] + 2.0 * smooth_a[i] + smooth_a[i+1]);
+  for (i = 0; i < 2048; i++)
+    smooth_a[i] = smooth_a[i] * 0.5 + smooth_b[i] * 0.5;
+
+  // Gather-style reductions over the irregular mesh (icc-friendly:
+  // loads may be indirect, there are no stores).
+  double e1 = elem_energy();
+  double s1 = mortar_sum(nnode);
+  double gather = 0.0;
+  for (i = 0; i < nelem; i++)
+    gather = gather + node_val[elem_to_node[i]];
+  double weighted = 0.0;
+  for (i = 0; i < nelem; i++)
+    weighted = weighted + elem_val[i] * node_val[elem_to_node[i]];
+  double diag = 0.0;
+  for (i = 0; i < nnode; i++)
+    diag = diag + node_val[i] * node_val[i];
+  double offd = 0.0;
+  int nnm1 = nnode - 1;
+  for (i = 0; i < nnm1; i++)
+    offd = offd + node_val[i] * node_val[i+1];
+  double vol = 0.0;
+  for (i = 0; i < nelem; i++)
+    vol = vol + 0.125 * elem_val[i];
+  double flux2 = 0.0;
+  for (i = 0; i < nelem; i++)
+    flux2 = flux2 + fabs(elem_val[i]);
+  double corr = 0.0;
+  for (i = 0; i < nnode; i++)
+    corr = corr + mortar[i] * node_val[i];
+
+  // Error estimation: min/max folds (fmin/fmax block icc).
+  double emax = 0.0;
+  for (i = 0; i < nelem; i++)
+    emax = fmax(emax, fabs(elem_val[i]));
+  double emin = 1000000.0;
+  for (i = 0; i < nnode; i++)
+    emin = fmin(emin, mortar[i]);
+
+  print_f64(e1);
+  print_f64(s1);
+  print_f64(gather);
+  print_f64(weighted);
+  print_f64(diag);
+  print_f64(offd);
+  print_f64(vol);
+  print_f64(flux2);
+  print_f64(corr);
+  print_f64(emax);
+  print_f64(emin);
+  print_f64(smooth_a[100]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeNasUA() {
+  BenchmarkProgram B;
+  B.Suite = "NAS";
+  B.Name = "UA";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/11, /*OurHistograms=*/0, /*Icc=*/9,
+                /*Polly=*/0, /*SCoPs=*/2, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,74 @@
+//===- ParboilBfs.cpp - Parboil bfs model ---------------------*- C++ -*-===//
+///
+/// Breadth-first search: frontier expansion with data-dependent
+/// control and indirect stores. No reduction idioms, no SCoPs -- one
+/// of the many all-zero Parboil rows in Fig 8b/10.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int edge_off[4097];
+int edge_dst[16384];
+int cost[4096];
+int frontier[4096];
+
+void init_data() {
+  int i;
+  int n1 = cfg[1] + 4097;
+  int n2 = cfg[2] + 16384;
+  int n3 = cfg[3] + 4096;
+  for (i = 0; i < n1; i++)
+    edge_off[i] = (i * 16384) / 4097;
+  for (i = 0; i < n2; i++)
+    edge_dst[i] = (i * 613) % 4096;
+  for (i = 0; i < n3; i++) {
+    cost[i] = -1;
+    frontier[i] = 0;
+  }
+  cost[0] = 0;
+  frontier[0] = 1;
+  cfg[0] = 4096;
+}
+
+int main() {
+  init_data();
+  int nnodes = cfg[0];
+  int level;
+  int u;
+  int e;
+
+  for (level = 0; level < 6; level++) {
+    for (u = 0; u < nnodes; u++) {
+      if (frontier[u] == 1) {
+        frontier[u] = 2;
+        for (e = edge_off[u]; e < edge_off[u+1]; e++) {
+          int v = edge_dst[e];
+          if (cost[v] < 0) {
+            cost[v] = cost[u] + 1;
+            frontier[v] = 1;
+          }
+        }
+      }
+    }
+  }
+
+  print_i64(cost[17]);
+  print_i64(cost[4095]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilBfs() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "bfs";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,89 @@
+//===- ParboilCutcp.cpp - Parboil cutcp model -----------------*- C++ -*-===//
+///
+/// Cutoff Coulombic potential. The Parboil benchmark with the most
+/// reductions in Fig 8b (seven). Six of them fold distances and
+/// potentials with fmin/fmax, which our purity table accepts but
+/// icc's parallelizer refuses (the cutcp discussion in §6.1); one
+/// plain energy sum remains icc-visible. Runtime atom counts keep
+/// everything out of SCoPs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double ax[4096];
+double ay[4096];
+double az[4096];
+double charge[4096];
+
+void init_data() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    ax[i] = 10.0 * sin(0.37 * i);
+    ay[i] = 10.0 * cos(0.21 * i);
+    az[i] = 5.0 * sin(0.11 * i + 1.0);
+    charge[i] = 0.5 + 0.0001 * (i % 300);
+  }
+  cfg[0] = 4096;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 10;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 4096; sim_k++)
+      charge[sim_k] = charge[sim_k] * 0.9995 +
+                     0.00025 * charge[(sim_k + 7) % 4096];
+
+  int natoms = cfg[0];
+  int i;
+
+  // Bounding box: six min/max folds over the atom coordinates.
+  double minx = 1000000.0;
+  double maxx = -1000000.0;
+  double miny = 1000000.0;
+  double maxy = -1000000.0;
+  double minz = 1000000.0;
+  double maxz = -1000000.0;
+  for (i = 0; i < natoms; i++) {
+    minx = fmin(minx, ax[i]);
+    maxx = fmax(maxx, ax[i]);
+    miny = fmin(miny, ay[i]);
+    maxy = fmax(maxy, ay[i]);
+    minz = fmin(minz, az[i]);
+    maxz = fmax(maxz, az[i]);
+  }
+
+  // Total charge: the one reduction icc also reports.
+  double qtotal = 0.0;
+  for (i = 0; i < natoms; i++)
+    qtotal = qtotal + charge[i];
+
+  print_f64(minx);
+  print_f64(maxx);
+  print_f64(miny);
+  print_f64(maxy);
+  print_f64(minz);
+  print_f64(maxz);
+  print_f64(qtotal);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilCutcp() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "cutcp";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/7, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,54 @@
+//===- ParboilHisto.cpp - Parboil histo model -----------------*- C++ -*-===//
+///
+/// The Parboil histogramming benchmark: a large 2-D histogram over an
+/// input image. The histogram dominates runtime, and its sheer size
+/// makes privatization expensive -- which is why the paper's Fig 15
+/// shows only a moderate speedup for the constraint approach and none
+/// at all for the lock-based upstream parallel version.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int img[262144];
+int bins[24576];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 262144;
+  for (i = 0; i < n; i++)
+    img[i] = (i * 40503) % 24576;
+}
+
+int main() {
+  init_data();
+  int npixels = cfg[0] + 262144;
+  int i;
+
+  int frames = cfg[2] + 4;
+  int f;
+  for (f = 0; f < frames; f++)
+    for (i = 0; i < npixels; i++)
+      bins[img[i]]++;
+
+  print_i64(bins[0]);
+  print_i64(bins[1024]);
+  print_i64(bins[24575]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilHisto() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "histo";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/1, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  B.InSpeedupStudy = true;
+  return B;
+}

@@ -1,0 +1,66 @@
+//===- ParboilLbm.cpp - Parboil lbm model ---------------------*- C++ -*-===//
+///
+/// Lattice-Boltzmann: one constant-bound affine streaming/collision
+/// pass (the single lbm SCoP of Fig 10) and an outer time loop with a
+/// runtime step count. No reductions anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double cell_n[4096];
+double cell_s[4096];
+double tmp_n[4096];
+double tmp_s[4096];
+
+void init_data() {
+  int i;
+  int n = cfg[2] + 4096;
+  for (i = 0; i < n; i++) {
+    cell_n[i] = 0.1 + 0.001 * (i % 100);
+    cell_s[i] = 0.1 - 0.0005 * (i % 90);
+  }
+  cfg[0] = 3;
+}
+
+// The streaming + collision pass: affine, constant bounds, no calls.
+void stream_collide() {
+  int i;
+  for (i = 1; i < 4095; i++) {
+    double rho = cell_n[i] + cell_s[i];
+    tmp_n[i] = cell_n[i-1] * 0.9 + rho * 0.05;
+    tmp_s[i] = cell_s[i+1] * 0.9 + rho * 0.05;
+  }
+}
+
+int main() {
+  init_data();
+  int steps = cfg[0];
+  int t;
+  int i;
+  for (t = 0; t < steps; t++) {
+    stream_collide();
+    for (i = 0; i < cfg[1] + 4096; i++) {
+      cell_n[i % 4096] = tmp_n[i % 4096];
+      cell_s[i % 4096] = tmp_s[i % 4096];
+    }
+  }
+  print_f64(cell_n[2000]);
+  print_f64(cell_s[2000]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilLbm() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "lbm";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/1, /*ReductionSCoPs=*/0};
+  return B;
+}

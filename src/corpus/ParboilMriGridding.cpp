@@ -1,0 +1,57 @@
+//===- ParboilMriGridding.cpp - Parboil mri-gridding model ----*- C++ -*-===//
+///
+/// MRI gridding: samples are scattered onto a regular grid with
+/// interpolation to *two* neighboring cells. The double write makes
+/// the update fail the exclusive-access condition of the histogram
+/// idiom, so (correctly, matching Fig 8b) nothing is reported.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double sample_val[16384];
+int sample_cell[16384];
+double grid[8192];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 16384;
+  for (i = 0; i < n; i++) {
+    sample_val[i] = sin(0.017 * i);
+    sample_cell[i] = (i * 389) % 8191;
+  }
+  cfg[0] = 16384;
+}
+
+int main() {
+  init_data();
+  int nsamples = cfg[0];
+  int i;
+
+  // Scatter with linear interpolation: each sample updates two bins,
+  // so this is NOT a histogram reduction (the two writes interfere).
+  for (i = 0; i < nsamples; i++) {
+    int c = sample_cell[i];
+    grid[c] = grid[c] + 0.75 * sample_val[i];
+    grid[c+1] = grid[c+1] + 0.25 * sample_val[i];
+  }
+
+  print_f64(grid[100]);
+  print_f64(grid[8000]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilMriGridding() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "mri-gridding";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,59 @@
+//===- ParboilMriQ.cpp - Parboil mri-q model ------------------*- C++ -*-===//
+///
+/// MRI Q-matrix computation: a trigonometric accumulation over the
+/// sample points. sin/cos are on icc's vector-math whitelist, so icc
+/// finds the reduction too; the calls keep the loop out of any SCoP.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double kx[8192];
+double phi_mag[8192];
+
+void init_data() {
+  int i;
+  for (i = 0; i < 8192; i++) {
+    kx[i] = 0.002 * i;
+    phi_mag[i] = 1.0 + 0.1 * sin(0.05 * i);
+  }
+  cfg[0] = 8192;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 6;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 8192; sim_k++)
+      phi_mag[sim_k] = phi_mag[sim_k] * 0.9995 +
+                     0.00025 * phi_mag[(sim_k + 7) % 8192];
+
+  int nsamples = cfg[0];
+  int i;
+
+  double q_real = 0.0;
+  for (i = 0; i < nsamples; i++)
+    q_real = q_real + phi_mag[i] * cos(6.2831 * kx[i]);
+
+  print_f64(q_real);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilMriQ() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "mri-q";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/1, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,67 @@
+//===- ParboilSad.cpp - Parboil sad model ---------------------*- C++ -*-===//
+///
+/// Sum-of-absolute-differences for motion estimation: the per-block
+/// SAD accumulates straight into the output array (no scalar phi), and
+/// the data-dependent absolute value keeps the nest out of SCoPs. One
+/// separate affine copy pass is the single sad SCoP of Fig 10.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double cur_frame[16384];
+double ref_frame[16384];
+double sad_out[256];
+double best_out[256];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 16384;
+  for (i = 0; i < n; i++) {
+    cur_frame[i] = sin(0.013 * i);
+    ref_frame[i] = sin(0.013 * i + 0.21);
+  }
+  cfg[0] = 256;
+}
+
+int main() {
+  init_data();
+  int nblocks = cfg[0];
+  int b;
+  int p;
+  int i;
+
+  // SAD per block, accumulated in memory (sad_out[b] is invariant in
+  // the pixel loop: an accumulator in memory, not a histogram).
+  for (b = 0; b < nblocks; b++) {
+    for (p = 0; p < 64; p++) {
+      double d = cur_frame[b*64 + p] - ref_frame[b*64 + p];
+      if (d < 0.0)
+        d = 0.0 - d;
+      sad_out[b] = sad_out[b] + d;
+    }
+  }
+
+  // Affine copy of the results: the one sad SCoP.
+  for (i = 0; i < 256; i++)
+    best_out[i] = sad_out[i] * 0.5 + 1.0;
+
+  print_f64(sad_out[3]);
+  print_f64(best_out[200]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilSad() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "sad";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/1, /*ReductionSCoPs=*/0};
+  return B;
+}

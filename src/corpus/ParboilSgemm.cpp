@@ -1,0 +1,62 @@
+//===- ParboilSgemm.cpp - Parboil sgemm model -----------------*- C++ -*-===//
+///
+/// Dense matrix multiply: the one Parboil program where a scalar
+/// reduction (the dot-product accumulator of the inner k loop) is
+/// simultaneously visible to the constraint approach, icc and Polly --
+/// and the only Parboil benchmark where scalar reductions dominate
+/// runtime in Fig 13.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+double A[96][96];
+double Bm[96][96];
+double C[96][96];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 96; i++)
+    for (j = 0; j < 96; j++) {
+      A[i][j] = sin(0.01 * i + 0.02 * j);
+      Bm[i][j] = cos(0.015 * i - 0.01 * j);
+    }
+}
+
+int main() {
+  init_data();
+  int i;
+  int j;
+  int k;
+
+  // The whole triple nest is one SCoP; the k accumulator is the
+  // reduction everyone agrees on.
+  for (i = 0; i < 96; i++) {
+    for (j = 0; j < 96; j++) {
+      double s = 0.0;
+      for (k = 0; k < 96; k++)
+        s = s + A[i][k] * Bm[k][j];
+      C[i][j] = s;
+    }
+  }
+
+  print_f64(C[0][0]);
+  print_f64(C[31][64]);
+  print_f64(C[95][95]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilSgemm() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "sgemm";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/1, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/1, /*SCoPs=*/1, /*ReductionSCoPs=*/1};
+  return B;
+}

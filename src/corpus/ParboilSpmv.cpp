@@ -1,0 +1,60 @@
+//===- ParboilSpmv.cpp - Parboil spmv model -------------------*- C++ -*-===//
+///
+/// Sparse matrix-vector multiply in JDS-like layout: the product
+/// accumulates directly into y[row] in memory with indirect column
+/// reads. With no scalar accumulator phi and an invariant output
+/// index, no tool reports anything (the spmv row of Fig 8b).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int jds_col[8192];
+double jds_val[8192];
+double xvec[1024];
+double yvec[1024];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 8192;
+  for (i = 0; i < n; i++) {
+    jds_col[i] = (i * 47) % 1024;
+    jds_val[i] = 0.3 + 0.0002 * i;
+  }
+  for (i = 0; i < cfg[2] + 1024; i++)
+    xvec[i] = sin(0.009 * i);
+  cfg[0] = 1024;
+}
+
+int main() {
+  init_data();
+  int nrows = cfg[0];
+  int row;
+  int d;
+
+  for (row = 0; row < nrows; row++) {
+    for (d = 0; d < 8; d++) {
+      int k = d * 1024 + row;
+      yvec[row] = yvec[row] + jds_val[k] * xvec[jds_col[k]];
+    }
+  }
+
+  print_f64(yvec[0]);
+  print_f64(yvec[555]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilSpmv() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "spmv";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,61 @@
+//===- ParboilStencil.cpp - Parboil stencil model -------------*- C++ -*-===//
+///
+/// 7-point stencil: two constant-bound affine passes (the two stencil
+/// SCoPs of Fig 10) inside a runtime-count time loop. No reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double grid_a[66][66];
+double grid_b[66][66];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++) {
+      grid_a[i][j] = sin(0.07 * i) * cos(0.06 * j);
+      grid_b[i][j] = 0.0;
+    }
+  cfg[0] = 4;
+}
+
+int main() {
+  init_data();
+  int steps = cfg[0];
+  int t;
+  int i;
+  int j;
+
+  for (t = 0; t < steps; t++) {
+    for (i = 1; i < 65; i++)
+      for (j = 1; j < 65; j++)
+        grid_b[i][j] = 0.2 * (grid_a[i-1][j] + grid_a[i+1][j] +
+                              grid_a[i][j-1] + grid_a[i][j+1] +
+                              grid_a[i][j]);
+    for (i = 1; i < 65; i++)
+      for (j = 1; j < 65; j++)
+        grid_a[i][j] = 0.2 * (grid_b[i-1][j] + grid_b[i+1][j] +
+                              grid_b[i][j-1] + grid_b[i][j+1] +
+                              grid_b[i][j]);
+  }
+
+  print_f64(grid_a[33][33]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilStencil() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "stencil";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/2, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,77 @@
+//===- ParboilTpacf.cpp - Parboil tpacf model -----------------*- C++ -*-===//
+///
+/// Two-point angular correlation function: the paper's most
+/// interesting histogram -- the bin index is computed by a *binary
+/// search* in an auxiliary bin-edge array (a read-only helper call in
+/// the update's data flow). The upstream parallel version wraps the
+/// update in a critical section and slows down on a big machine; the
+/// privatized version scales almost linearly (Fig 15).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double dist[131072];
+double binedges[65];
+int dd_hist[64];
+
+int find_bin(double *edges, int nbins, double v) {
+  int lo = 0;
+  int hi = nbins;
+  while (lo + 1 < hi) {
+    int mid = (lo + hi) / 2;
+    if (v < edges[mid])
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return lo;
+}
+
+void init_data() {
+  int i;
+  int nedges = cfg[1] + 65;
+  for (i = 0; i < nedges; i++)
+    binedges[i] = 0.03125 * i * 0.03125 * i;
+  int n = cfg[2] + 131072;
+  for (i = 0; i < n; i++)
+    dist[i] = 0.0000298 * ((i * 7919) % 131072);
+}
+
+int main() {
+  init_data();
+  int npairs = cfg[0] + 131072;
+  int i;
+
+  // The correlation histogram: one binary search + increment per
+  // pair of points, for the DD and DR passes.
+  int pass;
+  int passes = cfg[3] + 2;
+  for (pass = 0; pass < passes; pass++) {
+    for (i = 0; i < npairs; i++) {
+      int b = find_bin(binedges, 64, dist[i]);
+      dd_hist[b]++;
+    }
+  }
+
+  print_i64(dd_hist[0]);
+  print_i64(dd_hist[13]);
+  print_i64(dd_hist[63]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeParboilTpacf() {
+  BenchmarkProgram B;
+  B.Suite = "Parboil";
+  B.Name = "tpacf";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/1, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  B.InSpeedupStudy = true;
+  return B;
+}

@@ -1,0 +1,72 @@
+//===- RodiniaBackprop.cpp - Rodinia backprop model -----------*- C++ -*-===//
+///
+/// Back-propagation: forward-pass weighted sum and output error, both
+/// scalar reductions over runtime layer sizes. icc finds both.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double input_units[4096];
+double weights[4096];
+double target[4096];
+double output_units[4096];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 4096;
+  for (i = 0; i < n; i++) {
+    input_units[i] = sin(0.011 * i);
+    weights[i] = 0.1 + 0.0001 * (i % 770);
+    target[i] = cos(0.013 * i);
+    output_units[i] = 0.5 * sin(0.017 * i);
+  }
+  cfg[0] = 4096;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 8;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 4096; sim_k++)
+      weights[sim_k] = weights[sim_k] * 0.9995 +
+                     0.00025 * weights[(sim_k + 7) % 4096];
+
+  int n = cfg[0];
+  int i;
+
+  // Forward pass: weighted input sum.
+  double net = 0.0;
+  for (i = 0; i < n; i++)
+    net = net + input_units[i] * weights[i];
+
+  // Output error.
+  double err = 0.0;
+  for (i = 0; i < n; i++) {
+    double d = target[i] - output_units[i];
+    err = err + d * d;
+  }
+
+  print_f64(net);
+  print_f64(err);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaBackprop() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "backprop";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/0, /*Icc=*/2,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

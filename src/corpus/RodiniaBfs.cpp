@@ -1,0 +1,68 @@
+//===- RodiniaBfs.cpp - Rodinia bfs model ---------------------*- C++ -*-===//
+///
+/// Rodinia's BFS: the per-level "any node updated" flag is an integer
+/// OR-reduction whose condition goes through a small graph-lookup
+/// helper. The helper call is outside icc's math whitelist, so icc
+/// refuses; the constraint approach accepts read-only helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int node_level[8192];
+int neighbor[8192];
+
+int probe(int *levels, int v) {
+  return levels[v];
+}
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 8192;
+  for (i = 0; i < n; i++) {
+    node_level[i] = i % 5;
+    neighbor[i] = (i * 577) % 8192;
+  }
+  cfg[0] = 8192;
+}
+
+int main() {
+  init_data();
+  // Main computation phase: no reductions, dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 6;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 8192; sim_k++)
+      node_level[sim_k] = node_level[sim_k] + (node_level[(sim_k + 7) % 8192] % 5) - 2;
+
+  int n = cfg[0];
+  int i;
+
+  // "How many frontier nodes did this level touch": a count fold
+  // whose condition reads neighbor levels through a helper call.
+  int changed = 0;
+  for (i = 0; i < n; i++) {
+    int nb = probe(node_level, neighbor[i]);
+    if (nb == 2)
+      changed = changed + 1;
+  }
+
+  print_i64(changed);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaBfs() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "bfs-r";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/1, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,80 @@
+//===- RodiniaBtree.cpp - Rodinia b+tree model ----------------*- C++ -*-===//
+///
+/// B+tree range queries: counting matches in a key range (icc sees
+/// this one) and a checksum whose comparison goes through a key-lookup
+/// helper (icc rejects the call).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int keys[16384];
+double vals[16384];
+
+int key_at(int *arr, int i) {
+  return arr[i];
+}
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 16384;
+  for (i = 0; i < n; i++) {
+    keys[i] = (i * 2654435761) % 65536;
+    if (keys[i] < 0)
+      keys[i] = 0 - keys[i];
+    vals[i] = 0.5 + 0.0001 * (i % 997);
+  }
+  cfg[0] = 16384;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 5;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 16384; sim_k++)
+      vals[sim_k] = vals[sim_k] * 0.9995 +
+                     0.00025 * vals[(sim_k + 7) % 16384];
+
+  int n = cfg[0];
+  int i;
+
+  // Range-query match count: plain conditional count reduction.
+  int matches = 0;
+  for (i = 0; i < n; i++) {
+    if (keys[i] >= 1000) {
+      if (keys[i] < 32000)
+        matches = matches + 1;
+    }
+  }
+
+  // Checksum of values under helper-mediated key test.
+  double checksum = 0.0;
+  for (i = 0; i < n; i++) {
+    int k = key_at(keys, i);
+    if (k % 2 == 0)
+      checksum = checksum + vals[i];
+  }
+
+  print_i64(matches);
+  print_f64(checksum);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaBtree() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "b+tree";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,77 @@
+//===- RodiniaCfd.cpp - Rodinia cfd model ---------------------*- C++ -*-===//
+///
+/// CFD Euler solver: density and energy integrals over the unstructured
+/// mesh (icc-visible) plus the CFL time-step computation, a min fold
+/// with fmin that icc refuses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double density[8192];
+double energy[8192];
+double velocity[8192];
+
+double cell_energy(double *rho, double *e, int i) {
+  return rho[i] * e[i];
+}
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 8192;
+  for (i = 0; i < n; i++) {
+    density[i] = 1.0 + 0.1 * sin(0.007 * i);
+    energy[i] = 2.5 + 0.2 * cos(0.009 * i);
+    velocity[i] = 0.3 + 0.05 * sin(0.011 * i + 0.4);
+  }
+  cfg[0] = 8192;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 7;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 8192; sim_k++)
+      velocity[sim_k] = velocity[sim_k] * 0.9995 +
+                     0.00025 * velocity[(sim_k + 7) % 8192];
+
+  int ncells = cfg[0];
+  int i;
+
+  double total_mass = 0.0;
+  for (i = 0; i < ncells; i++)
+    total_mass = total_mass + density[i];
+
+  double total_energy = 0.0;
+  for (i = 0; i < ncells; i++)
+    total_energy = total_energy + cell_energy(density, energy, i);
+
+  // CFL condition: minimum time step over all cells.
+  double dt = 1000000.0;
+  for (i = 0; i < ncells; i++)
+    dt = fmin(dt, 1.0 / (velocity[i] + 0.001));
+
+  print_f64(total_mass);
+  print_f64(total_energy);
+  print_f64(dt);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaCfd() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "cfd";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/3, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,65 @@
+//===- RodiniaHeartwall.cpp - Rodinia heartwall model ---------*- C++ -*-===//
+///
+/// Heart-wall tracking: template matching picks the best correlation
+/// (max fold) and the tightest displacement (min fold); fmin/fmax make
+/// both invisible to icc.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double corr_map[16384];
+double displ[16384];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 16384;
+  for (i = 0; i < n; i++) {
+    corr_map[i] = sin(0.003 * i) * cos(0.017 * i);
+    displ[i] = 2.0 + sin(0.005 * i);
+  }
+  cfg[0] = 16384;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 5;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 16384; sim_k++)
+      corr_map[sim_k] = corr_map[sim_k] * 0.9995 +
+                     0.00025 * corr_map[(sim_k + 7) % 16384];
+
+  int npoints = cfg[0];
+  int i;
+
+  double best_corr = -1000000.0;
+  for (i = 0; i < npoints; i++)
+    best_corr = fmax(best_corr, corr_map[i]);
+
+  double min_displ = 1000000.0;
+  for (i = 0; i < npoints; i++)
+    min_displ = fmin(min_displ, displ[i]);
+
+  print_f64(best_corr);
+  print_f64(min_displ);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaHeartwall() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "heartwall";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

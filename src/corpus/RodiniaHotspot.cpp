@@ -1,0 +1,70 @@
+//===- RodiniaHotspot.cpp - Rodinia hotspot model -------------*- C++ -*-===//
+///
+/// Thermal simulation: three constant-bound affine update passes (the
+/// hotspot SCoPs of Fig 11) and one runtime-bound average-temperature
+/// reduction that icc also reports.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double temp[66][66];
+double power[66][66];
+double temp_next[66][66];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++) {
+      temp[i][j] = 320.0 + 4.0 * sin(0.03 * i + 0.05 * j);
+      power[i][j] = 0.01 + 0.002 * cos(0.04 * i);
+      temp_next[i][j] = 0.0;
+    }
+  cfg[0] = 66;
+}
+
+int main() {
+  init_data();
+  int n = cfg[0];
+  int i;
+  int j;
+
+  // Three affine constant-bound passes.
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      temp_next[i][j] = temp[i][j] +
+                        0.2 * (temp[i-1][j] + temp[i+1][j] - 2.0 * temp[i][j]) +
+                        0.1 * power[i][j];
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      temp[i][j] = temp_next[i][j];
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++)
+      power[i][j] = power[i][j] * 0.999;
+
+  // Average chip temperature: runtime-bound reduction.
+  double tsum = 0.0;
+  for (i = 0; i < n; i++)
+    tsum = tsum + temp[i][32];
+  double avg = tsum / (1.0 * n);
+
+  print_f64(avg);
+  print_f64(temp[10][10]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaHotspot() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "hotspot";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/1, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/0, /*SCoPs=*/3, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,69 @@
+//===- RodiniaHotspot3D.cpp - Rodinia hotspot3D model ---------*- C++ -*-===//
+///
+/// 3-D thermal simulation: two constant-bound affine sweeps and one
+/// runtime-bound energy reduction (icc-visible).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double t3d[18][18][18];
+double t3d_out[18][18][18];
+
+void init_data() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 18; i++)
+    for (j = 0; j < 18; j++)
+      for (k = 0; k < 18; k++) {
+        t3d[i][j][k] = 300.0 + sin(0.2 * i + 0.3 * j + 0.1 * k);
+        t3d_out[i][j][k] = 0.0;
+      }
+  cfg[0] = 18;
+}
+
+int main() {
+  init_data();
+  int n = cfg[0];
+  int i;
+  int j;
+  int k;
+
+  // Two affine constant-bound sweeps.
+  for (i = 1; i < 17; i++)
+    for (j = 1; j < 17; j++)
+      for (k = 1; k < 17; k++)
+        t3d_out[i][j][k] = 0.4 * t3d[i][j][k] +
+                           0.1 * (t3d[i-1][j][k] + t3d[i+1][j][k] +
+                                  t3d[i][j-1][k] + t3d[i][j+1][k] +
+                                  t3d[i][j][k-1] + t3d[i][j][k+1]);
+  for (i = 0; i < 18; i++)
+    for (j = 0; j < 18; j++)
+      for (k = 0; k < 18; k++)
+        t3d[i][j][k] = t3d_out[i][j][k];
+
+  // Total thermal energy under a runtime bound.
+  double esum = 0.0;
+  for (i = 0; i < n; i++)
+    esum = esum + t3d[i][9][9];
+
+  print_f64(esum);
+  print_f64(t3d[9][9][9]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaHotspot3D() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "hotspot3D";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/1, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/0, /*SCoPs=*/2, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,75 @@
+//===- RodiniaKmeans.cpp - Rodinia kmeans model ---------------*- C++ -*-===//
+///
+/// K-means clustering. The membership histogram (cluster population
+/// counts) is detected, but its loop carries an inner per-feature
+/// loop, which makes the exploitation pass refuse it -- exactly the
+/// kmeans failure the paper reports in §6.3. Two scalar reductions
+/// (delta count, total distortion) stay icc-visible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int membership[32768];
+double feature[32768];
+double feat_scratch[32768];
+int cluster_count[64];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 32768;
+  for (i = 0; i < n; i++) {
+    membership[i] = (i * 97) % 64;
+    feature[i] = sin(0.004 * i);
+  }
+  cfg[0] = 32768;
+}
+
+int main() {
+  init_data();
+  int npoints = cfg[0];
+  int i;
+  int f;
+
+  // Membership histogram with a nested per-feature scratch update:
+  // detected as a histogram, refused by the parallelizer (nested
+  // loop), as in the paper.
+  for (i = 0; i < npoints; i++) {
+    for (f = 0; f < 4; f++)
+      feat_scratch[(i % 8192) * 4 + f] = feature[(i % 8192) * 4 + f] * 0.5;
+    cluster_count[membership[i]]++;
+  }
+
+  // Convergence measures: icc-friendly scalar reductions.
+  double distortion = 0.0;
+  for (i = 0; i < npoints; i++) {
+    double d = feature[i] - 0.25;
+    distortion = distortion + d * d;
+  }
+  int moved = 0;
+  for (i = 0; i < npoints; i++) {
+    if (membership[i] != (i * 89) % 64)
+      moved = moved + 1;
+  }
+
+  print_i64(cluster_count[5]);
+  print_f64(distortion);
+  print_i64(moved);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaKmeans() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "kmeans";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/1, /*Icc=*/2,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  B.InSpeedupStudy = true;
+  return B;
+}

@@ -1,0 +1,65 @@
+//===- RodiniaLavaMD.cpp - Rodinia lavaMD model ---------------*- C++ -*-===//
+///
+/// Molecular dynamics in boxes: the total potential energy (icc sees
+/// it; exp is whitelisted) and the maximum pairwise force, an fmax
+/// fold icc refuses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double rv[8192];
+double qv[8192];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 8192;
+  for (i = 0; i < n; i++) {
+    rv[i] = 0.5 + 0.3 * sin(0.013 * i);
+    qv[i] = 0.8 + 0.2 * cos(0.007 * i);
+  }
+  cfg[0] = 8192;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 7;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 8192; sim_k++)
+      rv[sim_k] = rv[sim_k] * 0.9995 +
+                     0.00025 * rv[(sim_k + 7) % 8192];
+
+  int nparticles = cfg[0];
+  int i;
+
+  double potential = 0.0;
+  for (i = 0; i < nparticles; i++)
+    potential = potential + qv[i] * exp(0.0 - rv[i] * rv[i]);
+
+  double max_force = 0.0;
+  for (i = 0; i < nparticles; i++)
+    max_force = fmax(max_force, qv[i] * rv[i]);
+
+  print_f64(potential);
+  print_f64(max_force);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaLavaMD() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "lavaMD";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

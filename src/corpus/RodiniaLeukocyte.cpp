@@ -1,0 +1,86 @@
+//===- RodiniaLeukocyte.cpp - Rodinia leukocyte model ---------*- C++ -*-===//
+///
+/// Leukocyte tracking: the gradient-inverse-coefficient-of-variation
+/// sum over a constant-size template window is affine and lands in a
+/// SCoP (the one Rodinia hit for Polly+Reduction in Fig 8c). A
+/// runtime-bound intensity sum stays icc-only territory, and the
+/// maximum GICOV fold (fmax) is ours alone. One more affine dilation
+/// pass provides the second leukocyte SCoP.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double gicov[64][64];
+double dilated[64][64];
+double intensity[16384];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 64; i++)
+    for (j = 0; j < 64; j++)
+      gicov[i][j] = sin(0.05 * i) * cos(0.07 * j);
+  for (i = 0; i < cfg[1] + 16384; i++)
+    intensity[i] = 0.4 + 0.3 * sin(0.006 * i);
+  cfg[0] = 16384;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 5;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 16384; sim_k++)
+      intensity[sim_k] = intensity[sim_k] * 0.9995 +
+                     0.00025 * intensity[(sim_k + 7) % 16384];
+
+  int npixels = cfg[0];
+  int i;
+  int j;
+
+  // Constant-window template sum: a reduction inside a SCoP.
+  double window_sum = 0.0;
+  for (i = 8; i < 56; i++)
+    for (j = 8; j < 56; j++)
+      window_sum = window_sum + gicov[i][j];
+
+  // Affine dilation pass: the second SCoP (no reduction).
+  for (i = 1; i < 63; i++)
+    for (j = 1; j < 63; j++)
+      dilated[i][j] = gicov[i][j] + 0.5 * (gicov[i-1][j] + gicov[i+1][j]);
+
+  // Runtime-bound intensity sum: icc-visible.
+  double isum = 0.0;
+  for (i = 0; i < npixels; i++)
+    isum = isum + intensity[i];
+
+  // Best GICOV: fmax fold, ours alone.
+  double best = -1000000.0;
+  for (i = 0; i < npixels; i++)
+    best = fmax(best, intensity[i] * 2.0 - 0.5);
+
+  print_f64(window_sum);
+  print_f64(isum);
+  print_f64(best);
+  print_f64(dilated[30][30]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaLeukocyte() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "leukocyte";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/3, /*OurHistograms=*/0, /*Icc=*/2,
+                /*Polly=*/1, /*SCoPs=*/2, /*ReductionSCoPs=*/1};
+  return B;
+}

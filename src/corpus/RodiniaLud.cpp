@@ -1,0 +1,66 @@
+//===- RodiniaLud.cpp - Rodinia lud model ---------------------*- C++ -*-===//
+///
+/// LU decomposition: triangular updates whose accumulations run
+/// through loop-carried dependences that are not reductions. Two
+/// constant-bound affine passes are SCoPs; Fig 8c shows no reductions
+/// for lud.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double mat[64][64];
+double scale_row[64];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 64; i++)
+    for (j = 0; j < 64; j++)
+      mat[i][j] = 1.0 + sin(0.03 * i * j);
+  cfg[0] = 64;
+}
+
+int main() {
+  init_data();
+  int n = cfg[0];
+  int k;
+  int i;
+  int j;
+
+  // Gaussian elimination: the pivot row scaling and trailing update.
+  // The k recurrence (each step reads results of the previous) is not
+  // a reduction.
+  for (k = 0; k < n - 1; k++) {
+    for (i = k + 1; i < n; i++) {
+      double m = mat[i][k] / (mat[k][k] + 3.0);
+      for (j = k + 1; j < n; j++)
+        mat[i][j] = mat[i][j] - m * mat[k][j];
+    }
+  }
+
+  // Two affine constant-bound passes.
+  for (i = 0; i < 64; i++)
+    scale_row[i] = mat[i][i] * 0.5;
+  for (i = 1; i < 63; i++)
+    scale_row[i] = scale_row[i] + 0.25 * (scale_row[i-1] + scale_row[i+1]);
+
+  print_f64(mat[10][10]);
+  print_f64(scale_row[31]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaLud() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "lud";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/2, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,63 @@
+//===- RodiniaMummergpu.cpp - Rodinia mummergpu model ---------*- C++ -*-===//
+///
+/// Suffix-tree matching: pointer-chasing while loops with
+/// data-dependent exits. No for-loop idiom matches, no reductions, no
+/// SCoPs -- one of the all-zero Rodinia rows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int tree_next[8192];
+int tree_depth[8192];
+int query_start[256];
+int match_len[256];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 8192;
+  for (i = 0; i < n; i++) {
+    tree_next[i] = (i * 5 + 3) % 8192;
+    tree_depth[i] = i % 37;
+  }
+  for (i = 0; i < cfg[2] + 256; i++)
+    query_start[i] = (i * 31) % 8192;
+  cfg[0] = 256;
+}
+
+int main() {
+  init_data();
+  int nqueries = cfg[0];
+  int q;
+
+  for (q = 0; q < nqueries; q++) {
+    int node = query_start[q];
+    int depth = 0;
+    while (depth < 40) {
+      if (tree_depth[node] > 30)
+        break;
+      node = tree_next[node];
+      depth = depth + 1;
+    }
+    match_len[q] = depth;
+  }
+
+  print_i64(match_len[0]);
+  print_i64(match_len[255]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaMummergpu() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "mummergpu";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,76 @@
+//===- RodiniaMyocyte.cpp - Rodinia myocyte model -------------*- C++ -*-===//
+///
+/// Cardiac myocyte ODE integration: two icc-visible reductions (total
+/// current with exp, squared residual) plus a stiffness estimate that
+/// calls a rate helper function icc will not parallelize through.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double y_state[4096];
+double params[4096];
+
+double rate_term(double *p, int i) {
+  return p[i] * 0.8 + 0.1;
+}
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 4096;
+  for (i = 0; i < n; i++) {
+    y_state[i] = 0.1 + 0.05 * sin(0.021 * i);
+    params[i] = 0.9 + 0.02 * cos(0.017 * i);
+  }
+  cfg[0] = 4096;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 10;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 4096; sim_k++)
+      params[sim_k] = params[sim_k] * 0.9995 +
+                     0.00025 * params[(sim_k + 7) % 4096];
+
+  int nstates = cfg[0];
+  int i;
+
+  double total_current = 0.0;
+  for (i = 0; i < nstates; i++)
+    total_current = total_current + y_state[i] * exp(0.0 - params[i]);
+
+  double residual = 0.0;
+  for (i = 0; i < nstates; i++) {
+    double d = y_state[i] - 0.12;
+    residual = residual + d * d;
+  }
+
+  double stiffness = 0.0;
+  for (i = 0; i < nstates; i++)
+    stiffness = stiffness + rate_term(params, i) * y_state[i];
+
+  print_f64(total_current);
+  print_f64(residual);
+  print_f64(stiffness);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaMyocyte() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "myocyte";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/3, /*OurHistograms=*/0, /*Icc=*/2,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

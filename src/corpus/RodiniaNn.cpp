@@ -1,0 +1,74 @@
+//===- RodiniaNn.cpp - Rodinia nn model -----------------------*- C++ -*-===//
+///
+/// Nearest neighbor: the distance accumulation and the in-range count,
+/// both icc-visible (sqrt is whitelisted).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double lat[16384];
+double lng[16384];
+
+double delta_lat(double *arr, int i) {
+  return arr[i] - 33.0;
+}
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 16384;
+  for (i = 0; i < n; i++) {
+    lat[i] = 30.0 + 10.0 * sin(0.003 * i);
+    lng[i] = -90.0 + 10.0 * cos(0.004 * i);
+  }
+  cfg[0] = 16384;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 5;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 16384; sim_k++)
+      lng[sim_k] = lng[sim_k] * 0.9995 +
+                     0.00025 * lng[(sim_k + 7) % 16384];
+
+  int nrecords = cfg[0];
+  int i;
+
+  double dist_sum = 0.0;
+  for (i = 0; i < nrecords; i++) {
+    double dx = lat[i] - 33.0;
+    double dy = lng[i] - -85.0;
+    dist_sum = dist_sum + sqrt(dx * dx + dy * dy);
+  }
+
+  int in_range = 0;
+  for (i = 0; i < nrecords; i++) {
+    double dx = delta_lat(lat, i);
+    if (dx * dx < 25.0)
+      in_range = in_range + 1;
+  }
+
+  print_f64(dist_sum);
+  print_i64(in_range);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaNn() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "nn";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/0, /*Icc=*/1,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,67 @@
+//===- RodiniaNw.cpp - Rodinia nw model -----------------------*- C++ -*-===//
+///
+/// Needleman-Wunsch: the wavefront dynamic program has true
+/// loop-carried dependences in both dimensions -- no reductions. Two
+/// constant-bound affine setup passes are the nw SCoPs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double score[65][65];
+double ref_m[65][65];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 65; i++)
+    for (j = 0; j < 65; j++)
+      ref_m[i][j] = sin(0.21 * i * j);
+  cfg[0] = 65;
+}
+
+int main() {
+  init_data();
+  int n = cfg[0];
+  int i;
+  int j;
+
+  // Two affine constant-bound boundary setups.
+  for (i = 0; i < 65; i++)
+    score[i][0] = 0.0 - 2.0 * i;
+  for (j = 0; j < 65; j++)
+    score[0][j] = 0.0 - 2.0 * j;
+
+  // The wavefront fill: carried dependences, not a reduction.
+  for (i = 1; i < n; i++) {
+    for (j = 1; j < n; j++) {
+      double diag = score[i-1][j-1] + ref_m[i][j];
+      double up = score[i-1][j] - 2.0;
+      double left = score[i][j-1] - 2.0;
+      double best = diag;
+      if (up > best)
+        best = up;
+      if (left > best)
+        best = left;
+      score[i][j] = best;
+    }
+  }
+
+  print_f64(score[64][64]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaNw() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "nw";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/2, /*ReductionSCoPs=*/0};
+  return B;
+}

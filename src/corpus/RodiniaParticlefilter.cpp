@@ -1,0 +1,106 @@
+//===- RodiniaParticlefilter.cpp - Rodinia particlefilter -----*- C++ -*-===//
+///
+/// Particle filter: the Rodinia benchmark with the most reductions in
+/// Fig 8c (nine). Likelihood/weight sums and the position estimates
+/// are icc-visible; the min/max weight folds (fmin/fmax) and the
+/// helper-mediated neighborhood sums are not.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double weights[8192];
+double arrayX[8192];
+double arrayY[8192];
+double likelihood[8192];
+
+double neighborhood(double *buf, int i) {
+  return buf[i] * 0.5 + buf[(i + 1) % 8192] * 0.5;
+}
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 8192;
+  for (i = 0; i < n; i++) {
+    weights[i] = 1.0 / 8192.0 + 0.00001 * sin(0.01 * i);
+    arrayX[i] = 20.0 + 3.0 * sin(0.005 * i);
+    arrayY[i] = 20.0 + 3.0 * cos(0.004 * i);
+    likelihood[i] = 0.5 + 0.3 * sin(0.008 * i + 0.6);
+  }
+  cfg[0] = 8192;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 22;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 8192; sim_k++)
+      arrayY[sim_k] = arrayY[sim_k] * 0.9995 +
+                     0.00025 * arrayY[(sim_k + 7) % 8192];
+
+  int nparticles = cfg[0];
+  int i;
+
+  // icc-visible reductions.
+  double sum_weights = 0.0;
+  for (i = 0; i < nparticles; i++)
+    sum_weights = sum_weights + weights[i];
+  double xe = 0.0;
+  for (i = 0; i < nparticles; i++)
+    xe = xe + arrayX[i] * weights[i];
+  double ye = 0.0;
+  for (i = 0; i < nparticles; i++)
+    ye = ye + arrayY[i] * weights[i];
+  double lsum = 0.0;
+  for (i = 0; i < nparticles; i++)
+    lsum = lsum + likelihood[i];
+
+  // fmin/fmax folds: ours alone.
+  double wmax = 0.0;
+  for (i = 0; i < nparticles; i++)
+    wmax = fmax(wmax, weights[i]);
+  double wmin = 1000000.0;
+  for (i = 0; i < nparticles; i++)
+    wmin = fmin(wmin, weights[i]);
+
+  // Helper-mediated sums: ours alone.
+  double nx = 0.0;
+  for (i = 0; i < nparticles; i++)
+    nx = nx + neighborhood(arrayX, i);
+  double ny = 0.0;
+  for (i = 0; i < nparticles; i++)
+    ny = ny + neighborhood(arrayY, i);
+  double nl = 0.0;
+  for (i = 0; i < nparticles; i++)
+    nl = nl + neighborhood(likelihood, i);
+
+  print_f64(sum_weights);
+  print_f64(xe);
+  print_f64(ye);
+  print_f64(lsum);
+  print_f64(wmax);
+  print_f64(wmin);
+  print_f64(nx);
+  print_f64(ny);
+  print_f64(nl);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaParticlefilter() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "particlefilter";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/9, /*OurHistograms=*/0, /*Icc=*/4,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,69 @@
+//===- RodiniaPathfinder.cpp - Rodinia pathfinder model -------*- C++ -*-===//
+///
+/// Grid path finding: a dynamic program whose row-to-row minimum
+/// chain is a carried dependence, not a reduction. One constant-bound
+/// affine weight pass is the single pathfinder SCoP.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+int wall[128][64];
+int result_row[64];
+int weight_row[64];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 128; i++)
+    for (j = 0; j < 64; j++) {
+      double v = 10.0 + 9.0 * sin(0.17 * i + 0.29 * j);
+      wall[i][j] = v;
+    }
+  cfg[0] = 128;
+}
+
+int main() {
+  init_data();
+  int nrows = cfg[0];
+  int t;
+  int j;
+
+  // One affine constant-bound pass: the pathfinder SCoP.
+  for (j = 0; j < 64; j++)
+    weight_row[j] = 2 * j + 1;
+
+  for (j = 0; j < cfg[1] + 64; j++)
+    result_row[j] = wall[0][j % 64];
+
+  // Wavefront DP over the rows: carried min chain.
+  for (t = 1; t < nrows; t++) {
+    for (j = 1; j < 63; j++) {
+      int best = result_row[j];
+      if (result_row[j-1] < best)
+        best = result_row[j-1];
+      if (result_row[j+1] < best)
+        best = result_row[j+1];
+      result_row[j] = best + wall[t][j];
+    }
+  }
+
+  print_i64(result_row[32]);
+  print_i64(weight_row[10]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaPathfinder() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "pathfinder";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/0, /*Icc=*/0,
+                /*Polly=*/0, /*SCoPs=*/1, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,85 @@
+//===- RodiniaSrad.cpp - Rodinia srad model -------------------*- C++ -*-===//
+///
+/// Speckle-reducing anisotropic diffusion: the ROI statistics are
+/// classic scalar reductions (mean, variance, q0); the contrast
+/// extrema fold with fmin/fmax and stay invisible to icc. Three
+/// constant-bound diffusion passes are the srad SCoPs of Fig 11.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double image[66][66];
+double coeff[66][66];
+
+void init_data() {
+  int i;
+  int j;
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++) {
+      image[i][j] = 128.0 + 30.0 * sin(0.06 * i) * cos(0.05 * j);
+      coeff[i][j] = 0.0;
+    }
+  cfg[0] = 64;
+}
+
+int main() {
+  init_data();
+  int roi = cfg[0];
+  int i;
+  int j;
+
+  // ROI statistics: runtime-bound scalar reductions (icc-visible).
+  double sum1 = 0.0;
+  for (i = 0; i < roi; i++)
+    sum1 = sum1 + image[i][10];
+  double sum2 = 0.0;
+  for (i = 0; i < roi; i++)
+    sum2 = sum2 + image[i][10] * image[i][10];
+  double qsum = 0.0;
+  for (i = 0; i < roi; i++)
+    qsum = qsum + image[i][20] / (image[i][30] + 200.0);
+
+  // Contrast extrema: fmin/fmax folds (ours alone).
+  double cmax = -100000.0;
+  for (i = 0; i < roi; i++)
+    cmax = fmax(cmax, image[i][40]);
+  double cmin = 100000.0;
+  for (i = 0; i < roi; i++)
+    cmin = fmin(cmin, image[i][40]);
+
+  // Three constant-bound diffusion passes: the srad SCoPs.
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      coeff[i][j] = 0.25 * (image[i-1][j] + image[i+1][j] +
+                            image[i][j-1] + image[i][j+1]) - image[i][j];
+  for (i = 1; i < 65; i++)
+    for (j = 1; j < 65; j++)
+      image[i][j] = image[i][j] + 0.05 * coeff[i][j];
+  for (i = 0; i < 66; i++)
+    for (j = 0; j < 66; j++)
+      coeff[i][j] = coeff[i][j] * 0.5;
+
+  print_f64(sum1);
+  print_f64(sum2);
+  print_f64(qsum);
+  print_f64(cmax);
+  print_f64(cmin);
+  print_f64(image[30][30]);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaSrad() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "srad";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/5, /*OurHistograms=*/0, /*Icc=*/3,
+                /*Polly=*/0, /*SCoPs=*/3, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,81 @@
+//===- RodiniaStreamcluster.cpp - Rodinia streamcluster model -*- C++ -*-===//
+///
+/// Online clustering: the assignment cost sum and the served-point
+/// count, both icc-visible runtime-bound reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace gr;
+
+static const char *Source = R"(
+int cfg[4];
+double point_x[8192];
+double point_y[8192];
+double center_x[32];
+double center_y[32];
+int assign_to[8192];
+
+void init_data() {
+  int i;
+  int n = cfg[1] + 8192;
+  for (i = 0; i < n; i++) {
+    point_x[i] = 5.0 * sin(0.009 * i);
+    point_y[i] = 5.0 * cos(0.011 * i);
+    assign_to[i] = (i * 13) % 32;
+  }
+  for (i = 0; i < cfg[2] + 32; i++) {
+    center_x[i] = 2.0 * sin(0.4 * i);
+    center_y[i] = 2.0 * cos(0.3 * i);
+  }
+  cfg[0] = 8192;
+}
+
+int main() {
+  init_data();
+  // Main computation phase (relaxation over the data set);
+  // carries no reduction and dominates runtime.
+  int sim_t;
+  int sim_k;
+  int sim_steps = cfg[3] + 8;
+  for (sim_t = 0; sim_t < sim_steps; sim_t++)
+    for (sim_k = 0; sim_k < 8192; sim_k++)
+      point_y[sim_k] = point_y[sim_k] * 0.9995 +
+                     0.00025 * point_y[(sim_k + 7) % 8192];
+
+  int npoints = cfg[0];
+  int i;
+
+  // Total assignment cost.
+  double cost = 0.0;
+  for (i = 0; i < npoints; i++) {
+    int c = assign_to[i];
+    double dx = point_x[i] - center_x[c];
+    double dy = point_y[i] - center_y[c];
+    cost = cost + dx * dx + dy * dy;
+  }
+
+  // Points within the service radius.
+  int served = 0;
+  for (i = 0; i < npoints; i++) {
+    double dx = point_x[i];
+    if (dx * dx < 9.0)
+      served = served + 1;
+  }
+
+  print_f64(cost);
+  print_i64(served);
+  return 0;
+}
+)";
+
+BenchmarkProgram gr::makeRodiniaStreamcluster() {
+  BenchmarkProgram B;
+  B.Suite = "Rodinia";
+  B.Name = "streamcluster";
+  B.Source = Source;
+  B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/0, /*Icc=*/2,
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+  return B;
+}

@@ -1,0 +1,362 @@
+//===- AST.h - MiniC abstract syntax --------------------------*- C++ -*-===//
+///
+/// \file
+/// AST node classes for MiniC. Nodes use the same hand-rolled RTTI
+/// scheme as the IR (classof + isa/dyn_cast).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_FRONTEND_AST_H
+#define GR_FRONTEND_AST_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gr {
+namespace ast {
+
+/// Source-level type: base type plus pointer depth plus array
+/// dimensions (for declarations).
+struct TypeSpec {
+  enum class Base { Int, Double, Void };
+  Base BaseType = Base::Int;
+  unsigned PointerDepth = 0;
+  std::vector<int64_t> Dims; // Outermost first; empty for scalars.
+
+  bool isVoid() const {
+    return BaseType == Base::Void && PointerDepth == 0 && Dims.empty();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of expressions.
+class Expr {
+public:
+  enum class ExprKind {
+    IntLit,
+    FloatLit,
+    VarRef,
+    Index,
+    Call,
+    Unary,
+    Binary,
+    Assign,
+    IncDec,
+    Ternary,
+  };
+
+  virtual ~Expr() = default;
+  ExprKind getKind() const { return Kind; }
+  unsigned Line = 0;
+
+protected:
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+
+private:
+  ExprKind Kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  explicit IntLitExpr(int64_t V) : Expr(ExprKind::IntLit), Value(V) {}
+  int64_t Value;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::IntLit;
+  }
+};
+
+class FloatLitExpr : public Expr {
+public:
+  explicit FloatLitExpr(double V) : Expr(ExprKind::FloatLit), Value(V) {}
+  double Value;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::FloatLit;
+  }
+};
+
+class VarRefExpr : public Expr {
+public:
+  explicit VarRefExpr(std::string Name)
+      : Expr(ExprKind::VarRef), Name(std::move(Name)) {}
+  std::string Name;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::VarRef;
+  }
+};
+
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index)
+      : Expr(ExprKind::Index), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  ExprPtr Base;
+  ExprPtr Index;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Index;
+  }
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Call;
+  }
+};
+
+class UnaryExpr : public Expr {
+public:
+  enum class Op { Neg, Not, Plus };
+  UnaryExpr(Op O, ExprPtr Sub)
+      : Expr(ExprKind::Unary), Operator(O), Sub(std::move(Sub)) {}
+  Op Operator;
+  ExprPtr Sub;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Unary;
+  }
+};
+
+class BinaryExpr : public Expr {
+public:
+  enum class Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
+  };
+  BinaryExpr(Op O, ExprPtr L, ExprPtr R)
+      : Expr(ExprKind::Binary), Operator(O), LHS(std::move(L)),
+        RHS(std::move(R)) {}
+  Op Operator;
+  ExprPtr LHS;
+  ExprPtr RHS;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Binary;
+  }
+};
+
+class AssignExpr : public Expr {
+public:
+  enum class Op { Assign, AddAssign, SubAssign, MulAssign, DivAssign };
+  AssignExpr(Op O, ExprPtr L, ExprPtr R)
+      : Expr(ExprKind::Assign), Operator(O), LHS(std::move(L)),
+        RHS(std::move(R)) {}
+  Op Operator;
+  ExprPtr LHS;
+  ExprPtr RHS;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Assign;
+  }
+};
+
+class IncDecExpr : public Expr {
+public:
+  IncDecExpr(ExprPtr L, bool IsIncrement)
+      : Expr(ExprKind::IncDec), LHS(std::move(L)),
+        IsIncrement(IsIncrement) {}
+  ExprPtr LHS;
+  bool IsIncrement;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::IncDec;
+  }
+};
+
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(ExprPtr C, ExprPtr T, ExprPtr F)
+      : Expr(ExprKind::Ternary), Cond(std::move(C)), TrueArm(std::move(T)),
+        FalseArm(std::move(F)) {}
+  ExprPtr Cond;
+  ExprPtr TrueArm;
+  ExprPtr FalseArm;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Ternary;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of statements.
+class Stmt {
+public:
+  enum class StmtKind {
+    Decl,
+    Expr,
+    If,
+    For,
+    While,
+    Return,
+    Break,
+    Continue,
+    Block,
+  };
+
+  virtual ~Stmt() = default;
+  StmtKind getKind() const { return Kind; }
+  unsigned Line = 0;
+
+protected:
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+
+private:
+  StmtKind Kind;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(TypeSpec Type, std::string Name, ExprPtr Init)
+      : Stmt(StmtKind::Decl), Type(Type), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  TypeSpec Type;
+  std::string Name;
+  ExprPtr Init; // May be null.
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Decl;
+  }
+};
+
+class ExprStmt : public Stmt {
+public:
+  explicit ExprStmt(ExprPtr E)
+      : Stmt(StmtKind::Expr), Expression(std::move(E)) {}
+  ExprPtr Expression;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Expr;
+  }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(StmtKind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::If; }
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body)
+      : Stmt(StmtKind::For), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  StmtPtr Init; // May be null.
+  ExprPtr Cond; // May be null (infinite loop).
+  ExprPtr Step; // May be null.
+  StmtPtr Body;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::For;
+  }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body)
+      : Stmt(StmtKind::While), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::While;
+  }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(ExprPtr V)
+      : Stmt(StmtKind::Return), Value(std::move(V)) {}
+  ExprPtr Value; // May be null.
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Return;
+  }
+};
+
+class BreakStmt : public Stmt {
+public:
+  BreakStmt() : Stmt(StmtKind::Break) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Break;
+  }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Continue;
+  }
+};
+
+class BlockStmt : public Stmt {
+public:
+  explicit BlockStmt(std::vector<StmtPtr> Stmts)
+      : Stmt(StmtKind::Block), Stmts(std::move(Stmts)) {}
+  std::vector<StmtPtr> Stmts;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Block;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+/// One function parameter.
+struct ParamDecl {
+  TypeSpec Type;
+  std::string Name;
+};
+
+/// Function definition (Body set) or declaration.
+struct FunctionDecl {
+  TypeSpec ReturnType;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body; // Null for declarations.
+  unsigned Line = 0;
+};
+
+/// Module-level zero-initialized variable.
+struct GlobalDecl {
+  TypeSpec Type;
+  std::string Name;
+  unsigned Line = 0;
+};
+
+/// A parsed translation unit.
+struct TranslationUnit {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace ast
+} // namespace gr
+
+#endif // GR_FRONTEND_AST_H

@@ -1,0 +1,901 @@
+//===- CodeGen.cpp --------------------------------------------*- C++ -*-===//
+
+#include "frontend/CodeGen.h"
+
+#include "analysis/CFGUtils.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <vector>
+
+using namespace gr;
+using namespace gr::ast;
+
+namespace {
+
+/// Signature entry for the builtin table.
+struct BuiltinSpec {
+  const char *Name;
+  unsigned NumParams;
+  bool DoubleParams; // All params f64 when true, i64 otherwise.
+  bool ReturnsDouble;
+  bool ReturnsVoid;
+  bool Pure;
+};
+
+constexpr BuiltinSpec Builtins[] = {
+    {"sqrt", 1, true, true, false, true},
+    {"log", 1, true, true, false, true},
+    {"exp", 1, true, true, false, true},
+    {"sin", 1, true, true, false, true},
+    {"cos", 1, true, true, false, true},
+    {"fabs", 1, true, true, false, true},
+    {"floor", 1, true, true, false, true},
+    {"fmin", 2, true, true, false, true},
+    {"fmax", 2, true, true, false, true},
+    {"pow", 2, true, true, false, true},
+    {"imin", 2, false, false, false, true},
+    {"imax", 2, false, false, false, true},
+    {"print_f64", 1, true, false, true, false},
+    {"print_i64", 1, false, false, true, false},
+    {"gr_rand", 0, false, true, false, false},
+    {"gr_rand_seed", 1, false, false, true, false},
+};
+
+/// One visible variable: its storage address plus the declared type of
+/// the storage (an array type for array variables).
+struct VarBinding {
+  Value *Address;
+  Type *Contained;
+};
+
+/// The lowering context for one translation unit.
+class CodeGen {
+public:
+  CodeGen(const TranslationUnit &TU, std::string ModuleName,
+          std::string *Error)
+      : TU(TU), M(std::make_unique<Module>(std::move(ModuleName))),
+        B(*M), Error(Error) {}
+
+  std::unique_ptr<Module> run() {
+    for (const GlobalDecl &GD : TU.Globals) {
+      Type *Ty = lowerType(GD.Type);
+      if (!Ty || Ty->isVoid())
+        return failAt(GD.Line, "invalid global type"), nullptr;
+      if (GlobalScope.count(GD.Name))
+        return failAt(GD.Line, "redefinition of global " + GD.Name),
+               nullptr;
+      GlobalVariable *GV = M->createGlobal(GD.Name, Ty);
+      GlobalScope[GD.Name] = {GV, Ty};
+    }
+    for (const FunctionDecl &FD : TU.Functions) {
+      if (!emitFunction(FD))
+        return nullptr;
+    }
+    return Failed ? nullptr : std::move(M);
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Diagnostics and types
+  //===--------------------------------------------------------------===//
+
+  void failAt(unsigned Line, const std::string &Msg) {
+    if (!Failed && Error)
+      *Error = "line " + std::to_string(Line) + ": " + Msg;
+    Failed = true;
+  }
+
+  TypeContext &types() { return M->getTypeContext(); }
+
+  Type *lowerScalar(TypeSpec::Base Base) {
+    switch (Base) {
+    case TypeSpec::Base::Int:
+      return types().getInt64();
+    case TypeSpec::Base::Double:
+      return types().getFloat64();
+    case TypeSpec::Base::Void:
+      return types().getVoid();
+    }
+    return nullptr;
+  }
+
+  /// Lowers a TypeSpec. Array dims wrap outermost-first.
+  Type *lowerType(const TypeSpec &TS) {
+    Type *Ty = lowerScalar(TS.BaseType);
+    for (unsigned I = 0; I != TS.PointerDepth; ++I)
+      Ty = types().getPointer(Ty);
+    for (size_t I = TS.Dims.size(); I != 0; --I) {
+      if (TS.Dims[I - 1] <= 0)
+        return nullptr;
+      Ty = types().getArray(Ty, static_cast<uint64_t>(TS.Dims[I - 1]));
+    }
+    return Ty;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Scopes
+  //===--------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  const VarBinding *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    auto Found = GlobalScope.find(Name);
+    return Found == GlobalScope.end() ? nullptr : &Found->second;
+  }
+
+  bool declare(const std::string &Name, VarBinding Binding,
+               unsigned Line) {
+    if (Scopes.back().count(Name)) {
+      failAt(Line, "redefinition of " + Name);
+      return false;
+    }
+    Scopes.back()[Name] = Binding;
+    return true;
+  }
+
+  /// Creates an alloca in the entry block (grouped at the top so
+  /// mem2reg sees them all).
+  AllocaInst *createEntryAlloca(Type *Ty, const std::string &Name) {
+    auto *AI = new AllocaInst(types(), Ty);
+    AI->setName(Name);
+    Entry->insertAt(NumEntryAllocas++, std::unique_ptr<Instruction>(AI));
+    return AI;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Conversions
+  //===--------------------------------------------------------------===//
+
+  Value *toBool(Value *V, unsigned Line) {
+    if (!V)
+      return nullptr;
+    Type *Ty = V->getType();
+    if (Ty->isInt1())
+      return V;
+    if (Ty->isInt64())
+      return B.createCmp(CmpInst::Predicate::NE, V, B.getInt64(0));
+    if (Ty->isFloat64())
+      return B.createCmp(CmpInst::Predicate::ONE, V, B.getFloat(0.0));
+    failAt(Line, "cannot use this value as a condition");
+    return nullptr;
+  }
+
+  Value *convert(Value *V, Type *Target, unsigned Line) {
+    if (!V)
+      return nullptr;
+    Type *Ty = V->getType();
+    if (Ty == Target)
+      return V;
+    if (Ty->isInt1() && Target->isInt64())
+      return B.createCast(CastInst::CastKind::ZExt, V);
+    if (Ty->isInt1() && Target->isFloat64())
+      return B.createCast(
+          CastInst::CastKind::SIToFP,
+          B.createCast(CastInst::CastKind::ZExt, V));
+    if (Ty->isInt64() && Target->isFloat64())
+      return B.createCast(CastInst::CastKind::SIToFP, V);
+    if (Ty->isFloat64() && Target->isInt64())
+      return B.createCast(CastInst::CastKind::FPToSI, V);
+    if (Ty->isInt64() && Target->isInt1())
+      return toBool(V, Line);
+    failAt(Line, "cannot convert " + Ty->getString() + " to " +
+                     Target->getString());
+    return nullptr;
+  }
+
+  /// Usual arithmetic conversions: makes both operands i64 or f64.
+  bool unifyArith(Value *&L, Value *&R, unsigned Line) {
+    if (!L || !R)
+      return false;
+    if (L->getType()->isInt1())
+      L = convert(L, types().getInt64(), Line);
+    if (R->getType()->isInt1())
+      R = convert(R, types().getInt64(), Line);
+    if (!L || !R)
+      return false;
+    if (L->getType() == R->getType())
+      return true;
+    if (L->getType()->isFloat64())
+      R = convert(R, types().getFloat64(), Line);
+    else if (R->getType()->isFloat64())
+      L = convert(L, types().getFloat64(), Line);
+    else {
+      failAt(Line, "incompatible operand types");
+      return false;
+    }
+    return L && R;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------===//
+
+  Function *getOrCreateBuiltin(const std::string &Name) {
+    for (const BuiltinSpec &Spec : Builtins) {
+      if (Name != Spec.Name)
+        continue;
+      if (Function *Existing = M->getFunction(Name))
+        return Existing;
+      Type *ParamTy =
+          Spec.DoubleParams ? types().getFloat64() : types().getInt64();
+      std::vector<Type *> Params(Spec.NumParams, ParamTy);
+      Type *Ret = Spec.ReturnsVoid ? types().getVoid()
+                  : Spec.ReturnsDouble ? types().getFloat64()
+                                       : types().getInt64();
+      FunctionType *FT =
+          types().getFunction(Ret, std::move(Params));
+      return M->createDeclaration(Name, FT, Spec.Pure);
+    }
+    return nullptr;
+  }
+
+  bool emitFunction(const FunctionDecl &FD) {
+    Type *RetTy = lowerScalar(FD.ReturnType.BaseType);
+    for (unsigned I = 0; I != FD.ReturnType.PointerDepth; ++I)
+      RetTy = types().getPointer(RetTy);
+    std::vector<Type *> ParamTys;
+    for (const ParamDecl &PD : FD.Params) {
+      Type *Ty = lowerType(PD.Type);
+      if (!Ty || Ty->isVoid()) {
+        failAt(FD.Line, "invalid parameter type for " + PD.Name);
+        return false;
+      }
+      ParamTys.push_back(Ty);
+    }
+    FunctionType *FT = types().getFunction(RetTy, std::move(ParamTys));
+
+    Function *Existing = M->getFunction(FD.Name);
+    if (Existing && (!Existing->isDeclaration() || !FD.Body)) {
+      failAt(FD.Line, "redefinition of function " + FD.Name);
+      return false;
+    }
+    if (!FD.Body) {
+      if (!Existing)
+        M->createDeclaration(FD.Name, FT, /*Pure=*/false);
+      return true;
+    }
+    // A previous forward declaration is replaced in place by adding
+    // blocks to it; our corpus declares before defining only via the
+    // natural top-down order, so a fresh function suffices.
+    Function *F = Existing ? Existing : M->createFunction(FD.Name, FT);
+    if (F->getFunctionType() != FT) {
+      failAt(FD.Line, "declaration type mismatch for " + FD.Name);
+      return false;
+    }
+
+    CurFn = F;
+    Entry = F->createBlock("entry");
+    NumEntryAllocas = 0;
+    B.setInsertBlock(Entry);
+    Scopes.clear();
+    pushScope();
+
+    // Return machinery: single exit block.
+    RetBlock = F->createBlock("fn_exit");
+    RetSlot = nullptr;
+    if (!RetTy->isVoid()) {
+      RetSlot = createEntryAlloca(RetTy, "retval");
+      B.createStore(RetTy->isFloat64()
+                        ? static_cast<Value *>(B.getFloat(0.0))
+                        : static_cast<Value *>(B.getInt64(0)),
+                    RetSlot);
+    }
+
+    // Spill parameters into allocas so they are assignable.
+    for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I) {
+      Argument *Arg = F->getArg(I);
+      Arg->setName(FD.Params[I].Name);
+      AllocaInst *Slot =
+          createEntryAlloca(Arg->getType(), FD.Params[I].Name + ".addr");
+      B.createStore(Arg, Slot);
+      if (!declare(FD.Params[I].Name, {Slot, Arg->getType()}, FD.Line))
+        return false;
+    }
+
+    emitBlock(*FD.Body);
+    if (Failed)
+      return false;
+
+    // Fall-through path into the single exit.
+    if (!B.getInsertBlock()->getTerminator())
+      B.createBr(RetBlock);
+    B.setInsertBlock(RetBlock);
+    if (RetSlot)
+      B.createRet(B.createLoad(RetSlot, "ret.load"));
+    else
+      B.createRet();
+
+    removeUnreachableBlocks(*F);
+    popScope();
+    return !Failed;
+  }
+
+  void removeUnreachableBlocks(Function &F) {
+    std::set<BasicBlock *> Live = reachableBlocks(F);
+    std::vector<BasicBlock *> Dead;
+    for (BasicBlock *BB : F)
+      if (!Live.count(BB))
+        Dead.push_back(BB);
+    for (BasicBlock *BB : Dead)
+      for (Instruction *I : *BB)
+        I->dropAllReferences();
+    for (BasicBlock *BB : Dead)
+      F.eraseBlock(BB);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------===//
+
+  void emitStmt(const Stmt &S) {
+    if (Failed)
+      return;
+    switch (S.getKind()) {
+    case Stmt::StmtKind::Block:
+      pushScope();
+      emitBlock(cast<BlockStmt>(S));
+      popScope();
+      return;
+    case Stmt::StmtKind::Decl:
+      emitDecl(cast<DeclStmt>(S));
+      return;
+    case Stmt::StmtKind::Expr:
+      emitExpr(*cast<ExprStmt>(S).Expression);
+      return;
+    case Stmt::StmtKind::If:
+      emitIf(cast<IfStmt>(S));
+      return;
+    case Stmt::StmtKind::For:
+      emitFor(cast<ForStmt>(S));
+      return;
+    case Stmt::StmtKind::While:
+      emitWhile(cast<WhileStmt>(S));
+      return;
+    case Stmt::StmtKind::Return:
+      emitReturn(cast<ReturnStmt>(S));
+      return;
+    case Stmt::StmtKind::Break:
+    case Stmt::StmtKind::Continue: {
+      if (LoopTargets.empty()) {
+        failAt(S.Line, "break/continue outside of a loop");
+        return;
+      }
+      BasicBlock *Target = S.getKind() == Stmt::StmtKind::Break
+                               ? LoopTargets.back().first
+                               : LoopTargets.back().second;
+      B.createBr(Target);
+      startDeadBlock("after.jump");
+      return;
+    }
+    }
+  }
+
+  void emitBlock(const BlockStmt &Block) {
+    for (const StmtPtr &S : Block.Stmts) {
+      if (Failed)
+        return;
+      emitStmt(*S);
+    }
+  }
+
+  /// After an unconditional control transfer, subsequent statements in
+  /// the surrounding block are unreachable; park them in a fresh block
+  /// that removeUnreachableBlocks discards.
+  void startDeadBlock(const std::string &Name) {
+    BasicBlock *Dead = CurFn->createBlock(Name);
+    B.setInsertBlock(Dead);
+  }
+
+  void emitDecl(const DeclStmt &DS) {
+    Type *Ty = lowerType(DS.Type);
+    if (!Ty || Ty->isVoid()) {
+      failAt(DS.Line, "invalid variable type for " + DS.Name);
+      return;
+    }
+    AllocaInst *Slot = createEntryAlloca(Ty, DS.Name);
+    if (!declare(DS.Name, {Slot, Ty}, DS.Line))
+      return;
+    if (DS.Init) {
+      if (Ty->isArray()) {
+        failAt(DS.Line, "array initializers are not supported");
+        return;
+      }
+      Value *Init = emitExpr(*DS.Init);
+      Init = convert(Init, Ty, DS.Line);
+      if (Init)
+        B.createStore(Init, Slot);
+    }
+  }
+
+  void emitIf(const IfStmt &If) {
+    Value *Cond = toBool(emitExpr(*If.Cond), If.Line);
+    if (!Cond)
+      return;
+    BasicBlock *ThenBB = CurFn->createBlock("if.then");
+    BasicBlock *EndBB = CurFn->createBlock("if.end");
+    BasicBlock *ElseBB = If.Else ? CurFn->createBlock("if.else") : EndBB;
+    B.createCondBr(Cond, ThenBB, ElseBB);
+
+    B.setInsertBlock(ThenBB);
+    pushScope();
+    emitStmt(*If.Then);
+    popScope();
+    if (!B.getInsertBlock()->getTerminator())
+      B.createBr(EndBB);
+
+    if (If.Else) {
+      B.setInsertBlock(ElseBB);
+      pushScope();
+      emitStmt(*If.Else);
+      popScope();
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(EndBB);
+    }
+    B.setInsertBlock(EndBB);
+  }
+
+  void emitFor(const ForStmt &For) {
+    pushScope(); // Scope for the init declaration.
+    if (For.Init)
+      emitStmt(*For.Init);
+    if (Failed) {
+      popScope();
+      return;
+    }
+
+    BasicBlock *Header = CurFn->createBlock("for.header");
+    BasicBlock *Body = CurFn->createBlock("for.body");
+    BasicBlock *Latch = CurFn->createBlock("for.latch");
+    BasicBlock *Exit = CurFn->createBlock("for.exit");
+
+    B.createBr(Header);
+    B.setInsertBlock(Header);
+    if (For.Cond) {
+      Value *Cond = toBool(emitExpr(*For.Cond), For.Line);
+      if (!Cond) {
+        popScope();
+        return;
+      }
+      B.createCondBr(Cond, Body, Exit);
+    } else {
+      B.createBr(Body);
+    }
+
+    B.setInsertBlock(Body);
+    LoopTargets.push_back({Exit, Latch});
+    pushScope();
+    emitStmt(*For.Body);
+    popScope();
+    LoopTargets.pop_back();
+    if (!B.getInsertBlock()->getTerminator())
+      B.createBr(Latch);
+
+    B.setInsertBlock(Latch);
+    if (For.Step)
+      emitExpr(*For.Step);
+    B.createBr(Header);
+
+    B.setInsertBlock(Exit);
+    popScope();
+  }
+
+  void emitWhile(const WhileStmt &While) {
+    BasicBlock *Header = CurFn->createBlock("while.header");
+    BasicBlock *Body = CurFn->createBlock("while.body");
+    BasicBlock *Latch = CurFn->createBlock("while.latch");
+    BasicBlock *Exit = CurFn->createBlock("while.exit");
+
+    B.createBr(Header);
+    B.setInsertBlock(Header);
+    Value *Cond = toBool(emitExpr(*While.Cond), While.Line);
+    if (!Cond)
+      return;
+    B.createCondBr(Cond, Body, Exit);
+
+    B.setInsertBlock(Body);
+    LoopTargets.push_back({Exit, Latch});
+    pushScope();
+    emitStmt(*While.Body);
+    popScope();
+    LoopTargets.pop_back();
+    if (!B.getInsertBlock()->getTerminator())
+      B.createBr(Latch);
+
+    B.setInsertBlock(Latch);
+    B.createBr(Header);
+    B.setInsertBlock(Exit);
+  }
+
+  void emitReturn(const ReturnStmt &Ret) {
+    if (Ret.Value) {
+      if (!RetSlot) {
+        failAt(Ret.Line, "returning a value from a void function");
+        return;
+      }
+      Value *V = emitExpr(*Ret.Value);
+      V = convert(V, cast<AllocaInst>(RetSlot)->getAllocatedType(),
+                  Ret.Line);
+      if (!V)
+        return;
+      B.createStore(V, RetSlot);
+    } else if (RetSlot) {
+      failAt(Ret.Line, "non-void function must return a value");
+      return;
+    }
+    B.createBr(RetBlock);
+    startDeadBlock("after.return");
+  }
+
+  //===--------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------===//
+
+  /// Emits \p E as an rvalue. Array-typed expressions decay to a
+  /// pointer to the array.
+  Value *emitExpr(const Expr &E) {
+    if (Failed)
+      return nullptr;
+    switch (E.getKind()) {
+    case Expr::ExprKind::IntLit:
+      return B.getInt64(cast<IntLitExpr>(E).Value);
+    case Expr::ExprKind::FloatLit:
+      return B.getFloat(cast<FloatLitExpr>(E).Value);
+    case Expr::ExprKind::VarRef:
+    case Expr::ExprKind::Index: {
+      auto [Addr, Contained] = emitAddr(E);
+      if (!Addr)
+        return nullptr;
+      if (Contained->isArray())
+        return Addr; // Decay: the address itself.
+      return B.createLoad(Addr);
+    }
+    case Expr::ExprKind::Call:
+      return emitCall(cast<CallExpr>(E));
+    case Expr::ExprKind::Unary:
+      return emitUnary(cast<UnaryExpr>(E));
+    case Expr::ExprKind::Binary:
+      return emitBinary(cast<BinaryExpr>(E));
+    case Expr::ExprKind::Assign:
+      return emitAssign(cast<AssignExpr>(E));
+    case Expr::ExprKind::IncDec:
+      return emitIncDec(cast<IncDecExpr>(E));
+    case Expr::ExprKind::Ternary:
+      return emitTernary(cast<TernaryExpr>(E));
+    }
+    return nullptr;
+  }
+
+  /// Emits \p E as an lvalue address. Returns {address, contained
+  /// type}; the contained type is an array type for (partially
+  /// indexed) arrays.
+  std::pair<Value *, Type *> emitAddr(const Expr &E) {
+    if (Failed)
+      return {nullptr, nullptr};
+    if (const auto *Var = dyn_cast<VarRefExpr>(&E)) {
+      const VarBinding *Binding = lookup(Var->Name);
+      if (!Binding) {
+        failAt(E.Line, "unknown variable " + Var->Name);
+        return {nullptr, nullptr};
+      }
+      return {Binding->Address, Binding->Contained};
+    }
+    if (const auto *Idx = dyn_cast<IndexExpr>(&E)) {
+      Value *Base = emitExpr(*Idx->Base);
+      if (!Base)
+        return {nullptr, nullptr};
+      auto *PT = dyn_cast<PointerType>(Base->getType());
+      if (!PT) {
+        failAt(E.Line, "indexing a non-pointer value");
+        return {nullptr, nullptr};
+      }
+      Value *Index =
+          convert(emitExpr(*Idx->Index), types().getInt64(), E.Line);
+      if (!Index)
+        return {nullptr, nullptr};
+      GEPInst *GEP = B.createGEP(Base, Index);
+      return {GEP, GEP->getElementType()};
+    }
+    failAt(E.Line, "expression is not assignable");
+    return {nullptr, nullptr};
+  }
+
+  Value *emitCall(const CallExpr &Call) {
+    Function *Callee = M->getFunction(Call.Callee);
+    if (!Callee)
+      Callee = getOrCreateBuiltin(Call.Callee);
+    if (!Callee) {
+      failAt(Call.Line, "unknown function " + Call.Callee);
+      return nullptr;
+    }
+    FunctionType *FT = Callee->getFunctionType();
+    if (FT->getNumParams() != Call.Args.size()) {
+      failAt(Call.Line, "wrong number of arguments to " + Call.Callee);
+      return nullptr;
+    }
+    std::vector<Value *> Args;
+    for (unsigned I = 0, E = FT->getNumParams(); I != E; ++I) {
+      Value *Arg = emitExpr(*Call.Args[I]);
+      if (!Arg)
+        return nullptr;
+      // Array arguments decay to pointers; accept ptr-to-array where a
+      // ptr-to-element is expected by inserting a zero GEP.
+      Type *Want = FT->getParamType(I);
+      if (Arg->getType() != Want && Arg->getType()->isPointer() &&
+          Want->isPointer()) {
+        auto *HavePtr = cast<PointerType>(Arg->getType());
+        if (HavePtr->getPointee()->isArray())
+          Arg = B.createGEP(Arg, B.getInt64(0));
+      }
+      if (Arg->getType() != Want)
+        Arg = convert(Arg, Want, Call.Line);
+      if (!Arg)
+        return nullptr;
+      Args.push_back(Arg);
+    }
+    return B.createCall(Callee, Args);
+  }
+
+  Value *emitUnary(const UnaryExpr &U) {
+    Value *Sub = emitExpr(*U.Sub);
+    if (!Sub)
+      return nullptr;
+    switch (U.Operator) {
+    case UnaryExpr::Op::Plus:
+      return Sub;
+    case UnaryExpr::Op::Neg:
+      if (Sub->getType()->isInt1())
+        Sub = convert(Sub, types().getInt64(), U.Line);
+      if (!Sub)
+        return nullptr;
+      if (Sub->getType()->isFloat64())
+        return B.createBinary(BinaryInst::BinaryOp::FSub, B.getFloat(0.0),
+                              Sub);
+      return B.createBinary(BinaryInst::BinaryOp::Sub, B.getInt64(0), Sub);
+    case UnaryExpr::Op::Not: {
+      Value *Cond = toBool(Sub, U.Line);
+      if (!Cond)
+        return nullptr;
+      return B.createBinary(BinaryInst::BinaryOp::Xor, Cond,
+                            B.getBool(true));
+    }
+    }
+    return nullptr;
+  }
+
+  Value *emitBinary(const BinaryExpr &Bin) {
+    using Op = BinaryExpr::Op;
+    // Short-circuit logical operators get real control flow so that
+    // the branch structure of the source survives into the IR.
+    if (Bin.Operator == Op::LogicalAnd || Bin.Operator == Op::LogicalOr)
+      return emitShortCircuit(Bin);
+
+    Value *L = emitExpr(*Bin.LHS);
+    Value *R = emitExpr(*Bin.RHS);
+    if (!unifyArith(L, R, Bin.Line))
+      return nullptr;
+    bool IsFloat = L->getType()->isFloat64();
+
+    switch (Bin.Operator) {
+    case Op::Add:
+      return B.createBinary(IsFloat ? BinaryInst::BinaryOp::FAdd
+                                    : BinaryInst::BinaryOp::Add,
+                            L, R);
+    case Op::Sub:
+      return B.createBinary(IsFloat ? BinaryInst::BinaryOp::FSub
+                                    : BinaryInst::BinaryOp::Sub,
+                            L, R);
+    case Op::Mul:
+      return B.createBinary(IsFloat ? BinaryInst::BinaryOp::FMul
+                                    : BinaryInst::BinaryOp::Mul,
+                            L, R);
+    case Op::Div:
+      return B.createBinary(IsFloat ? BinaryInst::BinaryOp::FDiv
+                                    : BinaryInst::BinaryOp::SDiv,
+                            L, R);
+    case Op::Rem:
+      if (IsFloat) {
+        failAt(Bin.Line, "%% requires integer operands");
+        return nullptr;
+      }
+      return B.createBinary(BinaryInst::BinaryOp::SRem, L, R);
+    case Op::Lt:
+      return B.createCmp(IsFloat ? CmpInst::Predicate::OLT
+                                 : CmpInst::Predicate::SLT,
+                         L, R);
+    case Op::Le:
+      return B.createCmp(IsFloat ? CmpInst::Predicate::OLE
+                                 : CmpInst::Predicate::SLE,
+                         L, R);
+    case Op::Gt:
+      return B.createCmp(IsFloat ? CmpInst::Predicate::OGT
+                                 : CmpInst::Predicate::SGT,
+                         L, R);
+    case Op::Ge:
+      return B.createCmp(IsFloat ? CmpInst::Predicate::OGE
+                                 : CmpInst::Predicate::SGE,
+                         L, R);
+    case Op::Eq:
+      return B.createCmp(IsFloat ? CmpInst::Predicate::OEQ
+                                 : CmpInst::Predicate::EQ,
+                         L, R);
+    case Op::Ne:
+      return B.createCmp(IsFloat ? CmpInst::Predicate::ONE
+                                 : CmpInst::Predicate::NE,
+                         L, R);
+    case Op::LogicalAnd:
+    case Op::LogicalOr:
+      break;
+    }
+    return nullptr;
+  }
+
+  Value *emitShortCircuit(const BinaryExpr &Bin) {
+    bool IsAnd = Bin.Operator == BinaryExpr::Op::LogicalAnd;
+    AllocaInst *Slot = createEntryAlloca(types().getInt1(), "sc.tmp");
+
+    Value *L = toBool(emitExpr(*Bin.LHS), Bin.Line);
+    if (!L)
+      return nullptr;
+    B.createStore(L, Slot);
+    BasicBlock *RHSBB = CurFn->createBlock(IsAnd ? "and.rhs" : "or.rhs");
+    BasicBlock *EndBB = CurFn->createBlock(IsAnd ? "and.end" : "or.end");
+    if (IsAnd)
+      B.createCondBr(L, RHSBB, EndBB);
+    else
+      B.createCondBr(L, EndBB, RHSBB);
+
+    B.setInsertBlock(RHSBB);
+    Value *R = toBool(emitExpr(*Bin.RHS), Bin.Line);
+    if (!R)
+      return nullptr;
+    B.createStore(R, Slot);
+    B.createBr(EndBB);
+
+    B.setInsertBlock(EndBB);
+    return B.createLoad(Slot);
+  }
+
+  Value *emitAssign(const AssignExpr &Assign) {
+    auto [Addr, Contained] = emitAddr(*Assign.LHS);
+    if (!Addr)
+      return nullptr;
+    if (Contained->isArray()) {
+      failAt(Assign.Line, "cannot assign to an array");
+      return nullptr;
+    }
+    Value *RHS = emitExpr(*Assign.RHS);
+    if (!RHS)
+      return nullptr;
+
+    if (Assign.Operator != AssignExpr::Op::Assign) {
+      Value *Old = B.createLoad(Addr);
+      Value *L = Old, *R = RHS;
+      if (!unifyArith(L, R, Assign.Line))
+        return nullptr;
+      bool IsFloat = L->getType()->isFloat64();
+      BinaryInst::BinaryOp Op;
+      switch (Assign.Operator) {
+      case AssignExpr::Op::AddAssign:
+        Op = IsFloat ? BinaryInst::BinaryOp::FAdd
+                     : BinaryInst::BinaryOp::Add;
+        break;
+      case AssignExpr::Op::SubAssign:
+        Op = IsFloat ? BinaryInst::BinaryOp::FSub
+                     : BinaryInst::BinaryOp::Sub;
+        break;
+      case AssignExpr::Op::MulAssign:
+        Op = IsFloat ? BinaryInst::BinaryOp::FMul
+                     : BinaryInst::BinaryOp::Mul;
+        break;
+      case AssignExpr::Op::DivAssign:
+        Op = IsFloat ? BinaryInst::BinaryOp::FDiv
+                     : BinaryInst::BinaryOp::FDiv;
+        if (!IsFloat)
+          Op = BinaryInst::BinaryOp::SDiv;
+        break;
+      default:
+        return nullptr;
+      }
+      RHS = B.createBinary(Op, L, R);
+    }
+
+    RHS = convert(RHS, Contained, Assign.Line);
+    if (!RHS)
+      return nullptr;
+    B.createStore(RHS, Addr);
+    return RHS;
+  }
+
+  Value *emitIncDec(const IncDecExpr &Inc) {
+    auto [Addr, Contained] = emitAddr(*Inc.LHS);
+    if (!Addr)
+      return nullptr;
+    if (!Contained->isScalar()) {
+      failAt(Inc.Line, "++/-- requires a scalar");
+      return nullptr;
+    }
+    Value *Old = B.createLoad(Addr);
+    Value *New;
+    if (Contained->isFloat64())
+      New = B.createBinary(Inc.IsIncrement ? BinaryInst::BinaryOp::FAdd
+                                           : BinaryInst::BinaryOp::FSub,
+                           Old, B.getFloat(1.0));
+    else
+      New = B.createBinary(Inc.IsIncrement ? BinaryInst::BinaryOp::Add
+                                           : BinaryInst::BinaryOp::Sub,
+                           Old, B.getInt64(1));
+    B.createStore(New, Addr);
+    return Old;
+  }
+
+  Value *emitTernary(const TernaryExpr &Ternary) {
+    Value *Cond = toBool(emitExpr(*Ternary.Cond), Ternary.Line);
+    if (!Cond)
+      return nullptr;
+    BasicBlock *TrueBB = CurFn->createBlock("sel.true");
+    BasicBlock *FalseBB = CurFn->createBlock("sel.false");
+    BasicBlock *EndBB = CurFn->createBlock("sel.end");
+    B.createCondBr(Cond, TrueBB, FalseBB);
+
+    // Evaluate both arms into a shared slot; the common scalar type is
+    // decided after seeing the first arm.
+    B.setInsertBlock(TrueBB);
+    Value *TrueV = emitExpr(*Ternary.TrueArm);
+    if (!TrueV)
+      return nullptr;
+    Type *ResultTy = TrueV->getType();
+    if (ResultTy->isInt1())
+      ResultTy = types().getInt64();
+    AllocaInst *Slot = createEntryAlloca(ResultTy, "sel.tmp");
+    TrueV = convert(TrueV, ResultTy, Ternary.Line);
+    if (!TrueV)
+      return nullptr;
+    B.createStore(TrueV, Slot);
+    B.createBr(EndBB);
+
+    B.setInsertBlock(FalseBB);
+    Value *FalseV = emitExpr(*Ternary.FalseArm);
+    // Float arms promote the result type; re-run with a float slot is
+    // avoided by always converting toward the slot type (int result
+    // with a float false-arm truncates, as C would with an int lhs).
+    FalseV = convert(FalseV, ResultTy, Ternary.Line);
+    if (!FalseV)
+      return nullptr;
+    B.createStore(FalseV, Slot);
+    B.createBr(EndBB);
+
+    B.setInsertBlock(EndBB);
+    return B.createLoad(Slot);
+  }
+
+  const TranslationUnit &TU;
+  std::unique_ptr<Module> M;
+  IRBuilder B;
+  std::string *Error;
+  bool Failed = false;
+
+  Function *CurFn = nullptr;
+  BasicBlock *Entry = nullptr;
+  BasicBlock *RetBlock = nullptr;
+  AllocaInst *RetSlot = nullptr;
+  size_t NumEntryAllocas = 0;
+  std::map<std::string, VarBinding> GlobalScope;
+  std::vector<std::map<std::string, VarBinding>> Scopes;
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> LoopTargets;
+};
+
+} // namespace
+
+std::unique_ptr<Module> gr::generateIR(const TranslationUnit &TU,
+                                       std::string ModuleName,
+                                       std::string *Error) {
+  return CodeGen(TU, std::move(ModuleName), Error).run();
+}

@@ -1,0 +1,31 @@
+//===- CodeGen.h - AST to IR lowering -------------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a type-checked MiniC translation unit to IR. Locals become
+/// entry-block allocas (mem2reg later promotes scalars to SSA values,
+/// introducing the PHI nodes the paper's constraints match on);
+/// functions get a single return block so post-dominance is clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_FRONTEND_CODEGEN_H
+#define GR_FRONTEND_CODEGEN_H
+
+#include "frontend/AST.h"
+
+#include <memory>
+#include <string>
+
+namespace gr {
+
+class Module;
+
+/// Lowers \p TU into a fresh module. Returns null and sets \p Error on
+/// a semantic error (unknown names, type mismatches, bad calls).
+std::unique_ptr<Module> generateIR(const ast::TranslationUnit &TU,
+                                   std::string ModuleName,
+                                   std::string *Error);
+
+} // namespace gr
+
+#endif // GR_FRONTEND_CODEGEN_H

@@ -1,0 +1,45 @@
+//===- Compiler.cpp -------------------------------------------*- C++ -*-===//
+
+#include "frontend/Compiler.h"
+
+#include "frontend/CodeGen.h"
+#include "frontend/Parser.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "transform/CSE.h"
+#include "transform/DCE.h"
+#include "transform/Mem2Reg.h"
+
+using namespace gr;
+
+std::unique_ptr<Module> gr::compileMiniC(std::string_view Source,
+                                         std::string ModuleName,
+                                         std::string *Error) {
+  auto TU = parseMiniC(Source, Error);
+  if (!TU)
+    return nullptr;
+  auto M = generateIR(*TU, std::move(ModuleName), Error);
+  if (!M)
+    return nullptr;
+
+  std::vector<std::string> VerifyErrors;
+  if (!verifyModule(*M, &VerifyErrors)) {
+    if (Error)
+      *Error = "pre-SSA verification failed: " +
+               (VerifyErrors.empty() ? "unknown" : VerifyErrors.front());
+    return nullptr;
+  }
+
+  promoteModuleAllocas(*M);
+  eliminateModuleCommonSubexpressions(*M);
+  eliminateModuleDeadCode(*M);
+
+  VerifyErrors.clear();
+  if (!verifyModule(*M, &VerifyErrors)) {
+    if (Error)
+      *Error = "post-SSA verification failed: " +
+               (VerifyErrors.empty() ? "unknown" : VerifyErrors.front());
+    return nullptr;
+  }
+  return M;
+}

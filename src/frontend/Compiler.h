@@ -1,0 +1,30 @@
+//===- Compiler.h - source-to-SSA pipeline --------------------*- C++ -*-===//
+///
+/// \file
+/// The front-end driver: MiniC source -> AST -> IR with allocas ->
+/// mem2reg -> DCE -> verified SSA module. Every consumer (detection,
+/// baselines, interpreter, benches) starts from compileMiniC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_FRONTEND_COMPILER_H
+#define GR_FRONTEND_COMPILER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace gr {
+
+class Module;
+
+/// Compiles \p Source to a verified SSA module. Returns null and sets
+/// \p Error (with a line number) on lexer/parser/semantic/verifier
+/// failures.
+std::unique_ptr<Module> compileMiniC(std::string_view Source,
+                                     std::string ModuleName,
+                                     std::string *Error);
+
+} // namespace gr
+
+#endif // GR_FRONTEND_COMPILER_H

@@ -1,0 +1,214 @@
+//===- Lexer.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace gr;
+
+namespace {
+
+const std::map<std::string, TokenKind> &keywordMap() {
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},         {"double", TokenKind::KwDouble},
+      {"void", TokenKind::KwVoid},       {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},     {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+  };
+  return Keywords;
+}
+
+} // namespace
+
+std::vector<Token> gr::lexSource(std::string_view Source,
+                                 std::string *Error) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1;
+  size_t I = 0, N = Source.size();
+
+  auto Push = [&](TokenKind Kind, std::string Text) {
+    Tokens.push_back({Kind, std::move(Text), 0, 0.0, Line});
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/')) {
+        if (Source[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      I = (I + 1 < N) ? I + 2 : N;
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      std::string Text(Source.substr(Start, I - Start));
+      auto It = keywordMap().find(Text);
+      Push(It == keywordMap().end() ? TokenKind::Identifier : It->second,
+           std::move(Text));
+      continue;
+    }
+    // Numbers: integer or floating point (with '.', 'e').
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Source[I + 1])))) {
+      size_t Start = I;
+      bool IsFloat = false;
+      while (I < N) {
+        char D = Source[I];
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          ++I;
+        } else if (D == '.') {
+          IsFloat = true;
+          ++I;
+        } else if (D == 'e' || D == 'E') {
+          IsFloat = true;
+          ++I;
+          if (I < N && (Source[I] == '+' || Source[I] == '-'))
+            ++I;
+        } else {
+          break;
+        }
+      }
+      std::string Text(Source.substr(Start, I - Start));
+      Token Tok{IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                Text, 0, 0.0, Line};
+      if (IsFloat)
+        Tok.FloatValue = std::strtod(Text.c_str(), nullptr);
+      else
+        Tok.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+    // Operators / punctuation, longest match first.
+    auto Match2 = [&](char A, char B, TokenKind Kind) {
+      if (C == A && I + 1 < N && Source[I + 1] == B) {
+        Push(Kind, std::string{A, B});
+        I += 2;
+        return true;
+      }
+      return false;
+    };
+    if (Match2('+', '+', TokenKind::PlusPlus) ||
+        Match2('-', '-', TokenKind::MinusMinus) ||
+        Match2('+', '=', TokenKind::PlusAssign) ||
+        Match2('-', '=', TokenKind::MinusAssign) ||
+        Match2('*', '=', TokenKind::StarAssign) ||
+        Match2('/', '=', TokenKind::SlashAssign) ||
+        Match2('<', '=', TokenKind::LessEqual) ||
+        Match2('>', '=', TokenKind::GreaterEqual) ||
+        Match2('=', '=', TokenKind::EqualEqual) ||
+        Match2('!', '=', TokenKind::NotEqual) ||
+        Match2('&', '&', TokenKind::AmpAmp) ||
+        Match2('|', '|', TokenKind::PipePipe))
+      continue;
+
+    TokenKind Kind;
+    switch (C) {
+    case '(': Kind = TokenKind::LParen; break;
+    case ')': Kind = TokenKind::RParen; break;
+    case '{': Kind = TokenKind::LBrace; break;
+    case '}': Kind = TokenKind::RBrace; break;
+    case '[': Kind = TokenKind::LBracket; break;
+    case ']': Kind = TokenKind::RBracket; break;
+    case ',': Kind = TokenKind::Comma; break;
+    case ';': Kind = TokenKind::Semicolon; break;
+    case '?': Kind = TokenKind::Question; break;
+    case ':': Kind = TokenKind::Colon; break;
+    case '=': Kind = TokenKind::Assign; break;
+    case '+': Kind = TokenKind::Plus; break;
+    case '-': Kind = TokenKind::Minus; break;
+    case '*': Kind = TokenKind::Star; break;
+    case '/': Kind = TokenKind::Slash; break;
+    case '%': Kind = TokenKind::Percent; break;
+    case '<': Kind = TokenKind::Less; break;
+    case '>': Kind = TokenKind::Greater; break;
+    case '!': Kind = TokenKind::Not; break;
+    default:
+      if (Error)
+        *Error = "line " + std::to_string(Line) +
+                 ": unexpected character '" + std::string(1, C) + "'";
+      Push(TokenKind::End, "");
+      return Tokens;
+    }
+    Push(Kind, std::string(1, C));
+    ++I;
+  }
+  Push(TokenKind::End, "");
+  return Tokens;
+}
+
+std::string_view gr::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::End: return "end of input";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::FloatLiteral: return "float literal";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwDouble: return "'double'";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Semicolon: return "';'";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::PlusAssign: return "'+='";
+  case TokenKind::MinusAssign: return "'-='";
+  case TokenKind::StarAssign: return "'*='";
+  case TokenKind::SlashAssign: return "'/='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEqual: return "'<='";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEqual: return "'>='";
+  case TokenKind::EqualEqual: return "'=='";
+  case TokenKind::NotEqual: return "'!='";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Not: return "'!'";
+  }
+  return "unknown";
+}

@@ -1,0 +1,88 @@
+//===- Lexer.h - MiniC tokenizer ------------------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for MiniC, the C subset the benchmark corpus is written
+/// in. Tracks line numbers for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_FRONTEND_LEXER_H
+#define GR_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gr {
+
+/// Token categories. Punctuation tokens are named after their glyphs.
+enum class TokenKind {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwInt,
+  KwDouble,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Question,
+  Colon,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  NotEqual,
+  AmpAmp,
+  PipePipe,
+  Not,
+};
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  unsigned Line = 0;
+};
+
+/// Lexes \p Source completely. On an invalid character, appends an
+/// End token and records an error message in \p Error.
+std::vector<Token> lexSource(std::string_view Source, std::string *Error);
+
+/// Printable name of a token kind for diagnostics.
+std::string_view tokenKindName(TokenKind Kind);
+
+} // namespace gr
+
+#endif // GR_FRONTEND_LEXER_H

@@ -1,0 +1,629 @@
+//===- Parser.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "frontend/Parser.h"
+
+using namespace gr;
+using namespace gr::ast;
+
+namespace {
+
+/// Recursive descent parser over the token vector.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::string *Error)
+      : Tokens(std::move(Tokens)), Error(Error) {}
+
+  std::optional<TranslationUnit> run() {
+    TranslationUnit TU;
+    while (!at(TokenKind::End) && !Failed) {
+      if (!parseTopLevel(TU))
+        return std::nullopt;
+    }
+    if (Failed)
+      return std::nullopt;
+    return TU;
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------===//
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokenKind Kind) const { return peek().Kind == Kind; }
+  Token advance() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+
+  bool accept(TokenKind Kind) {
+    if (!at(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokenKind Kind) {
+    if (accept(Kind))
+      return true;
+    fail("expected " + std::string(tokenKindName(Kind)) + " but found " +
+         std::string(tokenKindName(peek().Kind)));
+    return false;
+  }
+
+  void fail(const std::string &Msg) {
+    if (!Failed && Error)
+      *Error = "line " + std::to_string(peek().Line) + ": " + Msg;
+    Failed = true;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Types and declarations
+  //===--------------------------------------------------------------===//
+
+  bool atTypeKeyword() const {
+    return at(TokenKind::KwInt) || at(TokenKind::KwDouble) ||
+           at(TokenKind::KwVoid);
+  }
+
+  /// Parses "int" / "double" / "void" plus '*' suffixes.
+  std::optional<TypeSpec> parseTypePrefix() {
+    TypeSpec TS;
+    if (accept(TokenKind::KwInt))
+      TS.BaseType = TypeSpec::Base::Int;
+    else if (accept(TokenKind::KwDouble))
+      TS.BaseType = TypeSpec::Base::Double;
+    else if (accept(TokenKind::KwVoid))
+      TS.BaseType = TypeSpec::Base::Void;
+    else {
+      fail("expected type name");
+      return std::nullopt;
+    }
+    while (accept(TokenKind::Star))
+      ++TS.PointerDepth;
+    return TS;
+  }
+
+  /// Parses trailing "[N][M]..." dimensions into \p TS.
+  bool parseDims(TypeSpec &TS) {
+    while (accept(TokenKind::LBracket)) {
+      if (at(TokenKind::IntLiteral)) {
+        TS.Dims.push_back(advance().IntValue);
+      } else {
+        // "[]" only valid on parameters -> pointer decay.
+        TS.Dims.push_back(-1);
+      }
+      if (!expect(TokenKind::RBracket))
+        return false;
+    }
+    return true;
+  }
+
+  bool parseTopLevel(TranslationUnit &TU) {
+    unsigned Line = peek().Line;
+    auto TS = parseTypePrefix();
+    if (!TS)
+      return false;
+    if (!at(TokenKind::Identifier)) {
+      fail("expected identifier after type");
+      return false;
+    }
+    std::string Name = advance().Text;
+
+    if (at(TokenKind::LParen)) {
+      // Function definition or declaration.
+      FunctionDecl FD;
+      FD.ReturnType = *TS;
+      FD.Name = std::move(Name);
+      FD.Line = Line;
+      advance(); // '('
+      if (!at(TokenKind::RParen)) {
+        do {
+          auto PT = parseTypePrefix();
+          if (!PT)
+            return false;
+          if (!at(TokenKind::Identifier)) {
+            fail("expected parameter name");
+            return false;
+          }
+          ParamDecl PD;
+          PD.Name = advance().Text;
+          if (!parseDims(*PT))
+            return false;
+          // Array parameters decay to pointers.
+          if (!PT->Dims.empty()) {
+            PT->PointerDepth += 1;
+            // Only the outermost dimension decays; inner constant
+            // dimensions are not supported on parameters.
+            if (PT->Dims.size() > 1) {
+              fail("multi-dimensional array parameters are not supported");
+              return false;
+            }
+            PT->Dims.clear();
+          }
+          PD.Type = *PT;
+          FD.Params.push_back(std::move(PD));
+        } while (accept(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen))
+        return false;
+      if (accept(TokenKind::Semicolon)) {
+        TU.Functions.push_back(std::move(FD)); // Declaration only.
+        return true;
+      }
+      auto Body = parseBlock();
+      if (!Body)
+        return false;
+      FD.Body.reset(cast<BlockStmt>(Body.release()));
+      TU.Functions.push_back(std::move(FD));
+      return true;
+    }
+
+    // Global variable.
+    GlobalDecl GD;
+    GD.Type = *TS;
+    GD.Name = std::move(Name);
+    GD.Line = Line;
+    if (!parseDims(GD.Type))
+      return false;
+    for (int64_t D : GD.Type.Dims)
+      if (D <= 0) {
+        fail("global array dimensions must be positive constants");
+        return false;
+      }
+    if (!expect(TokenKind::Semicolon))
+      return false;
+    TU.Globals.push_back(std::move(GD));
+    return true;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------===//
+
+  StmtPtr parseBlock() {
+    unsigned Line = peek().Line;
+    if (!expect(TokenKind::LBrace))
+      return nullptr;
+    std::vector<StmtPtr> Stmts;
+    while (!at(TokenKind::RBrace) && !at(TokenKind::End) && !Failed) {
+      StmtPtr S = parseStmt();
+      if (!S)
+        return nullptr;
+      Stmts.push_back(std::move(S));
+    }
+    if (!expect(TokenKind::RBrace))
+      return nullptr;
+    auto Block = std::make_unique<BlockStmt>(std::move(Stmts));
+    Block->Line = Line;
+    return Block;
+  }
+
+  StmtPtr parseStmt() {
+    unsigned Line = peek().Line;
+    StmtPtr S = parseStmtInner();
+    if (S)
+      S->Line = Line;
+    return S;
+  }
+
+  StmtPtr parseStmtInner() {
+    if (at(TokenKind::LBrace))
+      return parseBlock();
+    if (atTypeKeyword())
+      return parseDeclStmt(/*RequireSemicolon=*/true);
+    if (accept(TokenKind::KwIf))
+      return parseIf();
+    if (accept(TokenKind::KwFor))
+      return parseFor();
+    if (accept(TokenKind::KwWhile))
+      return parseWhile();
+    if (accept(TokenKind::KwReturn)) {
+      ExprPtr Value;
+      if (!at(TokenKind::Semicolon)) {
+        Value = parseExpr();
+        if (!Value)
+          return nullptr;
+      }
+      if (!expect(TokenKind::Semicolon))
+        return nullptr;
+      return std::make_unique<ReturnStmt>(std::move(Value));
+    }
+    if (accept(TokenKind::KwBreak)) {
+      if (!expect(TokenKind::Semicolon))
+        return nullptr;
+      return std::make_unique<BreakStmt>();
+    }
+    if (accept(TokenKind::KwContinue)) {
+      if (!expect(TokenKind::Semicolon))
+        return nullptr;
+      return std::make_unique<ContinueStmt>();
+    }
+    // Expression statement.
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokenKind::Semicolon))
+      return nullptr;
+    return std::make_unique<ExprStmt>(std::move(E));
+  }
+
+  StmtPtr parseDeclStmt(bool RequireSemicolon) {
+    auto TS = parseTypePrefix();
+    if (!TS)
+      return nullptr;
+    if (!at(TokenKind::Identifier)) {
+      fail("expected variable name");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    if (!parseDims(*TS))
+      return nullptr;
+    for (int64_t D : TS->Dims)
+      if (D <= 0) {
+        fail("local array dimensions must be positive constants");
+        return nullptr;
+      }
+    ExprPtr Init;
+    if (accept(TokenKind::Assign)) {
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+    if (RequireSemicolon && !expect(TokenKind::Semicolon))
+      return nullptr;
+    return std::make_unique<DeclStmt>(*TS, std::move(Name),
+                                      std::move(Init));
+  }
+
+  StmtPtr parseIf() {
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen))
+      return nullptr;
+    StmtPtr Then = parseStmt();
+    if (!Then)
+      return nullptr;
+    StmtPtr Else;
+    if (accept(TokenKind::KwElse)) {
+      Else = parseStmt();
+      if (!Else)
+        return nullptr;
+    }
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+
+  StmtPtr parseFor() {
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    StmtPtr Init;
+    if (!accept(TokenKind::Semicolon)) {
+      if (atTypeKeyword()) {
+        Init = parseDeclStmt(/*RequireSemicolon=*/true);
+      } else {
+        ExprPtr E = parseExpr();
+        if (!E || !expect(TokenKind::Semicolon))
+          return nullptr;
+        Init = std::make_unique<ExprStmt>(std::move(E));
+      }
+      if (!Init)
+        return nullptr;
+    }
+    ExprPtr Cond;
+    if (!at(TokenKind::Semicolon)) {
+      Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon))
+      return nullptr;
+    ExprPtr Step;
+    if (!at(TokenKind::RParen)) {
+      Step = parseExpr();
+      if (!Step)
+        return nullptr;
+    }
+    if (!expect(TokenKind::RParen))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body));
+  }
+
+  StmtPtr parseWhile() {
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+  }
+
+  //===--------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------===//
+
+  ExprPtr withLine(ExprPtr E, unsigned Line) {
+    if (E)
+      E->Line = Line;
+    return E;
+  }
+
+  ExprPtr parseExpr() { return parseAssignment(); }
+
+  ExprPtr parseAssignment() {
+    unsigned Line = peek().Line;
+    ExprPtr LHS = parseTernary();
+    if (!LHS)
+      return nullptr;
+    AssignExpr::Op Op;
+    if (accept(TokenKind::Assign))
+      Op = AssignExpr::Op::Assign;
+    else if (accept(TokenKind::PlusAssign))
+      Op = AssignExpr::Op::AddAssign;
+    else if (accept(TokenKind::MinusAssign))
+      Op = AssignExpr::Op::SubAssign;
+    else if (accept(TokenKind::StarAssign))
+      Op = AssignExpr::Op::MulAssign;
+    else if (accept(TokenKind::SlashAssign))
+      Op = AssignExpr::Op::DivAssign;
+    else
+      return LHS;
+    ExprPtr RHS = parseAssignment();
+    if (!RHS)
+      return nullptr;
+    return withLine(std::make_unique<AssignExpr>(Op, std::move(LHS),
+                                                 std::move(RHS)),
+                    Line);
+  }
+
+  ExprPtr parseTernary() {
+    unsigned Line = peek().Line;
+    ExprPtr Cond = parseLogicalOr();
+    if (!Cond || !accept(TokenKind::Question))
+      return Cond;
+    ExprPtr TrueArm = parseExpr();
+    if (!TrueArm || !expect(TokenKind::Colon))
+      return nullptr;
+    ExprPtr FalseArm = parseTernary();
+    if (!FalseArm)
+      return nullptr;
+    return withLine(std::make_unique<TernaryExpr>(std::move(Cond),
+                                                  std::move(TrueArm),
+                                                  std::move(FalseArm)),
+                    Line);
+  }
+
+  ExprPtr parseLogicalOr() {
+    ExprPtr LHS = parseLogicalAnd();
+    while (LHS && at(TokenKind::PipePipe)) {
+      unsigned Line = advance().Line;
+      ExprPtr RHS = parseLogicalAnd();
+      if (!RHS)
+        return nullptr;
+      LHS = withLine(std::make_unique<BinaryExpr>(
+                         BinaryExpr::Op::LogicalOr, std::move(LHS),
+                         std::move(RHS)),
+                     Line);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseLogicalAnd() {
+    ExprPtr LHS = parseEquality();
+    while (LHS && at(TokenKind::AmpAmp)) {
+      unsigned Line = advance().Line;
+      ExprPtr RHS = parseEquality();
+      if (!RHS)
+        return nullptr;
+      LHS = withLine(std::make_unique<BinaryExpr>(
+                         BinaryExpr::Op::LogicalAnd, std::move(LHS),
+                         std::move(RHS)),
+                     Line);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr LHS = parseRelational();
+    while (LHS &&
+           (at(TokenKind::EqualEqual) || at(TokenKind::NotEqual))) {
+      bool IsEq = at(TokenKind::EqualEqual);
+      unsigned Line = advance().Line;
+      ExprPtr RHS = parseRelational();
+      if (!RHS)
+        return nullptr;
+      LHS = withLine(
+          std::make_unique<BinaryExpr>(IsEq ? BinaryExpr::Op::Eq
+                                            : BinaryExpr::Op::Ne,
+                                       std::move(LHS), std::move(RHS)),
+          Line);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseRelational() {
+    ExprPtr LHS = parseAdditive();
+    while (LHS && (at(TokenKind::Less) || at(TokenKind::LessEqual) ||
+                   at(TokenKind::Greater) || at(TokenKind::GreaterEqual))) {
+      TokenKind K = peek().Kind;
+      unsigned Line = advance().Line;
+      BinaryExpr::Op Op = K == TokenKind::Less        ? BinaryExpr::Op::Lt
+                          : K == TokenKind::LessEqual ? BinaryExpr::Op::Le
+                          : K == TokenKind::Greater   ? BinaryExpr::Op::Gt
+                                                      : BinaryExpr::Op::Ge;
+      ExprPtr RHS = parseAdditive();
+      if (!RHS)
+        return nullptr;
+      LHS = withLine(std::make_unique<BinaryExpr>(Op, std::move(LHS),
+                                                  std::move(RHS)),
+                     Line);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr LHS = parseMultiplicative();
+    while (LHS && (at(TokenKind::Plus) || at(TokenKind::Minus))) {
+      bool IsAdd = at(TokenKind::Plus);
+      unsigned Line = advance().Line;
+      ExprPtr RHS = parseMultiplicative();
+      if (!RHS)
+        return nullptr;
+      LHS = withLine(
+          std::make_unique<BinaryExpr>(IsAdd ? BinaryExpr::Op::Add
+                                             : BinaryExpr::Op::Sub,
+                                       std::move(LHS), std::move(RHS)),
+          Line);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr LHS = parseUnary();
+    while (LHS && (at(TokenKind::Star) || at(TokenKind::Slash) ||
+                   at(TokenKind::Percent))) {
+      TokenKind K = peek().Kind;
+      unsigned Line = advance().Line;
+      BinaryExpr::Op Op = K == TokenKind::Star    ? BinaryExpr::Op::Mul
+                          : K == TokenKind::Slash ? BinaryExpr::Op::Div
+                                                  : BinaryExpr::Op::Rem;
+      ExprPtr RHS = parseUnary();
+      if (!RHS)
+        return nullptr;
+      LHS = withLine(std::make_unique<BinaryExpr>(Op, std::move(LHS),
+                                                  std::move(RHS)),
+                     Line);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseUnary() {
+    unsigned Line = peek().Line;
+    if (accept(TokenKind::Minus)) {
+      ExprPtr Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      // Fold negated literals so "-1" is a constant, not 0-1; loop
+      // steps and bounds must be compile-time constants to the IR.
+      if (auto *IL = dyn_cast<IntLitExpr>(Sub.get())) {
+        IL->Value = -IL->Value;
+        return withLine(std::move(Sub), Line);
+      }
+      if (auto *FL = dyn_cast<FloatLitExpr>(Sub.get())) {
+        FL->Value = -FL->Value;
+        return withLine(std::move(Sub), Line);
+      }
+      return withLine(std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg,
+                                                  std::move(Sub)),
+                      Line);
+    }
+    if (accept(TokenKind::Not)) {
+      ExprPtr Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      return withLine(std::make_unique<UnaryExpr>(UnaryExpr::Op::Not,
+                                                  std::move(Sub)),
+                      Line);
+    }
+    if (accept(TokenKind::Plus)) {
+      ExprPtr Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      return withLine(std::make_unique<UnaryExpr>(UnaryExpr::Op::Plus,
+                                                  std::move(Sub)),
+                      Line);
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    while (E && !Failed) {
+      unsigned Line = peek().Line;
+      if (accept(TokenKind::LBracket)) {
+        ExprPtr Index = parseExpr();
+        if (!Index || !expect(TokenKind::RBracket))
+          return nullptr;
+        E = withLine(std::make_unique<IndexExpr>(std::move(E),
+                                                 std::move(Index)),
+                     Line);
+        continue;
+      }
+      if (accept(TokenKind::PlusPlus)) {
+        E = withLine(std::make_unique<IncDecExpr>(std::move(E), true),
+                     Line);
+        continue;
+      }
+      if (accept(TokenKind::MinusMinus)) {
+        E = withLine(std::make_unique<IncDecExpr>(std::move(E), false),
+                     Line);
+        continue;
+      }
+      break;
+    }
+    return E;
+  }
+
+  ExprPtr parsePrimary() {
+    unsigned Line = peek().Line;
+    if (at(TokenKind::IntLiteral))
+      return withLine(std::make_unique<IntLitExpr>(advance().IntValue),
+                      Line);
+    if (at(TokenKind::FloatLiteral))
+      return withLine(
+          std::make_unique<FloatLitExpr>(advance().FloatValue), Line);
+    if (at(TokenKind::Identifier)) {
+      std::string Name = advance().Text;
+      if (accept(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args;
+        if (!at(TokenKind::RParen)) {
+          do {
+            ExprPtr Arg = parseExpr();
+            if (!Arg)
+              return nullptr;
+            Args.push_back(std::move(Arg));
+          } while (accept(TokenKind::Comma));
+        }
+        if (!expect(TokenKind::RParen))
+          return nullptr;
+        return withLine(std::make_unique<CallExpr>(std::move(Name),
+                                                   std::move(Args)),
+                        Line);
+      }
+      return withLine(std::make_unique<VarRefExpr>(std::move(Name)), Line);
+    }
+    if (accept(TokenKind::LParen)) {
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokenKind::RParen))
+        return nullptr;
+      return E;
+    }
+    fail("expected expression");
+    return nullptr;
+  }
+
+  std::vector<Token> Tokens;
+  std::string *Error;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::optional<TranslationUnit> gr::parseMiniC(std::string_view Source,
+                                              std::string *Error) {
+  std::string LexError;
+  std::vector<Token> Tokens = lexSource(Source, &LexError);
+  if (!LexError.empty()) {
+    if (Error)
+      *Error = LexError;
+    return std::nullopt;
+  }
+  return Parser(std::move(Tokens), Error).run();
+}

@@ -1,0 +1,26 @@
+//===- Parser.h - MiniC recursive descent parser --------------*- C++ -*-===//
+///
+/// \file
+/// Parses a token stream into an ast::TranslationUnit. Reports the
+/// first error with its line number and stops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_FRONTEND_PARSER_H
+#define GR_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Lexer.h"
+
+#include <optional>
+#include <string>
+
+namespace gr {
+
+/// Parses \p Source; returns nullopt and sets \p Error on failure.
+std::optional<ast::TranslationUnit> parseMiniC(std::string_view Source,
+                                               std::string *Error);
+
+} // namespace gr
+
+#endif // GR_FRONTEND_PARSER_H

@@ -1,0 +1,170 @@
+//===- Associativity.cpp --------------------------------------*- C++ -*-===//
+
+#include "idioms/Associativity.h"
+
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+
+#include <set>
+
+using namespace gr;
+
+namespace {
+
+/// Does \p Old occur in the expression tree under \p V?
+bool containsValue(Value *V, Value *Old, std::set<Value *> &Visited,
+                   int Depth) {
+  if (V == Old)
+    return true;
+  if (Depth > 64 || !Visited.insert(V).second)
+    return false;
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I || isa<PhiInst>(I))
+    return false; // Phis are handled on the spine walk itself.
+  for (Value *Op : I->operands())
+    if (containsValue(Op, Old, Visited, Depth + 1))
+      return true;
+  return false;
+}
+
+bool containsValue(Value *V, Value *Old) {
+  std::set<Value *> Visited;
+  return containsValue(V, Old, Visited, 0);
+}
+
+ReductionOperator binaryOperator(BinaryInst::BinaryOp Op) {
+  using B = BinaryInst::BinaryOp;
+  switch (Op) {
+  case B::Add:
+  case B::FAdd:
+    return ReductionOperator::Sum;
+  case B::Mul:
+  case B::FMul:
+    return ReductionOperator::Product;
+  case B::And:
+    return ReductionOperator::BitAnd;
+  case B::Or:
+    return ReductionOperator::BitOr;
+  case B::Xor:
+    return ReductionOperator::BitXor;
+  default:
+    return ReductionOperator::Unknown;
+  }
+}
+
+/// Merges operator evidence from two paths: identical operators (or
+/// one side being "no update") are compatible.
+ReductionOperator merge(ReductionOperator A, ReductionOperator B) {
+  if (A == B)
+    return A;
+  return ReductionOperator::Unknown;
+}
+
+ReductionOperator classify(Value *Update, Value *Old, int Depth);
+
+/// The spine is the chain of operations through which Old reaches
+/// Update. Every spine operation must be the same associative
+/// operator.
+ReductionOperator classifySpine(Instruction *I, Value *Old, int Depth) {
+  if (auto *Bin = dyn_cast<BinaryInst>(I)) {
+    ReductionOperator Op = binaryOperator(Bin->getBinaryOp());
+    if (Op == ReductionOperator::Unknown)
+      return Op;
+    bool LHSHasOld = Bin->getLHS() == Old || containsValue(Bin->getLHS(), Old);
+    bool RHSHasOld = Bin->getRHS() == Old || containsValue(Bin->getRHS(), Old);
+    if (LHSHasOld == RHSHasOld)
+      return ReductionOperator::Unknown; // Both or neither: not a fold.
+    Value *Spine = LHSHasOld ? Bin->getLHS() : Bin->getRHS();
+    if (Spine == Old)
+      return Op;
+    return merge(Op, classify(Spine, Old, Depth + 1));
+  }
+  if (auto *Call = dyn_cast<CallInst>(I)) {
+    const std::string &Name = Call->getCallee()->getName();
+    ReductionOperator Op = ReductionOperator::Unknown;
+    if (Name == "fmin" || Name == "imin")
+      Op = ReductionOperator::Min;
+    else if (Name == "fmax" || Name == "imax")
+      Op = ReductionOperator::Max;
+    else
+      return ReductionOperator::Unknown;
+    if (Call->getNumArgs() != 2)
+      return ReductionOperator::Unknown;
+    bool A0 = Call->getArg(0) == Old || containsValue(Call->getArg(0), Old);
+    bool A1 = Call->getArg(1) == Old || containsValue(Call->getArg(1), Old);
+    if (A0 == A1)
+      return ReductionOperator::Unknown;
+    Value *Spine = A0 ? Call->getArg(0) : Call->getArg(1);
+    if (Spine == Old)
+      return Op;
+    return merge(Op, classify(Spine, Old, Depth + 1));
+  }
+  return ReductionOperator::Unknown;
+}
+
+ReductionOperator classify(Value *Update, Value *Old, int Depth) {
+  if (Depth > 32)
+    return ReductionOperator::Unknown;
+  if (Update == Old)
+    return ReductionOperator::Unknown; // Pure pass-through: no update.
+
+  auto *I = dyn_cast<Instruction>(Update);
+  if (!I)
+    return ReductionOperator::Unknown;
+
+  // Conditional updates: the SSA merge of "updated" and "kept" paths.
+  if (auto *Phi = dyn_cast<PhiInst>(I)) {
+    ReductionOperator Result = ReductionOperator::Unknown;
+    bool First = true;
+    for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+      Value *In = Phi->getIncomingValue(K);
+      if (In == Old || In == Phi)
+        continue; // Not-updated path (or degenerate self-edge).
+      ReductionOperator Op = classify(In, Old, Depth + 1);
+      Result = First ? Op : merge(Result, Op);
+      First = false;
+    }
+    return Result;
+  }
+  if (auto *Select = dyn_cast<SelectInst>(I)) {
+    ReductionOperator Result = ReductionOperator::Unknown;
+    bool First = true;
+    for (Value *In : {Select->getTrueValue(), Select->getFalseValue()}) {
+      if (In == Old)
+        continue;
+      ReductionOperator Op = classify(In, Old, Depth + 1);
+      Result = First ? Op : merge(Result, Op);
+      First = false;
+    }
+    return Result;
+  }
+  return classifySpine(I, Old, Depth);
+}
+
+} // namespace
+
+ReductionOperator gr::classifyUpdate(Value *Update, Value *Old) {
+  return classify(Update, Old, 0);
+}
+
+std::string gr::reductionOperatorName(ReductionOperator Op) {
+  switch (Op) {
+  case ReductionOperator::Sum:
+    return "sum";
+  case ReductionOperator::Product:
+    return "product";
+  case ReductionOperator::Min:
+    return "min";
+  case ReductionOperator::Max:
+    return "max";
+  case ReductionOperator::BitAnd:
+    return "bitand";
+  case ReductionOperator::BitOr:
+    return "bitor";
+  case ReductionOperator::BitXor:
+    return "bitxor";
+  case ReductionOperator::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}

@@ -1,0 +1,29 @@
+//===- Associativity.h - update operator classification -------*- C++ -*-===//
+///
+/// \file
+/// The paper's post-processing step: detection establishes that the
+/// updated value is computed only from allowed origins; exploitation
+/// additionally needs the combining operator to be associative so
+/// private partial results can be merged. classifyUpdate walks the
+/// update expression's spine (the path containing the old value) and
+/// names the operator, accepting conditional updates (phi/select
+/// merges of the old value with deeper updates) and min/max builtins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IDIOMS_ASSOCIATIVITY_H
+#define GR_IDIOMS_ASSOCIATIVITY_H
+
+#include "idioms/ReductionInfo.h"
+
+namespace gr {
+
+/// Classifies how \p Update combines \p Old (the accumulator phi or
+/// the histogram's loaded value). Returns Unknown when the operator is
+/// not associative or \p Old flows through a non-reducing position
+/// (e.g. the divisor of a division).
+ReductionOperator classifyUpdate(Value *Update, Value *Old);
+
+} // namespace gr
+
+#endif // GR_IDIOMS_ASSOCIATIVITY_H

@@ -1,0 +1,124 @@
+//===- ForLoopIdiom.cpp ---------------------------------------*- C++ -*-===//
+
+#include "idioms/ForLoopIdiom.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <set>
+
+using namespace gr;
+
+ForLoopLabels gr::buildForLoopSpec(IdiomSpec &Spec) {
+  LabelTable &L = Spec.Labels;
+  Formula &F = Spec.F;
+
+  ForLoopLabels Ls;
+  // Enumeration order (paper §3.3 step 1): start from the loop header,
+  // whose conditional branch then pins test/body/exit; everything else
+  // follows by suggestion. This order keeps the search near-linear.
+  Ls.LoopBegin = L.get("loop_begin");
+  Ls.Test = L.get("test");
+  Ls.LoopBody = L.get("loop_body");
+  Ls.Exit = L.get("exit");
+  Ls.Backedge = L.get("backedge");
+  Ls.Entry = L.get("entry");
+  Ls.Iterator = L.get("iterator");
+  Ls.NextIter = L.get("next_iter");
+  Ls.IterBegin = L.get("iter_begin");
+  Ls.IterEnd = L.get("iter_end");
+  Ls.IterStep = L.get("iter_step");
+
+  // loop_jump = branch(test, loop_body, exit) at the end of
+  // loop_begin.
+  F.require(
+      std::make_unique<AtomCondBr>(Ls.LoopBegin, Ls.Test, Ls.LoopBody,
+                                   Ls.Exit));
+  // backedge = branch(loop_begin), inside the loop.
+  F.require(std::make_unique<AtomUncondBr>(Ls.Backedge, Ls.LoopBegin));
+  F.require(
+      std::make_unique<AtomDominates>(Ls.LoopBegin, Ls.Backedge, false));
+  // entry = branch(loop_begin), from outside.
+  F.require(std::make_unique<AtomUncondBr>(Ls.Entry, Ls.LoopBegin));
+  F.require(std::make_unique<AtomDistinct>(Ls.Entry, Ls.Backedge));
+  F.require(
+      std::make_unique<AtomDominates>(Ls.Entry, Ls.LoopBegin, true));
+  // entry --sese--> exit.
+  F.require(std::make_unique<AtomDominates>(Ls.Entry, Ls.Exit, true));
+  F.require(
+      std::make_unique<AtomPostDominates>(Ls.Exit, Ls.Entry, true));
+  // loop_jump dominates exit.
+  F.require(
+      std::make_unique<AtomDominates>(Ls.LoopBegin, Ls.Exit, true));
+  // loop_body --sese--> backedge.
+  F.require(
+      std::make_unique<AtomDominates>(Ls.LoopBody, Ls.Backedge, false));
+  F.require(std::make_unique<AtomPostDominates>(Ls.Backedge, Ls.LoopBody,
+                                                false));
+  // The exit is only reachable through the loop header.
+  F.require(
+      std::make_unique<AtomBlocked>(Ls.Entry, Ls.Exit, Ls.LoopBegin));
+
+  // iterator = phi(next_iter from backedge, iter_begin from entry).
+  F.require(std::make_unique<AtomPhiAt>(Ls.Iterator, Ls.LoopBegin));
+  F.require(std::make_unique<AtomPhiIncoming>(Ls.Iterator, Ls.NextIter,
+                                              Ls.Backedge));
+  F.require(std::make_unique<AtomPhiIncoming>(Ls.Iterator, Ls.IterBegin,
+                                              Ls.Entry));
+  // test = int_comparison(iterator, iter_end).
+  F.require(std::make_unique<AtomIntComparison>(Ls.Test, Ls.Iterator,
+                                                Ls.IterEnd));
+  // next_iter = add(iterator, iter_step).
+  F.require(
+      std::make_unique<AtomAdd>(Ls.NextIter, Ls.Iterator, Ls.IterStep));
+  F.require(std::make_unique<AtomDistinct>(Ls.NextIter, Ls.Iterator));
+  F.require(std::make_unique<AtomDistinct>(Ls.IterEnd, Ls.Iterator));
+
+  // Iteration space known in advance: begin/end/step are constants or
+  // defined before the loop ("x in constant or x dominates entry").
+  for (unsigned Label : {Ls.IterBegin, Ls.IterEnd, Ls.IterStep}) {
+    std::vector<std::unique_ptr<Atom>> Alternatives;
+    Alternatives.push_back(std::make_unique<AtomIsConstantOrArg>(Label));
+    Alternatives.push_back(
+        std::make_unique<AtomAvailableAt>(Label, Ls.Entry));
+    F.requireAnyOf(std::move(Alternatives));
+  }
+  return Ls;
+}
+
+ForLoopMatch gr::decodeForLoop(const ForLoopLabels &L, const Solution &S) {
+  ForLoopMatch M;
+  M.Entry = cast<BasicBlock>(S[L.Entry]);
+  M.LoopBegin = cast<BasicBlock>(S[L.LoopBegin]);
+  M.LoopBody = cast<BasicBlock>(S[L.LoopBody]);
+  M.Backedge = cast<BasicBlock>(S[L.Backedge]);
+  M.Exit = cast<BasicBlock>(S[L.Exit]);
+  M.Test = cast<CmpInst>(S[L.Test]);
+  M.Iterator = cast<PhiInst>(S[L.Iterator]);
+  M.NextIter = S[L.NextIter];
+  M.IterBegin = S[L.IterBegin];
+  M.IterEnd = S[L.IterEnd];
+  M.IterStep = S[L.IterStep];
+  return M;
+}
+
+std::vector<ForLoopMatch> gr::findForLoops(const ConstraintContext &Ctx,
+                                           SolverStats *Stats) {
+  IdiomSpec Spec;
+  ForLoopLabels Labels = buildForLoopSpec(Spec);
+  Solver S(Spec.F, Spec.Labels.size());
+
+  std::vector<ForLoopMatch> Matches;
+  std::set<BasicBlock *> SeenHeaders;
+  SolverStats Collected =
+      S.findAll(Ctx, [&](const Solution &Sol) {
+        ForLoopMatch M = decodeForLoop(Labels, Sol);
+        // One loop may admit several satisfying tuples (e.g. when the
+        // increment operands commute); report each header once.
+        if (SeenHeaders.insert(M.LoopBegin).second)
+          Matches.push_back(M);
+      });
+  if (Stats)
+    *Stats = Collected;
+  return Matches;
+}

@@ -1,0 +1,45 @@
+//===- ForLoopIdiom.h - the for-loop constraint spec ----------*- C++ -*-===//
+///
+/// \file
+/// The paper's Figure 5: a for loop as a 11-label constraint
+/// specification over (loop_begin, test, loop_body, exit, backedge,
+/// entry, iterator, next_iter, iter_begin, iter_end, iter_step),
+/// solved by the generic backtracking solver. (The paper's loop_jump
+/// label is folded into the cond_br atom, which binds the branch's
+/// block, condition and both targets at once.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IDIOMS_FORLOOPIDIOM_H
+#define GR_IDIOMS_FORLOOPIDIOM_H
+
+#include "constraint/Formula.h"
+#include "constraint/Solver.h"
+#include "idioms/ReductionInfo.h"
+
+#include <memory>
+
+namespace gr {
+
+/// Label indices of the for-loop spec, shared with the reduction
+/// specs that extend it.
+struct ForLoopLabels {
+  unsigned LoopBegin, Test, LoopBody, Exit, Backedge, Entry;
+  unsigned Iterator, NextIter, IterBegin, IterEnd, IterStep;
+};
+
+/// Builds the for-loop constraint formula into \p Spec and returns the
+/// label assignment. Callable on a fresh spec (for plain loop
+/// detection) or as the prefix of a larger idiom.
+ForLoopLabels buildForLoopSpec(IdiomSpec &Spec);
+
+/// Decodes a solver solution into a ForLoopMatch.
+ForLoopMatch decodeForLoop(const ForLoopLabels &L, const Solution &S);
+
+/// Runs the spec over \p Ctx; one match per syntactic for loop.
+std::vector<ForLoopMatch> findForLoops(const ConstraintContext &Ctx,
+                                       SolverStats *Stats = nullptr);
+
+} // namespace gr
+
+#endif // GR_IDIOMS_FORLOOPIDIOM_H

@@ -1,0 +1,51 @@
+//===- ReductionAnalysis.h - public detection API -------------*- C++ -*-===//
+///
+/// \file
+/// The library's main entry point: runs the constraint-based for-loop,
+/// scalar-reduction and histogram specifications over a function or
+/// module and returns the matches, after the associativity and
+/// exclusive-access post-checks the paper applies outside the
+/// constraint language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IDIOMS_REDUCTIONANALYSIS_H
+#define GR_IDIOMS_REDUCTIONANALYSIS_H
+
+#include "constraint/Solver.h"
+#include "idioms/ReductionInfo.h"
+
+#include <vector>
+
+namespace gr {
+
+class ConstraintContext;
+class Function;
+class Module;
+class PurityAnalysis;
+
+/// Detection statistics (per module run).
+struct DetectionStats {
+  SolverStats ForLoops;
+  SolverStats Scalars;
+  SolverStats Histograms;
+};
+
+/// Runs all idiom specs over \p F.
+ReductionReport analyzeFunction(Function &F, const PurityAnalysis &Purity,
+                                DetectionStats *Stats = nullptr);
+
+/// Runs analyzeFunction over every definition in \p M.
+std::vector<ReductionReport> analyzeModule(Module &M,
+                                           DetectionStats *Stats = nullptr);
+
+/// Totals over a module's reports.
+struct ReductionCounts {
+  unsigned Scalars = 0;
+  unsigned Histograms = 0;
+};
+ReductionCounts countReductions(const std::vector<ReductionReport> &Reports);
+
+} // namespace gr
+
+#endif // GR_IDIOMS_REDUCTIONANALYSIS_H

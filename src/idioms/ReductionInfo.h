@@ -1,0 +1,89 @@
+//===- ReductionInfo.h - detection result types ---------------*- C++ -*-===//
+///
+/// \file
+/// Result structures of the idiom detection: matched for-loops, scalar
+/// reductions and histogram reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IDIOMS_REDUCTIONINFO_H
+#define GR_IDIOMS_REDUCTIONINFO_H
+
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class BasicBlock;
+class CmpInst;
+class Function;
+class GEPInst;
+class Instruction;
+class LoadInst;
+class PhiInst;
+class StoreInst;
+class Value;
+
+/// The update operator of a reduction; privatized exploitation
+/// requires an associative (and for our merge step, commutative) one.
+enum class ReductionOperator {
+  Sum,
+  Product,
+  Min,
+  Max,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Unknown,
+};
+
+/// Printable operator name.
+std::string reductionOperatorName(ReductionOperator Op);
+
+/// One match of the for-loop constraint specification (paper Fig. 5).
+struct ForLoopMatch {
+  BasicBlock *Entry;     ///< Preheader: unconditional branch into the loop.
+  BasicBlock *LoopBegin; ///< Header holding phis and the exit test.
+  BasicBlock *LoopBody;  ///< First body block (true target of the test).
+  BasicBlock *Backedge;  ///< Latch: unconditional branch to the header.
+  BasicBlock *Exit;      ///< False target of the test.
+  CmpInst *Test;         ///< Integer comparison deciding exit.
+  PhiInst *Iterator;     ///< Canonical induction phi.
+  Value *NextIter;       ///< iterator + step.
+  Value *IterBegin;      ///< Initial iterator value.
+  Value *IterStep;       ///< Loop-invariant step.
+  Value *IterEnd;        ///< Loop-invariant bound.
+};
+
+/// One detected scalar reduction (§3.1.1).
+struct ScalarReduction {
+  ForLoopMatch Loop;
+  PhiInst *Accumulator; ///< Header phi carrying the running value.
+  Value *Update;        ///< Backedge-incoming updated value.
+  Value *Init;          ///< Preheader-incoming initial value.
+  ReductionOperator Op;
+};
+
+/// One detected histogram / generalized reduction (§3.1.2).
+struct HistogramReduction {
+  ForLoopMatch Loop;
+  LoadInst *Read;    ///< x = base[idx]
+  StoreInst *Write;  ///< base[idx] = x'
+  GEPInst *Address;  ///< The store's address computation.
+  Value *Index;      ///< idx: loop-variant, data-dependent allowed.
+  Value *Base;       ///< Loop-invariant array base.
+  Value *Update;     ///< x'.
+  ReductionOperator Op;
+};
+
+/// Detection result for one function.
+struct ReductionReport {
+  Function *F = nullptr;
+  std::vector<ForLoopMatch> ForLoops;
+  std::vector<ScalarReduction> Scalars;
+  std::vector<HistogramReduction> Histograms;
+};
+
+} // namespace gr
+
+#endif // GR_IDIOMS_REDUCTIONINFO_H

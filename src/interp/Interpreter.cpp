@@ -1,0 +1,305 @@
+//===- Interpreter.cpp ----------------------------------------*- C++ -*-===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace gr;
+
+Interpreter::Interpreter(Module &M) : M(M) {
+  for (const auto &GV : M.globals())
+    GlobalAddrs[GV.get()] =
+        Mem.allocatePermanent(GV->getContainedType()->getSizeInBytes());
+}
+
+uint64_t Interpreter::addressOfGlobal(const GlobalVariable *GV) const {
+  auto It = GlobalAddrs.find(GV);
+  assert(It != GlobalAddrs.end() && "global not registered");
+  return It->second;
+}
+
+Slot Interpreter::evalOperand(
+    const Value *V, const std::map<const Value *, Slot> &Frame) const {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return Slot{.I = CI->getValue()};
+  if (const auto *CF = dyn_cast<ConstantFloat>(V))
+    return Slot{.F = CF->getValue()};
+  if (const auto *GV = dyn_cast<GlobalVariable>(V))
+    return Slot{.Ptr = addressOfGlobal(GV)};
+  auto It = Frame.find(V);
+  if (It == Frame.end())
+    reportFatalError("interpreter: use of value with no definition");
+  return It->second;
+}
+
+int64_t Interpreter::runMain() {
+  Function *Main = M.getFunction("main");
+  if (!Main || Main->isDeclaration())
+    reportFatalError("interpreter: module has no main function");
+  return call(Main, {}).I;
+}
+
+Slot Interpreter::call(Function *F, const std::vector<Slot> &Args) {
+  assert(!F->isDeclaration() && "cannot interpret a declaration");
+  if (++CallDepth > 512)
+    reportFatalError("interpreter: call stack overflow");
+  uint64_t StackMark = Mem.stackMark();
+
+  std::map<const Value *, Slot> Frame;
+  for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+    Frame[F->getArg(I)] = Args[I];
+
+  BasicBlock *Block = F->getEntry();
+  BasicBlock *PrevBlock = nullptr;
+  Slot Result{.I = 0};
+
+  while (true) {
+    ++Profile.BlockCounts[Block];
+
+    // Phase 1: evaluate all phis against the incoming edge, then
+    // commit (classic simultaneous-assignment semantics).
+    std::vector<std::pair<const Value *, Slot>> PhiValues;
+    size_t InstIndex = 0;
+    for (Instruction *I : *Block) {
+      auto *Phi = dyn_cast<PhiInst>(I);
+      if (!Phi)
+        break;
+      ++InstIndex;
+      Value *In = Phi->getIncomingValueFor(PrevBlock);
+      if (!In)
+        reportFatalError("interpreter: phi has no entry for edge");
+      PhiValues.push_back({Phi, evalOperand(In, Frame)});
+    }
+    for (auto &[Phi, V] : PhiValues)
+      Frame[Phi] = V;
+    Profile.InstructionsExecuted += PhiValues.size();
+
+    // Phase 2: straight-line execution.
+    bool Transferred = false;
+    {
+      size_t Pos = 0;
+      for (Instruction *I : *Block) {
+        if (Pos++ < InstIndex)
+          continue;
+        ++Profile.InstructionsExecuted;
+        if (Profile.InstructionsExecuted > StepLimit)
+          reportFatalError("interpreter: step limit exceeded");
+
+        switch (I->getKind()) {
+        case Value::ValueKind::InstBinary: {
+          auto *Bin = cast<BinaryInst>(I);
+          Slot L = evalOperand(Bin->getLHS(), Frame);
+          Slot R = evalOperand(Bin->getRHS(), Frame);
+          Slot Out{.I = 0};
+          using Op = BinaryInst::BinaryOp;
+          switch (Bin->getBinaryOp()) {
+          case Op::Add: Out.I = L.I + R.I; break;
+          case Op::Sub: Out.I = L.I - R.I; break;
+          case Op::Mul: Out.I = L.I * R.I; break;
+          case Op::SDiv:
+            if (R.I == 0)
+              reportFatalError("interpreter: division by zero");
+            Out.I = L.I / R.I;
+            break;
+          case Op::SRem:
+            if (R.I == 0)
+              reportFatalError("interpreter: remainder by zero");
+            Out.I = L.I % R.I;
+            break;
+          case Op::FAdd: Out.F = L.F + R.F; break;
+          case Op::FSub: Out.F = L.F - R.F; break;
+          case Op::FMul: Out.F = L.F * R.F; break;
+          case Op::FDiv: Out.F = L.F / R.F; break;
+          case Op::And: Out.I = L.I & R.I; break;
+          case Op::Or: Out.I = L.I | R.I; break;
+          case Op::Xor: Out.I = L.I ^ R.I; break;
+          case Op::Shl: Out.I = L.I << (R.I & 63); break;
+          case Op::AShr: Out.I = L.I >> (R.I & 63); break;
+          }
+          Frame[I] = Out;
+          break;
+        }
+        case Value::ValueKind::InstCmp: {
+          auto *Cmp = cast<CmpInst>(I);
+          Slot L = evalOperand(Cmp->getLHS(), Frame);
+          Slot R = evalOperand(Cmp->getRHS(), Frame);
+          bool B = false;
+          using P = CmpInst::Predicate;
+          switch (Cmp->getPredicate()) {
+          case P::EQ: B = L.I == R.I; break;
+          case P::NE: B = L.I != R.I; break;
+          case P::SLT: B = L.I < R.I; break;
+          case P::SLE: B = L.I <= R.I; break;
+          case P::SGT: B = L.I > R.I; break;
+          case P::SGE: B = L.I >= R.I; break;
+          case P::OEQ: B = L.F == R.F; break;
+          case P::ONE: B = L.F != R.F; break;
+          case P::OLT: B = L.F < R.F; break;
+          case P::OLE: B = L.F <= R.F; break;
+          case P::OGT: B = L.F > R.F; break;
+          case P::OGE: B = L.F >= R.F; break;
+          }
+          Frame[I] = Slot{.I = B ? 1 : 0};
+          break;
+        }
+        case Value::ValueKind::InstCast: {
+          auto *Cast = gr::cast<CastInst>(I);
+          Slot S = evalOperand(Cast->getSrc(), Frame);
+          Slot Out{.I = 0};
+          switch (Cast->getCastKind()) {
+          case CastInst::CastKind::SIToFP:
+            Out.F = static_cast<double>(S.I);
+            break;
+          case CastInst::CastKind::FPToSI:
+            Out.I = static_cast<int64_t>(S.F);
+            break;
+          case CastInst::CastKind::ZExt:
+            Out.I = S.I & 1;
+            break;
+          case CastInst::CastKind::Trunc:
+            Out.I = S.I & 1;
+            break;
+          }
+          Frame[I] = Out;
+          break;
+        }
+        case Value::ValueKind::InstAlloca: {
+          auto *AI = cast<AllocaInst>(I);
+          Frame[I] = Slot{.Ptr = Mem.allocateStack(
+                              AI->getAllocatedType()->getSizeInBytes())};
+          break;
+        }
+        case Value::ValueKind::InstLoad: {
+          auto *Load = cast<LoadInst>(I);
+          uint64_t Addr = evalOperand(Load->getPointer(), Frame).Ptr;
+          if (!Addr)
+            reportFatalError("interpreter: load through null");
+          Frame[I] = Slot{.I = Mem.readInt(Addr)};
+          break;
+        }
+        case Value::ValueKind::InstStore: {
+          auto *Store = cast<StoreInst>(I);
+          Slot V = evalOperand(Store->getStoredValue(), Frame);
+          uint64_t Addr = evalOperand(Store->getPointer(), Frame).Ptr;
+          if (!Addr)
+            reportFatalError("interpreter: store through null");
+          Mem.writeInt(Addr, V.I);
+          break;
+        }
+        case Value::ValueKind::InstGEP: {
+          auto *GEP = cast<GEPInst>(I);
+          uint64_t Base = evalOperand(GEP->getPointer(), Frame).Ptr;
+          int64_t Index = evalOperand(GEP->getIndex(), Frame).I;
+          uint64_t Elem = GEP->getElementType()->getSizeInBytes();
+          Frame[I] =
+              Slot{.Ptr = Base + static_cast<uint64_t>(Index) * Elem};
+          break;
+        }
+        case Value::ValueKind::InstCall: {
+          auto *Call = cast<CallInst>(I);
+          Function *Callee = Call->getCallee();
+          std::vector<Slot> CallArgs;
+          for (unsigned A = 0, AE = Call->getNumArgs(); A != AE; ++A)
+            CallArgs.push_back(evalOperand(Call->getArg(A), Frame));
+          if (Callee->isDeclaration())
+            Frame[I] = callBuiltin(Callee, Call, CallArgs);
+          else
+            Frame[I] = call(Callee, CallArgs);
+          break;
+        }
+        case Value::ValueKind::InstSelect: {
+          auto *Sel = cast<SelectInst>(I);
+          Slot C = evalOperand(Sel->getCondition(), Frame);
+          Frame[I] = evalOperand(C.I ? Sel->getTrueValue()
+                                     : Sel->getFalseValue(),
+                                 Frame);
+          break;
+        }
+        case Value::ValueKind::InstBranch: {
+          auto *Br = cast<BranchInst>(I);
+          BasicBlock *Next;
+          if (Br->isConditional()) {
+            Slot C = evalOperand(Br->getCondition(), Frame);
+            Next = C.I ? Br->getSuccessor(0) : Br->getSuccessor(1);
+          } else {
+            Next = Br->getSuccessor(0);
+          }
+          PrevBlock = Block;
+          Block = Next;
+          Transferred = true;
+          break;
+        }
+        case Value::ValueKind::InstRet: {
+          auto *Ret = cast<RetInst>(I);
+          if (Ret->hasReturnValue())
+            Result = evalOperand(Ret->getReturnValue(), Frame);
+          Mem.restoreStack(StackMark);
+          --CallDepth;
+          return Result;
+        }
+        default:
+          gr_unreachable("unknown instruction kind in interpreter");
+        }
+        if (Transferred)
+          break;
+      }
+    }
+    if (!Transferred)
+      reportFatalError("interpreter: block fell through without terminator");
+  }
+}
+
+Slot Interpreter::callBuiltin(Function *Callee, const CallInst *Call,
+                              const std::vector<Slot> &Args) {
+  const std::string &Name = Callee->getName();
+  if (startsWith(Name, "__gr_")) {
+    if (!Intrinsic)
+      reportFatalError("interpreter: no handler installed for intrinsic");
+    return Intrinsic(*this, Call, Args);
+  }
+  Slot Out{.I = 0};
+  if (Name == "sqrt")
+    Out.F = std::sqrt(Args[0].F);
+  else if (Name == "log")
+    Out.F = std::log(Args[0].F);
+  else if (Name == "exp")
+    Out.F = std::exp(Args[0].F);
+  else if (Name == "sin")
+    Out.F = std::sin(Args[0].F);
+  else if (Name == "cos")
+    Out.F = std::cos(Args[0].F);
+  else if (Name == "fabs")
+    Out.F = std::fabs(Args[0].F);
+  else if (Name == "floor")
+    Out.F = std::floor(Args[0].F);
+  else if (Name == "fmin")
+    Out.F = std::fmin(Args[0].F, Args[1].F);
+  else if (Name == "fmax")
+    Out.F = std::fmax(Args[0].F, Args[1].F);
+  else if (Name == "pow")
+    Out.F = std::pow(Args[0].F, Args[1].F);
+  else if (Name == "imin")
+    Out.I = Args[0].I < Args[1].I ? Args[0].I : Args[1].I;
+  else if (Name == "imax")
+    Out.I = Args[0].I > Args[1].I ? Args[0].I : Args[1].I;
+  else if (Name == "print_i64")
+    Output += std::to_string(Args[0].I) + "\n";
+  else if (Name == "print_f64")
+    Output += formatDouble(Args[0].F, 6) + "\n";
+  else if (Name == "gr_rand") {
+    RandState = RandState * 6364136223846793005ULL + 1442695040888963407ULL;
+    Out.F = static_cast<double>((RandState >> 11) & ((1ULL << 53) - 1)) /
+            static_cast<double>(1ULL << 53);
+  } else if (Name == "gr_rand_seed") {
+    seedRandom(static_cast<uint64_t>(Args[0].I));
+  } else {
+    reportFatalError("interpreter: call to unknown external function");
+  }
+  return Out;
+}

@@ -1,0 +1,105 @@
+//===- Interpreter.h - IR interpreter with profiling ----------*- C++ -*-===//
+///
+/// \file
+/// Executes SSA modules directly. Supplies the math/print/rand
+/// builtins, counts executed instructions per basic block (the
+/// profiler behind the runtime-coverage figures), and exposes an
+/// intrinsic hook so the parallel-reduction runtime can intercept
+/// calls to outlined loop bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_INTERP_INTERPRETER_H
+#define GR_INTERP_INTERPRETER_H
+
+#include "interp/Memory.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class Argument;
+class BasicBlock;
+class CallInst;
+class Function;
+class GlobalVariable;
+class Instruction;
+class Module;
+class Value;
+
+/// One dynamic value: scalar slots and addresses share 8 bytes.
+union Slot {
+  int64_t I;
+  double F;
+  uint64_t Ptr;
+};
+
+/// Execution statistics and profile.
+struct ExecProfile {
+  uint64_t InstructionsExecuted = 0;
+  std::map<const BasicBlock *, uint64_t> BlockCounts;
+};
+
+/// The interpreter for one module instance.
+class Interpreter {
+public:
+  explicit Interpreter(Module &M);
+
+  /// Calls \p F with \p Args and returns its result (undefined Slot
+  /// for void functions).
+  Slot call(Function *F, const std::vector<Slot> &Args);
+
+  /// Convenience: runs "main" with no arguments.
+  int64_t runMain();
+
+  Memory &getMemory() { return Mem; }
+  const ExecProfile &getProfile() const { return Profile; }
+  uint64_t instructionCount() const { return Profile.InstructionsExecuted; }
+
+  /// Address of a global in interpreter memory.
+  uint64_t addressOfGlobal(const GlobalVariable *GV) const;
+
+  /// Captured output of print_i64/print_f64.
+  const std::string &getOutput() const { return Output; }
+
+  /// Handler invoked for calls to intrinsics (function declarations
+  /// whose name starts with "__gr_"). Receives the call and evaluated
+  /// arguments; returns the call's result slot.
+  using IntrinsicHandler =
+      std::function<Slot(Interpreter &, const CallInst *,
+                         const std::vector<Slot> &)>;
+  void setIntrinsicHandler(IntrinsicHandler Handler) {
+    Intrinsic = std::move(Handler);
+  }
+
+  /// Deterministic LCG used by the gr_rand builtin.
+  void seedRandom(uint64_t Seed) { RandState = Seed * 2 + 1; }
+
+  /// Aborts execution (via reportFatalError) after this many
+  /// instructions; guards tests against runaway loops.
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+
+private:
+  Slot evalOperand(const Value *V,
+                   const std::map<const Value *, Slot> &Frame) const;
+  Slot callBuiltin(Function *Callee, const CallInst *Call,
+                   const std::vector<Slot> &Args);
+
+  Module &M;
+  Memory Mem;
+  ExecProfile Profile;
+  std::map<const GlobalVariable *, uint64_t> GlobalAddrs;
+  std::string Output;
+  IntrinsicHandler Intrinsic;
+  uint64_t RandState = 12345;
+  uint64_t StepLimit = UINT64_MAX;
+  unsigned CallDepth = 0;
+};
+
+} // namespace gr
+
+#endif // GR_INTERP_INTERPRETER_H

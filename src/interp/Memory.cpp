@@ -1,0 +1,25 @@
+//===- Memory.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "interp/Memory.h"
+
+using namespace gr;
+
+uint64_t Memory::allocatePermanent(uint64_t Bytes) {
+  uint64_t Addr = PermanentTop;
+  PermanentTop += (Bytes + 7) & ~uint64_t(7);
+  if (PermanentTop > Permanent.size())
+    Permanent.resize(PermanentTop * 2, 0);
+  return Addr;
+}
+
+uint64_t Memory::allocateStack(uint64_t Bytes) {
+  uint64_t Addr = StackTop;
+  StackTop += (Bytes + 7) & ~uint64_t(7);
+  if (StackTop > Stack.size())
+    Stack.resize(StackTop * 2, 0);
+  // Allocas are not guaranteed zeroed by C, but a deterministic value
+  // keeps runs reproducible.
+  for (uint64_t I = Addr; I < StackTop; ++I)
+    Stack[I] = 0;
+  return Addr | StackTag;
+}

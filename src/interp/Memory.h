@@ -1,0 +1,65 @@
+//===- Memory.h - flat interpreter memory ---------------------*- C++ -*-===//
+///
+/// \file
+/// The interpreter's address space: a permanent region (globals and
+/// runtime-allocated buffers such as private histogram copies) and a
+/// stack region for allocas. The two regions live in separate buffers
+/// and are distinguished by an address tag bit, so either can grow
+/// without invalidating pointers into the other. Address 0 is null.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_INTERP_MEMORY_H
+#define GR_INTERP_MEMORY_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace gr {
+
+/// Interpreter memory. All scalar slots are 8 bytes.
+class Memory {
+public:
+  static constexpr uint64_t StackTag = uint64_t(1) << 40;
+
+  /// Permanent allocation (globals, runtime buffers). Zero-filled.
+  uint64_t allocatePermanent(uint64_t Bytes);
+
+  /// Stack allocation for allocas; released via restoreStack.
+  uint64_t allocateStack(uint64_t Bytes);
+  uint64_t stackMark() const { return StackTop; }
+  void restoreStack(uint64_t Mark) { StackTop = Mark; }
+
+  int64_t readInt(uint64_t Addr) const {
+    int64_t V;
+    std::memcpy(&V, slot(Addr), 8);
+    return V;
+  }
+  double readFloat(uint64_t Addr) const {
+    double V;
+    std::memcpy(&V, slot(Addr), 8);
+    return V;
+  }
+  void writeInt(uint64_t Addr, int64_t V) { std::memcpy(slot(Addr), &V, 8); }
+  void writeFloat(uint64_t Addr, double V) {
+    std::memcpy(slot(Addr), &V, 8);
+  }
+
+private:
+  const uint8_t *slot(uint64_t Addr) const {
+    return (Addr & StackTag) ? &Stack[Addr & ~StackTag] : &Permanent[Addr];
+  }
+  uint8_t *slot(uint64_t Addr) {
+    return (Addr & StackTag) ? &Stack[Addr & ~StackTag] : &Permanent[Addr];
+  }
+
+  std::vector<uint8_t> Permanent = std::vector<uint8_t>(4096, 0);
+  std::vector<uint8_t> Stack = std::vector<uint8_t>(4096, 0);
+  uint64_t PermanentTop = 8; // Skip address 0 (null).
+  uint64_t StackTop = 8;
+};
+
+} // namespace gr
+
+#endif // GR_INTERP_MEMORY_H

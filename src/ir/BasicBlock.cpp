@@ -1,0 +1,91 @@
+//===- BasicBlock.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/BasicBlock.h"
+
+#include "ir/Function.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace gr;
+
+BasicBlock::BasicBlock(TypeContext &Ctx, Function *Parent)
+    : Value(ValueKind::BasicBlock, Ctx.getVoid()), Parent(Parent) {}
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
+  Inst->Parent = this;
+  Insts.push_back(std::move(Inst));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Index,
+                                  std::unique_ptr<Instruction> Inst) {
+  assert(Index <= Insts.size() && "insertion index out of range");
+  Inst->Parent = this;
+  Instruction *Raw = Inst.get();
+  Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Index),
+               std::move(Inst));
+  return Raw;
+}
+
+void BasicBlock::erase(Instruction *Inst) {
+  assert(!Inst->hasUses() && "erasing an instruction that is still used");
+  size_t Index = indexOf(Inst);
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Index));
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction *Inst) {
+  size_t Index = indexOf(Inst);
+  std::unique_ptr<Instruction> Owned = std::move(Insts[Index]);
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Index));
+  Owned->Parent = nullptr;
+  return Owned;
+}
+
+Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty() || !Insts.back()->isTerminator())
+    return nullptr;
+  return Insts.back().get();
+}
+
+size_t BasicBlock::indexOf(const Instruction *Inst) const {
+  for (size_t I = 0, E = Insts.size(); I != E; ++I)
+    if (Insts[I].get() == Inst)
+      return I;
+  gr_unreachable("instruction not in this block");
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  Instruction *Term = getTerminator();
+  if (auto *Br = dyn_cast_or_null<BranchInst>(Term))
+    for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+      Result.push_back(Br->getSuccessor(I));
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Result;
+  for (const Use &U : uses()) {
+    auto *Br = dyn_cast<BranchInst>(static_cast<Value *>(U.TheUser));
+    if (!Br || !Br->getParent())
+      continue;
+    // A conditional branch with both targets equal to this block must
+    // still contribute a single predecessor entry.
+    if (std::find(Result.begin(), Result.end(), Br->getParent()) ==
+        Result.end())
+      Result.push_back(Br->getParent());
+  }
+  return Result;
+}
+
+std::vector<PhiInst *> BasicBlock::phis() const {
+  std::vector<PhiInst *> Result;
+  for (Instruction *I : *this) {
+    auto *Phi = dyn_cast<PhiInst>(I);
+    if (!Phi)
+      break;
+    Result.push_back(Phi);
+  }
+  return Result;
+}

@@ -1,0 +1,94 @@
+//===- BasicBlock.h - a straight-line instruction sequence ----*- C++ -*-===//
+///
+/// \file
+/// BasicBlock: an ordered list of instructions ending in a terminator.
+/// Blocks are Values so branches and phis can reference them, which in
+/// turn makes predecessor queries a use-list walk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_BASICBLOCK_H
+#define GR_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace gr {
+
+class Function;
+class TypeContext;
+
+/// A single-entry straight-line code region. Owns its instructions.
+class BasicBlock : public Value {
+public:
+  Function *getParent() const { return Parent; }
+
+  /// Appends \p Inst, taking ownership. Returns the raw pointer.
+  Instruction *append(std::unique_ptr<Instruction> Inst);
+
+  /// Inserts \p Inst before position \p Index, taking ownership.
+  Instruction *insertAt(size_t Index, std::unique_ptr<Instruction> Inst);
+
+  /// Unlinks and destroys \p Inst, which must have no remaining uses.
+  void erase(Instruction *Inst);
+
+  /// Removes \p Inst from this block without destroying it (used when
+  /// moving instructions between blocks).
+  std::unique_ptr<Instruction> detach(Instruction *Inst);
+
+  size_t size() const { return Insts.size(); }
+  bool empty() const { return Insts.empty(); }
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// The block's terminator, or null while under construction.
+  Instruction *getTerminator() const;
+
+  /// Index of \p Inst within this block; instructions compare by
+  /// position through this.
+  size_t indexOf(const Instruction *Inst) const;
+
+  std::vector<BasicBlock *> successors() const;
+  std::vector<BasicBlock *> predecessors() const;
+
+  /// The phi nodes at the head of the block.
+  std::vector<PhiInst *> phis() const;
+
+  /// Iteration over raw instruction pointers in order.
+  class iterator {
+  public:
+    using Container = std::vector<std::unique_ptr<Instruction>>;
+    iterator(const Container *C, size_t I) : C(C), I(I) {}
+    Instruction *operator*() const { return (*C)[I].get(); }
+    iterator &operator++() {
+      ++I;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return I != O.I; }
+    bool operator==(const iterator &O) const { return I == O.I; }
+
+  private:
+    const Container *C;
+    size_t I;
+  };
+  iterator begin() const { return iterator(&Insts, 0); }
+  iterator end() const { return iterator(&Insts, Insts.size()); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::BasicBlock;
+  }
+
+private:
+  friend class Function;
+  BasicBlock(TypeContext &Ctx, Function *Parent);
+
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace gr
+
+#endif // GR_IR_BASICBLOCK_H

@@ -1,0 +1,104 @@
+//===- Constant.h - constants, arguments, globals -------------*- C++ -*-===//
+///
+/// \file
+/// Compile-time constants (uniqued per Module), function arguments and
+/// module-level global variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_CONSTANT_H
+#define GR_IR_CONSTANT_H
+
+#include "ir/Type.h"
+#include "ir/Value.h"
+
+namespace gr {
+
+class Function;
+class Module;
+
+/// Integer constant of type i1 or i64.
+class ConstantInt : public Value {
+public:
+  int64_t getValue() const { return IntValue; }
+  bool isZero() const { return IntValue == 0; }
+  bool isOne() const { return IntValue == 1; }
+
+  /// Returns the uniqued i64 constant \p V in \p M.
+  static ConstantInt *get(Module &M, int64_t V);
+  /// Returns the uniqued i1 constant \p V in \p M.
+  static ConstantInt *getBool(Module &M, bool V);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  friend class Module;
+  ConstantInt(Type *Ty, int64_t V)
+      : Value(ValueKind::ConstantInt, Ty), IntValue(V) {}
+
+  int64_t IntValue;
+};
+
+/// Floating point constant of type f64.
+class ConstantFloat : public Value {
+public:
+  double getValue() const { return FloatValue; }
+
+  /// Returns the uniqued f64 constant \p V in \p M.
+  static ConstantFloat *get(Module &M, double V);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantFloat;
+  }
+
+private:
+  friend class Module;
+  ConstantFloat(Type *Ty, double V)
+      : Value(ValueKind::ConstantFloat, Ty), FloatValue(V) {}
+
+  double FloatValue;
+};
+
+/// Formal parameter of a Function.
+class Argument : public Value {
+public:
+  Function *getParent() const { return Parent; }
+  unsigned getArgIndex() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Argument;
+  }
+
+private:
+  friend class Function;
+  Argument(Type *Ty, Function *Parent, unsigned Index)
+      : Value(ValueKind::Argument, Ty), Parent(Parent), Index(Index) {}
+
+  Function *Parent;
+  unsigned Index;
+};
+
+/// Module-level zero-initialized variable. Its Value type is a pointer
+/// to the contained type (like an LLVM global).
+class GlobalVariable : public Value {
+public:
+  /// The type of the storage this global names (the pointee).
+  Type *getContainedType() const { return Contained; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  friend class Module;
+  GlobalVariable(PointerType *PtrTy, Type *Contained)
+      : Value(ValueKind::GlobalVariable, PtrTy), Contained(Contained) {}
+
+  Type *Contained;
+};
+
+} // namespace gr
+
+#endif // GR_IR_CONSTANT_H

@@ -1,0 +1,62 @@
+//===- Function.cpp -------------------------------------------*- C++ -*-===//
+
+#include "ir/Function.h"
+
+#include "ir/Module.h"
+
+using namespace gr;
+
+Function::Function(Module *Parent, FunctionType *FT, std::string Name)
+    : Value(ValueKind::Function, FT), Parent(Parent) {
+  setName(std::move(Name));
+  for (unsigned I = 0, E = FT->getNumParams(); I != E; ++I)
+    Args.emplace_back(new Argument(FT->getParamType(I), this, I));
+}
+
+Function::~Function() {
+  dropAllReferences();
+  // Destroy instructions before blocks die: erase every instruction
+  // explicitly so block Values have no instruction uses left.
+  for (auto &BB : Blocks)
+    while (!BB->empty())
+      BB->erase(BB->back());
+}
+
+BasicBlock *Function::createBlock(std::string Name) {
+  auto *BB = new BasicBlock(Parent->getTypeContext(), this);
+  BB->setName(std::move(Name));
+  Blocks.emplace_back(BB);
+  return BB;
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  for (Instruction *I : *BB)
+    I->dropAllReferences();
+  while (!BB->empty())
+    BB->erase(BB->back());
+  for (size_t I = 0, E = Blocks.size(); I != E; ++I) {
+    if (Blocks[I].get() == BB) {
+      assert(!BB->hasUses() && "erasing a block that is still referenced");
+      Blocks.erase(Blocks.begin() + static_cast<ptrdiff_t>(I));
+      return;
+    }
+  }
+}
+
+std::vector<Value *> Function::allValues() const {
+  std::vector<Value *> Result;
+  for (const auto &Arg : Args)
+    Result.push_back(Arg.get());
+  for (const auto &BB : Blocks) {
+    Result.push_back(BB.get());
+    for (Instruction *I : *BB)
+      Result.push_back(I);
+  }
+  return Result;
+}
+
+void Function::dropAllReferences() {
+  for (auto &BB : Blocks)
+    for (Instruction *I : *BB)
+      I->dropAllReferences();
+}

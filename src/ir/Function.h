@@ -1,0 +1,111 @@
+//===- Function.h - IR function -------------------------------*- C++ -*-===//
+///
+/// \file
+/// Function: arguments plus an ordered list of basic blocks (the first
+/// is the entry). Declarations (externals such as sqrt) have no blocks
+/// and carry a purity attribute that the idiom detection consults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_FUNCTION_H
+#define GR_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Constant.h"
+#include "ir/Type.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class Module;
+
+/// A function definition or declaration.
+class Function : public Value {
+public:
+  Module *getParent() const { return Parent; }
+  FunctionType *getFunctionType() const {
+    return cast<FunctionType>(getType());
+  }
+  Type *getReturnType() const {
+    return getFunctionType()->getReturnType();
+  }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  /// True if calls to this function have no side effects and the
+  /// result depends only on the arguments. Externals are pure iff
+  /// declared so (math builtins); definitions can be computed by the
+  /// purity analysis and cached here.
+  bool isPure() const { return Pure; }
+  void setPure(bool P) { Pure = P; }
+
+  unsigned getNumArgs() const {
+    return static_cast<unsigned>(Args.size());
+  }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+
+  /// Creates and appends a new basic block.
+  BasicBlock *createBlock(std::string Name);
+
+  /// Unlinks and destroys \p BB, dropping all references first.
+  void eraseBlock(BasicBlock *BB);
+
+  size_t size() const { return Blocks.size(); }
+  bool empty() const { return Blocks.empty(); }
+  BasicBlock *getEntry() const {
+    assert(!Blocks.empty() && "declaration has no entry block");
+    return Blocks.front().get();
+  }
+
+  /// Iteration over blocks in layout order.
+  class iterator {
+  public:
+    using Container = std::vector<std::unique_ptr<BasicBlock>>;
+    iterator(const Container *C, size_t I) : C(C), I(I) {}
+    BasicBlock *operator*() const { return (*C)[I].get(); }
+    iterator &operator++() {
+      ++I;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return I != O.I; }
+
+  private:
+    const Container *C;
+    size_t I;
+  };
+  iterator begin() const { return iterator(&Blocks, 0); }
+  iterator end() const { return iterator(&Blocks, Blocks.size()); }
+
+  /// All values the constraint solver may bind: arguments, blocks and
+  /// instructions of this function (constants and globals are offered
+  /// separately by the atoms that accept them).
+  std::vector<Value *> allValues() const;
+
+  /// Unlinks every instruction from its operands; required before
+  /// destroying a function whose instructions form reference cycles
+  /// (phis).
+  void dropAllReferences();
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Function;
+  }
+
+  ~Function() override;
+
+private:
+  friend class Module;
+  Function(Module *Parent, FunctionType *FT, std::string Name);
+
+  Module *Parent;
+  bool Pure = false;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace gr
+
+#endif // GR_IR_FUNCTION_H

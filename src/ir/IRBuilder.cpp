@@ -1,0 +1,78 @@
+//===- IRBuilder.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/IRBuilder.h"
+
+using namespace gr;
+
+BinaryInst *IRBuilder::createBinary(BinaryInst::BinaryOp Op, Value *LHS,
+                                    Value *RHS, std::string Name) {
+  return insert(new BinaryInst(Op, LHS, RHS), std::move(Name));
+}
+
+CmpInst *IRBuilder::createCmp(CmpInst::Predicate Pred, Value *LHS,
+                              Value *RHS, std::string Name) {
+  return insert(new CmpInst(getTypes(), Pred, LHS, RHS), std::move(Name));
+}
+
+CastInst *IRBuilder::createCast(CastInst::CastKind Kind, Value *Src,
+                                std::string Name) {
+  return insert(new CastInst(getTypes(), Kind, Src), std::move(Name));
+}
+
+AllocaInst *IRBuilder::createAlloca(Type *Allocated, std::string Name) {
+  return insert(new AllocaInst(getTypes(), Allocated), std::move(Name));
+}
+
+LoadInst *IRBuilder::createLoad(Value *Ptr, std::string Name) {
+  return insert(new LoadInst(Ptr), std::move(Name));
+}
+
+StoreInst *IRBuilder::createStore(Value *Val, Value *Ptr) {
+  return insert(new StoreInst(getTypes(), Val, Ptr), "");
+}
+
+GEPInst *IRBuilder::createGEP(Value *Ptr, Value *Index, std::string Name) {
+  return insert(new GEPInst(getTypes(), Ptr, Index), std::move(Name));
+}
+
+PhiInst *IRBuilder::createPhi(Type *Ty, std::string Name) {
+  // Phis must stay grouped at the block head; insert after the last phi.
+  assert(Block && "no insertion block set");
+  auto *Phi = new PhiInst(Ty);
+  if (!Name.empty())
+    Phi->setName(std::move(Name));
+  size_t Index = 0;
+  for (Instruction *I : *Block) {
+    if (!isa<PhiInst>(I))
+      break;
+    ++Index;
+  }
+  Block->insertAt(Index, std::unique_ptr<Instruction>(Phi));
+  return Phi;
+}
+
+CallInst *IRBuilder::createCall(Function *Callee,
+                                const std::vector<Value *> &Args,
+                                std::string Name) {
+  return insert(new CallInst(Callee, Args), std::move(Name));
+}
+
+BranchInst *IRBuilder::createBr(BasicBlock *Target) {
+  return insert(new BranchInst(getTypes(), Target), "");
+}
+
+BranchInst *IRBuilder::createCondBr(Value *Cond, BasicBlock *TrueTarget,
+                                    BasicBlock *FalseTarget) {
+  return insert(new BranchInst(getTypes(), Cond, TrueTarget, FalseTarget),
+                "");
+}
+
+RetInst *IRBuilder::createRet(Value *V) {
+  return insert(new RetInst(getTypes(), V), "");
+}
+
+SelectInst *IRBuilder::createSelect(Value *Cond, Value *TrueValue,
+                                    Value *FalseValue, std::string Name) {
+  return insert(new SelectInst(Cond, TrueValue, FalseValue),
+                std::move(Name));
+}

@@ -1,0 +1,78 @@
+//===- IRBuilder.h - convenience instruction factory ----------*- C++ -*-===//
+///
+/// \file
+/// IRBuilder appends instructions to an insertion block, mirroring
+/// llvm::IRBuilder. All create* calls return the new instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_IRBUILDER_H
+#define GR_IR_IRBUILDER_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+
+namespace gr {
+
+/// Builds instructions at the end of a chosen basic block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &getModule() { return M; }
+  TypeContext &getTypes() { return M.getTypeContext(); }
+
+  void setInsertBlock(BasicBlock *BB) { Block = BB; }
+  BasicBlock *getInsertBlock() const { return Block; }
+
+  BinaryInst *createBinary(BinaryInst::BinaryOp Op, Value *LHS, Value *RHS,
+                           std::string Name = "");
+  BinaryInst *createAdd(Value *L, Value *R, std::string Name = "") {
+    return createBinary(BinaryInst::BinaryOp::Add, L, R, std::move(Name));
+  }
+  BinaryInst *createMul(Value *L, Value *R, std::string Name = "") {
+    return createBinary(BinaryInst::BinaryOp::Mul, L, R, std::move(Name));
+  }
+  BinaryInst *createFAdd(Value *L, Value *R, std::string Name = "") {
+    return createBinary(BinaryInst::BinaryOp::FAdd, L, R, std::move(Name));
+  }
+
+  CmpInst *createCmp(CmpInst::Predicate Pred, Value *LHS, Value *RHS,
+                     std::string Name = "");
+  CastInst *createCast(CastInst::CastKind Kind, Value *Src,
+                       std::string Name = "");
+  AllocaInst *createAlloca(Type *Allocated, std::string Name = "");
+  LoadInst *createLoad(Value *Ptr, std::string Name = "");
+  StoreInst *createStore(Value *Val, Value *Ptr);
+  GEPInst *createGEP(Value *Ptr, Value *Index, std::string Name = "");
+  PhiInst *createPhi(Type *Ty, std::string Name = "");
+  CallInst *createCall(Function *Callee, const std::vector<Value *> &Args,
+                       std::string Name = "");
+  BranchInst *createBr(BasicBlock *Target);
+  BranchInst *createCondBr(Value *Cond, BasicBlock *TrueTarget,
+                           BasicBlock *FalseTarget);
+  RetInst *createRet(Value *V = nullptr);
+  SelectInst *createSelect(Value *Cond, Value *TrueValue, Value *FalseValue,
+                           std::string Name = "");
+
+  ConstantInt *getInt64(int64_t V) { return M.getConstantInt(V); }
+  ConstantInt *getBool(bool V) { return M.getConstantBool(V); }
+  ConstantFloat *getFloat(double V) { return M.getConstantFloat(V); }
+
+private:
+  template <typename T> T *insert(T *Inst, std::string Name) {
+    assert(Block && "no insertion block set");
+    if (!Name.empty())
+      Inst->setName(std::move(Name));
+    Block->append(std::unique_ptr<Instruction>(Inst));
+    return Inst;
+  }
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace gr
+
+#endif // GR_IR_IRBUILDER_H

@@ -1,0 +1,170 @@
+//===- IRPrinter.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace gr;
+
+namespace {
+
+/// Assigns stable printed names to the values of one function.
+class SlotTracker {
+public:
+  explicit SlotTracker(const Function &F) {
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      nameValue(F.getArg(I));
+    for (BasicBlock *BB : F) {
+      nameValue(BB);
+      for (Instruction *I : *BB)
+        if (!I->getType()->isVoid())
+          nameValue(I);
+    }
+  }
+
+  std::string getName(const Value *V) {
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    // Values from outside the function body (constants, globals,
+    // functions) are rendered inline.
+    return renderOutOfLine(V);
+  }
+
+  static std::string renderOutOfLine(const Value *V) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return std::to_string(CI->getValue());
+    if (const auto *CF = dyn_cast<ConstantFloat>(V))
+      return formatDouble(CF->getValue(), 6);
+    if (isa<GlobalVariable>(V))
+      return "@" + V->getName();
+    if (isa<Function>(V))
+      return "@" + V->getName();
+    return "<badref>";
+  }
+
+private:
+  void nameValue(const Value *V) {
+    std::string Base = V->hasName() ? V->getName() : std::to_string(Next++);
+    std::string Candidate = Base;
+    unsigned Suffix = 1;
+    while (Taken.count(Candidate))
+      Candidate = Base + "." + std::to_string(Suffix++);
+    Taken[Candidate] = true;
+    Names[V] = (isa<BasicBlock>(V) ? "^" : "%") + Candidate;
+  }
+
+  std::map<const Value *, std::string> Names;
+  std::map<std::string, bool> Taken;
+  unsigned Next = 0;
+};
+
+void printInstruction(const Instruction *I, SlotTracker &Slots,
+                      OStream &OS) {
+  OS << "  ";
+  if (!I->getType()->isVoid())
+    OS << Slots.getName(I) << " = ";
+  OS << I->getOpcodeName();
+
+  if (const auto *Cmp = dyn_cast<CmpInst>(I))
+    OS << ' ' << CmpInst::getPredicateName(Cmp->getPredicate());
+  if (const auto *AI = dyn_cast<AllocaInst>(I)) {
+    OS << ' ' << AI->getAllocatedType()->getString() << '\n';
+    return;
+  }
+
+  if (const auto *Phi = dyn_cast<PhiInst>(I)) {
+    OS << ' ' << Phi->getType()->getString();
+    for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+      OS << (K ? ", " : " ");
+      OS << '[' << Slots.getName(Phi->getIncomingValue(K)) << ", "
+         << Slots.getName(Phi->getIncomingBlock(K)) << ']';
+    }
+    OS << '\n';
+    return;
+  }
+
+  bool First = true;
+  for (Value *Op : cast<User>(I)->operands()) {
+    OS << (First ? " " : ", ");
+    First = false;
+    OS << Slots.getName(Op);
+  }
+  if (!I->getType()->isVoid() && !isa<CallInst>(I))
+    OS << " : " << I->getType()->getString();
+  OS << '\n';
+}
+
+} // namespace
+
+void gr::printFunction(const Function &F, OStream &OS) {
+  SlotTracker Slots(F);
+  const FunctionType *FT = F.getFunctionType();
+  OS << (F.isDeclaration() ? "declare " : "define ")
+     << FT->getReturnType()->getString() << " @" << F.getName() << '(';
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << FT->getParamType(I)->getString() << ' '
+       << Slots.getName(F.getArg(I));
+  }
+  OS << ')';
+  if (F.isPure())
+    OS << " pure";
+  if (F.isDeclaration()) {
+    OS << '\n';
+    return;
+  }
+  OS << " {\n";
+  for (BasicBlock *BB : F) {
+    OS << Slots.getName(BB).substr(1) << ":\n";
+    for (Instruction *I : *BB)
+      printInstruction(I, Slots, OS);
+  }
+  OS << "}\n";
+}
+
+void gr::printModule(const Module &M, OStream &OS) {
+  OS << "; module " << M.getName() << '\n';
+  for (const auto &GV : M.globals())
+    OS << '@' << GV->getName() << " = global "
+       << GV->getContainedType()->getString() << '\n';
+  for (const auto &F : M.functions()) {
+    OS << '\n';
+    printFunction(*F, OS);
+  }
+}
+
+std::string gr::moduleToString(const Module &M) {
+  std::string Out;
+  StringOStream OS(Out);
+  printModule(M, OS);
+  return Out;
+}
+
+std::string gr::functionToString(const Function &F) {
+  std::string Out;
+  StringOStream OS(Out);
+  printFunction(F, OS);
+  return Out;
+}
+
+std::string gr::valueShortName(const Value *V) {
+  if (!V)
+    return "<null>";
+  if (isa<ConstantInt>(V) || isa<ConstantFloat>(V) ||
+      isa<GlobalVariable>(V) || isa<Function>(V))
+    return SlotTracker::renderOutOfLine(V);
+  if (V->hasName())
+    return (isa<BasicBlock>(V) ? "^" : "%") + V->getName();
+  if (const auto *I = dyn_cast<Instruction>(V))
+    return "%<" + std::string(I->getOpcodeName()) + ">";
+  return "<anon>";
+}

@@ -1,0 +1,39 @@
+//===- IRPrinter.h - textual IR output ------------------------*- C++ -*-===//
+///
+/// \file
+/// Prints modules/functions in an LLVM-like textual syntax. Unnamed
+/// values get sequential %N numbers per function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_IRPRINTER_H
+#define GR_IR_IRPRINTER_H
+
+#include <string>
+
+namespace gr {
+
+class Function;
+class Module;
+class OStream;
+class Value;
+
+/// Prints \p M to \p OS.
+void printModule(const Module &M, OStream &OS);
+
+/// Prints \p F to \p OS.
+void printFunction(const Function &F, OStream &OS);
+
+/// Convenience: returns the textual form of \p M.
+std::string moduleToString(const Module &M);
+
+/// Convenience: returns the textual form of \p F.
+std::string functionToString(const Function &F);
+
+/// Short human-readable handle for any value ("%sum", "42", "^body"),
+/// used in diagnostics and detection reports.
+std::string valueShortName(const Value *V);
+
+} // namespace gr
+
+#endif // GR_IR_IRPRINTER_H

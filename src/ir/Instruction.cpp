@@ -1,0 +1,276 @@
+//===- Instruction.cpp ----------------------------------------*- C++ -*-===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "support/ErrorHandling.h"
+
+using namespace gr;
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+bool Instruction::hasSideEffects() const {
+  if (isa<StoreInst>(this) || isTerminator())
+    return true;
+  if (const auto *Call = dyn_cast<CallInst>(this))
+    return !Call->getCallee()->isPure();
+  return false;
+}
+
+std::string_view Instruction::getOpcodeName() const {
+  switch (getKind()) {
+  case ValueKind::InstBinary:
+    return BinaryInst::getOpName(cast<BinaryInst>(this)->getBinaryOp());
+  case ValueKind::InstCmp:
+    return cast<CmpInst>(this)->isIntPredicate() ? "icmp" : "fcmp";
+  case ValueKind::InstCast:
+    switch (cast<CastInst>(this)->getCastKind()) {
+    case CastInst::CastKind::SIToFP:
+      return "sitofp";
+    case CastInst::CastKind::FPToSI:
+      return "fptosi";
+    case CastInst::CastKind::ZExt:
+      return "zext";
+    case CastInst::CastKind::Trunc:
+      return "trunc";
+    }
+    gr_unreachable("covered switch");
+  case ValueKind::InstAlloca:
+    return "alloca";
+  case ValueKind::InstLoad:
+    return "load";
+  case ValueKind::InstStore:
+    return "store";
+  case ValueKind::InstGEP:
+    return "gep";
+  case ValueKind::InstPhi:
+    return "phi";
+  case ValueKind::InstCall:
+    return "call";
+  case ValueKind::InstBranch:
+    return "br";
+  case ValueKind::InstRet:
+    return "ret";
+  case ValueKind::InstSelect:
+    return "select";
+  default:
+    gr_unreachable("not an instruction kind");
+  }
+}
+
+static Type *binaryResultType(BinaryInst::BinaryOp Op, Value *LHS) {
+  (void)Op;
+  return LHS->getType();
+}
+
+BinaryInst::BinaryInst(BinaryOp Op, Value *LHS, Value *RHS)
+    : Instruction(ValueKind::InstBinary, binaryResultType(Op, LHS)), Op(Op) {
+  assert(LHS->getType() == RHS->getType() &&
+         "binary operands must have matching types");
+  addOperand(LHS);
+  addOperand(RHS);
+}
+
+std::string_view BinaryInst::getOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "add";
+  case BinaryOp::Sub:
+    return "sub";
+  case BinaryOp::Mul:
+    return "mul";
+  case BinaryOp::SDiv:
+    return "sdiv";
+  case BinaryOp::SRem:
+    return "srem";
+  case BinaryOp::FAdd:
+    return "fadd";
+  case BinaryOp::FSub:
+    return "fsub";
+  case BinaryOp::FMul:
+    return "fmul";
+  case BinaryOp::FDiv:
+    return "fdiv";
+  case BinaryOp::And:
+    return "and";
+  case BinaryOp::Or:
+    return "or";
+  case BinaryOp::Xor:
+    return "xor";
+  case BinaryOp::Shl:
+    return "shl";
+  case BinaryOp::AShr:
+    return "ashr";
+  }
+  gr_unreachable("covered switch");
+}
+
+CmpInst::CmpInst(TypeContext &Ctx, Predicate Pred, Value *LHS, Value *RHS)
+    : Instruction(ValueKind::InstCmp, Ctx.getInt1()), Pred(Pred) {
+  assert(LHS->getType() == RHS->getType() &&
+         "compare operands must have matching types");
+  addOperand(LHS);
+  addOperand(RHS);
+}
+
+std::string_view CmpInst::getPredicateName(Predicate Pred) {
+  switch (Pred) {
+  case Predicate::EQ:
+    return "eq";
+  case Predicate::NE:
+    return "ne";
+  case Predicate::SLT:
+    return "slt";
+  case Predicate::SLE:
+    return "sle";
+  case Predicate::SGT:
+    return "sgt";
+  case Predicate::SGE:
+    return "sge";
+  case Predicate::OEQ:
+    return "oeq";
+  case Predicate::ONE:
+    return "one";
+  case Predicate::OLT:
+    return "olt";
+  case Predicate::OLE:
+    return "ole";
+  case Predicate::OGT:
+    return "ogt";
+  case Predicate::OGE:
+    return "oge";
+  }
+  gr_unreachable("covered switch");
+}
+
+static Type *castResultType(TypeContext &Ctx, CastInst::CastKind Kind) {
+  switch (Kind) {
+  case CastInst::CastKind::SIToFP:
+    return Ctx.getFloat64();
+  case CastInst::CastKind::FPToSI:
+    return Ctx.getInt64();
+  case CastInst::CastKind::ZExt:
+    return Ctx.getInt64();
+  case CastInst::CastKind::Trunc:
+    return Ctx.getInt1();
+  }
+  gr_unreachable("covered switch");
+}
+
+CastInst::CastInst(TypeContext &Ctx, CastKind Kind, Value *Src)
+    : Instruction(ValueKind::InstCast, castResultType(Ctx, Kind)), CK(Kind) {
+  addOperand(Src);
+}
+
+AllocaInst::AllocaInst(TypeContext &Ctx, Type *Allocated)
+    : Instruction(ValueKind::InstAlloca, Ctx.getPointer(Allocated)),
+      Allocated(Allocated) {}
+
+LoadInst::LoadInst(Value *Ptr)
+    : Instruction(ValueKind::InstLoad,
+                  cast<PointerType>(Ptr->getType())->getPointee()) {
+  assert(cast<PointerType>(Ptr->getType())->getPointee()->isScalar() ||
+         cast<PointerType>(Ptr->getType())->getPointee()->isPointer());
+  addOperand(Ptr);
+}
+
+StoreInst::StoreInst(TypeContext &Ctx, Value *Val, Value *Ptr)
+    : Instruction(ValueKind::InstStore, Ctx.getVoid()) {
+  assert(cast<PointerType>(Ptr->getType())->getPointee() == Val->getType() &&
+         "store type mismatch");
+  addOperand(Val);
+  addOperand(Ptr);
+}
+
+static Type *gepResultType(TypeContext &Ctx, Value *Ptr) {
+  Type *Pointee = cast<PointerType>(Ptr->getType())->getPointee();
+  if (auto *AT = dyn_cast<ArrayType>(Pointee))
+    return Ctx.getPointer(AT->getElement());
+  return Ptr->getType();
+}
+
+GEPInst::GEPInst(TypeContext &Ctx, Value *Ptr, Value *Index)
+    : Instruction(ValueKind::InstGEP, gepResultType(Ctx, Ptr)) {
+  assert(Index->getType()->isInt64() && "gep index must be i64");
+  addOperand(Ptr);
+  addOperand(Index);
+}
+
+BasicBlock *PhiInst::getIncomingBlock(unsigned I) const {
+  return cast<BasicBlock>(getOperand(2 * I + 1));
+}
+
+void PhiInst::addIncoming(Value *V, BasicBlock *BB) {
+  assert(V->getType() == getType() && "phi incoming type mismatch");
+  addOperand(V);
+  addOperand(BB);
+}
+
+Value *PhiInst::getIncomingValueFor(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (getIncomingBlock(I) == BB)
+      return getIncomingValue(I);
+  return nullptr;
+}
+
+void PhiInst::removeIncoming(const BasicBlock *BB) {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I) {
+    if (getIncomingBlock(I) == BB) {
+      removeOperand(2 * I + 1);
+      removeOperand(2 * I);
+      return;
+    }
+  }
+  gr_unreachable("incoming block not found");
+}
+
+CallInst::CallInst(Function *Callee, const std::vector<Value *> &Args)
+    : Instruction(ValueKind::InstCall,
+                  Callee->getFunctionType()->getReturnType()) {
+  addOperand(Callee);
+  for (Value *Arg : Args)
+    addOperand(Arg);
+}
+
+Function *CallInst::getCallee() const {
+  return cast<Function>(getOperand(0));
+}
+
+BranchInst::BranchInst(TypeContext &Ctx, BasicBlock *Target)
+    : Instruction(ValueKind::InstBranch, Ctx.getVoid()) {
+  addOperand(Target);
+}
+
+BranchInst::BranchInst(TypeContext &Ctx, Value *Cond, BasicBlock *TrueTarget,
+                       BasicBlock *FalseTarget)
+    : Instruction(ValueKind::InstBranch, Ctx.getVoid()) {
+  assert(Cond->getType()->isInt1() && "branch condition must be i1");
+  addOperand(Cond);
+  addOperand(TrueTarget);
+  addOperand(FalseTarget);
+}
+
+BasicBlock *BranchInst::getSuccessor(unsigned I) const {
+  assert(I < getNumSuccessors() && "successor index out of range");
+  unsigned FirstTarget = isConditional() ? 1 : 0;
+  return cast<BasicBlock>(getOperand(FirstTarget + I));
+}
+
+RetInst::RetInst(TypeContext &Ctx, Value *RetVal)
+    : Instruction(ValueKind::InstRet, Ctx.getVoid()) {
+  if (RetVal)
+    addOperand(RetVal);
+}
+
+SelectInst::SelectInst(Value *Cond, Value *TrueValue, Value *FalseValue)
+    : Instruction(ValueKind::InstSelect, TrueValue->getType()) {
+  assert(Cond->getType()->isInt1() && "select condition must be i1");
+  assert(TrueValue->getType() == FalseValue->getType() &&
+         "select arms must have matching types");
+  addOperand(Cond);
+  addOperand(TrueValue);
+  addOperand(FalseValue);
+}

@@ -1,0 +1,318 @@
+//===- Instruction.h - all IR instruction classes -------------*- C++ -*-===//
+///
+/// \file
+/// The instruction set: binary arithmetic/logic, comparisons, casts,
+/// memory (alloca/load/store/gep), phi, call, branch, ret and select.
+/// Instructions are Users owned by their parent BasicBlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_INSTRUCTION_H
+#define GR_IR_INSTRUCTION_H
+
+#include "ir/Constant.h"
+#include "ir/Type.h"
+#include "ir/Value.h"
+
+#include <string_view>
+
+namespace gr {
+
+class BasicBlock;
+class Function;
+
+/// Common base of all instructions.
+class Instruction : public User {
+public:
+  BasicBlock *getParent() const { return Parent; }
+  Function *getFunction() const;
+
+  /// Terminators end a basic block (branch, ret).
+  bool isTerminator() const {
+    return getKind() == ValueKind::InstBranch ||
+           getKind() == ValueKind::InstRet;
+  }
+
+  /// Returns true if removing this instruction can change observable
+  /// behaviour (stores, calls to impure functions, terminators).
+  bool hasSideEffects() const;
+
+  /// Mnemonic used by the printer ("add", "load", ...).
+  std::string_view getOpcodeName() const;
+
+  static bool classof(const Value *V) { return V->isInstruction(); }
+
+protected:
+  Instruction(ValueKind Kind, Type *Ty) : User(Kind, Ty) {}
+
+private:
+  friend class BasicBlock;
+  BasicBlock *Parent = nullptr;
+};
+
+/// Two-operand arithmetic and bitwise instructions.
+class BinaryInst : public Instruction {
+public:
+  enum class BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    And,
+    Or,
+    Xor,
+    Shl,
+    AShr,
+  };
+
+  BinaryInst(BinaryOp Op, Value *LHS, Value *RHS);
+
+  BinaryOp getBinaryOp() const { return Op; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  bool isFloatOp() const {
+    return Op == BinaryOp::FAdd || Op == BinaryOp::FSub ||
+           Op == BinaryOp::FMul || Op == BinaryOp::FDiv;
+  }
+  /// True for operators that are associative and commutative, i.e.
+  /// those a privatizing reduction may legally reorder. FAdd/FMul are
+  /// included: the paper (like OpenMP) reassociates floating point
+  /// reductions.
+  bool isAssociative() const {
+    return Op == BinaryOp::Add || Op == BinaryOp::Mul ||
+           Op == BinaryOp::FAdd || Op == BinaryOp::FMul ||
+           Op == BinaryOp::And || Op == BinaryOp::Or || Op == BinaryOp::Xor;
+  }
+
+  static std::string_view getOpName(BinaryOp Op);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstBinary;
+  }
+
+private:
+  BinaryOp Op;
+};
+
+/// Integer or floating point comparison producing i1.
+class CmpInst : public Instruction {
+public:
+  enum class Predicate {
+    // Integer predicates.
+    EQ,
+    NE,
+    SLT,
+    SLE,
+    SGT,
+    SGE,
+    // Ordered floating point predicates.
+    OEQ,
+    ONE,
+    OLT,
+    OLE,
+    OGT,
+    OGE,
+  };
+
+  CmpInst(TypeContext &Ctx, Predicate Pred, Value *LHS, Value *RHS);
+
+  Predicate getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  bool isIntPredicate() const { return Pred <= Predicate::SGE; }
+
+  static std::string_view getPredicateName(Predicate Pred);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstCmp;
+  }
+
+private:
+  Predicate Pred;
+};
+
+/// Value conversions between the scalar types.
+class CastInst : public Instruction {
+public:
+  enum class CastKind {
+    SIToFP, ///< i64 -> f64
+    FPToSI, ///< f64 -> i64 (truncating toward zero)
+    ZExt,   ///< i1 -> i64
+    Trunc,  ///< i64 -> i1 (low bit)
+  };
+
+  CastInst(TypeContext &Ctx, CastKind Kind, Value *Src);
+
+  CastKind getCastKind() const { return CK; }
+  Value *getSrc() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstCast;
+  }
+
+private:
+  CastKind CK;
+};
+
+/// Stack allocation of one value of the allocated type; yields a
+/// pointer to it. Arrays allocate the whole array.
+class AllocaInst : public Instruction {
+public:
+  AllocaInst(TypeContext &Ctx, Type *Allocated);
+
+  Type *getAllocatedType() const { return Allocated; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstAlloca;
+  }
+
+private:
+  Type *Allocated;
+};
+
+/// Scalar load through a pointer.
+class LoadInst : public Instruction {
+public:
+  explicit LoadInst(Value *Ptr);
+
+  Value *getPointer() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstLoad;
+  }
+};
+
+/// Scalar store through a pointer. Operand order: value, pointer.
+class StoreInst : public Instruction {
+public:
+  StoreInst(TypeContext &Ctx, Value *Val, Value *Ptr);
+
+  Value *getStoredValue() const { return getOperand(0); }
+  Value *getPointer() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstStore;
+  }
+};
+
+/// Pointer arithmetic. If the pointee is an array, indexes into the
+/// array and yields a pointer to its element type; if the pointee is a
+/// scalar, offsets the pointer by index elements.
+class GEPInst : public Instruction {
+public:
+  GEPInst(TypeContext &Ctx, Value *Ptr, Value *Index);
+
+  Value *getPointer() const { return getOperand(0); }
+  Value *getIndex() const { return getOperand(1); }
+
+  /// The type of the element this GEP points at.
+  Type *getElementType() const {
+    return cast<PointerType>(getType())->getPointee();
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstGEP;
+  }
+};
+
+/// SSA phi node. Incoming entries are (value, block) operand pairs.
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(Type *Ty) : Instruction(ValueKind::InstPhi, Ty) {}
+
+  unsigned getNumIncoming() const { return getNumOperands() / 2; }
+  Value *getIncomingValue(unsigned I) const { return getOperand(2 * I); }
+  BasicBlock *getIncomingBlock(unsigned I) const;
+
+  void addIncoming(Value *V, BasicBlock *BB);
+  void setIncomingValue(unsigned I, Value *V) { setOperand(2 * I, V); }
+
+  /// Returns the incoming value for \p BB, or null if \p BB is not an
+  /// incoming block.
+  Value *getIncomingValueFor(const BasicBlock *BB) const;
+
+  /// Removes the incoming entry for \p BB (must exist).
+  void removeIncoming(const BasicBlock *BB);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstPhi;
+  }
+};
+
+/// Direct call. Operand 0 is the callee Function, the rest are
+/// arguments.
+class CallInst : public Instruction {
+public:
+  CallInst(Function *Callee, const std::vector<Value *> &Args);
+
+  Function *getCallee() const;
+  unsigned getNumArgs() const { return getNumOperands() - 1; }
+  Value *getArg(unsigned I) const { return getOperand(I + 1); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstCall;
+  }
+};
+
+/// Unconditional or conditional branch.
+class BranchInst : public Instruction {
+public:
+  /// Creates an unconditional branch to \p Target.
+  BranchInst(TypeContext &Ctx, BasicBlock *Target);
+  /// Creates a conditional branch on \p Cond.
+  BranchInst(TypeContext &Ctx, Value *Cond, BasicBlock *TrueTarget,
+             BasicBlock *FalseTarget);
+
+  bool isConditional() const { return getNumOperands() == 3; }
+  Value *getCondition() const {
+    assert(isConditional() && "unconditional branch has no condition");
+    return getOperand(0);
+  }
+  unsigned getNumSuccessors() const { return isConditional() ? 2 : 1; }
+  BasicBlock *getSuccessor(unsigned I) const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstBranch;
+  }
+};
+
+/// Function return, optionally carrying a value.
+class RetInst : public Instruction {
+public:
+  explicit RetInst(TypeContext &Ctx, Value *RetVal = nullptr);
+
+  bool hasReturnValue() const { return getNumOperands() == 1; }
+  Value *getReturnValue() const {
+    assert(hasReturnValue() && "void return has no value");
+    return getOperand(0);
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstRet;
+  }
+};
+
+/// Ternary select: cond ? tv : fv, without control flow.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueValue, Value *FalseValue);
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::InstSelect;
+  }
+};
+
+} // namespace gr
+
+#endif // GR_IR_INSTRUCTION_H

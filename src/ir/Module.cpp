@@ -1,0 +1,66 @@
+//===- Module.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "ir/Module.h"
+
+using namespace gr;
+
+Module::Module(std::string Name) : Name(std::move(Name)) {}
+
+Module::~Module() {
+  // Functions can reference each other (calls) and constants/globals;
+  // break every reference before members start dying.
+  for (auto &F : Functions)
+    F->dropAllReferences();
+  for (auto &F : Functions) {
+    for (BasicBlock *BB : *F)
+      while (!BB->empty())
+        BB->erase(BB->back());
+  }
+}
+
+Function *Module::createFunction(std::string Name, FunctionType *FT) {
+  Functions.emplace_back(new Function(this, FT, std::move(Name)));
+  return Functions.back().get();
+}
+
+Function *Module::createDeclaration(std::string Name, FunctionType *FT,
+                                    bool Pure) {
+  Function *F = createFunction(std::move(Name), FT);
+  F->setPure(Pure);
+  return F;
+}
+
+Function *Module::getFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+GlobalVariable *Module::createGlobal(std::string Name, Type *Contained) {
+  auto *GV = new GlobalVariable(Types.getPointer(Contained), Contained);
+  GV->setName(std::move(Name));
+  Globals.emplace_back(GV);
+  return GV;
+}
+
+ConstantInt *Module::getConstantInt(int64_t V) {
+  auto &Slot = IntConstants[V];
+  if (!Slot)
+    Slot.reset(new ConstantInt(Types.getInt64(), V));
+  return Slot.get();
+}
+
+ConstantInt *Module::getConstantBool(bool V) {
+  auto &Slot = BoolConstants[V];
+  if (!Slot)
+    Slot.reset(new ConstantInt(Types.getInt1(), V ? 1 : 0));
+  return Slot.get();
+}
+
+ConstantFloat *Module::getConstantFloat(double V) {
+  auto &Slot = FloatConstants[V];
+  if (!Slot)
+    Slot.reset(new ConstantFloat(Types.getFloat64(), V));
+  return Slot.get();
+}

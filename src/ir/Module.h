@@ -1,0 +1,70 @@
+//===- Module.h - top-level IR container ----------------------*- C++ -*-===//
+///
+/// \file
+/// Module: owns the type context, functions, globals and uniqued
+/// constants of one translation unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_MODULE_H
+#define GR_IR_MODULE_H
+
+#include "ir/Constant.h"
+#include "ir/Function.h"
+#include "ir/Type.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+/// One translation unit of IR.
+class Module {
+public:
+  explicit Module(std::string Name = "module");
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+  ~Module();
+
+  const std::string &getName() const { return Name; }
+  TypeContext &getTypeContext() { return Types; }
+
+  /// Creates a new function (definition once blocks are added).
+  Function *createFunction(std::string Name, FunctionType *FT);
+
+  /// Creates an external declaration; \p Pure marks side-effect-free
+  /// math builtins.
+  Function *createDeclaration(std::string Name, FunctionType *FT, bool Pure);
+
+  /// Finds a function by name, or null.
+  Function *getFunction(const std::string &Name) const;
+
+  /// Creates a zero-initialized global of \p Contained type.
+  GlobalVariable *createGlobal(std::string Name, Type *Contained);
+
+  ConstantInt *getConstantInt(int64_t V);
+  ConstantInt *getConstantBool(bool V);
+  ConstantFloat *getConstantFloat(double V);
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+private:
+  std::string Name;
+  TypeContext Types;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::map<int64_t, std::unique_ptr<ConstantInt>> IntConstants;
+  std::map<bool, std::unique_ptr<ConstantInt>> BoolConstants;
+  std::map<double, std::unique_ptr<ConstantFloat>> FloatConstants;
+};
+
+} // namespace gr
+
+#endif // GR_IR_MODULE_H

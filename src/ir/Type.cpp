@@ -1,0 +1,115 @@
+//===- Type.cpp -----------------------------------------------*- C++ -*-===//
+
+#include "ir/Type.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace gr;
+
+namespace {
+/// Concrete class for the four singleton primitive types.
+class PrimitiveType : public Type {
+public:
+  explicit PrimitiveType(TypeKind Kind) : Type(Kind) {}
+};
+} // namespace
+
+uint64_t Type::getSizeInBytes() const {
+  switch (getKind()) {
+  case TypeKind::Void:
+    return 0;
+  case TypeKind::Int1:
+  case TypeKind::Int64:
+  case TypeKind::Float64:
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return AT->getNumElements() * AT->getElement()->getSizeInBytes();
+  }
+  case TypeKind::Function:
+    return 0;
+  }
+  gr_unreachable("covered switch");
+}
+
+std::string Type::getString() const {
+  switch (getKind()) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int1:
+    return "i1";
+  case TypeKind::Int64:
+    return "i64";
+  case TypeKind::Float64:
+    return "f64";
+  case TypeKind::Pointer:
+    return cast<PointerType>(this)->getPointee()->getString() + "*";
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return "[" + std::to_string(AT->getNumElements()) + " x " +
+           AT->getElement()->getString() + "]";
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string Out = FT->getReturnType()->getString() + " (";
+    for (unsigned I = 0, E = FT->getNumParams(); I != E; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += FT->getParamType(I)->getString();
+    }
+    return Out + ")";
+  }
+  }
+  gr_unreachable("covered switch");
+}
+
+Type *Type::getVoid(TypeContext &Ctx) { return Ctx.getVoid(); }
+Type *Type::getInt1(TypeContext &Ctx) { return Ctx.getInt1(); }
+Type *Type::getInt64(TypeContext &Ctx) { return Ctx.getInt64(); }
+Type *Type::getFloat64(TypeContext &Ctx) { return Ctx.getFloat64(); }
+
+PointerType *PointerType::get(TypeContext &Ctx, Type *Pointee) {
+  return Ctx.getPointer(Pointee);
+}
+
+ArrayType *ArrayType::get(TypeContext &Ctx, Type *Element,
+                          uint64_t NumElements) {
+  return Ctx.getArray(Element, NumElements);
+}
+
+FunctionType *FunctionType::get(TypeContext &Ctx, Type *ReturnType,
+                                std::vector<Type *> ParamTypes) {
+  return Ctx.getFunction(ReturnType, std::move(ParamTypes));
+}
+
+TypeContext::TypeContext()
+    : VoidTy(new PrimitiveType(Type::TypeKind::Void)),
+      Int1Ty(new PrimitiveType(Type::TypeKind::Int1)),
+      Int64Ty(new PrimitiveType(Type::TypeKind::Int64)),
+      Float64Ty(new PrimitiveType(Type::TypeKind::Float64)) {}
+
+PointerType *TypeContext::getPointer(Type *Pointee) {
+  auto &Slot = PointerTypes[Pointee];
+  if (!Slot)
+    Slot.reset(new PointerType(Pointee));
+  return Slot.get();
+}
+
+ArrayType *TypeContext::getArray(Type *Element, uint64_t NumElements) {
+  auto &Slot = ArrayTypes[{Element, NumElements}];
+  if (!Slot)
+    Slot.reset(new ArrayType(Element, NumElements));
+  return Slot.get();
+}
+
+FunctionType *TypeContext::getFunction(Type *ReturnType,
+                                       std::vector<Type *> ParamTypes) {
+  for (auto &FT : FunctionTypes)
+    if (FT->getReturnType() == ReturnType &&
+        FT->getParamTypes() == ParamTypes)
+      return FT.get();
+  FunctionTypes.emplace_back(
+      new FunctionType(ReturnType, std::move(ParamTypes)));
+  return FunctionTypes.back().get();
+}

@@ -1,0 +1,166 @@
+//===- Type.h - IR type system --------------------------------*- C++ -*-===//
+///
+/// \file
+/// The IR type system: void, i1, i64, f64, pointers, fixed-size arrays
+/// and function types. Types are uniqued and owned by a TypeContext, so
+/// pointer equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_TYPE_H
+#define GR_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class TypeContext;
+
+/// Base class of all IR types. Instances are uniqued per TypeContext.
+class Type {
+public:
+  enum class TypeKind {
+    Void,
+    Int1,
+    Int64,
+    Float64,
+    Pointer,
+    Array,
+    Function,
+  };
+
+  virtual ~Type() = default;
+
+  TypeKind getKind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt1() const { return Kind == TypeKind::Int1; }
+  bool isInt64() const { return Kind == TypeKind::Int64; }
+  bool isFloat64() const { return Kind == TypeKind::Float64; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isFunction() const { return Kind == TypeKind::Function; }
+  bool isInteger() const { return isInt1() || isInt64(); }
+  bool isScalar() const { return isInteger() || isFloat64(); }
+
+  /// Size of one value of this type in interpreter memory. Scalars and
+  /// pointers occupy one 8-byte slot each.
+  uint64_t getSizeInBytes() const;
+
+  /// Renders the type in the textual IR syntax (e.g. "[8 x f64]*").
+  std::string getString() const;
+
+  static Type *getVoid(TypeContext &Ctx);
+  static Type *getInt1(TypeContext &Ctx);
+  static Type *getInt64(TypeContext &Ctx);
+  static Type *getFloat64(TypeContext &Ctx);
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+private:
+  TypeKind Kind;
+};
+
+/// Pointer to a pointee type. GEP through an array pointee indexes the
+/// array; GEP through a scalar pointee is plain pointer arithmetic.
+class PointerType : public Type {
+public:
+  Type *getPointee() const { return Pointee; }
+
+  static PointerType *get(TypeContext &Ctx, Type *Pointee);
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Pointer;
+  }
+
+private:
+  friend class TypeContext;
+  explicit PointerType(Type *Pointee)
+      : Type(TypeKind::Pointer), Pointee(Pointee) {}
+
+  Type *Pointee;
+};
+
+/// Fixed-length array type. Multi-dimensional arrays nest.
+class ArrayType : public Type {
+public:
+  Type *getElement() const { return Element; }
+  uint64_t getNumElements() const { return NumElements; }
+
+  static ArrayType *get(TypeContext &Ctx, Type *Element,
+                        uint64_t NumElements);
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Array;
+  }
+
+private:
+  friend class TypeContext;
+  ArrayType(Type *Element, uint64_t NumElements)
+      : Type(TypeKind::Array), Element(Element), NumElements(NumElements) {}
+
+  Type *Element;
+  uint64_t NumElements;
+};
+
+/// Function signature type.
+class FunctionType : public Type {
+public:
+  Type *getReturnType() const { return ReturnType; }
+  const std::vector<Type *> &getParamTypes() const { return ParamTypes; }
+  unsigned getNumParams() const {
+    return static_cast<unsigned>(ParamTypes.size());
+  }
+  Type *getParamType(unsigned I) const { return ParamTypes[I]; }
+
+  static FunctionType *get(TypeContext &Ctx, Type *ReturnType,
+                           std::vector<Type *> ParamTypes);
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Function;
+  }
+
+private:
+  friend class TypeContext;
+  FunctionType(Type *ReturnType, std::vector<Type *> ParamTypes)
+      : Type(TypeKind::Function), ReturnType(ReturnType),
+        ParamTypes(std::move(ParamTypes)) {}
+
+  Type *ReturnType;
+  std::vector<Type *> ParamTypes;
+};
+
+/// Owns and uniques all types of one Module.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  Type *getVoid() { return VoidTy.get(); }
+  Type *getInt1() { return Int1Ty.get(); }
+  Type *getInt64() { return Int64Ty.get(); }
+  Type *getFloat64() { return Float64Ty.get(); }
+
+  PointerType *getPointer(Type *Pointee);
+  ArrayType *getArray(Type *Element, uint64_t NumElements);
+  FunctionType *getFunction(Type *ReturnType, std::vector<Type *> ParamTypes);
+
+private:
+  std::unique_ptr<Type> VoidTy, Int1Ty, Int64Ty, Float64Ty;
+  std::map<Type *, std::unique_ptr<PointerType>> PointerTypes;
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ArrayType>>
+      ArrayTypes;
+  std::vector<std::unique_ptr<FunctionType>> FunctionTypes;
+};
+
+} // namespace gr
+
+#endif // GR_IR_TYPE_H

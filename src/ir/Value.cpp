@@ -1,0 +1,72 @@
+//===- Value.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "ir/Value.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace gr;
+
+Value::~Value() {
+  assert(UseList.empty() && "value destroyed while still in use");
+}
+
+void Value::removeUse(User *U, unsigned OperandIdx) {
+  for (size_t I = 0, E = UseList.size(); I != E; ++I) {
+    if (UseList[I].TheUser == U && UseList[I].OperandIdx == OperandIdx) {
+      UseList[I] = UseList.back();
+      UseList.pop_back();
+      return;
+    }
+  }
+  gr_unreachable("use not found in use list");
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self would loop forever");
+  while (!UseList.empty()) {
+    Use U = UseList.back();
+    U.TheUser->setOperand(U.OperandIdx, New);
+  }
+}
+
+User::~User() { dropAllReferences(); }
+
+void User::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  if (Operands[I])
+    Operands[I]->removeUse(this, I);
+  Operands[I] = V;
+  if (V)
+    V->addUse(this, I);
+}
+
+void User::dropAllReferences() {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I) {
+    if (Operands[I]) {
+      Operands[I]->removeUse(this, I);
+      Operands[I] = nullptr;
+    }
+  }
+}
+
+void User::addOperand(Value *V) {
+  Operands.push_back(V);
+  if (V)
+    V->addUse(this, static_cast<unsigned>(Operands.size() - 1));
+}
+
+void User::removeOperand(unsigned I) {
+  assert(I < Operands.size() && "operand index out of range");
+  if (Operands[I])
+    Operands[I]->removeUse(this, I);
+  // Shift the tail down, re-registering uses under their new indices.
+  for (unsigned J = I + 1, E = getNumOperands(); J != E; ++J) {
+    Value *V = Operands[J];
+    if (V) {
+      V->removeUse(this, J);
+      V->addUse(this, J - 1);
+    }
+    Operands[J - 1] = V;
+  }
+  Operands.pop_back();
+}

@@ -1,0 +1,142 @@
+//===- Value.h - base of the IR value hierarchy ---------------*- C++ -*-===//
+///
+/// \file
+/// Value and User: the def-use backbone of the IR. Every Value tracks
+/// its uses (user + operand index), which enables replaceAllUsesWith
+/// and the reverse queries the constraint solver relies on (e.g. "which
+/// branches target this block").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_VALUE_H
+#define GR_IR_VALUE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class Type;
+class User;
+
+/// Base class for everything that can appear as an operand: arguments,
+/// constants, globals, functions, basic blocks and instructions.
+class Value {
+public:
+  /// Discriminator for isa/dyn_cast. Instruction kinds form a
+  /// contiguous range starting at InstFirst.
+  enum class ValueKind {
+    Argument,
+    BasicBlock,
+    Function,
+    GlobalVariable,
+    ConstantInt,
+    ConstantFloat,
+    // Instruction kinds. Keep InstFirst/InstLast in sync.
+    InstBinary,
+    InstCmp,
+    InstCast,
+    InstAlloca,
+    InstLoad,
+    InstStore,
+    InstGEP,
+    InstPhi,
+    InstCall,
+    InstBranch,
+    InstRet,
+    InstSelect,
+  };
+  static constexpr ValueKind InstFirst = ValueKind::InstBinary;
+  static constexpr ValueKind InstLast = ValueKind::InstSelect;
+
+  /// One use of this value: \p TheUser's operand \p OperandIdx is this.
+  struct Use {
+    User *TheUser;
+    unsigned OperandIdx;
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getKind() const { return Kind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  bool hasName() const { return !Name.empty(); }
+
+  const std::vector<Use> &uses() const { return UseList; }
+  bool hasUses() const { return !UseList.empty(); }
+  unsigned getNumUses() const {
+    return static_cast<unsigned>(UseList.size());
+  }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  bool isInstruction() const {
+    return Kind >= InstFirst && Kind <= InstLast;
+  }
+
+protected:
+  Value(ValueKind Kind, Type *Ty) : Kind(Kind), Ty(Ty) {}
+
+private:
+  friend class User;
+
+  void addUse(User *U, unsigned OperandIdx) {
+    UseList.push_back({U, OperandIdx});
+  }
+  void removeUse(User *U, unsigned OperandIdx);
+
+  ValueKind Kind;
+  Type *Ty;
+  std::string Name;
+  std::vector<Use> UseList;
+};
+
+/// A Value that references other Values as operands.
+class User : public Value {
+public:
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+
+  /// Replaces operand \p I, maintaining both use lists.
+  void setOperand(unsigned I, Value *V);
+
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Unlinks this user from all of its operands' use lists. Must be
+  /// called (directly or via destruction order) before operands die.
+  void dropAllReferences();
+
+  static bool classof(const Value *V) { return V->isInstruction(); }
+
+protected:
+  User(ValueKind Kind, Type *Ty) : Value(Kind, Ty) {}
+  ~User() override;
+
+  /// Appends \p V as a new trailing operand.
+  void addOperand(Value *V);
+
+  /// Removes operand \p I, shifting later operands down and fixing
+  /// their recorded indices.
+  void removeOperand(unsigned I);
+
+private:
+  std::vector<Value *> Operands;
+};
+
+} // namespace gr
+
+#endif // GR_IR_VALUE_H

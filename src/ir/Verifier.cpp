@@ -1,0 +1,205 @@
+//===- Verifier.cpp -------------------------------------------*- C++ -*-===//
+
+#include "ir/Verifier.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace gr;
+
+namespace {
+
+/// Verification context for one function. Computes a private dominator
+/// relation (bitset data-flow) so the verifier stays independent of the
+/// analysis library layered above the IR.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> *Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    checkStructure();
+    if (Failed)
+      return false;
+    computeDominators();
+    checkPhis();
+    checkDominance();
+    return !Failed;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Failed = true;
+    if (Errors)
+      Errors->push_back("function @" + F.getName() + ": " + Msg);
+  }
+
+  void checkStructure() {
+    if (F.empty()) {
+      error("verifying a declaration");
+      return;
+    }
+    if (!F.getEntry()->predecessors().empty())
+      error("entry block has predecessors");
+    unsigned Index = 0;
+    for (BasicBlock *BB : F) {
+      BlockIndex[BB] = Index++;
+      if (!BB->getTerminator())
+        error("block " + valueShortName(BB) + " lacks a terminator");
+      bool SeenNonPhi = false;
+      for (Instruction *I : *BB) {
+        if (I->isTerminator() && I != BB->back())
+          error("terminator in the middle of block " + valueShortName(BB));
+        if (isa<PhiInst>(I)) {
+          if (SeenNonPhi)
+            error("phi after non-phi in block " + valueShortName(BB));
+        } else {
+          SeenNonPhi = true;
+        }
+        if (const auto *Ret = dyn_cast<RetInst>(I)) {
+          bool WantValue = !F.getReturnType()->isVoid();
+          if (WantValue != Ret->hasReturnValue())
+            error("return value does not match function return type");
+          else if (WantValue &&
+                   Ret->getReturnValue()->getType() != F.getReturnType())
+            error("return value type mismatch");
+        }
+      }
+    }
+  }
+
+  void computeDominators() {
+    // Iterative forward data-flow over bitsets; fine for our function
+    // sizes and avoids layering on the analysis library.
+    size_t N = BlockIndex.size();
+    std::vector<std::set<unsigned>> Dom(N);
+    std::set<unsigned> All;
+    for (unsigned I = 0; I != N; ++I)
+      All.insert(I);
+    for (unsigned I = 0; I != N; ++I)
+      Dom[I] = All;
+    Dom[0] = {0};
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BasicBlock *BB : F) {
+        unsigned I = BlockIndex[BB];
+        if (I == 0)
+          continue;
+        std::set<unsigned> NewDom = All;
+        bool AnyPred = false;
+        for (BasicBlock *Pred : BB->predecessors()) {
+          AnyPred = true;
+          std::set<unsigned> Meet;
+          const std::set<unsigned> &PD = Dom[BlockIndex[Pred]];
+          std::set_intersection(NewDom.begin(), NewDom.end(), PD.begin(),
+                                PD.end(),
+                                std::inserter(Meet, Meet.begin()));
+          NewDom = std::move(Meet);
+        }
+        if (!AnyPred)
+          NewDom.clear(); // Unreachable block dominates nothing useful.
+        NewDom.insert(I);
+        if (NewDom != Dom[I]) {
+          Dom[I] = std::move(NewDom);
+          Changed = true;
+        }
+      }
+    }
+    Dominators = std::move(Dom);
+  }
+
+  bool blockDominates(const BasicBlock *A, const BasicBlock *B) {
+    return Dominators[BlockIndex[B]].count(BlockIndex[A]) != 0;
+  }
+
+  /// Returns true if definition \p Def is available at (\p UseBB, use
+  /// position of \p UseInst): non-instruction values always are;
+  /// instructions must strictly precede in the same block or dominate
+  /// the block.
+  bool defAvailable(const Value *Def, const Instruction *UseInst) {
+    const auto *DefInst = dyn_cast<Instruction>(Def);
+    if (!DefInst)
+      return true;
+    const BasicBlock *DefBB = DefInst->getParent();
+    const BasicBlock *UseBB = UseInst->getParent();
+    if (DefBB == UseBB)
+      return DefBB->indexOf(DefInst) < UseBB->indexOf(UseInst);
+    return blockDominates(DefBB, UseBB);
+  }
+
+  void checkPhis() {
+    for (BasicBlock *BB : F) {
+      std::vector<BasicBlock *> Preds = BB->predecessors();
+      for (PhiInst *Phi : BB->phis()) {
+        if (Phi->getNumIncoming() != Preds.size()) {
+          error("phi " + valueShortName(Phi) + " has " +
+                std::to_string(Phi->getNumIncoming()) +
+                " incoming entries but block has " +
+                std::to_string(Preds.size()) + " predecessors");
+          continue;
+        }
+        for (unsigned I = 0, E = Phi->getNumIncoming(); I != E; ++I) {
+          BasicBlock *In = Phi->getIncomingBlock(I);
+          if (std::find(Preds.begin(), Preds.end(), In) == Preds.end())
+            error("phi " + valueShortName(Phi) +
+                  " names non-predecessor block " + valueShortName(In));
+        }
+      }
+    }
+  }
+
+  void checkDominance() {
+    for (BasicBlock *BB : F) {
+      for (Instruction *I : *BB) {
+        if (auto *Phi = dyn_cast<PhiInst>(I)) {
+          // Phi operands must be available at the end of the incoming
+          // block rather than at the phi itself.
+          for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+            const auto *DefInst =
+                dyn_cast<Instruction>(Phi->getIncomingValue(K));
+            if (!DefInst)
+              continue;
+            BasicBlock *In = Phi->getIncomingBlock(K);
+            if (!blockDominates(DefInst->getParent(), In))
+              error("phi " + valueShortName(Phi) + " incoming value " +
+                    valueShortName(DefInst) +
+                    " does not dominate incoming block");
+          }
+          continue;
+        }
+        for (Value *Op : cast<User>(I)->operands())
+          if (!isa<BasicBlock>(Op) && !defAvailable(Op, I))
+            error("use of " + valueShortName(Op) + " in " +
+                  valueShortName(I) + " is not dominated by its def");
+      }
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> *Errors;
+  bool Failed = false;
+  std::map<const BasicBlock *, unsigned> BlockIndex;
+  std::vector<std::set<unsigned>> Dominators;
+};
+
+} // namespace
+
+bool gr::verifyFunction(const Function &F,
+                        std::vector<std::string> *Errors) {
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool gr::verifyModule(const Module &M, std::vector<std::string> *Errors) {
+  bool Ok = true;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Ok &= verifyFunction(*F, Errors);
+  return Ok;
+}

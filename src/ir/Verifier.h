@@ -1,0 +1,30 @@
+//===- Verifier.h - IR well-formedness checks -----------------*- C++ -*-===//
+///
+/// \file
+/// Structural and SSA verification: terminators, phi/predecessor
+/// agreement, and the defs-dominate-uses property. Returns diagnostics
+/// instead of aborting so tests can assert on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_VERIFIER_H
+#define GR_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class Function;
+class Module;
+
+/// Verifies \p F; appends one message per violation to \p Errors.
+/// Returns true when no violations were found.
+bool verifyFunction(const Function &F, std::vector<std::string> *Errors);
+
+/// Verifies every function definition in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> *Errors);
+
+} // namespace gr
+
+#endif // GR_IR_VERIFIER_H

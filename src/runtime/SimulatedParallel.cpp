@@ -1,0 +1,262 @@
+//===- SimulatedParallel.cpp ----------------------------------*- C++ -*-===//
+
+#include "runtime/SimulatedParallel.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace gr;
+
+namespace {
+
+unsigned ceilLog2(uint64_t N) {
+  unsigned Levels = 0;
+  uint64_t Cap = 1;
+  while (Cap < N) {
+    Cap *= 2;
+    ++Levels;
+  }
+  return Levels;
+}
+
+/// Identity element of an operator, as raw slot bits.
+Slot identityFor(ReductionOperator Op, bool IsFloat) {
+  Slot S{.I = 0};
+  switch (Op) {
+  case ReductionOperator::Sum:
+  case ReductionOperator::BitOr:
+  case ReductionOperator::BitXor:
+    if (IsFloat)
+      S.F = 0.0;
+    else
+      S.I = 0;
+    break;
+  case ReductionOperator::Product:
+    if (IsFloat)
+      S.F = 1.0;
+    else
+      S.I = 1;
+    break;
+  case ReductionOperator::Min:
+    if (IsFloat)
+      S.F = std::numeric_limits<double>::infinity();
+    else
+      S.I = std::numeric_limits<int64_t>::max();
+    break;
+  case ReductionOperator::Max:
+    if (IsFloat)
+      S.F = -std::numeric_limits<double>::infinity();
+    else
+      S.I = std::numeric_limits<int64_t>::min();
+    break;
+  case ReductionOperator::BitAnd:
+    S.I = ~int64_t(0);
+    break;
+  case ReductionOperator::Unknown:
+    gr_unreachable("merging an unknown reduction operator");
+  }
+  return S;
+}
+
+Slot combine(ReductionOperator Op, bool IsFloat, Slot A, Slot B) {
+  Slot S{.I = 0};
+  switch (Op) {
+  case ReductionOperator::Sum:
+    if (IsFloat)
+      S.F = A.F + B.F;
+    else
+      S.I = A.I + B.I;
+    break;
+  case ReductionOperator::Product:
+    if (IsFloat)
+      S.F = A.F * B.F;
+    else
+      S.I = A.I * B.I;
+    break;
+  case ReductionOperator::Min:
+    if (IsFloat)
+      S.F = std::fmin(A.F, B.F);
+    else
+      S.I = std::min(A.I, B.I);
+    break;
+  case ReductionOperator::Max:
+    if (IsFloat)
+      S.F = std::fmax(A.F, B.F);
+    else
+      S.I = std::max(A.I, B.I);
+    break;
+  case ReductionOperator::BitAnd:
+    S.I = A.I & B.I;
+    break;
+  case ReductionOperator::BitOr:
+    S.I = A.I | B.I;
+    break;
+  case ReductionOperator::BitXor:
+    S.I = A.I ^ B.I;
+    break;
+  case ReductionOperator::Unknown:
+    gr_unreachable("merging an unknown reduction operator");
+  }
+  return S;
+}
+
+} // namespace
+
+ParallelRunner::ParallelRunner(Module &M, const ReductionParallelizer &RP,
+                               ParallelConfig Config)
+    : M(M), RP(RP), Config(Config), Interp(M) {
+  Interp.setIntrinsicHandler(
+      [this](Interpreter &I, const CallInst *Call,
+             const std::vector<Slot> &Args) {
+        return handleIntrinsic(I, Call, Args);
+      });
+}
+
+ParallelRunResult ParallelRunner::run() {
+  ParallelRunResult Result;
+  Result.MainResult = Interp.runMain();
+  Result.Output = Interp.getOutput();
+  Result.TotalWork = Interp.instructionCount();
+  Result.Sections = Sections;
+  // Work outside parallel sections runs on one core; sections
+  // contribute their simulated time.
+  Result.SimulatedTime =
+      (Result.TotalWork - SectionsWork) + SectionsSimTime;
+  return Result;
+}
+
+Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
+                                     const std::vector<Slot> &Args) {
+  const ParallelLoopInfo *Info = RP.lookup(Call->getCallee());
+  if (!Info)
+    reportFatalError("runtime: unknown parallel intrinsic");
+  ++Sections;
+
+  int64_t Lo = Args[0].I, Hi = Args[1].I;
+  int64_t N = Hi > Lo ? Hi - Lo : 0;
+  if (N == 0)
+    return Slot{.I = 0};
+  uint64_t T = std::min<uint64_t>(Config.NumThreads,
+                                  static_cast<uint64_t>(N));
+
+  unsigned NumHists = static_cast<unsigned>(Info->Histograms.size());
+  unsigned NumAccs = static_cast<unsigned>(Info->Accumulators.size());
+  const unsigned HistArgBase = 2;
+  const unsigned AccArgBase = HistArgBase + NumHists;
+
+  bool Privatize =
+      Config.Strategy == ParallelStrategy::PrivatizedTree && !Info->IsDoall;
+  bool LockBased = Config.Strategy == ParallelStrategy::LockPerUpdate;
+
+  Memory &Mem = I.getMemory();
+  uint64_t MaxWork = 0;
+  uint64_t TotalSectionWork = 0;
+  uint64_t TotalLockedUpdates = 0;
+
+  // Per-thread accumulator results for ordered merging.
+  std::vector<std::vector<Slot>> ThreadAccs(T);
+  std::vector<std::vector<uint64_t>> ThreadHistBufs(T);
+
+  // Snapshot of update-block counts for the lock model.
+  auto updateCount = [&]() {
+    uint64_t C = 0;
+    for (const auto &H : Info->Histograms) {
+      auto It = I.getProfile().BlockCounts.find(H.UpdateBlock);
+      if (It != I.getProfile().BlockCounts.end())
+        C += It->second;
+    }
+    return C;
+  };
+
+  for (uint64_t t = 0; t < T; ++t) {
+    int64_t ChunkLo = Lo + static_cast<int64_t>(
+                               (static_cast<uint64_t>(N) * t) / T);
+    int64_t ChunkHi = Lo + static_cast<int64_t>(
+                               (static_cast<uint64_t>(N) * (t + 1)) / T);
+
+    std::vector<Slot> BodyArgs = Args;
+    BodyArgs[0].I = ChunkLo;
+    BodyArgs[1].I = ChunkHi;
+
+    if (Privatize) {
+      // Fresh private histogram copies initialized to the identity.
+      for (unsigned H = 0; H < NumHists; ++H) {
+        const auto &HI = Info->Histograms[H];
+        uint64_t Buf = Mem.allocatePermanent(HI.Bytes);
+        Slot Id = identityFor(HI.Op, HI.IsFloat);
+        for (uint64_t Off = 0; Off < HI.Bytes; Off += 8)
+          Mem.writeInt(Buf + Off, Id.I);
+        ThreadHistBufs[t].push_back(Buf);
+        BodyArgs[HistArgBase + H].Ptr = Buf;
+      }
+      // Private accumulator slots initialized to the identity.
+      for (unsigned A = 0; A < NumAccs; ++A) {
+        const auto &AI = Info->Accumulators[A];
+        uint64_t SlotAddr = Mem.allocatePermanent(8);
+        Mem.writeInt(SlotAddr, identityFor(AI.Op, AI.IsFloat).I);
+        BodyArgs[AccArgBase + A].Ptr = SlotAddr;
+      }
+    }
+
+    uint64_t WorkBefore = I.instructionCount();
+    uint64_t UpdatesBefore = LockBased ? updateCount() : 0;
+    I.call(Info->Body, BodyArgs);
+    uint64_t Work = I.instructionCount() - WorkBefore;
+    if (LockBased)
+      TotalLockedUpdates += updateCount() - UpdatesBefore;
+    MaxWork = std::max(MaxWork, Work);
+    TotalSectionWork += Work;
+
+    if (Privatize)
+      for (unsigned A = 0; A < NumAccs; ++A)
+        ThreadAccs[t].push_back(
+            Slot{.I = Mem.readInt(BodyArgs[AccArgBase + A].Ptr)});
+  }
+
+  // Merge privatized state back (element-wise, thread order fixed for
+  // reproducibility).
+  uint64_t MergedElements = 0;
+  if (Privatize) {
+    for (unsigned H = 0; H < NumHists; ++H) {
+      const auto &HI = Info->Histograms[H];
+      uint64_t Orig = Args[HistArgBase + H].Ptr;
+      for (uint64_t t = 0; t < T; ++t) {
+        uint64_t Buf = ThreadHistBufs[t][H];
+        for (uint64_t Off = 0; Off < HI.Bytes; Off += 8) {
+          Slot A{.I = Mem.readInt(Orig + Off)};
+          Slot B{.I = Mem.readInt(Buf + Off)};
+          Mem.writeInt(Orig + Off, combine(HI.Op, HI.IsFloat, A, B).I);
+        }
+      }
+      MergedElements += (HI.Bytes / 8);
+    }
+    for (unsigned A = 0; A < NumAccs; ++A) {
+      const auto &AI = Info->Accumulators[A];
+      uint64_t Orig = Args[AccArgBase + A].Ptr;
+      Slot Acc{.I = Mem.readInt(Orig)};
+      for (uint64_t t = 0; t < T; ++t)
+        Acc = combine(AI.Op, AI.IsFloat, Acc, ThreadAccs[t][A]);
+      Mem.writeInt(Orig, Acc.I);
+      ++MergedElements;
+    }
+  }
+
+  // Cost model.
+  unsigned Levels = ceilLog2(T);
+  uint64_t SimTime = MaxWork + Config.SpawnOverhead * Levels;
+  if (Privatize)
+    SimTime += Config.MergeCostPerElement * MergedElements * Levels;
+  if (LockBased)
+    SimTime += TotalLockedUpdates *
+               (Config.LockOverhead +
+                static_cast<uint64_t>(Config.ContentionFactor * (T - 1)));
+
+  SectionsWork += TotalSectionWork;
+  SectionsSimTime += SimTime;
+  return Slot{.I = 0};
+}

@@ -1,0 +1,77 @@
+//===- Casting.h - isa/cast/dyn_cast templates ----------------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. Class hierarchies opt in by
+/// providing a `static bool classof(const Base *)` predicate; `isa<>`,
+/// `cast<>` and `dyn_cast<>` then work without compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_SUPPORT_CASTING_H
+#define GR_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace gr {
+
+/// Returns true if \p V is an instance of type To. \p V must be non-null.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> used on a null pointer");
+  return To::classof(V);
+}
+
+/// Casts \p V to type To, asserting that the dynamic type matches.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+/// Const overload of cast.
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Casts \p V to type To, returning null when the dynamic type does not
+/// match. \p V must be non-null (use dyn_cast_or_null otherwise).
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+/// Const overload of dyn_cast.
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// Like dyn_cast, but accepts (and propagates) null pointers.
+template <typename To, typename From> To *dyn_cast_or_null(From *V) {
+  return V ? dyn_cast<To>(V) : nullptr;
+}
+
+/// Reference form of isa.
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &V) {
+  return To::classof(&V);
+}
+
+/// Reference form of cast.
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+To &cast(From &V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To &>(V);
+}
+
+/// Const reference form of cast.
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+const To &cast(const From &V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(V);
+}
+
+} // namespace gr
+
+#endif // GR_SUPPORT_CASTING_H

@@ -1,0 +1,19 @@
+//===- ErrorHandling.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gr;
+
+void gr::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg);
+  std::abort();
+}
+
+void gr::unreachableInternal(const char *Msg, const char *File,
+                             unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

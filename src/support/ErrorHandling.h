@@ -1,0 +1,29 @@
+//===- ErrorHandling.h - fatal errors and unreachable markers -*- C++ -*-===//
+///
+/// \file
+/// Fatal-error reporting and the gr_unreachable marker. The library does
+/// not use exceptions; unrecoverable conditions abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_SUPPORT_ERRORHANDLING_H
+#define GR_SUPPORT_ERRORHANDLING_H
+
+namespace gr {
+
+/// Prints \p Msg to stderr and aborts. Used for errors triggered by bad
+/// input that the caller cannot recover from.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+/// Internal implementation of gr_unreachable.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace gr
+
+/// Marks a point in code that should never be executed. Prints the
+/// message with file/line context and aborts when reached.
+#define gr_unreachable(msg)                                                    \
+  ::gr::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // GR_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,66 @@
+//===- OStream.cpp --------------------------------------------*- C++ -*-===//
+
+#include "support/OStream.h"
+
+#include <cinttypes>
+#include <cstring>
+
+using namespace gr;
+
+OStream::~OStream() = default;
+
+void OStream::trackColumns(const char *Data, size_t Size) {
+  for (size_t I = 0; I != Size; ++I) {
+    if (Data[I] == '\n')
+      ColumnTracker = 0;
+    else
+      ++ColumnTracker;
+  }
+}
+
+OStream &OStream::operator<<(int64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(uint64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(double D) {
+  char Buf[40];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::padToColumn(unsigned Column) {
+  while (ColumnTracker < Column)
+    *this << ' ';
+  return *this;
+}
+
+void StringOStream::write(const char *Data, size_t Size) {
+  trackColumns(Data, Size);
+  Buffer.append(Data, Size);
+}
+
+void FileOStream::write(const char *Data, size_t Size) {
+  trackColumns(Data, Size);
+  std::fwrite(Data, 1, Size, Handle);
+}
+
+OStream &gr::outs() {
+  static FileOStream Stream(stdout);
+  return Stream;
+}
+
+OStream &gr::errs() {
+  static FileOStream Stream(stderr);
+  return Stream;
+}

@@ -1,0 +1,86 @@
+//===- OStream.h - lightweight output stream ------------------*- C++ -*-===//
+///
+/// \file
+/// A minimal raw_ostream-style output stream. Library code writes
+/// through OStream instead of <iostream> (which injects static
+/// constructors into every translation unit that includes it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_SUPPORT_OSTREAM_H
+#define GR_SUPPORT_OSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace gr {
+
+/// Abstract character sink with printf-free formatting operators.
+class OStream {
+public:
+  virtual ~OStream();
+
+  OStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  OStream &operator<<(std::string_view S) {
+    write(S.data(), S.size());
+    return *this;
+  }
+  OStream &operator<<(const char *S) { return *this << std::string_view(S); }
+  OStream &operator<<(const std::string &S) {
+    return *this << std::string_view(S);
+  }
+  OStream &operator<<(int64_t N);
+  OStream &operator<<(uint64_t N);
+  OStream &operator<<(int N) { return *this << static_cast<int64_t>(N); }
+  OStream &operator<<(unsigned N) { return *this << static_cast<uint64_t>(N); }
+  OStream &operator<<(double D);
+
+  /// Writes \p Size bytes starting at \p Data to the sink.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// Pads with spaces until at least \p Column characters were emitted
+  /// since the last newline. Used for table alignment.
+  OStream &padToColumn(unsigned Column);
+
+protected:
+  unsigned ColumnTracker = 0;
+
+  void trackColumns(const char *Data, size_t Size);
+};
+
+/// OStream that appends to a std::string owned by the caller.
+class StringOStream : public OStream {
+public:
+  explicit StringOStream(std::string &Buffer) : Buffer(Buffer) {}
+
+  void write(const char *Data, size_t Size) override;
+
+private:
+  std::string &Buffer;
+};
+
+/// OStream over a C FILE handle (unbuffered beyond stdio's own buffer).
+class FileOStream : public OStream {
+public:
+  explicit FileOStream(std::FILE *Handle) : Handle(Handle) {}
+
+  void write(const char *Data, size_t Size) override;
+
+private:
+  std::FILE *Handle;
+};
+
+/// Returns a process-wide stream bound to stdout.
+OStream &outs();
+
+/// Returns a process-wide stream bound to stderr.
+OStream &errs();
+
+} // namespace gr
+
+#endif // GR_SUPPORT_OSTREAM_H

@@ -1,0 +1,45 @@
+//===- StringUtils.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gr;
+
+std::string gr::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return std::string(Buf);
+}
+
+std::vector<std::string_view> gr::splitString(std::string_view Text,
+                                              char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.push_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::optional<int64_t> gr::parseInt(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  std::string Owned(Text);
+  char *End = nullptr;
+  long long Value = std::strtoll(Owned.c_str(), &End, 10);
+  if (End != Owned.c_str() + Owned.size())
+    return std::nullopt;
+  return static_cast<int64_t>(Value);
+}
+
+bool gr::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}

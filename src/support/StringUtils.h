@@ -1,0 +1,33 @@
+//===- StringUtils.h - small string helpers -------------------*- C++ -*-===//
+///
+/// \file
+/// String formatting and parsing helpers shared across the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_SUPPORT_STRINGUTILS_H
+#define GR_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gr {
+
+/// Returns \p Value formatted with printf-style \p Fmt (bounded buffer).
+std::string formatDouble(double Value, int Precision = 4);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string_view> splitString(std::string_view Text, char Sep);
+
+/// Parses a signed decimal integer; returns nullopt on any trailing junk.
+std::optional<int64_t> parseInt(std::string_view Text);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+} // namespace gr
+
+#endif // GR_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,90 @@
+//===- CSE.cpp ------------------------------------------------*- C++ -*-===//
+
+#include "transform/CSE.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+/// Structural key for a pure instruction: kind + sub-opcode + operand
+/// identities. Loads participate with a memory generation counter so
+/// they never match across a clobber.
+std::string keyFor(Instruction *I, uint64_t MemGeneration) {
+  std::ostringstream Key;
+  switch (I->getKind()) {
+  case Value::ValueKind::InstBinary:
+    Key << "bin:" << static_cast<int>(cast<BinaryInst>(I)->getBinaryOp());
+    break;
+  case Value::ValueKind::InstCmp:
+    Key << "cmp:" << static_cast<int>(cast<CmpInst>(I)->getPredicate());
+    break;
+  case Value::ValueKind::InstCast:
+    Key << "cast:" << static_cast<int>(cast<CastInst>(I)->getCastKind());
+    break;
+  case Value::ValueKind::InstGEP:
+    Key << "gep";
+    break;
+  case Value::ValueKind::InstLoad:
+    Key << "load@" << MemGeneration;
+    break;
+  default:
+    return std::string(); // Not eligible.
+  }
+  for (Value *Op : I->operands())
+    Key << ':' << Op;
+  return Key.str();
+}
+
+bool clobbersMemory(Instruction *I) {
+  if (isa<StoreInst>(I))
+    return true;
+  if (auto *Call = dyn_cast<CallInst>(I))
+    return !Call->getCallee()->isPure(); // Read-only calls don't write.
+  return false;
+}
+
+} // namespace
+
+unsigned gr::eliminateCommonSubexpressions(Function &F) {
+  unsigned Removed = 0;
+  for (BasicBlock *BB : F) {
+    std::map<std::string, Instruction *> Available;
+    uint64_t MemGeneration = 0;
+    std::vector<Instruction *> Dead;
+    for (Instruction *I : *BB) {
+      if (clobbersMemory(I)) {
+        ++MemGeneration; // Later loads must not match earlier ones.
+        continue;
+      }
+      std::string Key = keyFor(I, MemGeneration);
+      if (Key.empty())
+        continue;
+      auto [It, Inserted] = Available.insert({Key, I});
+      if (Inserted)
+        continue;
+      I->replaceAllUsesWith(It->second);
+      Dead.push_back(I);
+    }
+    for (Instruction *I : Dead) {
+      I->dropAllReferences();
+      BB->erase(I);
+      ++Removed;
+    }
+  }
+  return Removed;
+}
+
+unsigned gr::eliminateModuleCommonSubexpressions(Module &M) {
+  unsigned Total = 0;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Total += eliminateCommonSubexpressions(*F);
+  return Total;
+}

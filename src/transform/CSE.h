@@ -1,0 +1,29 @@
+//===- CSE.h - local common subexpression elimination ---------*- C++ -*-===//
+///
+/// \file
+/// Block-local CSE over pure expressions (arithmetic, compares, casts,
+/// GEPs) and loads (invalidated at stores and impure calls). Beyond
+/// being a standard cleanup, it normalizes histogram updates written
+/// as "b[k(i)] = b[k(i)] + 1": after CSE the load and store share one
+/// address computation, which is what the same-address constraint of
+/// the histogram spec matches structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TRANSFORM_CSE_H
+#define GR_TRANSFORM_CSE_H
+
+namespace gr {
+
+class Function;
+class Module;
+
+/// Runs local CSE on \p F; returns the number of instructions removed.
+unsigned eliminateCommonSubexpressions(Function &F);
+
+/// Runs CSE over every definition in \p M.
+unsigned eliminateModuleCommonSubexpressions(Module &M);
+
+} // namespace gr
+
+#endif // GR_TRANSFORM_CSE_H

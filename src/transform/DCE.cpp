@@ -1,0 +1,55 @@
+//===- DCE.cpp ------------------------------------------------*- C++ -*-===//
+
+#include "transform/DCE.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <set>
+#include <vector>
+
+using namespace gr;
+
+unsigned gr::eliminateDeadCode(Function &F) {
+  // Mark-and-sweep: anything reachable from a side-effecting
+  // instruction or terminator is live; everything else (including
+  // cyclic dead phi webs that a use-count sweep cannot kill) goes.
+  std::set<Instruction *> Live;
+  std::vector<Instruction *> Worklist;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (I->hasSideEffects() && Live.insert(I).second)
+        Worklist.push_back(I);
+
+  while (!Worklist.empty()) {
+    Instruction *I = Worklist.back();
+    Worklist.pop_back();
+    for (Value *Op : I->operands()) {
+      auto *OpInst = dyn_cast_or_null<Instruction>(Op);
+      if (OpInst && Live.insert(OpInst).second)
+        Worklist.push_back(OpInst);
+    }
+  }
+
+  unsigned Erased = 0;
+  std::vector<Instruction *> Dead;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (!Live.count(I))
+        Dead.push_back(I);
+  for (Instruction *I : Dead)
+    I->dropAllReferences(); // Break dead-phi cycles before erasing.
+  for (Instruction *I : Dead) {
+    I->getParent()->erase(I);
+    ++Erased;
+  }
+  return Erased;
+}
+
+unsigned gr::eliminateModuleDeadCode(Module &M) {
+  unsigned Total = 0;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Total += eliminateDeadCode(*F);
+  return Total;
+}

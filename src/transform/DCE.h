@@ -1,0 +1,26 @@
+//===- DCE.h - trivial dead code elimination ------------------*- C++ -*-===//
+///
+/// \file
+/// Removes side-effect-free instructions without uses (iterating to a
+/// fixpoint). Keeps the IR the detectors see free of dead loads left
+/// over from lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TRANSFORM_DCE_H
+#define GR_TRANSFORM_DCE_H
+
+namespace gr {
+
+class Function;
+class Module;
+
+/// Removes dead instructions from \p F; returns how many were erased.
+unsigned eliminateDeadCode(Function &F);
+
+/// Runs eliminateDeadCode over every definition in \p M.
+unsigned eliminateModuleDeadCode(Module &M);
+
+} // namespace gr
+
+#endif // GR_TRANSFORM_DCE_H

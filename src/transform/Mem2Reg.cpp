@@ -1,0 +1,234 @@
+//===- Mem2Reg.cpp --------------------------------------------*- C++ -*-===//
+
+#include "transform/Mem2Reg.h"
+
+#include "analysis/CFGUtils.h"
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+/// True when \p AI can be rewritten into SSA form: scalar or pointer
+/// payload, and used only as the address of direct loads and stores.
+bool isPromotable(AllocaInst *AI) {
+  Type *Ty = AI->getAllocatedType();
+  if (!Ty->isScalar() && !Ty->isPointer())
+    return false;
+  for (const Value::Use &U : AI->uses()) {
+    auto *I = static_cast<Value *>(U.TheUser);
+    if (isa<LoadInst>(I))
+      continue;
+    if (auto *Store = dyn_cast<StoreInst>(I)) {
+      if (Store->getStoredValue() == AI)
+        return false; // Address escapes by being stored.
+      continue;
+    }
+    return false; // GEP, call argument, ... -> address escapes.
+  }
+  return true;
+}
+
+/// The neutral value used on paths with no prior store (C leaves such
+/// reads undefined; zero is a deterministic stand-in). Returns null for
+/// pointers, which have no zero constant in this IR.
+Value *zeroValueFor(Module &M, Type *Ty) {
+  if (Ty->isInt1())
+    return M.getConstantBool(false);
+  if (Ty->isInt64())
+    return M.getConstantInt(0);
+  if (Ty->isFloat64())
+    return M.getConstantFloat(0.0);
+  return nullptr;
+}
+
+/// Pointer-typed allocas are only promoted when a store in the entry
+/// block precedes every load anywhere (the parameter-spill pattern),
+/// because there is no neutral pointer value to seed other paths.
+bool pointerPromotionSafe(AllocaInst *AI, Function &F) {
+  BasicBlock *Entry = F.getEntry();
+  size_t FirstStore = SIZE_MAX;
+  for (const Value::Use &U : AI->uses()) {
+    auto *I = cast<Instruction>(static_cast<Value *>(U.TheUser));
+    if (auto *Store = dyn_cast<StoreInst>(I)) {
+      if (Store->getParent() != Entry)
+        return false;
+      FirstStore = std::min(FirstStore, Entry->indexOf(Store));
+    }
+  }
+  if (FirstStore == SIZE_MAX)
+    return false;
+  for (const Value::Use &U : AI->uses()) {
+    auto *I = cast<Instruction>(static_cast<Value *>(U.TheUser));
+    if (isa<LoadInst>(I) && I->getParent() == Entry &&
+        Entry->indexOf(I) < FirstStore)
+      return false;
+  }
+  return true;
+}
+
+class Promoter {
+public:
+  explicit Promoter(Function &F)
+      : F(F), M(*F.getParent()), DT(F) {}
+
+  unsigned run() {
+    collectCandidates();
+    if (Candidates.empty())
+      return 0;
+    placePhis();
+    rename();
+    cleanup();
+    return static_cast<unsigned>(Candidates.size());
+  }
+
+private:
+  void collectCandidates() {
+    for (Instruction *I : *F.getEntry()) {
+      auto *AI = dyn_cast<AllocaInst>(I);
+      if (!AI || !isPromotable(AI))
+        continue;
+      if (AI->getAllocatedType()->isPointer() &&
+          !pointerPromotionSafe(AI, F))
+        continue;
+      Candidates.push_back(AI);
+    }
+  }
+
+  void placePhis() {
+    for (AllocaInst *AI : Candidates) {
+      // Iterated dominance frontier of the store blocks.
+      std::set<BasicBlock *> Work;
+      for (const Value::Use &U : AI->uses()) {
+        auto *I = cast<Instruction>(static_cast<Value *>(U.TheUser));
+        if (isa<StoreInst>(I))
+          Work.insert(I->getParent());
+      }
+      std::set<BasicBlock *> HasPhi;
+      std::vector<BasicBlock *> Worklist(Work.begin(), Work.end());
+      while (!Worklist.empty()) {
+        BasicBlock *BB = Worklist.back();
+        Worklist.pop_back();
+        if (!DT.contains(BB))
+          continue;
+        for (BasicBlock *FrontierBB : DT.getFrontier(BB)) {
+          if (!HasPhi.insert(FrontierBB).second)
+            continue;
+          auto *Phi = new PhiInst(AI->getAllocatedType());
+          Phi->setName(AI->getName());
+          FrontierBB->insertAt(0, std::unique_ptr<Instruction>(Phi));
+          PhiOwner[Phi] = AI;
+          Worklist.push_back(FrontierBB);
+        }
+      }
+    }
+  }
+
+  Value *currentValue(std::map<AllocaInst *, Value *> &Values,
+                      AllocaInst *AI) {
+    auto It = Values.find(AI);
+    if (It != Values.end())
+      return It->second;
+    Value *Zero = zeroValueFor(M, AI->getAllocatedType());
+    assert(Zero && "pointer alloca read before any store");
+    return Zero;
+  }
+
+  void rename() {
+    // Depth-first over the dominator tree, carrying the live value of
+    // each candidate alloca.
+    struct Frame {
+      BasicBlock *BB;
+      std::map<AllocaInst *, Value *> Values;
+    };
+    std::set<AllocaInst *> CandidateSet(Candidates.begin(),
+                                        Candidates.end());
+    std::vector<Frame> Stack;
+    Stack.push_back({F.getEntry(), {}});
+    while (!Stack.empty()) {
+      Frame Current = std::move(Stack.back());
+      Stack.pop_back();
+      BasicBlock *BB = Current.BB;
+
+      std::vector<Instruction *> ToErase;
+      for (Instruction *I : *BB) {
+        if (auto *Phi = dyn_cast<PhiInst>(I)) {
+          auto Owner = PhiOwner.find(Phi);
+          if (Owner != PhiOwner.end())
+            Current.Values[Owner->second] = Phi;
+          continue;
+        }
+        if (auto *Load = dyn_cast<LoadInst>(I)) {
+          auto *AI = dyn_cast<AllocaInst>(Load->getPointer());
+          if (AI && CandidateSet.count(AI)) {
+            Load->replaceAllUsesWith(currentValue(Current.Values, AI));
+            ToErase.push_back(Load);
+          }
+          continue;
+        }
+        if (auto *Store = dyn_cast<StoreInst>(I)) {
+          auto *AI = dyn_cast<AllocaInst>(Store->getPointer());
+          if (AI && CandidateSet.count(AI)) {
+            Current.Values[AI] = Store->getStoredValue();
+            ToErase.push_back(Store);
+          }
+          continue;
+        }
+      }
+      for (Instruction *I : ToErase) {
+        I->dropAllReferences();
+        BB->erase(I);
+      }
+
+      // Feed phi nodes of CFG successors.
+      for (BasicBlock *Succ : BB->successors()) {
+        for (PhiInst *Phi : Succ->phis()) {
+          auto Owner = PhiOwner.find(Phi);
+          if (Owner != PhiOwner.end() &&
+              !Phi->getIncomingValueFor(BB))
+            Phi->addIncoming(currentValue(Current.Values, Owner->second),
+                             BB);
+        }
+      }
+
+      // Recurse into dominator-tree children.
+      for (BasicBlock *Child : DT.getChildren(BB))
+        Stack.push_back({Child, Current.Values});
+    }
+  }
+
+  void cleanup() {
+    for (AllocaInst *AI : Candidates) {
+      assert(!AI->hasUses() && "promoted alloca still has uses");
+      AI->getParent()->erase(AI);
+    }
+  }
+
+  Function &F;
+  Module &M;
+  DomTree DT;
+  std::vector<AllocaInst *> Candidates;
+  std::map<PhiInst *, AllocaInst *> PhiOwner;
+};
+
+} // namespace
+
+unsigned gr::promoteAllocas(Function &F) {
+  if (F.isDeclaration())
+    return 0;
+  return Promoter(F).run();
+}
+
+unsigned gr::promoteModuleAllocas(Module &M) {
+  unsigned Total = 0;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Total += promoteAllocas(*F);
+  return Total;
+}

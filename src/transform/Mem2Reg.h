@@ -1,0 +1,28 @@
+//===- Mem2Reg.h - promote allocas to SSA values ---------------*- C++ -*-===//
+///
+/// \file
+/// Standard SSA construction: scalar entry-block allocas whose uses
+/// are plain loads/stores are replaced by values, with phi nodes
+/// placed on the iterated dominance frontier. This is the pass that
+/// produces the PHI structure ("iterator = Φ(next_iter, iter_begin)")
+/// the paper's constraint specifications are written against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TRANSFORM_MEM2REG_H
+#define GR_TRANSFORM_MEM2REG_H
+
+namespace gr {
+
+class Function;
+class Module;
+
+/// Promotes eligible allocas in \p F. Returns the number promoted.
+unsigned promoteAllocas(Function &F);
+
+/// Runs promoteAllocas over every definition in \p M.
+unsigned promoteModuleAllocas(Module &M);
+
+} // namespace gr
+
+#endif // GR_TRANSFORM_MEM2REG_H

@@ -1,0 +1,456 @@
+//===- ReductionParallelize.cpp -------------------------------*- C++ -*-===//
+
+#include "transform/ReductionParallelize.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace gr;
+
+namespace {
+
+ParallelizeResult failure(const std::string &Reason) {
+  ParallelizeResult R;
+  R.FailureReason = Reason;
+  return R;
+}
+
+/// Loop blocks in dominator-tree preorder, so every non-phi operand's
+/// definition is visited before its uses.
+std::vector<BasicBlock *> loopBlocksPreorder(Loop *L, const DomTree &DT) {
+  std::vector<BasicBlock *> Order;
+  std::vector<BasicBlock *> Stack{L->getHeader()};
+  while (!Stack.empty()) {
+    BasicBlock *BB = Stack.back();
+    Stack.pop_back();
+    if (!L->contains(BB))
+      continue;
+    Order.push_back(BB);
+    for (BasicBlock *Child : DT.getChildren(BB))
+      Stack.push_back(Child);
+  }
+  return Order;
+}
+
+} // namespace
+
+const ParallelLoopInfo *
+ReductionParallelizer::lookup(const Function *RuntimeDecl) const {
+  for (const auto &Info : Loops)
+    if (Info->RuntimeDecl == RuntimeDecl)
+      return Info.get();
+  return nullptr;
+}
+
+ParallelizeResult ReductionParallelizer::parallelizeLoop(
+    Function &F, const ForLoopMatch &Match,
+    const std::vector<ScalarReduction> &Scalars,
+    const std::vector<HistogramReduction> &Histograms) {
+  return outline(F, Match, Scalars, Histograms, /*Doall=*/false);
+}
+
+ParallelizeResult
+ReductionParallelizer::parallelizeDoall(Function &F,
+                                        const ForLoopMatch &Match) {
+  return outline(F, Match, {}, {}, /*Doall=*/true);
+}
+
+ParallelizeResult ReductionParallelizer::outline(
+    Function &F, const ForLoopMatch &Match,
+    const std::vector<ScalarReduction> &Scalars,
+    const std::vector<HistogramReduction> &Histograms, bool Doall) {
+  TypeContext &Types = M.getTypeContext();
+  DomTree DT(F);
+  LoopInfo LI(F, DT);
+  Loop *L = LI.getLoopFor(Match.LoopBegin);
+  if (!L || L->getHeader() != Match.LoopBegin)
+    return failure("loop structure no longer matches");
+
+  //===------------------------------------------------------------===//
+  // Refusal checks (the paper's documented limitations).
+  //===------------------------------------------------------------===//
+  if (!Histograms.empty() && !L->subLoops().empty())
+    return failure("histogram updates in a nested loop");
+  auto *Step = dyn_cast<ConstantInt>(Match.IterStep);
+  if (!Step || Step->getValue() != 1)
+    return failure("non-unit iterator step");
+  if (Match.Test->getLHS() != Match.Iterator)
+    return failure("iterator is not the LHS of the exit test");
+  CmpInst::Predicate Pred = Match.Test->getPredicate();
+  if (Pred != CmpInst::Predicate::SLT && Pred != CmpInst::Predicate::SLE)
+    return failure("unsupported exit predicate");
+
+  std::set<PhiInst *> AccPhis;
+  for (const ScalarReduction &S : Scalars)
+    AccPhis.insert(S.Accumulator);
+  for (PhiInst *Phi : Match.LoopBegin->phis())
+    if (Phi != Match.Iterator && !AccPhis.count(Phi))
+      return failure("loop carries state beyond the detected reductions");
+
+  for (const Value::Use &U : Match.Iterator->uses()) {
+    auto *User = cast<Instruction>(static_cast<Value *>(U.TheUser));
+    if (!L->contains(User->getParent()))
+      return failure("iterator used after the loop");
+  }
+
+  // All control flow must stay within the loop or leave through the
+  // matched exit; validate before any cloning starts so failure never
+  // leaves a half-built body function behind.
+  for (BasicBlock *BB : L->blocks()) {
+    auto *Br = dyn_cast_or_null<BranchInst>(BB->getTerminator());
+    if (!Br)
+      return failure("loop block lacks a branch terminator");
+    for (unsigned SI = 0, SE = Br->getNumSuccessors(); SI != SE; ++SI) {
+      BasicBlock *Succ = Br->getSuccessor(SI);
+      if (!L->contains(Succ) && Succ != Match.Exit)
+        return failure("loop has side exits");
+    }
+    for (Instruction *I : *BB)
+      if (isa<AllocaInst>(I) || isa<RetInst>(I))
+        return failure("loop contains an instruction the outliner "
+                       "cannot clone");
+  }
+
+  std::vector<GlobalVariable *> HistBases;
+  for (const HistogramReduction &H : Histograms) {
+    auto *GV = dyn_cast<GlobalVariable>(H.Base);
+    if (!GV || !GV->getContainedType()->isArray())
+      return failure("histogram size not statically known");
+    HistBases.push_back(GV);
+  }
+
+  //===------------------------------------------------------------===//
+  // Collect loop-invariant inputs that must become parameters.
+  //===------------------------------------------------------------===//
+  std::set<Value *> SkipOperands; // Values replaced by parameters/slots.
+  SkipOperands.insert(Match.IterBegin);
+  for (const ScalarReduction &S : Scalars)
+    SkipOperands.insert(S.Init);
+
+  std::vector<Value *> Invariants;
+  std::set<Value *> SeenInvariant;
+  for (BasicBlock *BB : L->blocks()) {
+    for (Instruction *I : *BB) {
+      bool IsHeaderPhi =
+          isa<PhiInst>(I) && I->getParent() == Match.LoopBegin;
+      for (unsigned OpIdx = 0, OpEnd = cast<User>(I)->getNumOperands();
+           OpIdx != OpEnd; ++OpIdx) {
+        Value *Op = I->getOperand(OpIdx);
+        if (isa<BasicBlock>(Op) || isa<ConstantInt>(Op) ||
+            isa<ConstantFloat>(Op) || isa<Function>(Op) ||
+            isa<GlobalVariable>(Op))
+          continue;
+        if (auto *OpInst = dyn_cast<Instruction>(Op))
+          if (L->contains(OpInst->getParent()))
+            continue;
+        // Header-phi entry incomings are rewired, not passed.
+        if (IsHeaderPhi && SkipOperands.count(Op))
+          continue;
+        // The bound is replaced by the chunk limit in the test; other
+        // uses of it still need a parameter.
+        if (I == Match.Test && Op == Match.IterEnd)
+          continue;
+        if (SeenInvariant.insert(Op).second)
+          Invariants.push_back(Op);
+      }
+    }
+  }
+
+  //===------------------------------------------------------------===//
+  // Body function signature: lo, hi, hist bases, acc slots, invariants.
+  //===------------------------------------------------------------===//
+  std::vector<Type *> ParamTys{Types.getInt64(), Types.getInt64()};
+  for (GlobalVariable *GV : HistBases)
+    ParamTys.push_back(GV->getType());
+  for (const ScalarReduction &S : Scalars)
+    ParamTys.push_back(Types.getPointer(S.Accumulator->getType()));
+  for (Value *Inv : Invariants)
+    ParamTys.push_back(Inv->getType());
+
+  unsigned Id = Counter++;
+  FunctionType *BodyFT =
+      Types.getFunction(Types.getVoid(), ParamTys);
+  Function *Body = M.createFunction(
+      F.getName() + ".parloop." + std::to_string(Id), BodyFT);
+  Argument *LoArg = Body->getArg(0);
+  Argument *HiArg = Body->getArg(1);
+  LoArg->setName("lo");
+  HiArg->setName("hi");
+
+  std::map<Value *, Value *> VM; // original -> body value
+  unsigned ArgCursor = 2;
+  for (GlobalVariable *GV : HistBases) {
+    Body->getArg(ArgCursor)->setName(GV->getName() + ".base");
+    VM[GV] = Body->getArg(ArgCursor++);
+  }
+  std::vector<Argument *> AccSlotArgs;
+  for (const ScalarReduction &S : Scalars) {
+    Argument *Arg = Body->getArg(ArgCursor++);
+    Arg->setName(S.Accumulator->getName() + ".slot");
+    AccSlotArgs.push_back(Arg);
+  }
+  for (Value *Inv : Invariants) {
+    Argument *Arg = Body->getArg(ArgCursor++);
+    Arg->setName(Inv->hasName() ? Inv->getName() : "inv");
+    VM[Inv] = Arg;
+  }
+
+  //===------------------------------------------------------------===//
+  // Clone the loop into the body function.
+  //===------------------------------------------------------------===//
+  IRBuilder B(M);
+  BasicBlock *BodyEntry = Body->createBlock("entry");
+  BasicBlock *BodyExit = Body->createBlock("done");
+
+  std::vector<BasicBlock *> Order = loopBlocksPreorder(L, DT);
+  for (BasicBlock *BB : Order) {
+    BasicBlock *Clone = Body->createBlock(BB->getName() + ".par");
+    VM[BB] = Clone;
+  }
+  VM[Match.Entry] = BodyEntry;
+  VM[Match.Exit] = BodyExit;
+
+  // Body entry: load the incoming accumulator values.
+  B.setInsertBlock(BodyEntry);
+  std::vector<Value *> AccEntryLoads;
+  for (Argument *SlotArg : AccSlotArgs)
+    AccEntryLoads.push_back(B.createLoad(SlotArg, "acc.in"));
+  B.createBr(cast<BasicBlock>(VM[Match.LoopBegin]));
+
+  auto MapOp = [&VM](Value *Op) -> Value * {
+    auto It = VM.find(Op);
+    return It == VM.end() ? Op : It->second;
+  };
+
+  // Pass 1: create empty phi clones so cyclic references resolve.
+  for (BasicBlock *BB : Order) {
+    for (Instruction *I : *BB) {
+      auto *Phi = dyn_cast<PhiInst>(I);
+      if (!Phi)
+        break;
+      auto *Clone = new PhiInst(Phi->getType());
+      Clone->setName(Phi->getName());
+      cast<BasicBlock>(VM[BB])->append(std::unique_ptr<Instruction>(Clone));
+      VM[Phi] = Clone;
+    }
+  }
+
+  // Pass 2: clone non-phi instructions in dominator preorder.
+  ParallelLoopInfo Info;
+  std::map<const BasicBlock *, BasicBlock *> HistUpdateBlocks;
+  for (BasicBlock *BB : Order) {
+    B.setInsertBlock(cast<BasicBlock>(VM[BB]));
+    for (Instruction *I : *BB) {
+      if (isa<PhiInst>(I))
+        continue;
+      Instruction *Clone = nullptr;
+      switch (I->getKind()) {
+      case Value::ValueKind::InstBinary: {
+        auto *Bin = cast<BinaryInst>(I);
+        Clone = B.createBinary(Bin->getBinaryOp(), MapOp(Bin->getLHS()),
+                               MapOp(Bin->getRHS()), Bin->getName());
+        break;
+      }
+      case Value::ValueKind::InstCmp: {
+        auto *Cmp = cast<CmpInst>(I);
+        if (Cmp == Match.Test) {
+          // Normalized chunk test: iterator < hi.
+          Clone = B.createCmp(CmpInst::Predicate::SLT,
+                              MapOp(Match.Iterator), HiArg, "chunk.test");
+        } else {
+          Clone = B.createCmp(Cmp->getPredicate(), MapOp(Cmp->getLHS()),
+                              MapOp(Cmp->getRHS()), Cmp->getName());
+        }
+        break;
+      }
+      case Value::ValueKind::InstCast: {
+        auto *Cast = gr::cast<CastInst>(I);
+        Clone = B.createCast(Cast->getCastKind(), MapOp(Cast->getSrc()),
+                             Cast->getName());
+        break;
+      }
+      case Value::ValueKind::InstLoad:
+        Clone = B.createLoad(MapOp(cast<LoadInst>(I)->getPointer()),
+                             I->getName());
+        break;
+      case Value::ValueKind::InstStore: {
+        auto *Store = cast<StoreInst>(I);
+        Clone = B.createStore(MapOp(Store->getStoredValue()),
+                              MapOp(Store->getPointer()));
+        break;
+      }
+      case Value::ValueKind::InstGEP: {
+        auto *GEP = cast<GEPInst>(I);
+        Clone = B.createGEP(MapOp(GEP->getPointer()),
+                            MapOp(GEP->getIndex()), GEP->getName());
+        break;
+      }
+      case Value::ValueKind::InstCall: {
+        auto *Call = cast<CallInst>(I);
+        std::vector<Value *> Args;
+        for (unsigned A = 0, AE = Call->getNumArgs(); A != AE; ++A)
+          Args.push_back(MapOp(Call->getArg(A)));
+        Clone = B.createCall(Call->getCallee(), Args, Call->getName());
+        break;
+      }
+      case Value::ValueKind::InstSelect: {
+        auto *Sel = cast<SelectInst>(I);
+        Clone = B.createSelect(MapOp(Sel->getCondition()),
+                               MapOp(Sel->getTrueValue()),
+                               MapOp(Sel->getFalseValue()), Sel->getName());
+        break;
+      }
+      case Value::ValueKind::InstBranch: {
+        auto *Br = cast<BranchInst>(I);
+        if (Br->isConditional())
+          Clone = B.createCondBr(MapOp(Br->getCondition()),
+                                 cast<BasicBlock>(VM[Br->getSuccessor(0)]),
+                                 cast<BasicBlock>(VM[Br->getSuccessor(1)]));
+        else
+          Clone = B.createBr(cast<BasicBlock>(VM[Br->getSuccessor(0)]));
+        break;
+      }
+      default:
+        return failure("loop contains an instruction the outliner "
+                       "cannot clone");
+      }
+      VM[I] = Clone;
+    }
+  }
+
+  // Pass 3: fill phi incoming edges.
+  for (BasicBlock *BB : Order) {
+    for (Instruction *I : *BB) {
+      auto *Phi = dyn_cast<PhiInst>(I);
+      if (!Phi)
+        break;
+      auto *Clone = cast<PhiInst>(VM[Phi]);
+      bool IsHeaderPhi = BB == Match.LoopBegin;
+      for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+        BasicBlock *InBlock = Phi->getIncomingBlock(K);
+        Value *InValue = Phi->getIncomingValue(K);
+        if (IsHeaderPhi && InBlock == Match.Entry) {
+          if (Phi == Match.Iterator) {
+            Clone->addIncoming(LoArg, BodyEntry);
+          } else {
+            // Accumulator: starts from its privatized slot value.
+            unsigned AccIdx = 0;
+            for (const ScalarReduction &S : Scalars) {
+              if (S.Accumulator == Phi)
+                break;
+              ++AccIdx;
+            }
+            Clone->addIncoming(AccEntryLoads[AccIdx], BodyEntry);
+          }
+          continue;
+        }
+        Clone->addIncoming(MapOp(InValue),
+                           cast<BasicBlock>(VM[InBlock]));
+      }
+    }
+  }
+
+  // Body exit: write back accumulator results, return.
+  B.setInsertBlock(BodyExit);
+  for (unsigned K = 0; K < Scalars.size(); ++K)
+    B.createStore(VM[Scalars[K].Accumulator], AccSlotArgs[K]);
+  B.createRet();
+
+  //===------------------------------------------------------------===//
+  // Rewrite the original function.
+  //===------------------------------------------------------------===//
+  Function *Decl = M.createDeclaration(
+      "__gr_parallel_reduce." + std::to_string(Id), BodyFT,
+      /*Pure=*/false);
+
+  BasicBlock *CallBlock = F.createBlock("parcall." + std::to_string(Id));
+  B.setInsertBlock(CallBlock);
+
+  // Accumulator slots live in the caller's frame.
+  std::vector<Value *> AccSlots;
+  for (const ScalarReduction &S : Scalars) {
+    auto *Slot = new AllocaInst(Types, S.Accumulator->getType());
+    Slot->setName(S.Accumulator->getName() + ".red");
+    F.getEntry()->insertAt(0, std::unique_ptr<Instruction>(Slot));
+    AccSlots.push_back(Slot);
+    B.createStore(S.Init, Slot);
+  }
+
+  Value *Hi = Match.IterEnd;
+  if (Pred == CmpInst::Predicate::SLE)
+    Hi = B.createAdd(Hi, B.getInt64(1), "hi.incl");
+
+  std::vector<Value *> CallArgs{Match.IterBegin, Hi};
+  for (GlobalVariable *GV : HistBases)
+    CallArgs.push_back(GV);
+  for (Value *Slot : AccSlots)
+    CallArgs.push_back(Slot);
+  for (Value *Inv : Invariants)
+    CallArgs.push_back(Inv);
+  B.createCall(Decl, CallArgs);
+
+  // Read back merged accumulators and patch users after the loop.
+  std::vector<Value *> Finals;
+  for (Value *Slot : AccSlots)
+    Finals.push_back(B.createLoad(Slot, "red.out"));
+  B.createBr(Match.Exit);
+
+  for (unsigned K = 0; K < Scalars.size(); ++K) {
+    PhiInst *Acc = Scalars[K].Accumulator;
+    std::vector<Value::Use> Uses = Acc->uses();
+    for (const Value::Use &U : Uses) {
+      auto *User = cast<Instruction>(static_cast<Value *>(U.TheUser));
+      if (!L->contains(User->getParent()))
+        User->setOperand(U.OperandIdx, Finals[K]);
+    }
+  }
+
+  // Divert the preheader and delete the now-unreachable loop body.
+  auto *EntryBr = cast<BranchInst>(Match.Entry->getTerminator());
+  for (unsigned SI = 0; SI < EntryBr->getNumSuccessors(); ++SI)
+    if (EntryBr->getSuccessor(SI) == Match.LoopBegin)
+      EntryBr->setOperand(EntryBr->isConditional() ? SI + 1 : SI,
+                          CallBlock);
+
+  std::vector<BasicBlock *> Dead(L->blocks().begin(), L->blocks().end());
+  for (BasicBlock *BB : Dead)
+    for (Instruction *I : *BB)
+      I->dropAllReferences();
+  for (BasicBlock *BB : Dead)
+    F.eraseBlock(BB);
+
+  //===------------------------------------------------------------===//
+  // Descriptor.
+  //===------------------------------------------------------------===//
+  Info.Body = Body;
+  Info.RuntimeDecl = Decl;
+  Info.IsDoall = Doall;
+  Info.NumInvariants = static_cast<unsigned>(Invariants.size());
+  for (unsigned K = 0; K < Histograms.size(); ++K) {
+    const HistogramReduction &H = Histograms[K];
+    ParallelLoopInfo::HistInfo HI;
+    HI.Bytes = HistBases[K]->getContainedType()->getSizeInBytes();
+    HI.Op = H.Op;
+    HI.IsFloat = cast<ArrayType>(HistBases[K]->getContainedType())
+                     ->getElement()
+                     ->isFloat64();
+    HI.UpdateBlock = cast<BasicBlock>(VM[H.Write->getParent()]);
+    Info.Histograms.push_back(HI);
+  }
+  for (const ScalarReduction &S : Scalars)
+    Info.Accumulators.push_back(
+        {S.Op, S.Accumulator->getType()->isFloat64()});
+
+  Loops.push_back(std::make_unique<ParallelLoopInfo>(Info));
+  ParallelizeResult Result;
+  Result.Transformed = true;
+  Result.Info = Loops.back().get();
+  return Result;
+}

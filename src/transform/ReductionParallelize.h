@@ -1,0 +1,105 @@
+//===- ReductionParallelize.h - reduction exploitation pass ---*- C++ -*-===//
+///
+/// \file
+/// The code-generation phase of the paper (§4): a detected reduction
+/// loop is outlined into a body function over a sub-range
+/// [lo, hi), with the histogram array and scalar accumulators passed
+/// as pointers so the runtime can substitute privatized copies, and
+/// the original loop is replaced by a call to a __gr_parallel_reduce
+/// intrinsic. The paper packs the closure into a struct for
+/// pthread_create; our simulated runtime calls the body directly, so
+/// the closure is passed as explicit typed parameters instead
+/// (documented substitution in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TRANSFORM_REDUCTIONPARALLELIZE_H
+#define GR_TRANSFORM_REDUCTIONPARALLELIZE_H
+
+#include "idioms/ReductionInfo.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class Function;
+class Module;
+
+/// Runtime-facing description of one parallelized loop. The intrinsic
+/// call's argument order is: lo, hi, histogram bases, accumulator slot
+/// pointers, then loop invariants; the body function has the same
+/// signature.
+struct ParallelLoopInfo {
+  Function *Body = nullptr;
+  Function *RuntimeDecl = nullptr;
+
+  struct HistInfo {
+    uint64_t Bytes;        ///< Static size of the histogram array.
+    ReductionOperator Op;
+    bool IsFloat;
+    /// Cloned block containing the update store (profiled to count
+    /// updates for the lock-based cost model).
+    BasicBlock *UpdateBlock;
+  };
+  std::vector<HistInfo> Histograms;
+
+  struct AccInfo {
+    ReductionOperator Op;
+    bool IsFloat;
+  };
+  std::vector<AccInfo> Accumulators;
+
+  unsigned NumInvariants = 0;
+  bool IsDoall = false;
+};
+
+/// Outcome of one parallelization attempt.
+struct ParallelizeResult {
+  bool Transformed = false;
+  std::string FailureReason;
+  ParallelLoopInfo *Info = nullptr;
+};
+
+/// Applies the exploitation transform to loops of one module and keeps
+/// the descriptors the runtime needs.
+class ReductionParallelizer {
+public:
+  explicit ReductionParallelizer(Module &M) : M(M) {}
+
+  /// Replaces the loop \p Match in \p F by a parallel-reduce call,
+  /// privatizing \p Scalars and \p Histograms (all must belong to that
+  /// loop). Refuses (with a reason) on the paper's documented
+  /// limitations: nested histogram loops, non-unit steps,
+  /// runtime-sized histograms, extra loop-carried state.
+  ParallelizeResult
+  parallelizeLoop(Function &F, const ForLoopMatch &Match,
+                  const std::vector<ScalarReduction> &Scalars,
+                  const std::vector<HistogramReduction> &Histograms);
+
+  /// DOALL variant used to model the upstream hand-parallel versions:
+  /// outlines the loop without any privatization. The caller asserts
+  /// iterations are independent.
+  ParallelizeResult parallelizeDoall(Function &F,
+                                     const ForLoopMatch &Match);
+
+  /// Descriptor lookup for the runtime's intrinsic handler.
+  const ParallelLoopInfo *lookup(const Function *RuntimeDecl) const;
+
+private:
+  ParallelizeResult outline(Function &F, const ForLoopMatch &Match,
+                            const std::vector<ScalarReduction> &Scalars,
+                            const std::vector<HistogramReduction> &Histograms,
+                            bool Doall);
+
+  Module &M;
+  std::vector<std::unique_ptr<ParallelLoopInfo>> Loops;
+  unsigned Counter = 0;
+};
+
+} // namespace gr
+
+#endif // GR_TRANSFORM_REDUCTIONPARALLELIZE_H

@@ -1,0 +1,253 @@
+//===- AnalysisTests.cpp - analysis library tests -------------*- C++ -*-===//
+
+#include "TestHelpers.h"
+
+#include "analysis/AffineForms.h"
+#include "analysis/CFGUtils.h"
+#include "analysis/ControlDependence.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Purity.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+/// Finds a block by name within a function.
+BasicBlock *blockNamed(Function &F, const std::string &Name) {
+  for (BasicBlock *BB : F)
+    if (BB->getName() == Name)
+      return BB;
+  return nullptr;
+}
+
+Function *mainOf(Module &M) { return M.getFunction("main"); }
+
+const char *DiamondSource = R"(
+int main() {
+  int x = 1;
+  if (x > 0)
+    x = 2;
+  else
+    x = 3;
+  return x;
+}
+)";
+
+TEST(Dominators, DiamondStructure) {
+  auto M = compileOrFail(DiamondSource);
+  Function *F = mainOf(*M);
+  DomTree DT(*F);
+  BasicBlock *Entry = F->getEntry();
+  BasicBlock *Then = blockNamed(*F, "if.then");
+  BasicBlock *Else = blockNamed(*F, "if.else");
+  BasicBlock *End = blockNamed(*F, "if.end");
+  ASSERT_TRUE(Then && Else && End);
+  EXPECT_TRUE(DT.dominates(Entry, End));
+  EXPECT_FALSE(DT.dominates(Then, End));
+  EXPECT_FALSE(DT.dominates(Else, End));
+  EXPECT_EQ(DT.getIDom(End), Entry);
+  EXPECT_TRUE(DT.strictlyDominates(Entry, Then));
+  EXPECT_FALSE(DT.strictlyDominates(Entry, Entry));
+}
+
+TEST(Dominators, FrontierOfDiamondArmsIsJoin) {
+  auto M = compileOrFail(DiamondSource);
+  Function *F = mainOf(*M);
+  DomTree DT(*F);
+  BasicBlock *Then = blockNamed(*F, "if.then");
+  BasicBlock *End = blockNamed(*F, "if.end");
+  EXPECT_EQ(DT.getFrontier(Then).count(End), 1u);
+}
+
+TEST(PostDominators, JoinPostDominatesArms) {
+  auto M = compileOrFail(DiamondSource);
+  Function *F = mainOf(*M);
+  PostDomTree PDT(*F);
+  BasicBlock *Entry = F->getEntry();
+  BasicBlock *Then = blockNamed(*F, "if.then");
+  BasicBlock *End = blockNamed(*F, "if.end");
+  EXPECT_TRUE(PDT.postDominates(End, Entry));
+  EXPECT_TRUE(PDT.postDominates(End, Then));
+  EXPECT_FALSE(PDT.postDominates(Then, Entry));
+}
+
+TEST(ControlDep, ArmsDependOnBranchJoinDoesNot) {
+  auto M = compileOrFail(DiamondSource);
+  Function *F = mainOf(*M);
+  PostDomTree PDT(*F);
+  ControlDependence CD(*F, PDT);
+  BasicBlock *Entry = F->getEntry();
+  BasicBlock *Then = blockNamed(*F, "if.then");
+  BasicBlock *End = blockNamed(*F, "if.end");
+  EXPECT_EQ(CD.getControllers(Then).count(Entry), 1u);
+  EXPECT_EQ(CD.getControllers(End).count(Entry), 0u);
+}
+
+const char *LoopSource = R"(
+double a[64];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 64; i++) {
+    int j;
+    for (j = 0; j < 4; j++)
+      s = s + a[i] * j;
+  }
+  return s;
+}
+)";
+
+TEST(LoopInfo, FindsNestedLoopsWithDepths) {
+  auto M = compileOrFail(LoopSource);
+  Function *F = mainOf(*M);
+  DomTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  std::vector<Loop *> Inner = LI.loopsInnermostFirst();
+  EXPECT_EQ(Inner[0]->getDepth(), 2u);
+  EXPECT_EQ(Inner[1]->getDepth(), 1u);
+  EXPECT_EQ(Inner[0]->getParent(), Inner[1]);
+  EXPECT_EQ(Inner[1]->subLoops().size(), 1u);
+}
+
+TEST(LoopInfo, CanonicalInductionVariable) {
+  auto M = compileOrFail(LoopSource);
+  Function *F = mainOf(*M);
+  DomTree DT(*F);
+  LoopInfo LI(*F, DT);
+  for (Loop *L : LI.loopsInnermostFirst()) {
+    ASSERT_NE(L->getCanonicalIterator(), nullptr);
+    ASSERT_NE(L->getIterEnd(), nullptr);
+    EXPECT_TRUE(L->isInvariant(L->getIterEnd()));
+    auto *Step = dyn_cast<ConstantInt>(L->getIterStep());
+    ASSERT_NE(Step, nullptr);
+    EXPECT_EQ(Step->getValue(), 1);
+  }
+}
+
+TEST(LoopInfo, PreheaderAndLatchIdentified) {
+  auto M = compileOrFail(LoopSource);
+  Function *F = mainOf(*M);
+  DomTree DT(*F);
+  LoopInfo LI(*F, DT);
+  for (const auto &L : LI.loops()) {
+    EXPECT_NE(L->getPreheader(), nullptr);
+    EXPECT_NE(L->getLatch(), nullptr);
+    EXPECT_TRUE(L->contains(L->getLatch()));
+    EXPECT_FALSE(L->contains(L->getPreheader()));
+  }
+}
+
+TEST(Purity, ClassifiesBuiltinsAndHelpers) {
+  auto M = compileOrFail(R"(
+double table[8];
+double pure_math(double x) { return sqrt(x) + 1.0; }
+double reads_mem(double *p) { return p[0] + p[1]; }
+void writes_mem() { table[0] = 1.0; }
+int main() { return pure_math(2.0) + reads_mem(table); }
+)");
+  PurityAnalysis PA(*M);
+  EXPECT_EQ(PA.getKind(M->getFunction("sqrt")), PurityKind::StrictPure);
+  EXPECT_EQ(PA.getKind(M->getFunction("pure_math")),
+            PurityKind::StrictPure);
+  EXPECT_EQ(PA.getKind(M->getFunction("reads_mem")), PurityKind::ReadOnly);
+  EXPECT_EQ(PA.getKind(M->getFunction("writes_mem")), PurityKind::Impure);
+}
+
+TEST(Purity, ImpurePropagatesThroughCalls) {
+  auto M = compileOrFail(R"(
+double g[2];
+void sink() { g[0] = 1.0; }
+void caller() { sink(); }
+int main() { caller(); return 0; }
+)");
+  PurityAnalysis PA(*M);
+  EXPECT_EQ(PA.getKind(M->getFunction("caller")), PurityKind::Impure);
+}
+
+TEST(AffineForms, DecomposesLinearExpressions) {
+  auto M = compileOrFail(R"(
+double a[256];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 16; i++)
+    s = s + a[3*i + 5];
+  return s;
+}
+)");
+  Function *F = mainOf(*M);
+  DomTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  Loop *L = LI.loops()[0].get();
+  // Find the GEP and check its index decomposition.
+  for (BasicBlock *BB : *F) {
+    for (Instruction *I : *BB) {
+      auto *GEP = dyn_cast<GEPInst>(I);
+      if (!GEP)
+        continue;
+      auto Form = computeAffineForm(GEP->getIndex());
+      ASSERT_TRUE(Form.has_value());
+      EXPECT_EQ(Form->Constant, 5);
+      EXPECT_EQ(Form->coeff(L->getCanonicalIterator()), 3);
+      EXPECT_TRUE(isAffineInLoop(GEP->getIndex(), *L));
+    }
+  }
+}
+
+TEST(AffineForms, ProductOfUnknownsIsOpaque) {
+  auto M = compileOrFail(R"(
+double a[256];
+int main() {
+  int i;
+  int n = 7;
+  double s = 0.0;
+  for (i = 0; i < 8; i++) {
+    n = n + i;
+    s = s + a[i * n];
+  }
+  return s;
+}
+)");
+  Function *F = mainOf(*M);
+  DomTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *L = LI.loops()[0].get();
+  bool SawNonAffine = false;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      if (auto *GEP = dyn_cast<GEPInst>(I))
+        if (L->contains(GEP->getParent()) &&
+            !isAffineInLoop(GEP->getIndex(), *L))
+          SawNonAffine = true;
+  EXPECT_TRUE(SawNonAffine);
+}
+
+TEST(CFGUtils, ReversePostOrderStartsAtEntry) {
+  auto M = compileOrFail(DiamondSource);
+  Function *F = mainOf(*M);
+  auto RPO = reversePostOrder(*F);
+  ASSERT_FALSE(RPO.empty());
+  EXPECT_EQ(RPO.front(), F->getEntry());
+  // Every reachable block appears exactly once.
+  EXPECT_EQ(RPO.size(), reachableBlocks(*F).size());
+}
+
+TEST(CFGUtils, ReachableWithoutBlocksPath) {
+  auto M = compileOrFail(DiamondSource);
+  Function *F = mainOf(*M);
+  BasicBlock *End = blockNamed(*F, "if.end");
+  BasicBlock *Then = blockNamed(*F, "if.then");
+  BasicBlock *Else = blockNamed(*F, "if.else");
+  // Excluding both arms cuts entry off from the join.
+  EXPECT_FALSE(reachableWithout(F->getEntry(), End, {Then, Else}));
+  EXPECT_TRUE(reachableWithout(F->getEntry(), End, {Then}));
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- BaselineTests.cpp - Polly/icc/scev baseline behaviour --*- C++ -*-===//
+
+#include "TestHelpers.h"
+
+#include "baselines/IccLike.h"
+#include "baselines/PollyLike.h"
+#include "baselines/ScevLike.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+TEST(PollyBaseline, ConstantBoundAffineNestIsSCoP) {
+  auto M = compileOrFail(R"(
+double u[16][16];
+int main() {
+  int i; int j;
+  for (i = 1; i < 15; i++)
+    for (j = 1; j < 15; j++)
+      u[i][j] = 0.5 * (u[i-1][j] + u[i+1][j]);
+  return u[3][3];
+}
+)");
+  auto R = runPollyBaseline(*M);
+  EXPECT_EQ(R.NumSCoPs, 1u);
+  EXPECT_EQ(R.NumReductionSCoPs, 0u);
+}
+
+TEST(PollyBaseline, RuntimeBoundDefeatsSCoP) {
+  auto M = compileOrFail(R"(
+int cfg[2];
+double u[256];
+int main() {
+  int n = cfg[0];
+  int i;
+  for (i = 0; i < n; i++)
+    u[i] = 0.5 * i;
+  return u[3];
+}
+)");
+  auto R = runPollyBaseline(*M);
+  EXPECT_EQ(R.NumSCoPs, 0u);
+}
+
+TEST(PollyBaseline, FlatArrayIndexingDefeatsSCoP) {
+  // i*n + j with a runtime n: the product of unknowns is not affine.
+  auto M = compileOrFail(R"(
+int cfg[2];
+double flat[256];
+int main() {
+  int n = cfg[0];
+  int i; int j;
+  for (i = 0; i < 16; i++)
+    for (j = 0; j < 16; j++)
+      flat[i * n + j] = 1.0;
+  return flat[0];
+}
+)");
+  auto R = runPollyBaseline(*M);
+  EXPECT_EQ(R.NumSCoPs, 0u);
+}
+
+TEST(PollyBaseline, CallsDefeatSCoP) {
+  auto M = compileOrFail(R"(
+double u[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++)
+    u[i] = sin(0.1 * i);
+  return u[3];
+}
+)");
+  EXPECT_EQ(runPollyBaseline(*M).NumSCoPs, 0u);
+}
+
+TEST(PollyBaseline, ReductionInsideSCoPIsCounted) {
+  auto M = compileOrFail(R"(
+double a[128];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 128; i++)
+    s = s + a[i];
+  print_f64(s);
+  return 0;
+}
+)");
+  auto R = runPollyBaseline(*M);
+  EXPECT_EQ(R.NumSCoPs, 1u);
+  EXPECT_EQ(R.NumReductionSCoPs, 1u);
+  EXPECT_EQ(R.NumReductions, 1u);
+}
+
+TEST(PollyBaseline, HistogramsNeverDetected) {
+  auto M = compileOrFail(R"(
+int keys[128];
+int bins[16];
+int main() {
+  int i;
+  for (i = 0; i < 128; i++)
+    bins[keys[i]]++;
+  print_i64(bins[0]);
+  return 0;
+}
+)");
+  auto R = runPollyBaseline(*M);
+  EXPECT_EQ(R.NumSCoPs, 0u);
+  EXPECT_EQ(R.NumReductions, 0u);
+}
+
+TEST(IccBaseline, FindsRuntimeBoundScalarReduction) {
+  auto M = compileOrFail(R"(
+int cfg[2];
+double a[4096];
+int main() {
+  int n = cfg[0];
+  int i;
+  double s = 0.0;
+  for (i = 0; i < n; i++)
+    s = s + a[i];
+  print_f64(s);
+  return 0;
+}
+)");
+  EXPECT_EQ(runIccBaseline(*M), 1u);
+}
+
+TEST(IccBaseline, FminFmaxBlockParallelization) {
+  // The cutcp effect from §6.1.
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double best = -1.0e30;
+  for (i = 0; i < 64; i++)
+    best = fmax(best, a[i]);
+  print_f64(best);
+  return 0;
+}
+)");
+  EXPECT_EQ(runIccBaseline(*M), 0u);
+}
+
+TEST(IccBaseline, WhitelistedMathIsFine) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 64; i++)
+    s = s + sqrt(fabs(a[i]));
+  print_f64(s);
+  return 0;
+}
+)");
+  EXPECT_EQ(runIccBaseline(*M), 1u);
+}
+
+TEST(IccBaseline, IndirectStoreRejectsWholeLoop) {
+  // A histogram update poisons every reduction in the same loop.
+  auto M = compileOrFail(R"(
+int keys[128];
+int bins[16];
+int main() {
+  int i;
+  int total = 0;
+  for (i = 0; i < 128; i++) {
+    bins[keys[i]]++;
+    total = total + keys[i];
+  }
+  print_i64(total);
+  print_i64(bins[2]);
+  return 0;
+}
+)");
+  EXPECT_EQ(runIccBaseline(*M), 0u);
+}
+
+TEST(IccBaseline, GivesUpOnAccumulatorLoopsWithInnerLoops) {
+  // The SP effect: the accumulator's loop contains another loop.
+  auto M = compileOrFail(R"(
+double w[64];
+double u[64][8];
+int main() {
+  int i; int j;
+  double norm = 0.0;
+  for (i = 0; i < 64; i++) {
+    for (j = 0; j < 8; j++)
+      u[i][j] = u[i][j] * 0.5;
+    norm = norm + w[i] * w[i];
+  }
+  print_f64(norm);
+  return 0;
+}
+)");
+  EXPECT_EQ(runIccBaseline(*M), 0u);
+}
+
+TEST(ScevBaseline, OnlyStraightLineBodies) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double s1 = 0.0;
+  for (i = 0; i < 64; i++)
+    s1 = s1 + a[i];
+  double s2 = 0.0;
+  for (i = 0; i < 64; i++) {
+    if (a[i] > 0.0)
+      s2 = s2 + a[i];
+  }
+  print_f64(s1 + s2);
+  return 0;
+}
+)");
+  // Only the unconditional sum is a scev-style reduction.
+  EXPECT_EQ(runScevBaseline(*M), 1u);
+}
+
+TEST(ScevBaseline, CallsDisqualify) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 64; i++)
+    s = s + sqrt(a[i]);
+  print_f64(s);
+  return 0;
+}
+)");
+  EXPECT_EQ(runScevBaseline(*M), 0u);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- CorpusTests.cpp - per-benchmark expectation tests ------*- C++ -*-===//
+///
+/// Parameterized over the 40-benchmark corpus: every program must
+/// compile, run to completion, and produce exactly the detection
+/// counts that encode the paper's Fig 8-11 (per tool).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "baselines/IccLike.h"
+#include "baselines/PollyLike.h"
+#include "corpus/Corpus.h"
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+using namespace gr;
+
+namespace {
+
+class CorpusDetection
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(CorpusDetection, CompilesCleanly) {
+  const BenchmarkProgram *B = GetParam();
+  std::string Error;
+  auto M = compileMiniC(B->Source, B->Name, &Error);
+  ASSERT_NE(M, nullptr) << B->Name << ": " << Error;
+}
+
+TEST_P(CorpusDetection, ConstraintDetectionMatchesPaper) {
+  const BenchmarkProgram *B = GetParam();
+  std::string Error;
+  auto M = compileMiniC(B->Source, B->Name, &Error);
+  ASSERT_NE(M, nullptr) << Error;
+  auto Counts = countReductions(analyzeModule(*M));
+  EXPECT_EQ(Counts.Scalars, B->Expected.OurScalars) << B->Name;
+  EXPECT_EQ(Counts.Histograms, B->Expected.OurHistograms) << B->Name;
+}
+
+TEST_P(CorpusDetection, IccBaselineMatchesPaper) {
+  const BenchmarkProgram *B = GetParam();
+  std::string Error;
+  auto M = compileMiniC(B->Source, B->Name, &Error);
+  ASSERT_NE(M, nullptr) << Error;
+  EXPECT_EQ(runIccBaseline(*M), B->Expected.Icc) << B->Name;
+}
+
+TEST_P(CorpusDetection, PollyBaselineMatchesPaper) {
+  const BenchmarkProgram *B = GetParam();
+  std::string Error;
+  auto M = compileMiniC(B->Source, B->Name, &Error);
+  ASSERT_NE(M, nullptr) << Error;
+  auto R = runPollyBaseline(*M);
+  EXPECT_EQ(R.NumReductions, B->Expected.Polly) << B->Name;
+  EXPECT_EQ(R.NumSCoPs, B->Expected.SCoPs) << B->Name;
+  EXPECT_EQ(R.NumReductionSCoPs, B->Expected.ReductionSCoPs) << B->Name;
+}
+
+TEST_P(CorpusDetection, RunsToCompletion) {
+  const BenchmarkProgram *B = GetParam();
+  std::string Error;
+  auto M = compileMiniC(B->Source, B->Name, &Error);
+  ASSERT_NE(M, nullptr) << Error;
+  Interpreter I(*M);
+  I.setStepLimit(80000000);
+  EXPECT_EQ(I.runMain(), 0) << B->Name;
+  EXPECT_FALSE(I.getOutput().empty()) << B->Name;
+}
+
+std::vector<const BenchmarkProgram *> allBenchmarks() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : corpus())
+    Out.push_back(&B);
+  return Out;
+}
+
+std::string benchName(
+    const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+  std::string Name = Info.param->Name;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return std::string(Info.param->Suite) + "_" + Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CorpusDetection,
+                         ::testing::ValuesIn(allBenchmarks()), benchName);
+
+//===----------------------------------------------------------------------===//
+// Suite-level totals: the headline numbers of the paper.
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusTotals, PaperHeadlineCounts) {
+  unsigned Scalars = 0, Histograms = 0, SCoPs = 0;
+  for (const BenchmarkProgram &B : corpus()) {
+    Scalars += B.Expected.OurScalars;
+    Histograms += B.Expected.OurHistograms;
+    SCoPs += B.Expected.SCoPs;
+  }
+  EXPECT_EQ(Scalars, 84u);    // "We detected 84 scalar reductions"
+  EXPECT_EQ(Histograms, 6u);  // "... and 6 histograms"
+  EXPECT_EQ(SCoPs, 62u);      // 62 SCoPs across all benchmarks
+}
+
+TEST(CorpusTotals, SuiteDistributionMatchesPaper) {
+  auto SuiteTotal = [](const char *Suite) {
+    BenchmarkExpectations T;
+    for (const BenchmarkProgram &B : corpus()) {
+      if (std::string(B.Suite) != Suite)
+        continue;
+      T.OurScalars += B.Expected.OurScalars;
+      T.OurHistograms += B.Expected.OurHistograms;
+      T.Icc += B.Expected.Icc;
+      T.Polly += B.Expected.Polly;
+      T.SCoPs += B.Expected.SCoPs;
+    }
+    return T;
+  };
+  BenchmarkExpectations NAS = SuiteTotal("NAS");
+  EXPECT_EQ(NAS.OurHistograms, 3u); // EP, IS, DC
+  EXPECT_EQ(NAS.Icc, 25u);
+  EXPECT_EQ(NAS.Polly, 2u); // BT and SP
+
+  BenchmarkExpectations Parboil = SuiteTotal("Parboil");
+  EXPECT_EQ(Parboil.OurHistograms, 2u); // histo, tpacf
+  EXPECT_EQ(Parboil.Icc, 3u);
+  EXPECT_EQ(Parboil.Polly, 1u); // sgemm
+
+  BenchmarkExpectations Rodinia = SuiteTotal("Rodinia");
+  EXPECT_EQ(Rodinia.OurHistograms, 1u); // kmeans
+  EXPECT_EQ(Rodinia.Icc, 23u);
+  EXPECT_EQ(Rodinia.Polly, 1u); // leukocyte
+}
+
+TEST(CorpusTotals, NamedAnchorsFromTheText) {
+  EXPECT_EQ(findBenchmark("UA")->Expected.OurScalars, 11u);
+  EXPECT_EQ(findBenchmark("cutcp")->Expected.OurScalars, 7u);
+  EXPECT_EQ(findBenchmark("particlefilter")->Expected.OurScalars, 9u);
+  EXPECT_EQ(findBenchmark("EP")->Expected.OurScalars, 2u);
+  EXPECT_EQ(findBenchmark("EP")->Expected.OurHistograms, 1u);
+  EXPECT_EQ(findBenchmark("IS")->Expected.Icc, 0u);
+  EXPECT_EQ(findBenchmark("SP")->Expected.Icc, 0u);
+  EXPECT_EQ(findBenchmark("SP")->Expected.Polly, 1u);
+  // 23 of 40 benchmarks have zero SCoPs (paper §6.1).
+  unsigned ZeroSCoPs = 0;
+  for (const BenchmarkProgram &B : corpus())
+    if (B.Expected.SCoPs == 0)
+      ++ZeroSCoPs;
+  EXPECT_EQ(ZeroSCoPs, 23u);
+  // LU, BT, SP and MG account for 37 of the 62 SCoPs.
+  unsigned StencilSCoPs = findBenchmark("LU")->Expected.SCoPs +
+                          findBenchmark("BT")->Expected.SCoPs +
+                          findBenchmark("SP")->Expected.SCoPs +
+                          findBenchmark("MG")->Expected.SCoPs;
+  EXPECT_EQ(StencilSCoPs, 37u);
+}
+
+} // namespace

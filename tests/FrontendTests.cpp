@@ -1,0 +1,213 @@
+//===- FrontendTests.cpp - lexer/parser/codegen tests ---------*- C++ -*-===//
+
+#include "TestHelpers.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokenizesOperatorsLongestFirst) {
+  std::string Error;
+  auto Tokens = lexSource("a += b <= c == d && e++", &Error);
+  EXPECT_TRUE(Error.empty());
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::PlusAssign, TokenKind::Identifier,
+      TokenKind::LessEqual,  TokenKind::Identifier, TokenKind::EqualEqual,
+      TokenKind::Identifier, TokenKind::AmpAmp,     TokenKind::Identifier,
+      TokenKind::PlusPlus,   TokenKind::End};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, ParsesNumericLiterals) {
+  std::string Error;
+  auto Tokens = lexSource("42 3.5 1e3 2.5e-2", &Error);
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 3.5);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 1000.0);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 0.025);
+}
+
+TEST(Lexer, SkipsCommentsAndTracksLines) {
+  std::string Error;
+  auto Tokens = lexSource("// line one\n/* span\nlines */ x", &Error);
+  ASSERT_GE(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Line, 3u);
+}
+
+TEST(Lexer, ReportsBadCharacter) {
+  std::string Error;
+  lexSource("int $x;", &Error);
+  EXPECT_NE(Error.find("unexpected character"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, ReportsLineOnError) {
+  std::string Error;
+  auto TU = parseMiniC("int main() {\n  int x = ;\n}", &Error);
+  EXPECT_FALSE(TU.has_value());
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+}
+
+TEST(Parser, NegativeLiteralsFoldToConstants) {
+  std::string Error;
+  auto TU = parseMiniC("int main() { int x = -5; return x; }", &Error);
+  ASSERT_TRUE(TU.has_value());
+}
+
+TEST(Parser, RejectsMultiDimArrayParams) {
+  std::string Error;
+  auto TU = parseMiniC("void f(double a[4][4]) { }", &Error);
+  EXPECT_FALSE(TU.has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end codegen behaviour, validated through the interpreter.
+//===----------------------------------------------------------------------===//
+
+int64_t runMain(const char *Source) {
+  auto M = compileOrFail(Source);
+  if (!M)
+    return INT64_MIN;
+  Interpreter I(*M);
+  I.setStepLimit(10000000);
+  return I.runMain();
+}
+
+TEST(CodeGen, ArithmeticAndPrecedence) {
+  EXPECT_EQ(runMain("int main() { return 2 + 3 * 4 - 10 / 2; }"), 9);
+}
+
+TEST(CodeGen, ImplicitIntToDoubleConversion) {
+  EXPECT_EQ(runMain("int main() { double d = 1; d = d + 0.5; "
+                    "return d * 4.0; }"),
+            6);
+}
+
+TEST(CodeGen, ShortCircuitAndDoesNotEvaluateRHS) {
+  // Division by zero on the RHS must not run when the LHS is false.
+  EXPECT_EQ(runMain("int main() { int z = 0; int ok = 0;"
+                    "  if (z != 0 && 10 / z > 1) ok = 1;"
+                    "  return ok; }"),
+            0);
+}
+
+TEST(CodeGen, ShortCircuitOrSkipsRHS) {
+  EXPECT_EQ(runMain("int main() { int z = 0; int ok = 0;"
+                    "  if (z == 0 || 10 / z > 1) ok = 1;"
+                    "  return ok; }"),
+            1);
+}
+
+TEST(CodeGen, TernarySelectsArm) {
+  EXPECT_EQ(runMain("int main() { int a = 7; return a > 3 ? 10 : 20; }"),
+            10);
+}
+
+TEST(CodeGen, WhileWithBreakAndContinue) {
+  EXPECT_EQ(runMain("int main() { int i = 0; int s = 0;"
+                    "  while (i < 100) {"
+                    "    i = i + 1;"
+                    "    if (i % 2 == 0) continue;"
+                    "    if (i > 9) break;"
+                    "    s = s + i;"
+                    "  }"
+                    "  return s; }"),
+            1 + 3 + 5 + 7 + 9);
+}
+
+TEST(CodeGen, MultiDimArrayIndexing) {
+  EXPECT_EQ(runMain("int main() { int g[3][4];"
+                    "  int i; int j;"
+                    "  for (i = 0; i < 3; i++)"
+                    "    for (j = 0; j < 4; j++)"
+                    "      g[i][j] = i * 10 + j;"
+                    "  return g[2][3]; }"),
+            23);
+}
+
+TEST(CodeGen, GlobalsAreZeroInitialized) {
+  EXPECT_EQ(runMain("int acc[4]; int main() { return acc[2]; }"), 0);
+}
+
+TEST(CodeGen, FunctionCallsAndRecursion) {
+  EXPECT_EQ(runMain("int fact(int n) {"
+                    "  if (n <= 1) return 1;"
+                    "  return n * fact(n - 1); }"
+                    "int main() { return fact(6); }"),
+            720);
+}
+
+TEST(CodeGen, ArrayParametersDecayToPointers) {
+  EXPECT_EQ(runMain("double buf[8];"
+                    "double sum3(double *a) { return a[0] + a[1] + a[2]; }"
+                    "int main() { buf[0] = 1.0; buf[1] = 2.0; buf[2] = 4.0;"
+                    "  return sum3(buf); }"),
+            7);
+}
+
+TEST(CodeGen, PostfixIncrementEvaluatesAddressOnce) {
+  EXPECT_EQ(runMain("int h[4]; int idx[1];"
+                    "int main() { idx[0] = 2; h[idx[0]]++;"
+                    "  return h[2]; }"),
+            1);
+}
+
+TEST(CodeGen, UnaryMinusAndNot) {
+  EXPECT_EQ(runMain("int main() { int a = -3; return !(a == 3) ? -a : 0; }"),
+            3);
+}
+
+TEST(CodeGen, SemanticErrorsSurfaceWithLines) {
+  std::string Error;
+  auto M = compileMiniC("int main() { return undeclared_var; }", "t", &Error);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Error.find("unknown variable"), std::string::npos);
+}
+
+TEST(CodeGen, RejectsCallArityMismatch) {
+  std::string Error;
+  auto M = compileMiniC("int main() { return fmin(1.0); }", "t", &Error);
+  EXPECT_EQ(M, nullptr);
+}
+
+TEST(CodeGen, ProducesSingleExitSSA) {
+  auto M = compileOrFail(R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 4; i++)
+    s = s + i;
+  return s;
+})");
+  ASSERT_NE(M, nullptr);
+  std::string Text = moduleToString(*M);
+  // mem2reg must have introduced the iterator phi.
+  EXPECT_NE(Text.find("phi"), std::string::npos);
+  // Locals must be gone.
+  EXPECT_EQ(Text.find("alloca"), std::string::npos);
+}
+
+} // namespace

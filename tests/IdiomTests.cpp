@@ -1,0 +1,545 @@
+//===- IdiomTests.cpp - constraint idiom detection tests ------*- C++ -*-===//
+///
+/// The heart of the reproduction: the for-loop, scalar-reduction and
+/// histogram specifications, including the paper's own positive and
+/// negative examples (Fig 2 and its "t1 <= sx" mutation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "analysis/Purity.h"
+#include "constraint/Context.h"
+#include "idioms/Associativity.h"
+#include "idioms/ForLoopIdiom.h"
+#include "idioms/ReductionAnalysis.h"
+#include "ir/Module.h"
+#include "transform/ReductionParallelize.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+ReductionReport analyze(Module &M, const char *FnName = "main") {
+  PurityAnalysis PA(M);
+  return analyzeFunction(*M.getFunction(FnName), PA);
+}
+
+//===----------------------------------------------------------------------===//
+// For-loop specification (paper Fig 5)
+//===----------------------------------------------------------------------===//
+
+TEST(ForLoopSpec, MatchesCanonicalForLoop) {
+  auto M = compileOrFail(R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 3; i < 17; i++)
+    s = s + 2;
+  return s;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.ForLoops.size(), 1u);
+  const ForLoopMatch &L = R.ForLoops[0];
+  EXPECT_EQ(L.Iterator->getName(), "i");
+  EXPECT_EQ(cast<ConstantInt>(L.IterBegin)->getValue(), 3);
+  EXPECT_EQ(cast<ConstantInt>(L.IterEnd)->getValue(), 17);
+  EXPECT_EQ(cast<ConstantInt>(L.IterStep)->getValue(), 1);
+  EXPECT_EQ(L.LoopBegin->getName(), "for.header");
+  EXPECT_EQ(L.Backedge->getName(), "for.latch");
+}
+
+TEST(ForLoopSpec, RejectsLoopsWithBreak) {
+  // A break gives the exit a second predecessor: the iteration space
+  // is not known in advance.
+  auto M = compileOrFail(R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 100; i++) {
+    if (s > 10)
+      break;
+    s = s + 1;
+  }
+  return s;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.ForLoops.size(), 0u);
+}
+
+TEST(ForLoopSpec, RejectsDataDependentBound) {
+  // while (a[i] > 0) style loops have no invariant iterator bound.
+  auto M = compileOrFail(R"(
+int a[16];
+int main() {
+  int i = 0;
+  while (a[i] > 0)
+    i = i + 1;
+  return i;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.ForLoops.size(), 0u);
+}
+
+TEST(ForLoopSpec, MatchesRuntimeBoundLoops) {
+  auto M = compileOrFail(R"(
+int cfg[2];
+int main() {
+  int n = cfg[0];
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i++)
+    s = s + 1;
+  return s;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.ForLoops.size(), 1u);
+}
+
+TEST(ForLoopSpec, FindsEveryLoopInANest) {
+  auto M = compileOrFail(R"(
+int main() {
+  int i; int j; int k; int s = 0;
+  for (i = 0; i < 4; i++)
+    for (j = 0; j < 4; j++)
+      for (k = 0; k < 4; k++)
+        s = s + 1;
+  return s;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.ForLoops.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar reductions (paper §3.1.1)
+//===----------------------------------------------------------------------===//
+
+TEST(ScalarReduction, SimpleSumOverArray) {
+  auto M = compileOrFail(R"(
+double a[100];
+int main() {
+  int i;
+  double sum = 0.0;
+  for (i = 0; i < 100; i++)
+    sum = sum + a[i];
+  print_f64(sum);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.Scalars.size(), 1u);
+  EXPECT_EQ(R.Scalars[0].Accumulator->getName(), "sum");
+  EXPECT_EQ(R.Scalars[0].Op, ReductionOperator::Sum);
+}
+
+TEST(ScalarReduction, PaperFig2FindsBothSums) {
+  auto M = compileOrFail(R"(
+double x[512];
+double q[16];
+int main() {
+  int i;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (i = 0; i < 256; i++) {
+    double x1 = 2.0 * x[2*i] - 1.0;
+    double x2 = 2.0 * x[2*i+1] - 1.0;
+    double t1 = x1 * x1 + x2 * x2;
+    if (t1 <= 1.0) {
+      double t2 = sqrt(-2.0 * log(t1 + 0.001) / (t1 + 0.001));
+      double t3 = x1 * t2;
+      double t4 = x2 * t2;
+      int l = fmax(fabs(t3), fabs(t4));
+      if (l > 15) l = 15;
+      q[l] = q[l] + 1.0;
+      sx = sx + t3;
+      sy = sy + t4;
+    }
+  }
+  print_f64(sx + sy + q[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scalars.size(), 2u);
+  EXPECT_EQ(R.Histograms.size(), 1u);
+}
+
+TEST(ScalarReduction, RejectsControlDependenceOnIntermediateResult) {
+  // The paper's mutation of Fig 2: "if the condition was changed to
+  // t1 <= sx, there would no longer be a legal reduction".
+  auto M = compileOrFail(R"(
+double x[512];
+int main() {
+  int i;
+  double sx = 0.0;
+  for (i = 0; i < 256; i++) {
+    double t1 = x[i] * x[i];
+    if (t1 <= sx)
+      sx = sx + t1;
+  }
+  print_f64(sx);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scalars.size(), 0u);
+}
+
+TEST(ScalarReduction, RejectsNonAssociativeUpdate) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double acc = 100.0;
+  for (i = 0; i < 64; i++)
+    acc = acc - a[i]; // fsub: not associative as written
+  print_f64(acc);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scalars.size(), 0u);
+}
+
+TEST(ScalarReduction, RejectsAccumulatorEscapingToMemory) {
+  // Partial sums stored per iteration would be observed by other
+  // threads: not privatizable.
+  auto M = compileOrFail(R"(
+double a[64];
+double partial[64];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 64; i++) {
+    s = s + a[i];
+    partial[i] = s;
+  }
+  print_f64(s);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scalars.size(), 0u);
+}
+
+TEST(ScalarReduction, RejectsLoadsFromArraysWrittenInLoop) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 63; i++) {
+    a[i+1] = a[i] * 0.5;
+    s = s + a[i];
+  }
+  print_f64(s);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scalars.size(), 0u);
+}
+
+TEST(ScalarReduction, AcceptsMinMaxThroughPureCalls) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double best = -1.0e30;
+  for (i = 0; i < 64; i++)
+    best = fmax(best, a[i]);
+  print_f64(best);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.Scalars.size(), 1u);
+  EXPECT_EQ(R.Scalars[0].Op, ReductionOperator::Max);
+}
+
+TEST(ScalarReduction, AcceptsProductReduction) {
+  auto M = compileOrFail(R"(
+double a[32];
+int main() {
+  int i;
+  double p = 1.0;
+  for (i = 0; i < 32; i++)
+    p = p * (1.0 + a[i]);
+  print_f64(p);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.Scalars.size(), 1u);
+  EXPECT_EQ(R.Scalars[0].Op, ReductionOperator::Product);
+}
+
+TEST(ScalarReduction, MissesMiddleOfNestAccumulator) {
+  // The paper's own documented miss (the SP rms example).
+  auto M = compileOrFail(R"(
+double rhs[8][8];
+double rms[8];
+int main() {
+  int k; int m;
+  for (k = 0; k < 8; k++)
+    for (m = 0; m < 8; m++)
+      rms[m] = rms[m] + rhs[k][m] * rhs[k][m];
+  print_f64(rms[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scalars.size(), 0u);
+  EXPECT_EQ(R.Histograms.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram reductions (paper §3.1.2)
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, PlainIndirectIncrement) {
+  auto M = compileOrFail(R"(
+int keys[256];
+int bins[16];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++)
+    bins[keys[i]]++;
+  print_i64(bins[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.Histograms.size(), 1u);
+  EXPECT_EQ(R.Histograms[0].Op, ReductionOperator::Sum);
+  EXPECT_EQ(R.Histograms[0].Base->getName(), "bins");
+}
+
+TEST(Histogram, RejectsIteratorAddressedUpdates) {
+  // a[i] += b[i] is an independent affine write, not a histogram.
+  auto M = compileOrFail(R"(
+double a[64];
+double b[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++)
+    a[i] = a[i] + b[i];
+  print_f64(a[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Histograms.size(), 0u);
+}
+
+TEST(Histogram, RejectsIndexDependingOnHistogram) {
+  // Reading the histogram to compute the next index makes iterations
+  // order-dependent.
+  auto M = compileOrFail(R"(
+int keys[256];
+int bins[16];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    int k = (keys[i] + bins[keys[i] % 4]) % 16;
+    bins[k] = bins[k] + 1;
+  }
+  print_i64(bins[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Histograms.size(), 0u);
+}
+
+TEST(Histogram, RejectsMultipleWritesToSameArray) {
+  auto M = compileOrFail(R"(
+int keys[256];
+double grid[64];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    int c = keys[i] % 63;
+    grid[c] = grid[c] + 0.75;
+    grid[c+1] = grid[c+1] + 0.25;
+  }
+  print_f64(grid[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Histograms.size(), 0u);
+}
+
+TEST(Histogram, AcceptsConditionalUpdates) {
+  auto M = compileOrFail(R"(
+int keys[256];
+int bins[16];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    if (keys[i] > 3)
+      bins[keys[i] % 16]++;
+  }
+  print_i64(bins[3]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Histograms.size(), 1u);
+}
+
+TEST(Histogram, RejectsConditionOnHistogramContents) {
+  // Saturating histograms read their own partial results in the
+  // branch condition.
+  auto M = compileOrFail(R"(
+int keys[256];
+int bins[16];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    int k = keys[i] % 16;
+    if (bins[k] < 255)
+      bins[k] = bins[k] + 1;
+  }
+  print_i64(bins[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Histograms.size(), 0u);
+}
+
+TEST(Histogram, AcceptsIndexFromReadOnlyHelperCall) {
+  // The tpacf pattern: the bin is found by binary search in an
+  // auxiliary array through a helper function.
+  auto M = compileOrFail(R"(
+double edges[17];
+double samples[128];
+int hist[16];
+int find_bin(double *e, int n, double v) {
+  int lo = 0;
+  int hi = n;
+  while (lo + 1 < hi) {
+    int mid = (lo + hi) / 2;
+    if (v < e[mid])
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return lo;
+}
+int main() {
+  int i;
+  for (i = 0; i < 128; i++)
+    hist[find_bin(edges, 16, samples[i])]++;
+  print_i64(hist[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Histograms.size(), 1u);
+}
+
+TEST(Histogram, FloatAccumulationIntoBins) {
+  auto M = compileOrFail(R"(
+int key[128];
+double wsum[8];
+double w[128];
+int main() {
+  int i;
+  for (i = 0; i < 128; i++) {
+    int k = key[i] % 8;
+    wsum[k] = wsum[k] + w[i];
+  }
+  print_f64(wsum[1]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.Histograms.size(), 1u);
+  EXPECT_EQ(R.Histograms[0].Op, ReductionOperator::Sum);
+}
+
+//===----------------------------------------------------------------------===//
+// Associativity classifier
+//===----------------------------------------------------------------------===//
+
+TEST(Associativity, NamesForOperators) {
+  EXPECT_EQ(reductionOperatorName(ReductionOperator::Sum), "sum");
+  EXPECT_EQ(reductionOperatorName(ReductionOperator::Max), "max");
+  EXPECT_EQ(reductionOperatorName(ReductionOperator::Unknown), "unknown");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Appended cases: downward loops and argument-based histograms.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST(ForLoopSpec, MatchesDownwardCountingLoop) {
+  auto M = gr::test::compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 63; i >= 0; i = i + -1)
+    s = s + a[i];
+  print_f64(s);
+  return 0;
+}
+)");
+  gr::PurityAnalysis PA(*M);
+  auto R = gr::analyzeFunction(*M->getFunction("main"), PA);
+  ASSERT_EQ(R.ForLoops.size(), 1u);
+  EXPECT_EQ(gr::cast<gr::ConstantInt>(R.ForLoops[0].IterStep)->getValue(),
+            -1);
+  EXPECT_EQ(R.Scalars.size(), 1u);
+}
+
+TEST(Histogram, DetectedThroughPointerArgumentsButTransformRefuses) {
+  // The histogram array arrives as a function parameter: detection
+  // still works (the base is a loop-invariant argument), but the
+  // exploitation pass refuses because the array size is not
+  // statically known -- the paper's dynamic-reallocation case (§4).
+  auto M = gr::test::compileOrFail(R"(
+int global_bins[32];
+int global_keys[512];
+void tally(int *bins, int *keys, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    bins[keys[i] % 32]++;
+}
+int main() {
+  int i;
+  for (i = 0; i < 512; i++)
+    global_keys[i] = i * 7;
+  tally(global_bins, global_keys, 512);
+  print_i64(global_bins[3]);
+  return 0;
+}
+)");
+  gr::PurityAnalysis PA(*M);
+  auto R = gr::analyzeFunction(*M->getFunction("tally"), PA);
+  ASSERT_EQ(R.Histograms.size(), 1u);
+  EXPECT_TRUE(gr::isa<gr::Argument>(R.Histograms[0].Base));
+
+  gr::ReductionParallelizer RP(*M);
+  auto Result = RP.parallelizeLoop(*M->getFunction("tally"),
+                                   R.Histograms[0].Loop, {},
+                                   {R.Histograms[0]});
+  EXPECT_FALSE(Result.Transformed);
+  EXPECT_NE(Result.FailureReason.find("statically"), std::string::npos);
+}
+
+} // namespace

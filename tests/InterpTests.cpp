@@ -1,0 +1,196 @@
+//===- InterpTests.cpp - interpreter and memory tests ---------*- C++ -*-===//
+
+#include "TestHelpers.h"
+
+#include "interp/Interpreter.h"
+#include "interp/Memory.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+TEST(Memory, RegionsAreIndependent) {
+  Memory Mem;
+  uint64_t P = Mem.allocatePermanent(64);
+  uint64_t S = Mem.allocateStack(64);
+  Mem.writeInt(P, 7);
+  Mem.writeInt(S, 9);
+  EXPECT_EQ(Mem.readInt(P), 7);
+  EXPECT_EQ(Mem.readInt(S), 9);
+  EXPECT_NE(P & Memory::StackTag, Memory::StackTag);
+  EXPECT_EQ(S & Memory::StackTag, Memory::StackTag);
+}
+
+TEST(Memory, PermanentAllocationsAreZeroed) {
+  Memory Mem;
+  uint64_t P = Mem.allocatePermanent(128);
+  for (uint64_t Off = 0; Off < 128; Off += 8)
+    EXPECT_EQ(Mem.readInt(P + Off), 0);
+}
+
+TEST(Memory, StackRestoreReusesSpace) {
+  Memory Mem;
+  uint64_t Mark = Mem.stackMark();
+  uint64_t A = Mem.allocateStack(32);
+  Mem.restoreStack(Mark);
+  uint64_t B = Mem.allocateStack(32);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Memory, FloatsRoundTripBitExact) {
+  Memory Mem;
+  uint64_t P = Mem.allocatePermanent(8);
+  Mem.writeFloat(P, 3.14159);
+  EXPECT_DOUBLE_EQ(Mem.readFloat(P), 3.14159);
+}
+
+TEST(Interpreter, RunsFibonacci) {
+  auto M = compileOrFail(R"(
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+)");
+  Interpreter I(*M);
+  EXPECT_EQ(I.runMain(), 144);
+}
+
+TEST(Interpreter, BuiltinMathMatchesLibm) {
+  auto M = compileOrFail(R"(
+int main() {
+  double a = sqrt(16.0) + fabs(-2.0) + fmin(1.0, 2.0) + fmax(1.0, 2.0);
+  double b = floor(3.7) + pow(2.0, 5.0);
+  print_f64(a); // 4 + 2 + 1 + 2 = 9
+  print_f64(b); // 3 + 32 = 35
+  return a + b;
+}
+)");
+  Interpreter I(*M);
+  EXPECT_EQ(I.runMain(), 44);
+  EXPECT_NE(I.getOutput().find("9.000000"), std::string::npos);
+  EXPECT_NE(I.getOutput().find("35.000000"), std::string::npos);
+}
+
+TEST(Interpreter, DeterministicRandStream) {
+  const char *Src = R"(
+int main() {
+  gr_rand_seed(42);
+  double a = gr_rand();
+  double b = gr_rand();
+  print_f64(a);
+  print_f64(b);
+  if (a == b) return 1;
+  if (a < 0.0) return 2;
+  if (a >= 1.0) return 3;
+  return 0;
+}
+)";
+  auto M1 = compileOrFail(Src);
+  auto M2 = compileOrFail(Src);
+  Interpreter I1(*M1), I2(*M2);
+  EXPECT_EQ(I1.runMain(), 0);
+  EXPECT_EQ(I2.runMain(), 0);
+  EXPECT_EQ(I1.getOutput(), I2.getOutput());
+}
+
+TEST(Interpreter, ProfileCountsBlocksAndInstructions) {
+  auto M = compileOrFail(R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 10; i++)
+    s = s + i;
+  return s;
+}
+)");
+  Interpreter I(*M);
+  EXPECT_EQ(I.runMain(), 45);
+  // The header executes 11 times (10 passes + exit test).
+  uint64_t HeaderCount = 0;
+  for (auto &[BB, Count] : I.getProfile().BlockCounts)
+    if (BB->getName() == "for.header")
+      HeaderCount = Count;
+  EXPECT_EQ(HeaderCount, 11u);
+  EXPECT_GT(I.instructionCount(), 50u);
+}
+
+TEST(Interpreter, StepLimitGuardsRunawayLoops) {
+  auto M = compileOrFail(R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 1000000; i++)
+    s = s + 1;
+  return s;
+}
+)");
+  Interpreter I(*M);
+  I.setStepLimit(1000);
+  EXPECT_DEATH(I.runMain(), "step limit");
+}
+
+TEST(Interpreter, DivisionByZeroAborts) {
+  auto M = compileOrFail(R"(
+int main() {
+  int z = 0;
+  return 10 / z;
+}
+)");
+  Interpreter I(*M);
+  EXPECT_DEATH(I.runMain(), "division by zero");
+}
+
+TEST(Interpreter, GlobalAddressesAreStable) {
+  auto M = compileOrFail(R"(
+double g[4];
+int main() {
+  g[1] = 2.5;
+  g[2] = g[1] * 2.0;
+  return g[2];
+}
+)");
+  Interpreter I(*M);
+  EXPECT_EQ(I.runMain(), 5);
+  const GlobalVariable *G = M->globals().front().get();
+  uint64_t Addr = I.addressOfGlobal(G);
+  EXPECT_DOUBLE_EQ(I.getMemory().readFloat(Addr + 8), 2.5);
+}
+
+TEST(Interpreter, IntrinsicHandlerReceivesCalls) {
+  auto M = compileOrFail("int main() { return 1; }");
+  // Declare an intrinsic and call it from a fresh block sequence.
+  TypeContext &Ctx = M->getTypeContext();
+  Function *Decl = M->createDeclaration(
+      "__gr_test_intrinsic",
+      Ctx.getFunction(Ctx.getInt64(), {Ctx.getInt64()}), false);
+  Function *Main = M->getFunction("main");
+  // Rebuild main's body: return __gr_test_intrinsic(5).
+  Main->dropAllReferences();
+  while (!Main->getEntry()->empty())
+    Main->getEntry()->erase(Main->getEntry()->back());
+  std::vector<BasicBlock *> Extra;
+  for (BasicBlock *BB : *Main)
+    if (BB != Main->getEntry())
+      Extra.push_back(BB);
+  for (BasicBlock *BB : Extra)
+    Main->eraseBlock(BB);
+  IRBuilder B(*M);
+  B.setInsertBlock(Main->getEntry());
+  CallInst *Call = B.createCall(Decl, {B.getInt64(5)});
+  B.createRet(Call);
+
+  Interpreter I(*M);
+  I.setIntrinsicHandler([](Interpreter &, const CallInst *,
+                           const std::vector<Slot> &Args) {
+    return Slot{.I = Args[0].I * 10};
+  });
+  EXPECT_EQ(I.runMain(), 50);
+}
+
+} // namespace

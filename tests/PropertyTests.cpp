@@ -1,0 +1,219 @@
+//===- PropertyTests.cpp - parameterized invariant sweeps -----*- C++ -*-===//
+///
+/// Property-style tests over generated program families: every
+/// associative operator and control shape must be detected, and
+/// privatized parallel execution must agree with sequential execution
+/// for every thread count and histogram size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "runtime/SimulatedParallel.h"
+#include "transform/ReductionParallelize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scalar reduction detection across operators x control shapes.
+//===----------------------------------------------------------------------===//
+
+struct ScalarShape {
+  const char *Name;
+  const char *Update;      // Statement updating "acc" from a[i].
+  const char *Init;        // Initial accumulator value.
+  bool Conditional;        // Wrap the update in a data-dependent if.
+  ReductionOperator Op;
+};
+
+class ScalarDetection : public ::testing::TestWithParam<ScalarShape> {};
+
+TEST_P(ScalarDetection, DetectsOperatorAndShape) {
+  const ScalarShape &Shape = GetParam();
+  std::string Src = "double a[128];\nint main() {\n  int i;\n"
+                    "  double acc = " +
+                    std::string(Shape.Init) + ";\n"
+                    "  for (i = 0; i < 128; i++) {\n";
+  if (Shape.Conditional)
+    Src += "    if (a[i] > 0.25) {\n      " + std::string(Shape.Update) +
+           "\n    }\n";
+  else
+    Src += "    " + std::string(Shape.Update) + "\n";
+  Src += "  }\n  print_f64(acc);\n  return 0;\n}\n";
+
+  auto M = compileOrFail(Src.c_str());
+  ASSERT_NE(M, nullptr);
+  auto Reports = analyzeModule(*M);
+  ASSERT_EQ(Reports.size(), 1u);
+  ASSERT_EQ(Reports[0].Scalars.size(), 1u) << Src;
+  EXPECT_EQ(Reports[0].Scalars[0].Op, Shape.Op) << Src;
+}
+
+const ScalarShape ScalarShapes[] = {
+    {"sum", "acc = acc + a[i];", "0.0", false, ReductionOperator::Sum},
+    {"sum_cond", "acc = acc + a[i];", "0.0", true, ReductionOperator::Sum},
+    {"sum_compound", "acc += a[i];", "0.0", false, ReductionOperator::Sum},
+    {"sum_two_terms", "acc = acc + a[i] + 0.5;", "0.0", false,
+     ReductionOperator::Sum},
+    {"product", "acc = acc * (1.0 + a[i]);", "1.0", false,
+     ReductionOperator::Product},
+    {"product_cond", "acc = acc * (1.0 + a[i]);", "1.0", true,
+     ReductionOperator::Product},
+    {"max", "acc = fmax(acc, a[i]);", "-1.0e30", false,
+     ReductionOperator::Max},
+    {"min", "acc = fmin(acc, a[i]);", "1.0e30", false,
+     ReductionOperator::Min},
+    {"min_cond", "acc = fmin(acc, a[i]);", "1.0e30", true,
+     ReductionOperator::Min},
+    {"sum_call", "acc = acc + sqrt(fabs(a[i]));", "0.0", false,
+     ReductionOperator::Sum},
+};
+
+INSTANTIATE_TEST_SUITE_P(Operators, ScalarDetection,
+                         ::testing::ValuesIn(ScalarShapes),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Parallel-equals-sequential across thread counts and bin counts.
+//===----------------------------------------------------------------------===//
+
+class ParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(ParallelEquivalence, IntegerHistogramBitExact) {
+  auto [Threads, Bins] = GetParam();
+  std::string Src = "int keys[2048];\nint bins[" + std::to_string(Bins) +
+                    "];\nint main() {\n  int i;\n"
+                    "  for (i = 0; i < 2048; i++)\n"
+                    "    keys[i] = (i * 199 + 3) % " +
+                    std::to_string(Bins) +
+                    ";\n"
+                    "  for (i = 0; i < 2048; i++)\n"
+                    "    bins[keys[i]]++;\n"
+                    "  int total = 0;\n"
+                    "  for (i = 0; i < " +
+                    std::to_string(Bins) +
+                    "; i++)\n"
+                    "    total = total + bins[i] * (i + 1);\n"
+                    "  print_i64(total);\n  return 0;\n}\n";
+
+  auto MSeq = compileOrFail(Src.c_str());
+  ASSERT_NE(MSeq, nullptr);
+  Interpreter Seq(*MSeq);
+  Seq.runMain();
+
+  auto M = compileOrFail(Src.c_str());
+  ReductionParallelizer RP(*M);
+  auto Reports = analyzeModule(*M);
+  unsigned Transformed = 0;
+  for (auto &R : Reports)
+    for (auto &H : R.Histograms) {
+      auto Res = RP.parallelizeLoop(*R.F, H.Loop, {}, {H});
+      ASSERT_TRUE(Res.Transformed) << Res.FailureReason;
+      ++Transformed;
+    }
+  ASSERT_EQ(Transformed, 1u);
+
+  ParallelConfig Cfg;
+  Cfg.NumThreads = Threads;
+  ParallelRunner Runner(*M, RP, Cfg);
+  auto PR = Runner.run();
+  EXPECT_EQ(PR.Output, Seq.getOutput())
+      << "threads=" << Threads << " bins=" << Bins;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 7u, 16u, 64u),
+                       ::testing::Values(8u, 64u, 500u)),
+    [](const auto &Info) {
+      return "t" + std::to_string(std::get<0>(Info.param)) + "_b" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+//===----------------------------------------------------------------------===//
+// Dominator-tree invariants over every corpus function.
+//===----------------------------------------------------------------------===//
+
+TEST(DominatorProperties, IDomStrictlyDominatesOnRealPrograms) {
+  // Structural invariants checked over a varied program: the idom of
+  // every non-root block strictly dominates it, and dominance is
+  // antisymmetric.
+  auto M = compileOrFail(R"(
+int cfg[2];
+double a[64];
+int helper(int x) {
+  if (x < 0) return 0 - x;
+  return x;
+}
+int main() {
+  int i; int j;
+  double s = 0.0;
+  for (i = 0; i < 16; i++) {
+    if (i % 3 == 0) {
+      for (j = 0; j < 4; j++)
+        s = s + a[4*i + j];
+    } else {
+      s = s + helper(i);
+    }
+  }
+  print_f64(s);
+  return 0;
+}
+)");
+  for (const auto &F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    DomTree DT(*F);
+    for (BasicBlock *BB : *F) {
+      if (!DT.contains(BB))
+        continue;
+      BasicBlock *IDom = DT.getIDom(BB);
+      if (BB == F->getEntry()) {
+        EXPECT_EQ(IDom, nullptr);
+        continue;
+      }
+      ASSERT_NE(IDom, nullptr);
+      EXPECT_TRUE(DT.strictlyDominates(IDom, BB));
+      EXPECT_FALSE(DT.strictlyDominates(BB, IDom));
+    }
+  }
+}
+
+TEST(LoopProperties, LoopBlocksAreDominatedByHeader) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i; int j;
+  double s = 0.0;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      if (a[8*i+j] > 0.0)
+        s = s + a[8*i+j];
+  print_f64(s);
+  return 0;
+}
+)");
+  Function *F = M->getFunction("main");
+  DomTree DT(*F);
+  LoopInfo LI(*F, DT);
+  for (const auto &L : LI.loops())
+    for (BasicBlock *BB : L->blocks())
+      EXPECT_TRUE(DT.dominates(L->getHeader(), BB));
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- RuntimeTests.cpp - simulated parallel runtime tests ----*- C++ -*-===//
+
+#include "TestHelpers.h"
+
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "runtime/SimulatedParallel.h"
+#include "transform/ReductionParallelize.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+const char *HistSource = R"(
+int keys[8192];
+int bins[256];
+int main() {
+  int i;
+  for (i = 0; i < 8192; i++)
+    keys[i] = (i * 131 + 7) % 256;
+  for (i = 0; i < 8192; i++)
+    bins[keys[i]]++;
+  print_i64(bins[0]);
+  print_i64(bins[128]);
+  print_i64(bins[255]);
+  return 0;
+}
+)";
+
+/// Compiles HistSource, parallelizes its histogram, and runs under
+/// \p Cfg; returns the run result plus the sequential output.
+struct RunOutcome {
+  ParallelRunResult Par;
+  std::string SeqOutput;
+  uint64_t SeqInstructions = 0;
+};
+
+RunOutcome runWith(ParallelConfig Cfg) {
+  RunOutcome Out;
+  auto MSeq = compileOrFail(HistSource);
+  Interpreter Seq(*MSeq);
+  Seq.runMain();
+  Out.SeqOutput = Seq.getOutput();
+  Out.SeqInstructions = Seq.instructionCount();
+
+  auto M = compileOrFail(HistSource);
+  ReductionParallelizer RP(*M);
+  auto Reports = analyzeModule(*M);
+  bool Transformed = false;
+  for (auto &R : Reports)
+    for (auto &H : R.Histograms) {
+      auto Res = RP.parallelizeLoop(*R.F, H.Loop, {}, {H});
+      EXPECT_TRUE(Res.Transformed) << Res.FailureReason;
+      Transformed = Res.Transformed;
+    }
+  EXPECT_TRUE(Transformed);
+  ParallelRunner Runner(*M, RP, Cfg);
+  Out.Par = Runner.run();
+  return Out;
+}
+
+TEST(Runtime, PrivatizedResultsMatchSequential) {
+  ParallelConfig Cfg;
+  Cfg.NumThreads = 16;
+  auto Out = runWith(Cfg);
+  EXPECT_EQ(Out.Par.Output, Out.SeqOutput);
+}
+
+TEST(Runtime, LockStrategyAlsoCorrectButSlower) {
+  ParallelConfig Privatized;
+  Privatized.NumThreads = 16;
+  ParallelConfig Locked = Privatized;
+  Locked.Strategy = ParallelStrategy::LockPerUpdate;
+
+  auto POut = runWith(Privatized);
+  auto LOut = runWith(Locked);
+  EXPECT_EQ(LOut.Par.Output, LOut.SeqOutput);
+  // Lock-per-update serializes the updates: it must simulate slower
+  // than privatization on a histogram-dominated loop.
+  EXPECT_GT(LOut.Par.SimulatedTime, POut.Par.SimulatedTime);
+}
+
+TEST(Runtime, MoreThreadsDoNotSlowPrivatizedSectionsMuch) {
+  ParallelConfig C4, C32;
+  C4.NumThreads = 4;
+  C32.NumThreads = 32;
+  auto Out4 = runWith(C4);
+  auto Out32 = runWith(C32);
+  EXPECT_EQ(Out4.Par.Output, Out32.Par.Output);
+  // 32 threads split the loop work 8x more finely; with the small
+  // 256-bin merge this must pay off overall.
+  EXPECT_LT(Out32.Par.SimulatedTime, Out4.Par.SimulatedTime);
+}
+
+TEST(Runtime, SimulatedSpeedupIsBoundedByThreadCount) {
+  ParallelConfig Cfg;
+  Cfg.NumThreads = 8;
+  auto Out = runWith(Cfg);
+  double Speedup =
+      double(Out.SeqInstructions) / double(Out.Par.SimulatedTime);
+  EXPECT_GT(Speedup, 1.0);
+  EXPECT_LE(Speedup, 8.5); // Allow a little slack for outlining deltas.
+}
+
+TEST(Runtime, FloatingPointSumsMergeWithinTolerance) {
+  const char *Src = R"(
+int keys[4096];
+double wsum[64];
+double w[4096];
+int main() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    keys[i] = (i * 53) % 64;
+    w[i] = 0.001 * (i % 997) + 0.25;
+  }
+  for (i = 0; i < 4096; i++) {
+    int k = keys[i];
+    wsum[k] = wsum[k] + w[i];
+  }
+  print_f64(wsum[0]);
+  print_f64(wsum[63]);
+  return 0;
+}
+)";
+  auto MSeq = compileOrFail(Src);
+  Interpreter Seq(*MSeq);
+  Seq.runMain();
+
+  auto M = compileOrFail(Src);
+  ReductionParallelizer RP(*M);
+  auto Reports = analyzeModule(*M);
+  for (auto &R : Reports)
+    for (auto &H : R.Histograms) {
+      auto Res = RP.parallelizeLoop(*R.F, H.Loop, {}, {H});
+      ASSERT_TRUE(Res.Transformed) << Res.FailureReason;
+    }
+  ParallelConfig Cfg;
+  Cfg.NumThreads = 16;
+  ParallelRunner Runner(*M, RP, Cfg);
+  auto PR = Runner.run();
+  // Reassociated FP sums can differ in the last digits; compare the
+  // printed 6-decimal forms.
+  EXPECT_EQ(PR.Output, Seq.getOutput());
+}
+
+TEST(Runtime, MinHistogramUsesCorrectIdentity) {
+  const char *Src = R"(
+int keys[2048];
+double best[32];
+double score[2048];
+int main() {
+  int i;
+  for (i = 0; i < 32; i++)
+    best[i] = 1000000.0;
+  for (i = 0; i < 2048; i++) {
+    keys[i] = (i * 11) % 32;
+    score[i] = 1.0 + 0.001 * ((i * 7919) % 1000);
+  }
+  for (i = 0; i < 2048; i++) {
+    int k = keys[i];
+    best[k] = fmin(best[k], score[i]);
+  }
+  print_f64(best[0]);
+  print_f64(best[31]);
+  return 0;
+}
+)";
+  auto MSeq = compileOrFail(Src);
+  Interpreter Seq(*MSeq);
+  Seq.runMain();
+
+  auto M = compileOrFail(Src);
+  ReductionParallelizer RP(*M);
+  auto Reports = analyzeModule(*M);
+  unsigned Hists = 0;
+  for (auto &R : Reports)
+    for (auto &H : R.Histograms) {
+      EXPECT_EQ(H.Op, ReductionOperator::Min);
+      auto Res = RP.parallelizeLoop(*R.F, H.Loop, {}, {H});
+      ASSERT_TRUE(Res.Transformed) << Res.FailureReason;
+      ++Hists;
+    }
+  ASSERT_EQ(Hists, 1u);
+  ParallelConfig Cfg;
+  Cfg.NumThreads = 8;
+  ParallelRunner Runner(*M, RP, Cfg);
+  auto PR = Runner.run();
+  EXPECT_EQ(PR.Output, Seq.getOutput());
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- SupportTests.cpp - support library tests ---------------*- C++ -*-===//
+
+#include "support/Casting.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Shape {
+  enum class Kind { Circle, Square } K;
+  explicit Shape(Kind K) : K(K) {}
+};
+struct Circle : Shape {
+  Circle() : Shape(Kind::Circle) {}
+  static bool classof(const Shape *S) { return S->K == Kind::Circle; }
+};
+struct Square : Shape {
+  Square() : Shape(Kind::Square) {}
+  static bool classof(const Shape *S) { return S->K == Kind::Square; }
+};
+
+TEST(Casting, IsaMatchesDynamicKind) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(isa<Circle>(S));
+  EXPECT_FALSE(isa<Square>(S));
+}
+
+TEST(Casting, DynCastReturnsNullOnMismatch) {
+  Square Sq;
+  Shape *S = &Sq;
+  EXPECT_EQ(dyn_cast<Circle>(S), nullptr);
+  EXPECT_EQ(dyn_cast<Square>(S), &Sq);
+}
+
+TEST(Casting, DynCastOrNullHandlesNull) {
+  Shape *S = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<Circle>(S), nullptr);
+}
+
+TEST(Casting, ReferenceForms) {
+  Circle C;
+  Shape &S = C;
+  EXPECT_TRUE(isa<Circle>(S));
+  EXPECT_EQ(&cast<Circle>(S), &C);
+}
+
+//===----------------------------------------------------------------------===//
+// OStream
+//===----------------------------------------------------------------------===//
+
+TEST(OStream, FormatsIntegersAndDoubles) {
+  std::string Out;
+  StringOStream OS(Out);
+  OS << "x=" << 42 << " y=" << int64_t(-7) << " z=" << 1.5;
+  EXPECT_EQ(Out, "x=42 y=-7 z=1.5");
+}
+
+TEST(OStream, PadToColumnAligns) {
+  std::string Out;
+  StringOStream OS(Out);
+  OS << "ab";
+  OS.padToColumn(5);
+  OS << "c";
+  EXPECT_EQ(Out, "ab   c");
+}
+
+TEST(OStream, PadResetsAfterNewline) {
+  std::string Out;
+  StringOStream OS(Out);
+  OS << "abcdef\n";
+  OS.padToColumn(2);
+  OS << "x";
+  EXPECT_EQ(Out, "abcdef\n  x");
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  auto Parts = splitString("a,,b", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+}
+
+TEST(StringUtils, ParseIntAcceptsNegative) {
+  EXPECT_EQ(parseInt("-123"), -123);
+}
+
+TEST(StringUtils, ParseIntRejectsTrailingJunk) {
+  EXPECT_FALSE(parseInt("12x").has_value());
+  EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(StringUtils, FormatDoubleRespectsPrecision) {
+  EXPECT_EQ(formatDouble(1.0 / 3.0, 2), "0.33");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("__gr_parallel", "__gr_"));
+  EXPECT_FALSE(startsWith("gr_", "__gr_"));
+}
+
+} // namespace

@@ -1,0 +1,36 @@
+//===- TestHelpers.h - shared test fixtures -------------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the test suites: compile MiniC with failure
+/// diagnostics surfaced through gtest, and run small detection
+/// pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TESTS_TESTHELPERS_H
+#define GR_TESTS_TESTHELPERS_H
+
+#include "frontend/Compiler.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace gr {
+namespace test {
+
+/// Compiles \p Source, failing the test with the compiler's message
+/// when compilation does not succeed.
+inline std::unique_ptr<Module> compileOrFail(const char *Source) {
+  std::string Error;
+  auto M = compileMiniC(Source, "test", &Error);
+  EXPECT_NE(M, nullptr) << "compile error: " << Error;
+  return M;
+}
+
+} // namespace test
+} // namespace gr
+
+#endif // GR_TESTS_TESTHELPERS_H
