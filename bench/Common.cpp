@@ -2,7 +2,6 @@
 
 #include "Common.h"
 
-#include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "baselines/IccLike.h"
 #include "baselines/PollyLike.h"
@@ -10,6 +9,7 @@
 #include "idioms/ReductionAnalysis.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 #include "support/ErrorHandling.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
@@ -35,11 +35,14 @@ AnalysisRow gr::bench::analyzeBenchmark(const BenchmarkProgram &B) {
   AnalysisRow Row;
   Row.B = &B;
   auto M = compileBenchmark(B);
-  auto Counts = countReductions(analyzeModule(*M));
+  // One analysis manager for all detectors: our detection and both
+  // baselines consult the same cached dominators/loops/SCoPs.
+  FunctionAnalysisManager FAM;
+  auto Counts = countReductions(analyzeModule(*M, FAM));
   Row.OurScalars = Counts.Scalars;
   Row.OurHistograms = Counts.Histograms;
-  Row.Icc = runIccBaseline(*M);
-  PollyResult P = runPollyBaseline(*M);
+  Row.Icc = runIccBaseline(*M, FAM);
+  PollyResult P = runPollyBaseline(*M, FAM);
   Row.Polly = P.NumReductions;
   Row.SCoPs = P.NumSCoPs;
   Row.ReductionSCoPs = P.NumReductionSCoPs;
@@ -117,7 +120,8 @@ CoverageRow gr::bench::measureCoverage(const BenchmarkProgram &B) {
   CoverageRow Row;
   Row.B = &B;
   auto M = compileBenchmark(B);
-  auto Reports = analyzeModule(*M);
+  FunctionAnalysisManager FAM;
+  auto Reports = analyzeModule(*M, FAM);
 
   Interpreter I(*M);
   I.setStepLimit(200000000);
@@ -143,8 +147,7 @@ CoverageRow gr::bench::measureCoverage(const BenchmarkProgram &B) {
         Into.insert(BB);
   };
   for (const ReductionReport &R : Reports) {
-    DomTree DT(*R.F);
-    LoopInfo LI(*R.F, DT);
+    const LoopInfo &LI = FAM.get<LoopAnalysis>(*R.F);
     for (const HistogramReduction &H : R.Histograms)
       if (Loop *L = LI.getLoopFor(H.Loop.LoopBegin))
         AddLoop(L, HistBlocks);

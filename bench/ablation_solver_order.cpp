@@ -10,7 +10,6 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Purity.h"
 #include "constraint/Context.h"
 #include "constraint/Formula.h"
 #include "constraint/Solver.h"
@@ -18,6 +17,7 @@
 #include "frontend/Compiler.h"
 #include "idioms/ForLoopIdiom.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 #include "support/OStream.h"
 
 using namespace gr;
@@ -108,12 +108,12 @@ int main() {
     if (!M)
       continue;
 
-    PurityAnalysis PA(*M);
+    FunctionAnalysisManager FAM;
     uint64_t Good = 0, Bad = 0, Loops = 0;
     for (const auto &F : M->functions()) {
       if (F->isDeclaration())
         continue;
-      ConstraintContext Ctx(*F, PA);
+      ConstraintContext Ctx(*F, FAM);
 
       IdiomSpec GoodSpec;
       buildForLoopSpec(GoodSpec);

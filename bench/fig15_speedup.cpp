@@ -100,6 +100,7 @@ uint64_t sequentialWork(const char *Source, std::string *Output) {
 /// upstream version parallelizes by hand (coarse parallelism).
 struct PrepResult {
   std::unique_ptr<Module> M;
+  std::unique_ptr<FunctionAnalysisManager> FAM;
   std::unique_ptr<ReductionParallelizer> RP;
   bool Refused = false;
   std::string Reason;
@@ -111,8 +112,9 @@ PrepResult prepare(const char *Source, bool AlsoDoall) {
   P.M = compileMiniC(Source, "par", &Error);
   if (!P.M)
     reportFatalError(("fig15: compile failed: " + Error).c_str());
-  P.RP = std::make_unique<ReductionParallelizer>(*P.M);
-  auto Reports = analyzeModule(*P.M);
+  P.FAM = std::make_unique<FunctionAnalysisManager>();
+  P.RP = std::make_unique<ReductionParallelizer>(*P.M, *P.FAM);
+  auto Reports = analyzeModule(*P.M, *P.FAM);
   for (auto &R : Reports) {
     for (auto &H : R.Histograms) {
       std::vector<ScalarReduction> InLoop;
@@ -127,10 +129,11 @@ PrepResult prepare(const char *Source, bool AlsoDoall) {
     }
   }
   if (AlsoDoall) {
-    // Re-analyze (the module changed) and outline the data-generation
-    // loops the upstream parallel versions also cover: loops that
-    // write arrays without carrying reductions.
-    auto Reports2 = analyzeModule(*P.M);
+    // Re-analyze (the module changed; the parallelizer invalidated its
+    // cached analyses) and outline the data-generation loops the
+    // upstream parallel versions also cover: loops that write arrays
+    // without carrying reductions.
+    auto Reports2 = analyzeModule(*P.M, *P.FAM);
     for (auto &R : Reports2) {
       if (R.F->getName() != "gen_pairs" && R.F->getName() != "init_data" &&
           R.F->getName() != "gen_keys")

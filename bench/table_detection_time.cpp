@@ -8,16 +8,24 @@
 /// compiler pass runs in a matter of seconds on all the benchmark
 /// programs" -- i.e. no benchmark explodes combinatorially.
 ///
+/// Every benchmark is driven through the shared default pipeline
+/// (buildDefaultPipeline) with PassInstrumentation attached, so the
+/// reported milliseconds are the detection pass's own time. Note that
+/// compileMiniC already normalized each module, so the mem2reg/cse/dce
+/// rows in the per-pass table time idempotent re-runs (changed=0,
+/// near-zero cost) -- the table demonstrates per-pass attribution, not
+/// the cost of first-time normalization.
+///
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
 #include "frontend/Compiler.h"
 #include "idioms/ReductionAnalysis.h"
 #include "ir/Module.h"
+#include "pass/Pipeline.h"
+#include "pass/PassInstrumentation.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
-
-#include <chrono>
 
 using namespace gr;
 
@@ -32,6 +40,9 @@ int main() {
   OS.padToColumn(46);
   OS << "candidates\n";
 
+  // Per-pass records accumulated over the whole corpus.
+  PassInstrumentation CorpusPI;
+
   double TotalMs = 0.0;
   unsigned N = 0;
   for (const BenchmarkProgram &B : corpus()) {
@@ -41,31 +52,37 @@ int main() {
       OS << B.Name << " compile error\n";
       continue;
     }
+
+    FunctionAnalysisManager FAM;
+    PassInstrumentation PI;
+    std::vector<ReductionReport> Reports;
     DetectionStats Stats;
-    auto Start = std::chrono::steady_clock::now();
-    analyzeModule(*M, &Stats);
-    auto End = std::chrono::steady_clock::now();
-    double Ms =
-        std::chrono::duration<double, std::milli>(End - Start).count();
+    ModulePassManager MPM = buildDefaultPipeline(&Reports, &Stats);
+    MPM.setInstrumentation(&PI);
+    MPM.run(*M, FAM);
+
+    double Ms = PI.totalMillis("detect-reductions");
     TotalMs += Ms;
     ++N;
-    uint64_t Nodes = Stats.ForLoops.NodesVisited +
-                     Stats.Scalars.NodesVisited +
-                     Stats.Histograms.NodesVisited;
-    uint64_t Cands = Stats.ForLoops.CandidatesTried +
-                     Stats.Scalars.CandidatesTried +
-                     Stats.Histograms.CandidatesTried;
     OS << B.Name;
     OS.padToColumn(20);
     OS << formatDouble(Ms, 1);
     OS.padToColumn(30);
-    OS << Nodes;
+    OS << Stats.totalNodes();
     OS.padToColumn(46);
-    OS << Cands << '\n';
+    OS << Stats.totalCandidates() << '\n';
+
+    for (const PassExecution &E : PI.executions())
+      CorpusPI.recordRun(E.Pass, E.Unit, E.Millis, E.Changed);
+    for (const auto &[Key, Value] : PI.counters())
+      CorpusPI.recordCounter(Key.first, Key.second, Value);
   }
   OS << "average";
   OS.padToColumn(20);
   OS << formatDouble(TotalMs / N, 1)
      << "  (paper: 3770 ms avg on the full-size original sources)\n";
+
+  OS << "\nPer-pass totals over the corpus (PassInstrumentation)\n";
+  CorpusPI.print(OS);
   return 0;
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# CI entry point: the tier-1 verify line plus a smoke run of the
+# quickstart example. Fails on the first error.
+set -eu
+
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
+(cd build && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)")
+
+# Smoke: the end-to-end quickstart must run and find the histogram.
+./build/quickstart | grep -q "histogram reduction" || {
+  echo "ci.sh: quickstart smoke test failed" >&2
+  exit 1
+}
+echo "ci.sh: all green"

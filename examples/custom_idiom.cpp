@@ -8,7 +8,6 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Purity.h"
 #include "constraint/Context.h"
 #include "constraint/Formula.h"
 #include "constraint/Solver.h"
@@ -16,6 +15,7 @@
 #include "idioms/ForLoopIdiom.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 #include "support/OStream.h"
 
 using namespace gr;
@@ -68,8 +68,10 @@ int main() {
                                                   true));
   F.require(std::make_unique<AtomDistinct>(SrcBase, DstBase));
 
-  PurityAnalysis PA(*M);
-  ConstraintContext Ctx(*M->getFunction("main"), PA);
+  // The context borrows cached analyses from the manager; a second
+  // idiom solved over the same function would reuse them all.
+  FunctionAnalysisManager FAM;
+  ConstraintContext Ctx(*M->getFunction("main"), FAM);
   Solver Solver(Spec.F, Spec.Labels.size());
   unsigned Found = 0;
   auto Stats = Solver.findAll(Ctx, [&](const Solution &S) {

@@ -41,10 +41,12 @@ int main() {
   OS << "sequential work: " << Seq.instructionCount()
      << " interpreted instructions\n";
 
-  // Detect and exploit.
+  // Detect and exploit, sharing one analysis cache between detection
+  // and the outliner.
   auto M = compileMiniC(EP->Source, "ep-par", &Error);
-  auto Reports = analyzeModule(*M);
-  ReductionParallelizer RP(*M);
+  FunctionAnalysisManager FAM;
+  auto Reports = analyzeModule(*M, FAM);
+  ReductionParallelizer RP(*M, FAM);
   for (ReductionReport &R : Reports) {
     for (HistogramReduction &H : R.Histograms) {
       std::vector<ScalarReduction> InSameLoop;

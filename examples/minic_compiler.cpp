@@ -9,11 +9,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/Purity.h"
 #include "analysis/SCoPInfo.h"
 #include "frontend/Compiler.h"
+#include "pass/Analyses.h"
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
@@ -79,13 +79,13 @@ int main(int argc, char **argv) {
 
   OS << moduleToString(*M) << '\n';
 
-  PurityAnalysis PA(*M);
+  FunctionAnalysisManager FAM;
+  const PurityAnalysis &PA = FAM.getPurity(*M);
   for (const auto &F : M->functions()) {
     if (F->isDeclaration())
       continue;
-    DomTree DT(*F);
-    LoopInfo LI(*F, DT);
-    auto SCoPs = findSCoPs(*F, LI);
+    const LoopInfo &LI = FAM.get<LoopAnalysis>(*F);
+    const auto &SCoPs = FAM.get<SCoPAnalysis>(*F);
     OS << "@" << F->getName() << ": " << LI.loops().size() << " loop(s), "
        << SCoPs.size() << " SCoP(s), purity=";
     switch (PA.getKind(F.get())) {

@@ -3,11 +3,11 @@
 #include "baselines/IccLike.h"
 
 #include "analysis/AffineForms.h"
-#include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "idioms/Associativity.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 #include <set>
 #include <string>
@@ -112,16 +112,20 @@ unsigned countLoopReductions(Loop *L) {
 
 } // namespace
 
-unsigned gr::runIccBaseline(Module &M) {
+unsigned gr::runIccBaseline(Module &M, FunctionAnalysisManager &AM) {
   unsigned Count = 0;
   for (const auto &F : M.functions()) {
     if (F->isDeclaration())
       continue;
-    DomTree DT(*F);
-    LoopInfo LI(*F, DT);
+    const LoopInfo &LI = AM.get<LoopAnalysis>(*F);
     for (const auto &L : LI.loops())
       if (loopParallelizable(L.get()))
         Count += countLoopReductions(L.get());
   }
   return Count;
+}
+
+unsigned gr::runIccBaseline(Module &M) {
+  FunctionAnalysisManager AM;
+  return runIccBaseline(M, AM);
 }

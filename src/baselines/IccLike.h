@@ -16,9 +16,14 @@
 
 namespace gr {
 
+class FunctionAnalysisManager;
 class Module;
 
-/// Number of parallelizable reductions icc would report for \p M.
+/// Number of parallelizable reductions icc would report for \p M,
+/// consulting cached loop analyses from \p AM.
+unsigned runIccBaseline(Module &M, FunctionAnalysisManager &AM);
+
+/// Convenience overload with a scratch analysis manager.
 unsigned runIccBaseline(Module &M);
 
 } // namespace gr

@@ -2,11 +2,11 @@
 
 #include "baselines/PollyLike.h"
 
-#include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/SCoPInfo.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 using namespace gr;
 
@@ -36,14 +36,13 @@ unsigned countNestReductions(Loop *Root, const LoopInfo &LI) {
 
 } // namespace
 
-PollyResult gr::runPollyBaseline(Module &M) {
+PollyResult gr::runPollyBaseline(Module &M, FunctionAnalysisManager &AM) {
   PollyResult Result;
   for (const auto &F : M.functions()) {
     if (F->isDeclaration())
       continue;
-    DomTree DT(*F);
-    LoopInfo LI(*F, DT);
-    for (const SCoP &S : findSCoPs(*F, LI)) {
+    const LoopInfo &LI = AM.get<LoopAnalysis>(*F);
+    for (const SCoP &S : AM.get<SCoPAnalysis>(*F)) {
       ++Result.NumSCoPs;
       if (S.HasReduction) {
         ++Result.NumReductionSCoPs;
@@ -52,4 +51,9 @@ PollyResult gr::runPollyBaseline(Module &M) {
     }
   }
   return Result;
+}
+
+PollyResult gr::runPollyBaseline(Module &M) {
+  FunctionAnalysisManager AM;
+  return runPollyBaseline(M, AM);
 }

@@ -14,6 +14,7 @@
 
 namespace gr {
 
+class FunctionAnalysisManager;
 class Module;
 
 /// Result of the Polly-style analysis over one module.
@@ -26,7 +27,11 @@ struct PollyResult {
   unsigned NumReductions = 0;
 };
 
-/// Runs SCoP detection + in-SCoP reduction matching over \p M.
+/// Runs SCoP detection + in-SCoP reduction matching over \p M,
+/// consulting cached loop/SCoP analyses from \p AM.
+PollyResult runPollyBaseline(Module &M, FunctionAnalysisManager &AM);
+
+/// Convenience overload with a scratch analysis manager.
 PollyResult runPollyBaseline(Module &M);
 
 } // namespace gr

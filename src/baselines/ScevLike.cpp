@@ -3,10 +3,10 @@
 #include "baselines/ScevLike.h"
 
 #include "analysis/AffineForms.h"
-#include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 using namespace gr;
 
@@ -61,13 +61,12 @@ bool isScevReduction(PhiInst *Phi, Loop *L) {
 
 } // namespace
 
-unsigned gr::runScevBaseline(Module &M) {
+unsigned gr::runScevBaseline(Module &M, FunctionAnalysisManager &AM) {
   unsigned Count = 0;
   for (const auto &F : M.functions()) {
     if (F->isDeclaration())
       continue;
-    DomTree DT(*F);
-    LoopInfo LI(*F, DT);
+    const LoopInfo &LI = AM.get<LoopAnalysis>(*F);
     for (const auto &L : LI.loops()) {
       if (!isStraightLineLoop(L.get()))
         continue;
@@ -77,4 +76,9 @@ unsigned gr::runScevBaseline(Module &M) {
     }
   }
   return Count;
+}
+
+unsigned gr::runScevBaseline(Module &M) {
+  FunctionAnalysisManager AM;
+  return runScevBaseline(M, AM);
 }

@@ -12,10 +12,14 @@
 
 namespace gr {
 
+class FunctionAnalysisManager;
 class Module;
 
 /// Number of straight-line scalar reductions scalar evolution can
-/// describe in \p M.
+/// describe in \p M, consulting cached loop analyses from \p AM.
+unsigned runScevBaseline(Module &M, FunctionAnalysisManager &AM);
+
+/// Convenience overload with a scratch analysis manager.
 unsigned runScevBaseline(Module &M);
 
 } // namespace gr

@@ -4,14 +4,19 @@
 
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
+#include "ir/Module.h"
+#include "pass/Analyses.h"
 
 #include <set>
 
 using namespace gr;
 
 ConstraintContext::ConstraintContext(Function &F,
-                                     const PurityAnalysis &Purity)
-    : F(F), Purity(Purity), DT(F), PDT(F), LI(F, DT), CD(F, PDT) {
+                                     FunctionAnalysisManager &AM)
+    : F(F), DT(AM.get<DomTreeAnalysis>(F)),
+      PDT(AM.get<PostDomTreeAnalysis>(F)), LI(AM.get<LoopAnalysis>(F)),
+      CD(AM.get<ControlDependenceAnalysis>(F)),
+      Purity(AM.getPurity(*F.getParent())) {
   Universe = F.allValues();
   // Constants and globals referenced by the function join the
   // universe exactly once.

@@ -7,6 +7,11 @@
 /// enumerates ("values(F)" in the paper: instructions, arguments,
 /// blocks, plus the constants and globals used by the function).
 ///
+/// The context does not own the analyses: it is a thin view borrowing
+/// them from a FunctionAnalysisManager, so repeated solver runs over
+/// one function share one DomTree/LoopInfo/... computation. The
+/// context must not outlive an invalidation of those analyses.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GR_CONSTRAINT_CONTEXT_H
@@ -22,12 +27,13 @@
 namespace gr {
 
 class Function;
+class FunctionAnalysisManager;
 class Value;
 
-/// Immutable analysis bundle for one function.
+/// Immutable view of one function's cached analyses.
 class ConstraintContext {
 public:
-  ConstraintContext(Function &F, const PurityAnalysis &Purity);
+  ConstraintContext(Function &F, FunctionAnalysisManager &AM);
 
   Function &getFunction() const { return F; }
   const DomTree &getDomTree() const { return DT; }
@@ -41,11 +47,11 @@ public:
 
 private:
   Function &F;
+  const DomTree &DT;
+  const PostDomTree &PDT;
+  const LoopInfo &LI;
+  const ControlDependence &CD;
   const PurityAnalysis &Purity;
-  DomTree DT;
-  PostDomTree PDT;
-  LoopInfo LI;
-  ControlDependence CD;
   std::vector<Value *> Universe;
 };
 

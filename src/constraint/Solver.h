@@ -25,6 +25,13 @@ struct SolverStats {
   uint64_t NodesVisited = 0;
   uint64_t CandidatesTried = 0;
   uint64_t Solutions = 0;
+
+  SolverStats &operator+=(const SolverStats &Other) {
+    NodesVisited += Other.NodesVisited;
+    CandidatesTried += Other.CandidatesTried;
+    Solutions += Other.Solutions;
+    return *this;
+  }
 };
 
 /// Solves one formula against one function context.

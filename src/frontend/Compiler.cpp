@@ -6,9 +6,7 @@
 #include "frontend/Parser.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
-#include "transform/CSE.h"
-#include "transform/DCE.h"
-#include "transform/Mem2Reg.h"
+#include "pass/Pipeline.h"
 
 using namespace gr;
 
@@ -30,9 +28,9 @@ std::unique_ptr<Module> gr::compileMiniC(std::string_view Source,
     return nullptr;
   }
 
-  promoteModuleAllocas(*M);
-  eliminateModuleCommonSubexpressions(*M);
-  eliminateModuleDeadCode(*M);
+  FunctionAnalysisManager FAM;
+  ModulePassManager MPM = buildSSAPipeline();
+  MPM.run(*M, FAM);
 
   VerifyErrors.clear();
   if (!verifyModule(*M, &VerifyErrors)) {

@@ -10,6 +10,8 @@
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
+#include "pass/PassInstrumentation.h"
 
 #include <set>
 
@@ -192,23 +194,20 @@ bool controlCleanFor(BasicBlock *BB, const ConstraintContext &Ctx,
 } // namespace
 
 ReductionReport gr::analyzeFunction(Function &F,
-                                    const PurityAnalysis &Purity,
+                                    FunctionAnalysisManager &AM,
                                     DetectionStats *Stats) {
   ReductionReport Report;
   Report.F = &F;
   if (F.isDeclaration())
     return Report;
 
-  ConstraintContext Ctx(F, Purity);
+  ConstraintContext Ctx(F, AM);
   const LoopInfo &LI = Ctx.getLoopInfo();
 
   SolverStats LoopStats;
   Report.ForLoops = findForLoops(Ctx, &LoopStats);
-  if (Stats) {
-    Stats->ForLoops.NodesVisited += LoopStats.NodesVisited;
-    Stats->ForLoops.CandidatesTried += LoopStats.CandidatesTried;
-    Stats->ForLoops.Solutions += LoopStats.Solutions;
-  }
+  if (Stats)
+    Stats->ForLoops += LoopStats;
 
   // Scalar reductions: extend each for-loop solution.
   IdiomSpec ScalarSpec;
@@ -261,11 +260,8 @@ ReductionReport gr::analyzeFunction(Function &F,
           Report.Scalars.push_back(R);
         },
         Seed);
-    if (Stats) {
-      Stats->Scalars.NodesVisited += SStats.NodesVisited;
-      Stats->Scalars.CandidatesTried += SStats.CandidatesTried;
-      Stats->Scalars.Solutions += SStats.Solutions;
-    }
+    if (Stats)
+      Stats->Scalars += SStats;
 
     // Histograms over the same seed.
     Solution HSeed(HistSpec.Labels.size(), nullptr);
@@ -309,23 +305,42 @@ ReductionReport gr::analyzeFunction(Function &F,
           Report.Histograms.push_back(R);
         },
         HSeed);
-    if (Stats) {
-      Stats->Histograms.NodesVisited += HStats.NodesVisited;
-      Stats->Histograms.CandidatesTried += HStats.CandidatesTried;
-      Stats->Histograms.Solutions += HStats.Solutions;
-    }
+    if (Stats)
+      Stats->Histograms += HStats;
   }
   return Report;
 }
 
 std::vector<ReductionReport> gr::analyzeModule(Module &M,
+                                               FunctionAnalysisManager &AM,
                                                DetectionStats *Stats) {
-  PurityAnalysis Purity(M);
   std::vector<ReductionReport> Reports;
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
-      Reports.push_back(analyzeFunction(*F, Purity, Stats));
+      Reports.push_back(analyzeFunction(*F, AM, Stats));
   return Reports;
+}
+
+std::vector<ReductionReport> gr::analyzeModule(Module &M,
+                                               DetectionStats *Stats) {
+  FunctionAnalysisManager AM;
+  return analyzeModule(M, AM, Stats);
+}
+
+PreservedAnalyses ReductionDetectionPass::run(Module &M,
+                                              FunctionAnalysisManager &AM) {
+  DetectionStats Local;
+  std::vector<ReductionReport> Found = analyzeModule(M, AM, &Local);
+  if (PassInstrumentation *PI = instrumentation()) {
+    PI->recordCounter(name(), "solver.nodes", Local.totalNodes());
+    PI->recordCounter(name(), "solver.candidates", Local.totalCandidates());
+    PI->recordCounter(name(), "solutions", Local.totalSolutions());
+  }
+  if (Reports)
+    *Reports = std::move(Found);
+  if (Stats)
+    *Stats += Local;
+  return PreservedAnalyses::all();
 }
 
 ReductionCounts

@@ -5,7 +5,9 @@
 /// scalar-reduction and histogram specifications over a function or
 /// module and returns the matches, after the associativity and
 /// exclusive-access post-checks the paper applies outside the
-/// constraint language.
+/// constraint language. Detection consults the shared analysis cache
+/// (FunctionAnalysisManager) and is also packaged as a module pass so
+/// pipelines can run it with per-pass timing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,6 +16,7 @@
 
 #include "constraint/Solver.h"
 #include "idioms/ReductionInfo.h"
+#include "pass/Pass.h"
 
 #include <vector>
 
@@ -22,22 +25,65 @@ namespace gr {
 class ConstraintContext;
 class Function;
 class Module;
-class PurityAnalysis;
 
 /// Detection statistics (per module run).
 struct DetectionStats {
   SolverStats ForLoops;
   SolverStats Scalars;
   SolverStats Histograms;
+
+  DetectionStats &operator+=(const DetectionStats &Other) {
+    ForLoops += Other.ForLoops;
+    Scalars += Other.Scalars;
+    Histograms += Other.Histograms;
+    return *this;
+  }
+
+  uint64_t totalNodes() const {
+    return ForLoops.NodesVisited + Scalars.NodesVisited +
+           Histograms.NodesVisited;
+  }
+  uint64_t totalCandidates() const {
+    return ForLoops.CandidatesTried + Scalars.CandidatesTried +
+           Histograms.CandidatesTried;
+  }
+  uint64_t totalSolutions() const {
+    return ForLoops.Solutions + Scalars.Solutions + Histograms.Solutions;
+  }
 };
 
-/// Runs all idiom specs over \p F.
-ReductionReport analyzeFunction(Function &F, const PurityAnalysis &Purity,
+/// Runs all idiom specs over \p F, borrowing cached analyses from
+/// \p AM.
+ReductionReport analyzeFunction(Function &F, FunctionAnalysisManager &AM,
                                 DetectionStats *Stats = nullptr);
 
 /// Runs analyzeFunction over every definition in \p M.
 std::vector<ReductionReport> analyzeModule(Module &M,
+                                           FunctionAnalysisManager &AM,
                                            DetectionStats *Stats = nullptr);
+
+/// Convenience overload with a scratch analysis manager (one-shot
+/// callers; pipelines should share a FunctionAnalysisManager instead).
+std::vector<ReductionReport> analyzeModule(Module &M,
+                                           DetectionStats *Stats = nullptr);
+
+/// Detection as a module pass. Reports land in \p Reports and solver
+/// statistics in \p Stats (either may be null); when instrumentation
+/// is attached, solver statistics are also published as counters.
+class ReductionDetectionPass : public ModulePass {
+public:
+  explicit ReductionDetectionPass(std::vector<ReductionReport> *Reports =
+                                      nullptr,
+                                  DetectionStats *Stats = nullptr)
+      : Reports(Reports), Stats(Stats) {}
+
+  const char *name() const override { return "detect-reductions"; }
+  PreservedAnalyses run(Module &M, FunctionAnalysisManager &AM) override;
+
+private:
+  std::vector<ReductionReport> *Reports;
+  DetectionStats *Stats;
+};
 
 /// Totals over a module's reports.
 struct ReductionCounts {

@@ -1,0 +1,60 @@
+//===- Analyses.cpp -------------------------------------------*- C++ -*-===//
+
+#include "pass/Analyses.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+using namespace gr;
+
+AnalysisKey DomTreeAnalysis::Key;
+AnalysisKey PostDomTreeAnalysis::Key;
+AnalysisKey LoopAnalysis::Key;
+AnalysisKey ControlDependenceAnalysis::Key;
+AnalysisKey SCoPAnalysis::Key;
+AnalysisKey ModulePurityAnalysis::Key;
+
+DomTree DomTreeAnalysis::run(Function &F, FunctionAnalysisManager &) {
+  return DomTree(F);
+}
+
+PostDomTree PostDomTreeAnalysis::run(Function &F, FunctionAnalysisManager &) {
+  return PostDomTree(F);
+}
+
+LoopInfo LoopAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
+  return LoopInfo(F, AM.get<DomTreeAnalysis>(F));
+}
+
+ControlDependence
+ControlDependenceAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
+  return ControlDependence(F, AM.get<PostDomTreeAnalysis>(F));
+}
+
+std::vector<SCoP> SCoPAnalysis::run(Function &F,
+                                    FunctionAnalysisManager &AM) {
+  return findSCoPs(F, AM.get<LoopAnalysis>(F));
+}
+
+PurityAnalysis ModulePurityAnalysis::run(Module &M,
+                                         FunctionAnalysisManager &) {
+  return PurityAnalysis(M);
+}
+
+PreservedAnalyses gr::preserveCFGAnalyses() {
+  return PreservedAnalyses::none()
+      .preserve<DomTreeAnalysis>()
+      .preserve<PostDomTreeAnalysis>()
+      .preserve<ControlDependenceAnalysis>();
+}
+
+const std::vector<std::pair<const AnalysisKey *, const AnalysisKey *>> &
+gr::detail::analysisDependencies() {
+  static const std::vector<std::pair<const AnalysisKey *, const AnalysisKey *>>
+      Edges = {
+          {&LoopAnalysis::Key, &DomTreeAnalysis::Key},
+          {&ControlDependenceAnalysis::Key, &PostDomTreeAnalysis::Key},
+          {&SCoPAnalysis::Key, &LoopAnalysis::Key},
+      };
+  return Edges;
+}

@@ -1,0 +1,87 @@
+//===- Analyses.h - analysis registrations for the manager ----*- C++ -*-===//
+///
+/// \file
+/// The analyses the detection and transform pipeline consults, wrapped
+/// for the AnalysisManager: dominator/post-dominator trees, the loop
+/// forest, control dependence, SCoPs and whole-module purity. This is
+/// the one place that knows how each analysis is built and what it is
+/// built from (the dependency table drives invalidation cascades).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_PASS_ANALYSES_H
+#define GR_PASS_ANALYSES_H
+
+#include "analysis/ControlDependence.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Purity.h"
+#include "analysis/SCoPInfo.h"
+#include "pass/AnalysisManager.h"
+
+#include <vector>
+
+namespace gr {
+
+/// Forward dominator tree of a function.
+struct DomTreeAnalysis {
+  using Result = DomTree;
+  static AnalysisKey Key;
+  static Result run(Function &F, FunctionAnalysisManager &AM);
+};
+
+/// Post-dominator tree of a function.
+struct PostDomTreeAnalysis {
+  using Result = PostDomTree;
+  static AnalysisKey Key;
+  static Result run(Function &F, FunctionAnalysisManager &AM);
+};
+
+/// Natural-loop forest (depends on DomTreeAnalysis).
+struct LoopAnalysis {
+  using Result = LoopInfo;
+  static AnalysisKey Key;
+  static Result run(Function &F, FunctionAnalysisManager &AM);
+};
+
+/// Control dependence relation (depends on PostDomTreeAnalysis).
+struct ControlDependenceAnalysis {
+  using Result = ControlDependence;
+  static AnalysisKey Key;
+  static Result run(Function &F, FunctionAnalysisManager &AM);
+};
+
+/// Static control parts (depends on LoopAnalysis).
+struct SCoPAnalysis {
+  using Result = std::vector<SCoP>;
+  static AnalysisKey Key;
+  static Result run(Function &F, FunctionAnalysisManager &AM);
+};
+
+/// Whole-module purity classification, cached per module.
+struct ModulePurityAnalysis {
+  using Result = PurityAnalysis;
+  static AnalysisKey Key;
+  static Result run(Module &M, FunctionAnalysisManager &AM);
+};
+
+/// The preserve-set of a pass that rewrites instructions but leaves
+/// the CFG intact (mem2reg, CSE, DCE): block-level analyses survive,
+/// instruction-sensitive ones (loops' induction info, SCoPs, purity)
+/// do not.
+PreservedAnalyses preserveCFGAnalyses();
+
+namespace detail {
+/// (analysis, what it was built from) edges; invalidating the source
+/// drops the dependent result too.
+const std::vector<std::pair<const AnalysisKey *, const AnalysisKey *>> &
+analysisDependencies();
+} // namespace detail
+
+inline const PurityAnalysis &FunctionAnalysisManager::getPurity(Module &M) {
+  return get<ModulePurityAnalysis>(M);
+}
+
+} // namespace gr
+
+#endif // GR_PASS_ANALYSES_H

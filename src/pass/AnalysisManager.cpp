@@ -1,0 +1,54 @@
+//===- AnalysisManager.cpp ------------------------------------*- C++ -*-===//
+
+#include "pass/AnalysisManager.h"
+
+#include "ir/Function.h"
+#include "pass/Analyses.h"
+
+using namespace gr;
+
+std::set<const AnalysisKey *>
+FunctionAnalysisManager::keysToDrop(const PreservedAnalyses &PA) const {
+  std::set<const AnalysisKey *> Cached;
+  for (const auto &[K, R] : Results)
+    Cached.insert(K.second);
+
+  std::set<const AnalysisKey *> Drop;
+  for (const AnalysisKey *K : Cached)
+    if (!PA.isPreservedKey(K))
+      Drop.insert(K);
+
+  // Cascade: a result built from a dropped result is stale no matter
+  // what the pass claimed to preserve.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &[Dependent, Source] : detail::analysisDependencies())
+      if (Drop.count(Source) && Cached.count(Dependent) &&
+          Drop.insert(Dependent).second)
+        Changed = true;
+  }
+  return Drop;
+}
+
+void FunctionAnalysisManager::invalidate(Function &F,
+                                         const PreservedAnalyses &PA) {
+  if (PA.areAllPreserved())
+    return;
+  std::set<const AnalysisKey *> Drop = keysToDrop(PA);
+  const void *Unit = static_cast<const void *>(&F);
+  const void *Parent = static_cast<const void *>(F.getParent());
+  for (auto It = Results.begin(); It != Results.end();) {
+    bool Stale = Drop.count(It->first.second) &&
+                 (It->first.first == Unit || It->first.first == Parent);
+    It = Stale ? Results.erase(It) : std::next(It);
+  }
+}
+
+void FunctionAnalysisManager::invalidateAll(const PreservedAnalyses &PA) {
+  if (PA.areAllPreserved())
+    return;
+  std::set<const AnalysisKey *> Drop = keysToDrop(PA);
+  for (auto It = Results.begin(); It != Results.end();)
+    It = Drop.count(It->first.second) ? Results.erase(It) : std::next(It);
+}

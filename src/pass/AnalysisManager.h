@@ -1,0 +1,182 @@
+//===- AnalysisManager.h - cached, invalidation-aware analyses *- C++ -*-===//
+///
+/// \file
+/// The analysis caching layer. A FunctionAnalysisManager memoizes
+/// per-function analyses (dominators, post-dominators, loops, control
+/// dependence, SCoPs) and module-scoped ones (purity) under a
+/// type-derived key, so every client of the DETECT pipeline consults
+/// one shared copy instead of recomputing. Transform passes report
+/// what they kept intact through PreservedAnalyses; invalidation
+/// erases exactly the stale results (cascading through analysis
+/// dependencies, e.g. LoopInfo is dropped whenever its DomTree is).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_PASS_ANALYSISMANAGER_H
+#define GR_PASS_ANALYSISMANAGER_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+namespace gr {
+
+class Function;
+class Module;
+class PurityAnalysis;
+
+/// Identity tag for one analysis type. Every analysis declares a
+/// static AnalysisKey member; its address is the cache key.
+struct AnalysisKey {};
+
+/// The set of analyses a pass left valid. Mutating passes return
+/// none() (or an explicit preserve list); read-only passes return
+/// all().
+class PreservedAnalyses {
+public:
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.All = true;
+    return PA;
+  }
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  template <typename AnalysisT> PreservedAnalyses &preserve() {
+    return preserveKey(&AnalysisT::Key);
+  }
+  PreservedAnalyses &preserveKey(const AnalysisKey *K) {
+    if (!All)
+      Preserved.insert(K);
+    return *this;
+  }
+
+  bool areAllPreserved() const { return All; }
+  template <typename AnalysisT> bool isPreserved() const {
+    return isPreservedKey(&AnalysisT::Key);
+  }
+  bool isPreservedKey(const AnalysisKey *K) const {
+    return All || Preserved.count(K) != 0;
+  }
+
+  /// Narrows this set to what both passes preserved (used by pass
+  /// managers to report a whole pipeline's effect).
+  PreservedAnalyses &intersect(const PreservedAnalyses &Other) {
+    if (Other.All)
+      return *this;
+    if (All) {
+      All = false;
+      Preserved = Other.Preserved;
+      return *this;
+    }
+    for (auto It = Preserved.begin(); It != Preserved.end();)
+      It = Other.Preserved.count(*It) ? std::next(It) : Preserved.erase(It);
+    return *this;
+  }
+
+private:
+  bool All = false;
+  std::set<const AnalysisKey *> Preserved;
+};
+
+/// Type-keyed cache of function (and module) analyses.
+///
+/// Analyses are structs of the shape
+///   struct FooAnalysis {
+///     using Result = Foo;
+///     static AnalysisKey Key;
+///     static Result run(Function &F, FunctionAnalysisManager &AM);
+///   };
+/// and are obtained with AM.get<FooAnalysis>(F). Results live until
+/// invalidate()/clear(); references handed out stay stable across
+/// unrelated get() calls (node-based storage).
+class FunctionAnalysisManager {
+public:
+  FunctionAnalysisManager() = default;
+  FunctionAnalysisManager(const FunctionAnalysisManager &) = delete;
+  FunctionAnalysisManager &operator=(const FunctionAnalysisManager &) = delete;
+
+  /// Returns the cached result for \p F, computing it on first use.
+  template <typename AnalysisT>
+  typename AnalysisT::Result &get(Function &F) {
+    return getImpl<AnalysisT>(static_cast<const void *>(&F), F);
+  }
+
+  /// Module-scoped analyses share the same cache, keyed on the module.
+  template <typename AnalysisT>
+  typename AnalysisT::Result &get(Module &M) {
+    return getImpl<AnalysisT>(static_cast<const void *>(&M), M);
+  }
+
+  /// The cached result, or null when it has not been computed (or was
+  /// invalidated). Never triggers computation.
+  template <typename AnalysisT>
+  typename AnalysisT::Result *getCached(const Function &F) const {
+    return getCachedImpl<AnalysisT>(static_cast<const void *>(&F));
+  }
+  template <typename AnalysisT>
+  typename AnalysisT::Result *getCached(const Module &M) const {
+    return getCachedImpl<AnalysisT>(static_cast<const void *>(&M));
+  }
+
+  /// Whole-module purity classification (defined in Analyses.h, where
+  /// the wrapper analysis is visible).
+  const PurityAnalysis &getPurity(Module &M);
+
+  /// Drops every result for \p F that \p PA does not preserve,
+  /// cascading through analysis dependencies, plus module-scoped
+  /// results of F's parent that were not preserved.
+  void invalidate(Function &F, const PreservedAnalyses &PA);
+
+  /// Module-level variant: applies the same key-dropping rule to every
+  /// cached unit (used by the module pass manager).
+  void invalidateAll(const PreservedAnalyses &PA);
+
+  void clear() { Results.clear(); }
+  std::size_t cachedResultCount() const { return Results.size(); }
+
+private:
+  struct ResultConcept {
+    virtual ~ResultConcept() = default;
+  };
+  template <typename T> struct ResultModel : ResultConcept {
+    explicit ResultModel(T &&V) : Value(std::move(V)) {}
+    T Value;
+  };
+
+  using CacheKey = std::pair<const void *, const AnalysisKey *>;
+
+  template <typename AnalysisT, typename UnitT>
+  typename AnalysisT::Result &getImpl(const void *UnitPtr, UnitT &U) {
+    CacheKey K{UnitPtr, &AnalysisT::Key};
+    auto It = Results.find(K);
+    if (It == Results.end()) {
+      // run() may recursively get() dependencies; std::map iterators
+      // and element addresses stay valid across those insertions.
+      auto Model = std::make_unique<ResultModel<typename AnalysisT::Result>>(
+          AnalysisT::run(U, *this));
+      It = Results.emplace(K, std::move(Model)).first;
+    }
+    return static_cast<ResultModel<typename AnalysisT::Result> &>(*It->second)
+        .Value;
+  }
+
+  template <typename AnalysisT>
+  typename AnalysisT::Result *getCachedImpl(const void *UnitPtr) const {
+    auto It = Results.find(CacheKey{UnitPtr, &AnalysisT::Key});
+    if (It == Results.end())
+      return nullptr;
+    return &static_cast<ResultModel<typename AnalysisT::Result> &>(*It->second)
+                .Value;
+  }
+
+  /// Keys to drop given \p PA: the non-preserved ones plus everything
+  /// transitively depending on them.
+  std::set<const AnalysisKey *> keysToDrop(const PreservedAnalyses &PA) const;
+
+  std::map<CacheKey, std::unique_ptr<ResultConcept>> Results;
+};
+
+} // namespace gr
+
+#endif // GR_PASS_ANALYSISMANAGER_H

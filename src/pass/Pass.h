@@ -1,0 +1,54 @@
+//===- Pass.h - function and module pass interfaces -----------*- C++ -*-===//
+///
+/// \file
+/// The pass interfaces the pipeline is built from. A pass runs over
+/// one IR unit with access to the shared analysis cache and reports
+/// which analyses survived it (PreservedAnalyses); the managers use
+/// that answer to invalidate precisely. Passes may publish metrics
+/// through the attached PassInstrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_PASS_PASS_H
+#define GR_PASS_PASS_H
+
+#include "pass/AnalysisManager.h"
+
+namespace gr {
+
+class PassInstrumentation;
+
+/// Shared base: name and instrumentation plumbing.
+class PassBase {
+public:
+  virtual ~PassBase() = default;
+  virtual const char *name() const = 0;
+
+  void setInstrumentation(PassInstrumentation *P) { PI = P; }
+
+protected:
+  PassInstrumentation *instrumentation() const { return PI; }
+
+private:
+  PassInstrumentation *PI = nullptr;
+};
+
+/// A pass over one function.
+class FunctionPass : public PassBase {
+public:
+  virtual PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) = 0;
+};
+
+/// A pass over a whole module.
+class ModulePass : public PassBase {
+public:
+  virtual PreservedAnalyses run(Module &M, FunctionAnalysisManager &AM) = 0;
+
+  /// Adaptors record their inner pass runs themselves; the module
+  /// manager must not also record the wrapper (double counting).
+  virtual bool recordsOwnExecutions() const { return false; }
+};
+
+} // namespace gr
+
+#endif // GR_PASS_PASS_H

@@ -1,0 +1,80 @@
+//===- PassInstrumentation.cpp --------------------------------*- C++ -*-===//
+
+#include "pass/PassInstrumentation.h"
+
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+using namespace gr;
+
+void PassInstrumentation::recordRun(std::string Pass, std::string Unit,
+                                    double Millis, bool Changed) {
+  Executions.push_back({std::move(Pass), std::move(Unit), Millis, Changed});
+}
+
+void PassInstrumentation::recordCounter(const std::string &Pass,
+                                        const std::string &Counter,
+                                        uint64_t Delta) {
+  Counters[{Pass, Counter}] += Delta;
+}
+
+double PassInstrumentation::totalMillis(const std::string &Pass) const {
+  double Total = 0.0;
+  for (const PassExecution &E : Executions)
+    if (E.Pass == Pass)
+      Total += E.Millis;
+  return Total;
+}
+
+uint64_t PassInstrumentation::counter(const std::string &Pass,
+                                      const std::string &Counter) const {
+  auto It = Counters.find({Pass, Counter});
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void PassInstrumentation::print(OStream &OS) const {
+  struct Row {
+    unsigned Runs = 0;
+    double Millis = 0.0;
+    unsigned Changed = 0;
+  };
+  // Aggregate in first-execution order.
+  std::vector<std::string> Order;
+  std::map<std::string, Row> Rows;
+  for (const PassExecution &E : Executions) {
+    auto [It, Fresh] = Rows.emplace(E.Pass, Row());
+    if (Fresh)
+      Order.push_back(E.Pass);
+    ++It->second.Runs;
+    It->second.Millis += E.Millis;
+    It->second.Changed += E.Changed ? 1 : 0;
+  }
+
+  OS << "pass";
+  OS.padToColumn(26);
+  OS << "runs";
+  OS.padToColumn(34);
+  OS << "ms";
+  OS.padToColumn(44);
+  OS << "changed\n";
+  for (const std::string &Pass : Order) {
+    const Row &R = Rows[Pass];
+    OS << Pass;
+    OS.padToColumn(26);
+    OS << R.Runs;
+    OS.padToColumn(34);
+    OS << formatDouble(R.Millis, 2);
+    OS.padToColumn(44);
+    OS << R.Changed << '\n';
+  }
+  for (const auto &[Key, Value] : Counters) {
+    OS << Key.first << '.' << Key.second << ' ';
+    OS.padToColumn(44);
+    OS << Value << '\n';
+  }
+}
+
+void PassInstrumentation::clear() {
+  Executions.clear();
+  Counters.clear();
+}

@@ -1,0 +1,63 @@
+//===- PassInstrumentation.h - per-pass timing and counters ---*- C++ -*-===//
+///
+/// \file
+/// Observation hook for the pass managers: every pass execution is
+/// recorded with its unit and wall-clock cost, and passes may publish
+/// named counters (the detection pass reports its solver statistics
+/// here). The bench harness prints these records instead of timing
+/// around whole pipelines, so figures attribute cost per pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_PASS_PASSINSTRUMENTATION_H
+#define GR_PASS_PASSINSTRUMENTATION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gr {
+
+class OStream;
+
+/// One pass execution over one IR unit.
+struct PassExecution {
+  std::string Pass;
+  std::string Unit;
+  double Millis = 0.0;
+  bool Changed = false;
+};
+
+class PassInstrumentation {
+public:
+  void recordRun(std::string Pass, std::string Unit, double Millis,
+                 bool Changed);
+  void recordCounter(const std::string &Pass, const std::string &Counter,
+                     uint64_t Delta);
+
+  const std::vector<PassExecution> &executions() const { return Executions; }
+  const std::map<std::pair<std::string, std::string>, uint64_t> &
+  counters() const {
+    return Counters;
+  }
+
+  /// Total wall-clock attributed to \p Pass across all recorded runs.
+  double totalMillis(const std::string &Pass) const;
+  uint64_t counter(const std::string &Pass, const std::string &Counter) const;
+
+  /// Aggregated per-pass table: runs, total ms, units changed, then
+  /// any counters.
+  void print(OStream &OS) const;
+
+  void clear();
+
+private:
+  std::vector<PassExecution> Executions;
+  std::map<std::pair<std::string, std::string>, uint64_t> Counters;
+};
+
+} // namespace gr
+
+#endif // GR_PASS_PASSINSTRUMENTATION_H

@@ -1,0 +1,84 @@
+//===- PassManager.cpp ----------------------------------------*- C++ -*-===//
+
+#include "pass/PassManager.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "pass/PassInstrumentation.h"
+
+#include <chrono>
+
+using namespace gr;
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+PreservedAnalyses FunctionPassManager::run(Function &F,
+                                           FunctionAnalysisManager &AM) {
+  PreservedAnalyses Total = PreservedAnalyses::all();
+  for (const auto &P : Passes) {
+    P->setInstrumentation(instrumentation());
+    auto Start = std::chrono::steady_clock::now();
+    PreservedAnalyses PA = P->run(F, AM);
+    double Millis = millisSince(Start);
+    AM.invalidate(F, PA);
+    if (PassInstrumentation *PI = instrumentation())
+      PI->recordRun(P->name(), F.getName(), Millis, !PA.areAllPreserved());
+    Total.intersect(PA);
+  }
+  return Total;
+}
+
+void ModulePassManager::addFunctionPass(std::unique_ptr<FunctionPass> P) {
+  addPass(std::make_unique<FunctionToModulePassAdaptor>(std::move(P)));
+}
+
+PreservedAnalyses ModulePassManager::run(Module &M,
+                                         FunctionAnalysisManager &AM) {
+  PreservedAnalyses Total = PreservedAnalyses::all();
+  for (const auto &P : Passes) {
+    P->setInstrumentation(PI);
+    auto Start = std::chrono::steady_clock::now();
+    PreservedAnalyses PA = P->run(M, AM);
+    double Millis = millisSince(Start);
+    // Adaptors invalidate per function as they go; only genuine module
+    // passes need the module-wide sweep (and only they get a
+    // module-level execution record).
+    if (!P->recordsOwnExecutions()) {
+      AM.invalidateAll(PA);
+      if (PI)
+        PI->recordRun(P->name(), M.getName(), Millis, !PA.areAllPreserved());
+    }
+    Total.intersect(PA);
+  }
+  return Total;
+}
+
+PreservedAnalyses
+FunctionToModulePassAdaptor::run(Module &M, FunctionAnalysisManager &AM) {
+  P->setInstrumentation(instrumentation());
+  PreservedAnalyses Total = PreservedAnalyses::all();
+  // Snapshot: passes may create functions (e.g. outlined loop bodies);
+  // those must not be visited in the same sweep.
+  std::vector<Function *> Work;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Work.push_back(F.get());
+  for (Function *F : Work) {
+    auto Start = std::chrono::steady_clock::now();
+    PreservedAnalyses PA = P->run(*F, AM);
+    double Millis = millisSince(Start);
+    AM.invalidate(*F, PA);
+    if (PassInstrumentation *PI = instrumentation())
+      PI->recordRun(P->name(), F->getName(), Millis, !PA.areAllPreserved());
+    Total.intersect(PA);
+  }
+  return Total;
+}

@@ -1,0 +1,76 @@
+//===- PassManager.h - function and module pass pipelines -----*- C++ -*-===//
+///
+/// \file
+/// Pass scheduling: a FunctionPassManager runs a pass sequence over
+/// one function, invalidating the analysis cache after each pass
+/// according to what it preserved; a ModulePassManager does the same
+/// over module passes. FunctionToModulePassAdaptor lifts a function
+/// pass into a module pipeline. Both managers time every pass run
+/// through an optional PassInstrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_PASS_PASSMANAGER_H
+#define GR_PASS_PASSMANAGER_H
+
+#include "pass/Pass.h"
+
+#include <memory>
+#include <vector>
+
+namespace gr {
+
+class PassInstrumentation;
+
+/// A sequence of function passes, itself usable as one function pass.
+class FunctionPassManager : public FunctionPass {
+public:
+  const char *name() const override { return "function-pipeline"; }
+
+  void addPass(std::unique_ptr<FunctionPass> P) {
+    Passes.push_back(std::move(P));
+  }
+  bool empty() const { return Passes.empty(); }
+
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) override;
+
+private:
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+};
+
+/// A sequence of module passes.
+class ModulePassManager {
+public:
+  void addPass(std::unique_ptr<ModulePass> P) {
+    Passes.push_back(std::move(P));
+  }
+  /// Sugar: wraps \p P in a FunctionToModulePassAdaptor.
+  void addFunctionPass(std::unique_ptr<FunctionPass> P);
+
+  void setInstrumentation(PassInstrumentation *P) { PI = P; }
+
+  PreservedAnalyses run(Module &M, FunctionAnalysisManager &AM);
+
+private:
+  std::vector<std::unique_ptr<ModulePass>> Passes;
+  PassInstrumentation *PI = nullptr;
+};
+
+/// Runs one function pass over every definition of a module.
+class FunctionToModulePassAdaptor : public ModulePass {
+public:
+  explicit FunctionToModulePassAdaptor(std::unique_ptr<FunctionPass> P)
+      : P(std::move(P)) {}
+
+  const char *name() const override { return P->name(); }
+  bool recordsOwnExecutions() const override { return true; }
+
+  PreservedAnalyses run(Module &M, FunctionAnalysisManager &AM) override;
+
+private:
+  std::unique_ptr<FunctionPass> P;
+};
+
+} // namespace gr
+
+#endif // GR_PASS_PASSMANAGER_H

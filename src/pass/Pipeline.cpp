@@ -1,0 +1,27 @@
+//===- Pipeline.cpp -------------------------------------------*- C++ -*-===//
+
+#include "pass/Pipeline.h"
+
+#include "transform/CSE.h"
+#include "transform/DCE.h"
+#include "transform/Mem2Reg.h"
+
+#include <memory>
+
+using namespace gr;
+
+ModulePassManager gr::buildSSAPipeline() {
+  ModulePassManager MPM;
+  MPM.addFunctionPass(std::make_unique<PromoteAllocasPass>());
+  MPM.addFunctionPass(std::make_unique<CSEPass>());
+  MPM.addFunctionPass(std::make_unique<DCEPass>());
+  return MPM;
+}
+
+ModulePassManager
+gr::buildDefaultPipeline(std::vector<ReductionReport> *Reports,
+                         DetectionStats *Stats) {
+  ModulePassManager MPM = buildSSAPipeline();
+  MPM.addPass(std::make_unique<ReductionDetectionPass>(Reports, Stats));
+  return MPM;
+}

@@ -1,0 +1,34 @@
+//===- Pipeline.h - the shared default pass pipelines ---------*- C++ -*-===//
+///
+/// \file
+/// Canonical pipelines every consumer drives instead of hand-rolling
+/// pass sequences: buildSSAPipeline() is the front end's lowering
+/// cleanup (mem2reg, CSE, DCE), buildDefaultPipeline() appends the
+/// constraint-based reduction detection, publishing reports and
+/// solver statistics through the provided sinks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_PASS_PIPELINE_H
+#define GR_PASS_PIPELINE_H
+
+#include "idioms/ReductionAnalysis.h"
+#include "pass/PassManager.h"
+
+#include <vector>
+
+namespace gr {
+
+/// mem2reg + CSE + DCE, the normalization the idiom specifications
+/// are written against.
+ModulePassManager buildSSAPipeline();
+
+/// The full detection pipeline: SSA normalization followed by the
+/// reduction detection pass. Detected reports land in \p Reports and
+/// aggregated solver statistics in \p Stats (either may be null).
+ModulePassManager buildDefaultPipeline(std::vector<ReductionReport> *Reports,
+                                       DetectionStats *Stats = nullptr);
+
+} // namespace gr
+
+#endif // GR_PASS_PIPELINE_H

@@ -50,23 +50,24 @@ template <typename To, typename From> To *dyn_cast_or_null(From *V) {
 }
 
 /// Reference form of isa.
-template <typename To, typename From>
-  requires(!std::is_pointer_v<From>)
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>>
 bool isa(const From &V) {
   return To::classof(&V);
 }
 
 /// Reference form of cast.
-template <typename To, typename From>
-  requires(!std::is_pointer_v<From>)
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>>
 To &cast(From &V) {
   assert(isa<To>(V) && "cast<> argument of incompatible type");
   return static_cast<To &>(V);
 }
 
 /// Const reference form of cast.
-template <typename To, typename From>
-  requires(!std::is_pointer_v<From>)
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>,
+          typename = void>
 const To &cast(const From &V) {
   assert(isa<To>(V) && "cast<> argument of incompatible type");
   return static_cast<const To &>(V);

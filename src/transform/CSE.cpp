@@ -4,6 +4,7 @@
 
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 #include <map>
 #include <sstream>
@@ -81,10 +82,12 @@ unsigned gr::eliminateCommonSubexpressions(Function &F) {
   return Removed;
 }
 
-unsigned gr::eliminateModuleCommonSubexpressions(Module &M) {
-  unsigned Total = 0;
-  for (const auto &F : M.functions())
-    if (!F->isDeclaration())
-      Total += eliminateCommonSubexpressions(*F);
-  return Total;
+PreservedAnalyses CSEPass::run(Function &F, FunctionAnalysisManager &) {
+  if (F.isDeclaration())
+    return PreservedAnalyses::all();
+  unsigned Removed = eliminateCommonSubexpressions(F);
+  // Instruction-only rewrite: CFG-level analyses survive; anything
+  // holding instruction identities (loop induction info, SCoPs,
+  // purity) must be recomputed.
+  return Removed ? preserveCFGAnalyses() : PreservedAnalyses::all();
 }

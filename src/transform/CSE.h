@@ -13,16 +13,21 @@
 #ifndef GR_TRANSFORM_CSE_H
 #define GR_TRANSFORM_CSE_H
 
+#include "pass/Pass.h"
+
 namespace gr {
 
 class Function;
-class Module;
 
 /// Runs local CSE on \p F; returns the number of instructions removed.
 unsigned eliminateCommonSubexpressions(Function &F);
 
-/// Runs CSE over every definition in \p M.
-unsigned eliminateModuleCommonSubexpressions(Module &M);
+/// CSE as a pipeline pass; never touches the CFG.
+class CSEPass : public FunctionPass {
+public:
+  const char *name() const override { return "cse"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) override;
+};
 
 } // namespace gr
 

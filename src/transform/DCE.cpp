@@ -4,6 +4,7 @@
 
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 #include <set>
 #include <vector>
@@ -46,10 +47,12 @@ unsigned gr::eliminateDeadCode(Function &F) {
   return Erased;
 }
 
-unsigned gr::eliminateModuleDeadCode(Module &M) {
-  unsigned Total = 0;
-  for (const auto &F : M.functions())
-    if (!F->isDeclaration())
-      Total += eliminateDeadCode(*F);
-  return Total;
+PreservedAnalyses DCEPass::run(Function &F, FunctionAnalysisManager &) {
+  if (F.isDeclaration())
+    return PreservedAnalyses::all();
+  unsigned Erased = eliminateDeadCode(F);
+  // Instruction-only rewrite: CFG-level analyses survive; anything
+  // holding instruction identities (loop induction info, SCoPs,
+  // purity) must be recomputed.
+  return Erased ? preserveCFGAnalyses() : PreservedAnalyses::all();
 }

@@ -10,16 +10,21 @@
 #ifndef GR_TRANSFORM_DCE_H
 #define GR_TRANSFORM_DCE_H
 
+#include "pass/Pass.h"
+
 namespace gr {
 
 class Function;
-class Module;
 
 /// Removes dead instructions from \p F; returns how many were erased.
 unsigned eliminateDeadCode(Function &F);
 
-/// Runs eliminateDeadCode over every definition in \p M.
-unsigned eliminateModuleDeadCode(Module &M);
+/// DCE as a pipeline pass; never touches the CFG.
+class DCEPass : public FunctionPass {
+public:
+  const char *name() const override { return "dce"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) override;
+};
 
 } // namespace gr
 

@@ -6,6 +6,7 @@
 #include "analysis/Dominators.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 #include <map>
 #include <set>
@@ -75,8 +76,8 @@ bool pointerPromotionSafe(AllocaInst *AI, Function &F) {
 
 class Promoter {
 public:
-  explicit Promoter(Function &F)
-      : F(F), M(*F.getParent()), DT(F) {}
+  Promoter(Function &F, const DomTree &DT)
+      : F(F), M(*F.getParent()), DT(DT) {}
 
   unsigned run() {
     collectCandidates();
@@ -212,23 +213,26 @@ private:
 
   Function &F;
   Module &M;
-  DomTree DT;
+  const DomTree &DT;
   std::vector<AllocaInst *> Candidates;
   std::map<PhiInst *, AllocaInst *> PhiOwner;
 };
 
 } // namespace
 
-unsigned gr::promoteAllocas(Function &F) {
+unsigned gr::promoteAllocas(Function &F, const DomTree &DT) {
   if (F.isDeclaration())
     return 0;
-  return Promoter(F).run();
+  return Promoter(F, DT).run();
 }
 
-unsigned gr::promoteModuleAllocas(Module &M) {
-  unsigned Total = 0;
-  for (const auto &F : M.functions())
-    if (!F->isDeclaration())
-      Total += promoteAllocas(*F);
-  return Total;
+PreservedAnalyses PromoteAllocasPass::run(Function &F,
+                                          FunctionAnalysisManager &AM) {
+  if (F.isDeclaration())
+    return PreservedAnalyses::all();
+  unsigned Promoted = promoteAllocas(F, AM.get<DomTreeAnalysis>(F));
+  // Promotion rewrites instructions but never the CFG: dominance-level
+  // analyses stay valid; loop induction info, SCoPs and purity are
+  // instruction-sensitive and must be recomputed.
+  return Promoted ? preserveCFGAnalyses() : PreservedAnalyses::all();
 }

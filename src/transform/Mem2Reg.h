@@ -12,16 +12,25 @@
 #ifndef GR_TRANSFORM_MEM2REG_H
 #define GR_TRANSFORM_MEM2REG_H
 
+#include "pass/Pass.h"
+
 namespace gr {
 
+class DomTree;
 class Function;
-class Module;
 
-/// Promotes eligible allocas in \p F. Returns the number promoted.
-unsigned promoteAllocas(Function &F);
+/// Promotes eligible allocas in \p F using the caller's dominator
+/// tree. Returns the number promoted.
+unsigned promoteAllocas(Function &F, const DomTree &DT);
 
-/// Runs promoteAllocas over every definition in \p M.
-unsigned promoteModuleAllocas(Module &M);
+/// Alloca promotion as a pipeline pass: consumes the cached dominator
+/// tree and, having only rewritten instructions, preserves the
+/// CFG-level analyses.
+class PromoteAllocasPass : public FunctionPass {
+public:
+  const char *name() const override { return "mem2reg"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) override;
+};
 
 } // namespace gr
 

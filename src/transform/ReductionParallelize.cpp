@@ -4,9 +4,11 @@
 
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "idioms/ReductionAnalysis.h"
 #include "ir/Function.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 #include <algorithm>
 #include <map>
@@ -67,8 +69,8 @@ ParallelizeResult ReductionParallelizer::outline(
     const std::vector<ScalarReduction> &Scalars,
     const std::vector<HistogramReduction> &Histograms, bool Doall) {
   TypeContext &Types = M.getTypeContext();
-  DomTree DT(F);
-  LoopInfo LI(F, DT);
+  const DomTree &DT = AM.get<DomTreeAnalysis>(F);
+  const LoopInfo &LI = AM.get<LoopAnalysis>(F);
   Loop *L = LI.getLoopFor(Match.LoopBegin);
   if (!L || L->getHeader() != Match.LoopBegin)
     return failure("loop structure no longer matches");
@@ -426,6 +428,11 @@ ParallelizeResult ReductionParallelizer::outline(
   for (BasicBlock *BB : Dead)
     F.eraseBlock(BB);
 
+  // The CFG of F changed and new functions exist: every cached
+  // analysis for F (and module-scoped ones) is stale. L, DT and LI
+  // are dead from here on.
+  AM.invalidate(F, PreservedAnalyses::none());
+
   //===------------------------------------------------------------===//
   // Descriptor.
   //===------------------------------------------------------------===//
@@ -453,4 +460,43 @@ ParallelizeResult ReductionParallelizer::outline(
   Result.Transformed = true;
   Result.Info = Loops.back().get();
   return Result;
+}
+
+PreservedAnalyses
+ParallelizeReductionsPass::run(Function &F, FunctionAnalysisManager &AM) {
+  if (F.isDeclaration() ||
+      F.getName().find(".parloop.") != std::string::npos)
+    return PreservedAnalyses::all();
+
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    // Fresh detection every round: a successful outline deletes the
+    // loop's blocks, so stale matches must never be consumed.
+    ReductionReport R = analyzeFunction(F, AM);
+    for (const ForLoopMatch &L : R.ForLoops) {
+      std::vector<ScalarReduction> Scalars;
+      std::vector<HistogramReduction> Histograms;
+      for (const ScalarReduction &S : R.Scalars)
+        if (S.Loop.LoopBegin == L.LoopBegin)
+          Scalars.push_back(S);
+      for (const HistogramReduction &H : R.Histograms)
+        if (H.Loop.LoopBegin == L.LoopBegin)
+          Histograms.push_back(H);
+      if (Scalars.empty() && Histograms.empty())
+        continue;
+      if (RP.parallelizeLoop(F, L, Scalars, Histograms).Transformed) {
+        ++NumParallelized;
+        Changed = Progress = true;
+        break;
+      }
+    }
+  }
+  // Conservative on purpose: after a transform the final detection
+  // round has already repopulated the cache with valid results, so
+  // none() costs one redundant recompute bundle downstream -- but it
+  // keeps the changed-reporting accurate and stays correct if the
+  // outliner's own invalidation ever narrows.
+  return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
 }

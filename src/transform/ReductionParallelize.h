@@ -17,6 +17,7 @@
 #define GR_TRANSFORM_REDUCTIONPARALLELIZE_H
 
 #include "idioms/ReductionInfo.h"
+#include "pass/Pass.h"
 
 #include <cstdint>
 #include <map>
@@ -65,10 +66,13 @@ struct ParallelizeResult {
 };
 
 /// Applies the exploitation transform to loops of one module and keeps
-/// the descriptors the runtime needs.
+/// the descriptors the runtime needs. Borrows dominator/loop analyses
+/// from the shared manager and invalidates them for every function it
+/// rewrites.
 class ReductionParallelizer {
 public:
-  explicit ReductionParallelizer(Module &M) : M(M) {}
+  ReductionParallelizer(Module &M, FunctionAnalysisManager &AM)
+      : M(M), AM(AM) {}
 
   /// Replaces the loop \p Match in \p F by a parallel-reduce call,
   /// privatizing \p Scalars and \p Histograms (all must belong to that
@@ -96,8 +100,28 @@ private:
                             bool Doall);
 
   Module &M;
+  FunctionAnalysisManager &AM;
   std::vector<std::unique_ptr<ParallelLoopInfo>> Loops;
   unsigned Counter = 0;
+};
+
+/// Detect-and-exploit as a function pass: finds the reduction loops of
+/// \p F and outlines every one that carries a scalar or histogram
+/// reduction, re-running detection after each successful rewrite so
+/// later matches never touch deleted blocks. Refusals (the paper's
+/// documented limitations) are skipped silently.
+class ParallelizeReductionsPass : public FunctionPass {
+public:
+  explicit ParallelizeReductionsPass(ReductionParallelizer &RP) : RP(RP) {}
+
+  const char *name() const override { return "parallelize-reductions"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) override;
+
+  unsigned numParallelized() const { return NumParallelized; }
+
+private:
+  ReductionParallelizer &RP;
+  unsigned NumParallelized = 0;
 };
 
 } // namespace gr

@@ -9,6 +9,7 @@
 #include "analysis/LoopInfo.h"
 #include "analysis/Purity.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 #include <gtest/gtest.h>
 
@@ -41,7 +42,8 @@ int main() {
 TEST(Dominators, DiamondStructure) {
   auto M = compileOrFail(DiamondSource);
   Function *F = mainOf(*M);
-  DomTree DT(*F);
+  FunctionAnalysisManager AM;
+  const DomTree &DT = AM.get<DomTreeAnalysis>(*F);
   BasicBlock *Entry = F->getEntry();
   BasicBlock *Then = blockNamed(*F, "if.then");
   BasicBlock *Else = blockNamed(*F, "if.else");
@@ -58,7 +60,8 @@ TEST(Dominators, DiamondStructure) {
 TEST(Dominators, FrontierOfDiamondArmsIsJoin) {
   auto M = compileOrFail(DiamondSource);
   Function *F = mainOf(*M);
-  DomTree DT(*F);
+  FunctionAnalysisManager AM;
+  const DomTree &DT = AM.get<DomTreeAnalysis>(*F);
   BasicBlock *Then = blockNamed(*F, "if.then");
   BasicBlock *End = blockNamed(*F, "if.end");
   EXPECT_EQ(DT.getFrontier(Then).count(End), 1u);
@@ -67,7 +70,8 @@ TEST(Dominators, FrontierOfDiamondArmsIsJoin) {
 TEST(PostDominators, JoinPostDominatesArms) {
   auto M = compileOrFail(DiamondSource);
   Function *F = mainOf(*M);
-  PostDomTree PDT(*F);
+  FunctionAnalysisManager AM;
+  const PostDomTree &PDT = AM.get<PostDomTreeAnalysis>(*F);
   BasicBlock *Entry = F->getEntry();
   BasicBlock *Then = blockNamed(*F, "if.then");
   BasicBlock *End = blockNamed(*F, "if.end");
@@ -79,8 +83,8 @@ TEST(PostDominators, JoinPostDominatesArms) {
 TEST(ControlDep, ArmsDependOnBranchJoinDoesNot) {
   auto M = compileOrFail(DiamondSource);
   Function *F = mainOf(*M);
-  PostDomTree PDT(*F);
-  ControlDependence CD(*F, PDT);
+  FunctionAnalysisManager AM;
+  const ControlDependence &CD = AM.get<ControlDependenceAnalysis>(*F);
   BasicBlock *Entry = F->getEntry();
   BasicBlock *Then = blockNamed(*F, "if.then");
   BasicBlock *End = blockNamed(*F, "if.end");
@@ -105,8 +109,8 @@ int main() {
 TEST(LoopInfo, FindsNestedLoopsWithDepths) {
   auto M = compileOrFail(LoopSource);
   Function *F = mainOf(*M);
-  DomTree DT(*F);
-  LoopInfo LI(*F, DT);
+  FunctionAnalysisManager AM;
+  const LoopInfo &LI = AM.get<LoopAnalysis>(*F);
   ASSERT_EQ(LI.loops().size(), 2u);
   std::vector<Loop *> Inner = LI.loopsInnermostFirst();
   EXPECT_EQ(Inner[0]->getDepth(), 2u);
@@ -118,8 +122,8 @@ TEST(LoopInfo, FindsNestedLoopsWithDepths) {
 TEST(LoopInfo, CanonicalInductionVariable) {
   auto M = compileOrFail(LoopSource);
   Function *F = mainOf(*M);
-  DomTree DT(*F);
-  LoopInfo LI(*F, DT);
+  FunctionAnalysisManager AM;
+  const LoopInfo &LI = AM.get<LoopAnalysis>(*F);
   for (Loop *L : LI.loopsInnermostFirst()) {
     ASSERT_NE(L->getCanonicalIterator(), nullptr);
     ASSERT_NE(L->getIterEnd(), nullptr);
@@ -133,8 +137,8 @@ TEST(LoopInfo, CanonicalInductionVariable) {
 TEST(LoopInfo, PreheaderAndLatchIdentified) {
   auto M = compileOrFail(LoopSource);
   Function *F = mainOf(*M);
-  DomTree DT(*F);
-  LoopInfo LI(*F, DT);
+  FunctionAnalysisManager AM;
+  const LoopInfo &LI = AM.get<LoopAnalysis>(*F);
   for (const auto &L : LI.loops()) {
     EXPECT_NE(L->getPreheader(), nullptr);
     EXPECT_NE(L->getLatch(), nullptr);
@@ -151,7 +155,8 @@ double reads_mem(double *p) { return p[0] + p[1]; }
 void writes_mem() { table[0] = 1.0; }
 int main() { return pure_math(2.0) + reads_mem(table); }
 )");
-  PurityAnalysis PA(*M);
+  FunctionAnalysisManager AM;
+  const PurityAnalysis &PA = AM.getPurity(*M);
   EXPECT_EQ(PA.getKind(M->getFunction("sqrt")), PurityKind::StrictPure);
   EXPECT_EQ(PA.getKind(M->getFunction("pure_math")),
             PurityKind::StrictPure);
@@ -166,7 +171,8 @@ void sink() { g[0] = 1.0; }
 void caller() { sink(); }
 int main() { caller(); return 0; }
 )");
-  PurityAnalysis PA(*M);
+  FunctionAnalysisManager AM;
+  const PurityAnalysis &PA = AM.getPurity(*M);
   EXPECT_EQ(PA.getKind(M->getFunction("caller")), PurityKind::Impure);
 }
 
@@ -182,8 +188,8 @@ int main() {
 }
 )");
   Function *F = mainOf(*M);
-  DomTree DT(*F);
-  LoopInfo LI(*F, DT);
+  FunctionAnalysisManager AM;
+  const LoopInfo &LI = AM.get<LoopAnalysis>(*F);
   ASSERT_EQ(LI.loops().size(), 1u);
   Loop *L = LI.loops()[0].get();
   // Find the GEP and check its index decomposition.
@@ -216,8 +222,8 @@ int main() {
 }
 )");
   Function *F = mainOf(*M);
-  DomTree DT(*F);
-  LoopInfo LI(*F, DT);
+  FunctionAnalysisManager AM;
+  const LoopInfo &LI = AM.get<LoopAnalysis>(*F);
   Loop *L = LI.loops()[0].get();
   bool SawNonAffine = false;
   for (BasicBlock *BB : *F)

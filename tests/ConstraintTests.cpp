@@ -2,12 +2,12 @@
 
 #include "TestHelpers.h"
 
-#include "analysis/Purity.h"
 #include "constraint/Context.h"
 #include "constraint/Formula.h"
 #include "constraint/OriginCheck.h"
 #include "constraint/Solver.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 
 #include <gtest/gtest.h>
 
@@ -32,8 +32,8 @@ struct SolverFixture : public ::testing::Test {
   void SetUp() override {
     M = compileOrFail(LoopSource);
     ASSERT_NE(M, nullptr);
-    PA = std::make_unique<PurityAnalysis>(*M);
-    Ctx = std::make_unique<ConstraintContext>(*M->getFunction("main"), *PA);
+    AM = std::make_unique<FunctionAnalysisManager>();
+    Ctx = std::make_unique<ConstraintContext>(*M->getFunction("main"), *AM);
   }
 
   BasicBlock *block(const std::string &Name) {
@@ -44,7 +44,7 @@ struct SolverFixture : public ::testing::Test {
   }
 
   std::unique_ptr<Module> M;
-  std::unique_ptr<PurityAnalysis> PA;
+  std::unique_ptr<FunctionAnalysisManager> AM;
   std::unique_ptr<ConstraintContext> Ctx;
 };
 
@@ -249,8 +249,8 @@ int main() {
 }
 )");
   ASSERT_NE(M, nullptr);
-  gr::PurityAnalysis PA(*M);
-  gr::ConstraintContext Ctx(*M->getFunction("main"), PA);
+  gr::FunctionAnalysisManager AM;
+  gr::ConstraintContext Ctx(*M->getFunction("main"), AM);
 
   gr::IdiomSpec Spec;
   gr::SESELabels Ls = addSESEConstraints(Spec);
@@ -285,8 +285,8 @@ int main() {
 }
 )");
   ASSERT_NE(M, nullptr);
-  gr::PurityAnalysis PA(*M);
-  gr::ConstraintContext Ctx(*M->getFunction("main"), PA);
+  gr::FunctionAnalysisManager AM;
+  gr::ConstraintContext Ctx(*M->getFunction("main"), AM);
   gr::IdiomSpec Spec;
   gr::SESELabels Ls = addSESEConstraints(Spec);
   gr::Solver S(Spec.F, Spec.Labels.size());

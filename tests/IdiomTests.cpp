@@ -8,7 +8,6 @@
 
 #include "TestHelpers.h"
 
-#include "analysis/Purity.h"
 #include "constraint/Context.h"
 #include "idioms/Associativity.h"
 #include "idioms/ForLoopIdiom.h"
@@ -24,8 +23,8 @@ using gr::test::compileOrFail;
 namespace {
 
 ReductionReport analyze(Module &M, const char *FnName = "main") {
-  PurityAnalysis PA(M);
-  return analyzeFunction(*M.getFunction(FnName), PA);
+  FunctionAnalysisManager AM;
+  return analyzeFunction(*M.getFunction(FnName), AM);
 }
 
 //===----------------------------------------------------------------------===//
@@ -499,8 +498,8 @@ int main() {
   return 0;
 }
 )");
-  gr::PurityAnalysis PA(*M);
-  auto R = gr::analyzeFunction(*M->getFunction("main"), PA);
+  gr::FunctionAnalysisManager AM;
+  auto R = gr::analyzeFunction(*M->getFunction("main"), AM);
   ASSERT_EQ(R.ForLoops.size(), 1u);
   EXPECT_EQ(gr::cast<gr::ConstantInt>(R.ForLoops[0].IterStep)->getValue(),
             -1);
@@ -529,12 +528,12 @@ int main() {
   return 0;
 }
 )");
-  gr::PurityAnalysis PA(*M);
-  auto R = gr::analyzeFunction(*M->getFunction("tally"), PA);
+  gr::FunctionAnalysisManager AM;
+  auto R = gr::analyzeFunction(*M->getFunction("tally"), AM);
   ASSERT_EQ(R.Histograms.size(), 1u);
   EXPECT_TRUE(gr::isa<gr::Argument>(R.Histograms[0].Base));
 
-  gr::ReductionParallelizer RP(*M);
+  gr::ReductionParallelizer RP(*M, AM);
   auto Result = RP.parallelizeLoop(*M->getFunction("tally"),
                                    R.Histograms[0].Loop, {},
                                    {R.Histograms[0]});

@@ -1,0 +1,303 @@
+//===- PassTests.cpp - analysis caching, invalidation, pipelines *- C++ -*-===//
+///
+/// \file
+/// The pass/analysis-manager layer: type-keyed caching (repeated get
+/// returns the same object), PreservedAnalyses semantics including
+/// dependency cascades, invalidation after mutating passes, the
+/// default pipelines, and PassInstrumentation records.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "pass/Analyses.h"
+#include "pass/PassInstrumentation.h"
+#include "pass/PassManager.h"
+#include "pass/Pipeline.h"
+#include "transform/CSE.h"
+#include "transform/DCE.h"
+#include "transform/ReductionParallelize.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+const char *HistogramSource = R"(
+int keys[1024];
+int bins[32];
+int main() {
+  int i;
+  for (i = 0; i < 1024; i++)
+    keys[i] = (i * 7 + 3) % 32;
+  for (i = 0; i < 1024; i++)
+    bins[keys[i]]++;
+  print_i64(bins[5]);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Analysis caching
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManager, RepeatedGetReturnsSameObject) {
+  auto M = compileOrFail(HistogramSource);
+  Function *F = M->getFunction("main");
+  FunctionAnalysisManager AM;
+
+  const DomTree *DT1 = &AM.get<DomTreeAnalysis>(*F);
+  const DomTree *DT2 = &AM.get<DomTreeAnalysis>(*F);
+  EXPECT_EQ(DT1, DT2);
+
+  const LoopInfo *LI1 = &AM.get<LoopAnalysis>(*F);
+  const LoopInfo *LI2 = &AM.get<LoopAnalysis>(*F);
+  EXPECT_EQ(LI1, LI2);
+
+  const PurityAnalysis *PA1 = &AM.getPurity(*M);
+  const PurityAnalysis *PA2 = &AM.getPurity(*M);
+  EXPECT_EQ(PA1, PA2);
+}
+
+TEST(AnalysisManager, DependentAnalysesPopulateTheirInputs) {
+  auto M = compileOrFail(HistogramSource);
+  Function *F = M->getFunction("main");
+  FunctionAnalysisManager AM;
+
+  EXPECT_EQ(AM.getCached<DomTreeAnalysis>(*F), nullptr);
+  // LoopInfo is built from the dominator tree; asking for it must
+  // cache both.
+  AM.get<LoopAnalysis>(*F);
+  EXPECT_NE(AM.getCached<DomTreeAnalysis>(*F), nullptr);
+  EXPECT_NE(AM.getCached<LoopAnalysis>(*F), nullptr);
+}
+
+TEST(AnalysisManager, GetCachedNeverComputes) {
+  auto M = compileOrFail(HistogramSource);
+  Function *F = M->getFunction("main");
+  FunctionAnalysisManager AM;
+  EXPECT_EQ(AM.getCached<LoopAnalysis>(*F), nullptr);
+  EXPECT_EQ(AM.cachedResultCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// PreservedAnalyses semantics
+//===----------------------------------------------------------------------===//
+
+TEST(PreservedAnalyses, AllNonePreserveAndIntersect) {
+  EXPECT_TRUE(PreservedAnalyses::all().areAllPreserved());
+  EXPECT_FALSE(PreservedAnalyses::none().areAllPreserved());
+  EXPECT_FALSE(PreservedAnalyses::none().isPreserved<DomTreeAnalysis>());
+
+  PreservedAnalyses PA =
+      PreservedAnalyses::none().preserve<DomTreeAnalysis>();
+  EXPECT_TRUE(PA.isPreserved<DomTreeAnalysis>());
+  EXPECT_FALSE(PA.isPreserved<LoopAnalysis>());
+
+  // all ∩ X = X; X ∩ none = none.
+  PreservedAnalyses A = PreservedAnalyses::all();
+  A.intersect(PA);
+  EXPECT_TRUE(A.isPreserved<DomTreeAnalysis>());
+  EXPECT_FALSE(A.isPreserved<LoopAnalysis>());
+  A.intersect(PreservedAnalyses::none());
+  EXPECT_FALSE(A.isPreserved<DomTreeAnalysis>());
+}
+
+TEST(AnalysisManager, InvalidateRespectsPreservedSet) {
+  auto M = compileOrFail(HistogramSource);
+  Function *F = M->getFunction("main");
+  FunctionAnalysisManager AM;
+  AM.get<LoopAnalysis>(*F);
+  AM.get<PostDomTreeAnalysis>(*F);
+
+  AM.invalidate(*F, PreservedAnalyses::none().preserve<DomTreeAnalysis>());
+  EXPECT_NE(AM.getCached<DomTreeAnalysis>(*F), nullptr);
+  EXPECT_EQ(AM.getCached<LoopAnalysis>(*F), nullptr);
+  EXPECT_EQ(AM.getCached<PostDomTreeAnalysis>(*F), nullptr);
+}
+
+TEST(AnalysisManager, InvalidationCascadesThroughDependencies) {
+  auto M = compileOrFail(HistogramSource);
+  Function *F = M->getFunction("main");
+  FunctionAnalysisManager AM;
+  AM.get<SCoPAnalysis>(*F); // Caches LoopInfo and DomTree too.
+
+  // Claiming to preserve LoopInfo/SCoPs while dropping the dominator
+  // tree they were built from must still drop them.
+  AM.invalidate(*F, PreservedAnalyses::none()
+                        .preserve<LoopAnalysis>()
+                        .preserve<SCoPAnalysis>());
+  EXPECT_EQ(AM.getCached<DomTreeAnalysis>(*F), nullptr);
+  EXPECT_EQ(AM.getCached<LoopAnalysis>(*F), nullptr);
+  EXPECT_EQ(AM.getCached<SCoPAnalysis>(*F), nullptr);
+}
+
+TEST(AnalysisManager, InvalidateAllPreservedKeepsEverything) {
+  auto M = compileOrFail(HistogramSource);
+  Function *F = M->getFunction("main");
+  FunctionAnalysisManager AM;
+  AM.get<LoopAnalysis>(*F);
+  std::size_t Before = AM.cachedResultCount();
+  AM.invalidate(*F, PreservedAnalyses::all());
+  EXPECT_EQ(AM.cachedResultCount(), Before);
+}
+
+TEST(AnalysisManager, InvalidateIsPerFunction) {
+  auto M = compileOrFail(R"(
+int helper(int x) { return x + 1; }
+int main() { return helper(41); }
+)");
+  Function *Main = M->getFunction("main");
+  Function *Helper = M->getFunction("helper");
+  FunctionAnalysisManager AM;
+  AM.get<DomTreeAnalysis>(*Main);
+  AM.get<DomTreeAnalysis>(*Helper);
+
+  AM.invalidate(*Main, PreservedAnalyses::none());
+  EXPECT_EQ(AM.getCached<DomTreeAnalysis>(*Main), nullptr);
+  EXPECT_NE(AM.getCached<DomTreeAnalysis>(*Helper), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Passes and invalidation after mutation
+//===----------------------------------------------------------------------===//
+
+TEST(PassManager, NonMutatingPassKeepsCachedAnalyses) {
+  // compileMiniC already ran CSE+DCE to a fixpoint: re-running them
+  // must not change anything, so cached analyses survive the run.
+  auto M = compileOrFail(HistogramSource);
+  Function *F = M->getFunction("main");
+  FunctionAnalysisManager AM;
+  const DomTree *DT = &AM.get<DomTreeAnalysis>(*F);
+  const LoopInfo *LI = &AM.get<LoopAnalysis>(*F);
+
+  FunctionPassManager FPM;
+  FPM.addPass(std::make_unique<CSEPass>());
+  FPM.addPass(std::make_unique<DCEPass>());
+  PreservedAnalyses PA = FPM.run(*F, AM);
+  EXPECT_TRUE(PA.areAllPreserved());
+  EXPECT_EQ(AM.getCached<DomTreeAnalysis>(*F), DT);
+  EXPECT_EQ(AM.getCached<LoopAnalysis>(*F), LI);
+}
+
+TEST(PassManager, MutatingPassInvalidatesItsFunction) {
+  auto M = compileOrFail(HistogramSource);
+  Function *F = M->getFunction("main");
+  FunctionAnalysisManager AM;
+  ReductionParallelizer RP(*M, AM);
+  AM.get<LoopAnalysis>(*F);
+
+  FunctionPassManager FPM;
+  auto Pass = std::make_unique<ParallelizeReductionsPass>(RP);
+  ParallelizeReductionsPass *P = Pass.get();
+  FPM.addPass(std::move(Pass));
+  PreservedAnalyses PA = FPM.run(*F, AM);
+
+  EXPECT_GE(P->numParallelized(), 1u);
+  EXPECT_FALSE(PA.areAllPreserved());
+  // The outliner rewired the CFG: nothing stale may survive for F.
+  EXPECT_EQ(AM.getCached<DomTreeAnalysis>(*F), nullptr);
+  EXPECT_EQ(AM.getCached<LoopAnalysis>(*F), nullptr);
+
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, &Errors)) << (Errors.empty() ? ""
+                                                            : Errors.front());
+}
+
+TEST(PassManager, ParallelizePassPreservesSemantics) {
+  auto MSeq = compileOrFail(HistogramSource);
+  Interpreter Seq(*MSeq);
+  Seq.runMain();
+
+  auto M = compileOrFail(HistogramSource);
+  FunctionAnalysisManager AM;
+  ReductionParallelizer RP(*M, AM);
+  FunctionPassManager FPM;
+  FPM.addPass(std::make_unique<ParallelizeReductionsPass>(RP));
+  FPM.run(*M->getFunction("main"), AM);
+
+  // The outlined bodies are interpreted through the simulated runtime
+  // in RuntimeTests; here the sequential semantics of the remaining
+  // IR plus the runtime must match the original program.
+  EXPECT_TRUE(verifyModule(*M, nullptr));
+}
+
+//===----------------------------------------------------------------------===//
+// Pipelines and instrumentation
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, DefaultPipelineReportsSameReductions) {
+  // The shared pipeline must agree with the direct API.
+  auto M1 = compileOrFail(HistogramSource);
+  auto Direct = countReductions(analyzeModule(*M1));
+
+  auto M2 = compileOrFail(HistogramSource);
+  FunctionAnalysisManager FAM;
+  std::vector<ReductionReport> Reports;
+  DetectionStats Stats;
+  ModulePassManager MPM = buildDefaultPipeline(&Reports, &Stats);
+  MPM.run(*M2, FAM);
+  auto Piped = countReductions(Reports);
+
+  EXPECT_EQ(Piped.Scalars, Direct.Scalars);
+  EXPECT_EQ(Piped.Histograms, Direct.Histograms);
+  EXPECT_GT(Stats.totalNodes(), 0u);
+  EXPECT_GT(Stats.totalSolutions(), 0u);
+}
+
+TEST(Pipeline, InstrumentationRecordsEveryPassAndCounters) {
+  auto M = compileOrFail(HistogramSource);
+  FunctionAnalysisManager FAM;
+  PassInstrumentation PI;
+  std::vector<ReductionReport> Reports;
+  ModulePassManager MPM = buildDefaultPipeline(&Reports);
+  MPM.setInstrumentation(&PI);
+  MPM.run(*M, FAM);
+
+  std::set<std::string> Seen;
+  for (const PassExecution &E : PI.executions()) {
+    EXPECT_GE(E.Millis, 0.0);
+    Seen.insert(E.Pass);
+  }
+  EXPECT_TRUE(Seen.count("mem2reg"));
+  EXPECT_TRUE(Seen.count("cse"));
+  EXPECT_TRUE(Seen.count("dce"));
+  EXPECT_TRUE(Seen.count("detect-reductions"));
+
+  // The detection pass publishes its solver statistics as counters.
+  EXPECT_GT(PI.counter("detect-reductions", "solver.nodes"), 0u);
+  EXPECT_GT(PI.counter("detect-reductions", "solutions"), 0u);
+}
+
+TEST(Pipeline, SSAPipelineIsIdempotentOnCompiledModules) {
+  auto M = compileOrFail(HistogramSource);
+  FunctionAnalysisManager FAM;
+  ModulePassManager MPM = buildSSAPipeline();
+  PreservedAnalyses PA = MPM.run(*M, FAM);
+  EXPECT_TRUE(PA.areAllPreserved());
+}
+
+TEST(Instrumentation, DetectionStatsAggregateWithPlusEquals) {
+  DetectionStats A, B;
+  A.ForLoops.NodesVisited = 3;
+  A.Scalars.CandidatesTried = 5;
+  B.ForLoops.NodesVisited = 4;
+  B.Histograms.Solutions = 2;
+  A += B;
+  EXPECT_EQ(A.ForLoops.NodesVisited, 7u);
+  EXPECT_EQ(A.Scalars.CandidatesTried, 5u);
+  EXPECT_EQ(A.Histograms.Solutions, 2u);
+  EXPECT_EQ(A.totalNodes(), 7u);
+  EXPECT_EQ(A.totalSolutions(), 2u);
+}
+
+} // namespace

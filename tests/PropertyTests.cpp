@@ -12,6 +12,7 @@
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "idioms/ReductionAnalysis.h"
+#include "pass/Analyses.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
 #include "runtime/SimulatedParallel.h"
@@ -117,8 +118,9 @@ TEST_P(ParallelEquivalence, IntegerHistogramBitExact) {
   Seq.runMain();
 
   auto M = compileOrFail(Src.c_str());
-  ReductionParallelizer RP(*M);
-  auto Reports = analyzeModule(*M);
+  FunctionAnalysisManager FAM;
+  ReductionParallelizer RP(*M, FAM);
+  auto Reports = analyzeModule(*M, FAM);
   unsigned Transformed = 0;
   for (auto &R : Reports)
     for (auto &H : R.Histograms) {
@@ -175,10 +177,11 @@ int main() {
   return 0;
 }
 )");
+  FunctionAnalysisManager FAM;
   for (const auto &F : M->functions()) {
     if (F->isDeclaration())
       continue;
-    DomTree DT(*F);
+    const DomTree &DT = FAM.get<DomTreeAnalysis>(*F);
     for (BasicBlock *BB : *F) {
       if (!DT.contains(BB))
         continue;
@@ -209,8 +212,9 @@ int main() {
 }
 )");
   Function *F = M->getFunction("main");
-  DomTree DT(*F);
-  LoopInfo LI(*F, DT);
+  FunctionAnalysisManager FAM;
+  const DomTree &DT = FAM.get<DomTreeAnalysis>(*F);
+  const LoopInfo &LI = FAM.get<LoopAnalysis>(*F);
   for (const auto &L : LI.loops())
     for (BasicBlock *BB : L->blocks())
       EXPECT_TRUE(DT.dominates(L->getHeader(), BB));

@@ -48,8 +48,9 @@ RunOutcome runWith(ParallelConfig Cfg) {
   Out.SeqInstructions = Seq.instructionCount();
 
   auto M = compileOrFail(HistSource);
-  ReductionParallelizer RP(*M);
-  auto Reports = analyzeModule(*M);
+  FunctionAnalysisManager FAM;
+  ReductionParallelizer RP(*M, FAM);
+  auto Reports = analyzeModule(*M, FAM);
   bool Transformed = false;
   for (auto &R : Reports)
     for (auto &H : R.Histograms) {
@@ -131,8 +132,9 @@ int main() {
   Seq.runMain();
 
   auto M = compileOrFail(Src);
-  ReductionParallelizer RP(*M);
-  auto Reports = analyzeModule(*M);
+  FunctionAnalysisManager FAM;
+  ReductionParallelizer RP(*M, FAM);
+  auto Reports = analyzeModule(*M, FAM);
   for (auto &R : Reports)
     for (auto &H : R.Histograms) {
       auto Res = RP.parallelizeLoop(*R.F, H.Loop, {}, {H});
@@ -174,8 +176,9 @@ int main() {
   Seq.runMain();
 
   auto M = compileOrFail(Src);
-  ReductionParallelizer RP(*M);
-  auto Reports = analyzeModule(*M);
+  FunctionAnalysisManager FAM;
+  ReductionParallelizer RP(*M, FAM);
+  auto Reports = analyzeModule(*M, FAM);
   unsigned Hists = 0;
   for (auto &R : Reports)
     for (auto &H : R.Histograms) {

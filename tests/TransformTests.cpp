@@ -102,8 +102,9 @@ struct ParallelizeFixture : public ::testing::Test {
     M = compileOrFail(Src);
     if (!M)
       return {};
-    RP = std::make_unique<ReductionParallelizer>(*M);
-    auto Reports = analyzeModule(*M);
+    FAM = std::make_unique<FunctionAnalysisManager>();
+    RP = std::make_unique<ReductionParallelizer>(*M, *FAM);
+    auto Reports = analyzeModule(*M, *FAM);
     for (auto &R : Reports) {
       for (auto &H : R.Histograms) {
         std::vector<ScalarReduction> InLoop;
@@ -117,6 +118,7 @@ struct ParallelizeFixture : public ::testing::Test {
   }
 
   std::unique_ptr<Module> M;
+  std::unique_ptr<FunctionAnalysisManager> FAM;
   std::unique_ptr<ReductionParallelizer> RP;
 };
 
@@ -245,8 +247,9 @@ int main() {
   return 0;
 }
 )");
-  ReductionParallelizer RP(*M);
-  auto Reports = analyzeModule(*M);
+  FunctionAnalysisManager FAM;
+  ReductionParallelizer RP(*M, FAM);
+  auto Reports = analyzeModule(*M, FAM);
   ASSERT_EQ(Reports.size(), 1u);
   ASSERT_EQ(Reports[0].ForLoops.size(), 1u);
   auto Result = RP.parallelizeDoall(*Reports[0].F, Reports[0].ForLoops[0]);
