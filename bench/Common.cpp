@@ -41,6 +41,8 @@ AnalysisRow gr::bench::analyzeBenchmark(const BenchmarkProgram &B) {
   auto Counts = countReductions(analyzeModule(*M, FAM));
   Row.OurScalars = Counts.Scalars;
   Row.OurHistograms = Counts.Histograms;
+  Row.OurScans = Counts.Scans;
+  Row.OurArgMinMax = Counts.ArgMinMax;
   Row.Icc = runIccBaseline(*M, FAM);
   PollyResult P = runPollyBaseline(*M, FAM);
   Row.Polly = P.NumReductions;

@@ -17,11 +17,14 @@
 namespace gr {
 namespace bench {
 
-/// Live analysis results for one benchmark (the bars of Fig 8-11).
+/// Live analysis results for one benchmark (the bars of Fig 8-11,
+/// plus the post-paper scan and argmin/argmax specs).
 struct AnalysisRow {
   const BenchmarkProgram *B = nullptr;
   unsigned OurScalars = 0;
   unsigned OurHistograms = 0;
+  unsigned OurScans = 0;
+  unsigned OurArgMinMax = 0;
   unsigned Icc = 0;
   unsigned Polly = 0;
   unsigned SCoPs = 0;

@@ -1,0 +1,186 @@
+//===- table_parallel_scaling.cpp - parallel detection scaling -*- C++ -*-===//
+///
+/// \file
+/// Scaling study of the parallel module-level detection driver
+/// (pass/ParallelDriver.h) over a synthetic module of many homogeneous
+/// functions, each carrying a scalar reduction, a histogram and an
+/// argmin/argmax loop — enough work per function for sharding to pay.
+///
+/// Two numbers are reported per worker count:
+///
+///  - measured wall-clock of the actual threaded run. On a multi-core
+///    host this shows real speedup; the CI container is single-core,
+///    where threads only interleave.
+///  - the schedule's critical path: max over workers of the summed
+///    serial per-function detection times of its shard. This is the
+///    wall-clock a machine with >= W cores achieves, the same
+///    simulated-hardware substitution the runtime layer documents for
+///    Fig 15 (see runtime/SimulatedParallel.h).
+///
+/// The driver's static block-cyclic sharding makes both the reports
+/// and the merged statistics bitwise identical across worker counts;
+/// this bench asserts that and fails (exit 1) on any mismatch or when
+/// the 4-worker critical-path speedup drops below 1.5x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "idioms/ReductionAnalysis.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "pass/ParallelDriver.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+/// One synthetic worker function: three detectable idiom loops.
+std::string workerFunction(unsigned I) {
+  std::string N = std::to_string(I);
+  std::string Coef = "0." + std::to_string(101 + I);
+  return "double work" + N + "() {\n"
+         "  int i;\n"
+         "  double s = 0.0;\n"
+         "  for (i = 0; i < 512; i++)\n"
+         "    s = s + data[i] * " + Coef + ";\n"
+         "  for (i = 0; i < 512; i++)\n"
+         "    bins[keys[i] % 64]++;\n"
+         "  double best = -1.0e30;\n"
+         "  int besti = 0;\n"
+         "  for (i = 0; i < 512; i++) {\n"
+         "    double d = data[i] * " + Coef + ";\n"
+         "    if (d > best) {\n"
+         "      best = d;\n"
+         "      besti = i;\n"
+         "    }\n"
+         "  }\n"
+         "  return s + best + besti;\n"
+         "}\n";
+}
+
+std::string syntheticModule(unsigned NumFunctions) {
+  std::string Src = "double data[512];\nint keys[512];\nint bins[64];\n";
+  for (unsigned I = 0; I < NumFunctions; ++I)
+    Src += workerFunction(I);
+  Src += "int main() { return 0; }\n";
+  return Src;
+}
+
+double nowMs() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool sameReports(const std::vector<ReductionReport> &A,
+                 const std::vector<ReductionReport> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    if (A[I].F != B[I].F || A[I].ForLoops.size() != B[I].ForLoops.size() ||
+        A[I].Scalars.size() != B[I].Scalars.size() ||
+        A[I].Histograms.size() != B[I].Histograms.size() ||
+        A[I].Scans.size() != B[I].Scans.size() ||
+        A[I].ArgMinMax.size() != B[I].ArgMinMax.size())
+      return false;
+  return true;
+}
+
+} // namespace
+
+int main() {
+  OStream &OS = outs();
+  const unsigned NumFunctions = 48;
+
+  std::string Error;
+  auto M = compileMiniC(syntheticModule(NumFunctions).c_str(), "scaling",
+                        &Error);
+  if (!M) {
+    errs() << "compile error: " << Error << '\n';
+    return 1;
+  }
+
+  // Serial reference: the plain module walk, plus per-function times
+  // for the critical-path model.
+  DetectionStats SerialStats;
+  double SerialStart = nowMs();
+  FunctionAnalysisManager FAM;
+  std::vector<ReductionReport> SerialReports;
+  std::vector<double> FunctionMs;
+  for (const auto &F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    double T0 = nowMs();
+    SerialReports.push_back(analyzeFunction(*F, FAM, &SerialStats));
+    FunctionMs.push_back(nowMs() - T0);
+  }
+  double SerialMs = nowMs() - SerialStart;
+
+  auto Counts = countReductions(SerialReports);
+  OS << "Parallel module-level detection: " << NumFunctions
+     << " functions, " << Counts.Scalars << " scalar / "
+     << Counts.Histograms << " histogram / " << Counts.ArgMinMax
+     << " argminmax reductions\n";
+  OS << "serial reference: " << formatDouble(SerialMs, 1) << " ms\n\n";
+
+  OS << "workers";
+  OS.padToColumn(10);
+  OS << "wall ms";
+  OS.padToColumn(22);
+  OS << "critical-path ms";
+  OS.padToColumn(40);
+  OS << "model speedup";
+  OS.padToColumn(56);
+  OS << "identical\n";
+
+  bool AllIdentical = true;
+  double SpeedupAt4 = 0.0;
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    ParallelDetectionOptions Opts;
+    Opts.Workers = W;
+    double T0 = nowMs();
+    ParallelDetectionResult R = analyzeModuleParallel(*M, Opts);
+    double WallMs = nowMs() - T0;
+
+    // Critical path of the driver's block-cyclic schedule, from the
+    // serial per-function times.
+    double MaxShard = 0.0;
+    for (unsigned Shard = 0; Shard < R.WorkersUsed; ++Shard) {
+      double Sum = 0.0;
+      for (std::size_t I = Shard; I < FunctionMs.size();
+           I += R.WorkersUsed)
+        Sum += FunctionMs[I];
+      MaxShard = std::max(MaxShard, Sum);
+    }
+    double Model = MaxShard > 0.0 ? SerialMs / MaxShard : 1.0;
+    if (W == 4)
+      SpeedupAt4 = Model;
+
+    bool Identical =
+        R.Stats == SerialStats && sameReports(SerialReports, R.Reports);
+    AllIdentical = AllIdentical && Identical;
+
+    OS << W;
+    OS.padToColumn(10);
+    OS << formatDouble(WallMs, 1);
+    OS.padToColumn(22);
+    OS << formatDouble(MaxShard, 1);
+    OS.padToColumn(40);
+    OS << formatDouble(Model, 2) << "x";
+    OS.padToColumn(56);
+    OS << (Identical ? "yes" : "NO") << '\n';
+  }
+
+  OS << "\nstats identical across workers: "
+     << (AllIdentical ? "yes" : "NO") << '\n';
+  OS << "model speedup at 4 workers: " << formatDouble(SpeedupAt4, 2)
+     << "x (required: >= 1.5x)\n";
+  return (AllIdentical && SpeedupAt4 >= 1.5) ? 0 : 1;
+}

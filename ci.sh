@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
-# CI entry point: the tier-1 verify line plus a smoke run of the
-# quickstart example. Fails on the first error.
+# CI entry point: the tier-1 verify line, a smoke run of the
+# quickstart example, documentation consistency checks, a re-run of
+# the test suite with the parallel detection driver forced to 2
+# workers, and the parallel-scaling determinism bench. Fails on the
+# first error.
 set -eu
 
 cd "$(dirname "$0")"
@@ -14,4 +17,55 @@ cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
   echo "ci.sh: quickstart smoke test failed" >&2
   exit 1
 }
+
+# Docs check 1: every source file referenced from docs/*.md and the
+# README's catalogue must exist (stale docs fail CI).
+for doc in docs/*.md README.md; do
+  for ref in $(grep -oE '(src|bench|examples|tests)/[A-Za-z0-9_/.-]+\.(h|cpp|md)' "$doc" | sort -u); do
+    [ -f "$ref" ] || {
+      echo "ci.sh: $doc references missing file $ref" >&2
+      exit 1
+    }
+  done
+done
+
+# Docs check 2: every idiom registered in the live registry must
+# appear in the README catalogue table, with its spec and transform
+# files present on disk. The listing is materialized first so a
+# crashing --list fails CI instead of feeding the loop zero lines.
+catalogue=$(mktemp)
+./build/custom_idiom --list > "$catalogue" || {
+  echo "ci.sh: custom_idiom --list failed" >&2
+  exit 1
+}
+while IFS="$(printf '\t')" read -r name spec transform kernels; do
+  grep -q "\`$name\`" README.md || {
+    echo "ci.sh: idiom '$name' missing from the README catalogue" >&2
+    exit 1
+  }
+  [ -f "$spec" ] || {
+    echo "ci.sh: idiom '$name' spec file $spec does not exist" >&2
+    exit 1
+  }
+  if [ "$transform" != "-" ] && [ ! -f "$transform" ]; then
+    echo "ci.sh: idiom '$name' transform file $transform does not exist" >&2
+    exit 1
+  fi
+done < "$catalogue"
+rm -f "$catalogue"
+
+# The suite once more with module-level detection sharded over two
+# workers: pipelines must be oblivious to the driver choice.
+GR_DETECT_WORKERS=2 ./build/gr_tests >/dev/null || {
+  echo "ci.sh: test suite failed with GR_DETECT_WORKERS=2" >&2
+  exit 1
+}
+
+# Parallel scaling bench: asserts bitwise-identical stats across
+# worker counts and >= 1.5x critical-path speedup at 4 workers.
+./build/table_parallel_scaling >/dev/null || {
+  echo "ci.sh: table_parallel_scaling failed (determinism or speedup)" >&2
+  exit 1
+}
+
 echo "ci.sh: all green"

@@ -298,6 +298,14 @@ struct OriginFlags {
   /// constants only -- an iterator-addressed update is an independent
   /// affine write, not a histogram).
   bool AllowIterator = true;
+  /// Permit the explicit origin labels in *control* position (branch
+  /// and select conditions). Default false: the scalar-reduction and
+  /// histogram specs must reject control dependence on intermediate
+  /// results (the paper's "t1 <= sx" mutation). The argmin/argmax spec
+  /// sets it: a guard comparing the candidate against the running best
+  /// is exactly a control dependence on the accumulator, legalized by
+  /// the monotone-guard post-check outside the constraint language.
+  bool ControlMayUseOrigins = false;
 };
 
 /// Every path to \p Out in the data-flow graph *and* the control

@@ -33,13 +33,22 @@ class Value;
 /// Immutable view of one function's cached analyses.
 class ConstraintContext {
 public:
+  /// Borrows every analysis the atoms consult from \p AM (computing
+  /// on first use) and enumerates the solver's value universe. Cheap
+  /// to construct when the cache is warm.
   ConstraintContext(Function &F, FunctionAnalysisManager &AM);
 
+  /// The function the solver searches over.
   Function &getFunction() const { return F; }
+  /// Forward dominator tree (dominance and availability atoms).
   const DomTree &getDomTree() const { return DT; }
+  /// Post-dominator tree (the SESE-shape atoms).
   const PostDomTree &getPostDomTree() const { return PDT; }
+  /// Natural-loop forest (loop membership, canonical iterators).
   const LoopInfo &getLoopInfo() const { return LI; }
+  /// Control dependence (controlling conditions of a block).
   const ControlDependence &getControlDependence() const { return CD; }
+  /// Whole-module purity classification (call atoms, origin walks).
   const PurityAnalysis &getPurity() const { return Purity; }
 
   /// The solver's enumeration universe.

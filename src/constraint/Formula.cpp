@@ -14,6 +14,13 @@ unsigned LabelTable::get(const std::string &Name) {
   return size() - 1;
 }
 
+int LabelTable::find(const std::string &Name) const {
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    if (Names[I] == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
 void Formula::require(std::unique_ptr<Atom> A) {
   Clause C;
   C.MaxLabel = A->maxLabel();

@@ -28,6 +28,11 @@ public:
   /// important for the runtime behavior".
   unsigned get(const std::string &Name);
 
+  /// Index of an already-registered label, or -1 when \p Name is
+  /// unknown. Unlike get(), never registers anything, so it is safe on
+  /// a spec whose enumeration order must not change.
+  int find(const std::string &Name) const;
+
   unsigned size() const { return static_cast<unsigned>(Names.size()); }
   const std::string &nameOf(unsigned Label) const { return Names[Label]; }
 

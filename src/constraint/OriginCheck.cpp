@@ -64,7 +64,7 @@ private:
   bool walk(Value *V, bool Control, int Depth) {
     if (Depth > 256)
       return false;
-    if (!Control && Q.DataOrigins.count(V))
+    if ((!Control || Q.Flags.ControlMayUseOrigins) && Q.DataOrigins.count(V))
       return true;
     // The induction variable: always fine in control position (every
     // loop-body condition is governed by the exit test), but only an

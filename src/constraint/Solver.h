@@ -20,23 +20,43 @@
 
 namespace gr {
 
-/// Search statistics, used by the enumeration-order ablation.
+/// Search statistics, used by the enumeration-order ablation and the
+/// parallel-vs-serial determinism checks.
 struct SolverStats {
+  /// Search-tree nodes expanded (one per label-binding attempt kept).
   uint64_t NodesVisited = 0;
+  /// Candidate values tried across all depths, kept or not.
   uint64_t CandidatesTried = 0;
+  /// Complete satisfying assignments yielded.
   uint64_t Solutions = 0;
 
+  /// Element-wise accumulation. Commutative and associative, so
+  /// merging per-worker statistics in any order gives bitwise
+  /// identical totals.
   SolverStats &operator+=(const SolverStats &Other) {
     NodesVisited += Other.NodesVisited;
     CandidatesTried += Other.CandidatesTried;
     Solutions += Other.Solutions;
     return *this;
   }
+
+  bool operator==(const SolverStats &Other) const {
+    return NodesVisited == Other.NodesVisited &&
+           CandidatesTried == Other.CandidatesTried &&
+           Solutions == Other.Solutions;
+  }
+  bool operator!=(const SolverStats &Other) const {
+    return !(*this == Other);
+  }
 };
 
 /// Solves one formula against one function context.
 class Solver {
 public:
+  /// Prepares the search schedule for \p F over \p NumLabels labels:
+  /// per-depth clause checks and candidate suggesters are computed
+  /// once here, so one Solver may be reused across many findAll calls
+  /// (and across seed loops). \p F must outlive the solver.
   Solver(const Formula &F, unsigned NumLabels);
 
   /// Enumerates all satisfying assignments, invoking \p Yield for

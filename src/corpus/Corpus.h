@@ -20,7 +20,8 @@
 
 namespace gr {
 
-/// Per-benchmark expected analysis results (the bars of Fig 8-11).
+/// Per-benchmark expected analysis results (the bars of Fig 8-11,
+/// plus the post-paper idiom specs this repo adds on top).
 struct BenchmarkExpectations {
   unsigned OurScalars = 0;
   unsigned OurHistograms = 0;
@@ -28,6 +29,11 @@ struct BenchmarkExpectations {
   unsigned Polly = 0;
   unsigned SCoPs = 0;
   unsigned ReductionSCoPs = 0;
+  /// Scan / prefix-sum instances (beyond the paper: the registry's
+  /// "scan" spec, e.g. the IS ranking loop).
+  unsigned OurScans = 0;
+  /// Argmin/argmax instances (the registry's "argminmax" spec).
+  unsigned OurArgMinMax = 0;
 };
 
 /// One corpus entry.

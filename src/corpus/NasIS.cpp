@@ -2,8 +2,10 @@
 ///
 /// Integer Sort: the performance bottleneck is the plain key histogram
 /// `key_buff[key_buff2[i]]++` (quoted verbatim in the paper). A
-/// sequential ranking pass follows, which bounds whole-program
-/// speedup. icc and Polly find nothing.
+/// ranking pass follows, which bounds whole-program speedup for the
+/// paper's reduction-only exploitation; it is an exclusive prefix sum,
+/// which the post-paper "scan" spec of the idiom registry detects
+/// (OurScans below). icc and Polly find nothing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +39,9 @@ int main() {
     for (i = 0; i < num_keys; i++)
       key_buff[key_buff2[i]]++;
 
-  // Sequential ranking (prefix sums are not a reduction idiom).
+  // Ranking: an exclusive prefix sum. Not a *reduction* idiom (the
+  // running value escapes to rank_of every iteration), but exactly
+  // the registry's scan spec.
   int nbins = cfg[1] + 32768;
   int running = 0;
   for (i = 0; i < nbins; i++) {
@@ -58,7 +62,8 @@ BenchmarkProgram gr::makeNasIS() {
   B.Name = "IS";
   B.Source = Source;
   B.Expected = {/*OurScalars=*/0, /*OurHistograms=*/1, /*Icc=*/0,
-                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0,
+                /*OurScans=*/1, /*OurArgMinMax=*/0};
   B.InSpeedupStudy = true;
   return B;
 }

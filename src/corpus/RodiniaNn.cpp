@@ -1,7 +1,11 @@
 //===- RodiniaNn.cpp - Rodinia nn model -----------------------*- C++ -*-===//
 ///
 /// Nearest neighbor: the distance accumulation and the in-range count,
-/// both icc-visible (sqrt is whitelisted).
+/// both icc-visible (sqrt is whitelisted). The actual
+/// nearest-neighbor search — minimum distance plus its record index —
+/// is the canonical argmin: invisible to the paper's reduction specs
+/// (the guard reads the running best) and to icc/Polly (data-dependent
+/// control), detected by the registry's "argminmax" spec.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,8 +61,24 @@ int main() {
       in_range = in_range + 1;
   }
 
+  // The nearest neighbor itself: argmin over the squared distance,
+  // keeping the record index alongside the running minimum.
+  double best_dist = 1.0e30;
+  int best_rec = 0;
+  for (i = 0; i < nrecords; i++) {
+    double dx = lat[i] - 33.0;
+    double dy = lng[i] - -85.0;
+    double d = dx * dx + dy * dy;
+    if (d < best_dist) {
+      best_dist = d;
+      best_rec = i;
+    }
+  }
+
   print_f64(dist_sum);
   print_i64(in_range);
+  print_f64(best_dist);
+  print_i64(best_rec);
   return 0;
 }
 )";
@@ -69,6 +89,7 @@ BenchmarkProgram gr::makeRodiniaNn() {
   B.Name = "nn";
   B.Source = Source;
   B.Expected = {/*OurScalars=*/2, /*OurHistograms=*/0, /*Icc=*/1,
-                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0};
+                /*Polly=*/0, /*SCoPs=*/0, /*ReductionSCoPs=*/0,
+                /*OurScans=*/0, /*OurArgMinMax=*/1};
   return B;
 }

@@ -147,6 +147,189 @@ ReductionOperator gr::classifyUpdate(Value *Update, Value *Old) {
   return classify(Update, Old, 0);
 }
 
+namespace {
+
+/// Mirrors a predicate across swapped operands (a P b == b P' a).
+CmpInst::Predicate swapPredicate(CmpInst::Predicate P) {
+  using Pred = CmpInst::Predicate;
+  switch (P) {
+  case Pred::SLT:
+    return Pred::SGT;
+  case Pred::SLE:
+    return Pred::SGE;
+  case Pred::SGT:
+    return Pred::SLT;
+  case Pred::SGE:
+    return Pred::SLE;
+  case Pred::OLT:
+    return Pred::OGT;
+  case Pred::OLE:
+    return Pred::OGE;
+  case Pred::OGT:
+    return Pred::OLT;
+  case Pred::OGE:
+    return Pred::OLE;
+  default:
+    return P; // EQ/NE and their float twins are symmetric.
+  }
+}
+
+/// Negates a predicate (the update sits on the branch's false arm).
+CmpInst::Predicate negatePredicate(CmpInst::Predicate P) {
+  using Pred = CmpInst::Predicate;
+  switch (P) {
+  case Pred::SLT:
+    return Pred::SGE;
+  case Pred::SLE:
+    return Pred::SGT;
+  case Pred::SGT:
+    return Pred::SLE;
+  case Pred::SGE:
+    return Pred::SLT;
+  case Pred::OLT:
+    return Pred::OGE;
+  case Pred::OLE:
+    return Pred::OGT;
+  case Pred::OGT:
+    return Pred::OLE;
+  case Pred::OGE:
+    return Pred::OLT;
+  case Pred::EQ:
+    return Pred::NE;
+  case Pred::NE:
+    return Pred::EQ;
+  case Pred::OEQ:
+    return Pred::ONE;
+  case Pred::ONE:
+    return Pred::OEQ;
+  }
+  return P;
+}
+
+/// Decides Min/Max from a guard comparing some value against \p Old,
+/// given which branch arm takes the candidate \p Cand. The guard's
+/// non-old operand is recorded in GuardOperand; callers must verify it
+/// is (equivalent to) Cand.
+GuardedMinMax guardFromCmp(CmpInst *Cmp, Value *Cand, Value *Old,
+                           bool TrueTakesCand) {
+  GuardedMinMax G;
+  using Pred = CmpInst::Predicate;
+  Pred P = Cmp->getPredicate();
+  Value *GuardOperand;
+  if (Cmp->getLHS() == Old && Cmp->getRHS() != Old) {
+    P = swapPredicate(P); // Normalize to candidate-on-the-left.
+    GuardOperand = Cmp->getRHS();
+  } else if (Cmp->getRHS() == Old && Cmp->getLHS() != Old) {
+    GuardOperand = Cmp->getLHS();
+  } else {
+    return G; // The guard must compare against the old value.
+  }
+  if (!TrueTakesCand)
+    P = negatePredicate(P); // "cand taken" now means the guard holds.
+
+  switch (P) {
+  case Pred::SLT:
+  case Pred::OLT:
+    G.Op = ReductionOperator::Min;
+    G.Strict = true;
+    break;
+  case Pred::SLE:
+  case Pred::OLE:
+    G.Op = ReductionOperator::Min;
+    break;
+  case Pred::SGT:
+  case Pred::OGT:
+    G.Op = ReductionOperator::Max;
+    G.Strict = true;
+    break;
+  case Pred::SGE:
+  case Pred::OGE:
+    G.Op = ReductionOperator::Max;
+    break;
+  default:
+    return G; // Equality guards are not extremum recurrences.
+  }
+  G.Guard = Cmp;
+  G.Candidate = Cand;
+  G.GuardOperand = GuardOperand;
+  return G;
+}
+
+} // namespace
+
+GuardedMinMax gr::classifyGuardedMinMax(Value *Update, Value *Old) {
+  GuardedMinMax None;
+
+  if (auto *Sel = dyn_cast<SelectInst>(Update)) {
+    auto *Cmp = dyn_cast<CmpInst>(Sel->getCondition());
+    if (!Cmp)
+      return None;
+    bool TrueTakesCand;
+    Value *Cand;
+    if (Sel->getFalseValue() == Old && Sel->getTrueValue() != Old) {
+      Cand = Sel->getTrueValue();
+      TrueTakesCand = true;
+    } else if (Sel->getTrueValue() == Old && Sel->getFalseValue() != Old) {
+      Cand = Sel->getFalseValue();
+      TrueTakesCand = false;
+    } else {
+      return None;
+    }
+    if (containsValue(Cand, Old))
+      return None; // A candidate folding in the old value is a plain
+                   // reduction spine, not a guarded extremum.
+    return guardFromCmp(Cmp, Cand, Old, TrueTakesCand);
+  }
+
+  auto *Phi = dyn_cast<PhiInst>(Update);
+  if (!Phi || Phi->getNumIncoming() != 2)
+    return None;
+  // Exactly one arm keeps the old value; the other brings the
+  // candidate.
+  unsigned KeptIdx;
+  if (Phi->getIncomingValue(0) == Old && Phi->getIncomingValue(1) != Old)
+    KeptIdx = 0;
+  else if (Phi->getIncomingValue(1) == Old && Phi->getIncomingValue(0) != Old)
+    KeptIdx = 1;
+  else
+    return None;
+  BasicBlock *Kept = Phi->getIncomingBlock(KeptIdx);
+  BasicBlock *Taken = Phi->getIncomingBlock(1 - KeptIdx);
+  Value *Cand = Phi->getIncomingValue(1 - KeptIdx);
+  if (containsValue(Cand, Old))
+    return None;
+
+  BasicBlock *Merge = Phi->getParent();
+  CmpInst *Cmp = nullptr;
+  bool TrueTakesCand = false;
+  auto BranchSelects = [](BranchInst *Br, BasicBlock *A, BasicBlock *B) {
+    return Br && Br->isConditional() &&
+           ((Br->getSuccessor(0) == A && Br->getSuccessor(1) == B) ||
+            (Br->getSuccessor(0) == B && Br->getSuccessor(1) == A));
+  };
+  // Triangle: the kept arm *is* the branching block, jumping either
+  // into the update block or straight to the merge.
+  auto *Br = dyn_cast_or_null<BranchInst>(Kept->getTerminator());
+  if (BranchSelects(Br, Taken, Merge)) {
+    Cmp = dyn_cast<CmpInst>(Br->getCondition());
+    TrueTakesCand = Br->getSuccessor(0) == Taken;
+  } else {
+    // Diamond: both arms are forwarded from one branching predecessor.
+    auto KP = Kept->predecessors();
+    auto TP = Taken->predecessors();
+    if (KP.size() == 1 && TP.size() == 1 && KP[0] == TP[0]) {
+      auto *Br2 = dyn_cast_or_null<BranchInst>(KP[0]->getTerminator());
+      if (BranchSelects(Br2, Taken, Kept)) {
+        Cmp = dyn_cast<CmpInst>(Br2->getCondition());
+        TrueTakesCand = Br2->getSuccessor(0) == Taken;
+      }
+    }
+  }
+  if (!Cmp)
+    return None;
+  return guardFromCmp(Cmp, Cand, Old, TrueTakesCand);
+}
+
 std::string gr::reductionOperatorName(ReductionOperator Op) {
   switch (Op) {
   case ReductionOperator::Sum:

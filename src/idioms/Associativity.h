@@ -24,6 +24,34 @@ namespace gr {
 /// (e.g. the divisor of a division).
 ReductionOperator classifyUpdate(Value *Update, Value *Old);
 
+/// Result of classifying a *guarded* min/max update: the SSA shape of
+/// `if (cand < best) best = cand;` -- a phi (or select) merging the
+/// old value with a candidate, steered by a comparison of exactly
+/// those two values. classifyUpdate deliberately rejects this shape
+/// (the candidate arm does not contain the old value); the argmin/
+/// argmax idiom legalizes it because a monotone guard keeps the
+/// recurrence order-insensitive.
+struct GuardedMinMax {
+  ReductionOperator Op = ReductionOperator::Unknown; ///< Min/Max on match.
+  CmpInst *Guard = nullptr;  ///< cmp(candidate, old) steering the merge.
+  Value *Candidate = nullptr; ///< The merge's taken new value.
+  /// The guard's non-old operand. Usually identical to Candidate; when
+  /// the front end duplicated the expression (two loads of a[i]: one
+  /// compared, one assigned) the caller must prove the two equivalent
+  /// before trusting Op.
+  Value *GuardOperand = nullptr;
+  /// Guard is a strict comparison (< / >): ties keep the incumbent, so
+  /// the serial loop retains the *first* extremum -- the semantics the
+  /// chunked transform's in-order merge reproduces.
+  bool Strict = false;
+};
+
+/// Matches \p Update against the guarded min/max shape around \p Old.
+/// Handles the select form and the two-incoming phi form (triangle or
+/// diamond control flow). Returns Op == Unknown when the shape, the
+/// guard operands, or the predicate do not line up.
+GuardedMinMax classifyGuardedMinMax(Value *Update, Value *Old);
+
 } // namespace gr
 
 #endif // GR_IDIOMS_ASSOCIATIVITY_H

@@ -102,6 +102,21 @@ ForLoopMatch gr::decodeForLoop(const ForLoopLabels &L, const Solution &S) {
   return M;
 }
 
+void gr::seedForLoop(const ForLoopLabels &L, const ForLoopMatch &M,
+                     Solution &S) {
+  S[L.LoopBegin] = M.LoopBegin;
+  S[L.Test] = M.Test;
+  S[L.LoopBody] = M.LoopBody;
+  S[L.Exit] = M.Exit;
+  S[L.Backedge] = M.Backedge;
+  S[L.Entry] = M.Entry;
+  S[L.Iterator] = M.Iterator;
+  S[L.NextIter] = M.NextIter;
+  S[L.IterBegin] = M.IterBegin;
+  S[L.IterEnd] = M.IterEnd;
+  S[L.IterStep] = M.IterStep;
+}
+
 std::vector<ForLoopMatch> gr::findForLoops(const ConstraintContext &Ctx,
                                            SolverStats *Stats) {
   IdiomSpec Spec;

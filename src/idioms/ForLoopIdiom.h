@@ -36,6 +36,11 @@ ForLoopLabels buildForLoopSpec(IdiomSpec &Spec);
 /// Decodes a solver solution into a ForLoopMatch.
 ForLoopMatch decodeForLoop(const ForLoopLabels &L, const Solution &S);
 
+/// Pre-binds the for-loop prefix labels of \p S to an already-found
+/// match, so an extending idiom's solver search starts from that loop
+/// instead of rediscovering it.
+void seedForLoop(const ForLoopLabels &L, const ForLoopMatch &M, Solution &S);
+
 /// Runs the spec over \p Ctx; one match per syntactic for loop.
 std::vector<ForLoopMatch> findForLoops(const ConstraintContext &Ctx,
                                        SolverStats *Stats = nullptr);

@@ -1,0 +1,562 @@
+//===- IdiomRegistry.cpp - built-in idiom specifications ------*- C++ -*-===//
+///
+/// \file
+/// The registry plus the four built-in idiom definitions. Each
+/// definition is a constraint-formula builder (paper §3.1) and a
+/// legality hook for the properties the paper checks outside the
+/// constraint language (§3.1.2 end): associativity of the combining
+/// operator, privacy of partial results, exclusive array access.
+///
+//===----------------------------------------------------------------------===//
+
+#include "idioms/IdiomRegistry.h"
+
+#include "constraint/Context.h"
+#include "constraint/OriginCheck.h"
+#include "idioms/Associativity.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <set>
+
+using namespace gr;
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+bool IdiomRegistry::add(IdiomDefinition Def) {
+  if (Def.Name.empty() || !Def.Build || lookup(Def.Name))
+    return false;
+  Defs.push_back(std::move(Def));
+  return true;
+}
+
+void IdiomRegistry::addBuiltins() {
+  add(makeScalarReductionIdiom());
+  add(makeHistogramIdiom());
+  add(makeScanIdiom());
+  add(makeArgMinMaxIdiom());
+}
+
+const IdiomDefinition *IdiomRegistry::lookup(const std::string &Name) const {
+  for (const IdiomDefinition &Def : Defs)
+    if (Def.Name == Name)
+      return &Def;
+  return nullptr;
+}
+
+const IdiomRegistry &IdiomRegistry::builtins() {
+  static const IdiomRegistry Shared = [] {
+    IdiomRegistry R;
+    R.addBuiltins();
+    return R;
+  }();
+  return Shared;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared legality helpers (outside the constraint language)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Partial results must stay private: walks every value forward-
+/// reachable from \p Acc within the loop and reports an escape when a
+/// store, branch or impure call consumes a tainted value. Users in
+/// \p AllowedUsers are terminal — they may consume the running value
+/// (the scan's matched output store, the argmax guard) and taint does
+/// not propagate through them.
+bool accumulatorEscapes(PhiInst *Acc, Loop *L,
+                        const std::set<const Value *> &AllowedUsers) {
+  std::set<Value *> Tainted{Acc};
+  std::vector<Value *> Worklist{Acc};
+  while (!Worklist.empty()) {
+    Value *V = Worklist.back();
+    Worklist.pop_back();
+    for (const Value::Use &U : V->uses()) {
+      auto *User = cast<Instruction>(static_cast<Value *>(U.TheUser));
+      if (User == Acc || !L->contains(User->getParent()))
+        continue; // Closing the cycle / reading the final value.
+      if (AllowedUsers.count(User))
+        continue;
+      if (isa<StoreInst>(User) || isa<BranchInst>(User))
+        return true; // Intermediate result escapes or steers control.
+      if (auto *Call = dyn_cast<CallInst>(User))
+        if (!Call->getCallee()->isPure())
+          return true;
+      if (Tainted.insert(User).second)
+        Worklist.push_back(User);
+    }
+  }
+  return false;
+}
+
+/// Exclusive access to \p Base within \p L: reads only through
+/// \p Read (may be null: no reads allowed at all), writes only through
+/// \p Write, and the base pointer never escapes into a call.
+bool exclusiveArrayAccess(Value *Base, const LoadInst *Read,
+                          const StoreInst *Write, Loop *L) {
+  for (BasicBlock *BB : L->blocks()) {
+    for (Instruction *I : *BB) {
+      if (auto *Load = dyn_cast<LoadInst>(I)) {
+        if (Load != Read && baseObjectOf(Load->getPointer()) == Base)
+          return false;
+        continue;
+      }
+      if (auto *Store = dyn_cast<StoreInst>(I)) {
+        if (Store != Write && baseObjectOf(Store->getPointer()) == Base)
+          return false;
+        continue;
+      }
+      if (auto *Call = dyn_cast<CallInst>(I)) {
+        // A callee receiving the base pointer could access it.
+        for (unsigned K = 0, E = Call->getNumArgs(); K != E; ++K)
+          if (baseObjectOf(Call->getArg(K)) == Base)
+            return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Branch conditions deciding whether \p BB runs must themselves be
+/// origin-computable (the control half of generalized domination).
+bool controlCleanFor(BasicBlock *BB, const ConstraintContext &Ctx,
+                     Loop *L) {
+  OriginFlags Flags;
+  OriginQuery Q{Ctx, L, {}, Flags, collectStoredBases(L)};
+  for (Value *Cond : Ctx.getControlDependence().getControllingConditions(
+           BB, &L->blocks()))
+    if (!conditionFromOrigins(Cond, Q))
+      return false;
+  return true;
+}
+
+/// Structural equivalence of two side-effect-free expressions whose
+/// leaves are identical values: equal loads through equivalent
+/// pointers from bases not written in the loop, GEPs / casts /
+/// binaries / comparisons of equivalent operands. Used when the front
+/// end duplicated an expression (the guard compares one load of a[i],
+/// the assignment takes another).
+bool equivalentReadOnly(Value *A, Value *B,
+                        const std::set<Value *> &StoredBases,
+                        int Depth = 0) {
+  if (A == B)
+    return true;
+  if (Depth > 16)
+    return false;
+  auto *IA = dyn_cast<Instruction>(A);
+  auto *IB = dyn_cast<Instruction>(B);
+  if (!IA || !IB || IA->getKind() != IB->getKind())
+    return false;
+  switch (IA->getKind()) {
+  case Value::ValueKind::InstLoad: {
+    Value *Base = baseObjectOf(cast<LoadInst>(IA)->getPointer());
+    if (!Base || StoredBases.count(Base))
+      return false; // A written base may change between the reads.
+    return equivalentReadOnly(cast<LoadInst>(IA)->getPointer(),
+                              cast<LoadInst>(IB)->getPointer(),
+                              StoredBases, Depth + 1);
+  }
+  case Value::ValueKind::InstGEP:
+    return equivalentReadOnly(cast<GEPInst>(IA)->getPointer(),
+                              cast<GEPInst>(IB)->getPointer(),
+                              StoredBases, Depth + 1) &&
+           equivalentReadOnly(cast<GEPInst>(IA)->getIndex(),
+                              cast<GEPInst>(IB)->getIndex(), StoredBases,
+                              Depth + 1);
+  case Value::ValueKind::InstCast:
+    return cast<CastInst>(IA)->getCastKind() ==
+               cast<CastInst>(IB)->getCastKind() &&
+           equivalentReadOnly(cast<CastInst>(IA)->getSrc(),
+                              cast<CastInst>(IB)->getSrc(), StoredBases,
+                              Depth + 1);
+  case Value::ValueKind::InstBinary:
+    return cast<BinaryInst>(IA)->getBinaryOp() ==
+               cast<BinaryInst>(IB)->getBinaryOp() &&
+           equivalentReadOnly(cast<BinaryInst>(IA)->getLHS(),
+                              cast<BinaryInst>(IB)->getLHS(), StoredBases,
+                              Depth + 1) &&
+           equivalentReadOnly(cast<BinaryInst>(IA)->getRHS(),
+                              cast<BinaryInst>(IB)->getRHS(), StoredBases,
+                              Depth + 1);
+  default:
+    return false;
+  }
+}
+
+/// Does \p Old occur in the expression tree under \p V (phis opaque)?
+bool exprContains(Value *V, Value *Old, int Depth = 0) {
+  if (V == Old)
+    return true;
+  if (Depth > 64)
+    return false;
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I || isa<PhiInst>(I))
+    return false;
+  for (Value *Op : I->operands())
+    if (!isa<BasicBlock>(Op) && exprContains(Op, Old, Depth + 1))
+      return true;
+  return false;
+}
+
+/// Matches \p IdxUp as the index half of a guarded extremum update:
+/// the same merge shape as \p BestUp (phi in the same block with the
+/// same arm roles, or a select on the same condition), keeping \p Idx
+/// on the arm that keeps the old best. Returns the index candidate
+/// value, or null when the shapes are inconsistent.
+Value *matchPairedIndexUpdate(Value *IdxUp, PhiInst *Idx, Value *BestUp,
+                              PhiInst *Best) {
+  if (auto *BestPhi = dyn_cast<PhiInst>(BestUp)) {
+    auto *IdxPhi = dyn_cast<PhiInst>(IdxUp);
+    if (!IdxPhi || IdxPhi->getParent() != BestPhi->getParent() ||
+        IdxPhi->getNumIncoming() != 2 || BestPhi->getNumIncoming() != 2)
+      return nullptr;
+    BasicBlock *KeptBlock = nullptr;
+    for (unsigned K = 0; K < 2; ++K)
+      if (BestPhi->getIncomingValue(K) == Best)
+        KeptBlock = BestPhi->getIncomingBlock(K);
+    if (!KeptBlock)
+      return nullptr;
+    Value *IdxCand = nullptr;
+    for (unsigned K = 0; K < 2; ++K) {
+      if (IdxPhi->getIncomingBlock(K) == KeptBlock) {
+        if (IdxPhi->getIncomingValue(K) != Idx)
+          return nullptr; // Index changes while the best is kept.
+      } else {
+        IdxCand = IdxPhi->getIncomingValue(K);
+      }
+    }
+    if (!IdxCand || exprContains(IdxCand, Idx))
+      return nullptr;
+    return IdxCand;
+  }
+  if (auto *BestSel = dyn_cast<SelectInst>(BestUp)) {
+    auto *IdxSel = dyn_cast<SelectInst>(IdxUp);
+    if (!IdxSel || IdxSel->getCondition() != BestSel->getCondition())
+      return nullptr;
+    bool CandOnTrue = BestSel->getFalseValue() == Best;
+    Value *Kept = CandOnTrue ? IdxSel->getFalseValue()
+                             : IdxSel->getTrueValue();
+    Value *IdxCand = CandOnTrue ? IdxSel->getTrueValue()
+                                : IdxSel->getFalseValue();
+    if (Kept != Idx || exprContains(IdxCand, Idx))
+      return nullptr;
+    return IdxCand;
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared spec fragment: a scalar accumulator carried by a header phi
+//===----------------------------------------------------------------------===//
+
+struct AccumulatorLabels {
+  unsigned Acc, Update, Init;
+};
+
+/// Registers the accumulator-phi core shared by the scalar-reduction
+/// and scan specs: a header phi distinct from the induction variable,
+/// updated every iteration, with an initial value available at the
+/// preheader, and an update computed only from the old value, affine
+/// or read-only array reads and loop constants (the generalized graph
+/// domination constraint, conditions 3+4 of §3.1.1).
+AccumulatorLabels buildAccumulatorCore(IdiomSpec &Spec,
+                                       const ForLoopLabels &Loop,
+                                       const char *AccName = "acc") {
+  LabelTable &L = Spec.Labels;
+  Formula &F = Spec.F;
+
+  AccumulatorLabels Ls;
+  Ls.Acc = L.get(AccName);
+  Ls.Update = L.get("update");
+  Ls.Init = L.get("init");
+
+  F.require(std::make_unique<AtomPhiAt>(Ls.Acc, Loop.LoopBegin));
+  F.require(std::make_unique<AtomDistinct>(Ls.Acc, Loop.Iterator));
+  F.require(std::make_unique<AtomPhiIncoming>(Ls.Acc, Ls.Update,
+                                              Loop.Backedge));
+  F.require(
+      std::make_unique<AtomPhiIncoming>(Ls.Acc, Ls.Init, Loop.Entry));
+  F.require(std::make_unique<AtomDistinct>(Ls.Update, Ls.Acc));
+
+  std::vector<std::unique_ptr<Atom>> InitAlternatives;
+  InitAlternatives.push_back(std::make_unique<AtomIsConstantOrArg>(Ls.Init));
+  InitAlternatives.push_back(
+      std::make_unique<AtomAvailableAt>(Ls.Init, Loop.Entry));
+  F.requireAnyOf(std::move(InitAlternatives));
+
+  F.require(std::make_unique<AtomComputedFrom>(
+      Ls.Update, Loop.LoopBegin, std::vector<unsigned>{Ls.Acc},
+      OriginFlags{}));
+  return Ls;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scalar reduction (paper §3.1.1)
+//===----------------------------------------------------------------------===//
+
+IdiomDefinition gr::makeScalarReductionIdiom() {
+  IdiomDefinition Def;
+  Def.Name = "scalar-reduction";
+  Def.Summary = "scalar accumulator folded through an associative "
+                "operator (sum, product, min/max, bitwise)";
+  Def.SpecFile = "src/idioms/IdiomRegistry.cpp";
+  Def.TransformFile = "src/transform/ReductionParallelize.cpp";
+  Def.CorpusKernels = {"EP", "backprop", "nn", "cutcp"};
+  Def.KeyLabel = "acc";
+  Def.Build = [](IdiomSpec &Spec, const ForLoopLabels &Loop) {
+    buildAccumulatorCore(Spec, Loop);
+  };
+  Def.Legalize = [](const ConstraintContext &, Loop *L,
+                    IdiomInstance &Inst) {
+    auto *Acc = cast<PhiInst>(Inst.capture("acc"));
+    Value *Update = Inst.capture("update");
+    // Post-checks: associative operator; the old value feeds only its
+    // own update.
+    ReductionOperator Op = classifyUpdate(Update, Acc);
+    if (Op == ReductionOperator::Unknown)
+      return false;
+    if (accumulatorEscapes(Acc, L, {}))
+      return false;
+    Inst.Op = Op;
+    return true;
+  };
+  return Def;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram (paper §3.1.2)
+//===----------------------------------------------------------------------===//
+
+IdiomDefinition gr::makeHistogramIdiom() {
+  IdiomDefinition Def;
+  Def.Name = "histogram";
+  Def.Summary = "indirect-subscript reduction base[idx] op= v with "
+                "exclusive access to the base array";
+  Def.SpecFile = "src/idioms/IdiomRegistry.cpp";
+  Def.TransformFile = "src/transform/ReductionParallelize.cpp";
+  Def.CorpusKernels = {"histo", "tpacf", "IS", "kmeans"};
+  Def.KeyLabel = "write";
+  Def.Build = [](IdiomSpec &Spec, const ForLoopLabels &Loop) {
+    LabelTable &L = Spec.Labels;
+    Formula &F = Spec.F;
+
+    unsigned Read = L.get("read");
+    unsigned ReadPtr = L.get("read_ptr");
+    unsigned Write = L.get("write");
+    unsigned StoredVal = L.get("stored_val");
+    unsigned WritePtr = L.get("write_ptr");
+    unsigned Base = L.get("base");
+    unsigned Index = L.get("index");
+
+    // Condition 4: x is read from an array at idx and x' written at
+    // the same index.
+    F.require(
+        std::make_unique<AtomLoadInLoop>(Read, ReadPtr, Loop.LoopBegin));
+    F.require(std::make_unique<AtomStoreInLoop>(Write, StoredVal, WritePtr,
+                                                Loop.LoopBegin));
+    F.require(std::make_unique<AtomSameAddress>(ReadPtr, WritePtr));
+    F.require(std::make_unique<AtomGEP>(WritePtr, Base, Index));
+    F.require(
+        std::make_unique<AtomInvariantInLoop>(Base, Loop.LoopBegin, true));
+    // A loop-invariant index would be a scalar accumulator in memory,
+    // not a histogram.
+    F.require(std::make_unique<AtomInvariantInLoop>(Index, Loop.LoopBegin,
+                                                    false));
+
+    // Condition 3: idx is a term only of array values and loop
+    // constants (no dependence on the histogram's own partial results,
+    // and not the induction variable -- that would be an independent
+    // affine write rather than a histogram).
+    OriginFlags IndexFlags;
+    IndexFlags.AllowIterator = false;
+    F.require(std::make_unique<AtomComputedFrom>(
+        Index, Loop.LoopBegin, std::vector<unsigned>{}, IndexFlags));
+    // Condition 5: x' is a term only of x, array values and loop
+    // constants.
+    F.require(std::make_unique<AtomComputedFrom>(
+        StoredVal, Loop.LoopBegin, std::vector<unsigned>{Read},
+        OriginFlags{}));
+  };
+  Def.Legalize = [](const ConstraintContext &Ctx, Loop *L,
+                    IdiomInstance &Inst) {
+    auto *Read = cast<LoadInst>(Inst.capture("read"));
+    auto *Write = cast<StoreInst>(Inst.capture("write"));
+    ReductionOperator Op =
+        classifyUpdate(Inst.capture("stored_val"), Read);
+    if (Op == ReductionOperator::Unknown)
+      return false;
+    if (!exclusiveArrayAccess(baseObjectOf(Write->getPointer()), Read,
+                              Write, L))
+      return false;
+    if (!controlCleanFor(Write->getParent(), Ctx, L))
+      return false;
+    Inst.Op = Op;
+    return true;
+  };
+  return Def;
+}
+
+//===----------------------------------------------------------------------===//
+// Scan / prefix sum
+//===----------------------------------------------------------------------===//
+
+IdiomDefinition gr::makeScanIdiom() {
+  IdiomDefinition Def;
+  Def.Name = "scan";
+  Def.Summary = "prefix sum: scalar accumulator whose running value is "
+                "stored to out[iterator] every iteration";
+  Def.SpecFile = "src/idioms/IdiomRegistry.cpp";
+  Def.TransformFile = "src/transform/ScanParallelize.cpp";
+  Def.CorpusKernels = {"IS"};
+  Def.KeyLabel = "out_store";
+  Def.Build = [](IdiomSpec &Spec, const ForLoopLabels &Loop) {
+    AccumulatorLabels Acc = buildAccumulatorCore(Spec, Loop);
+    (void)Acc;
+    LabelTable &L = Spec.Labels;
+    Formula &F = Spec.F;
+
+    unsigned OutStore = L.get("out_store");
+    unsigned Stored = L.get("stored");
+    unsigned OutPtr = L.get("out_ptr");
+    unsigned OutBase = L.get("out_base");
+
+    // The running value leaves through exactly one iterator-addressed
+    // store: out[i] = acc (exclusive scan) or out[i] = update
+    // (inclusive). Which of the two is decided by the legality hook;
+    // the formula only pins the store's shape.
+    F.require(std::make_unique<AtomStoreInLoop>(OutStore, Stored, OutPtr,
+                                                Loop.LoopBegin));
+    F.require(std::make_unique<AtomGEP>(OutPtr, OutBase, Loop.Iterator));
+    F.require(std::make_unique<AtomInvariantInLoop>(OutBase,
+                                                    Loop.LoopBegin, true));
+  };
+  Def.Legalize = [](const ConstraintContext &Ctx, Loop *L,
+                    IdiomInstance &Inst) {
+    auto *Acc = cast<PhiInst>(Inst.capture("acc"));
+    Value *Update = Inst.capture("update");
+    Value *Stored = Inst.capture("stored");
+    auto *Out = cast<StoreInst>(Inst.capture("out_store"));
+    // The stored value must be the running value itself.
+    if (Stored != Acc && Stored != Update)
+      return false;
+    ReductionOperator Op = classifyUpdate(Update, Acc);
+    if (Op == ReductionOperator::Unknown)
+      return false;
+    // The output array is write-only in the loop and written only by
+    // the matched store: chunked re-execution may then replay the
+    // stores without observing them.
+    Value *OutBase = baseObjectOf(Out->getPointer());
+    if (!OutBase || !exclusiveArrayAccess(OutBase, nullptr, Out, L))
+      return false;
+    // The running value may feed only its update chain and the output
+    // store; any other escape observes partial sums.
+    if (accumulatorEscapes(Acc, L, {Out}))
+      return false;
+    // A store guarded by data-dependent control would make the output
+    // index sequence iteration-dependent.
+    if (!controlCleanFor(Out->getParent(), Ctx, L))
+      return false;
+    Inst.Op = Op;
+    return true;
+  };
+  return Def;
+}
+
+//===----------------------------------------------------------------------===//
+// Argmin / argmax
+//===----------------------------------------------------------------------===//
+
+IdiomDefinition gr::makeArgMinMaxIdiom() {
+  IdiomDefinition Def;
+  Def.Name = "argminmax";
+  Def.Summary = "guarded min/max accumulator paired with an index "
+                "accumulator switched by the same comparison";
+  Def.SpecFile = "src/idioms/IdiomRegistry.cpp";
+  Def.TransformFile = "src/transform/ArgMinMaxParallelize.cpp";
+  Def.CorpusKernels = {"nn"};
+  Def.KeyLabel = "idx";
+  Def.Build = [](IdiomSpec &Spec, const ForLoopLabels &Loop) {
+    LabelTable &L = Spec.Labels;
+    Formula &F = Spec.F;
+
+    unsigned Best = L.get("best");
+    unsigned BestUp = L.get("best_up");
+    unsigned BestInit = L.get("best_init");
+    unsigned Idx = L.get("idx");
+    unsigned IdxUp = L.get("idx_up");
+    unsigned IdxInit = L.get("idx_init");
+
+    for (auto [Phi, Up, Init] :
+         {std::tuple{Best, BestUp, BestInit}, {Idx, IdxUp, IdxInit}}) {
+      F.require(std::make_unique<AtomPhiAt>(Phi, Loop.LoopBegin));
+      F.require(std::make_unique<AtomDistinct>(Phi, Loop.Iterator));
+      F.require(
+          std::make_unique<AtomPhiIncoming>(Phi, Up, Loop.Backedge));
+      F.require(
+          std::make_unique<AtomPhiIncoming>(Phi, Init, Loop.Entry));
+      F.require(std::make_unique<AtomDistinct>(Up, Phi));
+      std::vector<std::unique_ptr<Atom>> InitAlternatives;
+      InitAlternatives.push_back(
+          std::make_unique<AtomIsConstantOrArg>(Init));
+      InitAlternatives.push_back(
+          std::make_unique<AtomAvailableAt>(Init, Loop.Entry));
+      F.requireAnyOf(std::move(InitAlternatives));
+    }
+    F.require(std::make_unique<AtomDistinct>(Idx, Best));
+
+    // Both updates obey generalized graph domination, except that the
+    // guard may compare against the running best: that control
+    // dependence on an intermediate result is what the monotone-guard
+    // legality check legalizes (and what keeps plain scalar reductions
+    // out of this spec).
+    OriginFlags GuardedFlags;
+    GuardedFlags.ControlMayUseOrigins = true;
+    F.require(std::make_unique<AtomComputedFrom>(
+        BestUp, Loop.LoopBegin, std::vector<unsigned>{Best},
+        GuardedFlags));
+    F.require(std::make_unique<AtomComputedFrom>(
+        IdxUp, Loop.LoopBegin, std::vector<unsigned>{Idx, Best},
+        GuardedFlags));
+  };
+  Def.Legalize = [](const ConstraintContext &, Loop *L,
+                    IdiomInstance &Inst) {
+    auto *Best = cast<PhiInst>(Inst.capture("best"));
+    auto *Idx = cast<PhiInst>(Inst.capture("idx"));
+    Value *BestUp = Inst.capture("best_up");
+    Value *IdxUp = Inst.capture("idx_up");
+
+    // The extremum half: a min/max merge guarded by a comparison of
+    // exactly (candidate, best). When the guard compares a duplicate
+    // of the taken expression (two loads of a[i]), prove the two
+    // equivalent and read-only.
+    GuardedMinMax G = classifyGuardedMinMax(BestUp, Best);
+    if (G.Op == ReductionOperator::Unknown)
+      return false;
+    if (G.GuardOperand != G.Candidate &&
+        !equivalentReadOnly(G.GuardOperand, G.Candidate,
+                            collectStoredBases(L)))
+      return false;
+    // The index half: switched by the same guard, kept alongside the
+    // kept best.
+    Value *IdxCand = matchPairedIndexUpdate(IdxUp, Idx, BestUp, Best);
+    if (!IdxCand)
+      return false;
+    // The best may feed only its guard and its own merge; the index
+    // may feed only its merge — anything else observes intermediates.
+    if (accumulatorEscapes(Best, L, {G.Guard}))
+      return false;
+    if (accumulatorEscapes(Idx, L, {}))
+      return false;
+    Inst.Op = G.Op;
+    Inst.Captures["guard"] = G.Guard;
+    Inst.Captures["candidate"] = G.Candidate;
+    Inst.Captures["index_candidate"] = IdxCand;
+    return true;
+  };
+  return Def;
+}

@@ -1,0 +1,73 @@
+//===- IdiomRegistry.h - the idiom-spec registry --------------*- C++ -*-===//
+///
+/// \file
+/// Holds the declarative idiom definitions the detection driver runs.
+/// The four built-in idioms (scalar-reduction, histogram, scan,
+/// argminmax) are registered through the same add() call any client
+/// uses — "new idioms are new specifications, not new passes". The
+/// shared builtins() registry is immutable after construction and
+/// therefore safe to read from the parallel detection driver's worker
+/// threads; clients wanting extra idioms build their own registry
+/// (addBuiltins() + add(), see examples/custom_idiom.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IDIOMS_IDIOMREGISTRY_H
+#define GR_IDIOMS_IDIOMREGISTRY_H
+
+#include "idioms/IdiomSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace gr {
+
+/// An ordered collection of idiom definitions; detection runs them in
+/// registration order.
+class IdiomRegistry {
+public:
+  IdiomRegistry() = default;
+
+  /// Registers \p Def. Rejects (returns false, registry unchanged)
+  /// definitions with an empty name, a missing Build hook, or a name
+  /// already taken.
+  bool add(IdiomDefinition Def);
+
+  /// Registers the built-in idioms, in catalogue order.
+  void addBuiltins();
+
+  /// The definition named \p Name, or null.
+  const IdiomDefinition *lookup(const std::string &Name) const;
+
+  /// All definitions, in registration order.
+  const std::vector<IdiomDefinition> &all() const { return Defs; }
+
+  unsigned size() const { return static_cast<unsigned>(Defs.size()); }
+
+  /// The shared immutable registry holding exactly the built-ins.
+  /// Constructed once (thread-safe function-local static) and never
+  /// mutated afterwards, so concurrent detection workers may read it
+  /// freely.
+  static const IdiomRegistry &builtins();
+
+private:
+  std::vector<IdiomDefinition> Defs;
+};
+
+/// Built-in definition factories, exposed for tests and for clients
+/// composing custom registries. §3.1.1: a scalar value updated through
+/// an associative operator from allowed origins only.
+IdiomDefinition makeScalarReductionIdiom();
+/// §3.1.2: an indirect-subscript ("histogram") reduction updating
+/// base[idx] with exclusive access to the base array.
+IdiomDefinition makeHistogramIdiom();
+/// Scan / prefix sum: a scalar accumulator whose running value is also
+/// stored to an iterator-addressed output array every iteration.
+IdiomDefinition makeScanIdiom();
+/// Argmin/argmax: a guarded min/max accumulator paired with an index
+/// accumulator switched by the same comparison.
+IdiomDefinition makeArgMinMaxIdiom();
+
+} // namespace gr
+
+#endif // GR_IDIOMS_IDIOMREGISTRY_H

@@ -1,0 +1,87 @@
+//===- IdiomSpec.cpp ------------------------------------------*- C++ -*-===//
+
+#include "idioms/IdiomSpec.h"
+
+#include "constraint/Context.h"
+#include "constraint/Solver.h"
+#include "idioms/IdiomRegistry.h"
+#include "idioms/ReductionAnalysis.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "support/ErrorHandling.h"
+
+#include <set>
+#include <utility>
+
+using namespace gr;
+
+IdiomDetectionResult gr::detectIdioms(Function &F,
+                                      FunctionAnalysisManager &AM,
+                                      const IdiomRegistry &Registry,
+                                      DetectionStats *Stats) {
+  IdiomDetectionResult Result;
+  if (F.isDeclaration())
+    return Result;
+
+  ConstraintContext Ctx(F, AM);
+  const LoopInfo &LI = Ctx.getLoopInfo();
+
+  SolverStats LoopStats;
+  Result.ForLoops = findForLoops(Ctx, &LoopStats);
+  if (Stats)
+    Stats->ForLoops += LoopStats;
+
+  for (const IdiomDefinition &Def : Registry.all()) {
+    if (!Def.Build)
+      continue; // add() rejects these; belt and braces.
+    IdiomSpec Spec;
+    ForLoopLabels Prefix = buildForLoopSpec(Spec);
+    // Labels registered beyond this point belong to the idiom and are
+    // what the instance captures by name.
+    const unsigned PrefixSize = Spec.Labels.size();
+    Def.Build(Spec, Prefix);
+
+    int KeyIdx = Spec.Labels.find(Def.KeyLabel);
+    if (KeyIdx < 0)
+      reportFatalError(("idiom '" + Def.Name + "': key label '" +
+                        Def.KeyLabel + "' is not part of its spec")
+                           .c_str());
+
+    Solver S(Spec.F, Spec.Labels.size());
+    SolverStats IdiomStats;
+    // (loop header, key binding) pairs already reported: the solver
+    // may reach one instance through several assignments (commuted
+    // operands); the first one wins, matching the pre-registry
+    // detectors.
+    std::set<std::pair<BasicBlock *, Value *>> Seen;
+
+    for (const ForLoopMatch &M : Result.ForLoops) {
+      Loop *L = LI.getLoopFor(M.LoopBegin);
+      if (!L || L->getHeader() != M.LoopBegin)
+        continue;
+
+      Solution Seed(Spec.Labels.size(), nullptr);
+      seedForLoop(Prefix, M, Seed);
+
+      IdiomStats += S.findAll(
+          Ctx,
+          [&](const Solution &Sol) {
+            if (!Seen.insert({M.LoopBegin, Sol[KeyIdx]}).second)
+              return;
+            IdiomInstance Inst;
+            Inst.Idiom = Def.Name;
+            Inst.Loop = M;
+            for (unsigned K = PrefixSize, E = Spec.Labels.size(); K != E;
+                 ++K)
+              Inst.Captures[Spec.Labels.nameOf(K)] = Sol[K];
+            if (Def.Legalize && !Def.Legalize(Ctx, L, Inst))
+              return;
+            Result.Instances.push_back(std::move(Inst));
+          },
+          Seed);
+    }
+    if (Stats)
+      Stats->PerIdiom[Def.Name] += IdiomStats;
+  }
+  return Result;
+}

@@ -1,0 +1,124 @@
+//===- IdiomSpec.h - declarative idiom definitions ------------*- C++ -*-===//
+///
+/// \file
+/// The declarative layer the paper's extensibility claim rests on: an
+/// idiom is *data*, not a C++ pass. An IdiomDefinition bundles a name,
+/// a constraint-formula builder extending the shared for-loop prefix
+/// (paper Fig. 5), a legality post-check for the properties outside
+/// the constraint language (associativity, exclusive access), and
+/// catalogue metadata (spec file, transform counterpart, exercising
+/// corpus kernels). detectIdioms() is the one generic driver: it seeds
+/// each registered spec with every for-loop match and hands solutions
+/// to the legality hook — adding an idiom never touches the driver.
+///
+/// Definitions live in an IdiomRegistry (see IdiomRegistry.h); the
+/// typed decode into ReductionReport stays in ReductionAnalysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IDIOMS_IDIOMSPEC_H
+#define GR_IDIOMS_IDIOMSPEC_H
+
+#include "constraint/Formula.h"
+#include "idioms/ForLoopIdiom.h"
+#include "idioms/ReductionInfo.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class ConstraintContext;
+class Function;
+class FunctionAnalysisManager;
+class IdiomRegistry;
+class Loop;
+struct DetectionStats;
+
+/// A detected instance of a registered idiom, before (or without) the
+/// typed decode into ScalarReduction/HistogramReduction/... structs.
+struct IdiomInstance {
+  /// Name of the IdiomDefinition that produced the match.
+  std::string Idiom;
+  /// The enclosing for-loop (every shipped idiom extends Fig. 5).
+  ForLoopMatch Loop;
+  /// Every label the spec added beyond the for-loop prefix, by name,
+  /// plus anything the legality hook records (e.g. "guard" for the
+  /// argmin/argmax idiom).
+  std::map<std::string, Value *> Captures;
+  /// Combining operator, filled in by the legality hook when the idiom
+  /// has one (Unknown otherwise).
+  ReductionOperator Op = ReductionOperator::Unknown;
+
+  /// The capture bound to \p Name, or null when absent.
+  Value *capture(const std::string &Name) const {
+    auto It = Captures.find(Name);
+    return It == Captures.end() ? nullptr : It->second;
+  }
+};
+
+/// Builds an idiom's constraints into \p Spec, whose label table
+/// already holds the for-loop prefix \p Loop. Label registration order
+/// is the solver's enumeration order — register anchor labels (the
+/// ones atoms can *suggest*) first.
+using IdiomSpecBuilder =
+    std::function<void(IdiomSpec &Spec, const ForLoopLabels &Loop)>;
+
+/// Legality post-check applied to each raw solver solution, for the
+/// properties the paper checks outside the constraint language
+/// (associative operator, exclusive access, escape analysis). \p Inst
+/// arrives with Loop and Captures filled; the hook may refine it (set
+/// Op, add captures) and returns false to reject the match.
+using IdiomLegalityCheck =
+    std::function<bool(const ConstraintContext &Ctx, Loop *L,
+                       IdiomInstance &Inst)>;
+
+/// One declarative idiom — the single extension point of the detection
+/// pipeline. See docs/ADDING_AN_IDIOM.md for a worked example.
+struct IdiomDefinition {
+  /// Unique registry key, e.g. "histogram".
+  std::string Name;
+  /// One-line description for catalogues and diagnostics.
+  std::string Summary;
+  /// Repo-relative file holding the spec (docs catalogue).
+  std::string SpecFile;
+  /// Repo-relative file of the exploitation transform; empty when the
+  /// idiom is detect-only.
+  std::string TransformFile;
+  /// Corpus kernels exercising the idiom (docs catalogue).
+  std::vector<std::string> CorpusKernels;
+  /// Label identifying a match within one loop: solutions that re-bind
+  /// it are duplicates of the first (the solver may yield one idiom
+  /// instance through several label assignments, e.g. commuted
+  /// operands).
+  std::string KeyLabel;
+  /// Constraint-formula builder (required).
+  IdiomSpecBuilder Build;
+  /// Legality post-check; empty accepts every solution.
+  IdiomLegalityCheck Legalize;
+};
+
+/// Detection output of one function: the for-loop matches (shared by
+/// all specs) and every legal idiom instance.
+struct IdiomDetectionResult {
+  std::vector<ForLoopMatch> ForLoops;
+  std::vector<IdiomInstance> Instances;
+};
+
+/// The generic detection driver: finds all for-loops of \p F, then
+/// runs every spec in \p Registry seeded with each loop, deduplicates
+/// per KeyLabel, applies the legality hooks, and returns the surviving
+/// instances. Analyses are borrowed from \p AM; per-idiom solver
+/// statistics are accumulated into \p Stats (keyed by idiom name) when
+/// non-null. Read-only on the IR — safe to run concurrently on
+/// *different* functions with per-thread managers (see
+/// pass/ParallelDriver.h).
+IdiomDetectionResult detectIdioms(Function &F, FunctionAnalysisManager &AM,
+                                  const IdiomRegistry &Registry,
+                                  DetectionStats *Stats = nullptr);
+
+} // namespace gr
+
+#endif // GR_IDIOMS_IDIOMSPEC_H

@@ -2,322 +2,99 @@
 
 #include "idioms/ReductionAnalysis.h"
 
-#include "analysis/Purity.h"
-#include "constraint/Context.h"
-#include "constraint/OriginCheck.h"
 #include "idioms/Associativity.h"
-#include "idioms/ForLoopIdiom.h"
+#include "idioms/IdiomRegistry.h"
+#include "idioms/IdiomSpec.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
-#include "pass/Analyses.h"
+#include "pass/ParallelDriver.h"
 #include "pass/PassInstrumentation.h"
 
-#include <set>
+#include <cstdlib>
 
 using namespace gr;
 
-namespace {
-
-//===----------------------------------------------------------------------===//
-// Scalar reduction specification (paper §3.1.1)
-//===----------------------------------------------------------------------===//
-
-struct ScalarLabels {
-  ForLoopLabels Loop;
-  unsigned Acc, Update, Init;
-};
-
-ScalarLabels buildScalarSpec(IdiomSpec &Spec) {
-  ScalarLabels Ls;
-  Ls.Loop = buildForLoopSpec(Spec);
-  LabelTable &L = Spec.Labels;
-  Formula &F = Spec.F;
-
-  Ls.Acc = L.get("acc");
-  Ls.Update = L.get("update");
-  Ls.Init = L.get("init");
-
-  // Condition 2: a scalar value updated in every iteration -- in SSA,
-  // a header phi distinct from the induction variable.
-  F.require(std::make_unique<AtomPhiAt>(Ls.Acc, Ls.Loop.LoopBegin));
-  F.require(std::make_unique<AtomDistinct>(Ls.Acc, Ls.Loop.Iterator));
-  F.require(std::make_unique<AtomPhiIncoming>(Ls.Acc, Ls.Update,
-                                              Ls.Loop.Backedge));
-  F.require(
-      std::make_unique<AtomPhiIncoming>(Ls.Acc, Ls.Init, Ls.Loop.Entry));
-  F.require(std::make_unique<AtomDistinct>(Ls.Update, Ls.Acc));
-
-  std::vector<std::unique_ptr<Atom>> InitAlternatives;
-  InitAlternatives.push_back(std::make_unique<AtomIsConstantOrArg>(Ls.Init));
-  InitAlternatives.push_back(
-      std::make_unique<AtomAvailableAt>(Ls.Init, Ls.Loop.Entry));
-  F.requireAnyOf(std::move(InitAlternatives));
-
-  // Conditions 3+4: the updated value is a term only of the old value,
-  // affinely-read array values and loop constants -- the generalized
-  // graph domination constraint.
-  F.require(std::make_unique<AtomComputedFrom>(
-      Ls.Update, Ls.Loop.LoopBegin, std::vector<unsigned>{Ls.Acc},
-      OriginFlags{}));
-  return Ls;
-}
-
-//===----------------------------------------------------------------------===//
-// Histogram specification (paper §3.1.2)
-//===----------------------------------------------------------------------===//
-
-struct HistogramLabels {
-  ForLoopLabels Loop;
-  unsigned Read, ReadPtr, Write, StoredVal, WritePtr, Base, Index;
-};
-
-HistogramLabels buildHistogramSpec(IdiomSpec &Spec) {
-  HistogramLabels Ls;
-  Ls.Loop = buildForLoopSpec(Spec);
-  LabelTable &L = Spec.Labels;
-  Formula &F = Spec.F;
-
-  Ls.Read = L.get("read");
-  Ls.ReadPtr = L.get("read_ptr");
-  Ls.Write = L.get("write");
-  Ls.StoredVal = L.get("stored_val");
-  Ls.WritePtr = L.get("write_ptr");
-  Ls.Base = L.get("base");
-  Ls.Index = L.get("index");
-
-  // Condition 4: x is read from an array at idx and x' written at the
-  // same index.
-  F.require(
-      std::make_unique<AtomLoadInLoop>(Ls.Read, Ls.ReadPtr,
-                                       Ls.Loop.LoopBegin));
-  F.require(std::make_unique<AtomStoreInLoop>(
-      Ls.Write, Ls.StoredVal, Ls.WritePtr, Ls.Loop.LoopBegin));
-  F.require(std::make_unique<AtomSameAddress>(Ls.ReadPtr, Ls.WritePtr));
-  F.require(
-      std::make_unique<AtomGEP>(Ls.WritePtr, Ls.Base, Ls.Index));
-  F.require(std::make_unique<AtomInvariantInLoop>(Ls.Base,
-                                                  Ls.Loop.LoopBegin, true));
-  // A loop-invariant index would be a scalar accumulator in memory,
-  // not a histogram.
-  F.require(std::make_unique<AtomInvariantInLoop>(
-      Ls.Index, Ls.Loop.LoopBegin, false));
-
-  // Condition 3: idx is a term only of array values and loop
-  // constants (no dependence on the histogram's own partial results,
-  // and not the induction variable -- that would be an independent
-  // affine write rather than a histogram).
-  OriginFlags IndexFlags;
-  IndexFlags.AllowIterator = false;
-  F.require(std::make_unique<AtomComputedFrom>(
-      Ls.Index, Ls.Loop.LoopBegin, std::vector<unsigned>{}, IndexFlags));
-  // Condition 5: x' is a term only of x, array values and loop
-  // constants.
-  F.require(std::make_unique<AtomComputedFrom>(
-      Ls.StoredVal, Ls.Loop.LoopBegin, std::vector<unsigned>{Ls.Read},
-      OriginFlags{}));
-  return Ls;
-}
-
-//===----------------------------------------------------------------------===//
-// Post-checks (outside the constraint language, paper §3.1.2 end)
-//===----------------------------------------------------------------------===//
-
-/// Partial results must stay private: every value forward-reachable
-/// from the accumulator within the loop may only feed further
-/// computation ending back in the accumulator phi. A store, an impure
-/// call or a branch consuming a tainted value would observe
-/// intermediate sums that privatization changes.
-bool accumulatorOnlyFeedsUpdate(PhiInst *Acc, Value *Update, Loop *L) {
-  (void)Update;
-  std::set<Value *> Tainted{Acc};
-  std::vector<Value *> Worklist{Acc};
-  while (!Worklist.empty()) {
-    Value *V = Worklist.back();
-    Worklist.pop_back();
-    for (const Value::Use &U : V->uses()) {
-      auto *User = cast<Instruction>(static_cast<Value *>(U.TheUser));
-      if (User == Acc || !L->contains(User->getParent()))
-        continue; // Closing the cycle / reading the final value.
-      if (isa<StoreInst>(User) || isa<BranchInst>(User))
-        return false; // Intermediate result escapes or steers control.
-      if (auto *Call = dyn_cast<CallInst>(User))
-        if (!Call->getCallee()->isPure())
-          return false;
-      if (Tainted.insert(User).second)
-        Worklist.push_back(User);
-    }
-  }
-  return true;
-}
-
-/// Exclusive access: within the loop, the histogram base is written
-/// only by \p Write and read only by \p Read.
-bool exclusiveHistogramAccess(Value *Base, LoadInst *Read,
-                              StoreInst *Write, Loop *L) {
-  for (BasicBlock *BB : L->blocks()) {
-    for (Instruction *I : *BB) {
-      if (auto *Load = dyn_cast<LoadInst>(I)) {
-        if (Load != Read && baseObjectOf(Load->getPointer()) == Base)
-          return false;
-        continue;
-      }
-      if (auto *Store = dyn_cast<StoreInst>(I)) {
-        if (Store != Write && baseObjectOf(Store->getPointer()) == Base)
-          return false;
-        continue;
-      }
-      if (auto *Call = dyn_cast<CallInst>(I)) {
-        // A callee receiving the base pointer could access it.
-        for (unsigned K = 0, E = Call->getNumArgs(); K != E; ++K)
-          if (baseObjectOf(Call->getArg(K)) == Base)
-            return false;
-      }
-    }
-  }
-  return true;
-}
-
-/// Branch conditions deciding whether \p BB runs must themselves be
-/// origin-computable (the control half of generalized domination).
-bool controlCleanFor(BasicBlock *BB, const ConstraintContext &Ctx,
-                     Loop *L) {
-  OriginFlags Flags;
-  OriginQuery Q{Ctx, L, {}, Flags, collectStoredBases(L)};
-  for (Value *Cond : Ctx.getControlDependence().getControllingConditions(
-           BB, &L->blocks()))
-    if (!conditionFromOrigins(Cond, Q))
-      return false;
-  return true;
-}
-
-} // namespace
-
-ReductionReport gr::analyzeFunction(Function &F,
-                                    FunctionAnalysisManager &AM,
-                                    DetectionStats *Stats) {
+ReductionReport gr::decodeReport(Function &F,
+                                 std::vector<ForLoopMatch> ForLoops,
+                                 const std::vector<IdiomInstance> &Instances) {
   ReductionReport Report;
   Report.F = &F;
-  if (F.isDeclaration())
-    return Report;
+  Report.ForLoops = std::move(ForLoops);
 
-  ConstraintContext Ctx(F, AM);
-  const LoopInfo &LI = Ctx.getLoopInfo();
-
-  SolverStats LoopStats;
-  Report.ForLoops = findForLoops(Ctx, &LoopStats);
-  if (Stats)
-    Stats->ForLoops += LoopStats;
-
-  // Scalar reductions: extend each for-loop solution.
-  IdiomSpec ScalarSpec;
-  ScalarLabels SLs = buildScalarSpec(ScalarSpec);
-  Solver ScalarSolver(ScalarSpec.F, ScalarSpec.Labels.size());
-
-  IdiomSpec HistSpec;
-  HistogramLabels HLs = buildHistogramSpec(HistSpec);
-  Solver HistSolver(HistSpec.F, HistSpec.Labels.size());
-
-  std::set<std::pair<BasicBlock *, Value *>> SeenScalar, SeenHist;
-  for (const ForLoopMatch &M : Report.ForLoops) {
-    Loop *L = LI.getLoopFor(M.LoopBegin);
-    if (!L || L->getHeader() != M.LoopBegin)
-      continue;
-
-    Solution Seed(ScalarSpec.Labels.size(), nullptr);
-    Seed[SLs.Loop.LoopBegin] = M.LoopBegin;
-    Seed[SLs.Loop.Test] = M.Test;
-    Seed[SLs.Loop.LoopBody] = M.LoopBody;
-    Seed[SLs.Loop.Exit] = M.Exit;
-    Seed[SLs.Loop.Backedge] = M.Backedge;
-    Seed[SLs.Loop.Entry] = M.Entry;
-    Seed[SLs.Loop.Iterator] = M.Iterator;
-    Seed[SLs.Loop.NextIter] = M.NextIter;
-    Seed[SLs.Loop.IterBegin] = M.IterBegin;
-    Seed[SLs.Loop.IterEnd] = M.IterEnd;
-    Seed[SLs.Loop.IterStep] = M.IterStep;
-
-    SolverStats SStats = ScalarSolver.findAll(
-        Ctx,
-        [&](const Solution &Sol) {
-          auto *Acc = cast<PhiInst>(Sol[SLs.Acc]);
-          Value *Update = Sol[SLs.Update];
-          if (!SeenScalar.insert({M.LoopBegin, Acc}).second)
-            return;
-          // Post-checks: associative operator; old value feeds only
-          // its own update.
-          ReductionOperator Op = classifyUpdate(Update, Acc);
-          if (Op == ReductionOperator::Unknown)
-            return;
-          if (!accumulatorOnlyFeedsUpdate(Acc, Update, L))
-            return;
-          ScalarReduction R;
-          R.Loop = M;
-          R.Accumulator = Acc;
-          R.Update = Update;
-          R.Init = Sol[SLs.Init];
-          R.Op = Op;
-          Report.Scalars.push_back(R);
-        },
-        Seed);
-    if (Stats)
-      Stats->Scalars += SStats;
-
-    // Histograms over the same seed.
-    Solution HSeed(HistSpec.Labels.size(), nullptr);
-    HSeed[HLs.Loop.LoopBegin] = M.LoopBegin;
-    HSeed[HLs.Loop.Test] = M.Test;
-    HSeed[HLs.Loop.LoopBody] = M.LoopBody;
-    HSeed[HLs.Loop.Exit] = M.Exit;
-    HSeed[HLs.Loop.Backedge] = M.Backedge;
-    HSeed[HLs.Loop.Entry] = M.Entry;
-    HSeed[HLs.Loop.Iterator] = M.Iterator;
-    HSeed[HLs.Loop.NextIter] = M.NextIter;
-    HSeed[HLs.Loop.IterBegin] = M.IterBegin;
-    HSeed[HLs.Loop.IterEnd] = M.IterEnd;
-    HSeed[HLs.Loop.IterStep] = M.IterStep;
-
-    SolverStats HStats = HistSolver.findAll(
-        Ctx,
-        [&](const Solution &Sol) {
-          auto *Read = cast<LoadInst>(Sol[HLs.Read]);
-          auto *Write = cast<StoreInst>(Sol[HLs.Write]);
-          if (!SeenHist.insert({M.LoopBegin, Write}).second)
-            return;
-          ReductionOperator Op =
-              classifyUpdate(Sol[HLs.StoredVal], Read);
-          if (Op == ReductionOperator::Unknown)
-            return;
-          if (!exclusiveHistogramAccess(baseObjectOf(Write->getPointer()),
-                                        Read, Write, L))
-            return;
-          if (!controlCleanFor(Write->getParent(), Ctx, L))
-            return;
-          HistogramReduction R;
-          R.Loop = M;
-          R.Read = Read;
-          R.Write = Write;
-          R.Address = cast<GEPInst>(Sol[HLs.WritePtr]);
-          R.Index = Sol[HLs.Index];
-          R.Base = Sol[HLs.Base];
-          R.Update = Sol[HLs.StoredVal];
-          R.Op = Op;
-          Report.Histograms.push_back(R);
-        },
-        HSeed);
-    if (Stats)
-      Stats->Histograms += HStats;
+  for (const IdiomInstance &I : Instances) {
+    if (I.Idiom == "scalar-reduction") {
+      ScalarReduction R;
+      R.Loop = I.Loop;
+      R.Accumulator = cast<PhiInst>(I.capture("acc"));
+      R.Update = I.capture("update");
+      R.Init = I.capture("init");
+      R.Op = I.Op;
+      Report.Scalars.push_back(R);
+    } else if (I.Idiom == "histogram") {
+      HistogramReduction R;
+      R.Loop = I.Loop;
+      R.Read = cast<LoadInst>(I.capture("read"));
+      R.Write = cast<StoreInst>(I.capture("write"));
+      R.Address = cast<GEPInst>(I.capture("write_ptr"));
+      R.Index = I.capture("index");
+      R.Base = I.capture("base");
+      R.Update = I.capture("stored_val");
+      R.Op = I.Op;
+      Report.Histograms.push_back(R);
+    } else if (I.Idiom == "scan") {
+      ScanReduction R;
+      R.Loop = I.Loop;
+      R.Accumulator = cast<PhiInst>(I.capture("acc"));
+      R.Update = I.capture("update");
+      R.Init = I.capture("init");
+      R.Out = cast<StoreInst>(I.capture("out_store"));
+      R.OutBase = I.capture("out_base");
+      R.Inclusive = I.capture("stored") == R.Update;
+      R.Op = I.Op;
+      Report.Scans.push_back(R);
+    } else if (I.Idiom == "argminmax") {
+      ArgMinMaxReduction R;
+      R.Loop = I.Loop;
+      R.Best = cast<PhiInst>(I.capture("best"));
+      R.Index = cast<PhiInst>(I.capture("idx"));
+      R.BestUpdate = I.capture("best_up");
+      R.IndexUpdate = I.capture("idx_up");
+      R.BestInit = I.capture("best_init");
+      R.IndexInit = I.capture("idx_init");
+      // The guard decomposition was vetted and captured by the
+      // legality hook; only the strictness bit is re-derived (bools
+      // have no capture slot), from the same classifier the hook ran.
+      R.Guard = cast<CmpInst>(I.capture("guard"));
+      R.Candidate = I.capture("candidate");
+      R.IndexCandidate = I.capture("index_candidate");
+      R.Strict = classifyGuardedMinMax(R.BestUpdate, R.Best).Strict;
+      R.Op = I.Op;
+      Report.ArgMinMax.push_back(R);
+    }
+    // Instances of custom idioms have no typed slot in the report;
+    // clients consuming them use detectIdioms() directly.
   }
   return Report;
 }
 
+ReductionReport gr::analyzeFunction(Function &F,
+                                    FunctionAnalysisManager &AM,
+                                    DetectionStats *Stats,
+                                    const IdiomRegistry *Registry) {
+  const IdiomRegistry &R = Registry ? *Registry : IdiomRegistry::builtins();
+  IdiomDetectionResult D = detectIdioms(F, AM, R, Stats);
+  return decodeReport(F, std::move(D.ForLoops), D.Instances);
+}
+
 std::vector<ReductionReport> gr::analyzeModule(Module &M,
                                                FunctionAnalysisManager &AM,
-                                               DetectionStats *Stats) {
+                                               DetectionStats *Stats,
+                                               const IdiomRegistry *Registry) {
   std::vector<ReductionReport> Reports;
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
-      Reports.push_back(analyzeFunction(*F, AM, Stats));
+      Reports.push_back(analyzeFunction(*F, AM, Stats, Registry));
   return Reports;
 }
 
@@ -329,8 +106,29 @@ std::vector<ReductionReport> gr::analyzeModule(Module &M,
 
 PreservedAnalyses ReductionDetectionPass::run(Module &M,
                                               FunctionAnalysisManager &AM) {
+  unsigned W = Workers;
+  if (W == 0) {
+    if (const char *Env = std::getenv("GR_DETECT_WORKERS")) {
+      long Parsed = std::strtol(Env, nullptr, 10);
+      if (Parsed > 0)
+        W = static_cast<unsigned>(Parsed);
+    }
+    if (W == 0)
+      W = 1;
+  }
+
   DetectionStats Local;
-  std::vector<ReductionReport> Found = analyzeModule(M, AM, &Local);
+  std::vector<ReductionReport> Found;
+  if (W > 1) {
+    ParallelDetectionOptions Opts;
+    Opts.Workers = W;
+    ParallelDetectionResult PR = analyzeModuleParallel(M, Opts);
+    Found = std::move(PR.Reports);
+    Local = std::move(PR.Stats);
+  } else {
+    Found = analyzeModule(M, AM, &Local);
+  }
+
   if (PassInstrumentation *PI = instrumentation()) {
     PI->recordCounter(name(), "solver.nodes", Local.totalNodes());
     PI->recordCounter(name(), "solver.candidates", Local.totalCandidates());
@@ -349,6 +147,8 @@ gr::countReductions(const std::vector<ReductionReport> &Reports) {
   for (const ReductionReport &R : Reports) {
     Counts.Scalars += static_cast<unsigned>(R.Scalars.size());
     Counts.Histograms += static_cast<unsigned>(R.Histograms.size());
+    Counts.Scans += static_cast<unsigned>(R.Scans.size());
+    Counts.ArgMinMax += static_cast<unsigned>(R.ArgMinMax.size());
   }
   return Counts;
 }

@@ -1,13 +1,16 @@
 //===- ReductionAnalysis.h - public detection API -------------*- C++ -*-===//
 ///
 /// \file
-/// The library's main entry point: runs the constraint-based for-loop,
-/// scalar-reduction and histogram specifications over a function or
-/// module and returns the matches, after the associativity and
-/// exclusive-access post-checks the paper applies outside the
-/// constraint language. Detection consults the shared analysis cache
-/// (FunctionAnalysisManager) and is also packaged as a module pass so
-/// pipelines can run it with per-pass timing.
+/// The library's main entry point: runs every registered idiom
+/// specification (for-loop, scalar reduction, histogram, scan,
+/// argmin/argmax by default — see idioms/IdiomRegistry.h) over a
+/// function or module and returns the typed matches, after the
+/// associativity and exclusive-access post-checks the paper applies
+/// outside the constraint language. Detection consults the shared
+/// analysis cache (FunctionAnalysisManager) and is also packaged as a
+/// module pass so pipelines can run it with per-pass timing — and,
+/// when configured with more than one worker, through the parallel
+/// module-level driver (pass/ParallelDriver.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,49 +21,100 @@
 #include "idioms/ReductionInfo.h"
 #include "pass/Pass.h"
 
+#include <map>
+#include <string>
 #include <vector>
 
 namespace gr {
 
 class ConstraintContext;
 class Function;
+class IdiomRegistry;
 class Module;
+struct IdiomInstance;
 
-/// Detection statistics (per module run).
+/// Detection statistics (per module run): the shared for-loop search
+/// plus per-idiom solver statistics keyed by registry name.
+///
+/// Thread-safety: a DetectionStats value is plain data with no
+/// internal synchronization. The parallel detection driver gives every
+/// worker its own instance and merges them with operator+= strictly
+/// after joining the workers (see StatsLedger in pass/ParallelDriver.h
+/// for the enforced accumulate-local-then-merge protocol). Never share
+/// one instance between concurrently running detections.
 struct DetectionStats {
+  /// The shared for-loop prefix search (paper Fig. 5).
   SolverStats ForLoops;
-  SolverStats Scalars;
-  SolverStats Histograms;
+  /// Per-idiom solver statistics, keyed by idiom name.
+  std::map<std::string, SolverStats> PerIdiom;
 
+  /// The (possibly zero) statistics recorded for \p Name.
+  SolverStats idiom(const std::string &Name) const {
+    auto It = PerIdiom.find(Name);
+    return It == PerIdiom.end() ? SolverStats() : It->second;
+  }
+
+  /// Merges \p Other into this. Only safe once no other thread touches
+  /// either operand (merge-after-join).
   DetectionStats &operator+=(const DetectionStats &Other) {
     ForLoops += Other.ForLoops;
-    Scalars += Other.Scalars;
-    Histograms += Other.Histograms;
+    for (const auto &[Name, S] : Other.PerIdiom)
+      PerIdiom[Name] += S;
     return *this;
   }
 
+  /// Exact equality, used by the parallel-vs-serial determinism
+  /// checks. Idioms recorded with all-zero statistics still count.
+  bool operator==(const DetectionStats &Other) const {
+    return ForLoops == Other.ForLoops && PerIdiom == Other.PerIdiom;
+  }
+  bool operator!=(const DetectionStats &Other) const {
+    return !(*this == Other);
+  }
+
+  /// Solver search nodes over all specs.
   uint64_t totalNodes() const {
-    return ForLoops.NodesVisited + Scalars.NodesVisited +
-           Histograms.NodesVisited;
+    uint64_t N = ForLoops.NodesVisited;
+    for (const auto &[Name, S] : PerIdiom)
+      N += S.NodesVisited;
+    return N;
   }
+  /// Candidate bindings tried over all specs.
   uint64_t totalCandidates() const {
-    return ForLoops.CandidatesTried + Scalars.CandidatesTried +
-           Histograms.CandidatesTried;
+    uint64_t N = ForLoops.CandidatesTried;
+    for (const auto &[Name, S] : PerIdiom)
+      N += S.CandidatesTried;
+    return N;
   }
+  /// Raw solver solutions over all specs (before legality checks).
   uint64_t totalSolutions() const {
-    return ForLoops.Solutions + Scalars.Solutions + Histograms.Solutions;
+    uint64_t N = ForLoops.Solutions;
+    for (const auto &[Name, S] : PerIdiom)
+      N += S.Solutions;
+    return N;
   }
 };
 
-/// Runs all idiom specs over \p F, borrowing cached analyses from
-/// \p AM.
+/// Runs all idiom specs of \p Registry (null: the built-ins) over
+/// \p F, borrowing cached analyses from \p AM.
 ReductionReport analyzeFunction(Function &F, FunctionAnalysisManager &AM,
-                                DetectionStats *Stats = nullptr);
+                                DetectionStats *Stats = nullptr,
+                                const IdiomRegistry *Registry = nullptr);
+
+/// Decodes generic idiom instances (idioms/IdiomSpec.h) into the typed
+/// report structs; instances of idioms unknown to the report are
+/// dropped. Exposed so custom drivers (the parallel driver, examples)
+/// share one decoding path.
+ReductionReport decodeReport(Function &F,
+                             std::vector<ForLoopMatch> ForLoops,
+                             const std::vector<IdiomInstance> &Instances);
 
 /// Runs analyzeFunction over every definition in \p M.
 std::vector<ReductionReport> analyzeModule(Module &M,
                                            FunctionAnalysisManager &AM,
-                                           DetectionStats *Stats = nullptr);
+                                           DetectionStats *Stats = nullptr,
+                                           const IdiomRegistry *Registry =
+                                               nullptr);
 
 /// Convenience overload with a scratch analysis manager (one-shot
 /// callers; pipelines should share a FunctionAnalysisManager instead).
@@ -70,12 +124,19 @@ std::vector<ReductionReport> analyzeModule(Module &M,
 /// Detection as a module pass. Reports land in \p Reports and solver
 /// statistics in \p Stats (either may be null); when instrumentation
 /// is attached, solver statistics are also published as counters.
+///
+/// With Workers > 1 the pass shards the module's functions over the
+/// parallel detection driver (pass/ParallelDriver.h); Workers == 0
+/// consults the GR_DETECT_WORKERS environment variable and defaults to
+/// serial. The parallel path gives each worker a private analysis
+/// cache and leaves the pass's shared FunctionAnalysisManager cold.
 class ReductionDetectionPass : public ModulePass {
 public:
   explicit ReductionDetectionPass(std::vector<ReductionReport> *Reports =
                                       nullptr,
-                                  DetectionStats *Stats = nullptr)
-      : Reports(Reports), Stats(Stats) {}
+                                  DetectionStats *Stats = nullptr,
+                                  unsigned Workers = 0)
+      : Reports(Reports), Stats(Stats), Workers(Workers) {}
 
   const char *name() const override { return "detect-reductions"; }
   PreservedAnalyses run(Module &M, FunctionAnalysisManager &AM) override;
@@ -83,12 +144,15 @@ public:
 private:
   std::vector<ReductionReport> *Reports;
   DetectionStats *Stats;
+  unsigned Workers;
 };
 
 /// Totals over a module's reports.
 struct ReductionCounts {
   unsigned Scalars = 0;
   unsigned Histograms = 0;
+  unsigned Scans = 0;
+  unsigned ArgMinMax = 0;
 };
 ReductionCounts countReductions(const std::vector<ReductionReport> &Reports);
 

@@ -76,12 +76,47 @@ struct HistogramReduction {
   ReductionOperator Op;
 };
 
+/// One detected scan / prefix sum: a scalar accumulator whose running
+/// value (inclusive: the updated value, exclusive: the old value) is
+/// stored to an iterator-addressed output array each iteration.
+struct ScanReduction {
+  ForLoopMatch Loop;
+  PhiInst *Accumulator; ///< Header phi carrying the running value.
+  Value *Update;        ///< Backedge-incoming updated value.
+  Value *Init;          ///< Preheader-incoming initial value.
+  StoreInst *Out;       ///< out[iterator] = running
+  Value *OutBase;       ///< Loop-invariant output array base.
+  bool Inclusive;       ///< Stored value is the update (else the phi).
+  ReductionOperator Op;
+};
+
+/// One detected argmin/argmax: a guarded min/max accumulator paired
+/// with an index accumulator switched by the same comparison.
+struct ArgMinMaxReduction {
+  ForLoopMatch Loop;
+  PhiInst *Best;         ///< Header phi carrying the extremum.
+  PhiInst *Index;        ///< Header phi carrying its position.
+  Value *BestUpdate;     ///< Backedge-incoming merged extremum.
+  Value *IndexUpdate;    ///< Backedge-incoming merged position.
+  Value *BestInit;       ///< Initial extremum (preheader incoming).
+  Value *IndexInit;      ///< Initial position (preheader incoming).
+  CmpInst *Guard;        ///< cmp(candidate, best) steering both phis.
+  Value *Candidate;      ///< The compared (and taken) candidate value.
+  Value *IndexCandidate; ///< Position taken when the guard fires.
+  /// Guard is strict (< / >): the serial loop keeps the first winner,
+  /// which is what the chunk-merge of the transform reproduces.
+  bool Strict;
+  ReductionOperator Op;  ///< Min or Max.
+};
+
 /// Detection result for one function.
 struct ReductionReport {
   Function *F = nullptr;
   std::vector<ForLoopMatch> ForLoops;
   std::vector<ScalarReduction> Scalars;
   std::vector<HistogramReduction> Histograms;
+  std::vector<ScanReduction> Scans;
+  std::vector<ArgMinMaxReduction> ArgMinMax;
 };
 
 } // namespace gr

@@ -35,26 +35,33 @@ struct AnalysisKey {};
 /// all().
 class PreservedAnalyses {
 public:
+  /// Everything survived: the return of read-only passes.
   static PreservedAnalyses all() {
     PreservedAnalyses PA;
     PA.All = true;
     return PA;
   }
+  /// Nothing survived: the conservative return of mutating passes.
   static PreservedAnalyses none() { return PreservedAnalyses(); }
 
+  /// Marks one analysis as intact (chainable).
   template <typename AnalysisT> PreservedAnalyses &preserve() {
     return preserveKey(&AnalysisT::Key);
   }
+  /// Key-based variant for callers without the analysis type at hand.
   PreservedAnalyses &preserveKey(const AnalysisKey *K) {
     if (!All)
       Preserved.insert(K);
     return *this;
   }
 
+  /// True for the all() set (no explicit list is kept then).
   bool areAllPreserved() const { return All; }
+  /// Did this pass leave AnalysisT valid?
   template <typename AnalysisT> bool isPreserved() const {
     return isPreservedKey(&AnalysisT::Key);
   }
+  /// Key-based variant of isPreserved().
   bool isPreservedKey(const AnalysisKey *K) const {
     return All || Preserved.count(K) != 0;
   }
@@ -90,6 +97,11 @@ private:
 /// and are obtained with AM.get<FooAnalysis>(F). Results live until
 /// invalidate()/clear(); references handed out stay stable across
 /// unrelated get() calls (node-based storage).
+///
+/// Not thread-safe: get() mutates the cache even for logically
+/// read-only queries. Concurrent detection (pass/ParallelDriver.h)
+/// therefore gives every worker thread its own manager instead of
+/// sharing one.
 class FunctionAnalysisManager {
 public:
   FunctionAnalysisManager() = default;
@@ -132,7 +144,9 @@ public:
   /// cached unit (used by the module pass manager).
   void invalidateAll(const PreservedAnalyses &PA);
 
+  /// Drops every cached result unconditionally.
   void clear() { Results.clear(); }
+  /// Number of live cached results (tests and cache diagnostics).
   std::size_t cachedResultCount() const { return Results.size(); }
 
 private:

@@ -1,0 +1,87 @@
+//===- ParallelDriver.cpp -------------------------------------*- C++ -*-===//
+
+#include "pass/ParallelDriver.h"
+
+#include "idioms/IdiomRegistry.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace gr;
+
+StatsLedger::StatsLedger(unsigned NumWorkers)
+    : Owner(std::this_thread::get_id()), Slots(NumWorkers) {}
+
+DetectionStats &StatsLedger::slot(unsigned W) {
+  assert(!Sealed && "StatsLedger: slot access after merge()");
+  assert(W < Slots.size() && "StatsLedger: slot index out of range");
+  return Slots[W];
+}
+
+DetectionStats StatsLedger::merge() {
+  assert(Owner == std::this_thread::get_id() &&
+         "StatsLedger: merge() must run on the thread that owns the "
+         "ledger, after joining every worker");
+  assert(!Sealed && "StatsLedger: merged twice");
+  Sealed = true;
+  DetectionStats Total;
+  for (const DetectionStats &S : Slots)
+    Total += S;
+  return Total;
+}
+
+ParallelDetectionResult
+gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
+  const IdiomRegistry &Registry =
+      Opts.Registry ? *Opts.Registry : IdiomRegistry::builtins();
+
+  std::vector<Function *> Defs;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Defs.push_back(F.get());
+
+  ParallelDetectionResult Result;
+  Result.Reports.resize(Defs.size());
+
+  unsigned W = Opts.Workers;
+  if (W == 0) {
+    W = std::thread::hardware_concurrency();
+    if (W == 0)
+      W = 1;
+  }
+  if (W > Defs.size())
+    W = static_cast<unsigned>(Defs.size());
+  if (W == 0)
+    W = 1;
+  Result.WorkersUsed = W;
+
+  StatsLedger Ledger(W);
+
+  // Each worker owns a private analysis manager: analyses (and the
+  // module-scoped purity classification) are recomputed per worker
+  // rather than shared, trading a little redundant work for a cache
+  // without any locking.
+  auto Work = [&](unsigned Worker) {
+    FunctionAnalysisManager FAM;
+    DetectionStats &Local = Ledger.slot(Worker);
+    for (std::size_t I = Worker; I < Defs.size(); I += W)
+      Result.Reports[I] =
+          analyzeFunction(*Defs[I], FAM, &Local, &Registry);
+  };
+
+  if (W == 1) {
+    Work(0); // Degenerate pool: run inline, same code path.
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(W);
+    for (unsigned T = 0; T < W; ++T)
+      Pool.emplace_back(Work, T);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  Result.Stats = Ledger.merge();
+  return Result;
+}

@@ -1,0 +1,100 @@
+//===- ParallelDriver.h - parallel module-level detection -----*- C++ -*-===//
+///
+/// \file
+/// Per-function idiom detection is embarrassingly parallel: it reads
+/// the IR, builds analyses, and solves constraint formulas without
+/// mutating anything. This driver shards a module's definitions over a
+/// pool of std::thread workers, each with its *own*
+/// FunctionAnalysisManager (the shared manager's cache is not
+/// thread-safe), and merges the per-worker DetectionStats strictly
+/// after every worker has been joined.
+///
+/// Sharding is static block-cyclic: worker w handles definitions
+/// w, w+W, w+2W, ... in module order. That makes the schedule — and
+/// therefore the report order and the merged statistics — fully
+/// deterministic: any worker count produces bitwise identical results
+/// (asserted by tests/IdiomRegistryTests.cpp and
+/// bench/table_parallel_scaling.cpp).
+///
+/// Ownership rule for statistics (enforced by StatsLedger): a
+/// DetectionStats instance is written by exactly one worker; merging
+/// with operator+= happens only on the spawning thread, only after
+/// join. Sharing one instance across running workers is a data race —
+/// SolverStats counters are plain uint64_t, not atomics, by design
+/// (atomics would serialize the solver's hot path).
+///
+/// The module must not be mutated while the driver runs; run
+/// transform passes strictly before or after.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_PASS_PARALLELDRIVER_H
+#define GR_PASS_PARALLELDRIVER_H
+
+#include "idioms/ReductionAnalysis.h"
+
+#include <thread>
+#include <vector>
+
+namespace gr {
+
+class IdiomRegistry;
+class Module;
+
+/// Configuration of one parallel detection run.
+struct ParallelDetectionOptions {
+  /// Worker threads to spawn; 0 means std::thread::hardware_concurrency
+  /// (at least 1). The driver never spawns more workers than there are
+  /// definitions.
+  unsigned Workers = 0;
+  /// Idiom registry to run; null means IdiomRegistry::builtins().
+  /// Custom registries must not be mutated while the driver runs.
+  const IdiomRegistry *Registry = nullptr;
+};
+
+/// Result of one parallel detection run.
+struct ParallelDetectionResult {
+  /// One report per definition, in module order — independent of the
+  /// worker count.
+  std::vector<ReductionReport> Reports;
+  /// Merged statistics, bitwise identical to a serial run's.
+  DetectionStats Stats;
+  /// Workers actually spawned (after clamping).
+  unsigned WorkersUsed = 0;
+};
+
+/// The accumulate-local-then-merge helper for worker statistics. Each
+/// worker writes only its own slot; merge() is only legal on the
+/// thread that created the ledger, after every worker has been joined,
+/// and seals the ledger (asserts on any later slot access). This turns
+/// the documented ownership protocol into a runtime check instead of a
+/// comment.
+class StatsLedger {
+public:
+  explicit StatsLedger(unsigned NumWorkers);
+
+  /// Worker \p W's private slot. Must not be called after merge().
+  DetectionStats &slot(unsigned W);
+
+  /// Merges all slots (in slot order) and seals the ledger. Asserts
+  /// when called from any thread other than the creating one — the
+  /// join point is the only place a merge is race-free.
+  DetectionStats merge();
+
+  unsigned size() const { return static_cast<unsigned>(Slots.size()); }
+
+private:
+  std::thread::id Owner;
+  std::vector<DetectionStats> Slots;
+  bool Sealed = false;
+};
+
+/// Runs idiom detection over every definition of \p M on a worker
+/// pool. Semantically identical to analyzeModule(): same reports in
+/// the same order, same merged statistics, for every worker count.
+ParallelDetectionResult
+analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts = {});
+
+} // namespace gr
+
+#endif // GR_PASS_PARALLELDRIVER_H

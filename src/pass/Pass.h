@@ -22,11 +22,17 @@ class PassInstrumentation;
 class PassBase {
 public:
   virtual ~PassBase() = default;
+
+  /// Stable identifier used by instrumentation records, counters and
+  /// diagnostics (e.g. "mem2reg", "detect-reductions").
   virtual const char *name() const = 0;
 
+  /// Attaches the observation hook; pass managers do this for every
+  /// scheduled pass. Null detaches.
   void setInstrumentation(PassInstrumentation *P) { PI = P; }
 
 protected:
+  /// The attached hook, or null when the pass runs unobserved.
   PassInstrumentation *instrumentation() const { return PI; }
 
 private:
@@ -36,12 +42,17 @@ private:
 /// A pass over one function.
 class FunctionPass : public PassBase {
 public:
+  /// Processes \p F with access to the shared analysis cache and
+  /// reports which analyses survived (the manager invalidates the
+  /// rest, cascading through dependencies).
   virtual PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) = 0;
 };
 
 /// A pass over a whole module.
 class ModulePass : public PassBase {
 public:
+  /// Processes \p M; the returned set is applied to every cached unit
+  /// via FunctionAnalysisManager::invalidateAll.
   virtual PreservedAnalyses run(Module &M, FunctionAnalysisManager &AM) = 0;
 
   /// Adaptors record their inner pass runs themselves; the module

@@ -32,12 +32,19 @@ struct PassExecution {
 
 class PassInstrumentation {
 public:
+  /// Appends one execution record (called by the pass managers around
+  /// every pass run).
   void recordRun(std::string Pass, std::string Unit, double Millis,
                  bool Changed);
+  /// Adds \p Delta to the named counter of \p Pass (passes publish
+  /// domain metrics this way, e.g. the detection pass's solver
+  /// statistics).
   void recordCounter(const std::string &Pass, const std::string &Counter,
                      uint64_t Delta);
 
+  /// All recorded executions, in recording order.
   const std::vector<PassExecution> &executions() const { return Executions; }
+  /// All counters, keyed by (pass, counter name).
   const std::map<std::pair<std::string, std::string>, uint64_t> &
   counters() const {
     return Counters;
@@ -45,12 +52,14 @@ public:
 
   /// Total wall-clock attributed to \p Pass across all recorded runs.
   double totalMillis(const std::string &Pass) const;
+  /// Current value of one counter (0 when never recorded).
   uint64_t counter(const std::string &Pass, const std::string &Counter) const;
 
   /// Aggregated per-pass table: runs, total ms, units changed, then
   /// any counters.
   void print(OStream &OS) const;
 
+  /// Forgets all executions and counters.
   void clear();
 
 private:

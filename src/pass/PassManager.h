@@ -27,11 +27,16 @@ class FunctionPassManager : public FunctionPass {
 public:
   const char *name() const override { return "function-pipeline"; }
 
+  /// Appends \p P; passes run in insertion order.
   void addPass(std::unique_ptr<FunctionPass> P) {
     Passes.push_back(std::move(P));
   }
+  /// True when no pass has been scheduled yet.
   bool empty() const { return Passes.empty(); }
 
+  /// Runs the sequence over \p F, invalidating the cache after each
+  /// pass according to its PreservedAnalyses; returns the
+  /// intersection (what the whole pipeline preserved).
   PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) override;
 
 private:
@@ -41,14 +46,19 @@ private:
 /// A sequence of module passes.
 class ModulePassManager {
 public:
+  /// Appends \p P; passes run in insertion order.
   void addPass(std::unique_ptr<ModulePass> P) {
     Passes.push_back(std::move(P));
   }
   /// Sugar: wraps \p P in a FunctionToModulePassAdaptor.
   void addFunctionPass(std::unique_ptr<FunctionPass> P);
 
+  /// Attaches \p P to the manager and, at run() time, to every
+  /// scheduled pass, so executions and counters land in one place.
   void setInstrumentation(PassInstrumentation *P) { PI = P; }
 
+  /// Runs the sequence over \p M, invalidating after each pass;
+  /// returns what the whole pipeline preserved.
   PreservedAnalyses run(Module &M, FunctionAnalysisManager &AM);
 
 private:
@@ -56,7 +66,9 @@ private:
   PassInstrumentation *PI = nullptr;
 };
 
-/// Runs one function pass over every definition of a module.
+/// Runs one function pass over every definition of a module. The
+/// function list is snapshotted before the walk, so passes that
+/// create functions (the outliner) are safe.
 class FunctionToModulePassAdaptor : public ModulePass {
 public:
   explicit FunctionToModulePassAdaptor(std::unique_ptr<FunctionPass> P)
@@ -65,6 +77,8 @@ public:
   const char *name() const override { return P->name(); }
   bool recordsOwnExecutions() const override { return true; }
 
+  /// Runs the wrapped pass per definition, invalidating per function,
+  /// and returns the intersection of the per-function results.
   PreservedAnalyses run(Module &M, FunctionAnalysisManager &AM) override;
 
 private:

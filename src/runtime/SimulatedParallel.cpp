@@ -63,6 +63,21 @@ Slot identityFor(ReductionOperator Op, bool IsFloat) {
   return S;
 }
 
+/// Does the challenger \p B beat the incumbent \p A under a guarded
+/// extremum merge? Strict guards keep the incumbent on ties (the
+/// serial loop retains the first winner), non-strict guards replace.
+bool beats(ReductionOperator Op, bool IsFloat, Slot B, Slot A,
+           bool Strict) {
+  if (Op == ReductionOperator::Min) {
+    if (IsFloat)
+      return Strict ? B.F < A.F : B.F <= A.F;
+    return Strict ? B.I < A.I : B.I <= A.I;
+  }
+  if (IsFloat)
+    return Strict ? B.F > A.F : B.F >= A.F;
+  return Strict ? B.I > A.I : B.I >= A.I;
+}
+
 Slot combine(ReductionOperator Op, bool IsFloat, Slot A, Slot B) {
   Slot S{.I = 0};
   switch (Op) {
@@ -149,9 +164,25 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
   const unsigned HistArgBase = 2;
   const unsigned AccArgBase = HistArgBase + NumHists;
 
-  bool Privatize =
-      Config.Strategy == ParallelStrategy::PrivatizedTree && !Info->IsDoall;
+  using EK = ParallelLoopInfo::ExecutionKind;
+  bool Privatize = Config.Strategy == ParallelStrategy::PrivatizedTree &&
+                   Info->Kind == EK::Reduction;
+  // Argmin/argmax privatizes its slot *pairs*; without the privatizing
+  // strategy it (like scans always) runs the chunks chained through
+  // the shared slots, which is exact because the chunks execute in
+  // order on this simulated machine.
+  bool PrivatizePairs =
+      Config.Strategy == ParallelStrategy::PrivatizedTree &&
+      Info->Kind == EK::ArgMinMax;
   bool LockBased = Config.Strategy == ParallelStrategy::LockPerUpdate;
+
+  // Which accumulator slots belong to argmin/argmax pairs, and in
+  // which role.
+  std::vector<bool> IsPairBest(NumAccs, false), IsPairIndex(NumAccs, false);
+  for (const auto &P : Info->ArgPairs) {
+    IsPairBest[P.BestSlot] = true;
+    IsPairIndex[P.IndexSlot] = true;
+  }
 
   Memory &Mem = I.getMemory();
   uint64_t MaxWork = 0;
@@ -202,6 +233,20 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
         BodyArgs[AccArgBase + A].Ptr = SlotAddr;
       }
     }
+    if (PrivatizePairs) {
+      // Extremum slots start from the identity so a chunk reports its
+      // own winner; index slots start from the incoming index so an
+      // untouched chunk carries the incumbent along.
+      for (unsigned A = 0; A < NumAccs; ++A) {
+        const auto &AI = Info->Accumulators[A];
+        uint64_t SlotAddr = Mem.allocatePermanent(8);
+        Slot Init{.I = Mem.readInt(Args[AccArgBase + A].Ptr)};
+        if (IsPairBest[A])
+          Init = identityFor(AI.Op, AI.IsFloat);
+        Mem.writeInt(SlotAddr, Init.I);
+        BodyArgs[AccArgBase + A].Ptr = SlotAddr;
+      }
+    }
 
     uint64_t WorkBefore = I.instructionCount();
     uint64_t UpdatesBefore = LockBased ? updateCount() : 0;
@@ -212,7 +257,7 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
     MaxWork = std::max(MaxWork, Work);
     TotalSectionWork += Work;
 
-    if (Privatize)
+    if (Privatize || PrivatizePairs)
       for (unsigned A = 0; A < NumAccs; ++A)
         ThreadAccs[t].push_back(
             Slot{.I = Mem.readInt(BodyArgs[AccArgBase + A].Ptr)});
@@ -245,11 +290,41 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
       ++MergedElements;
     }
   }
+  if (PrivatizePairs) {
+    // Merge (extremum, index) pairs in chunk order: a chunk's winner
+    // replaces the incumbent exactly when the original guard would
+    // have fired, and the index travels with it.
+    for (const auto &P : Info->ArgPairs) {
+      const auto &BI = Info->Accumulators[P.BestSlot];
+      uint64_t BestOrig = Args[AccArgBase + P.BestSlot].Ptr;
+      uint64_t IdxOrig = Args[AccArgBase + P.IndexSlot].Ptr;
+      Slot CurBest{.I = Mem.readInt(BestOrig)};
+      Slot CurIdx{.I = Mem.readInt(IdxOrig)};
+      for (uint64_t t = 0; t < T; ++t) {
+        Slot TB = ThreadAccs[t][P.BestSlot];
+        Slot TI = ThreadAccs[t][P.IndexSlot];
+        if (beats(BI.Op, BI.IsFloat, TB, CurBest, P.Strict)) {
+          CurBest = TB;
+          CurIdx = TI;
+        }
+      }
+      Mem.writeInt(BestOrig, CurBest.I);
+      Mem.writeInt(IdxOrig, CurIdx.I);
+      MergedElements += 2;
+    }
+  }
 
   // Cost model.
   unsigned Levels = ceilLog2(T);
   uint64_t SimTime = MaxWork + Config.SpawnOverhead * Levels;
-  if (Privatize)
+  if (Info->Kind == EK::Scan && T > 1)
+    // Two-phase parallel scan: every element is visited twice (chunk
+    // sums, then the offset replay), plus a short serial combine of
+    // the T partials. The chained execution above already did the work
+    // once; the model charges the second sweep. A single thread runs
+    // the plain serial loop and pays nothing extra.
+    SimTime += MaxWork + Config.MergeCostPerElement * T;
+  if (Privatize || PrivatizePairs)
     SimTime += Config.MergeCostPerElement * MergedElements * Levels;
   if (LockBased)
     SimTime += TotalLockedUpdates *

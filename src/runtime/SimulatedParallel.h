@@ -19,6 +19,14 @@
 ///                   + updates * (lock + contention*(T-1))
 ///                   (models critical-section originals: histo, tpacf)
 ///
+/// Sections carry an ExecutionKind (transform/ReductionParallelize.h)
+/// refining the model: Scan sections execute chunks chained through
+/// the shared accumulator slot (bit-exact carry propagation) and
+/// charge the two-phase prefix-sum model 2*max_t(work_t) +
+/// spawn*log2(T) + merge*T; ArgMinMax sections privatize their
+/// (extremum, index) slot pairs and merge them pairwise in chunk
+/// order, charging the PrivatizedTree model.
+///
 /// This preserves exactly what Fig 15 shows: who wins, rough factors,
 /// and where privatization/merge overheads and Amdahl coverage bite.
 ///

@@ -1,0 +1,64 @@
+//===- ArgMinMaxParallelize.cpp -------------------------------*- C++ -*-===//
+
+#include "transform/ArgMinMaxParallelize.h"
+
+#include "idioms/ReductionAnalysis.h"
+#include "ir/Function.h"
+
+using namespace gr;
+
+ParallelizeResult
+ReductionParallelizer::parallelizeArgMinMax(Function &F,
+                                            const ArgMinMaxReduction &R) {
+  // Both phis are outlined as accumulator slots. The extremum slot
+  // carries the real operator; the index slot's operator is never used
+  // for merging (the pair merge below replaces it wholesale), so it
+  // records the extremum's operator too.
+  ScalarReduction Best;
+  Best.Loop = R.Loop;
+  Best.Accumulator = R.Best;
+  Best.Update = R.BestUpdate;
+  Best.Init = R.BestInit;
+  Best.Op = R.Op;
+
+  ScalarReduction Index;
+  Index.Loop = R.Loop;
+  Index.Accumulator = R.Index;
+  Index.Update = R.IndexUpdate;
+  Index.Init = R.IndexInit;
+  Index.Op = R.Op;
+
+  ParallelizeResult Result =
+      outline(F, R.Loop, {Best, Index}, {},
+              ParallelLoopInfo::ExecutionKind::ArgMinMax);
+  if (Result.Transformed) {
+    // Slot indices follow the Scalars order passed to outline().
+    Result.Info->ArgPairs.push_back({/*BestSlot=*/0, /*IndexSlot=*/1,
+                                     R.Strict});
+  }
+  return Result;
+}
+
+PreservedAnalyses
+ArgMinMaxParallelizePass::run(Function &F, FunctionAnalysisManager &AM) {
+  if (F.isDeclaration() ||
+      F.getName().find(".parloop.") != std::string::npos)
+    return PreservedAnalyses::all();
+
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    // Fresh detection every round: a successful outline deletes the
+    // loop's blocks, so stale matches must never be consumed.
+    ReductionReport R = analyzeFunction(F, AM);
+    for (const ArgMinMaxReduction &A : R.ArgMinMax) {
+      if (RP.parallelizeArgMinMax(F, A).Transformed) {
+        ++NumParallelized;
+        Changed = Progress = true;
+        break;
+      }
+    }
+  }
+  return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
+}

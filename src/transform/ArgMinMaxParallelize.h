@@ -1,0 +1,42 @@
+//===- ArgMinMaxParallelize.h - argmin/argmax exploitation ----*- C++ -*-===//
+///
+/// \file
+/// Exploitation of detected argmin/argmax loops. Both header phis (the
+/// extremum and its index) become privatized accumulator slots of the
+/// outlined body; the section descriptor records them as an ArgPair so
+/// the runtime merges them *together*: walking the per-chunk results
+/// in chunk order, a chunk's extremum replaces the running one exactly
+/// when the original guard would have fired, and the index travels
+/// with it. Strict guards (< / >) keep the first winner, matching the
+/// serial loop; non-strict guards keep the last.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TRANSFORM_ARGMINMAXPARALLELIZE_H
+#define GR_TRANSFORM_ARGMINMAXPARALLELIZE_H
+
+#include "transform/ReductionParallelize.h"
+
+namespace gr {
+
+/// Detect-and-exploit for argmin/argmax loops, mirroring
+/// ParallelizeReductionsPass: outlines every detected instance,
+/// re-running detection after each successful rewrite. Refusals are
+/// skipped silently.
+class ArgMinMaxParallelizePass : public FunctionPass {
+public:
+  explicit ArgMinMaxParallelizePass(ReductionParallelizer &RP) : RP(RP) {}
+
+  const char *name() const override { return "parallelize-argminmax"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) override;
+
+  unsigned numParallelized() const { return NumParallelized; }
+
+private:
+  ReductionParallelizer &RP;
+  unsigned NumParallelized = 0;
+};
+
+} // namespace gr
+
+#endif // GR_TRANSFORM_ARGMINMAXPARALLELIZE_H

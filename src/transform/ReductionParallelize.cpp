@@ -55,19 +55,21 @@ ParallelizeResult ReductionParallelizer::parallelizeLoop(
     Function &F, const ForLoopMatch &Match,
     const std::vector<ScalarReduction> &Scalars,
     const std::vector<HistogramReduction> &Histograms) {
-  return outline(F, Match, Scalars, Histograms, /*Doall=*/false);
+  return outline(F, Match, Scalars, Histograms,
+                 ParallelLoopInfo::ExecutionKind::Reduction);
 }
 
 ParallelizeResult
 ReductionParallelizer::parallelizeDoall(Function &F,
                                         const ForLoopMatch &Match) {
-  return outline(F, Match, {}, {}, /*Doall=*/true);
+  return outline(F, Match, {}, {}, ParallelLoopInfo::ExecutionKind::Doall);
 }
 
 ParallelizeResult ReductionParallelizer::outline(
     Function &F, const ForLoopMatch &Match,
     const std::vector<ScalarReduction> &Scalars,
-    const std::vector<HistogramReduction> &Histograms, bool Doall) {
+    const std::vector<HistogramReduction> &Histograms,
+    ParallelLoopInfo::ExecutionKind Kind) {
   TypeContext &Types = M.getTypeContext();
   const DomTree &DT = AM.get<DomTreeAnalysis>(F);
   const LoopInfo &LI = AM.get<LoopAnalysis>(F);
@@ -438,7 +440,7 @@ ParallelizeResult ReductionParallelizer::outline(
   //===------------------------------------------------------------===//
   Info.Body = Body;
   Info.RuntimeDecl = Decl;
-  Info.IsDoall = Doall;
+  Info.Kind = Kind;
   Info.NumInvariants = static_cast<unsigned>(Invariants.size());
   for (unsigned K = 0; K < Histograms.size(); ++K) {
     const HistogramReduction &H = Histograms[K];

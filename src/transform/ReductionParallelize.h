@@ -35,6 +35,21 @@ class Module;
 /// pointers, then loop invariants; the body function has the same
 /// signature.
 struct ParallelLoopInfo {
+  /// How the runtime must execute and merge a section.
+  enum class ExecutionKind {
+    /// Privatize accumulators/histograms per thread, tree-merge after.
+    Reduction,
+    /// Independent iterations: nothing to privatize or merge.
+    Doall,
+    /// Chunks chained through the shared accumulator slot (carry
+    /// propagation); timing models the two-phase parallel scan.
+    Scan,
+    /// Privatized (best, index) slot pairs merged *as pairs* in chunk
+    /// order, so the index always travels with its extremum.
+    ArgMinMax,
+  };
+  ExecutionKind Kind = ExecutionKind::Reduction;
+
   Function *Body = nullptr;
   Function *RuntimeDecl = nullptr;
 
@@ -54,8 +69,17 @@ struct ParallelLoopInfo {
   };
   std::vector<AccInfo> Accumulators;
 
+  /// ArgMinMax sections: indices into Accumulators of the extremum
+  /// slot and the index slot merged together. Strict guards keep the
+  /// first winner (the serial semantics of `<`), non-strict the last.
+  struct ArgPair {
+    unsigned BestSlot;
+    unsigned IndexSlot;
+    bool Strict;
+  };
+  std::vector<ArgPair> ArgPairs;
+
   unsigned NumInvariants = 0;
-  bool IsDoall = false;
 };
 
 /// Outcome of one parallelization attempt.
@@ -90,6 +114,19 @@ public:
   ParallelizeResult parallelizeDoall(Function &F,
                                      const ForLoopMatch &Match);
 
+  /// Outlines a detected scan loop (defined in ScanParallelize.cpp).
+  /// The runtime executes the chunks in order, chaining the running
+  /// value through the shared accumulator slot, and charges the
+  /// two-phase parallel-scan cost model.
+  ParallelizeResult parallelizeScan(Function &F, const ScanReduction &Scan);
+
+  /// Outlines a detected argmin/argmax loop (defined in
+  /// ArgMinMaxParallelize.cpp): both header phis become privatized
+  /// accumulator slots, merged as a pair so the index always follows
+  /// its extremum.
+  ParallelizeResult parallelizeArgMinMax(Function &F,
+                                         const ArgMinMaxReduction &R);
+
   /// Descriptor lookup for the runtime's intrinsic handler.
   const ParallelLoopInfo *lookup(const Function *RuntimeDecl) const;
 
@@ -97,7 +134,7 @@ private:
   ParallelizeResult outline(Function &F, const ForLoopMatch &Match,
                             const std::vector<ScalarReduction> &Scalars,
                             const std::vector<HistogramReduction> &Histograms,
-                            bool Doall);
+                            ParallelLoopInfo::ExecutionKind Kind);
 
   Module &M;
   FunctionAnalysisManager &AM;

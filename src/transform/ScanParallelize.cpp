@@ -1,0 +1,51 @@
+//===- ScanParallelize.cpp ------------------------------------*- C++ -*-===//
+
+#include "transform/ScanParallelize.h"
+
+#include "idioms/ReductionAnalysis.h"
+#include "ir/Function.h"
+
+using namespace gr;
+
+ParallelizeResult
+ReductionParallelizer::parallelizeScan(Function &F,
+                                       const ScanReduction &Scan) {
+  // The running value is outlined exactly like a scalar accumulator:
+  // slot initialized from Init before the call, loaded at body entry,
+  // stored back at body exit, final value patched into after-loop
+  // uses. The output stores clone as ordinary stores to the (global)
+  // array. Only the descriptor kind differs: the runtime chains the
+  // chunks through the slot instead of privatizing it.
+  ScalarReduction S;
+  S.Loop = Scan.Loop;
+  S.Accumulator = Scan.Accumulator;
+  S.Update = Scan.Update;
+  S.Init = Scan.Init;
+  S.Op = Scan.Op;
+  return outline(F, Scan.Loop, {S}, {},
+                 ParallelLoopInfo::ExecutionKind::Scan);
+}
+
+PreservedAnalyses ScanParallelizePass::run(Function &F,
+                                           FunctionAnalysisManager &AM) {
+  if (F.isDeclaration() ||
+      F.getName().find(".parloop.") != std::string::npos)
+    return PreservedAnalyses::all();
+
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    // Fresh detection every round: a successful outline deletes the
+    // loop's blocks, so stale matches must never be consumed.
+    ReductionReport R = analyzeFunction(F, AM);
+    for (const ScanReduction &S : R.Scans) {
+      if (RP.parallelizeScan(F, S).Transformed) {
+        ++NumParallelized;
+        Changed = Progress = true;
+        break;
+      }
+    }
+  }
+  return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
+}

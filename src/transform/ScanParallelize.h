@@ -1,0 +1,44 @@
+//===- ScanParallelize.h - scan exploitation pass -------------*- C++ -*-===//
+///
+/// \file
+/// Exploitation of detected scan / prefix-sum loops. The loop is
+/// outlined exactly like a scalar reduction (the running value becomes
+/// an accumulator slot, the output array is reached directly), but the
+/// section descriptor is tagged ExecutionKind::Scan: the simulated
+/// runtime then executes the chunks *in order*, chaining the carry
+/// through the shared slot — bit-exact with the serial loop — while
+/// charging the classic two-phase parallel-scan cost model (each
+/// thread sums its chunk, a short serial scan combines the T partials,
+/// each thread replays its chunk with its offset: about 2x the chunk
+/// work plus an O(T) combine).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TRANSFORM_SCANPARALLELIZE_H
+#define GR_TRANSFORM_SCANPARALLELIZE_H
+
+#include "transform/ReductionParallelize.h"
+
+namespace gr {
+
+/// Detect-and-exploit for scans, mirroring ParallelizeReductionsPass:
+/// finds the scan loops of a function and outlines each, re-running
+/// detection after every successful rewrite. Refusals (the outliner's
+/// documented limitations) are skipped silently.
+class ScanParallelizePass : public FunctionPass {
+public:
+  explicit ScanParallelizePass(ReductionParallelizer &RP) : RP(RP) {}
+
+  const char *name() const override { return "parallelize-scans"; }
+  PreservedAnalyses run(Function &F, FunctionAnalysisManager &AM) override;
+
+  unsigned numParallelized() const { return NumParallelized; }
+
+private:
+  ReductionParallelizer &RP;
+  unsigned NumParallelized = 0;
+};
+
+} // namespace gr
+
+#endif // GR_TRANSFORM_SCANPARALLELIZE_H

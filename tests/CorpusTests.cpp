@@ -41,6 +41,10 @@ TEST_P(CorpusDetection, ConstraintDetectionMatchesPaper) {
   auto Counts = countReductions(analyzeModule(*M));
   EXPECT_EQ(Counts.Scalars, B->Expected.OurScalars) << B->Name;
   EXPECT_EQ(Counts.Histograms, B->Expected.OurHistograms) << B->Name;
+  // Post-paper idiom specs: misfires on any of the 40 kernels would
+  // surface here.
+  EXPECT_EQ(Counts.Scans, B->Expected.OurScans) << B->Name;
+  EXPECT_EQ(Counts.ArgMinMax, B->Expected.OurArgMinMax) << B->Name;
 }
 
 TEST_P(CorpusDetection, IccBaselineMatchesPaper) {
@@ -106,6 +110,20 @@ TEST(CorpusTotals, PaperHeadlineCounts) {
   EXPECT_EQ(Scalars, 84u);    // "We detected 84 scalar reductions"
   EXPECT_EQ(Histograms, 6u);  // "... and 6 histograms"
   EXPECT_EQ(SCoPs, 62u);      // 62 SCoPs across all benchmarks
+}
+
+TEST(CorpusTotals, RegistryIdiomAnchors) {
+  // The post-paper specs: IS's ranking loop is the corpus's one scan,
+  // nn's nearest-neighbor search its one argmin.
+  unsigned Scans = 0, ArgMinMax = 0;
+  for (const BenchmarkProgram &B : corpus()) {
+    Scans += B.Expected.OurScans;
+    ArgMinMax += B.Expected.OurArgMinMax;
+  }
+  EXPECT_EQ(Scans, 1u);
+  EXPECT_EQ(ArgMinMax, 1u);
+  EXPECT_EQ(findBenchmark("IS")->Expected.OurScans, 1u);
+  EXPECT_EQ(findBenchmark("nn")->Expected.OurArgMinMax, 1u);
 }
 
 TEST(CorpusTotals, SuiteDistributionMatchesPaper) {

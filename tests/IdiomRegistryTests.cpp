@@ -1,0 +1,530 @@
+//===- IdiomRegistryTests.cpp - registry, new specs, parallel --*- C++ -*-===//
+///
+/// The declarative idiom layer: registry bookkeeping (registration,
+/// lookup, duplicate rejection), per-idiom detection of the scan and
+/// argmin/argmax specs on handwritten kernels, custom idioms through
+/// the generic driver, and the parallel module-level driver's
+/// determinism (identical reports and bitwise identical statistics at
+/// 1, 2 and 8 workers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "constraint/Context.h"
+#include "idioms/IdiomRegistry.h"
+#include "idioms/IdiomSpec.h"
+#include "idioms/ReductionAnalysis.h"
+#include "ir/Module.h"
+#include "pass/ParallelDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+ReductionReport analyze(Module &M, const char *FnName = "main") {
+  FunctionAnalysisManager AM;
+  return analyzeFunction(*M.getFunction(FnName), AM);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry bookkeeping
+//===----------------------------------------------------------------------===//
+
+TEST(IdiomRegistry, BuiltinsAreRegisteredInCatalogueOrder) {
+  const IdiomRegistry &R = IdiomRegistry::builtins();
+  ASSERT_EQ(R.size(), 4u);
+  EXPECT_EQ(R.all()[0].Name, "scalar-reduction");
+  EXPECT_EQ(R.all()[1].Name, "histogram");
+  EXPECT_EQ(R.all()[2].Name, "scan");
+  EXPECT_EQ(R.all()[3].Name, "argminmax");
+}
+
+TEST(IdiomRegistry, LookupFindsRegisteredDefinitions) {
+  const IdiomRegistry &R = IdiomRegistry::builtins();
+  const IdiomDefinition *Scan = R.lookup("scan");
+  ASSERT_NE(Scan, nullptr);
+  EXPECT_EQ(Scan->KeyLabel, "out_store");
+  EXPECT_FALSE(Scan->SpecFile.empty());
+  EXPECT_FALSE(Scan->TransformFile.empty());
+  EXPECT_EQ(R.lookup("no-such-idiom"), nullptr);
+}
+
+TEST(IdiomRegistry, RejectsDuplicateNames) {
+  IdiomRegistry R;
+  R.addBuiltins();
+  EXPECT_EQ(R.size(), 4u);
+  // Same name again: rejected, registry unchanged.
+  EXPECT_FALSE(R.add(makeScanIdiom()));
+  EXPECT_EQ(R.size(), 4u);
+  // addBuiltins is idempotent for the same reason.
+  R.addBuiltins();
+  EXPECT_EQ(R.size(), 4u);
+}
+
+TEST(IdiomRegistry, RejectsUnusableDefinitions) {
+  IdiomRegistry R;
+  IdiomDefinition NoName = makeScanIdiom();
+  NoName.Name.clear();
+  EXPECT_FALSE(R.add(NoName));
+  IdiomDefinition NoBuild = makeScanIdiom();
+  NoBuild.Build = nullptr;
+  EXPECT_FALSE(R.add(NoBuild));
+  EXPECT_EQ(R.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Scan spec
+//===----------------------------------------------------------------------===//
+
+TEST(ScanSpec, DetectsExclusivePrefixSum) {
+  auto M = compileOrFail(R"(
+int counts[64];
+int offsets[64];
+int main() {
+  int i;
+  int running = 0;
+  for (i = 0; i < 64; i++) {
+    offsets[i] = running;
+    running = running + counts[i];
+  }
+  print_i64(offsets[63]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.Scans.size(), 1u);
+  EXPECT_FALSE(R.Scans[0].Inclusive);
+  EXPECT_EQ(R.Scans[0].Op, ReductionOperator::Sum);
+  EXPECT_EQ(R.Scans[0].OutBase->getName(), "offsets");
+  EXPECT_EQ(R.Scans[0].Accumulator->getName(), "running");
+  // The escaping accumulator must not double-count as a scalar
+  // reduction.
+  EXPECT_EQ(R.Scalars.size(), 0u);
+}
+
+TEST(ScanSpec, DetectsInclusivePrefixSum) {
+  auto M = compileOrFail(R"(
+double vals[64];
+double psum[64];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 64; i++) {
+    s = s + vals[i];
+    psum[i] = s;
+  }
+  print_f64(psum[63]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.Scans.size(), 1u);
+  EXPECT_TRUE(R.Scans[0].Inclusive);
+  EXPECT_EQ(R.Scans[0].Op, ReductionOperator::Sum);
+}
+
+TEST(ScanSpec, RejectsOutputReadInLoop) {
+  // Reading earlier prefix values makes iterations order-dependent
+  // beyond the carried scalar.
+  auto M = compileOrFail(R"(
+int counts[64];
+int offsets[64];
+int main() {
+  int i;
+  int running = 0;
+  for (i = 1; i < 64; i++) {
+    offsets[i] = running + offsets[i - 1];
+    running = running + counts[i];
+  }
+  print_i64(offsets[63]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scans.size(), 0u);
+}
+
+TEST(ScanSpec, RejectsStoreOfUnrelatedValue) {
+  // out[i] = a[i] is an affine copy, not a scan of the accumulator.
+  auto M = compileOrFail(R"(
+double a[64];
+double out[64];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 64; i++) {
+    s = s + a[i];
+    out[i] = a[i];
+  }
+  print_f64(s + out[0]);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scans.size(), 0u);
+  // The accumulator itself never escapes: still a scalar reduction.
+  EXPECT_EQ(R.Scalars.size(), 1u);
+}
+
+TEST(ScanSpec, RejectsNonIteratorAddressedStore) {
+  // A scatter of the running value is not a scan.
+  auto M = compileOrFail(R"(
+int counts[64];
+int keys[64];
+int out[64];
+int main() {
+  int i;
+  int running = 0;
+  for (i = 0; i < 64; i++) {
+    out[keys[i] % 64] = running;
+    running = running + counts[i];
+  }
+  print_i64(running);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.Scans.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Argmin/argmax spec
+//===----------------------------------------------------------------------===//
+
+TEST(ArgMinMaxSpec, DetectsGuardedArgMin) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double best = 1.0e30;
+  int besti = 0;
+  for (i = 0; i < 64; i++) {
+    double d = a[i] * a[i];
+    if (d < best) {
+      best = d;
+      besti = i;
+    }
+  }
+  print_f64(best);
+  print_i64(besti);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.ArgMinMax.size(), 1u);
+  const ArgMinMaxReduction &A = R.ArgMinMax[0];
+  EXPECT_EQ(A.Op, ReductionOperator::Min);
+  EXPECT_TRUE(A.Strict);
+  EXPECT_EQ(A.Best->getName(), "best");
+  EXPECT_EQ(A.Index->getName(), "besti");
+  ASSERT_NE(A.Guard, nullptr);
+  EXPECT_EQ(A.IndexCandidate, static_cast<Value *>(A.Loop.Iterator));
+  // Neither phi passes the scalar-reduction spec (the guard reads the
+  // running best).
+  EXPECT_EQ(R.Scalars.size(), 0u);
+}
+
+TEST(ArgMinMaxSpec, DetectsArgMaxComparingTheLoadDirectly) {
+  // The guard compares one load of a[i], the assignment takes another:
+  // the legality check must prove the duplicated reads equivalent.
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double best = -1.0e30;
+  int besti = 0;
+  for (i = 0; i < 64; i++) {
+    if (a[i] > best) {
+      best = a[i];
+      besti = i;
+    }
+  }
+  print_f64(best);
+  print_i64(besti);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  ASSERT_EQ(R.ArgMinMax.size(), 1u);
+  EXPECT_EQ(R.ArgMinMax[0].Op, ReductionOperator::Max);
+}
+
+TEST(ArgMinMaxSpec, RejectsWhenArrayIsWrittenInLoop) {
+  // The duplicated a[i] reads are only equivalent while a[] is
+  // read-only in the loop.
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double best = -1.0e30;
+  int besti = 0;
+  for (i = 0; i < 63; i++) {
+    if (a[i] > best) {
+      best = a[i];
+      besti = i;
+    }
+    a[i + 1] = a[i] * 0.5;
+  }
+  print_f64(best);
+  print_i64(besti);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.ArgMinMax.size(), 0u);
+}
+
+TEST(ArgMinMaxSpec, RejectsIndexSwitchedByDifferentGuard) {
+  // The index must travel with the extremum, not follow its own
+  // condition.
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double best = 1.0e30;
+  int besti = 0;
+  for (i = 0; i < 64; i++) {
+    double d = a[i] * a[i];
+    if (d < best)
+      best = d;
+    if (d < 0.5)
+      besti = i;
+  }
+  print_f64(best);
+  print_i64(besti);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.ArgMinMax.size(), 0u);
+}
+
+TEST(ArgMinMaxSpec, RejectsPlainTwoAccumulatorLoops) {
+  // Two independent sums (the EP shape) must stay scalar reductions
+  // and never pair up as an argmax.
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (i = 0; i < 64; i++) {
+    sx = sx + a[i];
+    sy = sy + a[i] * a[i];
+  }
+  print_f64(sx + sy);
+  return 0;
+}
+)");
+  auto R = analyze(*M);
+  EXPECT_EQ(R.ArgMinMax.size(), 0u);
+  EXPECT_EQ(R.Scalars.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Custom idioms through the generic driver
+//===----------------------------------------------------------------------===//
+
+TEST(CustomIdiom, DetectedThroughTheRegistry) {
+  // An array-copy idiom registered next to the built-ins (the
+  // examples/custom_idiom.cpp definition, condensed).
+  IdiomDefinition Copy;
+  Copy.Name = "array-copy";
+  Copy.Summary = "dst[i] = src[i]";
+  Copy.KeyLabel = "copy_store";
+  Copy.Build = [](IdiomSpec &Spec, const ForLoopLabels &Loop) {
+    LabelTable &L = Spec.Labels;
+    unsigned Load = L.get("copy_load");
+    unsigned LoadPtr = L.get("copy_load_ptr");
+    unsigned Store = L.get("copy_store");
+    unsigned StorePtr = L.get("copy_store_ptr");
+    unsigned SrcBase = L.get("src_base");
+    unsigned DstBase = L.get("dst_base");
+    Formula &F = Spec.F;
+    F.require(
+        std::make_unique<AtomLoadInLoop>(Load, LoadPtr, Loop.LoopBegin));
+    F.require(std::make_unique<AtomStoreInLoop>(Store, Load, StorePtr,
+                                                Loop.LoopBegin));
+    F.require(std::make_unique<AtomGEP>(LoadPtr, SrcBase, Loop.Iterator));
+    F.require(std::make_unique<AtomGEP>(StorePtr, DstBase, Loop.Iterator));
+    F.require(std::make_unique<AtomDistinct>(SrcBase, DstBase));
+  };
+
+  IdiomRegistry R;
+  R.addBuiltins();
+  ASSERT_TRUE(R.add(Copy));
+
+  auto M = compileOrFail(R"(
+double src[32];
+double dst[32];
+int main() {
+  int i;
+  for (i = 0; i < 32; i++)
+    dst[i] = src[i];
+  print_f64(dst[0]);
+  return 0;
+}
+)");
+  FunctionAnalysisManager AM;
+  DetectionStats Stats;
+  IdiomDetectionResult D =
+      detectIdioms(*M->getFunction("main"), AM, R, &Stats);
+  unsigned Copies = 0;
+  for (const IdiomInstance &I : D.Instances)
+    if (I.Idiom == "array-copy") {
+      ++Copies;
+      EXPECT_EQ(I.capture("src_base")->getName(), "src");
+      EXPECT_EQ(I.capture("dst_base")->getName(), "dst");
+    }
+  EXPECT_EQ(Copies, 1u);
+  // Per-idiom statistics recorded under the custom name too.
+  EXPECT_GT(Stats.idiom("array-copy").NodesVisited, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel driver determinism
+//===----------------------------------------------------------------------===//
+
+const char *MultiFunctionSource = R"(
+double data[256];
+int keys[256];
+int bins[16];
+int offsets[16];
+double scratch[256];
+
+double sum_data() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 256; i++)
+    s = s + data[i];
+  return s;
+}
+void tally() {
+  int i;
+  for (i = 0; i < 256; i++)
+    bins[keys[i] % 16]++;
+}
+void rank() {
+  int i;
+  int running = 0;
+  for (i = 0; i < 16; i++) {
+    offsets[i] = running;
+    running = running + bins[i];
+  }
+}
+int nearest() {
+  int i;
+  double best = 1.0e30;
+  int besti = 0;
+  for (i = 0; i < 256; i++) {
+    double d = data[i] * data[i];
+    if (d < best) {
+      best = d;
+      besti = i;
+    }
+  }
+  return besti;
+}
+double scale() {
+  int i;
+  for (i = 0; i < 256; i++)
+    scratch[i] = data[i] * 2.0;
+  return scratch[0];
+}
+int main() {
+  tally();
+  rank();
+  print_f64(sum_data());
+  print_i64(nearest());
+  print_f64(scale());
+  return 0;
+}
+)";
+
+TEST(ParallelDriver, MatchesSerialDetectionAtEveryWorkerCount) {
+  auto M = compileOrFail(MultiFunctionSource);
+
+  FunctionAnalysisManager FAM;
+  DetectionStats SerialStats;
+  auto SerialReports = analyzeModule(*M, FAM, &SerialStats);
+
+  for (unsigned W : {1u, 2u, 8u}) {
+    ParallelDetectionOptions Opts;
+    Opts.Workers = W;
+    ParallelDetectionResult R = analyzeModuleParallel(*M, Opts);
+    SCOPED_TRACE("workers=" + std::to_string(W));
+
+    // Bitwise identical statistics...
+    EXPECT_TRUE(R.Stats == SerialStats);
+    // ...and identical reports, in module order.
+    ASSERT_EQ(R.Reports.size(), SerialReports.size());
+    for (std::size_t I = 0; I < R.Reports.size(); ++I) {
+      EXPECT_EQ(R.Reports[I].F, SerialReports[I].F);
+      EXPECT_EQ(R.Reports[I].ForLoops.size(),
+                SerialReports[I].ForLoops.size());
+      EXPECT_EQ(R.Reports[I].Scalars.size(),
+                SerialReports[I].Scalars.size());
+      EXPECT_EQ(R.Reports[I].Histograms.size(),
+                SerialReports[I].Histograms.size());
+      EXPECT_EQ(R.Reports[I].Scans.size(),
+                SerialReports[I].Scans.size());
+      EXPECT_EQ(R.Reports[I].ArgMinMax.size(),
+                SerialReports[I].ArgMinMax.size());
+    }
+  }
+}
+
+TEST(ParallelDriver, ClampsWorkersToDefinitionCount) {
+  auto M = compileOrFail(R"(
+int main() { return 0; }
+)");
+  ParallelDetectionOptions Opts;
+  Opts.Workers = 8;
+  ParallelDetectionResult R = analyzeModuleParallel(*M, Opts);
+  EXPECT_EQ(R.WorkersUsed, 1u);
+  ASSERT_EQ(R.Reports.size(), 1u);
+}
+
+TEST(ParallelDriver, DetectionPassUsesConfiguredWorkers) {
+  // The pass must produce the same reports through the parallel path
+  // as through the serial one.
+  auto M1 = compileOrFail(MultiFunctionSource);
+  FunctionAnalysisManager FAM1;
+  std::vector<ReductionReport> Serial;
+  DetectionStats SerialStats;
+  ReductionDetectionPass SerialPass(&Serial, &SerialStats, /*Workers=*/1);
+  SerialPass.run(*M1, FAM1);
+
+  auto M2 = compileOrFail(MultiFunctionSource);
+  FunctionAnalysisManager FAM2;
+  std::vector<ReductionReport> Parallel;
+  DetectionStats ParallelStats;
+  ReductionDetectionPass ParallelPass(&Parallel, &ParallelStats,
+                                      /*Workers=*/4);
+  ParallelPass.run(*M2, FAM2);
+
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  auto CS = countReductions(Serial);
+  auto CP = countReductions(Parallel);
+  EXPECT_EQ(CS.Scalars, CP.Scalars);
+  EXPECT_EQ(CS.Histograms, CP.Histograms);
+  EXPECT_EQ(CS.Scans, CP.Scans);
+  EXPECT_EQ(CS.ArgMinMax, CP.ArgMinMax);
+  EXPECT_TRUE(SerialStats == ParallelStats);
+}
+
+TEST(StatsLedger, MergesSlotsInOrder) {
+  StatsLedger Ledger(3);
+  Ledger.slot(0).ForLoops.NodesVisited = 1;
+  Ledger.slot(1).ForLoops.NodesVisited = 2;
+  Ledger.slot(2).PerIdiom["scan"].Solutions = 5;
+  DetectionStats Total = Ledger.merge();
+  EXPECT_EQ(Total.ForLoops.NodesVisited, 3u);
+  EXPECT_EQ(Total.idiom("scan").Solutions, 5u);
+}
+
+} // namespace

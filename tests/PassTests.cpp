@@ -289,13 +289,13 @@ TEST(Pipeline, SSAPipelineIsIdempotentOnCompiledModules) {
 TEST(Instrumentation, DetectionStatsAggregateWithPlusEquals) {
   DetectionStats A, B;
   A.ForLoops.NodesVisited = 3;
-  A.Scalars.CandidatesTried = 5;
+  A.PerIdiom["scalar-reduction"].CandidatesTried = 5;
   B.ForLoops.NodesVisited = 4;
-  B.Histograms.Solutions = 2;
+  B.PerIdiom["histogram"].Solutions = 2;
   A += B;
   EXPECT_EQ(A.ForLoops.NodesVisited, 7u);
-  EXPECT_EQ(A.Scalars.CandidatesTried, 5u);
-  EXPECT_EQ(A.Histograms.Solutions, 2u);
+  EXPECT_EQ(A.idiom("scalar-reduction").CandidatesTried, 5u);
+  EXPECT_EQ(A.idiom("histogram").Solutions, 2u);
   EXPECT_EQ(A.totalNodes(), 7u);
   EXPECT_EQ(A.totalSolutions(), 2u);
 }

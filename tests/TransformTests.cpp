@@ -147,7 +147,7 @@ int main() {
   ASSERT_NE(Result.Info, nullptr);
   EXPECT_EQ(Result.Info->Histograms.size(), 1u);
   EXPECT_EQ(Result.Info->Accumulators.size(), 1u);
-  EXPECT_FALSE(Result.Info->IsDoall);
+  EXPECT_EQ(Result.Info->Kind, ParallelLoopInfo::ExecutionKind::Reduction);
   // The rewritten module must still verify.
   std::vector<std::string> Errors;
   EXPECT_TRUE(verifyModule(*M, &Errors)) << Errors.front();
@@ -254,7 +254,7 @@ int main() {
   ASSERT_EQ(Reports[0].ForLoops.size(), 1u);
   auto Result = RP.parallelizeDoall(*Reports[0].F, Reports[0].ForLoops[0]);
   ASSERT_TRUE(Result.Transformed) << Result.FailureReason;
-  EXPECT_TRUE(Result.Info->IsDoall);
+  EXPECT_EQ(Result.Info->Kind, ParallelLoopInfo::ExecutionKind::Doall);
 
   ParallelConfig Cfg;
   Cfg.NumThreads = 8;
@@ -330,6 +330,216 @@ int main() {
   int64_t R = I.runMain();
   // sum of 2*(0.25 i)^2 for i<64 = 0.125 * sum i^2 = 0.125*85344
   EXPECT_EQ(R, 10668);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scan and argmin/argmax exploitation (appended suite).
+//===----------------------------------------------------------------------===//
+
+#include "transform/ArgMinMaxParallelize.h"
+#include "transform/ScanParallelize.h"
+
+namespace {
+
+/// Interprets the untransformed program, then runs the given
+/// exploitation pass and checks the simulated parallel execution of
+/// the rewritten module reproduces the output bit-exactly at several
+/// thread counts.
+template <typename PassT>
+void expectParallelEquivalence(const char *Src,
+                               ParallelLoopInfo::ExecutionKind Kind) {
+  auto MRef = compileOrFail(Src);
+  Interpreter Ref(*MRef);
+  Ref.runMain();
+  std::string Expected = Ref.getOutput();
+  ASSERT_FALSE(Expected.empty());
+
+  auto M = compileOrFail(Src);
+  FunctionAnalysisManager AM;
+  ReductionParallelizer RP(*M, AM);
+  PassT Pass(RP);
+  Pass.run(*M->getFunction("main"), AM);
+  ASSERT_EQ(Pass.numParallelized(), 1u);
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyModule(*M, &Errors)) << Errors.front();
+
+  // The outlined section's descriptor must carry the expected
+  // execution kind (it selects the runtime's merge strategy).
+  unsigned Sections = 0;
+  for (const auto &F : M->functions())
+    if (const ParallelLoopInfo *Info = RP.lookup(F.get())) {
+      ++Sections;
+      EXPECT_EQ(Info->Kind, Kind);
+    }
+  EXPECT_EQ(Sections, 1u);
+
+  for (unsigned T : {1u, 3u, 16u}) {
+    ParallelConfig Cfg;
+    Cfg.NumThreads = T;
+    ParallelRunner Runner(*M, RP, Cfg);
+    auto R = Runner.run();
+    EXPECT_EQ(R.Output, Expected) << "threads=" << T;
+    EXPECT_EQ(R.Sections, 1u);
+    EXPECT_GT(R.SimulatedTime, 0u);
+  }
+}
+
+TEST(ScanParallelize, ChunkedExclusiveScanIsBitExact) {
+  expectParallelEquivalence<ScanParallelizePass>(R"(
+int counts[512];
+int offsets[512];
+int main() {
+  int i;
+  for (i = 0; i < 512; i++)
+    counts[i] = (i * 13) % 7;
+  int running = 0;
+  for (i = 0; i < 512; i++) {
+    offsets[i] = running;
+    running = running + counts[i];
+  }
+  print_i64(offsets[511]);
+  print_i64(running);
+  return 0;
+}
+)",
+                                                 ParallelLoopInfo::
+                                                     ExecutionKind::Scan);
+}
+
+TEST(ScanParallelize, ChunkedInclusiveFloatScanIsBitExact) {
+  expectParallelEquivalence<ScanParallelizePass>(R"(
+double vals[256];
+double psum[256];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++)
+    vals[i] = sin(0.05 * i);
+  double s = 0.0;
+  for (i = 0; i < 256; i++) {
+    s = s + vals[i];
+    psum[i] = s;
+  }
+  print_f64(psum[255]);
+  print_f64(s);
+  return 0;
+}
+)",
+                                                 ParallelLoopInfo::
+                                                     ExecutionKind::Scan);
+}
+
+TEST(ArgMinMaxParallelize, PrivatizedArgMaxMatchesSerial) {
+  expectParallelEquivalence<ArgMinMaxParallelizePass>(R"(
+double a[500];
+int main() {
+  int i;
+  for (i = 0; i < 500; i++)
+    a[i] = sin(0.37 * i);
+  double best = -1.0e30;
+  int besti = 0;
+  for (i = 0; i < 500; i++) {
+    if (a[i] > best) {
+      best = a[i];
+      besti = i;
+    }
+  }
+  print_f64(best);
+  print_i64(besti);
+  return 0;
+}
+)",
+                                                      ParallelLoopInfo::
+                                                          ExecutionKind::
+                                                              ArgMinMax);
+}
+
+TEST(ArgMinMaxParallelize, StrictGuardKeepsFirstWinnerAcrossChunks) {
+  // Duplicated extrema in different chunks: the strict guard must
+  // report the first index, also under the privatized pair merge.
+  expectParallelEquivalence<ArgMinMaxParallelizePass>(R"(
+int a[512];
+int main() {
+  int i;
+  for (i = 0; i < 512; i++)
+    a[i] = (i * 7) % 32;
+  int best = -100;
+  int besti = 0;
+  for (i = 0; i < 512; i++) {
+    int v = a[i];
+    if (v > best) {
+      best = v;
+      besti = i;
+    }
+  }
+  print_i64(best);
+  print_i64(besti);
+  return 0;
+}
+)",
+                                                      ParallelLoopInfo::
+                                                          ExecutionKind::
+                                                              ArgMinMax);
+}
+
+TEST(ScanParallelize, DescriptorCarriesScanKind) {
+  auto M = compileOrFail(R"(
+int counts[64];
+int offsets[64];
+int main() {
+  int i;
+  int running = 0;
+  for (i = 0; i < 64; i++) {
+    offsets[i] = running;
+    running = running + counts[i];
+  }
+  print_i64(running);
+  return 0;
+}
+)");
+  FunctionAnalysisManager AM;
+  ReductionParallelizer RP(*M, AM);
+  auto R = analyzeModule(*M, AM);
+  ASSERT_EQ(R[0].Scans.size(), 1u);
+  auto Result = RP.parallelizeScan(*R[0].F, R[0].Scans[0]);
+  ASSERT_TRUE(Result.Transformed) << Result.FailureReason;
+  EXPECT_EQ(Result.Info->Kind, ParallelLoopInfo::ExecutionKind::Scan);
+  EXPECT_EQ(Result.Info->Accumulators.size(), 1u);
+  EXPECT_TRUE(Result.Info->ArgPairs.empty());
+}
+
+TEST(ArgMinMaxParallelize, DescriptorPairsTheSlots) {
+  auto M = compileOrFail(R"(
+double a[64];
+int main() {
+  int i;
+  double best = 1.0e30;
+  int besti = 0;
+  for (i = 0; i < 64; i++) {
+    double d = a[i] * a[i];
+    if (d < best) {
+      best = d;
+      besti = i;
+    }
+  }
+  print_f64(best);
+  print_i64(besti);
+  return 0;
+}
+)");
+  FunctionAnalysisManager AM;
+  ReductionParallelizer RP(*M, AM);
+  auto R = analyzeModule(*M, AM);
+  ASSERT_EQ(R[0].ArgMinMax.size(), 1u);
+  auto Result = RP.parallelizeArgMinMax(*R[0].F, R[0].ArgMinMax[0]);
+  ASSERT_TRUE(Result.Transformed) << Result.FailureReason;
+  EXPECT_EQ(Result.Info->Kind, ParallelLoopInfo::ExecutionKind::ArgMinMax);
+  ASSERT_EQ(Result.Info->ArgPairs.size(), 1u);
+  EXPECT_EQ(Result.Info->ArgPairs[0].BestSlot, 0u);
+  EXPECT_EQ(Result.Info->ArgPairs[0].IndexSlot, 1u);
+  EXPECT_TRUE(Result.Info->ArgPairs[0].Strict);
+  EXPECT_EQ(Result.Info->Accumulators[0].Op, ReductionOperator::Min);
 }
 
 } // namespace
