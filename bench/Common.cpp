@@ -14,10 +14,60 @@
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <set>
 
 using namespace gr;
 using namespace gr::bench;
+
+double gr::bench::nowMs() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void BenchJson::setInt(const std::string &Key, uint64_t Value) {
+  Entries.emplace_back(Key, std::to_string(Value));
+}
+
+void BenchJson::setDouble(const std::string &Key, double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  Entries.emplace_back(Key, Buf);
+}
+
+void BenchJson::setStr(const std::string &Key, const std::string &Value) {
+  // Values are bench-controlled identifiers; escape the two
+  // characters that could break the quoting anyway.
+  std::string Escaped = "\"";
+  for (char C : Value) {
+    if (C == '"' || C == '\\')
+      Escaped += '\\';
+    Escaped += C;
+  }
+  Escaped += '"';
+  Entries.emplace_back(Key, Escaped);
+}
+
+bool BenchJson::writeIfEnabled(const std::string &Name) const {
+  const char *Dir = std::getenv("GR_BENCH_JSON_DIR");
+  if (!Dir || !*Dir)
+    return false;
+  std::string Path = std::string(Dir) + "/BENCH_" + Name + ".json";
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  OS << "{\n";
+  for (std::size_t I = 0; I != Entries.size(); ++I)
+    OS << "  \"" << Entries[I].first << "\": " << Entries[I].second
+       << (I + 1 == Entries.size() ? "\n" : ",\n");
+  OS << "}\n";
+  return true;
+}
 
 namespace {
 

@@ -12,10 +12,36 @@
 
 #include "corpus/Corpus.h"
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gr {
 namespace bench {
+
+/// Monotonic wall-clock in milliseconds, for the benches' manual
+/// timing sections.
+double nowMs();
+
+/// Machine-readable bench output: a flat JSON object written as
+/// BENCH_<name>.json into $GR_BENCH_JSON_DIR, so every table_* /
+/// micro_* run leaves a comparable perf record (the repo's recorded
+/// baselines live in bench/baselines/). Keys keep insertion order.
+/// Emission is env-gated: with GR_BENCH_JSON_DIR unset or empty,
+/// writeIfEnabled() is a no-op.
+class BenchJson {
+public:
+  void setInt(const std::string &Key, uint64_t Value);
+  void setDouble(const std::string &Key, double Value);
+  void setStr(const std::string &Key, const std::string &Value);
+
+  /// Writes BENCH_<name>.json; returns true when a file was written.
+  bool writeIfEnabled(const std::string &Name) const;
+
+private:
+  std::vector<std::pair<std::string, std::string>> Entries;
+};
 
 /// Live analysis results for one benchmark (the bars of Fig 8-11,
 /// plus the post-paper scan and argmin/argmax specs).

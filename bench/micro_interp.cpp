@@ -2,15 +2,25 @@
 ///
 /// \file
 /// google-benchmark timings of the execution substrate: interpreter
-/// throughput on arithmetic, memory and call-heavy kernels.
+/// throughput on arithmetic, memory and call-heavy kernels. A fixed
+/// manual throughput measurement (instructions/second on the
+/// arithmetic kernel, best of 3) is appended after the registered
+/// benchmarks and written to BENCH_micro_interp.json when
+/// GR_BENCH_JSON_DIR is set, so the perf trail records interpreter
+/// regressions too.
 ///
 //===----------------------------------------------------------------------===//
+
+#include "Common.h"
 
 #include "frontend/Compiler.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 using namespace gr;
 
@@ -79,6 +89,54 @@ int main() {
 }
 BENCHMARK(BM_InterpCalls);
 
+/// Deterministic throughput record for the JSON trail: interpreted
+/// instructions per second on the arithmetic kernel, best of 3.
+void emitJsonRecord() {
+  std::string Error;
+  auto M = compileMiniC(R"(
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 20000; i++)
+    s = s + 1.5 * i - 0.25;
+  print_f64(s);
+  return 0;
+}
+)",
+                        "kernel", &Error);
+  if (!M)
+    return;
+  double BestMs = -1.0;
+  uint64_t Instructions = 0;
+  for (int Round = 0; Round < 3; ++Round) {
+    auto T0 = std::chrono::steady_clock::now();
+    Interpreter I(*M);
+    I.runMain();
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    Instructions = I.instructionCount();
+    if (BestMs < 0.0 || Ms < BestMs)
+      BestMs = Ms;
+  }
+  double PerSec = Instructions / (BestMs / 1000.0);
+  printf("\narith kernel: %llu instructions, best %.2f ms "
+         "(%.0f insts/sec)\n",
+         static_cast<unsigned long long>(Instructions), BestMs, PerSec);
+  gr::bench::BenchJson Json;
+  Json.setInt("arith_instructions", Instructions);
+  Json.setDouble("arith_best_ms", BestMs);
+  Json.setDouble("arith_insts_per_sec", PerSec);
+  if (Json.writeIfEnabled("micro_interp"))
+    printf("wrote BENCH_micro_interp.json\n");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emitJsonRecord();
+  return 0;
+}

@@ -1,10 +1,23 @@
 //===- micro_solver.cpp - solver microbenchmarks --------------*- C++ -*-===//
 ///
 /// \file
-/// google-benchmark timings of the constraint machinery: full-module
-/// detection, for-loop spec alone, and analysis construction.
+/// google-benchmark timings of the constraint machinery, plus the
+/// engine-parity section that always runs after the registered
+/// benchmarks:
+///
+///  - full-module detection is timed with both the compiled
+///    SolverEngine and the ReferenceSolver over the detection-heavy
+///    corpus programs;
+///  - their raw solver Solutions totals and decoded idiom counts must
+///    match exactly (the binary exits 1 on any divergence — ci.sh
+///    runs this as the bench smoke gate);
+///  - the measured speedup is printed and written to
+///    BENCH_micro_solver.json (env-gated via GR_BENCH_JSON_DIR), and
+///    enforced when GR_MIN_SOLVER_SPEEDUP is set.
 ///
 //===----------------------------------------------------------------------===//
+
+#include "Common.h"
 
 #include "constraint/Context.h"
 #include "corpus/Corpus.h"
@@ -15,6 +28,11 @@
 #include "pass/Analyses.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace gr;
 
@@ -48,6 +66,35 @@ void BM_FullDetection(benchmark::State &State) {
 }
 BENCHMARK(BM_FullDetection);
 
+/// Detection over a warm analysis cache with the compiled engine —
+/// the production hot path: solver time only.
+void BM_DetectionEngineCompiled(benchmark::State &State) {
+  auto M = compiled("UA");
+  FunctionAnalysisManager FAM;
+  for (auto _ : State) {
+    DetectionStats Stats;
+    auto Reports =
+        analyzeModule(*M, FAM, &Stats, nullptr, SolverKind::Compiled);
+    benchmark::DoNotOptimize(Reports);
+  }
+}
+BENCHMARK(BM_DetectionEngineCompiled);
+
+/// The same search on the recursive reference solver (the
+/// differential-testing oracle): the margin over the compiled row is
+/// the formula-compilation win.
+void BM_DetectionEngineReference(benchmark::State &State) {
+  auto M = compiled("UA");
+  FunctionAnalysisManager FAM;
+  for (auto _ : State) {
+    DetectionStats Stats;
+    auto Reports =
+        analyzeModule(*M, FAM, &Stats, nullptr, SolverKind::Reference);
+    benchmark::DoNotOptimize(Reports);
+  }
+}
+BENCHMARK(BM_DetectionEngineReference);
+
 /// Renamed from BM_ForLoopSpecOnly: since the caching layer landed,
 /// this measures solver time over a warm analysis cache (pre-PR it
 /// also paid a full analysis rebuild per iteration).
@@ -63,8 +110,8 @@ void BM_ForLoopSpecWarmCache(benchmark::State &State) {
 }
 BENCHMARK(BM_ForLoopSpecWarmCache);
 
-/// Context over a warm analysis cache: only the value universe is
-/// rebuilt per iteration.
+/// Context over a warm analysis cache: only the value universe (and
+/// its dense numbering) is rebuilt per iteration.
 void BM_ContextConstructionCached(benchmark::State &State) {
   auto M = compiled("BT");
   FunctionAnalysisManager FAM;
@@ -90,6 +137,111 @@ void BM_ContextConstructionCold(benchmark::State &State) {
 }
 BENCHMARK(BM_ContextConstructionCold);
 
+/// Times \p Reps warm-cache detection runs of \p Kind; returns the
+/// best-of-3 total and accumulates stats/counts from the last run.
+double timeDetection(Module &M, SolverKind Kind, unsigned Reps,
+                     uint64_t &Solutions, unsigned &Instances) {
+  FunctionAnalysisManager FAM;
+  // Warm-up run also primes analyses and engine arenas.
+  DetectionStats Stats;
+  auto Reports = analyzeModule(M, FAM, &Stats, nullptr, Kind);
+  auto Counts = countReductions(Reports);
+  Solutions = Stats.totalSolutions();
+  Instances =
+      Counts.Scalars + Counts.Histograms + Counts.Scans + Counts.ArgMinMax;
+
+  double Best = -1.0;
+  for (int Round = 0; Round < 3; ++Round) {
+    double T0 = bench::nowMs();
+    for (unsigned R = 0; R < Reps; ++R) {
+      DetectionStats S;
+      auto Rep = analyzeModule(M, FAM, &S, nullptr, Kind);
+      benchmark::DoNotOptimize(Rep);
+    }
+    double Elapsed = bench::nowMs() - T0;
+    if (Best < 0.0 || Elapsed < Best)
+      Best = Elapsed;
+  }
+  return Best;
+}
+
+/// The always-on parity + speedup section (see file comment).
+/// Returns the process exit code.
+int runParitySection() {
+  // The detection-heavy slice: the largest searches per suite.
+  const char *Heavy[] = {"BT", "LU", "SP", "UA",     "IS",
+                         "cutcp", "tpacf", "sad",    "nn",
+                         "srad",  "kmeans", "streamcluster"};
+  const unsigned Reps = 40;
+
+  printf("\nEngine parity and speedup (warm caches, %u reps, "
+         "best of 3)\n",
+         Reps);
+  printf("%-14s %12s %12s %9s  %s\n", "benchmark", "reference ms",
+         "compiled ms", "speedup", "parity");
+
+  bench::BenchJson Json;
+  bool ParityOk = true;
+  double TotalRef = 0.0, TotalEng = 0.0;
+  uint64_t SolutionsRef = 0, SolutionsEng = 0;
+  for (const char *Name : Heavy) {
+    auto M = compiled(Name);
+    uint64_t SolR = 0, SolE = 0;
+    unsigned InstR = 0, InstE = 0;
+    double RefMs = timeDetection(*M, SolverKind::Reference, Reps, SolR,
+                                 InstR);
+    double EngMs = timeDetection(*M, SolverKind::Compiled, Reps, SolE,
+                                 InstE);
+    bool Same = SolR == SolE && InstR == InstE;
+    ParityOk = ParityOk && Same;
+    TotalRef += RefMs;
+    TotalEng += EngMs;
+    SolutionsRef += SolR;
+    SolutionsEng += SolE;
+    printf("%-14s %12.2f %12.2f %8.2fx  %s\n", Name, RefMs, EngMs,
+           RefMs / EngMs, Same ? "ok" : "MISMATCH");
+    Json.setDouble(std::string(Name) + ".reference_ms", RefMs);
+    Json.setDouble(std::string(Name) + ".compiled_ms", EngMs);
+  }
+
+  double Speedup = TotalRef / TotalEng;
+  printf("%-14s %12.2f %12.2f %8.2fx  %s\n", "total", TotalRef,
+         TotalEng, Speedup, ParityOk ? "ok" : "MISMATCH");
+  printf("solver solutions: reference=%llu compiled=%llu\n",
+         static_cast<unsigned long long>(SolutionsRef),
+         static_cast<unsigned long long>(SolutionsEng));
+
+  Json.setInt("reps", Reps);
+  Json.setDouble("total_reference_ms", TotalRef);
+  Json.setDouble("total_compiled_ms", TotalEng);
+  Json.setDouble("speedup", Speedup);
+  Json.setInt("solutions_reference", SolutionsRef);
+  Json.setInt("solutions_compiled", SolutionsEng);
+  Json.setStr("parity", ParityOk ? "ok" : "mismatch");
+  if (Json.writeIfEnabled("micro_solver"))
+    printf("wrote BENCH_micro_solver.json\n");
+
+  if (!ParityOk || SolutionsRef != SolutionsEng) {
+    fprintf(stderr, "micro_solver: ENGINE PARITY FAILURE\n");
+    return 1;
+  }
+  if (const char *Env = std::getenv("GR_MIN_SOLVER_SPEEDUP")) {
+    double Min = std::strtod(Env, nullptr);
+    if (Min > 0.0 && Speedup < Min) {
+      fprintf(stderr,
+              "micro_solver: speedup %.2fx below required %.2fx\n",
+              Speedup, Min);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return runParitySection();
+}

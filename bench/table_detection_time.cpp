@@ -10,14 +10,25 @@
 ///
 /// Every benchmark is driven through the shared default pipeline
 /// (buildDefaultPipeline) with PassInstrumentation attached, so the
-/// reported milliseconds are the detection pass's own time. Note that
-/// compileMiniC already normalized each module, so the mem2reg/cse/dce
-/// rows in the per-pass table time idempotent re-runs (changed=0,
-/// near-zero cost) -- the table demonstrates per-pass attribution, not
-/// the cost of first-time normalization.
+/// reported milliseconds are the detection pass's own time — on the
+/// compiled SolverEngine, the production path. A second timed run per
+/// benchmark uses the recursive ReferenceSolver; the ratio column is
+/// the formula-compilation speedup. The per-depth table at the end is
+/// the engine's SolverDepthProfile aggregated over the corpus (where
+/// the backtracking search actually spends its time), and the whole
+/// table is also emitted as BENCH_table_detection_time.json when
+/// GR_BENCH_JSON_DIR is set.
+///
+/// Note that compileMiniC already normalized each module, so the
+/// mem2reg/cse/dce rows in the per-pass table time idempotent re-runs
+/// (changed=0, near-zero cost) -- the table demonstrates per-pass
+/// attribution, not the cost of first-time normalization.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Common.h"
+
+#include "constraint/SolverEngine.h"
 #include "corpus/Corpus.h"
 #include "frontend/Compiler.h"
 #include "idioms/ReductionAnalysis.h"
@@ -33,17 +44,26 @@ int main() {
   OStream &OS = outs();
   OS << "Detection time per benchmark (constraint solver, all specs)\n";
   OS << "benchmark";
-  OS.padToColumn(20);
-  OS << "ms";
-  OS.padToColumn(30);
-  OS << "solver nodes";
+  OS.padToColumn(16);
+  OS << "pipe ms";
+  OS.padToColumn(26);
+  OS << "engine ms";
+  OS.padToColumn(36);
+  OS << "ref ms";
   OS.padToColumn(46);
+  OS << "speedup";
+  OS.padToColumn(56);
+  OS << "solver nodes";
+  OS.padToColumn(70);
   OS << "candidates\n";
 
-  // Per-pass records accumulated over the whole corpus.
+  // Per-pass records and the engine's per-depth profile accumulated
+  // over the whole corpus.
   PassInstrumentation CorpusPI;
+  SolverDepthProfile CorpusDepths;
+  bench::BenchJson Json;
 
-  double TotalMs = 0.0;
+  double TotalMs = 0.0, TotalEngMs = 0.0, TotalRefMs = 0.0;
   unsigned N = 0;
   for (const BenchmarkProgram &B : corpus()) {
     std::string Error;
@@ -61,16 +81,48 @@ int main() {
     MPM.setInstrumentation(&PI);
     MPM.run(*M, FAM);
 
+    // Engine-vs-reference rows are both timed over the now-warm
+    // analysis cache, so the ratio isolates solver cost (the pipeline
+    // "ms" column above also pays first-time analysis construction).
+    DetectionStats EngStats;
+    double Eng0 = bench::nowMs();
+    auto EngReports =
+        analyzeModule(*M, FAM, &EngStats, nullptr, SolverKind::Compiled);
+    double EngMs = bench::nowMs() - Eng0;
+
+    DetectionStats RefStats;
+    double Ref0 = bench::nowMs();
+    auto RefReports =
+        analyzeModule(*M, FAM, &RefStats, nullptr, SolverKind::Reference);
+    double RefMs = bench::nowMs() - Ref0;
+
+    // Per-depth profile of the compiled engine (collected off the
+    // timed run — profiling adds a clock read per search node).
+    DetectionStats ProfStats;
+    analyzeModule(*M, FAM, &ProfStats, nullptr, SolverKind::Compiled,
+                  &CorpusDepths);
+
     double Ms = PI.totalMillis("detect-reductions");
     TotalMs += Ms;
+    TotalEngMs += EngMs;
+    TotalRefMs += RefMs;
     ++N;
     OS << B.Name;
-    OS.padToColumn(20);
+    OS.padToColumn(16);
     OS << formatDouble(Ms, 1);
-    OS.padToColumn(30);
-    OS << Stats.totalNodes();
+    OS.padToColumn(26);
+    OS << formatDouble(EngMs, 1);
+    OS.padToColumn(36);
+    OS << formatDouble(RefMs, 1);
     OS.padToColumn(46);
+    OS << formatDouble(EngMs > 0.0 ? RefMs / EngMs : 1.0, 2) << "x";
+    OS.padToColumn(56);
+    OS << Stats.totalNodes();
+    OS.padToColumn(70);
     OS << Stats.totalCandidates() << '\n';
+    Json.setDouble(std::string(B.Name) + ".pipeline_ms", Ms);
+    Json.setDouble(std::string(B.Name) + ".compiled_ms", EngMs);
+    Json.setDouble(std::string(B.Name) + ".reference_ms", RefMs);
 
     for (const PassExecution &E : PI.executions())
       CorpusPI.recordRun(E.Pass, E.Unit, E.Millis, E.Changed);
@@ -78,11 +130,44 @@ int main() {
       CorpusPI.recordCounter(Key.first, Key.second, Value);
   }
   OS << "average";
-  OS.padToColumn(20);
-  OS << formatDouble(TotalMs / N, 1)
+  OS.padToColumn(16);
+  OS << formatDouble(TotalMs / N, 1);
+  OS.padToColumn(26);
+  OS << formatDouble(TotalEngMs / N, 1);
+  OS.padToColumn(36);
+  OS << formatDouble(TotalRefMs / N, 1)
      << "  (paper: 3770 ms avg on the full-size original sources)\n";
 
   OS << "\nPer-pass totals over the corpus (PassInstrumentation)\n";
   CorpusPI.print(OS);
+
+  OS << "\nCompiled-engine search profile by depth (whole corpus)\n";
+  OS << "depth";
+  OS.padToColumn(10);
+  OS << "nodes";
+  OS.padToColumn(24);
+  OS << "candidates";
+  OS.padToColumn(40);
+  OS << "ms\n";
+  for (std::size_t D = 0; D != CorpusDepths.Nodes.size(); ++D) {
+    if (!CorpusDepths.Nodes[D] && !CorpusDepths.Candidates[D])
+      continue;
+    OS << static_cast<uint64_t>(D);
+    OS.padToColumn(10);
+    OS << CorpusDepths.Nodes[D];
+    OS.padToColumn(24);
+    OS << CorpusDepths.Candidates[D];
+    OS.padToColumn(40);
+    OS << formatDouble(CorpusDepths.Millis[D], 2) << '\n';
+  }
+
+  Json.setInt("benchmarks", N);
+  Json.setDouble("avg_pipeline_ms", TotalMs / N);
+  Json.setDouble("avg_compiled_ms", TotalEngMs / N);
+  Json.setDouble("avg_reference_ms", TotalRefMs / N);
+  Json.setDouble("speedup",
+                 TotalEngMs > 0.0 ? TotalRefMs / TotalEngMs : 1.0);
+  if (Json.writeIfEnabled("table_detection_time"))
+    OS << "\nwrote BENCH_table_detection_time.json\n";
   return 0;
 }

@@ -24,6 +24,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Common.h"
+
 #include "frontend/Compiler.h"
 #include "idioms/ReductionAnalysis.h"
 #include "ir/Function.h"
@@ -32,7 +34,6 @@
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 
-#include <chrono>
 #include <string>
 #include <vector>
 
@@ -72,13 +73,6 @@ std::string syntheticModule(unsigned NumFunctions) {
   return Src;
 }
 
-double nowMs() {
-  using namespace std::chrono;
-  return duration<double, std::milli>(
-             steady_clock::now().time_since_epoch())
-      .count();
-}
-
 bool sameReports(const std::vector<ReductionReport> &A,
                  const std::vector<ReductionReport> &B) {
   if (A.size() != B.size())
@@ -110,18 +104,18 @@ int main() {
   // Serial reference: the plain module walk, plus per-function times
   // for the critical-path model.
   DetectionStats SerialStats;
-  double SerialStart = nowMs();
+  double SerialStart = bench::nowMs();
   FunctionAnalysisManager FAM;
   std::vector<ReductionReport> SerialReports;
   std::vector<double> FunctionMs;
   for (const auto &F : M->functions()) {
     if (F->isDeclaration())
       continue;
-    double T0 = nowMs();
+    double T0 = bench::nowMs();
     SerialReports.push_back(analyzeFunction(*F, FAM, &SerialStats));
-    FunctionMs.push_back(nowMs() - T0);
+    FunctionMs.push_back(bench::nowMs() - T0);
   }
-  double SerialMs = nowMs() - SerialStart;
+  double SerialMs = bench::nowMs() - SerialStart;
 
   auto Counts = countReductions(SerialReports);
   OS << "Parallel module-level detection: " << NumFunctions
@@ -140,14 +134,18 @@ int main() {
   OS.padToColumn(56);
   OS << "identical\n";
 
+  bench::BenchJson Json;
+  Json.setInt("functions", NumFunctions);
+  Json.setDouble("serial_ms", SerialMs);
+
   bool AllIdentical = true;
   double SpeedupAt4 = 0.0;
   for (unsigned W : {1u, 2u, 4u, 8u}) {
     ParallelDetectionOptions Opts;
     Opts.Workers = W;
-    double T0 = nowMs();
+    double T0 = bench::nowMs();
     ParallelDetectionResult R = analyzeModuleParallel(*M, Opts);
-    double WallMs = nowMs() - T0;
+    double WallMs = bench::nowMs() - T0;
 
     // Critical path of the driver's block-cyclic schedule, from the
     // serial per-function times.
@@ -167,6 +165,11 @@ int main() {
         R.Stats == SerialStats && sameReports(SerialReports, R.Reports);
     AllIdentical = AllIdentical && Identical;
 
+    std::string Prefix = "workers" + std::to_string(W);
+    Json.setDouble(Prefix + ".wall_ms", WallMs);
+    Json.setDouble(Prefix + ".critical_path_ms", MaxShard);
+    Json.setStr(Prefix + ".identical", Identical ? "yes" : "no");
+
     OS << W;
     OS.padToColumn(10);
     OS << formatDouble(WallMs, 1);
@@ -182,5 +185,10 @@ int main() {
      << (AllIdentical ? "yes" : "NO") << '\n';
   OS << "model speedup at 4 workers: " << formatDouble(SpeedupAt4, 2)
      << "x (required: >= 1.5x)\n";
+
+  Json.setDouble("model_speedup_at_4", SpeedupAt4);
+  Json.setStr("all_identical", AllIdentical ? "yes" : "no");
+  if (Json.writeIfEnabled("table_parallel_scaling"))
+    OS << "wrote BENCH_table_parallel_scaling.json\n";
   return (AllIdentical && SpeedupAt4 >= 1.5) ? 0 : 1;
 }

@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
 # CI entry point: the tier-1 verify line, a smoke run of the
-# quickstart example, documentation consistency checks, a re-run of
-# the test suite with the parallel detection driver forced to 2
-# workers, and the parallel-scaling determinism bench. Fails on the
-# first error.
+# quickstart example, documentation consistency checks, the
+# solver-parity gate (differential tests + the whole suite on the
+# reference solver), re-runs of the test suite with the parallel
+# detection driver forced to 2 workers, the parallel-scaling
+# determinism bench, and the micro_solver bench smoke (compiled
+# engine must match the reference solver's Solutions totals). Fails
+# on the first error.
 set -eu
 
 cd "$(dirname "$0")"
@@ -54,6 +57,33 @@ while IFS="$(printf '\t')" read -r name spec transform kernels; do
 done < "$catalogue"
 rm -f "$catalogue"
 
+# Solver-parity gate 1: the differential tests (random formulas,
+# seeded/fuel-limited/capped searches, pipeline parity at 1 and 8
+# workers) run explicitly. gtest exits 0 on an empty filter match, so
+# the gate also requires a nonzero passed-test count — renaming the
+# suites must break CI, not silently skip the oracle comparison.
+parity_out=$(mktemp)
+./build/gr_tests \
+  --gtest_filter='*EngineFixture*:*SolverEngine*:*FunctionRef*' \
+  > "$parity_out" || {
+  echo "ci.sh: solver-parity differential tests failed" >&2
+  rm -f "$parity_out"
+  exit 1
+}
+grep -qE '\[  PASSED  \] [1-9][0-9]* tests?' "$parity_out" || {
+  echo "ci.sh: solver-parity filter matched no tests (vacuous gate)" >&2
+  rm -f "$parity_out"
+  exit 1
+}
+rm -f "$parity_out"
+
+# Solver-parity gate 2: the whole suite again on the reference
+# solver. Every detection expectation must hold on both engines.
+GR_SOLVER=reference ./build/gr_tests >/dev/null || {
+  echo "ci.sh: test suite failed with GR_SOLVER=reference" >&2
+  exit 1
+}
+
 # The suite once more with module-level detection sharded over two
 # workers: pipelines must be oblivious to the driver choice.
 GR_DETECT_WORKERS=2 ./build/gr_tests >/dev/null || {
@@ -67,5 +97,33 @@ GR_DETECT_WORKERS=2 ./build/gr_tests >/dev/null || {
   echo "ci.sh: table_parallel_scaling failed (determinism or speedup)" >&2
   exit 1
 }
+
+# Label-order ablation: asserts the static order optimization
+# recovers the adversarially-registered spec (same solutions, near
+# hand-tuned candidate counts).
+./build/ablation_solver_order >/dev/null || {
+  echo "ci.sh: ablation_solver_order failed (order optimization regressed)" >&2
+  exit 1
+}
+
+# Bench smoke: micro_solver runs detection on both engines and exits
+# nonzero when the compiled engine's Solutions totals or decoded
+# idiom counts diverge from the reference solver's. The registered
+# google-benchmark timings are skipped (filter matches nothing); the
+# parity section always runs. Also records the machine-readable perf
+# trail next to the binary.
+if [ -x ./build/micro_solver ]; then
+  # The speedup floor is set well under the recorded ~2.2x baseline
+  # so CI noise cannot flake it while a real regression still fails.
+  GR_BENCH_JSON_DIR=./build GR_MIN_SOLVER_SPEEDUP=1.3 ./build/micro_solver \
+    --benchmark_filter='NoneSuch^' >/dev/null 2>&1 || {
+    echo "ci.sh: micro_solver engine-parity smoke failed" >&2
+    exit 1
+  }
+  [ -f ./build/BENCH_micro_solver.json ] || {
+    echo "ci.sh: BENCH_micro_solver.json was not produced" >&2
+    exit 1
+  }
+fi
 
 echo "ci.sh: all green"

@@ -82,6 +82,19 @@ bool AtomUncondBr::suggest(const ConstraintContext &, const Solution &S,
   return false;
 }
 
+bool AtomUncondBr::suggestPrereqs(unsigned Label,
+                                  std::vector<unsigned> &Out) const {
+  if (Label == Labels[1]) {
+    Out.push_back(Labels[0]);
+    return true;
+  }
+  if (Label == Labels[0]) {
+    Out.push_back(Labels[1]);
+    return true;
+  }
+  return false;
+}
+
 //===----------------------------------------------------------------------===//
 // AtomCondBr
 //===----------------------------------------------------------------------===//
@@ -132,6 +145,21 @@ bool AtomCondBr::suggest(const ConstraintContext &, const Solution &S,
       }
       return true;
     }
+  }
+  return false;
+}
+
+bool AtomCondBr::suggestPrereqs(unsigned Label,
+                                std::vector<unsigned> &Out) const {
+  if (Label == Labels[1] || Label == Labels[2] || Label == Labels[3]) {
+    Out.push_back(Labels[0]);
+    return true;
+  }
+  if (Label == Labels[0]) {
+    // Either bound target narrows the branch block; the optimizer only
+    // needs one representative prerequisite.
+    Out.push_back(Labels[2]);
+    return true;
   }
   return false;
 }
@@ -214,6 +242,14 @@ bool AtomIntComparison::suggest(const ConstraintContext &,
   return false;
 }
 
+bool AtomIntComparison::suggestPrereqs(unsigned Label,
+                                       std::vector<unsigned> &Out) const {
+  if (Label != Labels[1] && Label != Labels[2])
+    return false;
+  Out.push_back(Labels[0]);
+  return true;
+}
+
 bool AtomAdd::evaluate(const ConstraintContext &, const Solution &S) const {
   auto *Bin = dyn_cast_or_null<BinaryInst>(S[Labels[0]]);
   if (!Bin || Bin->getBinaryOp() != BinaryInst::BinaryOp::Add)
@@ -241,6 +277,14 @@ bool AtomAdd::suggest(const ConstraintContext &, const Solution &S,
     return true;
   }
   return false;
+}
+
+bool AtomAdd::suggestPrereqs(unsigned Label,
+                             std::vector<unsigned> &Out) const {
+  if (Label != Labels[1] && Label != Labels[2])
+    return false;
+  Out.push_back(Labels[0]);
+  return true;
 }
 
 bool AtomPhi::evaluate(const ConstraintContext &, const Solution &S) const {
@@ -287,6 +331,19 @@ bool AtomPhi::suggest(const ConstraintContext &, const Solution &S,
   return false;
 }
 
+bool AtomPhi::suggestPrereqs(unsigned Label,
+                             std::vector<unsigned> &Out) const {
+  if (Label == Labels[0]) {
+    Out.push_back(Labels[1]);
+    return true;
+  }
+  if (Label == Labels[2] || Label == Labels[3]) {
+    Out.push_back(Labels[0]);
+    return true;
+  }
+  return false;
+}
+
 bool AtomPhiAt::evaluate(const ConstraintContext &,
                          const Solution &S) const {
   auto *Phi = dyn_cast_or_null<PhiInst>(S[Labels[0]]);
@@ -303,6 +360,14 @@ bool AtomPhiAt::suggest(const ConstraintContext &, const Solution &S,
     return true; // Bound to a non-block: dead end.
   for (PhiInst *Phi : Block->phis())
     Out.push_back(Phi);
+  return true;
+}
+
+bool AtomPhiAt::suggestPrereqs(unsigned Label,
+                               std::vector<unsigned> &Out) const {
+  if (Label != Labels[0])
+    return false;
+  Out.push_back(Labels[1]);
   return true;
 }
 
@@ -331,6 +396,15 @@ bool AtomPhiIncoming::suggest(const ConstraintContext &, const Solution &S,
   return true;
 }
 
+bool AtomPhiIncoming::suggestPrereqs(unsigned Label,
+                                     std::vector<unsigned> &Out) const {
+  if (Label != Labels[1])
+    return false;
+  Out.push_back(Labels[0]);
+  Out.push_back(Labels[2]);
+  return true;
+}
+
 bool AtomGEP::evaluate(const ConstraintContext &, const Solution &S) const {
   auto *GEP = dyn_cast_or_null<GEPInst>(S[Labels[0]]);
   return GEP && GEP->getPointer() == S[Labels[1]] &&
@@ -351,6 +425,14 @@ bool AtomGEP::suggest(const ConstraintContext &, const Solution &S,
     return true;
   }
   return false;
+}
+
+bool AtomGEP::suggestPrereqs(unsigned Label,
+                             std::vector<unsigned> &Out) const {
+  if (Label != Labels[1] && Label != Labels[2])
+    return false;
+  Out.push_back(Labels[0]);
+  return true;
 }
 
 bool AtomInvariantInLoop::evaluate(const ConstraintContext &Ctx,
@@ -414,6 +496,19 @@ bool AtomLoadInLoop::suggest(const ConstraintContext &Ctx,
   return false;
 }
 
+bool AtomLoadInLoop::suggestPrereqs(unsigned Label,
+                                    std::vector<unsigned> &Out) const {
+  if (Label == Labels[0]) {
+    Out.push_back(Labels[2]);
+    return true;
+  }
+  if (Label == Labels[1]) {
+    Out.push_back(Labels[0]);
+    return true;
+  }
+  return false;
+}
+
 bool AtomStoreInLoop::evaluate(const ConstraintContext &Ctx,
                                const Solution &S) const {
   auto *Store = dyn_cast_or_null<StoreInst>(S[Labels[0]]);
@@ -449,6 +544,19 @@ bool AtomStoreInLoop::suggest(const ConstraintContext &Ctx,
   }
   if (Label == Labels[2]) {
     Out.push_back(Store->getPointer());
+    return true;
+  }
+  return false;
+}
+
+bool AtomStoreInLoop::suggestPrereqs(unsigned Label,
+                                     std::vector<unsigned> &Out) const {
+  if (Label == Labels[0]) {
+    Out.push_back(Labels[3]);
+    return true;
+  }
+  if (Label == Labels[1] || Label == Labels[2]) {
+    Out.push_back(Labels[0]);
     return true;
   }
   return false;

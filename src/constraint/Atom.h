@@ -55,6 +55,19 @@ public:
     return false;
   }
 
+  /// Static mirror of suggest(): if this atom's suggest() can narrow
+  /// \p Label, appends the labels that must already be bound for the
+  /// narrowing to fire and returns true. No IR is consulted — this is
+  /// the structural information the static label-order optimizer
+  /// (constraint/CompiledFormula.h) schedules around, so suggestible
+  /// labels land right after their prerequisites in the search order.
+  virtual bool suggestPrereqs(unsigned Label,
+                              std::vector<unsigned> &Out) const {
+    (void)Label;
+    (void)Out;
+    return false;
+  }
+
   /// One-line rendering for diagnostics.
   virtual std::string describe() const = 0;
 
@@ -75,6 +88,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "uncond_br"; }
 };
 
@@ -87,6 +101,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "cond_br"; }
 };
 
@@ -149,6 +164,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "int_comparison"; }
 };
 
@@ -159,6 +175,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "add"; }
 };
 
@@ -171,6 +188,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "phi"; }
 };
 
@@ -182,6 +200,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "phi_at"; }
 };
 
@@ -193,6 +212,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "phi_incoming"; }
 };
 
@@ -204,6 +224,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "gep"; }
 };
 
@@ -250,6 +271,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "load_in_loop"; }
 };
 
@@ -262,6 +284,7 @@ public:
   bool evaluate(const ConstraintContext &, const Solution &) const override;
   bool suggest(const ConstraintContext &, const Solution &, unsigned,
                std::vector<Value *> &) const override;
+  bool suggestPrereqs(unsigned, std::vector<unsigned> &) const override;
   std::string describe() const override { return "store_in_loop"; }
 };
 

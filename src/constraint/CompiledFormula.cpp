@@ -1,0 +1,170 @@
+//===- CompiledFormula.cpp ------------------------------------*- C++ -*-===//
+
+#include "constraint/CompiledFormula.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <set>
+
+using namespace gr;
+
+std::vector<unsigned> FormulaCompiler::chooseOrder(const Formula &F,
+                                                   unsigned NumLabels) {
+  // Static view of the narrowing structure: one edge per (suggester
+  // atom, suggestible label) pair, carrying the labels that must be
+  // bound before the atom's suggest() fires. Only singleton-clause
+  // atoms may prune (they are required to hold), mirroring the
+  // solvers' suggester selection.
+  struct Edge {
+    unsigned Label;
+    std::vector<unsigned> Prereqs;
+  };
+  std::vector<Edge> Edges;
+  std::vector<std::vector<unsigned>> ClauseLabels;
+  for (const Clause &C : F.clauses()) {
+    std::set<unsigned> Mentioned;
+    for (const Atom *A : C.Atoms)
+      Mentioned.insert(A->labels().begin(), A->labels().end());
+    ClauseLabels.emplace_back(Mentioned.begin(), Mentioned.end());
+    if (C.Atoms.size() != 1)
+      continue;
+    const Atom *A = C.Atoms.front();
+    std::set<unsigned> AtomLabels(A->labels().begin(), A->labels().end());
+    for (unsigned L : AtomLabels) {
+      Edge E{L, {}};
+      if (A->suggestPrereqs(L, E.Prereqs))
+        Edges.push_back(std::move(E));
+    }
+  }
+
+  std::vector<bool> Placed(NumLabels, false);
+  std::vector<bool> ClauseDone(ClauseLabels.size(), false);
+  std::vector<unsigned> Order;
+  Order.reserve(NumLabels);
+
+  while (Order.size() < NumLabels) {
+    int Best = -1;
+    // Score: (suggesters ready, clauses newly checkable); ties go to
+    // the lower registration index, so specs keep their hand-tuned
+    // preference where the heuristic sees no difference.
+    unsigned BestReady = 0, BestClauses = 0;
+    for (unsigned L = 0; L < NumLabels; ++L) {
+      if (Placed[L])
+        continue;
+      unsigned Ready = 0;
+      for (const Edge &E : Edges) {
+        if (E.Label != L)
+          continue;
+        bool AllPlaced = true;
+        for (unsigned P : E.Prereqs)
+          AllPlaced = AllPlaced && Placed[P];
+        if (AllPlaced)
+          ++Ready;
+      }
+      unsigned NewClauses = 0;
+      for (std::size_t CI = 0; CI != ClauseLabels.size(); ++CI) {
+        if (ClauseDone[CI])
+          continue;
+        bool Complete = true, MentionsL = false;
+        for (unsigned CL : ClauseLabels[CI]) {
+          MentionsL = MentionsL || CL == L;
+          Complete = Complete && (Placed[CL] || CL == L);
+        }
+        if (Complete && MentionsL)
+          ++NewClauses;
+      }
+      if (Best < 0 || Ready > BestReady ||
+          (Ready == BestReady && NewClauses > BestClauses)) {
+        Best = static_cast<int>(L);
+        BestReady = Ready;
+        BestClauses = NewClauses;
+      }
+    }
+    unsigned L = static_cast<unsigned>(Best);
+    Placed[L] = true;
+    Order.push_back(L);
+    for (std::size_t CI = 0; CI != ClauseLabels.size(); ++CI) {
+      if (ClauseDone[CI])
+        continue;
+      bool Complete = true;
+      for (unsigned CL : ClauseLabels[CI])
+        Complete = Complete && Placed[CL];
+      ClauseDone[CI] = Complete;
+    }
+  }
+  return Order;
+}
+
+CompiledFormula FormulaCompiler::compile(const Formula &F,
+                                         unsigned NumLabels,
+                                         FormulaCompileOptions Opts) {
+  CompiledFormula P;
+  P.NumLabels = NumLabels;
+  if (Opts.OptimizeOrder) {
+    P.Order = chooseOrder(F, NumLabels);
+  } else {
+    P.Order.resize(NumLabels);
+    std::iota(P.Order.begin(), P.Order.end(), 0u);
+  }
+  P.Depth.resize(NumLabels);
+  for (unsigned D = 0; D < NumLabels; ++D)
+    P.Depth[P.Order[D]] = D;
+
+  // Dense atom table, in formula order (clause by clause).
+  const auto &Clauses = F.clauses();
+  std::vector<std::vector<uint32_t>> ClausesAtDepth(NumLabels);
+  std::vector<uint32_t> FirstAtomOfClause;
+  for (const Clause &C : Clauses) {
+    FirstAtomOfClause.push_back(static_cast<uint32_t>(P.Atoms.size()));
+    unsigned MaxDepth = 0;
+    std::set<unsigned> Mentioned;
+    for (const Atom *A : C.Atoms) {
+      P.Atoms.push_back(A);
+      for (unsigned L : A->labels()) {
+        assert(L < NumLabels && "clause references unknown label");
+        Mentioned.insert(L);
+      }
+    }
+    for (unsigned L : Mentioned)
+      MaxDepth = std::max(MaxDepth, P.Depth[L]);
+    ClausesAtDepth[MaxDepth].push_back(
+        static_cast<uint32_t>(&C - Clauses.data()));
+  }
+
+  // Schedule clauses depth-major, formula order within a depth, and
+  // flatten their atom index lists.
+  P.ClauseStart.assign(NumLabels + 1, 0);
+  for (unsigned D = 0; D < NumLabels; ++D) {
+    for (uint32_t CI : ClausesAtDepth[D]) {
+      CompiledFormula::ClauseRange R;
+      R.AtomBegin = static_cast<uint32_t>(P.ClauseAtoms.size());
+      uint32_t AtomId = FirstAtomOfClause[CI];
+      for (std::size_t K = 0; K != Clauses[CI].Atoms.size(); ++K)
+        P.ClauseAtoms.push_back(AtomId + static_cast<uint32_t>(K));
+      R.AtomEnd = static_cast<uint32_t>(P.ClauseAtoms.size());
+      P.Clauses.push_back(R);
+    }
+    P.ClauseStart[D + 1] = static_cast<uint32_t>(P.Clauses.size());
+  }
+
+  // Suggesters: singleton-clause atoms, attached at the depth of every
+  // label they mention, in formula order — exactly the
+  // ReferenceSolver's selection, relocated through the permutation.
+  P.SuggesterStart.assign(NumLabels + 1, 0);
+  std::vector<std::vector<uint32_t>> SuggestersAtDepth(NumLabels);
+  for (std::size_t CI = 0; CI != Clauses.size(); ++CI) {
+    if (Clauses[CI].Atoms.size() != 1)
+      continue;
+    const Atom *A = Clauses[CI].Atoms.front();
+    std::set<unsigned> Mentioned(A->labels().begin(), A->labels().end());
+    for (unsigned L : Mentioned)
+      SuggestersAtDepth[P.Depth[L]].push_back(FirstAtomOfClause[CI]);
+  }
+  for (unsigned D = 0; D < NumLabels; ++D) {
+    for (uint32_t AtomId : SuggestersAtDepth[D])
+      P.SuggesterAtoms.push_back(AtomId);
+    P.SuggesterStart[D + 1] = static_cast<uint32_t>(P.SuggesterAtoms.size());
+  }
+  return P;
+}

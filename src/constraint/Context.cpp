@@ -7,8 +7,6 @@
 #include "ir/Module.h"
 #include "pass/Analyses.h"
 
-#include <set>
-
 using namespace gr;
 
 ConstraintContext::ConstraintContext(Function &F,
@@ -18,13 +16,17 @@ ConstraintContext::ConstraintContext(Function &F,
       CD(AM.get<ControlDependenceAnalysis>(F)),
       Purity(AM.getPurity(*F.getParent())) {
   Universe = F.allValues();
-  // Constants and globals referenced by the function join the
-  // universe exactly once.
-  std::set<Value *> Seen(Universe.begin(), Universe.end());
+  // The dense numbering doubles as the dedup set while constants and
+  // globals referenced by the function join the universe exactly once.
+  ValueIds.reserve(Universe.size() * 2);
+  for (std::size_t I = 0, E = Universe.size(); I != E; ++I)
+    ValueIds.emplace(Universe[I], static_cast<uint32_t>(I));
   for (BasicBlock *BB : F)
     for (Instruction *I : *BB)
       for (Value *Op : I->operands())
         if (!isa<BasicBlock>(Op) && !isa<Instruction>(Op) &&
-            Seen.insert(Op).second)
+            ValueIds
+                .emplace(Op, static_cast<uint32_t>(Universe.size()))
+                .second)
           Universe.push_back(Op);
 }

@@ -22,6 +22,8 @@
 #include "analysis/LoopInfo.h"
 #include "analysis/Purity.h"
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace gr {
@@ -54,6 +56,23 @@ public:
   /// The solver's enumeration universe.
   const std::vector<Value *> &getUniverse() const { return Universe; }
 
+  /// Sentinel for values outside the numbered universe.
+  static constexpr uint32_t NoValueId = 0xffffffffu;
+
+  /// Dense value numbering over the universe: every universe member
+  /// has a unique id in [0, universeSize()), assigned in enumeration
+  /// order. The compiled solver engine keys its candidate-dedup
+  /// stamps on these ids instead of building a per-node std::set.
+  uint32_t idOf(Value *V) const {
+    auto It = ValueIds.find(V);
+    return It == ValueIds.end() ? NoValueId : It->second;
+  }
+  /// Inverse of idOf() for valid ids.
+  Value *valueOf(uint32_t Id) const { return Universe[Id]; }
+  uint32_t universeSize() const {
+    return static_cast<uint32_t>(Universe.size());
+  }
+
 private:
   Function &F;
   const DomTree &DT;
@@ -62,6 +81,7 @@ private:
   const ControlDependence &CD;
   const PurityAnalysis &Purity;
   std::vector<Value *> Universe;
+  std::unordered_map<Value *, uint32_t> ValueIds;
 };
 
 } // namespace gr

@@ -4,11 +4,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 using namespace gr;
 
-Solver::Solver(const Formula &F, unsigned NumLabels)
+SolverKind gr::resolveSolverKind(SolverKind Kind) {
+  if (Kind != SolverKind::Default)
+    return Kind;
+  if (const char *Env = std::getenv("GR_SOLVER"))
+    if (std::strcmp(Env, "reference") == 0)
+      return SolverKind::Reference;
+  return SolverKind::Compiled;
+}
+
+ReferenceSolver::ReferenceSolver(const Formula &F, unsigned NumLabels)
     : F(F), NumLabels(NumLabels), ClausesAt(NumLabels),
       SuggestersAt(NumLabels) {
   const auto &Clauses = F.clauses();
@@ -33,8 +44,8 @@ Solver::Solver(const Formula &F, unsigned NumLabels)
   }
 }
 
-bool Solver::clausesHoldAt(const ConstraintContext &Ctx, const Solution &S,
-                           unsigned K) const {
+bool ReferenceSolver::clausesHoldAt(const ConstraintContext &Ctx,
+                                    const Solution &S, unsigned K) const {
   for (unsigned CI : ClausesAt[K]) {
     const Clause &C = F.clauses()[CI];
     bool Any = false;
@@ -50,9 +61,9 @@ bool Solver::clausesHoldAt(const ConstraintContext &Ctx, const Solution &S,
   return true;
 }
 
-SolverStats Solver::findAll(
+SolverStats ReferenceSolver::findAll(
     const ConstraintContext &Ctx,
-    const std::function<void(const Solution &)> &Yield, Solution Seed,
+    FunctionRef<void(const Solution &)> Yield, Solution Seed,
     uint64_t MaxSolutions, uint64_t MaxCandidates) const {
   SolverStats Stats;
   Solution S = std::move(Seed);
@@ -61,12 +72,12 @@ SolverStats Solver::findAll(
   return Stats;
 }
 
-void Solver::search(const ConstraintContext &Ctx, Solution &S, unsigned K,
-                    const std::function<void(const Solution &)> &Yield,
-                    SolverStats &Stats, uint64_t MaxSolutions,
-                    uint64_t MaxCandidates) const {
-  if (Stats.Solutions >= MaxSolutions ||
-      Stats.CandidatesTried >= MaxCandidates)
+void ReferenceSolver::search(const ConstraintContext &Ctx, Solution &S,
+                             unsigned K,
+                             FunctionRef<void(const Solution &)> Yield,
+                             SolverStats &Stats, uint64_t MaxSolutions,
+                             uint64_t MaxCandidates) const {
+  if (solverBudgetExhausted(Stats, MaxSolutions, MaxCandidates))
     return;
   if (K == NumLabels) {
     ++Stats.Solutions;
@@ -105,8 +116,7 @@ void Solver::search(const ConstraintContext &Ctx, Solution &S, unsigned K,
     if (clausesHoldAt(Ctx, S, K))
       search(Ctx, S, K + 1, Yield, Stats, MaxSolutions, MaxCandidates);
     S[K] = nullptr;
-    if (Stats.Solutions >= MaxSolutions ||
-        Stats.CandidatesTried >= MaxCandidates)
+    if (solverBudgetExhausted(Stats, MaxSolutions, MaxCandidates))
       return;
   }
 }

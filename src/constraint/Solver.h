@@ -8,17 +8,35 @@
 /// value universe only when no conjunctive atom can narrow the choice;
 /// clauses are checked as soon as all their labels are bound.
 ///
+/// Two implementations share these semantics. ReferenceSolver (this
+/// file) is the direct recursive transcription — simple, interpreted,
+/// and kept as the differential-testing oracle. SolverEngine
+/// (constraint/SolverEngine.h) runs the same search over a compiled
+/// formula (constraint/CompiledFormula.h) with an explicit stack and
+/// reusable scratch arenas; production detection runs the engine.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GR_CONSTRAINT_SOLVER_H
 #define GR_CONSTRAINT_SOLVER_H
 
 #include "constraint/Formula.h"
+#include "support/FunctionRef.h"
 
 #include <cstdint>
-#include <functional>
 
 namespace gr {
+
+/// Which solver implementation a detection entry point runs.
+enum class SolverKind {
+  /// Resolve from the GR_SOLVER environment variable ("reference"
+  /// selects the reference solver); defaults to Compiled.
+  Default,
+  /// The compiled SolverEngine (production path).
+  Compiled,
+  /// The recursive ReferenceSolver (differential-testing oracle).
+  Reference,
+};
 
 /// Search statistics, used by the enumeration-order ablation and the
 /// parallel-vs-serial determinism checks.
@@ -50,14 +68,34 @@ struct SolverStats {
   }
 };
 
-/// Solves one formula against one function context.
-class Solver {
+/// Resolves SolverKind::Default against the GR_SOLVER environment
+/// variable ("reference" → Reference, anything else → Compiled);
+/// returns other kinds unchanged.
+SolverKind resolveSolverKind(SolverKind Kind);
+
+/// The one fuel test both solver implementations apply — at node
+/// entry (which covers the yield, a zero-label "node"), and after
+/// every candidate trial. Centralizing it keeps the MaxSolutions /
+/// MaxCandidates budgets enforced uniformly across the two engines
+/// and every check site.
+inline bool solverBudgetExhausted(const SolverStats &Stats,
+                                  uint64_t MaxSolutions,
+                                  uint64_t MaxCandidates) {
+  return Stats.Solutions >= MaxSolutions ||
+         Stats.CandidatesTried >= MaxCandidates;
+}
+
+/// Solves one formula against one function context by direct
+/// recursion. Kept as the oracle the compiled SolverEngine is
+/// differentially tested against; production detection uses the
+/// engine.
+class ReferenceSolver {
 public:
   /// Prepares the search schedule for \p F over \p NumLabels labels:
   /// per-depth clause checks and candidate suggesters are computed
-  /// once here, so one Solver may be reused across many findAll calls
+  /// once here, so one solver may be reused across many findAll calls
   /// (and across seed loops). \p F must outlive the solver.
-  Solver(const Formula &F, unsigned NumLabels);
+  ReferenceSolver(const Formula &F, unsigned NumLabels);
 
   /// Enumerates all satisfying assignments, invoking \p Yield for
   /// each. \p Seed may pre-bind labels (pass an empty vector for a
@@ -65,14 +103,14 @@ public:
   /// a fuel budget that abandons pathological searches (the
   /// enumeration-order ablation relies on it).
   SolverStats findAll(const ConstraintContext &Ctx,
-                      const std::function<void(const Solution &)> &Yield,
+                      FunctionRef<void(const Solution &)> Yield,
                       Solution Seed = {},
                       uint64_t MaxSolutions = UINT64_MAX,
                       uint64_t MaxCandidates = UINT64_MAX) const;
 
 private:
   void search(const ConstraintContext &Ctx, Solution &S, unsigned K,
-              const std::function<void(const Solution &)> &Yield,
+              FunctionRef<void(const Solution &)> Yield,
               SolverStats &Stats, uint64_t MaxSolutions,
               uint64_t MaxCandidates) const;
 

@@ -1,0 +1,194 @@
+//===- SolverEngine.cpp ---------------------------------------*- C++ -*-===//
+
+#include "constraint/SolverEngine.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace gr;
+
+bool SolverEngine::clausesHoldAt(const ConstraintContext &Ctx,
+                                 unsigned Depth) const {
+  for (uint32_t CI = Program.clauseBegin(Depth),
+                CE = Program.clauseEnd(Depth);
+       CI != CE; ++CI) {
+    const CompiledFormula::ClauseRange &C = Program.clause(CI);
+    bool Any = false;
+    for (uint32_t AI = C.AtomBegin; AI != C.AtomEnd && !Any; ++AI)
+      Any = Program.atom(Program.clauseAtom(AI))->evaluate(Ctx, S);
+    if (!Any)
+      return false;
+  }
+  return true;
+}
+
+SolverStats SolverEngine::findAll(const ConstraintContext &Ctx,
+                                  FunctionRef<void(const Solution &)> Yield,
+                                  const Solution &Seed,
+                                  uint64_t MaxSolutions,
+                                  uint64_t MaxCandidates) {
+  SolverStats Stats;
+  const unsigned N = Program.numLabels();
+  S.assign(Seed.begin(), Seed.end());
+  S.resize(N, nullptr);
+
+  const std::vector<Value *> &Universe = Ctx.getUniverse();
+  if (Stamp.size() < Universe.size()) {
+    Stamp.assign(Universe.size(), 0);
+    Epoch = 0;
+  }
+  Stack.clear();
+  Arena.clear();
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point LastStamp{};
+  unsigned LastDepth = ~0u;
+  if (Profile)
+    Profile->ensure(N + 1);
+  // Attributes the wall-clock since the previous node entry to that
+  // node's depth (cheap single-clock-read sampling; only paid when a
+  // profile is attached).
+  auto profileEnter = [&](unsigned Depth) {
+    Clock::time_point Now = Clock::now();
+    if (LastDepth != ~0u)
+      Profile->Millis[LastDepth] +=
+          std::chrono::duration<double, std::milli>(Now - LastStamp)
+              .count();
+    LastStamp = Now;
+    LastDepth = Depth;
+    ++Profile->Nodes[Depth];
+  };
+
+  // Enters the node at \p Depth (== Stack.size()): uniform budget
+  // gate, yield at a leaf, candidate generation + frame push
+  // otherwise. Returns false when the budget is exhausted and the
+  // whole search must unwind.
+  auto enterNode = [&](unsigned Depth) -> bool {
+    if (solverBudgetExhausted(Stats, MaxSolutions, MaxCandidates))
+      return false;
+    if (Depth == N) {
+      ++Stats.Solutions;
+      if (Profile)
+        profileEnter(N);
+      Yield(S);
+      return true;
+    }
+    ++Stats.NodesVisited;
+    if (Profile)
+      profileEnter(Depth);
+    const unsigned Label = Program.labelAt(Depth);
+    Frame F;
+    F.ArenaBase = static_cast<uint32_t>(Arena.size());
+
+    // Pre-bound label (seeded search): verify once, descend once.
+    if (S[Label]) {
+      if (!clausesHoldAt(Ctx, Depth))
+        return true;
+      F.Mode = FM_Prebound;
+      F.Cursor = 0;
+      Stack.push_back(F);
+      return true;
+    }
+
+    // Candidate generation: the first conjunctive atom able to narrow
+    // the choice wins; remaining clauses filter the rest.
+    bool Narrowed = false;
+    SuggestBuf.clear();
+    for (uint32_t SI = Program.suggesterBegin(Depth),
+                  SE = Program.suggesterEnd(Depth);
+         SI != SE; ++SI) {
+      if (Program.atom(Program.suggesterAtom(SI))
+              ->suggest(Ctx, S, Label, SuggestBuf)) {
+        Narrowed = true;
+        break;
+      }
+    }
+    if (!Narrowed) {
+      // Universe fallback: iterate in place — the universe is
+      // duplicate-free by construction, so no copy and no dedup.
+      F.Mode = FM_Universe;
+      F.Begin = F.Cursor = 0;
+      F.End = static_cast<uint32_t>(Universe.size());
+    } else {
+      // Suggested candidates: dedup (preserving first occurrence,
+      // dropping nulls) through the epoch-stamped id array.
+      F.Mode = FM_Suggested;
+      F.Begin = F.Cursor = F.ArenaBase;
+      if (++Epoch == 0) {
+        std::fill(Stamp.begin(), Stamp.end(), 0u);
+        Epoch = 1;
+      }
+      for (Value *C : SuggestBuf) {
+        if (!C)
+          continue;
+        uint32_t Id = Ctx.idOf(C);
+        if (Id != ConstraintContext::NoValueId) {
+          if (Stamp[Id] == Epoch)
+            continue;
+          Stamp[Id] = Epoch;
+        } else {
+          // Outside the numbered universe (unexpected): fall back to
+          // a linear probe of this frame's short candidate range.
+          bool Dup = false;
+          for (std::size_t I = F.Begin; I != Arena.size() && !Dup; ++I)
+            Dup = Arena[I] == C;
+          if (Dup)
+            continue;
+        }
+        Arena.push_back(C);
+      }
+      F.End = static_cast<uint32_t>(Arena.size());
+    }
+    Stack.push_back(F);
+    return true;
+  };
+
+  bool Unwind = !enterNode(0);
+  while (!Stack.empty() && !Unwind) {
+    Frame &F = Stack.back(); // Invalidated by enterNode: no use after.
+    const unsigned Depth = static_cast<unsigned>(Stack.size()) - 1;
+    const unsigned Label = Program.labelAt(Depth);
+
+    if (F.Mode == FM_Prebound) {
+      if (F.Cursor == 0) {
+        F.Cursor = 1;
+        Unwind = !enterNode(Depth + 1);
+      } else {
+        Stack.pop_back(); // Prebound labels stay bound.
+      }
+      continue;
+    }
+
+    if (F.Cursor > F.Begin) {
+      // The previous candidate's descent has finished: unbind it and
+      // apply the uniform post-trial budget gate.
+      S[Label] = nullptr;
+      if (solverBudgetExhausted(Stats, MaxSolutions, MaxCandidates)) {
+        Unwind = true;
+        continue;
+      }
+    }
+    if (F.Cursor == F.End) {
+      Arena.resize(F.ArenaBase);
+      Stack.pop_back();
+      continue;
+    }
+
+    Value *C =
+        F.Mode == FM_Universe ? Universe[F.Cursor] : Arena[F.Cursor];
+    ++F.Cursor;
+    ++Stats.CandidatesTried;
+    if (Profile)
+      ++Profile->Candidates[Depth];
+    S[Label] = C;
+    if (clausesHoldAt(Ctx, Depth))
+      Unwind = !enterNode(Depth + 1);
+  }
+
+  if (Profile && LastDepth != ~0u)
+    Profile->Millis[LastDepth] +=
+        std::chrono::duration<double, std::milli>(Clock::now() -
+                                                  LastStamp)
+            .count();
+  return Stats;
+}

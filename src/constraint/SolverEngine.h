@@ -1,0 +1,123 @@
+//===- SolverEngine.h - compiled-formula solver engine --------*- C++ -*-===//
+///
+/// \file
+/// Executes a CompiledFormula with an explicit iterative stack and
+/// per-engine scratch arenas, replacing the reference solver's
+/// per-node heap traffic:
+///
+///  - candidate lists live in one reusable arena (a frame owns a
+///    range, popped with the frame);
+///  - universe fallbacks iterate the context's universe in place
+///    instead of copying it;
+///  - candidate dedup is an epoch-stamped array keyed by the
+///    context's dense value numbering (ConstraintContext::idOf)
+///    instead of a per-node std::set.
+///
+/// After the first findAll over a function has sized the arenas,
+/// subsequent searches allocate nothing. Semantics are exactly
+/// ReferenceSolver::findAll — with order optimization disabled the
+/// two produce bitwise identical statistics and yield sequences; with
+/// it enabled the solution *set* (and therefore Solutions) is
+/// unchanged while the search typically visits far fewer candidates.
+///
+/// An engine owns mutable scratch and must not be shared across
+/// threads; the CompiledFormula it runs may be (one engine per
+/// worker, one program for all).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CONSTRAINT_SOLVERENGINE_H
+#define GR_CONSTRAINT_SOLVERENGINE_H
+
+#include "constraint/CompiledFormula.h"
+#include "constraint/Solver.h"
+
+namespace gr {
+
+/// Optional per-depth search profile: nodes expanded, candidates
+/// tried and wall-clock attributed to each search depth (index ==
+/// depth in the compiled order; slot numLabels() counts yields).
+/// Collected only when attached — profiling adds a clock read per
+/// node, so the default path never pays for it.
+struct SolverDepthProfile {
+  std::vector<uint64_t> Nodes;
+  std::vector<uint64_t> Candidates;
+  std::vector<double> Millis;
+
+  /// Grows all three tracks to at least \p Depths slots.
+  void ensure(unsigned Depths) {
+    if (Nodes.size() < Depths) {
+      Nodes.resize(Depths, 0);
+      Candidates.resize(Depths, 0);
+      Millis.resize(Depths, 0.0);
+    }
+  }
+
+  SolverDepthProfile &operator+=(const SolverDepthProfile &Other) {
+    ensure(static_cast<unsigned>(Other.Nodes.size()));
+    for (std::size_t D = 0; D != Other.Nodes.size(); ++D) {
+      Nodes[D] += Other.Nodes[D];
+      Candidates[D] += Other.Candidates[D];
+      Millis[D] += Other.Millis[D];
+    }
+    return *this;
+  }
+};
+
+/// Runs one compiled program; reusable across findAll calls and
+/// contexts. See the file comment for the scratch-arena lifetime.
+class SolverEngine {
+public:
+  /// \p Program must outlive the engine.
+  explicit SolverEngine(const CompiledFormula &Program)
+      : Program(Program) {}
+
+  /// Attaches (or detaches, with null) a per-depth profile filled by
+  /// subsequent findAll calls.
+  void setDepthProfile(SolverDepthProfile *P) { Profile = P; }
+
+  /// ReferenceSolver::findAll semantics over the compiled program.
+  /// \p Seed pre-binds labels by their *original* spec indices; the
+  /// yielded Solution is likewise original-indexed, regardless of the
+  /// compiled search order.
+  SolverStats findAll(const ConstraintContext &Ctx,
+                      FunctionRef<void(const Solution &)> Yield,
+                      const Solution &Seed = Solution(),
+                      uint64_t MaxSolutions = UINT64_MAX,
+                      uint64_t MaxCandidates = UINT64_MAX);
+
+private:
+  enum FrameMode : uint8_t {
+    /// Label was pre-bound by the seed: verify once, descend once.
+    FM_Prebound,
+    /// Candidates are Arena[Begin, End).
+    FM_Suggested,
+    /// Candidates are the context universe [Begin, End) in place.
+    FM_Universe,
+  };
+
+  struct Frame {
+    uint32_t Begin = 0;
+    uint32_t Cursor = 0;
+    uint32_t End = 0;
+    uint32_t ArenaBase = 0;
+    FrameMode Mode = FM_Universe;
+  };
+
+  bool clausesHoldAt(const ConstraintContext &Ctx, unsigned Depth) const;
+
+  const CompiledFormula &Program;
+  SolverDepthProfile *Profile = nullptr;
+
+  // Scratch arenas, reused across findAll calls (see file comment).
+  std::vector<Frame> Stack;
+  std::vector<Value *> Arena;      ///< candidate storage, frame-ranged
+  std::vector<Value *> SuggestBuf; ///< raw suggester output
+  std::vector<uint32_t> Stamp;     ///< dedup stamps, value-id indexed
+  uint32_t Epoch = 0;
+  Solution S; ///< working assignment, original label indexing
+};
+
+} // namespace gr
+
+#endif // GR_CONSTRAINT_SOLVERENGINE_H

@@ -2,6 +2,7 @@
 
 #include "idioms/ForLoopIdiom.h"
 
+#include "constraint/SolverEngine.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 
@@ -117,22 +118,42 @@ void gr::seedForLoop(const ForLoopLabels &L, const ForLoopMatch &M,
   S[L.IterStep] = M.IterStep;
 }
 
-std::vector<ForLoopMatch> gr::findForLoops(const ConstraintContext &Ctx,
-                                           SolverStats *Stats) {
-  IdiomSpec Spec;
-  ForLoopLabels Labels = buildForLoopSpec(Spec);
-  Solver S(Spec.F, Spec.Labels.size());
+const CompiledForLoopSpec &gr::compiledForLoopSpec() {
+  static const CompiledForLoopSpec Shared = [] {
+    CompiledForLoopSpec C;
+    C.Labels = buildForLoopSpec(C.Spec);
+    C.Program = FormulaCompiler::compile(C.Spec.F, C.Spec.Labels.size());
+    return C;
+  }();
+  return Shared;
+}
 
+std::vector<ForLoopMatch> gr::findForLoops(const ConstraintContext &Ctx,
+                                           SolverStats *Stats,
+                                           SolverKind Kind) {
   std::vector<ForLoopMatch> Matches;
   std::set<BasicBlock *> SeenHeaders;
-  SolverStats Collected =
-      S.findAll(Ctx, [&](const Solution &Sol) {
-        ForLoopMatch M = decodeForLoop(Labels, Sol);
-        // One loop may admit several satisfying tuples (e.g. when the
-        // increment operands commute); report each header once.
-        if (SeenHeaders.insert(M.LoopBegin).second)
-          Matches.push_back(M);
-      });
+  SolverStats Collected;
+  // One loop may admit several satisfying tuples (e.g. when the
+  // increment operands commute); report each header once.
+  if (resolveSolverKind(Kind) == SolverKind::Reference) {
+    IdiomSpec Spec;
+    ForLoopLabels Labels = buildForLoopSpec(Spec);
+    ReferenceSolver S(Spec.F, Spec.Labels.size());
+    Collected = S.findAll(Ctx, [&](const Solution &Sol) {
+      ForLoopMatch M = decodeForLoop(Labels, Sol);
+      if (SeenHeaders.insert(M.LoopBegin).second)
+        Matches.push_back(M);
+    });
+  } else {
+    const CompiledForLoopSpec &C = compiledForLoopSpec();
+    SolverEngine Engine(C.Program);
+    Collected = Engine.findAll(Ctx, [&](const Solution &Sol) {
+      ForLoopMatch M = decodeForLoop(C.Labels, Sol);
+      if (SeenHeaders.insert(M.LoopBegin).second)
+        Matches.push_back(M);
+    });
+  }
   if (Stats)
     *Stats = Collected;
   return Matches;

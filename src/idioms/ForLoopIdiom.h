@@ -13,6 +13,7 @@
 #ifndef GR_IDIOMS_FORLOOPIDIOM_H
 #define GR_IDIOMS_FORLOOPIDIOM_H
 
+#include "constraint/CompiledFormula.h"
 #include "constraint/Formula.h"
 #include "constraint/Solver.h"
 #include "idioms/ReductionInfo.h"
@@ -41,9 +42,21 @@ ForLoopMatch decodeForLoop(const ForLoopLabels &L, const Solution &S);
 /// instead of rediscovering it.
 void seedForLoop(const ForLoopLabels &L, const ForLoopMatch &M, Solution &S);
 
+/// The for-loop spec compiled once per process (thread-safe static),
+/// shared read-only by every detection client.
+struct CompiledForLoopSpec {
+  IdiomSpec Spec;
+  ForLoopLabels Labels;
+  CompiledFormula Program;
+};
+const CompiledForLoopSpec &compiledForLoopSpec();
+
 /// Runs the spec over \p Ctx; one match per syntactic for loop.
+/// \p Kind selects the compiled engine (default) or the reference
+/// solver (differential testing).
 std::vector<ForLoopMatch> findForLoops(const ConstraintContext &Ctx,
-                                       SolverStats *Stats = nullptr);
+                                       SolverStats *Stats = nullptr,
+                                       SolverKind Kind = SolverKind::Default);
 
 } // namespace gr
 

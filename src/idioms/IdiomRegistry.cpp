@@ -16,6 +16,7 @@
 #include "idioms/Associativity.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
+#include "support/ErrorHandling.h"
 
 #include <set>
 
@@ -47,12 +48,43 @@ const IdiomDefinition *IdiomRegistry::lookup(const std::string &Name) const {
 }
 
 const IdiomRegistry &IdiomRegistry::builtins() {
-  static const IdiomRegistry Shared = [] {
+  // The registry owns a mutex (for the compiled-spec cache) and is
+  // therefore immovable: populate it in place under the thread-safe
+  // static initialization instead of returning one from a lambda.
+  struct Holder {
     IdiomRegistry R;
-    R.addBuiltins();
-    return R;
-  }();
-  return Shared;
+    Holder() { R.addBuiltins(); }
+  };
+  static const Holder Shared;
+  return Shared.R;
+}
+
+const std::vector<std::unique_ptr<CompiledIdiomSpec>> &
+IdiomRegistry::compiledSpecs() const {
+  std::lock_guard<std::mutex> Lock(CompileMutex);
+  for (std::size_t I = Compiled.size(); I < Defs.size(); ++I) {
+    const IdiomDefinition &Def = Defs[I];
+    auto CS = std::make_unique<CompiledIdiomSpec>();
+    if (!Def.Build) {
+      // add() rejects these; keep slot alignment with all()[i] and
+      // let the driver skip them, matching the reference path's
+      // belt-and-braces guard.
+      Compiled.push_back(std::move(CS));
+      continue;
+    }
+    CS->Prefix = buildForLoopSpec(CS->Spec);
+    CS->PrefixSize = CS->Spec.Labels.size();
+    Def.Build(CS->Spec, CS->Prefix);
+    CS->KeyIdx = CS->Spec.Labels.find(Def.KeyLabel);
+    if (CS->KeyIdx < 0)
+      reportFatalError(("idiom '" + Def.Name + "': key label '" +
+                        Def.KeyLabel + "' is not part of its spec")
+                           .c_str());
+    CS->Program =
+        FormulaCompiler::compile(CS->Spec.F, CS->Spec.Labels.size());
+    Compiled.push_back(std::move(CS));
+  }
+  return Compiled;
 }
 
 //===----------------------------------------------------------------------===//

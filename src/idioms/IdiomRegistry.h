@@ -15,12 +15,32 @@
 #ifndef GR_IDIOMS_IDIOMREGISTRY_H
 #define GR_IDIOMS_IDIOMREGISTRY_H
 
+#include "constraint/CompiledFormula.h"
 #include "idioms/IdiomSpec.h"
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace gr {
+
+/// One registry definition lowered for the compiled solver engine:
+/// the built spec (label table + formula, owning the atoms), the
+/// for-loop prefix it extends, and the flat program. Immutable after
+/// construction, so detection workers share it read-only; each worker
+/// runs it through its own SolverEngine (engines own mutable
+/// scratch).
+struct CompiledIdiomSpec {
+  IdiomSpec Spec;
+  ForLoopLabels Prefix;
+  /// Labels [0, PrefixSize) are the for-loop prefix; the rest are the
+  /// idiom's own captures.
+  unsigned PrefixSize = 0;
+  /// Index of the definition's KeyLabel in the label table.
+  int KeyIdx = -1;
+  CompiledFormula Program;
+};
 
 /// An ordered collection of idiom definitions; detection runs them in
 /// registration order.
@@ -44,6 +64,16 @@ public:
 
   unsigned size() const { return static_cast<unsigned>(Defs.size()); }
 
+  /// Compiled form of every definition: each spec is built and
+  /// lowered exactly once (slot i corresponds to all()[i]), on first
+  /// use, and shared read-only afterwards — the parallel detection
+  /// driver's workers all solve the same compiled programs.
+  /// Definitions added after a call appear on the next call; compiled
+  /// slots are never rebuilt or dropped. Aborts (reportFatalError)
+  /// when a definition's KeyLabel is missing from its built spec.
+  const std::vector<std::unique_ptr<CompiledIdiomSpec>> &
+  compiledSpecs() const;
+
   /// The shared immutable registry holding exactly the built-ins.
   /// Constructed once (thread-safe function-local static) and never
   /// mutated afterwards, so concurrent detection workers may read it
@@ -52,6 +82,10 @@ public:
 
 private:
   std::vector<IdiomDefinition> Defs;
+  /// Lazily-built compiled forms (see compiledSpecs()); the mutex
+  /// makes first-use compilation safe from concurrent workers.
+  mutable std::mutex CompileMutex;
+  mutable std::vector<std::unique_ptr<CompiledIdiomSpec>> Compiled;
 };
 
 /// Built-in definition factories, exposed for tests and for clients

@@ -4,6 +4,7 @@
 
 #include "constraint/Context.h"
 #include "constraint/Solver.h"
+#include "constraint/SolverEngine.h"
 #include "idioms/IdiomRegistry.h"
 #include "idioms/ReductionAnalysis.h"
 #include "ir/BasicBlock.h"
@@ -15,70 +16,120 @@
 
 using namespace gr;
 
+namespace {
+
+/// Per-spec solution sink shared by both solver paths: KeyLabel
+/// dedup, capture extraction, legality check, instance recording.
+struct InstanceCollector {
+  const IdiomDefinition &Def;
+  const IdiomSpec &Spec;
+  unsigned PrefixSize;
+  int KeyIdx;
+  const ConstraintContext &Ctx;
+  IdiomDetectionResult &Result;
+
+  /// (loop header, key binding) pairs already reported: the solver
+  /// may reach one instance through several assignments (commuted
+  /// operands); the first one wins, matching the pre-registry
+  /// detectors.
+  std::set<std::pair<BasicBlock *, Value *>> Seen;
+
+  void operator()(const ForLoopMatch &M, Loop *L, const Solution &Sol) {
+    if (!Seen.insert({M.LoopBegin, Sol[KeyIdx]}).second)
+      return;
+    IdiomInstance Inst;
+    Inst.Idiom = Def.Name;
+    Inst.Loop = M;
+    for (unsigned K = PrefixSize, E = Spec.Labels.size(); K != E; ++K)
+      Inst.Captures[Spec.Labels.nameOf(K)] = Sol[K];
+    if (Def.Legalize && !Def.Legalize(Ctx, L, Inst))
+      return;
+    Result.Instances.push_back(std::move(Inst));
+  }
+};
+
+} // namespace
+
 IdiomDetectionResult gr::detectIdioms(Function &F,
                                       FunctionAnalysisManager &AM,
                                       const IdiomRegistry &Registry,
-                                      DetectionStats *Stats) {
+                                      DetectionStats *Stats,
+                                      SolverKind Kind,
+                                      SolverDepthProfile *Depths) {
   IdiomDetectionResult Result;
   if (F.isDeclaration())
     return Result;
+
+  Kind = resolveSolverKind(Kind);
 
   ConstraintContext Ctx(F, AM);
   const LoopInfo &LI = Ctx.getLoopInfo();
 
   SolverStats LoopStats;
-  Result.ForLoops = findForLoops(Ctx, &LoopStats);
+  Result.ForLoops = findForLoops(Ctx, &LoopStats, Kind);
   if (Stats)
     Stats->ForLoops += LoopStats;
 
-  for (const IdiomDefinition &Def : Registry.all()) {
+  if (Kind == SolverKind::Reference) {
+    // Oracle path: specs are built fresh and solved by direct
+    // recursion, exactly the pre-compilation pipeline.
+    for (const IdiomDefinition &Def : Registry.all()) {
+      if (!Def.Build)
+        continue; // add() rejects these; belt and braces.
+      IdiomSpec Spec;
+      ForLoopLabels Prefix = buildForLoopSpec(Spec);
+      const unsigned PrefixSize = Spec.Labels.size();
+      Def.Build(Spec, Prefix);
+
+      int KeyIdx = Spec.Labels.find(Def.KeyLabel);
+      if (KeyIdx < 0)
+        reportFatalError(("idiom '" + Def.Name + "': key label '" +
+                          Def.KeyLabel + "' is not part of its spec")
+                             .c_str());
+
+      ReferenceSolver S(Spec.F, Spec.Labels.size());
+      SolverStats IdiomStats;
+      InstanceCollector Collect{Def,    Spec, PrefixSize, KeyIdx,
+                                Ctx,    Result, {}};
+      for (const ForLoopMatch &M : Result.ForLoops) {
+        Loop *L = LI.getLoopFor(M.LoopBegin);
+        if (!L || L->getHeader() != M.LoopBegin)
+          continue;
+        Solution Seed(Spec.Labels.size(), nullptr);
+        seedForLoop(Prefix, M, Seed);
+        IdiomStats += S.findAll(
+            Ctx,
+            [&](const Solution &Sol) { Collect(M, L, Sol); }, Seed);
+      }
+      if (Stats)
+        Stats->PerIdiom[Def.Name] += IdiomStats;
+    }
+    return Result;
+  }
+
+  // Production path: every spec was compiled once into the registry's
+  // shared cache; this call only supplies engine scratch and seeds.
+  const auto &Compiled = Registry.compiledSpecs();
+  Solution Seed;
+  for (std::size_t DI = 0; DI != Compiled.size(); ++DI) {
+    const IdiomDefinition &Def = Registry.all()[DI];
     if (!Def.Build)
       continue; // add() rejects these; belt and braces.
-    IdiomSpec Spec;
-    ForLoopLabels Prefix = buildForLoopSpec(Spec);
-    // Labels registered beyond this point belong to the idiom and are
-    // what the instance captures by name.
-    const unsigned PrefixSize = Spec.Labels.size();
-    Def.Build(Spec, Prefix);
+    const CompiledIdiomSpec &CS = *Compiled[DI];
 
-    int KeyIdx = Spec.Labels.find(Def.KeyLabel);
-    if (KeyIdx < 0)
-      reportFatalError(("idiom '" + Def.Name + "': key label '" +
-                        Def.KeyLabel + "' is not part of its spec")
-                           .c_str());
-
-    Solver S(Spec.F, Spec.Labels.size());
+    SolverEngine Engine(CS.Program);
+    Engine.setDepthProfile(Depths);
     SolverStats IdiomStats;
-    // (loop header, key binding) pairs already reported: the solver
-    // may reach one instance through several assignments (commuted
-    // operands); the first one wins, matching the pre-registry
-    // detectors.
-    std::set<std::pair<BasicBlock *, Value *>> Seen;
-
+    InstanceCollector Collect{Def, CS.Spec, CS.PrefixSize,
+                              CS.KeyIdx, Ctx, Result, {}};
     for (const ForLoopMatch &M : Result.ForLoops) {
       Loop *L = LI.getLoopFor(M.LoopBegin);
       if (!L || L->getHeader() != M.LoopBegin)
         continue;
-
-      Solution Seed(Spec.Labels.size(), nullptr);
-      seedForLoop(Prefix, M, Seed);
-
-      IdiomStats += S.findAll(
-          Ctx,
-          [&](const Solution &Sol) {
-            if (!Seen.insert({M.LoopBegin, Sol[KeyIdx]}).second)
-              return;
-            IdiomInstance Inst;
-            Inst.Idiom = Def.Name;
-            Inst.Loop = M;
-            for (unsigned K = PrefixSize, E = Spec.Labels.size(); K != E;
-                 ++K)
-              Inst.Captures[Spec.Labels.nameOf(K)] = Sol[K];
-            if (Def.Legalize && !Def.Legalize(Ctx, L, Inst))
-              return;
-            Result.Instances.push_back(std::move(Inst));
-          },
-          Seed);
+      Seed.assign(CS.Spec.Labels.size(), nullptr);
+      seedForLoop(CS.Prefix, M, Seed);
+      IdiomStats += Engine.findAll(
+          Ctx, [&](const Solution &Sol) { Collect(M, L, Sol); }, Seed);
     }
     if (Stats)
       Stats->PerIdiom[Def.Name] += IdiomStats;

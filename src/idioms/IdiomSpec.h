@@ -36,6 +36,7 @@ class FunctionAnalysisManager;
 class IdiomRegistry;
 class Loop;
 struct DetectionStats;
+struct SolverDepthProfile;
 
 /// A detected instance of a registered idiom, before (or without) the
 /// typed decode into ScalarReduction/HistogramReduction/... structs.
@@ -115,9 +116,19 @@ struct IdiomDetectionResult {
 /// non-null. Read-only on the IR — safe to run concurrently on
 /// *different* functions with per-thread managers (see
 /// pass/ParallelDriver.h).
+///
+/// \p Kind selects the compiled SolverEngine over the registry's
+/// shared compiled specs (default) or the recursive ReferenceSolver
+/// over freshly built ones (the differential-testing oracle). When
+/// \p Depths is non-null and the compiled engine runs, per-depth
+/// node/candidate/time counters for every search are accumulated into
+/// it (profiling adds a clock read per search node — leave null on
+/// the hot path).
 IdiomDetectionResult detectIdioms(Function &F, FunctionAnalysisManager &AM,
                                   const IdiomRegistry &Registry,
-                                  DetectionStats *Stats = nullptr);
+                                  DetectionStats *Stats = nullptr,
+                                  SolverKind Kind = SolverKind::Default,
+                                  SolverDepthProfile *Depths = nullptr);
 
 } // namespace gr
 

@@ -2,12 +2,14 @@
 
 #include "idioms/ReductionAnalysis.h"
 
+#include "constraint/SolverEngine.h"
 #include "idioms/Associativity.h"
 #include "idioms/IdiomRegistry.h"
 #include "idioms/IdiomSpec.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
 #include "pass/ParallelDriver.h"
 #include "pass/PassInstrumentation.h"
 
@@ -81,20 +83,25 @@ ReductionReport gr::decodeReport(Function &F,
 ReductionReport gr::analyzeFunction(Function &F,
                                     FunctionAnalysisManager &AM,
                                     DetectionStats *Stats,
-                                    const IdiomRegistry *Registry) {
+                                    const IdiomRegistry *Registry,
+                                    SolverKind Kind,
+                                    SolverDepthProfile *Depths) {
   const IdiomRegistry &R = Registry ? *Registry : IdiomRegistry::builtins();
-  IdiomDetectionResult D = detectIdioms(F, AM, R, Stats);
+  IdiomDetectionResult D = detectIdioms(F, AM, R, Stats, Kind, Depths);
   return decodeReport(F, std::move(D.ForLoops), D.Instances);
 }
 
 std::vector<ReductionReport> gr::analyzeModule(Module &M,
                                                FunctionAnalysisManager &AM,
                                                DetectionStats *Stats,
-                                               const IdiomRegistry *Registry) {
+                                               const IdiomRegistry *Registry,
+                                               SolverKind Kind,
+                                               SolverDepthProfile *Depths) {
   std::vector<ReductionReport> Reports;
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
-      Reports.push_back(analyzeFunction(*F, AM, Stats, Registry));
+      Reports.push_back(
+          analyzeFunction(*F, AM, Stats, Registry, Kind, Depths));
   return Reports;
 }
 
@@ -117,22 +124,46 @@ PreservedAnalyses ReductionDetectionPass::run(Module &M,
       W = 1;
   }
 
+  // Formula compilation is cached module-wide through the analysis
+  // manager; the registry owns the programs, so the parallel driver's
+  // per-worker managers share them read-only.
+  const SolverKind Kind = resolveSolverKind(SolverKind::Default);
+  if (Kind == SolverKind::Compiled)
+    (void)AM.get<IdiomCompilationAnalysis>(M);
+
+  // Per-depth solver timing is opt-in (a clock read per search node):
+  // only collected when instrumentation is attached and
+  // GR_SOLVER_DEPTH_PROFILE is set, and only on the compiled engine.
+  SolverDepthProfile DepthProfile;
+  SolverDepthProfile *Depths = nullptr;
+  if (instrumentation() && Kind == SolverKind::Compiled &&
+      std::getenv("GR_SOLVER_DEPTH_PROFILE"))
+    Depths = &DepthProfile;
+
   DetectionStats Local;
   std::vector<ReductionReport> Found;
   if (W > 1) {
     ParallelDetectionOptions Opts;
     Opts.Workers = W;
+    Opts.Kind = Kind;
+    Opts.Depths = Depths;
     ParallelDetectionResult PR = analyzeModuleParallel(M, Opts);
     Found = std::move(PR.Reports);
     Local = std::move(PR.Stats);
   } else {
-    Found = analyzeModule(M, AM, &Local);
+    Found = analyzeModule(M, AM, &Local, nullptr, Kind, Depths);
   }
 
   if (PassInstrumentation *PI = instrumentation()) {
     PI->recordCounter(name(), "solver.nodes", Local.totalNodes());
     PI->recordCounter(name(), "solver.candidates", Local.totalCandidates());
     PI->recordCounter(name(), "solutions", Local.totalSolutions());
+    if (Depths)
+      for (std::size_t D = 0; D != DepthProfile.Nodes.size(); ++D)
+        PI->recordSolverDepth(name(), static_cast<unsigned>(D),
+                              DepthProfile.Nodes[D],
+                              DepthProfile.Candidates[D],
+                              DepthProfile.Millis[D]);
   }
   if (Reports)
     *Reports = std::move(Found);

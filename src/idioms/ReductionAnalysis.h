@@ -32,6 +32,7 @@ class Function;
 class IdiomRegistry;
 class Module;
 struct IdiomInstance;
+struct SolverDepthProfile;
 
 /// Detection statistics (per module run): the shared for-loop search
 /// plus per-idiom solver statistics keyed by registry name.
@@ -96,10 +97,16 @@ struct DetectionStats {
 };
 
 /// Runs all idiom specs of \p Registry (null: the built-ins) over
-/// \p F, borrowing cached analyses from \p AM.
+/// \p F, borrowing cached analyses from \p AM. \p Kind selects the
+/// compiled engine (default; overridable process-wide with
+/// GR_SOLVER=reference) or the reference solver; \p Depths, when
+/// non-null, accumulates the compiled engine's per-depth search
+/// profile (see idioms/IdiomSpec.h).
 ReductionReport analyzeFunction(Function &F, FunctionAnalysisManager &AM,
                                 DetectionStats *Stats = nullptr,
-                                const IdiomRegistry *Registry = nullptr);
+                                const IdiomRegistry *Registry = nullptr,
+                                SolverKind Kind = SolverKind::Default,
+                                SolverDepthProfile *Depths = nullptr);
 
 /// Decodes generic idiom instances (idioms/IdiomSpec.h) into the typed
 /// report structs; instances of idioms unknown to the report are
@@ -114,6 +121,10 @@ std::vector<ReductionReport> analyzeModule(Module &M,
                                            FunctionAnalysisManager &AM,
                                            DetectionStats *Stats = nullptr,
                                            const IdiomRegistry *Registry =
+                                               nullptr,
+                                           SolverKind Kind =
+                                               SolverKind::Default,
+                                           SolverDepthProfile *Depths =
                                                nullptr);
 
 /// Convenience overload with a scratch analysis manager (one-shot

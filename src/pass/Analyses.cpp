@@ -2,6 +2,7 @@
 
 #include "pass/Analyses.h"
 
+#include "idioms/IdiomRegistry.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
 
@@ -13,6 +14,7 @@ AnalysisKey LoopAnalysis::Key;
 AnalysisKey ControlDependenceAnalysis::Key;
 AnalysisKey SCoPAnalysis::Key;
 AnalysisKey ModulePurityAnalysis::Key;
+AnalysisKey IdiomCompilationAnalysis::Key;
 
 DomTree DomTreeAnalysis::run(Function &F, FunctionAnalysisManager &) {
   return DomTree(F);
@@ -39,6 +41,17 @@ std::vector<SCoP> SCoPAnalysis::run(Function &F,
 PurityAnalysis ModulePurityAnalysis::run(Module &M,
                                          FunctionAnalysisManager &) {
   return PurityAnalysis(M);
+}
+
+CompiledIdiomSpecs IdiomCompilationAnalysis::run(Module &,
+                                                 FunctionAnalysisManager &) {
+  CompiledIdiomSpecs Result;
+  Result.Registry = &IdiomRegistry::builtins();
+  const auto &Specs = Result.Registry->compiledSpecs();
+  Result.NumSpecs = static_cast<unsigned>(Specs.size());
+  for (const auto &CS : Specs)
+    Result.TotalAtoms += CS->Program.numAtoms();
+  return Result;
 }
 
 PreservedAnalyses gr::preserveCFGAnalyses() {

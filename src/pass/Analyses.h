@@ -19,9 +19,12 @@
 #include "analysis/SCoPInfo.h"
 #include "pass/AnalysisManager.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace gr {
+
+class IdiomRegistry;
 
 /// Forward dominator tree of a function.
 struct DomTreeAnalysis {
@@ -61,6 +64,27 @@ struct SCoPAnalysis {
 /// Whole-module purity classification, cached per module.
 struct ModulePurityAnalysis {
   using Result = PurityAnalysis;
+  static AnalysisKey Key;
+  static Result run(Module &M, FunctionAnalysisManager &AM);
+};
+
+/// Handle to the built-in idiom registry's compiled constraint
+/// programs (see CompiledIdiomSpec in idioms/IdiomRegistry.h).
+/// The programs themselves live in — and are owned by — the shared
+/// registry, so the parallel detection driver's per-worker managers
+/// all resolve to the same read-only formulas; caching this result
+/// module-wide just pins the compilation to the analysis lifecycle
+/// (formulas are IR-independent, so invalidation never recompiles).
+struct CompiledIdiomSpecs {
+  const IdiomRegistry *Registry = nullptr;
+  unsigned NumSpecs = 0;
+  /// Total atoms across all compiled programs (diagnostics).
+  uint64_t TotalAtoms = 0;
+};
+
+/// Compiles (on first use) and caches the built-in registry's specs.
+struct IdiomCompilationAnalysis {
+  using Result = CompiledIdiomSpecs;
   static AnalysisKey Key;
   static Result run(Module &M, FunctionAnalysisManager &AM);
 };

@@ -2,6 +2,7 @@
 
 #include "pass/ParallelDriver.h"
 
+#include "constraint/SolverEngine.h"
 #include "idioms/IdiomRegistry.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
@@ -59,16 +60,30 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
 
   StatsLedger Ledger(W);
 
+  // Compile every spec up front, outside the pool: workers then only
+  // read the shared programs (compiledSpecs() is itself thread-safe,
+  // but warming here keeps compilation off the measured parallel
+  // section).
+  const SolverKind Kind = resolveSolverKind(Opts.Kind);
+  if (Kind == SolverKind::Compiled)
+    (void)Registry.compiledSpecs();
+
   // Each worker owns a private analysis manager: analyses (and the
   // module-scoped purity classification) are recomputed per worker
   // rather than shared, trading a little redundant work for a cache
   // without any locking.
+  // Per-worker depth profiles follow the statistics ownership rule:
+  // private slot per worker, merged only after join.
+  std::vector<SolverDepthProfile> DepthSlots(Opts.Depths ? W : 0);
+
   auto Work = [&](unsigned Worker) {
     FunctionAnalysisManager FAM;
     DetectionStats &Local = Ledger.slot(Worker);
+    SolverDepthProfile *Depths =
+        Opts.Depths ? &DepthSlots[Worker] : nullptr;
     for (std::size_t I = Worker; I < Defs.size(); I += W)
       Result.Reports[I] =
-          analyzeFunction(*Defs[I], FAM, &Local, &Registry);
+          analyzeFunction(*Defs[I], FAM, &Local, &Registry, Kind, Depths);
   };
 
   if (W == 1) {
@@ -83,5 +98,8 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
   }
 
   Result.Stats = Ledger.merge();
+  if (Opts.Depths)
+    for (const SolverDepthProfile &Slot : DepthSlots)
+      *Opts.Depths += Slot;
   return Result;
 }

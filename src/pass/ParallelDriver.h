@@ -40,6 +40,7 @@ namespace gr {
 
 class IdiomRegistry;
 class Module;
+struct SolverDepthProfile;
 
 /// Configuration of one parallel detection run.
 struct ParallelDetectionOptions {
@@ -50,6 +51,16 @@ struct ParallelDetectionOptions {
   /// Idiom registry to run; null means IdiomRegistry::builtins().
   /// Custom registries must not be mutated while the driver runs.
   const IdiomRegistry *Registry = nullptr;
+  /// Solver implementation every worker runs (compiled engine by
+  /// default). All workers share the registry's compiled programs
+  /// read-only; each owns its engine scratch.
+  SolverKind Kind = SolverKind::Default;
+  /// When non-null (and the compiled engine runs), receives the
+  /// merged per-depth search profile: each worker collects into a
+  /// private profile, merged strictly after join like the statistics.
+  /// Profiling adds a clock read per search node — leave null on the
+  /// hot path.
+  SolverDepthProfile *Depths = nullptr;
 };
 
 /// Result of one parallel detection run.

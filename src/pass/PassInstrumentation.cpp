@@ -18,6 +18,16 @@ void PassInstrumentation::recordCounter(const std::string &Pass,
   Counters[{Pass, Counter}] += Delta;
 }
 
+void PassInstrumentation::recordSolverDepth(const std::string &Pass,
+                                            unsigned Depth, uint64_t Nodes,
+                                            uint64_t Candidates,
+                                            double Millis) {
+  SolverDepthRecord &R = SolverDepthRecords[{Pass, Depth}];
+  R.Nodes += Nodes;
+  R.Candidates += Candidates;
+  R.Millis += Millis;
+}
+
 double PassInstrumentation::totalMillis(const std::string &Pass) const {
   double Total = 0.0;
   for (const PassExecution &E : Executions)
@@ -72,9 +82,28 @@ void PassInstrumentation::print(OStream &OS) const {
     OS.padToColumn(44);
     OS << Value << '\n';
   }
+  if (!SolverDepthRecords.empty()) {
+    OS << "\nsolver depth";
+    OS.padToColumn(26);
+    OS << "nodes";
+    OS.padToColumn(38);
+    OS << "candidates";
+    OS.padToColumn(52);
+    OS << "ms\n";
+    for (const auto &[Key, R] : SolverDepthRecords) {
+      OS << Key.first << " d" << Key.second;
+      OS.padToColumn(26);
+      OS << R.Nodes;
+      OS.padToColumn(38);
+      OS << R.Candidates;
+      OS.padToColumn(52);
+      OS << formatDouble(R.Millis, 2) << '\n';
+    }
+  }
 }
 
 void PassInstrumentation::clear() {
   Executions.clear();
   Counters.clear();
+  SolverDepthRecords.clear();
 }

@@ -30,6 +30,16 @@ struct PassExecution {
   bool Changed = false;
 };
 
+/// Aggregated per-depth solver timing (published by the detection
+/// pass from the compiled engine's SolverDepthProfile): how many
+/// search nodes, candidate trials and milliseconds each label depth
+/// of the backtracking search cost.
+struct SolverDepthRecord {
+  uint64_t Nodes = 0;
+  uint64_t Candidates = 0;
+  double Millis = 0.0;
+};
+
 class PassInstrumentation {
 public:
   /// Appends one execution record (called by the pass managers around
@@ -41,6 +51,12 @@ public:
   /// statistics).
   void recordCounter(const std::string &Pass, const std::string &Counter,
                      uint64_t Delta);
+  /// Accumulates per-depth solver timing for \p Pass at \p Depth (the
+  /// detection pass publishes the compiled engine's depth profile
+  /// this way when GR_SOLVER_DEPTH_PROFILE is set).
+  void recordSolverDepth(const std::string &Pass, unsigned Depth,
+                         uint64_t Nodes, uint64_t Candidates,
+                         double Millis);
 
   /// All recorded executions, in recording order.
   const std::vector<PassExecution> &executions() const { return Executions; }
@@ -48,6 +64,11 @@ public:
   const std::map<std::pair<std::string, std::string>, uint64_t> &
   counters() const {
     return Counters;
+  }
+  /// All per-depth solver timings, keyed by (pass, depth).
+  const std::map<std::pair<std::string, unsigned>, SolverDepthRecord> &
+  solverDepths() const {
+    return SolverDepthRecords;
   }
 
   /// Total wall-clock attributed to \p Pass across all recorded runs.
@@ -65,6 +86,8 @@ public:
 private:
   std::vector<PassExecution> Executions;
   std::map<std::pair<std::string, std::string>, uint64_t> Counters;
+  std::map<std::pair<std::string, unsigned>, SolverDepthRecord>
+      SolverDepthRecords;
 };
 
 } // namespace gr

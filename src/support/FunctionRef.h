@@ -1,0 +1,65 @@
+//===- FunctionRef.h - non-owning callable reference ----------*- C++ -*-===//
+///
+/// \file
+/// A lightweight, non-owning reference to a callable, for callback
+/// parameters on hot paths (the solver yield, the detection driver's
+/// per-solution hooks). Unlike std::function it never allocates, never
+/// copies the callee, and is two words big: a type-erased invoke
+/// thunk plus the callable's address.
+///
+/// Because it does not own its callee, a FunctionRef must not outlive
+/// the callable it was constructed from — use it strictly for
+/// call-and-return parameters, never for storage. Stored callbacks
+/// (IdiomDefinition's Build/Legalize hooks) stay std::function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_SUPPORT_FUNCTIONREF_H
+#define GR_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace gr {
+
+template <typename Fn> class FunctionRef;
+
+template <typename Ret, typename... Params>
+class FunctionRef<Ret(Params...)> {
+public:
+  FunctionRef() = default;
+
+  /// Binds to any callable with a compatible signature. The callable
+  /// is captured by reference; see the file comment for lifetime.
+  template <typename Callable,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<Callable>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<Ret, Callable &, Params...>>>
+  FunctionRef(Callable &&C)
+      : Callback(invokeThunk<std::remove_reference_t<Callable>>),
+        // intptr_t storage so plain functions (whose pointers cannot
+        // convert to void*) and callable objects share one slot.
+        Callee(reinterpret_cast<intptr_t>(std::addressof(C))) {}
+
+  Ret operator()(Params... Ps) const {
+    return Callback(Callee, std::forward<Params>(Ps)...);
+  }
+
+  explicit operator bool() const { return Callback != nullptr; }
+
+private:
+  template <typename Callable>
+  static Ret invokeThunk(intptr_t CalleePtr, Params... Ps) {
+    return (*reinterpret_cast<Callable *>(CalleePtr))(
+        std::forward<Params>(Ps)...);
+  }
+
+  Ret (*Callback)(intptr_t, Params...) = nullptr;
+  intptr_t Callee = 0;
+};
+
+} // namespace gr
+
+#endif // GR_SUPPORT_FUNCTIONREF_H

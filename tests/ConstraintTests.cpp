@@ -115,7 +115,7 @@ TEST_F(SolverFixture, SolverEnumeratesAllUncondEdges) {
   // count satisfying pairs (one per uncond edge in main).
   Formula F;
   F.require(std::make_unique<AtomUncondBr>(0, 1));
-  Solver S(F, 2);
+  ReferenceSolver S(F, 2);
   unsigned Count = 0;
   S.findAll(*Ctx, [&](const Solution &) { ++Count; });
   unsigned Expected = 0;
@@ -136,7 +136,7 @@ TEST_F(SolverFixture, DisjunctiveClauseAcceptsEitherAlternative) {
   Alts.push_back(std::make_unique<AtomIsConstantOrArg>(0));
   Alts.push_back(std::make_unique<AtomUncondBr>(0, 0)); // Never true.
   F.requireAnyOf(std::move(Alts));
-  Solver S(F, 1);
+  ReferenceSolver S(F, 1);
   unsigned Constants = 0;
   S.findAll(*Ctx, [&](const Solution &Sol) {
     EXPECT_TRUE(isa<ConstantInt>(Sol[0]) || isa<ConstantFloat>(Sol[0]) ||
@@ -149,7 +149,7 @@ TEST_F(SolverFixture, DisjunctiveClauseAcceptsEitherAlternative) {
 TEST_F(SolverFixture, SeededSearchRespectsPreboundLabels) {
   Formula F;
   F.require(std::make_unique<AtomUncondBr>(0, 1));
-  Solver S(F, 2);
+  ReferenceSolver S(F, 2);
   Solution Seed(2, nullptr);
   Seed[0] = block("for.latch");
   unsigned Count = 0;
@@ -166,7 +166,7 @@ TEST_F(SolverFixture, SeededSearchRespectsPreboundLabels) {
 TEST_F(SolverFixture, MaxSolutionsStopsEarly) {
   Formula F;
   F.require(std::make_unique<AtomUncondBr>(0, 1));
-  Solver S(F, 2);
+  ReferenceSolver S(F, 2);
   unsigned Count = 0;
   auto Stats = S.findAll(*Ctx, [&](const Solution &) { ++Count; }, {}, 1);
   EXPECT_EQ(Count, 1u);
@@ -180,7 +180,7 @@ TEST_F(SolverFixture, SuggestionPruningBeatsUniverseScan) {
   // than the universe-squared worst case.
   Formula F;
   F.require(std::make_unique<AtomUncondBr>(0, 1));
-  Solver S(F, 2);
+  ReferenceSolver S(F, 2);
   auto Stats = S.findAll(*Ctx, [](const Solution &) {});
   uint64_t UniverseSize = Ctx->getUniverse().size();
   EXPECT_LT(Stats.CandidatesTried, UniverseSize * UniverseSize / 2);
@@ -254,7 +254,7 @@ int main() {
 
   gr::IdiomSpec Spec;
   gr::SESELabels Ls = addSESEConstraints(Spec);
-  gr::Solver S(Spec.F, Spec.Labels.size());
+  gr::ReferenceSolver S(Spec.F, Spec.Labels.size());
   bool SawBodyRegion = false;
   unsigned Matches = 0;
   S.findAll(Ctx, [&](const gr::Solution &Sol) {
@@ -289,7 +289,7 @@ int main() {
   gr::ConstraintContext Ctx(*M->getFunction("main"), AM);
   gr::IdiomSpec Spec;
   gr::SESELabels Ls = addSESEConstraints(Spec);
-  gr::Solver S(Spec.F, Spec.Labels.size());
+  gr::ReferenceSolver S(Spec.F, Spec.Labels.size());
   S.findAll(Ctx, [&](const gr::Solution &Sol) {
     // if.end has two predecessors: no single arm may claim it as a
     // SESE region end entered from the entry block alone... but each

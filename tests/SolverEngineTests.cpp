@@ -1,0 +1,394 @@
+//===- SolverEngineTests.cpp - engine/reference differential --*- C++ -*-===//
+///
+/// \file
+/// Differential tests of the compiled SolverEngine against the
+/// recursive ReferenceSolver (the oracle):
+///
+///  - a seeded random-formula generator covering every suggesting
+///    atom kind plus the filter-only atoms;
+///  - with order optimization off the two searches are isomorphic, so
+///    yield *sequences* and full SolverStats must match bitwise —
+///    including under MaxSolutions caps and MaxCandidates fuel, where
+///    enumeration order is observable;
+///  - with optimization on the solution *set* and Solutions count
+///    must be unchanged (label order is semantics-free);
+///  - whole-pipeline parity: identical detection reports and raw
+///    solver solution totals across engines, serially and at 1 and 8
+///    detection workers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "constraint/CompiledFormula.h"
+#include "constraint/Context.h"
+#include "constraint/Solver.h"
+#include "constraint/SolverEngine.h"
+#include "idioms/ForLoopIdiom.h"
+#include "idioms/IdiomRegistry.h"
+#include "idioms/ReductionAnalysis.h"
+#include "ir/Module.h"
+#include "pass/Analyses.h"
+#include "pass/ParallelDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+const char *CorpusSource = R"(
+double a[64];
+int keys[64];
+int bins[16];
+double helper(double x) { return x * 0.5; }
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 64; i++)
+    s = s + a[i];
+  for (i = 0; i < 64; i++)
+    bins[keys[i] % 16]++;
+  double best = -1.0e30;
+  int besti = 0;
+  for (i = 0; i < 64; i++) {
+    if (a[i] > best) {
+      best = a[i];
+      besti = i;
+    }
+  }
+  print_f64(s + best + helper(besti));
+  return 0;
+}
+)";
+
+/// Appends a random atom over \p NumLabels labels to \p F. Mixes
+/// suggesting shapes (branch, phi, gep, load/store, comparison, add)
+/// with filter-only ones (dominance, distinct, constancy) so random
+/// formulas exercise both candidate generation and clause filtering.
+void addRandomAtom(Formula &F, unsigned NumLabels, std::mt19937 &Rng) {
+  auto L = [&] {
+    return std::uniform_int_distribution<unsigned>(0, NumLabels - 1)(Rng);
+  };
+  switch (std::uniform_int_distribution<int>(0, 11)(Rng)) {
+  case 0:
+    F.require(std::make_unique<AtomUncondBr>(L(), L()));
+    break;
+  case 1:
+    F.require(std::make_unique<AtomCondBr>(L(), L(), L(), L()));
+    break;
+  case 2:
+    F.require(std::make_unique<AtomDominates>(L(), L(), Rng() & 1));
+    break;
+  case 3:
+    F.require(std::make_unique<AtomPostDominates>(L(), L(), Rng() & 1));
+    break;
+  case 4:
+    F.require(std::make_unique<AtomDistinct>(L(), L()));
+    break;
+  case 5:
+    F.require(std::make_unique<AtomIntComparison>(L(), L(), L()));
+    break;
+  case 6:
+    F.require(std::make_unique<AtomAdd>(L(), L(), L()));
+    break;
+  case 7:
+    F.require(std::make_unique<AtomPhiAt>(L(), L()));
+    break;
+  case 8:
+    F.require(std::make_unique<AtomPhiIncoming>(L(), L(), L()));
+    break;
+  case 9:
+    F.require(std::make_unique<AtomGEP>(L(), L(), L()));
+    break;
+  case 10:
+    F.require(std::make_unique<AtomIsConstantOrArg>(L()));
+    break;
+  default: {
+    std::vector<std::unique_ptr<Atom>> Alts;
+    Alts.push_back(std::make_unique<AtomIsConstantOrArg>(L()));
+    Alts.push_back(std::make_unique<AtomUncondBr>(L(), L()));
+    F.requireAnyOf(std::move(Alts));
+    break;
+  }
+  }
+}
+
+/// Builds a random formula with \p NumLabels labels and 2-6 atoms.
+void buildRandomFormula(Formula &F, unsigned NumLabels,
+                        std::mt19937 &Rng) {
+  unsigned NumAtoms = std::uniform_int_distribution<unsigned>(2, 6)(Rng);
+  for (unsigned A = 0; A < NumAtoms; ++A)
+    addRandomAtom(F, NumLabels, Rng);
+}
+
+struct EngineFixture : public ::testing::Test {
+  void SetUp() override {
+    M = compileOrFail(CorpusSource);
+    ASSERT_NE(M, nullptr);
+    AM = std::make_unique<FunctionAnalysisManager>();
+    Ctx = std::make_unique<ConstraintContext>(*M->getFunction("main"), *AM);
+  }
+
+  std::unique_ptr<Module> M;
+  std::unique_ptr<FunctionAnalysisManager> AM;
+  std::unique_ptr<ConstraintContext> Ctx;
+};
+
+/// Runs both solvers on \p F and asserts identical yield sequences
+/// and bitwise identical statistics (identity order), then identical
+/// solution sets and Solutions (optimized order).
+void expectParity(const ConstraintContext &Ctx, const Formula &F,
+                  unsigned NumLabels, const Solution &Seed = {},
+                  uint64_t MaxSolutions = UINT64_MAX,
+                  uint64_t MaxCandidates = UINT64_MAX) {
+  std::vector<Solution> RefYields;
+  ReferenceSolver Ref(F, NumLabels);
+  SolverStats RefStats = Ref.findAll(
+      Ctx, [&](const Solution &S) { RefYields.push_back(S); }, Seed,
+      MaxSolutions, MaxCandidates);
+
+  // Identity order: the searches are isomorphic, so the sequence of
+  // yields and every counter must match exactly — also under caps
+  // and fuel, where enumeration order is observable.
+  FormulaCompileOptions Identity;
+  Identity.OptimizeOrder = false;
+  CompiledFormula IdProgram =
+      FormulaCompiler::compile(F, NumLabels, Identity);
+  std::vector<Solution> IdYields;
+  SolverEngine IdEngine(IdProgram);
+  SolverStats IdStats = IdEngine.findAll(
+      Ctx, [&](const Solution &S) { IdYields.push_back(S); }, Seed,
+      MaxSolutions, MaxCandidates);
+  EXPECT_TRUE(RefStats == IdStats)
+      << "identity-order stats diverge: ref(" << RefStats.NodesVisited
+      << "," << RefStats.CandidatesTried << "," << RefStats.Solutions
+      << ") engine(" << IdStats.NodesVisited << ","
+      << IdStats.CandidatesTried << "," << IdStats.Solutions << ")";
+  EXPECT_EQ(RefYields, IdYields);
+
+  // Optimized order: the solution *set* is order-invariant. Only
+  // meaningful when the reference search ran to completion (with
+  // exhausted fuel the surviving subset depends on the order).
+  if (solverBudgetExhausted(RefStats, MaxSolutions, MaxCandidates))
+    return;
+  CompiledFormula OptProgram = FormulaCompiler::compile(F, NumLabels);
+  std::vector<Solution> OptYields;
+  SolverEngine OptEngine(OptProgram);
+  SolverStats OptStats = OptEngine.findAll(
+      Ctx, [&](const Solution &S) { OptYields.push_back(S); }, Seed);
+  EXPECT_EQ(OptStats.Solutions, RefStats.Solutions);
+  std::sort(RefYields.begin(), RefYields.end());
+  std::sort(OptYields.begin(), OptYields.end());
+  EXPECT_EQ(RefYields, OptYields);
+}
+
+TEST_F(EngineFixture, RandomFormulaDifferential) {
+  for (unsigned SeedVal = 0; SeedVal < 60; ++SeedVal) {
+    std::mt19937 Rng(SeedVal);
+    unsigned NumLabels = std::uniform_int_distribution<unsigned>(2, 4)(Rng);
+    Formula F;
+    buildRandomFormula(F, NumLabels, Rng);
+    // Fuel keeps degenerate universes^labels searches bounded; with
+    // identity order the fuel cut is order-identical too.
+    expectParity(*Ctx, F, NumLabels, {}, UINT64_MAX,
+                 /*MaxCandidates=*/20000);
+  }
+}
+
+TEST_F(EngineFixture, RandomFormulaSeededDifferential) {
+  for (unsigned SeedVal = 100; SeedVal < 130; ++SeedVal) {
+    std::mt19937 Rng(SeedVal);
+    unsigned NumLabels = std::uniform_int_distribution<unsigned>(3, 5)(Rng);
+    Formula F;
+    buildRandomFormula(F, NumLabels, Rng);
+    // Pre-bind a random label to a random universe value.
+    Solution Seed(NumLabels, nullptr);
+    const auto &U = Ctx->getUniverse();
+    Seed[std::uniform_int_distribution<unsigned>(0, NumLabels - 1)(Rng)] =
+        U[std::uniform_int_distribution<std::size_t>(0, U.size() - 1)(Rng)];
+    expectParity(*Ctx, F, NumLabels, Seed, UINT64_MAX, 20000);
+  }
+}
+
+TEST_F(EngineFixture, RandomFormulaCappedDifferential) {
+  for (unsigned SeedVal = 200; SeedVal < 230; ++SeedVal) {
+    std::mt19937 Rng(SeedVal);
+    unsigned NumLabels = std::uniform_int_distribution<unsigned>(2, 4)(Rng);
+    Formula F;
+    buildRandomFormula(F, NumLabels, Rng);
+    uint64_t MaxSolutions =
+        std::uniform_int_distribution<uint64_t>(1, 5)(Rng);
+    uint64_t MaxCandidates =
+        std::uniform_int_distribution<uint64_t>(50, 4000)(Rng);
+    expectParity(*Ctx, F, NumLabels, {}, MaxSolutions, MaxCandidates);
+  }
+}
+
+TEST_F(EngineFixture, ZeroBudgetYieldsNothingOnBothEngines) {
+  Formula F;
+  F.require(std::make_unique<AtomUncondBr>(0, 1));
+  expectParity(*Ctx, F, 2, {}, /*MaxSolutions=*/0, /*MaxCandidates=*/0);
+
+  ReferenceSolver Ref(F, 2);
+  SolverStats S =
+      Ref.findAll(*Ctx, [](const Solution &) { FAIL(); }, {}, 5, 0);
+  EXPECT_EQ(S.CandidatesTried, 0u);
+  EXPECT_EQ(S.Solutions, 0u);
+}
+
+TEST_F(EngineFixture, ForLoopSpecParityOnBothOrders) {
+  // The real for-loop spec: same stats under identity order, same
+  // match set under the optimized order.
+  IdiomSpec Spec;
+  buildForLoopSpec(Spec);
+  expectParity(*Ctx, Spec.F, Spec.Labels.size());
+}
+
+TEST_F(EngineFixture, OptimizedOrderIsAPermutation) {
+  IdiomSpec Spec;
+  buildForLoopSpec(Spec);
+  CompiledFormula P = FormulaCompiler::compile(Spec.F, Spec.Labels.size());
+  std::vector<unsigned> Order = P.searchOrder();
+  ASSERT_EQ(Order.size(), Spec.Labels.size());
+  std::sort(Order.begin(), Order.end());
+  for (unsigned L = 0; L < Spec.Labels.size(); ++L) {
+    EXPECT_EQ(Order[L], L);
+    EXPECT_EQ(P.labelAt(P.depthOf(L)), L);
+  }
+}
+
+TEST_F(EngineFixture, EngineScratchSurvivesContextSwitches) {
+  // One engine reused across two different functions (different
+  // universe sizes) must stay correct — the scratch arenas regrow.
+  IdiomSpec Spec;
+  buildForLoopSpec(Spec);
+  CompiledFormula P = FormulaCompiler::compile(Spec.F, Spec.Labels.size());
+  SolverEngine Engine(P);
+  ReferenceSolver Ref(Spec.F, Spec.Labels.size());
+  for (const char *Fn : {"main", "helper", "main"}) {
+    ConstraintContext FnCtx(*M->getFunction(Fn), *AM);
+    SolverStats E = Engine.findAll(FnCtx, [](const Solution &) {});
+    SolverStats R = Ref.findAll(FnCtx, [](const Solution &) {});
+    EXPECT_EQ(E.Solutions, R.Solutions) << Fn;
+  }
+}
+
+TEST_F(EngineFixture, DepthProfileAccountsEveryNode) {
+  IdiomSpec Spec;
+  buildForLoopSpec(Spec);
+  CompiledFormula P = FormulaCompiler::compile(Spec.F, Spec.Labels.size());
+  SolverEngine Engine(P);
+  SolverDepthProfile Profile;
+  Engine.setDepthProfile(&Profile);
+  SolverStats Stats = Engine.findAll(*Ctx, [](const Solution &) {});
+  uint64_t Nodes = 0, Candidates = 0;
+  ASSERT_EQ(Profile.Nodes.size(), Spec.Labels.size() + 1);
+  for (std::size_t D = 0; D + 1 < Profile.Nodes.size(); ++D) {
+    Nodes += Profile.Nodes[D];
+    Candidates += Profile.Candidates[D];
+  }
+  EXPECT_EQ(Nodes, Stats.NodesVisited);
+  EXPECT_EQ(Candidates, Stats.CandidatesTried);
+  // The leaf slot counts yields.
+  EXPECT_EQ(Profile.Nodes.back(), Stats.Solutions);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-pipeline parity
+//===----------------------------------------------------------------------===//
+
+bool sameReportShapes(const std::vector<ReductionReport> &A,
+                      const std::vector<ReductionReport> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    if (A[I].F != B[I].F || A[I].ForLoops.size() != B[I].ForLoops.size() ||
+        A[I].Scalars.size() != B[I].Scalars.size() ||
+        A[I].Histograms.size() != B[I].Histograms.size() ||
+        A[I].Scans.size() != B[I].Scans.size() ||
+        A[I].ArgMinMax.size() != B[I].ArgMinMax.size())
+      return false;
+  return true;
+}
+
+TEST(SolverEnginePipeline, DetectionParityAcrossEngines) {
+  auto M = compileOrFail(CorpusSource);
+  ASSERT_NE(M, nullptr);
+  FunctionAnalysisManager AM;
+  DetectionStats EngStats, RefStats;
+  auto Eng = analyzeModule(*M, AM, &EngStats, nullptr, SolverKind::Compiled);
+  auto Ref =
+      analyzeModule(*M, AM, &RefStats, nullptr, SolverKind::Reference);
+  EXPECT_TRUE(sameReportShapes(Eng, Ref));
+  // Raw solver solution totals must agree per idiom; node/candidate
+  // counters legitimately differ (the search order changed).
+  EXPECT_EQ(EngStats.ForLoops.Solutions, RefStats.ForLoops.Solutions);
+  for (const auto &[Name, S] : RefStats.PerIdiom)
+    EXPECT_EQ(EngStats.idiom(Name).Solutions, S.Solutions) << Name;
+}
+
+TEST(SolverEnginePipeline, ParallelWorkersMatchSerialReferenceAt1And8) {
+  auto M = compileOrFail(CorpusSource);
+  ASSERT_NE(M, nullptr);
+  FunctionAnalysisManager AM;
+  DetectionStats RefStats;
+  auto Ref =
+      analyzeModule(*M, AM, &RefStats, nullptr, SolverKind::Reference);
+
+  for (unsigned Workers : {1u, 8u}) {
+    ParallelDetectionOptions Opts;
+    Opts.Workers = Workers;
+    Opts.Kind = SolverKind::Compiled;
+    ParallelDetectionResult PR = analyzeModuleParallel(*M, Opts);
+    EXPECT_TRUE(sameReportShapes(PR.Reports, Ref)) << Workers;
+    EXPECT_EQ(PR.Stats.ForLoops.Solutions, RefStats.ForLoops.Solutions)
+        << Workers;
+    EXPECT_EQ(PR.Stats.totalSolutions(), RefStats.totalSolutions())
+        << Workers;
+  }
+}
+
+TEST(SolverEnginePipeline, ParallelDepthProfileMergesAcrossWorkers) {
+  auto M = compileOrFail(CorpusSource);
+  ASSERT_NE(M, nullptr);
+  FunctionAnalysisManager AM;
+  SolverDepthProfile Serial;
+  analyzeModule(*M, AM, nullptr, nullptr, SolverKind::Compiled, &Serial);
+
+  ParallelDetectionOptions Opts;
+  Opts.Workers = 4;
+  Opts.Kind = SolverKind::Compiled;
+  SolverDepthProfile Parallel;
+  Opts.Depths = &Parallel;
+  analyzeModuleParallel(*M, Opts);
+
+  // Node and candidate tracks merge deterministically; wall-clock
+  // samples legitimately differ.
+  ASSERT_EQ(Parallel.Nodes.size(), Serial.Nodes.size());
+  for (std::size_t D = 0; D != Serial.Nodes.size(); ++D) {
+    EXPECT_EQ(Parallel.Nodes[D], Serial.Nodes[D]) << D;
+    EXPECT_EQ(Parallel.Candidates[D], Serial.Candidates[D]) << D;
+  }
+}
+
+TEST(SolverEnginePipeline, CompilationAnalysisIsCachedModuleWide) {
+  auto M = compileOrFail("int main() { return 0; }");
+  ASSERT_NE(M, nullptr);
+  FunctionAnalysisManager AM;
+  const CompiledIdiomSpecs &C = AM.get<IdiomCompilationAnalysis>(*M);
+  EXPECT_EQ(C.Registry, &IdiomRegistry::builtins());
+  EXPECT_EQ(C.NumSpecs, IdiomRegistry::builtins().size());
+  EXPECT_GT(C.TotalAtoms, 0u);
+  // Cached: a second get returns the same result object.
+  EXPECT_EQ(&AM.get<IdiomCompilationAnalysis>(*M), &C);
+  // And the registry hands every caller the same compiled programs.
+  EXPECT_EQ(&IdiomRegistry::builtins().compiledSpecs(),
+            &IdiomRegistry::builtins().compiledSpecs());
+}
+
+} // namespace

@@ -1,14 +1,64 @@
 //===- SupportTests.cpp - support library tests ---------------*- C++ -*-===//
 
 #include "support/Casting.h"
+#include "support/FunctionRef.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 using namespace gr;
 
 namespace {
+
+//===----------------------------------------------------------------------===//
+// FunctionRef
+//===----------------------------------------------------------------------===//
+
+int freeAdder(int X) { return X + 10; }
+
+TEST(FunctionRefTest, InvokesLambdasAndCapturesState) {
+  int Calls = 0;
+  auto Lambda = [&Calls](int X) {
+    ++Calls;
+    return X * 2;
+  };
+  FunctionRef<int(int)> Ref = Lambda;
+  EXPECT_EQ(Ref(21), 42);
+  EXPECT_EQ(Ref(5), 10);
+  EXPECT_EQ(Calls, 2);
+}
+
+TEST(FunctionRefTest, InvokesFreeFunctionsAndStdFunction) {
+  FunctionRef<int(int)> Free = freeAdder;
+  EXPECT_EQ(Free(1), 11);
+  std::function<int(int)> Fn = [](int X) { return X - 1; };
+  FunctionRef<int(int)> Wrapped = Fn;
+  EXPECT_EQ(Wrapped(1), 0);
+}
+
+TEST(FunctionRefTest, DefaultConstructedIsFalseBoundIsTrue) {
+  FunctionRef<void()> Empty;
+  EXPECT_FALSE(static_cast<bool>(Empty));
+  auto Nop = [] {};
+  FunctionRef<void()> Bound = Nop;
+  EXPECT_TRUE(static_cast<bool>(Bound));
+}
+
+TEST(FunctionRefTest, PassesReferencesThroughUncopied) {
+  // The solver yield takes const Solution&: ensure no copies sneak in.
+  struct Probe {
+    int Copies = 0;
+    Probe() = default;
+    Probe(const Probe &O) : Copies(O.Copies + 1) {}
+  };
+  Probe P;
+  auto Inspect = [](const Probe &Seen) { return Seen.Copies; };
+  FunctionRef<int(const Probe &)> Ref = Inspect;
+  EXPECT_EQ(Ref(P), 0);
+}
 
 //===----------------------------------------------------------------------===//
 // Casting
