@@ -7,6 +7,7 @@
 #include "baselines/PollyLike.h"
 #include "frontend/Compiler.h"
 #include "idioms/ReductionAnalysis.h"
+#include "interp/Bytecode.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
 #include "pass/Analyses.h"
@@ -214,8 +215,10 @@ CoverageRow gr::bench::measureCoverage(const BenchmarkProgram &B) {
   }
 
   uint64_t Total = 0, Hist = 0, Scalar = 0;
-  for (const auto &[BB, Count] : I.getProfile().BlockCounts) {
-    uint64_t Work = Count * BB->size();
+  const ExecLayout &L = I.getLayout();
+  for (uint32_t Id = 0; Id != L.numBlocks(); ++Id) {
+    const BasicBlock *BB = L.blockAt(Id);
+    uint64_t Work = I.getProfile().BlockCounts[Id] * BB->size();
     Total += Work;
     if (HistBlocks.count(BB))
       Hist += Work;
@@ -230,7 +233,8 @@ CoverageRow gr::bench::measureCoverage(const BenchmarkProgram &B) {
 }
 
 void gr::bench::printCoverage(const std::string &Suite,
-                              const char *Caption) {
+                              const char *Caption,
+                              const char *JsonName) {
   OStream &OS = outs();
   OS << Caption << '\n';
   OS << "benchmark";
@@ -238,6 +242,7 @@ void gr::bench::printCoverage(const std::string &Suite,
   OS << "scalar cov";
   OS.padToColumn(32);
   OS << "histogram cov\n";
+  BenchJson Json;
   for (const BenchmarkProgram *B : corpusSuite(Suite)) {
     CoverageRow Row = measureCoverage(*B);
     OS << B->Name;
@@ -245,5 +250,11 @@ void gr::bench::printCoverage(const std::string &Suite,
     OS << formatDouble(Row.ScalarFraction, 3);
     OS.padToColumn(32);
     OS << formatDouble(Row.HistogramFraction, 3) << '\n';
+    Json.setDouble(std::string(B->Name) + ".scalar_cov",
+                   Row.ScalarFraction);
+    Json.setDouble(std::string(B->Name) + ".histogram_cov",
+                   Row.HistogramFraction);
   }
+  if (JsonName && Json.writeIfEnabled(JsonName))
+    OS << "wrote BENCH_" << JsonName << ".json\n";
 }

@@ -76,8 +76,12 @@ struct CoverageRow {
 /// Profiles one benchmark run and attributes work to reduction loops.
 CoverageRow measureCoverage(const BenchmarkProgram &B);
 
-/// Prints one of Fig 12/13/14 for \p Suite.
-void printCoverage(const std::string &Suite, const char *Caption);
+/// Prints one of Fig 12/13/14 for \p Suite. When \p JsonName is
+/// non-null, also records the per-benchmark coverage fractions as
+/// BENCH_<JsonName>.json (env-gated via GR_BENCH_JSON_DIR), so the
+/// figure-level perf trail captures the profiler's output.
+void printCoverage(const std::string &Suite, const char *Caption,
+                   const char *JsonName = nullptr);
 
 } // namespace bench
 } // namespace gr

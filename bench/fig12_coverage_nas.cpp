@@ -3,6 +3,7 @@
 #include "Common.h"
 
 int main() {
-  gr::bench::printCoverage("NAS", "Fig 12: runtime coverage in NAS");
+  gr::bench::printCoverage("NAS", "Fig 12: runtime coverage in NAS",
+                           "fig12_coverage_nas");
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "Common.h"
 
 int main() {
-  gr::bench::printCoverage("Parboil", "Fig 13: runtime coverage in Parboil");
+  gr::bench::printCoverage("Parboil", "Fig 13: runtime coverage in Parboil",
+                           "fig13_coverage_parboil");
   return 0;
 }

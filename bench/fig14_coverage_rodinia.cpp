@@ -3,6 +3,7 @@
 #include "Common.h"
 
 int main() {
-  gr::bench::printCoverage("Rodinia", "Fig 14: runtime coverage of Rodinia");
+  gr::bench::printCoverage("Rodinia", "Fig 14: runtime coverage of Rodinia",
+                           "fig14_coverage_rodinia");
   return 0;
 }

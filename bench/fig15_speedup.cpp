@@ -18,6 +18,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Common.h"
+
 #include "corpus/Corpus.h"
 #include "frontend/Compiler.h"
 #include "idioms/ReductionAnalysis.h"
@@ -158,6 +160,7 @@ double speedupOf(PrepResult &P, uint64_t SeqWork, ParallelConfig Cfg,
 
 int main() {
   OStream &OS = outs();
+  bench::BenchJson Json;
   OS << "Fig 15: speedup potential in reduction operations "
         "(simulated 64 cores)\n";
   OS << "benchmark";
@@ -179,6 +182,8 @@ int main() {
     auto POrig = prepare(B->Source, /*AlsoDoall=*/true);
     double SOurs = speedupOf(POurs, Seq, Ours, SeqOut);
     double SOrig = speedupOf(POrig, Seq, Ours, SeqOut);
+    Json.setDouble("EP.original", SOrig);
+    Json.setDouble("EP.reduction", SOurs);
     OS << "EP";
     OS.padToColumn(12);
     OS << formatDouble(SOrig, 2) << "x";
@@ -200,6 +205,8 @@ int main() {
     ParallelConfig Doall = Ours;
     Doall.Strategy = ParallelStrategy::Doall;
     double SOrig = speedupOf(POrig, Seq, Doall, SeqOut);
+    Json.setDouble("IS.original", SOrig);
+    Json.setDouble("IS.reduction", SOurs);
     OS << "IS";
     OS.padToColumn(12);
     OS << formatDouble(SOrig, 2) << "x";
@@ -222,6 +229,8 @@ int main() {
     Locked.LockOverhead = 8;       // cheap uncontended lock
     Locked.ContentionFactor = 0.05;
     double SOrig = speedupOf(POrig, Seq, Locked, SeqOut);
+    Json.setDouble("histo.original", SOrig);
+    Json.setDouble("histo.reduction", SOurs);
     OS << "histo";
     OS.padToColumn(12);
     OS << formatDouble(SOrig, 2) << "x";
@@ -244,6 +253,8 @@ int main() {
     Locked.LockOverhead = 60;     // contended critical section
     Locked.ContentionFactor = 2.0;
     double SOrig = speedupOf(POrig, Seq, Locked, SeqOut);
+    Json.setDouble("tpacf.original", SOrig);
+    Json.setDouble("tpacf.reduction", SOurs);
     OS << "tpacf";
     OS.padToColumn(12);
     OS << formatDouble(SOrig, 2) << "x";
@@ -267,7 +278,11 @@ int main() {
     auto PVar = prepare(KmeansVariant, false);
     double SVar = speedupOf(PVar, Seq, Ours, SeqOut);
     OS << formatDouble(SVar, 2) << "x (achievable)\n";
+    Json.setStr("kmeans.original", PRefused.Refused ? "refused" : "ok");
+    Json.setDouble("kmeans.achievable", SVar);
   }
 
+  if (Json.writeIfEnabled("fig15_speedup"))
+    OS << "wrote BENCH_fig15_speedup.json\n";
   return 0;
 }

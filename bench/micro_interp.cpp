@@ -1,50 +1,44 @@
-//===- micro_interp.cpp - interpreter microbenchmarks ---------*- C++ -*-===//
+//===- micro_interp.cpp - execution-engine microbenchmarks ----*- C++ -*-===//
 ///
 /// \file
-/// google-benchmark timings of the execution substrate: interpreter
-/// throughput on arithmetic, memory and call-heavy kernels. A fixed
-/// manual throughput measurement (instructions/second on the
-/// arithmetic kernel, best of 3) is appended after the registered
-/// benchmarks and written to BENCH_micro_interp.json when
-/// GR_BENCH_JSON_DIR is set, so the perf trail records interpreter
-/// regressions too.
+/// google-benchmark timings of the execution substrate, plus the
+/// engine-parity section that always runs after the registered
+/// benchmarks (mirroring micro_solver):
+///
+///  - each kernel runs under both the compiled register VM and the
+///    reference tree-walker, over one shared compiled module;
+///  - main results, captured output and the full ExecProfile
+///    (instruction counts and dense per-block counters) must match
+///    bitwise — the binary exits 1 on any divergence, and ci.sh runs
+///    this as the exec bench smoke gate;
+///  - the measured speedups are printed and written to
+///    BENCH_micro_interp.json (env-gated via GR_BENCH_JSON_DIR); the
+///    arithmetic-kernel speedup is enforced when
+///    GR_MIN_INTERP_SPEEDUP is set.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
 
+#include "corpus/Corpus.h"
 #include "frontend/Compiler.h"
+#include "interp/Bytecode.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 
 using namespace gr;
 
 namespace {
 
-void runKernel(benchmark::State &State, const char *Source) {
-  std::string Error;
-  auto M = compileMiniC(Source, "kernel", &Error);
-  if (!M)
-    std::abort();
-  uint64_t Instructions = 0;
-  for (auto _ : State) {
-    Interpreter I(*M);
-    I.runMain();
-    Instructions = I.instructionCount();
-    benchmark::DoNotOptimize(Instructions);
-  }
-  State.counters["instructions"] = static_cast<double>(Instructions);
-  State.SetItemsProcessed(State.iterations() *
-                          static_cast<int64_t>(Instructions));
-}
-
-void BM_InterpArith(benchmark::State &State) {
-  runKernel(State, R"(
+const char *ArithSource = R"(
 int main() {
   int i;
   double s = 0.0;
@@ -53,12 +47,9 @@ int main() {
   print_f64(s);
   return 0;
 }
-)");
-}
-BENCHMARK(BM_InterpArith);
+)";
 
-void BM_InterpMemory(benchmark::State &State) {
-  runKernel(State, R"(
+const char *MemorySource = R"(
 double a[4096];
 int main() {
   int i;
@@ -70,12 +61,9 @@ int main() {
   print_f64(s);
   return 0;
 }
-)");
-}
-BENCHMARK(BM_InterpMemory);
+)";
 
-void BM_InterpCalls(benchmark::State &State) {
-  runKernel(State, R"(
+const char *CallsSource = R"(
 double square(double x) { return x * x; }
 int main() {
   int i;
@@ -85,50 +73,167 @@ int main() {
   print_f64(s);
   return 0;
 }
-)");
+)";
+
+std::unique_ptr<Module> compileKernel(const char *Source,
+                                      const char *Name) {
+  std::string Error;
+  auto M = compileMiniC(Source, Name, &Error);
+  if (!M)
+    std::abort();
+  return M;
+}
+
+void runKernel(benchmark::State &State, const char *Source,
+               ExecKind Kind) {
+  auto M = compileKernel(Source, "kernel");
+  // Compile once, share across iterations: the module-level bytecode
+  // cache in action (constructing an Interpreter per run only pays
+  // globals allocation and constant-template instantiation).
+  auto BC = BytecodeModule::compile(*M);
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    Interpreter I(*M, Kind, BC);
+    I.runMain();
+    Instructions = I.instructionCount();
+    benchmark::DoNotOptimize(Instructions);
+  }
+  State.counters["instructions"] = static_cast<double>(Instructions);
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Instructions));
+}
+
+void BM_InterpArith(benchmark::State &State) {
+  runKernel(State, ArithSource, ExecKind::Bytecode);
+}
+BENCHMARK(BM_InterpArith);
+
+void BM_InterpArithReference(benchmark::State &State) {
+  runKernel(State, ArithSource, ExecKind::Reference);
+}
+BENCHMARK(BM_InterpArithReference);
+
+void BM_InterpMemory(benchmark::State &State) {
+  runKernel(State, MemorySource, ExecKind::Bytecode);
+}
+BENCHMARK(BM_InterpMemory);
+
+void BM_InterpCalls(benchmark::State &State) {
+  runKernel(State, CallsSource, ExecKind::Bytecode);
 }
 BENCHMARK(BM_InterpCalls);
 
-/// Deterministic throughput record for the JSON trail: interpreted
-/// instructions per second on the arithmetic kernel, best of 3.
-void emitJsonRecord() {
-  std::string Error;
-  auto M = compileMiniC(R"(
-int main() {
-  int i;
-  double s = 0.0;
-  for (i = 0; i < 20000; i++)
-    s = s + 1.5 * i - 0.25;
-  print_f64(s);
-  return 0;
-}
-)",
-                        "kernel", &Error);
-  if (!M)
-    return;
-  double BestMs = -1.0;
-  uint64_t Instructions = 0;
-  for (int Round = 0; Round < 3; ++Round) {
-    auto T0 = std::chrono::steady_clock::now();
-    Interpreter I(*M);
-    I.runMain();
-    double Ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - T0)
-                    .count();
-    Instructions = I.instructionCount();
-    if (BestMs < 0.0 || Ms < BestMs)
-      BestMs = Ms;
+/// One measured engine run: result, output and profile for parity,
+/// wall time for the speedup rows.
+struct EngineRun {
+  int64_t Main = 0;
+  std::string Output;
+  ExecProfile Profile;
+  double BestMs = 0.0;
+};
+
+EngineRun timeEngine(Module &M,
+                     const std::shared_ptr<const BytecodeModule> &BC,
+                     ExecKind Kind, unsigned Reps) {
+  EngineRun Run;
+  // Functional run (recorded) plus warm-up.
+  {
+    Interpreter I(M, Kind, BC);
+    I.setStepLimit(500000000);
+    Run.Main = I.runMain();
+    Run.Output = I.getOutput();
+    Run.Profile = I.getProfile();
   }
-  double PerSec = Instructions / (BestMs / 1000.0);
-  printf("\narith kernel: %llu instructions, best %.2f ms "
-         "(%.0f insts/sec)\n",
-         static_cast<unsigned long long>(Instructions), BestMs, PerSec);
-  gr::bench::BenchJson Json;
-  Json.setInt("arith_instructions", Instructions);
-  Json.setDouble("arith_best_ms", BestMs);
-  Json.setDouble("arith_insts_per_sec", PerSec);
+  double Best = -1.0;
+  for (int Round = 0; Round < 3; ++Round) {
+    double T0 = bench::nowMs();
+    for (unsigned R = 0; R < Reps; ++R) {
+      Interpreter I(M, Kind, BC);
+      I.setStepLimit(500000000);
+      int64_t Result = I.runMain();
+      benchmark::DoNotOptimize(Result);
+    }
+    double Elapsed = bench::nowMs() - T0;
+    if (Best < 0.0 || Elapsed < Best)
+      Best = Elapsed;
+  }
+  Run.BestMs = Best;
+  return Run;
+}
+
+/// The always-on parity + speedup section (see file comment).
+/// Returns the process exit code.
+int runParitySection() {
+  struct KernelSpec {
+    const char *Name;
+    const char *Source;
+    unsigned Reps;
+  };
+  const BenchmarkProgram *EP = findBenchmark("EP");
+  const BenchmarkProgram *IS = findBenchmark("IS");
+  const KernelSpec Kernels[] = {
+      {"arith", ArithSource, 20},
+      {"memory", MemorySource, 20},
+      {"calls", CallsSource, 20},
+      {"EP", EP ? EP->Source : ArithSource, 3},
+      {"IS", IS ? IS->Source : ArithSource, 3},
+  };
+
+  printf("\nExecution-engine parity and speedup (best of 3)\n");
+  printf("%-10s %14s %14s %9s  %s\n", "kernel", "reference ms",
+         "bytecode ms", "speedup", "parity");
+
+  bench::BenchJson Json;
+  bool ParityOk = true;
+  double TotalRef = 0.0, TotalVm = 0.0;
+  double ArithSpeedup = 0.0;
+  for (const KernelSpec &K : Kernels) {
+    auto M = compileKernel(K.Source, K.Name);
+    auto BC = BytecodeModule::compile(*M);
+    EngineRun Ref = timeEngine(*M, BC, ExecKind::Reference, K.Reps);
+    EngineRun Vm = timeEngine(*M, BC, ExecKind::Bytecode, K.Reps);
+    bool Same = Ref.Main == Vm.Main && Ref.Output == Vm.Output &&
+                Ref.Profile == Vm.Profile;
+    ParityOk = ParityOk && Same;
+    double Speedup = Ref.BestMs / Vm.BestMs;
+    if (std::strcmp(K.Name, "arith") == 0)
+      ArithSpeedup = Speedup;
+    TotalRef += Ref.BestMs;
+    TotalVm += Vm.BestMs;
+    printf("%-10s %14.2f %14.2f %8.2fx  %s\n", K.Name, Ref.BestMs,
+           Vm.BestMs, Speedup, Same ? "ok" : "MISMATCH");
+    Json.setDouble(std::string(K.Name) + ".reference_ms", Ref.BestMs);
+    Json.setDouble(std::string(K.Name) + ".bytecode_ms", Vm.BestMs);
+    Json.setInt(std::string(K.Name) + ".instructions",
+                Vm.Profile.InstructionsExecuted);
+  }
+
+  double Speedup = TotalRef / TotalVm;
+  printf("%-10s %14.2f %14.2f %8.2fx  %s\n", "total", TotalRef, TotalVm,
+         Speedup, ParityOk ? "ok" : "MISMATCH");
+
+  Json.setDouble("total_reference_ms", TotalRef);
+  Json.setDouble("total_bytecode_ms", TotalVm);
+  Json.setDouble("speedup", Speedup);
+  Json.setDouble("arith_speedup", ArithSpeedup);
+  Json.setStr("parity", ParityOk ? "ok" : "mismatch");
   if (Json.writeIfEnabled("micro_interp"))
     printf("wrote BENCH_micro_interp.json\n");
+
+  if (!ParityOk) {
+    fprintf(stderr, "micro_interp: ENGINE PARITY FAILURE\n");
+    return 1;
+  }
+  if (const char *Env = std::getenv("GR_MIN_INTERP_SPEEDUP")) {
+    double Min = std::strtod(Env, nullptr);
+    if (Min > 0.0 && ArithSpeedup < Min) {
+      fprintf(stderr,
+              "micro_interp: arith speedup %.2fx below required %.2fx\n",
+              ArithSpeedup, Min);
+      return 1;
+    }
+  }
+  return 0;
 }
 
 } // namespace
@@ -137,6 +242,5 @@ int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  emitJsonRecord();
-  return 0;
+  return runParitySection();
 }

@@ -2,11 +2,12 @@
 # CI entry point: the tier-1 verify line, a smoke run of the
 # quickstart example, documentation consistency checks, the
 # solver-parity gate (differential tests + the whole suite on the
-# reference solver), re-runs of the test suite with the parallel
-# detection driver forced to 2 workers, the parallel-scaling
-# determinism bench, and the micro_solver bench smoke (compiled
-# engine must match the reference solver's Solutions totals). Fails
-# on the first error.
+# reference solver), the exec-parity gate (VM differential tests +
+# the execution suites on the reference tree-walker), re-runs of the
+# test suite with the parallel detection driver forced to 2 workers,
+# the parallel-scaling determinism bench, and the micro_solver /
+# micro_interp bench smokes (each compiled engine must match its
+# reference oracle bitwise). Fails on the first error.
 set -eu
 
 cd "$(dirname "$0")"
@@ -84,6 +85,34 @@ GR_SOLVER=reference ./build/gr_tests >/dev/null || {
   exit 1
 }
 
+# Exec-parity gate 1: the VM differential suite (full corpus plus the
+# frontend programs under Bytecode vs Reference, step-limit and
+# call-depth parity) runs explicitly, with the same non-vacuous
+# passed-count requirement as the solver gate.
+exec_parity_out=$(mktemp)
+./build/gr_tests --gtest_filter='*VMCorpusParity*:*VMProgramParity*:*VMParity*' \
+  > "$exec_parity_out" || {
+  echo "ci.sh: exec-parity differential tests failed" >&2
+  rm -f "$exec_parity_out"
+  exit 1
+}
+grep -qE '\[  PASSED  \] [1-9][0-9]* tests?' "$exec_parity_out" || {
+  echo "ci.sh: exec-parity filter matched no tests (vacuous gate)" >&2
+  rm -f "$exec_parity_out"
+  exit 1
+}
+rm -f "$exec_parity_out"
+
+# Exec-parity gate 2: the interpreter, corpus and runtime suites again
+# on the reference tree-walker. Every execution expectation must hold
+# on both engines.
+GR_EXEC=reference ./build/gr_tests \
+  --gtest_filter='*Interpreter*:*Memory*:*Corpus*:*Runtime*:*Parallel*:*VM*' \
+  >/dev/null || {
+  echo "ci.sh: execution suites failed with GR_EXEC=reference" >&2
+  exit 1
+}
+
 # The suite once more with module-level detection sharded over two
 # workers: pipelines must be oblivious to the driver choice.
 GR_DETECT_WORKERS=2 ./build/gr_tests >/dev/null || {
@@ -122,6 +151,23 @@ if [ -x ./build/micro_solver ]; then
   }
   [ -f ./build/BENCH_micro_solver.json ] || {
     echo "ci.sh: BENCH_micro_solver.json was not produced" >&2
+    exit 1
+  }
+fi
+
+# Bench smoke: micro_interp runs every kernel on both execution
+# engines and exits nonzero when results, output or the ExecProfile
+# diverge, or when the bytecode VM's arithmetic-kernel speedup over
+# the tree-walker drops below the floor (recorded baseline ~8.8x; the
+# 2x floor is the acceptance bar with ample noise margin).
+if [ -x ./build/micro_interp ]; then
+  GR_BENCH_JSON_DIR=./build GR_MIN_INTERP_SPEEDUP=2.0 ./build/micro_interp \
+    --benchmark_filter='NoneSuch^' >/dev/null 2>&1 || {
+    echo "ci.sh: micro_interp engine-parity smoke failed" >&2
+    exit 1
+  }
+  [ -f ./build/BENCH_micro_interp.json ] || {
+    echo "ci.sh: BENCH_micro_interp.json was not produced" >&2
     exit 1
   }
 fi

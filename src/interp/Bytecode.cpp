@@ -1,0 +1,437 @@
+//===- Bytecode.cpp -------------------------------------------*- C++ -*-===//
+
+#include "interp/Bytecode.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace gr;
+
+//===----------------------------------------------------------------------===//
+// ExecLayout
+//===----------------------------------------------------------------------===//
+
+ExecLayout::ExecLayout(const Module &M) {
+  for (const auto &F : M.functions()) {
+    FuncIds[F.get()] = static_cast<uint32_t>(Funcs.size());
+    Funcs.push_back(F.get());
+    for (const BasicBlock *BB : *F) {
+      BlockIds[BB] = static_cast<uint32_t>(Blocks.size());
+      Blocks.push_back(BB);
+    }
+  }
+  // Globals keep module order: the interpreter allocates their storage
+  // in id order, which reproduces the tree-walker's address layout.
+  for (const auto &GV : M.globals()) {
+    GlobalIds[GV.get()] = static_cast<uint32_t>(Globals.size());
+    Globals.push_back(GV.get());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin table
+//===----------------------------------------------------------------------===//
+
+BuiltinId gr::lookupBuiltin(const std::string &Name) {
+  if (Name == "sqrt") return BuiltinId::Sqrt;
+  if (Name == "log") return BuiltinId::Log;
+  if (Name == "exp") return BuiltinId::Exp;
+  if (Name == "sin") return BuiltinId::Sin;
+  if (Name == "cos") return BuiltinId::Cos;
+  if (Name == "fabs") return BuiltinId::FAbs;
+  if (Name == "floor") return BuiltinId::Floor;
+  if (Name == "fmin") return BuiltinId::FMin;
+  if (Name == "fmax") return BuiltinId::FMax;
+  if (Name == "pow") return BuiltinId::Pow;
+  if (Name == "imin") return BuiltinId::IMin;
+  if (Name == "imax") return BuiltinId::IMax;
+  if (Name == "print_i64") return BuiltinId::PrintI64;
+  if (Name == "print_f64") return BuiltinId::PrintF64;
+  if (Name == "gr_rand") return BuiltinId::GrRand;
+  if (Name == "gr_rand_seed") return BuiltinId::GrRandSeed;
+  return BuiltinId::None;
+}
+
+//===----------------------------------------------------------------------===//
+// BytecodeCompiler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Opcode opcodeForBinary(BinaryInst::BinaryOp Op) {
+  using B = BinaryInst::BinaryOp;
+  switch (Op) {
+  case B::Add: return Opcode::AddI;
+  case B::Sub: return Opcode::SubI;
+  case B::Mul: return Opcode::MulI;
+  case B::SDiv: return Opcode::SDivI;
+  case B::SRem: return Opcode::SRemI;
+  case B::FAdd: return Opcode::FAdd;
+  case B::FSub: return Opcode::FSub;
+  case B::FMul: return Opcode::FMul;
+  case B::FDiv: return Opcode::FDiv;
+  case B::And: return Opcode::AndI;
+  case B::Or: return Opcode::OrI;
+  case B::Xor: return Opcode::XorI;
+  case B::Shl: return Opcode::ShlI;
+  case B::AShr: return Opcode::AShrI;
+  }
+  return Opcode::AddI;
+}
+
+Opcode opcodeForCmp(CmpInst::Predicate Pred) {
+  using P = CmpInst::Predicate;
+  switch (Pred) {
+  case P::EQ: return Opcode::CmpEQ;
+  case P::NE: return Opcode::CmpNE;
+  case P::SLT: return Opcode::CmpSLT;
+  case P::SLE: return Opcode::CmpSLE;
+  case P::SGT: return Opcode::CmpSGT;
+  case P::SGE: return Opcode::CmpSGE;
+  case P::OEQ: return Opcode::CmpOEQ;
+  case P::ONE: return Opcode::CmpONE;
+  case P::OLT: return Opcode::CmpOLT;
+  case P::OLE: return Opcode::CmpOLE;
+  case P::OGT: return Opcode::CmpOGT;
+  case P::OGE: return Opcode::CmpOGE;
+  }
+  return Opcode::CmpEQ;
+}
+
+/// Leading phis of \p BB — exactly the ones the tree-walker commits
+/// with simultaneous-assignment semantics. A phi *after* a non-phi is
+/// malformed and compiles to a Fault instead.
+std::vector<const PhiInst *> leadingPhis(const BasicBlock *BB) {
+  std::vector<const PhiInst *> Out;
+  for (Instruction *I : *BB) {
+    auto *Phi = dyn_cast<PhiInst>(I);
+    if (!Phi)
+      break;
+    Out.push_back(Phi);
+  }
+  return Out;
+}
+
+} // namespace
+
+BytecodeFunction BytecodeCompiler::compile(const Function &F) const {
+  BytecodeFunction BF;
+  BF.NumArgs = F.getNumArgs();
+
+  std::unordered_map<const Value *, uint32_t> RegOf;
+
+  // Pass A: collect constant operands (integer/float constants and
+  // global addresses) into the constant pool, deduped by uniqued
+  // Value pointer. Resolving them to plain registers here is what
+  // removes every per-operand kind test from the dispatch loop.
+  auto addConst = [&](const Value *V) {
+    if (RegOf.count(V))
+      return;
+    ConstDesc D;
+    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+      D.K = ConstDesc::Int;
+      D.Bits = static_cast<uint64_t>(CI->getValue());
+    } else if (const auto *CF = dyn_cast<ConstantFloat>(V)) {
+      D.K = ConstDesc::Float;
+      double Val = CF->getValue();
+      std::memcpy(&D.Bits, &Val, 8);
+    } else if (const auto *GV = dyn_cast<GlobalVariable>(V)) {
+      D.K = ConstDesc::GlobalAddr;
+      D.Bits = Layout.globalId(GV);
+    } else {
+      return;
+    }
+    RegOf[V] = static_cast<uint32_t>(BF.Consts.size());
+    BF.Consts.push_back(D);
+  };
+  for (const BasicBlock *BB : F)
+    for (Instruction *I : *BB) {
+      unsigned Begin = isa<CallInst>(I) ? 1 : 0; // Skip the callee.
+      for (unsigned Op = Begin, E = I->getNumOperands(); Op != E; ++Op)
+        addConst(I->getOperand(Op));
+    }
+  BF.NumConsts = static_cast<uint32_t>(BF.Consts.size());
+
+  // Arguments follow the constant pool.
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+    RegOf[F.getArg(I)] = BF.NumConsts + I;
+
+  // Result registers for every value-producing instruction (calls to
+  // void functions included, mirroring the tree-walker's Frame[I]).
+  uint32_t NextReg = BF.NumConsts + BF.NumArgs;
+  for (const BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      switch (I->getKind()) {
+      case Value::ValueKind::InstStore:
+      case Value::ValueKind::InstBranch:
+      case Value::ValueKind::InstRet:
+        break;
+      default:
+        RegOf[I] = NextReg++;
+        break;
+      }
+  BF.NumRegs = NextReg;
+
+  // A resolved operand register, or emit-a-fault sentinel: the
+  // tree-walker reports "use of value with no definition" only when
+  // the use executes, so unresolvable operands lower to Fault ops.
+  constexpr uint32_t NoReg = ~0u;
+  auto regOf = [&](const Value *V) -> uint32_t {
+    auto It = RegOf.find(V);
+    return It == RegOf.end() ? NoReg : It->second;
+  };
+
+  // Pass B: emit straight-line code per block. Branches allocate Edge
+  // records whose targets are pcs, resolved in pass C below.
+  std::unordered_map<const BasicBlock *, uint32_t> FirstPC;
+  struct PendingEdge {
+    const BasicBlock *Src;
+    const BasicBlock *Tgt;
+  };
+  std::vector<PendingEdge> Pending;
+
+  auto emit = [&](Opcode Op, uint32_t Dst, uint32_t A = 0, uint32_t B = 0,
+                  uint32_t C = 0) {
+    BF.Code.push_back(BCInst{Op, FaultKind::PhiNoEntry, Dst, A, B, C});
+  };
+  auto emitFault = [&](FaultKind Fk) {
+    BF.Code.push_back(BCInst{Opcode::Fault, Fk, 0, 0, 0, 0});
+  };
+  // Emits Fault if any listed operand register is unresolved.
+  auto operandsOk = [&](std::initializer_list<uint32_t> Regs) {
+    for (uint32_t R : Regs)
+      if (R == NoReg) {
+        emitFault(FaultKind::NoDefinition);
+        return false;
+      }
+    return true;
+  };
+
+  for (const BasicBlock *BB : F) {
+    size_t NumPhis = leadingPhis(BB).size();
+    FirstPC[BB] = static_cast<uint32_t>(BF.Code.size());
+    bool Terminated = false;
+    size_t Pos = 0;
+    for (Instruction *I : *BB) {
+      if (Pos++ < NumPhis)
+        continue; // Leading phis become edge moves.
+      if (Terminated)
+        break; // Code after a terminator never runs in the walker.
+      switch (I->getKind()) {
+      case Value::ValueKind::InstBinary: {
+        auto *Bin = cast<BinaryInst>(I);
+        uint32_t L = regOf(Bin->getLHS()), R = regOf(Bin->getRHS());
+        if (operandsOk({L, R}))
+          emit(opcodeForBinary(Bin->getBinaryOp()), RegOf[I], L, R);
+        break;
+      }
+      case Value::ValueKind::InstCmp: {
+        auto *Cmp = cast<CmpInst>(I);
+        uint32_t L = regOf(Cmp->getLHS()), R = regOf(Cmp->getRHS());
+        if (operandsOk({L, R}))
+          emit(opcodeForCmp(Cmp->getPredicate()), RegOf[I], L, R);
+        break;
+      }
+      case Value::ValueKind::InstCast: {
+        auto *Cast = gr::cast<CastInst>(I);
+        uint32_t S = regOf(Cast->getSrc());
+        if (!operandsOk({S}))
+          break;
+        switch (Cast->getCastKind()) {
+        case CastInst::CastKind::SIToFP:
+          emit(Opcode::SIToFP, RegOf[I], S);
+          break;
+        case CastInst::CastKind::FPToSI:
+          emit(Opcode::FPToSI, RegOf[I], S);
+          break;
+        case CastInst::CastKind::ZExt:
+        case CastInst::CastKind::Trunc:
+          emit(Opcode::Bit1, RegOf[I], S);
+          break;
+        }
+        break;
+      }
+      case Value::ValueKind::InstAlloca: {
+        auto *AI = cast<AllocaInst>(I);
+        uint64_t Bytes = AI->getAllocatedType()->getSizeInBytes();
+        emit(Opcode::Alloca, RegOf[I], static_cast<uint32_t>(Bytes),
+             static_cast<uint32_t>(Bytes >> 32));
+        break;
+      }
+      case Value::ValueKind::InstLoad: {
+        auto *Load = cast<LoadInst>(I);
+        uint32_t P = regOf(Load->getPointer());
+        if (operandsOk({P}))
+          emit(Opcode::Load, RegOf[I], P);
+        break;
+      }
+      case Value::ValueKind::InstStore: {
+        auto *Store = cast<StoreInst>(I);
+        uint32_t V = regOf(Store->getStoredValue());
+        uint32_t P = regOf(Store->getPointer());
+        if (operandsOk({V, P}))
+          emit(Opcode::Store, 0, V, P);
+        break;
+      }
+      case Value::ValueKind::InstGEP: {
+        auto *GEP = cast<GEPInst>(I);
+        uint32_t Base = regOf(GEP->getPointer());
+        uint32_t Index = regOf(GEP->getIndex());
+        if (operandsOk({Base, Index}))
+          emit(Opcode::Gep, RegOf[I], Base, Index,
+               static_cast<uint32_t>(
+                   GEP->getElementType()->getSizeInBytes()));
+        break;
+      }
+      case Value::ValueKind::InstCall: {
+        auto *Call = cast<CallInst>(I);
+        Function *Callee = Call->getCallee();
+        uint32_t ArgOff = static_cast<uint32_t>(BF.ArgPool.size());
+        uint32_t NumArgs = Call->getNumArgs();
+        bool Ok = true;
+        for (unsigned A = 0; A != NumArgs; ++A) {
+          uint32_t R = regOf(Call->getArg(A));
+          if (R == NoReg)
+            Ok = false;
+          BF.ArgPool.push_back(R);
+        }
+        if (!Ok) {
+          BF.ArgPool.resize(ArgOff);
+          emitFault(FaultKind::NoDefinition);
+          break;
+        }
+        if (!Callee->isDeclaration()) {
+          emit(Opcode::Call, RegOf[I], Layout.functionId(Callee), ArgOff,
+               NumArgs);
+        } else if (startsWith(Callee->getName(), "__gr_")) {
+          uint32_t Site = static_cast<uint32_t>(BF.IntrinsicSites.size());
+          BF.IntrinsicSites.push_back(Call);
+          emit(Opcode::CallIntrinsic, RegOf[I], Site, ArgOff, NumArgs);
+        } else {
+          BuiltinId Id = lookupBuiltin(Callee->getName());
+          if (Id == BuiltinId::None)
+            emitFault(FaultKind::UnknownExtern);
+          else
+            emit(Opcode::CallBuiltin, RegOf[I], static_cast<uint32_t>(Id),
+                 ArgOff, NumArgs);
+        }
+        break;
+      }
+      case Value::ValueKind::InstSelect: {
+        auto *Sel = cast<SelectInst>(I);
+        uint32_t C = regOf(Sel->getCondition());
+        uint32_t T = regOf(Sel->getTrueValue());
+        uint32_t Fv = regOf(Sel->getFalseValue());
+        if (operandsOk({C, T, Fv}))
+          emit(Opcode::Select, RegOf[I], C, T, Fv);
+        break;
+      }
+      case Value::ValueKind::InstBranch: {
+        auto *Br = cast<BranchInst>(I);
+        uint32_t EdgeBase = static_cast<uint32_t>(BF.Edges.size());
+        for (unsigned S = 0, E = Br->getNumSuccessors(); S != E; ++S) {
+          BF.Edges.emplace_back();
+          Pending.push_back({BB, Br->getSuccessor(S)});
+        }
+        if (Br->isConditional()) {
+          uint32_t C = regOf(Br->getCondition());
+          if (operandsOk({C}))
+            emit(Opcode::CondBr, 0, C, EdgeBase, EdgeBase + 1);
+        } else {
+          emit(Opcode::Br, 0, EdgeBase);
+        }
+        Terminated = true;
+        break;
+      }
+      case Value::ValueKind::InstRet: {
+        auto *Ret = cast<RetInst>(I);
+        if (Ret->hasReturnValue()) {
+          uint32_t R = regOf(Ret->getReturnValue());
+          if (operandsOk({R}))
+            emit(Opcode::Ret, 0, R);
+        } else {
+          emit(Opcode::RetVoid, 0);
+        }
+        Terminated = true;
+        break;
+      }
+      case Value::ValueKind::InstPhi:
+        // A phi below a non-phi: the tree-walker's switch has no case
+        // for it and dies on gr_unreachable.
+        emitFault(FaultKind::BadInst);
+        Terminated = true;
+        break;
+      default:
+        emitFault(FaultKind::BadInst);
+        Terminated = true;
+        break;
+      }
+    }
+    if (!Terminated)
+      emitFault(FaultKind::NoTerminator);
+  }
+
+  // Pass C: resolve edges — target pc, dense target-block id, and the
+  // phi parallel-move list the edge carries.
+  for (size_t E = 0; E != BF.Edges.size(); ++E) {
+    Edge &Ed = BF.Edges[E];
+    const BasicBlock *Src = Pending[E].Src;
+    const BasicBlock *Tgt = Pending[E].Tgt;
+    Ed.TargetPC = FirstPC[Tgt];
+    Ed.TargetBlock = Layout.blockId(Tgt);
+    Ed.MoveOff = static_cast<uint32_t>(BF.Moves.size());
+    for (const PhiInst *Phi : leadingPhis(Tgt)) {
+      Value *In = Phi->getIncomingValueFor(Src);
+      if (!In) {
+        Ed.Fault = true;
+        Ed.Fk = FaultKind::PhiNoEntry;
+        break;
+      }
+      uint32_t SrcReg = regOf(In);
+      if (SrcReg == NoReg) {
+        Ed.Fault = true;
+        Ed.Fk = FaultKind::NoDefinition;
+        break;
+      }
+      BF.Moves.push_back(RegMove{RegOf[Phi], SrcReg});
+    }
+    if (Ed.Fault)
+      BF.Moves.resize(Ed.MoveOff);
+    Ed.MoveCount = static_cast<uint32_t>(BF.Moves.size()) - Ed.MoveOff;
+  }
+
+  BF.EntryPC = FirstPC[F.getEntry()];
+  BF.EntryBlock = Layout.blockId(F.getEntry());
+  BF.EntryFault = !leadingPhis(F.getEntry()).empty();
+  return BF;
+}
+
+//===----------------------------------------------------------------------===//
+// BytecodeModule
+//===----------------------------------------------------------------------===//
+
+BytecodeModule::BytecodeModule(const Module &M) : Layout(M) {
+  BytecodeCompiler Compiler(Layout);
+  Funcs.resize(Layout.numFunctions());
+  for (uint32_t Id = 0; Id != Layout.numFunctions(); ++Id) {
+    const Function *F = Layout.functionAt(Id);
+    if (F->isDeclaration())
+      continue;
+    Funcs[Id] = Compiler.compile(*F);
+    for (const Edge &E : Funcs[Id].Edges)
+      MaxEdgeMoves = std::max(MaxEdgeMoves, E.MoveCount);
+    for (const BCInst &I : Funcs[Id].Code)
+      if (I.Op == Opcode::Call || I.Op == Opcode::CallBuiltin ||
+          I.Op == Opcode::CallIntrinsic)
+        MaxCallArgs = std::max(MaxCallArgs, I.C);
+  }
+}
+
+std::shared_ptr<const BytecodeModule>
+BytecodeModule::compile(const Module &M) {
+  return std::shared_ptr<const BytecodeModule>(new BytecodeModule(M));
+}

@@ -1,0 +1,237 @@
+//===- Bytecode.h - IR-to-bytecode compilation layer ----------*- C++ -*-===//
+///
+/// \file
+/// The execution substrate's compile-then-run split, mirroring the
+/// constraint solver's FormulaCompiler/SolverEngine pair: a
+/// BytecodeCompiler lowers each Function once into a BytecodeFunction
+/// (dense virtual registers for every SSA value, operands resolved to
+/// register indices at compile time, phi nodes precompiled into
+/// per-edge parallel-move lists, branch targets as instruction
+/// offsets), and the register VM (VM.h) dispatches over the flat
+/// stream. The ExecLayout assigns module-wide dense ids to blocks,
+/// globals and functions; both engines count into the same dense
+/// ExecProfile through it, so profiles stay bitwise comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_INTERP_BYTECODE_H
+#define GR_INTERP_BYTECODE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gr {
+
+class BasicBlock;
+class CallInst;
+class Function;
+class GlobalVariable;
+class Module;
+
+/// Module-wide dense numbering of blocks, globals and functions.
+/// Built once per module and shared by both execution engines: block
+/// ids index the flat ExecProfile::BlockCounts array, global ids index
+/// the interpreter's dense global-address table, function ids index
+/// the compiled BytecodeFunction array.
+class ExecLayout {
+public:
+  explicit ExecLayout(const Module &M);
+
+  uint32_t numBlocks() const {
+    return static_cast<uint32_t>(Blocks.size());
+  }
+  const BasicBlock *blockAt(uint32_t Id) const { return Blocks[Id]; }
+  /// Dense id of \p BB, or ~0u when the block is not part of the
+  /// module this layout was built from.
+  uint32_t blockId(const BasicBlock *BB) const {
+    auto It = BlockIds.find(BB);
+    return It == BlockIds.end() ? ~0u : It->second;
+  }
+
+  uint32_t numGlobals() const {
+    return static_cast<uint32_t>(Globals.size());
+  }
+  const GlobalVariable *globalAt(uint32_t Id) const { return Globals[Id]; }
+  uint32_t globalId(const GlobalVariable *GV) const {
+    auto It = GlobalIds.find(GV);
+    return It == GlobalIds.end() ? ~0u : It->second;
+  }
+
+  uint32_t numFunctions() const {
+    return static_cast<uint32_t>(Funcs.size());
+  }
+  Function *functionAt(uint32_t Id) const { return Funcs[Id]; }
+  uint32_t functionId(const Function *F) const {
+    auto It = FuncIds.find(F);
+    return It == FuncIds.end() ? ~0u : It->second;
+  }
+
+private:
+  std::vector<const BasicBlock *> Blocks;
+  std::unordered_map<const BasicBlock *, uint32_t> BlockIds;
+  std::vector<const GlobalVariable *> Globals;
+  std::unordered_map<const GlobalVariable *, uint32_t> GlobalIds;
+  std::vector<Function *> Funcs;
+  std::unordered_map<const Function *, uint32_t> FuncIds;
+};
+
+/// One register-VM opcode. Binary operators, comparison predicates and
+/// casts are expanded into distinct opcodes so the dispatch switch
+/// does the full decode; there is no secondary sub-op branch.
+enum class Opcode : uint8_t {
+  // Integer / float arithmetic and bitwise ops: Dst = A op B.
+  AddI, SubI, MulI, SDivI, SRemI,
+  FAdd, FSub, FMul, FDiv,
+  AndI, OrI, XorI, ShlI, AShrI,
+  // Comparisons: Dst = (A pred B) ? 1 : 0.
+  CmpEQ, CmpNE, CmpSLT, CmpSLE, CmpSGT, CmpSGE,
+  CmpOEQ, CmpONE, CmpOLT, CmpOLE, CmpOGT, CmpOGE,
+  // Casts: Dst = cast(A). ZExt (i1->i64) and Trunc (i64->i1) are the
+  // same low-bit mask and share Bit1.
+  SIToFP, FPToSI, Bit1,
+  // Memory: Alloca size is a 64-bit immediate split across A (low)
+  // and B (high); Gep element size is the C immediate.
+  Alloca, Load, Store, Gep,
+  Select, ///< Dst = A ? B : C (all registers).
+  // Calls: A = callee function id / builtin id / intrinsic-site
+  // index, B = ArgPool offset, C = argument count.
+  Call, CallBuiltin, CallIntrinsic,
+  Br,     ///< A = edge index.
+  CondBr, ///< A = condition register, B/C = true/false edge indices.
+  Ret,    ///< A = result register.
+  RetVoid,
+  Fault, ///< Lazily-reported compile diagnostics; Fk = FaultKind.
+};
+
+/// Runtime faults resolved at compile time but reported only when the
+/// faulting code actually executes, so compiled execution matches the
+/// tree-walker on programs whose malformed corners are never reached.
+enum class FaultKind : uint8_t {
+  PhiNoEntry,    ///< "interpreter: phi has no entry for edge"
+  UnknownExtern, ///< "interpreter: call to unknown external function"
+  NoDefinition,  ///< "interpreter: use of value with no definition"
+  NoTerminator,  ///< "interpreter: block fell through without terminator"
+  BadInst,       ///< phi after a non-phi (unreachable in verified IR)
+};
+
+/// One compiled instruction. Dst and A/B/C are virtual register
+/// indices unless the opcode documents them as immediates.
+struct BCInst {
+  Opcode Op;
+  FaultKind Fk; ///< Only meaningful for Opcode::Fault.
+  uint32_t Dst;
+  uint32_t A;
+  uint32_t B;
+  uint32_t C;
+};
+
+/// One phi move: frame register Dst receives frame register Src when
+/// the owning edge is taken. Lists execute with simultaneous-
+/// assignment semantics (all sources read before any write).
+struct RegMove {
+  uint32_t Dst;
+  uint32_t Src;
+};
+
+/// One CFG edge a branch can take: where to resume, which dense block
+/// is entered (its profile counter is bumped), and the phi moves the
+/// edge carries.
+struct Edge {
+  uint32_t TargetPC = 0;
+  uint32_t TargetBlock = 0;
+  uint32_t MoveOff = 0;
+  uint32_t MoveCount = 0;
+  /// Taking the edge faults (a target phi has no entry for it, or an
+  /// incoming value has no register), like the tree-walker would.
+  bool Fault = false;
+  FaultKind Fk = FaultKind::PhiNoEntry;
+};
+
+/// Descriptor for one constant-pool slot. Slots are instantiated into
+/// a per-interpreter frame template (global addresses depend on the
+/// interpreter's memory) and memcpy'd into the frame on every call.
+struct ConstDesc {
+  enum Kind : uint8_t { Int, Float, GlobalAddr } K;
+  /// Raw payload: the integer value, the double's bit pattern, or the
+  /// dense global id.
+  uint64_t Bits;
+};
+
+/// External callees the VM can dispatch without a string compare.
+/// Resolved from the callee name once at compile time; the reference
+/// tree-walker resolves the same table per call.
+enum class BuiltinId : uint8_t {
+  Sqrt, Log, Exp, Sin, Cos, FAbs, Floor, FMin, FMax, Pow,
+  IMin, IMax, PrintI64, PrintF64, GrRand, GrRandSeed,
+  None, ///< Unknown external (faults when called).
+};
+
+/// Maps an external function name to its BuiltinId (None if unknown).
+BuiltinId lookupBuiltin(const std::string &Name);
+
+/// One function lowered to bytecode. Frame register layout:
+/// [0, NumConsts) constant pool, [NumConsts, NumConsts + NumArgs)
+/// arguments, then one register per value-producing instruction.
+struct BytecodeFunction {
+  uint32_t NumConsts = 0;
+  uint32_t NumArgs = 0;
+  uint32_t NumRegs = 0;
+  uint32_t EntryPC = 0;
+  uint32_t EntryBlock = 0; ///< Dense id of the entry block.
+  /// Entry block has phis: calling the function faults (the
+  /// tree-walker's "phi has no entry for edge" on the null edge).
+  bool EntryFault = false;
+  std::vector<BCInst> Code;
+  std::vector<ConstDesc> Consts;
+  std::vector<RegMove> Moves;
+  std::vector<Edge> Edges;
+  /// Flattened per-call argument register lists (Call*::B/C index it).
+  std::vector<uint32_t> ArgPool;
+  /// Call sites of __gr_* intrinsics, for the handler's CallInst view.
+  std::vector<const CallInst *> IntrinsicSites;
+};
+
+/// A whole module compiled once: the shared layout plus one
+/// BytecodeFunction per definition (declaration slots stay empty).
+/// Immutable after compilation, so repeated `call`s — and any number
+/// of Interpreter instances over the same module — share it, the same
+/// ethos as IdiomRegistry::compiledSpecs().
+class BytecodeModule {
+public:
+  /// Compiles every definition in \p M.
+  static std::shared_ptr<const BytecodeModule> compile(const Module &M);
+
+  const ExecLayout &layout() const { return Layout; }
+  const BytecodeFunction &function(uint32_t Id) const { return Funcs[Id]; }
+  /// Largest phi-move list over all edges (sizes the VM's scratch).
+  uint32_t maxEdgeMoves() const { return MaxEdgeMoves; }
+  /// Largest argument count over all call sites.
+  uint32_t maxCallArgs() const { return MaxCallArgs; }
+
+private:
+  explicit BytecodeModule(const Module &M);
+
+  ExecLayout Layout;
+  std::vector<BytecodeFunction> Funcs;
+  uint32_t MaxEdgeMoves = 0;
+  uint32_t MaxCallArgs = 0;
+};
+
+/// Lowers single functions against a shared layout. BytecodeModule
+/// drives it over every definition; exposed for tests.
+class BytecodeCompiler {
+public:
+  explicit BytecodeCompiler(const ExecLayout &Layout) : Layout(Layout) {}
+
+  BytecodeFunction compile(const Function &F) const;
+
+private:
+  const ExecLayout &Layout;
+};
+
+} // namespace gr
+
+#endif // GR_INTERP_BYTECODE_H

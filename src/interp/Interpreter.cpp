@@ -2,6 +2,8 @@
 
 #include "interp/Interpreter.h"
 
+#include "interp/Bytecode.h"
+#include "interp/VM.h"
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
@@ -9,19 +11,55 @@
 #include "support/StringUtils.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 using namespace gr;
 
-Interpreter::Interpreter(Module &M) : M(M) {
-  for (const auto &GV : M.globals())
-    GlobalAddrs[GV.get()] =
-        Mem.allocatePermanent(GV->getContainedType()->getSizeInBytes());
+ExecKind gr::resolveExecKind(ExecKind Kind) {
+  if (Kind != ExecKind::Default)
+    return Kind;
+  if (const char *Env = std::getenv("GR_EXEC"))
+    if (std::strcmp(Env, "reference") == 0)
+      return ExecKind::Reference;
+  return ExecKind::Bytecode;
+}
+
+Interpreter::Interpreter(Module &M, ExecKind Kind,
+                         std::shared_ptr<const BytecodeModule> Bytecode)
+    : M(M), Kind(resolveExecKind(Kind)),
+      BC(Bytecode ? std::move(Bytecode) : BytecodeModule::compile(M)) {
+  // Globals are allocated in layout (= module) order, reproducing the
+  // seed interpreter's address assignment byte for byte.
+  const ExecLayout &L = BC->layout();
+  GlobalAddrs.resize(L.numGlobals());
+  for (uint32_t Id = 0; Id != L.numGlobals(); ++Id)
+    GlobalAddrs[Id] = Mem.allocatePermanent(
+        L.globalAt(Id)->getContainedType()->getSizeInBytes());
+  Profile.BlockCounts.assign(L.numBlocks(), 0);
+  if (this->Kind == ExecKind::Bytecode)
+    Machine = std::make_unique<VM>(*this, *BC);
+}
+
+Interpreter::~Interpreter() = default;
+
+const ExecLayout &Interpreter::getLayout() const { return BC->layout(); }
+
+uint64_t Interpreter::blockCount(const BasicBlock *BB) const {
+  uint32_t Id = BC->layout().blockId(BB);
+  return Id == ~0u ? 0 : Profile.BlockCounts[Id];
 }
 
 uint64_t Interpreter::addressOfGlobal(const GlobalVariable *GV) const {
-  auto It = GlobalAddrs.find(GV);
-  assert(It != GlobalAddrs.end() && "global not registered");
-  return It->second;
+  uint32_t Id = BC->layout().globalId(GV);
+  assert(Id != ~0u && "global not registered");
+  return GlobalAddrs[Id];
+}
+
+std::vector<Slot> &Interpreter::argScratch(unsigned Depth) {
+  while (ArgPool.size() <= Depth)
+    ArgPool.push_back(std::make_unique<std::vector<Slot>>());
+  return *ArgPool[Depth];
 }
 
 Slot Interpreter::evalOperand(
@@ -47,9 +85,30 @@ int64_t Interpreter::runMain() {
 
 Slot Interpreter::call(Function *F, const std::vector<Slot> &Args) {
   assert(!F->isDeclaration() && "cannot interpret a declaration");
+  // Both engines count into the layout's dense ids, so a function the
+  // compiled module does not know (added after construction, or from
+  // another module) is fatal on either path.
+  uint32_t Id = BC->layout().functionId(F);
+  if (Id == ~0u)
+    reportFatalError("interpreter: function not part of compiled module");
+  if (Kind == ExecKind::Reference)
+    return callReference(F, Args);
+  return Machine->call(Id, Args.data(),
+                       static_cast<uint32_t>(Args.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Reference engine: the seed tree-walking interpreter, kept verbatim
+// as the differential-testing oracle. Only its profile now counts
+// through the dense layout ids and its internal call path reuses
+// depth-pooled argument vectors.
+//===----------------------------------------------------------------------===//
+
+Slot Interpreter::callReference(Function *F, const std::vector<Slot> &Args) {
   if (++CallDepth > 512)
     reportFatalError("interpreter: call stack overflow");
   uint64_t StackMark = Mem.stackMark();
+  const ExecLayout &L = BC->layout();
 
   std::map<const Value *, Slot> Frame;
   for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
@@ -60,7 +119,10 @@ Slot Interpreter::call(Function *F, const std::vector<Slot> &Args) {
   Slot Result{.I = 0};
 
   while (true) {
-    ++Profile.BlockCounts[Block];
+    uint32_t BlockId = L.blockId(Block);
+    if (BlockId == ~0u)
+      reportFatalError("interpreter: block not part of compiled module");
+    ++Profile.BlockCounts[BlockId];
 
     // Phase 1: evaluate all phis against the incoming edge, then
     // commit (classic simultaneous-assignment semantics).
@@ -94,56 +156,56 @@ Slot Interpreter::call(Function *F, const std::vector<Slot> &Args) {
         switch (I->getKind()) {
         case Value::ValueKind::InstBinary: {
           auto *Bin = cast<BinaryInst>(I);
-          Slot L = evalOperand(Bin->getLHS(), Frame);
-          Slot R = evalOperand(Bin->getRHS(), Frame);
+          Slot Lhs = evalOperand(Bin->getLHS(), Frame);
+          Slot Rhs = evalOperand(Bin->getRHS(), Frame);
           Slot Out{.I = 0};
           using Op = BinaryInst::BinaryOp;
           switch (Bin->getBinaryOp()) {
-          case Op::Add: Out.I = L.I + R.I; break;
-          case Op::Sub: Out.I = L.I - R.I; break;
-          case Op::Mul: Out.I = L.I * R.I; break;
+          case Op::Add: Out.I = Lhs.I + Rhs.I; break;
+          case Op::Sub: Out.I = Lhs.I - Rhs.I; break;
+          case Op::Mul: Out.I = Lhs.I * Rhs.I; break;
           case Op::SDiv:
-            if (R.I == 0)
+            if (Rhs.I == 0)
               reportFatalError("interpreter: division by zero");
-            Out.I = L.I / R.I;
+            Out.I = Lhs.I / Rhs.I;
             break;
           case Op::SRem:
-            if (R.I == 0)
+            if (Rhs.I == 0)
               reportFatalError("interpreter: remainder by zero");
-            Out.I = L.I % R.I;
+            Out.I = Lhs.I % Rhs.I;
             break;
-          case Op::FAdd: Out.F = L.F + R.F; break;
-          case Op::FSub: Out.F = L.F - R.F; break;
-          case Op::FMul: Out.F = L.F * R.F; break;
-          case Op::FDiv: Out.F = L.F / R.F; break;
-          case Op::And: Out.I = L.I & R.I; break;
-          case Op::Or: Out.I = L.I | R.I; break;
-          case Op::Xor: Out.I = L.I ^ R.I; break;
-          case Op::Shl: Out.I = L.I << (R.I & 63); break;
-          case Op::AShr: Out.I = L.I >> (R.I & 63); break;
+          case Op::FAdd: Out.F = Lhs.F + Rhs.F; break;
+          case Op::FSub: Out.F = Lhs.F - Rhs.F; break;
+          case Op::FMul: Out.F = Lhs.F * Rhs.F; break;
+          case Op::FDiv: Out.F = Lhs.F / Rhs.F; break;
+          case Op::And: Out.I = Lhs.I & Rhs.I; break;
+          case Op::Or: Out.I = Lhs.I | Rhs.I; break;
+          case Op::Xor: Out.I = Lhs.I ^ Rhs.I; break;
+          case Op::Shl: Out.I = Lhs.I << (Rhs.I & 63); break;
+          case Op::AShr: Out.I = Lhs.I >> (Rhs.I & 63); break;
           }
           Frame[I] = Out;
           break;
         }
         case Value::ValueKind::InstCmp: {
           auto *Cmp = cast<CmpInst>(I);
-          Slot L = evalOperand(Cmp->getLHS(), Frame);
-          Slot R = evalOperand(Cmp->getRHS(), Frame);
+          Slot Lhs = evalOperand(Cmp->getLHS(), Frame);
+          Slot Rhs = evalOperand(Cmp->getRHS(), Frame);
           bool B = false;
           using P = CmpInst::Predicate;
           switch (Cmp->getPredicate()) {
-          case P::EQ: B = L.I == R.I; break;
-          case P::NE: B = L.I != R.I; break;
-          case P::SLT: B = L.I < R.I; break;
-          case P::SLE: B = L.I <= R.I; break;
-          case P::SGT: B = L.I > R.I; break;
-          case P::SGE: B = L.I >= R.I; break;
-          case P::OEQ: B = L.F == R.F; break;
-          case P::ONE: B = L.F != R.F; break;
-          case P::OLT: B = L.F < R.F; break;
-          case P::OLE: B = L.F <= R.F; break;
-          case P::OGT: B = L.F > R.F; break;
-          case P::OGE: B = L.F >= R.F; break;
+          case P::EQ: B = Lhs.I == Rhs.I; break;
+          case P::NE: B = Lhs.I != Rhs.I; break;
+          case P::SLT: B = Lhs.I < Rhs.I; break;
+          case P::SLE: B = Lhs.I <= Rhs.I; break;
+          case P::SGT: B = Lhs.I > Rhs.I; break;
+          case P::SGE: B = Lhs.I >= Rhs.I; break;
+          case P::OEQ: B = Lhs.F == Rhs.F; break;
+          case P::ONE: B = Lhs.F != Rhs.F; break;
+          case P::OLT: B = Lhs.F < Rhs.F; break;
+          case P::OLE: B = Lhs.F <= Rhs.F; break;
+          case P::OGT: B = Lhs.F > Rhs.F; break;
+          case P::OGE: B = Lhs.F >= Rhs.F; break;
           }
           Frame[I] = Slot{.I = B ? 1 : 0};
           break;
@@ -204,13 +266,18 @@ Slot Interpreter::call(Function *F, const std::vector<Slot> &Args) {
         case Value::ValueKind::InstCall: {
           auto *Call = cast<CallInst>(I);
           Function *Callee = Call->getCallee();
-          std::vector<Slot> CallArgs;
+          // Depth-pooled scratch: one argument vector per call depth,
+          // reused across every call at that depth (no per-call
+          // allocation; deeper calls use deeper pool slots, so the
+          // buffer stays stable while intrinsic handlers hold it).
+          std::vector<Slot> &CallArgs = argScratch(CallDepth);
+          CallArgs.clear();
           for (unsigned A = 0, AE = Call->getNumArgs(); A != AE; ++A)
             CallArgs.push_back(evalOperand(Call->getArg(A), Frame));
           if (Callee->isDeclaration())
             Frame[I] = callBuiltin(Callee, Call, CallArgs);
           else
-            Frame[I] = call(Callee, CallArgs);
+            Frame[I] = callReference(Callee, CallArgs);
           break;
         }
         case Value::ValueKind::InstSelect: {
@@ -255,6 +322,49 @@ Slot Interpreter::call(Function *F, const std::vector<Slot> &Args) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Builtins, shared by both engines.
+//===----------------------------------------------------------------------===//
+
+Slot Interpreter::runBuiltin(BuiltinId Id, const Slot *Args) {
+  Slot Out{.I = 0};
+  switch (Id) {
+  case BuiltinId::Sqrt: Out.F = std::sqrt(Args[0].F); break;
+  case BuiltinId::Log: Out.F = std::log(Args[0].F); break;
+  case BuiltinId::Exp: Out.F = std::exp(Args[0].F); break;
+  case BuiltinId::Sin: Out.F = std::sin(Args[0].F); break;
+  case BuiltinId::Cos: Out.F = std::cos(Args[0].F); break;
+  case BuiltinId::FAbs: Out.F = std::fabs(Args[0].F); break;
+  case BuiltinId::Floor: Out.F = std::floor(Args[0].F); break;
+  case BuiltinId::FMin: Out.F = std::fmin(Args[0].F, Args[1].F); break;
+  case BuiltinId::FMax: Out.F = std::fmax(Args[0].F, Args[1].F); break;
+  case BuiltinId::Pow: Out.F = std::pow(Args[0].F, Args[1].F); break;
+  case BuiltinId::IMin:
+    Out.I = Args[0].I < Args[1].I ? Args[0].I : Args[1].I;
+    break;
+  case BuiltinId::IMax:
+    Out.I = Args[0].I > Args[1].I ? Args[0].I : Args[1].I;
+    break;
+  case BuiltinId::PrintI64:
+    Output += std::to_string(Args[0].I) + "\n";
+    break;
+  case BuiltinId::PrintF64:
+    Output += formatDouble(Args[0].F, 6) + "\n";
+    break;
+  case BuiltinId::GrRand:
+    RandState = RandState * 6364136223846793005ULL + 1442695040888963407ULL;
+    Out.F = static_cast<double>((RandState >> 11) & ((1ULL << 53) - 1)) /
+            static_cast<double>(1ULL << 53);
+    break;
+  case BuiltinId::GrRandSeed:
+    seedRandom(static_cast<uint64_t>(Args[0].I));
+    break;
+  case BuiltinId::None:
+    reportFatalError("interpreter: call to unknown external function");
+  }
+  return Out;
+}
+
 Slot Interpreter::callBuiltin(Function *Callee, const CallInst *Call,
                               const std::vector<Slot> &Args) {
   const std::string &Name = Callee->getName();
@@ -263,43 +373,7 @@ Slot Interpreter::callBuiltin(Function *Callee, const CallInst *Call,
       reportFatalError("interpreter: no handler installed for intrinsic");
     return Intrinsic(*this, Call, Args);
   }
-  Slot Out{.I = 0};
-  if (Name == "sqrt")
-    Out.F = std::sqrt(Args[0].F);
-  else if (Name == "log")
-    Out.F = std::log(Args[0].F);
-  else if (Name == "exp")
-    Out.F = std::exp(Args[0].F);
-  else if (Name == "sin")
-    Out.F = std::sin(Args[0].F);
-  else if (Name == "cos")
-    Out.F = std::cos(Args[0].F);
-  else if (Name == "fabs")
-    Out.F = std::fabs(Args[0].F);
-  else if (Name == "floor")
-    Out.F = std::floor(Args[0].F);
-  else if (Name == "fmin")
-    Out.F = std::fmin(Args[0].F, Args[1].F);
-  else if (Name == "fmax")
-    Out.F = std::fmax(Args[0].F, Args[1].F);
-  else if (Name == "pow")
-    Out.F = std::pow(Args[0].F, Args[1].F);
-  else if (Name == "imin")
-    Out.I = Args[0].I < Args[1].I ? Args[0].I : Args[1].I;
-  else if (Name == "imax")
-    Out.I = Args[0].I > Args[1].I ? Args[0].I : Args[1].I;
-  else if (Name == "print_i64")
-    Output += std::to_string(Args[0].I) + "\n";
-  else if (Name == "print_f64")
-    Output += formatDouble(Args[0].F, 6) + "\n";
-  else if (Name == "gr_rand") {
-    RandState = RandState * 6364136223846793005ULL + 1442695040888963407ULL;
-    Out.F = static_cast<double>((RandState >> 11) & ((1ULL << 53) - 1)) /
-            static_cast<double>(1ULL << 53);
-  } else if (Name == "gr_rand_seed") {
-    seedRandom(static_cast<uint64_t>(Args[0].I));
-  } else {
-    reportFatalError("interpreter: call to unknown external function");
-  }
-  return Out;
+  // lookupBuiltin reports None for unknown externals; runBuiltin turns
+  // that into the fatal the seed interpreter raised.
+  return runBuiltin(lookupBuiltin(Name), Args.data());
 }

@@ -1,11 +1,25 @@
-//===- Interpreter.h - IR interpreter with profiling ----------*- C++ -*-===//
+//===- Interpreter.h - IR execution with profiling ------------*- C++ -*-===//
 ///
 /// \file
-/// Executes SSA modules directly. Supplies the math/print/rand
-/// builtins, counts executed instructions per basic block (the
-/// profiler behind the runtime-coverage figures), and exposes an
-/// intrinsic hook so the parallel-reduction runtime can intercept
-/// calls to outlined loop bodies.
+/// Executes SSA modules. Supplies the math/print/rand builtins, counts
+/// executed instructions per basic block (the profiler behind the
+/// runtime-coverage figures), and exposes an intrinsic hook so the
+/// parallel-reduction runtime can intercept calls to outlined loop
+/// bodies.
+///
+/// Two engines share this facade, selected by ExecKind / the GR_EXEC
+/// environment variable (mirroring the constraint solver's
+/// SolverKind / GR_SOLVER split):
+///
+///  - Bytecode (default): functions are lowered once by the
+///    BytecodeCompiler and run on the register VM — flat Slot-array
+///    frames, operands resolved at compile time, zero steady-state
+///    allocations across calls (VM.h).
+///  - Reference: the original tree-walking interpreter, kept as the
+///    differential-testing oracle.
+///
+/// Both engines count into the same dense ExecProfile (block ids from
+/// the shared ExecLayout), so profiles are bitwise comparable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,12 +39,16 @@ namespace gr {
 
 class Argument;
 class BasicBlock;
+class BytecodeModule;
 class CallInst;
+class ExecLayout;
 class Function;
 class GlobalVariable;
 class Instruction;
 class Module;
+class VM;
 class Value;
+enum class BuiltinId : uint8_t;
 
 /// One dynamic value: scalar slots and addresses share 8 bytes.
 union Slot {
@@ -38,16 +57,45 @@ union Slot {
   uint64_t Ptr;
 };
 
-/// Execution statistics and profile.
-struct ExecProfile {
-  uint64_t InstructionsExecuted = 0;
-  std::map<const BasicBlock *, uint64_t> BlockCounts;
+/// Which execution engine runs the module.
+enum class ExecKind {
+  /// Resolve from the GR_EXEC environment variable ("reference"
+  /// selects the tree-walking oracle); the bytecode VM otherwise.
+  Default,
+  /// The compiled register VM (production engine).
+  Bytecode,
+  /// The original tree-walking interpreter (differential oracle).
+  Reference,
 };
 
-/// The interpreter for one module instance.
+/// Resolves ExecKind::Default against the GR_EXEC environment
+/// variable; returns other kinds unchanged.
+ExecKind resolveExecKind(ExecKind Kind);
+
+/// Execution statistics and profile. BlockCounts is a flat counter
+/// array indexed by the module's dense block ids (ExecLayout); both
+/// engines produce bitwise-identical profiles for the same program.
+struct ExecProfile {
+  uint64_t InstructionsExecuted = 0;
+  std::vector<uint64_t> BlockCounts;
+
+  bool operator==(const ExecProfile &O) const {
+    return InstructionsExecuted == O.InstructionsExecuted &&
+           BlockCounts == O.BlockCounts;
+  }
+  bool operator!=(const ExecProfile &O) const { return !(*this == O); }
+};
+
+/// The execution facade for one module instance.
 class Interpreter {
 public:
-  explicit Interpreter(Module &M);
+  /// \p Bytecode lets callers share one compiled module across many
+  /// Interpreter instances (benches constructing an interpreter per
+  /// iteration); when null the constructor compiles \p M itself.
+  explicit Interpreter(Module &M, ExecKind Kind = ExecKind::Default,
+                       std::shared_ptr<const BytecodeModule> Bytecode =
+                           nullptr);
+  ~Interpreter();
 
   /// Calls \p F with \p Args and returns its result (undefined Slot
   /// for void functions).
@@ -56,9 +104,23 @@ public:
   /// Convenience: runs "main" with no arguments.
   int64_t runMain();
 
+  /// The engine actually executing (never ExecKind::Default).
+  ExecKind getExecKind() const { return Kind; }
+
   Memory &getMemory() { return Mem; }
   const ExecProfile &getProfile() const { return Profile; }
   uint64_t instructionCount() const { return Profile.InstructionsExecuted; }
+
+  /// Times the block with dense id \c layout().blockId(BB) was
+  /// entered; 0 for blocks outside the module.
+  uint64_t blockCount(const BasicBlock *BB) const;
+
+  /// The module-wide dense numbering shared by both engines.
+  const ExecLayout &getLayout() const;
+
+  /// The compiled module (always present; the reference engine uses
+  /// only its layout).
+  const BytecodeModule &getBytecode() const { return *BC; }
 
   /// Address of a global in interpreter memory.
   uint64_t addressOfGlobal(const GlobalVariable *GV) const;
@@ -84,15 +146,33 @@ public:
   void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
 
 private:
+  friend class VM;
+
+  /// The reference tree-walking engine (the seed interpreter).
+  Slot callReference(Function *F, const std::vector<Slot> &Args);
   Slot evalOperand(const Value *V,
                    const std::map<const Value *, Slot> &Frame) const;
   Slot callBuiltin(Function *Callee, const CallInst *Call,
                    const std::vector<Slot> &Args);
 
+  /// Shared builtin semantics: both engines funnel through this, so
+  /// output formatting and the rand stream cannot diverge.
+  Slot runBuiltin(BuiltinId Id, const Slot *Args);
+
+  /// Depth-indexed scratch argument vectors: internal calls and
+  /// intrinsic dispatch reuse one vector per call depth instead of
+  /// allocating per call. References stay valid across growth.
+  std::vector<Slot> &argScratch(unsigned Depth);
+
   Module &M;
+  ExecKind Kind;
+  std::shared_ptr<const BytecodeModule> BC;
+  std::unique_ptr<VM> Machine;
   Memory Mem;
   ExecProfile Profile;
-  std::map<const GlobalVariable *, uint64_t> GlobalAddrs;
+  /// Dense per-global addresses, indexed by ExecLayout global id.
+  std::vector<uint64_t> GlobalAddrs;
+  std::vector<std::unique_ptr<std::vector<Slot>>> ArgPool;
   std::string Output;
   IntrinsicHandler Intrinsic;
   uint64_t RandState = 12345;

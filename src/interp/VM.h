@@ -1,0 +1,83 @@
+//===- VM.h - register-based bytecode virtual machine ---------*- C++ -*-===//
+///
+/// \file
+/// The production execution engine: an iterative dispatch loop over
+/// the compiled bytecode stream (Bytecode.h). Frames are flat Slot
+/// arrays carved out of one reusable register stack — internal calls
+/// push a frame record instead of recursing, argument passing is a
+/// register-to-register copy, and the per-edge phi moves run out of a
+/// preallocated scratch arena, so steady-state execution performs no
+/// allocations (mirroring SolverEngine's scratch arenas). The
+/// instruction counter lives in a register and is flushed to the
+/// ExecProfile at call boundaries, intrinsic dispatch and exits;
+/// per-block counters are bumped through the dense ExecLayout ids, so
+/// the profile stays bitwise identical to the reference tree-walker's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_INTERP_VM_H
+#define GR_INTERP_VM_H
+
+#include "interp/Bytecode.h"
+#include "interp/Interpreter.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gr {
+
+/// One virtual machine instance, bound to an Interpreter facade (which
+/// owns memory, output, the rand stream and the profile) and a
+/// compiled module. Re-entrant: intrinsic handlers may call back into
+/// Interpreter::call, which stacks another run on the same arenas.
+class VM {
+public:
+  VM(Interpreter &Host, const BytecodeModule &BC);
+
+  /// Runs function \p FuncId with \p NumArgs arguments.
+  Slot call(uint32_t FuncId, const Slot *Args, uint32_t NumArgs);
+
+private:
+  /// One active call. PC is the saved resume point while callees run.
+  struct FrameRec {
+    uint32_t FuncId;
+    uint32_t PC;
+    uint32_t RegBase;
+    /// Absolute register-stack index receiving the return value; ~0u
+    /// for the root frame of a VM::call invocation.
+    uint32_t RetRegAbs;
+    uint64_t StackMark;
+  };
+
+  /// Grows the register stack to at least \p Needed slots.
+  void ensureRegs(uint32_t Needed) {
+    if (RegStack.size() < Needed)
+      RegStack.resize(std::max<size_t>(Needed, RegStack.size() * 2));
+  }
+
+  const Slot *constTemplate(uint32_t FuncId) const {
+    return ConstSlots.data() + ConstOffsets[FuncId];
+  }
+
+  /// Flushes the in-register instruction counter and aborts.
+  [[noreturn]] void fail(const char *Msg, uint64_t ICount);
+  [[noreturn]] void failFault(FaultKind Fk, uint64_t ICount);
+
+  Interpreter &Host;
+  const BytecodeModule &BC;
+  std::vector<Slot> RegStack;
+  std::vector<FrameRec> Frames;
+  /// Scratch for simultaneous phi-move assignment, sized to the
+  /// largest move list in the module.
+  std::vector<Slot> MoveScratch;
+  /// Per-interpreter instantiation of every function's constant pool
+  /// (global addresses depend on this interpreter's memory), flattened
+  /// with per-function offsets; memcpy'd into each new frame.
+  std::vector<Slot> ConstSlots;
+  std::vector<uint32_t> ConstOffsets;
+  uint32_t RegTop = 0;
+};
+
+} // namespace gr
+
+#endif // GR_INTERP_VM_H

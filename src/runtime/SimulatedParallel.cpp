@@ -193,14 +193,12 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
   std::vector<std::vector<Slot>> ThreadAccs(T);
   std::vector<std::vector<uint64_t>> ThreadHistBufs(T);
 
-  // Snapshot of update-block counts for the lock model.
+  // Snapshot of update-block counts for the lock model (dense
+  // per-block counters via the shared layout).
   auto updateCount = [&]() {
     uint64_t C = 0;
-    for (const auto &H : Info->Histograms) {
-      auto It = I.getProfile().BlockCounts.find(H.UpdateBlock);
-      if (It != I.getProfile().BlockCounts.end())
-        C += It->second;
-    }
+    for (const auto &H : Info->Histograms)
+      C += I.blockCount(H.UpdateBlock);
     return C;
   };
 

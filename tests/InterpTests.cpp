@@ -2,6 +2,7 @@
 
 #include "TestHelpers.h"
 
+#include "interp/Bytecode.h"
 #include "interp/Interpreter.h"
 #include "interp/Memory.h"
 #include "ir/IRBuilder.h"
@@ -111,11 +112,13 @@ int main() {
 )");
   Interpreter I(*M);
   EXPECT_EQ(I.runMain(), 45);
-  // The header executes 11 times (10 passes + exit test).
+  // The header executes 11 times (10 passes + exit test). Block
+  // counters are dense, indexed by the layout's block ids.
   uint64_t HeaderCount = 0;
-  for (auto &[BB, Count] : I.getProfile().BlockCounts)
-    if (BB->getName() == "for.header")
-      HeaderCount = Count;
+  const ExecLayout &L = I.getLayout();
+  for (uint32_t Id = 0; Id != L.numBlocks(); ++Id)
+    if (L.blockAt(Id)->getName() == "for.header")
+      HeaderCount = I.getProfile().BlockCounts[Id];
   EXPECT_EQ(HeaderCount, 11u);
   EXPECT_GT(I.instructionCount(), 50u);
 }

@@ -1,0 +1,426 @@
+//===- VMTests.cpp - bytecode VM differential suite -----------*- C++ -*-===//
+///
+/// \file
+/// Runs programs under both execution engines — the compiled register
+/// VM (ExecKind::Bytecode) and the tree-walking oracle
+/// (ExecKind::Reference) — and asserts identical return values,
+/// captured output, total instruction counts and per-block counters
+/// (the ExecProfile the runtime-coverage figures are derived from).
+/// Covers the full 40-program corpus, a set of frontend programs
+/// exercising every opcode family, IRBuilder-built bit operations the
+/// MiniC surface cannot express, the intrinsic hook, and sharp
+/// step-limit / call-depth-overflow parity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "corpus/Corpus.h"
+#include "interp/Bytecode.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+struct RunResult {
+  int64_t Main = 0;
+  std::string Output;
+  ExecProfile Profile;
+};
+
+RunResult runWith(Module &M, ExecKind Kind,
+                  std::shared_ptr<const BytecodeModule> BC,
+                  uint64_t StepLimit = 80000000) {
+  Interpreter I(M, Kind, BC);
+  I.setStepLimit(StepLimit);
+  RunResult R;
+  R.Main = I.runMain();
+  R.Output = I.getOutput();
+  R.Profile = I.getProfile();
+  return R;
+}
+
+/// Both engines over one module, sharing one compiled artifact, with
+/// every observable compared.
+void expectEngineParity(Module &M, uint64_t StepLimit = 80000000) {
+  auto BC = BytecodeModule::compile(M);
+  RunResult Vm = runWith(M, ExecKind::Bytecode, BC, StepLimit);
+  RunResult Ref = runWith(M, ExecKind::Reference, BC, StepLimit);
+  EXPECT_EQ(Vm.Main, Ref.Main);
+  EXPECT_EQ(Vm.Output, Ref.Output);
+  EXPECT_EQ(Vm.Profile.InstructionsExecuted,
+            Ref.Profile.InstructionsExecuted);
+  // Bitwise profile identity: same dense ids, same counters.
+  EXPECT_TRUE(Vm.Profile == Ref.Profile);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus differential: all 40 benchmark programs.
+//===----------------------------------------------------------------------===//
+
+class VMCorpusParity
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(VMCorpusParity, MatchesReferenceBitwise) {
+  const BenchmarkProgram *B = GetParam();
+  std::string Error;
+  auto M = compileMiniC(B->Source, B->Name, &Error);
+  ASSERT_NE(M, nullptr) << B->Name << ": " << Error;
+  expectEngineParity(*M);
+}
+
+std::vector<const BenchmarkProgram *> allBenchmarks() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : corpus())
+    Out.push_back(&B);
+  return Out;
+}
+
+std::string benchName(
+    const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+  std::string Name = Info.param->Name;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return std::string(Info.param->Suite) + "_" + Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, VMCorpusParity,
+                         ::testing::ValuesIn(allBenchmarks()), benchName);
+
+//===----------------------------------------------------------------------===//
+// Frontend programs: one per opcode family.
+//===----------------------------------------------------------------------===//
+
+class VMProgramParity : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(VMProgramParity, MatchesReferenceBitwise) {
+  auto M = compileOrFail(GetParam());
+  ASSERT_NE(M, nullptr);
+  expectEngineParity(*M);
+}
+
+const char *Programs[] = {
+    // Loop-carried phis, integer arithmetic, comparisons.
+    R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 1000; i++)
+    if (i % 3 == 0) s = s + i; else s = s - 1;
+  print_i64(s);
+  return s % 97;
+}
+)",
+    // Floating point, casts, math builtins.
+    R"(
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 500; i++)
+    s = s + sqrt(1.0 * i) - floor(0.3 * i) + pow(1.001, 1.0 * (i % 7));
+  print_f64(s);
+  return s;
+}
+)",
+    // Globals, GEPs, loads/stores, indirect subscripts.
+    R"(
+int idx[256];
+double data[256];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    idx[i] = (i * 37) % 256;
+    data[i] = 0.5 * i;
+  }
+  double s = 0.0;
+  for (i = 0; i < 256; i++)
+    s = s + data[idx[i]];
+  print_f64(s);
+  return 0;
+}
+)",
+    // Recursion and multi-argument internal calls.
+    R"(
+int ack(int m, int n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+  print_i64(ack(2, 3));
+  return ack(2, 2);
+}
+)",
+    // Helper calls mixing float and int parameters.
+    R"(
+double mix(double x, int k) { return x * k + 0.5; }
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 300; i++)
+    s = s + mix(0.01 * i, i % 5);
+  print_f64(s);
+  return 0;
+}
+)",
+    // Deterministic rand stream must be byte-identical.
+    R"(
+int main() {
+  gr_rand_seed(7);
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 100; i++)
+    s = s + gr_rand();
+  print_f64(s);
+  return 0;
+}
+)",
+    // Short-circuit control flow (&& / || lower to branching).
+    R"(
+int main() {
+  int i;
+  int hits = 0;
+  for (i = 0; i < 400; i++)
+    if (i > 10 && i % 7 == 0 || i == 3)
+      hits = hits + 1;
+  print_i64(hits);
+  return hits;
+}
+)",
+    // imin/imax/fmin/fmax builtins and nested conditions.
+    R"(
+int main() {
+  int i;
+  int lo = 1000000;
+  int hi = 0;
+  double flo = 1000000.0;
+  for (i = 0; i < 200; i++) {
+    int v = (i * 7919) % 1000;
+    lo = imin(lo, v);
+    hi = imax(hi, v);
+    flo = fmin(flo, 1.0 * v + 0.25);
+  }
+  print_i64(lo);
+  print_i64(hi);
+  print_f64(flo);
+  return 0;
+}
+)",
+};
+
+INSTANTIATE_TEST_SUITE_P(FrontendPrograms, VMProgramParity,
+                         ::testing::ValuesIn(Programs));
+
+//===----------------------------------------------------------------------===//
+// IRBuilder-built coverage for opcodes MiniC cannot express.
+//===----------------------------------------------------------------------===//
+
+TEST(VMParity, BitwiseOpsAndSelect) {
+  auto M = std::make_unique<Module>("bitops");
+  TypeContext &Ctx = M->getTypeContext();
+  Function *F =
+      M->createFunction("main", Ctx.getFunction(Ctx.getInt64(), {}));
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(*M);
+  B.setInsertBlock(Entry);
+  using Op = BinaryInst::BinaryOp;
+  Value *A = B.getInt64(0x5a5a5a5a);
+  Value *C = B.getInt64(0x0ff0f00f);
+  Value *AndV = B.createBinary(Op::And, A, C, "and");
+  Value *OrV = B.createBinary(Op::Or, A, C, "or");
+  Value *XorV = B.createBinary(Op::Xor, AndV, OrV, "xor");
+  Value *Shl = B.createBinary(Op::Shl, XorV, B.getInt64(3), "shl");
+  Value *Shr = B.createBinary(Op::AShr, Shl, B.getInt64(2), "shr");
+  Value *Cond = B.createCmp(CmpInst::Predicate::SGT, Shr, A, "cmp");
+  Value *Sel = B.createSelect(Cond, Shr, AndV, "sel");
+  Value *Rem = B.createBinary(Op::SRem, Sel, B.getInt64(1000003), "rem");
+  B.createRet(Rem);
+  expectEngineParity(*M);
+}
+
+//===----------------------------------------------------------------------===//
+// Intrinsic hook parity.
+//===----------------------------------------------------------------------===//
+
+TEST(VMParity, IntrinsicHandlerObservesSameCounts) {
+  const char *Src = "int main() { return 1; }";
+  for (ExecKind Kind : {ExecKind::Bytecode, ExecKind::Reference}) {
+    auto M = compileOrFail(Src);
+    TypeContext &Ctx = M->getTypeContext();
+    Function *Decl = M->createDeclaration(
+        "__gr_probe", Ctx.getFunction(Ctx.getInt64(), {Ctx.getInt64()}),
+        false);
+    Function *Main = M->getFunction("main");
+    Main->dropAllReferences();
+    while (!Main->getEntry()->empty())
+      Main->getEntry()->erase(Main->getEntry()->back());
+    std::vector<BasicBlock *> Extra;
+    for (BasicBlock *BB : *Main)
+      if (BB != Main->getEntry())
+        Extra.push_back(BB);
+    for (BasicBlock *BB : Extra)
+      Main->eraseBlock(BB);
+    IRBuilder B(*M);
+    B.setInsertBlock(Main->getEntry());
+    CallInst *Call = B.createCall(Decl, {B.getInt64(5)});
+    B.createRet(Call);
+
+    Interpreter I(*M, Kind);
+    uint64_t SeenAtCall = 0;
+    I.setIntrinsicHandler([&](Interpreter &Host, const CallInst *,
+                              const std::vector<Slot> &Args) {
+      // The profile must be current when the handler runs: the
+      // simulated-parallel runtime charges work by count deltas.
+      SeenAtCall = Host.instructionCount();
+      return Slot{.I = Args[0].I * 10};
+    });
+    EXPECT_EQ(I.runMain(), 50);
+    // Exactly the call instruction has executed when the hook fires.
+    EXPECT_EQ(SeenAtCall, 1u);
+    EXPECT_EQ(I.instructionCount(), 2u); // call + ret
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Step-limit parity: sharp boundary, identical on both engines.
+//===----------------------------------------------------------------------===//
+
+TEST(VMParity, StepLimitBoundaryIsSharp) {
+  const char *Src = R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 200; i++)
+    s = s + i;
+  return s % 256;
+}
+)";
+  auto M = compileOrFail(Src);
+  auto BC = BytecodeModule::compile(*M);
+  // Unlimited run fixes the exact dynamic instruction count N.
+  uint64_t N = 0;
+  {
+    Interpreter I(*M, ExecKind::Bytecode, BC);
+    I.runMain();
+    N = I.instructionCount();
+  }
+  // Limit == N: both engines complete (the check is count > limit).
+  for (ExecKind Kind : {ExecKind::Bytecode, ExecKind::Reference}) {
+    Interpreter I(*M, Kind, BC);
+    I.setStepLimit(N);
+    I.runMain();
+    EXPECT_EQ(I.instructionCount(), N);
+  }
+  // Limit == N - 1: both engines die with the same diagnostic.
+  for (ExecKind Kind : {ExecKind::Bytecode, ExecKind::Reference}) {
+    Interpreter I(*M, Kind, BC);
+    I.setStepLimit(N - 1);
+    EXPECT_DEATH(I.runMain(), "step limit");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Call-depth overflow parity.
+//===----------------------------------------------------------------------===//
+
+TEST(VMParity, CallDepthOverflowMatches) {
+  const char *Src = R"(
+int down(int n) {
+  if (n <= 0) return 0;
+  return down(n - 1) + 1;
+}
+int main() { return down(%d); }
+)";
+  // Depth 500 (plus main) stays under the 512-frame cap on both.
+  {
+    char Buf[256];
+    snprintf(Buf, sizeof(Buf), Src, 500);
+    auto M = compileOrFail(Buf);
+    expectEngineParity(*M);
+  }
+  // Depth 600 overflows identically.
+  {
+    char Buf[256];
+    snprintf(Buf, sizeof(Buf), Src, 600);
+    auto M = compileOrFail(Buf);
+    auto BC = BytecodeModule::compile(*M);
+    for (ExecKind Kind : {ExecKind::Bytecode, ExecKind::Reference}) {
+      Interpreter I(*M, Kind, BC);
+      EXPECT_DEATH(I.runMain(), "call stack overflow");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Division faults carry the same diagnostics.
+//===----------------------------------------------------------------------===//
+
+TEST(VMParity, DivisionByZeroMatches) {
+  const char *Src = R"(
+int main() {
+  int z = 0;
+  return 10 / z;
+}
+)";
+  auto M = compileOrFail(Src);
+  auto BC = BytecodeModule::compile(*M);
+  for (ExecKind Kind : {ExecKind::Bytecode, ExecKind::Reference}) {
+    Interpreter I(*M, Kind, BC);
+    EXPECT_DEATH(I.runMain(), "division by zero");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine selection.
+//===----------------------------------------------------------------------===//
+
+TEST(VMParity, ExecKindResolvesFromEnvironment) {
+  const char *Old = std::getenv("GR_EXEC");
+  unsetenv("GR_EXEC");
+  EXPECT_EQ(resolveExecKind(ExecKind::Default), ExecKind::Bytecode);
+  setenv("GR_EXEC", "reference", 1);
+  EXPECT_EQ(resolveExecKind(ExecKind::Default), ExecKind::Reference);
+  EXPECT_EQ(resolveExecKind(ExecKind::Bytecode), ExecKind::Bytecode);
+  setenv("GR_EXEC", "bytecode", 1);
+  EXPECT_EQ(resolveExecKind(ExecKind::Default), ExecKind::Bytecode);
+  if (Old)
+    setenv("GR_EXEC", Old, 1);
+  else
+    unsetenv("GR_EXEC");
+}
+
+/// Bytecode is shareable: two interpreters over one compiled module
+/// produce independent, identical runs (the module-level cache the
+/// benches rely on when constructing an interpreter per iteration).
+TEST(VMParity, SharedBytecodeAcrossInterpreters) {
+  auto M = compileOrFail(R"(
+int g[16];
+int main() {
+  int i;
+  for (i = 0; i < 16; i++)
+    g[i] = g[i] + i;
+  print_i64(g[7]);
+  return g[15];
+}
+)");
+  auto BC = BytecodeModule::compile(*M);
+  RunResult A = runWith(*M, ExecKind::Bytecode, BC);
+  RunResult B = runWith(*M, ExecKind::Bytecode, BC);
+  EXPECT_EQ(A.Main, B.Main);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_TRUE(A.Profile == B.Profile);
+  EXPECT_EQ(A.Main, 15); // Fresh memory per interpreter: g starts zeroed.
+}
+
+} // namespace
