@@ -1,0 +1,106 @@
+//===- micro_parser.cpp - textual IR parse throughput ---------*- C++ -*-===//
+///
+/// \file
+/// Parse-throughput benchmark over the dumped corpus: compiles all 40
+/// benchmark programs, prints them to their textual .gr form, then
+/// times repeated reparses of the whole corpus. Doubles as a parity
+/// harness — every parse must succeed and reach the print -> parse ->
+/// print fixed point, and the binary exits 1 otherwise, so ci.sh can
+/// run it as the parser bench smoke.
+///
+/// Emits BENCH_micro_parser.json (env-gated via GR_BENCH_JSON_DIR):
+/// corpus size in bytes, iterations, total wall time, MB/s and
+/// modules/s. The recorded baseline lives in bench/baselines/.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "corpus/Corpus.h"
+#include "frontend/Compiler.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "support/OStream.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace gr;
+using bench::BenchJson;
+using bench::nowMs;
+
+int main() {
+  OStream &OS = outs();
+
+  // Dump the corpus to in-memory .gr text (what a disk corpus holds).
+  std::vector<std::string> Texts;
+  uint64_t TotalBytes = 0;
+  for (const BenchmarkProgram &B : corpus()) {
+    std::string Error;
+    auto M = compileMiniC(B.Source, B.Name, &Error);
+    if (!M) {
+      errs() << "micro_parser: " << B.Name << ": " << Error << '\n';
+      return 1;
+    }
+    Texts.push_back(moduleToString(*M));
+    TotalBytes += Texts.back().size();
+  }
+
+  // Parity: every dump must reparse to the bitwise fixed point.
+  for (size_t I = 0; I < Texts.size(); ++I) {
+    IRParseError Err;
+    auto Parsed = parseIR(Texts[I], &Err);
+    if (!Parsed) {
+      errs() << "micro_parser: reparse failed for "
+             << corpus()[I].Name << ": " << Err.str() << '\n';
+      return 1;
+    }
+    if (moduleToString(*Parsed) != Texts[I]) {
+      errs() << "micro_parser: fixed point violated for "
+             << corpus()[I].Name << '\n';
+      return 1;
+    }
+  }
+
+  // Throughput: repeated full-corpus parses.
+  const unsigned Iters = 40;
+  double Start = nowMs();
+  uint64_t ModulesParsed = 0;
+  for (unsigned K = 0; K < Iters; ++K) {
+    for (const std::string &T : Texts) {
+      auto Parsed = parseIR(T);
+      if (!Parsed) {
+        errs() << "micro_parser: parse failed during timing loop\n";
+        return 1;
+      }
+      ++ModulesParsed;
+    }
+  }
+  double TotalMs = nowMs() - Start;
+  double MbPerS = TotalMs > 0
+                      ? (static_cast<double>(TotalBytes) * Iters / 1.0e6) /
+                            (TotalMs / 1.0e3)
+                      : 0.0;
+  double ModulesPerS =
+      TotalMs > 0 ? ModulesParsed / (TotalMs / 1.0e3) : 0.0;
+
+  OS << "micro_parser: corpus=" << TotalBytes << " bytes over "
+     << static_cast<uint64_t>(Texts.size()) << " modules\n"
+     << "  " << static_cast<uint64_t>(Iters) << " iterations in "
+     << static_cast<uint64_t>(TotalMs) << " ms: "
+     << static_cast<uint64_t>(MbPerS) << " MB/s, "
+     << static_cast<uint64_t>(ModulesPerS) << " modules/s\n"
+     << "micro_parser: parity OK\n";
+
+  BenchJson Json;
+  Json.setInt("corpus_bytes", TotalBytes);
+  Json.setInt("modules", Texts.size());
+  Json.setInt("iterations", Iters);
+  Json.setDouble("total_ms", TotalMs);
+  Json.setDouble("mb_per_s", MbPerS);
+  Json.setDouble("modules_per_s", ModulesPerS);
+  Json.writeIfEnabled("micro_parser");
+  return 0;
+}

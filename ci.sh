@@ -5,9 +5,12 @@
 # reference solver), the exec-parity gate (VM differential tests +
 # the execution suites on the reference tree-walker), re-runs of the
 # test suite with the parallel detection driver forced to 2 workers,
-# the parallel-scaling determinism bench, and the micro_solver /
-# micro_interp bench smokes (each compiled engine must match its
-# reference oracle bitwise). Fails on the first error.
+# the parallel-scaling determinism bench, the textual-IR round-trip
+# gate (corpus dump -> reparse -> differential detection/execution
+# check) with a gropt smoke over the checked-in examples/sum.gr, and
+# the micro_solver / micro_interp / micro_parser bench smokes (each
+# compiled engine must match its reference oracle bitwise). Fails on
+# the first error.
 set -eu
 
 cd "$(dirname "$0")"
@@ -25,7 +28,7 @@ cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
 # Docs check 1: every source file referenced from docs/*.md and the
 # README's catalogue must exist (stale docs fail CI).
 for doc in docs/*.md README.md; do
-  for ref in $(grep -oE '(src|bench|examples|tests)/[A-Za-z0-9_/.-]+\.(h|cpp|md)' "$doc" | sort -u); do
+  for ref in $(grep -oE '(src|bench|examples|tests|tools)/[A-Za-z0-9_/.-]+\.(h|cpp|md|gr)' "$doc" | sort -u); do
     [ -f "$ref" ] || {
       echo "ci.sh: $doc references missing file $ref" >&2
       exit 1
@@ -154,6 +157,66 @@ if [ -x ./build/micro_solver ]; then
     exit 1
   }
 fi
+
+# Textual-IR round-trip gate: dump the whole corpus (plus frontend
+# samples) to .gr files, reparse every file from disk, and
+# differentially check the print->parse->print fixed point, idiom
+# detection totals/statistics and VM execution against the in-memory
+# originals. The summary line carries a nonzero idiom total so a
+# vacuously idiom-free run fails the gate.
+roundtrip_dir=$(mktemp -d)
+roundtrip_out=$(mktemp)
+./build/gropt --corpus-roundtrip "$roundtrip_dir" > "$roundtrip_out" || {
+  echo "ci.sh: gropt --corpus-roundtrip failed" >&2
+  cat "$roundtrip_out" >&2
+  rm -rf "$roundtrip_dir"
+  rm -f "$roundtrip_out"
+  exit 1
+}
+grep -qE 'corpus-roundtrip: programs=[1-9][0-9]* failures=0 idioms=[1-9][0-9]* roundtrip=OK' \
+  "$roundtrip_out" || {
+  echo "ci.sh: corpus round trip is vacuous or failing" >&2
+  cat "$roundtrip_out" >&2
+  rm -rf "$roundtrip_dir"
+  rm -f "$roundtrip_out"
+  exit 1
+}
+rm -rf "$roundtrip_dir"
+rm -f "$roundtrip_out"
+
+# gropt smoke over the checked-in textual IR example: parsing, idiom
+# detection and VM execution must all work from a .gr file on disk.
+gropt_out=$(mktemp)
+./build/gropt examples/sum.gr --detect --run > "$gropt_out" || {
+  echo "ci.sh: gropt smoke run failed" >&2
+  rm -f "$gropt_out"
+  exit 1
+}
+grep -q 'scalar reductions:    1' "$gropt_out" || {
+  echo "ci.sh: gropt smoke did not detect the scalar reduction" >&2
+  cat "$gropt_out" >&2
+  rm -f "$gropt_out"
+  exit 1
+}
+grep -q 'result: 499500' "$gropt_out" || {
+  echo "ci.sh: gropt smoke produced the wrong result" >&2
+  cat "$gropt_out" >&2
+  rm -f "$gropt_out"
+  exit 1
+}
+rm -f "$gropt_out"
+
+# Bench smoke: micro_parser reparses the dumped corpus (exits nonzero
+# on any parse failure or fixed-point violation) and records the
+# machine-readable parse-throughput trail.
+GR_BENCH_JSON_DIR=./build ./build/micro_parser >/dev/null || {
+  echo "ci.sh: micro_parser parity smoke failed" >&2
+  exit 1
+}
+[ -f ./build/BENCH_micro_parser.json ] || {
+  echo "ci.sh: BENCH_micro_parser.json was not produced" >&2
+  exit 1
+}
 
 # Bench smoke: micro_interp runs every kernel on both execution
 # engines and exits nonzero when results, output or the ExecProfile

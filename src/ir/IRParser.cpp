@@ -1,0 +1,1418 @@
+//===- IRParser.cpp -------------------------------------------*- C++ -*-===//
+///
+/// \file
+/// Lexer + recursive-descent parser for the textual IR. The grammar is
+/// line-oriented (one label or instruction per line, exactly as the
+/// printer emits it):
+///
+///   module   := [";" " module" NAME] { global | function }
+///   global   := "@" name "=" "global" type
+///   function := ("define" | "declare") type "@" name "(" params ")"
+///               ["pure"] ["{" { label | inst } "}"]
+///   label    := name ":"
+///   inst     := ["%" name "="] opcode operands
+///
+/// Value/block/function names are plain identifiers [A-Za-z0-9_.]+ or
+/// quoted strings with \xx byte escapes. i64 constants are bare
+/// integers, i1 constants are written "i1 0" / "i1 1", f64 constants
+/// are decimal literals containing '.' or an exponent (or "0x" + 16
+/// hex digits of the raw bits for non-finite values).
+///
+/// Parsing is two-pass per function: pass A creates the blocks and
+/// records every defined value's type (result-type annotations make
+/// this possible without resolving operands), pass B builds the
+/// instructions, representing not-yet-defined operands by typed
+/// placeholder values that are replaced once the whole body exists —
+/// so uses may precede defs in layout order, as SSA allows. Every
+/// successfully parsed definition is run through the Verifier and
+/// violations are reported as diagnostics at the function header.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Type.h"
+#include "ir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace gr;
+
+std::string IRParseError::str() const {
+  return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Message;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind {
+  Word,   ///< bare identifier / keyword / opcode / type name
+  Int,    ///< integer literal (Text keeps the exact spelling)
+  Float,  ///< float literal, decimal or 0x-bits (Text keeps spelling)
+  Str,    ///< bare quoted string (quoted block labels)
+  Local,  ///< %name (Text holds the decoded name)
+  Block,  ///< ^name
+  Global, ///< @name
+  Punct,  ///< one of ( ) { } [ ] , = :  (the Punct field)
+  End,    ///< end of input
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Text;
+  int64_t IntVal = 0;
+  char Punct = 0;
+};
+
+/// Human-readable token description for diagnostics.
+std::string describe(const Token &T) {
+  switch (T.Kind) {
+  case TokKind::Word:
+    return "'" + T.Text + "'";
+  case TokKind::Int:
+  case TokKind::Float:
+    return "'" + T.Text + "'";
+  case TokKind::Str:
+    return "quoted name";
+  case TokKind::Local:
+    return "'%" + T.Text + "'";
+  case TokKind::Block:
+    return "'^" + T.Text + "'";
+  case TokKind::Global:
+    return "'@" + T.Text + "'";
+  case TokKind::Punct:
+    return std::string("'") + T.Punct + "'";
+  case TokKind::End:
+    return "end of input";
+  }
+  return "token";
+}
+
+bool isWordChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+int hexDigit(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+/// Tokenizes \p Text. Returns false and fills \p Err on a lexical
+/// error (bad character, unterminated quote, bad escape).
+class Lexer {
+public:
+  Lexer(std::string_view Text, std::vector<Token> &Out, IRParseError &Err)
+      : Text(Text), Out(Out), Err(Err) {}
+
+  bool run() {
+    while (I < Text.size()) {
+      char C = Text[I];
+      if (C == '\n') {
+        ++Line;
+        Col = 1;
+        ++I;
+        continue;
+      }
+      if (C == ' ' || C == '\t' || C == '\r') {
+        advance(1);
+        continue;
+      }
+      if (C == ';') { // Comment to end of line.
+        while (I < Text.size() && Text[I] != '\n')
+          advance(1);
+        continue;
+      }
+      if (std::strchr("(){}[],=:*", C)) {
+        Token T = start(TokKind::Punct);
+        T.Punct = C;
+        Out.push_back(std::move(T));
+        advance(1);
+        continue;
+      }
+      if (C == '%' || C == '^' || C == '@') {
+        if (!lexRef(C))
+          return false;
+        continue;
+      }
+      if (C == '"') {
+        Token T = start(TokKind::Str);
+        advance(1);
+        if (!lexQuoted(T.Text))
+          return false;
+        Out.push_back(std::move(T));
+        continue;
+      }
+      if (isWordChar(C) || (C == '-' && I + 1 < Text.size() &&
+                            std::isdigit(static_cast<unsigned char>(
+                                Text[I + 1])))) {
+        if (!lexWord())
+          return false;
+        continue;
+      }
+      return fail(Line, Col,
+                  std::string("unexpected character '") + C + "'");
+    }
+    Token T = start(TokKind::End);
+    Out.push_back(std::move(T));
+    return true;
+  }
+
+private:
+  Token start(TokKind Kind) {
+    Token T;
+    T.Kind = Kind;
+    T.Line = Line;
+    T.Col = Col;
+    return T;
+  }
+
+  void advance(size_t N) {
+    I += N;
+    Col += static_cast<unsigned>(N);
+  }
+
+  bool fail(unsigned L, unsigned C, std::string Msg) {
+    Err = {L, C, std::move(Msg)};
+    return false;
+  }
+
+  /// %name, ^name, @name with a plain or quoted name.
+  bool lexRef(char Sigil) {
+    Token T = start(Sigil == '%'   ? TokKind::Local
+                    : Sigil == '^' ? TokKind::Block
+                                   : TokKind::Global);
+    advance(1);
+    if (I < Text.size() && Text[I] == '"') {
+      advance(1);
+      if (!lexQuoted(T.Text))
+        return false;
+      if (T.Text.empty())
+        return fail(T.Line, T.Col, "empty quoted name");
+    } else {
+      while (I < Text.size() && isWordChar(Text[I])) {
+        T.Text += Text[I];
+        advance(1);
+      }
+      if (T.Text.empty())
+        return fail(T.Line, T.Col,
+                    std::string("expected name after '") + Sigil + "'");
+    }
+    Out.push_back(std::move(T));
+    return true;
+  }
+
+  /// Body of a quoted name; the opening '"' is already consumed.
+  /// Escapes are '\' followed by two hex digits.
+  bool lexQuoted(std::string &Into) {
+    unsigned L = Line, C = Col - 1;
+    while (I < Text.size()) {
+      char Ch = Text[I];
+      if (Ch == '"') {
+        advance(1);
+        return true;
+      }
+      if (Ch == '\n')
+        break;
+      if (Ch == '\\') {
+        if (I + 2 >= Text.size() || hexDigit(Text[I + 1]) < 0 ||
+            hexDigit(Text[I + 2]) < 0)
+          return fail(Line, Col, "bad '\\xx' escape in quoted name");
+        Into += static_cast<char>(hexDigit(Text[I + 1]) * 16 +
+                                  hexDigit(Text[I + 2]));
+        advance(3);
+        continue;
+      }
+      Into += Ch;
+      advance(1);
+    }
+    return fail(L, C, "unterminated quoted name");
+  }
+
+  /// A bare word: identifier, keyword, or numeric literal. Numeric
+  /// classification happens after the scan, so digit-led identifiers
+  /// (only reachable as block labels) still lex.
+  bool lexWord() {
+    Token T = start(TokKind::Word);
+    if (Text[I] == '-') {
+      T.Text += '-';
+      advance(1);
+    }
+    while (I < Text.size() && isWordChar(Text[I])) {
+      // Allow an exponent sign: "1e+20".
+      T.Text += Text[I];
+      advance(1);
+      if (I + 1 < Text.size() && (T.Text.back() == 'e' ||
+                                  T.Text.back() == 'E') &&
+          (Text[I] == '+' || Text[I] == '-') &&
+          std::isdigit(static_cast<unsigned char>(Text[I + 1])) &&
+          looksNumericPrefix(T.Text)) {
+        T.Text += Text[I];
+        advance(1);
+      }
+    }
+    if (!classify(T))
+      return fail(T.Line, T.Col,
+                  "integer literal '" + T.Text + "' out of range");
+    Out.push_back(std::move(T));
+    return true;
+  }
+
+  /// True when \p W (sans its trailing 'e'/'E') is digits with at most
+  /// one '.', i.e. could open a scientific float literal.
+  static bool looksNumericPrefix(const std::string &W) {
+    size_t Begin = (W[0] == '-') ? 1 : 0;
+    bool Dot = false, Digit = false;
+    for (size_t K = Begin; K + 1 < W.size(); ++K) {
+      if (W[K] == '.') {
+        if (Dot)
+          return false;
+        Dot = true;
+      } else if (std::isdigit(static_cast<unsigned char>(W[K]))) {
+        Digit = true;
+      } else {
+        return false;
+      }
+    }
+    return Digit;
+  }
+
+  /// Classifies a word as Int / Float / identifier. Returns false
+  /// only for integer literals outside the i64 range.
+  bool classify(Token &T) {
+    const std::string &W = T.Text;
+    // Only digit-led (or negative) words can be numeric; plain
+    // identifiers like "for.exit" skip the literal machinery.
+    if (!std::isdigit(static_cast<unsigned char>(W[0])) && W[0] != '-')
+      return true;
+    // Integer: optional sign, then digits only.
+    size_t Begin = (W[0] == '-') ? 1 : 0;
+    bool AllDigits = W.size() > Begin;
+    for (size_t K = Begin; K < W.size(); ++K)
+      if (!std::isdigit(static_cast<unsigned char>(W[K])))
+        AllDigits = false;
+    if (AllDigits) {
+      T.Kind = TokKind::Int;
+      errno = 0;
+      T.IntVal = std::strtoll(W.c_str(), nullptr, 10);
+      return errno != ERANGE;
+    }
+    // Float: everything parseRoundTripDouble accepts in full —
+    // decimal with '.'/exponent or the 0x bit-pattern form.
+    bool HasFloatShape = false;
+    for (char C : W)
+      if (C == '.' || C == 'e' || C == 'E' || C == 'x' || C == 'X')
+        HasFloatShape = true;
+    if (HasFloatShape && parseRoundTripDouble(W))
+      T.Kind = TokKind::Float;
+    return true;
+  }
+
+  std::string_view Text;
+  std::vector<Token> &Out;
+  IRParseError &Err;
+  size_t I = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Opcode classification
+//===----------------------------------------------------------------------===//
+
+enum class OpKind {
+  Binary,   ///< add .. ashr, result type annotated
+  Cmp,      ///< icmp / fcmp <pred>, result is i1 (annotated)
+  Cast,     ///< sitofp / fptosi / zext / trunc, annotated
+  Alloca,   ///< alloca <type>
+  Load,     ///< load <ptr> : <type>
+  Store,    ///< store <val>, <ptr>
+  GEP,      ///< gep <ptr>, <idx> : <type>
+  Phi,      ///< phi <type> [v, ^b], ...
+  Call,     ///< call @f, args...
+  Br,       ///< br ^t | br <cond>, ^t, ^f
+  Ret,      ///< ret [<val>]
+  Select,   ///< select c, t, f : <type>
+  Unknown,
+};
+
+OpKind classifyOpcode(const std::string &Op,
+                      BinaryInst::BinaryOp *BinOp,
+                      CastInst::CastKind *Cast, bool *FloatCmp) {
+  static const std::map<std::string, BinaryInst::BinaryOp> Binaries = {
+      {"add", BinaryInst::BinaryOp::Add},
+      {"sub", BinaryInst::BinaryOp::Sub},
+      {"mul", BinaryInst::BinaryOp::Mul},
+      {"sdiv", BinaryInst::BinaryOp::SDiv},
+      {"srem", BinaryInst::BinaryOp::SRem},
+      {"fadd", BinaryInst::BinaryOp::FAdd},
+      {"fsub", BinaryInst::BinaryOp::FSub},
+      {"fmul", BinaryInst::BinaryOp::FMul},
+      {"fdiv", BinaryInst::BinaryOp::FDiv},
+      {"and", BinaryInst::BinaryOp::And},
+      {"or", BinaryInst::BinaryOp::Or},
+      {"xor", BinaryInst::BinaryOp::Xor},
+      {"shl", BinaryInst::BinaryOp::Shl},
+      {"ashr", BinaryInst::BinaryOp::AShr},
+  };
+  auto BI = Binaries.find(Op);
+  if (BI != Binaries.end()) {
+    if (BinOp)
+      *BinOp = BI->second;
+    return OpKind::Binary;
+  }
+  if (Op == "icmp" || Op == "fcmp") {
+    if (FloatCmp)
+      *FloatCmp = (Op == "fcmp");
+    return OpKind::Cmp;
+  }
+  static const std::map<std::string, CastInst::CastKind> Casts = {
+      {"sitofp", CastInst::CastKind::SIToFP},
+      {"fptosi", CastInst::CastKind::FPToSI},
+      {"zext", CastInst::CastKind::ZExt},
+      {"trunc", CastInst::CastKind::Trunc},
+  };
+  auto CI = Casts.find(Op);
+  if (CI != Casts.end()) {
+    if (Cast)
+      *Cast = CI->second;
+    return OpKind::Cast;
+  }
+  if (Op == "alloca")
+    return OpKind::Alloca;
+  if (Op == "load")
+    return OpKind::Load;
+  if (Op == "store")
+    return OpKind::Store;
+  if (Op == "gep")
+    return OpKind::GEP;
+  if (Op == "phi")
+    return OpKind::Phi;
+  if (Op == "call")
+    return OpKind::Call;
+  if (Op == "br")
+    return OpKind::Br;
+  if (Op == "ret")
+    return OpKind::Ret;
+  if (Op == "select")
+    return OpKind::Select;
+  return OpKind::Unknown;
+}
+
+std::optional<CmpInst::Predicate> predicateByName(const std::string &Name,
+                                                 bool Float) {
+  static const std::map<std::string, CmpInst::Predicate> Ints = {
+      {"eq", CmpInst::Predicate::EQ},   {"ne", CmpInst::Predicate::NE},
+      {"slt", CmpInst::Predicate::SLT}, {"sle", CmpInst::Predicate::SLE},
+      {"sgt", CmpInst::Predicate::SGT}, {"sge", CmpInst::Predicate::SGE},
+  };
+  static const std::map<std::string, CmpInst::Predicate> Floats = {
+      {"oeq", CmpInst::Predicate::OEQ}, {"one", CmpInst::Predicate::ONE},
+      {"olt", CmpInst::Predicate::OLT}, {"ole", CmpInst::Predicate::OLE},
+      {"ogt", CmpInst::Predicate::OGT}, {"oge", CmpInst::Predicate::OGE},
+  };
+  const auto &Table = Float ? Floats : Ints;
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Placeholder for forward references
+//===----------------------------------------------------------------------===//
+
+/// A typed stand-in for a value referenced before its defining line.
+/// Lives only inside the parser: every placeholder is RAUW'd away (or
+/// the parse fails) before the module is returned. The Argument kind
+/// is borrowed — nothing ever observes it.
+class FwdRef : public Value {
+public:
+  explicit FwdRef(Type *Ty) : Value(ValueKind::Argument, Ty) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::unique_ptr<Module> run() {
+    if (!Lexer(Text, Toks, Error).run())
+      return nullptr;
+    M = std::make_unique<Module>(scanModuleName());
+    if (!parseTopLevel())
+      return nullptr;
+    for (FunctionBody &Body : Bodies)
+      if (Body.IsDefine)
+        if (!parseBody(Body))
+          return nullptr;
+    for (const FunctionBody &Body : Bodies) {
+      if (!Body.IsDefine)
+        continue;
+      std::vector<std::string> Errs;
+      if (!verifyFunction(*Body.F, &Errs)) {
+        fail(Body.Header, "verifier: " +
+                              (Errs.empty() ? std::string("invalid function")
+                                            : Errs.front()));
+        return nullptr;
+      }
+    }
+    return std::move(M);
+  }
+
+  const IRParseError &error() const { return Error; }
+
+private:
+  struct FunctionBody {
+    Function *F = nullptr;
+    Token Header;
+    bool IsDefine = false;
+    size_t Begin = 0; ///< Token index of the first body token.
+    size_t End = 0;   ///< Token index of the closing '}'.
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  const Token &peek() const { return Toks[Pos]; }
+  const Token &get() { return Toks[Pos++]; }
+  bool atEnd() const { return Toks[Pos].Kind == TokKind::End; }
+
+  bool is(TokKind K) const { return Toks[Pos].Kind == K; }
+  bool isPunct(char C) const {
+    return Toks[Pos].Kind == TokKind::Punct && Toks[Pos].Punct == C;
+  }
+  bool isWord(const char *W) const {
+    return Toks[Pos].Kind == TokKind::Word && Toks[Pos].Text == W;
+  }
+
+  bool fail(const Token &T, std::string Msg) {
+    if (!Failed) {
+      Error = {T.Line, T.Col, std::move(Msg)};
+      Failed = true;
+    }
+    return false;
+  }
+
+  bool expectPunct(char C, const char *Where) {
+    if (!isPunct(C))
+      return fail(peek(), std::string("expected '") + C + "' " + Where +
+                              ", found " + describe(peek()));
+    get();
+    return true;
+  }
+
+  /// True when the next token is no longer part of line \p L.
+  bool endOfLine(unsigned L) const {
+    return atEnd() || Toks[Pos].Line != L;
+  }
+
+  /// First token index after every token of line \p L starting at \p From.
+  size_t lineEnd(size_t From) const {
+    unsigned L = Toks[From].Line;
+    size_t K = From;
+    while (Toks[K].Kind != TokKind::End && Toks[K].Line == L)
+      ++K;
+    return K;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Module name
+  //===--------------------------------------------------------------------===//
+
+  /// The printer's first line is "; module <name>", with the name
+  /// quoted when it is not a plain identifier. Comments are invisible
+  /// to the lexer, so the raw text is scanned directly.
+  std::string scanModuleName() const {
+    size_t LineStart = 0;
+    while (LineStart < Text.size()) {
+      size_t LineEnd = Text.find('\n', LineStart);
+      if (LineEnd == std::string_view::npos)
+        LineEnd = Text.size();
+      std::string_view L = Text.substr(LineStart, LineEnd - LineStart);
+      while (!L.empty() && (L.back() == '\r' || L.back() == ' '))
+        L.remove_suffix(1);
+      if (startsWith(L, "; module "))
+        return decodeModuleName(L.substr(9));
+      // Only leading blank/comment lines may precede the header.
+      size_t FirstSolid = L.find_first_not_of(" \t");
+      if (FirstSolid != std::string_view::npos && L[FirstSolid] != ';')
+        break;
+      LineStart = LineEnd + 1;
+    }
+    return "module";
+  }
+
+  /// Undoes the printer's quoting of non-identifier module names.
+  /// Malformed quoting falls back to the raw text — the header is a
+  /// comment, never a hard parse error.
+  static std::string decodeModuleName(std::string_view Raw) {
+    if (Raw.size() < 2 || Raw.front() != '"' || Raw.back() != '"')
+      return std::string(Raw);
+    std::string_view Body = Raw.substr(1, Raw.size() - 2);
+    std::string Out;
+    for (size_t K = 0; K < Body.size(); ++K) {
+      if (Body[K] == '\\') {
+        if (K + 2 >= Body.size() || hexDigit(Body[K + 1]) < 0 ||
+            hexDigit(Body[K + 2]) < 0)
+          return std::string(Raw);
+        Out += static_cast<char>(hexDigit(Body[K + 1]) * 16 +
+                                 hexDigit(Body[K + 2]));
+        K += 2;
+      } else {
+        Out += Body[K];
+      }
+    }
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  Type *parseType() {
+    TypeContext &Ctx = M->getTypeContext();
+    const Token &T = peek();
+    Type *Base = nullptr;
+    if (T.Kind == TokKind::Word) {
+      if (T.Text == "void")
+        Base = Ctx.getVoid();
+      else if (T.Text == "i1")
+        Base = Ctx.getInt1();
+      else if (T.Text == "i64")
+        Base = Ctx.getInt64();
+      else if (T.Text == "f64")
+        Base = Ctx.getFloat64();
+      if (Base)
+        get();
+    } else if (isPunct('[')) {
+      get();
+      if (!is(TokKind::Int) || peek().IntVal < 0) {
+        fail(peek(), "expected array length, found " + describe(peek()));
+        return nullptr;
+      }
+      uint64_t N = static_cast<uint64_t>(get().IntVal);
+      if (!isWord("x")) {
+        fail(peek(), "expected 'x' in array type, found " + describe(peek()));
+        return nullptr;
+      }
+      get();
+      Type *Elem = parseType();
+      if (!Elem)
+        return nullptr;
+      if (Elem->isVoid() || Elem->isFunction()) {
+        fail(T, "array element type must be sized");
+        return nullptr;
+      }
+      if (!expectPunct(']', "after array type"))
+        return nullptr;
+      Base = Ctx.getArray(Elem, N);
+    }
+    if (!Base) {
+      fail(T, "expected type, found " + describe(T));
+      return nullptr;
+    }
+    while (isPunct('*')) {
+      get();
+      Base = Ctx.getPointer(Base);
+    }
+    return Base;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Top level: globals and function headers
+  //===--------------------------------------------------------------------===//
+
+  bool parseTopLevel() {
+    while (!atEnd()) {
+      if (is(TokKind::Global)) {
+        if (!parseGlobal())
+          return false;
+        continue;
+      }
+      if (isWord("define") || isWord("declare")) {
+        if (!parseFunctionHeader())
+          return false;
+        continue;
+      }
+      return fail(peek(), "expected 'define', 'declare' or a global, found " +
+                              describe(peek()));
+    }
+    return true;
+  }
+
+  bool nameTakenAtTopLevel(const std::string &Name) const {
+    if (M->getFunction(Name))
+      return true;
+    for (const auto &GV : M->globals())
+      if (GV->getName() == Name)
+        return true;
+    return false;
+  }
+
+  bool parseGlobal() {
+    Token NameTok = get();
+    if (!expectPunct('=', "after global name"))
+      return false;
+    if (!isWord("global"))
+      return fail(peek(), "expected 'global', found " + describe(peek()));
+    get();
+    Type *Contained = parseType();
+    if (!Contained)
+      return false;
+    if (Contained->isVoid() || Contained->isFunction())
+      return fail(NameTok, "global type must be sized");
+    if (nameTakenAtTopLevel(NameTok.Text))
+      return fail(NameTok, "duplicate name '@" + NameTok.Text + "'");
+    M->createGlobal(NameTok.Text, Contained);
+    return true;
+  }
+
+  bool parseFunctionHeader() {
+    Token Header = peek();
+    bool IsDefine = (peek().Text == "define");
+    get();
+    Type *Ret = parseType();
+    if (!Ret)
+      return false;
+    if (!is(TokKind::Global))
+      return fail(peek(), "expected function name, found " + describe(peek()));
+    Token NameTok = get();
+    if (nameTakenAtTopLevel(NameTok.Text))
+      return fail(NameTok, "duplicate name '@" + NameTok.Text + "'");
+    if (!expectPunct('(', "after function name"))
+      return false;
+
+    std::vector<Type *> ParamTypes;
+    std::vector<Token> ParamNames; // Kind == End when unnamed.
+    if (!isPunct(')')) {
+      while (true) {
+        Type *PT = parseType();
+        if (!PT)
+          return false;
+        if (!PT->isScalar() && !PT->isPointer())
+          return fail(peek(), "parameter types must be scalar or pointer");
+        ParamTypes.push_back(PT);
+        Token NameT;
+        if (is(TokKind::Local))
+          NameT = get();
+        ParamNames.push_back(NameT);
+        if (isPunct(',')) {
+          get();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!expectPunct(')', "after parameters"))
+      return false;
+    bool Pure = false;
+    if (isWord("pure")) {
+      Pure = true;
+      get();
+    }
+
+    FunctionType *FT =
+        M->getTypeContext().getFunction(Ret, std::move(ParamTypes));
+    FunctionBody Body;
+    Body.Header = Header;
+    Body.IsDefine = IsDefine;
+    if (IsDefine) {
+      if (!expectPunct('{', "to open the function body"))
+        return false;
+      Body.Begin = Pos;
+      while (!atEnd() && !isPunct('}'))
+        ++Pos;
+      if (atEnd())
+        return fail(Header, "unterminated function body");
+      Body.End = Pos;
+      get(); // '}'
+      Body.F = M->createFunction(NameTok.Text, FT);
+      Body.F->setPure(Pure);
+      if (Body.Begin == Body.End)
+        return fail(Header, "function body is empty");
+    } else {
+      Body.F = M->createDeclaration(NameTok.Text, FT, Pure);
+      Body.Begin = Body.End = 0;
+    }
+    for (unsigned K = 0; K < Body.F->getNumArgs(); ++K)
+      if (ParamNames[K].Kind == TokKind::Local)
+        Body.F->getArg(K)->setName(ParamNames[K].Text);
+    Bodies.push_back(std::move(Body));
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function bodies
+  //===--------------------------------------------------------------------===//
+
+  bool parseBody(FunctionBody &Body) {
+    CurFn = Body.F;
+    BlocksByName.clear();
+    DefTypes.clear();
+    Defined.clear();
+    Pending.clear();
+
+    for (unsigned K = 0; K < CurFn->getNumArgs(); ++K) {
+      Argument *A = CurFn->getArg(K);
+      if (A->hasName()) {
+        if (!DefTypes.emplace(A->getName(), A->getType()).second)
+          return fail(Body.Header,
+                      "duplicate name '%" + A->getName() + "'");
+        Defined[A->getName()] = A;
+      }
+    }
+
+    if (!scanBody(Body))
+      return false;
+    if (!buildBody(Body))
+      return false;
+
+    // Patch forward references now that every definition exists.
+    for (auto &[Name, Placeholder] : Pending) {
+      auto It = Defined.find(Name);
+      if (It == Defined.end()) // Unreachable: DefTypes implies a def line.
+        return fail(Body.Header, "undefined value '%" + Name + "'");
+      Placeholder->replaceAllUsesWith(It->second);
+    }
+    Pending.clear();
+    Placeholders.clear();
+    return true;
+  }
+
+  /// True when the two tokens starting at \p K form a "name:" label.
+  bool isLabelLine(size_t K) const {
+    const Token &T = Toks[K];
+    if (T.Kind != TokKind::Word && T.Kind != TokKind::Int &&
+        T.Kind != TokKind::Float && T.Kind != TokKind::Str)
+      return false;
+    const Token &Next = Toks[K + 1];
+    return Next.Kind == TokKind::Punct && Next.Punct == ':' &&
+           Next.Line == T.Line && lineEnd(K) == K + 2;
+  }
+
+  /// The label text: quoted labels use the decoded name, every other
+  /// token its exact spelling.
+  static std::string labelText(const Token &T) { return T.Text; }
+
+  /// Pass A: create the blocks and record every defined value's type.
+  bool scanBody(FunctionBody &Body) {
+    Pos = Body.Begin;
+    if (!isLabelLine(Pos))
+      return fail(peek(), "expected a block label to open the function body");
+    while (Pos < Body.End) {
+      if (isLabelLine(Pos)) {
+        const Token &T = peek();
+        std::string Name = labelText(T);
+        if (BlocksByName.count(Name))
+          return fail(T, "duplicate block label '" + Name + "'");
+        BlocksByName[Name] = CurFn->createBlock(Name);
+        Pos += 2;
+        continue;
+      }
+      if (!scanInstruction())
+        return false;
+    }
+    return true;
+  }
+
+  /// Pass A for one instruction line: records the result's type (when
+  /// any) into DefTypes without resolving operands.
+  bool scanInstruction() {
+    size_t Start = Pos;
+    size_t End = lineEnd(Start);
+    size_t K = Start;
+    bool HasResult = false;
+    Token ResultTok;
+    if (Toks[K].Kind == TokKind::Local && K + 1 < End &&
+        Toks[K + 1].Kind == TokKind::Punct && Toks[K + 1].Punct == '=') {
+      HasResult = true;
+      ResultTok = Toks[K];
+      K += 2;
+    }
+    if (K >= End || Toks[K].Kind != TokKind::Word)
+      return fail(Toks[K >= End ? Start : K], "expected instruction opcode");
+    const Token &OpTok = Toks[K];
+    OpKind Kind = classifyOpcode(OpTok.Text, nullptr, nullptr, nullptr);
+    if (Kind == OpKind::Unknown)
+      return fail(OpTok, "unknown opcode '" + OpTok.Text + "'");
+
+    Type *ResultTy = nullptr;
+    switch (Kind) {
+    case OpKind::Phi: {
+      size_t Save = Pos;
+      Pos = K + 1;
+      ResultTy = parseType();
+      Pos = Save;
+      if (!ResultTy)
+        return false;
+      break;
+    }
+    case OpKind::Alloca: {
+      size_t Save = Pos;
+      Pos = K + 1;
+      Type *Allocated = parseType();
+      Pos = Save;
+      if (!Allocated)
+        return false;
+      ResultTy = M->getTypeContext().getPointer(Allocated);
+      break;
+    }
+    case OpKind::Call: {
+      if (K + 1 >= End || Toks[K + 1].Kind != TokKind::Global)
+        return fail(OpTok, "expected callee after 'call'");
+      Function *Callee = M->getFunction(Toks[K + 1].Text);
+      if (!Callee)
+        return fail(Toks[K + 1],
+                    "unknown function '@" + Toks[K + 1].Text + "'");
+      ResultTy = Callee->getReturnType();
+      if (ResultTy->isVoid() && HasResult)
+        return fail(ResultTok, "cannot name the result of a void call");
+      if (!ResultTy->isVoid() && !HasResult)
+        return fail(OpTok, "call result must be named ('%name = call ...')");
+      break;
+    }
+    case OpKind::Store:
+    case OpKind::Br:
+    case OpKind::Ret:
+      if (HasResult)
+        return fail(ResultTok, "instruction '" + OpTok.Text +
+                                   "' does not produce a result");
+      break;
+    default: {
+      // Annotated opcodes: the result type follows the last ':'.
+      size_t ColonIdx = End;
+      for (size_t J = K + 1; J < End; ++J)
+        if (Toks[J].Kind == TokKind::Punct && Toks[J].Punct == ':')
+          ColonIdx = J;
+      if (ColonIdx == End)
+        return fail(OpTok,
+                    "expected ': <type>' result annotation on '" +
+                        OpTok.Text + "'");
+      size_t Save = Pos;
+      Pos = ColonIdx + 1;
+      ResultTy = parseType();
+      Pos = Save;
+      if (!ResultTy)
+        return false;
+      if (!HasResult)
+        return fail(OpTok, "result of '" + OpTok.Text +
+                               "' must be named ('%name = ...')");
+      break;
+    }
+    }
+
+    if (HasResult) {
+      if (!ResultTy || ResultTy->isVoid())
+        return fail(ResultTok, "named instruction has void type");
+      if (!DefTypes.emplace(ResultTok.Text, ResultTy).second)
+        return fail(ResultTok, "duplicate name '%" + ResultTok.Text + "'");
+    }
+    Pos = End;
+    return true;
+  }
+
+  /// Pass B: construct blocks' instructions in order.
+  bool buildBody(FunctionBody &Body) {
+    Pos = Body.Begin;
+    BasicBlock *Cur = nullptr;
+    while (Pos < Body.End) {
+      if (isLabelLine(Pos)) {
+        Cur = BlocksByName[labelText(peek())];
+        Pos += 2;
+        continue;
+      }
+      if (!Cur)
+        return fail(peek(), "instruction outside of a block");
+      if (!parseInstruction(Cur))
+        return false;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Operands
+  //===--------------------------------------------------------------------===//
+
+  Value *resolveLocal(const Token &T) {
+    auto It = Defined.find(T.Text);
+    if (It != Defined.end())
+      return It->second;
+    auto TyIt = DefTypes.find(T.Text);
+    if (TyIt != DefTypes.end()) {
+      Value *&Slot = Pending[T.Text];
+      if (!Slot) {
+        Placeholders.push_back(std::make_unique<FwdRef>(TyIt->second));
+        Slot = Placeholders.back().get();
+      }
+      return Slot;
+    }
+    fail(T, "undefined value '%" + T.Text + "'");
+    return nullptr;
+  }
+
+  Value *parseOperand(unsigned L) {
+    if (endOfLine(L)) {
+      fail(Toks[Pos ? Pos - 1 : 0], "expected operand");
+      return nullptr;
+    }
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokKind::Local:
+      get();
+      return resolveLocal(T);
+    case TokKind::Global: {
+      get();
+      if (Function *F = M->getFunction(T.Text))
+        return F;
+      for (const auto &GV : M->globals())
+        if (GV->getName() == T.Text)
+          return GV.get();
+      fail(T, "unknown global '@" + T.Text + "'");
+      return nullptr;
+    }
+    case TokKind::Int:
+      get();
+      return M->getConstantInt(T.IntVal);
+    case TokKind::Float: {
+      get();
+      auto V = parseRoundTripDouble(T.Text);
+      if (!V) {
+        fail(T, "bad float literal '" + T.Text + "'");
+        return nullptr;
+      }
+      return M->getConstantFloat(*V);
+    }
+    case TokKind::Word:
+      if (T.Text == "i1") {
+        get();
+        if (endOfLine(L) || !is(TokKind::Int) ||
+            (peek().IntVal != 0 && peek().IntVal != 1)) {
+          fail(peek(), "expected 'i1 0' or 'i1 1'");
+          return nullptr;
+        }
+        return M->getConstantBool(get().IntVal == 1);
+      }
+      break;
+    default:
+      break;
+    }
+    fail(T, "expected operand, found " + describe(T));
+    return nullptr;
+  }
+
+  BasicBlock *parseBlockRef(unsigned L) {
+    if (endOfLine(L) || !is(TokKind::Block)) {
+      fail(peek(), "expected block reference, found " + describe(peek()));
+      return nullptr;
+    }
+    Token T = get();
+    auto It = BlocksByName.find(T.Text);
+    if (It == BlocksByName.end()) {
+      fail(T, "unknown block '^" + T.Text + "'");
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  bool expectComma(unsigned L) {
+    if (endOfLine(L) || !isPunct(','))
+      return fail(peek(), "expected ','");
+    get();
+    return true;
+  }
+
+  bool expectColonType(unsigned L, Type *&Out) {
+    if (endOfLine(L) || !isPunct(':'))
+      return fail(peek(), "expected ': <type>'");
+    get();
+    Out = parseType();
+    return Out != nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instructions
+  //===--------------------------------------------------------------------===//
+
+  bool parseInstruction(BasicBlock *BB) {
+    TypeContext &Ctx = M->getTypeContext();
+    unsigned L = peek().Line;
+
+    bool HasResult = false;
+    Token ResultTok;
+    if (is(TokKind::Local)) {
+      ResultTok = get();
+      HasResult = true;
+      if (!expectPunct('=', "after result name"))
+        return false;
+    }
+    Token OpTok = get(); // Word; validated by pass A.
+    BinaryInst::BinaryOp BinOp{};
+    CastInst::CastKind CastK{};
+    bool FloatCmp = false;
+    OpKind Kind = classifyOpcode(OpTok.Text, &BinOp, &CastK, &FloatCmp);
+
+    Instruction *Inst = nullptr;
+    switch (Kind) {
+    case OpKind::Binary: {
+      Value *A = parseOperand(L);
+      if (!A || !expectComma(L))
+        return false;
+      Value *B = parseOperand(L);
+      Type *Ty = nullptr;
+      if (!B || !expectColonType(L, Ty))
+        return false;
+      if (A->getType() != B->getType() || A->getType() != Ty)
+        return fail(OpTok, "type mismatch: '" + OpTok.Text +
+                               "' operands and result must share one type");
+      bool IsFloatOp = BinOp == BinaryInst::BinaryOp::FAdd ||
+                       BinOp == BinaryInst::BinaryOp::FSub ||
+                       BinOp == BinaryInst::BinaryOp::FMul ||
+                       BinOp == BinaryInst::BinaryOp::FDiv;
+      if (IsFloatOp ? !Ty->isFloat64() : !Ty->isInteger())
+        return fail(OpTok, "type mismatch: '" + OpTok.Text +
+                               "' does not operate on " + Ty->getString());
+      Inst = new BinaryInst(BinOp, A, B);
+      break;
+    }
+    case OpKind::Cmp: {
+      if (endOfLine(L) || !is(TokKind::Word))
+        return fail(peek(), "expected comparison predicate");
+      Token PredTok = get();
+      auto Pred = predicateByName(PredTok.Text, FloatCmp);
+      if (!Pred)
+        return fail(PredTok, "unknown " +
+                                 std::string(FloatCmp ? "fcmp" : "icmp") +
+                                 " predicate '" + PredTok.Text + "'");
+      Value *A = parseOperand(L);
+      if (!A || !expectComma(L))
+        return false;
+      Value *B = parseOperand(L);
+      Type *Ty = nullptr;
+      if (!B || !expectColonType(L, Ty))
+        return false;
+      if (!Ty->isInt1())
+        return fail(OpTok, "type mismatch: comparison result must be i1");
+      if (A->getType() != B->getType())
+        return fail(OpTok,
+                    "type mismatch: comparison operands must match");
+      if (FloatCmp ? !A->getType()->isFloat64() : !A->getType()->isInteger())
+        return fail(OpTok, "type mismatch: '" + OpTok.Text +
+                               "' cannot compare " +
+                               A->getType()->getString());
+      Inst = new CmpInst(Ctx, *Pred, A, B);
+      break;
+    }
+    case OpKind::Cast: {
+      Value *Src = parseOperand(L);
+      Type *Ty = nullptr;
+      if (!Src || !expectColonType(L, Ty))
+        return false;
+      Type *WantSrc = nullptr, *WantDst = nullptr;
+      switch (CastK) {
+      case CastInst::CastKind::SIToFP:
+        WantSrc = Ctx.getInt64();
+        WantDst = Ctx.getFloat64();
+        break;
+      case CastInst::CastKind::FPToSI:
+        WantSrc = Ctx.getFloat64();
+        WantDst = Ctx.getInt64();
+        break;
+      case CastInst::CastKind::ZExt:
+        WantSrc = Ctx.getInt1();
+        WantDst = Ctx.getInt64();
+        break;
+      case CastInst::CastKind::Trunc:
+        WantSrc = Ctx.getInt64();
+        WantDst = Ctx.getInt1();
+        break;
+      }
+      if (Src->getType() != WantSrc || Ty != WantDst)
+        return fail(OpTok, "type mismatch: '" + OpTok.Text + "' converts " +
+                               WantSrc->getString() + " to " +
+                               WantDst->getString());
+      Inst = new CastInst(Ctx, CastK, Src);
+      break;
+    }
+    case OpKind::Alloca: {
+      Type *Allocated = parseType();
+      if (!Allocated)
+        return false;
+      if (Allocated->isVoid() || Allocated->isFunction())
+        return fail(OpTok, "cannot allocate type " + Allocated->getString());
+      Inst = new AllocaInst(Ctx, Allocated);
+      break;
+    }
+    case OpKind::Load: {
+      Value *P = parseOperand(L);
+      Type *Ty = nullptr;
+      if (!P || !expectColonType(L, Ty))
+        return false;
+      auto *PT = dyn_cast<PointerType>(P->getType());
+      if (!PT)
+        return fail(OpTok, "type mismatch: load requires a pointer operand");
+      if (!PT->getPointee()->isScalar() && !PT->getPointee()->isPointer())
+        return fail(OpTok, "cannot load a value of type " +
+                               PT->getPointee()->getString());
+      if (PT->getPointee() != Ty)
+        return fail(OpTok, "type mismatch: loading " +
+                               PT->getPointee()->getString() + " as " +
+                               Ty->getString());
+      Inst = new LoadInst(P);
+      break;
+    }
+    case OpKind::Store: {
+      Value *V = parseOperand(L);
+      if (!V || !expectComma(L))
+        return false;
+      Value *P = parseOperand(L);
+      if (!P)
+        return false;
+      auto *PT = dyn_cast<PointerType>(P->getType());
+      if (!PT)
+        return fail(OpTok, "type mismatch: store requires a pointer operand");
+      if (PT->getPointee() != V->getType())
+        return fail(OpTok, "type mismatch: storing " +
+                               V->getType()->getString() + " through " +
+                               P->getType()->getString());
+      Inst = new StoreInst(Ctx, V, P);
+      break;
+    }
+    case OpKind::GEP: {
+      Value *P = parseOperand(L);
+      if (!P || !expectComma(L))
+        return false;
+      Value *Idx = parseOperand(L);
+      Type *Ty = nullptr;
+      if (!Idx || !expectColonType(L, Ty))
+        return false;
+      auto *PT = dyn_cast<PointerType>(P->getType());
+      if (!PT)
+        return fail(OpTok, "type mismatch: gep requires a pointer operand");
+      if (!Idx->getType()->isInt64())
+        return fail(OpTok, "type mismatch: gep index must be i64");
+      Type *Expected = P->getType();
+      if (auto *AT = dyn_cast<ArrayType>(PT->getPointee()))
+        Expected = Ctx.getPointer(AT->getElement());
+      if (Ty != Expected)
+        return fail(OpTok, "type mismatch: gep through " +
+                               P->getType()->getString() + " yields " +
+                               Expected->getString());
+      Inst = new GEPInst(Ctx, P, Idx);
+      break;
+    }
+    case OpKind::Phi: {
+      Type *Ty = parseType();
+      if (!Ty)
+        return false;
+      auto *Phi = new PhiInst(Ty);
+      Inst = Phi;
+      while (!endOfLine(L)) {
+        if (!expectPunct('[', "to open a phi incoming pair")) {
+          delete Inst;
+          return false;
+        }
+        Value *V = parseOperand(L);
+        if (!V || !expectComma(L)) {
+          delete Inst;
+          return false;
+        }
+        BasicBlock *B = parseBlockRef(L);
+        if (!B || !expectPunct(']', "to close a phi incoming pair")) {
+          delete Inst;
+          return false;
+        }
+        if (V->getType() != Ty) {
+          fail(OpTok, "type mismatch: phi incoming value must be " +
+                          Ty->getString());
+          delete Inst;
+          return false;
+        }
+        Phi->addIncoming(V, B);
+        if (!endOfLine(L) && isPunct(','))
+          get();
+      }
+      if (Phi->getNumIncoming() == 0) {
+        // A 0-incoming phi sneaks past the verifier in a
+        // 0-predecessor block but aborts execution; reject it here.
+        fail(OpTok, "phi needs at least one incoming pair");
+        delete Inst;
+        return false;
+      }
+      break;
+    }
+    case OpKind::Call: {
+      Token CalleeTok = get(); // Global; validated by pass A.
+      Function *Callee = M->getFunction(CalleeTok.Text);
+      std::vector<Value *> Args;
+      while (!endOfLine(L) && isPunct(',')) {
+        get();
+        Value *A = parseOperand(L);
+        if (!A)
+          return false;
+        Args.push_back(A);
+      }
+      const FunctionType *FT = Callee->getFunctionType();
+      if (Args.size() != FT->getNumParams())
+        return fail(CalleeTok,
+                    "'@" + Callee->getName() + "' expects " +
+                        std::to_string(FT->getNumParams()) +
+                        " arguments, got " + std::to_string(Args.size()));
+      for (unsigned K = 0; K < Args.size(); ++K)
+        if (Args[K]->getType() != FT->getParamType(K))
+          return fail(CalleeTok,
+                      "type mismatch: argument " + std::to_string(K + 1) +
+                          " of '@" + Callee->getName() + "' must be " +
+                          FT->getParamType(K)->getString());
+      Inst = new CallInst(Callee, Args);
+      break;
+    }
+    case OpKind::Br: {
+      if (!endOfLine(L) && is(TokKind::Block)) {
+        BasicBlock *T = parseBlockRef(L);
+        if (!T)
+          return false;
+        Inst = new BranchInst(Ctx, T);
+        break;
+      }
+      Value *Cond = parseOperand(L);
+      if (!Cond || !expectComma(L))
+        return false;
+      if (!Cond->getType()->isInt1())
+        return fail(OpTok, "type mismatch: branch condition must be i1");
+      BasicBlock *T = parseBlockRef(L);
+      if (!T || !expectComma(L))
+        return false;
+      BasicBlock *F = parseBlockRef(L);
+      if (!F)
+        return false;
+      Inst = new BranchInst(Ctx, Cond, T, F);
+      break;
+    }
+    case OpKind::Ret: {
+      if (endOfLine(L)) {
+        if (!CurFn->getReturnType()->isVoid())
+          return fail(OpTok, "type mismatch: non-void function must return " +
+                                 CurFn->getReturnType()->getString());
+        Inst = new RetInst(Ctx);
+        break;
+      }
+      Value *V = parseOperand(L);
+      if (!V)
+        return false;
+      if (CurFn->getReturnType()->isVoid())
+        return fail(OpTok, "type mismatch: void function cannot return a value");
+      if (V->getType() != CurFn->getReturnType())
+        return fail(OpTok, "type mismatch: returning " +
+                               V->getType()->getString() + " from a " +
+                               CurFn->getReturnType()->getString() +
+                               " function");
+      Inst = new RetInst(Ctx, V);
+      break;
+    }
+    case OpKind::Select: {
+      Value *C = parseOperand(L);
+      if (!C || !expectComma(L))
+        return false;
+      Value *TV = parseOperand(L);
+      if (!TV || !expectComma(L))
+        return false;
+      Value *FV = parseOperand(L);
+      Type *Ty = nullptr;
+      if (!FV || !expectColonType(L, Ty))
+        return false;
+      if (!C->getType()->isInt1())
+        return fail(OpTok, "type mismatch: select condition must be i1");
+      if (TV->getType() != FV->getType() || TV->getType() != Ty)
+        return fail(OpTok,
+                    "type mismatch: select arms and result must share one type");
+      Inst = new SelectInst(C, TV, FV);
+      break;
+    }
+    case OpKind::Unknown: // Unreachable: pass A rejected it.
+      return fail(OpTok, "unknown opcode '" + OpTok.Text + "'");
+    }
+
+    if (!endOfLine(L)) {
+      Token Extra = peek();
+      delete Inst;
+      return fail(Extra, "unexpected " + describe(Extra) +
+                             " after instruction");
+    }
+
+    BB->append(std::unique_ptr<Instruction>(Inst));
+    if (HasResult) {
+      Inst->setName(ResultTok.Text);
+      Defined[ResultTok.Text] = Inst;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------------===//
+
+  std::string_view Text;
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  IRParseError Error;
+  bool Failed = false;
+
+  // Placeholders must outlive the module on the error path: the
+  // module's destructor drops instruction operands (removing their
+  // uses of the placeholders) before the placeholders die.
+  std::vector<std::unique_ptr<Value>> Placeholders;
+  std::unique_ptr<Module> M;
+
+  std::vector<FunctionBody> Bodies;
+  Function *CurFn = nullptr;
+  std::map<std::string, BasicBlock *> BlocksByName;
+  std::map<std::string, Type *> DefTypes;
+  std::map<std::string, Value *> Defined;
+  std::map<std::string, Value *> Pending;
+};
+
+} // namespace
+
+std::unique_ptr<Module> gr::parseIR(std::string_view Text,
+                                    IRParseError *Err) {
+  Parser P(Text);
+  std::unique_ptr<Module> M = P.run();
+  if (!M && Err)
+    *Err = P.error();
+  return M;
+}
+
+std::unique_ptr<Module> gr::parseIR(std::string_view Text,
+                                    std::string *ErrorOut) {
+  IRParseError Err;
+  std::unique_ptr<Module> M = parseIR(Text, &Err);
+  if (!M && ErrorOut)
+    *ErrorOut = Err.str();
+  return M;
+}

@@ -1,0 +1,53 @@
+//===- IRParser.h - textual IR input --------------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual form emitted by IRPrinter back into a verified
+/// Module: lexer + recursive-descent parser with precise line/column
+/// diagnostics over types, globals, function signatures, blocks, phis,
+/// every instruction opcode, constants and declarations.
+///
+/// The pair (printModule, parseIR) is a round trip: for every module
+/// the system can represent, print -> parse -> print reaches a bitwise
+/// fixed point (value and block names are preserved exactly, floats
+/// print in round-trip form, non-identifier names are quoted). Every
+/// parsed module is additionally run through the Verifier, so a
+/// successful parse always yields IR the rest of the system can
+/// analyze, transform and execute; verifier violations surface as
+/// diagnostics anchored at the offending function's header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_IR_IRPARSER_H
+#define GR_IR_IRPARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace gr {
+
+class Module;
+
+/// One parse (or post-parse verification) failure, anchored in the
+/// input text. Lines and columns are 1-based.
+struct IRParseError {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+
+  /// "line:col: message" — the canonical diagnostic rendering.
+  std::string str() const;
+};
+
+/// Parses \p Text into a verified Module. Returns null on failure and
+/// fills \p Err (when non-null) with the first diagnostic.
+std::unique_ptr<Module> parseIR(std::string_view Text,
+                                IRParseError *Err = nullptr);
+
+/// Convenience overload rendering the diagnostic into \p ErrorOut.
+std::unique_ptr<Module> parseIR(std::string_view Text,
+                                std::string *ErrorOut);
+
+} // namespace gr
+
+#endif // GR_IR_IRPARSER_H

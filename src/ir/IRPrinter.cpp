@@ -9,11 +9,65 @@
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 
+#include <cctype>
 #include <map>
 
 using namespace gr;
 
 namespace {
+
+/// True when \p Name can be printed without quoting. The grammar's
+/// plain identifiers are what the auto-numbering and the frontends
+/// produce: letters, digits, '_' and the '.' of uniquing suffixes.
+/// All-digit names longer than 18 characters are quoted: bare they
+/// would lex as an out-of-range integer literal.
+bool isPlainName(std::string_view Name) {
+  if (Name.empty())
+    return false;
+  bool AllDigits = true;
+  for (unsigned char C : Name) {
+    if (!std::isalnum(C) && C != '_' && C != '.')
+      return false;
+    if (!std::isdigit(C))
+      AllDigits = false;
+  }
+  return !(AllDigits && Name.size() > 18);
+}
+
+/// Renders \p Name in the textual syntax: verbatim when plain, quoted
+/// with \xx byte escapes otherwise, so every byte string round-trips
+/// through the parser.
+std::string renderName(std::string_view Name) {
+  if (isPlainName(Name))
+    return std::string(Name);
+  static const char Hex[] = "0123456789abcdef";
+  std::string Out = "\"";
+  for (unsigned char C : Name) {
+    if (C == '"' || C == '\\' || C < 0x20 || C >= 0x7f) {
+      Out += '\\';
+      Out += Hex[C >> 4];
+      Out += Hex[C & 15];
+    } else {
+      Out += static_cast<char>(C);
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Renders a constant so the parser recovers the exact value and type:
+/// i64 constants print bare, i1 constants carry an explicit type (the
+/// only integer-width ambiguity in the grammar), f64 constants use the
+/// round-trip formatter and always look floating point.
+std::string renderConstant(const Value *V) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+    if (CI->getType()->isInt1())
+      return std::string("i1 ") + (CI->isZero() ? "0" : "1");
+    return std::to_string(CI->getValue());
+  }
+  const auto *CF = cast<ConstantFloat>(V);
+  return formatDoubleRoundTrip(CF->getValue());
+}
 
 /// Assigns stable printed names to the values of one function.
 class SlotTracker {
@@ -39,14 +93,10 @@ public:
   }
 
   static std::string renderOutOfLine(const Value *V) {
-    if (const auto *CI = dyn_cast<ConstantInt>(V))
-      return std::to_string(CI->getValue());
-    if (const auto *CF = dyn_cast<ConstantFloat>(V))
-      return formatDouble(CF->getValue(), 6);
-    if (isa<GlobalVariable>(V))
-      return "@" + V->getName();
-    if (isa<Function>(V))
-      return "@" + V->getName();
+    if (isa<ConstantInt>(V) || isa<ConstantFloat>(V))
+      return renderConstant(V);
+    if (isa<GlobalVariable>(V) || isa<Function>(V))
+      return "@" + renderName(V->getName());
     return "<badref>";
   }
 
@@ -58,7 +108,7 @@ private:
     while (Taken.count(Candidate))
       Candidate = Base + "." + std::to_string(Suffix++);
     Taken[Candidate] = true;
-    Names[V] = (isa<BasicBlock>(V) ? "^" : "%") + Candidate;
+    Names[V] = (isa<BasicBlock>(V) ? "^" : "%") + renderName(Candidate);
   }
 
   std::map<const Value *, std::string> Names;
@@ -108,7 +158,8 @@ void gr::printFunction(const Function &F, OStream &OS) {
   SlotTracker Slots(F);
   const FunctionType *FT = F.getFunctionType();
   OS << (F.isDeclaration() ? "declare " : "define ")
-     << FT->getReturnType()->getString() << " @" << F.getName() << '(';
+     << FT->getReturnType()->getString() << " @" << renderName(F.getName())
+     << '(';
   for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
     if (I)
       OS << ", ";
@@ -132,9 +183,11 @@ void gr::printFunction(const Function &F, OStream &OS) {
 }
 
 void gr::printModule(const Module &M, OStream &OS) {
-  OS << "; module " << M.getName() << '\n';
+  // Quoted when not a plain identifier, so names with spaces,
+  // newlines or trailing blanks survive the round trip too.
+  OS << "; module " << renderName(M.getName()) << '\n';
   for (const auto &GV : M.globals())
-    OS << '@' << GV->getName() << " = global "
+    OS << '@' << renderName(GV->getName()) << " = global "
        << GV->getContainedType()->getString() << '\n';
   for (const auto &F : M.functions()) {
     OS << '\n';

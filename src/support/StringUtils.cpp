@@ -2,8 +2,11 @@
 
 #include "support/StringUtils.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace gr;
 
@@ -11,6 +14,58 @@ std::string gr::formatDouble(double Value, int Precision) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
   return std::string(Buf);
+}
+
+std::string gr::formatDoubleRoundTrip(double Value) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  if (!std::isfinite(Value)) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                  static_cast<unsigned long long>(Bits));
+    return std::string(Buf);
+  }
+  char Buf[64];
+  for (int Precision = 1; Precision <= 17; ++Precision) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, Value);
+    double Back = std::strtod(Buf, nullptr);
+    uint64_t BackBits;
+    std::memcpy(&BackBits, &Back, sizeof(BackBits));
+    if (BackBits == Bits)
+      break;
+  }
+  // Keep the literal recognizably floating point ("3" -> "3.0").
+  if (!std::strpbrk(Buf, ".eE"))
+    std::strcat(Buf, ".0");
+  return std::string(Buf);
+}
+
+std::optional<double> gr::parseRoundTripDouble(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  std::string Owned(Text);
+  if (Owned.size() > 2 && Owned[0] == '0' &&
+      (Owned[1] == 'x' || Owned[1] == 'X')) {
+    // The bit-pattern form is exactly 16 hex digits (what the
+    // formatter emits); anything shorter or longer is rejected
+    // rather than silently truncated or saturated.
+    if (Owned.size() != 18)
+      return std::nullopt;
+    char *End = nullptr;
+    errno = 0;
+    unsigned long long Bits = std::strtoull(Owned.c_str() + 2, &End, 16);
+    if (End != Owned.c_str() + Owned.size() || errno == ERANGE)
+      return std::nullopt;
+    double Value;
+    uint64_t B = Bits;
+    std::memcpy(&Value, &B, sizeof(Value));
+    return Value;
+  }
+  char *End = nullptr;
+  double Value = std::strtod(Owned.c_str(), &End);
+  if (End != Owned.c_str() + Owned.size())
+    return std::nullopt;
+  return Value;
 }
 
 std::vector<std::string_view> gr::splitString(std::string_view Text,

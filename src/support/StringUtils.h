@@ -19,6 +19,17 @@ namespace gr {
 /// Returns \p Value formatted with printf-style \p Fmt (bounded buffer).
 std::string formatDouble(double Value, int Precision = 4);
 
+/// Formats \p Value so that parsing the result recovers the exact bit
+/// pattern: the shortest decimal that strtod round-trips (always
+/// containing '.' or an exponent, so the textual IR can tell floats
+/// from integers), or "0x" + 16 hex digits of the raw bits for
+/// non-finite values.
+std::string formatDoubleRoundTrip(double Value);
+
+/// Parses the output of formatDoubleRoundTrip (decimal or 0x-bits
+/// form); returns nullopt on any trailing junk.
+std::optional<double> parseRoundTripDouble(std::string_view Text);
+
 /// Splits \p Text on \p Sep, keeping empty fields.
 std::vector<std::string_view> splitString(std::string_view Text, char Sep);
 

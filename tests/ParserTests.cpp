@@ -1,0 +1,755 @@
+//===- ParserTests.cpp - textual IR round-trip suite ----------*- C++ -*-===//
+///
+/// \file
+/// The golden-test harness for the textual IR subsystem. Four layers,
+/// mirroring the VMTests/SolverEngineTests differential style:
+///
+///  - Corpus round trip: all 40 benchmark programs print -> parse ->
+///    print to a bitwise fixed point, and the parsed module produces
+///    bitwise-identical detection statistics and ExecProfiles.
+///  - Frontend programs and IRBuilder-built edge cases the MiniC
+///    surface cannot express (bit operations, i1 constants, quoted
+///    names, extreme floats, layout-order forward references).
+///  - Diagnostics: malformed inputs fail with precise line/column
+///    errors (unknown opcode, type mismatch, undefined value,
+///    duplicate names, verifier violations).
+///  - Property test: seeded random modules round-trip and execute
+///    identically to their parsed twins.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "corpus/Corpus.h"
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <random>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module> parseOrFail(const std::string &Text) {
+  IRParseError Err;
+  auto M = parseIR(Text, &Err);
+  EXPECT_NE(M, nullptr) << "parse error: " << Err.str();
+  return M;
+}
+
+/// print -> parse -> print must be a bitwise fixed point.
+std::unique_ptr<Module> expectRoundTrip(const Module &M) {
+  std::string T1 = moduleToString(M);
+  auto Parsed = parseOrFail(T1);
+  if (!Parsed)
+    return nullptr;
+  std::string T2 = moduleToString(*Parsed);
+  EXPECT_EQ(T1, T2) << "print->parse->print is not a fixed point";
+  return Parsed;
+}
+
+struct RunResult {
+  int64_t Main = 0;
+  std::string Output;
+  ExecProfile Profile;
+};
+
+RunResult runModule(Module &M, uint64_t StepLimit = 80000000) {
+  Interpreter I(M);
+  I.setStepLimit(StepLimit);
+  RunResult R;
+  R.Main = I.runMain();
+  R.Output = I.getOutput();
+  R.Profile = I.getProfile();
+  return R;
+}
+
+/// The parsed twin must be observably identical: same main result,
+/// same captured output, bitwise-equal ExecProfile.
+void expectExecParity(Module &Original, Module &Parsed) {
+  RunResult A = runModule(Original);
+  RunResult B = runModule(Parsed);
+  EXPECT_EQ(A.Main, B.Main);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_TRUE(A.Profile == B.Profile) << "ExecProfile diverged";
+}
+
+/// Detection over the parsed twin must reproduce counts and solver
+/// statistics bitwise.
+void expectDetectionParity(Module &Original, Module &Parsed) {
+  DetectionStats SA, SB;
+  ReductionCounts CA = countReductions(analyzeModule(Original, &SA));
+  ReductionCounts CB = countReductions(analyzeModule(Parsed, &SB));
+  EXPECT_EQ(CA.Scalars, CB.Scalars);
+  EXPECT_EQ(CA.Histograms, CB.Histograms);
+  EXPECT_EQ(CA.Scans, CB.Scans);
+  EXPECT_EQ(CA.ArgMinMax, CB.ArgMinMax);
+  EXPECT_TRUE(SA == SB) << "solver statistics diverged";
+}
+
+/// Expects \p Text to fail parsing with \p Substring in the message;
+/// when \p ExpectLine is nonzero, the diagnostic must anchor there.
+void expectParseError(const std::string &Text, const std::string &Substring,
+                      unsigned ExpectLine = 0) {
+  IRParseError Err;
+  auto M = parseIR(Text, &Err);
+  if (M) {
+    ADD_FAILURE() << "expected a parse failure";
+    return;
+  }
+  EXPECT_NE(Err.Message.find(Substring), std::string::npos)
+      << "diagnostic \"" << Err.str() << "\" lacks \"" << Substring << "\"";
+  EXPECT_GT(Err.Line, 0u);
+  EXPECT_GT(Err.Col, 0u);
+  if (ExpectLine) {
+    EXPECT_EQ(Err.Line, ExpectLine) << "diagnostic: " << Err.str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus round trip
+//===----------------------------------------------------------------------===//
+
+class ParserCorpusRoundTrip
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(ParserCorpusRoundTrip, FixedPointDetectionAndExecParity) {
+  const BenchmarkProgram *B = GetParam();
+  std::string Error;
+  auto M = compileMiniC(B->Source, B->Name, &Error);
+  ASSERT_NE(M, nullptr) << B->Name << ": " << Error;
+  auto Parsed = expectRoundTrip(*M);
+  ASSERT_NE(Parsed, nullptr);
+  EXPECT_EQ(Parsed->getName(), M->getName());
+  expectDetectionParity(*M, *Parsed);
+  expectExecParity(*M, *Parsed);
+}
+
+std::vector<const BenchmarkProgram *> allBenchmarks() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : corpus())
+    Out.push_back(&B);
+  return Out;
+}
+
+std::string benchName(
+    const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+  std::string Name = Info.param->Name;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return std::string(Info.param->Suite) + "_" + Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParserCorpusRoundTrip,
+                         ::testing::ValuesIn(allBenchmarks()), benchName);
+
+//===----------------------------------------------------------------------===//
+// Frontend programs
+//===----------------------------------------------------------------------===//
+
+class ParserProgramRoundTrip : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(ParserProgramRoundTrip, FixedPointAndExecParity) {
+  auto M = compileOrFail(GetParam());
+  ASSERT_NE(M, nullptr);
+  auto Parsed = expectRoundTrip(*M);
+  ASSERT_NE(Parsed, nullptr);
+  expectExecParity(*M, *Parsed);
+}
+
+const char *FrontendPrograms[] = {
+    // Loop-carried phis, integer arithmetic, comparisons, branches.
+    R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 500; i++)
+    if (i % 3 == 0) s = s + i; else s = s - 1;
+  return s;
+})",
+    // Floats, casts, pure math builtins, printing.
+    R"(
+int main() {
+  int i;
+  double acc = 0.0;
+  for (i = 1; i < 50; i++)
+    acc = acc + sqrt(1.0 * i) / (0.5 + i);
+  print_f64(acc);
+  return acc;
+})",
+    // Arrays, gep chains, nested loops, histogram-style updates.
+    R"(
+int hist[16];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 64; i++)
+    hist[i % 16] = hist[i % 16] + 1;
+  int s = 0;
+  for (j = 0; j < 16; j++)
+    s = s + hist[j];
+  return s;
+})",
+    // Calls, recursion, multiple functions.
+    R"(
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(14); })",
+};
+
+INSTANTIATE_TEST_SUITE_P(Programs, ParserProgramRoundTrip,
+                         ::testing::ValuesIn(FrontendPrograms));
+
+//===----------------------------------------------------------------------===//
+// IRBuilder-built edge cases
+//===----------------------------------------------------------------------===//
+
+Function *makeFn(Module &M, const char *Name, Type *Ret,
+                 std::vector<Type *> Params) {
+  FunctionType *FT =
+      M.getTypeContext().getFunction(Ret, std::move(Params));
+  Function *F = M.createFunction(Name, FT);
+  F->createBlock("entry");
+  return F;
+}
+
+TEST(ParserEdgeCases, BitOpsSelectAndBoolConstants) {
+  Module M("bits");
+  TypeContext &Ctx = M.getTypeContext();
+  Function *F = makeFn(M, "main", Ctx.getInt64(), {});
+  IRBuilder B(M);
+  B.setInsertBlock(F->getEntry());
+  Value *X = B.createBinary(BinaryInst::BinaryOp::Shl, B.getInt64(3),
+                            B.getInt64(5), "shifted");
+  Value *Y = B.createBinary(BinaryInst::BinaryOp::AShr, X, B.getInt64(2));
+  Value *Z = B.createBinary(BinaryInst::BinaryOp::Xor, Y, B.getInt64(255));
+  Value *W = B.createBinary(BinaryInst::BinaryOp::And, Z, B.getInt64(1023));
+  Value *O = B.createBinary(BinaryInst::BinaryOp::Or, W, B.getInt64(4096));
+  // i1 constants as operands: printed with an explicit type.
+  Value *C = B.createCmp(CmpInst::Predicate::EQ, B.getBool(true),
+                         B.getBool(false), "c");
+  Value *Sel = B.createSelect(C, O, B.getInt64(-7), "sel");
+  Value *Ext = B.createCast(CastInst::CastKind::ZExt, C);
+  B.createRet(B.createAdd(Sel, Ext));
+  ASSERT_TRUE(verifyModule(M, nullptr));
+
+  auto Parsed = expectRoundTrip(M);
+  ASSERT_NE(Parsed, nullptr);
+  expectExecParity(M, *Parsed);
+}
+
+TEST(ParserEdgeCases, QuotedNamesSurviveExactly) {
+  Module M("quoting");
+  TypeContext &Ctx = M.getTypeContext();
+  GlobalVariable *GV = M.createGlobal("weird global \"g\"", Ctx.getInt64());
+  Function *F = makeFn(M, "main entry-point", Ctx.getInt64(), {Ctx.getInt64()});
+  F->getArg(0)->setName("arg one\\two");
+  F->getEntry()->setName("first block");
+  IRBuilder B(M);
+  B.setInsertBlock(F->getEntry());
+  Value *L = B.createLoad(GV, "load\tresult");
+  B.createRet(B.createAdd(L, F->getArg(0), "sum \xc3\xa9"));
+  ASSERT_TRUE(verifyModule(M, nullptr));
+
+  std::string T1 = moduleToString(M);
+  auto Parsed = parseOrFail(T1);
+  ASSERT_NE(Parsed, nullptr);
+  EXPECT_EQ(moduleToString(*Parsed), T1);
+
+  // The decoded names must be byte-identical, not just re-printable.
+  Function *PF = Parsed->getFunction("main entry-point");
+  ASSERT_NE(PF, nullptr);
+  EXPECT_EQ(PF->getArg(0)->getName(), "arg one\\two");
+  EXPECT_EQ(PF->getEntry()->getName(), "first block");
+  ASSERT_EQ(Parsed->globals().size(), 1u);
+  EXPECT_EQ(Parsed->globals().front()->getName(), "weird global \"g\"");
+}
+
+TEST(ParserEdgeCases, UnnamedAndCollidingNames) {
+  Module M("names");
+  TypeContext &Ctx = M.getTypeContext();
+  Function *F = makeFn(M, "main", Ctx.getInt64(), {});
+  IRBuilder B(M);
+  B.setInsertBlock(F->getEntry());
+  Value *A = B.createAdd(B.getInt64(1), B.getInt64(2)); // unnamed -> %1
+  Value *C = B.createAdd(A, B.getInt64(3), "x");
+  Value *D = B.createAdd(C, B.getInt64(4), "x"); // duplicate -> %x.1
+  B.createRet(D);
+  ASSERT_TRUE(verifyModule(M, nullptr));
+  auto Parsed = expectRoundTrip(M);
+  ASSERT_NE(Parsed, nullptr);
+  expectExecParity(M, *Parsed);
+}
+
+TEST(ParserEdgeCases, ExtremeFloatConstantsAreBitwiseExact) {
+  Module M("floats");
+  TypeContext &Ctx = M.getTypeContext();
+  const double Values[] = {
+      0.1, 1.0 / 3.0, 1e300, -0.0, 4.9e-324, 2.2250738585072014e-308,
+      12345678901234567.0, -1.5, 3.0, 1e-8,
+  };
+  Function *F = makeFn(M, "main", Ctx.getInt64(), {});
+  IRBuilder B(M);
+  B.setInsertBlock(F->getEntry());
+  Value *Acc = B.getFloat(0.0);
+  for (double V : Values)
+    Acc = B.createFAdd(Acc, B.getFloat(V));
+  Value *C = B.createCmp(CmpInst::Predicate::OGT, Acc, B.getFloat(0.5));
+  B.createRet(B.createCast(CastInst::CastKind::ZExt, C));
+  ASSERT_TRUE(verifyModule(M, nullptr));
+
+  auto Parsed = expectRoundTrip(M);
+  ASSERT_NE(Parsed, nullptr);
+
+  // Every float constant operand must be bit-identical, in order.
+  // (Ground truth is what the module holds: the constant uniquing map
+  // may collapse -0.0 into an existing 0.0, for example.)
+  auto collectBits = [](Module &Mod) {
+    std::vector<uint64_t> Bits;
+    for (const auto &Fn : Mod.functions())
+      for (BasicBlock *BB : *Fn)
+        for (Instruction *I : *BB)
+          for (Value *Op : I->operands())
+            if (auto *CF = dyn_cast<ConstantFloat>(Op)) {
+              double V = CF->getValue();
+              uint64_t Raw;
+              std::memcpy(&Raw, &V, 8);
+              Bits.push_back(Raw);
+            }
+    return Bits;
+  };
+  std::vector<uint64_t> Want = collectBits(M);
+  EXPECT_GE(Want.size(), std::size(Values));
+  EXPECT_EQ(collectBits(*Parsed), Want);
+}
+
+TEST(ParserEdgeCases, UseBeforeDefInLayoutOrder) {
+  // Dominance allows a use to appear in an earlier-layout block than
+  // its def: entry -> body -> exit, laid out entry, exit, body.
+  Module M("fwd");
+  TypeContext &Ctx = M.getTypeContext();
+  Function *F = makeFn(M, "main", Ctx.getInt64(), {});
+  BasicBlock *Entry = F->getEntry();
+  BasicBlock *Exit = F->createBlock("exit");
+  BasicBlock *Body = F->createBlock("body");
+  IRBuilder B(M);
+  B.setInsertBlock(Entry);
+  B.createBr(Body);
+  B.setInsertBlock(Body);
+  Value *X = B.createAdd(B.getInt64(20), B.getInt64(22), "x");
+  B.createBr(Exit);
+  B.setInsertBlock(Exit);
+  B.createRet(X); // Uses %x, printed before ^body defines it.
+  ASSERT_TRUE(verifyModule(M, nullptr));
+
+  auto Parsed = expectRoundTrip(M);
+  ASSERT_NE(Parsed, nullptr);
+  expectExecParity(M, *Parsed);
+}
+
+TEST(ParserEdgeCases, PureDeclarationsAndGlobals) {
+  auto M = compileOrFail(R"(
+double table[8];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 8; i++) {
+    table[i] = sqrt(1.0 * i);
+    s = s + table[i];
+  }
+  return s;
+})");
+  ASSERT_NE(M, nullptr);
+  auto Parsed = expectRoundTrip(*M);
+  ASSERT_NE(Parsed, nullptr);
+  Function *Sqrt = Parsed->getFunction("sqrt");
+  ASSERT_NE(Sqrt, nullptr);
+  EXPECT_TRUE(Sqrt->isDeclaration());
+  EXPECT_TRUE(Sqrt->isPure());
+  expectExecParity(*M, *Parsed);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(ParserDiagnostics, UnknownOpcode) {
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = frobnicate 1, 2 : i64\n"
+                   "  ret %x\n"
+                   "}\n",
+                   "unknown opcode 'frobnicate'", 3);
+}
+
+TEST(ParserDiagnostics, TypeMismatch) {
+  expectParseError("define i64 @main(f64 %f) {\n"
+                   "entry:\n"
+                   "  %x = add %f, 2 : i64\n"
+                   "  ret %x\n"
+                   "}\n",
+                   "type mismatch", 3);
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %p = alloca i64\n"
+                   "  store 1.5, %p\n"
+                   "  ret 0\n"
+                   "}\n",
+                   "type mismatch", 4);
+}
+
+TEST(ParserDiagnostics, UndefinedValue) {
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  ret %nope\n"
+                   "}\n",
+                   "undefined value '%nope'", 3);
+}
+
+TEST(ParserDiagnostics, DuplicateNames) {
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = add 1, 2 : i64\n"
+                   "  %x = add 3, 4 : i64\n"
+                   "  ret %x\n"
+                   "}\n",
+                   "duplicate name '%x'", 4);
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  ret 0\n"
+                   "entry:\n"
+                   "  ret 1\n"
+                   "}\n",
+                   "duplicate block label 'entry'", 4);
+}
+
+TEST(ParserDiagnostics, UnknownCalleeAndBadArity) {
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = call @nothere\n"
+                   "  ret %x\n"
+                   "}\n",
+                   "unknown function '@nothere'", 3);
+  expectParseError("declare f64 @sqrt(f64 %0) pure\n"
+                   "define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = call @sqrt\n"
+                   "  ret 0\n"
+                   "}\n",
+                   "expects 1 arguments, got 0", 4);
+}
+
+TEST(ParserDiagnostics, VerifierViolationsSurfaceWithLocation) {
+  // Missing terminator: structurally parseable, semantically invalid.
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = add 1, 2 : i64\n"
+                   "}\n",
+                   "verifier", 1);
+  // Phi whose incoming entries disagree with the block's predecessors.
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  br ^next\n"
+                   "next:\n"
+                   "  %x = phi i64 [1, ^entry], [2, ^next]\n"
+                   "  ret %x\n"
+                   "}\n",
+                   "verifier", 1);
+}
+
+TEST(ParserDiagnostics, MalformedStructure) {
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  ret 0\n",
+                   "unterminated function body", 1);
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  ret 0 junk\n"
+                   "}\n",
+                   "unexpected", 3);
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = add 1, 2 : i99\n"
+                   "  ret %x\n"
+                   "}\n",
+                   "expected type", 3);
+  expectParseError("wibble\n", "expected 'define', 'declare' or a global", 1);
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  br ^elsewhere\n"
+                   "}\n",
+                   "unknown block '^elsewhere'", 3);
+  // A 0-incoming phi would slip past the verifier in the entry block
+  // (0 predecessors) and abort the interpreter; the parser rejects it.
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = phi i64\n"
+                   "  ret %x\n"
+                   "}\n",
+                   "phi needs at least one incoming pair", 3);
+}
+
+TEST(ParserDiagnostics, RejectsOutOfRangeLiterals) {
+  // Integer literals beyond i64 must not be silently clamped.
+  expectParseError("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = add 99999999999999999999, 1 : i64\n"
+                   "  ret %x\n"
+                   "}\n",
+                   "out of range", 3);
+  // The float bit-pattern form is exactly 16 hex digits; an overlong
+  // one must not saturate to all-ones.
+  expectParseError("define f64 @main() {\n"
+                   "entry:\n"
+                   "  ret 0x1234567890abcdef0\n"
+                   "}\n",
+                   "expected operand", 3);
+}
+
+TEST(ParserEdgeCases, ModuleNamesRoundTrip) {
+  const char *Names[] = {"plain", "mri-q", "trailing space ",
+                         "line\nbreak", "quoted \"name\""};
+  for (const char *Name : Names) {
+    Module M(Name);
+    TypeContext &Ctx = M.getTypeContext();
+    Function *F = makeFn(M, "main", Ctx.getInt64(), {});
+    IRBuilder B(M);
+    B.setInsertBlock(F->getEntry());
+    B.createRet(B.getInt64(0));
+    auto Parsed = expectRoundTrip(M);
+    ASSERT_NE(Parsed, nullptr) << Name;
+    EXPECT_EQ(Parsed->getName(), Name);
+  }
+}
+
+TEST(ParserDiagnostics, ColumnsPointIntoTheLine) {
+  IRParseError Err;
+  auto M = parseIR("define i64 @main() {\n"
+                   "entry:\n"
+                   "  %x = frobnicate 1 : i64\n"
+                   "  ret %x\n"
+                   "}\n",
+                   &Err);
+  ASSERT_EQ(M, nullptr);
+  EXPECT_EQ(Err.Line, 3u);
+  EXPECT_EQ(Err.Col, 8u); // Points at the opcode, after "  %x = ".
+  EXPECT_EQ(Err.str(), "3:8: unknown opcode 'frobnicate'");
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip float formatting
+//===----------------------------------------------------------------------===//
+
+TEST(RoundTripFloats, FormatterIsExactOnRandomBitPatterns) {
+  std::mt19937_64 Rng(7);
+  for (int K = 0; K < 2000; ++K) {
+    uint64_t Bits = Rng();
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    std::string S = formatDoubleRoundTrip(V);
+    auto Back = parseRoundTripDouble(S);
+    ASSERT_TRUE(Back.has_value()) << S;
+    uint64_t BackBits;
+    std::memcpy(&BackBits, &*Back, 8);
+    EXPECT_EQ(BackBits, Bits) << S;
+  }
+}
+
+TEST(RoundTripFloats, DecimalsLookFloatingPoint) {
+  EXPECT_EQ(formatDoubleRoundTrip(3.0), "3.0");
+  EXPECT_EQ(formatDoubleRoundTrip(-0.0), "-0.0");
+  EXPECT_EQ(formatDoubleRoundTrip(0.5), "0.5");
+  // Non-finite values use the raw-bits form.
+  std::string Inf = formatDoubleRoundTrip(1.0 / 0.0);
+  EXPECT_EQ(Inf.substr(0, 2), "0x");
+  auto Back = parseRoundTripDouble(Inf);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(*Back > 0 && std::isinf(*Back));
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: seeded random modules
+//===----------------------------------------------------------------------===//
+
+/// Builds a random but always-verifiable module: a few worker
+/// functions with a bounded counting loop, a random straight-line
+/// expression DAG in the body (integer and float pools, memory
+/// traffic through a small alloca array), and a main that calls every
+/// worker and folds the results.
+std::unique_ptr<Module> buildRandomModule(unsigned Seed) {
+  std::mt19937 Rng(Seed * 9781 + 13);
+  auto M = std::make_unique<Module>("random" + std::to_string(Seed));
+  TypeContext &Ctx = M->getTypeContext();
+  IRBuilder B(*M);
+
+  auto pick = [&](unsigned N) { return Rng() % N; };
+
+  unsigned NumFns = 1 + pick(3);
+  std::vector<Function *> Fns;
+  for (unsigned FI = 0; FI < NumFns; ++FI) {
+    Function *F =
+        makeFn(*M, ("work" + std::to_string(FI)).c_str(), Ctx.getInt64(),
+               {Ctx.getInt64(), Ctx.getFloat64()});
+    F->getArg(0)->setName("n");
+    // Exercise name quoting from the property test, too.
+    F->getArg(1)->setName(FI % 2 ? "x arg" : "x");
+    Fns.push_back(F);
+
+    BasicBlock *Entry = F->getEntry();
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Body = F->createBlock("body");
+    BasicBlock *Latch = F->createBlock("latch");
+    BasicBlock *Exit = F->createBlock("exit");
+
+    B.setInsertBlock(Entry);
+    AllocaInst *Arr = B.createAlloca(Ctx.getArray(Ctx.getInt64(), 8), "buf");
+    B.createStore(B.getInt64(0),
+                  B.createGEP(Arr, B.getInt64(0)));
+    B.createBr(Header);
+
+    B.setInsertBlock(Header);
+    PhiInst *I = B.createPhi(Ctx.getInt64(), "i");
+    PhiInst *Acc = B.createPhi(Ctx.getInt64(), "acc");
+    PhiInst *FAcc = B.createPhi(Ctx.getFloat64(), "facc");
+    Value *Cond = B.createCmp(CmpInst::Predicate::SLT, I,
+                              B.getInt64(16 + pick(48)));
+    B.createCondBr(Cond, Body, Exit);
+
+    B.setInsertBlock(Body);
+    // Integer pool.
+    std::vector<Value *> IPool = {I, Acc, B.getInt64(1 + pick(9)),
+                                  F->getArg(0)};
+    // Float pool.
+    std::vector<Value *> FPool = {FAcc, F->getArg(1),
+                                  B.getFloat(0.25 * (1 + pick(7)))};
+    unsigned Steps = 3 + pick(6);
+    for (unsigned S = 0; S < Steps; ++S) {
+      switch (pick(6)) {
+      case 0: { // Integer arithmetic / bit op.
+        static const BinaryInst::BinaryOp Ops[] = {
+            BinaryInst::BinaryOp::Add, BinaryInst::BinaryOp::Sub,
+            BinaryInst::BinaryOp::Mul, BinaryInst::BinaryOp::And,
+            BinaryInst::BinaryOp::Or, BinaryInst::BinaryOp::Xor};
+        IPool.push_back(B.createBinary(Ops[pick(6)],
+                                       IPool[pick(IPool.size())],
+                                       IPool[pick(IPool.size())]));
+        break;
+      }
+      case 1: { // Float arithmetic.
+        static const BinaryInst::BinaryOp Ops[] = {
+            BinaryInst::BinaryOp::FAdd, BinaryInst::BinaryOp::FSub,
+            BinaryInst::BinaryOp::FMul};
+        FPool.push_back(B.createBinary(Ops[pick(3)],
+                                       FPool[pick(FPool.size())],
+                                       FPool[pick(FPool.size())]));
+        break;
+      }
+      case 2: { // Comparison folded back into the integer pool.
+        Value *C =
+            pick(2) ? B.createCmp(CmpInst::Predicate::SLT,
+                                  IPool[pick(IPool.size())],
+                                  IPool[pick(IPool.size())])
+                    : static_cast<Value *>(B.createCmp(
+                          CmpInst::Predicate::OLT, FPool[pick(FPool.size())],
+                          FPool[pick(FPool.size())]));
+        IPool.push_back(B.createCast(CastInst::CastKind::ZExt, C));
+        break;
+      }
+      case 3: { // Select between integers.
+        Value *C = B.createCmp(CmpInst::Predicate::NE,
+                               IPool[pick(IPool.size())],
+                               IPool[pick(IPool.size())]);
+        IPool.push_back(B.createSelect(C, IPool[pick(IPool.size())],
+                                       IPool[pick(IPool.size())]));
+        break;
+      }
+      case 4: { // int -> float.
+        FPool.push_back(
+            B.createCast(CastInst::CastKind::SIToFP,
+                         IPool[pick(IPool.size())]));
+        break;
+      }
+      case 5: { // Memory traffic through the alloca array.
+        Value *Idx = B.createBinary(BinaryInst::BinaryOp::And,
+                                    IPool[pick(IPool.size())],
+                                    B.getInt64(7));
+        Value *Slot = B.createGEP(Arr, Idx);
+        B.createStore(IPool[pick(IPool.size())], Slot);
+        IPool.push_back(B.createLoad(Slot));
+        break;
+      }
+      }
+    }
+    Value *NextAcc = B.createBinary(BinaryInst::BinaryOp::Add, Acc,
+                                    IPool.back(), "acc.next");
+    Value *NextFAcc = B.createBinary(BinaryInst::BinaryOp::FAdd, FAcc,
+                                     FPool.back(), "facc.next");
+    B.createBr(Latch);
+
+    B.setInsertBlock(Latch);
+    Value *NextI = B.createAdd(I, B.getInt64(1), "i.next");
+    B.createBr(Header);
+
+    I->addIncoming(B.getInt64(0), Entry);
+    I->addIncoming(NextI, Latch);
+    Acc->addIncoming(B.getInt64(pick(5)), Entry);
+    Acc->addIncoming(NextAcc, Latch);
+    FAcc->addIncoming(B.getFloat(0.0), Entry);
+    FAcc->addIncoming(NextFAcc, Latch);
+
+    B.setInsertBlock(Exit);
+    // Fold the float accumulator in without fptosi (no UB on huge
+    // values): compare and widen.
+    Value *FC = B.createCmp(CmpInst::Predicate::OLT, FAcc,
+                            B.getFloat(1000.0));
+    Value *FBit = B.createCast(CastInst::CastKind::ZExt, FC);
+    B.createRet(B.createAdd(Acc, FBit));
+  }
+
+  Function *Main = makeFn(*M, "main", Ctx.getInt64(), {});
+  B.setInsertBlock(Main->getEntry());
+  Value *Sum = B.getInt64(0);
+  for (Function *F : Fns) {
+    Value *R = B.createCall(
+        F, {B.getInt64(5 + pick(20)), B.getFloat(0.5 * (1 + pick(6)))});
+    Sum = B.createAdd(Sum, R);
+  }
+  B.createRet(Sum);
+  return M;
+}
+
+TEST(ParserProperty, RandomModulesRoundTripAndExecuteIdentically) {
+  for (unsigned Seed = 0; Seed < 25; ++Seed) {
+    auto M = buildRandomModule(Seed);
+    std::vector<std::string> Errs;
+    ASSERT_TRUE(verifyModule(*M, &Errs))
+        << "seed " << Seed << ": " << Errs.front();
+    auto Parsed = expectRoundTrip(*M);
+    ASSERT_NE(Parsed, nullptr) << "seed " << Seed;
+    expectDetectionParity(*M, *Parsed);
+    expectExecParity(*M, *Parsed);
+  }
+}
+
+} // namespace

@@ -1,0 +1,728 @@
+//===- gropt.cpp - opt-style driver over textual IR -----------*- C++ -*-===//
+///
+/// \file
+/// The standalone entry point of the textual IR subsystem: reads a
+/// .gr file (or stdin), runs pass pipelines / idiom detection / the
+/// execution engines over it, and reprints the result. This is the
+/// path external workloads take into the system — everything the
+/// C++-embedded drivers can do, from a file on disk.
+///
+///   gropt input.gr                       parse, verify, reprint
+///   gropt input.gr --detect              idiom detection + solver stats
+///   gropt input.gr -passes=ssa,detect    run a pass pipeline
+///   gropt input.gr --run                 execute main on the VM
+///   gropt input.gr -o out.gr             reprint into a file
+///   gropt --dump-corpus DIR              write the benchmark corpus as .gr
+///   gropt --corpus-roundtrip DIR         dump + reparse + differential check
+///
+/// Switches: --solver=compiled|reference, --exec=bytecode|reference,
+/// --workers=N (parallel detection), --json (machine-readable stats),
+/// --verify-only, --run=FUNC.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "frontend/Compiler.h"
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "pass/ParallelDriver.h"
+#include "pass/PassManager.h"
+#include "pass/Pipeline.h"
+#include "runtime/SimulatedParallel.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+#include "transform/ArgMinMaxParallelize.h"
+#include "transform/CSE.h"
+#include "transform/DCE.h"
+#include "transform/Mem2Reg.h"
+#include "transform/ReductionParallelize.h"
+#include "transform/ScanParallelize.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Small file and string helpers
+//===----------------------------------------------------------------------===//
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F =
+      (Path == "-") ? stdin : std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  if (F != stdin)
+    std::fclose(F);
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::string &Data) {
+  std::FILE *F =
+      (Path == "-") ? stdout : std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  std::fwrite(Data.data(), 1, Data.size(), F);
+  if (F != stdout)
+    std::fclose(F);
+  return true;
+}
+
+std::string sanitizeFileName(std::string Name) {
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+/// Insertion-ordered flat JSON object writer.
+class JsonObject {
+public:
+  void add(const std::string &Key, uint64_t V) {
+    Fields.emplace_back(Key, std::to_string(V));
+  }
+  void add(const std::string &Key, int64_t V) {
+    Fields.emplace_back(Key, std::to_string(V));
+  }
+  void addStr(const std::string &Key, const std::string &V) {
+    std::string Escaped = "\"";
+    for (unsigned char C : V) {
+      if (C == '"' || C == '\\') {
+        Escaped += '\\';
+        Escaped += static_cast<char>(C);
+      } else if (C < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Escaped += "\\u00";
+        Escaped += Hex[C >> 4];
+        Escaped += Hex[C & 15];
+      } else {
+        Escaped += static_cast<char>(C);
+      }
+    }
+    Escaped += '"';
+    Fields.emplace_back(Key, Escaped);
+  }
+  /// Adds \p V verbatim (caller guarantees valid JSON).
+  void addRaw(const std::string &Key, const std::string &V) {
+    Fields.emplace_back(Key, V);
+  }
+  std::string str() const {
+    std::string Out = "{";
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "\"" + Fields[I].first + "\": " + Fields[I].second;
+    }
+    Out += "}";
+    return Out;
+  }
+
+private:
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
+
+//===----------------------------------------------------------------------===//
+// Options
+//===----------------------------------------------------------------------===//
+
+struct Options {
+  std::string Input;
+  std::string Output;          ///< -o FILE ('-' = stdout)
+  std::vector<std::string> Passes;
+  bool Detect = false;
+  bool Run = false;
+  std::string RunFunc = "main";
+  bool VerifyOnly = false;
+  bool Json = false;
+  unsigned Workers = 1;
+  SolverKind Solver = SolverKind::Default;
+  ExecKind Exec = ExecKind::Default;
+  std::string DumpCorpusDir;
+  std::string RoundTripDir;
+};
+
+void usage() {
+  errs() << "usage: gropt [options] <input.gr | ->\n"
+         << "  -passes=p1,p2,...     mem2reg, cse, dce, ssa, detect,\n"
+         << "                        parallelize-reductions, parallelize-scans,\n"
+         << "                        parallelize-argminmax, parallelize, default\n"
+         << "  --detect              run idiom detection, print totals + stats\n"
+         << "  --run[=FUNC]          execute FUNC() (default: main)\n"
+         << "  --solver=KIND         default | compiled | reference\n"
+         << "  --exec=KIND           default | bytecode | reference\n"
+         << "  --workers=N           detection worker threads\n"
+         << "  -o FILE               reprint the module ('-' = stdout)\n"
+         << "  --json                machine-readable stats on stdout\n"
+         << "  --verify-only         parse + verify, print OK\n"
+         << "  --dump-corpus DIR     write the benchmark corpus as .gr files\n"
+         << "  --corpus-roundtrip DIR  dump + reparse + differential check\n";
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (startsWith(Arg, "-passes=")) {
+      std::string List = Arg.substr(8); // splitString returns views.
+      for (std::string_view P : splitString(List, ','))
+        if (!P.empty())
+          Opts.Passes.emplace_back(P);
+    } else if (Arg == "--detect") {
+      Opts.Detect = true;
+    } else if (Arg == "--run") {
+      Opts.Run = true;
+    } else if (startsWith(Arg, "--run=")) {
+      Opts.Run = true;
+      Opts.RunFunc = Arg.substr(6);
+    } else if (startsWith(Arg, "--solver=")) {
+      std::string K = Arg.substr(9);
+      if (K == "compiled")
+        Opts.Solver = SolverKind::Compiled;
+      else if (K == "reference")
+        Opts.Solver = SolverKind::Reference;
+      else if (K == "default")
+        Opts.Solver = SolverKind::Default;
+      else {
+        errs() << "gropt: unknown solver kind '" << K << "'\n";
+        return false;
+      }
+    } else if (startsWith(Arg, "--exec=")) {
+      std::string K = Arg.substr(7);
+      if (K == "bytecode")
+        Opts.Exec = ExecKind::Bytecode;
+      else if (K == "reference")
+        Opts.Exec = ExecKind::Reference;
+      else if (K == "default")
+        Opts.Exec = ExecKind::Default;
+      else {
+        errs() << "gropt: unknown exec kind '" << K << "'\n";
+        return false;
+      }
+    } else if (startsWith(Arg, "--workers=")) {
+      auto N = parseInt(Arg.substr(10));
+      if (!N || *N < 0) {
+        errs() << "gropt: bad --workers value\n";
+        return false;
+      }
+      Opts.Workers = static_cast<unsigned>(*N);
+    } else if (Arg == "-o") {
+      if (++I >= Argc) {
+        errs() << "gropt: -o needs a file\n";
+        return false;
+      }
+      Opts.Output = Argv[I];
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--verify-only") {
+      Opts.VerifyOnly = true;
+    } else if (Arg == "--dump-corpus") {
+      if (++I >= Argc) {
+        errs() << "gropt: --dump-corpus needs a directory\n";
+        return false;
+      }
+      Opts.DumpCorpusDir = Argv[I];
+    } else if (Arg == "--corpus-roundtrip") {
+      if (++I >= Argc) {
+        errs() << "gropt: --corpus-roundtrip needs a directory\n";
+        return false;
+      }
+      Opts.RoundTripDir = Argv[I];
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return false;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      errs() << "gropt: unknown option '" << Arg << "'\n";
+      usage();
+      return false;
+    } else {
+      if (!Opts.Input.empty()) {
+        errs() << "gropt: multiple inputs\n";
+        return false;
+      }
+      Opts.Input = Arg;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass pipeline
+//===----------------------------------------------------------------------===//
+
+/// Builds the -passes= pipeline. Detection results land in \p Reports
+/// and \p Stats; \p RP (created lazily) serves the parallelize passes.
+bool buildPipeline(const Options &Opts, Module &M,
+                   FunctionAnalysisManager &FAM, ModulePassManager &MPM,
+                   std::vector<ReductionReport> *Reports,
+                   DetectionStats *Stats,
+                   std::unique_ptr<ReductionParallelizer> &RP) {
+  auto parallelizer = [&]() -> ReductionParallelizer & {
+    if (!RP)
+      RP = std::make_unique<ReductionParallelizer>(M, FAM);
+    return *RP;
+  };
+  for (const std::string &P : Opts.Passes) {
+    if (P == "mem2reg") {
+      MPM.addFunctionPass(std::make_unique<PromoteAllocasPass>());
+    } else if (P == "cse") {
+      MPM.addFunctionPass(std::make_unique<CSEPass>());
+    } else if (P == "dce") {
+      MPM.addFunctionPass(std::make_unique<DCEPass>());
+    } else if (P == "ssa") {
+      MPM.addFunctionPass(std::make_unique<PromoteAllocasPass>());
+      MPM.addFunctionPass(std::make_unique<CSEPass>());
+      MPM.addFunctionPass(std::make_unique<DCEPass>());
+    } else if (P == "detect") {
+      MPM.addPass(std::make_unique<ReductionDetectionPass>(Reports, Stats,
+                                                           Opts.Workers));
+    } else if (P == "default") {
+      MPM.addFunctionPass(std::make_unique<PromoteAllocasPass>());
+      MPM.addFunctionPass(std::make_unique<CSEPass>());
+      MPM.addFunctionPass(std::make_unique<DCEPass>());
+      MPM.addPass(std::make_unique<ReductionDetectionPass>(Reports, Stats,
+                                                           Opts.Workers));
+    } else if (P == "parallelize-reductions") {
+      MPM.addFunctionPass(
+          std::make_unique<ParallelizeReductionsPass>(parallelizer()));
+    } else if (P == "parallelize-scans") {
+      MPM.addFunctionPass(
+          std::make_unique<ScanParallelizePass>(parallelizer()));
+    } else if (P == "parallelize-argminmax") {
+      MPM.addFunctionPass(
+          std::make_unique<ArgMinMaxParallelizePass>(parallelizer()));
+    } else if (P == "parallelize") {
+      MPM.addFunctionPass(
+          std::make_unique<ParallelizeReductionsPass>(parallelizer()));
+      MPM.addFunctionPass(
+          std::make_unique<ScanParallelizePass>(parallelizer()));
+      MPM.addFunctionPass(
+          std::make_unique<ArgMinMaxParallelizePass>(parallelizer()));
+    } else {
+      errs() << "gropt: unknown pass '" << P << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Detection reporting
+//===----------------------------------------------------------------------===//
+
+struct DetectionSummary {
+  unsigned Functions = 0;
+  unsigned ForLoops = 0;
+  ReductionCounts Counts;
+  DetectionStats Stats;
+};
+
+DetectionSummary summarizeReports(const std::vector<ReductionReport> &Reports,
+                                  const DetectionStats &Stats) {
+  DetectionSummary S;
+  S.Functions = static_cast<unsigned>(Reports.size());
+  for (const ReductionReport &Rep : Reports)
+    S.ForLoops += static_cast<unsigned>(Rep.ForLoops.size());
+  S.Counts = countReductions(Reports);
+  S.Stats = Stats;
+  return S;
+}
+
+DetectionSummary detect(Module &M, const Options &Opts) {
+  ParallelDetectionOptions PD;
+  PD.Workers = Opts.Workers ? Opts.Workers : 1;
+  PD.Kind = Opts.Solver;
+  ParallelDetectionResult R = analyzeModuleParallel(M, PD);
+  return summarizeReports(R.Reports, R.Stats);
+}
+
+void printDetection(OStream &OS, const Module &M,
+                    const DetectionSummary &S) {
+  OS << "=== detection: " << M.getName() << " ===\n"
+     << "functions analyzed:   " << S.Functions << '\n'
+     << "for loops:            " << S.ForLoops << '\n'
+     << "scalar reductions:    " << S.Counts.Scalars << '\n'
+     << "histogram reductions: " << S.Counts.Histograms << '\n'
+     << "scans:                " << S.Counts.Scans << '\n'
+     << "argmin/argmax:        " << S.Counts.ArgMinMax << '\n'
+     << "solver totals: nodes=" << S.Stats.totalNodes()
+     << " candidates=" << S.Stats.totalCandidates()
+     << " solutions=" << S.Stats.totalSolutions() << '\n';
+  for (const auto &[Name, PS] : S.Stats.PerIdiom)
+    OS << "  " << Name << ": nodes=" << PS.NodesVisited
+       << " candidates=" << PS.CandidatesTried
+       << " solutions=" << PS.Solutions << '\n';
+}
+
+void addDetectionJson(JsonObject &J, const DetectionSummary &S) {
+  J.add("functions", static_cast<uint64_t>(S.Functions));
+  J.add("for_loops", static_cast<uint64_t>(S.ForLoops));
+  J.add("scalars", static_cast<uint64_t>(S.Counts.Scalars));
+  J.add("histograms", static_cast<uint64_t>(S.Counts.Histograms));
+  J.add("scans", static_cast<uint64_t>(S.Counts.Scans));
+  J.add("argminmax", static_cast<uint64_t>(S.Counts.ArgMinMax));
+  J.add("solver_nodes", S.Stats.totalNodes());
+  J.add("solver_candidates", S.Stats.totalCandidates());
+  J.add("solver_solutions", S.Stats.totalSolutions());
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus dump + round-trip harness
+//===----------------------------------------------------------------------===//
+
+/// Frontend-compiled sample programs included in the dump alongside
+/// the 40 benchmark kernels.
+struct FrontendSample {
+  const char *Name;
+  const char *Source;
+};
+
+const FrontendSample FrontendSamples[] = {
+    {"frontend_scalar_sum", R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 1000; i++)
+    s = s + i;
+  return s;
+})"},
+    {"frontend_histogram", R"(
+int hist[32];
+int keys[256];
+int main() {
+  int i;
+  for (i = 0; i < 256; i++)
+    keys[i] = (i * 7) % 32;
+  for (i = 0; i < 256; i++)
+    hist[keys[i]] = hist[keys[i]] + 1;
+  return hist[3];
+})"},
+    {"frontend_float_math", R"(
+int main() {
+  int i;
+  double acc = 0.0;
+  for (i = 1; i < 100; i++)
+    acc = acc + sqrt(1.0 * i) / (0.5 + i);
+  print_f64(acc);
+  return acc;
+})"},
+};
+
+struct CorpusEntry {
+  std::string FileName;
+  std::string DisplayName;
+  std::unique_ptr<Module> M;
+};
+
+/// Compiles every corpus benchmark and frontend sample.
+bool buildCorpusModules(std::vector<CorpusEntry> &Out) {
+  for (const BenchmarkProgram &B : corpus()) {
+    std::string Error;
+    auto M = compileMiniC(B.Source, B.Name, &Error);
+    if (!M) {
+      errs() << "gropt: " << B.Name << ": compile failed: " << Error
+             << '\n';
+      return false;
+    }
+    CorpusEntry E;
+    E.FileName = sanitizeFileName(std::string(B.Suite) + "_" + B.Name) +
+                 ".gr";
+    E.DisplayName = std::string(B.Suite) + "/" + B.Name;
+    E.M = std::move(M);
+    Out.push_back(std::move(E));
+  }
+  for (const FrontendSample &S : FrontendSamples) {
+    std::string Error;
+    auto M = compileMiniC(S.Source, S.Name, &Error);
+    if (!M) {
+      errs() << "gropt: " << S.Name << ": compile failed: " << Error
+             << '\n';
+      return false;
+    }
+    CorpusEntry E;
+    E.FileName = sanitizeFileName(S.Name) + ".gr";
+    E.DisplayName = S.Name;
+    E.M = std::move(M);
+    Out.push_back(std::move(E));
+  }
+  return true;
+}
+
+int dumpCorpus(const std::string &Dir, bool Quiet) {
+  std::vector<CorpusEntry> Entries;
+  if (!buildCorpusModules(Entries))
+    return 1;
+  for (const CorpusEntry &E : Entries) {
+    std::string Path = Dir + "/" + E.FileName;
+    if (!writeFile(Path, moduleToString(*E.M))) {
+      errs() << "gropt: cannot write " << Path << '\n';
+      return 1;
+    }
+  }
+  if (!Quiet)
+    outs() << "dumped " << static_cast<uint64_t>(Entries.size())
+           << " modules to " << Dir << '\n';
+  return 0;
+}
+
+struct RunObservation {
+  int64_t Main = 0;
+  std::string Output;
+  ExecProfile Profile;
+};
+
+RunObservation observe(Module &M) {
+  Interpreter I(M);
+  I.setStepLimit(200000000);
+  RunObservation R;
+  R.Main = I.runMain();
+  R.Output = I.getOutput();
+  R.Profile = I.getProfile();
+  return R;
+}
+
+/// The snapshot harness: dump every corpus + frontend module to DIR,
+/// read each .gr back from disk, and differentially check (a) the
+/// print->parse->print fixed point, (b) idiom detection totals and
+/// solver statistics, (c) VM execution observables, against the
+/// in-memory originals. Exits nonzero on any divergence, and on a
+/// vacuously idiom-free corpus.
+int corpusRoundTrip(const std::string &Dir) {
+  std::vector<CorpusEntry> Entries;
+  if (!buildCorpusModules(Entries))
+    return 1;
+
+  unsigned Failures = 0;
+  uint64_t TotalIdioms = 0;
+  for (CorpusEntry &E : Entries) {
+    std::string Path = Dir + "/" + E.FileName;
+    std::string T1 = moduleToString(*E.M);
+    if (!writeFile(Path, T1)) {
+      errs() << "gropt: cannot write " << Path << '\n';
+      return 1;
+    }
+    std::string FromDisk;
+    if (!readFile(Path, FromDisk) || FromDisk != T1) {
+      errs() << E.DisplayName << ": dumped file does not match\n";
+      ++Failures;
+      continue;
+    }
+    IRParseError Err;
+    auto Parsed = parseIR(FromDisk, &Err);
+    if (!Parsed) {
+      errs() << E.DisplayName << ": reparse failed: " << Err.str() << '\n';
+      ++Failures;
+      continue;
+    }
+    if (moduleToString(*Parsed) != T1) {
+      errs() << E.DisplayName << ": print->parse->print not a fixed point\n";
+      ++Failures;
+      continue;
+    }
+
+    DetectionStats SA, SB;
+    ReductionCounts CA = countReductions(analyzeModule(*E.M, &SA));
+    ReductionCounts CB = countReductions(analyzeModule(*Parsed, &SB));
+    if (CA.Scalars != CB.Scalars || CA.Histograms != CB.Histograms ||
+        CA.Scans != CB.Scans || CA.ArgMinMax != CB.ArgMinMax ||
+        SA != SB) {
+      errs() << E.DisplayName << ": detection diverged after reparse\n";
+      ++Failures;
+      continue;
+    }
+    TotalIdioms += CA.Scalars + CA.Histograms + CA.Scans + CA.ArgMinMax;
+
+    RunObservation A = observe(*E.M);
+    RunObservation B = observe(*Parsed);
+    if (A.Main != B.Main || A.Output != B.Output ||
+        !(A.Profile == B.Profile)) {
+      errs() << E.DisplayName << ": execution diverged after reparse\n";
+      ++Failures;
+      continue;
+    }
+  }
+
+  OStream &OS = outs();
+  OS << "corpus-roundtrip: programs=" << static_cast<uint64_t>(Entries.size())
+     << " failures=" << static_cast<uint64_t>(Failures)
+     << " idioms=" << TotalIdioms << " "
+     << (Failures == 0 && TotalIdioms > 0 ? "roundtrip=OK"
+                                          : "roundtrip=FAIL")
+     << '\n';
+  return (Failures == 0 && TotalIdioms > 0) ? 0 : 1;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// main
+//===----------------------------------------------------------------------===//
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+  OStream &OS = outs();
+
+  if (!Opts.DumpCorpusDir.empty())
+    return dumpCorpus(Opts.DumpCorpusDir, Opts.Json);
+  if (!Opts.RoundTripDir.empty())
+    return corpusRoundTrip(Opts.RoundTripDir);
+
+  if (Opts.Input.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::string Text;
+  if (!readFile(Opts.Input, Text)) {
+    errs() << "gropt: cannot read " << Opts.Input << '\n';
+    return 1;
+  }
+
+  IRParseError Err;
+  auto M = parseIR(Text, &Err);
+  if (!M) {
+    errs() << "gropt: " << Opts.Input << ":" << Err.str() << '\n';
+    return 1;
+  }
+
+  if (Opts.VerifyOnly) {
+    // parseIR already verified; report and stop.
+    OS << "OK: " << M->getName() << " ("
+       << static_cast<uint64_t>(M->functions().size()) << " functions)\n";
+    return 0;
+  }
+
+  JsonObject Json;
+  Json.addStr("module", M->getName());
+
+  // Pass pipeline.
+  FunctionAnalysisManager FAM;
+  std::vector<ReductionReport> PipelineReports;
+  DetectionStats PipelineStats;
+  std::unique_ptr<ReductionParallelizer> RP;
+  bool PipelineDetected = false;
+  if (!Opts.Passes.empty()) {
+    ModulePassManager MPM;
+    if (!buildPipeline(Opts, *M, FAM, MPM, &PipelineReports, &PipelineStats,
+                       RP))
+      return 1;
+    MPM.run(*M, FAM);
+    for (const std::string &P : Opts.Passes)
+      if (P == "detect" || P == "default")
+        PipelineDetected = true;
+    std::vector<std::string> VErrs;
+    if (!verifyModule(*M, &VErrs)) {
+      errs() << "gropt: module invalid after -passes: "
+             << (VErrs.empty() ? "unknown error" : VErrs.front()) << '\n';
+      return 1;
+    }
+  }
+
+  // Detection: --detect runs it (on the possibly transformed module);
+  // otherwise a detect pass scheduled via -passes= reports what it
+  // already collected instead of discarding it.
+  if (Opts.Detect) {
+    DetectionSummary S = detect(*M, Opts);
+    if (Opts.Json)
+      addDetectionJson(Json, S);
+    else
+      printDetection(OS, *M, S);
+  } else if (PipelineDetected) {
+    DetectionSummary S = summarizeReports(PipelineReports, PipelineStats);
+    if (Opts.Json)
+      addDetectionJson(Json, S);
+    else
+      printDetection(OS, *M, S);
+  }
+
+  // Execution.
+  if (Opts.Run) {
+    Function *F = M->getFunction(Opts.RunFunc);
+    if (!F || F->isDeclaration()) {
+      errs() << "gropt: no function '@" << Opts.RunFunc << "' to run\n";
+      return 1;
+    }
+    if (F->getNumArgs() != 0) {
+      errs() << "gropt: --run target must take no arguments\n";
+      return 1;
+    }
+    if (RP) {
+      // The module was parallelized: execute under the simulated
+      // parallel runtime (which owns the intrinsic handler).
+      ParallelRunner Runner(*M, *RP, ParallelConfig());
+      ParallelRunResult R = Runner.run();
+      if (Opts.Json) {
+        Json.add("result", R.MainResult);
+        Json.add("total_work", R.TotalWork);
+        Json.add("simulated_time", R.SimulatedTime);
+        Json.add("parallel_sections", static_cast<uint64_t>(R.Sections));
+      } else {
+        OS << R.Output;
+        OS << "result: " << R.MainResult << " (work=" << R.TotalWork
+           << ", simulated time=" << R.SimulatedTime
+           << ", sections=" << static_cast<uint64_t>(R.Sections) << ")\n";
+      }
+    } else {
+      Interpreter I(*M, Opts.Exec);
+      Type *RT = F->getReturnType();
+      std::string ResultText;
+      if (Opts.RunFunc == "main") {
+        ResultText = std::to_string(I.runMain());
+      } else {
+        Slot R = I.call(F, {});
+        if (RT->isVoid())
+          ResultText = "void";
+        else if (RT->isFloat64())
+          ResultText = formatDoubleRoundTrip(R.F);
+        else
+          ResultText = std::to_string(R.I);
+      }
+      if (Opts.Json) {
+        // Finite float results print as JSON numbers; the 0x-bits
+        // form (non-finite) and "void" are not numbers, so quote them.
+        if (ResultText == "void" || startsWith(ResultText, "0x"))
+          Json.addStr("result", ResultText);
+        else
+          Json.addRaw("result", ResultText);
+        Json.add("instructions", I.instructionCount());
+      } else {
+        OS << I.getOutput();
+        OS << "result: " << ResultText << " (" << I.instructionCount()
+           << " instructions, "
+           << (I.getExecKind() == ExecKind::Bytecode ? "bytecode VM"
+                                                     : "reference")
+           << ")\n";
+      }
+    }
+  }
+
+  if (Opts.Json)
+    OS << Json.str() << '\n';
+
+  // Reprint: to -o when given, to stdout when nothing else was asked.
+  bool DefaultPrint =
+      !Opts.Detect && !Opts.Run && Opts.Passes.empty() && !Opts.Json;
+  if (!Opts.Output.empty()) {
+    if (!writeFile(Opts.Output, moduleToString(*M))) {
+      errs() << "gropt: cannot write " << Opts.Output << '\n';
+      return 1;
+    }
+  } else if (DefaultPrint) {
+    OS << moduleToString(*M);
+  }
+  return 0;
+}
