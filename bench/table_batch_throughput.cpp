@@ -1,0 +1,260 @@
+//===- table_batch_throughput.cpp - batched detection load gen *- C++ -*-===//
+///
+/// \file
+/// Load generator for the batch detection driver (pass/BatchDriver.h):
+/// synthesizes a large corpus of textual-IR modules by cycling the
+/// 40-program benchmark seed (GR_BATCH_MODULES, default 1000), then
+/// measures the served batch at 1/2/4/8 worker lanes on the shared
+/// persistent pool:
+///
+///  - cold wall-clock: the very first sweep of the process, pool
+///    start and spec compilation included — the "first request after
+///    deploy" number.
+///  - per-module p50/p99 latency and modules/s per worker count,
+///    median-of-N wall-clock with a warmup sweep (single-shot timing
+///    is what made the old scaling bench misread noise as regression).
+///  - a steal-balanced schedule model from the serial per-module
+///    latencies: makespan >= max(total/W, longest module). On this
+///    single-core CI host threads only interleave, so the model is
+///    the multicore wall-clock prediction, exactly like the
+///    critical-path substitution table_parallel_scaling documents.
+///
+/// Gates (exit 1 on violation):
+///  - merged DetectionStats bitwise identical to the serial batch at
+///    every worker count, every repetition;
+///  - with GR_MIN_BATCH_SPEEDUP set: the modeled speedup at 8 lanes
+///    must reach the floor always, and the *measured wall-clock*
+///    speedup must reach it too when the host actually has >= 8
+///    cores;
+///  - the pooled 8-lane batch must never lose to serial by more than
+///    30% wall-clock on any host — the thread-churn regression this
+///    PR removes must stay gone even where threads only interleave.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "frontend/Compiler.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "pass/BatchDriver.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+unsigned envUnsigned(const char *Name, unsigned Default) {
+  if (const char *Env = std::getenv(Name)) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  return Default;
+}
+
+/// Runs the batch \p Reps times and returns the repetition with the
+/// median wall-clock (per-module latencies and statistics of exactly
+/// that run). Every repetition's statistics must match \p *Serial
+/// when non-null; mismatches flip \p Identical.
+BatchResult medianRun(const std::vector<BatchInput> &Inputs, unsigned W,
+                      unsigned Reps, const DetectionStats *Serial,
+                      bool &Identical) {
+  std::vector<BatchResult> Runs;
+  Runs.reserve(Reps);
+  for (unsigned R = 0; R < Reps; ++R) {
+    Runs.push_back(runDetectionBatch(Inputs, [&] {
+      BatchOptions O;
+      O.Workers = W;
+      return O;
+    }()));
+    if (Serial && !(Runs.back().Stats == *Serial))
+      Identical = false;
+    if (Runs.back().Failed != 0)
+      Identical = false;
+  }
+  std::sort(Runs.begin(), Runs.end(),
+            [](const BatchResult &A, const BatchResult &B) {
+              return A.WallMs < B.WallMs;
+            });
+  return std::move(Runs[Runs.size() / 2]);
+}
+
+} // namespace
+
+int main() {
+  OStream &OS = outs();
+  const unsigned NumModules = envUnsigned("GR_BATCH_MODULES", 1000);
+  const unsigned Reps = envUnsigned("GR_BENCH_REPS", 3);
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores == 0)
+    Cores = 1;
+
+  // Synthesize the corpus: every seed program printed once, then
+  // cycled (the parse cost is paid per replica — each batch entry is
+  // a full independent parse+detect, like a real module stream).
+  std::vector<std::string> SeedTexts;
+  std::vector<std::string> SeedNames;
+  for (const BenchmarkProgram &B : corpus()) {
+    std::string Error;
+    auto M = compileMiniC(B.Source, B.Name, &Error);
+    if (!M) {
+      errs() << "compile error in " << B.Name << ": " << Error << '\n';
+      return 1;
+    }
+    SeedTexts.push_back(moduleToString(*M));
+    SeedNames.push_back(std::string(B.Suite) + "/" + B.Name);
+  }
+  std::vector<BatchInput> Inputs;
+  Inputs.reserve(NumModules);
+  for (unsigned I = 0; I < NumModules; ++I) {
+    BatchInput In;
+    In.Name = SeedNames[I % SeedNames.size()] + "#" + std::to_string(I);
+    In.Text = SeedTexts[I % SeedTexts.size()];
+    Inputs.push_back(std::move(In));
+  }
+
+  OS << "Batched detection: " << NumModules << " modules synthesized from "
+     << static_cast<uint64_t>(SeedTexts.size()) << " seed programs, "
+     << Cores << " core(s), median of " << Reps << " reps\n";
+
+  bench::BenchJson Json;
+  Json.setInt("modules", NumModules);
+  Json.setInt("seed_programs", SeedTexts.size());
+  Json.setInt("cores", Cores);
+  Json.setInt("reps", Reps);
+
+  // Cold sweep first: pool start, first-touch allocation and spec
+  // compilation are all inside this one measurement.
+  BatchResult Cold = runDetectionBatch(Inputs, [] {
+    BatchOptions O;
+    O.Workers = 8;
+    return O;
+  }());
+  Json.setDouble("cold_wall_ms", Cold.WallMs);
+  OS << "cold sweep (8 lanes, pool start + spec compile): "
+     << formatDouble(Cold.WallMs, 1) << " ms\n\n";
+
+  // Serial reference.
+  bool Identical = Cold.Failed == 0;
+  BatchResult Serial = medianRun(Inputs, 1, Reps, nullptr, Identical);
+  if (!(Cold.Stats == Serial.Stats))
+    Identical = false;
+  double SerialWall = Serial.WallMs;
+  Json.setDouble("serial_wall_ms", SerialWall);
+  Json.setDouble("serial_p50_ms", Serial.P50Ms);
+  Json.setDouble("serial_p99_ms", Serial.P99Ms);
+
+  // Steal-balanced schedule model from the serial per-module
+  // latencies: a W-lane schedule can never beat
+  // max(total work / W, longest single module).
+  double TotalWork = 0.0, LongestModule = 0.0;
+  for (const BatchModuleResult &M : Serial.Modules) {
+    TotalWork += M.TotalMs;
+    LongestModule = std::max(LongestModule, M.TotalMs);
+  }
+
+  OS << "workers";
+  OS.padToColumn(10);
+  OS << "wall ms";
+  OS.padToColumn(22);
+  OS << "p50 ms";
+  OS.padToColumn(32);
+  OS << "p99 ms";
+  OS.padToColumn(42);
+  OS << "mod/s";
+  OS.padToColumn(52);
+  OS << "wall-x";
+  OS.padToColumn(62);
+  OS << "model-x";
+  OS.padToColumn(72);
+  OS << "identical\n";
+
+  double WallSpeedupAt8 = 0.0, ModelSpeedupAt8 = 0.0;
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    const BatchResult &R =
+        W == 1 ? Serial : medianRun(Inputs, W, Reps, &Serial.Stats,
+                                    Identical);
+
+    double Makespan = std::max(TotalWork / W, LongestModule);
+    double ModelSpeedup = Makespan > 0.0 ? TotalWork / Makespan : 1.0;
+    double WallSpeedup = R.WallMs > 0.0 ? SerialWall / R.WallMs : 1.0;
+    if (W == 8) {
+      WallSpeedupAt8 = WallSpeedup;
+      ModelSpeedupAt8 = ModelSpeedup;
+      Json.setInt("module_steals_at_8", R.ModuleSteals);
+    }
+
+    std::string Prefix = "workers" + std::to_string(W);
+    Json.setDouble(Prefix + ".wall_ms", R.WallMs);
+    Json.setDouble(Prefix + ".p50_ms", R.P50Ms);
+    Json.setDouble(Prefix + ".p99_ms", R.P99Ms);
+    Json.setDouble(Prefix + ".modules_per_s", R.ModulesPerSec);
+    Json.setDouble(Prefix + ".wall_speedup", WallSpeedup);
+    Json.setDouble(Prefix + ".model_speedup", ModelSpeedup);
+
+    OS << W;
+    OS.padToColumn(10);
+    OS << formatDouble(R.WallMs, 1);
+    OS.padToColumn(22);
+    OS << formatDouble(R.P50Ms, 3);
+    OS.padToColumn(32);
+    OS << formatDouble(R.P99Ms, 3);
+    OS.padToColumn(42);
+    OS << formatDouble(R.ModulesPerSec, 0);
+    OS.padToColumn(52);
+    OS << formatDouble(WallSpeedup, 2) << "x";
+    OS.padToColumn(62);
+    OS << formatDouble(ModelSpeedup, 2) << "x";
+    OS.padToColumn(72);
+    OS << (Identical ? "yes" : "NO") << '\n';
+  }
+
+  Json.setStr("all_identical", Identical ? "yes" : "no");
+  OS << "\nstats identical across workers: " << (Identical ? "yes" : "NO")
+     << '\n';
+
+  bool Pass = Identical;
+  // Anti-regression floor on every host: the pooled batch must not
+  // lose to serial. (The pre-pool driver lost ~20% here.)
+  if (WallSpeedupAt8 < 0.7) {
+    fprintf(stderr,
+            "table_batch_throughput: pooled 8-lane wall %.2fx of serial "
+            "(floor 0.7x) - pool overhead regression\n",
+            WallSpeedupAt8);
+    Pass = false;
+  }
+  if (const char *Env = std::getenv("GR_MIN_BATCH_SPEEDUP")) {
+    double Min = std::strtod(Env, nullptr);
+    if (Min > 0.0) {
+      if (ModelSpeedupAt8 < Min) {
+        fprintf(stderr,
+                "table_batch_throughput: modeled speedup %.2fx below "
+                "required %.2fx\n",
+                ModelSpeedupAt8, Min);
+        Pass = false;
+      }
+      if (Cores >= 8 && WallSpeedupAt8 < Min) {
+        fprintf(stderr,
+                "table_batch_throughput: wall-clock speedup %.2fx below "
+                "required %.2fx on a %u-core host\n",
+                WallSpeedupAt8, Min, Cores);
+        Pass = false;
+      }
+      OS << "speedup at 8 workers: wall " << formatDouble(WallSpeedupAt8, 2)
+         << "x, model " << formatDouble(ModelSpeedupAt8, 2)
+         << "x (required: >= " << formatDouble(Min, 1) << "x, wall gated on >= 8 cores)\n";
+    }
+  }
+
+  if (Json.writeIfEnabled("table_batch_throughput"))
+    OS << "wrote BENCH_table_batch_throughput.json\n";
+  return Pass ? 0 : 1;
+}

@@ -5,7 +5,9 @@
 # reference solver), the exec-parity gate (VM differential tests +
 # the execution suites on the reference tree-walker), re-runs of the
 # test suite with the parallel detection driver forced to 2 workers,
-# the parallel-scaling determinism bench, the textual-IR round-trip
+# the parallel-scaling determinism bench, the batch-throughput bench
+# with its speedup floor and baseline-JSON checks, worker-count
+# validation smokes, a grd serving smoke, the textual-IR round-trip
 # gate (corpus dump -> reparse -> differential detection/execution
 # check) with a gropt smoke over the checked-in examples/sum.gr, and
 # the micro_solver / micro_interp / micro_parser bench smokes (each
@@ -117,18 +119,64 @@ GR_EXEC=reference ./build/gr_tests \
 }
 
 # The suite once more with module-level detection sharded over two
-# workers: pipelines must be oblivious to the driver choice.
+# lanes of the persistent pool: pipelines must be oblivious to the
+# driver choice.
 GR_DETECT_WORKERS=2 ./build/gr_tests >/dev/null || {
   echo "ci.sh: test suite failed with GR_DETECT_WORKERS=2" >&2
   exit 1
 }
 
+# Worker-count validation: junk and absurd --workers values must be
+# rejected with a diagnostic, not clamped or crashed on.
+if ./build/gropt examples/sum.gr --detect --workers=banana >/dev/null 2>&1; then
+  echo "ci.sh: gropt accepted --workers=banana" >&2
+  exit 1
+fi
+./build/gropt examples/sum.gr --detect --workers=banana 2>&1 | grep -q "not a decimal integer" || {
+  echo "ci.sh: gropt --workers=banana did not print the parse diagnostic" >&2
+  exit 1
+}
+if ./build/gropt examples/sum.gr --detect --workers=99999 >/dev/null 2>&1; then
+  echo "ci.sh: gropt accepted --workers=99999" >&2
+  exit 1
+fi
+
 # Parallel scaling bench: asserts bitwise-identical stats across
-# worker counts and >= 1.5x critical-path speedup at 4 workers.
+# worker counts (median-of-N timing, warmup pass) and >= 1.5x
+# critical-path speedup at 4 workers.
 ./build/table_parallel_scaling >/dev/null || {
   echo "ci.sh: table_parallel_scaling failed (determinism or speedup)" >&2
   exit 1
 }
+
+# Batch throughput bench smoke: a reduced corpus (CI time) through the
+# batch driver at 1/2/4/8 lanes of the shared pool. Gates: merged
+# stats bitwise identical to serial at every lane count, modeled
+# 8-lane speedup >= 3x (wall-clock additionally gated when the host
+# really has >= 8 cores), and the pooled batch never losing more than
+# 30% wall to serial. Also records the machine-readable perf trail.
+GR_BENCH_JSON_DIR=./build GR_BATCH_MODULES=120 GR_BENCH_REPS=3 \
+  GR_MIN_BATCH_SPEEDUP=3.0 ./build/table_batch_throughput >/dev/null || {
+  echo "ci.sh: table_batch_throughput failed (determinism or speedup)" >&2
+  exit 1
+}
+[ -f ./build/BENCH_table_batch_throughput.json ] || {
+  echo "ci.sh: BENCH_table_batch_throughput.json was not produced" >&2
+  exit 1
+}
+for key in '"workers8.p50_ms"' '"workers8.p99_ms"' '"workers8.modules_per_s"' \
+    '"all_identical": "yes"'; do
+  grep -q "$key" ./build/BENCH_table_batch_throughput.json || {
+    echo "ci.sh: BENCH_table_batch_throughput.json is missing $key" >&2
+    exit 1
+  }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool ./build/BENCH_table_batch_throughput.json >/dev/null || {
+    echo "ci.sh: BENCH_table_batch_throughput.json is not well-formed JSON" >&2
+    exit 1
+  }
+fi
 
 # Label-order ablation: asserts the static order optimization
 # recovers the adversarially-registered spec (same solutions, near
@@ -205,6 +253,22 @@ grep -q 'result: 499500' "$gropt_out" || {
   exit 1
 }
 rm -f "$gropt_out"
+
+# Serving smoke: the grd server must answer a request for the same
+# file over stdin and report it in the closing aggregate line.
+grd_out=$(mktemp)
+printf 'examples/sum.gr\n!quit\n' | ./build/grd > "$grd_out" || {
+  echo "ci.sh: grd smoke run failed" >&2
+  rm -f "$grd_out"
+  exit 1
+}
+grep -q '^ok examples/sum.gr .*scalars=1' "$grd_out" || {
+  echo "ci.sh: grd did not serve examples/sum.gr" >&2
+  cat "$grd_out" >&2
+  rm -f "$grd_out"
+  exit 1
+}
+rm -f "$grd_out"
 
 # Bench smoke: micro_parser reparses the dumped corpus (exits nonzero
 # on any parse failure or fixed-point violation) and records the

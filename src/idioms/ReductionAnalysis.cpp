@@ -12,6 +12,8 @@
 #include "pass/Analyses.h"
 #include "pass/ParallelDriver.h"
 #include "pass/PassInstrumentation.h"
+#include "support/OStream.h"
+#include "support/ThreadPool.h"
 
 #include <cstdlib>
 
@@ -116,9 +118,19 @@ PreservedAnalyses ReductionDetectionPass::run(Module &M,
   unsigned W = Workers;
   if (W == 0) {
     if (const char *Env = std::getenv("GR_DETECT_WORKERS")) {
-      long Parsed = std::strtol(Env, nullptr, 10);
-      if (Parsed > 0)
-        W = static_cast<unsigned>(Parsed);
+      std::string Err;
+      if (std::optional<unsigned> Parsed = parseWorkerCount(Env, &Err)) {
+        W = *Parsed; // 0 = unset/auto: stays serial below.
+      } else {
+        // Diagnose a malformed setting instead of silently running
+        // serial — but only once per process, not per pass run.
+        static bool Warned = [](const std::string &Msg) {
+          errs() << "detect-reductions: ignoring GR_DETECT_WORKERS: "
+                 << Msg << '\n';
+          return true;
+        }(Err);
+        (void)Warned;
+      }
     }
     if (W == 0)
       W = 1;

@@ -1,0 +1,132 @@
+//===- BatchDriver.cpp ----------------------------------------*- C++ -*-===//
+
+#include "pass/BatchDriver.h"
+
+#include "constraint/SolverEngine.h"
+#include "idioms/IdiomRegistry.h"
+#include "ir/IRParser.h"
+#include "ir/Module.h"
+#include "pass/ParallelDriver.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+using namespace gr;
+
+namespace {
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Percentile over a sorted sample (nearest-rank).
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  double Rank = std::ceil(P * static_cast<double>(Sorted.size()));
+  std::size_t Index = Rank <= 1.0 ? 0 : static_cast<std::size_t>(Rank) - 1;
+  if (Index >= Sorted.size())
+    Index = Sorted.size() - 1;
+  return Sorted[Index];
+}
+
+} // namespace
+
+BatchResult gr::runDetectionBatch(const std::vector<BatchInput> &Inputs,
+                                  const BatchOptions &Opts) {
+  BatchResult Result;
+  Result.Modules.resize(Inputs.size());
+
+  unsigned W = Opts.Workers;
+  if (W == 0) {
+    W = std::thread::hardware_concurrency();
+    if (W == 0)
+      W = 1;
+  }
+  Result.WorkersUsed = W;
+  Result.ModuleLanes = static_cast<unsigned>(
+      std::min<std::size_t>(W, std::max<std::size_t>(Inputs.size(), 1)));
+  // Lanes left over after module sharding go into each module:
+  // 8 workers over 2 modules = 2 module lanes x 4 function lanes.
+  Result.FunctionWorkers = std::max(1u, W / Result.ModuleLanes);
+
+  // Warm the shared compiled constraint programs outside the timed
+  // region — every lane reads them; compiling them inside one lane's
+  // first module would bill one request for process-lifetime work.
+  const IdiomRegistry &Registry =
+      Opts.Registry ? *Opts.Registry : IdiomRegistry::builtins();
+  if (resolveSolverKind(Opts.Kind) == SolverKind::Compiled)
+    (void)Registry.compiledSpecs();
+
+  const unsigned FunctionWorkers = Result.FunctionWorkers;
+  auto ServeModule = [&](std::size_t I) {
+    BatchModuleResult &R = Result.Modules[I];
+    R.Name = Inputs[I].Name;
+    double T0 = nowMs();
+    IRParseError Err;
+    auto M = parseIR(Inputs[I].Text, &Err);
+    R.ParseMs = nowMs() - T0;
+    if (!M) {
+      R.Error = Err.str();
+      R.TotalMs = nowMs() - T0;
+      return;
+    }
+    double T1 = nowMs();
+    ParallelDetectionOptions PD;
+    PD.Workers = FunctionWorkers; // 1 = the inline serial path
+    PD.Registry = &Registry;
+    PD.Kind = Opts.Kind;
+    ParallelDetectionResult PR = analyzeModuleParallel(*M, PD);
+    double T2 = nowMs();
+    R.DetectMs = T2 - T1;
+    R.TotalMs = T2 - T0;
+    R.Functions = static_cast<unsigned>(PR.Reports.size());
+    R.Counts = countReductions(PR.Reports);
+    R.Stats = PR.Stats;
+    R.Ok = true;
+  };
+
+  double WallStart = nowMs();
+  if (!Inputs.empty()) {
+    StealingPartition Part(Inputs.size(), Result.ModuleLanes);
+    auto Lane = [&](unsigned L) {
+      while (std::optional<std::size_t> I = Part.claim(L))
+        ServeModule(*I);
+    };
+    if (Result.ModuleLanes == 1 && FunctionWorkers == 1) {
+      Lane(0); // Fully serial batch: inline, no pool involved.
+    } else {
+      TaskGroup Group(ThreadPool::global());
+      for (unsigned L = 0; L < Result.ModuleLanes; ++L)
+        Group.runOn(L, [&Lane, L] { Lane(L); });
+      Group.wait();
+    }
+    Result.ModuleSteals = Part.steals();
+  }
+  Result.WallMs = nowMs() - WallStart;
+
+  // Aggregation, strictly after the join: statistics merge in input
+  // order, latencies pool over successful modules.
+  std::vector<double> Latencies;
+  Latencies.reserve(Result.Modules.size());
+  for (const BatchModuleResult &R : Result.Modules) {
+    if (!R.Ok) {
+      ++Result.Failed;
+      continue;
+    }
+    ++Result.Succeeded;
+    Result.Stats += R.Stats;
+    Latencies.push_back(R.TotalMs);
+  }
+  std::sort(Latencies.begin(), Latencies.end());
+  Result.P50Ms = percentile(Latencies, 0.50);
+  Result.P99Ms = percentile(Latencies, 0.99);
+  if (Result.WallMs > 0.0)
+    Result.ModulesPerSec =
+        static_cast<double>(Result.Succeeded) / (Result.WallMs / 1000.0);
+  return Result;
+}

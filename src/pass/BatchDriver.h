@@ -1,0 +1,109 @@
+//===- BatchDriver.h - batched detection over module streams --*- C++ -*-===//
+///
+/// \file
+/// The serving layer over parallel detection: accepts a batch of
+/// textual `.gr` modules (the IRParser entry point), shards them over
+/// the shared persistent thread pool at *module* granularity — with
+/// block-cyclic initial assignment and stealing, exactly like the
+/// function-level driver — and parses + detects each one, recording
+/// per-module latency. Worker lanes left over after module sharding
+/// are spent *inside* modules: with fewer modules than requested
+/// workers, each module task itself runs the function-level parallel
+/// driver, so a batch of one big module still uses every lane
+/// (module × function composition; see docs/THREADING.md).
+///
+/// Determinism: per-module results land in a pre-sized vector keyed
+/// by input index, and the aggregate DetectionStats is the sum of the
+/// per-module statistics *in input order* — bitwise identical to a
+/// serial sweep at every worker count. A module that fails to parse
+/// gets its diagnostic recorded in its own slot; it never perturbs
+/// the others.
+///
+/// Consumers: `gropt --batch <dir|list>`, the line-oriented grd
+/// server (tools/grd.cpp) and bench/table_batch_throughput.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_PASS_BATCHDRIVER_H
+#define GR_PASS_BATCHDRIVER_H
+
+#include "idioms/ReductionAnalysis.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class IdiomRegistry;
+
+/// One module of a batch: a name for reporting and the textual IR.
+struct BatchInput {
+  std::string Name;
+  std::string Text;
+};
+
+/// Configuration of one batch run.
+struct BatchOptions {
+  /// Total worker lanes to spend, across modules and within them;
+  /// 0 means hardware concurrency (at least 1).
+  unsigned Workers = 0;
+  /// Solver every lane runs (compiled engine by default).
+  SolverKind Kind = SolverKind::Default;
+  /// Idiom registry; null means IdiomRegistry::builtins().
+  const IdiomRegistry *Registry = nullptr;
+};
+
+/// Outcome for one input module, in input order.
+struct BatchModuleResult {
+  std::string Name;
+  bool Ok = false;
+  /// Parse diagnostic when !Ok.
+  std::string Error;
+  unsigned Functions = 0;
+  ReductionCounts Counts;
+  /// This module's detection statistics (merged into
+  /// BatchResult::Stats in input order).
+  DetectionStats Stats;
+  double ParseMs = 0.0;
+  double DetectMs = 0.0;
+  /// Parse + detect latency of this module, as observed by the lane
+  /// that served it.
+  double TotalMs = 0.0;
+};
+
+/// Outcome of a whole batch.
+struct BatchResult {
+  /// Per-module outcomes, keyed by input index.
+  std::vector<BatchModuleResult> Modules;
+  /// Sum of per-module statistics in input order — bitwise identical
+  /// at every worker count.
+  DetectionStats Stats;
+  uint64_t Succeeded = 0;
+  uint64_t Failed = 0;
+  /// Total worker lanes used (after clamping).
+  unsigned WorkersUsed = 0;
+  /// Module-level lanes (min(Workers, #modules)).
+  unsigned ModuleLanes = 0;
+  /// Function-level lanes each module task runs with
+  /// (max(1, Workers / ModuleLanes)).
+  unsigned FunctionWorkers = 0;
+  /// Modules claimed across lane boundaries (diagnostic).
+  uint64_t ModuleSteals = 0;
+  /// Wall-clock of the whole batch, measured inside the driver.
+  double WallMs = 0.0;
+  /// Latency percentiles over successful modules' TotalMs.
+  double P50Ms = 0.0;
+  double P99Ms = 0.0;
+  /// Successful modules per second of wall-clock.
+  double ModulesPerSec = 0.0;
+};
+
+/// Parses and runs idiom detection over every input on the shared
+/// persistent pool. Results are independent of the worker count.
+BatchResult runDetectionBatch(const std::vector<BatchInput> &Inputs,
+                              const BatchOptions &Opts = {});
+
+} // namespace gr
+
+#endif // GR_PASS_BATCHDRIVER_H

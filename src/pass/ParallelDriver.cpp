@@ -7,6 +7,7 @@
 #include "ir/Function.h"
 #include "ir/Module.h"
 #include "support/ErrorHandling.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -76,28 +77,35 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
   // private slot per worker, merged only after join.
   std::vector<SolverDepthProfile> DepthSlots(Opts.Depths ? W : 0);
 
-  auto Work = [&](unsigned Worker) {
+  // Block-cyclic initial assignment with stealing for load balance:
+  // lane w starts on definitions w, w+W, w+2W, ... and a drained lane
+  // pulls from the most loaded one. Reports are keyed by definition
+  // index and per-lane statistics are commutative counters, so the
+  // steal pattern cannot affect the merged result.
+  StealingPartition Part(Defs.size(), W);
+
+  auto Work = [&](unsigned Lane) {
     FunctionAnalysisManager FAM;
-    DetectionStats &Local = Ledger.slot(Worker);
-    SolverDepthProfile *Depths =
-        Opts.Depths ? &DepthSlots[Worker] : nullptr;
-    for (std::size_t I = Worker; I < Defs.size(); I += W)
-      Result.Reports[I] =
-          analyzeFunction(*Defs[I], FAM, &Local, &Registry, Kind, Depths);
+    DetectionStats &Local = Ledger.slot(Lane);
+    SolverDepthProfile *Depths = Opts.Depths ? &DepthSlots[Lane] : nullptr;
+    while (std::optional<std::size_t> I = Part.claim(Lane))
+      Result.Reports[*I] =
+          analyzeFunction(*Defs[*I], FAM, &Local, &Registry, Kind, Depths);
   };
 
   if (W == 1) {
-    Work(0); // Degenerate pool: run inline, same code path.
+    Work(0); // Serial run: inline on the caller, no pool involved.
   } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(W);
-    for (unsigned T = 0; T < W; ++T)
-      Pool.emplace_back(Work, T);
-    for (std::thread &T : Pool)
-      T.join();
+    // Fork-join on the persistent process-wide pool — per-call thread
+    // spawning is what made parallel detection lose in wall-clock.
+    TaskGroup Group(ThreadPool::global());
+    for (unsigned Lane = 0; Lane < W; ++Lane)
+      Group.runOn(Lane, [&Work, Lane] { Work(Lane); });
+    Group.wait();
   }
 
   Result.Stats = Ledger.merge();
+  Result.Steals = Part.steals();
   if (Opts.Depths)
     for (const SolverDepthProfile &Slot : DepthSlots)
       *Opts.Depths += Slot;

@@ -3,25 +3,30 @@
 /// \file
 /// Per-function idiom detection is embarrassingly parallel: it reads
 /// the IR, builds analyses, and solves constraint formulas without
-/// mutating anything. This driver shards a module's definitions over a
-/// pool of std::thread workers, each with its *own*
-/// FunctionAnalysisManager (the shared manager's cache is not
-/// thread-safe), and merges the per-worker DetectionStats strictly
-/// after every worker has been joined.
+/// mutating anything. This driver shards a module's definitions over
+/// the process-wide persistent thread pool (support/ThreadPool.h) —
+/// worker lanes, each with its *own* FunctionAnalysisManager (the
+/// shared manager's cache is not thread-safe), pull functions from a
+/// StealingPartition and merge per-lane DetectionStats strictly after
+/// the fork-join wait.
 ///
-/// Sharding is static block-cyclic: worker w handles definitions
-/// w, w+W, w+2W, ... in module order. That makes the schedule — and
-/// therefore the report order and the merged statistics — fully
-/// deterministic: any worker count produces bitwise identical results
-/// (asserted by tests/IdiomRegistryTests.cpp and
+/// Sharding is block-cyclic as the *initial* assignment: lane w owns
+/// definitions w, w+W, w+2W, ... in module order, and a drained lane
+/// steals from the most loaded one, so uneven functions still
+/// balance. The schedule is therefore not deterministic — the
+/// *results* are: reports land in a pre-sized vector keyed by
+/// definition index (module order), and statistics are commutative
+/// integer counters summed after the join, so any worker count and
+/// any steal pattern produce bitwise identical output (asserted by
+/// tests/IdiomRegistryTests.cpp, tests/ThreadPoolTests.cpp and
 /// bench/table_parallel_scaling.cpp).
 ///
 /// Ownership rule for statistics (enforced by StatsLedger): a
-/// DetectionStats instance is written by exactly one worker; merging
+/// DetectionStats instance is written by exactly one lane; merging
 /// with operator+= happens only on the spawning thread, only after
-/// join. Sharing one instance across running workers is a data race —
-/// SolverStats counters are plain uint64_t, not atomics, by design
-/// (atomics would serialize the solver's hot path).
+/// the join point. Sharing one instance across running workers is a
+/// data race — SolverStats counters are plain uint64_t, not atomics,
+/// by design (atomics would serialize the solver's hot path).
 ///
 /// The module must not be mutated while the driver runs; run
 /// transform passes strictly before or after.
@@ -44,9 +49,11 @@ struct SolverDepthProfile;
 
 /// Configuration of one parallel detection run.
 struct ParallelDetectionOptions {
-  /// Worker threads to spawn; 0 means std::thread::hardware_concurrency
-  /// (at least 1). The driver never spawns more workers than there are
-  /// definitions.
+  /// Worker lanes to shard over; 0 means
+  /// std::thread::hardware_concurrency (at least 1). The driver never
+  /// uses more lanes than there are definitions. Lanes map onto the
+  /// shared persistent pool (support/ThreadPool.h); no threads are
+  /// spawned per call.
   unsigned Workers = 0;
   /// Idiom registry to run; null means IdiomRegistry::builtins().
   /// Custom registries must not be mutated while the driver runs.
@@ -70,8 +77,13 @@ struct ParallelDetectionResult {
   std::vector<ReductionReport> Reports;
   /// Merged statistics, bitwise identical to a serial run's.
   DetectionStats Stats;
-  /// Workers actually spawned (after clamping).
+  /// Worker lanes actually used (after clamping). Lanes are a
+  /// concurrency bound, not spawned threads: execution happens on the
+  /// shared persistent pool.
   unsigned WorkersUsed = 0;
+  /// Functions claimed across lane boundaries by work stealing
+  /// (diagnostic; schedule-dependent, does not affect results).
+  uint64_t Steals = 0;
 };
 
 /// The accumulate-local-then-merge helper for worker statistics. Each

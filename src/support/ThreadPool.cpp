@@ -1,0 +1,285 @@
+//===- ThreadPool.cpp -----------------------------------------*- C++ -*-===//
+
+#include "support/ThreadPool.h"
+
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+
+using namespace gr;
+
+//===----------------------------------------------------------------------===//
+// parseWorkerCount
+//===----------------------------------------------------------------------===//
+
+std::optional<unsigned> gr::parseWorkerCount(std::string_view Text,
+                                             std::string *Err) {
+  auto Fail = [&](const std::string &Msg) -> std::optional<unsigned> {
+    if (Err)
+      *Err = Msg;
+    return std::nullopt;
+  };
+  if (Text.empty())
+    return Fail("empty worker count");
+  std::optional<int64_t> N = parseInt(Text);
+  if (!N)
+    return Fail("worker count '" + std::string(Text) +
+                "' is not a decimal integer");
+  if (*N < 0)
+    return Fail("worker count " + std::to_string(*N) + " is negative");
+  if (*N > static_cast<int64_t>(MaxWorkerCount))
+    return Fail("worker count " + std::to_string(*N) + " exceeds the " +
+                std::to_string(MaxWorkerCount) + " limit");
+  return static_cast<unsigned>(*N);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Worker id of the calling thread, -1 off-pool. Tasks run inline by
+/// a helping wait() keep the helper's id (off-pool helpers stay -1).
+thread_local int CurrentWorkerId = -1;
+} // namespace
+
+int ThreadPool::currentWorkerId() { return CurrentWorkerId; }
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Deques.resize(Threads);
+  Workers.reserve(Threads);
+  for (unsigned Id = 0; Id < Threads; ++Id)
+    Workers.emplace_back([this, Id] { workerLoop(Id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool *Pool = [] {
+    unsigned Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+    if (const char *Env = std::getenv("GR_POOL_THREADS")) {
+      std::string Err;
+      if (std::optional<unsigned> N = parseWorkerCount(Env, &Err)) {
+        if (*N > 0)
+          Threads = *N;
+      } else {
+        errs() << "ThreadPool: ignoring GR_POOL_THREADS: " << Err << '\n';
+      }
+    }
+    // Intentionally leaked: worker threads must outlive every static
+    // whose destructor might still submit work, so the process-wide
+    // pool is never torn down (the OS reclaims it at exit).
+    return new ThreadPool(Threads);
+  }();
+  return *Pool;
+}
+
+void ThreadPool::submit(Task T, unsigned Lane) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Stopping && "ThreadPool: submit after shutdown began");
+    Deques[Lane % Deques.size()].push_back(std::move(T));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::execute(Task &T) {
+  std::exception_ptr E;
+  try {
+    T.Fn();
+  } catch (...) {
+    E = std::current_exception();
+  }
+  T.Group->finish(E);
+}
+
+bool ThreadPool::runOneTaskOf(TaskGroup *G) {
+  Task T;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    bool Found = false;
+    for (std::deque<Task> &D : Deques) {
+      for (auto It = D.begin(); It != D.end(); ++It) {
+        if (It->Group == G) {
+          T = std::move(*It);
+          D.erase(It);
+          Found = true;
+          break;
+        }
+      }
+      if (Found)
+        break;
+    }
+    if (!Found)
+      return false;
+  }
+  execute(T);
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  CurrentWorkerId = static_cast<int>(Id);
+  const unsigned N = static_cast<unsigned>(Deques.size());
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    Task T;
+    bool Found = false;
+    // Own deque first, oldest task first (the deterministic initial
+    // assignment drains in submission order) ...
+    if (!Deques[Id].empty()) {
+      T = std::move(Deques[Id].front());
+      Deques[Id].pop_front();
+      Found = true;
+    } else {
+      // ... then steal the *newest* task of the most loaded victim:
+      // the back of a deque is the work its owner would reach last,
+      // so stealing there disturbs the initial assignment least.
+      unsigned Victim = N;
+      std::size_t Best = 0;
+      for (unsigned V = 1; V < N; ++V) {
+        unsigned Cand = (Id + V) % N;
+        if (Deques[Cand].size() > Best) {
+          Best = Deques[Cand].size();
+          Victim = Cand;
+        }
+      }
+      if (Victim != N) {
+        T = std::move(Deques[Victim].back());
+        Deques[Victim].pop_back();
+        Found = true;
+      }
+    }
+    if (Found) {
+      Lock.unlock();
+      execute(T);
+      Lock.lock();
+      continue;
+    }
+    if (Stopping)
+      return;
+    WorkAvailable.wait(Lock);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TaskGroup
+//===----------------------------------------------------------------------===//
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // wait() was never called explicitly; the destructor cannot
+    // propagate the task's failure.
+  }
+}
+
+void TaskGroup::runOn(unsigned Lane, std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Pending;
+  }
+  Pool.submit(ThreadPool::Task{std::move(Fn), this}, Lane);
+}
+
+void TaskGroup::finish(std::exception_ptr E) {
+  bool LastOne = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (E && !FirstError)
+      FirstError = E;
+    assert(Pending > 0 && "TaskGroup: more finishes than submissions");
+    LastOne = --Pending == 0;
+  }
+  if (LastOne)
+    Done.notify_all();
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Pending == 0)
+        break;
+    }
+    // Help: run one of our queued tasks inline instead of idling.
+    if (Pool.runOneTaskOf(this))
+      continue;
+    // Nothing of ours is queued — the stragglers are running on pool
+    // threads. Sleep until the count drops; the timeout re-checks the
+    // queues in case a running task of ours submitted more work to
+    // this group in the meantime.
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Pending != 0)
+      Done.wait_for(Lock, std::chrono::milliseconds(2));
+  }
+  std::exception_ptr E;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::swap(E, FirstError);
+  }
+  if (E)
+    std::rethrow_exception(E);
+}
+
+//===----------------------------------------------------------------------===//
+// StealingPartition
+//===----------------------------------------------------------------------===//
+
+StealingPartition::StealingPartition(std::size_t NumItems,
+                                     unsigned NumLanes) {
+  if (NumLanes == 0)
+    NumLanes = 1;
+  Lanes.resize(NumLanes);
+  for (std::size_t I = 0; I < NumItems; ++I)
+    Lanes[I % NumLanes].Items.push_back(I);
+  for (LaneState &L : Lanes)
+    L.Tail = L.Items.size();
+}
+
+std::optional<std::size_t> StealingPartition::claim(unsigned Lane,
+                                                    bool *WasSteal) {
+  if (WasSteal)
+    *WasSteal = false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  LaneState &Own = Lanes[Lane % Lanes.size()];
+  if (Own.Head < Own.Tail)
+    return Own.Items[Own.Head++];
+  // Steal from the back of the lane with the most remaining work —
+  // the items its owner would reach last.
+  LaneState *Victim = nullptr;
+  std::size_t Best = 0;
+  for (LaneState &L : Lanes) {
+    std::size_t Remaining = L.Tail - L.Head;
+    if (Remaining > Best) {
+      Best = Remaining;
+      Victim = &L;
+    }
+  }
+  if (!Victim)
+    return std::nullopt;
+  if (WasSteal)
+    *WasSteal = true;
+  ++Steals;
+  return Victim->Items[--Victim->Tail];
+}
+
+std::uint64_t StealingPartition::steals() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Steals;
+}

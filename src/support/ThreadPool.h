@@ -1,0 +1,217 @@
+//===- ThreadPool.h - persistent work-stealing thread pool ----*- C++ -*-===//
+///
+/// \file
+/// A process-lifetime, lazily-started worker pool for fork-join
+/// parallelism. Spawning std::threads per call is what made the PR 2
+/// parallel detection driver lose in wall-clock (thread creation and
+/// teardown cost more than the sharded work saved); this pool starts
+/// its threads once, parks them on a condition variable between
+/// batches, and is shared by every parallel driver in the process —
+/// module-level detection (pass/ParallelDriver.h), the batch driver
+/// (pass/BatchDriver.h) and the grd server reuse the same threads.
+///
+/// Structure:
+///
+///  - one task deque per worker. A submitter may target a specific
+///    deque (runOn) — that is how drivers express a deterministic
+///    *initial* assignment — while idle workers steal from the back
+///    of other workers' deques, so a skewed initial assignment still
+///    load-balances. The deques are guarded by a single pool mutex:
+///    at this system's task granularity (a task analyzes a whole
+///    function or module, ~0.1ms and up) two uncontended lock
+///    operations per task are noise, and one lock keeps the steal
+///    path trivially race-free.
+///
+///  - TaskGroup: the fork-join primitive. run()/runOn() submit tasks,
+///    wait() blocks until all of them finished. While waiting, the
+///    caller *helps*: it pops and runs tasks of its own group inline
+///    instead of idling. Helping is what makes nested fork-join safe
+///    on a small pool — a pool task that creates its own TaskGroup
+///    and waits on it cannot deadlock, because the waiting thread
+///    itself executes the subtasks (there is always at least one
+///    thread making progress, even on a one-thread pool).
+///
+///  - exceptions thrown by tasks are captured; the first one is
+///    rethrown from wait() at the join point (later ones are dropped,
+///    their tasks still count as finished).
+///
+/// Determinism contract: the pool itself promises nothing about
+/// execution order — determinism is the *submitter's* job, and every
+/// driver here achieves it the same way: results land in pre-sized
+/// vectors keyed by task index, and statistics are accumulated into
+/// per-lane slots merged only after wait() (commutative integer
+/// counters), so any schedule produces bitwise-identical output. See
+/// docs/THREADING.md for the full contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_SUPPORT_THREADPOOL_H
+#define GR_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace gr {
+
+class TaskGroup;
+
+/// Upper bound accepted by parseWorkerCount — worker counts beyond
+/// this are configuration mistakes, not requests.
+inline constexpr unsigned MaxWorkerCount = 1024;
+
+/// Validates a worker-count setting from a CLI flag or environment
+/// variable. Accepts a plain decimal in [0, MaxWorkerCount], where 0
+/// means "pick automatically" (hardware concurrency). Returns nullopt
+/// and fills \p Err with a human-readable diagnostic for anything
+/// else: non-numeric text, trailing junk, negative or absurdly large
+/// values. Callers must surface \p Err instead of silently falling
+/// back (tools/gropt.cpp exits; ReductionDetectionPass warns once).
+std::optional<unsigned> parseWorkerCount(std::string_view Text,
+                                         std::string *Err = nullptr);
+
+/// The persistent worker pool. Construct directly for tests (explicit
+/// thread count); production code shares ThreadPool::global().
+class ThreadPool {
+public:
+  /// Starts \p Threads workers immediately (clamped to at least 1).
+  explicit ThreadPool(unsigned Threads);
+
+  /// Drains every queued task, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// The process-wide pool, started on first use and alive until
+  /// process exit. Sized by GR_POOL_THREADS when set (validated with
+  /// parseWorkerCount; invalid values warn and are ignored), else
+  /// std::thread::hardware_concurrency().
+  static ThreadPool &global();
+
+  /// Number of worker threads (fixed at construction).
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Stable id of the calling pool worker in [0, threadCount()), or
+  /// -1 when called off-pool (e.g. from the submitting thread, or
+  /// from a helper running tasks inline during TaskGroup::wait()).
+  static int currentWorkerId();
+
+private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> Fn;
+    TaskGroup *Group;
+  };
+
+  /// Enqueues \p T on deque \p Lane (mod threadCount) and wakes a
+  /// worker.
+  void submit(Task T, unsigned Lane);
+
+  /// Pops one queued task of \p G (any deque, oldest first) and runs
+  /// it on the calling thread. Returns false when no task of \p G is
+  /// queued (it may still be *running* elsewhere).
+  bool runOneTaskOf(TaskGroup *G);
+
+  /// Executes \p T, routing any exception into the group, and signals
+  /// completion.
+  static void execute(Task &T);
+
+  void workerLoop(unsigned Id);
+
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::vector<std::deque<Task>> Deques; // guarded by Mutex
+  bool Stopping = false;                // guarded by Mutex
+  std::vector<std::thread> Workers;
+};
+
+/// A fork-join batch of tasks on a pool. Not thread-safe itself: one
+/// owner submits and waits (tasks may submit nested work through
+/// their *own* TaskGroup, not this one).
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool &Pool) : Pool(Pool) {}
+
+  /// Waits for stragglers; a pending exception is swallowed here (use
+  /// wait() to observe it).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  /// Submits \p Fn on the default lane (lane 0).
+  void run(std::function<void()> Fn) { runOn(0, std::move(Fn)); }
+
+  /// Submits \p Fn with deque \p Lane (mod threadCount) as its
+  /// initial placement — the deterministic initial assignment; idle
+  /// workers may still steal it.
+  void runOn(unsigned Lane, std::function<void()> Fn);
+
+  /// Blocks until every submitted task finished, helping by running
+  /// this group's queued tasks inline. Rethrows the first exception a
+  /// task threw, after all tasks completed.
+  void wait();
+
+private:
+  friend class ThreadPool;
+
+  /// Marks one task finished, recording \p E if it is the first
+  /// failure.
+  void finish(std::exception_ptr E);
+
+  ThreadPool &Pool;
+  std::mutex Mutex;
+  std::condition_variable Done;
+  std::size_t Pending = 0;        // guarded by Mutex
+  std::exception_ptr FirstError;  // guarded by Mutex
+};
+
+/// Deterministic block-cyclic partition of \p NumItems work items
+/// over \p NumLanes lanes, with stealing: lane L initially owns items
+/// L, L+N, L+2N, ... and claims them front-to-back; a drained lane
+/// steals from the *back* of the lane with the most remaining items.
+/// claim() is safe to call concurrently from any thread (single
+/// internal mutex — item granularity here is a whole function or
+/// module). Every item is claimed exactly once; which lane claims a
+/// stolen item is schedule-dependent, which is why drivers key
+/// results by *item* index and keep only commutative per-lane state.
+class StealingPartition {
+public:
+  StealingPartition(std::size_t NumItems, unsigned NumLanes);
+
+  /// Claims the next item for \p Lane; nullopt when all items are
+  /// claimed. Sets \p *WasSteal when the item came from another
+  /// lane's initial assignment.
+  std::optional<std::size_t> claim(unsigned Lane, bool *WasSteal = nullptr);
+
+  /// Items claimed across lane boundaries so far (diagnostic; exact
+  /// value is schedule-dependent).
+  std::uint64_t steals() const;
+
+  unsigned lanes() const { return static_cast<unsigned>(Lanes.size()); }
+
+private:
+  struct LaneState {
+    std::vector<std::size_t> Items;
+    std::size_t Head = 0; ///< next own claim
+    std::size_t Tail = 0; ///< one past the last unclaimed item
+  };
+  mutable std::mutex Mutex;
+  std::vector<LaneState> Lanes; // guarded by Mutex
+  std::uint64_t Steals = 0;     // guarded by Mutex
+};
+
+} // namespace gr
+
+#endif // GR_SUPPORT_THREADPOOL_H

@@ -1,0 +1,186 @@
+//===- BatchDriverTests.cpp - batched detection driver tests --*- C++ -*-===//
+///
+/// \file
+/// Tests for pass/BatchDriver.h: input-order results and bitwise
+/// aggregate statistics at any worker count, per-module error
+/// isolation, the module x function lane composition, latency
+/// percentile sanity, and empty-batch behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pass/BatchDriver.h"
+
+#include "ir/IRPrinter.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+const char *ReductionSource = R"(
+double data[128];
+int keys[128];
+int bins[16];
+double kernel() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 128; i++)
+    s = s + data[i] * 0.25;
+  for (i = 0; i < 128; i++)
+    bins[keys[i] % 16]++;
+  return s;
+}
+int main() { return 0; }
+)";
+
+const char *ArgMinSource = R"(
+double xs[64];
+int best() {
+  int i;
+  double lo = 1.0e30;
+  int loi = 0;
+  for (i = 0; i < 64; i++) {
+    if (xs[i] < lo) {
+      lo = xs[i];
+      loi = i;
+    }
+  }
+  return loi;
+}
+int main() { return 0; }
+)";
+
+/// Compiles \p Source and returns its textual IR.
+std::string irText(const char *Source) {
+  auto M = test::compileOrFail(Source);
+  if (!M)
+    return "";
+  return moduleToString(*M);
+}
+
+/// A mixed batch of \p N modules cycling the two seed programs.
+std::vector<BatchInput> mixedBatch(unsigned N) {
+  std::string A = irText(ReductionSource);
+  std::string B = irText(ArgMinSource);
+  std::vector<BatchInput> Inputs;
+  for (unsigned I = 0; I < N; ++I) {
+    BatchInput In;
+    In.Name = "m" + std::to_string(I);
+    In.Text = I % 2 == 0 ? A : B;
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+BatchOptions withWorkers(unsigned W) {
+  BatchOptions O;
+  O.Workers = W;
+  return O;
+}
+
+TEST(BatchDriver, InputOrderResultsAndBitwiseStats) {
+  std::vector<BatchInput> Inputs = mixedBatch(12);
+  BatchResult Serial = runDetectionBatch(Inputs, withWorkers(1));
+  ASSERT_EQ(Serial.Modules.size(), Inputs.size());
+  EXPECT_EQ(Serial.Succeeded, Inputs.size());
+  EXPECT_EQ(Serial.Failed, 0u);
+
+  // The steal schedule varies run to run; results never do.
+  for (unsigned W : {2u, 8u}) {
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      BatchResult R = runDetectionBatch(Inputs, withWorkers(W));
+      EXPECT_TRUE(R.Stats == Serial.Stats)
+          << "aggregate stats diverged at " << W << " workers";
+      ASSERT_EQ(R.Modules.size(), Inputs.size());
+      for (std::size_t I = 0; I < Inputs.size(); ++I) {
+        EXPECT_EQ(R.Modules[I].Name, Inputs[I].Name);
+        EXPECT_TRUE(R.Modules[I].Ok);
+        EXPECT_EQ(R.Modules[I].Functions, Serial.Modules[I].Functions);
+        EXPECT_EQ(R.Modules[I].Counts.Scalars,
+                  Serial.Modules[I].Counts.Scalars);
+        EXPECT_EQ(R.Modules[I].Counts.Histograms,
+                  Serial.Modules[I].Counts.Histograms);
+        EXPECT_EQ(R.Modules[I].Counts.ArgMinMax,
+                  Serial.Modules[I].Counts.ArgMinMax);
+        EXPECT_TRUE(R.Modules[I].Stats == Serial.Modules[I].Stats);
+      }
+    }
+  }
+}
+
+TEST(BatchDriver, ParseErrorIsIsolatedToItsSlot) {
+  std::vector<BatchInput> Inputs = mixedBatch(6);
+  Inputs[3].Text = "this is not textual IR {{{";
+
+  for (unsigned W : {1u, 8u}) {
+    BatchResult R = runDetectionBatch(Inputs, withWorkers(W));
+    ASSERT_EQ(R.Modules.size(), 6u);
+    EXPECT_EQ(R.Failed, 1u);
+    EXPECT_EQ(R.Succeeded, 5u);
+    EXPECT_FALSE(R.Modules[3].Ok);
+    EXPECT_FALSE(R.Modules[3].Error.empty());
+    for (std::size_t I = 0; I < 6; ++I)
+      if (I != 3) {
+        EXPECT_TRUE(R.Modules[I].Ok) << "module " << I << " at W=" << W;
+        EXPECT_TRUE(R.Modules[I].Error.empty());
+      }
+  }
+
+  // The aggregate over the healthy slots matches a batch that never
+  // contained the broken module.
+  std::vector<BatchInput> Healthy;
+  for (std::size_t I = 0; I < 6; ++I)
+    if (I != 3)
+      Healthy.push_back(Inputs[I]);
+  BatchResult HealthyOnly = runDetectionBatch(Healthy, withWorkers(1));
+  BatchResult Mixed = runDetectionBatch(Inputs, withWorkers(8));
+  EXPECT_TRUE(Mixed.Stats == HealthyOnly.Stats);
+}
+
+TEST(BatchDriver, LaneCompositionSplitsModulesThenFunctions) {
+  // Fewer modules than workers: the leftover lanes go inside modules.
+  BatchResult Two = runDetectionBatch(mixedBatch(2), withWorkers(8));
+  EXPECT_EQ(Two.WorkersUsed, 8u);
+  EXPECT_EQ(Two.ModuleLanes, 2u);
+  EXPECT_EQ(Two.FunctionWorkers, 4u);
+
+  // More modules than workers: all lanes at module granularity.
+  BatchResult Many = runDetectionBatch(mixedBatch(16), withWorkers(8));
+  EXPECT_EQ(Many.ModuleLanes, 8u);
+  EXPECT_EQ(Many.FunctionWorkers, 1u);
+
+  // Serial stays fully inline.
+  BatchResult One = runDetectionBatch(mixedBatch(4), withWorkers(1));
+  EXPECT_EQ(One.ModuleLanes, 1u);
+  EXPECT_EQ(One.FunctionWorkers, 1u);
+  EXPECT_EQ(One.ModuleSteals, 0u);
+}
+
+TEST(BatchDriver, LatencyAccountingIsSane) {
+  BatchResult R = runDetectionBatch(mixedBatch(10), withWorkers(2));
+  EXPECT_LE(R.P50Ms, R.P99Ms);
+  EXPECT_GT(R.WallMs, 0.0);
+  EXPECT_GT(R.ModulesPerSec, 0.0);
+  for (const BatchModuleResult &M : R.Modules) {
+    EXPECT_GE(M.ParseMs, 0.0);
+    EXPECT_GE(M.DetectMs, 0.0);
+    EXPECT_GE(M.TotalMs, 0.0);
+  }
+}
+
+TEST(BatchDriver, EmptyBatchIsHarmless) {
+  BatchResult R = runDetectionBatch({}, withWorkers(8));
+  EXPECT_TRUE(R.Modules.empty());
+  EXPECT_EQ(R.Succeeded, 0u);
+  EXPECT_EQ(R.Failed, 0u);
+  EXPECT_EQ(R.P50Ms, 0.0);
+  EXPECT_EQ(R.P99Ms, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,355 @@
+//===- ThreadPoolTests.cpp - persistent pool + driver tests ---*- C++ -*-===//
+///
+/// \file
+/// Tests for the persistent work-stealing pool (support/ThreadPool.h)
+/// and the rewritten parallel detection driver on top of it: worker
+/// reuse without thread churn, stealing under skewed assignments,
+/// exception propagation to the join point, nested fork-join safety
+/// on a one-thread pool, worker-count validation, and the driver's
+/// bitwise-identical-results contract at 1/2/8 workers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "idioms/ReductionAnalysis.h"
+#include "pass/ParallelDriver.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+using namespace gr;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// parseWorkerCount
+//===----------------------------------------------------------------------===//
+
+TEST(ParseWorkerCount, AcceptsPlainCounts) {
+  EXPECT_EQ(parseWorkerCount("0"), 0u);
+  EXPECT_EQ(parseWorkerCount("1"), 1u);
+  EXPECT_EQ(parseWorkerCount("8"), 8u);
+  EXPECT_EQ(parseWorkerCount("1024"), 1024u);
+}
+
+TEST(ParseWorkerCount, RejectsJunkWithDiagnostic) {
+  std::string Err;
+  EXPECT_FALSE(parseWorkerCount("", &Err));
+  EXPECT_NE(Err.find("empty"), std::string::npos);
+  EXPECT_FALSE(parseWorkerCount("banana", &Err));
+  EXPECT_NE(Err.find("banana"), std::string::npos);
+  EXPECT_FALSE(parseWorkerCount("4x", &Err));
+  EXPECT_FALSE(parseWorkerCount("3.5", &Err));
+  EXPECT_FALSE(parseWorkerCount("-2", &Err));
+  EXPECT_NE(Err.find("negative"), std::string::npos);
+  EXPECT_FALSE(parseWorkerCount("1025", &Err));
+  EXPECT_NE(Err.find("limit"), std::string::npos);
+  EXPECT_FALSE(parseWorkerCount("99999999999999999999", &Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Pool reuse: persistent threads, no churn
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ReusesThreadsAcrossManyCycles) {
+  ThreadPool Pool(2);
+  std::mutex M;
+  std::set<std::thread::id> ThreadIds;
+  std::set<int> WorkerIds;
+
+  for (int Cycle = 0; Cycle < 50; ++Cycle) {
+    TaskGroup Group(Pool);
+    for (int T = 0; T < 8; ++T)
+      Group.runOn(static_cast<unsigned>(T), [&] {
+        std::lock_guard<std::mutex> Lock(M);
+        ThreadIds.insert(std::this_thread::get_id());
+        WorkerIds.insert(ThreadPool::currentWorkerId());
+      });
+    Group.wait();
+  }
+
+  // 400 tasks over 50 submit/wait cycles may only ever have run on
+  // the two pool threads plus the helping waiter — a pool that spawns
+  // per cycle would show dozens of ids.
+  EXPECT_LE(ThreadIds.size(), 3u);
+  // Pool workers report stable ids in [0, threadCount); the helping
+  // (main) thread reports -1.
+  for (int Id : WorkerIds) {
+    EXPECT_GE(Id, -1);
+    EXPECT_LT(Id, static_cast<int>(Pool.threadCount()));
+  }
+}
+
+TEST(ThreadPool, WorkerIdIsStablePerThread) {
+  ThreadPool Pool(3);
+  std::mutex M;
+  std::map<std::thread::id, std::set<int>> IdsPerThread;
+  for (int Cycle = 0; Cycle < 20; ++Cycle) {
+    TaskGroup Group(Pool);
+    for (int T = 0; T < 12; ++T)
+      Group.runOn(static_cast<unsigned>(T), [&] {
+        std::lock_guard<std::mutex> Lock(M);
+        IdsPerThread[std::this_thread::get_id()].insert(
+            ThreadPool::currentWorkerId());
+      });
+    Group.wait();
+  }
+  // Every OS thread always reported the same worker id.
+  for (const auto &[Tid, Ids] : IdsPerThread) {
+    (void)Tid;
+    EXPECT_EQ(Ids.size(), 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stealing
+//===----------------------------------------------------------------------===//
+
+TEST(StealingPartition, BlockCyclicInitialAssignment) {
+  StealingPartition Part(10, 3);
+  bool Steal = false;
+  // Lane 0 owns 0, 3, 6, 9 and claims them in order.
+  EXPECT_EQ(Part.claim(0, &Steal), 0u);
+  EXPECT_FALSE(Steal);
+  EXPECT_EQ(Part.claim(0), 3u);
+  EXPECT_EQ(Part.claim(0), 6u);
+  EXPECT_EQ(Part.claim(0), 9u);
+  EXPECT_EQ(Part.steals(), 0u);
+}
+
+TEST(StealingPartition, DrainedLaneStealsFromMostLoadedBack) {
+  StealingPartition Part(10, 2);
+  // Lane 1 drains its own items 1, 3, 5, 7, 9 ...
+  for (std::size_t Expect : {1u, 3u, 5u, 7u, 9u})
+    EXPECT_EQ(Part.claim(1), Expect);
+  // ... then steals lane 0's items from the back: 8, 6, 4, 2, 0.
+  bool Steal = false;
+  for (std::size_t Expect : {8u, 6u, 4u, 2u, 0u}) {
+    EXPECT_EQ(Part.claim(1, &Steal), Expect);
+    EXPECT_TRUE(Steal);
+  }
+  EXPECT_EQ(Part.steals(), 5u);
+  // Everything is claimed exactly once: lane 0 finds nothing left.
+  EXPECT_FALSE(Part.claim(0).has_value());
+  EXPECT_FALSE(Part.claim(1).has_value());
+}
+
+TEST(StealingPartition, OwnerAndThiefNeverDoubleClaim) {
+  // Interleave: lane 0 claims from the front while lane 1 steals from
+  // the back; the claimed sets must partition the items exactly.
+  StealingPartition Part(100, 2);
+  std::set<std::size_t> Claimed;
+  bool Lane = false;
+  for (;;) {
+    auto I = Part.claim(Lane ? 1 : 0);
+    Lane = !Lane;
+    if (!I)
+      break;
+    EXPECT_TRUE(Claimed.insert(*I).second) << "double claim of " << *I;
+  }
+  EXPECT_EQ(Claimed.size(), 100u);
+}
+
+TEST(ThreadPool, IdleWorkerStealsSkewedAssignment) {
+  // Both tasks are placed on lane 0. The first blocks until the
+  // second runs — which can only happen if another worker steals it,
+  // so completion of this test *is* the stealing assertion.
+  ThreadPool Pool(2);
+  std::mutex M;
+  std::condition_variable CV;
+  bool SecondRan = false;
+  std::thread::id FirstThread, SecondThread;
+
+  TaskGroup Group(Pool);
+  Group.runOn(0, [&] {
+    std::unique_lock<std::mutex> Lock(M);
+    FirstThread = std::this_thread::get_id();
+    CV.wait(Lock, [&] { return SecondRan; });
+  });
+  Group.runOn(0, [&] {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      SecondThread = std::this_thread::get_id();
+      SecondRan = true;
+    }
+    CV.notify_all();
+  });
+  Group.wait();
+  EXPECT_TRUE(SecondRan);
+  EXPECT_NE(FirstThread, SecondThread);
+}
+
+//===----------------------------------------------------------------------===//
+// Exceptions and nesting
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ExceptionPropagatesToJoinPoint) {
+  ThreadPool Pool(2);
+  std::atomic<int> Completed{0};
+  {
+    TaskGroup Group(Pool);
+    for (int T = 0; T < 4; ++T)
+      Group.runOn(static_cast<unsigned>(T), [&, T] {
+        if (T == 2)
+          throw std::runtime_error("task 2 failed");
+        ++Completed;
+      });
+    EXPECT_THROW(
+        {
+          try {
+            Group.wait();
+          } catch (const std::runtime_error &E) {
+            EXPECT_STREQ(E.what(), "task 2 failed");
+            throw;
+          }
+        },
+        std::runtime_error);
+  }
+  EXPECT_EQ(Completed.load(), 3);
+
+  // The pool survives a failed group: later groups run normally.
+  TaskGroup After(Pool);
+  std::atomic<bool> Ran{false};
+  After.run([&] { Ran = true; });
+  After.wait();
+  EXPECT_TRUE(Ran);
+}
+
+TEST(ThreadPool, NestedForkJoinOnOneThreadPoolDoesNotDeadlock) {
+  // A pool task that creates its own TaskGroup and waits must not
+  // deadlock even when it occupies the pool's only thread — the
+  // helping wait() runs the subtasks inline.
+  ThreadPool Pool(1);
+  std::atomic<int> InnerRan{0};
+  TaskGroup Outer(Pool);
+  Outer.run([&] {
+    TaskGroup Inner(Pool);
+    for (int T = 0; T < 4; ++T)
+      Inner.runOn(static_cast<unsigned>(T), [&] { ++InnerRan; });
+    Inner.wait();
+  });
+  Outer.wait();
+  EXPECT_EQ(InnerRan.load(), 4);
+}
+
+TEST(ThreadPool, WaiterHelpsRunQueuedTasks) {
+  // Pin the one-thread pool's worker on a gated task that only opens
+  // once the other eight tasks have run: the waiting thread is then
+  // provably the only executor available for them, so all eight must
+  // run inline inside wait().
+  ThreadPool Pool(1);
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Release{false};
+  std::atomic<int> InlineRan{0};
+  std::thread::id Waiter = std::this_thread::get_id();
+  TaskGroup Group(Pool);
+  Group.run([&] {
+    Started = true;
+    while (!Release)
+      std::this_thread::yield();
+  });
+  // Only submit the fast tasks once the worker holds the gated one,
+  // so the waiter cannot accidentally pop the gate itself.
+  while (!Started)
+    std::this_thread::yield();
+  for (int T = 0; T < 8; ++T)
+    Group.run([&] {
+      EXPECT_EQ(std::this_thread::get_id(), Waiter);
+      if (++InlineRan == 8)
+        Release = true;
+    });
+  Group.wait();
+  EXPECT_EQ(InlineRan.load(), 8);
+}
+
+//===----------------------------------------------------------------------===//
+// The rewritten detection driver: bitwise-identical results
+//===----------------------------------------------------------------------===//
+
+const char *DriverSource = R"(
+double data[256];
+int keys[256];
+int bins[32];
+double heavy0() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 256; i++)
+    s = s + data[i] * 0.5;
+  for (i = 0; i < 256; i++)
+    bins[keys[i] % 32]++;
+  double best = -1.0e30;
+  int besti = 0;
+  for (i = 0; i < 256; i++) {
+    double d = data[i] * 1.5;
+    if (d > best) { best = d; besti = i; }
+  }
+  return s + best + besti;
+}
+int light1() { return 1; }
+int light2() { return 2; }
+int light3() { return 3; }
+double heavy4() {
+  int i;
+  double s = 1.0;
+  for (i = 0; i < 128; i++)
+    s = s + data[i];
+  return s;
+}
+int light5() { return 5; }
+int main() { return 0; }
+)";
+
+TEST(ParallelDriverPool, BitwiseIdenticalStatsAtAnyWorkerCount) {
+  auto M = test::compileOrFail(DriverSource);
+  ASSERT_NE(M, nullptr);
+
+  ParallelDetectionOptions Serial;
+  Serial.Workers = 1;
+  ParallelDetectionResult Base = analyzeModuleParallel(*M, Serial);
+  EXPECT_EQ(Base.WorkersUsed, 1u);
+  EXPECT_EQ(Base.Steals, 0u);
+
+  for (unsigned W : {2u, 8u}) {
+    ParallelDetectionOptions Opts;
+    Opts.Workers = W;
+    // Run repeatedly: the steal schedule varies, the results must not.
+    for (int Rep = 0; Rep < 5; ++Rep) {
+      ParallelDetectionResult R = analyzeModuleParallel(*M, Opts);
+      EXPECT_TRUE(R.Stats == Base.Stats)
+          << "stats diverged at " << W << " workers (rep " << Rep << ")";
+      ASSERT_EQ(R.Reports.size(), Base.Reports.size());
+      for (std::size_t I = 0; I < R.Reports.size(); ++I) {
+        EXPECT_EQ(R.Reports[I].F, Base.Reports[I].F);
+        EXPECT_EQ(R.Reports[I].Scalars.size(),
+                  Base.Reports[I].Scalars.size());
+        EXPECT_EQ(R.Reports[I].Histograms.size(),
+                  Base.Reports[I].Histograms.size());
+        EXPECT_EQ(R.Reports[I].ArgMinMax.size(),
+                  Base.Reports[I].ArgMinMax.size());
+      }
+    }
+  }
+}
+
+TEST(ParallelDriverPool, WorkerCountClampsToDefinitions) {
+  auto M = test::compileOrFail("int main() { return 42; }");
+  ASSERT_NE(M, nullptr);
+  ParallelDetectionOptions Opts;
+  Opts.Workers = 64;
+  ParallelDetectionResult R = analyzeModuleParallel(*M, Opts);
+  EXPECT_EQ(R.WorkersUsed, 1u);
+  EXPECT_EQ(R.Reports.size(), 1u);
+}
+
+} // namespace

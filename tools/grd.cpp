@@ -1,0 +1,265 @@
+//===- grd.cpp - long-lived detection server over stdin -------*- C++ -*-===//
+///
+/// \file
+/// The serving face of the detection pipeline: a long-lived process
+/// that accepts a *stream* of textual-IR modules on stdin and answers
+/// one result line per request on stdout, keeping the persistent
+/// thread pool, the compiled constraint programs and the idiom
+/// registry warm across requests — the amortization a fresh gropt
+/// process per module cannot have.
+///
+/// Protocol (line-oriented; responses are flushed per line so the
+/// tool can sit behind a pipe or socket relay):
+///
+///   <path.gr>      parse + detect that file, answer `ok ...`/`error ...`
+///   !stats         answer one aggregate line (served, p50/p99, rate)
+///   !quit          exit 0
+///   EOF            print the aggregate line, exit 0
+///
+///   grd [--workers=N] [--solver=KIND] [--json]
+///
+/// With --workers=N each request is detected with N worker lanes at
+/// function granularity on the shared pool (0 = auto); requests
+/// themselves are served in arrival order — latency of *this*
+/// request, not batch throughput, is the serving contract. For
+/// offline throughput over a fixed corpus, use `gropt --batch`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pass/BatchDriver.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+struct ServerOptions {
+  unsigned Workers = 0; ///< 0 = auto
+  SolverKind Solver = SolverKind::Default;
+  bool Json = false;
+};
+
+void usage() {
+  errs() << "usage: grd [--workers=N] [--solver=KIND] [--json]\n"
+         << "  reads .gr paths from stdin (one per line); !stats and\n"
+         << "  !quit are control commands. See docs/THREADING.md.\n";
+}
+
+bool parseArgs(int Argc, char **Argv, ServerOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (startsWith(Arg, "--workers=")) {
+      std::string Err;
+      auto N = parseWorkerCount(Arg.substr(10), &Err);
+      if (!N) {
+        errs() << "grd: bad --workers value: " << Err << '\n';
+        return false;
+      }
+      Opts.Workers = *N;
+    } else if (startsWith(Arg, "--solver=")) {
+      std::string K = Arg.substr(9);
+      if (K == "compiled")
+        Opts.Solver = SolverKind::Compiled;
+      else if (K == "reference")
+        Opts.Solver = SolverKind::Reference;
+      else if (K == "default")
+        Opts.Solver = SolverKind::Default;
+      else {
+        errs() << "grd: unknown solver kind '" << K << "'\n";
+        return false;
+      }
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return false;
+    } else {
+      errs() << "grd: unknown option '" << Arg << "'\n";
+      usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nearest-rank percentile over an unsorted sample.
+double percentile(std::vector<double> Sample, double P) {
+  if (Sample.empty())
+    return 0.0;
+  std::sort(Sample.begin(), Sample.end());
+  std::size_t Rank =
+      static_cast<std::size_t>(P * static_cast<double>(Sample.size()) + 0.999999);
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Sample.size())
+    Rank = Sample.size();
+  return Sample[Rank - 1];
+}
+
+struct Aggregate {
+  uint64_t Served = 0;
+  uint64_t Errors = 0;
+  double BusyMs = 0.0;
+  std::vector<double> Latencies;
+};
+
+void printAggregate(const Aggregate &A, bool Json) {
+  double P50 = percentile(A.Latencies, 0.50);
+  double P99 = percentile(A.Latencies, 0.99);
+  double Rate = A.BusyMs > 0.0
+                    ? static_cast<double>(A.Served) / (A.BusyMs / 1000.0)
+                    : 0.0;
+  if (Json)
+    std::printf("{\"stats\": true, \"served\": %llu, \"errors\": %llu, "
+                "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"busy_ms\": %.3f, "
+                "\"modules_per_s\": %.1f}\n",
+                static_cast<unsigned long long>(A.Served),
+                static_cast<unsigned long long>(A.Errors), P50, P99,
+                A.BusyMs, Rate);
+  else
+    std::printf("stats served=%llu errors=%llu p50_ms=%.3f p99_ms=%.3f "
+                "busy_ms=%.3f modules_per_s=%.1f\n",
+                static_cast<unsigned long long>(A.Served),
+                static_cast<unsigned long long>(A.Errors), P50, P99,
+                A.BusyMs, Rate);
+  std::fflush(stdout);
+}
+
+/// Escapes \p S for a JSON string literal (minimal: quotes,
+/// backslashes, control bytes).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (unsigned char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += static_cast<char>(C);
+    } else if (C < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  // Warm the pool and the compiled specs before the first request so
+  // request one is not billed for process-lifetime setup.
+  (void)ThreadPool::global();
+
+  Aggregate Agg;
+  char LineBuf[4096];
+  while (std::fgets(LineBuf, sizeof(LineBuf), stdin)) {
+    std::string Line(LineBuf);
+    while (!Line.empty() &&
+           (Line.back() == '\n' || Line.back() == '\r' || Line.back() == ' '))
+      Line.pop_back();
+    while (!Line.empty() && Line.front() == ' ')
+      Line.erase(Line.begin());
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    if (Line == "!quit")
+      return 0;
+    if (Line == "!stats") {
+      printAggregate(Agg, Opts.Json);
+      continue;
+    }
+
+    double T0 = nowMs();
+    BatchInput In;
+    In.Name = Line;
+    std::string Response;
+    if (!readFile(Line, In.Text)) {
+      ++Agg.Errors;
+      if (Opts.Json)
+        Response = "{\"ok\": false, \"path\": \"" + jsonEscape(Line) +
+                   "\", \"error\": \"cannot read file\"}";
+      else
+        Response = "error " + Line + ": cannot read file";
+    } else {
+      BatchOptions BO;
+      BO.Workers = Opts.Workers;
+      BO.Kind = Opts.Solver;
+      // A batch of one: module lane 1, all worker lanes spent at
+      // function granularity inside the request.
+      BatchResult R = runDetectionBatch({In}, BO);
+      const BatchModuleResult &M = R.Modules.front();
+      double Ms = nowMs() - T0;
+      if (!M.Ok) {
+        ++Agg.Errors;
+        if (Opts.Json)
+          Response = "{\"ok\": false, \"path\": \"" + jsonEscape(Line) +
+                     "\", \"error\": \"" + jsonEscape(M.Error) + "\"}";
+        else
+          Response = "error " + Line + ": " + M.Error;
+      } else {
+        ++Agg.Served;
+        Agg.BusyMs += Ms;
+        Agg.Latencies.push_back(Ms);
+        char Buf[256];
+        if (Opts.Json) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "\"functions\": %u, \"scalars\": %u, "
+                        "\"histograms\": %u, \"scans\": %u, "
+                        "\"argminmax\": %u, \"solutions\": %llu, "
+                        "\"ms\": %.3f}",
+                        M.Functions, M.Counts.Scalars, M.Counts.Histograms,
+                        M.Counts.Scans, M.Counts.ArgMinMax,
+                        static_cast<unsigned long long>(
+                            M.Stats.totalSolutions()),
+                        Ms);
+          Response = "{\"ok\": true, \"path\": \"" + jsonEscape(Line) +
+                     "\", " + Buf;
+        } else {
+          std::snprintf(Buf, sizeof(Buf),
+                        " functions=%u scalars=%u histograms=%u scans=%u "
+                        "argminmax=%u solutions=%llu ms=%.3f",
+                        M.Functions, M.Counts.Scalars, M.Counts.Histograms,
+                        M.Counts.Scans, M.Counts.ArgMinMax,
+                        static_cast<unsigned long long>(
+                            M.Stats.totalSolutions()),
+                        Ms);
+          Response = "ok " + Line + Buf;
+        }
+      }
+    }
+    std::printf("%s\n", Response.c_str());
+    std::fflush(stdout);
+  }
+  printAggregate(Agg, Opts.Json);
+  return 0;
+}

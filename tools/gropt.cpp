@@ -12,12 +12,14 @@
 ///   gropt input.gr -passes=ssa,detect    run a pass pipeline
 ///   gropt input.gr --run                 execute main on the VM
 ///   gropt input.gr -o out.gr             reprint into a file
+///   gropt --batch DIR                    batched detection over DIR/*.gr
+///   gropt --batch LIST                   ... or over paths listed in a file
 ///   gropt --dump-corpus DIR              write the benchmark corpus as .gr
 ///   gropt --corpus-roundtrip DIR         dump + reparse + differential check
 ///
 /// Switches: --solver=compiled|reference, --exec=bytecode|reference,
-/// --workers=N (parallel detection), --json (machine-readable stats),
-/// --verify-only, --run=FUNC.
+/// --workers=N (parallel/batch detection; 0 = auto), --json
+/// (machine-readable stats), --verify-only, --run=FUNC.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,12 +31,14 @@
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
+#include "pass/BatchDriver.h"
 #include "pass/ParallelDriver.h"
 #include "pass/PassManager.h"
 #include "pass/Pipeline.h"
 #include "runtime/SimulatedParallel.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "transform/ArgMinMaxParallelize.h"
 #include "transform/CSE.h"
 #include "transform/DCE.h"
@@ -42,12 +46,16 @@
 #include "transform/ReductionParallelize.h"
 #include "transform/ScanParallelize.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
 
 using namespace gr;
 
@@ -153,6 +161,7 @@ struct Options {
   ExecKind Exec = ExecKind::Default;
   std::string DumpCorpusDir;
   std::string RoundTripDir;
+  std::string BatchArg; ///< --batch: directory of .gr files or a list file
 };
 
 void usage() {
@@ -164,7 +173,9 @@ void usage() {
          << "  --run[=FUNC]          execute FUNC() (default: main)\n"
          << "  --solver=KIND         default | compiled | reference\n"
          << "  --exec=KIND           default | bytecode | reference\n"
-         << "  --workers=N           detection worker threads\n"
+         << "  --workers=N           detection worker lanes (0 = auto)\n"
+         << "  --batch DIR|LIST      batched detection: every .gr under DIR,\n"
+         << "                        or the paths listed in file LIST\n"
          << "  -o FILE               reprint the module ('-' = stdout)\n"
          << "  --json                machine-readable stats on stdout\n"
          << "  --verify-only         parse + verify, print OK\n"
@@ -212,12 +223,19 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
     } else if (startsWith(Arg, "--workers=")) {
-      auto N = parseInt(Arg.substr(10));
-      if (!N || *N < 0) {
-        errs() << "gropt: bad --workers value\n";
+      std::string Err;
+      auto N = parseWorkerCount(Arg.substr(10), &Err);
+      if (!N) {
+        errs() << "gropt: bad --workers value: " << Err << '\n';
         return false;
       }
-      Opts.Workers = static_cast<unsigned>(*N);
+      Opts.Workers = *N;
+    } else if (Arg == "--batch") {
+      if (++I >= Argc) {
+        errs() << "gropt: --batch needs a directory or list file\n";
+        return false;
+      }
+      Opts.BatchArg = Argv[I];
     } else if (Arg == "-o") {
       if (++I >= Argc) {
         errs() << "gropt: -o needs a file\n";
@@ -342,7 +360,7 @@ DetectionSummary summarizeReports(const std::vector<ReductionReport> &Reports,
 
 DetectionSummary detect(Module &M, const Options &Opts) {
   ParallelDetectionOptions PD;
-  PD.Workers = Opts.Workers ? Opts.Workers : 1;
+  PD.Workers = Opts.Workers; // 0 = auto (hardware concurrency)
   PD.Kind = Opts.Solver;
   ParallelDetectionResult R = analyzeModuleParallel(M, PD);
   return summarizeReports(R.Reports, R.Stats);
@@ -564,6 +582,127 @@ int corpusRoundTrip(const std::string &Dir) {
   return (Failures == 0 && TotalIdioms > 0) ? 0 : 1;
 }
 
+//===----------------------------------------------------------------------===//
+// Batched detection (--batch)
+//===----------------------------------------------------------------------===//
+
+/// Collects the batch inputs named by \p Arg: every `.gr` file
+/// directly under it when it is a directory (sorted by name, so runs
+/// are reproducible), else the paths it lists one per line (blank
+/// lines and `#` comments skipped).
+bool collectBatchPaths(const std::string &Arg,
+                       std::vector<std::string> &Paths) {
+  struct stat St;
+  if (::stat(Arg.c_str(), &St) != 0) {
+    errs() << "gropt: --batch: cannot stat " << Arg << '\n';
+    return false;
+  }
+  if (S_ISDIR(St.st_mode)) {
+    DIR *D = ::opendir(Arg.c_str());
+    if (!D) {
+      errs() << "gropt: --batch: cannot open directory " << Arg << '\n';
+      return false;
+    }
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name.size() > 3 && Name.compare(Name.size() - 3, 3, ".gr") == 0)
+        Paths.push_back(Arg + "/" + Name);
+    }
+    ::closedir(D);
+    std::sort(Paths.begin(), Paths.end());
+    return true;
+  }
+  std::string List;
+  if (!readFile(Arg, List)) {
+    errs() << "gropt: --batch: cannot read list file " << Arg << '\n';
+    return false;
+  }
+  for (std::string_view Line : splitString(List, '\n')) {
+    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+      Line.remove_suffix(1);
+    while (!Line.empty() && Line.front() == ' ')
+      Line.remove_prefix(1);
+    if (Line.empty() || Line.front() == '#')
+      continue;
+    Paths.emplace_back(Line);
+  }
+  return true;
+}
+
+int runBatch(const Options &Opts) {
+  std::vector<std::string> Paths;
+  if (!collectBatchPaths(Opts.BatchArg, Paths))
+    return 1;
+  if (Paths.empty()) {
+    errs() << "gropt: --batch: no .gr inputs under " << Opts.BatchArg
+           << '\n';
+    return 1;
+  }
+
+  std::vector<BatchInput> Inputs;
+  Inputs.reserve(Paths.size());
+  unsigned Unreadable = 0;
+  for (const std::string &P : Paths) {
+    BatchInput In;
+    In.Name = P;
+    if (!readFile(P, In.Text)) {
+      errs() << "gropt: --batch: cannot read " << P << '\n';
+      ++Unreadable;
+      continue;
+    }
+    Inputs.push_back(std::move(In));
+  }
+
+  BatchOptions BO;
+  BO.Workers = Opts.Workers;
+  BO.Kind = Opts.Solver;
+  BatchResult R = runDetectionBatch(Inputs, BO);
+
+  OStream &OS = outs();
+  if (Opts.Json) {
+    JsonObject J;
+    J.add("modules", static_cast<uint64_t>(Inputs.size()));
+    J.add("succeeded", R.Succeeded);
+    J.add("failed", R.Failed + Unreadable);
+    J.add("workers", static_cast<uint64_t>(R.WorkersUsed));
+    J.add("module_lanes", static_cast<uint64_t>(R.ModuleLanes));
+    J.add("function_workers", static_cast<uint64_t>(R.FunctionWorkers));
+    J.add("module_steals", R.ModuleSteals);
+    J.addRaw("wall_ms", formatDouble(R.WallMs, 3));
+    J.addRaw("p50_ms", formatDouble(R.P50Ms, 3));
+    J.addRaw("p99_ms", formatDouble(R.P99Ms, 3));
+    J.addRaw("modules_per_s", formatDouble(R.ModulesPerSec, 1));
+    J.add("solver_nodes", R.Stats.totalNodes());
+    J.add("solver_candidates", R.Stats.totalCandidates());
+    J.add("solver_solutions", R.Stats.totalSolutions());
+    OS << J.str() << '\n';
+  } else {
+    for (const BatchModuleResult &M : R.Modules) {
+      if (!M.Ok) {
+        OS << "error  " << M.Name << ": " << M.Error << '\n';
+        continue;
+      }
+      OS << "ok     " << M.Name << "  functions=" << M.Functions
+         << " scalars=" << M.Counts.Scalars
+         << " histograms=" << M.Counts.Histograms
+         << " scans=" << M.Counts.Scans
+         << " argminmax=" << M.Counts.ArgMinMax << " ms="
+         << formatDouble(M.TotalMs, 3) << '\n';
+    }
+    OS << "=== batch: " << static_cast<uint64_t>(Inputs.size())
+       << " modules, " << R.Succeeded << " ok, "
+       << (R.Failed + Unreadable) << " failed ===\n"
+       << "workers: " << R.WorkersUsed << " (" << R.ModuleLanes
+       << " module lanes x " << R.FunctionWorkers
+       << " function workers, " << R.ModuleSteals << " steals)\n"
+       << "wall: " << formatDouble(R.WallMs, 3) << " ms   p50: "
+       << formatDouble(R.P50Ms, 3) << " ms   p99: "
+       << formatDouble(R.P99Ms, 3) << " ms   throughput: "
+       << formatDouble(R.ModulesPerSec, 1) << " modules/s\n";
+  }
+  return (R.Failed + Unreadable) == 0 ? 0 : 1;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -580,6 +719,8 @@ int main(int Argc, char **Argv) {
     return dumpCorpus(Opts.DumpCorpusDir, Opts.Json);
   if (!Opts.RoundTripDir.empty())
     return corpusRoundTrip(Opts.RoundTripDir);
+  if (!Opts.BatchArg.empty())
+    return runBatch(Opts);
 
   if (Opts.Input.empty()) {
     usage();
