@@ -198,15 +198,16 @@ void TaskGroup::runOn(unsigned Lane, std::function<void()> Fn) {
 }
 
 void TaskGroup::finish(std::exception_ptr E) {
-  bool LastOne = false;
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    if (E && !FirstError)
-      FirstError = E;
-    assert(Pending > 0 && "TaskGroup: more finishes than submissions");
-    LastOne = --Pending == 0;
-  }
-  if (LastOne)
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (E && !FirstError)
+    FirstError = E;
+  assert(Pending > 0 && "TaskGroup: more finishes than submissions");
+  // Notify while still holding Mutex: the waiter in wait() can also
+  // wake on its own (wait_for timeout, helping loop), and the group
+  // is typically a stack object it destroys as soon as it observes
+  // Pending == 0 — which it cannot do before this unlock, so the
+  // notify never touches a destroyed condition_variable.
+  if (--Pending == 0)
     Done.notify_all();
 }
 

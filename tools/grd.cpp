@@ -26,6 +26,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "constraint/Solver.h"
+#include "idioms/IdiomRegistry.h"
 #include "pass/BatchDriver.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
@@ -100,6 +102,20 @@ bool readFile(const std::string &Path, std::string &Out) {
     Out.append(Buf, N);
   std::fclose(F);
   return true;
+}
+
+/// Reads one full request line of arbitrary length (fgets with a
+/// fixed buffer would silently split an over-long line into multiple
+/// bogus path requests). Returns false at EOF with nothing read.
+bool readRequestLine(std::string &Line) {
+  Line.clear();
+  char Buf[4096];
+  while (std::fgets(Buf, sizeof(Buf), stdin)) {
+    Line += Buf;
+    if (!Line.empty() && Line.back() == '\n')
+      return true;
+  }
+  return !Line.empty();
 }
 
 double nowMs() {
@@ -180,11 +196,12 @@ int main(int Argc, char **Argv) {
   // Warm the pool and the compiled specs before the first request so
   // request one is not billed for process-lifetime setup.
   (void)ThreadPool::global();
+  if (resolveSolverKind(Opts.Solver) == SolverKind::Compiled)
+    (void)IdiomRegistry::builtins().compiledSpecs();
 
   Aggregate Agg;
-  char LineBuf[4096];
-  while (std::fgets(LineBuf, sizeof(LineBuf), stdin)) {
-    std::string Line(LineBuf);
+  std::string Line;
+  while (readRequestLine(Line)) {
     while (!Line.empty() &&
            (Line.back() == '\n' || Line.back() == '\r' || Line.back() == ' '))
       Line.pop_back();
