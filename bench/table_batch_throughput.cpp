@@ -30,10 +30,19 @@
 ///    30% wall-clock on any host — the thread-churn regression this
 ///    PR removes must stay gone even where threads only interleave.
 ///
+/// GR_BATCH_WARM_CACHE=1 flips the whole bench onto the detection
+/// cache's serving path: an in-memory cache is populated by one
+/// untimed sweep, so every measured number below is warm (the stats
+/// identity gates still apply — cached results must be bitwise
+/// cold-identical — but the speedup gates don't: warm serving is a
+/// lookup, not a parallel solve). Default runs keep the cache off
+/// explicitly, so an ambient GR_CACHE_DIR cannot skew the trail.
+///
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
 
+#include "cache/DetectionCache.h"
 #include "frontend/Compiler.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
@@ -121,15 +130,29 @@ int main() {
     Inputs.push_back(std::move(In));
   }
 
+  const bool WarmCache = envUnsigned("GR_BATCH_WARM_CACHE", 0) != 0;
+  if (WarmCache) {
+    DetectionCache::configure({"", 65536});
+    runDetectionBatch(Inputs, [] {
+      BatchOptions O;
+      O.Workers = 8;
+      return O;
+    }());
+  } else {
+    DetectionCache::disable();
+  }
+
   OS << "Batched detection: " << NumModules << " modules synthesized from "
      << static_cast<uint64_t>(SeedTexts.size()) << " seed programs, "
-     << Cores << " core(s), median of " << Reps << " reps\n";
+     << Cores << " core(s), median of " << Reps << " reps"
+     << (WarmCache ? ", warm detection cache" : "") << "\n";
 
   bench::BenchJson Json;
   Json.setInt("modules", NumModules);
   Json.setInt("seed_programs", SeedTexts.size());
   Json.setInt("cores", Cores);
   Json.setInt("reps", Reps);
+  Json.setInt("warm_cache", WarmCache ? 1 : 0);
 
   // Cold sweep first: pool start, first-touch allocation and spec
   // compilation are all inside this one measurement.
@@ -190,6 +213,7 @@ int main() {
       WallSpeedupAt8 = WallSpeedup;
       ModelSpeedupAt8 = ModelSpeedup;
       Json.setInt("module_steals_at_8", R.ModuleSteals);
+      Json.setInt("module_cache_hits_at_8", R.ModuleCacheHits);
     }
 
     std::string Prefix = "workers" + std::to_string(W);
@@ -223,15 +247,18 @@ int main() {
 
   bool Pass = Identical;
   // Anti-regression floor on every host: the pooled batch must not
-  // lose to serial. (The pre-pool driver lost ~20% here.)
-  if (WallSpeedupAt8 < 0.7) {
+  // lose to serial. (The pre-pool driver lost ~20% here.) Warm-cache
+  // runs are lookup-bound, not solve-bound, so the parallel speedup
+  // floors only apply to the default (uncached) mode.
+  if (!WarmCache && WallSpeedupAt8 < 0.7) {
     fprintf(stderr,
             "table_batch_throughput: pooled 8-lane wall %.2fx of serial "
             "(floor 0.7x) - pool overhead regression\n",
             WallSpeedupAt8);
     Pass = false;
   }
-  if (const char *Env = std::getenv("GR_MIN_BATCH_SPEEDUP")) {
+  if (const char *Env = !WarmCache ? std::getenv("GR_MIN_BATCH_SPEEDUP")
+                                   : nullptr) {
     double Min = std::strtod(Env, nullptr);
     if (Min > 0.0) {
       if (ModelSpeedupAt8 < Min) {

@@ -1,0 +1,281 @@
+//===- table_cache_sweep.cpp - detection cache cold/warm sweep *- C++ -*-===//
+///
+/// \file
+/// Measures what the content-addressed detection cache
+/// (cache/DetectionCache.h) buys on repeat traffic: synthesizes a
+/// corpus by cycling the 40-program benchmark seed (GR_CACHE_MODULES,
+/// default 200), then sweeps it
+///
+///  - uncached, at 1/2/8 workers — the reference statistics every
+///    cached run must reproduce bitwise;
+///  - cold, against a fresh on-disk cache (every store paid inside
+///    the measurement);
+///  - warm, median-of-N over the now-populated cache (byte-identical
+///    requests answered from the module tier before parsing);
+///  - disk re-warm, through a fresh cache instance over the same
+///    directory — the "new process, old cache dir" path, which must
+///    serve from disk (DiskHits > 0), never re-solve.
+///
+/// Gates (exit 1 on violation):
+///  - every cached sweep's merged DetectionStats bitwise identical to
+///    the uncached serial reference, at every worker count and
+///    repetition, including the disk re-warm;
+///  - the warm serial sweep must answer every module from the module
+///    tier (hits == modules — replicas are byte-identical, so one
+///    cold store covers them all);
+///  - with GR_MIN_CACHE_SPEEDUP set: the serial cold/warm wall ratio
+///    must reach the floor on every host (single-lane, so core count
+///    cannot mask it — this is the model-level number), and the
+///    8-lane cold/warm ratio must reach it too when the host actually
+///    has >= 8 cores (PR 6 wall-gate convention).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "cache/DetectionCache.h"
+#include "frontend/Compiler.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "pass/BatchDriver.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace gr;
+
+namespace {
+
+unsigned envUnsigned(const char *Name, unsigned Default) {
+  if (const char *Env = std::getenv(Name)) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  return Default;
+}
+
+/// Runs the batch \p Reps times and returns the repetition with the
+/// median wall-clock. Every repetition's statistics must match
+/// \p *Reference when non-null; mismatches flip \p Identical.
+BatchResult medianRun(const std::vector<BatchInput> &Inputs, unsigned W,
+                      unsigned Reps, const DetectionStats *Reference,
+                      bool &Identical) {
+  std::vector<BatchResult> Runs;
+  Runs.reserve(Reps);
+  for (unsigned R = 0; R < Reps; ++R) {
+    Runs.push_back(runDetectionBatch(Inputs, [&] {
+      BatchOptions O;
+      O.Workers = W;
+      return O;
+    }()));
+    if (Reference && !(Runs.back().Stats == *Reference))
+      Identical = false;
+    if (Runs.back().Failed != 0)
+      Identical = false;
+  }
+  std::sort(Runs.begin(), Runs.end(),
+            [](const BatchResult &A, const BatchResult &B) {
+              return A.WallMs < B.WallMs;
+            });
+  return std::move(Runs[Runs.size() / 2]);
+}
+
+/// Fresh cache directory under /tmp; empty string on failure.
+std::string makeCacheDir() {
+  char Template[] = "/tmp/gr_cache_sweep_XXXXXX";
+  char *Dir = mkdtemp(Template);
+  return Dir ? std::string(Dir) : std::string();
+}
+
+/// Removes a cache directory and its (flat) entries.
+void removeTree(const std::string &Dir) {
+  if (Dir.empty())
+    return;
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      if (!std::strcmp(E->d_name, ".") || !std::strcmp(E->d_name, ".."))
+        continue;
+      std::string Path = Dir + "/" + E->d_name;
+      unlink(Path.c_str());
+    }
+    closedir(D);
+  }
+  rmdir(Dir.c_str());
+}
+
+} // namespace
+
+int main() {
+  OStream &OS = outs();
+  const unsigned NumModules = envUnsigned("GR_CACHE_MODULES", 200);
+  const unsigned Reps = envUnsigned("GR_BENCH_REPS", 3);
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores == 0)
+    Cores = 1;
+
+  // Synthesize the corpus: every seed program printed once, then
+  // cycled. Replicas are byte-identical on purpose — repeat traffic
+  // over unchanged modules is exactly the workload the cache serves.
+  std::vector<std::string> SeedTexts;
+  std::vector<std::string> SeedNames;
+  for (const BenchmarkProgram &B : corpus()) {
+    std::string Error;
+    auto M = compileMiniC(B.Source, B.Name, &Error);
+    if (!M) {
+      errs() << "compile error in " << B.Name << ": " << Error << '\n';
+      return 1;
+    }
+    SeedTexts.push_back(moduleToString(*M));
+    SeedNames.push_back(std::string(B.Suite) + "/" + B.Name);
+  }
+  std::vector<BatchInput> Inputs;
+  Inputs.reserve(NumModules);
+  for (unsigned I = 0; I < NumModules; ++I) {
+    BatchInput In;
+    In.Name = SeedNames[I % SeedNames.size()] + "#" + std::to_string(I);
+    In.Text = SeedTexts[I % SeedTexts.size()];
+    Inputs.push_back(std::move(In));
+  }
+
+  OS << "Detection cache sweep: " << NumModules << " modules synthesized from "
+     << static_cast<uint64_t>(SeedTexts.size()) << " seed programs, "
+     << Cores << " core(s), median of " << Reps << " reps\n";
+
+  bench::BenchJson Json;
+  Json.setInt("modules", NumModules);
+  Json.setInt("seed_programs", SeedTexts.size());
+  Json.setInt("cores", Cores);
+  Json.setInt("reps", Reps);
+
+  // Uncached reference: the statistics every cached sweep must
+  // reproduce bitwise, at 1/2/8 workers. Caching is explicitly off so
+  // an ambient GR_CACHE_DIR (the CI warm-test rerun exports one)
+  // cannot leak into the baseline.
+  DetectionCache::disable();
+  bool Identical = true;
+  BatchResult Uncached = medianRun(Inputs, 1, Reps, nullptr, Identical);
+  for (unsigned W : {2u, 8u}) {
+    BatchResult R = medianRun(Inputs, W, 1, &Uncached.Stats, Identical);
+    Json.setDouble("uncached" + std::to_string(W) + ".wall_ms", R.WallMs);
+  }
+  Json.setDouble("uncached_serial_wall_ms", Uncached.WallMs);
+  OS << "uncached serial: " << formatDouble(Uncached.WallMs, 1) << " ms\n";
+
+  // Cold sweep: fresh disk-backed cache; every function/module store
+  // is paid inside this one measurement.
+  std::string Dir = makeCacheDir();
+  if (Dir.empty()) {
+    errs() << "table_cache_sweep: mkdtemp failed\n";
+    return 1;
+  }
+  DetectionCache::configure({Dir, 65536});
+  BatchResult ColdSerial = medianRun(Inputs, 1, 1, &Uncached.Stats, Identical);
+  Json.setDouble("cold_serial_wall_ms", ColdSerial.WallMs);
+  OS << "cold serial (fresh cache, stores included): "
+     << formatDouble(ColdSerial.WallMs, 1) << " ms\n";
+
+  // Warm sweeps over the populated cache: byte-identical requests are
+  // answered by the module tier before parsing.
+  BatchResult WarmSerial =
+      medianRun(Inputs, 1, Reps, &Uncached.Stats, Identical);
+  BatchResult Warm2 = medianRun(Inputs, 2, Reps, &Uncached.Stats, Identical);
+  BatchResult Warm8 = medianRun(Inputs, 8, Reps, &Uncached.Stats, Identical);
+  bool WarmAllHits = WarmSerial.ModuleCacheHits == NumModules;
+  Json.setDouble("warm_serial_wall_ms", WarmSerial.WallMs);
+  Json.setDouble("warm2_wall_ms", Warm2.WallMs);
+  Json.setDouble("warm8_wall_ms", Warm8.WallMs);
+  Json.setInt("warm_serial_module_hits", WarmSerial.ModuleCacheHits);
+  OS << "warm serial: " << formatDouble(WarmSerial.WallMs, 1) << " ms ("
+     << WarmSerial.ModuleCacheHits << "/" << NumModules
+     << " module-tier hits)\n";
+
+  // Cold at 8 lanes needs its own fresh cache (the first one is warm
+  // now); this is the wall-gate numerator on >= 8-core hosts.
+  std::string Dir8 = makeCacheDir();
+  DetectionCache::configure({Dir8, 65536});
+  BatchResult Cold8 = medianRun(Inputs, 8, 1, &Uncached.Stats, Identical);
+  Json.setDouble("cold8_wall_ms", Cold8.WallMs);
+
+  // Disk re-warm: a fresh cache instance over the first directory —
+  // empty memory tier, populated disk tier. Must serve from disk and
+  // still reproduce the reference bitwise.
+  DetectionCache::configure({Dir, 65536});
+  BatchResult DiskWarm = medianRun(Inputs, 1, 1, &Uncached.Stats, Identical);
+  CacheCounters C = DetectionCache::active()->counters();
+  bool DiskServed = C.DiskHits > 0;
+  Json.setDouble("diskwarm_serial_wall_ms", DiskWarm.WallMs);
+  Json.setInt("diskwarm_disk_hits", C.DiskHits);
+  Json.setInt("diskwarm_corrupt", C.CorruptEntries);
+  OS << "disk re-warm serial (fresh instance, same dir): "
+     << formatDouble(DiskWarm.WallMs, 1) << " ms (" << C.DiskHits
+     << " disk hits)\n";
+
+  DetectionCache::disable();
+  removeTree(Dir);
+  removeTree(Dir8);
+
+  double SerialSpeedup =
+      WarmSerial.WallMs > 0.0 ? ColdSerial.WallMs / WarmSerial.WallMs : 1.0;
+  double SpeedupAt8 = Warm8.WallMs > 0.0 ? Cold8.WallMs / Warm8.WallMs : 1.0;
+  double DiskSpeedup =
+      DiskWarm.WallMs > 0.0 ? ColdSerial.WallMs / DiskWarm.WallMs : 1.0;
+  Json.setDouble("speedup_serial", SerialSpeedup);
+  Json.setDouble("speedup_at_8", SpeedupAt8);
+  Json.setDouble("speedup_disk_serial", DiskSpeedup);
+  Json.setStr("all_identical", Identical ? "yes" : "no");
+
+  OS << "\nwarm speedup: serial " << formatDouble(SerialSpeedup, 1)
+     << "x, 8 lanes " << formatDouble(SpeedupAt8, 1) << "x, disk re-warm "
+     << formatDouble(DiskSpeedup, 1) << "x\n";
+  OS << "stats identical across cached sweeps: " << (Identical ? "yes" : "NO")
+     << '\n';
+
+  bool Pass = Identical;
+  if (!WarmAllHits) {
+    fprintf(stderr,
+            "table_cache_sweep: warm serial sweep hit the module tier for "
+            "%llu/%u modules (expected all)\n",
+            static_cast<unsigned long long>(WarmSerial.ModuleCacheHits),
+            NumModules);
+    Pass = false;
+  }
+  if (!DiskServed) {
+    fprintf(stderr, "table_cache_sweep: disk re-warm recorded no disk hits\n");
+    Pass = false;
+  }
+  if (const char *Env = std::getenv("GR_MIN_CACHE_SPEEDUP")) {
+    double Min = std::strtod(Env, nullptr);
+    if (Min > 0.0) {
+      if (SerialSpeedup < Min) {
+        fprintf(stderr,
+                "table_cache_sweep: serial warm speedup %.2fx below "
+                "required %.2fx\n",
+                SerialSpeedup, Min);
+        Pass = false;
+      }
+      if (Cores >= 8 && SpeedupAt8 < Min) {
+        fprintf(stderr,
+                "table_cache_sweep: 8-lane warm speedup %.2fx below "
+                "required %.2fx on a %u-core host\n",
+                SpeedupAt8, Min, Cores);
+        Pass = false;
+      }
+      OS << "required: >= " << formatDouble(Min, 1)
+         << "x (serial always, 8-lane gated on >= 8 cores)\n";
+    }
+  }
+
+  if (Json.writeIfEnabled("table_cache_sweep"))
+    OS << "wrote BENCH_table_cache_sweep.json\n";
+  return Pass ? 0 : 1;
+}

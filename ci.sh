@@ -6,8 +6,11 @@
 # the execution suites on the reference tree-walker), re-runs of the
 # test suite with the parallel detection driver forced to 2 workers,
 # the parallel-scaling determinism bench, the batch-throughput bench
-# with its speedup floor and baseline-JSON checks, worker-count
-# validation smokes, a grd serving smoke, the textual-IR round-trip
+# with its speedup floor and baseline-JSON checks (plus its warm-cache
+# mode), the detection-cache sweep with its >= 10x warm-speedup floor,
+# the whole suite twice against one GR_CACHE_DIR (cold populate, then
+# all-green warm), worker-count validation smokes, gropt/grd cache
+# smokes, a grd serving smoke, the textual-IR round-trip
 # gate (corpus dump -> reparse -> differential detection/execution
 # check) with a gropt smoke over the checked-in examples/sum.gr, and
 # the micro_solver / micro_interp / micro_parser bench smokes (each
@@ -126,6 +129,23 @@ GR_DETECT_WORKERS=2 ./build/gr_tests >/dev/null || {
   exit 1
 }
 
+# The whole suite twice against one on-disk detection-cache directory:
+# the first run populates it cold, the second must be all-green while
+# serving warm from the same entries — cache correctness over the
+# entire suite's detection workload, not just the cache battery.
+cache_dir=$(mktemp -d)
+GR_CACHE_DIR="$cache_dir" ./build/gr_tests >/dev/null || {
+  echo "ci.sh: test suite failed while cold-populating GR_CACHE_DIR" >&2
+  rm -rf "$cache_dir"
+  exit 1
+}
+GR_CACHE_DIR="$cache_dir" ./build/gr_tests >/dev/null || {
+  echo "ci.sh: test suite failed on a warm GR_CACHE_DIR" >&2
+  rm -rf "$cache_dir"
+  exit 1
+}
+rm -rf "$cache_dir"
+
 # Worker-count validation: junk and absurd --workers values must be
 # rejected with a diagnostic, not clamped or crashed on.
 if ./build/gropt examples/sum.gr --detect --workers=banana >/dev/null 2>&1; then
@@ -174,6 +194,45 @@ done
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool ./build/BENCH_table_batch_throughput.json >/dev/null || {
     echo "ci.sh: BENCH_table_batch_throughput.json is not well-formed JSON" >&2
+    exit 1
+  }
+fi
+
+# The batch bench's warm-cache mode: the entire cached serving path at
+# every lane count must stay bitwise cold-identical (the speedup
+# floors are off — warm serving is a lookup, not a parallel solve).
+GR_BATCH_WARM_CACHE=1 GR_BATCH_MODULES=120 GR_BENCH_REPS=2 \
+  ./build/table_batch_throughput >/dev/null || {
+  echo "ci.sh: table_batch_throughput warm-cache mode failed" >&2
+  exit 1
+}
+
+# Detection-cache sweep: cold vs. warm over the replicated 40-program
+# corpus. Gates (inside the binary): every cached sweep's stats
+# bitwise identical to the uncached reference at 1/2/8 workers, the
+# warm serial sweep all module-tier hits, the disk re-warm actually
+# served from disk, and >= 10x warm speedup — serial ratio on every
+# host, the 8-lane wall ratio additionally when the host has >= 8
+# cores (recorded baseline: ~29x serial on the 1-core CI host).
+GR_BENCH_JSON_DIR=./build GR_CACHE_MODULES=200 GR_BENCH_REPS=3 \
+  GR_MIN_CACHE_SPEEDUP=10 ./build/table_cache_sweep >/dev/null || {
+  echo "ci.sh: table_cache_sweep failed (correctness or speedup)" >&2
+  exit 1
+}
+[ -f ./build/BENCH_table_cache_sweep.json ] || {
+  echo "ci.sh: BENCH_table_cache_sweep.json was not produced" >&2
+  exit 1
+}
+for key in '"speedup_serial"' '"speedup_at_8"' '"warm_serial_module_hits"' \
+    '"diskwarm_disk_hits"' '"all_identical": "yes"'; do
+  grep -q "$key" ./build/BENCH_table_cache_sweep.json || {
+    echo "ci.sh: BENCH_table_cache_sweep.json is missing $key" >&2
+    exit 1
+  }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool ./build/BENCH_table_cache_sweep.json >/dev/null || {
+    echo "ci.sh: BENCH_table_cache_sweep.json is not well-formed JSON" >&2
     exit 1
   }
 fi
@@ -269,6 +328,57 @@ grep -q '^ok examples/sum.gr .*scalars=1' "$grd_out" || {
   exit 1
 }
 rm -f "$grd_out"
+
+# gropt cache smoke: --cache must enable the detection cache and
+# surface its counters in the JSON report.
+./build/gropt examples/sum.gr --detect --cache --json \
+  | grep -q '"cache_function_misses"' || {
+  echo "ci.sh: gropt --cache --json did not report cache counters" >&2
+  exit 1
+}
+
+# Serving cache smoke: with --cache, a byte-identical repeat request
+# must be answered from the module tier — first response cache=miss,
+# second cache=hit, both otherwise identical — and !cache-stats plus
+# the aggregate's request-level cache_hits must agree.
+grd_cache_out=$(mktemp)
+printf 'examples/sum.gr\nexamples/sum.gr\n!cache-stats\n!stats\n!quit\n' \
+  | ./build/grd --cache > "$grd_cache_out" || {
+  echo "ci.sh: grd --cache smoke run failed" >&2
+  rm -f "$grd_cache_out"
+  exit 1
+}
+miss_count=$(grep -c '^ok examples/sum.gr .*cache=miss' "$grd_cache_out" || true)
+hit_count=$(grep -c '^ok examples/sum.gr .*cache=hit ' "$grd_cache_out" || true)
+if [ "$miss_count" != 1 ] || [ "$hit_count" != 1 ]; then
+  echo "ci.sh: grd --cache repeat request was not served from the cache" \
+    "(miss=$miss_count hit=$hit_count)" >&2
+  cat "$grd_cache_out" >&2
+  rm -f "$grd_cache_out"
+  exit 1
+fi
+# The two responses must agree on everything but the cache marker and
+# the volatile latency field.
+if [ "$(grep '^ok examples/sum.gr ' "$grd_cache_out" \
+        | sed 's/cache=[a-z]* ms=[0-9.]*$//' | sort -u | wc -l)" != 1 ]; then
+  echo "ci.sh: grd cached response diverged from the cold one" >&2
+  cat "$grd_cache_out" >&2
+  rm -f "$grd_cache_out"
+  exit 1
+fi
+grep -q '^cache hits=' "$grd_cache_out" || {
+  echo "ci.sh: grd !cache-stats did not answer" >&2
+  cat "$grd_cache_out" >&2
+  rm -f "$grd_cache_out"
+  exit 1
+}
+grep -q 'cache_hits=1 cache_misses=1' "$grd_cache_out" || {
+  echo "ci.sh: grd aggregate did not count one cache hit and one miss" >&2
+  cat "$grd_cache_out" >&2
+  rm -f "$grd_cache_out"
+  exit 1
+}
+rm -f "$grd_cache_out"
 
 # Bench smoke: micro_parser reparses the dumped corpus (exits nonzero
 # on any parse failure or fixed-point violation) and records the

@@ -1,0 +1,37 @@
+//===- ContentHash.cpp ----------------------------------------*- C++ -*-===//
+
+#include "cache/ContentHash.h"
+
+using namespace gr;
+
+uint64_t gr::hashBytes(std::string_view S) {
+  return ContentHasher().bytes(S.data(), S.size()).value();
+}
+
+std::string gr::hashToHex(uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[static_cast<std::size_t>(I)] = Digits[V & 0xF];
+    V >>= 4;
+  }
+  return Out;
+}
+
+bool gr::parseHexHash(std::string_view Text, uint64_t &Out) {
+  if (Text.size() != 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<unsigned>(C - 'a') + 10;
+    else
+      return false;
+    V = (V << 4) | Digit;
+  }
+  Out = V;
+  return true;
+}

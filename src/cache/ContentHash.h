@@ -1,0 +1,65 @@
+//===- ContentHash.h - stable content hashing for cache keys --*- C++ -*-===//
+///
+/// \file
+/// The one hash the detection cache keys on: FNV-1a over bytes, with
+/// small mixing helpers for composing multi-part keys. The function is
+/// fixed forever — on-disk cache entries are addressed by these
+/// values, so changing it silently orphans every persisted entry.
+/// Bump DetectionCache's schema version instead when key semantics
+/// change (see cache/DetectionCache.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CACHE_CONTENTHASH_H
+#define GR_CACHE_CONTENTHASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gr {
+
+/// Incremental FNV-1a (64-bit). Deliberately boring: stable across
+/// platforms and builds, cheap enough to run over every module text a
+/// server receives.
+class ContentHasher {
+public:
+  ContentHasher &bytes(const void *Data, std::size_t Size) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (std::size_t I = 0; I < Size; ++I) {
+      H ^= P[I];
+      H *= 1099511628211ull;
+    }
+    return *this;
+  }
+  ContentHasher &str(std::string_view S) {
+    // Length-prefix so ("ab","c") and ("a","bc") cannot collide.
+    u64(S.size());
+    return bytes(S.data(), S.size());
+  }
+  ContentHasher &u64(uint64_t V) {
+    unsigned char Buf[8];
+    for (int I = 0; I < 8; ++I)
+      Buf[I] = static_cast<unsigned char>(V >> (8 * I));
+    return bytes(Buf, 8);
+  }
+  uint64_t value() const { return H; }
+
+private:
+  uint64_t H = 14695981039346656037ull;
+};
+
+/// One-shot hash of a string.
+uint64_t hashBytes(std::string_view S);
+
+/// 16 lowercase hex digits of \p V (fixed width: these are file names
+/// and wire tokens).
+std::string hashToHex(uint64_t V);
+
+/// Parses exactly 16 hex digits; returns false on anything else.
+bool parseHexHash(std::string_view Text, uint64_t &Out);
+
+} // namespace gr
+
+#endif // GR_CACHE_CONTENTHASH_H

@@ -1,0 +1,902 @@
+//===- DetectionCache.cpp -------------------------------------*- C++ -*-===//
+
+#include "cache/DetectionCache.h"
+
+#include "idioms/IdiomRegistry.h"
+#include "idioms/IdiomSpec.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "pass/Analyses.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace gr;
+
+//===----------------------------------------------------------------===//
+// Entry text format
+//===----------------------------------------------------------------===//
+//
+// Line-oriented, versioned, explicitly terminated:
+//
+//   GRDC1 f <content-hash-hex>
+//   forloops <nodes> <candidates> <solutions>
+//   idioms <N>
+//   i <name> <nodes> <candidates> <solutions>     (xN, stats map order)
+//   loops <N>
+//   l <11 value refs>                             (xN)
+//   insts <N>
+//   b <idiom> <op> <11 value refs> <ncaps>        (xN, followed by caps)
+//   c <name> <ref>                                (xncaps)
+//   end GRDC1
+//
+// Module-tier entries swap the body for `functions/counts/forloops/
+// idioms` lines. Any deviation — short file, bad token, wrong count,
+// missing trailer — makes materialization return false, which the
+// cache treats as a miss (CorruptEntries counter). Values are encoded
+// relative to the target function:
+//
+//   n        null
+//   v<i>     Function::allValues()[i]      (args, blocks, instructions)
+//   o<i>.<j> operand j of allValues()[i]   (constants, globals, callees)
+//
+// allValues() enumerates in deterministic layout order, fully
+// determined by the function's canonical text — so an entry stored
+// against one Function instance rebinds into any other instance with
+// identical text (e.g. a freshly parsed copy in another module).
+
+namespace {
+
+constexpr uint64_t kSchemaVersion = 1;
+constexpr const char *kMagic = "GRDC1";
+constexpr const char *kTrailer = "end GRDC1";
+
+bool parseU64(const std::string &T, uint64_t &V) {
+  if (T.empty() || T.size() > 20)
+    return false;
+  V = 0;
+  for (char C : T) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Next = V * 10 + static_cast<uint64_t>(C - '0');
+    if (Next < V)
+      return false;
+    V = Next;
+  }
+  return true;
+}
+
+/// Space/percent-safe token encoding for idiom/capture names. The
+/// empty string becomes "%-" (never produced by a hex escape).
+std::string escapeToken(const std::string &S) {
+  if (S.empty())
+    return "%-";
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    if (C <= ' ' || C == '%' || C >= 0x7f) {
+      Out += '%';
+      Out += Digits[C >> 4];
+      Out += Digits[C & 0xF];
+    } else {
+      Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+bool unescapeToken(const std::string &T, std::string &Out) {
+  if (T == "%-") {
+    Out.clear();
+    return true;
+  }
+  Out.clear();
+  for (std::size_t I = 0; I < T.size(); ++I) {
+    if (T[I] != '%') {
+      Out += T[I];
+      continue;
+    }
+    auto Hex = [](char C) -> int {
+      if (C >= '0' && C <= '9')
+        return C - '0';
+      if (C >= 'a' && C <= 'f')
+        return C - 'a' + 10;
+      return -1;
+    };
+    if (I + 2 >= T.size())
+      return false;
+    int Hi = Hex(T[I + 1]), Lo = Hex(T[I + 2]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out += static_cast<char>((Hi << 4) | Lo);
+    I += 2;
+  }
+  return true;
+}
+
+void splitTokens(const std::string &Line, std::vector<std::string> &Toks) {
+  Toks.clear();
+  std::size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && Line[I] == ' ')
+      ++I;
+    std::size_t Start = I;
+    while (I < Line.size() && Line[I] != ' ')
+      ++I;
+    if (I > Start)
+      Toks.push_back(Line.substr(Start, I - Start));
+  }
+}
+
+/// Sequential line reader over the entry text; a file truncated
+/// mid-line simply runs out of lines and fails whatever count check
+/// comes next.
+struct LineReader {
+  const std::string &Text;
+  std::size_t Pos = 0;
+
+  explicit LineReader(const std::string &T) : Text(T) {}
+
+  bool next(std::string &Line) {
+    if (Pos >= Text.size())
+      return false;
+    std::size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos) {
+      Line = Text.substr(Pos);
+      Pos = Text.size();
+    } else {
+      Line = Text.substr(Pos, End - Pos);
+      Pos = End + 1;
+    }
+    return true;
+  }
+
+  bool nextTokens(std::vector<std::string> &Toks) {
+    std::string Line;
+    if (!next(Line))
+      return false;
+    splitTokens(Line, Toks);
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------===//
+// Value reference encoding
+//===----------------------------------------------------------------===//
+
+/// Encoder state for one function: the allValues index plus the
+/// operand-position fallback for values (constants, globals, callees)
+/// that live outside the local enumeration but are operands of it.
+struct ValueEncoder {
+  std::vector<Value *> Locals;
+  std::unordered_map<const Value *, unsigned> LocalIdx;
+  std::unordered_map<const Value *, std::pair<unsigned, unsigned>> OperandAt;
+
+  explicit ValueEncoder(const Function &F)
+      : Locals(F.allValues()) {
+    LocalIdx.reserve(Locals.size());
+    for (unsigned I = 0; I != Locals.size(); ++I)
+      LocalIdx.emplace(Locals[I], I);
+    for (unsigned I = 0; I != Locals.size(); ++I) {
+      auto *Inst = dyn_cast<Instruction>(Locals[I]);
+      if (!Inst)
+        continue;
+      for (unsigned J = 0, E = Inst->getNumOperands(); J != E; ++J)
+        OperandAt.emplace(Inst->getOperand(J), std::make_pair(I, J));
+    }
+  }
+
+  /// False when \p V has no stable encoding (caller must abort the
+  /// whole store — a partial entry would be wrong, not just stale).
+  bool encode(const Value *V, std::string &Out) const {
+    if (!V) {
+      Out += 'n';
+      return true;
+    }
+    auto L = LocalIdx.find(V);
+    if (L != LocalIdx.end()) {
+      Out += 'v';
+      Out += std::to_string(L->second);
+      return true;
+    }
+    auto O = OperandAt.find(V);
+    if (O != OperandAt.end()) {
+      Out += 'o';
+      Out += std::to_string(O->second.first);
+      Out += '.';
+      Out += std::to_string(O->second.second);
+      return true;
+    }
+    return false;
+  }
+};
+
+struct ValueDecoder {
+  std::vector<Value *> Locals;
+
+  explicit ValueDecoder(const Function &F) : Locals(F.allValues()) {}
+
+  bool decode(const std::string &T, Value *&Out) const {
+    if (T == "n") {
+      Out = nullptr;
+      return true;
+    }
+    if (T.size() < 2)
+      return false;
+    if (T[0] == 'v') {
+      uint64_t I;
+      if (!parseU64(T.substr(1), I) || I >= Locals.size())
+        return false;
+      Out = Locals[static_cast<std::size_t>(I)];
+      return true;
+    }
+    if (T[0] == 'o') {
+      std::size_t Dot = T.find('.');
+      if (Dot == std::string::npos)
+        return false;
+      uint64_t I, J;
+      if (!parseU64(T.substr(1, Dot - 1), I) ||
+          !parseU64(T.substr(Dot + 1), J) || I >= Locals.size())
+        return false;
+      auto *Inst = dyn_cast<Instruction>(Locals[static_cast<std::size_t>(I)]);
+      if (!Inst || J >= Inst->getNumOperands())
+        return false;
+      Out = Inst->getOperand(static_cast<unsigned>(J));
+      return true;
+    }
+    return false;
+  }
+
+  /// Typed decode helpers — a kind mismatch is corruption, not a cast
+  /// trap.
+  template <typename T>
+  bool decodeAs(const std::string &Tok, T *&Out, bool AllowNull = false) const {
+    Value *V;
+    if (!decode(Tok, V))
+      return false;
+    if (!V) {
+      if (!AllowNull)
+        return false;
+      Out = nullptr;
+      return true;
+    }
+    Out = dyn_cast<T>(V);
+    return Out != nullptr;
+  }
+};
+
+// Loop field order on the wire: entry loopbegin loopbody backedge
+// exit test iterator nextiter iterbegin iterstep iterend.
+bool encodeLoop(const ValueEncoder &Enc, const ForLoopMatch &M,
+                std::string &Out) {
+  const Value *Fields[11] = {M.Entry,    M.LoopBegin, M.LoopBody,
+                             M.Backedge, M.Exit,      M.Test,
+                             M.Iterator, M.NextIter,  M.IterBegin,
+                             M.IterStep, M.IterEnd};
+  for (const Value *V : Fields) {
+    Out += ' ';
+    if (!Enc.encode(V, Out))
+      return false;
+  }
+  return true;
+}
+
+bool decodeLoop(const ValueDecoder &Dec, const std::vector<std::string> &Toks,
+                std::size_t First, ForLoopMatch &M) {
+  if (First + 11 > Toks.size())
+    return false;
+  return Dec.decodeAs(Toks[First + 0], M.Entry) &&
+         Dec.decodeAs(Toks[First + 1], M.LoopBegin) &&
+         Dec.decodeAs(Toks[First + 2], M.LoopBody) &&
+         Dec.decodeAs(Toks[First + 3], M.Backedge) &&
+         Dec.decodeAs(Toks[First + 4], M.Exit) &&
+         Dec.decodeAs(Toks[First + 5], M.Test) &&
+         Dec.decodeAs(Toks[First + 6], M.Iterator) &&
+         Dec.decode(Toks[First + 7], M.NextIter) && M.NextIter &&
+         Dec.decode(Toks[First + 8], M.IterBegin) && M.IterBegin &&
+         Dec.decode(Toks[First + 9], M.IterStep) && M.IterStep &&
+         Dec.decode(Toks[First + 10], M.IterEnd) && M.IterEnd;
+}
+
+void appendStatsLine(std::string &Out, const char *Tag,
+                     const SolverStats &S) {
+  Out += Tag;
+  Out += ' ';
+  Out += std::to_string(S.NodesVisited);
+  Out += ' ';
+  Out += std::to_string(S.CandidatesTried);
+  Out += ' ';
+  Out += std::to_string(S.Solutions);
+  Out += '\n';
+}
+
+bool parseStatsTokens(const std::vector<std::string> &Toks, std::size_t First,
+                      SolverStats &S) {
+  return First + 3 <= Toks.size() &&
+         parseU64(Toks[First + 0], S.NodesVisited) &&
+         parseU64(Toks[First + 1], S.CandidatesTried) &&
+         parseU64(Toks[First + 2], S.Solutions);
+}
+
+void appendIdiomStats(std::string &Out, const DetectionStats &Stats) {
+  appendStatsLine(Out, "forloops", Stats.ForLoops);
+  Out += "idioms ";
+  Out += std::to_string(Stats.PerIdiom.size());
+  Out += '\n';
+  for (const auto &[Name, S] : Stats.PerIdiom) {
+    Out += "i ";
+    Out += escapeToken(Name);
+    Out += ' ';
+    Out += std::to_string(S.NodesVisited);
+    Out += ' ';
+    Out += std::to_string(S.CandidatesTried);
+    Out += ' ';
+    Out += std::to_string(S.Solutions);
+    Out += '\n';
+  }
+}
+
+bool parseIdiomStats(LineReader &R, DetectionStats &Stats) {
+  std::vector<std::string> Toks;
+  if (!R.nextTokens(Toks) || Toks.size() != 4 || Toks[0] != "forloops" ||
+      !parseStatsTokens(Toks, 1, Stats.ForLoops))
+    return false;
+  uint64_t N;
+  if (!R.nextTokens(Toks) || Toks.size() != 2 || Toks[0] != "idioms" ||
+      !parseU64(Toks[1], N) || N > 100000)
+    return false;
+  for (uint64_t I = 0; I != N; ++I) {
+    if (!R.nextTokens(Toks) || Toks.size() != 5 || Toks[0] != "i")
+      return false;
+    std::string Name;
+    SolverStats S;
+    if (!unescapeToken(Toks[1], Name) || !parseStatsTokens(Toks, 2, S))
+      return false;
+    // Duplicate names would silently merge — corrupt.
+    if (!Stats.PerIdiom.emplace(Name, S).second)
+      return false;
+  }
+  return true;
+}
+
+bool parseHeader(LineReader &R, char Tier, uint64_t ContentHash) {
+  std::vector<std::string> Toks;
+  if (!R.nextTokens(Toks) || Toks.size() != 3 || Toks[0] != kMagic ||
+      Toks[1].size() != 1 || Toks[1][0] != Tier)
+    return false;
+  uint64_t Stored;
+  return parseHexHash(Toks[2], Stored) && Stored == ContentHash;
+}
+
+bool parseTrailer(LineReader &R) {
+  std::string Line;
+  if (!R.next(Line) || Line != kTrailer)
+    return false;
+  // The trailer line must be newline-terminated and final: an entry
+  // cut anywhere — even one byte short — never materializes, and
+  // trailing garbage (e.g. a torn double write) is rejected too.
+  if (R.Text.empty() || R.Text.back() != '\n' || R.Pos != R.Text.size())
+    return false;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------===//
+// Function-tier serialization
+//===----------------------------------------------------------------===//
+
+std::string gr::serializeFunctionEntry(const Function &F,
+                                       uint64_t ContentHash,
+                                       const IdiomDetectionResult &R,
+                                       const DetectionStats &Stats) {
+  ValueEncoder Enc(F);
+  std::string Out;
+  Out += kMagic;
+  Out += " f ";
+  Out += hashToHex(ContentHash);
+  Out += '\n';
+  appendIdiomStats(Out, Stats);
+
+  Out += "loops ";
+  Out += std::to_string(R.ForLoops.size());
+  Out += '\n';
+  for (const ForLoopMatch &M : R.ForLoops) {
+    Out += 'l';
+    if (!encodeLoop(Enc, M, Out))
+      return std::string();
+    Out += '\n';
+  }
+
+  Out += "insts ";
+  Out += std::to_string(R.Instances.size());
+  Out += '\n';
+  for (const IdiomInstance &I : R.Instances) {
+    Out += "b ";
+    Out += escapeToken(I.Idiom);
+    Out += ' ';
+    Out += std::to_string(static_cast<unsigned>(I.Op));
+    if (!encodeLoop(Enc, I.Loop, Out))
+      return std::string();
+    Out += ' ';
+    Out += std::to_string(I.Captures.size());
+    Out += '\n';
+    for (const auto &[Name, V] : I.Captures) {
+      Out += "c ";
+      Out += escapeToken(Name);
+      Out += ' ';
+      if (!Enc.encode(V, Out))
+        return std::string();
+      Out += '\n';
+    }
+  }
+  Out += kTrailer;
+  Out += '\n';
+  return Out;
+}
+
+bool gr::materializeFunctionEntry(const std::string &Text, Function &F,
+                                  uint64_t ContentHash,
+                                  IdiomDetectionResult &Out,
+                                  DetectionStats &StatsOut) {
+  LineReader R(Text);
+  if (!parseHeader(R, 'f', ContentHash))
+    return false;
+  DetectionStats Stats;
+  if (!parseIdiomStats(R, Stats))
+    return false;
+
+  ValueDecoder Dec(F);
+  std::vector<std::string> Toks;
+  IdiomDetectionResult Result;
+
+  uint64_t NLoops;
+  if (!R.nextTokens(Toks) || Toks.size() != 2 || Toks[0] != "loops" ||
+      !parseU64(Toks[1], NLoops) || NLoops > 1000000)
+    return false;
+  Result.ForLoops.resize(static_cast<std::size_t>(NLoops));
+  for (uint64_t I = 0; I != NLoops; ++I) {
+    if (!R.nextTokens(Toks) || Toks.size() != 12 || Toks[0] != "l" ||
+        !decodeLoop(Dec, Toks, 1, Result.ForLoops[I]))
+      return false;
+  }
+
+  uint64_t NInsts;
+  if (!R.nextTokens(Toks) || Toks.size() != 2 || Toks[0] != "insts" ||
+      !parseU64(Toks[1], NInsts) || NInsts > 1000000)
+    return false;
+  Result.Instances.resize(static_cast<std::size_t>(NInsts));
+  for (uint64_t I = 0; I != NInsts; ++I) {
+    IdiomInstance &Inst = Result.Instances[I];
+    uint64_t Op, NCaps;
+    if (!R.nextTokens(Toks) || Toks.size() != 15 || Toks[0] != "b" ||
+        !unescapeToken(Toks[1], Inst.Idiom) || Inst.Idiom.empty() ||
+        !parseU64(Toks[2], Op) ||
+        Op > static_cast<uint64_t>(ReductionOperator::Unknown) ||
+        !decodeLoop(Dec, Toks, 3, Inst.Loop) ||
+        !parseU64(Toks[14], NCaps) || NCaps > 10000)
+      return false;
+    Inst.Op = static_cast<ReductionOperator>(Op);
+    for (uint64_t C = 0; C != NCaps; ++C) {
+      std::string Name;
+      Value *V;
+      if (!R.nextTokens(Toks) || Toks.size() != 3 || Toks[0] != "c" ||
+          !unescapeToken(Toks[1], Name) || !Dec.decode(Toks[2], V) || !V ||
+          !Inst.Captures.emplace(Name, V).second)
+        return false;
+    }
+  }
+  if (!parseTrailer(R))
+    return false;
+
+  Out = std::move(Result);
+  StatsOut += Stats;
+  return true;
+}
+
+//===----------------------------------------------------------------===//
+// Module-tier serialization
+//===----------------------------------------------------------------===//
+
+std::string gr::serializeModuleEntry(uint64_t ContentHash,
+                                     const CachedModuleSummary &S) {
+  std::string Out;
+  Out += kMagic;
+  Out += " m ";
+  Out += hashToHex(ContentHash);
+  Out += '\n';
+  Out += "functions ";
+  Out += std::to_string(S.Functions);
+  Out += '\n';
+  Out += "counts ";
+  Out += std::to_string(S.Counts.Scalars);
+  Out += ' ';
+  Out += std::to_string(S.Counts.Histograms);
+  Out += ' ';
+  Out += std::to_string(S.Counts.Scans);
+  Out += ' ';
+  Out += std::to_string(S.Counts.ArgMinMax);
+  Out += '\n';
+  appendIdiomStats(Out, S.Stats);
+  Out += kTrailer;
+  Out += '\n';
+  return Out;
+}
+
+bool gr::materializeModuleEntry(const std::string &Text, uint64_t ContentHash,
+                                CachedModuleSummary &Out) {
+  LineReader R(Text);
+  if (!parseHeader(R, 'm', ContentHash))
+    return false;
+  CachedModuleSummary S;
+  std::vector<std::string> Toks;
+  uint64_t V;
+  if (!R.nextTokens(Toks) || Toks.size() != 2 || Toks[0] != "functions" ||
+      !parseU64(Toks[1], V) || V > 1000000)
+    return false;
+  S.Functions = static_cast<unsigned>(V);
+  uint64_t C0, C1, C2, C3;
+  if (!R.nextTokens(Toks) || Toks.size() != 5 || Toks[0] != "counts" ||
+      !parseU64(Toks[1], C0) || !parseU64(Toks[2], C1) ||
+      !parseU64(Toks[3], C2) || !parseU64(Toks[4], C3) || C0 > 1000000 ||
+      C1 > 1000000 || C2 > 1000000 || C3 > 1000000)
+    return false;
+  S.Counts.Scalars = static_cast<unsigned>(C0);
+  S.Counts.Histograms = static_cast<unsigned>(C1);
+  S.Counts.Scans = static_cast<unsigned>(C2);
+  S.Counts.ArgMinMax = static_cast<unsigned>(C3);
+  if (!parseIdiomStats(R, S.Stats) || !parseTrailer(R))
+    return false;
+  Out = std::move(S);
+  return true;
+}
+
+//===----------------------------------------------------------------===//
+// Key derivation
+//===----------------------------------------------------------------===//
+
+uint64_t DetectionCache::functionContentHash(const Function &F) {
+  return hashBytes(functionToString(F));
+}
+
+uint64_t DetectionCache::environmentHash(Module &M,
+                                         FunctionAnalysisManager &AM) {
+  const PurityAnalysis &P = AM.getPurity(M);
+  ContentHasher H;
+  H.u64(M.functions().size());
+  for (const auto &F : M.functions()) {
+    H.str(F->getName());
+    H.u64(F->getNumArgs());
+    H.u64(F->isDeclaration() ? 1 : 0);
+    H.u64(static_cast<uint64_t>(P.getKind(F.get())));
+  }
+  H.u64(M.globals().size());
+  for (const auto &G : M.globals()) {
+    H.str(G->getName());
+    H.str(G->getContainedType()->getString());
+  }
+  return H.value();
+}
+
+FunctionCacheKey DetectionCache::functionKey(Function &F,
+                                             FunctionAnalysisManager &AM,
+                                             const IdiomRegistry &Registry,
+                                             SolverKind Kind) const {
+  FunctionCacheKey K;
+  K.Content = functionContentHash(F);
+  ContentHasher H;
+  H.u64(kSchemaVersion);
+  H.u64('f');
+  H.u64(K.Content);
+  H.u64(environmentHash(*F.getParent(), AM));
+  H.u64(Registry.fingerprint());
+  H.u64(static_cast<uint64_t>(resolveSolverKind(Kind)));
+  K.Combined = H.value();
+  return K;
+}
+
+ModuleCacheKey DetectionCache::moduleKey(const std::string &Text,
+                                         const IdiomRegistry &Registry,
+                                         SolverKind Kind) const {
+  ModuleCacheKey K;
+  K.Content = hashBytes(Text);
+  ContentHasher H;
+  H.u64(kSchemaVersion);
+  H.u64('m');
+  H.u64(K.Content);
+  H.u64(Registry.fingerprint());
+  H.u64(static_cast<uint64_t>(resolveSolverKind(Kind)));
+  K.Combined = H.value();
+  return K;
+}
+
+//===----------------------------------------------------------------===//
+// Tiers
+//===----------------------------------------------------------------===//
+
+DetectionCache::DetectionCache(Config C) : Cfg(std::move(C)) {
+  if (Cfg.MaxMemoryEntries == 0)
+    Cfg.MaxMemoryEntries = 1;
+}
+
+std::shared_ptr<const std::string> DetectionCache::memoryGet(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(MemMutex);
+  auto It = Memory.find(Key);
+  if (It == Memory.end())
+    return nullptr;
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  return It->second.Text;
+}
+
+void DetectionCache::memoryPut(uint64_t Key,
+                               std::shared_ptr<const std::string> Text) {
+  std::lock_guard<std::mutex> Lock(MemMutex);
+  auto It = Memory.find(Key);
+  if (It != Memory.end()) {
+    It->second.Text = std::move(Text);
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return;
+  }
+  Lru.push_front(Key);
+  Memory.emplace(Key, Entry{std::move(Text), Lru.begin()});
+  while (Memory.size() > Cfg.MaxMemoryEntries) {
+    Memory.erase(Lru.back());
+    Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string DetectionCache::entryPath(uint64_t Combined) const {
+  return Cfg.Dir + "/" + hashToHex(Combined) + ".grc";
+}
+
+bool DetectionCache::diskGet(uint64_t Key, std::string &Out) const {
+  std::FILE *F = std::fopen(entryPath(Key).c_str(), "rb");
+  if (!F)
+    return false;
+  Out.clear();
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  return Ok;
+}
+
+void DetectionCache::diskPut(uint64_t Key, const std::string &Text) const {
+  if (Cfg.Dir.empty())
+    return;
+  ::mkdir(Cfg.Dir.c_str(), 0777); // EEXIST is the common case.
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::string Final = entryPath(Key);
+  std::string Tmp = Final + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(TmpCounter.fetch_add(1));
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return; // Unwritable tier: cache degrades to memory-only.
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok = (std::fclose(F) == 0) && Ok;
+  // Write-then-rename: readers only ever see absent or complete
+  // entries; a crash leaves a .tmp file that never matches a key.
+  if (!Ok || std::rename(Tmp.c_str(), Final.c_str()) != 0)
+    std::remove(Tmp.c_str());
+}
+
+std::shared_ptr<const std::string> DetectionCache::fetch(uint64_t Key,
+                                                         bool &FromDisk) {
+  FromDisk = false;
+  if (auto P = memoryGet(Key))
+    return P;
+  if (Cfg.Dir.empty())
+    return nullptr;
+  std::string Raw;
+  if (!diskGet(Key, Raw))
+    return nullptr;
+  FromDisk = true;
+  auto P = std::make_shared<const std::string>(std::move(Raw));
+  memoryPut(Key, P);
+  return P;
+}
+
+bool DetectionCache::lookupFunction(const FunctionCacheKey &K, Function &F,
+                                    IdiomDetectionResult &Out,
+                                    DetectionStats &StatsOut,
+                                    bool CountMiss) {
+  bool FromDisk = false;
+  if (auto Text = fetch(K.Combined, FromDisk)) {
+    IdiomDetectionResult R;
+    DetectionStats S;
+    if (materializeFunctionEntry(*Text, F, K.Content, R, S)) {
+      FunctionHits.fetch_add(1, std::memory_order_relaxed);
+      if (FromDisk)
+        DiskHits.fetch_add(1, std::memory_order_relaxed);
+      Out = std::move(R);
+      StatsOut += S;
+      return true;
+    }
+    CorruptEntries.fetch_add(1, std::memory_order_relaxed);
+    evictCorrupt(K.Combined);
+  }
+  if (CountMiss)
+    FunctionMisses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void DetectionCache::evictCorrupt(uint64_t Key) {
+  {
+    std::lock_guard<std::mutex> Lock(MemMutex);
+    auto It = Memory.find(Key);
+    if (It != Memory.end()) {
+      Lru.erase(It->second.LruIt);
+      Memory.erase(It);
+    }
+  }
+  // Also unlink the on-disk file (when there is one): a corrupt entry
+  // is counted and reported exactly once, then gone — later lookups
+  // of the same key are plain misses, and the next store rewrites a
+  // good entry in its place.
+  if (!Cfg.Dir.empty())
+    std::remove(entryPath(Key).c_str());
+}
+
+void DetectionCache::storeFunction(const FunctionCacheKey &K,
+                                   const Function &F,
+                                   const IdiomDetectionResult &R,
+                                   const DetectionStats &Stats) {
+  std::string Text = serializeFunctionEntry(F, K.Content, R, Stats);
+  if (Text.empty())
+    return; // Unencodable result: skip, stay correct.
+  FunctionStores.fetch_add(1, std::memory_order_relaxed);
+  auto Ptr = std::make_shared<const std::string>(std::move(Text));
+  memoryPut(K.Combined, Ptr);
+  diskPut(K.Combined, *Ptr);
+}
+
+bool DetectionCache::lookupModule(const ModuleCacheKey &K,
+                                  CachedModuleSummary &Out) {
+  bool FromDisk = false;
+  if (auto Text = fetch(K.Combined, FromDisk)) {
+    CachedModuleSummary S;
+    if (materializeModuleEntry(*Text, K.Content, S)) {
+      ModuleHits.fetch_add(1, std::memory_order_relaxed);
+      if (FromDisk)
+        DiskHits.fetch_add(1, std::memory_order_relaxed);
+      Out = std::move(S);
+      return true;
+    }
+    CorruptEntries.fetch_add(1, std::memory_order_relaxed);
+    evictCorrupt(K.Combined);
+  }
+  ModuleMisses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void DetectionCache::storeModule(const ModuleCacheKey &K,
+                                 const CachedModuleSummary &S) {
+  std::string Text = serializeModuleEntry(K.Content, S);
+  ModuleStores.fetch_add(1, std::memory_order_relaxed);
+  auto Ptr = std::make_shared<const std::string>(std::move(Text));
+  memoryPut(K.Combined, Ptr);
+  diskPut(K.Combined, *Ptr);
+}
+
+CacheCounters DetectionCache::counters() const {
+  CacheCounters C;
+  C.FunctionHits = FunctionHits.load(std::memory_order_relaxed);
+  C.FunctionMisses = FunctionMisses.load(std::memory_order_relaxed);
+  C.FunctionStores = FunctionStores.load(std::memory_order_relaxed);
+  C.ModuleHits = ModuleHits.load(std::memory_order_relaxed);
+  C.ModuleMisses = ModuleMisses.load(std::memory_order_relaxed);
+  C.ModuleStores = ModuleStores.load(std::memory_order_relaxed);
+  C.DiskHits = DiskHits.load(std::memory_order_relaxed);
+  C.CorruptEntries = CorruptEntries.load(std::memory_order_relaxed);
+  C.Evictions = Evictions.load(std::memory_order_relaxed);
+  return C;
+}
+
+void DetectionCache::resetCounters() {
+  FunctionHits = 0;
+  FunctionMisses = 0;
+  FunctionStores = 0;
+  ModuleHits = 0;
+  ModuleMisses = 0;
+  ModuleStores = 0;
+  DiskHits = 0;
+  CorruptEntries = 0;
+  Evictions = 0;
+}
+
+//===----------------------------------------------------------------===//
+// Process-wide instance
+//===----------------------------------------------------------------===//
+
+namespace {
+
+struct ActiveState {
+  std::mutex M;
+  std::atomic<bool> Resolved{false};
+  std::atomic<DetectionCache *> Ptr{nullptr};
+  /// Replaced caches stay alive: detection lanes may still hold the
+  /// raw pointer they loaded before a configure().
+  std::vector<std::unique_ptr<DetectionCache>> Owned;
+};
+
+ActiveState &activeState() {
+  // Intentionally leaked: pool worker threads may consult the cache
+  // during process teardown, after static destructors would have run.
+  static ActiveState *S = new ActiveState();
+  return *S;
+}
+
+std::size_t memEntriesFromEnv() {
+  if (const char *E = std::getenv("GR_CACHE_MEM_ENTRIES")) {
+    uint64_t V;
+    if (parseU64(E, V) && V > 0 && V <= 100000000)
+      return static_cast<std::size_t>(V);
+  }
+  return DetectionCache::Config().MaxMemoryEntries;
+}
+
+void installFromEnvironment(ActiveState &S) {
+  const char *Mode = std::getenv("GR_CACHE");
+  const char *Dir = std::getenv("GR_CACHE_DIR");
+  DetectionCache::Config C;
+  bool Enable = false;
+  if (Mode && std::strcmp(Mode, "off") == 0) {
+    Enable = false; // GR_CACHE=off wins over GR_CACHE_DIR.
+  } else if (Mode && std::strcmp(Mode, "mem") == 0) {
+    Enable = true; // Memory-only.
+  } else if (Dir && *Dir) {
+    Enable = true;
+    C.Dir = Dir;
+  }
+  if (!Enable) {
+    S.Ptr.store(nullptr, std::memory_order_release);
+    S.Resolved.store(true, std::memory_order_release);
+    return;
+  }
+  C.MaxMemoryEntries = memEntriesFromEnv();
+  S.Owned.push_back(std::make_unique<DetectionCache>(std::move(C)));
+  S.Ptr.store(S.Owned.back().get(), std::memory_order_release);
+  S.Resolved.store(true, std::memory_order_release);
+}
+
+} // namespace
+
+DetectionCache *DetectionCache::active() {
+  ActiveState &S = activeState();
+  if (S.Resolved.load(std::memory_order_acquire))
+    return S.Ptr.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (!S.Resolved.load(std::memory_order_acquire))
+    installFromEnvironment(S);
+  return S.Ptr.load(std::memory_order_acquire);
+}
+
+void DetectionCache::configure(Config C) {
+  ActiveState &S = activeState();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Owned.push_back(std::make_unique<DetectionCache>(std::move(C)));
+  S.Ptr.store(S.Owned.back().get(), std::memory_order_release);
+  S.Resolved.store(true, std::memory_order_release);
+}
+
+void DetectionCache::disable() {
+  ActiveState &S = activeState();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Ptr.store(nullptr, std::memory_order_release);
+  S.Resolved.store(true, std::memory_order_release);
+}
+
+void DetectionCache::configureFromEnvironment() {
+  ActiveState &S = activeState();
+  std::lock_guard<std::mutex> Lock(S.M);
+  installFromEnvironment(S);
+}

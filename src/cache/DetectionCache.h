@@ -1,0 +1,280 @@
+//===- DetectionCache.h - content-addressed detection cache ---*- C++ -*-===//
+///
+/// \file
+/// Detection is a pure function of (IR content, idiom registry, solver
+/// kind): the bitwise print→parse fixed point of the `.gr` printer
+/// makes a function's canonical text a content key, so repeated
+/// traffic over mostly-unchanged code can skip the constraint solver
+/// entirely. This cache memoizes detection at two granularities:
+///
+///  * **Function tier** — consulted inside detectIdioms() (and,
+///    pre-sharding, by the parallel driver so worker lanes only carry
+///    misses). Key: hash of the function's canonical printed text, a
+///    module *environment hash* (the one cross-function input —
+///    detection consults the whole-module purity classification and
+///    callee/global identities, so the key covers every function's
+///    name/arity/purity kind and every global's name/type), the
+///    registry fingerprint, the resolved solver kind, and the schema
+///    version. Value: the pre-decode IdiomDetectionResult plus this
+///    function's DetectionStats delta, with IR pointers encoded as
+///    indices into Function::allValues() (a deterministic, purely
+///    text-determined enumeration) or operand positions — entries
+///    therefore rebind into *any* function with identical text, in
+///    any module instance, including freshly parsed ones.
+///
+///  * **Module tier** — consulted by the batch/serving layer
+///    (pass/BatchDriver.h) on the raw request text *before* parsing.
+///    Key: hash of the exact input bytes + fingerprint + kind. Value:
+///    the aggregate counts and DetectionStats. A warm hit skips parse
+///    and solve; this is what makes byte-identical repeat requests
+///    (the dominant production pattern) nearly free.
+///
+/// Storage is an LRU-bounded in-memory tier over an optional on-disk
+/// tier (GR_CACHE_DIR): one file per key, written atomically via
+/// write-to-temp + rename, loaded tolerantly — a torn, truncated or
+/// garbage entry is a miss, never an error. Stats restored from cache
+/// are bitwise identical to a cold solve: SolverStats counters are
+/// commutative sums and the per-idiom map is name-keyed, so merging
+/// cached deltas in any order reproduces the cold totals exactly
+/// (asserted by tests/CacheTests.cpp and bench/table_cache_sweep).
+///
+/// Invalidation is purely key-derivation: there is no explicit
+/// invalidate call. Any edit that changes a function's canonical text,
+/// any purity-class/signature change elsewhere in its module, any
+/// registry change (fingerprint hashes every spec's formula atoms and
+/// metadata) and any solver-kind switch derive a different key; stale
+/// entries are simply never addressed again and age out of the LRU /
+/// stay inert on disk. See docs/CACHING.md for the full contract.
+///
+/// Thread-safety: lookups/stores take one internal mutex for the
+/// memory tier; disk I/O happens outside it. Counters are atomics.
+/// Concurrent detection lanes share the active() instance freely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_CACHE_DETECTIONCACHE_H
+#define GR_CACHE_DETECTIONCACHE_H
+
+#include "cache/ContentHash.h"
+#include "idioms/ReductionAnalysis.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace gr {
+
+class Function;
+class Module;
+struct IdiomDetectionResult;
+
+/// Monotonic hit/miss/eviction counters (process-wide per cache
+/// instance; snapshot with DetectionCache::counters()).
+struct CacheCounters {
+  uint64_t FunctionHits = 0;
+  uint64_t FunctionMisses = 0;
+  uint64_t FunctionStores = 0;
+  uint64_t ModuleHits = 0;
+  uint64_t ModuleMisses = 0;
+  uint64_t ModuleStores = 0;
+  /// Hits served by re-reading the on-disk tier (subset of the hit
+  /// counters above; memory-tier hits are the rest).
+  uint64_t DiskHits = 0;
+  /// On-disk entries that failed to materialize (torn/garbage/stale
+  /// schema) and were treated as misses.
+  uint64_t CorruptEntries = 0;
+  /// Memory-tier entries dropped by the LRU bound.
+  uint64_t Evictions = 0;
+
+  uint64_t hits() const { return FunctionHits + ModuleHits; }
+  uint64_t misses() const { return FunctionMisses + ModuleMisses; }
+};
+
+/// Module-tier payload: what the batch driver needs to answer a
+/// byte-identical request without parsing it.
+struct CachedModuleSummary {
+  unsigned Functions = 0;
+  ReductionCounts Counts;
+  DetectionStats Stats;
+};
+
+/// A function-tier key, kept as a pair so the content hash can be
+/// verified against the entry payload (guards 64-bit combined-key
+/// collisions mapping different content onto one file).
+struct FunctionCacheKey {
+  uint64_t Combined = 0;
+  uint64_t Content = 0;
+};
+
+/// A module-tier key (same shape; Content hashes the raw text).
+struct ModuleCacheKey {
+  uint64_t Combined = 0;
+  uint64_t Content = 0;
+};
+
+class DetectionCache {
+public:
+  struct Config {
+    /// On-disk tier root; empty = memory-only. Created on first store
+    /// if missing.
+    std::string Dir;
+    /// LRU bound of the memory tier (entries across both tiers' keys).
+    std::size_t MaxMemoryEntries = 65536;
+  };
+
+  explicit DetectionCache(Config C);
+
+  //===--------------------------------------------------------------===//
+  // Key derivation
+  //===--------------------------------------------------------------===//
+
+  /// Hash of \p F's canonical printed text (the src/ir printer is the
+  /// keyer; whitespace-identical reprints hash identically by the
+  /// round-trip fixed point).
+  static uint64_t functionContentHash(const Function &F);
+
+  /// The cross-function inputs of per-function detection: every
+  /// function's (name, arity, declaration-ness, purity kind) and every
+  /// global's (name, contained type). Purity-class-preserving edits to
+  /// *other* functions keep a function's entries valid; a
+  /// purity-changing edit re-keys the whole module — exactly the
+  /// soundness boundary of the whole-module PurityAnalysis.
+  static uint64_t environmentHash(Module &M, FunctionAnalysisManager &AM);
+
+  FunctionCacheKey functionKey(Function &F, FunctionAnalysisManager &AM,
+                               const IdiomRegistry &Registry,
+                               SolverKind Kind) const;
+  ModuleCacheKey moduleKey(const std::string &Text,
+                           const IdiomRegistry &Registry,
+                           SolverKind Kind) const;
+
+  //===--------------------------------------------------------------===//
+  // Function tier
+  //===--------------------------------------------------------------===//
+
+  /// Looks up \p K and, on a hit, rebinds the stored result into \p F
+  /// (which must have the canonical text the key was derived from) and
+  /// adds the stored per-function stats delta into \p StatsOut.
+  /// \p CountMiss=false makes a failed probe not count as a miss — the
+  /// parallel driver's pre-pass probes every function and lets the
+  /// worker-lane lookup record the one real miss, so Misses equals
+  /// actual solver invocations.
+  bool lookupFunction(const FunctionCacheKey &K, Function &F,
+                      IdiomDetectionResult &Out, DetectionStats &StatsOut,
+                      bool CountMiss = true);
+
+  /// Serializes and stores \p R / \p Stats under \p K. A result whose
+  /// values cannot be stably encoded (not reachable from \p F) is
+  /// silently not stored — never a wrong entry, just a future miss.
+  void storeFunction(const FunctionCacheKey &K, const Function &F,
+                     const IdiomDetectionResult &R,
+                     const DetectionStats &Stats);
+
+  //===--------------------------------------------------------------===//
+  // Module tier (batch/serving layer)
+  //===--------------------------------------------------------------===//
+
+  bool lookupModule(const ModuleCacheKey &K, CachedModuleSummary &Out);
+  void storeModule(const ModuleCacheKey &K, const CachedModuleSummary &S);
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  CacheCounters counters() const;
+  void resetCounters();
+  const std::string &dir() const { return Cfg.Dir; }
+  /// On-disk path an entry with combined key \p Combined persists to
+  /// (exposed for the corruption tests).
+  std::string entryPath(uint64_t Combined) const;
+
+  //===--------------------------------------------------------------===//
+  // Process-wide instance
+  //===--------------------------------------------------------------===//
+
+  /// The active cache, or null when caching is off. Resolved once from
+  /// the environment on first use: GR_CACHE_DIR=<dir> enables the
+  /// memory+disk tiers, GR_CACHE=mem enables memory-only, GR_CACHE=off
+  /// (or neither variable) disables. configure()/disable() override.
+  static DetectionCache *active();
+
+  /// Installs a new active cache (tools' --cache flag, tests).
+  static void configure(Config C);
+
+  /// Turns caching off (until the next configure()).
+  static void disable();
+
+  /// Re-resolves the environment as if the process had just started
+  /// (test isolation: fixtures that configure() restore the ambient
+  /// GR_CACHE_DIR-driven state with this).
+  static void configureFromEnvironment();
+
+private:
+  struct Entry {
+    std::shared_ptr<const std::string> Text;
+    std::list<uint64_t>::iterator LruIt;
+  };
+
+  /// Memory tier: returns the payload or null. Promotes on hit.
+  std::shared_ptr<const std::string> memoryGet(uint64_t Key);
+  void memoryPut(uint64_t Key, std::shared_ptr<const std::string> Text);
+  /// Disk tier: whole-file read; empty optional when absent/unreadable.
+  bool diskGet(uint64_t Key, std::string &Out) const;
+  void diskPut(uint64_t Key, const std::string &Text) const;
+
+  /// Shared lookup body over both tiers; returns the payload text or
+  /// null. Sets \p FromDisk when the memory tier missed.
+  std::shared_ptr<const std::string> fetch(uint64_t Key, bool &FromDisk);
+
+  /// Drops a corrupt entry from both tiers (memory eviction + on-disk
+  /// unlink), so corruption is counted exactly once per entry and the
+  /// next store replaces it cleanly.
+  void evictCorrupt(uint64_t Key);
+
+  Config Cfg;
+
+  mutable std::mutex MemMutex;
+  std::unordered_map<uint64_t, Entry> Memory;
+  std::list<uint64_t> Lru; ///< Front = most recently used.
+
+  mutable std::atomic<uint64_t> FunctionHits{0};
+  mutable std::atomic<uint64_t> FunctionMisses{0};
+  mutable std::atomic<uint64_t> FunctionStores{0};
+  mutable std::atomic<uint64_t> ModuleHits{0};
+  mutable std::atomic<uint64_t> ModuleMisses{0};
+  mutable std::atomic<uint64_t> ModuleStores{0};
+  mutable std::atomic<uint64_t> DiskHits{0};
+  mutable std::atomic<uint64_t> CorruptEntries{0};
+  mutable std::atomic<uint64_t> Evictions{0};
+};
+
+//===----------------------------------------------------------------===//
+// Serialization (exposed for the cache test battery)
+//===----------------------------------------------------------------===//
+
+/// Renders a function-tier entry. Returns the empty string when some
+/// result value has no stable encoding relative to \p F (the caller
+/// must then skip the store).
+std::string serializeFunctionEntry(const Function &F, uint64_t ContentHash,
+                                   const IdiomDetectionResult &R,
+                                   const DetectionStats &Stats);
+
+/// Rebinds a serialized entry into \p F. Any structural problem —
+/// truncation, bad token, index out of range, kind mismatch, content
+/// hash != \p ContentHash — returns false with outputs untouched.
+bool materializeFunctionEntry(const std::string &Text, Function &F,
+                              uint64_t ContentHash, IdiomDetectionResult &Out,
+                              DetectionStats &StatsOut);
+
+std::string serializeModuleEntry(uint64_t ContentHash,
+                                 const CachedModuleSummary &S);
+bool materializeModuleEntry(const std::string &Text, uint64_t ContentHash,
+                            CachedModuleSummary &Out);
+
+} // namespace gr
+
+#endif // GR_CACHE_DETECTIONCACHE_H

@@ -345,7 +345,21 @@ public:
   AtomComputedFrom(unsigned Out, unsigned Header,
                    std::vector<unsigned> OriginLabels, OriginFlags Flags);
   bool evaluate(const ConstraintContext &, const Solution &) const override;
-  std::string describe() const override { return "computed_from"; }
+  /// Encodes the origin-flag configuration: two computed_from atoms
+  /// with different flags are different constraints, and the detection
+  /// cache's registry fingerprint hashes describe() to tell them apart
+  /// (cache/DetectionCache.h).
+  std::string describe() const override {
+    std::string S = "computed_from[";
+    S += Flags.AffineLoads ? 'a' : '-';
+    S += Flags.ReadOnlyLoads ? 'r' : '-';
+    S += Flags.Invariants ? 'i' : '-';
+    S += Flags.PureCalls ? 'p' : '-';
+    S += Flags.AllowIterator ? 't' : '-';
+    S += Flags.ControlMayUseOrigins ? 'c' : '-';
+    S += ']';
+    return S;
+  }
 
 private:
   std::vector<unsigned> OriginLabels;

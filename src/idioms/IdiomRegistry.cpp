@@ -11,6 +11,7 @@
 
 #include "idioms/IdiomRegistry.h"
 
+#include "cache/ContentHash.h"
 #include "constraint/Context.h"
 #include "constraint/OriginCheck.h"
 #include "idioms/Associativity.h"
@@ -85,6 +86,53 @@ IdiomRegistry::compiledSpecs() const {
     Compiled.push_back(std::move(CS));
   }
   return Compiled;
+}
+
+uint64_t IdiomRegistry::fingerprint() const {
+  // Build the compiled forms first (thread-safe, idempotent): the
+  // fingerprint hashes the *built* spec — labels and atoms — which is
+  // shared content between the compiled and reference solver paths,
+  // so one fingerprint covers both.
+  const auto &CS = compiledSpecs();
+  std::lock_guard<std::mutex> Lock(CompileMutex);
+  if (FingerprintSlots == CS.size())
+    return Fingerprint;
+  ContentHasher H;
+  H.u64(CS.size());
+  for (std::size_t I = 0; I != CS.size(); ++I) {
+    const IdiomDefinition &Def = Defs[I];
+    H.str(Def.Name);
+    H.str(Def.Summary);
+    H.str(Def.SpecFile);
+    H.str(Def.TransformFile);
+    H.u64(Def.CorpusKernels.size());
+    for (const std::string &K : Def.CorpusKernels)
+      H.str(K);
+    H.str(Def.KeyLabel);
+    H.u64(Def.Legalize ? 1 : 0);
+    if (!Def.Build) {
+      H.u64(0);
+      continue;
+    }
+    const CompiledIdiomSpec &S = *CS[I];
+    H.u64(S.Spec.Labels.size());
+    for (unsigned L = 0; L != S.Spec.Labels.size(); ++L)
+      H.str(S.Spec.Labels.nameOf(L));
+    H.u64(S.PrefixSize);
+    H.u64(S.Spec.F.clauses().size());
+    for (const Clause &C : S.Spec.F.clauses()) {
+      H.u64(C.Atoms.size());
+      for (const Atom *A : C.Atoms) {
+        H.str(A->describe());
+        H.u64(A->labels().size());
+        for (unsigned L : A->labels())
+          H.u64(L);
+      }
+    }
+  }
+  Fingerprint = H.value();
+  FingerprintSlots = CS.size();
+  return Fingerprint;
 }
 
 //===----------------------------------------------------------------------===//

@@ -74,6 +74,20 @@ public:
   const std::vector<std::unique_ptr<CompiledIdiomSpec>> &
   compiledSpecs() const;
 
+  /// Content fingerprint of every registered definition: catalogue
+  /// metadata, label tables and each constraint formula's clause/atom
+  /// structure (atoms contribute describe() + mentioned labels, which
+  /// covers every formula parameter — AtomComputedFrom encodes its
+  /// origin flags in describe() for exactly this reason). Two
+  /// registries built from the same definitions fingerprint equal;
+  /// adding or editing a spec changes the value — the detection
+  /// cache's invalidation lever (cache/DetectionCache.h). Caveat:
+  /// Legalize hooks are native code and hash only as a presence bit;
+  /// distinct idioms are expected to differ in name/formula (all
+  /// shipped ones do). Computed once per registration state and
+  /// cached; thread-safe.
+  uint64_t fingerprint() const;
+
   /// The shared immutable registry holding exactly the built-ins.
   /// Constructed once (thread-safe function-local static) and never
   /// mutated afterwards, so concurrent detection workers may read it
@@ -86,6 +100,10 @@ private:
   /// makes first-use compilation safe from concurrent workers.
   mutable std::mutex CompileMutex;
   mutable std::vector<std::unique_ptr<CompiledIdiomSpec>> Compiled;
+  /// fingerprint() cache, stamped by the definition count it covered
+  /// (add() is append-only, so the count identifies the state).
+  mutable uint64_t Fingerprint = 0;
+  mutable std::size_t FingerprintSlots = static_cast<std::size_t>(-1);
 };
 
 /// Built-in definition factories, exposed for tests and for clients

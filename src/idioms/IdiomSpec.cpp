@@ -2,6 +2,7 @@
 
 #include "idioms/IdiomSpec.h"
 
+#include "cache/DetectionCache.h"
 #include "constraint/Context.h"
 #include "constraint/Solver.h"
 #include "constraint/SolverEngine.h"
@@ -62,13 +63,30 @@ IdiomDetectionResult gr::detectIdioms(Function &F,
 
   Kind = resolveSolverKind(Kind);
 
+  // Content-addressed memoization: detection is a pure function of
+  // the canonical printed text, the module environment (purity), the
+  // registry and the solver kind — all folded into the key. Bypassed
+  // when a depth profile is requested (profiling wants real searches).
+  DetectionCache *Cache = Depths ? nullptr : DetectionCache::active();
+  FunctionCacheKey CacheKey;
+  // Per-function stats delta, accumulated locally so it can be stored
+  // alongside the result; merged into *Stats at every exit.
+  DetectionStats Local;
+  if (Cache) {
+    CacheKey = Cache->functionKey(F, AM, Registry, Kind);
+    if (Cache->lookupFunction(CacheKey, F, Result, Local)) {
+      if (Stats)
+        *Stats += Local;
+      return Result;
+    }
+  }
+
   ConstraintContext Ctx(F, AM);
   const LoopInfo &LI = Ctx.getLoopInfo();
 
   SolverStats LoopStats;
   Result.ForLoops = findForLoops(Ctx, &LoopStats, Kind);
-  if (Stats)
-    Stats->ForLoops += LoopStats;
+  Local.ForLoops += LoopStats;
 
   if (Kind == SolverKind::Reference) {
     // Oracle path: specs are built fresh and solved by direct
@@ -101,9 +119,12 @@ IdiomDetectionResult gr::detectIdioms(Function &F,
             Ctx,
             [&](const Solution &Sol) { Collect(M, L, Sol); }, Seed);
       }
-      if (Stats)
-        Stats->PerIdiom[Def.Name] += IdiomStats;
+      Local.PerIdiom[Def.Name] += IdiomStats;
     }
+    if (Cache)
+      Cache->storeFunction(CacheKey, F, Result, Local);
+    if (Stats)
+      *Stats += Local;
     return Result;
   }
 
@@ -131,8 +152,11 @@ IdiomDetectionResult gr::detectIdioms(Function &F,
       IdiomStats += Engine.findAll(
           Ctx, [&](const Solution &Sol) { Collect(M, L, Sol); }, Seed);
     }
-    if (Stats)
-      Stats->PerIdiom[Def.Name] += IdiomStats;
+    Local.PerIdiom[Def.Name] += IdiomStats;
   }
+  if (Cache)
+    Cache->storeFunction(CacheKey, F, Result, Local);
+  if (Stats)
+    *Stats += Local;
   return Result;
 }

@@ -2,6 +2,7 @@
 
 #include "idioms/ReductionAnalysis.h"
 
+#include "cache/DetectionCache.h"
 #include "constraint/SolverEngine.h"
 #include "idioms/Associativity.h"
 #include "idioms/IdiomRegistry.h"
@@ -26,42 +27,54 @@ ReductionReport gr::decodeReport(Function &F,
   Report.F = &F;
   Report.ForLoops = std::move(ForLoops);
 
+  // Captures are decoded with dyn_cast and a skip on mismatch rather
+  // than a hard cast: instances normally come straight from the
+  // solver (always well-formed), but they may also be rebound from a
+  // detection-cache entry (cache/DetectionCache.h), and a malformed
+  // entry must degrade to "no match", never to an assert.
   for (const IdiomInstance &I : Instances) {
     if (I.Idiom == "scalar-reduction") {
       ScalarReduction R;
       R.Loop = I.Loop;
-      R.Accumulator = cast<PhiInst>(I.capture("acc"));
+      R.Accumulator = dyn_cast_or_null<PhiInst>(I.capture("acc"));
       R.Update = I.capture("update");
       R.Init = I.capture("init");
       R.Op = I.Op;
+      if (!R.Accumulator || !R.Update || !R.Init)
+        continue;
       Report.Scalars.push_back(R);
     } else if (I.Idiom == "histogram") {
       HistogramReduction R;
       R.Loop = I.Loop;
-      R.Read = cast<LoadInst>(I.capture("read"));
-      R.Write = cast<StoreInst>(I.capture("write"));
-      R.Address = cast<GEPInst>(I.capture("write_ptr"));
+      R.Read = dyn_cast_or_null<LoadInst>(I.capture("read"));
+      R.Write = dyn_cast_or_null<StoreInst>(I.capture("write"));
+      R.Address = dyn_cast_or_null<GEPInst>(I.capture("write_ptr"));
       R.Index = I.capture("index");
       R.Base = I.capture("base");
       R.Update = I.capture("stored_val");
       R.Op = I.Op;
+      if (!R.Read || !R.Write || !R.Address || !R.Index || !R.Base ||
+          !R.Update)
+        continue;
       Report.Histograms.push_back(R);
     } else if (I.Idiom == "scan") {
       ScanReduction R;
       R.Loop = I.Loop;
-      R.Accumulator = cast<PhiInst>(I.capture("acc"));
+      R.Accumulator = dyn_cast_or_null<PhiInst>(I.capture("acc"));
       R.Update = I.capture("update");
       R.Init = I.capture("init");
-      R.Out = cast<StoreInst>(I.capture("out_store"));
+      R.Out = dyn_cast_or_null<StoreInst>(I.capture("out_store"));
       R.OutBase = I.capture("out_base");
       R.Inclusive = I.capture("stored") == R.Update;
       R.Op = I.Op;
+      if (!R.Accumulator || !R.Update || !R.Init || !R.Out || !R.OutBase)
+        continue;
       Report.Scans.push_back(R);
     } else if (I.Idiom == "argminmax") {
       ArgMinMaxReduction R;
       R.Loop = I.Loop;
-      R.Best = cast<PhiInst>(I.capture("best"));
-      R.Index = cast<PhiInst>(I.capture("idx"));
+      R.Best = dyn_cast_or_null<PhiInst>(I.capture("best"));
+      R.Index = dyn_cast_or_null<PhiInst>(I.capture("idx"));
       R.BestUpdate = I.capture("best_up");
       R.IndexUpdate = I.capture("idx_up");
       R.BestInit = I.capture("best_init");
@@ -69,9 +82,13 @@ ReductionReport gr::decodeReport(Function &F,
       // The guard decomposition was vetted and captured by the
       // legality hook; only the strictness bit is re-derived (bools
       // have no capture slot), from the same classifier the hook ran.
-      R.Guard = cast<CmpInst>(I.capture("guard"));
+      R.Guard = dyn_cast_or_null<CmpInst>(I.capture("guard"));
       R.Candidate = I.capture("candidate");
       R.IndexCandidate = I.capture("index_candidate");
+      if (!R.Best || !R.Index || !R.BestUpdate || !R.IndexUpdate ||
+          !R.BestInit || !R.IndexInit || !R.Guard || !R.Candidate ||
+          !R.IndexCandidate)
+        continue;
       R.Strict = classifyGuardedMinMax(R.BestUpdate, R.Best).Strict;
       R.Op = I.Op;
       Report.ArgMinMax.push_back(R);
@@ -80,6 +97,29 @@ ReductionReport gr::decodeReport(Function &F,
     // clients consuming them use detectIdioms() directly.
   }
   return Report;
+}
+
+bool gr::analyzeFunctionFromCache(Function &F, FunctionAnalysisManager &AM,
+                                  ReductionReport &Report,
+                                  DetectionStats *Stats,
+                                  const IdiomRegistry *Registry,
+                                  SolverKind Kind) {
+  DetectionCache *Cache = DetectionCache::active();
+  if (!Cache || F.isDeclaration())
+    return false;
+  const IdiomRegistry &R = Registry ? *Registry : IdiomRegistry::builtins();
+  Kind = resolveSolverKind(Kind);
+  FunctionCacheKey K = Cache->functionKey(F, AM, R, Kind);
+  IdiomDetectionResult D;
+  DetectionStats Delta;
+  // A probe, not a miss: the caller falls back to the full pipeline,
+  // whose own lookup records the authoritative miss.
+  if (!Cache->lookupFunction(K, F, D, Delta, /*CountMiss=*/false))
+    return false;
+  Report = decodeReport(F, std::move(D.ForLoops), D.Instances);
+  if (Stats)
+    *Stats += Delta;
+  return true;
 }
 
 ReductionReport gr::analyzeFunction(Function &F,

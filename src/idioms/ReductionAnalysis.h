@@ -108,6 +108,20 @@ ReductionReport analyzeFunction(Function &F, FunctionAnalysisManager &AM,
                                 SolverKind Kind = SolverKind::Default,
                                 SolverDepthProfile *Depths = nullptr);
 
+/// Cache-only probe: when the active detection cache
+/// (cache/DetectionCache.h) holds \p F's result, decodes it into
+/// \p Report, adds the cached stats delta into \p Stats and returns
+/// true — without building analyses or running any solver. A miss
+/// returns false, leaves the outputs untouched and is *not* counted
+/// as a cache miss (the full pipeline's own lookup is authoritative).
+/// The parallel driver uses this to skip solved functions before
+/// sharding, so worker lanes only carry misses.
+bool analyzeFunctionFromCache(Function &F, FunctionAnalysisManager &AM,
+                              ReductionReport &Report,
+                              DetectionStats *Stats = nullptr,
+                              const IdiomRegistry *Registry = nullptr,
+                              SolverKind Kind = SolverKind::Default);
+
 /// Decodes generic idiom instances (idioms/IdiomSpec.h) into the typed
 /// report structs; instances of idioms unknown to the report are
 /// dropped. Exposed so custom drivers (the parallel driver, examples)

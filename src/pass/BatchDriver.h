@@ -70,6 +70,14 @@ struct BatchModuleResult {
   /// Parse + detect latency of this module, as observed by the lane
   /// that served it.
   double TotalMs = 0.0;
+  /// Served entirely from the detection cache's module tier (the raw
+  /// request text was byte-identical to an earlier one): no parse, no
+  /// solve. Counts and Stats are the stored — bitwise identical —
+  /// values of the original cold run.
+  bool FromCache = false;
+  /// Function-tier cache hits inside this module's detection (0 when
+  /// the module tier answered or no cache is active).
+  uint64_t FunctionCacheHits = 0;
 };
 
 /// Outcome of a whole batch.
@@ -90,6 +98,10 @@ struct BatchResult {
   unsigned FunctionWorkers = 0;
   /// Modules claimed across lane boundaries (diagnostic).
   uint64_t ModuleSteals = 0;
+  /// Modules answered from the cache's module tier without parsing.
+  uint64_t ModuleCacheHits = 0;
+  /// Function-tier cache hits summed over all served modules.
+  uint64_t FunctionCacheHits = 0;
   /// Wall-clock of the whole batch, measured inside the driver.
   double WallMs = 0.0;
   /// Latency percentiles over successful modules' TotalMs.

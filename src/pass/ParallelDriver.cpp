@@ -2,6 +2,7 @@
 
 #include "pass/ParallelDriver.h"
 
+#include "cache/DetectionCache.h"
 #include "constraint/SolverEngine.h"
 #include "idioms/IdiomRegistry.h"
 #include "ir/Function.h"
@@ -47,14 +48,40 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
   ParallelDetectionResult Result;
   Result.Reports.resize(Defs.size());
 
+  // Cache pre-pass, before any sharding: functions already solved
+  // under the active detection cache are filled in here (probing
+  // counts hits but not misses — the lane-level lookup inside
+  // detectIdioms records the authoritative miss per cold function),
+  // and only the misses are sharded, so worker lanes carry no
+  // already-solved work. Cached stats deltas accumulate into a
+  // pre-pass DetectionStats merged after the ledger — commutative
+  // counters, so the total stays bitwise identical to a cold run.
+  std::vector<std::size_t> Pending;
+  Pending.reserve(Defs.size());
+  DetectionStats CachedStats;
+  const SolverKind ResolvedKind = resolveSolverKind(Opts.Kind);
+  if (!Opts.Depths && DetectionCache::active()) {
+    FunctionAnalysisManager PreAM;
+    for (std::size_t I = 0; I != Defs.size(); ++I) {
+      if (analyzeFunctionFromCache(*Defs[I], PreAM, Result.Reports[I],
+                                   &CachedStats, &Registry, ResolvedKind))
+        ++Result.CacheHits;
+      else
+        Pending.push_back(I);
+    }
+  } else {
+    for (std::size_t I = 0; I != Defs.size(); ++I)
+      Pending.push_back(I);
+  }
+
   unsigned W = Opts.Workers;
   if (W == 0) {
     W = std::thread::hardware_concurrency();
     if (W == 0)
       W = 1;
   }
-  if (W > Defs.size())
-    W = static_cast<unsigned>(Defs.size());
+  if (W > Pending.size())
+    W = static_cast<unsigned>(Pending.size());
   if (W == 0)
     W = 1;
   Result.WorkersUsed = W;
@@ -65,7 +92,7 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
   // read the shared programs (compiledSpecs() is itself thread-safe,
   // but warming here keeps compilation off the measured parallel
   // section).
-  const SolverKind Kind = resolveSolverKind(Opts.Kind);
+  const SolverKind Kind = ResolvedKind;
   if (Kind == SolverKind::Compiled)
     (void)Registry.compiledSpecs();
 
@@ -82,15 +109,17 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
   // pulls from the most loaded one. Reports are keyed by definition
   // index and per-lane statistics are commutative counters, so the
   // steal pattern cannot affect the merged result.
-  StealingPartition Part(Defs.size(), W);
+  StealingPartition Part(Pending.size(), W);
 
   auto Work = [&](unsigned Lane) {
     FunctionAnalysisManager FAM;
     DetectionStats &Local = Ledger.slot(Lane);
     SolverDepthProfile *Depths = Opts.Depths ? &DepthSlots[Lane] : nullptr;
-    while (std::optional<std::size_t> I = Part.claim(Lane))
-      Result.Reports[*I] =
-          analyzeFunction(*Defs[*I], FAM, &Local, &Registry, Kind, Depths);
+    while (std::optional<std::size_t> I = Part.claim(Lane)) {
+      std::size_t Idx = Pending[*I];
+      Result.Reports[Idx] = analyzeFunction(*Defs[Idx], FAM, &Local,
+                                            &Registry, Kind, Depths);
+    }
   };
 
   if (W == 1) {
@@ -105,6 +134,7 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
   }
 
   Result.Stats = Ledger.merge();
+  Result.Stats += CachedStats;
   Result.Steals = Part.steals();
   if (Opts.Depths)
     for (const SolverDepthProfile &Slot : DepthSlots)

@@ -84,6 +84,11 @@ struct ParallelDetectionResult {
   /// Functions claimed across lane boundaries by work stealing
   /// (diagnostic; schedule-dependent, does not affect results).
   uint64_t Steals = 0;
+  /// Definitions served from the detection cache by the pre-sharding
+  /// pass (cache/DetectionCache.h) — those were never sharded at all;
+  /// worker lanes carried only the remaining misses. Always 0 when no
+  /// cache is active or a depth profile was requested.
+  uint64_t CacheHits = 0;
 };
 
 /// The accumulate-local-then-merge helper for worker statistics. Each

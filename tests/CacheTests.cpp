@@ -1,0 +1,558 @@
+//===- CacheTests.cpp - detection-cache correctness battery ---*- C++ -*-===//
+///
+/// \file
+/// The gate on the content-addressed detection cache
+/// (cache/DetectionCache.h). Four layers:
+///
+///  - Serialization: function-tier entries round-trip bitwise into a
+///    freshly parsed twin; every truncated prefix and mutated byte of
+///    an entry materializes as a clean miss, never a wrong result.
+///  - Invalidation: editing one function of a multi-function module
+///    re-solves only that function (solver-invocation counters);
+///    rename-only edits that change the canonical text invalidate;
+///    whitespace-identical reprints hit; a registry-fingerprint change
+///    (one extra spec) invalidates everything; a solver-kind switch
+///    re-keys.
+///  - Storage: corrupt/truncated on-disk entries are counted misses
+///    with correct re-solved results; the memory tier's LRU bound
+///    evicts without affecting correctness; a fresh process re-warms
+///    from disk.
+///  - Property: seeded random modules (tests/RandomModule.h) under
+///    random constant mutations produce cached-path DetectionStats
+///    bitwise identical to a cold solve at 1/2/8 workers and under
+///    GR_SOLVER=reference.
+///
+/// Every test configures the cache explicitly and restores the
+/// ambient GR_CACHE/GR_CACHE_DIR-driven state on teardown, so the
+/// battery is itself safe to run under a pre-warmed GR_CACHE_DIR (the
+/// CI cold-vs-warm rerun does exactly that).
+///
+//===----------------------------------------------------------------------===//
+
+#include "RandomModule.h"
+#include "TestHelpers.h"
+
+#include "cache/DetectionCache.h"
+#include "idioms/IdiomRegistry.h"
+#include "idioms/ReductionAnalysis.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "pass/BatchDriver.h"
+#include "pass/ParallelDriver.h"
+
+#include "ir/Instruction.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+using namespace gr;
+using gr::test::buildRandomModule;
+using gr::test::compileOrFail;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fixture
+//===----------------------------------------------------------------------===//
+
+/// Configures the cache per test and restores the ambient
+/// environment-driven state afterwards; owns an optional temp dir for
+/// the on-disk tier.
+class CacheTest : public ::testing::Test {
+protected:
+  void SetUp() override { DetectionCache::disable(); }
+
+  void TearDown() override {
+    DetectionCache::configureFromEnvironment();
+    if (!TempDir.empty())
+      removeTree(TempDir);
+  }
+
+  /// Fresh memory-only cache with \p MaxEntries.
+  void useMemoryCache(std::size_t MaxEntries = 65536) {
+    DetectionCache::configure({"", MaxEntries});
+  }
+
+  /// Fresh cache over a new temp directory (created once per test).
+  std::string useDiskCache() {
+    if (TempDir.empty()) {
+      char Template[] = "/tmp/gr_cache_test_XXXXXX";
+      const char *D = ::mkdtemp(Template);
+      EXPECT_NE(D, nullptr);
+      TempDir = D ? D : "";
+    }
+    DetectionCache::configure({TempDir});
+    return TempDir;
+  }
+
+  static void removeTree(const std::string &Dir) {
+    if (DIR *D = ::opendir(Dir.c_str())) {
+      while (struct dirent *E = ::readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::remove((Dir + "/" + Name).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  std::string TempDir;
+};
+
+/// Serial full-pipeline detection of \p M, returning the merged stats.
+DetectionStats detectStats(Module &M, unsigned Workers = 1,
+                           SolverKind Kind = SolverKind::Default,
+                           const IdiomRegistry *Registry = nullptr) {
+  ParallelDetectionOptions PD;
+  PD.Workers = Workers;
+  PD.Kind = Kind;
+  PD.Registry = Registry;
+  return analyzeModuleParallel(M, PD).Stats;
+}
+
+std::unique_ptr<Module> parseOrFail(const std::string &Text) {
+  IRParseError Err;
+  auto M = parseIR(Text, &Err);
+  EXPECT_NE(M, nullptr) << "parse error: " << Err.str();
+  return M;
+}
+
+CacheCounters counters() { return DetectionCache::active()->counters(); }
+
+/// A three-function MiniC module whose functions have distinct
+/// detection outcomes (sum reduction, histogram, plain loop).
+const char *ThreeFnSource = R"(
+int a[64];
+int hist[16];
+int keys[64];
+int sum_loop() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i++)
+    s = s + a[i];
+  return s;
+}
+int hist_loop() {
+  int i;
+  for (i = 0; i < 64; i++)
+    hist[keys[i]] = hist[keys[i]] + 1;
+  return hist[0];
+}
+int main() {
+  int i;
+  for (i = 0; i < 64; i++)
+    a[i] = i;
+  return sum_loop() + hist_loop();
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Serialization round-trip and robustness
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheTest, FunctionEntryRoundTripsIntoParsedTwin) {
+  auto M = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M, nullptr);
+  auto Twin = parseOrFail(moduleToString(*M));
+  ASSERT_NE(Twin, nullptr);
+
+  FunctionAnalysisManager AM;
+  for (const auto &F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    DetectionStats Cold;
+    IdiomDetectionResult R =
+        detectIdioms(*F, AM, IdiomRegistry::builtins(), &Cold);
+    uint64_t CH = DetectionCache::functionContentHash(*F);
+    std::string Entry = serializeFunctionEntry(*F, CH, R, Cold);
+    ASSERT_FALSE(Entry.empty()) << F->getName();
+
+    // Materialize into the *twin's* function: same canonical text,
+    // different Module instance, freshly parsed values.
+    Function *TF = Twin->getFunction(F->getName());
+    ASSERT_NE(TF, nullptr);
+    ASSERT_EQ(DetectionCache::functionContentHash(*TF), CH);
+    IdiomDetectionResult Out;
+    DetectionStats OutStats;
+    ASSERT_TRUE(materializeFunctionEntry(Entry, *TF, CH, Out, OutStats))
+        << F->getName();
+    EXPECT_TRUE(OutStats == Cold) << "stats not bitwise identical";
+    EXPECT_EQ(Out.ForLoops.size(), R.ForLoops.size());
+    ASSERT_EQ(Out.Instances.size(), R.Instances.size());
+    for (std::size_t I = 0; I != Out.Instances.size(); ++I) {
+      EXPECT_EQ(Out.Instances[I].Idiom, R.Instances[I].Idiom);
+      EXPECT_EQ(Out.Instances[I].Captures.size(),
+                R.Instances[I].Captures.size());
+    }
+    // The decoded reports agree on every typed count.
+    ReductionReport RA =
+        decodeReport(*F, std::move(R.ForLoops), R.Instances);
+    ReductionReport RB =
+        decodeReport(*TF, std::move(Out.ForLoops), Out.Instances);
+    EXPECT_EQ(RA.Scalars.size(), RB.Scalars.size());
+    EXPECT_EQ(RA.Histograms.size(), RB.Histograms.size());
+    EXPECT_EQ(RA.Scans.size(), RB.Scans.size());
+    EXPECT_EQ(RA.ArgMinMax.size(), RB.ArgMinMax.size());
+  }
+}
+
+TEST_F(CacheTest, TruncatedAndMutatedEntriesNeverMaterialize) {
+  auto M = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M, nullptr);
+  Function *F = M->getFunction("sum_loop");
+  ASSERT_NE(F, nullptr);
+
+  FunctionAnalysisManager AM;
+  DetectionStats S;
+  IdiomDetectionResult R =
+      detectIdioms(*F, AM, IdiomRegistry::builtins(), &S);
+  uint64_t CH = DetectionCache::functionContentHash(*F);
+  std::string Entry = serializeFunctionEntry(*F, CH, R, S);
+  ASSERT_FALSE(Entry.empty());
+
+  // A full entry materializes; every strict prefix must not.
+  IdiomDetectionResult Out;
+  DetectionStats OutStats;
+  ASSERT_TRUE(materializeFunctionEntry(Entry, *F, CH, Out, OutStats));
+  for (std::size_t Len = 0; Len < Entry.size(); ++Len) {
+    IdiomDetectionResult O;
+    DetectionStats OS;
+    EXPECT_FALSE(
+        materializeFunctionEntry(Entry.substr(0, Len), *F, CH, O, OS))
+        << "prefix of length " << Len << " materialized";
+  }
+  // Flipping any single byte either still parses to the *same typed
+  // shape* (a digit inside a stats counter) or fails cleanly — it
+  // must never crash or bind a value of the wrong kind. Run a byte
+  // sweep as a robustness smoke.
+  for (std::size_t I = 0; I < Entry.size(); ++I) {
+    std::string Bad = Entry;
+    Bad[I] ^= 0x15;
+    IdiomDetectionResult O;
+    DetectionStats OS;
+    (void)materializeFunctionEntry(Bad, *F, CH, O, OS);
+  }
+  // A content-hash mismatch is always a miss, even for a pristine
+  // entry (guards combined-key collisions).
+  IdiomDetectionResult O2;
+  DetectionStats OS2;
+  EXPECT_FALSE(materializeFunctionEntry(Entry, *F, CH + 1, O2, OS2));
+}
+
+//===----------------------------------------------------------------------===//
+// Invalidation contract
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheTest, EditingOneFunctionReSolvesOnlyThatFunction) {
+  useMemoryCache();
+  auto M1 = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M1, nullptr);
+
+  // Cold run: every definition is one counted miss (one solver
+  // invocation), then stored.
+  DetectionStats Cold = detectStats(*M1);
+  CacheCounters C0 = counters();
+  EXPECT_EQ(C0.FunctionMisses, 3u);
+  EXPECT_EQ(C0.FunctionHits, 0u);
+  EXPECT_EQ(C0.FunctionStores, 3u);
+
+  // Identical module, fresh instance: all hits, zero new misses,
+  // bitwise-identical stats.
+  auto M2 = parseOrFail(moduleToString(*M1));
+  ASSERT_NE(M2, nullptr);
+  EXPECT_TRUE(detectStats(*M2) == Cold);
+  CacheCounters C1 = counters();
+  EXPECT_EQ(C1.FunctionMisses, 3u);
+  EXPECT_EQ(C1.FunctionHits, 3u);
+
+  // Edit exactly one function body (64 -> 48 trip count in sum_loop,
+  // a purity-preserving change): only that function re-solves.
+  std::string Edited = ThreeFnSource;
+  auto Pos = Edited.find("i < 64; i++)\n    s = s + a[i]");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 6, "i < 48");
+  auto M3 = compileOrFail(Edited.c_str());
+  ASSERT_NE(M3, nullptr);
+  (void)detectStats(*M3);
+  CacheCounters C2 = counters();
+  EXPECT_EQ(C2.FunctionMisses, 4u) << "exactly one new solver invocation";
+  EXPECT_EQ(C2.FunctionHits, 5u) << "the two untouched functions hit";
+}
+
+TEST_F(CacheTest, RenameOnlyEditInvalidates) {
+  useMemoryCache();
+  auto M1 = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M1, nullptr);
+  (void)detectStats(*M1);
+  EXPECT_EQ(counters().FunctionMisses, 3u);
+
+  // Renaming a function changes its canonical text (and the module
+  // environment every other function's key covers — callee identity
+  // is a detection input), so nothing may serve stale.
+  std::string Renamed = ThreeFnSource;
+  std::size_t Pos;
+  while ((Pos = Renamed.find("sum_loop")) != std::string::npos)
+    Renamed.replace(Pos, 8, "sum_core");
+  auto M2 = compileOrFail(Renamed.c_str());
+  ASSERT_NE(M2, nullptr);
+  (void)detectStats(*M2);
+  CacheCounters C = counters();
+  EXPECT_EQ(C.FunctionHits, 0u) << "rename must not hit stale entries";
+  EXPECT_EQ(C.FunctionMisses, 6u);
+}
+
+TEST_F(CacheTest, WhitespaceIdenticalReprintHits) {
+  useMemoryCache();
+  auto M1 = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M1, nullptr);
+  DetectionStats Cold = detectStats(*M1);
+
+  // print -> parse -> print is a bitwise fixed point, so a reprint
+  // chain of any depth keys identically.
+  std::string T1 = moduleToString(*M1);
+  auto M2 = parseOrFail(T1);
+  ASSERT_NE(M2, nullptr);
+  ASSERT_EQ(moduleToString(*M2), T1);
+  auto M3 = parseOrFail(moduleToString(*M2));
+  ASSERT_NE(M3, nullptr);
+  EXPECT_TRUE(detectStats(*M2) == Cold);
+  EXPECT_TRUE(detectStats(*M3) == Cold);
+  CacheCounters C = counters();
+  EXPECT_EQ(C.FunctionMisses, 3u);
+  EXPECT_EQ(C.FunctionHits, 6u);
+}
+
+TEST_F(CacheTest, RegistryFingerprintChangeInvalidatesEverything) {
+  // Two registries: the builtins, and builtins + one extra spec (a
+  // renamed scalar-reduction clone). Different fingerprints, so keys
+  // derived under one never hit entries stored under the other.
+  IdiomRegistry Base;
+  Base.addBuiltins();
+  IdiomRegistry Extended;
+  Extended.addBuiltins();
+  IdiomDefinition Extra = makeScalarReductionIdiom();
+  Extra.Name = "scalar-reduction-clone";
+  ASSERT_TRUE(Extended.add(std::move(Extra)));
+  ASSERT_NE(Base.fingerprint(), Extended.fingerprint());
+  EXPECT_EQ(Base.fingerprint(), IdiomRegistry::builtins().fingerprint());
+
+  useMemoryCache();
+  auto M = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M, nullptr);
+  (void)detectStats(*M, 1, SolverKind::Default, &Base);
+  CacheCounters C0 = counters();
+  EXPECT_EQ(C0.FunctionMisses, 3u);
+
+  // Same module text, extended registry: everything re-solves.
+  (void)detectStats(*M, 1, SolverKind::Default, &Extended);
+  CacheCounters C1 = counters();
+  EXPECT_EQ(C1.FunctionHits, 0u);
+  EXPECT_EQ(C1.FunctionMisses, 6u);
+
+  // And back under the base registry the original entries still hit.
+  (void)detectStats(*M, 1, SolverKind::Default, &Base);
+  EXPECT_EQ(counters().FunctionHits, 3u);
+}
+
+TEST_F(CacheTest, SolverKindKeysSeparately) {
+  useMemoryCache();
+  auto M = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M, nullptr);
+  DetectionStats Compiled = detectStats(*M, 1, SolverKind::Compiled);
+  EXPECT_EQ(counters().FunctionMisses, 3u);
+  // The reference solver must not be served compiled-keyed entries
+  // (its stats differ — that would be visible corruption).
+  DetectionStats Reference = detectStats(*M, 1, SolverKind::Reference);
+  CacheCounters C = counters();
+  EXPECT_EQ(C.FunctionHits, 0u);
+  EXPECT_EQ(C.FunctionMisses, 6u);
+  // Each kind now hits its own entries, reproducing its own stats.
+  EXPECT_TRUE(detectStats(*M, 1, SolverKind::Compiled) == Compiled);
+  EXPECT_TRUE(detectStats(*M, 1, SolverKind::Reference) == Reference);
+  EXPECT_EQ(counters().FunctionHits, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Storage: disk tier, corruption, LRU bound
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheTest, DiskTierSurvivesProcessRestartAndToleratesCorruption) {
+  std::string Dir = useDiskCache();
+  auto M = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M, nullptr);
+  DetectionStats Cold = detectStats(*M);
+  EXPECT_EQ(counters().FunctionStores, 3u);
+
+  // "Restart": a fresh cache instance over the same directory has an
+  // empty memory tier and re-warms from disk, bitwise.
+  DetectionCache::configure({Dir});
+  EXPECT_TRUE(detectStats(*M) == Cold);
+  CacheCounters C1 = counters();
+  EXPECT_EQ(C1.FunctionHits, 3u);
+  EXPECT_EQ(C1.DiskHits, 3u);
+
+  // Corrupt every on-disk entry three ways across restarts: truncate,
+  // garbage, empty. Each is a clean counted miss; detection stays
+  // correct and re-stores.
+  std::vector<std::string> Entries;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name.size() > 4 &&
+          Name.compare(Name.size() - 4, 4, ".grc") == 0)
+        Entries.push_back(Dir + "/" + Name);
+    }
+    ::closedir(D);
+  }
+  ASSERT_EQ(Entries.size(), 3u);
+  const char *Payloads[] = {"GRDC1 f", "complete garbage\nnot an entry\n",
+                            ""};
+  for (std::size_t I = 0; I != Entries.size(); ++I) {
+    std::FILE *F = std::fopen(Entries[I].c_str(), "wb");
+    ASSERT_NE(F, nullptr);
+    std::fwrite(Payloads[I], 1, std::strlen(Payloads[I]), F);
+    std::fclose(F);
+  }
+  DetectionCache::configure({Dir});
+  EXPECT_TRUE(detectStats(*M) == Cold) << "corruption must not change results";
+  CacheCounters C2 = counters();
+  EXPECT_EQ(C2.FunctionHits, 0u);
+  EXPECT_EQ(C2.FunctionMisses, 3u);
+  EXPECT_EQ(C2.CorruptEntries, 3u);
+
+  // The re-stored entries serve the next restart again.
+  DetectionCache::configure({Dir});
+  EXPECT_TRUE(detectStats(*M) == Cold);
+  EXPECT_EQ(counters().DiskHits, 3u);
+}
+
+TEST_F(CacheTest, MemoryLruBoundEvictsWithoutAffectingResults) {
+  DetectionCache::configure({"", /*MaxMemoryEntries=*/1});
+  auto M = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M, nullptr);
+  DetectionStats Cold = detectStats(*M);
+  CacheCounters C0 = counters();
+  EXPECT_GT(C0.Evictions, 0u) << "a 1-entry bound over 3 stores must evict";
+  // With no disk tier behind it, evicted entries are simply re-solved;
+  // results stay bitwise identical.
+  EXPECT_TRUE(detectStats(*M) == Cold);
+}
+
+//===----------------------------------------------------------------------===//
+// Module tier (batch/serving layer)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheTest, ModuleTierAnswersByteIdenticalRequests) {
+  useMemoryCache();
+  auto M = compileOrFail(ThreeFnSource);
+  ASSERT_NE(M, nullptr);
+  BatchInput In{"three_fn", moduleToString(*M)};
+
+  BatchResult Cold = runDetectionBatch({In, In});
+  ASSERT_EQ(Cold.Succeeded, 2u);
+  // Within one batch the duplicate may or may not land after the
+  // store (lanes race); across batches it must be a module-tier hit.
+  BatchResult Warm = runDetectionBatch({In});
+  ASSERT_EQ(Warm.Succeeded, 1u);
+  EXPECT_EQ(Warm.ModuleCacheHits, 1u);
+  ASSERT_TRUE(Warm.Modules[0].FromCache);
+  EXPECT_TRUE(Warm.Stats == Cold.Modules[0].Stats)
+      << "module-tier stats not bitwise identical";
+  EXPECT_EQ(Warm.Modules[0].Functions, Cold.Modules[0].Functions);
+
+  // One changed byte in the text is a module-tier miss (the function
+  // tier may still hit underneath — that is the design).
+  BatchInput In2{"three_fn_b", In.Text + "\n"};
+  BatchResult R2 = runDetectionBatch({In2});
+  EXPECT_EQ(R2.ModuleCacheHits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property: random modules under mutation, all worker counts/solvers
+//===----------------------------------------------------------------------===//
+
+/// Replaces one ConstantInt operand of a binary instruction with a
+/// different uniqued constant, seeded-deterministically. Returns false
+/// when the module has no such operand.
+bool mutateOneConstant(Module &M, unsigned Seed) {
+  std::mt19937 Rng(Seed * 40503 + 7);
+  std::vector<std::pair<Instruction *, unsigned>> Sites;
+  for (const auto &F : M.functions())
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB) {
+        if (!isa<BinaryInst>(I))
+          continue;
+        for (unsigned Op = 0; Op != I->getNumOperands(); ++Op)
+          if (isa<ConstantInt>(I->getOperand(Op)))
+            Sites.emplace_back(I, Op);
+      }
+  if (Sites.empty())
+    return false;
+  auto [I, Op] = Sites[Rng() % Sites.size()];
+  int64_t Old = cast<ConstantInt>(I->getOperand(Op))->getValue();
+  I->setOperand(Op, M.getConstantInt((Old ^ 3) + 1));
+  return true;
+}
+
+TEST_F(CacheTest, RandomMutatedModulesMatchColdSolveAtAllWorkerCounts) {
+  for (unsigned Seed = 0; Seed < 8; ++Seed) {
+    // Two deterministic twins of the same seed: one stays pristine,
+    // one gets a random constant mutation.
+    auto M = buildRandomModule(Seed);
+    auto Mut = buildRandomModule(Seed);
+    ASSERT_TRUE(mutateOneConstant(*Mut, Seed)) << "seed " << Seed;
+    std::vector<std::string> Errs;
+    ASSERT_TRUE(verifyModule(*Mut, &Errs))
+        << "seed " << Seed << ": " << (Errs.empty() ? "?" : Errs.front());
+
+    // Cold baselines, no cache.
+    DetectionCache::disable();
+    DetectionStats Cold = detectStats(*M);
+    DetectionStats ColdMut = detectStats(*Mut);
+    DetectionStats ColdRef = detectStats(*M, 1, SolverKind::Reference);
+
+    // Cached paths: populate from the pristine module, then solve the
+    // mutated twin — stale entries must not leak into its results —
+    // at 1, 2 and 8 workers, each on a freshly parsed instance.
+    useMemoryCache();
+    for (unsigned W : {1u, 2u, 8u}) {
+      auto MW = parseOrFail(moduleToString(*M));
+      ASSERT_NE(MW, nullptr);
+      EXPECT_TRUE(detectStats(*MW, W) == Cold)
+          << "seed " << Seed << " workers " << W;
+      auto MutW = parseOrFail(moduleToString(*Mut));
+      ASSERT_NE(MutW, nullptr);
+      EXPECT_TRUE(detectStats(*MutW, W) == ColdMut)
+          << "seed " << Seed << " workers " << W << " (mutated)";
+    }
+
+    // GR_SOLVER=reference resolves Default to the reference solver;
+    // cached reference-kind results must reproduce its cold stats.
+    const char *Saved = std::getenv("GR_SOLVER");
+    std::string SavedValue = Saved ? Saved : "";
+    ::setenv("GR_SOLVER", "reference", 1);
+    EXPECT_TRUE(detectStats(*M, 1, SolverKind::Default) == ColdRef)
+        << "seed " << Seed << " (reference, cold->store)";
+    EXPECT_TRUE(detectStats(*M, 2, SolverKind::Default) == ColdRef)
+        << "seed " << Seed << " (reference, cached)";
+    if (Saved)
+      ::setenv("GR_SOLVER", SavedValue.c_str(), 1);
+    else
+      ::unsetenv("GR_SOLVER");
+  }
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- RandomModule.h - seeded random module generator --------*- C++ -*-===//
+///
+/// \file
+/// The seeded random-module generator behind the parser property test,
+/// shared so other property suites (cache correctness, detection
+/// determinism) can draw from the same distribution: a few worker
+/// functions with a bounded counting loop, a random straight-line
+/// expression DAG in the body (integer and float pools, memory traffic
+/// through a small alloca array), and a main that calls every worker
+/// and folds the results. Every generated module verifies, round-trips
+/// through the printer bitwise, and terminates under the interpreter.
+///
+/// Determinism contract: the same seed always builds the same module,
+/// across platforms — the generator uses std::mt19937 with modulo
+/// draws only, never distribution objects (whose sequences are
+/// implementation-defined).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TESTS_RANDOMMODULE_H
+#define GR_TESTS_RANDOMMODULE_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gr {
+namespace test {
+
+/// Builds a random but always-verifiable module for seed \p Seed.
+inline std::unique_ptr<Module> buildRandomModule(unsigned Seed) {
+  std::mt19937 Rng(Seed * 9781 + 13);
+  auto M = std::make_unique<Module>("random" + std::to_string(Seed));
+  TypeContext &Ctx = M->getTypeContext();
+  IRBuilder B(*M);
+
+  auto pick = [&](unsigned N) { return Rng() % N; };
+  auto makeFn = [&](const std::string &Name, Type *Ret,
+                    std::vector<Type *> Params) {
+    FunctionType *FT = Ctx.getFunction(Ret, std::move(Params));
+    Function *F = M->createFunction(Name, FT);
+    F->createBlock("entry");
+    return F;
+  };
+
+  unsigned NumFns = 1 + pick(3);
+  std::vector<Function *> Fns;
+  for (unsigned FI = 0; FI < NumFns; ++FI) {
+    Function *F = makeFn("work" + std::to_string(FI), Ctx.getInt64(),
+                         {Ctx.getInt64(), Ctx.getFloat64()});
+    F->getArg(0)->setName("n");
+    // Exercise name quoting from the property test, too.
+    F->getArg(1)->setName(FI % 2 ? "x arg" : "x");
+    Fns.push_back(F);
+
+    BasicBlock *Entry = F->getEntry();
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Body = F->createBlock("body");
+    BasicBlock *Latch = F->createBlock("latch");
+    BasicBlock *Exit = F->createBlock("exit");
+
+    B.setInsertBlock(Entry);
+    AllocaInst *Arr = B.createAlloca(Ctx.getArray(Ctx.getInt64(), 8), "buf");
+    B.createStore(B.getInt64(0), B.createGEP(Arr, B.getInt64(0)));
+    B.createBr(Header);
+
+    B.setInsertBlock(Header);
+    PhiInst *I = B.createPhi(Ctx.getInt64(), "i");
+    PhiInst *Acc = B.createPhi(Ctx.getInt64(), "acc");
+    PhiInst *FAcc = B.createPhi(Ctx.getFloat64(), "facc");
+    Value *Cond = B.createCmp(CmpInst::Predicate::SLT, I,
+                              B.getInt64(16 + pick(48)));
+    B.createCondBr(Cond, Body, Exit);
+
+    B.setInsertBlock(Body);
+    // Integer pool.
+    std::vector<Value *> IPool = {I, Acc, B.getInt64(1 + pick(9)),
+                                  F->getArg(0)};
+    // Float pool.
+    std::vector<Value *> FPool = {FAcc, F->getArg(1),
+                                  B.getFloat(0.25 * (1 + pick(7)))};
+    unsigned Steps = 3 + pick(6);
+    for (unsigned S = 0; S < Steps; ++S) {
+      switch (pick(6)) {
+      case 0: { // Integer arithmetic / bit op.
+        static const BinaryInst::BinaryOp Ops[] = {
+            BinaryInst::BinaryOp::Add, BinaryInst::BinaryOp::Sub,
+            BinaryInst::BinaryOp::Mul, BinaryInst::BinaryOp::And,
+            BinaryInst::BinaryOp::Or, BinaryInst::BinaryOp::Xor};
+        IPool.push_back(B.createBinary(Ops[pick(6)],
+                                       IPool[pick(IPool.size())],
+                                       IPool[pick(IPool.size())]));
+        break;
+      }
+      case 1: { // Float arithmetic.
+        static const BinaryInst::BinaryOp Ops[] = {
+            BinaryInst::BinaryOp::FAdd, BinaryInst::BinaryOp::FSub,
+            BinaryInst::BinaryOp::FMul};
+        FPool.push_back(B.createBinary(Ops[pick(3)],
+                                       FPool[pick(FPool.size())],
+                                       FPool[pick(FPool.size())]));
+        break;
+      }
+      case 2: { // Comparison folded back into the integer pool.
+        Value *C =
+            pick(2) ? B.createCmp(CmpInst::Predicate::SLT,
+                                  IPool[pick(IPool.size())],
+                                  IPool[pick(IPool.size())])
+                    : static_cast<Value *>(B.createCmp(
+                          CmpInst::Predicate::OLT, FPool[pick(FPool.size())],
+                          FPool[pick(FPool.size())]));
+        IPool.push_back(B.createCast(CastInst::CastKind::ZExt, C));
+        break;
+      }
+      case 3: { // Select between integers.
+        Value *C = B.createCmp(CmpInst::Predicate::NE,
+                               IPool[pick(IPool.size())],
+                               IPool[pick(IPool.size())]);
+        IPool.push_back(B.createSelect(C, IPool[pick(IPool.size())],
+                                       IPool[pick(IPool.size())]));
+        break;
+      }
+      case 4: { // int -> float.
+        FPool.push_back(B.createCast(CastInst::CastKind::SIToFP,
+                                     IPool[pick(IPool.size())]));
+        break;
+      }
+      case 5: { // Memory traffic through the alloca array.
+        Value *Idx = B.createBinary(BinaryInst::BinaryOp::And,
+                                    IPool[pick(IPool.size())],
+                                    B.getInt64(7));
+        Value *Slot = B.createGEP(Arr, Idx);
+        B.createStore(IPool[pick(IPool.size())], Slot);
+        IPool.push_back(B.createLoad(Slot));
+        break;
+      }
+      }
+    }
+    Value *NextAcc = B.createBinary(BinaryInst::BinaryOp::Add, Acc,
+                                    IPool.back(), "acc.next");
+    Value *NextFAcc = B.createBinary(BinaryInst::BinaryOp::FAdd, FAcc,
+                                     FPool.back(), "facc.next");
+    B.createBr(Latch);
+
+    B.setInsertBlock(Latch);
+    Value *NextI = B.createAdd(I, B.getInt64(1), "i.next");
+    B.createBr(Header);
+
+    I->addIncoming(B.getInt64(0), Entry);
+    I->addIncoming(NextI, Latch);
+    Acc->addIncoming(B.getInt64(pick(5)), Entry);
+    Acc->addIncoming(NextAcc, Latch);
+    FAcc->addIncoming(B.getFloat(0.0), Entry);
+    FAcc->addIncoming(NextFAcc, Latch);
+
+    B.setInsertBlock(Exit);
+    // Fold the float accumulator in without fptosi (no UB on huge
+    // values): compare and widen.
+    Value *FC = B.createCmp(CmpInst::Predicate::OLT, FAcc,
+                            B.getFloat(1000.0));
+    Value *FBit = B.createCast(CastInst::CastKind::ZExt, FC);
+    B.createRet(B.createAdd(Acc, FBit));
+  }
+
+  Function *Main = makeFn("main", Ctx.getInt64(), {});
+  B.setInsertBlock(Main->getEntry());
+  Value *Sum = B.getInt64(0);
+  for (Function *F : Fns) {
+    Value *R = B.createCall(
+        F, {B.getInt64(5 + pick(20)), B.getFloat(0.5 * (1 + pick(6)))});
+    Sum = B.createAdd(Sum, R);
+  }
+  B.createRet(Sum);
+  return M;
+}
+
+} // namespace test
+} // namespace gr
+
+#endif // GR_TESTS_RANDOMMODULE_H

@@ -12,11 +12,13 @@
 /// tool can sit behind a pipe or socket relay):
 ///
 ///   <path.gr>      parse + detect that file, answer `ok ...`/`error ...`
-///   !stats         answer one aggregate line (served, p50/p99, rate)
+///   !stats         answer one aggregate line (served, p50/p99, rate,
+///                  per-request cache hits/misses)
+///   !cache-stats   answer one line of detection-cache counters
 ///   !quit          exit 0
 ///   EOF            print the aggregate line, exit 0
 ///
-///   grd [--workers=N] [--solver=KIND] [--json]
+///   grd [--workers=N] [--solver=KIND] [--cache[=DIR]] [--json]
 ///
 /// With --workers=N each request is detected with N worker lanes at
 /// function granularity on the shared pool (0 = auto); requests
@@ -24,8 +26,15 @@
 /// request, not batch throughput, is the serving contract. For
 /// offline throughput over a fixed corpus, use `gropt --batch`.
 ///
+/// With --cache[=DIR] (or GR_CACHE_DIR in the environment) served
+/// requests consult the content-addressed detection cache
+/// (cache/DetectionCache.h): a byte-identical repeat of an earlier
+/// module answers from the module tier without parse or solve, and
+/// each ok response carries cache=hit|miss. See docs/CACHING.md.
+///
 //===----------------------------------------------------------------------===//
 
+#include "cache/DetectionCache.h"
 #include "constraint/Solver.h"
 #include "idioms/IdiomRegistry.h"
 #include "pass/BatchDriver.h"
@@ -47,12 +56,16 @@ struct ServerOptions {
   unsigned Workers = 0; ///< 0 = auto
   SolverKind Solver = SolverKind::Default;
   bool Json = false;
+  bool Cache = false;   ///< --cache[=DIR]
+  std::string CacheDir; ///< empty = memory-only
 };
 
 void usage() {
-  errs() << "usage: grd [--workers=N] [--solver=KIND] [--json]\n"
-         << "  reads .gr paths from stdin (one per line); !stats and\n"
-         << "  !quit are control commands. See docs/THREADING.md.\n";
+  errs() << "usage: grd [--workers=N] [--solver=KIND] [--cache[=DIR]] "
+            "[--json]\n"
+         << "  reads .gr paths from stdin (one per line); !stats,\n"
+         << "  !cache-stats and !quit are control commands.\n"
+         << "  See docs/THREADING.md and docs/CACHING.md.\n";
 }
 
 bool parseArgs(int Argc, char **Argv, ServerOptions &Opts) {
@@ -76,6 +89,16 @@ bool parseArgs(int Argc, char **Argv, ServerOptions &Opts) {
         Opts.Solver = SolverKind::Default;
       else {
         errs() << "grd: unknown solver kind '" << K << "'\n";
+        return false;
+      }
+    } else if (Arg == "--cache") {
+      Opts.Cache = true;
+    } else if (startsWith(Arg, "--cache=")) {
+      Opts.Cache = true;
+      Opts.CacheDir = Arg.substr(8);
+      if (Opts.CacheDir.empty()) {
+        errs() << "grd: --cache= needs a directory (or plain --cache "
+                  "for memory-only)\n";
         return false;
       }
     } else if (Arg == "--json") {
@@ -141,6 +164,10 @@ double percentile(std::vector<double> Sample, double P) {
 struct Aggregate {
   uint64_t Served = 0;
   uint64_t Errors = 0;
+  /// Served requests answered by the cache's module tier (request-level
+  /// hits: the whole request skipped parse + solve) vs. served cold.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
   double BusyMs = 0.0;
   std::vector<double> Latencies;
 };
@@ -153,17 +180,69 @@ void printAggregate(const Aggregate &A, bool Json) {
                     : 0.0;
   if (Json)
     std::printf("{\"stats\": true, \"served\": %llu, \"errors\": %llu, "
+                "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"busy_ms\": %.3f, "
                 "\"modules_per_s\": %.1f}\n",
                 static_cast<unsigned long long>(A.Served),
-                static_cast<unsigned long long>(A.Errors), P50, P99,
+                static_cast<unsigned long long>(A.Errors),
+                static_cast<unsigned long long>(A.CacheHits),
+                static_cast<unsigned long long>(A.CacheMisses), P50, P99,
                 A.BusyMs, Rate);
   else
-    std::printf("stats served=%llu errors=%llu p50_ms=%.3f p99_ms=%.3f "
+    std::printf("stats served=%llu errors=%llu cache_hits=%llu "
+                "cache_misses=%llu p50_ms=%.3f p99_ms=%.3f "
                 "busy_ms=%.3f modules_per_s=%.1f\n",
                 static_cast<unsigned long long>(A.Served),
-                static_cast<unsigned long long>(A.Errors), P50, P99,
+                static_cast<unsigned long long>(A.Errors),
+                static_cast<unsigned long long>(A.CacheHits),
+                static_cast<unsigned long long>(A.CacheMisses), P50, P99,
                 A.BusyMs, Rate);
+  std::fflush(stdout);
+}
+
+/// The !cache-stats response: every DetectionCache counter, or a
+/// cache-off marker when no cache is active.
+void printCacheStats(bool Json) {
+  DetectionCache *C = DetectionCache::active();
+  if (!C) {
+    std::printf(Json ? "{\"cache\": false}\n" : "cache off\n");
+    std::fflush(stdout);
+    return;
+  }
+  CacheCounters CC = C->counters();
+  if (Json)
+    std::printf("{\"cache\": true, \"hits\": %llu, \"misses\": %llu, "
+                "\"function_hits\": %llu, \"function_misses\": %llu, "
+                "\"function_stores\": %llu, \"module_hits\": %llu, "
+                "\"module_misses\": %llu, \"module_stores\": %llu, "
+                "\"disk_hits\": %llu, \"corrupt\": %llu, "
+                "\"evictions\": %llu}\n",
+                static_cast<unsigned long long>(CC.hits()),
+                static_cast<unsigned long long>(CC.misses()),
+                static_cast<unsigned long long>(CC.FunctionHits),
+                static_cast<unsigned long long>(CC.FunctionMisses),
+                static_cast<unsigned long long>(CC.FunctionStores),
+                static_cast<unsigned long long>(CC.ModuleHits),
+                static_cast<unsigned long long>(CC.ModuleMisses),
+                static_cast<unsigned long long>(CC.ModuleStores),
+                static_cast<unsigned long long>(CC.DiskHits),
+                static_cast<unsigned long long>(CC.CorruptEntries),
+                static_cast<unsigned long long>(CC.Evictions));
+  else
+    std::printf("cache hits=%llu misses=%llu function=%llu/%llu/%llu "
+                "module=%llu/%llu/%llu disk_hits=%llu corrupt=%llu "
+                "evictions=%llu\n",
+                static_cast<unsigned long long>(CC.hits()),
+                static_cast<unsigned long long>(CC.misses()),
+                static_cast<unsigned long long>(CC.FunctionHits),
+                static_cast<unsigned long long>(CC.FunctionMisses),
+                static_cast<unsigned long long>(CC.FunctionStores),
+                static_cast<unsigned long long>(CC.ModuleHits),
+                static_cast<unsigned long long>(CC.ModuleMisses),
+                static_cast<unsigned long long>(CC.ModuleStores),
+                static_cast<unsigned long long>(CC.DiskHits),
+                static_cast<unsigned long long>(CC.CorruptEntries),
+                static_cast<unsigned long long>(CC.Evictions));
   std::fflush(stdout);
 }
 
@@ -192,6 +271,10 @@ int main(int Argc, char **Argv) {
   ServerOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
+  // --cache overrides the GR_CACHE/GR_CACHE_DIR environment
+  // resolution; without it, the environment decides (docs/CACHING.md).
+  if (Opts.Cache)
+    DetectionCache::configure({Opts.CacheDir});
 
   // Warm the pool and the compiled specs before the first request so
   // request one is not billed for process-lifetime setup.
@@ -213,6 +296,10 @@ int main(int Argc, char **Argv) {
       return 0;
     if (Line == "!stats") {
       printAggregate(Agg, Opts.Json);
+      continue;
+    }
+    if (Line == "!cache-stats") {
+      printCacheStats(Opts.Json);
       continue;
     }
 
@@ -247,29 +334,36 @@ int main(int Argc, char **Argv) {
         ++Agg.Served;
         Agg.BusyMs += Ms;
         Agg.Latencies.push_back(Ms);
+        // Request-level cache outcome: hit = the module tier answered
+        // the whole request (no parse, no solve). Only meaningful with
+        // an active cache; without one every request reports miss.
+        if (M.FromCache)
+          ++Agg.CacheHits;
+        else
+          ++Agg.CacheMisses;
         char Buf[256];
         if (Opts.Json) {
           std::snprintf(Buf, sizeof(Buf),
                         "\"functions\": %u, \"scalars\": %u, "
                         "\"histograms\": %u, \"scans\": %u, "
                         "\"argminmax\": %u, \"solutions\": %llu, "
-                        "\"ms\": %.3f}",
+                        "\"cache\": \"%s\", \"ms\": %.3f}",
                         M.Functions, M.Counts.Scalars, M.Counts.Histograms,
                         M.Counts.Scans, M.Counts.ArgMinMax,
                         static_cast<unsigned long long>(
                             M.Stats.totalSolutions()),
-                        Ms);
+                        M.FromCache ? "hit" : "miss", Ms);
           Response = "{\"ok\": true, \"path\": \"" + jsonEscape(Line) +
                      "\", " + Buf;
         } else {
           std::snprintf(Buf, sizeof(Buf),
                         " functions=%u scalars=%u histograms=%u scans=%u "
-                        "argminmax=%u solutions=%llu ms=%.3f",
+                        "argminmax=%u solutions=%llu cache=%s ms=%.3f",
                         M.Functions, M.Counts.Scalars, M.Counts.Histograms,
                         M.Counts.Scans, M.Counts.ArgMinMax,
                         static_cast<unsigned long long>(
                             M.Stats.totalSolutions()),
-                        Ms);
+                        M.FromCache ? "hit" : "miss", Ms);
           Response = "ok " + Line + Buf;
         }
       }

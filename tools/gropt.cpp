@@ -18,11 +18,14 @@
 ///   gropt --corpus-roundtrip DIR         dump + reparse + differential check
 ///
 /// Switches: --solver=compiled|reference, --exec=bytecode|reference,
-/// --workers=N (parallel/batch detection; 0 = auto), --json
-/// (machine-readable stats), --verify-only, --run=FUNC.
+/// --workers=N (parallel/batch detection; 0 = auto), --cache[=DIR]
+/// (content-addressed detection cache, memory-only or backed by DIR;
+/// see docs/CACHING.md), --json (machine-readable stats),
+/// --verify-only, --run=FUNC.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/DetectionCache.h"
 #include "corpus/Corpus.h"
 #include "frontend/Compiler.h"
 #include "idioms/ReductionAnalysis.h"
@@ -162,6 +165,8 @@ struct Options {
   std::string DumpCorpusDir;
   std::string RoundTripDir;
   std::string BatchArg; ///< --batch: directory of .gr files or a list file
+  bool Cache = false;   ///< --cache[=DIR]: enable the detection cache
+  std::string CacheDir; ///< on-disk tier root; empty = memory-only
 };
 
 void usage() {
@@ -174,6 +179,8 @@ void usage() {
          << "  --solver=KIND         default | compiled | reference\n"
          << "  --exec=KIND           default | bytecode | reference\n"
          << "  --workers=N           detection worker lanes (0 = auto)\n"
+         << "  --cache[=DIR]         detection cache: memory-only, or\n"
+         << "                        memory over an on-disk tier at DIR\n"
          << "  --batch DIR|LIST      batched detection: every .gr under DIR,\n"
          << "                        or the paths listed in file LIST\n"
          << "  -o FILE               reprint the module ('-' = stdout)\n"
@@ -230,6 +237,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
       Opts.Workers = *N;
+    } else if (Arg == "--cache") {
+      Opts.Cache = true;
+    } else if (startsWith(Arg, "--cache=")) {
+      Opts.Cache = true;
+      Opts.CacheDir = Arg.substr(8);
+      if (Opts.CacheDir.empty()) {
+        errs() << "gropt: --cache= needs a directory (or plain --cache "
+                  "for memory-only)\n";
+        return false;
+      }
     } else if (Arg == "--batch") {
       if (++I >= Argc) {
         errs() << "gropt: --batch needs a directory or list file\n";
@@ -382,6 +399,37 @@ void printDetection(OStream &OS, const Module &M,
     OS << "  " << Name << ": nodes=" << PS.NodesVisited
        << " candidates=" << PS.CandidatesTried
        << " solutions=" << PS.Solutions << '\n';
+}
+
+/// Cache counters for --json: present only when a cache is active, so
+/// cache-off output stays byte-compatible with pre-cache releases.
+void addCacheJson(JsonObject &J) {
+  DetectionCache *C = DetectionCache::active();
+  if (!C)
+    return;
+  CacheCounters CC = C->counters();
+  J.add("cache_hits", CC.hits());
+  J.add("cache_misses", CC.misses());
+  J.add("cache_function_hits", CC.FunctionHits);
+  J.add("cache_function_misses", CC.FunctionMisses);
+  J.add("cache_module_hits", CC.ModuleHits);
+  J.add("cache_module_misses", CC.ModuleMisses);
+  J.add("cache_disk_hits", CC.DiskHits);
+  J.add("cache_corrupt", CC.CorruptEntries);
+  J.add("cache_evictions", CC.Evictions);
+}
+
+/// The text-mode twin of addCacheJson.
+void printCacheLine(OStream &OS) {
+  DetectionCache *C = DetectionCache::active();
+  if (!C)
+    return;
+  CacheCounters CC = C->counters();
+  OS << "cache: hits=" << CC.hits() << " misses=" << CC.misses()
+     << " (function " << CC.FunctionHits << '/' << CC.FunctionMisses
+     << ", module " << CC.ModuleHits << '/' << CC.ModuleMisses
+     << ", disk " << CC.DiskHits << ") evictions=" << CC.Evictions
+     << " corrupt=" << CC.CorruptEntries << '\n';
 }
 
 void addDetectionJson(JsonObject &J, const DetectionSummary &S) {
@@ -675,6 +723,11 @@ int runBatch(const Options &Opts) {
     J.add("solver_nodes", R.Stats.totalNodes());
     J.add("solver_candidates", R.Stats.totalCandidates());
     J.add("solver_solutions", R.Stats.totalSolutions());
+    if (DetectionCache::active()) {
+      J.add("module_cache_hits", R.ModuleCacheHits);
+      J.add("function_cache_hits", R.FunctionCacheHits);
+      addCacheJson(J);
+    }
     OS << J.str() << '\n';
   } else {
     for (const BatchModuleResult &M : R.Modules) {
@@ -699,6 +752,7 @@ int runBatch(const Options &Opts) {
        << formatDouble(R.P50Ms, 3) << " ms   p99: "
        << formatDouble(R.P99Ms, 3) << " ms   throughput: "
        << formatDouble(R.ModulesPerSec, 1) << " modules/s\n";
+    printCacheLine(OS);
   }
   return (R.Failed + Unreadable) == 0 ? 0 : 1;
 }
@@ -713,6 +767,10 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
+  // --cache overrides the GR_CACHE/GR_CACHE_DIR environment
+  // resolution; without it, the environment decides (docs/CACHING.md).
+  if (Opts.Cache)
+    DetectionCache::configure({Opts.CacheDir});
   OStream &OS = outs();
 
   if (!Opts.DumpCorpusDir.empty())
@@ -778,16 +836,22 @@ int main(int Argc, char **Argv) {
   // already collected instead of discarding it.
   if (Opts.Detect) {
     DetectionSummary S = detect(*M, Opts);
-    if (Opts.Json)
+    if (Opts.Json) {
       addDetectionJson(Json, S);
-    else
+      addCacheJson(Json);
+    } else {
       printDetection(OS, *M, S);
+      printCacheLine(OS);
+    }
   } else if (PipelineDetected) {
     DetectionSummary S = summarizeReports(PipelineReports, PipelineStats);
-    if (Opts.Json)
+    if (Opts.Json) {
       addDetectionJson(Json, S);
-    else
+      addCacheJson(Json);
+    } else {
       printDetection(OS, *M, S);
+      printCacheLine(OS);
+    }
   }
 
   // Execution.
