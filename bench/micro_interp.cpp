@@ -14,7 +14,13 @@
 ///  - the measured speedups are printed and written to
 ///    BENCH_micro_interp.json (env-gated via GR_BENCH_JSON_DIR); the
 ///    arithmetic-kernel speedup is enforced when
-///    GR_MIN_INTERP_SPEEDUP is set.
+///    GR_MIN_INTERP_SPEEDUP is set;
+///  - a dispatch-tier ablation then times every kernel under the
+///    portable switch loop, the computed-goto loop and the
+///    superinstruction-fused artifact. Results, output and the full
+///    ExecProfile must stay bitwise identical across tiers (exit 1
+///    otherwise), and the fused-over-switch speedup is enforced when
+///    GR_MIN_DISPATCH_SPEEDUP is set.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -134,11 +140,12 @@ struct EngineRun {
 
 EngineRun timeEngine(Module &M,
                      const std::shared_ptr<const BytecodeModule> &BC,
-                     ExecKind Kind, unsigned Reps) {
+                     ExecKind Kind, unsigned Reps,
+                     DispatchMode Mode = DispatchMode::Default) {
   EngineRun Run;
   // Functional run (recorded) plus warm-up.
   {
-    Interpreter I(M, Kind, BC);
+    Interpreter I(M, Kind, BC, Mode);
     I.setStepLimit(500000000);
     Run.Main = I.runMain();
     Run.Output = I.getOutput();
@@ -148,7 +155,7 @@ EngineRun timeEngine(Module &M,
   for (int Round = 0; Round < 3; ++Round) {
     double T0 = bench::nowMs();
     for (unsigned R = 0; R < Reps; ++R) {
-      Interpreter I(M, Kind, BC);
+      Interpreter I(M, Kind, BC, Mode);
       I.setStepLimit(500000000);
       int64_t Result = I.runMain();
       benchmark::DoNotOptimize(Result);
@@ -161,33 +168,36 @@ EngineRun timeEngine(Module &M,
   return Run;
 }
 
-/// The always-on parity + speedup section (see file comment).
-/// Returns the process exit code.
-int runParitySection() {
-  struct KernelSpec {
-    const char *Name;
-    const char *Source;
-    unsigned Reps;
-  };
+/// The kernel set shared by the parity and dispatch sections.
+struct KernelSpec {
+  const char *Name;
+  const char *Source;
+  unsigned Reps;
+};
+
+std::vector<KernelSpec> benchKernels() {
   const BenchmarkProgram *EP = findBenchmark("EP");
   const BenchmarkProgram *IS = findBenchmark("IS");
-  const KernelSpec Kernels[] = {
+  return {
       {"arith", ArithSource, 20},
       {"memory", MemorySource, 20},
       {"calls", CallsSource, 20},
       {"EP", EP ? EP->Source : ArithSource, 3},
       {"IS", IS ? IS->Source : ArithSource, 3},
   };
+}
 
+/// The always-on parity + speedup section (see file comment).
+/// Returns the process exit code; records into \p Json.
+int runParitySection(bench::BenchJson &Json) {
   printf("\nExecution-engine parity and speedup (best of 3)\n");
   printf("%-10s %14s %14s %9s  %s\n", "kernel", "reference ms",
          "bytecode ms", "speedup", "parity");
 
-  bench::BenchJson Json;
   bool ParityOk = true;
   double TotalRef = 0.0, TotalVm = 0.0;
   double ArithSpeedup = 0.0;
-  for (const KernelSpec &K : Kernels) {
+  for (const KernelSpec &K : benchKernels()) {
     auto M = compileKernel(K.Source, K.Name);
     auto BC = BytecodeModule::compile(*M);
     EngineRun Ref = timeEngine(*M, BC, ExecKind::Reference, K.Reps);
@@ -217,8 +227,6 @@ int runParitySection() {
   Json.setDouble("speedup", Speedup);
   Json.setDouble("arith_speedup", ArithSpeedup);
   Json.setStr("parity", ParityOk ? "ok" : "mismatch");
-  if (Json.writeIfEnabled("micro_interp"))
-    printf("wrote BENCH_micro_interp.json\n");
 
   if (!ParityOk) {
     fprintf(stderr, "micro_interp: ENGINE PARITY FAILURE\n");
@@ -236,11 +244,85 @@ int runParitySection() {
   return 0;
 }
 
+/// The dispatch-tier ablation: every kernel under switch, goto and
+/// fused dispatch. The tiers are pure mechanism, so results and the
+/// bitwise ExecProfile must agree; only the wall clock may differ.
+/// Returns the process exit code; records into \p Json.
+int runDispatchSection(bench::BenchJson &Json) {
+  printf("\nDispatch-tier ablation (best of 3; switch/goto/fused)\n");
+  printf("%-10s %11s %11s %11s %8s %8s  %s\n", "kernel", "switch ms",
+         "goto ms", "fused ms", "goto x", "fused x", "parity");
+
+  bool ParityOk = true;
+  double TotalSwitch = 0.0, TotalGoto = 0.0, TotalFused = 0.0;
+  uint64_t FusedPairs = 0;
+  for (const KernelSpec &K : benchKernels()) {
+    auto M = compileKernel(K.Source, K.Name);
+    auto Plain = BytecodeModule::compile(*M, /*EnableFusion=*/false);
+    auto Fused = BytecodeModule::compile(*M, /*EnableFusion=*/true);
+    FusedPairs += Fused->fusedPairs();
+    EngineRun Sw = timeEngine(*M, Plain, ExecKind::Bytecode, K.Reps,
+                              DispatchMode::Switch);
+    EngineRun Gt = timeEngine(*M, Plain, ExecKind::Bytecode, K.Reps,
+                              DispatchMode::Goto);
+    EngineRun Fu = timeEngine(*M, Fused, ExecKind::Bytecode, K.Reps,
+                              DispatchMode::Fused);
+    bool Same = Sw.Main == Gt.Main && Sw.Main == Fu.Main &&
+                Sw.Output == Gt.Output && Sw.Output == Fu.Output &&
+                Sw.Profile == Gt.Profile && Sw.Profile == Fu.Profile;
+    ParityOk = ParityOk && Same;
+    TotalSwitch += Sw.BestMs;
+    TotalGoto += Gt.BestMs;
+    TotalFused += Fu.BestMs;
+    printf("%-10s %11.2f %11.2f %11.2f %7.2fx %7.2fx  %s\n", K.Name,
+           Sw.BestMs, Gt.BestMs, Fu.BestMs, Sw.BestMs / Gt.BestMs,
+           Sw.BestMs / Fu.BestMs, Same ? "ok" : "MISMATCH");
+    Json.setDouble(std::string(K.Name) + ".switch_ms", Sw.BestMs);
+    Json.setDouble(std::string(K.Name) + ".goto_ms", Gt.BestMs);
+    Json.setDouble(std::string(K.Name) + ".fused_ms", Fu.BestMs);
+  }
+
+  double GotoSpeedup = TotalSwitch / TotalGoto;
+  double FusedSpeedup = TotalSwitch / TotalFused;
+  printf("%-10s %11.2f %11.2f %11.2f %7.2fx %7.2fx  %s\n", "total",
+         TotalSwitch, TotalGoto, TotalFused, GotoSpeedup, FusedSpeedup,
+         ParityOk ? "ok" : "MISMATCH");
+
+  Json.setDouble("total_switch_ms", TotalSwitch);
+  Json.setDouble("total_goto_ms", TotalGoto);
+  Json.setDouble("total_fused_ms", TotalFused);
+  Json.setDouble("goto_speedup", GotoSpeedup);
+  Json.setDouble("fused_speedup", FusedSpeedup);
+  Json.setInt("fused_pairs", FusedPairs);
+  Json.setStr("dispatch_parity", ParityOk ? "ok" : "mismatch");
+
+  if (!ParityOk) {
+    fprintf(stderr, "micro_interp: DISPATCH PARITY FAILURE\n");
+    return 1;
+  }
+  if (const char *Env = std::getenv("GR_MIN_DISPATCH_SPEEDUP")) {
+    double Min = std::strtod(Env, nullptr);
+    if (Min > 0.0 && FusedSpeedup < Min) {
+      fprintf(stderr,
+              "micro_interp: fused-over-switch speedup %.2fx below "
+              "required %.2fx\n",
+              FusedSpeedup, Min);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return runParitySection();
+  bench::BenchJson Json;
+  int ParityCode = runParitySection(Json);
+  int DispatchCode = runDispatchSection(Json);
+  if (Json.writeIfEnabled("micro_interp"))
+    printf("wrote BENCH_micro_interp.json\n");
+  return ParityCode ? ParityCode : DispatchCode;
 }

@@ -3,19 +3,23 @@
 # quickstart example, documentation consistency checks, the
 # solver-parity gate (differential tests + the whole suite on the
 # reference solver), the exec-parity gate (VM differential tests +
-# the execution suites on the reference tree-walker), re-runs of the
+# the execution suites on the reference tree-walker), the
+# dispatch-parity gate (dispatch differential tests + the whole suite
+# under GR_DISPATCH=switch and =goto), re-runs of the
 # test suite with the parallel detection driver forced to 2 workers,
 # the parallel-scaling determinism bench, the batch-throughput bench
 # with its speedup floor and baseline-JSON checks (plus its warm-cache
 # mode), the detection-cache sweep with its >= 10x warm-speedup floor,
 # the whole suite twice against one GR_CACHE_DIR (cold populate, then
-# all-green warm), worker-count validation smokes, gropt/grd cache
-# smokes, a grd serving smoke, the textual-IR round-trip
+# all-green warm), worker/thread-count and GR_DISPATCH/GR_EXEC env
+# validation smokes, gropt/grd cache smokes, a grd serving smoke, a
+# threaded-run smoke, the textual-IR round-trip
 # gate (corpus dump -> reparse -> differential detection/execution
 # check) with a gropt smoke over the checked-in examples/sum.gr, and
-# the micro_solver / micro_interp / micro_parser bench smokes (each
-# compiled engine must match its reference oracle bitwise). Fails on
-# the first error.
+# the micro_solver / micro_interp / micro_parser / fig15_speedup
+# bench smokes (each compiled engine must match its reference oracle
+# bitwise; fused dispatch must beat switch). Fails on the first
+# error.
 set -eu
 
 cd "$(dirname "$0")"
@@ -121,6 +125,33 @@ GR_EXEC=reference ./build/gr_tests \
   exit 1
 }
 
+# Dispatch-parity gate 1: the dispatch differential suite (corpus
+# under switch/goto/fused against the reference, step-limit sharpness
+# across fused pairs, fusion coverage floor) runs explicitly with the
+# same non-vacuous passed-count requirement.
+dispatch_out=$(mktemp)
+./build/gr_tests --gtest_filter='*Dispatch*' > "$dispatch_out" || {
+  echo "ci.sh: dispatch differential tests failed" >&2
+  rm -f "$dispatch_out"
+  exit 1
+}
+grep -qE '\[  PASSED  \] [1-9][0-9]* tests?' "$dispatch_out" || {
+  echo "ci.sh: dispatch filter matched no tests (vacuous gate)" >&2
+  rm -f "$dispatch_out"
+  exit 1
+}
+rm -f "$dispatch_out"
+
+# Dispatch-parity gate 2: the whole suite under each non-default
+# dispatch tier (the default already ran as fused). Every expectation
+# must hold regardless of the dispatch loop executing the bytecode.
+for mode in switch goto; do
+  GR_DISPATCH=$mode ./build/gr_tests >/dev/null || {
+    echo "ci.sh: test suite failed with GR_DISPATCH=$mode" >&2
+    exit 1
+  }
+done
+
 # The suite once more with module-level detection sharded over two
 # lanes of the persistent pool: pipelines must be oblivious to the
 # driver choice.
@@ -160,6 +191,31 @@ if ./build/gropt examples/sum.gr --detect --workers=99999 >/dev/null 2>&1; then
   echo "ci.sh: gropt accepted --workers=99999" >&2
   exit 1
 fi
+
+# Thread-count validation: --threads goes through the same
+# parseWorkerCount as --workers and must reject junk, not clamp it.
+if ./build/gropt examples/sum.gr --run --threads=banana >/dev/null 2>&1; then
+  echo "ci.sh: gropt accepted --threads=banana" >&2
+  exit 1
+fi
+./build/gropt examples/sum.gr --run --threads=banana 2>&1 \
+  | grep -q "not a decimal integer" || {
+  echo "ci.sh: gropt --threads=banana did not print the parse diagnostic" >&2
+  exit 1
+}
+
+# Env validation: junk GR_DISPATCH / GR_EXEC values must warn once on
+# stderr and fall back to the defaults instead of aborting the run.
+GR_DISPATCH=bogus ./build/gropt examples/sum.gr --run 2>&1 \
+  | grep -q "ignoring GR_DISPATCH: unknown dispatch mode" || {
+  echo "ci.sh: junk GR_DISPATCH did not produce the fallback warning" >&2
+  exit 1
+}
+GR_EXEC=bogus ./build/gropt examples/sum.gr --run 2>&1 \
+  | grep -q "ignoring GR_EXEC: unknown engine" || {
+  echo "ci.sh: junk GR_EXEC did not produce the fallback warning" >&2
+  exit 1
+}
 
 # Parallel scaling bench: asserts bitwise-identical stats across
 # worker counts (median-of-N timing, warmup pass) and >= 1.5x
@@ -313,6 +369,30 @@ grep -q 'result: 499500' "$gropt_out" || {
 }
 rm -f "$gropt_out"
 
+# Threaded-run smoke: a parallelized module must execute on real pool
+# threads, agree with the simulated runtime (checked inside gropt),
+# and report the thread count it ran on.
+threaded_out=$(mktemp)
+./build/gropt examples/sum.gr -passes=parallelize --run --threads=8 \
+  > "$threaded_out" || {
+  echo "ci.sh: gropt threaded-run smoke failed" >&2
+  rm -f "$threaded_out"
+  exit 1
+}
+grep -q 'result: 499500' "$threaded_out" || {
+  echo "ci.sh: gropt threaded run produced the wrong result" >&2
+  cat "$threaded_out" >&2
+  rm -f "$threaded_out"
+  exit 1
+}
+grep -q 'on 8 threads' "$threaded_out" || {
+  echo "ci.sh: gropt threaded run did not report 8 threads" >&2
+  cat "$threaded_out" >&2
+  rm -f "$threaded_out"
+  exit 1
+}
+rm -f "$threaded_out"
+
 # Serving smoke: the grd server must answer a request for the same
 # file over stdin and report it in the closing aggregate line.
 grd_out=$(mktemp)
@@ -396,15 +476,59 @@ GR_BENCH_JSON_DIR=./build ./build/micro_parser >/dev/null || {
 # engines and exits nonzero when results, output or the ExecProfile
 # diverge, or when the bytecode VM's arithmetic-kernel speedup over
 # the tree-walker drops below the floor (recorded baseline ~8.8x; the
-# 2x floor is the acceptance bar with ample noise margin).
+# 2x floor is the acceptance bar with ample noise margin). The
+# dispatch-ablation section re-runs every kernel under all three
+# dispatch tiers, gates bitwise parity across tiers, and enforces the
+# fused-over-switch total speedup floor (recorded baseline ~1.3x).
 if [ -x ./build/micro_interp ]; then
-  GR_BENCH_JSON_DIR=./build GR_MIN_INTERP_SPEEDUP=2.0 ./build/micro_interp \
+  GR_BENCH_JSON_DIR=./build GR_MIN_INTERP_SPEEDUP=2.0 \
+    GR_MIN_DISPATCH_SPEEDUP=1.2 ./build/micro_interp \
     --benchmark_filter='NoneSuch^' >/dev/null 2>&1 || {
     echo "ci.sh: micro_interp engine-parity smoke failed" >&2
     exit 1
   }
   [ -f ./build/BENCH_micro_interp.json ] || {
     echo "ci.sh: BENCH_micro_interp.json was not produced" >&2
+    exit 1
+  }
+  for key in '"fused_speedup"' '"goto_speedup"' '"fused_pairs"' \
+      '"arith.fused_ms"' '"dispatch_parity": "ok"'; do
+    grep -q "$key" ./build/BENCH_micro_interp.json || {
+      echo "ci.sh: BENCH_micro_interp.json is missing $key" >&2
+      exit 1
+    }
+  done
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool ./build/BENCH_micro_interp.json >/dev/null || {
+      echo "ci.sh: BENCH_micro_interp.json is not well-formed JSON" >&2
+      exit 1
+    }
+  fi
+fi
+
+# Bench smoke: fig15_speedup replays the reduction-speedup study —
+# simulated speedups per suite plus measured ThreadedRunner wall
+# columns at 1/2/8 threads, each gated bitwise against the sequential
+# output inside the binary (the wall-speedup floor arms only on hosts
+# with >= 8 real cores).
+GR_BENCH_JSON_DIR=./build ./build/fig15_speedup >/dev/null || {
+  echo "ci.sh: fig15_speedup failed (parity or speedup)" >&2
+  exit 1
+}
+[ -f ./build/BENCH_fig15_speedup.json ] || {
+  echo "ci.sh: BENCH_fig15_speedup.json was not produced" >&2
+  exit 1
+}
+for key in '"EP.wall_seq_ms"' '"EP.wall8_ms"' '"EP.wall_speedup8"' \
+    '"cores"' '"max_wall_speedup8"'; do
+  grep -q "$key" ./build/BENCH_fig15_speedup.json || {
+    echo "ci.sh: BENCH_fig15_speedup.json is missing $key" >&2
+    exit 1
+  }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool ./build/BENCH_fig15_speedup.json >/dev/null || {
+    echo "ci.sh: BENCH_fig15_speedup.json is not well-formed JSON" >&2
     exit 1
   }
 fi

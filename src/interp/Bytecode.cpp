@@ -2,12 +2,14 @@
 
 #include "interp/Bytecode.h"
 
+#include "interp/Interpreter.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 using namespace gr;
 
@@ -196,10 +198,10 @@ BytecodeFunction BytecodeCompiler::compile(const Function &F) const {
 
   auto emit = [&](Opcode Op, uint32_t Dst, uint32_t A = 0, uint32_t B = 0,
                   uint32_t C = 0) {
-    BF.Code.push_back(BCInst{Op, FaultKind::PhiNoEntry, Dst, A, B, C});
+    BF.Code.push_back(BCInst{Op, FaultKind::PhiNoEntry, Dst, A, B, C, 0});
   };
   auto emitFault = [&](FaultKind Fk) {
-    BF.Code.push_back(BCInst{Opcode::Fault, Fk, 0, 0, 0, 0});
+    BF.Code.push_back(BCInst{Opcode::Fault, Fk, 0, 0, 0, 0, 0});
   };
   // Emits Fault if any listed operand register is unresolved.
   auto operandsOk = [&](std::initializer_list<uint32_t> Regs) {
@@ -411,10 +413,208 @@ BytecodeFunction BytecodeCompiler::compile(const Function &F) const {
 }
 
 //===----------------------------------------------------------------------===//
+// Superinstruction peephole
+//===----------------------------------------------------------------------===//
+//
+// The fusion table: hot adjacent opcode pairs mined from corpus
+// ExecProfile data (dynamic pair frequencies over the 40-program
+// corpus, dominated by counted-loop back edges and array reductions):
+//
+//   pair                      dynamic share   fused opcode
+//   Cmp{pred} + CondBr        ~19%            Cmp{pred}Br
+//   Gep + Load (8-byte elt)   ~11%            GepLoad
+//   AddI + Br (loop latch)    ~8%             AddIBr
+//   Load + AddI               ~7%             LoadAddI
+//   AddI + Store              ~5%             AddIStore
+//   Gep + Store (8-byte elt)  ~4%             GepStore
+//   FMul + FAdd               ~4%             FMulFAdd
+//   Load + FAdd               ~4%             LoadFAdd
+//   SIToFP + FMul             ~3%             SIToFPFMul
+//   MulI + SRemI              ~3%             MulISRemI
+//   FAdd + FSub               ~2%             FAddFSub
+//
+// A pair fuses only when the value flows first→second through the
+// expected register, the second instruction is not a jump target
+// (branch targets are always block heads, so intra-block adjacency is
+// sufficient), and — for Gep pairs — the element size is 8, the only
+// size the fused addressing mode encodes. Both destination registers
+// are still written, so later uses of the intermediate value observe
+// it; the VM charges two instruction-counter steps per fused opcode,
+// keeping ExecProfile bitwise identical to unfused execution.
+
+namespace {
+
+/// Fused Cmp+CondBr opcode for \p Cmp, or Opcode::Fault when \p Cmp is
+/// not a comparison.
+Opcode fusedCmpBr(Opcode Cmp) {
+  switch (Cmp) {
+  case Opcode::CmpEQ: return Opcode::CmpEQBr;
+  case Opcode::CmpNE: return Opcode::CmpNEBr;
+  case Opcode::CmpSLT: return Opcode::CmpSLTBr;
+  case Opcode::CmpSLE: return Opcode::CmpSLEBr;
+  case Opcode::CmpSGT: return Opcode::CmpSGTBr;
+  case Opcode::CmpSGE: return Opcode::CmpSGEBr;
+  case Opcode::CmpOEQ: return Opcode::CmpOEQBr;
+  case Opcode::CmpONE: return Opcode::CmpONEBr;
+  case Opcode::CmpOLT: return Opcode::CmpOLTBr;
+  case Opcode::CmpOLE: return Opcode::CmpOLEBr;
+  case Opcode::CmpOGT: return Opcode::CmpOGTBr;
+  case Opcode::CmpOGE: return Opcode::CmpOGEBr;
+  default: return Opcode::Fault;
+  }
+}
+
+/// Attempts to fuse the adjacent pair (\p A, \p B); returns true and
+/// fills \p Out on a table hit.
+bool fusePair(const BCInst &A, const BCInst &B, BCInst &Out) {
+  Out = A;
+  // Cmp{pred} + CondBr on the comparison result. The compiler
+  // allocates a conditional branch's edges consecutively; encode the
+  // base and let the handler pick base / base+1.
+  Opcode CmpBr = fusedCmpBr(A.Op);
+  if (CmpBr != Opcode::Fault && B.Op == Opcode::CondBr && B.A == A.Dst &&
+      B.C == B.B + 1) {
+    Out.Op = CmpBr;
+    Out.C = B.B;
+    return true;
+  }
+  // Load + AddI consuming the loaded value (commutative, either side).
+  if (A.Op == Opcode::Load && B.Op == Opcode::AddI &&
+      (B.A == A.Dst || B.B == A.Dst)) {
+    Out.Op = Opcode::LoadAddI;
+    Out.Dst = B.Dst;
+    Out.B = B.A == A.Dst ? B.B : B.A;
+    Out.C = A.Dst;
+    return true;
+  }
+  // Load + FAdd of the loaded bits (commutative, either side).
+  if (A.Op == Opcode::Load && B.Op == Opcode::FAdd &&
+      (B.A == A.Dst || B.B == A.Dst)) {
+    Out.Op = Opcode::LoadFAdd;
+    Out.Dst = B.Dst;
+    Out.B = B.A == A.Dst ? B.B : B.A;
+    Out.C = A.Dst;
+    return true;
+  }
+  // SIToFP + FMul of the converted value (commutative, either side).
+  if (A.Op == Opcode::SIToFP && B.Op == Opcode::FMul &&
+      (B.A == A.Dst || B.B == A.Dst)) {
+    Out.Op = Opcode::SIToFPFMul;
+    Out.Dst = B.Dst;
+    Out.B = B.A == A.Dst ? B.B : B.A;
+    Out.C = A.Dst;
+    return true;
+  }
+  // FMul + FAdd accumulating the product (commutative, either side).
+  // The product's own destination survives in the fifth field.
+  if (A.Op == Opcode::FMul && B.Op == Opcode::FAdd &&
+      (B.A == A.Dst || B.B == A.Dst)) {
+    Out.Op = Opcode::FMulFAdd;
+    Out.Dst = B.Dst;
+    Out.C = B.A == A.Dst ? B.B : B.A;
+    Out.E = A.Dst;
+    return true;
+  }
+  // MulI + SRemI of the product (the hashed-index pattern k = (i*c)%m;
+  // srem is not commutative — only the dividend side fuses).
+  if (A.Op == Opcode::MulI && B.Op == Opcode::SRemI && B.A == A.Dst) {
+    Out.Op = Opcode::MulISRemI;
+    Out.Dst = B.Dst;
+    Out.C = B.B;
+    Out.E = A.Dst;
+    return true;
+  }
+  // FAdd + FSub of the sum (only the minuend side — FSub is not
+  // commutative).
+  if (A.Op == Opcode::FAdd && B.Op == Opcode::FSub && B.A == A.Dst) {
+    Out.Op = Opcode::FAddFSub;
+    Out.Dst = B.Dst;
+    Out.C = B.B;
+    Out.E = A.Dst;
+    return true;
+  }
+  // AddI + Br: the counted-loop latch (increment, then the back edge).
+  // Br reads nothing, so no dataflow condition applies.
+  if (A.Op == Opcode::AddI && B.Op == Opcode::Br) {
+    Out.Op = Opcode::AddIBr;
+    Out.C = B.A;
+    return true;
+  }
+  // AddI + Store of the sum.
+  if (A.Op == Opcode::AddI && B.Op == Opcode::Store && B.A == A.Dst) {
+    Out.Op = Opcode::AddIStore;
+    Out.C = B.B;
+    return true;
+  }
+  // Gep + Load/Store through the computed address; only the 8-byte
+  // element size fits the fused encoding (C carries a register).
+  if (A.Op == Opcode::Gep && A.C == 8) {
+    if (B.Op == Opcode::Load && B.A == A.Dst) {
+      Out.Op = Opcode::GepLoad;
+      Out.Dst = B.Dst;
+      Out.C = A.Dst;
+      return true;
+    }
+    if (B.Op == Opcode::Store && B.B == A.Dst) {
+      Out.Op = Opcode::GepStore;
+      Out.C = B.A;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+uint64_t BytecodeCompiler::fuseSuperinstructions(BytecodeFunction &BF) {
+  // Jump targets are block heads: edge targets plus the entry pc. A
+  // call's resume point (the instruction after it) needs no entry here
+  // because calls never fuse, so the successor survives as the head of
+  // its own (possibly fused) instruction.
+  std::unordered_set<uint32_t> Targets;
+  Targets.insert(BF.EntryPC);
+  for (const Edge &E : BF.Edges)
+    Targets.insert(E.TargetPC);
+
+  const size_t N = BF.Code.size();
+  std::vector<BCInst> NewCode;
+  NewCode.reserve(N);
+  std::vector<uint32_t> PCMap(N + 1, 0);
+  uint64_t Pairs = 0;
+
+  for (size_t I = 0; I != N;) {
+    PCMap[I] = static_cast<uint32_t>(NewCode.size());
+    BCInst Fused;
+    if (I + 1 != N && !Targets.count(static_cast<uint32_t>(I + 1)) &&
+        fusePair(BF.Code[I], BF.Code[I + 1], Fused)) {
+      // The consumed second half maps to the fused op: nothing jumps
+      // there (checked above), the entry is defensive.
+      PCMap[I + 1] = static_cast<uint32_t>(NewCode.size());
+      NewCode.push_back(Fused);
+      ++Pairs;
+      I += 2;
+    } else {
+      NewCode.push_back(BF.Code[I]);
+      ++I;
+    }
+  }
+  PCMap[N] = static_cast<uint32_t>(NewCode.size());
+
+  if (!Pairs)
+    return 0;
+  BF.Code = std::move(NewCode);
+  BF.EntryPC = PCMap[BF.EntryPC];
+  for (Edge &E : BF.Edges)
+    E.TargetPC = PCMap[E.TargetPC];
+  return Pairs;
+}
+
+//===----------------------------------------------------------------------===//
 // BytecodeModule
 //===----------------------------------------------------------------------===//
 
-BytecodeModule::BytecodeModule(const Module &M) : Layout(M) {
+BytecodeModule::BytecodeModule(const Module &M, bool EnableFusion)
+    : Layout(M), Fused(EnableFusion) {
   BytecodeCompiler Compiler(Layout);
   Funcs.resize(Layout.numFunctions());
   for (uint32_t Id = 0; Id != Layout.numFunctions(); ++Id) {
@@ -422,6 +622,8 @@ BytecodeModule::BytecodeModule(const Module &M) : Layout(M) {
     if (F->isDeclaration())
       continue;
     Funcs[Id] = Compiler.compile(*F);
+    if (EnableFusion)
+      FusedPairs += BytecodeCompiler::fuseSuperinstructions(Funcs[Id]);
     for (const Edge &E : Funcs[Id].Edges)
       MaxEdgeMoves = std::max(MaxEdgeMoves, E.MoveCount);
     for (const BCInst &I : Funcs[Id].Code)
@@ -429,9 +631,47 @@ BytecodeModule::BytecodeModule(const Module &M) : Layout(M) {
           I.Op == Opcode::CallIntrinsic)
         MaxCallArgs = std::max(MaxCallArgs, I.C);
   }
+
+  // Resolve the global-stream flags transitively: a function touches
+  // the rand/output streams when it calls gr_rand/gr_rand_seed or a
+  // print builtin directly, or calls a function that does. Iterate to
+  // a fixed point (call graphs here are tiny).
+  StreamFlags.assign(Layout.numFunctions(), false);
+  for (uint32_t Id = 0; Id != Layout.numFunctions(); ++Id)
+    for (const BCInst &I : Funcs[Id].Code)
+      if (I.Op == Opcode::CallBuiltin) {
+        BuiltinId B = static_cast<BuiltinId>(I.A);
+        if (B == BuiltinId::GrRand || B == BuiltinId::GrRandSeed ||
+            B == BuiltinId::PrintI64 || B == BuiltinId::PrintF64)
+          StreamFlags[Id] = true;
+      }
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (uint32_t Id = 0; Id != Layout.numFunctions(); ++Id) {
+      if (StreamFlags[Id])
+        continue;
+      for (const BCInst &I : Funcs[Id].Code)
+        if (I.Op == Opcode::Call && StreamFlags[I.A]) {
+          StreamFlags[Id] = true;
+          Changed = true;
+          break;
+        }
+    }
+  }
+}
+
+bool BytecodeModule::touchesGlobalStream(uint32_t FuncId) const {
+  return StreamFlags[FuncId];
 }
 
 std::shared_ptr<const BytecodeModule>
 BytecodeModule::compile(const Module &M) {
-  return std::shared_ptr<const BytecodeModule>(new BytecodeModule(M));
+  return compile(M, resolveDispatchMode(DispatchMode::Default) ==
+                        DispatchMode::Fused);
+}
+
+std::shared_ptr<const BytecodeModule>
+BytecodeModule::compile(const Module &M, bool EnableFusion) {
+  return std::shared_ptr<const BytecodeModule>(
+      new BytecodeModule(M, EnableFusion));
 }

@@ -78,33 +78,92 @@ private:
   std::unordered_map<const Function *, uint32_t> FuncIds;
 };
 
-/// One register-VM opcode. Binary operators, comparison predicates and
-/// casts are expanded into distinct opcodes so the dispatch switch
-/// does the full decode; there is no secondary sub-op branch.
+/// X-macro over every register-VM opcode, in dispatch order. The
+/// computed-goto label table in the VM's dispatch loop (VMExec.inc) is
+/// generated from this same list, which keeps the enum values and the
+/// label array in lockstep by construction — adding an opcode anywhere
+/// in the list updates both.
+///
+/// Binary operators, comparison predicates and casts are expanded into
+/// distinct opcodes so dispatch does the full decode; there is no
+/// secondary sub-op branch.
+///
+/// The trailing block is the superinstruction tier: fused opcode pairs
+/// selected from corpus ExecProfile data (see the fusion table in
+/// Bytecode.cpp). They are emitted only by the peephole pass behind
+/// GR_DISPATCH=fused; both dispatch loops can execute them.
+#define GR_OPCODE_LIST(X)                                                     \
+  /* Integer / float arithmetic and bitwise ops: Dst = A op B. */             \
+  X(AddI) X(SubI) X(MulI) X(SDivI) X(SRemI)                                   \
+  X(FAdd) X(FSub) X(FMul) X(FDiv)                                             \
+  X(AndI) X(OrI) X(XorI) X(ShlI) X(AShrI)                                     \
+  /* Comparisons: Dst = (A pred B) ? 1 : 0. */                                \
+  X(CmpEQ) X(CmpNE) X(CmpSLT) X(CmpSLE) X(CmpSGT) X(CmpSGE)                   \
+  X(CmpOEQ) X(CmpONE) X(CmpOLT) X(CmpOLE) X(CmpOGT) X(CmpOGE)                 \
+  /* Casts: Dst = cast(A). ZExt (i1->i64) and Trunc (i64->i1) are the */      \
+  /* same low-bit mask and share Bit1. */                                     \
+  X(SIToFP) X(FPToSI) X(Bit1)                                                 \
+  /* Memory: Alloca size is a 64-bit immediate split across A (low) */        \
+  /* and B (high); Gep element size is the C immediate. */                    \
+  X(Alloca) X(Load) X(Store) X(Gep)                                           \
+  X(Select) /* Dst = A ? B : C (all registers). */                            \
+  /* Calls: A = callee function id / builtin id / intrinsic-site */           \
+  /* index, B = ArgPool offset, C = argument count. */                        \
+  X(Call) X(CallBuiltin) X(CallIntrinsic)                                     \
+  X(Br)      /* A = edge index. */                                            \
+  X(CondBr)  /* A = condition register, B/C = true/false edge indices. */     \
+  X(Ret)     /* A = result register. */                                       \
+  X(RetVoid)                                                                  \
+  X(Fault)   /* Lazily-reported compile diagnostics; Fk = FaultKind. */       \
+  /* --- Superinstructions (peephole-fused pairs) ------------------- */      \
+  /* Cmp + CondBr: Dst = cmp dst (still written), A/B = cmp operands, */      \
+  /* C = edge base (true edge C, false edge C+1 — conditional-branch */       \
+  /* edges are allocated consecutively by the compiler). */                   \
+  X(CmpEQBr) X(CmpNEBr) X(CmpSLTBr) X(CmpSLEBr) X(CmpSGTBr) X(CmpSGEBr)       \
+  X(CmpOEQBr) X(CmpONEBr) X(CmpOLTBr) X(CmpOLEBr) X(CmpOGTBr) X(CmpOGEBr)     \
+  /* Load + AddI (load feeds the add): Dst = add dst, A = pointer, */         \
+  /* B = the add's other operand, C = load dst (still written). */            \
+  X(LoadAddI)                                                                 \
+  /* AddI + Store (sum is the stored value): Dst = add dst (still */          \
+  /* written), A/B = add operands, C = store pointer register. */             \
+  X(AddIStore)                                                                \
+  /* Gep (8-byte elements) + Load/Store through it: A = base, */              \
+  /* B = index; GepLoad: Dst = load dst, C = gep dst (still written); */      \
+  /* GepStore: Dst = gep dst, C = stored-value register. */                   \
+  X(GepLoad) X(GepStore)                                                      \
+  /* Load + FAdd (the loaded bits are one addend): Dst = fadd dst, */         \
+  /* A = pointer, B = the other addend, C = load dst (still written). */      \
+  X(LoadFAdd)                                                                 \
+  /* SIToFP + FMul (the converted value is one factor): Dst = fmul */         \
+  /* dst, A = int source, B = the other factor, C = sitofp dst */             \
+  /* (still written). */                                                      \
+  X(SIToFPFMul)                                                               \
+  /* FMul + FAdd (multiply-accumulate): Dst = fadd dst, A/B = fmul */         \
+  /* operands, C = the other addend, E = fmul dst (still written). */         \
+  X(FMulFAdd)                                                                 \
+  /* MulI + SRemI (hashed-index pattern): Dst = srem dst, A/B = mul */        \
+  /* operands, C = modulus register, E = mul dst (still written). */          \
+  X(MulISRemI)                                                                \
+  /* FAdd + FSub of the sum: Dst = fsub dst, A/B = fadd operands, */          \
+  /* C = subtrahend, E = fadd dst (still written). */                         \
+  X(FAddFSub)                                                                 \
+  /* AddI + Br (the counted-loop latch): Dst/A/B as AddI, C = edge */         \
+  /* index. */                                                                \
+  X(AddIBr)
+
+/// One register-VM opcode; values follow GR_OPCODE_LIST order.
 enum class Opcode : uint8_t {
-  // Integer / float arithmetic and bitwise ops: Dst = A op B.
-  AddI, SubI, MulI, SDivI, SRemI,
-  FAdd, FSub, FMul, FDiv,
-  AndI, OrI, XorI, ShlI, AShrI,
-  // Comparisons: Dst = (A pred B) ? 1 : 0.
-  CmpEQ, CmpNE, CmpSLT, CmpSLE, CmpSGT, CmpSGE,
-  CmpOEQ, CmpONE, CmpOLT, CmpOLE, CmpOGT, CmpOGE,
-  // Casts: Dst = cast(A). ZExt (i1->i64) and Trunc (i64->i1) are the
-  // same low-bit mask and share Bit1.
-  SIToFP, FPToSI, Bit1,
-  // Memory: Alloca size is a 64-bit immediate split across A (low)
-  // and B (high); Gep element size is the C immediate.
-  Alloca, Load, Store, Gep,
-  Select, ///< Dst = A ? B : C (all registers).
-  // Calls: A = callee function id / builtin id / intrinsic-site
-  // index, B = ArgPool offset, C = argument count.
-  Call, CallBuiltin, CallIntrinsic,
-  Br,     ///< A = edge index.
-  CondBr, ///< A = condition register, B/C = true/false edge indices.
-  Ret,    ///< A = result register.
-  RetVoid,
-  Fault, ///< Lazily-reported compile diagnostics; Fk = FaultKind.
+#define GR_OPCODE_ENUM(name) name,
+  GR_OPCODE_LIST(GR_OPCODE_ENUM)
+#undef GR_OPCODE_ENUM
 };
+
+/// Number of opcodes (sizes the computed-goto label table).
+inline constexpr unsigned NumOpcodes = 0
+#define GR_OPCODE_COUNT(name) +1
+    GR_OPCODE_LIST(GR_OPCODE_COUNT)
+#undef GR_OPCODE_COUNT
+    ;
 
 /// Runtime faults resolved at compile time but reported only when the
 /// faulting code actually executes, so compiled execution matches the
@@ -117,8 +176,11 @@ enum class FaultKind : uint8_t {
   BadInst,       ///< phi after a non-phi (unreachable in verified IR)
 };
 
-/// One compiled instruction. Dst and A/B/C are virtual register
-/// indices unless the opcode documents them as immediates.
+/// One compiled instruction. Dst and A/B/C/E are virtual register
+/// indices unless the opcode documents them as immediates. E is the
+/// fifth operand field used only by superinstructions that preserve
+/// an intermediate destination (FMulFAdd, MulISRemI); the frontend
+/// compiler always emits it as 0.
 struct BCInst {
   Opcode Op;
   FaultKind Fk; ///< Only meaningful for Opcode::Fault.
@@ -126,6 +188,7 @@ struct BCInst {
   uint32_t A;
   uint32_t B;
   uint32_t C;
+  uint32_t E;
 };
 
 /// One phi move: frame register Dst receives frame register Src when
@@ -201,8 +264,14 @@ struct BytecodeFunction {
 /// ethos as IdiomRegistry::compiledSpecs().
 class BytecodeModule {
 public:
-  /// Compiles every definition in \p M.
+  /// Compiles every definition in \p M. Superinstruction fusion runs
+  /// when the resolved dispatch mode (GR_DISPATCH) requests it.
   static std::shared_ptr<const BytecodeModule> compile(const Module &M);
+
+  /// Compiles with fusion explicitly on or off (the dispatch-mode
+  /// ablation bench compiles both artifacts side by side).
+  static std::shared_ptr<const BytecodeModule> compile(const Module &M,
+                                                       bool EnableFusion);
 
   const ExecLayout &layout() const { return Layout; }
   const BytecodeFunction &function(uint32_t Id) const { return Funcs[Id]; }
@@ -211,13 +280,30 @@ public:
   /// Largest argument count over all call sites.
   uint32_t maxCallArgs() const { return MaxCallArgs; }
 
+  /// Whether the peephole fusion pass ran over this module.
+  bool isFused() const { return Fused; }
+  /// Instruction pairs the fusion pass replaced by superinstructions.
+  uint64_t fusedPairs() const { return FusedPairs; }
+
+  /// Whether \p FuncId (transitively, through internal calls) may call
+  /// a builtin that touches interpreter-global streams — gr_rand /
+  /// gr_rand_seed (the LCG state) or print_i64 / print_f64 (captured
+  /// output). The threaded runtime runs such sections serially chained
+  /// so the streams interleave exactly as in a sequential run.
+  bool touchesGlobalStream(uint32_t FuncId) const;
+
 private:
-  explicit BytecodeModule(const Module &M);
+  BytecodeModule(const Module &M, bool EnableFusion);
 
   ExecLayout Layout;
   std::vector<BytecodeFunction> Funcs;
   uint32_t MaxEdgeMoves = 0;
   uint32_t MaxCallArgs = 0;
+  bool Fused = false;
+  uint64_t FusedPairs = 0;
+  /// Per-function global-stream flag, resolved transitively at
+  /// compile time (index = function id).
+  std::vector<bool> StreamFlags;
 };
 
 /// Lowers single functions against a shared layout. BytecodeModule
@@ -227,6 +313,13 @@ public:
   explicit BytecodeCompiler(const ExecLayout &Layout) : Layout(Layout) {}
 
   BytecodeFunction compile(const Function &F) const;
+
+  /// The superinstruction peephole: rewrites adjacent instruction
+  /// pairs from the static fusion table into single fused opcodes,
+  /// remapping every branch-target pc. Only pairs whose second
+  /// instruction is not a jump target fuse (branch targets are always
+  /// block heads). Returns the number of pairs fused.
+  static uint64_t fuseSuperinstructions(BytecodeFunction &BF);
 
 private:
   const ExecLayout &Layout;

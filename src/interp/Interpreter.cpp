@@ -8,8 +8,10 @@
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
 #include "support/ErrorHandling.h"
+#include "support/OStream.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -19,16 +21,76 @@ using namespace gr;
 ExecKind gr::resolveExecKind(ExecKind Kind) {
   if (Kind != ExecKind::Default)
     return Kind;
-  if (const char *Env = std::getenv("GR_EXEC"))
+  if (const char *Env = std::getenv("GR_EXEC")) {
     if (std::strcmp(Env, "reference") == 0)
       return ExecKind::Reference;
+    if (std::strcmp(Env, "bytecode") != 0 && *Env != '\0') {
+      // Diagnose a malformed setting instead of silently running the
+      // default engine — but only once per process, not per resolve.
+      static bool Warned = [](const char *Value) {
+        errs() << "interp: ignoring GR_EXEC: unknown engine '" << Value
+               << "' (expected bytecode|reference)\n";
+        return true;
+      }(Env);
+      (void)Warned;
+    }
+  }
   return ExecKind::Bytecode;
 }
 
+const char *gr::execKindName(ExecKind Kind) {
+  switch (Kind) {
+  case ExecKind::Reference:
+    return "reference";
+  case ExecKind::Default:
+  case ExecKind::Bytecode:
+    break;
+  }
+  return "bytecode";
+}
+
+DispatchMode gr::resolveDispatchMode(DispatchMode Mode) {
+  if (Mode != DispatchMode::Default)
+    return Mode;
+  if (const char *Env = std::getenv("GR_DISPATCH")) {
+    if (std::strcmp(Env, "switch") == 0)
+      return DispatchMode::Switch;
+    if (std::strcmp(Env, "goto") == 0)
+      return DispatchMode::Goto;
+    if (std::strcmp(Env, "fused") != 0 && *Env != '\0') {
+      static bool Warned = [](const char *Value) {
+        errs() << "interp: ignoring GR_DISPATCH: unknown dispatch mode '"
+               << Value << "' (expected switch|goto|fused)\n";
+        return true;
+      }(Env);
+      (void)Warned;
+    }
+  }
+  return DispatchMode::Fused;
+}
+
+const char *gr::dispatchModeName(DispatchMode Mode) {
+  switch (Mode) {
+  case DispatchMode::Switch:
+    return "switch";
+  case DispatchMode::Goto:
+    return "goto";
+  case DispatchMode::Default:
+  case DispatchMode::Fused:
+    break;
+  }
+  return "fused";
+}
+
 Interpreter::Interpreter(Module &M, ExecKind Kind,
-                         std::shared_ptr<const BytecodeModule> Bytecode)
+                         std::shared_ptr<const BytecodeModule> Bytecode,
+                         DispatchMode Dispatch)
     : M(M), Kind(resolveExecKind(Kind)),
-      BC(Bytecode ? std::move(Bytecode) : BytecodeModule::compile(M)) {
+      Dispatch(resolveDispatchMode(Dispatch)),
+      BC(Bytecode
+             ? std::move(Bytecode)
+             : BytecodeModule::compile(
+                   M, resolveDispatchMode(Dispatch) == DispatchMode::Fused)) {
   // Globals are allocated in layout (= module) order, reproducing the
   // seed interpreter's address assignment byte for byte.
   const ExecLayout &L = BC->layout();
@@ -41,7 +103,24 @@ Interpreter::Interpreter(Module &M, ExecKind Kind,
     Machine = std::make_unique<VM>(*this, *BC);
 }
 
+Interpreter::Interpreter(Interpreter &Master)
+    : M(Master.M), Kind(Master.Kind), Dispatch(Master.Dispatch),
+      BC(Master.BC), Mem(Master.Mem.sharedPermanent()) {
+  // The master already allocated every global into the shared region;
+  // reuse its dense address table instead of re-allocating.
+  GlobalAddrs = Master.GlobalAddrs;
+  Profile.BlockCounts.assign(BC->layout().numBlocks(), 0);
+  StepLimit = Master.StepLimit;
+  if (Kind == ExecKind::Bytecode)
+    Machine = std::make_unique<VM>(*this, *BC);
+}
+
 Interpreter::~Interpreter() = default;
+
+void Interpreter::resetProfile() {
+  Profile.InstructionsExecuted = 0;
+  std::fill(Profile.BlockCounts.begin(), Profile.BlockCounts.end(), 0);
+}
 
 const ExecLayout &Interpreter::getLayout() const { return BC->layout(); }
 

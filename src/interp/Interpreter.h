@@ -69,8 +69,50 @@ enum class ExecKind {
 };
 
 /// Resolves ExecKind::Default against the GR_EXEC environment
-/// variable; returns other kinds unchanged.
+/// variable; returns other kinds unchanged. An unrecognized GR_EXEC
+/// value warns once per process (same contract as GR_DETECT_WORKERS)
+/// and falls back to the bytecode engine.
 ExecKind resolveExecKind(ExecKind Kind);
+
+/// Stable lowercase name of a resolved engine ("bytecode",
+/// "reference") for tool/bench JSON output.
+const char *execKindName(ExecKind Kind);
+
+/// How the bytecode VM dispatches, and whether the compiler fuses
+/// superinstructions. The three resolved tiers:
+///
+///  - Switch: portable switch loop over unfused code (the fallback
+///    and the ablation baseline).
+///  - Goto: direct-threaded computed-goto loop over unfused code
+///    (isolates the dispatch win from the fusion win).
+///  - Fused: computed-goto loop over superinstruction-fused code (the
+///    production tier, and the default).
+///
+/// On toolchains without computed goto the Goto/Fused loops fall back
+/// to the switch loop (dispatchHasComputedGoto()); fusion still
+/// applies. Execution semantics — results, output, and the bitwise
+/// ExecProfile — are identical across all modes by contract.
+enum class DispatchMode {
+  Default, ///< Resolve from the GR_DISPATCH environment variable.
+  Switch,
+  Goto,
+  Fused,
+};
+
+/// Resolves DispatchMode::Default against the GR_DISPATCH environment
+/// variable ("switch" | "goto" | "fused"); returns other modes
+/// unchanged. Unset resolves to Fused; an unrecognized value warns
+/// once per process and resolves to Fused.
+DispatchMode resolveDispatchMode(DispatchMode Mode);
+
+/// Stable lowercase name of a resolved mode ("switch" | "goto" |
+/// "fused").
+const char *dispatchModeName(DispatchMode Mode);
+
+/// Whether this build's VM has a computed-goto dispatch loop (GNU
+/// label-address extension); without it Goto/Fused dispatch runs on
+/// the switch loop.
+bool dispatchHasComputedGoto();
 
 /// Execution statistics and profile. BlockCounts is a flat counter
 /// array indexed by the module's dense block ids (ExecLayout); both
@@ -92,9 +134,24 @@ public:
   /// \p Bytecode lets callers share one compiled module across many
   /// Interpreter instances (benches constructing an interpreter per
   /// iteration); when null the constructor compiles \p M itself.
+  /// \p Dispatch selects the VM dispatch tier (DispatchMode::Default
+  /// resolves GR_DISPATCH); it does not recompile a shared \p Bytecode,
+  /// so callers running the fused tier over a shared artifact compile
+  /// it fused themselves.
   explicit Interpreter(Module &M, ExecKind Kind = ExecKind::Default,
                        std::shared_ptr<const BytecodeModule> Bytecode =
-                           nullptr);
+                           nullptr,
+                       DispatchMode Dispatch = DispatchMode::Default);
+
+  /// Worker view for the threaded parallel runtime: shares \p Master's
+  /// permanent memory region (globals, runtime buffers) and dense
+  /// global addresses, but owns a private alloca stack, profile,
+  /// output capture and rand stream. The same engine and compiled
+  /// module as the master. Safe to run on a pool thread while other
+  /// views execute, provided nothing allocates permanent memory
+  /// concurrently (Memory::freezePermanent enforces this).
+  explicit Interpreter(Interpreter &Master);
+
   ~Interpreter();
 
   /// Calls \p F with \p Args and returns its result (undefined Slot
@@ -107,9 +164,17 @@ public:
   /// The engine actually executing (never ExecKind::Default).
   ExecKind getExecKind() const { return Kind; }
 
+  /// The resolved dispatch tier (never DispatchMode::Default).
+  DispatchMode getDispatchMode() const { return Dispatch; }
+
   Memory &getMemory() { return Mem; }
   const ExecProfile &getProfile() const { return Profile; }
   uint64_t instructionCount() const { return Profile.InstructionsExecuted; }
+
+  /// Zeroes the instruction counter and every block counter. The
+  /// threaded runtime resets reused worker views between sections so
+  /// per-section deltas are plain totals.
+  void resetProfile();
 
   /// Times the block with dense id \c layout().blockId(BB) was
   /// entered; 0 for blocks outside the module.
@@ -147,6 +212,7 @@ public:
 
 private:
   friend class VM;
+  friend class ThreadedRunner;
 
   /// The reference tree-walking engine (the seed interpreter).
   Slot callReference(Function *F, const std::vector<Slot> &Args);
@@ -166,6 +232,7 @@ private:
 
   Module &M;
   ExecKind Kind;
+  DispatchMode Dispatch;
   std::shared_ptr<const BytecodeModule> BC;
   std::unique_ptr<VM> Machine;
   Memory Mem;

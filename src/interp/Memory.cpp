@@ -2,13 +2,18 @@
 
 #include "interp/Memory.h"
 
+#include "support/ErrorHandling.h"
+
 using namespace gr;
 
 uint64_t Memory::allocatePermanent(uint64_t Bytes) {
-  uint64_t Addr = PermanentTop;
-  PermanentTop += (Bytes + 7) & ~uint64_t(7);
-  if (PermanentTop > Permanent.size())
-    Permanent.resize(PermanentTop * 2, 0);
+  if (Perm->Frozen)
+    reportFatalError(
+        "memory: permanent allocation during a parallel section");
+  uint64_t Addr = Perm->Top;
+  Perm->Top += (Bytes + 7) & ~uint64_t(7);
+  if (Perm->Top > Perm->Data.size())
+    Perm->Data.resize(Perm->Top * 2, 0);
   return Addr;
 }
 

@@ -7,6 +7,15 @@
 /// and are distinguished by an address tag bit, so either can grow
 /// without invalidating pointers into the other. Address 0 is null.
 ///
+/// The permanent region is reference-counted so the threaded parallel
+/// runtime can give each worker a *view* of the master's memory:
+/// workers share the permanent region (globals, privatized buffers)
+/// while owning a private stack for their allocas. Sharing is safe
+/// because the region never grows during a parallel section — the
+/// runtime pre-allocates every private buffer before spawning and
+/// freezes the region while workers run (freezePermanent), so
+/// concurrent accesses never race with a reallocation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GR_INTERP_MEMORY_H
@@ -14,6 +23,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 namespace gr {
@@ -23,8 +33,34 @@ class Memory {
 public:
   static constexpr uint64_t StackTag = uint64_t(1) << 40;
 
+  /// The shareable permanent region (globals, runtime buffers).
+  struct PermanentRegion {
+    std::vector<uint8_t> Data = std::vector<uint8_t>(4096, 0);
+    uint64_t Top = 8; ///< Skip address 0 (null).
+    /// Set while worker views execute concurrently; growth would
+    /// invalidate their accesses, so allocation aborts.
+    bool Frozen = false;
+  };
+
+  Memory() : Perm(std::make_shared<PermanentRegion>()) {}
+
+  /// A view sharing \p Shared with other Memory instances; the stack
+  /// stays private to this instance.
+  explicit Memory(std::shared_ptr<PermanentRegion> Shared)
+      : Perm(std::move(Shared)) {}
+
+  /// The region handle, for constructing worker views.
+  const std::shared_ptr<PermanentRegion> &sharedPermanent() const {
+    return Perm;
+  }
+
   /// Permanent allocation (globals, runtime buffers). Zero-filled.
+  /// Fatal while the region is frozen.
   uint64_t allocatePermanent(uint64_t Bytes);
+
+  /// Marks the permanent region immutable in *size* (contents stay
+  /// writable) while worker views run concurrently.
+  void freezePermanent(bool Frozen) { Perm->Frozen = Frozen; }
 
   /// Stack allocation for allocas; released via restoreStack.
   uint64_t allocateStack(uint64_t Bytes);
@@ -48,15 +84,16 @@ public:
 
 private:
   const uint8_t *slot(uint64_t Addr) const {
-    return (Addr & StackTag) ? &Stack[Addr & ~StackTag] : &Permanent[Addr];
+    return (Addr & StackTag) ? &Stack[Addr & ~StackTag]
+                             : &Perm->Data[Addr];
   }
   uint8_t *slot(uint64_t Addr) {
-    return (Addr & StackTag) ? &Stack[Addr & ~StackTag] : &Permanent[Addr];
+    return (Addr & StackTag) ? &Stack[Addr & ~StackTag]
+                             : &Perm->Data[Addr];
   }
 
-  std::vector<uint8_t> Permanent = std::vector<uint8_t>(4096, 0);
+  std::shared_ptr<PermanentRegion> Perm;
   std::vector<uint8_t> Stack = std::vector<uint8_t>(4096, 0);
-  uint64_t PermanentTop = 8; // Skip address 0 (null).
   uint64_t StackTop = 8;
 };
 

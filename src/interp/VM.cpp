@@ -11,6 +11,18 @@
 
 using namespace gr;
 
+// The direct-threaded loop needs the GNU label-address extension
+// (&&label / goto *ptr); gcc and clang both provide it. Elsewhere the
+// goto tier falls back to the switch loop — selectable modes keep
+// working, only the dispatch mechanism differs.
+#if defined(__GNUC__) || defined(__clang__)
+#define GR_HAS_COMPUTED_GOTO 1
+#else
+#define GR_HAS_COMPUTED_GOTO 0
+#endif
+
+bool gr::dispatchHasComputedGoto() { return GR_HAS_COMPUTED_GOTO != 0; }
+
 VM::VM(Interpreter &Host, const BytecodeModule &BC) : Host(Host), BC(BC) {
   // Instantiate every function's constant pool against this
   // interpreter's global addresses, once.
@@ -38,6 +50,8 @@ VM::VM(Interpreter &Host, const BytecodeModule &BC) : Host(Host), BC(BC) {
   MoveScratch.resize(BC.maxEdgeMoves());
   RegStack.reserve(1024);
   Frames.reserve(64);
+  UseGoto = Host.getDispatchMode() != DispatchMode::Switch &&
+            dispatchHasComputedGoto();
 }
 
 void VM::fail(const char *Msg, uint64_t ICount) {
@@ -63,328 +77,25 @@ void VM::failFault(FaultKind Fk, uint64_t ICount) {
 }
 
 Slot VM::call(uint32_t FuncId, const Slot *Args, uint32_t NumArgs) {
-  const size_t FrameFloor = Frames.size();
-  const uint32_t RegFloor = RegTop;
-  uint64_t ICount = Host.Profile.InstructionsExecuted;
-  const uint64_t Limit = Host.StepLimit;
-  uint64_t *BlockCounts = Host.Profile.BlockCounts.data();
-
-  // Push the root frame (same depth accounting as the tree-walker:
-  // every function invocation bumps the shared depth counter).
-  if (++Host.CallDepth > 512)
-    fail("interpreter: call stack overflow", ICount);
-  const BytecodeFunction *BF = &BC.function(FuncId);
-  ensureRegs(RegTop + BF->NumRegs);
-  uint32_t Base = RegTop;
-  RegTop += BF->NumRegs;
-  std::memcpy(RegStack.data() + Base, constTemplate(FuncId),
-              BF->NumConsts * sizeof(Slot));
-  for (uint32_t I = 0; I != NumArgs; ++I)
-    RegStack[Base + BF->NumConsts + I] = Args[I];
-  Frames.push_back(
-      {FuncId, BF->EntryPC, Base, ~0u, Host.Mem.stackMark()});
-  ++BlockCounts[BF->EntryBlock];
-  if (BF->EntryFault)
-    failFault(FaultKind::PhiNoEntry, ICount);
-
-  const BCInst *Code = BF->Code.data();
-  Slot *Regs = RegStack.data() + Base;
-  uint32_t PC = BF->EntryPC;
-
-  for (;;) {
-    const BCInst &In = Code[PC];
-    // Every opcode is one executed instruction; phi moves are charged
-    // in bulk (uncapped) below, exactly like the tree-walker.
-    ++ICount;
-    if (ICount > Limit)
-      fail("interpreter: step limit exceeded", ICount);
-
-    switch (In.Op) {
-    case Opcode::AddI:
-      Regs[In.Dst].I = Regs[In.A].I + Regs[In.B].I;
-      ++PC;
-      break;
-    case Opcode::SubI:
-      Regs[In.Dst].I = Regs[In.A].I - Regs[In.B].I;
-      ++PC;
-      break;
-    case Opcode::MulI:
-      Regs[In.Dst].I = Regs[In.A].I * Regs[In.B].I;
-      ++PC;
-      break;
-    case Opcode::SDivI: {
-      int64_t R = Regs[In.B].I;
-      if (R == 0)
-        fail("interpreter: division by zero", ICount);
-      Regs[In.Dst].I = Regs[In.A].I / R;
-      ++PC;
-      break;
-    }
-    case Opcode::SRemI: {
-      int64_t R = Regs[In.B].I;
-      if (R == 0)
-        fail("interpreter: remainder by zero", ICount);
-      Regs[In.Dst].I = Regs[In.A].I % R;
-      ++PC;
-      break;
-    }
-    case Opcode::FAdd:
-      Regs[In.Dst].F = Regs[In.A].F + Regs[In.B].F;
-      ++PC;
-      break;
-    case Opcode::FSub:
-      Regs[In.Dst].F = Regs[In.A].F - Regs[In.B].F;
-      ++PC;
-      break;
-    case Opcode::FMul:
-      Regs[In.Dst].F = Regs[In.A].F * Regs[In.B].F;
-      ++PC;
-      break;
-    case Opcode::FDiv:
-      Regs[In.Dst].F = Regs[In.A].F / Regs[In.B].F;
-      ++PC;
-      break;
-    case Opcode::AndI:
-      Regs[In.Dst].I = Regs[In.A].I & Regs[In.B].I;
-      ++PC;
-      break;
-    case Opcode::OrI:
-      Regs[In.Dst].I = Regs[In.A].I | Regs[In.B].I;
-      ++PC;
-      break;
-    case Opcode::XorI:
-      Regs[In.Dst].I = Regs[In.A].I ^ Regs[In.B].I;
-      ++PC;
-      break;
-    case Opcode::ShlI:
-      Regs[In.Dst].I = Regs[In.A].I << (Regs[In.B].I & 63);
-      ++PC;
-      break;
-    case Opcode::AShrI:
-      Regs[In.Dst].I = Regs[In.A].I >> (Regs[In.B].I & 63);
-      ++PC;
-      break;
-
-    case Opcode::CmpEQ:
-      Regs[In.Dst].I = Regs[In.A].I == Regs[In.B].I ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpNE:
-      Regs[In.Dst].I = Regs[In.A].I != Regs[In.B].I ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpSLT:
-      Regs[In.Dst].I = Regs[In.A].I < Regs[In.B].I ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpSLE:
-      Regs[In.Dst].I = Regs[In.A].I <= Regs[In.B].I ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpSGT:
-      Regs[In.Dst].I = Regs[In.A].I > Regs[In.B].I ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpSGE:
-      Regs[In.Dst].I = Regs[In.A].I >= Regs[In.B].I ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpOEQ:
-      Regs[In.Dst].I = Regs[In.A].F == Regs[In.B].F ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpONE:
-      Regs[In.Dst].I = Regs[In.A].F != Regs[In.B].F ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpOLT:
-      Regs[In.Dst].I = Regs[In.A].F < Regs[In.B].F ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpOLE:
-      Regs[In.Dst].I = Regs[In.A].F <= Regs[In.B].F ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpOGT:
-      Regs[In.Dst].I = Regs[In.A].F > Regs[In.B].F ? 1 : 0;
-      ++PC;
-      break;
-    case Opcode::CmpOGE:
-      Regs[In.Dst].I = Regs[In.A].F >= Regs[In.B].F ? 1 : 0;
-      ++PC;
-      break;
-
-    case Opcode::SIToFP:
-      Regs[In.Dst].F = static_cast<double>(Regs[In.A].I);
-      ++PC;
-      break;
-    case Opcode::FPToSI:
-      Regs[In.Dst].I = static_cast<int64_t>(Regs[In.A].F);
-      ++PC;
-      break;
-    case Opcode::Bit1:
-      Regs[In.Dst].I = Regs[In.A].I & 1;
-      ++PC;
-      break;
-
-    case Opcode::Alloca: {
-      uint64_t Bytes =
-          static_cast<uint64_t>(In.A) | (static_cast<uint64_t>(In.B) << 32);
-      Regs[In.Dst].Ptr = Host.Mem.allocateStack(Bytes);
-      ++PC;
-      break;
-    }
-    case Opcode::Load: {
-      uint64_t Addr = Regs[In.A].Ptr;
-      if (!Addr)
-        fail("interpreter: load through null", ICount);
-      Regs[In.Dst].I = Host.Mem.readInt(Addr);
-      ++PC;
-      break;
-    }
-    case Opcode::Store: {
-      uint64_t Addr = Regs[In.B].Ptr;
-      if (!Addr)
-        fail("interpreter: store through null", ICount);
-      Host.Mem.writeInt(Addr, Regs[In.A].I);
-      ++PC;
-      break;
-    }
-    case Opcode::Gep:
-      Regs[In.Dst].Ptr =
-          Regs[In.A].Ptr +
-          static_cast<uint64_t>(Regs[In.B].I) * static_cast<uint64_t>(In.C);
-      ++PC;
-      break;
-
-    case Opcode::Select:
-      Regs[In.Dst] = Regs[In.A].I ? Regs[In.B] : Regs[In.C];
-      ++PC;
-      break;
-
-    case Opcode::Call: {
-      if (++Host.CallDepth > 512)
-        fail("interpreter: call stack overflow", ICount);
-      const BytecodeFunction &Callee = BC.function(In.A);
-      FrameRec &Cur = Frames.back();
-      Cur.PC = PC + 1;
-      const uint32_t CallerBase = Cur.RegBase;
-      ensureRegs(RegTop + Callee.NumRegs); // May move the stack.
-      uint32_t NewBase = RegTop;
-      RegTop += Callee.NumRegs;
-      Slot *NewRegs = RegStack.data() + NewBase;
-      std::memcpy(NewRegs, constTemplate(In.A),
-                  Callee.NumConsts * sizeof(Slot));
-      // Arguments copy register-to-register; no per-call vector.
-      const uint32_t *AP = BF->ArgPool.data() + In.B;
-      const Slot *CallerRegs = RegStack.data() + CallerBase;
-      for (uint32_t I = 0; I != In.C; ++I)
-        NewRegs[Callee.NumConsts + I] = CallerRegs[AP[I]];
-      Frames.push_back({In.A, Callee.EntryPC, NewBase,
-                        CallerBase + In.Dst, Host.Mem.stackMark()});
-      BF = &Callee;
-      Code = BF->Code.data();
-      Regs = NewRegs;
-      PC = BF->EntryPC;
-      ++BlockCounts[BF->EntryBlock];
-      if (BF->EntryFault)
-        failFault(FaultKind::PhiNoEntry, ICount);
-      break;
-    }
-
-    case Opcode::CallBuiltin: {
-      const uint32_t *AP = BF->ArgPool.data() + In.B;
-      Slot BArgs[2] = {{.I = 0}, {.I = 0}};
-      uint32_t N = In.C < 2 ? In.C : 2;
-      for (uint32_t I = 0; I != N; ++I)
-        BArgs[I] = Regs[AP[I]];
-      Regs[In.Dst] = Host.runBuiltin(static_cast<BuiltinId>(In.A), BArgs);
-      ++PC;
-      break;
-    }
-
-    case Opcode::CallIntrinsic: {
-      if (!Host.Intrinsic)
-        fail("interpreter: no handler installed for intrinsic", ICount);
-      std::vector<Slot> &IA = Host.argScratch(Host.CallDepth);
-      IA.clear();
-      const uint32_t *AP = BF->ArgPool.data() + In.B;
-      for (uint32_t I = 0; I != In.C; ++I)
-        IA.push_back(Regs[AP[I]]);
-      // The handler observes the profile (SimulatedParallel charges
-      // chunk work by instruction-count deltas) and may re-enter
-      // Interpreter::call; flush the counter, reload it after, and
-      // recompute the frame pointer (nested runs can move the stack).
-      Host.Profile.InstructionsExecuted = ICount;
-      Slot R = Host.Intrinsic(Host, BF->IntrinsicSites[In.A], IA);
-      ICount = Host.Profile.InstructionsExecuted;
-      Regs = RegStack.data() + Frames.back().RegBase;
-      Regs[In.Dst] = R;
-      ++PC;
-      break;
-    }
-
-    case Opcode::Br: {
-      const Edge &E = BF->Edges[In.A];
-      if (E.Fault)
-        failFault(E.Fk, ICount);
-      ++BlockCounts[E.TargetBlock];
-      if (E.MoveCount) {
-        const RegMove *Mv = BF->Moves.data() + E.MoveOff;
-        Slot *Scr = MoveScratch.data();
-        for (uint32_t I = 0; I != E.MoveCount; ++I)
-          Scr[I] = Regs[Mv[I].Src];
-        for (uint32_t I = 0; I != E.MoveCount; ++I)
-          Regs[Mv[I].Dst] = Scr[I];
-        ICount += E.MoveCount;
-      }
-      PC = E.TargetPC;
-      break;
-    }
-    case Opcode::CondBr: {
-      const Edge &E = BF->Edges[Regs[In.A].I ? In.B : In.C];
-      if (E.Fault)
-        failFault(E.Fk, ICount);
-      ++BlockCounts[E.TargetBlock];
-      if (E.MoveCount) {
-        const RegMove *Mv = BF->Moves.data() + E.MoveOff;
-        Slot *Scr = MoveScratch.data();
-        for (uint32_t I = 0; I != E.MoveCount; ++I)
-          Scr[I] = Regs[Mv[I].Src];
-        for (uint32_t I = 0; I != E.MoveCount; ++I)
-          Regs[Mv[I].Dst] = Scr[I];
-        ICount += E.MoveCount;
-      }
-      PC = E.TargetPC;
-      break;
-    }
-
-    case Opcode::Ret:
-    case Opcode::RetVoid: {
-      Slot R{.I = 0};
-      if (In.Op == Opcode::Ret)
-        R = Regs[In.A];
-      FrameRec Done = Frames.back();
-      Host.Mem.restoreStack(Done.StackMark);
-      --Host.CallDepth;
-      Frames.pop_back();
-      RegTop = Done.RegBase;
-      if (Frames.size() == FrameFloor) {
-        Host.Profile.InstructionsExecuted = ICount;
-        RegTop = RegFloor;
-        return R;
-      }
-      FrameRec &Caller = Frames.back();
-      BF = &BC.function(Caller.FuncId);
-      Code = BF->Code.data();
-      Regs = RegStack.data() + Caller.RegBase;
-      PC = Caller.PC;
-      RegStack[Done.RetRegAbs] = R;
-      break;
-    }
-
-    case Opcode::Fault:
-      failFault(In.Fk, ICount);
-    }
-  }
+  return UseGoto ? callGoto(FuncId, Args, NumArgs)
+                 : callSwitch(FuncId, Args, NumArgs);
 }
+
+// Instantiate the two dispatch tiers from the shared handler bodies.
+#define GR_VM_LOOP callSwitch
+#define GR_VM_GOTO 0
+#include "interp/VMExec.inc"
+#undef GR_VM_LOOP
+#undef GR_VM_GOTO
+
+#if GR_HAS_COMPUTED_GOTO
+#define GR_VM_LOOP callGoto
+#define GR_VM_GOTO 1
+#include "interp/VMExec.inc"
+#undef GR_VM_LOOP
+#undef GR_VM_GOTO
+#else
+Slot VM::callGoto(uint32_t FuncId, const Slot *Args, uint32_t NumArgs) {
+  return callSwitch(FuncId, Args, NumArgs);
+}
+#endif

@@ -30,14 +30,28 @@ namespace gr {
 /// owns memory, output, the rand stream and the profile) and a
 /// compiled module. Re-entrant: intrinsic handlers may call back into
 /// Interpreter::call, which stacks another run on the same arenas.
+///
+/// Dispatch is tiered (DispatchMode): the portable switch loop and a
+/// direct-threaded computed-goto loop are two instantiations of the
+/// same handler bodies (VMExec.inc), so their execution semantics —
+/// including the instruction counter and per-block profile — cannot
+/// diverge. Superinstructions are a codegen concern (Bytecode.cpp's
+/// peephole); both loops carry handlers for them.
 class VM {
 public:
   VM(Interpreter &Host, const BytecodeModule &BC);
 
-  /// Runs function \p FuncId with \p NumArgs arguments.
+  /// Runs function \p FuncId with \p NumArgs arguments on the dispatch
+  /// loop the host's DispatchMode selects.
   Slot call(uint32_t FuncId, const Slot *Args, uint32_t NumArgs);
 
 private:
+  /// The dispatch loop, instantiated twice from VMExec.inc. The goto
+  /// variant forwards to the switch variant on toolchains without the
+  /// label-address extension (dispatchHasComputedGoto()).
+  Slot callSwitch(uint32_t FuncId, const Slot *Args, uint32_t NumArgs);
+  Slot callGoto(uint32_t FuncId, const Slot *Args, uint32_t NumArgs);
+
   /// One active call. PC is the saved resume point while callees run.
   struct FrameRec {
     uint32_t FuncId;
@@ -76,6 +90,9 @@ private:
   std::vector<Slot> ConstSlots;
   std::vector<uint32_t> ConstOffsets;
   uint32_t RegTop = 0;
+  /// Selected at construction from the host's resolved DispatchMode:
+  /// Goto/Fused run the computed-goto loop when the build has one.
+  bool UseGoto = false;
 };
 
 } // namespace gr

@@ -1,0 +1,138 @@
+//===- ReductionOps.h - shared privatize/merge semantics ------*- C++ -*-===//
+///
+/// \file
+/// The value-level semantics both parallel runtimes share: identity
+/// elements, guarded extremum comparison, and operator combination
+/// over raw Slot bits. SimulatedParallel (the cost-model runtime) and
+/// ThreadedRunner (the measured runtime) privatize and merge through
+/// these same functions, which is what makes their results bitwise
+/// comparable — a merge rule changed in one place changes for both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_RUNTIME_REDUCTIONOPS_H
+#define GR_RUNTIME_REDUCTIONOPS_H
+
+#include "idioms/ReductionInfo.h"
+#include "interp/Interpreter.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace gr {
+
+/// Levels of a recursive-bisection tree over \p N leaves.
+inline unsigned reductionCeilLog2(uint64_t N) {
+  unsigned Levels = 0;
+  uint64_t Cap = 1;
+  while (Cap < N) {
+    Cap *= 2;
+    ++Levels;
+  }
+  return Levels;
+}
+
+/// Identity element of an operator, as raw slot bits.
+inline Slot reductionIdentity(ReductionOperator Op, bool IsFloat) {
+  Slot S{.I = 0};
+  switch (Op) {
+  case ReductionOperator::Sum:
+  case ReductionOperator::BitOr:
+  case ReductionOperator::BitXor:
+    if (IsFloat)
+      S.F = 0.0;
+    else
+      S.I = 0;
+    break;
+  case ReductionOperator::Product:
+    if (IsFloat)
+      S.F = 1.0;
+    else
+      S.I = 1;
+    break;
+  case ReductionOperator::Min:
+    if (IsFloat)
+      S.F = std::numeric_limits<double>::infinity();
+    else
+      S.I = std::numeric_limits<int64_t>::max();
+    break;
+  case ReductionOperator::Max:
+    if (IsFloat)
+      S.F = -std::numeric_limits<double>::infinity();
+    else
+      S.I = std::numeric_limits<int64_t>::min();
+    break;
+  case ReductionOperator::BitAnd:
+    S.I = ~int64_t(0);
+    break;
+  case ReductionOperator::Unknown:
+    gr_unreachable("merging an unknown reduction operator");
+  }
+  return S;
+}
+
+/// Does the challenger \p B beat the incumbent \p A under a guarded
+/// extremum merge? Strict guards keep the incumbent on ties (the
+/// serial loop retains the first winner), non-strict guards replace.
+inline bool reductionBeats(ReductionOperator Op, bool IsFloat, Slot B,
+                           Slot A, bool Strict) {
+  if (Op == ReductionOperator::Min) {
+    if (IsFloat)
+      return Strict ? B.F < A.F : B.F <= A.F;
+    return Strict ? B.I < A.I : B.I <= A.I;
+  }
+  if (IsFloat)
+    return Strict ? B.F > A.F : B.F >= A.F;
+  return Strict ? B.I > A.I : B.I >= A.I;
+}
+
+/// Combines two partial results of one operator.
+inline Slot reductionCombine(ReductionOperator Op, bool IsFloat, Slot A,
+                             Slot B) {
+  Slot S{.I = 0};
+  switch (Op) {
+  case ReductionOperator::Sum:
+    if (IsFloat)
+      S.F = A.F + B.F;
+    else
+      S.I = A.I + B.I;
+    break;
+  case ReductionOperator::Product:
+    if (IsFloat)
+      S.F = A.F * B.F;
+    else
+      S.I = A.I * B.I;
+    break;
+  case ReductionOperator::Min:
+    if (IsFloat)
+      S.F = std::fmin(A.F, B.F);
+    else
+      S.I = std::min(A.I, B.I);
+    break;
+  case ReductionOperator::Max:
+    if (IsFloat)
+      S.F = std::fmax(A.F, B.F);
+    else
+      S.I = std::max(A.I, B.I);
+    break;
+  case ReductionOperator::BitAnd:
+    S.I = A.I & B.I;
+    break;
+  case ReductionOperator::BitOr:
+    S.I = A.I | B.I;
+    break;
+  case ReductionOperator::BitXor:
+    S.I = A.I ^ B.I;
+    break;
+  case ReductionOperator::Unknown:
+    gr_unreachable("merging an unknown reduction operator");
+  }
+  return S;
+}
+
+} // namespace gr
+
+#endif // GR_RUNTIME_REDUCTIONOPS_H

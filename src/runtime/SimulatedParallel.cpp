@@ -4,123 +4,12 @@
 
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "runtime/ReductionOps.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
 using namespace gr;
-
-namespace {
-
-unsigned ceilLog2(uint64_t N) {
-  unsigned Levels = 0;
-  uint64_t Cap = 1;
-  while (Cap < N) {
-    Cap *= 2;
-    ++Levels;
-  }
-  return Levels;
-}
-
-/// Identity element of an operator, as raw slot bits.
-Slot identityFor(ReductionOperator Op, bool IsFloat) {
-  Slot S{.I = 0};
-  switch (Op) {
-  case ReductionOperator::Sum:
-  case ReductionOperator::BitOr:
-  case ReductionOperator::BitXor:
-    if (IsFloat)
-      S.F = 0.0;
-    else
-      S.I = 0;
-    break;
-  case ReductionOperator::Product:
-    if (IsFloat)
-      S.F = 1.0;
-    else
-      S.I = 1;
-    break;
-  case ReductionOperator::Min:
-    if (IsFloat)
-      S.F = std::numeric_limits<double>::infinity();
-    else
-      S.I = std::numeric_limits<int64_t>::max();
-    break;
-  case ReductionOperator::Max:
-    if (IsFloat)
-      S.F = -std::numeric_limits<double>::infinity();
-    else
-      S.I = std::numeric_limits<int64_t>::min();
-    break;
-  case ReductionOperator::BitAnd:
-    S.I = ~int64_t(0);
-    break;
-  case ReductionOperator::Unknown:
-    gr_unreachable("merging an unknown reduction operator");
-  }
-  return S;
-}
-
-/// Does the challenger \p B beat the incumbent \p A under a guarded
-/// extremum merge? Strict guards keep the incumbent on ties (the
-/// serial loop retains the first winner), non-strict guards replace.
-bool beats(ReductionOperator Op, bool IsFloat, Slot B, Slot A,
-           bool Strict) {
-  if (Op == ReductionOperator::Min) {
-    if (IsFloat)
-      return Strict ? B.F < A.F : B.F <= A.F;
-    return Strict ? B.I < A.I : B.I <= A.I;
-  }
-  if (IsFloat)
-    return Strict ? B.F > A.F : B.F >= A.F;
-  return Strict ? B.I > A.I : B.I >= A.I;
-}
-
-Slot combine(ReductionOperator Op, bool IsFloat, Slot A, Slot B) {
-  Slot S{.I = 0};
-  switch (Op) {
-  case ReductionOperator::Sum:
-    if (IsFloat)
-      S.F = A.F + B.F;
-    else
-      S.I = A.I + B.I;
-    break;
-  case ReductionOperator::Product:
-    if (IsFloat)
-      S.F = A.F * B.F;
-    else
-      S.I = A.I * B.I;
-    break;
-  case ReductionOperator::Min:
-    if (IsFloat)
-      S.F = std::fmin(A.F, B.F);
-    else
-      S.I = std::min(A.I, B.I);
-    break;
-  case ReductionOperator::Max:
-    if (IsFloat)
-      S.F = std::fmax(A.F, B.F);
-    else
-      S.I = std::max(A.I, B.I);
-    break;
-  case ReductionOperator::BitAnd:
-    S.I = A.I & B.I;
-    break;
-  case ReductionOperator::BitOr:
-    S.I = A.I | B.I;
-    break;
-  case ReductionOperator::BitXor:
-    S.I = A.I ^ B.I;
-    break;
-  case ReductionOperator::Unknown:
-    gr_unreachable("merging an unknown reduction operator");
-  }
-  return S;
-}
-
-} // namespace
 
 ParallelRunner::ParallelRunner(Module &M, const ReductionParallelizer &RP,
                                ParallelConfig Config)
@@ -217,7 +106,7 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
       for (unsigned H = 0; H < NumHists; ++H) {
         const auto &HI = Info->Histograms[H];
         uint64_t Buf = Mem.allocatePermanent(HI.Bytes);
-        Slot Id = identityFor(HI.Op, HI.IsFloat);
+        Slot Id = reductionIdentity(HI.Op, HI.IsFloat);
         for (uint64_t Off = 0; Off < HI.Bytes; Off += 8)
           Mem.writeInt(Buf + Off, Id.I);
         ThreadHistBufs[t].push_back(Buf);
@@ -227,7 +116,7 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
       for (unsigned A = 0; A < NumAccs; ++A) {
         const auto &AI = Info->Accumulators[A];
         uint64_t SlotAddr = Mem.allocatePermanent(8);
-        Mem.writeInt(SlotAddr, identityFor(AI.Op, AI.IsFloat).I);
+        Mem.writeInt(SlotAddr, reductionIdentity(AI.Op, AI.IsFloat).I);
         BodyArgs[AccArgBase + A].Ptr = SlotAddr;
       }
     }
@@ -240,7 +129,7 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
         uint64_t SlotAddr = Mem.allocatePermanent(8);
         Slot Init{.I = Mem.readInt(Args[AccArgBase + A].Ptr)};
         if (IsPairBest[A])
-          Init = identityFor(AI.Op, AI.IsFloat);
+          Init = reductionIdentity(AI.Op, AI.IsFloat);
         Mem.writeInt(SlotAddr, Init.I);
         BodyArgs[AccArgBase + A].Ptr = SlotAddr;
       }
@@ -273,7 +162,7 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
         for (uint64_t Off = 0; Off < HI.Bytes; Off += 8) {
           Slot A{.I = Mem.readInt(Orig + Off)};
           Slot B{.I = Mem.readInt(Buf + Off)};
-          Mem.writeInt(Orig + Off, combine(HI.Op, HI.IsFloat, A, B).I);
+          Mem.writeInt(Orig + Off, reductionCombine(HI.Op, HI.IsFloat, A, B).I);
         }
       }
       MergedElements += (HI.Bytes / 8);
@@ -283,7 +172,7 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
       uint64_t Orig = Args[AccArgBase + A].Ptr;
       Slot Acc{.I = Mem.readInt(Orig)};
       for (uint64_t t = 0; t < T; ++t)
-        Acc = combine(AI.Op, AI.IsFloat, Acc, ThreadAccs[t][A]);
+        Acc = reductionCombine(AI.Op, AI.IsFloat, Acc, ThreadAccs[t][A]);
       Mem.writeInt(Orig, Acc.I);
       ++MergedElements;
     }
@@ -301,7 +190,7 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
       for (uint64_t t = 0; t < T; ++t) {
         Slot TB = ThreadAccs[t][P.BestSlot];
         Slot TI = ThreadAccs[t][P.IndexSlot];
-        if (beats(BI.Op, BI.IsFloat, TB, CurBest, P.Strict)) {
+        if (reductionBeats(BI.Op, BI.IsFloat, TB, CurBest, P.Strict)) {
           CurBest = TB;
           CurIdx = TI;
         }
@@ -313,7 +202,7 @@ Slot ParallelRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
   }
 
   // Cost model.
-  unsigned Levels = ceilLog2(T);
+  unsigned Levels = reductionCeilLog2(T);
   uint64_t SimTime = MaxWork + Config.SpawnOverhead * Levels;
   if (Info->Kind == EK::Scan && T > 1)
     // Two-phase parallel scan: every element is visited twice (chunk

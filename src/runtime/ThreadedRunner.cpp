@@ -1,0 +1,229 @@
+//===- ThreadedRunner.cpp -------------------------------------*- C++ -*-===//
+
+#include "runtime/ThreadedRunner.h"
+
+#include "interp/Bytecode.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "runtime/ReductionOps.h"
+#include "support/ErrorHandling.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace gr;
+
+ThreadedRunner::ThreadedRunner(Module &M, const ReductionParallelizer &RP,
+                               ThreadedConfig Config)
+    : M(M), RP(RP), Pool(ThreadPool::global()),
+      Threads(Config.NumThreads ? Config.NumThreads : Pool.threadCount()),
+      Interp(M) {
+  Interp.setIntrinsicHandler(
+      [this](Interpreter &I, const CallInst *Call,
+             const std::vector<Slot> &Args) {
+        return handleIntrinsic(I, Call, Args);
+      });
+}
+
+ThreadedRunner::~ThreadedRunner() = default;
+
+ThreadedRunResult ThreadedRunner::run() {
+  ThreadedRunResult Result;
+  auto Start = std::chrono::steady_clock::now();
+  Result.MainResult = Interp.runMain();
+  auto End = std::chrono::steady_clock::now();
+  Result.Output = Interp.getOutput();
+  Result.TotalWork = Interp.instructionCount();
+  Result.Sections = Sections;
+  Result.SerialSections = SerialSections;
+  Result.WallMs =
+      std::chrono::duration<double, std::milli>(End - Start).count();
+  return Result;
+}
+
+void ThreadedRunner::prepareWorkers(unsigned T) {
+  while (Workers.size() < T) {
+    auto W = std::make_unique<Interpreter>(Interp);
+    // Nested sections inside a worker chunk run their body once over
+    // the full range on this worker — the original loop's sequential
+    // semantics. (The transform never emits nested sections today;
+    // this keeps a future one correct rather than fast.)
+    W->setIntrinsicHandler([this](Interpreter &WI, const CallInst *Call,
+                                  const std::vector<Slot> &Args) {
+      const ParallelLoopInfo *Info = RP.lookup(Call->getCallee());
+      if (!Info)
+        reportFatalError("runtime: unknown parallel intrinsic");
+      WI.call(Info->Body, Args);
+      return Slot{.I = 0};
+    });
+    Workers.push_back(std::move(W));
+  }
+  for (unsigned t = 0; t < T; ++t)
+    Workers[t]->resetProfile();
+}
+
+Slot ThreadedRunner::handleIntrinsic(Interpreter &I, const CallInst *Call,
+                                     const std::vector<Slot> &Args) {
+  const ParallelLoopInfo *Info = RP.lookup(Call->getCallee());
+  if (!Info)
+    reportFatalError("runtime: unknown parallel intrinsic");
+  ++Sections;
+
+  int64_t Lo = Args[0].I, Hi = Args[1].I;
+  int64_t N = Hi > Lo ? Hi - Lo : 0;
+  if (N == 0)
+    return Slot{.I = 0};
+  uint64_t T = std::min<uint64_t>(Threads, static_cast<uint64_t>(N));
+
+  unsigned NumHists = static_cast<unsigned>(Info->Histograms.size());
+  unsigned NumAccs = static_cast<unsigned>(Info->Accumulators.size());
+  const unsigned HistArgBase = 2;
+  const unsigned AccArgBase = HistArgBase + NumHists;
+
+  // Always the privatized-tree execution scheme (SimulatedParallel's
+  // default strategy — the one whose results this runtime matches
+  // bitwise). Scans chain their carry through the shared slot, so
+  // their chunks must run in order; so must any body observing the
+  // process-global rand/print streams.
+  using EK = ParallelLoopInfo::ExecutionKind;
+  bool Privatize = Info->Kind == EK::Reduction;
+  bool PrivatizePairs = Info->Kind == EK::ArgMinMax;
+  uint32_t BodyId = Interp.getBytecode().layout().functionId(Info->Body);
+  bool Serial = Info->Kind == EK::Scan || T <= 1 ||
+                Interp.getBytecode().touchesGlobalStream(BodyId);
+
+  std::vector<bool> IsPairBest(NumAccs, false);
+  for (const auto &P : Info->ArgPairs)
+    IsPairBest[P.BestSlot] = true;
+
+  Memory &Mem = I.getMemory();
+
+  // Phase 1 (master only): compute every chunk's bounds and allocate
+  // its privatized buffers, in chunk order — the same allocation
+  // sequence SimulatedParallel performs, so addresses match.
+  std::vector<std::vector<Slot>> BodyArgs(T);
+  std::vector<std::vector<uint64_t>> ThreadHistBufs(T);
+  for (uint64_t t = 0; t < T; ++t) {
+    int64_t ChunkLo = Lo + static_cast<int64_t>(
+                               (static_cast<uint64_t>(N) * t) / T);
+    int64_t ChunkHi = Lo + static_cast<int64_t>(
+                               (static_cast<uint64_t>(N) * (t + 1)) / T);
+    BodyArgs[t] = Args;
+    BodyArgs[t][0].I = ChunkLo;
+    BodyArgs[t][1].I = ChunkHi;
+
+    if (Privatize) {
+      for (unsigned H = 0; H < NumHists; ++H) {
+        const auto &HI = Info->Histograms[H];
+        uint64_t Buf = Mem.allocatePermanent(HI.Bytes);
+        Slot Id = reductionIdentity(HI.Op, HI.IsFloat);
+        for (uint64_t Off = 0; Off < HI.Bytes; Off += 8)
+          Mem.writeInt(Buf + Off, Id.I);
+        ThreadHistBufs[t].push_back(Buf);
+        BodyArgs[t][HistArgBase + H].Ptr = Buf;
+      }
+      for (unsigned A = 0; A < NumAccs; ++A) {
+        const auto &AI = Info->Accumulators[A];
+        uint64_t SlotAddr = Mem.allocatePermanent(8);
+        Mem.writeInt(SlotAddr, reductionIdentity(AI.Op, AI.IsFloat).I);
+        BodyArgs[t][AccArgBase + A].Ptr = SlotAddr;
+      }
+    }
+    if (PrivatizePairs) {
+      // Extremum slots start from the identity so a chunk reports its
+      // own winner; index slots start from the incoming index so an
+      // untouched chunk carries the incumbent along.
+      for (unsigned A = 0; A < NumAccs; ++A) {
+        const auto &AI = Info->Accumulators[A];
+        uint64_t SlotAddr = Mem.allocatePermanent(8);
+        Slot Init{.I = Mem.readInt(Args[AccArgBase + A].Ptr)};
+        if (IsPairBest[A])
+          Init = reductionIdentity(AI.Op, AI.IsFloat);
+        Mem.writeInt(SlotAddr, Init.I);
+        BodyArgs[t][AccArgBase + A].Ptr = SlotAddr;
+      }
+    }
+  }
+
+  // Phase 2: run the chunks.
+  if (Serial) {
+    ++SerialSections;
+    for (uint64_t t = 0; t < T; ++t)
+      I.call(Info->Body, BodyArgs[t]);
+  } else {
+    prepareWorkers(static_cast<unsigned>(T));
+    Mem.freezePermanent(true);
+    {
+      TaskGroup Group(Pool);
+      for (uint64_t t = 0; t < T; ++t)
+        Group.runOn(static_cast<unsigned>(t) % Pool.threadCount(),
+                    [this, t, Info, &BodyArgs] {
+                      Workers[t]->call(Info->Body, BodyArgs[t]);
+                    });
+      Group.wait();
+    }
+    Mem.freezePermanent(false);
+    // Fold worker counters into the master profile in chunk order.
+    // The VM flushed the master's in-register counter before invoking
+    // this handler and reloads it after, so these additions stick.
+    for (uint64_t t = 0; t < T; ++t) {
+      const ExecProfile &WP = Workers[t]->getProfile();
+      Interp.Profile.InstructionsExecuted += WP.InstructionsExecuted;
+      for (size_t B = 0; B < WP.BlockCounts.size(); ++B)
+        Interp.Profile.BlockCounts[B] += WP.BlockCounts[B];
+    }
+  }
+
+  // Phase 3 (master only): merge privatized state back in chunk
+  // order — identical logic and helpers to SimulatedParallel.
+  if (Privatize) {
+    for (unsigned H = 0; H < NumHists; ++H) {
+      const auto &HI = Info->Histograms[H];
+      uint64_t Orig = Args[HistArgBase + H].Ptr;
+      for (uint64_t t = 0; t < T; ++t) {
+        uint64_t Buf = ThreadHistBufs[t][H];
+        for (uint64_t Off = 0; Off < HI.Bytes; Off += 8) {
+          Slot A{.I = Mem.readInt(Orig + Off)};
+          Slot B{.I = Mem.readInt(Buf + Off)};
+          Mem.writeInt(Orig + Off,
+                       reductionCombine(HI.Op, HI.IsFloat, A, B).I);
+        }
+      }
+    }
+    for (unsigned A = 0; A < NumAccs; ++A) {
+      const auto &AI = Info->Accumulators[A];
+      uint64_t Orig = Args[AccArgBase + A].Ptr;
+      Slot Acc{.I = Mem.readInt(Orig)};
+      for (uint64_t t = 0; t < T; ++t)
+        Acc = reductionCombine(AI.Op, AI.IsFloat, Acc,
+                               Slot{.I = Mem.readInt(
+                                        BodyArgs[t][AccArgBase + A].Ptr)});
+      Mem.writeInt(Orig, Acc.I);
+    }
+  }
+  if (PrivatizePairs) {
+    // Merge (extremum, index) pairs in chunk order: a chunk's winner
+    // replaces the incumbent exactly when the original guard would
+    // have fired, and the index travels with it.
+    for (const auto &P : Info->ArgPairs) {
+      const auto &BI = Info->Accumulators[P.BestSlot];
+      uint64_t BestOrig = Args[AccArgBase + P.BestSlot].Ptr;
+      uint64_t IdxOrig = Args[AccArgBase + P.IndexSlot].Ptr;
+      Slot CurBest{.I = Mem.readInt(BestOrig)};
+      Slot CurIdx{.I = Mem.readInt(IdxOrig)};
+      for (uint64_t t = 0; t < T; ++t) {
+        Slot TB{.I = Mem.readInt(BodyArgs[t][AccArgBase + P.BestSlot].Ptr)};
+        Slot TI{.I = Mem.readInt(BodyArgs[t][AccArgBase + P.IndexSlot].Ptr)};
+        if (reductionBeats(BI.Op, BI.IsFloat, TB, CurBest, P.Strict)) {
+          CurBest = TB;
+          CurIdx = TI;
+        }
+      }
+      Mem.writeInt(BestOrig, CurBest.I);
+      Mem.writeInt(IdxOrig, CurIdx.I);
+    }
+  }
+
+  return Slot{.I = 0};
+}

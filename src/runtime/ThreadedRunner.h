@@ -1,0 +1,114 @@
+//===- ThreadedRunner.h - measured parallel reduction runtime -*- C++ -*-===//
+///
+/// \file
+/// Executes transformed modules with real threads and measures
+/// wall-clock time.
+///
+/// SimulatedParallel models the paper's 64-core Opteron with a cost
+/// model; this runtime is its measured counterpart for hosts that do
+/// have cores. Parallel sections run their chunks as worker-view
+/// Interpreters (interp/Interpreter.h) on ThreadPool::global(), over
+/// the shared compiled module and the shared permanent memory region.
+///
+/// Determinism contract (docs/THREADING.md): MainResult, Output and
+/// the ExecProfile are bitwise identical to SimulatedParallel's
+/// PrivatizedTree run at the same thread count, at *any* pool size —
+/// the schedule never leaks into results because
+///
+///  - chunk bounds depend only on (N, T), the same formula
+///    SimulatedParallel uses;
+///  - every chunk's privatized buffers are allocated by the master, in
+///    chunk order, before anything runs (loop bodies never allocate
+///    permanent memory — Memory::freezePermanent enforces it), so
+///    buffer addresses match the simulated runtime's;
+///  - chunks write only their privatized buffers and disjoint Doall
+///    ranges while running; merging happens after the join, on the
+///    master, in chunk order, through the same runtime/ReductionOps.h
+///    helpers;
+///  - worker instruction/block counters are folded into the master
+///    profile in chunk order after the join;
+///  - Scan sections (chained carry) and bodies touching the rand or
+///    print streams (BytecodeModule::touchesGlobalStream) run their
+///    chunks serially chained on the master, preserving the exact
+///    stream interleaving of the sequential and simulated runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_RUNTIME_THREADEDRUNNER_H
+#define GR_RUNTIME_THREADEDRUNNER_H
+
+#include "interp/Interpreter.h"
+#include "transform/ReductionParallelize.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gr {
+
+class CallInst;
+class Module;
+class ThreadPool;
+
+/// Parameters of one threaded run.
+struct ThreadedConfig {
+  /// Chunks per parallel section (the "thread count" of the
+  /// determinism contract). 0 resolves to the global pool's size.
+  /// Values above the pool size still run — the pool multiplexes —
+  /// with identical results, just less physical parallelism.
+  unsigned NumThreads = 0;
+};
+
+/// Result of one threaded run.
+struct ThreadedRunResult {
+  int64_t MainResult = 0;
+  std::string Output;
+  /// Total instructions interpreted across the master and all workers
+  /// (== the sequential run's count for the same transformed module).
+  uint64_t TotalWork = 0;
+  /// Number of parallel sections entered.
+  unsigned Sections = 0;
+  /// Sections whose chunks ran serially chained on the master (scan
+  /// carries, and bodies touching the rand/print streams).
+  unsigned SerialSections = 0;
+  /// Measured wall-clock time of the whole run, in milliseconds.
+  double WallMs = 0.0;
+};
+
+/// Runs the transformed module's main on real pool threads.
+class ThreadedRunner {
+public:
+  ThreadedRunner(Module &M, const ReductionParallelizer &RP,
+                 ThreadedConfig Config);
+  ~ThreadedRunner();
+
+  ThreadedRunResult run();
+
+  /// The resolved chunk count per section.
+  unsigned threadCount() const { return Threads; }
+
+  Interpreter &getInterpreter() { return Interp; }
+
+private:
+  Slot handleIntrinsic(Interpreter &I, const CallInst *Call,
+                       const std::vector<Slot> &Args);
+
+  /// Ensures worker views 0..T-1 exist with fresh profiles.
+  void prepareWorkers(unsigned T);
+
+  Module &M;
+  const ReductionParallelizer &RP;
+  ThreadPool &Pool;
+  unsigned Threads;
+  Interpreter Interp;
+  /// Cached worker views, grown on demand and reused across sections
+  /// (profiles reset between uses).
+  std::vector<std::unique_ptr<Interpreter>> Workers;
+  unsigned Sections = 0;
+  unsigned SerialSections = 0;
+};
+
+} // namespace gr
+
+#endif // GR_RUNTIME_THREADEDRUNNER_H

@@ -1,0 +1,253 @@
+//===- DispatchTests.cpp - dispatch tier differential suite ---*- C++ -*-===//
+///
+/// \file
+/// The VM's dispatch tiers (Interpreter.h DispatchMode) are pure
+/// mechanism: switch vs computed-goto vs superinstruction-fused code
+/// must be unobservable in results, output, and the bitwise
+/// ExecProfile. This suite runs the full 40-program corpus through
+/// every tier (including the off-diagonal: fused code under the
+/// portable switch loop) against the reference tree-walker, plus
+/// focused checks that fusion actually fires, preserves the sharp
+/// step-limit boundary, and resolves correctly from GR_DISPATCH.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "corpus/Corpus.h"
+#include "interp/Bytecode.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+struct RunResult {
+  int64_t Main = 0;
+  std::string Output;
+  ExecProfile Profile;
+};
+
+RunResult runDispatch(Module &M, DispatchMode Mode,
+                      std::shared_ptr<const BytecodeModule> BC,
+                      uint64_t StepLimit = 80000000) {
+  Interpreter I(M, ExecKind::Bytecode, BC, Mode);
+  I.setStepLimit(StepLimit);
+  RunResult R;
+  R.Main = I.runMain();
+  R.Output = I.getOutput();
+  R.Profile = I.getProfile();
+  return R;
+}
+
+void expectSame(const RunResult &A, const RunResult &B, const char *What) {
+  EXPECT_EQ(A.Main, B.Main) << What;
+  EXPECT_EQ(A.Output, B.Output) << What;
+  EXPECT_EQ(A.Profile.InstructionsExecuted, B.Profile.InstructionsExecuted)
+      << What;
+  EXPECT_TRUE(A.Profile == B.Profile) << What;
+}
+
+/// Every tier × artifact combination against the reference oracle.
+void expectDispatchParity(Module &M) {
+  auto Plain = BytecodeModule::compile(M, /*EnableFusion=*/false);
+  auto Fused = BytecodeModule::compile(M, /*EnableFusion=*/true);
+  EXPECT_FALSE(Plain->isFused());
+  EXPECT_TRUE(Fused->isFused());
+
+  RunResult Ref;
+  {
+    Interpreter I(M, ExecKind::Reference, Plain);
+    I.setStepLimit(80000000);
+    Ref.Main = I.runMain();
+    Ref.Output = I.getOutput();
+    Ref.Profile = I.getProfile();
+  }
+  expectSame(runDispatch(M, DispatchMode::Switch, Plain), Ref,
+             "switch/unfused");
+  expectSame(runDispatch(M, DispatchMode::Goto, Plain), Ref,
+             "goto/unfused");
+  expectSame(runDispatch(M, DispatchMode::Switch, Fused), Ref,
+             "switch/fused");
+  expectSame(runDispatch(M, DispatchMode::Fused, Fused), Ref,
+             "goto/fused");
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus differential: all 40 benchmark programs, every tier.
+//===----------------------------------------------------------------------===//
+
+class DispatchCorpusParity
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(DispatchCorpusParity, AllTiersMatchReferenceBitwise) {
+  const BenchmarkProgram *B = GetParam();
+  std::string Error;
+  auto M = compileMiniC(B->Source, B->Name, &Error);
+  ASSERT_NE(M, nullptr) << B->Name << ": " << Error;
+  expectDispatchParity(*M);
+}
+
+std::vector<const BenchmarkProgram *> allBenchmarks() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : corpus())
+    Out.push_back(&B);
+  return Out;
+}
+
+std::string benchName(
+    const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+  std::string Name = Info.param->Name;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return std::string(Info.param->Suite) + "_" + Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DispatchCorpusParity,
+                         ::testing::ValuesIn(allBenchmarks()), benchName);
+
+//===----------------------------------------------------------------------===//
+// The fusion peephole fires on real code.
+//===----------------------------------------------------------------------===//
+
+TEST(Dispatch, CorpusHasSubstantialFusion) {
+  uint64_t TotalPairs = 0;
+  for (const BenchmarkProgram &B : corpus()) {
+    std::string Error;
+    auto M = compileMiniC(B.Source, B.Name, &Error);
+    ASSERT_NE(M, nullptr) << B.Name << ": " << Error;
+    auto Fused = BytecodeModule::compile(*M, /*EnableFusion=*/true);
+    TotalPairs += Fused->fusedPairs();
+  }
+  // The fusion table was mined from this corpus; if it stops firing
+  // broadly, the fused tier has silently degraded to plain goto.
+  EXPECT_GT(TotalPairs, 100u);
+}
+
+TEST(Dispatch, CmpBranchLoopFuses) {
+  auto M = compileOrFail(R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 100; i++)
+    s = s + i;
+  return s % 251;
+}
+)");
+  auto Fused = BytecodeModule::compile(*M, /*EnableFusion=*/true);
+  EXPECT_GT(Fused->fusedPairs(), 0u);
+  expectDispatchParity(*M);
+}
+
+//===----------------------------------------------------------------------===//
+// Fused superinstructions keep the sharp step-limit boundary: each
+// fused pair still charges two steps, at the original instruction
+// boundaries.
+//===----------------------------------------------------------------------===//
+
+TEST(Dispatch, FusedStepLimitBoundaryIsSharp) {
+  auto M = compileOrFail(R"(
+int a[64];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i++)
+    a[i] = i * 3;
+  for (i = 0; i < 64; i++)
+    s = s + a[i];
+  return s % 199;
+}
+)");
+  auto Plain = BytecodeModule::compile(*M, false);
+  auto Fused = BytecodeModule::compile(*M, true);
+  ASSERT_GT(Fused->fusedPairs(), 0u);
+
+  uint64_t N = 0;
+  {
+    Interpreter I(*M, ExecKind::Bytecode, Plain, DispatchMode::Switch);
+    I.runMain();
+    N = I.instructionCount();
+  }
+  // The fused artifact executes the same number of charged steps.
+  {
+    Interpreter I(*M, ExecKind::Bytecode, Fused, DispatchMode::Fused);
+    I.runMain();
+    EXPECT_EQ(I.instructionCount(), N);
+  }
+  // Limit == N completes; limit == N - 1 dies — identically on every
+  // tier, fused or not.
+  for (DispatchMode Mode :
+       {DispatchMode::Switch, DispatchMode::Goto, DispatchMode::Fused}) {
+    auto BC = Mode == DispatchMode::Fused ? Fused : Plain;
+    {
+      Interpreter I(*M, ExecKind::Bytecode, BC, Mode);
+      I.setStepLimit(N);
+      I.runMain();
+      EXPECT_EQ(I.instructionCount(), N);
+    }
+    {
+      Interpreter I(*M, ExecKind::Bytecode, BC, Mode);
+      I.setStepLimit(N - 1);
+      EXPECT_DEATH(I.runMain(), "step limit");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// GR_DISPATCH resolution.
+//===----------------------------------------------------------------------===//
+
+TEST(Dispatch, ResolvesFromEnvironment) {
+  const char *Old = std::getenv("GR_DISPATCH");
+  unsetenv("GR_DISPATCH");
+  EXPECT_EQ(resolveDispatchMode(DispatchMode::Default), DispatchMode::Fused);
+  setenv("GR_DISPATCH", "switch", 1);
+  EXPECT_EQ(resolveDispatchMode(DispatchMode::Default), DispatchMode::Switch);
+  setenv("GR_DISPATCH", "goto", 1);
+  EXPECT_EQ(resolveDispatchMode(DispatchMode::Default), DispatchMode::Goto);
+  setenv("GR_DISPATCH", "fused", 1);
+  EXPECT_EQ(resolveDispatchMode(DispatchMode::Default), DispatchMode::Fused);
+  // Explicit modes pass through regardless of the environment.
+  setenv("GR_DISPATCH", "switch", 1);
+  EXPECT_EQ(resolveDispatchMode(DispatchMode::Goto), DispatchMode::Goto);
+  EXPECT_EQ(resolveDispatchMode(DispatchMode::Fused), DispatchMode::Fused);
+  if (Old)
+    setenv("GR_DISPATCH", Old, 1);
+  else
+    unsetenv("GR_DISPATCH");
+}
+
+TEST(Dispatch, DefaultCompileHonorsEnvironment) {
+  const char *Old = std::getenv("GR_DISPATCH");
+  auto M = compileOrFail("int main() { return 0; }");
+  setenv("GR_DISPATCH", "switch", 1);
+  EXPECT_FALSE(BytecodeModule::compile(*M)->isFused());
+  setenv("GR_DISPATCH", "goto", 1);
+  EXPECT_FALSE(BytecodeModule::compile(*M)->isFused());
+  setenv("GR_DISPATCH", "fused", 1);
+  EXPECT_TRUE(BytecodeModule::compile(*M)->isFused());
+  unsetenv("GR_DISPATCH");
+  EXPECT_TRUE(BytecodeModule::compile(*M)->isFused());
+  if (Old)
+    setenv("GR_DISPATCH", Old, 1);
+  else
+    unsetenv("GR_DISPATCH");
+}
+
+TEST(Dispatch, StableNames) {
+  EXPECT_STREQ(dispatchModeName(DispatchMode::Switch), "switch");
+  EXPECT_STREQ(dispatchModeName(DispatchMode::Goto), "goto");
+  EXPECT_STREQ(dispatchModeName(DispatchMode::Fused), "fused");
+  EXPECT_STREQ(execKindName(ExecKind::Bytecode), "bytecode");
+  EXPECT_STREQ(execKindName(ExecKind::Reference), "reference");
+}
+
+} // namespace

@@ -1,0 +1,280 @@
+//===- ThreadedTests.cpp - threaded parallel runtime tests ----*- C++ -*-===//
+///
+/// \file
+/// ThreadedRunner's determinism contract (docs/THREADING.md): at any
+/// chunk count, the threaded run's MainResult, Output and ExecProfile
+/// are bitwise identical to SimulatedParallel's PrivatizedTree run at
+/// the same count — and the Output to the sequential run's. Covers
+/// histogram reductions (int and float), scan chained-carry sections,
+/// argmin/argmax pairwise merge order on ties, the global-stream
+/// serial fallback, and the permanent-memory freeze that makes the
+/// shared-region design sound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Bytecode.h"
+#include "interp/Interpreter.h"
+#include "interp/Memory.h"
+#include "ir/Module.h"
+#include "runtime/SimulatedParallel.h"
+#include "runtime/ThreadedRunner.h"
+#include "transform/ReductionParallelize.h"
+
+#include <gtest/gtest.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+/// A module with every detected reduction, scan and argmin/argmax
+/// parallelized, ready to run under either parallel runtime.
+struct Prepped {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<FunctionAnalysisManager> FAM;
+  std::unique_ptr<ReductionParallelizer> RP;
+  unsigned Transformed = 0;
+};
+
+Prepped prepare(const char *Src) {
+  Prepped P;
+  P.M = compileOrFail(Src);
+  P.FAM = std::make_unique<FunctionAnalysisManager>();
+  P.RP = std::make_unique<ReductionParallelizer>(*P.M, *P.FAM);
+  auto Reports = analyzeModule(*P.M, *P.FAM);
+  for (auto &R : Reports) {
+    for (auto &H : R.Histograms) {
+      std::vector<ScalarReduction> InLoop;
+      for (auto &S : R.Scalars)
+        if (S.Loop.LoopBegin == H.Loop.LoopBegin)
+          InLoop.push_back(S);
+      if (P.RP->parallelizeLoop(*R.F, H.Loop, InLoop, {H}).Transformed)
+        ++P.Transformed;
+    }
+    for (auto &S : R.Scans)
+      if (P.RP->parallelizeScan(*R.F, S).Transformed)
+        ++P.Transformed;
+    for (auto &A : R.ArgMinMax)
+      if (P.RP->parallelizeArgMinMax(*R.F, A).Transformed)
+        ++P.Transformed;
+  }
+  return P;
+}
+
+std::string sequentialOutput(const char *Src) {
+  auto M = compileOrFail(Src);
+  Interpreter I(*M);
+  I.setStepLimit(200000000);
+  I.runMain();
+  return I.getOutput();
+}
+
+/// Runs \p Src under both parallel runtimes at \p Threads chunks and
+/// asserts the full bitwise contract; returns the threaded result.
+ThreadedRunResult expectBitwiseParity(const char *Src, unsigned Threads) {
+  std::string SeqOut = sequentialOutput(Src);
+
+  Prepped PSim = prepare(Src);
+  EXPECT_GT(PSim.Transformed, 0u);
+  ParallelConfig Cfg;
+  Cfg.NumThreads = Threads;
+  ParallelRunner Sim(*PSim.M, *PSim.RP, Cfg);
+  ParallelRunResult SR = Sim.run();
+
+  Prepped PThr = prepare(Src);
+  ThreadedConfig TC;
+  TC.NumThreads = Threads;
+  ThreadedRunner Thr(*PThr.M, *PThr.RP, TC);
+  ThreadedRunResult TR = Thr.run();
+
+  EXPECT_EQ(TR.MainResult, SR.MainResult) << "threads=" << Threads;
+  EXPECT_EQ(TR.Output, SR.Output) << "threads=" << Threads;
+  EXPECT_EQ(TR.Output, SeqOut) << "threads=" << Threads;
+  EXPECT_EQ(TR.TotalWork, SR.TotalWork) << "threads=" << Threads;
+  EXPECT_EQ(TR.Sections, SR.Sections);
+  // Bitwise profile identity: the threaded run folded its workers'
+  // counters back into exactly the counts the in-order simulated run
+  // produced.
+  EXPECT_TRUE(Thr.getInterpreter().getProfile() ==
+              Sim.getInterpreter().getProfile())
+      << "threads=" << Threads;
+  return TR;
+}
+
+const char *HistSource = R"(
+int keys[8192];
+int bins[256];
+int main() {
+  int i;
+  for (i = 0; i < 8192; i++)
+    keys[i] = (i * 131 + 7) % 256;
+  for (i = 0; i < 8192; i++)
+    bins[keys[i]]++;
+  print_i64(bins[0]);
+  print_i64(bins[128]);
+  print_i64(bins[255]);
+  return 0;
+}
+)";
+
+TEST(Threaded, HistogramMatchesSimulatedBitwiseAt1_2_8Threads) {
+  for (unsigned T : {1u, 2u, 8u}) {
+    ThreadedRunResult R = expectBitwiseParity(HistSource, T);
+    EXPECT_EQ(R.Sections, 1u);
+    EXPECT_GT(R.WallMs, 0.0);
+  }
+}
+
+TEST(Threaded, FloatHistogramMergesIdenticallyToSimulated) {
+  // Reassociated FP sums depend on merge order; the threaded runtime
+  // must merge in the same chunk order as the simulated one, making
+  // even the float bits identical between the two.
+  const char *Src = R"(
+int keys[4096];
+double wsum[64];
+double w[4096];
+int main() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    keys[i] = (i * 53) % 64;
+    w[i] = 0.001 * (i % 997) + 0.25;
+  }
+  for (i = 0; i < 4096; i++) {
+    int k = keys[i];
+    wsum[k] = wsum[k] + w[i];
+  }
+  print_f64(wsum[0]);
+  print_f64(wsum[63]);
+  return 0;
+}
+)";
+  for (unsigned T : {2u, 8u})
+    expectBitwiseParity(Src, T);
+}
+
+TEST(Threaded, ScanRunsChunksSeriallyChained) {
+  const char *Src = R"(
+int counts[4096];
+int offsets[4096];
+int main() {
+  int i;
+  for (i = 0; i < 4096; i++)
+    counts[i] = (i * 17) % 9;
+  int running = 0;
+  for (i = 0; i < 4096; i++) {
+    offsets[i] = running;
+    running = running + counts[i];
+  }
+  print_i64(offsets[1]);
+  print_i64(offsets[4095]);
+  print_i64(running);
+  return 0;
+}
+)";
+  for (unsigned T : {1u, 2u, 8u}) {
+    ThreadedRunResult R = expectBitwiseParity(Src, T);
+    // The carry chains through the shared slot: every scan section
+    // must have taken the serial path.
+    EXPECT_EQ(R.SerialSections, R.Sections);
+    EXPECT_GT(R.Sections, 0u);
+  }
+}
+
+TEST(Threaded, ArgMinMaxKeepsFirstWinnerOnTies) {
+  // The minimum value 0.0 recurs in every chunk; the strict guard
+  // must keep the *first* chunk's index through the pairwise merge,
+  // exactly as the serial loop and the simulated merge do.
+  const char *Src = R"(
+double a[4096];
+int main() {
+  int i;
+  for (i = 0; i < 4096; i++)
+    a[i] = 1.0 * ((i * 37) % 64);
+  double best = 1.0e30;
+  int besti = 0;
+  for (i = 0; i < 4096; i++) {
+    if (a[i] < best) {
+      best = a[i];
+      besti = i;
+    }
+  }
+  print_f64(best);
+  print_i64(besti);
+  return 0;
+}
+)";
+  for (unsigned T : {1u, 2u, 8u})
+    expectBitwiseParity(Src, T);
+}
+
+TEST(Threaded, SingleChunkRunsSerially) {
+  Prepped P = prepare(HistSource);
+  ThreadedConfig TC;
+  TC.NumThreads = 1;
+  ThreadedRunner Thr(*P.M, *P.RP, TC);
+  ThreadedRunResult R = Thr.run();
+  EXPECT_EQ(R.SerialSections, R.Sections);
+  EXPECT_EQ(Thr.threadCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The global-stream flag: bodies that touch the rand or print streams
+// are detected transitively, so the runtime can chain them serially.
+//===----------------------------------------------------------------------===//
+
+TEST(Threaded, GlobalStreamFlagPropagatesThroughCalls) {
+  auto M = compileOrFail(R"(
+double noisy(int n) { return gr_rand() + n; }
+double mid(int n) { return noisy(n); }
+int pure(int n) { return n * 2; }
+int main() {
+  print_f64(mid(1));
+  return pure(3);
+}
+)");
+  auto BC = BytecodeModule::compile(*M);
+  const ExecLayout &L = BC->layout();
+  EXPECT_TRUE(BC->touchesGlobalStream(L.functionId(M->getFunction("noisy"))));
+  EXPECT_TRUE(BC->touchesGlobalStream(L.functionId(M->getFunction("mid"))));
+  EXPECT_FALSE(BC->touchesGlobalStream(L.functionId(M->getFunction("pure"))));
+  EXPECT_TRUE(BC->touchesGlobalStream(L.functionId(M->getFunction("main"))));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-permanent memory: worker views share the region; growing it
+// during a parallel section is a fatal error.
+//===----------------------------------------------------------------------===//
+
+TEST(Threaded, FrozenPermanentRegionRejectsAllocation) {
+  Memory Mem;
+  uint64_t A = Mem.allocatePermanent(64);
+  Mem.freezePermanent(true);
+  EXPECT_DEATH(Mem.allocatePermanent(8),
+               "permanent allocation during a parallel section");
+  Mem.freezePermanent(false);
+  uint64_t B = Mem.allocatePermanent(8);
+  EXPECT_NE(A, B);
+}
+
+TEST(Threaded, SharedViewsSeePermanentWritesButOwnStacks) {
+  Memory Master;
+  uint64_t P = Master.allocatePermanent(16);
+  Memory View(Master.sharedPermanent());
+  Master.writeInt(P, 42);
+  EXPECT_EQ(View.readInt(P), 42);
+  View.writeInt(P + 8, 7);
+  EXPECT_EQ(Master.readInt(P + 8), 7);
+  // Stacks are per-view: the same stack address names different slots.
+  uint64_t SA = Master.allocateStack(8);
+  uint64_t SB = View.allocateStack(8);
+  EXPECT_EQ(SA, SB);
+  Master.writeInt(SA, 1);
+  View.writeInt(SB, 2);
+  EXPECT_EQ(Master.readInt(SA), 1);
+  EXPECT_EQ(View.readInt(SB), 2);
+}
+
+} // namespace

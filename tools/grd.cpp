@@ -37,6 +37,7 @@
 #include "cache/DetectionCache.h"
 #include "constraint/Solver.h"
 #include "idioms/IdiomRegistry.h"
+#include "interp/Interpreter.h"
 #include "pass/BatchDriver.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
@@ -178,25 +179,31 @@ void printAggregate(const Aggregate &A, bool Json) {
   double Rate = A.BusyMs > 0.0
                     ? static_cast<double>(A.Served) / (A.BusyMs / 1000.0)
                     : 0.0;
+  // The execution engine this process would run modules with — the
+  // same GR_EXEC/GR_DISPATCH resolution gropt --run reports.
+  const char *Exec = execKindName(resolveExecKind(ExecKind::Default));
+  const char *Dispatch =
+      dispatchModeName(resolveDispatchMode(DispatchMode::Default));
   if (Json)
     std::printf("{\"stats\": true, \"served\": %llu, \"errors\": %llu, "
                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"busy_ms\": %.3f, "
-                "\"modules_per_s\": %.1f}\n",
+                "\"modules_per_s\": %.1f, \"exec\": \"%s\", "
+                "\"dispatch\": \"%s\"}\n",
                 static_cast<unsigned long long>(A.Served),
                 static_cast<unsigned long long>(A.Errors),
                 static_cast<unsigned long long>(A.CacheHits),
                 static_cast<unsigned long long>(A.CacheMisses), P50, P99,
-                A.BusyMs, Rate);
+                A.BusyMs, Rate, Exec, Dispatch);
   else
     std::printf("stats served=%llu errors=%llu cache_hits=%llu "
                 "cache_misses=%llu p50_ms=%.3f p99_ms=%.3f "
-                "busy_ms=%.3f modules_per_s=%.1f\n",
+                "busy_ms=%.3f modules_per_s=%.1f exec=%s dispatch=%s\n",
                 static_cast<unsigned long long>(A.Served),
                 static_cast<unsigned long long>(A.Errors),
                 static_cast<unsigned long long>(A.CacheHits),
                 static_cast<unsigned long long>(A.CacheMisses), P50, P99,
-                A.BusyMs, Rate);
+                A.BusyMs, Rate, Exec, Dispatch);
   std::fflush(stdout);
 }
 

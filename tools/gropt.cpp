@@ -29,6 +29,7 @@
 #include "corpus/Corpus.h"
 #include "frontend/Compiler.h"
 #include "idioms/ReductionAnalysis.h"
+#include "interp/Bytecode.h"
 #include "interp/Interpreter.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
@@ -39,6 +40,7 @@
 #include "pass/PassManager.h"
 #include "pass/Pipeline.h"
 #include "runtime/SimulatedParallel.h"
+#include "runtime/ThreadedRunner.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -160,6 +162,8 @@ struct Options {
   bool VerifyOnly = false;
   bool Json = false;
   unsigned Workers = 1;
+  unsigned Threads = 0; ///< --threads: chunks for the threaded --run
+
   SolverKind Solver = SolverKind::Default;
   ExecKind Exec = ExecKind::Default;
   std::string DumpCorpusDir;
@@ -179,6 +183,9 @@ void usage() {
          << "  --solver=KIND         default | compiled | reference\n"
          << "  --exec=KIND           default | bytecode | reference\n"
          << "  --workers=N           detection worker lanes (0 = auto)\n"
+         << "  --threads=N           threads for --run of a parallelized\n"
+         << "                        module (0 = auto); also runs the\n"
+         << "                        simulated model for comparison\n"
          << "  --cache[=DIR]         detection cache: memory-only, or\n"
          << "                        memory over an on-disk tier at DIR\n"
          << "  --batch DIR|LIST      batched detection: every .gr under DIR,\n"
@@ -237,6 +244,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
       Opts.Workers = *N;
+    } else if (startsWith(Arg, "--threads=")) {
+      std::string Err;
+      auto N = parseWorkerCount(Arg.substr(10), &Err);
+      if (!N) {
+        errs() << "gropt: bad --threads value: " << Err << '\n';
+        return false;
+      }
+      Opts.Threads = *N;
     } else if (Arg == "--cache") {
       Opts.Cache = true;
     } else if (startsWith(Arg, "--cache=")) {
@@ -867,19 +882,42 @@ int main(int Argc, char **Argv) {
     }
     if (RP) {
       // The module was parallelized: execute under the simulated
-      // parallel runtime (which owns the intrinsic handler).
+      // parallel runtime (the retained model), then under the real
+      // threaded runtime for a measured wall-clock column. The two
+      // must agree bitwise (docs/THREADING.md).
       ParallelRunner Runner(*M, *RP, ParallelConfig());
       ParallelRunResult R = Runner.run();
+      ThreadedConfig TC;
+      TC.NumThreads = Opts.Threads;
+      ThreadedRunner Threaded(*M, *RP, TC);
+      ThreadedRunResult W = Threaded.run();
+      if (W.MainResult != R.MainResult || W.Output != R.Output) {
+        errs() << "gropt: threaded run diverged from the simulated "
+                  "run\n";
+        return 1;
+      }
+      const Interpreter &RI = Runner.getInterpreter();
       if (Opts.Json) {
         Json.add("result", R.MainResult);
         Json.add("total_work", R.TotalWork);
         Json.add("simulated_time", R.SimulatedTime);
         Json.add("parallel_sections", static_cast<uint64_t>(R.Sections));
+        Json.add("threads", static_cast<uint64_t>(Threaded.threadCount()));
+        Json.addRaw("wall_ms", formatDouble(W.WallMs, 3));
+        Json.add("serial_sections", static_cast<uint64_t>(W.SerialSections));
+        Json.addStr("exec", execKindName(RI.getExecKind()));
+        Json.addStr("dispatch", dispatchModeName(RI.getDispatchMode()));
+        Json.add("fused_pairs", RI.getBytecode().fusedPairs());
       } else {
         OS << R.Output;
         OS << "result: " << R.MainResult << " (work=" << R.TotalWork
            << ", simulated time=" << R.SimulatedTime
            << ", sections=" << static_cast<uint64_t>(R.Sections) << ")\n";
+        OS << "threaded: " << formatDouble(W.WallMs, 3) << " ms on "
+           << Threaded.threadCount() << " threads ("
+           << static_cast<uint64_t>(W.SerialSections)
+           << " serial sections, " << execKindName(RI.getExecKind())
+           << '/' << dispatchModeName(RI.getDispatchMode()) << ")\n";
       }
     } else {
       Interpreter I(*M, Opts.Exec);
@@ -904,13 +942,14 @@ int main(int Argc, char **Argv) {
         else
           Json.addRaw("result", ResultText);
         Json.add("instructions", I.instructionCount());
+        Json.addStr("exec", execKindName(I.getExecKind()));
+        Json.addStr("dispatch", dispatchModeName(I.getDispatchMode()));
+        Json.add("fused_pairs", I.getBytecode().fusedPairs());
       } else {
         OS << I.getOutput();
         OS << "result: " << ResultText << " (" << I.instructionCount()
-           << " instructions, "
-           << (I.getExecKind() == ExecKind::Bytecode ? "bytecode VM"
-                                                     : "reference")
-           << ")\n";
+           << " instructions, " << execKindName(I.getExecKind()) << '/'
+           << dispatchModeName(I.getDispatchMode()) << ")\n";
       }
     }
   }
