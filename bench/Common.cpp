@@ -31,6 +31,24 @@ double gr::bench::nowMs() {
       .count();
 }
 
+unsigned gr::bench::envUnsigned(const char *Name, unsigned Default,
+                                unsigned Min) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return Default;
+  auto V = parseInt(Env);
+  if (V && *V >= static_cast<int64_t>(Min) && *V <= 1000000000)
+    return static_cast<unsigned>(*V);
+  // Warn once per variable: benches read some knobs in loops.
+  static std::set<std::string> Warned;
+  if (Warned.insert(Name).second)
+    errs() << "bench: ignoring " << Name << "='" << Env
+           << "': want a decimal integer in [" << static_cast<uint64_t>(Min)
+           << ", 1000000000]; using " << static_cast<uint64_t>(Default)
+           << '\n';
+  return Default;
+}
+
 void BenchJson::setInt(const std::string &Key, uint64_t Value) {
   Entries.emplace_back(Key, std::to_string(Value));
 }

@@ -24,6 +24,13 @@ namespace bench {
 /// timing sections.
 double nowMs();
 
+/// Reads a decimal integer knob from the environment (e.g.
+/// GR_BENCH_REPS); unset returns \p Default. A junk value — not a
+/// number, below \p Min, or trailing garbage — warns once per
+/// variable per process on stderr and falls back to \p Default, so a
+/// mistyped knob can never silently reshape a bench run.
+unsigned envUnsigned(const char *Name, unsigned Default, unsigned Min = 1);
+
 /// Machine-readable bench output: a flat JSON object written as
 /// BENCH_<name>.json into $GR_BENCH_JSON_DIR, so every table_* /
 /// micro_* run leaves a comparable perf record (the repo's recorded

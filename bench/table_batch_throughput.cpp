@@ -60,15 +60,6 @@ using namespace gr;
 
 namespace {
 
-unsigned envUnsigned(const char *Name, unsigned Default) {
-  if (const char *Env = std::getenv(Name)) {
-    long V = std::strtol(Env, nullptr, 10);
-    if (V > 0)
-      return static_cast<unsigned>(V);
-  }
-  return Default;
-}
-
 /// Runs the batch \p Reps times and returns the repetition with the
 /// median wall-clock (per-module latencies and statistics of exactly
 /// that run). Every repetition's statistics must match \p *Serial
@@ -100,8 +91,8 @@ BatchResult medianRun(const std::vector<BatchInput> &Inputs, unsigned W,
 
 int main() {
   OStream &OS = outs();
-  const unsigned NumModules = envUnsigned("GR_BATCH_MODULES", 1000);
-  const unsigned Reps = envUnsigned("GR_BENCH_REPS", 3);
+  const unsigned NumModules = bench::envUnsigned("GR_BATCH_MODULES", 1000);
+  const unsigned Reps = bench::envUnsigned("GR_BENCH_REPS", 3);
   unsigned Cores = std::thread::hardware_concurrency();
   if (Cores == 0)
     Cores = 1;
@@ -130,7 +121,7 @@ int main() {
     Inputs.push_back(std::move(In));
   }
 
-  const bool WarmCache = envUnsigned("GR_BATCH_WARM_CACHE", 0) != 0;
+  const bool WarmCache = bench::envUnsigned("GR_BATCH_WARM_CACHE", 0, 0) != 0;
   if (WarmCache) {
     DetectionCache::configure({"", 65536});
     runDetectionBatch(Inputs, [] {

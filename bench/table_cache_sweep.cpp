@@ -55,15 +55,6 @@ using namespace gr;
 
 namespace {
 
-unsigned envUnsigned(const char *Name, unsigned Default) {
-  if (const char *Env = std::getenv(Name)) {
-    long V = std::strtol(Env, nullptr, 10);
-    if (V > 0)
-      return static_cast<unsigned>(V);
-  }
-  return Default;
-}
-
 /// Runs the batch \p Reps times and returns the repetition with the
 /// median wall-clock. Every repetition's statistics must match
 /// \p *Reference when non-null; mismatches flip \p Identical.
@@ -117,8 +108,8 @@ void removeTree(const std::string &Dir) {
 
 int main() {
   OStream &OS = outs();
-  const unsigned NumModules = envUnsigned("GR_CACHE_MODULES", 200);
-  const unsigned Reps = envUnsigned("GR_BENCH_REPS", 3);
+  const unsigned NumModules = bench::envUnsigned("GR_CACHE_MODULES", 200);
+  const unsigned Reps = bench::envUnsigned("GR_BENCH_REPS", 3);
   unsigned Cores = std::thread::hardware_concurrency();
   if (Cores == 0)
     Cores = 1;

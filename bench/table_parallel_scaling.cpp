@@ -48,14 +48,7 @@ using namespace gr;
 
 namespace {
 
-unsigned envReps() {
-  if (const char *Env = std::getenv("GR_BENCH_REPS")) {
-    long V = std::strtol(Env, nullptr, 10);
-    if (V > 0)
-      return static_cast<unsigned>(V);
-  }
-  return 5;
-}
+unsigned envReps() { return bench::envUnsigned("GR_BENCH_REPS", 5); }
 
 double median(std::vector<double> Samples) {
   std::sort(Samples.begin(), Samples.end());

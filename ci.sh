@@ -11,9 +11,15 @@
 # with its speedup floor and baseline-JSON checks (plus its warm-cache
 # mode), the detection-cache sweep with its >= 10x warm-speedup floor,
 # the whole suite twice against one GR_CACHE_DIR (cold populate, then
-# all-green warm), worker/thread-count and GR_DISPATCH/GR_EXEC env
-# validation smokes, gropt/grd cache smokes, a grd serving smoke, a
-# threaded-run smoke, the textual-IR round-trip
+# all-green warm), the whole suite twice under a fixed GR_FAULTS
+# schedule (two seeds — graceful degradation over the full workload),
+# worker/thread-count and GR_DISPATCH/GR_EXEC/GR_CACHE_MEM_ENTRIES/
+# GR_POOL_THREADS/GR_FAULTS/GR_BENCH_REPS env validation smokes,
+# --deadline-ms/--max-mem flag validation, gropt/grd cache smokes, a
+# grd serving smoke, a grd deadline-degradation + recovery smoke, a
+# threaded-run smoke, an ASan+UBSan lane (robustness battery by
+# default, the full suite under GR_CI_SANITIZERS=1), the textual-IR
+# round-trip
 # gate (corpus dump -> reparse -> differential detection/execution
 # check) with a gropt smoke over the checked-in examples/sum.gr, and
 # the micro_solver / micro_interp / micro_parser / fig15_speedup
@@ -177,6 +183,22 @@ GR_CACHE_DIR="$cache_dir" ./build/gr_tests >/dev/null || {
 }
 rm -rf "$cache_dir"
 
+# Fault-schedule lane: the whole suite under a fixed nonzero GR_FAULTS
+# schedule over the degradable sites (failed cache publishes are
+# retried/counted, failed pool spawns run inline). Every test must
+# stay green — graceful degradation over the entire workload, not just
+# the FaultSweep battery. A second seed shifts which checks fire.
+GR_FAULTS='cache_write=1/5,cache_rename=1/7,pool_spawn=1/3' \
+  ./build/gr_tests >/dev/null || {
+  echo "ci.sh: test suite failed under the GR_FAULTS schedule" >&2
+  exit 1
+}
+GR_FAULTS='cache_write=1/5,cache_rename=1/7,pool_spawn=1/3' \
+  GR_FAULTS_SEED=3 ./build/gr_tests >/dev/null || {
+  echo "ci.sh: test suite failed under the seeded GR_FAULTS schedule" >&2
+  exit 1
+}
+
 # Worker-count validation: junk and absurd --workers values must be
 # rejected with a diagnostic, not clamped or crashed on.
 if ./build/gropt examples/sum.gr --detect --workers=banana >/dev/null 2>&1; then
@@ -216,6 +238,45 @@ GR_EXEC=bogus ./build/gropt examples/sum.gr --run 2>&1 \
   echo "ci.sh: junk GR_EXEC did not produce the fallback warning" >&2
   exit 1
 }
+
+# Env-knob validation: junk values of the resource knobs warn once and
+# fall back to the defaults; they never abort or silently misconfigure.
+GR_CACHE=mem GR_CACHE_MEM_ENTRIES=banana ./build/gropt examples/sum.gr \
+  --detect 2>&1 | grep -q "ignoring GR_CACHE_MEM_ENTRIES" || {
+  echo "ci.sh: junk GR_CACHE_MEM_ENTRIES did not produce the fallback warning" >&2
+  exit 1
+}
+GR_POOL_THREADS=banana ./build/gropt examples/sum.gr -passes=parallelize \
+  --run --threads=2 2>&1 | grep -q "ignoring GR_POOL_THREADS" || {
+  echo "ci.sh: junk GR_POOL_THREADS did not produce the fallback warning" >&2
+  exit 1
+}
+# Junk GR_FAULTS must warn and leave injection off, not half-configure.
+GR_FAULTS=bogus_site=1/2 ./build/gropt examples/sum.gr --detect 2>&1 \
+  | grep -q "ignoring GR_FAULTS" || {
+  echo "ci.sh: junk GR_FAULTS did not produce the fallback warning" >&2
+  exit 1
+}
+
+# Resource-flag validation: junk --deadline-ms / --max-mem values are
+# configuration mistakes and must exit 1 with a diagnostic.
+if ./build/gropt examples/sum.gr --run --deadline-ms=banana >/dev/null 2>&1; then
+  echo "ci.sh: gropt accepted --deadline-ms=banana" >&2
+  exit 1
+fi
+./build/gropt examples/sum.gr --run --deadline-ms=banana 2>&1 \
+  | grep -q "bad --deadline-ms value" || {
+  echo "ci.sh: gropt --deadline-ms=banana did not print the parse diagnostic" >&2
+  exit 1
+}
+if ./build/gropt examples/sum.gr --run --max-mem=banana >/dev/null 2>&1; then
+  echo "ci.sh: gropt accepted --max-mem=banana" >&2
+  exit 1
+fi
+if ./build/grd --deadline-ms=banana >/dev/null 2>&1 </dev/null; then
+  echo "ci.sh: grd accepted --deadline-ms=banana" >&2
+  exit 1
+fi
 
 # Parallel scaling bench: asserts bitwise-identical stats across
 # worker counts (median-of-N timing, warmup pass) and >= 1.5x
@@ -262,6 +323,24 @@ GR_BATCH_WARM_CACHE=1 GR_BATCH_MODULES=120 GR_BENCH_REPS=2 \
   echo "ci.sh: table_batch_throughput warm-cache mode failed" >&2
   exit 1
 }
+
+# Junk GR_BENCH_REPS warns once and falls back to the default rep
+# count; the bench still runs to completion (warm-cache mode keeps the
+# timing floors out of this validation run).
+bench_reps_err=$(mktemp)
+GR_BENCH_REPS=banana GR_BATCH_WARM_CACHE=1 GR_BATCH_MODULES=40 \
+  ./build/table_batch_throughput >/dev/null 2>"$bench_reps_err" || {
+  echo "ci.sh: table_batch_throughput failed under junk GR_BENCH_REPS" >&2
+  cat "$bench_reps_err" >&2
+  rm -f "$bench_reps_err"
+  exit 1
+}
+grep -q "ignoring GR_BENCH_REPS" "$bench_reps_err" || {
+  echo "ci.sh: junk GR_BENCH_REPS did not produce the fallback warning" >&2
+  rm -f "$bench_reps_err"
+  exit 1
+}
+rm -f "$bench_reps_err"
 
 # Detection-cache sweep: cold vs. warm over the replicated 40-program
 # corpus. Gates (inside the binary): every cached sweep's stats
@@ -409,6 +488,38 @@ grep -q '^ok examples/sum.gr .*scalars=1' "$grd_out" || {
 }
 rm -f "$grd_out"
 
+# Serving deadline smoke: a request under an already-expired deadline
+# must come back as a structured deadline_exceeded error — and the
+# NEXT request on the same connection must succeed normally (warm
+# server state survives a degraded request). The aggregate counts the
+# error under its code.
+grd_deadline_out=$(mktemp)
+printf '!deadline-ms 0\nexamples/sum.gr\n!deadline-ms none\nexamples/sum.gr\n!stats\n!quit\n' \
+  | ./build/grd > "$grd_deadline_out" || {
+  echo "ci.sh: grd deadline smoke run failed" >&2
+  rm -f "$grd_deadline_out"
+  exit 1
+}
+grep -q '^error examples/sum.gr: deadline_exceeded degraded=1' "$grd_deadline_out" || {
+  echo "ci.sh: grd did not return a structured deadline_exceeded error" >&2
+  cat "$grd_deadline_out" >&2
+  rm -f "$grd_deadline_out"
+  exit 1
+}
+grep -q '^ok examples/sum.gr .*scalars=1' "$grd_deadline_out" || {
+  echo "ci.sh: grd did not recover after the deadline-degraded request" >&2
+  cat "$grd_deadline_out" >&2
+  rm -f "$grd_deadline_out"
+  exit 1
+}
+grep -q 'err.deadline_exceeded=1' "$grd_deadline_out" || {
+  echo "ci.sh: grd aggregate did not count the deadline_exceeded error" >&2
+  cat "$grd_deadline_out" >&2
+  rm -f "$grd_deadline_out"
+  exit 1
+}
+rm -f "$grd_deadline_out"
+
 # gropt cache smoke: --cache must enable the detection cache and
 # surface its counters in the JSON report.
 ./build/gropt examples/sum.gr --detect --cache --json \
@@ -479,10 +590,14 @@ GR_BENCH_JSON_DIR=./build ./build/micro_parser >/dev/null || {
 # 2x floor is the acceptance bar with ample noise margin). The
 # dispatch-ablation section re-runs every kernel under all three
 # dispatch tiers, gates bitwise parity across tiers, and enforces the
-# fused-over-switch total speedup floor (recorded baseline ~1.3x).
+# fused-over-switch total speedup floor. The budget-checkpoint rework
+# made the switch tier ~20% faster (its GR_STEP slow path is no
+# longer a noreturn call) without moving goto/fused, narrowing the
+# recorded ratio from ~1.3x to ~1.1x; the floor is retuned to keep
+# the same noise margin below the recorded value.
 if [ -x ./build/micro_interp ]; then
   GR_BENCH_JSON_DIR=./build GR_MIN_INTERP_SPEEDUP=2.0 \
-    GR_MIN_DISPATCH_SPEEDUP=1.2 ./build/micro_interp \
+    GR_MIN_DISPATCH_SPEEDUP=1.05 ./build/micro_interp \
     --benchmark_filter='NoneSuch^' >/dev/null 2>&1 || {
     echo "ci.sh: micro_interp engine-parity smoke failed" >&2
     exit 1
@@ -532,5 +647,32 @@ if command -v python3 >/dev/null 2>&1; then
     exit 1
   }
 fi
+
+# Sanitizer lane: an ASan+UBSan build of the test suite. By default
+# only the robustness battery runs under it — the fault/budget paths
+# (exception unwind, retry loops, inline degradation, cache I/O
+# fallbacks) are where lifetime bugs would hide, and the battery is
+# cheap. GR_CI_SANITIZERS=1 runs the full suite instrumented.
+cmake -B build-san -S . \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  >/dev/null
+cmake --build build-san -j "$(nproc 2>/dev/null || echo 2)" \
+  --target gr_tests >/dev/null
+san_filter='FaultSites.*:FaultSweep.*:BudgetGov.*'
+if [ "${GR_CI_SANITIZERS:-0}" = "1" ]; then
+  san_filter='*'
+fi
+./build-san/gr_tests --gtest_filter="$san_filter" >/dev/null || {
+  echo "ci.sh: sanitizer lane failed (filter: $san_filter)" >&2
+  exit 1
+}
+# The instrumented robustness battery again under an active fault
+# schedule: the degradation paths themselves, sanitized.
+GR_FAULTS='cache_write=1/5,cache_rename=1/7,pool_spawn=1/3' \
+  ./build-san/gr_tests \
+  --gtest_filter='FaultSites.*:FaultSweep.*:BudgetGov.*' >/dev/null || {
+  echo "ci.sh: sanitizer lane failed under the GR_FAULTS schedule" >&2
+  exit 1
+}
 
 echo "ci.sh: all green"

@@ -9,10 +9,14 @@
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
 #include "pass/Analyses.h"
+#include "support/FaultInjection.h"
+#include "support/OStream.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -657,6 +661,10 @@ std::string DetectionCache::entryPath(uint64_t Combined) const {
 }
 
 bool DetectionCache::diskGet(uint64_t Key, std::string &Out) const {
+  // An injected read fault degrades exactly like an unreadable file:
+  // a clean miss (the caller recomputes and re-stores).
+  if (faults::shouldFail(faults::Site::CacheRead))
+    return false;
   std::FILE *F = std::fopen(entryPath(Key).c_str(), "rb");
   if (!F)
     return false;
@@ -676,17 +684,34 @@ void DetectionCache::diskPut(uint64_t Key, const std::string &Text) const {
   ::mkdir(Cfg.Dir.c_str(), 0777); // EEXIST is the common case.
   static std::atomic<uint64_t> TmpCounter{0};
   std::string Final = entryPath(Key);
-  std::string Tmp = Final + ".tmp." + std::to_string(::getpid()) + "." +
-                    std::to_string(TmpCounter.fetch_add(1));
-  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F)
-    return; // Unwritable tier: cache degrades to memory-only.
-  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
-  Ok = (std::fclose(F) == 0) && Ok;
   // Write-then-rename: readers only ever see absent or complete
   // entries; a crash leaves a .tmp file that never matches a key.
-  if (!Ok || std::rename(Tmp.c_str(), Final.c_str()) != 0)
+  // The disk tier is a pure acceleration of the memory tier, so a
+  // failed publish (short write, ENOSPC, unwritable dir, injected
+  // cache_write/cache_rename faults) is non-fatal: a bounded retry
+  // with backoff absorbs transient faults, and ultimate failure
+  // unlinks the temp file and counts one DiskWriteFailure while the
+  // entry keeps being served from memory.
+  constexpr unsigned Attempts = 3;
+  for (unsigned Attempt = 0; Attempt != Attempts; ++Attempt) {
+    if (Attempt)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1u << (Attempt - 1)));
+    std::string Tmp = Final + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(TmpCounter.fetch_add(1));
+    std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+    if (!F)
+      continue;
+    bool Ok = !faults::shouldFail(faults::Site::CacheWrite) &&
+              std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+    Ok = (std::fclose(F) == 0) && Ok;
+    Ok = Ok && !faults::shouldFail(faults::Site::CacheRename) &&
+         std::rename(Tmp.c_str(), Final.c_str()) == 0;
+    if (Ok)
+      return;
     std::remove(Tmp.c_str());
+  }
+  DiskWriteFailures.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const std::string> DetectionCache::fetch(uint64_t Key,
@@ -798,6 +823,7 @@ CacheCounters DetectionCache::counters() const {
   C.DiskHits = DiskHits.load(std::memory_order_relaxed);
   C.CorruptEntries = CorruptEntries.load(std::memory_order_relaxed);
   C.Evictions = Evictions.load(std::memory_order_relaxed);
+  C.DiskWriteFailures = DiskWriteFailures.load(std::memory_order_relaxed);
   return C;
 }
 
@@ -811,6 +837,7 @@ void DetectionCache::resetCounters() {
   DiskHits = 0;
   CorruptEntries = 0;
   Evictions = 0;
+  DiskWriteFailures = 0;
 }
 
 //===----------------------------------------------------------------===//
@@ -840,6 +867,13 @@ std::size_t memEntriesFromEnv() {
     uint64_t V;
     if (parseU64(E, V) && V > 0 && V <= 100000000)
       return static_cast<std::size_t>(V);
+    // Same junk-falls-back contract as GR_DISPATCH / GR_DETECT_WORKERS.
+    static bool Warned = [] {
+      errs() << "cache: ignoring GR_CACHE_MEM_ENTRIES: want a decimal "
+                "integer in [1, 100000000]\n";
+      return true;
+    }();
+    (void)Warned;
   }
   return DetectionCache::Config().MaxMemoryEntries;
 }

@@ -89,6 +89,10 @@ struct CacheCounters {
   uint64_t CorruptEntries = 0;
   /// Memory-tier entries dropped by the LRU bound.
   uint64_t Evictions = 0;
+  /// Disk-tier publishes that ultimately failed (short write, ENOSPC,
+  /// injected cache_write/cache_rename faults) after the bounded
+  /// retry. Non-fatal: the entry is still served from the memory tier.
+  uint64_t DiskWriteFailures = 0;
 
   uint64_t hits() const { return FunctionHits + ModuleHits; }
   uint64_t misses() const { return FunctionMisses + ModuleMisses; }
@@ -250,6 +254,7 @@ private:
   mutable std::atomic<uint64_t> DiskHits{0};
   mutable std::atomic<uint64_t> CorruptEntries{0};
   mutable std::atomic<uint64_t> Evictions{0};
+  mutable std::atomic<uint64_t> DiskWriteFailures{0};
 };
 
 //===----------------------------------------------------------------===//

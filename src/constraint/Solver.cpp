@@ -2,6 +2,8 @@
 
 #include "constraint/Solver.h"
 
+#include "support/Budget.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
@@ -78,6 +80,9 @@ void ReferenceSolver::search(const ConstraintContext &Ctx, Solution &S,
                              SolverStats &Stats, uint64_t MaxSolutions,
                              uint64_t MaxCandidates) const {
   if (solverBudgetExhausted(Stats, MaxSolutions, MaxCandidates))
+    return;
+  if (Bdgt &&
+      (Bdgt->pollDeadline(Stats.NodesVisited) || Bdgt->consumeSolverFuel()))
     return;
   if (K == NumLabels) {
     ++Stats.Solutions;

@@ -27,6 +27,8 @@
 
 namespace gr {
 
+class Budget;
+
 /// Which solver implementation a detection entry point runs.
 enum class SolverKind {
   /// Resolve from the GR_SOLVER environment variable ("reference"
@@ -108,6 +110,15 @@ public:
                       uint64_t MaxSolutions = UINT64_MAX,
                       uint64_t MaxCandidates = UINT64_MAX) const;
 
+  /// Attaches a cooperative request budget (null detaches): the
+  /// search charges one solver-fuel unit per node and polls the
+  /// wall-clock deadline at node entry (rate-limited, never touching
+  /// SolverStats — a generous budget is bitwise-neutral). A tripped
+  /// budget abandons the search exactly like exhausted MaxCandidates
+  /// fuel; the caller reads Budget::tripped() to flag the partial
+  /// result degraded.
+  void setBudget(Budget *B) { Bdgt = B; }
+
 private:
   void search(const ConstraintContext &Ctx, Solution &S, unsigned K,
               FunctionRef<void(const Solution &)> Yield,
@@ -124,6 +135,7 @@ private:
   /// Conjunctive atoms that mention label k with all other labels
   /// earlier in the order — the candidate generators for depth k.
   std::vector<std::vector<const Atom *>> SuggestersAt;
+  Budget *Bdgt = nullptr;
 };
 
 } // namespace gr

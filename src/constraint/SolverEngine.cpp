@@ -2,6 +2,8 @@
 
 #include "constraint/SolverEngine.h"
 
+#include "support/Budget.h"
+
 #include <algorithm>
 #include <chrono>
 
@@ -65,6 +67,9 @@ SolverStats SolverEngine::findAll(const ConstraintContext &Ctx,
   // whole search must unwind.
   auto enterNode = [&](unsigned Depth) -> bool {
     if (solverBudgetExhausted(Stats, MaxSolutions, MaxCandidates))
+      return false;
+    if (Bdgt &&
+        (Bdgt->pollDeadline(Stats.NodesVisited) || Bdgt->consumeSolverFuel()))
       return false;
     if (Depth == N) {
       ++Stats.Solutions;

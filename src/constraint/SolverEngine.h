@@ -76,6 +76,11 @@ public:
   /// subsequent findAll calls.
   void setDepthProfile(SolverDepthProfile *P) { Profile = P; }
 
+  /// Attaches a cooperative request budget (null detaches) — same
+  /// contract as ReferenceSolver::setBudget: one fuel unit per node, a
+  /// rate-limited deadline poll at node entry, SolverStats untouched.
+  void setBudget(Budget *B) { Bdgt = B; }
+
   /// ReferenceSolver::findAll semantics over the compiled program.
   /// \p Seed pre-binds labels by their *original* spec indices; the
   /// yielded Solution is likewise original-indexed, regardless of the
@@ -108,6 +113,7 @@ private:
 
   const CompiledFormula &Program;
   SolverDepthProfile *Profile = nullptr;
+  Budget *Bdgt = nullptr;
 
   // Scratch arenas, reused across findAll calls (see file comment).
   std::vector<Frame> Stack;

@@ -10,6 +10,7 @@
 #include "idioms/ReductionAnalysis.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
+#include "support/Budget.h"
 #include "support/ErrorHandling.h"
 
 #include <set>
@@ -56,10 +57,18 @@ IdiomDetectionResult gr::detectIdioms(Function &F,
                                       const IdiomRegistry &Registry,
                                       DetectionStats *Stats,
                                       SolverKind Kind,
-                                      SolverDepthProfile *Depths) {
+                                      SolverDepthProfile *Depths,
+                                      Budget *Bdgt) {
   IdiomDetectionResult Result;
   if (F.isDeclaration())
     return Result;
+
+  // A budget that is already exhausted degrades before any work: the
+  // batch driver's later slots observe the shared trip here.
+  if (Bdgt && Bdgt->expired()) {
+    Result.Degraded = true;
+    return Result;
+  }
 
   Kind = resolveSolverKind(Kind);
 
@@ -106,6 +115,7 @@ IdiomDetectionResult gr::detectIdioms(Function &F,
                              .c_str());
 
       ReferenceSolver S(Spec.F, Spec.Labels.size());
+      S.setBudget(Bdgt);
       SolverStats IdiomStats;
       InstanceCollector Collect{Def,    Spec, PrefixSize, KeyIdx,
                                 Ctx,    Result, {}};
@@ -118,10 +128,18 @@ IdiomDetectionResult gr::detectIdioms(Function &F,
         IdiomStats += S.findAll(
             Ctx,
             [&](const Solution &Sol) { Collect(M, L, Sol); }, Seed);
+        if (Bdgt && Bdgt->tripped() != ErrCode::Ok)
+          break;
       }
       Local.PerIdiom[Def.Name] += IdiomStats;
+      if (Bdgt && Bdgt->tripped() != ErrCode::Ok) {
+        Result.Degraded = true;
+        break;
+      }
     }
-    if (Cache)
+    // Degraded results are partial: caching one would serve the
+    // truncated answer to future well-budgeted requests.
+    if (Cache && !Result.Degraded)
       Cache->storeFunction(CacheKey, F, Result, Local);
     if (Stats)
       *Stats += Local;
@@ -140,6 +158,7 @@ IdiomDetectionResult gr::detectIdioms(Function &F,
 
     SolverEngine Engine(CS.Program);
     Engine.setDepthProfile(Depths);
+    Engine.setBudget(Bdgt);
     SolverStats IdiomStats;
     InstanceCollector Collect{Def, CS.Spec, CS.PrefixSize,
                               CS.KeyIdx, Ctx, Result, {}};
@@ -151,10 +170,18 @@ IdiomDetectionResult gr::detectIdioms(Function &F,
       seedForLoop(CS.Prefix, M, Seed);
       IdiomStats += Engine.findAll(
           Ctx, [&](const Solution &Sol) { Collect(M, L, Sol); }, Seed);
+      if (Bdgt && Bdgt->tripped() != ErrCode::Ok)
+        break;
     }
     Local.PerIdiom[Def.Name] += IdiomStats;
+    if (Bdgt && Bdgt->tripped() != ErrCode::Ok) {
+      Result.Degraded = true;
+      break;
+    }
   }
-  if (Cache)
+  // Degraded results are partial: caching one would serve the
+  // truncated answer to future well-budgeted requests.
+  if (Cache && !Result.Degraded)
     Cache->storeFunction(CacheKey, F, Result, Local);
   if (Stats)
     *Stats += Local;

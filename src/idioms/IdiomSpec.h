@@ -106,6 +106,12 @@ struct IdiomDefinition {
 struct IdiomDetectionResult {
   std::vector<ForLoopMatch> ForLoops;
   std::vector<IdiomInstance> Instances;
+  /// Set when a request budget tripped mid-detection: Instances holds
+  /// whatever was found before the trip (a sound subset — every
+  /// instance it does contain passed the full legality pipeline), and
+  /// the result was not cached. Budget::tripped() on the governing
+  /// budget names the cause.
+  bool Degraded = false;
 };
 
 /// The generic detection driver: finds all for-loops of \p F, then
@@ -124,11 +130,15 @@ struct IdiomDetectionResult {
 /// node/candidate/time counters for every search are accumulated into
 /// it (profiling adds a clock read per search node — leave null on
 /// the hot path).
+/// \p Bdgt (optional) attaches a cooperative request budget: the
+/// solvers poll its deadline and charge its fuel; on a trip the
+/// partial result is returned flagged Degraded and never cached.
 IdiomDetectionResult detectIdioms(Function &F, FunctionAnalysisManager &AM,
                                   const IdiomRegistry &Registry,
                                   DetectionStats *Stats = nullptr,
                                   SolverKind Kind = SolverKind::Default,
-                                  SolverDepthProfile *Depths = nullptr);
+                                  SolverDepthProfile *Depths = nullptr,
+                                  Budget *Bdgt = nullptr);
 
 } // namespace gr
 

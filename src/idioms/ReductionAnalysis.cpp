@@ -127,10 +127,13 @@ ReductionReport gr::analyzeFunction(Function &F,
                                     DetectionStats *Stats,
                                     const IdiomRegistry *Registry,
                                     SolverKind Kind,
-                                    SolverDepthProfile *Depths) {
+                                    SolverDepthProfile *Depths,
+                                    Budget *Bdgt) {
   const IdiomRegistry &R = Registry ? *Registry : IdiomRegistry::builtins();
-  IdiomDetectionResult D = detectIdioms(F, AM, R, Stats, Kind, Depths);
-  return decodeReport(F, std::move(D.ForLoops), D.Instances);
+  IdiomDetectionResult D = detectIdioms(F, AM, R, Stats, Kind, Depths, Bdgt);
+  ReductionReport Rep = decodeReport(F, std::move(D.ForLoops), D.Instances);
+  Rep.Degraded = D.Degraded;
+  return Rep;
 }
 
 std::vector<ReductionReport> gr::analyzeModule(Module &M,

@@ -101,12 +101,15 @@ struct DetectionStats {
 /// compiled engine (default; overridable process-wide with
 /// GR_SOLVER=reference) or the reference solver; \p Depths, when
 /// non-null, accumulates the compiled engine's per-depth search
-/// profile (see idioms/IdiomSpec.h).
+/// profile (see idioms/IdiomSpec.h). \p Bdgt attaches a cooperative
+/// request budget (support/Budget.h); a trip returns a partial report
+/// flagged Degraded instead of blocking past the deadline.
 ReductionReport analyzeFunction(Function &F, FunctionAnalysisManager &AM,
                                 DetectionStats *Stats = nullptr,
                                 const IdiomRegistry *Registry = nullptr,
                                 SolverKind Kind = SolverKind::Default,
-                                SolverDepthProfile *Depths = nullptr);
+                                SolverDepthProfile *Depths = nullptr,
+                                Budget *Bdgt = nullptr);
 
 /// Cache-only probe: when the active detection cache
 /// (cache/DetectionCache.h) holds \p F's result, decodes it into

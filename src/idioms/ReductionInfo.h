@@ -117,6 +117,10 @@ struct ReductionReport {
   std::vector<HistogramReduction> Histograms;
   std::vector<ScanReduction> Scans;
   std::vector<ArgMinMaxReduction> ArgMinMax;
+  /// A request budget tripped while this function was analyzed: the
+  /// idiom lists are a sound partial subset (IdiomDetectionResult::
+  /// Degraded, propagated by decodeReport).
+  bool Degraded = false;
 };
 
 } // namespace gr

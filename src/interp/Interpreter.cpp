@@ -4,6 +4,7 @@
 
 #include "interp/Bytecode.h"
 #include "interp/VM.h"
+#include "support/Budget.h"
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
@@ -117,6 +118,11 @@ Interpreter::Interpreter(Interpreter &Master)
 
 Interpreter::~Interpreter() = default;
 
+void Interpreter::setBudget(Budget *B) {
+  Bdgt = B;
+  Mem.setByteLimit(B ? B->maxMemoryBytes() : 0);
+}
+
 void Interpreter::resetProfile() {
   Profile.InstructionsExecuted = 0;
   std::fill(Profile.BlockCounts.begin(), Profile.BlockCounts.end(), 0);
@@ -170,10 +176,26 @@ Slot Interpreter::call(Function *F, const std::vector<Slot> &Args) {
   uint32_t Id = BC->layout().functionId(F);
   if (Id == ~0u)
     reportFatalError("interpreter: function not part of compiled module");
-  if (Kind == ExecKind::Reference)
-    return callReference(F, Args);
-  return Machine->call(Id, Args.data(),
-                       static_cast<uint32_t>(Args.size()));
+  // A BudgetError (memory ceiling, step/deadline ceiling, injected
+  // growth fault) unwinds exactly this invocation: latch the cause on
+  // the attached budget so every observer agrees on it, and restore
+  // the state the engines do not unwind themselves (the reference
+  // walker's recursion depth and alloca stack; the VM restores its
+  // own machine state in VM::call).
+  const unsigned DepthFloor = CallDepth;
+  const uint64_t StackFloor = Mem.stackMark();
+  try {
+    if (Kind == ExecKind::Reference)
+      return callReference(F, Args);
+    return Machine->call(Id, Args.data(),
+                         static_cast<uint32_t>(Args.size()));
+  } catch (const BudgetError &E) {
+    if (Bdgt)
+      Bdgt->trip(E.Code);
+    CallDepth = DepthFloor;
+    Mem.restoreStack(StackFloor);
+    throw;
+  }
 }
 
 //===----------------------------------------------------------------------===//

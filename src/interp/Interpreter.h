@@ -39,6 +39,7 @@ namespace gr {
 
 class Argument;
 class BasicBlock;
+class Budget;
 class BytecodeModule;
 class CallInst;
 class ExecLayout;
@@ -210,6 +211,18 @@ public:
   /// instructions; guards tests against runaway loops.
   void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
 
+  /// Attaches a cooperative request budget (support/Budget.h; null
+  /// detaches). Unlike the hard StepLimit abort, budget ceilings —
+  /// wall-clock deadline, MaxVMSteps, memory bytes — surface as a
+  /// thrown BudgetError that leaves the interpreter reusable: the VM
+  /// unwinds its frames, register stack, call depth and alloca stack
+  /// to the state before the tripped call. The deadline is polled at
+  /// counter-flush boundaries (a chunked re-arm of the step-limit
+  /// check), so dispatch-tier instruction counting stays bitwise
+  /// identical. The memory ceiling also governs the reference engine;
+  /// deadline/step ceilings govern the bytecode VM.
+  void setBudget(Budget *B);
+
 private:
   friend class VM;
   friend class ThreadedRunner;
@@ -244,6 +257,7 @@ private:
   IntrinsicHandler Intrinsic;
   uint64_t RandState = 12345;
   uint64_t StepLimit = UINT64_MAX;
+  Budget *Bdgt = nullptr;
   unsigned CallDepth = 0;
 };
 

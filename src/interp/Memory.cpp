@@ -2,26 +2,48 @@
 
 #include "interp/Memory.h"
 
+#include "support/Budget.h"
 #include "support/ErrorHandling.h"
+#include "support/FaultInjection.h"
 
 using namespace gr;
+
+namespace {
+
+/// Budget/fault gate shared by both allocators, checked only when the
+/// allocation would grow its backing buffer: a governed run that never
+/// grows memory behaves bitwise like an ungoverned one.
+void checkGrowth(uint64_t BytesUsed, uint64_t ByteLimit) {
+  if (faults::shouldFail(faults::Site::VmMemGrow))
+    throw BudgetError{ErrCode::Oom};
+  if (ByteLimit && BytesUsed > ByteLimit)
+    throw BudgetError{ErrCode::Oom};
+}
+
+} // namespace
 
 uint64_t Memory::allocatePermanent(uint64_t Bytes) {
   if (Perm->Frozen)
     reportFatalError(
         "memory: permanent allocation during a parallel section");
   uint64_t Addr = Perm->Top;
-  Perm->Top += (Bytes + 7) & ~uint64_t(7);
-  if (Perm->Top > Perm->Data.size())
-    Perm->Data.resize(Perm->Top * 2, 0);
+  uint64_t NewTop = Perm->Top + ((Bytes + 7) & ~uint64_t(7));
+  if (NewTop > Perm->Data.size()) {
+    checkGrowth(NewTop + StackTop, ByteLimit);
+    Perm->Data.resize(NewTop * 2, 0);
+  }
+  Perm->Top = NewTop;
   return Addr;
 }
 
 uint64_t Memory::allocateStack(uint64_t Bytes) {
   uint64_t Addr = StackTop;
-  StackTop += (Bytes + 7) & ~uint64_t(7);
-  if (StackTop > Stack.size())
-    Stack.resize(StackTop * 2, 0);
+  uint64_t NewTop = StackTop + ((Bytes + 7) & ~uint64_t(7));
+  if (NewTop > Stack.size()) {
+    checkGrowth(Perm->Top + NewTop, ByteLimit);
+    Stack.resize(NewTop * 2, 0);
+  }
+  StackTop = NewTop;
   // Allocas are not guaranteed zeroed by C, but a deterministic value
   // keeps runs reproducible.
   for (uint64_t I = Addr; I < StackTop; ++I)

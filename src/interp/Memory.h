@@ -67,6 +67,15 @@ public:
   uint64_t stackMark() const { return StackTop; }
   void restoreStack(uint64_t Mark) { StackTop = Mark; }
 
+  /// Arena-memory ceiling in bytes across both regions (0 = none).
+  /// An allocation whose growth would cross it — or an injected
+  /// vm_mem_grow fault — throws BudgetError{ErrCode::Oom} instead of
+  /// growing, which VM::call unwinds cleanly (docs/ROBUSTNESS.md).
+  void setByteLimit(uint64_t Bytes) { ByteLimit = Bytes; }
+
+  /// Bytes currently allocated across both regions.
+  uint64_t bytesUsed() const { return Perm->Top + StackTop; }
+
   int64_t readInt(uint64_t Addr) const {
     int64_t V;
     std::memcpy(&V, slot(Addr), 8);
@@ -95,6 +104,7 @@ private:
   std::shared_ptr<PermanentRegion> Perm;
   std::vector<uint8_t> Stack = std::vector<uint8_t>(4096, 0);
   uint64_t StackTop = 8;
+  uint64_t ByteLimit = 0;
 };
 
 } // namespace gr

@@ -4,6 +4,7 @@
 
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "support/Budget.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
@@ -76,9 +77,61 @@ void VM::failFault(FaultKind Fk, uint64_t ICount) {
   gr_unreachable("unknown instruction kind in interpreter");
 }
 
+// Deadline polling granularity: with a wall-clock budget attached the
+// armed limit advances in chunks of this many instructions, each chunk
+// boundary funneling through budgetCheckpoint for one clock read.
+static constexpr uint64_t DeadlineChunk = 1 << 16;
+
+uint64_t VM::effectiveLimit(uint64_t ICount) const {
+  uint64_t L = Host.StepLimit;
+  const Budget *B = Host.Bdgt;
+  if (!B)
+    return L;
+  if (uint64_t MaxSteps = B->maxVMSteps(); MaxSteps && MaxSteps < L)
+    L = MaxSteps;
+  if (B->hasDeadline() && ICount + DeadlineChunk < L)
+    L = ICount + DeadlineChunk;
+  return L;
+}
+
+uint64_t VM::budgetCheckpoint(uint64_t ICount) {
+  if (ICount > Host.StepLimit)
+    fail("interpreter: step limit exceeded", ICount);
+  // Non-null here: without a budget the armed limit IS StepLimit, so
+  // only the abort above is reachable.
+  Budget *B = Host.Bdgt;
+  if (uint64_t MaxSteps = B->maxVMSteps(); MaxSteps && ICount > MaxSteps) {
+    Host.Profile.InstructionsExecuted = ICount;
+    B->trip(ErrCode::StepLimit);
+    throw BudgetError{ErrCode::StepLimit};
+  }
+  if (B->expired()) {
+    Host.Profile.InstructionsExecuted = ICount;
+    throw BudgetError{B->tripped()};
+  }
+  return effectiveLimit(ICount);
+}
+
 Slot VM::call(uint32_t FuncId, const Slot *Args, uint32_t NumArgs) {
-  return UseGoto ? callGoto(FuncId, Args, NumArgs)
-                 : callSwitch(FuncId, Args, NumArgs);
+  // Floors of the machine state this invocation owns. A BudgetError
+  // thrown mid-dispatch (step/deadline checkpoint, memory ceiling,
+  // injected growth fault) unwinds back to them, leaving the machine
+  // reusable for the next request; re-entrant invocations (intrinsic
+  // handlers calling back in) each restore their own floors.
+  const size_t FrameFloor = Frames.size();
+  const uint32_t RegFloor = RegTop;
+  const unsigned DepthFloor = Host.CallDepth;
+  const uint64_t StackFloor = Host.Mem.stackMark();
+  try {
+    return UseGoto ? callGoto(FuncId, Args, NumArgs)
+                   : callSwitch(FuncId, Args, NumArgs);
+  } catch (const BudgetError &) {
+    Frames.resize(FrameFloor);
+    RegTop = RegFloor;
+    Host.CallDepth = DepthFloor;
+    Host.Mem.restoreStack(StackFloor);
+    throw;
+  }
 }
 
 // Instantiate the two dispatch tiers from the shared handler bodies.

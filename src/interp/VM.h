@@ -77,6 +77,20 @@ private:
   [[noreturn]] void fail(const char *Msg, uint64_t ICount);
   [[noreturn]] void failFault(FaultKind Fk, uint64_t ICount);
 
+  /// The armed step-limit the dispatch loop compares against: the
+  /// host's legacy StepLimit, tightened by the attached budget's VM
+  /// step ceiling and — when a deadline is set — a polling chunk, so
+  /// the loop reaches budgetCheckpoint() every ~64k instructions
+  /// without adding any per-step work.
+  uint64_t effectiveLimit(uint64_t ICount) const;
+
+  /// Slow path behind the dispatch loop's `ICount > Limit` check.
+  /// Legacy StepLimit overruns abort exactly as before; budget
+  /// ceilings flush the counter and throw BudgetError; a mere polling
+  /// chunk boundary re-checks the deadline and returns the next armed
+  /// limit.
+  uint64_t budgetCheckpoint(uint64_t ICount);
+
   Interpreter &Host;
   const BytecodeModule &BC;
   std::vector<Slot> RegStack;

@@ -37,6 +37,7 @@
 #include "ir/Module.h"
 #include "ir/Type.h"
 #include "ir/Verifier.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <cctype>
@@ -1401,6 +1402,14 @@ private:
 
 std::unique_ptr<Module> gr::parseIR(std::string_view Text,
                                     IRParseError *Err) {
+  // Injected input fault: fail exactly like a malformed first line, so
+  // every caller's parse-error path (batch slot isolation, structured
+  // parse_error responses) is drivable on demand.
+  if (faults::shouldFail(faults::Site::ParseInput)) {
+    if (Err)
+      *Err = {1, 1, "injected parse_input fault"};
+    return nullptr;
+  }
   Parser P(Text);
   std::unique_ptr<Module> M = P.run();
   if (!M && Err)

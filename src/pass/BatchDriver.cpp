@@ -89,11 +89,22 @@ BatchResult gr::runDetectionBatch(const std::vector<BatchInput> &Inputs,
       }
     }
 
+    // Per-slot budget, armed when the lane picks the module up: a
+    // trip isolates to this slot (structured error, partial results),
+    // never to siblings.
+    Budget Bdgt;
+    const bool Governed = Opts.DeadlineMs >= 0 || Opts.SolverFuel > 0;
+    if (Opts.DeadlineMs >= 0)
+      Bdgt.setDeadlineMs(static_cast<uint64_t>(Opts.DeadlineMs));
+    if (Opts.SolverFuel > 0)
+      Bdgt.setSolverFuel(Opts.SolverFuel);
+
     IRParseError Err;
     auto M = parseIR(Inputs[I].Text, &Err);
     R.ParseMs = nowMs() - T0;
     if (!M) {
       R.Error = Err.str();
+      R.Code = ErrCode::ParseError;
       R.TotalMs = nowMs() - T0;
       return;
     }
@@ -102,6 +113,7 @@ BatchResult gr::runDetectionBatch(const std::vector<BatchInput> &Inputs,
     PD.Workers = FunctionWorkers; // 1 = the inline serial path
     PD.Registry = &Registry;
     PD.Kind = Opts.Kind;
+    PD.Bdgt = Governed ? &Bdgt : nullptr;
     ParallelDetectionResult PR = analyzeModuleParallel(*M, PD);
     double T2 = nowMs();
     R.DetectMs = T2 - T1;
@@ -110,6 +122,16 @@ BatchResult gr::runDetectionBatch(const std::vector<BatchInput> &Inputs,
     R.Counts = countReductions(PR.Reports);
     R.Stats = PR.Stats;
     R.FunctionCacheHits = PR.CacheHits;
+    if (PR.DegradedFunctions > 0) {
+      // Partial results stay in the slot (flagged), but the module is
+      // a structured failure and must not enter the module cache —
+      // the stored summary would be the truncated answer.
+      R.Degraded = true;
+      R.Code = Bdgt.tripped() == ErrCode::Ok ? ErrCode::DeadlineExceeded
+                                             : Bdgt.tripped();
+      R.Error = errCodeName(R.Code);
+      return;
+    }
     R.Ok = true;
     if (Cache)
       Cache->storeModule(MK, {R.Functions, R.Counts, R.Stats});

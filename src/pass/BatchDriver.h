@@ -28,6 +28,7 @@
 #define GR_PASS_BATCHDRIVER_H
 
 #include "idioms/ReductionAnalysis.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <string>
@@ -52,14 +53,34 @@ struct BatchOptions {
   SolverKind Kind = SolverKind::Default;
   /// Idiom registry; null means IdiomRegistry::builtins().
   const IdiomRegistry *Registry = nullptr;
+  /// Per-module deadline in milliseconds, armed when the serving lane
+  /// picks the module up (covers parse + detect). Negative runs
+  /// ungoverned; 0 is a valid already-expired deadline (every module
+  /// degrades immediately — the deterministic smoke case). A governed
+  /// module that trips returns a structured deadline_exceeded error
+  /// with its partial results retained; other modules are unaffected
+  /// (each slot owns a private Budget).
+  int64_t DeadlineMs = -1;
+  /// Per-module solver-fuel ceiling (search nodes across all specs and
+  /// functions of the module); 0 runs ungoverned. Trips surface as a
+  /// structured solver_fuel error, like the deadline.
+  uint64_t SolverFuel = 0;
 };
 
 /// Outcome for one input module, in input order.
 struct BatchModuleResult {
   std::string Name;
   bool Ok = false;
-  /// Parse diagnostic when !Ok.
+  /// Diagnostic when !Ok (parse error text, or the budget trip).
   std::string Error;
+  /// Structured error code when !Ok: parse_error for a rejected
+  /// module, deadline_exceeded / solver_fuel when this slot's budget
+  /// tripped. Ok on success.
+  ErrCode Code = ErrCode::Ok;
+  /// The slot's budget tripped mid-detection: Functions / Counts /
+  /// Stats hold the sound partial results computed before the trip
+  /// (never cached). Always paired with !Ok and a budget Code.
+  bool Degraded = false;
   unsigned Functions = 0;
   ReductionCounts Counts;
   /// This module's detection statistics (merged into

@@ -118,7 +118,8 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
     while (std::optional<std::size_t> I = Part.claim(Lane)) {
       std::size_t Idx = Pending[*I];
       Result.Reports[Idx] = analyzeFunction(*Defs[Idx], FAM, &Local,
-                                            &Registry, Kind, Depths);
+                                            &Registry, Kind, Depths,
+                                            Opts.Bdgt);
     }
   };
 
@@ -139,5 +140,8 @@ gr::analyzeModuleParallel(Module &M, const ParallelDetectionOptions &Opts) {
   if (Opts.Depths)
     for (const SolverDepthProfile &Slot : DepthSlots)
       *Opts.Depths += Slot;
+  for (const ReductionReport &R : Result.Reports)
+    if (R.Degraded)
+      ++Result.DegradedFunctions;
   return Result;
 }

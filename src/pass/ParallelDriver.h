@@ -68,6 +68,11 @@ struct ParallelDetectionOptions {
   /// Profiling adds a clock read per search node — leave null on the
   /// hot path.
   SolverDepthProfile *Depths = nullptr;
+  /// Cooperative request budget shared by every lane (support/
+  /// Budget.h); null runs ungoverned. Budget methods are thread-safe
+  /// (first trip wins across lanes); after a trip the remaining
+  /// functions return immediately as Degraded partial reports.
+  Budget *Bdgt = nullptr;
 };
 
 /// Result of one parallel detection run.
@@ -89,6 +94,9 @@ struct ParallelDetectionResult {
   /// worker lanes carried only the remaining misses. Always 0 when no
   /// cache is active or a depth profile was requested.
   uint64_t CacheHits = 0;
+  /// Reports flagged Degraded because the attached budget tripped
+  /// mid-run (counted after join; 0 when ungoverned or under budget).
+  unsigned DegradedFunctions = 0;
 };
 
 /// The accumulate-local-then-merge helper for worker statistics. Each

@@ -1,0 +1,181 @@
+//===- Budget.h - cooperative resource governance -------------*- C++ -*-===//
+///
+/// \file
+/// The serving stack's resource-governance token: a wall-clock
+/// deadline plus solver-fuel, VM-step and arena-memory ceilings,
+/// shared by every layer that serves one request (detection, the
+/// constraint solvers, the VM dispatch loop, the batch driver's
+/// per-slot lanes). Budgets are *cooperative*: governed loops poll at
+/// their existing counter boundaries, so an ungoverned run and a run
+/// under a generous budget are bitwise identical (same DetectionStats,
+/// same ExecProfile) — see docs/ROBUSTNESS.md.
+///
+/// Exhaustion never hangs or aborts the process. The first layer that
+/// observes an exhausted ceiling *trips* the budget (an atomic
+/// first-trip-wins latch, so parallel lanes agree on one cause) and
+/// either returns partial results flagged `degraded` (detection) or
+/// throws BudgetError to unwind one request (the VM), which the
+/// serving layer converts into a structured error from the ErrCode
+/// taxonomy below.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_SUPPORT_BUDGET_H
+#define GR_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gr {
+
+/// The error taxonomy every structured failure in the serving stack
+/// maps onto. Stable snake_case names (errCodeName) appear in grd
+/// responses, `!stats` counters and gropt --json output.
+enum class ErrCode : uint8_t {
+  Ok = 0,
+  DeadlineExceeded, ///< wall-clock budget exhausted
+  SolverFuel,       ///< solver node/candidate fuel exhausted
+  StepLimit,        ///< VM instruction ceiling exhausted
+  Oom,              ///< arena-memory ceiling (or injected growth fault)
+  ParseError,       ///< malformed .gr input (incl. injected parser fault)
+  CacheCorrupt,     ///< undecodable cache entry (served as a miss)
+  FaultInjected,    ///< a GR_FAULTS site fired with no softer mapping
+  IoError,          ///< file read/write failure
+  Internal,         ///< invariant violation; should not be reachable
+};
+
+constexpr unsigned NumErrCodes = 10;
+
+/// Stable lowercase wire name of \p C ("deadline_exceeded", ...).
+inline const char *errCodeName(ErrCode C) {
+  switch (C) {
+  case ErrCode::Ok:
+    return "ok";
+  case ErrCode::DeadlineExceeded:
+    return "deadline_exceeded";
+  case ErrCode::SolverFuel:
+    return "solver_fuel";
+  case ErrCode::StepLimit:
+    return "step_limit";
+  case ErrCode::Oom:
+    return "oom";
+  case ErrCode::ParseError:
+    return "parse_error";
+  case ErrCode::CacheCorrupt:
+    return "cache_corrupt";
+  case ErrCode::FaultInjected:
+    return "fault_injected";
+  case ErrCode::IoError:
+    return "io_error";
+  case ErrCode::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+/// Thrown to unwind exactly one request when a hard ceiling is hit
+/// mid-execution (VM step/memory ceilings). The project otherwise
+/// avoids exceptions, but the pool already propagates task exceptions
+/// through TaskGroup::wait, and an exception is the only way to leave
+/// the VM dispatch loop without either aborting or threading an error
+/// slot through every handler. VM::call catches it, restores the
+/// machine to its pre-call state (the interpreter stays reusable),
+/// and rethrows for the serving layer.
+struct BudgetError {
+  ErrCode Code;
+};
+
+/// One request's resource envelope. Configure before sharing; the
+/// trip latch is the only member written after work starts, so one
+/// Budget is safe to share across the parallel detection lanes of a
+/// batch slot.
+class Budget {
+public:
+  Budget() = default;
+
+  /// Arms the wall-clock deadline \p Ms milliseconds from now.
+  /// Ms == 0 is a valid, already-expired budget (the deterministic
+  /// `--deadline-ms=0` serving smoke relies on this).
+  void setDeadlineMs(uint64_t Ms) {
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(Ms);
+    HasDeadline = true;
+  }
+
+  /// Solver fuel: total constraint-tree nodes visited across every
+  /// spec and function this budget governs. 0 = unlimited.
+  void setSolverFuel(uint64_t Fuel) { SolverFuelLimit = Fuel; }
+
+  /// VM instruction ceiling (same semantics as Interpreter's legacy
+  /// StepLimit, but trips instead of aborting). 0 = unlimited.
+  void setMaxVMSteps(uint64_t Steps) { MaxVMStepsLimit = Steps; }
+
+  /// Arena-memory ceiling in bytes across the interpreter's permanent
+  /// + stack regions. 0 = unlimited.
+  void setMaxMemoryBytes(uint64_t Bytes) { MaxMemBytes = Bytes; }
+
+  bool hasDeadline() const { return HasDeadline; }
+  uint64_t maxVMSteps() const { return MaxVMStepsLimit; }
+  uint64_t maxMemoryBytes() const { return MaxMemBytes; }
+
+  /// First-trip-wins: records \p C as the budget's failure cause if no
+  /// earlier trip beat it. Returns the winning cause.
+  ErrCode trip(ErrCode C) {
+    ErrCode Expected = ErrCode::Ok;
+    Tripped.compare_exchange_strong(Expected, C, std::memory_order_relaxed);
+    return Expected == ErrCode::Ok ? C : Expected;
+  }
+
+  /// The recorded failure cause; ErrCode::Ok while within budget.
+  ErrCode tripped() const { return Tripped.load(std::memory_order_relaxed); }
+
+  /// Checks the wall clock now; trips DeadlineExceeded when past it.
+  /// Returns true once the budget is tripped for any cause.
+  bool expired() {
+    if (tripped() != ErrCode::Ok)
+      return true;
+    if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+      trip(ErrCode::DeadlineExceeded);
+      return true;
+    }
+    return false;
+  }
+
+  /// Rate-limited deadline poll for hot loops: consults the clock only
+  /// every 1024 ticks of \p Tick (any monotone per-lane counter, e.g.
+  /// solver nodes visited), but reports an already-tripped budget
+  /// immediately. Returns true once tripped.
+  bool pollDeadline(uint64_t Tick) {
+    if (tripped() != ErrCode::Ok)
+      return true;
+    if (!HasDeadline || (Tick & 1023) != 0)
+      return false;
+    return expired();
+  }
+
+  /// Charges one solver node against the fuel ceiling; trips
+  /// SolverFuel and returns true when the ceiling is exceeded.
+  bool consumeSolverFuel() {
+    if (!SolverFuelLimit)
+      return false;
+    if (FuelUsed.fetch_add(1, std::memory_order_relaxed) >= SolverFuelLimit) {
+      trip(ErrCode::SolverFuel);
+      return true;
+    }
+    return false;
+  }
+
+private:
+  std::chrono::steady_clock::time_point Deadline;
+  bool HasDeadline = false;
+  uint64_t SolverFuelLimit = 0;
+  uint64_t MaxVMStepsLimit = 0;
+  uint64_t MaxMemBytes = 0;
+  std::atomic<uint64_t> FuelUsed{0};
+  std::atomic<ErrCode> Tripped{ErrCode::Ok};
+};
+
+} // namespace gr
+
+#endif // GR_SUPPORT_BUDGET_H

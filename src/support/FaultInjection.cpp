@@ -1,0 +1,206 @@
+//===- FaultInjection.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/FaultInjection.h"
+
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <mutex>
+
+using namespace gr;
+using namespace gr::faults;
+
+std::atomic<bool> gr::faults::AnyEnabled{false};
+
+namespace {
+
+/// One site's schedule plus its coverage counters. Guarded by
+/// stateMutex(); the hot path never touches it when AnyEnabled is
+/// false.
+struct SiteState {
+  bool Enabled = false;
+  bool Ratio = false;  ///< true: fire when (Checks + Seed) % Param == 0
+  uint64_t Param = 0;  ///< N for ratio schedules, K for @K schedules
+  uint64_t Checks = 0;
+  uint64_t Fires = 0;
+};
+
+struct Registry {
+  std::mutex M;
+  SiteState States[NumSites];
+  std::string Spec;
+  uint64_t Seed = 0;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+bool applySpec(Registry &R, std::string_view Spec, uint64_t Seed,
+               std::string *Err) {
+  SiteState Fresh[NumSites];
+  for (std::string_view Entry : splitString(Spec, ',')) {
+    if (Entry.empty())
+      continue;
+    size_t Eq = Entry.find('=');
+    size_t At = Entry.find('@');
+    bool Ratio = Eq != std::string_view::npos &&
+                 (At == std::string_view::npos || Eq < At);
+    size_t Sep = Ratio ? Eq : At;
+    if (Sep == std::string_view::npos || Sep == 0) {
+      if (Err)
+        *Err = "bad fault entry '" + std::string(Entry) +
+               "' (want site=1/N or site@K)";
+      return false;
+    }
+    std::optional<Site> S = siteByName(Entry.substr(0, Sep));
+    if (!S) {
+      if (Err)
+        *Err = "unknown fault site '" + std::string(Entry.substr(0, Sep)) +
+               "'";
+      return false;
+    }
+    std::string_view Val = Entry.substr(Sep + 1);
+    uint64_t Param = 0;
+    if (Ratio) {
+      // Accept "1/N" (the documented form) and bare "N" as a synonym.
+      if (startsWith(Val, "1/"))
+        Val = Val.substr(2);
+      std::optional<int64_t> N = parseInt(Val);
+      if (!N || *N <= 0) {
+        if (Err)
+          *Err = "bad fault ratio in '" + std::string(Entry) + "'";
+        return false;
+      }
+      Param = static_cast<uint64_t>(*N);
+    } else {
+      std::optional<int64_t> K = parseInt(Val);
+      if (!K || *K <= 0) {
+        if (Err)
+          *Err = "bad fault ordinal in '" + std::string(Entry) + "'";
+        return false;
+      }
+      Param = static_cast<uint64_t>(*K);
+    }
+    SiteState &St = Fresh[static_cast<unsigned>(*S)];
+    St.Enabled = true;
+    St.Ratio = Ratio;
+    St.Param = Param;
+  }
+
+  bool Any = false;
+  for (unsigned I = 0; I != NumSites; ++I) {
+    R.States[I] = Fresh[I];
+    Any |= Fresh[I].Enabled;
+  }
+  R.Spec = Any ? std::string(Spec) : std::string();
+  R.Seed = Seed;
+  AnyEnabled.store(Any, std::memory_order_relaxed);
+  return true;
+}
+
+/// Resolves GR_FAULTS / GR_FAULTS_SEED once at process start. A
+/// malformed schedule warns and leaves injection disabled (the same
+/// junk-falls-back contract as GR_DISPATCH / GR_DETECT_WORKERS).
+const bool EnvResolved = [] {
+  const char *Spec = std::getenv("GR_FAULTS");
+  if (!Spec || !*Spec)
+    return true;
+  uint64_t Seed = 0;
+  if (const char *SeedEnv = std::getenv("GR_FAULTS_SEED")) {
+    if (std::optional<int64_t> S = parseInt(SeedEnv); S && *S >= 0)
+      Seed = static_cast<uint64_t>(*S);
+    else
+      errs() << "faults: ignoring GR_FAULTS_SEED: not a decimal integer\n";
+  }
+  std::string Err;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  if (!applySpec(R, Spec, Seed, &Err))
+    errs() << "faults: ignoring GR_FAULTS: " << Err << '\n';
+  return true;
+}();
+
+} // namespace
+
+const char *gr::faults::siteName(Site S) {
+  switch (S) {
+  case Site::CacheRead:
+    return "cache_read";
+  case Site::CacheWrite:
+    return "cache_write";
+  case Site::CacheRename:
+    return "cache_rename";
+  case Site::ParseInput:
+    return "parse_input";
+  case Site::PoolSpawn:
+    return "pool_spawn";
+  case Site::VmMemGrow:
+    return "vm_mem_grow";
+  }
+  return "unknown";
+}
+
+std::optional<Site> gr::faults::siteByName(std::string_view Name) {
+  for (unsigned I = 0; I != NumSites; ++I) {
+    Site S = static_cast<Site>(I);
+    if (Name == siteName(S))
+      return S;
+  }
+  return std::nullopt;
+}
+
+bool gr::faults::shouldFailSlow(Site S) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  SiteState &St = R.States[static_cast<unsigned>(S)];
+  uint64_t Check = St.Checks++;
+  if (!St.Enabled)
+    return false;
+  bool Fire = St.Ratio ? ((Check + R.Seed) % St.Param == 0)
+                       : (Check + 1 == St.Param);
+  if (Fire)
+    ++St.Fires;
+  return Fire;
+}
+
+SiteCounters gr::faults::counters(Site S) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  const SiteState &St = R.States[static_cast<unsigned>(S)];
+  return {St.Checks, St.Fires};
+}
+
+bool gr::faults::configure(std::string_view Spec, uint64_t Seed,
+                           std::string *Err) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  if (applySpec(R, Spec, Seed, Err))
+    return true;
+  // Leave injection off after a bad spec.
+  applySpec(R, "", 0, nullptr);
+  return false;
+}
+
+void gr::faults::disable() { configure("", 0, nullptr); }
+
+std::string gr::faults::currentSpec() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  return R.Spec;
+}
+
+uint64_t gr::faults::currentSeed() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  return R.Seed;
+}
+
+Quiesce::Quiesce()
+    : SavedSpec(currentSpec()), SavedSeed(currentSeed()) {
+  disable();
+}
+
+Quiesce::~Quiesce() { configure(SavedSpec, SavedSeed, nullptr); }

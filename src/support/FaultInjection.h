@@ -1,0 +1,115 @@
+//===- FaultInjection.h - deterministic seeded fault injection -*- C++ -*-===//
+///
+/// \file
+/// Seeded, site-tagged fault injection for the serving stack's
+/// degradation paths. Every I/O or scheduling decision that has a
+/// graceful fallback is guarded by a named *site*; a schedule from the
+/// `GR_FAULTS` environment variable (or faults::configure) makes
+/// chosen sites fail deterministically so tests and CI can drive the
+/// fallback paths on demand:
+///
+///   GR_FAULTS=cache_read=1/16,cache_write@2,pool_spawn=1/3
+///   GR_FAULTS_SEED=7
+///
+/// `site=1/N` fires whenever (site_checks + seed) % N == 0 (checks
+/// counted from 0); `site@K` fires on exactly the K-th check of that
+/// site (1-based). Per-site check/fire counters let tests assert
+/// exact, non-vacuous coverage. In a serial run the schedule is fully
+/// deterministic; under the pool, total checks per site are
+/// deterministic but which lane observes a firing depends on the
+/// schedule — harmless because every site's fallback is
+/// correctness-preserving (docs/ROBUSTNESS.md has the site registry
+/// and degradation matrix).
+///
+/// With no schedule configured, the guard is one relaxed atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_SUPPORT_FAULTINJECTION_H
+#define GR_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gr {
+namespace faults {
+
+/// The registered injection sites. Adding one: extend this enum,
+/// siteName(), NumSites, place the shouldFail() guard on the
+/// degradation boundary, and cover it in tests/FaultTests.cpp's
+/// one-site-at-a-time sweep (which asserts every site fires).
+enum class Site : uint8_t {
+  CacheRead = 0, ///< disk-tier cache entry read (DetectionCache::diskGet)
+  CacheWrite,    ///< disk-tier temp-file write (DetectionCache::diskPut)
+  CacheRename,   ///< disk-tier atomic publish rename (diskPut)
+  ParseInput,    ///< .gr parser input (parseIR entry)
+  PoolSpawn,     ///< pool task submission (TaskGroup::runOn)
+  VmMemGrow,     ///< interpreter arena growth (Memory allocators)
+};
+
+constexpr unsigned NumSites = 6;
+
+/// Stable lowercase name of \p S, as spelled in GR_FAULTS.
+const char *siteName(Site S);
+
+/// Inverse of siteName; nullopt for unknown names.
+std::optional<Site> siteByName(std::string_view Name);
+
+/// True when any site has an active schedule (fast-path gate).
+extern std::atomic<bool> AnyEnabled;
+
+/// Slow path: counts the check and evaluates \p S's schedule.
+bool shouldFailSlow(Site S);
+
+/// Should the operation guarded by \p S fail now? Counts one check
+/// against \p S when any schedule is active; free when none is.
+inline bool shouldFail(Site S) {
+  if (!AnyEnabled.load(std::memory_order_relaxed))
+    return false;
+  return shouldFailSlow(S);
+}
+
+/// Per-site coverage counters (monotone since the last configure).
+struct SiteCounters {
+  uint64_t Checks = 0; ///< times the guard was evaluated
+  uint64_t Fires = 0;  ///< times it reported failure
+};
+
+/// Counters for \p S. Checks count only while a schedule is active.
+SiteCounters counters(Site S);
+
+/// Installs \p Spec (GR_FAULTS syntax; empty disables everything) with
+/// \p Seed, resetting all counters. On a malformed spec returns false,
+/// sets \p Err and leaves injection disabled.
+bool configure(std::string_view Spec, uint64_t Seed, std::string *Err);
+
+/// Disables every site and resets counters (configure("", 0, ...)).
+void disable();
+
+/// The active schedule spec ("" when disabled) and its seed.
+std::string currentSpec();
+uint64_t currentSeed();
+
+/// RAII guard for tests with counter-precise expectations (exact disk
+/// hits, steal counts): saves the active schedule, disables injection
+/// for the scope, and restores the saved schedule — so such tests stay
+/// green under ci.sh's GR_FAULTS lane without masking it elsewhere.
+class Quiesce {
+public:
+  Quiesce();
+  ~Quiesce();
+  Quiesce(const Quiesce &) = delete;
+  Quiesce &operator=(const Quiesce &) = delete;
+
+private:
+  std::string SavedSpec;
+  uint64_t SavedSeed;
+};
+
+} // namespace faults
+} // namespace gr
+
+#endif // GR_SUPPORT_FAULTINJECTION_H

@@ -2,9 +2,11 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
@@ -49,9 +51,11 @@ thread_local int CurrentWorkerId = -1;
 int ThreadPool::currentWorkerId() { return CurrentWorkerId; }
 
 ThreadPool::ThreadPool(unsigned Threads) {
-  if (Threads == 0)
-    Threads = 1;
-  Deques.resize(Threads);
+  // A zero-thread pool is legal: tasks queue and are drained entirely
+  // by helping TaskGroup::wait() callers — the same serial in-lane
+  // degradation the pool_spawn fault site exercises. Keep at least
+  // one deque so submit's lane arithmetic stays valid.
+  Deques.resize(std::max(Threads, 1u));
   Workers.reserve(Threads);
   for (unsigned Id = 0; Id < Threads; ++Id)
     Workers.emplace_back([this, Id] { workerLoop(Id); });
@@ -193,6 +197,14 @@ void TaskGroup::runOn(unsigned Lane, std::function<void()> Fn) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Pending;
+  }
+  // An injected spawn fault degrades to serial in-lane execution on
+  // the submitting thread: same task, same group accounting, so
+  // results stay bitwise identical — only the schedule changes.
+  if (faults::shouldFail(faults::Site::PoolSpawn)) {
+    ThreadPool::Task T{std::move(Fn), this};
+    ThreadPool::execute(T);
+    return;
   }
   Pool.submit(ThreadPool::Task{std::move(Fn), this}, Lane);
 }

@@ -81,7 +81,9 @@ std::optional<unsigned> parseWorkerCount(std::string_view Text,
 /// thread count); production code shares ThreadPool::global().
 class ThreadPool {
 public:
-  /// Starts \p Threads workers immediately (clamped to at least 1).
+  /// Starts \p Threads workers immediately. Threads == 0 builds a
+  /// worker-less pool: every queued task runs inline on a helping
+  /// TaskGroup::wait() caller — the fully-serial degradation mode.
   explicit ThreadPool(unsigned Threads);
 
   /// Drains every queued task, then stops and joins the workers.

@@ -1,0 +1,753 @@
+//===- FaultTests.cpp - fault injection and budget governance -*- C++ -*-===//
+///
+/// \file
+/// The robustness battery behind docs/ROBUSTNESS.md: the GR_FAULTS
+/// schedule machinery (FaultSites), the one-site-at-a-time sweep that
+/// proves every registered injection point fires non-vacuously and
+/// degrades gracefully (FaultSweep), and the resource-budget contract
+/// — sharp ceilings, structured errors, bitwise neutrality when
+/// nothing trips (BudgetGov).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/DetectionCache.h"
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "pass/BatchDriver.h"
+#include "pass/ParallelDriver.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+using namespace gr;
+using gr::test::compileOrFail;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared fixtures and helpers
+//===----------------------------------------------------------------------===//
+
+const BatchResult &corpusBaseline();
+
+/// Saves the ambient fault schedule (the ci.sh fault lane sets one via
+/// GR_FAULTS) around a test that installs its own, and restores it —
+/// so these tests control injection precisely without masking the
+/// lane's schedule for the rest of the suite.
+class FaultScheduleScope : public ::testing::Test {
+protected:
+  void SetUp() override {
+    SavedSpec = faults::currentSpec();
+    SavedSeed = faults::currentSeed();
+    faults::disable();
+  }
+  void TearDown() override {
+    faults::configure(SavedSpec, SavedSeed, nullptr);
+  }
+
+  /// Installs \p Spec with \p Seed, failing the test on a bad spec.
+  void arm(const std::string &Spec, uint64_t Seed = 0) {
+    std::string Err;
+    ASSERT_TRUE(faults::configure(Spec, Seed, &Err)) << Err;
+  }
+
+private:
+  std::string SavedSpec;
+  uint64_t SavedSeed = 0;
+};
+
+class FaultSites : public FaultScheduleScope {};
+
+/// Sweep fixture: fault schedule scope plus detection-cache isolation
+/// (fresh temp dirs per run, ambient cache restored afterwards).
+class FaultSweep : public FaultScheduleScope {
+protected:
+  void SetUp() override {
+    FaultScheduleScope::SetUp();
+    DetectionCache::disable();
+    corpusBaseline(); // force the clean-state baseline compute
+  }
+  void TearDown() override {
+    DetectionCache::configureFromEnvironment();
+    for (const std::string &D : TempDirs)
+      removeTree(D);
+    FaultScheduleScope::TearDown();
+  }
+
+  /// A fresh on-disk cache root.
+  std::string makeTempDir() {
+    char Template[] = "/tmp/gr_fault_test_XXXXXX";
+    const char *D = ::mkdtemp(Template);
+    EXPECT_NE(D, nullptr);
+    std::string Dir = D ? D : "";
+    TempDirs.push_back(Dir);
+    return Dir;
+  }
+
+  static void removeTree(const std::string &Dir) {
+    if (DIR *D = ::opendir(Dir.c_str())) {
+      while (struct dirent *E = ::readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::remove((Dir + "/" + Name).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  std::vector<std::string> TempDirs;
+};
+
+/// Budget tests have counter-precise expectations (exact instruction
+/// counts, exact stats equality); quiesce any ambient fault schedule.
+class BudgetGov : public ::testing::Test {
+protected:
+  void SetUp() override {
+    DetectionCache::disable();
+    corpusBaseline(); // force the clean-state baseline compute
+  }
+  void TearDown() override { DetectionCache::configureFromEnvironment(); }
+
+private:
+  faults::Quiesce Quiet;
+};
+
+/// The 40-benchmark corpus as batch inputs (compiled once; MiniC
+/// compilation does not pass through the faultable parser).
+const std::vector<BatchInput> &corpusBatch() {
+  static const std::vector<BatchInput> Inputs = [] {
+    std::vector<BatchInput> V;
+    for (const BenchmarkProgram &B : corpus()) {
+      std::string Error;
+      auto M = compileMiniC(B.Source, B.Name, &Error);
+      EXPECT_NE(M, nullptr) << B.Name << ": " << Error;
+      if (!M)
+        continue;
+      V.push_back({B.Name, moduleToString(*M)});
+    }
+    return V;
+  }();
+  return Inputs;
+}
+
+/// Ungoverned, fault-free baseline over the corpus batch. First use
+/// must happen with the cache disabled (the fixtures force it in
+/// SetUp, where that holds), so the baseline is a pure recompute.
+const BatchResult &corpusBaseline() {
+  static const BatchResult Base = [] {
+    faults::Quiesce Quiet;
+    BatchOptions O;
+    O.Workers = 1;
+    return runDetectionBatch(corpusBatch(), O);
+  }();
+  return Base;
+}
+
+/// Per-module bitwise comparison against the fault-free baseline.
+void expectMatchesBaseline(const BatchResult &R) {
+  const BatchResult &Base = corpusBaseline();
+  ASSERT_EQ(R.Modules.size(), Base.Modules.size());
+  EXPECT_TRUE(R.Stats == Base.Stats);
+  for (std::size_t I = 0; I < R.Modules.size(); ++I) {
+    EXPECT_TRUE(R.Modules[I].Ok) << R.Modules[I].Name;
+    EXPECT_EQ(R.Modules[I].Functions, Base.Modules[I].Functions);
+    EXPECT_EQ(R.Modules[I].Counts.Scalars, Base.Modules[I].Counts.Scalars);
+    EXPECT_EQ(R.Modules[I].Counts.Histograms,
+              Base.Modules[I].Counts.Histograms);
+    EXPECT_EQ(R.Modules[I].Counts.ArgMinMax,
+              Base.Modules[I].Counts.ArgMinMax);
+  }
+}
+
+/// A program whose allocas outgrow the interpreter arena's initial
+/// reservation, so Memory growth (the vm_mem_grow site and the
+/// max-memory ceiling) is actually reached; the corpus programs only
+/// touch globals placed at construction.
+const char *AllocaLoopIR = R"(
+define i64 @main() {
+entry:
+  br ^hdr
+fn_exit:
+  ret %i
+hdr:
+  %i = phi i64 [0, ^entry], [%n, ^latch]
+  %c = icmp slt %i, 1024 : i1
+  br %c, ^body, ^exit
+body:
+  %p = alloca i64
+  store %i, %p
+  br ^latch
+latch:
+  %n = add %i, 1 : i64
+  br ^hdr
+exit:
+  br ^fn_exit
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// FaultSites: schedule parsing, determinism, counters, Quiesce
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultSites, RatioScheduleIsSeededAndExact) {
+  arm("cache_read=1/4", /*Seed=*/7);
+  EXPECT_EQ(faults::currentSpec(), "cache_read=1/4");
+  EXPECT_EQ(faults::currentSeed(), 7u);
+  // Fires when (check + 7) % 4 == 0: checks 1 and 5 of 0..7.
+  std::vector<bool> Pattern;
+  for (int I = 0; I < 8; ++I)
+    Pattern.push_back(faults::shouldFail(faults::Site::CacheRead));
+  std::vector<bool> Expected = {false, true,  false, false,
+                                false, true,  false, false};
+  EXPECT_EQ(Pattern, Expected);
+  faults::SiteCounters C = faults::counters(faults::Site::CacheRead);
+  EXPECT_EQ(C.Checks, 8u);
+  EXPECT_EQ(C.Fires, 2u);
+
+  // Reconfiguring resets counters and replays identically.
+  arm("cache_read=1/4", 7);
+  std::vector<bool> Again;
+  for (int I = 0; I < 8; ++I)
+    Again.push_back(faults::shouldFail(faults::Site::CacheRead));
+  EXPECT_EQ(Again, Expected);
+}
+
+TEST_F(FaultSites, BareRatioIsASynonymAndSeedShiftsThePhase) {
+  arm("pool_spawn=3", /*Seed=*/1);
+  // (check + 1) % 3 == 0: checks 2 and 5 of 0..5.
+  std::vector<bool> Pattern;
+  for (int I = 0; I < 6; ++I)
+    Pattern.push_back(faults::shouldFail(faults::Site::PoolSpawn));
+  std::vector<bool> Expected = {false, false, true, false, false, true};
+  EXPECT_EQ(Pattern, Expected);
+}
+
+TEST_F(FaultSites, NthCheckScheduleFiresExactlyOnce) {
+  arm("parse_input@3");
+  int Fired = 0;
+  for (int I = 0; I < 6; ++I)
+    Fired += faults::shouldFail(faults::Site::ParseInput) ? 1 : 0;
+  EXPECT_EQ(Fired, 1);
+  faults::SiteCounters C = faults::counters(faults::Site::ParseInput);
+  EXPECT_EQ(C.Checks, 6u);
+  EXPECT_EQ(C.Fires, 1u);
+}
+
+TEST_F(FaultSites, SitesScheduleIndependently) {
+  arm("cache_write=1/1,vm_mem_grow@2");
+  EXPECT_TRUE(faults::shouldFail(faults::Site::CacheWrite));
+  EXPECT_FALSE(faults::shouldFail(faults::Site::VmMemGrow));
+  EXPECT_TRUE(faults::shouldFail(faults::Site::VmMemGrow));
+  // A site with no schedule never fires, though checks are counted
+  // while any schedule is active.
+  EXPECT_FALSE(faults::shouldFail(faults::Site::CacheRename));
+  faults::SiteCounters C = faults::counters(faults::Site::CacheRename);
+  EXPECT_EQ(C.Checks, 1u);
+  EXPECT_EQ(C.Fires, 0u);
+}
+
+TEST_F(FaultSites, MalformedSpecsAreRejectedAndLeaveInjectionOff) {
+  for (const char *Bad :
+       {"bogus_site=1/2", "cache_read", "cache_read=1/0", "cache_read=0",
+        "cache_read=1/x", "cache_read@0", "cache_read@x", "=1/2", "@3"}) {
+    std::string Err;
+    EXPECT_FALSE(faults::configure(Bad, 0, &Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+    EXPECT_TRUE(faults::currentSpec().empty()) << Bad;
+    EXPECT_FALSE(faults::shouldFail(faults::Site::CacheRead)) << Bad;
+  }
+}
+
+TEST_F(FaultSites, SiteNamesRoundTrip) {
+  for (unsigned I = 0; I != faults::NumSites; ++I) {
+    faults::Site S = static_cast<faults::Site>(I);
+    std::optional<faults::Site> Back = faults::siteByName(faults::siteName(S));
+    ASSERT_TRUE(Back.has_value()) << faults::siteName(S);
+    EXPECT_EQ(*Back, S);
+  }
+  EXPECT_FALSE(faults::siteByName("nope").has_value());
+}
+
+TEST_F(FaultSites, QuiesceSuppressesAndRestoresTheSchedule) {
+  arm("pool_spawn=1/1", /*Seed=*/5);
+  EXPECT_TRUE(faults::shouldFail(faults::Site::PoolSpawn));
+  {
+    faults::Quiesce Quiet;
+    for (int I = 0; I < 4; ++I)
+      EXPECT_FALSE(faults::shouldFail(faults::Site::PoolSpawn));
+  }
+  EXPECT_EQ(faults::currentSpec(), "pool_spawn=1/1");
+  EXPECT_EQ(faults::currentSeed(), 5u);
+  EXPECT_TRUE(faults::shouldFail(faults::Site::PoolSpawn));
+}
+
+//===----------------------------------------------------------------------===//
+// FaultSweep: every site, one at a time, across the corpus
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultSweep, CacheReadFaultDegradesToCleanMisses) {
+  std::string Dir = makeTempDir();
+
+  // Populate both tiers fault-free, then drop the memory tier (a
+  // fresh cache over the same directory) so every lookup must go
+  // through the now-faulting disk read.
+  DetectionCache::configure({Dir});
+  BatchOptions O;
+  O.Workers = 1;
+  runDetectionBatch(corpusBatch(), O);
+  DetectionCache::configure({Dir});
+
+  arm("cache_read=1/1");
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  faults::SiteCounters C1 = faults::counters(faults::Site::CacheRead);
+  EXPECT_GT(C1.Checks, 0u);
+  EXPECT_EQ(C1.Fires, C1.Checks);
+  // Every module was recomputed — bitwise the baseline, no disk hit.
+  expectMatchesBaseline(R);
+  for (const BatchModuleResult &M : R.Modules)
+    EXPECT_FALSE(M.FromCache);
+  EXPECT_EQ(DetectionCache::active()->counters().DiskHits, 0u);
+
+  // Deterministic: the same sweep replays with identical counters.
+  DetectionCache::configure({Dir});
+  arm("cache_read=1/1");
+  runDetectionBatch(corpusBatch(), O);
+  faults::SiteCounters C2 = faults::counters(faults::Site::CacheRead);
+  EXPECT_EQ(C2.Checks, C1.Checks);
+  EXPECT_EQ(C2.Fires, C1.Fires);
+}
+
+TEST_F(FaultSweep, PersistentWriteFaultCountsAndLeavesNoTempFiles) {
+  std::string Dir = makeTempDir();
+  DetectionCache::configure({Dir});
+  arm("cache_write=1/1");
+
+  BatchOptions O;
+  O.Workers = 1;
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  faults::SiteCounters C = faults::counters(faults::Site::CacheWrite);
+  EXPECT_GT(C.Checks, 0u);
+  EXPECT_GT(C.Fires, 0u);
+  // Results are unharmed; the failed publishes are counted.
+  expectMatchesBaseline(R);
+  CacheCounters CC = DetectionCache::active()->counters();
+  EXPECT_GT(CC.DiskWriteFailures, 0u);
+
+  // No entry files and no abandoned temp files made it to disk.
+  unsigned OnDisk = 0;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ++OnDisk;
+    }
+    ::closedir(D);
+  }
+  EXPECT_EQ(OnDisk, 0u);
+
+  // The memory tier still serves: a byte-identical rerun hits it.
+  BatchResult Warm = runDetectionBatch(corpusBatch(), O);
+  EXPECT_GT(Warm.ModuleCacheHits, 0u);
+  expectMatchesBaseline(Warm);
+}
+
+TEST_F(FaultSweep, TransientWriteFaultIsAbsorbedByRetry) {
+  std::string Dir = makeTempDir();
+  DetectionCache::configure({Dir});
+  // Exactly the first write attempt fails; the bounded retry must
+  // publish the entry anyway, with nothing counted as a failure.
+  arm("cache_write@1");
+
+  BatchOptions O;
+  O.Workers = 1;
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  faults::SiteCounters C = faults::counters(faults::Site::CacheWrite);
+  EXPECT_GT(C.Checks, 1u); // the retry re-checks the site
+  EXPECT_EQ(C.Fires, 1u);
+  expectMatchesBaseline(R);
+  EXPECT_EQ(DetectionCache::active()->counters().DiskWriteFailures, 0u);
+
+  // The retried entry really is on disk: a fresh cache over the same
+  // directory (empty memory tier) serves from it.
+  faults::disable();
+  DetectionCache::configure({Dir});
+  runDetectionBatch(corpusBatch(), O);
+  EXPECT_GT(DetectionCache::active()->counters().DiskHits, 0u);
+}
+
+TEST_F(FaultSweep, RenameFaultDegradesLikeAFailedWrite) {
+  std::string Dir = makeTempDir();
+  DetectionCache::configure({Dir});
+  arm("cache_rename=1/1");
+
+  BatchOptions O;
+  O.Workers = 1;
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  faults::SiteCounters C = faults::counters(faults::Site::CacheRename);
+  EXPECT_GT(C.Checks, 0u);
+  EXPECT_GT(C.Fires, 0u);
+  expectMatchesBaseline(R);
+  EXPECT_GT(DetectionCache::active()->counters().DiskWriteFailures, 0u);
+}
+
+TEST_F(FaultSweep, ParseFaultIsACleanStructuredError) {
+  arm("parse_input=1/1");
+  BatchOptions O;
+  O.Workers = 1;
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  faults::SiteCounters C = faults::counters(faults::Site::ParseInput);
+  EXPECT_GT(C.Checks, 0u);
+  EXPECT_EQ(C.Fires, C.Checks);
+  EXPECT_EQ(R.Succeeded, 0u);
+  EXPECT_EQ(R.Failed, R.Modules.size());
+  for (const BatchModuleResult &M : R.Modules) {
+    EXPECT_FALSE(M.Ok);
+    EXPECT_EQ(M.Code, ErrCode::ParseError);
+    EXPECT_NE(M.Error.find("injected parse_input fault"), std::string::npos);
+  }
+}
+
+TEST_F(FaultSweep, SingleParseFaultIsIsolatedToItsSlot) {
+  // The 3rd parse of a serial batch fails; every other slot completes
+  // with baseline results.
+  arm("parse_input@3");
+  BatchOptions O;
+  O.Workers = 1;
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  const BatchResult &Base = corpusBaseline();
+  ASSERT_EQ(R.Modules.size(), Base.Modules.size());
+  EXPECT_EQ(R.Failed, 1u);
+  EXPECT_EQ(R.Succeeded, R.Modules.size() - 1);
+  EXPECT_FALSE(R.Modules[2].Ok);
+  EXPECT_EQ(R.Modules[2].Code, ErrCode::ParseError);
+  for (std::size_t I = 0; I < R.Modules.size(); ++I) {
+    if (I == 2)
+      continue;
+    EXPECT_TRUE(R.Modules[I].Ok) << R.Modules[I].Name;
+    EXPECT_EQ(R.Modules[I].Counts.Scalars, Base.Modules[I].Counts.Scalars);
+  }
+}
+
+TEST_F(FaultSweep, PoolSpawnFaultFallsBackToSerialInLane) {
+  arm("pool_spawn=1/1");
+  BatchOptions O;
+  O.Workers = 4;
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  faults::SiteCounters C1 = faults::counters(faults::Site::PoolSpawn);
+  EXPECT_GT(C1.Checks, 0u);
+  EXPECT_EQ(C1.Fires, C1.Checks);
+  // Every submission ran inline on the submitting thread; results are
+  // bitwise the serial baseline's.
+  expectMatchesBaseline(R);
+
+  // Deterministic submission count: replay matches.
+  arm("pool_spawn=1/1");
+  runDetectionBatch(corpusBatch(), O);
+  faults::SiteCounters C2 = faults::counters(faults::Site::PoolSpawn);
+  EXPECT_EQ(C2.Checks, C1.Checks);
+  EXPECT_EQ(C2.Fires, C1.Fires);
+}
+
+TEST_F(FaultSweep, ZeroThreadPoolRunsEverythingInline) {
+  // The fully-serial degradation mode: a worker-less pool, every task
+  // executed by the helping waiter.
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 0u);
+  TaskGroup Group(Pool);
+  std::thread::id Waiter = std::this_thread::get_id();
+  int Ran = 0;
+  for (int T = 0; T < 8; ++T)
+    Group.runOn(static_cast<unsigned>(T), [&] {
+      EXPECT_EQ(std::this_thread::get_id(), Waiter);
+      ++Ran;
+    });
+  Group.wait();
+  EXPECT_EQ(Ran, 8);
+}
+
+TEST_F(FaultSweep, MemGrowFaultUnwindsOneRunAndTheMachineStaysUsable) {
+  auto M = parseIR(AllocaLoopIR, static_cast<IRParseError *>(nullptr));
+  ASSERT_NE(M, nullptr);
+  Interpreter I(*M, ExecKind::Bytecode);
+
+  arm("vm_mem_grow@1");
+  bool Threw = false;
+  try {
+    I.runMain();
+  } catch (const BudgetError &E) {
+    Threw = true;
+    EXPECT_EQ(E.Code, ErrCode::Oom);
+  }
+  EXPECT_TRUE(Threw);
+  faults::SiteCounters C = faults::counters(faults::Site::VmMemGrow);
+  EXPECT_GE(C.Checks, 1u);
+  EXPECT_EQ(C.Fires, 1u);
+
+  // The unwind restored the machine: the same interpreter finishes
+  // the program once the fault is off.
+  faults::disable();
+  I.resetProfile();
+  EXPECT_EQ(I.runMain(), 1024);
+}
+
+TEST_F(FaultSweep, EverySiteIsCoveredByThisSweep) {
+  // Guard against a new Site enum entry landing without a sweep test:
+  // the cases above cover exactly the registered set.
+  EXPECT_EQ(faults::NumSites, 6u)
+      << "new fault site added — extend the FaultSweep battery and "
+         "docs/ROBUSTNESS.md's site registry";
+}
+
+//===----------------------------------------------------------------------===//
+// BudgetGov: ceilings are sharp, structured, and neutral until hit
+//===----------------------------------------------------------------------===//
+
+TEST_F(BudgetGov, ErrCodeNamesAreStableAndUnique) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I != NumErrCodes; ++I) {
+    std::string Name = errCodeName(static_cast<ErrCode>(I));
+    EXPECT_FALSE(Name.empty());
+    for (char Ch : Name)
+      EXPECT_TRUE((Ch >= 'a' && Ch <= 'z') || Ch == '_') << Name;
+    EXPECT_TRUE(Seen.insert(Name).second) << "duplicate name " << Name;
+  }
+  EXPECT_EQ(std::string(errCodeName(ErrCode::DeadlineExceeded)),
+            "deadline_exceeded");
+}
+
+TEST_F(BudgetGov, TripIsFirstCauseWins) {
+  Budget B;
+  EXPECT_EQ(B.tripped(), ErrCode::Ok);
+  EXPECT_EQ(B.trip(ErrCode::SolverFuel), ErrCode::SolverFuel);
+  EXPECT_EQ(B.trip(ErrCode::DeadlineExceeded), ErrCode::SolverFuel);
+  EXPECT_EQ(B.tripped(), ErrCode::SolverFuel);
+  EXPECT_TRUE(B.expired());
+}
+
+TEST_F(BudgetGov, ZeroDeadlineIsAlreadyExpired) {
+  Budget B;
+  B.setDeadlineMs(0);
+  EXPECT_TRUE(B.expired());
+  EXPECT_EQ(B.tripped(), ErrCode::DeadlineExceeded);
+}
+
+TEST_F(BudgetGov, SolverFuelChargesAndTripsAtTheCeiling) {
+  Budget B;
+  B.setSolverFuel(3);
+  EXPECT_FALSE(B.consumeSolverFuel());
+  EXPECT_FALSE(B.consumeSolverFuel());
+  EXPECT_FALSE(B.consumeSolverFuel());
+  EXPECT_TRUE(B.consumeSolverFuel());
+  EXPECT_EQ(B.tripped(), ErrCode::SolverFuel);
+}
+
+TEST_F(BudgetGov, StepCeilingBoundaryIsSharpAndRecoverable) {
+  const char *Src = R"(
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 200; i++)
+    s = s + i;
+  return s % 256;
+}
+)";
+  auto M = compileOrFail(Src);
+  ASSERT_NE(M, nullptr);
+  // The exact dynamic instruction count, from an ungoverned run.
+  uint64_t N = 0;
+  int64_t Expected = 0;
+  {
+    Interpreter I(*M, ExecKind::Bytecode);
+    Expected = I.runMain();
+    N = I.instructionCount();
+  }
+  // Ceiling == N: completes, bitwise identical, budget untripped.
+  {
+    Interpreter I(*M, ExecKind::Bytecode);
+    Budget B;
+    B.setMaxVMSteps(N);
+    I.setBudget(&B);
+    EXPECT_EQ(I.runMain(), Expected);
+    EXPECT_EQ(I.instructionCount(), N);
+    EXPECT_EQ(B.tripped(), ErrCode::Ok);
+  }
+  // Ceiling == N - 1: throws at instruction N (no abort), trips
+  // step_limit, and the interpreter is reusable afterwards.
+  {
+    Interpreter I(*M, ExecKind::Bytecode);
+    Budget B;
+    B.setMaxVMSteps(N - 1);
+    I.setBudget(&B);
+    bool Threw = false;
+    try {
+      I.runMain();
+    } catch (const BudgetError &E) {
+      Threw = true;
+      EXPECT_EQ(E.Code, ErrCode::StepLimit);
+    }
+    EXPECT_TRUE(Threw);
+    EXPECT_EQ(B.tripped(), ErrCode::StepLimit);
+    EXPECT_EQ(I.instructionCount(), N);
+
+    I.setBudget(nullptr);
+    I.resetProfile();
+    EXPECT_EQ(I.runMain(), Expected);
+    EXPECT_EQ(I.instructionCount(), N);
+  }
+}
+
+TEST_F(BudgetGov, MemoryCeilingUnwindsBothEngines) {
+  auto M = parseIR(AllocaLoopIR, static_cast<IRParseError *>(nullptr));
+  ASSERT_NE(M, nullptr);
+  for (ExecKind Kind : {ExecKind::Bytecode, ExecKind::Reference}) {
+    Interpreter I(*M, Kind);
+    Budget B;
+    B.setMaxMemoryBytes(2048);
+    I.setBudget(&B);
+    bool Threw = false;
+    try {
+      I.runMain();
+    } catch (const BudgetError &E) {
+      Threw = true;
+      EXPECT_EQ(E.Code, ErrCode::Oom);
+    }
+    EXPECT_TRUE(Threw) << execKindName(Kind);
+    EXPECT_EQ(B.tripped(), ErrCode::Oom);
+  }
+  // The bytecode machine unwinds to its floors and stays usable.
+  Interpreter I(*M, ExecKind::Bytecode);
+  Budget B;
+  B.setMaxMemoryBytes(2048);
+  I.setBudget(&B);
+  try {
+    I.runMain();
+  } catch (const BudgetError &) {
+  }
+  I.setBudget(nullptr);
+  I.resetProfile();
+  EXPECT_EQ(I.runMain(), 1024);
+}
+
+TEST_F(BudgetGov, GenerousBudgetIsBitwiseNeutral) {
+  // Execution: same result, same instruction count, same profile.
+  auto M = parseIR(AllocaLoopIR, static_cast<IRParseError *>(nullptr));
+  ASSERT_NE(M, nullptr);
+  ExecProfile Free;
+  int64_t Result = 0;
+  {
+    Interpreter I(*M, ExecKind::Bytecode);
+    Result = I.runMain();
+    Free = I.getProfile();
+  }
+  {
+    Interpreter I(*M, ExecKind::Bytecode);
+    Budget B;
+    B.setDeadlineMs(3600 * 1000);
+    B.setMaxVMSteps(1ull << 40);
+    B.setMaxMemoryBytes(1ull << 30);
+    I.setBudget(&B);
+    EXPECT_EQ(I.runMain(), Result);
+    EXPECT_TRUE(I.getProfile() == Free);
+    EXPECT_EQ(B.tripped(), ErrCode::Ok);
+  }
+
+  // Detection: same aggregate stats over the corpus batch, and every
+  // slot still succeeds.
+  BatchOptions Governed;
+  Governed.Workers = 1;
+  Governed.DeadlineMs = 3600 * 1000;
+  Governed.SolverFuel = 1ull << 40;
+  BatchResult R = runDetectionBatch(corpusBatch(), Governed);
+  expectMatchesBaseline(R);
+  for (const BatchModuleResult &Mod : R.Modules)
+    EXPECT_FALSE(Mod.Degraded);
+}
+
+TEST_F(BudgetGov, ZeroDeadlineDegradesDetectionWithPartialResults) {
+  auto M = compileOrFail(R"(
+int a[64];
+int sum_loop() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i++)
+    s = s + a[i];
+  return s;
+}
+int main() { return 0; }
+)");
+  ASSERT_NE(M, nullptr);
+  ParallelDetectionOptions PD;
+  PD.Workers = 1;
+  Budget B;
+  B.setDeadlineMs(0);
+  PD.Bdgt = &B;
+  ParallelDetectionResult R = analyzeModuleParallel(*M, PD);
+  EXPECT_EQ(B.tripped(), ErrCode::DeadlineExceeded);
+  EXPECT_GT(R.DegradedFunctions, 0u);
+  EXPECT_EQ(R.DegradedFunctions, static_cast<unsigned>(R.Reports.size()));
+  for (const ReductionReport &Rep : R.Reports)
+    EXPECT_TRUE(Rep.Degraded);
+}
+
+TEST_F(BudgetGov, BatchDeadlineZeroIsAStructuredErrorPerSlot) {
+  BatchOptions O;
+  O.Workers = 2;
+  O.DeadlineMs = 0;
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  EXPECT_EQ(R.Succeeded, 0u);
+  EXPECT_EQ(R.Failed, R.Modules.size());
+  for (const BatchModuleResult &Mod : R.Modules) {
+    EXPECT_FALSE(Mod.Ok);
+    EXPECT_TRUE(Mod.Degraded);
+    EXPECT_EQ(Mod.Code, ErrCode::DeadlineExceeded);
+    EXPECT_EQ(Mod.Error, "deadline_exceeded");
+  }
+}
+
+TEST_F(BudgetGov, SolverFuelTripSurfacesAsStructuredError) {
+  BatchOptions O;
+  O.Workers = 1;
+  O.SolverFuel = 1;
+  BatchResult R = runDetectionBatch(corpusBatch(), O);
+  EXPECT_EQ(R.Succeeded, 0u);
+  for (const BatchModuleResult &Mod : R.Modules) {
+    EXPECT_FALSE(Mod.Ok);
+    EXPECT_TRUE(Mod.Degraded);
+    EXPECT_EQ(Mod.Code, ErrCode::SolverFuel);
+  }
+}
+
+TEST_F(BudgetGov, DegradedResultsAreNeverCached) {
+  // A degraded batch must not poison either cache tier: after it, a
+  // healthy run is a full recompute with baseline results.
+  DetectionCache::configure({"", 65536});
+  BatchOptions Expired;
+  Expired.Workers = 1;
+  Expired.DeadlineMs = 0;
+  runDetectionBatch(corpusBatch(), Expired);
+  CacheCounters CC = DetectionCache::active()->counters();
+  EXPECT_EQ(CC.ModuleStores, 0u);
+  EXPECT_EQ(CC.FunctionStores, 0u);
+
+  BatchOptions Healthy;
+  Healthy.Workers = 1;
+  BatchResult R = runDetectionBatch(corpusBatch(), Healthy);
+  EXPECT_EQ(R.ModuleCacheHits, 0u);
+  expectMatchesBaseline(R);
+}
+
+} // namespace

@@ -14,6 +14,7 @@
 
 #include "idioms/ReductionAnalysis.h"
 #include "pass/ParallelDriver.h"
+#include "support/FaultInjection.h"
 
 #include "TestHelpers.h"
 
@@ -164,7 +165,10 @@ TEST(StealingPartition, OwnerAndThiefNeverDoubleClaim) {
 TEST(ThreadPool, IdleWorkerStealsSkewedAssignment) {
   // Both tasks are placed on lane 0. The first blocks until the
   // second runs — which can only happen if another worker steals it,
-  // so completion of this test *is* the stealing assertion.
+  // so completion of this test *is* the stealing assertion. Requires
+  // real pool scheduling: an injected pool_spawn fault would run the
+  // first task inline and deadlock on its gate.
+  faults::Quiesce Quiet;
   ThreadPool Pool(2);
   std::mutex M;
   std::condition_variable CV;
@@ -247,7 +251,10 @@ TEST(ThreadPool, WaiterHelpsRunQueuedTasks) {
   // Pin the one-thread pool's worker on a gated task that only opens
   // once the other eight tasks have run: the waiting thread is then
   // provably the only executor available for them, so all eight must
-  // run inline inside wait().
+  // run inline inside wait(). Requires real pool scheduling: an
+  // injected pool_spawn fault on the gated submission would spin the
+  // submitting thread forever.
+  faults::Quiesce Quiet;
   ThreadPool Pool(1);
   std::atomic<bool> Started{false};
   std::atomic<bool> Release{false};

@@ -39,6 +39,7 @@
 #include "idioms/IdiomRegistry.h"
 #include "interp/Interpreter.h"
 #include "pass/BatchDriver.h"
+#include "support/Budget.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -59,14 +60,36 @@ struct ServerOptions {
   bool Json = false;
   bool Cache = false;   ///< --cache[=DIR]
   std::string CacheDir; ///< empty = memory-only
+  /// Per-request wall-clock deadline in ms; negative = ungoverned.
+  /// 0 is a valid, already-expired deadline (every governed request
+  /// degrades immediately — the deterministic smoke). Adjustable at
+  /// runtime with the `!deadline-ms <N|none>` command.
+  int64_t DeadlineMs = -1;
+  /// Memory ceiling in bytes carried on each request budget. Serving
+  /// requests only detect (they never execute modules), so this is
+  /// part of the budget envelope for symmetry with gropt --run.
+  uint64_t MaxMem = 0;
 };
 
 void usage() {
   errs() << "usage: grd [--workers=N] [--solver=KIND] [--cache[=DIR]] "
-            "[--json]\n"
+            "[--deadline-ms=N] [--max-mem=BYTES] [--json]\n"
          << "  reads .gr paths from stdin (one per line); !stats,\n"
-         << "  !cache-stats and !quit are control commands.\n"
-         << "  See docs/THREADING.md and docs/CACHING.md.\n";
+         << "  !cache-stats, !deadline-ms <N|none> and !quit are\n"
+         << "  control commands. A request that exceeds the deadline\n"
+         << "  answers `error <path>: deadline_exceeded` and the\n"
+         << "  server keeps serving. See docs/ROBUSTNESS.md,\n"
+         << "  docs/THREADING.md and docs/CACHING.md.\n";
+}
+
+/// Strict decimal parse for resource flags: junk exits 1 at the call
+/// sites (a misconfigured governor must not silently run ungoverned).
+bool parseResourceValue(const std::string &Text, uint64_t &Out) {
+  auto V = parseInt(Text);
+  if (!V || *V < 0)
+    return false;
+  Out = static_cast<uint64_t>(*V);
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, ServerOptions &Opts) {
@@ -100,6 +123,20 @@ bool parseArgs(int Argc, char **Argv, ServerOptions &Opts) {
       if (Opts.CacheDir.empty()) {
         errs() << "grd: --cache= needs a directory (or plain --cache "
                   "for memory-only)\n";
+        return false;
+      }
+    } else if (startsWith(Arg, "--deadline-ms=")) {
+      uint64_t Ms;
+      if (!parseResourceValue(Arg.substr(14), Ms)) {
+        errs() << "grd: bad --deadline-ms value '" << Arg.substr(14)
+               << "': want a non-negative decimal integer\n";
+        return false;
+      }
+      Opts.DeadlineMs = static_cast<int64_t>(Ms);
+    } else if (startsWith(Arg, "--max-mem=")) {
+      if (!parseResourceValue(Arg.substr(10), Opts.MaxMem)) {
+        errs() << "grd: bad --max-mem value '" << Arg.substr(10)
+               << "': want a non-negative decimal integer\n";
         return false;
       }
     } else if (Arg == "--json") {
@@ -165,6 +202,9 @@ double percentile(std::vector<double> Sample, double P) {
 struct Aggregate {
   uint64_t Served = 0;
   uint64_t Errors = 0;
+  /// Per-ErrCode failure counters (support/Budget.h taxonomy); only
+  /// nonzero codes are printed, as err.<name>=N / "err_<name>".
+  uint64_t ErrCounts[NumErrCodes] = {};
   /// Served requests answered by the cache's module tier (request-level
   /// hits: the whole request skipped parse + solve) vs. served cold.
   uint64_t CacheHits = 0;
@@ -184,26 +224,38 @@ void printAggregate(const Aggregate &A, bool Json) {
   const char *Exec = execKindName(resolveExecKind(ExecKind::Default));
   const char *Dispatch =
       dispatchModeName(resolveDispatchMode(DispatchMode::Default));
+  // Structured-error breakdown, only for codes actually seen.
+  std::string ErrBreakdown;
+  for (unsigned C = 1; C != NumErrCodes; ++C) {
+    if (!A.ErrCounts[C])
+      continue;
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf),
+                  Json ? ", \"err_%s\": %llu" : " err.%s=%llu",
+                  errCodeName(static_cast<ErrCode>(C)),
+                  static_cast<unsigned long long>(A.ErrCounts[C]));
+    ErrBreakdown += Buf;
+  }
   if (Json)
     std::printf("{\"stats\": true, \"served\": %llu, \"errors\": %llu, "
                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"busy_ms\": %.3f, "
                 "\"modules_per_s\": %.1f, \"exec\": \"%s\", "
-                "\"dispatch\": \"%s\"}\n",
+                "\"dispatch\": \"%s\"%s}\n",
                 static_cast<unsigned long long>(A.Served),
                 static_cast<unsigned long long>(A.Errors),
                 static_cast<unsigned long long>(A.CacheHits),
                 static_cast<unsigned long long>(A.CacheMisses), P50, P99,
-                A.BusyMs, Rate, Exec, Dispatch);
+                A.BusyMs, Rate, Exec, Dispatch, ErrBreakdown.c_str());
   else
     std::printf("stats served=%llu errors=%llu cache_hits=%llu "
                 "cache_misses=%llu p50_ms=%.3f p99_ms=%.3f "
-                "busy_ms=%.3f modules_per_s=%.1f exec=%s dispatch=%s\n",
+                "busy_ms=%.3f modules_per_s=%.1f exec=%s dispatch=%s%s\n",
                 static_cast<unsigned long long>(A.Served),
                 static_cast<unsigned long long>(A.Errors),
                 static_cast<unsigned long long>(A.CacheHits),
                 static_cast<unsigned long long>(A.CacheMisses), P50, P99,
-                A.BusyMs, Rate, Exec, Dispatch);
+                A.BusyMs, Rate, Exec, Dispatch, ErrBreakdown.c_str());
   std::fflush(stdout);
 }
 
@@ -223,7 +275,7 @@ void printCacheStats(bool Json) {
                 "\"function_stores\": %llu, \"module_hits\": %llu, "
                 "\"module_misses\": %llu, \"module_stores\": %llu, "
                 "\"disk_hits\": %llu, \"corrupt\": %llu, "
-                "\"evictions\": %llu}\n",
+                "\"evictions\": %llu, \"disk_write_failures\": %llu}\n",
                 static_cast<unsigned long long>(CC.hits()),
                 static_cast<unsigned long long>(CC.misses()),
                 static_cast<unsigned long long>(CC.FunctionHits),
@@ -234,11 +286,12 @@ void printCacheStats(bool Json) {
                 static_cast<unsigned long long>(CC.ModuleStores),
                 static_cast<unsigned long long>(CC.DiskHits),
                 static_cast<unsigned long long>(CC.CorruptEntries),
-                static_cast<unsigned long long>(CC.Evictions));
+                static_cast<unsigned long long>(CC.Evictions),
+                static_cast<unsigned long long>(CC.DiskWriteFailures));
   else
     std::printf("cache hits=%llu misses=%llu function=%llu/%llu/%llu "
                 "module=%llu/%llu/%llu disk_hits=%llu corrupt=%llu "
-                "evictions=%llu\n",
+                "evictions=%llu disk_write_failures=%llu\n",
                 static_cast<unsigned long long>(CC.hits()),
                 static_cast<unsigned long long>(CC.misses()),
                 static_cast<unsigned long long>(CC.FunctionHits),
@@ -249,7 +302,8 @@ void printCacheStats(bool Json) {
                 static_cast<unsigned long long>(CC.ModuleStores),
                 static_cast<unsigned long long>(CC.DiskHits),
                 static_cast<unsigned long long>(CC.CorruptEntries),
-                static_cast<unsigned long long>(CC.Evictions));
+                static_cast<unsigned long long>(CC.Evictions),
+                static_cast<unsigned long long>(CC.DiskWriteFailures));
   std::fflush(stdout);
 }
 
@@ -309,6 +363,29 @@ int main(int Argc, char **Argv) {
       printCacheStats(Opts.Json);
       continue;
     }
+    if (startsWith(Line, "!deadline-ms")) {
+      // Runtime governor adjustment: `!deadline-ms <N|none>`. The
+      // next request (same warm pool, same cache) runs under the new
+      // envelope — the recovery half of the serving smoke.
+      std::string V = Line.substr(12);
+      while (!V.empty() && V.front() == ' ')
+        V.erase(V.begin());
+      uint64_t Ms;
+      if (V == "none")
+        Opts.DeadlineMs = -1;
+      else if (parseResourceValue(V, Ms))
+        Opts.DeadlineMs = static_cast<int64_t>(Ms);
+      else {
+        std::printf("error !deadline-ms: want a non-negative decimal "
+                    "integer or 'none', got '%s'\n",
+                    V.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      std::printf("ok !deadline-ms %s\n", V.c_str());
+      std::fflush(stdout);
+      continue;
+    }
 
     double T0 = nowMs();
     BatchInput In;
@@ -316,6 +393,7 @@ int main(int Argc, char **Argv) {
     std::string Response;
     if (!readFile(Line, In.Text)) {
       ++Agg.Errors;
+      ++Agg.ErrCounts[static_cast<unsigned>(ErrCode::IoError)];
       if (Opts.Json)
         Response = "{\"ok\": false, \"path\": \"" + jsonEscape(Line) +
                    "\", \"error\": \"cannot read file\"}";
@@ -325,6 +403,7 @@ int main(int Argc, char **Argv) {
       BatchOptions BO;
       BO.Workers = Opts.Workers;
       BO.Kind = Opts.Solver;
+      BO.DeadlineMs = Opts.DeadlineMs;
       // A batch of one: module lane 1, all worker lanes spent at
       // function granularity inside the request.
       BatchResult R = runDetectionBatch({In}, BO);
@@ -332,11 +411,16 @@ int main(int Argc, char **Argv) {
       double Ms = nowMs() - T0;
       if (!M.Ok) {
         ++Agg.Errors;
+        ErrCode Code = M.Code == ErrCode::Ok ? ErrCode::Internal : M.Code;
+        ++Agg.ErrCounts[static_cast<unsigned>(Code)];
         if (Opts.Json)
           Response = "{\"ok\": false, \"path\": \"" + jsonEscape(Line) +
-                     "\", \"error\": \"" + jsonEscape(M.Error) + "\"}";
+                     "\", \"code\": \"" + errCodeName(Code) +
+                     "\", \"degraded\": " + (M.Degraded ? "true" : "false") +
+                     ", \"error\": \"" + jsonEscape(M.Error) + "\"}";
         else
-          Response = "error " + Line + ": " + M.Error;
+          Response = "error " + Line + ": " + M.Error +
+                     (M.Degraded ? " degraded=1" : "");
       } else {
         ++Agg.Served;
         Agg.BusyMs += Ms;

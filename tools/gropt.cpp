@@ -41,6 +41,7 @@
 #include "pass/Pipeline.h"
 #include "runtime/SimulatedParallel.h"
 #include "runtime/ThreadedRunner.h"
+#include "support/Budget.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -171,6 +172,12 @@ struct Options {
   std::string BatchArg; ///< --batch: directory of .gr files or a list file
   bool Cache = false;   ///< --cache[=DIR]: enable the detection cache
   std::string CacheDir; ///< on-disk tier root; empty = memory-only
+  /// Wall-clock deadline in ms for --detect / --batch (per module) and
+  /// --run; negative = ungoverned, 0 = already expired (deterministic
+  /// degradation smoke).
+  int64_t DeadlineMs = -1;
+  /// Interpreter arena-memory ceiling in bytes for --run; 0 = none.
+  uint64_t MaxMem = 0;
 };
 
 void usage() {
@@ -188,6 +195,11 @@ void usage() {
          << "                        simulated model for comparison\n"
          << "  --cache[=DIR]         detection cache: memory-only, or\n"
          << "                        memory over an on-disk tier at DIR\n"
+         << "  --deadline-ms=N       wall-clock budget: per-module for\n"
+         << "                        --detect/--batch, whole-run for --run;\n"
+         << "                        exhaustion is a structured error\n"
+         << "                        (docs/ROBUSTNESS.md), never a hang\n"
+         << "  --max-mem=BYTES       interpreter memory ceiling for --run\n"
          << "  --batch DIR|LIST      batched detection: every .gr under DIR,\n"
          << "                        or the paths listed in file LIST\n"
          << "  -o FILE               reprint the module ('-' = stdout)\n"
@@ -195,6 +207,16 @@ void usage() {
          << "  --verify-only         parse + verify, print OK\n"
          << "  --dump-corpus DIR     write the benchmark corpus as .gr files\n"
          << "  --corpus-roundtrip DIR  dump + reparse + differential check\n";
+}
+
+/// Strict decimal parse for resource flags: junk exits 1 at the call
+/// sites (a misconfigured governor must not silently run ungoverned).
+bool parseResourceValue(const std::string &Text, uint64_t &Out) {
+  auto V = parseInt(Text);
+  if (!V || *V < 0)
+    return false;
+  Out = static_cast<uint64_t>(*V);
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -252,6 +274,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
       Opts.Threads = *N;
+    } else if (startsWith(Arg, "--deadline-ms=")) {
+      uint64_t Ms;
+      if (!parseResourceValue(Arg.substr(14), Ms)) {
+        errs() << "gropt: bad --deadline-ms value '" << Arg.substr(14)
+               << "': want a non-negative decimal integer\n";
+        return false;
+      }
+      Opts.DeadlineMs = static_cast<int64_t>(Ms);
+    } else if (startsWith(Arg, "--max-mem=")) {
+      if (!parseResourceValue(Arg.substr(10), Opts.MaxMem)) {
+        errs() << "gropt: bad --max-mem value '" << Arg.substr(10)
+               << "': want a non-negative decimal integer\n";
+        return false;
+      }
     } else if (Arg == "--cache") {
       Opts.Cache = true;
     } else if (startsWith(Arg, "--cache=")) {
@@ -377,6 +413,11 @@ struct DetectionSummary {
   unsigned ForLoops = 0;
   ReductionCounts Counts;
   DetectionStats Stats;
+  /// Functions whose reports are partial because the --deadline-ms
+  /// budget tripped; Code names the cause. A degraded detection exits
+  /// nonzero after printing what it found.
+  unsigned DegradedFunctions = 0;
+  ErrCode Code = ErrCode::Ok;
 };
 
 DetectionSummary summarizeReports(const std::vector<ReductionReport> &Reports,
@@ -394,8 +435,18 @@ DetectionSummary detect(Module &M, const Options &Opts) {
   ParallelDetectionOptions PD;
   PD.Workers = Opts.Workers; // 0 = auto (hardware concurrency)
   PD.Kind = Opts.Solver;
+  Budget Bdgt;
+  if (Opts.DeadlineMs >= 0) {
+    Bdgt.setDeadlineMs(static_cast<uint64_t>(Opts.DeadlineMs));
+    PD.Bdgt = &Bdgt;
+  }
   ParallelDetectionResult R = analyzeModuleParallel(M, PD);
-  return summarizeReports(R.Reports, R.Stats);
+  DetectionSummary S = summarizeReports(R.Reports, R.Stats);
+  S.DegradedFunctions = R.DegradedFunctions;
+  if (S.DegradedFunctions > 0)
+    S.Code = Bdgt.tripped() == ErrCode::Ok ? ErrCode::DeadlineExceeded
+                                           : Bdgt.tripped();
+  return S;
 }
 
 void printDetection(OStream &OS, const Module &M,
@@ -432,6 +483,7 @@ void addCacheJson(JsonObject &J) {
   J.add("cache_disk_hits", CC.DiskHits);
   J.add("cache_corrupt", CC.CorruptEntries);
   J.add("cache_evictions", CC.Evictions);
+  J.add("cache_disk_write_failures", CC.DiskWriteFailures);
 }
 
 /// The text-mode twin of addCacheJson.
@@ -444,7 +496,8 @@ void printCacheLine(OStream &OS) {
      << " (function " << CC.FunctionHits << '/' << CC.FunctionMisses
      << ", module " << CC.ModuleHits << '/' << CC.ModuleMisses
      << ", disk " << CC.DiskHits << ") evictions=" << CC.Evictions
-     << " corrupt=" << CC.CorruptEntries << '\n';
+     << " corrupt=" << CC.CorruptEntries
+     << " disk_write_failures=" << CC.DiskWriteFailures << '\n';
 }
 
 void addDetectionJson(JsonObject &J, const DetectionSummary &S) {
@@ -719,6 +772,7 @@ int runBatch(const Options &Opts) {
   BatchOptions BO;
   BO.Workers = Opts.Workers;
   BO.Kind = Opts.Solver;
+  BO.DeadlineMs = Opts.DeadlineMs;
   BatchResult R = runDetectionBatch(Inputs, BO);
 
   OStream &OS = outs();
@@ -747,7 +801,8 @@ int runBatch(const Options &Opts) {
   } else {
     for (const BatchModuleResult &M : R.Modules) {
       if (!M.Ok) {
-        OS << "error  " << M.Name << ": " << M.Error << '\n';
+        OS << "error  " << M.Name << ": " << M.Error
+           << (M.Degraded ? " degraded=1" : "") << '\n';
         continue;
       }
       OS << "ok     " << M.Name << "  functions=" << M.Functions
@@ -849,15 +904,29 @@ int main(int Argc, char **Argv) {
   // Detection: --detect runs it (on the possibly transformed module);
   // otherwise a detect pass scheduled via -passes= reports what it
   // already collected instead of discarding it.
+  int ExitCode = 0;
   if (Opts.Detect) {
     DetectionSummary S = detect(*M, Opts);
     if (Opts.Json) {
       addDetectionJson(Json, S);
       addCacheJson(Json);
+      if (S.DegradedFunctions > 0) {
+        Json.add("degraded_functions",
+                 static_cast<uint64_t>(S.DegradedFunctions));
+        Json.addStr("code", errCodeName(S.Code));
+      }
     } else {
       printDetection(OS, *M, S);
       printCacheLine(OS);
+      if (S.DegradedFunctions > 0)
+        OS << "degraded: functions=" << S.DegradedFunctions
+           << " code=" << errCodeName(S.Code) << '\n';
     }
+    // Partial results printed above are a sound subset; the nonzero
+    // exit tells scripted callers not to treat them as the full
+    // answer.
+    if (S.DegradedFunctions > 0)
+      ExitCode = 1;
   } else if (PipelineDetected) {
     DetectionSummary S = summarizeReports(PipelineReports, PipelineStats);
     if (Opts.Json) {
@@ -919,10 +988,28 @@ int main(int Argc, char **Argv) {
            << " serial sections, " << execKindName(RI.getExecKind())
            << '/' << dispatchModeName(RI.getDispatchMode()) << ")\n";
       }
-    } else {
+    } else try {
+      // Resource envelope for the run: the VM polls the deadline at
+      // its counter-flush chunks and enforces the memory ceiling on
+      // arena growth; exhaustion (and an injected vm_mem_grow fault,
+      // possible as early as global allocation in the constructor)
+      // throws BudgetError, caught below as a structured error —
+      // never a hang or an abort.
       Interpreter I(*M, Opts.Exec);
+      Budget RunBudget;
+      const bool Governed = Opts.DeadlineMs >= 0 || Opts.MaxMem > 0;
+      if (Opts.DeadlineMs >= 0)
+        RunBudget.setDeadlineMs(static_cast<uint64_t>(Opts.DeadlineMs));
+      if (Opts.MaxMem > 0)
+        RunBudget.setMaxMemoryBytes(Opts.MaxMem);
+      if (Governed)
+        I.setBudget(&RunBudget);
       Type *RT = F->getReturnType();
       std::string ResultText;
+      // A deadline that is already over (--deadline-ms=0) fails
+      // deterministically before the first instruction.
+      if (Governed && RunBudget.expired())
+        throw BudgetError{RunBudget.tripped()};
       if (Opts.RunFunc == "main") {
         ResultText = std::to_string(I.runMain());
       } else {
@@ -951,6 +1038,15 @@ int main(int Argc, char **Argv) {
            << " instructions, " << execKindName(I.getExecKind()) << '/'
            << dispatchModeName(I.getDispatchMode()) << ")\n";
       }
+    } catch (const BudgetError &E) {
+      if (Opts.Json) {
+        Json.addStr("code", errCodeName(E.Code));
+        OS << Json.str() << '\n';
+      } else {
+        errs() << "gropt: error: " << errCodeName(E.Code)
+               << " (--run stopped by its resource budget)\n";
+      }
+      return 1;
     }
   }
 
@@ -968,5 +1064,5 @@ int main(int Argc, char **Argv) {
   } else if (DefaultPrint) {
     OS << moduleToString(*M);
   }
-  return 0;
+  return ExitCode;
 }
