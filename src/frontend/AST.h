@@ -20,10 +20,12 @@ namespace gr {
 namespace ast {
 
 /// Source-level type: base type plus pointer depth plus array
-/// dimensions (for declarations).
+/// dimensions (for declarations). A Struct base carries the struct
+/// tag, resolved against the unit's struct declarations at codegen.
 struct TypeSpec {
-  enum class Base { Int, Double, Void };
+  enum class Base { Int, Double, Void, Struct };
   Base BaseType = Base::Int;
+  std::string StructName; // Set when BaseType == Base::Struct.
   unsigned PointerDepth = 0;
   std::vector<int64_t> Dims; // Outermost first; empty for scalars.
 
@@ -50,11 +52,13 @@ public:
     Assign,
     IncDec,
     Ternary,
+    Member,
   };
 
   virtual ~Expr() = default;
   ExprKind getKind() const { return Kind; }
   unsigned Line = 0;
+  unsigned Col = 0;
 
 protected:
   explicit Expr(ExprKind Kind) : Kind(Kind) {}
@@ -183,6 +187,22 @@ public:
   }
 };
 
+/// Struct member access: `base.name` or `base->name`. The arrow form
+/// dereferences a pointer-to-struct base (the only struct parameter
+/// form MiniC has — structs pass by reference).
+class MemberExpr : public Expr {
+public:
+  MemberExpr(ExprPtr Base, std::string Member, bool IsArrow)
+      : Expr(ExprKind::Member), Base(std::move(Base)),
+        Member(std::move(Member)), IsArrow(IsArrow) {}
+  ExprPtr Base;
+  std::string Member;
+  bool IsArrow;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Member;
+  }
+};
+
 class TernaryExpr : public Expr {
 public:
   TernaryExpr(ExprPtr C, ExprPtr T, ExprPtr F)
@@ -218,6 +238,7 @@ public:
   virtual ~Stmt() = default;
   StmtKind getKind() const { return Kind; }
   unsigned Line = 0;
+  unsigned Col = 0;
 
 protected:
   explicit Stmt(StmtKind Kind) : Kind(Kind) {}
@@ -332,6 +353,8 @@ public:
 struct ParamDecl {
   TypeSpec Type;
   std::string Name;
+  unsigned Line = 0;
+  unsigned Col = 0;
 };
 
 /// Function definition (Body set) or declaration.
@@ -341,6 +364,7 @@ struct FunctionDecl {
   std::vector<ParamDecl> Params;
   std::unique_ptr<BlockStmt> Body; // Null for declarations.
   unsigned Line = 0;
+  unsigned Col = 0;
 };
 
 /// Module-level zero-initialized variable.
@@ -348,10 +372,29 @@ struct GlobalDecl {
   TypeSpec Type;
   std::string Name;
   unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// One member of a struct declaration. Members are single-slot
+/// (scalar or pointer) — arrays and nested structs are rejected.
+struct StructMember {
+  TypeSpec Type;
+  std::string Name;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Top-level `struct Tag { ... };` declaration.
+struct StructDecl {
+  std::string Name;
+  std::vector<StructMember> Members;
+  unsigned Line = 0;
+  unsigned Col = 0;
 };
 
 /// A parsed translation unit.
 struct TranslationUnit {
+  std::vector<StructDecl> Structs;
   std::vector<GlobalDecl> Globals;
   std::vector<FunctionDecl> Functions;
 };

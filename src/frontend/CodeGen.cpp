@@ -5,6 +5,7 @@
 #include "analysis/CFGUtils.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
+#include "ir/Type.h"
 
 #include <map>
 #include <vector>
@@ -44,27 +45,38 @@ constexpr BuiltinSpec Builtins[] = {
 };
 
 /// One visible variable: its storage address plus the declared type of
-/// the storage (an array type for array variables).
+/// the storage (an array type for array variables, a struct type for
+/// struct variables).
 struct VarBinding {
   Value *Address;
   Type *Contained;
+};
+
+/// One declared struct: the uniqued IR type plus the member names in
+/// declaration order (a member's GEP index is its position here).
+struct StructInfo {
+  StructType *Ty = nullptr;
+  std::vector<std::string> MemberNames;
 };
 
 /// The lowering context for one translation unit.
 class CodeGen {
 public:
   CodeGen(const TranslationUnit &TU, std::string ModuleName,
-          std::string *Error)
+          FrontendDiag *Diag)
       : TU(TU), M(std::make_unique<Module>(std::move(ModuleName))),
-        B(*M), Error(Error) {}
+        B(*M), Diag(Diag) {}
 
   std::unique_ptr<Module> run() {
+    if (!buildStructs())
+      return nullptr;
     for (const GlobalDecl &GD : TU.Globals) {
-      Type *Ty = lowerType(GD.Type);
+      Type *Ty = lowerType(GD.Type, GD.Line, GD.Col);
       if (!Ty || Ty->isVoid())
-        return failAt(GD.Line, "invalid global type"), nullptr;
+        return failAt(GD.Line, GD.Col, "invalid global type"), nullptr;
       if (GlobalScope.count(GD.Name))
-        return failAt(GD.Line, "redefinition of global " + GD.Name),
+        return failAt(GD.Line, GD.Col,
+                      "redefinition of global " + GD.Name),
                nullptr;
       GlobalVariable *GV = M->createGlobal(GD.Name, Ty);
       GlobalScope[GD.Name] = {GV, Ty};
@@ -81,37 +93,124 @@ private:
   // Diagnostics and types
   //===--------------------------------------------------------------===//
 
-  void failAt(unsigned Line, const std::string &Msg) {
-    if (!Failed && Error)
-      *Error = "line " + std::to_string(Line) + ": " + Msg;
+  void failAt(unsigned Line, unsigned Col, const std::string &Msg) {
+    if (!Failed && Diag)
+      *Diag = {Line, Col, Msg};
     Failed = true;
+  }
+  void failAt(const Expr &E, const std::string &Msg) {
+    failAt(E.Line, E.Col, Msg);
+  }
+  void failAt(const Stmt &S, const std::string &Msg) {
+    failAt(S.Line, S.Col, Msg);
   }
 
   TypeContext &types() { return M->getTypeContext(); }
 
-  Type *lowerScalar(TypeSpec::Base Base) {
-    switch (Base) {
+  /// Lowers the base of a TypeSpec (before pointers and dims). Struct
+  /// tags resolve against the unit's struct declarations.
+  Type *lowerBase(const TypeSpec &TS, unsigned Line, unsigned Col) {
+    switch (TS.BaseType) {
     case TypeSpec::Base::Int:
       return types().getInt64();
     case TypeSpec::Base::Double:
       return types().getFloat64();
     case TypeSpec::Base::Void:
       return types().getVoid();
+    case TypeSpec::Base::Struct: {
+      auto It = StructsByTag.find(TS.StructName);
+      if (It == StructsByTag.end()) {
+        failAt(Line, Col, "unknown struct " + TS.StructName);
+        return nullptr;
+      }
+      return It->second.Ty;
+    }
     }
     return nullptr;
   }
 
   /// Lowers a TypeSpec. Array dims wrap outermost-first.
-  Type *lowerType(const TypeSpec &TS) {
-    Type *Ty = lowerScalar(TS.BaseType);
+  Type *lowerType(const TypeSpec &TS, unsigned Line, unsigned Col) {
+    Type *Ty = lowerBase(TS, Line, Col);
+    if (!Ty)
+      return nullptr;
     for (unsigned I = 0; I != TS.PointerDepth; ++I)
       Ty = types().getPointer(Ty);
     for (size_t I = TS.Dims.size(); I != 0; --I) {
-      if (TS.Dims[I - 1] <= 0)
+      if (TS.Dims[I - 1] <= 0) {
+        failAt(Line, Col, "array dimension must be positive");
         return nullptr;
+      }
       Ty = types().getArray(Ty, static_cast<uint64_t>(TS.Dims[I - 1]));
     }
     return Ty;
+  }
+
+  /// Registers every struct declaration, in order. A member may point
+  /// to an earlier struct; self-referential members are rejected since
+  /// the type is only uniqued once the member list is complete.
+  bool buildStructs() {
+    for (const StructDecl &SD : TU.Structs) {
+      if (StructsByTag.count(SD.Name)) {
+        failAt(SD.Line, SD.Col, "redefinition of struct " + SD.Name);
+        return false;
+      }
+      StructInfo Info;
+      std::vector<Type *> Members;
+      for (const StructMember &SM : SD.Members) {
+        Type *Ty = lowerType(SM.Type, SM.Line, SM.Col);
+        if (!Ty)
+          return false;
+        if (!Ty->isScalar() && !Ty->isPointer()) {
+          failAt(SM.Line, SM.Col, "struct member " + SM.Name +
+                                      " must be a scalar or pointer");
+          return false;
+        }
+        for (const std::string &Prev : Info.MemberNames) {
+          if (Prev == SM.Name) {
+            failAt(SM.Line, SM.Col, "duplicate member " + SM.Name +
+                                        " in struct " + SD.Name);
+            return false;
+          }
+        }
+        Info.MemberNames.push_back(SM.Name);
+        Members.push_back(Ty);
+      }
+      Info.Ty = types().getStruct(std::move(Members));
+      StructsByTag.emplace(SD.Name, std::move(Info));
+    }
+    return true;
+  }
+
+  /// Finds \p Name in the struct \p ST. Structs are structural, so two
+  /// tags can share one IR type; the lookup scans every tag with this
+  /// shape and insists they agree on the member's position.
+  int memberIndex(const StructType *ST, const std::string &Name,
+                  const Expr &At) {
+    int Found = -1;
+    bool Ambiguous = false;
+    for (const auto &[Tag, Info] : StructsByTag) {
+      if (Info.Ty != ST)
+        continue;
+      for (size_t I = 0; I != Info.MemberNames.size(); ++I) {
+        if (Info.MemberNames[I] != Name)
+          continue;
+        if (Found >= 0 && Found != static_cast<int>(I))
+          Ambiguous = true;
+        Found = static_cast<int>(I);
+      }
+    }
+    if (Found < 0) {
+      failAt(At, "no member named " + Name + " in " + ST->getString());
+      return -1;
+    }
+    if (Ambiguous) {
+      failAt(At, "member " + Name + " is ambiguous between struct tags "
+                                    "sharing the layout " +
+                     ST->getString());
+      return -1;
+    }
+    return Found;
   }
 
   //===--------------------------------------------------------------===//
@@ -131,10 +230,10 @@ private:
     return Found == GlobalScope.end() ? nullptr : &Found->second;
   }
 
-  bool declare(const std::string &Name, VarBinding Binding,
-               unsigned Line) {
+  bool declare(const std::string &Name, VarBinding Binding, unsigned Line,
+               unsigned Col) {
     if (Scopes.back().count(Name)) {
-      failAt(Line, "redefinition of " + Name);
+      failAt(Line, Col, "redefinition of " + Name);
       return false;
     }
     Scopes.back()[Name] = Binding;
@@ -154,7 +253,7 @@ private:
   // Conversions
   //===--------------------------------------------------------------===//
 
-  Value *toBool(Value *V, unsigned Line) {
+  Value *toBool(Value *V, const Expr &At) {
     if (!V)
       return nullptr;
     Type *Ty = V->getType();
@@ -164,11 +263,11 @@ private:
       return B.createCmp(CmpInst::Predicate::NE, V, B.getInt64(0));
     if (Ty->isFloat64())
       return B.createCmp(CmpInst::Predicate::ONE, V, B.getFloat(0.0));
-    failAt(Line, "cannot use this value as a condition");
+    failAt(At, "cannot use this value as a condition");
     return nullptr;
   }
 
-  Value *convert(Value *V, Type *Target, unsigned Line) {
+  Value *convert(Value *V, Type *Target, const Expr &At) {
     if (!V)
       return nullptr;
     Type *Ty = V->getType();
@@ -185,30 +284,32 @@ private:
     if (Ty->isFloat64() && Target->isInt64())
       return B.createCast(CastInst::CastKind::FPToSI, V);
     if (Ty->isInt64() && Target->isInt1())
-      return toBool(V, Line);
-    failAt(Line, "cannot convert " + Ty->getString() + " to " +
-                     Target->getString());
+      return toBool(V, At);
+    failAt(At, "cannot convert " + Ty->getString() + " to " +
+                   Target->getString());
     return nullptr;
   }
 
   /// Usual arithmetic conversions: makes both operands i64 or f64.
-  bool unifyArith(Value *&L, Value *&R, unsigned Line) {
+  bool unifyArith(Value *&L, Value *&R, const Expr &At) {
     if (!L || !R)
       return false;
     if (L->getType()->isInt1())
-      L = convert(L, types().getInt64(), Line);
+      L = convert(L, types().getInt64(), At);
     if (R->getType()->isInt1())
-      R = convert(R, types().getInt64(), Line);
+      R = convert(R, types().getInt64(), At);
     if (!L || !R)
       return false;
     if (L->getType() == R->getType())
       return true;
     if (L->getType()->isFloat64())
-      R = convert(R, types().getFloat64(), Line);
+      R = convert(R, types().getFloat64(), At);
     else if (R->getType()->isFloat64())
-      L = convert(L, types().getFloat64(), Line);
+      L = convert(L, types().getFloat64(), At);
     else {
-      failAt(Line, "incompatible operand types");
+      failAt(At, "incompatible operand types " +
+                     L->getType()->getString() + " and " +
+                     R->getType()->getString());
       return false;
     }
     return L && R;
@@ -238,14 +339,21 @@ private:
   }
 
   bool emitFunction(const FunctionDecl &FD) {
-    Type *RetTy = lowerScalar(FD.ReturnType.BaseType);
+    if (FD.ReturnType.BaseType == TypeSpec::Base::Struct &&
+        FD.ReturnType.PointerDepth == 0) {
+      failAt(FD.Line, FD.Col, "functions cannot return a struct by value");
+      return false;
+    }
+    Type *RetTy = lowerBase(FD.ReturnType, FD.Line, FD.Col);
+    if (!RetTy)
+      return false;
     for (unsigned I = 0; I != FD.ReturnType.PointerDepth; ++I)
       RetTy = types().getPointer(RetTy);
     std::vector<Type *> ParamTys;
     for (const ParamDecl &PD : FD.Params) {
-      Type *Ty = lowerType(PD.Type);
-      if (!Ty || Ty->isVoid()) {
-        failAt(FD.Line, "invalid parameter type for " + PD.Name);
+      Type *Ty = lowerType(PD.Type, PD.Line, PD.Col);
+      if (!Ty || Ty->isVoid() || Ty->isStruct()) {
+        failAt(PD.Line, PD.Col, "invalid parameter type for " + PD.Name);
         return false;
       }
       ParamTys.push_back(Ty);
@@ -254,7 +362,7 @@ private:
 
     Function *Existing = M->getFunction(FD.Name);
     if (Existing && (!Existing->isDeclaration() || !FD.Body)) {
-      failAt(FD.Line, "redefinition of function " + FD.Name);
+      failAt(FD.Line, FD.Col, "redefinition of function " + FD.Name);
       return false;
     }
     if (!FD.Body) {
@@ -267,7 +375,7 @@ private:
     // natural top-down order, so a fresh function suffices.
     Function *F = Existing ? Existing : M->createFunction(FD.Name, FT);
     if (F->getFunctionType() != FT) {
-      failAt(FD.Line, "declaration type mismatch for " + FD.Name);
+      failAt(FD.Line, FD.Col, "declaration type mismatch for " + FD.Name);
       return false;
     }
 
@@ -296,7 +404,8 @@ private:
       AllocaInst *Slot =
           createEntryAlloca(Arg->getType(), FD.Params[I].Name + ".addr");
       B.createStore(Arg, Slot);
-      if (!declare(FD.Params[I].Name, {Slot, Arg->getType()}, FD.Line))
+      if (!declare(FD.Params[I].Name, {Slot, Arg->getType()},
+                   FD.Params[I].Line, FD.Params[I].Col))
         return false;
     }
 
@@ -365,7 +474,7 @@ private:
     case Stmt::StmtKind::Break:
     case Stmt::StmtKind::Continue: {
       if (LoopTargets.empty()) {
-        failAt(S.Line, "break/continue outside of a loop");
+        failAt(S, "break/continue outside of a loop");
         return;
       }
       BasicBlock *Target = S.getKind() == Stmt::StmtKind::Break
@@ -395,28 +504,32 @@ private:
   }
 
   void emitDecl(const DeclStmt &DS) {
-    Type *Ty = lowerType(DS.Type);
+    Type *Ty = lowerType(DS.Type, DS.Line, DS.Col);
     if (!Ty || Ty->isVoid()) {
-      failAt(DS.Line, "invalid variable type for " + DS.Name);
+      failAt(DS, "invalid variable type for " + DS.Name);
       return;
     }
     AllocaInst *Slot = createEntryAlloca(Ty, DS.Name);
-    if (!declare(DS.Name, {Slot, Ty}, DS.Line))
+    if (!declare(DS.Name, {Slot, Ty}, DS.Line, DS.Col))
       return;
     if (DS.Init) {
       if (Ty->isArray()) {
-        failAt(DS.Line, "array initializers are not supported");
+        failAt(DS, "array initializers are not supported");
+        return;
+      }
+      if (Ty->isStruct()) {
+        failAt(DS, "struct initializers are not supported");
         return;
       }
       Value *Init = emitExpr(*DS.Init);
-      Init = convert(Init, Ty, DS.Line);
+      Init = convert(Init, Ty, *DS.Init);
       if (Init)
         B.createStore(Init, Slot);
     }
   }
 
   void emitIf(const IfStmt &If) {
-    Value *Cond = toBool(emitExpr(*If.Cond), If.Line);
+    Value *Cond = toBool(emitExpr(*If.Cond), *If.Cond);
     if (!Cond)
       return;
     BasicBlock *ThenBB = CurFn->createBlock("if.then");
@@ -459,7 +572,7 @@ private:
     B.createBr(Header);
     B.setInsertBlock(Header);
     if (For.Cond) {
-      Value *Cond = toBool(emitExpr(*For.Cond), For.Line);
+      Value *Cond = toBool(emitExpr(*For.Cond), *For.Cond);
       if (!Cond) {
         popScope();
         return;
@@ -495,7 +608,7 @@ private:
 
     B.createBr(Header);
     B.setInsertBlock(Header);
-    Value *Cond = toBool(emitExpr(*While.Cond), While.Line);
+    Value *Cond = toBool(emitExpr(*While.Cond), *While.Cond);
     if (!Cond)
       return;
     B.createCondBr(Cond, Body, Exit);
@@ -517,17 +630,17 @@ private:
   void emitReturn(const ReturnStmt &Ret) {
     if (Ret.Value) {
       if (!RetSlot) {
-        failAt(Ret.Line, "returning a value from a void function");
+        failAt(Ret, "returning a value from a void function");
         return;
       }
       Value *V = emitExpr(*Ret.Value);
       V = convert(V, cast<AllocaInst>(RetSlot)->getAllocatedType(),
-                  Ret.Line);
+                  *Ret.Value);
       if (!V)
         return;
       B.createStore(V, RetSlot);
     } else if (RetSlot) {
-      failAt(Ret.Line, "non-void function must return a value");
+      failAt(Ret, "non-void function must return a value");
       return;
     }
     B.createBr(RetBlock);
@@ -538,8 +651,8 @@ private:
   // Expressions
   //===--------------------------------------------------------------===//
 
-  /// Emits \p E as an rvalue. Array-typed expressions decay to a
-  /// pointer to the array.
+  /// Emits \p E as an rvalue. Aggregate-typed expressions (arrays,
+  /// structs) decay to a pointer to the aggregate.
   Value *emitExpr(const Expr &E) {
     if (Failed)
       return nullptr;
@@ -549,11 +662,12 @@ private:
     case Expr::ExprKind::FloatLit:
       return B.getFloat(cast<FloatLitExpr>(E).Value);
     case Expr::ExprKind::VarRef:
-    case Expr::ExprKind::Index: {
+    case Expr::ExprKind::Index:
+    case Expr::ExprKind::Member: {
       auto [Addr, Contained] = emitAddr(E);
       if (!Addr)
         return nullptr;
-      if (Contained->isArray())
+      if (Contained->isArray() || Contained->isStruct())
         return Addr; // Decay: the address itself.
       return B.createLoad(Addr);
     }
@@ -575,14 +689,14 @@ private:
 
   /// Emits \p E as an lvalue address. Returns {address, contained
   /// type}; the contained type is an array type for (partially
-  /// indexed) arrays.
+  /// indexed) arrays and a struct type for struct values.
   std::pair<Value *, Type *> emitAddr(const Expr &E) {
     if (Failed)
       return {nullptr, nullptr};
     if (const auto *Var = dyn_cast<VarRefExpr>(&E)) {
       const VarBinding *Binding = lookup(Var->Name);
       if (!Binding) {
-        failAt(E.Line, "unknown variable " + Var->Name);
+        failAt(E, "unknown variable " + Var->Name);
         return {nullptr, nullptr};
       }
       return {Binding->Address, Binding->Contained};
@@ -593,31 +707,126 @@ private:
         return {nullptr, nullptr};
       auto *PT = dyn_cast<PointerType>(Base->getType());
       if (!PT) {
-        failAt(E.Line, "indexing a non-pointer value");
+        failAt(E, "indexing a non-pointer value");
+        return {nullptr, nullptr};
+      }
+      if (PT->getPointee()->isStruct()) {
+        // A GEP into a struct pointee selects a member, so it cannot
+        // carry a runtime index; struct pointers are single-object
+        // references in MiniC.
+        failAt(E, "cannot index a pointer to a struct; use '->'");
         return {nullptr, nullptr};
       }
       Value *Index =
-          convert(emitExpr(*Idx->Index), types().getInt64(), E.Line);
+          convert(emitExpr(*Idx->Index), types().getInt64(), *Idx->Index);
       if (!Index)
         return {nullptr, nullptr};
       GEPInst *GEP = B.createGEP(Base, Index);
       return {GEP, GEP->getElementType()};
     }
-    failAt(E.Line, "expression is not assignable");
+    if (const auto *Mem = dyn_cast<MemberExpr>(&E)) {
+      Value *Base = nullptr;
+      StructType *ST = nullptr;
+      if (Mem->IsArrow) {
+        Value *Ptr = emitExpr(*Mem->Base);
+        if (!Ptr)
+          return {nullptr, nullptr};
+        auto *PT = dyn_cast<PointerType>(Ptr->getType());
+        if (!PT || !PT->getPointee()->isStruct()) {
+          failAt(E, "'->' requires a pointer to a struct");
+          return {nullptr, nullptr};
+        }
+        Base = Ptr;
+        ST = cast<StructType>(PT->getPointee());
+      } else {
+        auto [Addr, Contained] = emitAddr(*Mem->Base);
+        if (!Addr)
+          return {nullptr, nullptr};
+        if (!Contained->isStruct()) {
+          failAt(E, Contained->isPointer()
+                        ? "'.' on a pointer value; use '->'"
+                        : "'.' requires a struct value");
+          return {nullptr, nullptr};
+        }
+        Base = Addr;
+        ST = cast<StructType>(Contained);
+      }
+      int Index = memberIndex(ST, Mem->Member, E);
+      if (Index < 0)
+        return {nullptr, nullptr};
+      GEPInst *GEP = B.createGEP(Base, B.getInt64(Index));
+      return {GEP, GEP->getElementType()};
+    }
+    failAt(E, "expression is not assignable");
     return {nullptr, nullptr};
+  }
+
+  /// Lowers the C stdlib names abs/min/max onto the VM's builtins by
+  /// dispatching on the operand types. Only consulted when no user
+  /// function of the same name exists, so local definitions win.
+  Value *emitShim(const CallExpr &Call, bool &Handled) {
+    Handled = false;
+    auto Builtin = [&](const char *Name,
+                       std::vector<Value *> Args) -> Value * {
+      Function *F = getOrCreateBuiltin(Name);
+      return F ? B.createCall(F, std::move(Args)) : nullptr;
+    };
+    if (Call.Callee == "abs") {
+      Handled = true;
+      if (Call.Args.size() != 1) {
+        failAt(Call, "abs expects 1 argument");
+        return nullptr;
+      }
+      Value *A = emitExpr(*Call.Args[0]);
+      if (!A)
+        return nullptr;
+      if (A->getType()->isFloat64())
+        return Builtin("fabs", {A});
+      A = convert(A, types().getInt64(), *Call.Args[0]);
+      if (!A)
+        return nullptr;
+      Value *Neg =
+          B.createBinary(BinaryInst::BinaryOp::Sub, B.getInt64(0), A);
+      return Builtin("imax", {A, Neg});
+    }
+    if (Call.Callee == "min" || Call.Callee == "max") {
+      Handled = true;
+      bool IsMin = Call.Callee == "min";
+      if (Call.Args.size() != 2) {
+        failAt(Call, Call.Callee + " expects 2 arguments");
+        return nullptr;
+      }
+      Value *L = emitExpr(*Call.Args[0]);
+      Value *R = emitExpr(*Call.Args[1]);
+      if (!unifyArith(L, R, Call))
+        return nullptr;
+      bool IsFloat = L->getType()->isFloat64();
+      return Builtin(IsFloat ? (IsMin ? "fmin" : "fmax")
+                             : (IsMin ? "imin" : "imax"),
+                     {L, R});
+    }
+    return nullptr;
   }
 
   Value *emitCall(const CallExpr &Call) {
     Function *Callee = M->getFunction(Call.Callee);
-    if (!Callee)
-      Callee = getOrCreateBuiltin(Call.Callee);
     if (!Callee) {
-      failAt(Call.Line, "unknown function " + Call.Callee);
+      bool Handled = false;
+      Value *Shimmed = emitShim(Call, Handled);
+      if (Handled)
+        return Shimmed;
+      Callee = getOrCreateBuiltin(Call.Callee);
+    }
+    if (!Callee) {
+      failAt(Call, "unknown function " + Call.Callee);
       return nullptr;
     }
     FunctionType *FT = Callee->getFunctionType();
     if (FT->getNumParams() != Call.Args.size()) {
-      failAt(Call.Line, "wrong number of arguments to " + Call.Callee);
+      failAt(Call, "wrong number of arguments to " + Call.Callee +
+                       ": expected " +
+                       std::to_string(FT->getNumParams()) + ", got " +
+                       std::to_string(Call.Args.size()));
       return nullptr;
     }
     std::vector<Value *> Args;
@@ -635,7 +844,7 @@ private:
           Arg = B.createGEP(Arg, B.getInt64(0));
       }
       if (Arg->getType() != Want)
-        Arg = convert(Arg, Want, Call.Line);
+        Arg = convert(Arg, Want, *Call.Args[I]);
       if (!Arg)
         return nullptr;
       Args.push_back(Arg);
@@ -652,7 +861,7 @@ private:
       return Sub;
     case UnaryExpr::Op::Neg:
       if (Sub->getType()->isInt1())
-        Sub = convert(Sub, types().getInt64(), U.Line);
+        Sub = convert(Sub, types().getInt64(), *U.Sub);
       if (!Sub)
         return nullptr;
       if (Sub->getType()->isFloat64())
@@ -660,7 +869,7 @@ private:
                               Sub);
       return B.createBinary(BinaryInst::BinaryOp::Sub, B.getInt64(0), Sub);
     case UnaryExpr::Op::Not: {
-      Value *Cond = toBool(Sub, U.Line);
+      Value *Cond = toBool(Sub, *U.Sub);
       if (!Cond)
         return nullptr;
       return B.createBinary(BinaryInst::BinaryOp::Xor, Cond,
@@ -679,7 +888,7 @@ private:
 
     Value *L = emitExpr(*Bin.LHS);
     Value *R = emitExpr(*Bin.RHS);
-    if (!unifyArith(L, R, Bin.Line))
+    if (!unifyArith(L, R, Bin))
       return nullptr;
     bool IsFloat = L->getType()->isFloat64();
 
@@ -702,7 +911,7 @@ private:
                             L, R);
     case Op::Rem:
       if (IsFloat) {
-        failAt(Bin.Line, "%% requires integer operands");
+        failAt(Bin, "%% requires integer operands");
         return nullptr;
       }
       return B.createBinary(BinaryInst::BinaryOp::SRem, L, R);
@@ -741,7 +950,7 @@ private:
     bool IsAnd = Bin.Operator == BinaryExpr::Op::LogicalAnd;
     AllocaInst *Slot = createEntryAlloca(types().getInt1(), "sc.tmp");
 
-    Value *L = toBool(emitExpr(*Bin.LHS), Bin.Line);
+    Value *L = toBool(emitExpr(*Bin.LHS), *Bin.LHS);
     if (!L)
       return nullptr;
     B.createStore(L, Slot);
@@ -753,7 +962,7 @@ private:
       B.createCondBr(L, EndBB, RHSBB);
 
     B.setInsertBlock(RHSBB);
-    Value *R = toBool(emitExpr(*Bin.RHS), Bin.Line);
+    Value *R = toBool(emitExpr(*Bin.RHS), *Bin.RHS);
     if (!R)
       return nullptr;
     B.createStore(R, Slot);
@@ -768,7 +977,11 @@ private:
     if (!Addr)
       return nullptr;
     if (Contained->isArray()) {
-      failAt(Assign.Line, "cannot assign to an array");
+      failAt(Assign, "cannot assign to an array");
+      return nullptr;
+    }
+    if (Contained->isStruct()) {
+      failAt(Assign, "cannot assign to a struct; assign its members");
       return nullptr;
     }
     Value *RHS = emitExpr(*Assign.RHS);
@@ -778,7 +991,7 @@ private:
     if (Assign.Operator != AssignExpr::Op::Assign) {
       Value *Old = B.createLoad(Addr);
       Value *L = Old, *R = RHS;
-      if (!unifyArith(L, R, Assign.Line))
+      if (!unifyArith(L, R, Assign))
         return nullptr;
       bool IsFloat = L->getType()->isFloat64();
       BinaryInst::BinaryOp Op;
@@ -807,7 +1020,7 @@ private:
       RHS = B.createBinary(Op, L, R);
     }
 
-    RHS = convert(RHS, Contained, Assign.Line);
+    RHS = convert(RHS, Contained, *Assign.RHS);
     if (!RHS)
       return nullptr;
     B.createStore(RHS, Addr);
@@ -819,7 +1032,7 @@ private:
     if (!Addr)
       return nullptr;
     if (!Contained->isScalar()) {
-      failAt(Inc.Line, "++/-- requires a scalar");
+      failAt(Inc, "++/-- requires a scalar");
       return nullptr;
     }
     Value *Old = B.createLoad(Addr);
@@ -837,7 +1050,7 @@ private:
   }
 
   Value *emitTernary(const TernaryExpr &Ternary) {
-    Value *Cond = toBool(emitExpr(*Ternary.Cond), Ternary.Line);
+    Value *Cond = toBool(emitExpr(*Ternary.Cond), *Ternary.Cond);
     if (!Cond)
       return nullptr;
     BasicBlock *TrueBB = CurFn->createBlock("sel.true");
@@ -855,7 +1068,7 @@ private:
     if (ResultTy->isInt1())
       ResultTy = types().getInt64();
     AllocaInst *Slot = createEntryAlloca(ResultTy, "sel.tmp");
-    TrueV = convert(TrueV, ResultTy, Ternary.Line);
+    TrueV = convert(TrueV, ResultTy, *Ternary.TrueArm);
     if (!TrueV)
       return nullptr;
     B.createStore(TrueV, Slot);
@@ -866,7 +1079,7 @@ private:
     // Float arms promote the result type; re-run with a float slot is
     // avoided by always converting toward the slot type (int result
     // with a float false-arm truncates, as C would with an int lhs).
-    FalseV = convert(FalseV, ResultTy, Ternary.Line);
+    FalseV = convert(FalseV, ResultTy, *Ternary.FalseArm);
     if (!FalseV)
       return nullptr;
     B.createStore(FalseV, Slot);
@@ -879,7 +1092,7 @@ private:
   const TranslationUnit &TU;
   std::unique_ptr<Module> M;
   IRBuilder B;
-  std::string *Error;
+  FrontendDiag *Diag;
   bool Failed = false;
 
   Function *CurFn = nullptr;
@@ -887,6 +1100,7 @@ private:
   BasicBlock *RetBlock = nullptr;
   AllocaInst *RetSlot = nullptr;
   size_t NumEntryAllocas = 0;
+  std::map<std::string, StructInfo> StructsByTag;
   std::map<std::string, VarBinding> GlobalScope;
   std::vector<std::map<std::string, VarBinding>> Scopes;
   std::vector<std::pair<BasicBlock *, BasicBlock *>> LoopTargets;
@@ -896,6 +1110,16 @@ private:
 
 std::unique_ptr<Module> gr::generateIR(const TranslationUnit &TU,
                                        std::string ModuleName,
+                                       FrontendDiag *Diag) {
+  return CodeGen(TU, std::move(ModuleName), Diag).run();
+}
+
+std::unique_ptr<Module> gr::generateIR(const TranslationUnit &TU,
+                                       std::string ModuleName,
                                        std::string *Error) {
-  return CodeGen(TU, std::move(ModuleName), Error).run();
+  FrontendDiag Diag;
+  auto M = generateIR(TU, std::move(ModuleName), &Diag);
+  if (!M && Error)
+    *Error = Diag.str();
+  return M;
 }

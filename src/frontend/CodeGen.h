@@ -12,6 +12,7 @@
 #define GR_FRONTEND_CODEGEN_H
 
 #include "frontend/AST.h"
+#include "frontend/Diagnostics.h"
 
 #include <memory>
 #include <string>
@@ -20,8 +21,14 @@ namespace gr {
 
 class Module;
 
-/// Lowers \p TU into a fresh module. Returns null and sets \p Error on
+/// Lowers \p TU into a fresh module. Returns null and fills \p Diag on
 /// a semantic error (unknown names, type mismatches, bad calls).
+std::unique_ptr<Module> generateIR(const ast::TranslationUnit &TU,
+                                   std::string ModuleName,
+                                   FrontendDiag *Diag);
+
+/// Convenience overload rendering the diagnostic into \p Error as
+/// "line:col: message".
 std::unique_ptr<Module> generateIR(const ast::TranslationUnit &TU,
                                    std::string ModuleName,
                                    std::string *Error);

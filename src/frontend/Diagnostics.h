@@ -1,0 +1,34 @@
+//===- Diagnostics.h - MiniC diagnostic type ------------------*- C++ -*-===//
+///
+/// \file
+/// Structured frontend diagnostics, mirroring IRParseError: every
+/// lexer, parser and codegen error carries the 1-based line and column
+/// of the offending token and renders as "line:col: message". Junk
+/// input never aborts the process — it surfaces here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_FRONTEND_DIAGNOSTICS_H
+#define GR_FRONTEND_DIAGNOSTICS_H
+
+#include <string>
+
+namespace gr {
+
+/// One frontend diagnostic. Line and Col are 1-based; Col 0 means the
+/// position is unknown (e.g. a whole-program check).
+struct FrontendDiag {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+
+  /// "line:col: message" — the canonical rendering, identical in shape
+  /// to IRParseError::str().
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Message;
+  }
+};
+
+} // namespace gr
+
+#endif // GR_FRONTEND_DIAGNOSTICS_H

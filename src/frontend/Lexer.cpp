@@ -13,7 +13,8 @@ namespace {
 const std::map<std::string, TokenKind> &keywordMap() {
   static const std::map<std::string, TokenKind> Keywords = {
       {"int", TokenKind::KwInt},         {"double", TokenKind::KwDouble},
-      {"void", TokenKind::KwVoid},       {"if", TokenKind::KwIf},
+      {"void", TokenKind::KwVoid},       {"struct", TokenKind::KwStruct},
+      {"if", TokenKind::KwIf},
       {"else", TokenKind::KwElse},       {"for", TokenKind::KwFor},
       {"while", TokenKind::KwWhile},     {"return", TokenKind::KwReturn},
       {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
@@ -24,13 +25,20 @@ const std::map<std::string, TokenKind> &keywordMap() {
 } // namespace
 
 std::vector<Token> gr::lexSource(std::string_view Source,
-                                 std::string *Error) {
+                                 FrontendDiag *Diag) {
   std::vector<Token> Tokens;
   unsigned Line = 1;
   size_t I = 0, N = Source.size();
+  size_t LineStart = 0; ///< Index of the first character of this line.
+
+  // 1-based column of the character at index \p At on the current line.
+  auto ColOf = [&](size_t At) {
+    return static_cast<unsigned>(At - LineStart + 1);
+  };
+  unsigned TokCol = 1; ///< Column of the token being pushed.
 
   auto Push = [&](TokenKind Kind, std::string Text) {
-    Tokens.push_back({Kind, std::move(Text), 0, 0.0, Line});
+    Tokens.push_back({Kind, std::move(Text), 0, 0.0, Line, TokCol});
   };
 
   while (I < N) {
@@ -38,6 +46,7 @@ std::vector<Token> gr::lexSource(std::string_view Source,
     if (C == '\n') {
       ++Line;
       ++I;
+      LineStart = I;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(C))) {
@@ -53,13 +62,16 @@ std::vector<Token> gr::lexSource(std::string_view Source,
     if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
       I += 2;
       while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/')) {
-        if (Source[I] == '\n')
+        if (Source[I] == '\n') {
           ++Line;
+          LineStart = I + 1;
+        }
         ++I;
       }
       I = (I + 1 < N) ? I + 2 : N;
       continue;
     }
+    TokCol = ColOf(I);
     // Identifiers and keywords.
     if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
       size_t Start = I;
@@ -96,7 +108,7 @@ std::vector<Token> gr::lexSource(std::string_view Source,
       }
       std::string Text(Source.substr(Start, I - Start));
       Token Tok{IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
-                Text, 0, 0.0, Line};
+                Text, 0, 0.0, Line, TokCol};
       if (IsFloat)
         Tok.FloatValue = std::strtod(Text.c_str(), nullptr);
       else
@@ -114,6 +126,7 @@ std::vector<Token> gr::lexSource(std::string_view Source,
       return false;
     };
     if (Match2('+', '+', TokenKind::PlusPlus) ||
+        Match2('-', '>', TokenKind::Arrow) ||
         Match2('-', '-', TokenKind::MinusMinus) ||
         Match2('+', '=', TokenKind::PlusAssign) ||
         Match2('-', '=', TokenKind::MinusAssign) ||
@@ -148,16 +161,18 @@ std::vector<Token> gr::lexSource(std::string_view Source,
     case '<': Kind = TokenKind::Less; break;
     case '>': Kind = TokenKind::Greater; break;
     case '!': Kind = TokenKind::Not; break;
+    case '.': Kind = TokenKind::Dot; break;
     default:
-      if (Error)
-        *Error = "line " + std::to_string(Line) +
-                 ": unexpected character '" + std::string(1, C) + "'";
+      if (Diag)
+        *Diag = {Line, TokCol,
+                 "unexpected character '" + std::string(1, C) + "'"};
       Push(TokenKind::End, "");
       return Tokens;
     }
     Push(Kind, std::string(1, C));
     ++I;
   }
+  TokCol = ColOf(I);
   Push(TokenKind::End, "");
   return Tokens;
 }
@@ -171,6 +186,7 @@ std::string_view gr::tokenKindName(TokenKind Kind) {
   case TokenKind::KwInt: return "'int'";
   case TokenKind::KwDouble: return "'double'";
   case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwStruct: return "'struct'";
   case TokenKind::KwIf: return "'if'";
   case TokenKind::KwElse: return "'else'";
   case TokenKind::KwFor: return "'for'";
@@ -209,6 +225,8 @@ std::string_view gr::tokenKindName(TokenKind Kind) {
   case TokenKind::AmpAmp: return "'&&'";
   case TokenKind::PipePipe: return "'||'";
   case TokenKind::Not: return "'!'";
+  case TokenKind::Dot: return "'.'";
+  case TokenKind::Arrow: return "'->'";
   }
   return "unknown";
 }

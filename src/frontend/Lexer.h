@@ -2,12 +2,14 @@
 ///
 /// \file
 /// Tokenizer for MiniC, the C subset the benchmark corpus is written
-/// in. Tracks line numbers for diagnostics.
+/// in. Tracks line and column numbers for diagnostics.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GR_FRONTEND_LEXER_H
 #define GR_FRONTEND_LEXER_H
+
+#include "frontend/Diagnostics.h"
 
 #include <cstdint>
 #include <string>
@@ -26,6 +28,7 @@ enum class TokenKind {
   KwInt,
   KwDouble,
   KwVoid,
+  KwStruct,
   KwIf,
   KwElse,
   KwFor,
@@ -65,20 +68,24 @@ enum class TokenKind {
   AmpAmp,
   PipePipe,
   Not,
+  Dot,
+  Arrow,
 };
 
-/// One lexed token.
+/// One lexed token. Line and Col are 1-based source coordinates of the
+/// token's first character.
 struct Token {
   TokenKind Kind;
   std::string Text;
   int64_t IntValue = 0;
   double FloatValue = 0.0;
   unsigned Line = 0;
+  unsigned Col = 0;
 };
 
 /// Lexes \p Source completely. On an invalid character, appends an
-/// End token and records an error message in \p Error.
-std::vector<Token> lexSource(std::string_view Source, std::string *Error);
+/// End token and records a positioned diagnostic in \p Diag.
+std::vector<Token> lexSource(std::string_view Source, FrontendDiag *Diag);
 
 /// Printable name of a token kind for diagnostics.
 std::string_view tokenKindName(TokenKind Kind);

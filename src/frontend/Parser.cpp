@@ -10,8 +10,8 @@ namespace {
 /// Recursive descent parser over the token vector.
 class Parser {
 public:
-  Parser(std::vector<Token> Tokens, std::string *Error)
-      : Tokens(std::move(Tokens)), Error(Error) {}
+  Parser(std::vector<Token> Tokens, FrontendDiag *Diag)
+      : Tokens(std::move(Tokens)), Diag(Diag) {}
 
   std::optional<TranslationUnit> run() {
     TranslationUnit TU;
@@ -52,8 +52,8 @@ private:
   }
 
   void fail(const std::string &Msg) {
-    if (!Failed && Error)
-      *Error = "line " + std::to_string(peek().Line) + ": " + Msg;
+    if (!Failed && Diag)
+      *Diag = {peek().Line, peek().Col, Msg};
     Failed = true;
   }
 
@@ -63,10 +63,10 @@ private:
 
   bool atTypeKeyword() const {
     return at(TokenKind::KwInt) || at(TokenKind::KwDouble) ||
-           at(TokenKind::KwVoid);
+           at(TokenKind::KwVoid) || at(TokenKind::KwStruct);
   }
 
-  /// Parses "int" / "double" / "void" plus '*' suffixes.
+  /// Parses "int" / "double" / "void" / "struct Tag" plus '*' suffixes.
   std::optional<TypeSpec> parseTypePrefix() {
     TypeSpec TS;
     if (accept(TokenKind::KwInt))
@@ -75,8 +75,17 @@ private:
       TS.BaseType = TypeSpec::Base::Double;
     else if (accept(TokenKind::KwVoid))
       TS.BaseType = TypeSpec::Base::Void;
-    else {
-      fail("expected type name");
+    else if (accept(TokenKind::KwStruct)) {
+      TS.BaseType = TypeSpec::Base::Struct;
+      if (!at(TokenKind::Identifier)) {
+        fail("expected struct tag after 'struct' but found " +
+             std::string(tokenKindName(peek().Kind)));
+        return std::nullopt;
+      }
+      TS.StructName = advance().Text;
+    } else {
+      fail("expected type name but found " +
+           std::string(tokenKindName(peek().Kind)));
       return std::nullopt;
     }
     while (accept(TokenKind::Star))
@@ -99,13 +108,70 @@ private:
     return true;
   }
 
+  /// Parses `struct Tag { type name; ... };`. The leading 'struct' and
+  /// tag are already consumed by the caller.
+  bool parseStructDecl(TranslationUnit &TU, std::string Tag, unsigned Line,
+                       unsigned Col) {
+    StructDecl SD;
+    SD.Name = std::move(Tag);
+    SD.Line = Line;
+    SD.Col = Col;
+    if (!expect(TokenKind::LBrace))
+      return false;
+    while (!at(TokenKind::RBrace) && !at(TokenKind::End) && !Failed) {
+      StructMember SM;
+      SM.Line = peek().Line;
+      SM.Col = peek().Col;
+      auto MT = parseTypePrefix();
+      if (!MT)
+        return false;
+      if (MT->isVoid() || (MT->BaseType == TypeSpec::Base::Struct &&
+                           MT->PointerDepth == 0)) {
+        fail("struct member must be a scalar or pointer type");
+        return false;
+      }
+      if (!at(TokenKind::Identifier)) {
+        fail("expected member name but found " +
+             std::string(tokenKindName(peek().Kind)));
+        return false;
+      }
+      SM.Name = advance().Text;
+      if (at(TokenKind::LBracket)) {
+        fail("array members are not supported; use an array of structs");
+        return false;
+      }
+      SM.Type = *MT;
+      if (!expect(TokenKind::Semicolon))
+        return false;
+      SD.Members.push_back(std::move(SM));
+    }
+    if (!expect(TokenKind::RBrace) || !expect(TokenKind::Semicolon))
+      return false;
+    if (SD.Members.empty()) {
+      fail("struct '" + SD.Name + "' has no members");
+      return false;
+    }
+    TU.Structs.push_back(std::move(SD));
+    return true;
+  }
+
   bool parseTopLevel(TranslationUnit &TU) {
     unsigned Line = peek().Line;
+    unsigned Col = peek().Col;
+    // `struct Tag {` opens a struct declaration; `struct Tag name`
+    // continues as an ordinary global/function type prefix.
+    if (at(TokenKind::KwStruct) && peek(1).Kind == TokenKind::Identifier &&
+        peek(2).Kind == TokenKind::LBrace) {
+      advance(); // 'struct'
+      std::string Tag = advance().Text;
+      return parseStructDecl(TU, std::move(Tag), Line, Col);
+    }
     auto TS = parseTypePrefix();
     if (!TS)
       return false;
     if (!at(TokenKind::Identifier)) {
-      fail("expected identifier after type");
+      fail("expected identifier after type but found " +
+           std::string(tokenKindName(peek().Kind)));
       return false;
     }
     std::string Name = advance().Text;
@@ -116,21 +182,26 @@ private:
       FD.ReturnType = *TS;
       FD.Name = std::move(Name);
       FD.Line = Line;
+      FD.Col = Col;
       advance(); // '('
       if (!at(TokenKind::RParen)) {
         do {
+          ParamDecl PD;
+          PD.Line = peek().Line;
+          PD.Col = peek().Col;
           auto PT = parseTypePrefix();
           if (!PT)
             return false;
           if (!at(TokenKind::Identifier)) {
-            fail("expected parameter name");
+            fail("expected parameter name but found " +
+                 std::string(tokenKindName(peek().Kind)));
             return false;
           }
-          ParamDecl PD;
           PD.Name = advance().Text;
           if (!parseDims(*PT))
             return false;
-          // Array parameters decay to pointers.
+          // Array parameters decay to pointers; so do bare struct
+          // parameters (structs pass by reference).
           if (!PT->Dims.empty()) {
             PT->PointerDepth += 1;
             // Only the outermost dimension decays; inner constant
@@ -141,6 +212,9 @@ private:
             }
             PT->Dims.clear();
           }
+          if (PT->BaseType == TypeSpec::Base::Struct &&
+              PT->PointerDepth == 0)
+            PT->PointerDepth = 1;
           PD.Type = *PT;
           FD.Params.push_back(std::move(PD));
         } while (accept(TokenKind::Comma));
@@ -164,6 +238,7 @@ private:
     GD.Type = *TS;
     GD.Name = std::move(Name);
     GD.Line = Line;
+    GD.Col = Col;
     if (!parseDims(GD.Type))
       return false;
     for (int64_t D : GD.Type.Dims)
@@ -183,6 +258,7 @@ private:
 
   StmtPtr parseBlock() {
     unsigned Line = peek().Line;
+    unsigned Col = peek().Col;
     if (!expect(TokenKind::LBrace))
       return nullptr;
     std::vector<StmtPtr> Stmts;
@@ -196,14 +272,18 @@ private:
       return nullptr;
     auto Block = std::make_unique<BlockStmt>(std::move(Stmts));
     Block->Line = Line;
+    Block->Col = Col;
     return Block;
   }
 
   StmtPtr parseStmt() {
     unsigned Line = peek().Line;
+    unsigned Col = peek().Col;
     StmtPtr S = parseStmtInner();
-    if (S)
+    if (S) {
       S->Line = Line;
+      S->Col = Col;
+    }
     return S;
   }
 
@@ -247,6 +327,8 @@ private:
   }
 
   StmtPtr parseDeclStmt(bool RequireSemicolon) {
+    unsigned Line = peek().Line;
+    unsigned Col = peek().Col;
     auto TS = parseTypePrefix();
     if (!TS)
       return nullptr;
@@ -270,8 +352,11 @@ private:
     }
     if (RequireSemicolon && !expect(TokenKind::Semicolon))
       return nullptr;
-    return std::make_unique<DeclStmt>(*TS, std::move(Name),
-                                      std::move(Init));
+    auto DS = std::make_unique<DeclStmt>(*TS, std::move(Name),
+                                         std::move(Init));
+    DS->Line = Line;
+    DS->Col = Col;
+    return DS;
   }
 
   StmtPtr parseIf() {
@@ -348,16 +433,18 @@ private:
   // Expressions (precedence climbing)
   //===--------------------------------------------------------------===//
 
-  ExprPtr withLine(ExprPtr E, unsigned Line) {
-    if (E)
-      E->Line = Line;
+  ExprPtr withPos(ExprPtr E, const Token &Tok) {
+    if (E) {
+      E->Line = Tok.Line;
+      E->Col = Tok.Col;
+    }
     return E;
   }
 
   ExprPtr parseExpr() { return parseAssignment(); }
 
   ExprPtr parseAssignment() {
-    unsigned Line = peek().Line;
+    Token Start = peek();
     ExprPtr LHS = parseTernary();
     if (!LHS)
       return nullptr;
@@ -377,13 +464,13 @@ private:
     ExprPtr RHS = parseAssignment();
     if (!RHS)
       return nullptr;
-    return withLine(std::make_unique<AssignExpr>(Op, std::move(LHS),
-                                                 std::move(RHS)),
-                    Line);
+    return withPos(std::make_unique<AssignExpr>(Op, std::move(LHS),
+                                                std::move(RHS)),
+                   Start);
   }
 
   ExprPtr parseTernary() {
-    unsigned Line = peek().Line;
+    Token Start = peek();
     ExprPtr Cond = parseLogicalOr();
     if (!Cond || !accept(TokenKind::Question))
       return Cond;
@@ -393,23 +480,23 @@ private:
     ExprPtr FalseArm = parseTernary();
     if (!FalseArm)
       return nullptr;
-    return withLine(std::make_unique<TernaryExpr>(std::move(Cond),
-                                                  std::move(TrueArm),
-                                                  std::move(FalseArm)),
-                    Line);
+    return withPos(std::make_unique<TernaryExpr>(std::move(Cond),
+                                                 std::move(TrueArm),
+                                                 std::move(FalseArm)),
+                   Start);
   }
 
   ExprPtr parseLogicalOr() {
     ExprPtr LHS = parseLogicalAnd();
     while (LHS && at(TokenKind::PipePipe)) {
-      unsigned Line = advance().Line;
+      Token OpTok = advance();
       ExprPtr RHS = parseLogicalAnd();
       if (!RHS)
         return nullptr;
-      LHS = withLine(std::make_unique<BinaryExpr>(
-                         BinaryExpr::Op::LogicalOr, std::move(LHS),
-                         std::move(RHS)),
-                     Line);
+      LHS = withPos(std::make_unique<BinaryExpr>(
+                        BinaryExpr::Op::LogicalOr, std::move(LHS),
+                        std::move(RHS)),
+                    OpTok);
     }
     return LHS;
   }
@@ -417,14 +504,14 @@ private:
   ExprPtr parseLogicalAnd() {
     ExprPtr LHS = parseEquality();
     while (LHS && at(TokenKind::AmpAmp)) {
-      unsigned Line = advance().Line;
+      Token OpTok = advance();
       ExprPtr RHS = parseEquality();
       if (!RHS)
         return nullptr;
-      LHS = withLine(std::make_unique<BinaryExpr>(
-                         BinaryExpr::Op::LogicalAnd, std::move(LHS),
-                         std::move(RHS)),
-                     Line);
+      LHS = withPos(std::make_unique<BinaryExpr>(
+                        BinaryExpr::Op::LogicalAnd, std::move(LHS),
+                        std::move(RHS)),
+                    OpTok);
     }
     return LHS;
   }
@@ -434,15 +521,15 @@ private:
     while (LHS &&
            (at(TokenKind::EqualEqual) || at(TokenKind::NotEqual))) {
       bool IsEq = at(TokenKind::EqualEqual);
-      unsigned Line = advance().Line;
+      Token OpTok = advance();
       ExprPtr RHS = parseRelational();
       if (!RHS)
         return nullptr;
-      LHS = withLine(
+      LHS = withPos(
           std::make_unique<BinaryExpr>(IsEq ? BinaryExpr::Op::Eq
                                             : BinaryExpr::Op::Ne,
                                        std::move(LHS), std::move(RHS)),
-          Line);
+          OpTok);
     }
     return LHS;
   }
@@ -452,7 +539,7 @@ private:
     while (LHS && (at(TokenKind::Less) || at(TokenKind::LessEqual) ||
                    at(TokenKind::Greater) || at(TokenKind::GreaterEqual))) {
       TokenKind K = peek().Kind;
-      unsigned Line = advance().Line;
+      Token OpTok = advance();
       BinaryExpr::Op Op = K == TokenKind::Less        ? BinaryExpr::Op::Lt
                           : K == TokenKind::LessEqual ? BinaryExpr::Op::Le
                           : K == TokenKind::Greater   ? BinaryExpr::Op::Gt
@@ -460,9 +547,9 @@ private:
       ExprPtr RHS = parseAdditive();
       if (!RHS)
         return nullptr;
-      LHS = withLine(std::make_unique<BinaryExpr>(Op, std::move(LHS),
-                                                  std::move(RHS)),
-                     Line);
+      LHS = withPos(std::make_unique<BinaryExpr>(Op, std::move(LHS),
+                                                 std::move(RHS)),
+                    OpTok);
     }
     return LHS;
   }
@@ -471,15 +558,15 @@ private:
     ExprPtr LHS = parseMultiplicative();
     while (LHS && (at(TokenKind::Plus) || at(TokenKind::Minus))) {
       bool IsAdd = at(TokenKind::Plus);
-      unsigned Line = advance().Line;
+      Token OpTok = advance();
       ExprPtr RHS = parseMultiplicative();
       if (!RHS)
         return nullptr;
-      LHS = withLine(
+      LHS = withPos(
           std::make_unique<BinaryExpr>(IsAdd ? BinaryExpr::Op::Add
                                              : BinaryExpr::Op::Sub,
                                        std::move(LHS), std::move(RHS)),
-          Line);
+          OpTok);
     }
     return LHS;
   }
@@ -489,22 +576,22 @@ private:
     while (LHS && (at(TokenKind::Star) || at(TokenKind::Slash) ||
                    at(TokenKind::Percent))) {
       TokenKind K = peek().Kind;
-      unsigned Line = advance().Line;
+      Token OpTok = advance();
       BinaryExpr::Op Op = K == TokenKind::Star    ? BinaryExpr::Op::Mul
                           : K == TokenKind::Slash ? BinaryExpr::Op::Div
                                                   : BinaryExpr::Op::Rem;
       ExprPtr RHS = parseUnary();
       if (!RHS)
         return nullptr;
-      LHS = withLine(std::make_unique<BinaryExpr>(Op, std::move(LHS),
-                                                  std::move(RHS)),
-                     Line);
+      LHS = withPos(std::make_unique<BinaryExpr>(Op, std::move(LHS),
+                                                 std::move(RHS)),
+                    OpTok);
     }
     return LHS;
   }
 
   ExprPtr parseUnary() {
-    unsigned Line = peek().Line;
+    Token Start = peek();
     if (accept(TokenKind::Minus)) {
       ExprPtr Sub = parseUnary();
       if (!Sub)
@@ -513,31 +600,31 @@ private:
       // steps and bounds must be compile-time constants to the IR.
       if (auto *IL = dyn_cast<IntLitExpr>(Sub.get())) {
         IL->Value = -IL->Value;
-        return withLine(std::move(Sub), Line);
+        return withPos(std::move(Sub), Start);
       }
       if (auto *FL = dyn_cast<FloatLitExpr>(Sub.get())) {
         FL->Value = -FL->Value;
-        return withLine(std::move(Sub), Line);
+        return withPos(std::move(Sub), Start);
       }
-      return withLine(std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg,
-                                                  std::move(Sub)),
-                      Line);
+      return withPos(std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg,
+                                                 std::move(Sub)),
+                     Start);
     }
     if (accept(TokenKind::Not)) {
       ExprPtr Sub = parseUnary();
       if (!Sub)
         return nullptr;
-      return withLine(std::make_unique<UnaryExpr>(UnaryExpr::Op::Not,
-                                                  std::move(Sub)),
-                      Line);
+      return withPos(std::make_unique<UnaryExpr>(UnaryExpr::Op::Not,
+                                                 std::move(Sub)),
+                     Start);
     }
     if (accept(TokenKind::Plus)) {
       ExprPtr Sub = parseUnary();
       if (!Sub)
         return nullptr;
-      return withLine(std::make_unique<UnaryExpr>(UnaryExpr::Op::Plus,
-                                                  std::move(Sub)),
-                      Line);
+      return withPos(std::make_unique<UnaryExpr>(UnaryExpr::Op::Plus,
+                                                 std::move(Sub)),
+                     Start);
     }
     return parsePostfix();
   }
@@ -545,24 +632,38 @@ private:
   ExprPtr parsePostfix() {
     ExprPtr E = parsePrimary();
     while (E && !Failed) {
-      unsigned Line = peek().Line;
+      Token Tok = peek();
       if (accept(TokenKind::LBracket)) {
         ExprPtr Index = parseExpr();
         if (!Index || !expect(TokenKind::RBracket))
           return nullptr;
-        E = withLine(std::make_unique<IndexExpr>(std::move(E),
-                                                 std::move(Index)),
-                     Line);
+        E = withPos(std::make_unique<IndexExpr>(std::move(E),
+                                                std::move(Index)),
+                    Tok);
+        continue;
+      }
+      if (at(TokenKind::Dot) || at(TokenKind::Arrow)) {
+        bool IsArrow = at(TokenKind::Arrow);
+        advance();
+        if (!at(TokenKind::Identifier)) {
+          fail("expected member name after '" +
+               std::string(IsArrow ? "->" : ".") + "' but found " +
+               std::string(tokenKindName(peek().Kind)));
+          return nullptr;
+        }
+        std::string Member = advance().Text;
+        E = withPos(std::make_unique<MemberExpr>(std::move(E),
+                                                 std::move(Member),
+                                                 IsArrow),
+                    Tok);
         continue;
       }
       if (accept(TokenKind::PlusPlus)) {
-        E = withLine(std::make_unique<IncDecExpr>(std::move(E), true),
-                     Line);
+        E = withPos(std::make_unique<IncDecExpr>(std::move(E), true), Tok);
         continue;
       }
       if (accept(TokenKind::MinusMinus)) {
-        E = withLine(std::make_unique<IncDecExpr>(std::move(E), false),
-                     Line);
+        E = withPos(std::make_unique<IncDecExpr>(std::move(E), false), Tok);
         continue;
       }
       break;
@@ -571,13 +672,13 @@ private:
   }
 
   ExprPtr parsePrimary() {
-    unsigned Line = peek().Line;
+    Token Start = peek();
     if (at(TokenKind::IntLiteral))
-      return withLine(std::make_unique<IntLitExpr>(advance().IntValue),
-                      Line);
+      return withPos(std::make_unique<IntLitExpr>(advance().IntValue),
+                     Start);
     if (at(TokenKind::FloatLiteral))
-      return withLine(
-          std::make_unique<FloatLitExpr>(advance().FloatValue), Line);
+      return withPos(
+          std::make_unique<FloatLitExpr>(advance().FloatValue), Start);
     if (at(TokenKind::Identifier)) {
       std::string Name = advance().Text;
       if (accept(TokenKind::LParen)) {
@@ -592,11 +693,11 @@ private:
         }
         if (!expect(TokenKind::RParen))
           return nullptr;
-        return withLine(std::make_unique<CallExpr>(std::move(Name),
-                                                   std::move(Args)),
-                        Line);
+        return withPos(std::make_unique<CallExpr>(std::move(Name),
+                                                  std::move(Args)),
+                       Start);
       }
-      return withLine(std::make_unique<VarRefExpr>(std::move(Name)), Line);
+      return withPos(std::make_unique<VarRefExpr>(std::move(Name)), Start);
     }
     if (accept(TokenKind::LParen)) {
       ExprPtr E = parseExpr();
@@ -604,12 +705,13 @@ private:
         return nullptr;
       return E;
     }
-    fail("expected expression");
+    fail("expected expression but found " +
+         std::string(tokenKindName(peek().Kind)));
     return nullptr;
   }
 
   std::vector<Token> Tokens;
-  std::string *Error;
+  FrontendDiag *Diag;
   size_t Pos = 0;
   bool Failed = false;
 };
@@ -617,13 +719,22 @@ private:
 } // namespace
 
 std::optional<TranslationUnit> gr::parseMiniC(std::string_view Source,
-                                              std::string *Error) {
-  std::string LexError;
-  std::vector<Token> Tokens = lexSource(Source, &LexError);
-  if (!LexError.empty()) {
-    if (Error)
-      *Error = LexError;
+                                              FrontendDiag *Diag) {
+  FrontendDiag LexDiag;
+  std::vector<Token> Tokens = lexSource(Source, &LexDiag);
+  if (!LexDiag.Message.empty()) {
+    if (Diag)
+      *Diag = LexDiag;
     return std::nullopt;
   }
-  return Parser(std::move(Tokens), Error).run();
+  return Parser(std::move(Tokens), Diag).run();
+}
+
+std::optional<TranslationUnit> gr::parseMiniC(std::string_view Source,
+                                              std::string *Error) {
+  FrontendDiag Diag;
+  auto TU = parseMiniC(Source, &Diag);
+  if (!TU && Error)
+    *Error = Diag.str();
+  return TU;
 }

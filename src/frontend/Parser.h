@@ -2,7 +2,8 @@
 ///
 /// \file
 /// Parses a token stream into an ast::TranslationUnit. Reports the
-/// first error with its line number and stops.
+/// first error as a structured FrontendDiag (line, column, expected
+/// vs. got) and stops; junk input never aborts.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -10,6 +11,7 @@
 #define GR_FRONTEND_PARSER_H
 
 #include "frontend/AST.h"
+#include "frontend/Diagnostics.h"
 #include "frontend/Lexer.h"
 
 #include <optional>
@@ -17,7 +19,12 @@
 
 namespace gr {
 
-/// Parses \p Source; returns nullopt and sets \p Error on failure.
+/// Parses \p Source; returns nullopt and fills \p Diag on failure.
+std::optional<ast::TranslationUnit> parseMiniC(std::string_view Source,
+                                               FrontendDiag *Diag);
+
+/// Convenience overload rendering the diagnostic into \p Error as
+/// "line:col: message".
 std::optional<ast::TranslationUnit> parseMiniC(std::string_view Source,
                                                std::string *Error);
 

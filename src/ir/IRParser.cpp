@@ -633,6 +633,31 @@ private:
       if (!expectPunct(']', "after array type"))
         return nullptr;
       Base = Ctx.getArray(Elem, N);
+    } else if (isPunct('{')) {
+      // Anonymous struct: `{i64, f64}`. Members are restricted to
+      // single-slot types (scalars and pointers) — the invariant the
+      // execution engines rely on for member address arithmetic.
+      get();
+      std::vector<Type *> Members;
+      while (true) {
+        Type *Member = parseType();
+        if (!Member)
+          return nullptr;
+        if (!Member->isScalar() && !Member->isPointer()) {
+          fail(T, "struct member must be a scalar or pointer type, got " +
+                      Member->getString());
+          return nullptr;
+        }
+        Members.push_back(Member);
+        if (isPunct(',')) {
+          get();
+          continue;
+        }
+        break;
+      }
+      if (!expectPunct('}', "after struct member list"))
+        return nullptr;
+      Base = Ctx.getStruct(std::move(Members));
     }
     if (!Base) {
       fail(T, "expected type, found " + describe(T));
@@ -701,6 +726,8 @@ private:
     Type *Ret = parseType();
     if (!Ret)
       return false;
+    if (!Ret->isVoid() && !Ret->isScalar() && !Ret->isPointer())
+      return fail(Header, "return type must be void, scalar or pointer");
     if (!is(TokKind::Global))
       return fail(peek(), "expected function name, found " + describe(peek()));
     Token NameTok = get();
@@ -747,8 +774,20 @@ private:
       if (!expectPunct('{', "to open the function body"))
         return false;
       Body.Begin = Pos;
-      while (!atEnd() && !isPunct('}'))
+      // Brace-aware scan: struct types inside instruction lines carry
+      // their own balanced `{...}`, so only a `}` at depth zero closes
+      // the function body.
+      unsigned Depth = 0;
+      while (!atEnd()) {
+        if (isPunct('{')) {
+          ++Depth;
+        } else if (isPunct('}')) {
+          if (Depth == 0)
+            break;
+          --Depth;
+        }
         ++Pos;
+      }
       if (atEnd())
         return fail(Header, "unterminated function body");
       Body.End = Pos;
@@ -1220,6 +1259,20 @@ private:
       Type *Expected = P->getType();
       if (auto *AT = dyn_cast<ArrayType>(PT->getPointee()))
         Expected = Ctx.getPointer(AT->getElement());
+      if (auto *ST = dyn_cast<StructType>(PT->getPointee())) {
+        // Member access form: a constant index naming a member.
+        auto *CI = dyn_cast<ConstantInt>(Idx);
+        if (!CI)
+          return fail(OpTok,
+                      "gep into a struct needs a constant member index");
+        if (CI->getValue() < 0 ||
+            static_cast<uint64_t>(CI->getValue()) >= ST->getNumMembers())
+          return fail(OpTok, "gep member index " +
+                                 std::to_string(CI->getValue()) +
+                                 " out of range for " + ST->getString());
+        Expected = Ctx.getPointer(
+            ST->getMember(static_cast<unsigned>(CI->getValue())));
+      }
       if (Ty != Expected)
         return fail(OpTok, "type mismatch: gep through " +
                                P->getType()->getString() + " yields " +

@@ -3,6 +3,7 @@
 #include "ir/Instruction.h"
 
 #include "ir/BasicBlock.h"
+#include "ir/Constant.h"
 #include "ir/Function.h"
 #include "support/ErrorHandling.h"
 
@@ -185,15 +186,26 @@ StoreInst::StoreInst(TypeContext &Ctx, Value *Val, Value *Ptr)
   addOperand(Ptr);
 }
 
-static Type *gepResultType(TypeContext &Ctx, Value *Ptr) {
+static Type *gepResultType(TypeContext &Ctx, Value *Ptr, Value *Index) {
   Type *Pointee = cast<PointerType>(Ptr->getType())->getPointee();
   if (auto *AT = dyn_cast<ArrayType>(Pointee))
     return Ctx.getPointer(AT->getElement());
+  if (auto *ST = dyn_cast<StructType>(Pointee)) {
+    // Member access: the index must be a constant naming a member, and
+    // the result points at that member's type. Because every struct
+    // member is one 8-byte slot, `base + index * 8` — the ordinary GEP
+    // arithmetic over the 8-byte result pointee — lands on the member.
+    auto *CI = cast<ConstantInt>(Index);
+    assert(CI->getValue() >= 0 &&
+           static_cast<uint64_t>(CI->getValue()) < ST->getNumMembers() &&
+           "struct gep index out of range");
+    return Ctx.getPointer(ST->getMember(static_cast<unsigned>(CI->getValue())));
+  }
   return Ptr->getType();
 }
 
 GEPInst::GEPInst(TypeContext &Ctx, Value *Ptr, Value *Index)
-    : Instruction(ValueKind::InstGEP, gepResultType(Ctx, Ptr)) {
+    : Instruction(ValueKind::InstGEP, gepResultType(Ctx, Ptr, Index)) {
   assert(Index->getType()->isInt64() && "gep index must be i64");
   addOperand(Ptr);
   addOperand(Index);

@@ -204,7 +204,10 @@ public:
 
 /// Pointer arithmetic. If the pointee is an array, indexes into the
 /// array and yields a pointer to its element type; if the pointee is a
-/// scalar, offsets the pointer by index elements.
+/// struct, the index must be a constant naming a member and the result
+/// points at that member (every member is one 8-byte slot, so the
+/// address arithmetic is identical to the scalar case); if the pointee
+/// is a scalar, offsets the pointer by index elements.
 class GEPInst : public Instruction {
 public:
   GEPInst(TypeContext &Ctx, Value *Ptr, Value *Index);

@@ -4,6 +4,8 @@
 
 #include "support/ErrorHandling.h"
 
+#include <cassert>
+
 using namespace gr;
 
 namespace {
@@ -27,6 +29,13 @@ uint64_t Type::getSizeInBytes() const {
     const auto *AT = cast<ArrayType>(this);
     return AT->getNumElements() * AT->getElement()->getSizeInBytes();
   }
+  case TypeKind::Struct: {
+    const auto *ST = cast<StructType>(this);
+    uint64_t Size = 0;
+    for (Type *Member : ST->getMembers())
+      Size += Member->getSizeInBytes();
+    return Size;
+  }
   case TypeKind::Function:
     return 0;
   }
@@ -49,6 +58,16 @@ std::string Type::getString() const {
     const auto *AT = cast<ArrayType>(this);
     return "[" + std::to_string(AT->getNumElements()) + " x " +
            AT->getElement()->getString() + "]";
+  }
+  case TypeKind::Struct: {
+    const auto *ST = cast<StructType>(this);
+    std::string Out = "{";
+    for (unsigned I = 0, E = ST->getNumMembers(); I != E; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += ST->getMember(I)->getString();
+    }
+    return Out + "}";
   }
   case TypeKind::Function: {
     const auto *FT = cast<FunctionType>(this);
@@ -78,6 +97,10 @@ ArrayType *ArrayType::get(TypeContext &Ctx, Type *Element,
   return Ctx.getArray(Element, NumElements);
 }
 
+StructType *StructType::get(TypeContext &Ctx, std::vector<Type *> Members) {
+  return Ctx.getStruct(std::move(Members));
+}
+
 FunctionType *FunctionType::get(TypeContext &Ctx, Type *ReturnType,
                                 std::vector<Type *> ParamTypes) {
   return Ctx.getFunction(ReturnType, std::move(ParamTypes));
@@ -100,6 +123,18 @@ ArrayType *TypeContext::getArray(Type *Element, uint64_t NumElements) {
   auto &Slot = ArrayTypes[{Element, NumElements}];
   if (!Slot)
     Slot.reset(new ArrayType(Element, NumElements));
+  return Slot.get();
+}
+
+StructType *TypeContext::getStruct(std::vector<Type *> Members) {
+  for (Type *Member : Members) {
+    (void)Member;
+    assert((Member->isScalar() || Member->isPointer()) &&
+           "struct members must be single-slot types");
+  }
+  auto &Slot = StructTypes[Members];
+  if (!Slot)
+    Slot.reset(new StructType(std::move(Members)));
   return Slot.get();
 }
 

@@ -1,9 +1,9 @@
 //===- Type.h - IR type system --------------------------------*- C++ -*-===//
 ///
 /// \file
-/// The IR type system: void, i1, i64, f64, pointers, fixed-size arrays
-/// and function types. Types are uniqued and owned by a TypeContext, so
-/// pointer equality is type equality.
+/// The IR type system: void, i1, i64, f64, pointers, fixed-size arrays,
+/// anonymous structs and function types. Types are uniqued and owned by
+/// a TypeContext, so pointer equality is type equality.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +32,7 @@ public:
     Float64,
     Pointer,
     Array,
+    Struct,
     Function,
   };
 
@@ -45,6 +46,7 @@ public:
   bool isFloat64() const { return Kind == TypeKind::Float64; }
   bool isPointer() const { return Kind == TypeKind::Pointer; }
   bool isArray() const { return Kind == TypeKind::Array; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
   bool isFunction() const { return Kind == TypeKind::Function; }
   bool isInteger() const { return isInt1() || isInt64(); }
   bool isScalar() const { return isInteger() || isFloat64(); }
@@ -110,6 +112,37 @@ private:
   uint64_t NumElements;
 };
 
+/// Anonymous structural record type, written `{i64, f64}` in textual
+/// IR. Structs are uniqued by member list, so two structs with the
+/// same members are the same type. Every member occupies exactly one
+/// 8-byte slot (scalar or pointer) — this invariant is what lets a
+/// member GEP reuse the ordinary `base + index * 8` address
+/// arithmetic on both execution engines, and it is enforced at
+/// construction. Aggregate members (arrays, nested structs) are
+/// expressed at the frontend level as separate variables or arrays of
+/// structs, never as struct members.
+class StructType : public Type {
+public:
+  const std::vector<Type *> &getMembers() const { return Members; }
+  unsigned getNumMembers() const {
+    return static_cast<unsigned>(Members.size());
+  }
+  Type *getMember(unsigned I) const { return Members[I]; }
+
+  static StructType *get(TypeContext &Ctx, std::vector<Type *> Members);
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Struct;
+  }
+
+private:
+  friend class TypeContext;
+  explicit StructType(std::vector<Type *> Members)
+      : Type(TypeKind::Struct), Members(std::move(Members)) {}
+
+  std::vector<Type *> Members;
+};
+
 /// Function signature type.
 class FunctionType : public Type {
 public:
@@ -151,6 +184,9 @@ public:
 
   PointerType *getPointer(Type *Pointee);
   ArrayType *getArray(Type *Element, uint64_t NumElements);
+  /// Uniques an anonymous struct by member list. Every member must be
+  /// a single-slot type (scalar or pointer).
+  StructType *getStruct(std::vector<Type *> Members);
   FunctionType *getFunction(Type *ReturnType, std::vector<Type *> ParamTypes);
 
 private:
@@ -158,6 +194,7 @@ private:
   std::map<Type *, std::unique_ptr<PointerType>> PointerTypes;
   std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ArrayType>>
       ArrayTypes;
+  std::map<std::vector<Type *>, std::unique_ptr<StructType>> StructTypes;
   std::vector<std::unique_ptr<FunctionType>> FunctionTypes;
 };
 

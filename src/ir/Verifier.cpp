@@ -3,9 +3,11 @@
 #include "ir/Verifier.h"
 
 #include "ir/BasicBlock.h"
+#include "ir/Constant.h"
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
+#include "ir/Type.h"
 
 #include <algorithm>
 #include <map>
@@ -62,6 +64,8 @@ private:
         } else {
           SeenNonPhi = true;
         }
+        if (const auto *GEP = dyn_cast<GEPInst>(I))
+          checkGEP(GEP);
         if (const auto *Ret = dyn_cast<RetInst>(I)) {
           bool WantValue = !F.getReturnType()->isVoid();
           if (WantValue != Ret->hasReturnValue())
@@ -72,6 +76,33 @@ private:
         }
       }
     }
+  }
+
+  /// Struct member access is the one GEP form with value constraints
+  /// beyond types: the index must be a constant naming a member, and
+  /// the member invariant (one 8-byte slot each) must hold — the
+  /// execution engines compute `base + index * 8` for it.
+  void checkGEP(const GEPInst *GEP) {
+    Type *Pointee =
+        cast<PointerType>(GEP->getPointer()->getType())->getPointee();
+    const auto *ST = dyn_cast<StructType>(Pointee);
+    if (!ST)
+      return;
+    const auto *CI = dyn_cast<ConstantInt>(GEP->getIndex());
+    if (!CI) {
+      error("gep " + valueShortName(GEP) +
+            " into struct pointee needs a constant member index");
+      return;
+    }
+    if (CI->getValue() < 0 ||
+        static_cast<uint64_t>(CI->getValue()) >= ST->getNumMembers())
+      error("gep " + valueShortName(GEP) + " member index " +
+            std::to_string(CI->getValue()) + " out of range for " +
+            ST->getString());
+    for (Type *Member : ST->getMembers())
+      if (!Member->isScalar() && !Member->isPointer())
+        error("struct type " + ST->getString() +
+              " has a member wider than one slot");
   }
 
   void computeDominators() {

@@ -20,9 +20,9 @@ namespace {
 //===----------------------------------------------------------------------===//
 
 TEST(Lexer, TokenizesOperatorsLongestFirst) {
-  std::string Error;
-  auto Tokens = lexSource("a += b <= c == d && e++", &Error);
-  EXPECT_TRUE(Error.empty());
+  FrontendDiag Diag;
+  auto Tokens = lexSource("a += b <= c == d && e++", &Diag);
+  EXPECT_TRUE(Diag.Message.empty());
   std::vector<TokenKind> Kinds;
   for (const Token &T : Tokens)
     Kinds.push_back(T.Kind);
@@ -35,8 +35,8 @@ TEST(Lexer, TokenizesOperatorsLongestFirst) {
 }
 
 TEST(Lexer, ParsesNumericLiterals) {
-  std::string Error;
-  auto Tokens = lexSource("42 3.5 1e3 2.5e-2", &Error);
+  FrontendDiag Diag;
+  auto Tokens = lexSource("42 3.5 1e3 2.5e-2", &Diag);
   ASSERT_GE(Tokens.size(), 4u);
   EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
   EXPECT_EQ(Tokens[0].IntValue, 42);
@@ -47,28 +47,33 @@ TEST(Lexer, ParsesNumericLiterals) {
 }
 
 TEST(Lexer, SkipsCommentsAndTracksLines) {
-  std::string Error;
-  auto Tokens = lexSource("// line one\n/* span\nlines */ x", &Error);
+  FrontendDiag Diag;
+  auto Tokens = lexSource("// line one\n/* span\nlines */ x", &Diag);
   ASSERT_GE(Tokens.size(), 1u);
   EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
   EXPECT_EQ(Tokens[0].Line, 3u);
+  EXPECT_EQ(Tokens[0].Col, 10u);
 }
 
-TEST(Lexer, ReportsBadCharacter) {
-  std::string Error;
-  lexSource("int $x;", &Error);
-  EXPECT_NE(Error.find("unexpected character"), std::string::npos);
+TEST(Lexer, ReportsBadCharacterWithPosition) {
+  FrontendDiag Diag;
+  lexSource("int $x;", &Diag);
+  EXPECT_NE(Diag.Message.find("unexpected character"), std::string::npos);
+  EXPECT_EQ(Diag.Line, 1u);
+  EXPECT_EQ(Diag.Col, 5u);
 }
 
 //===----------------------------------------------------------------------===//
 // Parser
 //===----------------------------------------------------------------------===//
 
-TEST(Parser, ReportsLineOnError) {
-  std::string Error;
-  auto TU = parseMiniC("int main() {\n  int x = ;\n}", &Error);
+TEST(Parser, ReportsLineAndColumnOnError) {
+  FrontendDiag Diag;
+  auto TU = parseMiniC("int main() {\n  int x = ;\n}", &Diag);
   EXPECT_FALSE(TU.has_value());
-  EXPECT_NE(Error.find("line 2"), std::string::npos);
+  EXPECT_EQ(Diag.Line, 2u);
+  EXPECT_EQ(Diag.Col, 11u);
+  EXPECT_NE(Diag.Message.find("';'"), std::string::npos);
 }
 
 TEST(Parser, NegativeLiteralsFoldToConstants) {
@@ -191,6 +196,146 @@ TEST(CodeGen, RejectsCallArityMismatch) {
   std::string Error;
   auto M = compileMiniC("int main() { return fmin(1.0); }", "t", &Error);
   EXPECT_EQ(M, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Structs
+//===----------------------------------------------------------------------===//
+
+TEST(CodeGen, StructMembersLoadAndStore) {
+  EXPECT_EQ(runMain("struct Pair { int a; int b; };"
+                    "int main() { struct Pair p;"
+                    "  p.a = 11; p.b = 31;"
+                    "  return p.a + p.b; }"),
+            42);
+}
+
+TEST(CodeGen, StructMixedMemberTypes) {
+  EXPECT_EQ(runMain("struct Cell { int n; double w; };"
+                    "int main() { struct Cell c;"
+                    "  c.n = 3; c.w = 2.5;"
+                    "  return c.n * c.w * 2.0; }"),
+            15);
+}
+
+TEST(CodeGen, StructGlobalIsZeroInitialized) {
+  EXPECT_EQ(runMain("struct S { int x; int y; }; struct S g;"
+                    "int main() { return g.x + g.y; }"),
+            0);
+}
+
+TEST(CodeGen, ArrayOfStructs) {
+  EXPECT_EQ(runMain("struct Pt { int x; int y; };"
+                    "struct Pt pts[4];"
+                    "int main() { int i;"
+                    "  for (i = 0; i < 4; i++) {"
+                    "    pts[i].x = i; pts[i].y = i * i;"
+                    "  }"
+                    "  return pts[3].x + pts[3].y; }"),
+            12);
+}
+
+TEST(CodeGen, StructParamPassesByReference) {
+  EXPECT_EQ(runMain("struct Acc { int sum; int n; };"
+                    "void bump(struct Acc a, int v) {"
+                    "  a->sum += v; a->n++; }"
+                    "int main() { struct Acc acc;"
+                    "  acc.sum = 0; acc.n = 0;"
+                    "  bump(acc, 10); bump(acc, 32);"
+                    "  return acc.sum + acc.n; }"),
+            44);
+}
+
+TEST(CodeGen, StructPointerMemberChasing) {
+  EXPECT_EQ(runMain("struct Node { int v; };"
+                    "struct Node n0;"
+                    "struct Node n1;"
+                    "int get(struct Node *p) { return p->v; }"
+                    "int main() { n0.v = 5; n1.v = 7;"
+                    "  return get(n0) + get(n1); }"),
+            12);
+}
+
+TEST(CodeGen, RejectsUnknownStructMember) {
+  std::string Error;
+  auto M = compileMiniC("struct P { int x; };"
+                        "int main() { struct P p; return p.z; }",
+                        "t", &Error);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Error.find("no member named z"), std::string::npos);
+}
+
+TEST(CodeGen, RejectsUnknownStructTag) {
+  std::string Error;
+  auto M = compileMiniC("int main() { struct Missing m; return 0; }", "t",
+                        &Error);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Error.find("unknown struct Missing"), std::string::npos);
+}
+
+TEST(CodeGen, RejectsDotOnPointer) {
+  std::string Error;
+  auto M = compileMiniC("struct P { int x; };"
+                        "int f(struct P *p) { return p.x; }",
+                        "t", &Error);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Error.find("use '->'"), std::string::npos);
+}
+
+TEST(CodeGen, RejectsStructByValueReturn) {
+  std::string Error;
+  auto M = compileMiniC("struct P { int x; };"
+                        "struct P make() { struct P p; return p; }",
+                        "t", &Error);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Error.find("cannot return a struct by value"),
+            std::string::npos);
+}
+
+TEST(Parser, RejectsArrayStructMember) {
+  std::string Error;
+  auto TU = parseMiniC("struct Bad { int xs[4]; };", &Error);
+  EXPECT_FALSE(TU.has_value());
+  EXPECT_NE(Error.find("array members"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Stdlib shim
+//===----------------------------------------------------------------------===//
+
+TEST(CodeGen, AbsShimDispatchesOnType) {
+  EXPECT_EQ(runMain("int main() { return abs(0 - 4) + abs(3); }"), 7);
+  EXPECT_EQ(runMain("int main() { double d = abs(0.0 - 2.5);"
+                    "  return d * 2.0; }"),
+            5);
+}
+
+TEST(CodeGen, MinMaxShimDispatchesOnType) {
+  EXPECT_EQ(runMain("int main() { return max(3, 9) + min(3, 9); }"), 12);
+  EXPECT_EQ(runMain("int main() { double d = max(1.5, 2.5) + min(0.5, 4.0);"
+                    "  return d; }"),
+            3);
+}
+
+TEST(CodeGen, UserFunctionShadowsShim) {
+  EXPECT_EQ(runMain("int abs(int x) { return x + 100; }"
+                    "int main() { return abs(1); }"),
+            101);
+}
+
+TEST(CodeGen, SqrtBuiltinConvertsIntArgument) {
+  EXPECT_EQ(runMain("int main() { return sqrt(49); }"), 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-function units
+//===----------------------------------------------------------------------===//
+
+TEST(CodeGen, ForwardDeclarationThenDefinition) {
+  EXPECT_EQ(runMain("int helper(int x);"
+                    "int main() { return helper(20); }"
+                    "int helper(int x) { return x * 2 + 2; }"),
+            42);
 }
 
 TEST(CodeGen, ProducesSingleExitSSA) {

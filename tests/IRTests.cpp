@@ -45,6 +45,52 @@ TEST(Types, RenderedNames) {
   EXPECT_EQ(Ctx.getArray(Ctx.getInt64(), 5)->getString(), "[5 x i64]");
 }
 
+TEST(Types, StructUniquingSizeAndName) {
+  Module M;
+  TypeContext &Ctx = M.getTypeContext();
+  StructType *A = Ctx.getStruct({Ctx.getInt64(), Ctx.getFloat64()});
+  StructType *B = Ctx.getStruct({Ctx.getInt64(), Ctx.getFloat64()});
+  StructType *C = Ctx.getStruct({Ctx.getFloat64(), Ctx.getInt64()});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A->getNumMembers(), 2u);
+  EXPECT_EQ(A->getSizeInBytes(), 16u);
+  EXPECT_EQ(A->getString(), "{i64, f64}");
+  EXPECT_TRUE(A->isStruct());
+  // Structs compose with arrays and pointers.
+  EXPECT_EQ(Ctx.getArray(A, 4)->getSizeInBytes(), 64u);
+  EXPECT_EQ(Ctx.getPointer(A)->getString(), "{i64, f64}*");
+  // Pointer members are a single slot.
+  StructType *WithPtr = Ctx.getStruct({Ctx.getPointer(Ctx.getFloat64())});
+  EXPECT_EQ(WithPtr->getSizeInBytes(), 8u);
+}
+
+TEST(Verifier, StructGEPNeedsConstantInRangeIndex) {
+  Module M;
+  TypeContext &Ctx = M.getTypeContext();
+  StructType *ST = Ctx.getStruct({Ctx.getInt64(), Ctx.getFloat64()});
+  FunctionType *FT = Ctx.getFunction(Ctx.getInt64(), {Ctx.getInt64()});
+  Function *F = M.createFunction("f", FT);
+  F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertBlock(F->getEntry());
+  AllocaInst *Slot = B.createAlloca(ST);
+  GEPInst *Member = B.createGEP(Slot, B.getInt64(1));
+  EXPECT_EQ(Member->getType(), Ctx.getPointer(Ctx.getFloat64()));
+  B.createRet(B.getInt64(0));
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(*F, &Errors))
+      << (Errors.empty() ? "" : Errors.front());
+
+  // A runtime index into a struct pointee must be rejected.
+  Member->setOperand(1, F->getArg(0));
+  Errors.clear();
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("constant member index"),
+            std::string::npos);
+}
+
 /// Builds "define i64 @f(i64 %a)" with an empty entry block.
 static Function *makeFunction(Module &M, const char *Name = "f") {
   TypeContext &Ctx = M.getTypeContext();

@@ -391,6 +391,42 @@ int main() {
   expectExecParity(*M, *Parsed);
 }
 
+TEST(ParserEdgeCases, StructTypesRoundTrip) {
+  auto M = compileOrFail(R"(
+struct Cell { int n; double w; };
+struct Cell cells[4];
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 4; i++) {
+    cells[i].n = i;
+    cells[i].w = 1.5 * i;
+  }
+  for (i = 0; i < 4; i++)
+    s = s + cells[i].n * cells[i].w;
+  return s;
+})");
+  ASSERT_NE(M, nullptr);
+  auto Parsed = expectRoundTrip(*M);
+  ASSERT_NE(Parsed, nullptr);
+  expectExecParity(*M, *Parsed);
+}
+
+TEST(ParserEdgeCases, StructTypeBracesDoNotEndFunctionBody) {
+  // The `}` inside an inline struct type must not terminate the
+  // function-body token scan.
+  auto M = parseOrFail("define i64 @main() {\n"
+                       "entry:\n"
+                       "  %s = alloca {i64, f64}\n"
+                       "  %p = gep %s, 0 : i64*\n"
+                       "  store 7, %p\n"
+                       "  %v = load %p : i64\n"
+                       "  ret %v\n"
+                       "}\n");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(runModule(*M).Main, 7);
+}
+
 //===----------------------------------------------------------------------===//
 // Diagnostics
 //===----------------------------------------------------------------------===//
@@ -509,6 +545,41 @@ TEST(ParserDiagnostics, MalformedStructure) {
                    "  ret %x\n"
                    "}\n",
                    "phi needs at least one incoming pair", 3);
+}
+
+TEST(ParserDiagnostics, StructGEPRules) {
+  // A runtime index cannot select a struct member.
+  expectParseError("@g = global {i64, f64}\n"
+                   "define i64 @main(i64 %i) {\n"
+                   "entry:\n"
+                   "  %p = gep @g, %i : i64*\n"
+                   "  ret 0\n"
+                   "}\n",
+                   "constant member index", 4);
+  // Member indices are bounds-checked against the member list.
+  expectParseError("@g = global {i64, f64}\n"
+                   "define i64 @main() {\n"
+                   "entry:\n"
+                   "  %p = gep @g, 5 : i64*\n"
+                   "  ret 0\n"
+                   "}\n",
+                   "out of range", 4);
+  // The annotated type must be the selected member's pointer type.
+  expectParseError("@g = global {i64, f64}\n"
+                   "define i64 @main() {\n"
+                   "entry:\n"
+                   "  %p = gep @g, 1 : i64*\n"
+                   "  ret 0\n"
+                   "}\n",
+                   "gep through", 4);
+}
+
+TEST(ParserDiagnostics, RejectsStructReturnType) {
+  expectParseError("define {i64} @f() {\n"
+                   "entry:\n"
+                   "  ret 0\n"
+                   "}\n",
+                   "return type must be void, scalar or pointer", 1);
 }
 
 TEST(ParserDiagnostics, RejectsOutOfRangeLiterals) {
