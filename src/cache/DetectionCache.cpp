@@ -607,12 +607,14 @@ FunctionCacheKey DetectionCache::functionKey(Function &F,
 
 ModuleCacheKey DetectionCache::moduleKey(const std::string &Text,
                                          const IdiomRegistry &Registry,
-                                         SolverKind Kind) const {
+                                         SolverKind Kind,
+                                         uint64_t SourceTag) const {
   ModuleCacheKey K;
   K.Content = hashBytes(Text);
   ContentHasher H;
   H.u64(kSchemaVersion);
   H.u64('m');
+  H.u64(SourceTag);
   H.u64(K.Content);
   H.u64(Registry.fingerprint());
   H.u64(static_cast<uint64_t>(resolveSolverKind(Kind)));

@@ -152,9 +152,12 @@ public:
   FunctionCacheKey functionKey(Function &F, FunctionAnalysisManager &AM,
                                const IdiomRegistry &Registry,
                                SolverKind Kind) const;
+  /// \p SourceTag distinguishes input languages sharing the byte
+  /// space (0 = textual IR, 'c' = MiniC source): the same bytes mean
+  /// different modules under different frontends.
   ModuleCacheKey moduleKey(const std::string &Text,
                            const IdiomRegistry &Registry,
-                           SolverKind Kind) const;
+                           SolverKind Kind, uint64_t SourceTag = 0) const;
 
   //===--------------------------------------------------------------===//
   // Function tier

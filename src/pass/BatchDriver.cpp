@@ -4,6 +4,7 @@
 
 #include "cache/DetectionCache.h"
 #include "constraint/SolverEngine.h"
+#include "frontend/Compiler.h"
 #include "idioms/IdiomRegistry.h"
 #include "ir/IRParser.h"
 #include "ir/Module.h"
@@ -76,7 +77,8 @@ BatchResult gr::runDetectionBatch(const std::vector<BatchInput> &Inputs,
     DetectionCache *Cache = DetectionCache::active();
     ModuleCacheKey MK;
     if (Cache) {
-      MK = Cache->moduleKey(Inputs[I].Text, Registry, Opts.Kind);
+      MK = Cache->moduleKey(Inputs[I].Text, Registry, Opts.Kind,
+                            Inputs[I].IsMiniC ? 'c' : 0);
       CachedModuleSummary S;
       if (Cache->lookupModule(MK, S)) {
         R.Functions = S.Functions;
@@ -99,11 +101,21 @@ BatchResult gr::runDetectionBatch(const std::vector<BatchInput> &Inputs,
     if (Opts.SolverFuel > 0)
       Bdgt.setSolverFuel(Opts.SolverFuel);
 
-    IRParseError Err;
-    auto M = parseIR(Inputs[I].Text, &Err);
+    std::unique_ptr<Module> M;
+    std::string ParseDiag;
+    if (Inputs[I].IsMiniC) {
+      // MiniC slot: the frontend (lex/parse/lower/SSA) stands in for
+      // the IR parser; a compile error is this slot's parse_error.
+      M = compileMiniC(Inputs[I].Text, Inputs[I].Name, &ParseDiag);
+    } else {
+      IRParseError Err;
+      M = parseIR(Inputs[I].Text, &Err);
+      if (!M)
+        ParseDiag = Err.str();
+    }
     R.ParseMs = nowMs() - T0;
     if (!M) {
-      R.Error = Err.str();
+      R.Error = ParseDiag;
       R.Code = ErrCode::ParseError;
       R.TotalMs = nowMs() - T0;
       return;

@@ -38,10 +38,14 @@ namespace gr {
 
 class IdiomRegistry;
 
-/// One module of a batch: a name for reporting and the textual IR.
+/// One module of a batch: a name for reporting and the textual IR
+/// (or MiniC source when \c IsMiniC is set — compiled through the
+/// frontend before detection; compile failures surface in the slot
+/// as parse_error, exactly like a rejected .gr module).
 struct BatchInput {
   std::string Name;
   std::string Text;
+  bool IsMiniC = false;
 };
 
 /// Configuration of one batch run.

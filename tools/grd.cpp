@@ -12,6 +12,8 @@
 /// tool can sit behind a pipe or socket relay):
 ///
 ///   <path.gr>      parse + detect that file, answer `ok ...`/`error ...`
+///   <path.mc>      compile the MiniC source through the frontend
+///                  first; compile errors answer as parse_error
 ///   !stats         answer one aggregate line (served, p50/p99, rate,
 ///                  per-request cache hits/misses)
 ///   !cache-stats   answer one line of detection-cache counters
@@ -74,7 +76,7 @@ struct ServerOptions {
 void usage() {
   errs() << "usage: grd [--workers=N] [--solver=KIND] [--cache[=DIR]] "
             "[--deadline-ms=N] [--max-mem=BYTES] [--json]\n"
-         << "  reads .gr paths from stdin (one per line); !stats,\n"
+         << "  reads .gr/.mc paths from stdin (one per line); !stats,\n"
          << "  !cache-stats, !deadline-ms <N|none> and !quit are\n"
          << "  control commands. A request that exceeds the deadline\n"
          << "  answers `error <path>: deadline_exceeded` and the\n"
@@ -390,6 +392,8 @@ int main(int Argc, char **Argv) {
     double T0 = nowMs();
     BatchInput In;
     In.Name = Line;
+    In.IsMiniC =
+        Line.size() > 3 && Line.compare(Line.size() - 3, 3, ".mc") == 0;
     std::string Response;
     if (!readFile(Line, In.Text)) {
       ++Agg.Errors;

@@ -2,17 +2,19 @@
 ///
 /// \file
 /// The standalone entry point of the textual IR subsystem: reads a
-/// .gr file (or stdin), runs pass pipelines / idiom detection / the
-/// execution engines over it, and reprints the result. This is the
-/// path external workloads take into the system — everything the
-/// C++-embedded drivers can do, from a file on disk.
+/// .gr file, a MiniC .mc source, or stdin, runs pass pipelines /
+/// idiom detection / the execution engines over it, and reprints the
+/// result. This is the path external workloads take into the system —
+/// everything the C++-embedded drivers can do, from a file on disk.
 ///
 ///   gropt input.gr                       parse, verify, reprint
 ///   gropt input.gr --detect              idiom detection + solver stats
 ///   gropt input.gr -passes=ssa,detect    run a pass pipeline
 ///   gropt input.gr --run                 execute main on the VM
 ///   gropt input.gr -o out.gr             reprint into a file
-///   gropt --batch DIR                    batched detection over DIR/*.gr
+///   gropt kernel.mc --detect --run       compile MiniC, detect, execute
+///   gropt kernel.mc --dump-ir            print the lowered .gr text
+///   gropt --batch DIR                    batched detection over DIR/*.{gr,mc}
 ///   gropt --batch LIST                   ... or over paths listed in a file
 ///   gropt --dump-corpus DIR              write the benchmark corpus as .gr
 ///   gropt --corpus-roundtrip DIR         dump + reparse + differential check
@@ -103,6 +105,27 @@ std::string sanitizeFileName(std::string Name) {
   return Name;
 }
 
+bool hasSuffix(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+/// `.mc` files are MiniC source; everything else is textual IR.
+bool isMiniCPath(const std::string &Path) { return hasSuffix(Path, ".mc"); }
+
+/// Module name for a compiled MiniC input: the basename without its
+/// extension ("corpus/minic/hotspot.mc" -> "hotspot", "-" -> "stdin").
+std::string moduleNameFromPath(const std::string &Path) {
+  if (Path == "-")
+    return "stdin";
+  size_t Slash = Path.find_last_of('/');
+  std::string Base = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  size_t Dot = Base.find_last_of('.');
+  if (Dot != std::string::npos && Dot > 0)
+    Base.resize(Dot);
+  return Base.empty() ? "module" : Base;
+}
+
 /// Insertion-ordered flat JSON object writer.
 class JsonObject {
 public:
@@ -162,6 +185,13 @@ struct Options {
   std::string RunFunc = "main";
   bool VerifyOnly = false;
   bool Json = false;
+  /// --minic: treat the input as MiniC source regardless of extension
+  /// (a `.mc` suffix opts in automatically). The frontend lowers and
+  /// runs mem2reg/CSE/DCE before any other action sees the module.
+  bool MiniC = false;
+  /// --dump-ir: print the module as .gr after parsing/lowering (and
+  /// after any -passes pipeline), even when other actions run.
+  bool DumpIR = false;
   unsigned Workers = 1;
   unsigned Threads = 0; ///< --threads: chunks for the threaded --run
 
@@ -181,7 +211,7 @@ struct Options {
 };
 
 void usage() {
-  errs() << "usage: gropt [options] <input.gr | ->\n"
+  errs() << "usage: gropt [options] <input.gr | input.mc | ->\n"
          << "  -passes=p1,p2,...     mem2reg, cse, dce, ssa, detect,\n"
          << "                        parallelize-reductions, parallelize-scans,\n"
          << "                        parallelize-argminmax, parallelize, default\n"
@@ -200,8 +230,11 @@ void usage() {
          << "                        exhaustion is a structured error\n"
          << "                        (docs/ROBUSTNESS.md), never a hang\n"
          << "  --max-mem=BYTES       interpreter memory ceiling for --run\n"
-         << "  --batch DIR|LIST      batched detection: every .gr under DIR,\n"
-         << "                        or the paths listed in file LIST\n"
+         << "  --minic               input is MiniC source (implied by .mc)\n"
+         << "  --dump-ir             print the lowered module as .gr even\n"
+         << "                        when --detect/--run/-passes also run\n"
+         << "  --batch DIR|LIST      batched detection: every .gr/.mc under\n"
+         << "                        DIR, or the paths listed in file LIST\n"
          << "  -o FILE               reprint the module ('-' = stdout)\n"
          << "  --json                machine-readable stats on stdout\n"
          << "  --verify-only         parse + verify, print OK\n"
@@ -312,6 +345,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Output = Argv[I];
     } else if (Arg == "--json") {
       Opts.Json = true;
+    } else if (Arg == "--minic") {
+      Opts.MiniC = true;
+    } else if (Arg == "--dump-ir") {
+      Opts.DumpIR = true;
     } else if (Arg == "--verify-only") {
       Opts.VerifyOnly = true;
     } else if (Arg == "--dump-corpus") {
@@ -702,10 +739,10 @@ int corpusRoundTrip(const std::string &Dir) {
 // Batched detection (--batch)
 //===----------------------------------------------------------------------===//
 
-/// Collects the batch inputs named by \p Arg: every `.gr` file
-/// directly under it when it is a directory (sorted by name, so runs
-/// are reproducible), else the paths it lists one per line (blank
-/// lines and `#` comments skipped).
+/// Collects the batch inputs named by \p Arg: every `.gr` or `.mc`
+/// file directly under it when it is a directory (sorted by name, so
+/// runs are reproducible), else the paths it lists one per line
+/// (blank lines and `#` comments skipped).
 bool collectBatchPaths(const std::string &Arg,
                        std::vector<std::string> &Paths) {
   struct stat St;
@@ -721,7 +758,7 @@ bool collectBatchPaths(const std::string &Arg,
     }
     while (struct dirent *E = ::readdir(D)) {
       std::string Name = E->d_name;
-      if (Name.size() > 3 && Name.compare(Name.size() - 3, 3, ".gr") == 0)
+      if (hasSuffix(Name, ".gr") || isMiniCPath(Name))
         Paths.push_back(Arg + "/" + Name);
     }
     ::closedir(D);
@@ -750,7 +787,7 @@ int runBatch(const Options &Opts) {
   if (!collectBatchPaths(Opts.BatchArg, Paths))
     return 1;
   if (Paths.empty()) {
-    errs() << "gropt: --batch: no .gr inputs under " << Opts.BatchArg
+    errs() << "gropt: --batch: no .gr/.mc inputs under " << Opts.BatchArg
            << '\n';
     return 1;
   }
@@ -761,6 +798,7 @@ int runBatch(const Options &Opts) {
   for (const std::string &P : Paths) {
     BatchInput In;
     In.Name = P;
+    In.IsMiniC = isMiniCPath(P);
     if (!readFile(P, In.Text)) {
       errs() << "gropt: --batch: cannot read " << P << '\n';
       ++Unreadable;
@@ -861,15 +899,28 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  IRParseError Err;
-  auto M = parseIR(Text, &Err);
-  if (!M) {
-    errs() << "gropt: " << Opts.Input << ":" << Err.str() << '\n';
-    return 1;
+  // Input-kind dispatch: MiniC sources go through the frontend (lex,
+  // parse, lower, then mem2reg/CSE/DCE inside compileMiniC) so every
+  // downstream action sees the same canonical SSA a .gr file would.
+  std::unique_ptr<Module> M;
+  if (Opts.MiniC || isMiniCPath(Opts.Input)) {
+    std::string CompileErr;
+    M = compileMiniC(Text, moduleNameFromPath(Opts.Input), &CompileErr);
+    if (!M) {
+      errs() << "gropt: " << Opts.Input << ":" << CompileErr << '\n';
+      return 1;
+    }
+  } else {
+    IRParseError Err;
+    M = parseIR(Text, &Err);
+    if (!M) {
+      errs() << "gropt: " << Opts.Input << ":" << Err.str() << '\n';
+      return 1;
+    }
   }
 
   if (Opts.VerifyOnly) {
-    // parseIR already verified; report and stop.
+    // parseIR / compileMiniC already verified; report and stop.
     OS << "OK: " << M->getName() << " ("
        << static_cast<uint64_t>(M->functions().size()) << " functions)\n";
     return 0;
@@ -900,6 +951,12 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
+
+  // --dump-ir: the module as .gr text, after lowering and any -passes
+  // pipeline but before detection/execution output. With nothing else
+  // requested this matches the default reprint.
+  if (Opts.DumpIR)
+    OS << moduleToString(*M);
 
   // Detection: --detect runs it (on the possibly transformed module);
   // otherwise a detect pass scheduled via -passes= reports what it
@@ -1054,8 +1111,8 @@ int main(int Argc, char **Argv) {
     OS << Json.str() << '\n';
 
   // Reprint: to -o when given, to stdout when nothing else was asked.
-  bool DefaultPrint =
-      !Opts.Detect && !Opts.Run && Opts.Passes.empty() && !Opts.Json;
+  bool DefaultPrint = !Opts.Detect && !Opts.Run && Opts.Passes.empty() &&
+                      !Opts.Json && !Opts.DumpIR;
   if (!Opts.Output.empty()) {
     if (!writeFile(Opts.Output, moduleToString(*M))) {
       errs() << "gropt: cannot write " << Opts.Output << '\n';
