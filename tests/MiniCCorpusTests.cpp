@@ -1,0 +1,177 @@
+//===- MiniCCorpusTests.cpp - on-disk MiniC corpus tests ------*- C++ -*-===//
+///
+/// The kernels under corpus/minic/ are the on-disk face of the MiniC
+/// frontend — what `gropt kernel.mc` consumes. Four of them are
+/// verbatim copies of embedded corpus twins (hotspot, pathfinder, CG,
+/// IS); each must lower to the *same module text* as its twin, give
+/// bitwise-identical detection statistics, and execute to the same
+/// result, output and instruction count. The struct kernels (nbody,
+/// kmeans_assign) have no embedded twin: they pin the struct layer's
+/// detection counts and check reference/bytecode execution parity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "corpus/Corpus.h"
+#include "idioms/ReductionAnalysis.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace gr;
+
+namespace {
+
+std::string minicPath(const char *File) {
+  return std::string(GR_REPO_ROOT) + "/corpus/minic/" + File;
+}
+
+std::string readOrFail(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::unique_ptr<Module> compileFile(const char *File) {
+  std::string Source = readOrFail(minicPath(File));
+  EXPECT_FALSE(Source.empty()) << File;
+  std::string Error;
+  auto M = compileMiniC(Source, "twin", &Error);
+  EXPECT_NE(M, nullptr) << File << ": " << Error;
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Twin files: byte-for-byte the embedded corpus sources
+//===----------------------------------------------------------------------===//
+
+struct TwinCase {
+  const char *File;       ///< corpus/minic/<File>
+  const char *BenchName;  ///< findBenchmark key of the embedded twin
+};
+
+class MiniCTwins : public ::testing::TestWithParam<TwinCase> {
+protected:
+  /// Compiles the on-disk file and the embedded twin under one module
+  /// name so their printed forms are directly comparable.
+  void compileBoth(std::unique_ptr<Module> &FromFile,
+                   std::unique_ptr<Module> &FromTwin) {
+    TwinCase C = GetParam();
+    FromFile = compileFile(C.File);
+    const BenchmarkProgram *B = findBenchmark(C.BenchName);
+    ASSERT_NE(B, nullptr) << C.BenchName;
+    std::string Error;
+    FromTwin = compileMiniC(B->Source, "twin", &Error);
+    ASSERT_NE(FromTwin, nullptr) << Error;
+    ASSERT_NE(FromFile, nullptr);
+  }
+};
+
+TEST_P(MiniCTwins, LowersToIdenticalModuleText) {
+  std::unique_ptr<Module> FromFile, FromTwin;
+  compileBoth(FromFile, FromTwin);
+  EXPECT_EQ(moduleToString(*FromFile), moduleToString(*FromTwin));
+}
+
+TEST_P(MiniCTwins, DetectionStatsMatchTwinBitwise) {
+  std::unique_ptr<Module> FromFile, FromTwin;
+  compileBoth(FromFile, FromTwin);
+  DetectionStats FileStats, TwinStats;
+  ReductionCounts FileCounts =
+      countReductions(analyzeModule(*FromFile, &FileStats));
+  ReductionCounts TwinCounts =
+      countReductions(analyzeModule(*FromTwin, &TwinStats));
+  EXPECT_TRUE(FileStats == TwinStats);
+  EXPECT_EQ(FileCounts.Scalars, TwinCounts.Scalars);
+  EXPECT_EQ(FileCounts.Histograms, TwinCounts.Histograms);
+  EXPECT_EQ(FileCounts.Scans, TwinCounts.Scans);
+  EXPECT_EQ(FileCounts.ArgMinMax, TwinCounts.ArgMinMax);
+  // Non-vacuous: the twin's expectations are the paper's counts.
+  const BenchmarkProgram *B = findBenchmark(GetParam().BenchName);
+  EXPECT_EQ(FileCounts.Scalars, B->Expected.OurScalars);
+  EXPECT_EQ(FileCounts.Histograms, B->Expected.OurHistograms);
+}
+
+TEST_P(MiniCTwins, ExecutesIdenticallyToTwin) {
+  std::unique_ptr<Module> FromFile, FromTwin;
+  compileBoth(FromFile, FromTwin);
+  Interpreter IF(*FromFile), IT(*FromTwin);
+  IF.setStepLimit(80000000);
+  IT.setStepLimit(80000000);
+  int64_t RF = IF.runMain();
+  int64_t RT = IT.runMain();
+  EXPECT_EQ(RF, RT);
+  EXPECT_EQ(RF, 0);
+  EXPECT_EQ(IF.getOutput(), IT.getOutput());
+  EXPECT_FALSE(IF.getOutput().empty());
+  EXPECT_EQ(IF.instructionCount(), IT.instructionCount());
+}
+
+std::string twinName(const ::testing::TestParamInfo<TwinCase> &Info) {
+  return Info.param.BenchName;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwinFiles, MiniCTwins,
+    ::testing::Values(TwinCase{"hotspot.mc", "hotspot"},
+                      TwinCase{"pathfinder.mc", "pathfinder"},
+                      TwinCase{"cg.mc", "CG"}, TwinCase{"is.mc", "IS"}),
+    twinName);
+
+//===----------------------------------------------------------------------===//
+// Struct kernels: no embedded twin, pinned counts + engine parity
+//===----------------------------------------------------------------------===//
+
+struct StructCase {
+  const char *File;
+  unsigned Scalars;
+  unsigned ArgMinMax;
+};
+
+class MiniCStructKernels : public ::testing::TestWithParam<StructCase> {};
+
+TEST_P(MiniCStructKernels, DetectsPinnedIdiomCounts) {
+  StructCase C = GetParam();
+  auto M = compileFile(C.File);
+  ASSERT_NE(M, nullptr);
+  ReductionCounts Counts = countReductions(analyzeModule(*M));
+  EXPECT_EQ(Counts.Scalars, C.Scalars) << C.File;
+  EXPECT_EQ(Counts.ArgMinMax, C.ArgMinMax) << C.File;
+}
+
+TEST_P(MiniCStructKernels, ReferenceAndBytecodeAgree) {
+  StructCase C = GetParam();
+  auto M = compileFile(C.File);
+  ASSERT_NE(M, nullptr);
+  Interpreter Ref(*M, ExecKind::Reference);
+  int64_t R1 = Ref.runMain();
+  auto M2 = compileFile(C.File);
+  ASSERT_NE(M2, nullptr);
+  Interpreter Byte(*M2, ExecKind::Bytecode);
+  int64_t R2 = Byte.runMain();
+  EXPECT_EQ(R1, R2) << C.File;
+  EXPECT_EQ(R1, 0) << C.File;
+  EXPECT_EQ(Ref.getOutput(), Byte.getOutput()) << C.File;
+  EXPECT_FALSE(Ref.getOutput().empty()) << C.File;
+}
+
+std::string structName(const ::testing::TestParamInfo<StructCase> &Info) {
+  std::string Name = Info.param.File;
+  return Name.substr(0, Name.find('.'));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StructFiles, MiniCStructKernels,
+    ::testing::Values(StructCase{"nbody.mc", 2, 0},
+                      StructCase{"kmeans_assign.mc", 1, 1}),
+    structName);
+
+} // namespace
