@@ -1,0 +1,272 @@
+//===- RandomMiniC.h - seeded random MiniC source generator ---*- C++ -*-===//
+///
+/// \file
+/// The grammar fuzzer behind the MiniC frontend property suite:
+/// generates a well-typed, terminating MiniC program for each seed —
+/// struct declarations with mixed int/double members, scalar / array /
+/// struct globals, several worker functions (forward-declared, some
+/// calling earlier workers), bounded for/while loops with optional
+/// break/continue, array and member traffic on both assignment sides,
+/// and the stdlib shims (abs/min/max/fabs/sqrt/sin/cos). Every
+/// generated program compiles through compileMiniC, verifies,
+/// round-trips through the .gr printer/parser bitwise, and executes
+/// identically under the reference and bytecode engines at every
+/// dispatch tier.
+///
+/// Guarantees by construction (so the differential checks are about
+/// the compiler, never the program): loop bounds are positive
+/// constants, array subscripts are built only from loop counters and
+/// positive constants (always in range after the % wrap), there is no
+/// integer division, no float-to-int conversion, and `continue` is
+/// only emitted inside for loops (whose latch still advances the
+/// counter).
+///
+/// Determinism contract: identical to RandomModule.h — std::mt19937
+/// with modulo draws only, never distribution objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GR_TESTS_RANDOMMINIC_H
+#define GR_TESTS_RANDOMMINIC_H
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gr {
+namespace test {
+
+/// Builds a random but always-compilable MiniC program for \p Seed.
+inline std::string buildRandomMiniC(unsigned Seed) {
+  std::mt19937 Rng(Seed * 40503 + 7);
+  auto pick = [&](unsigned N) { return Rng() % N; };
+  auto num = [](unsigned N) { return std::to_string(N); };
+
+  std::string Src;
+
+  // --- Struct declarations: 1-2 tags, 2-3 members, unique names so
+  // structural sharing between same-shaped tags stays unambiguous.
+  struct StructShape {
+    std::string Tag;
+    std::vector<std::pair<std::string, bool>> Members; // (name, isFloat)
+  };
+  std::vector<StructShape> Structs;
+  unsigned NumStructs = 1 + pick(2);
+  for (unsigned SI = 0; SI < NumStructs; ++SI) {
+    StructShape S;
+    S.Tag = "S" + num(SI);
+    unsigned NumMembers = 2 + pick(2);
+    Src += "struct " + S.Tag + " {\n";
+    for (unsigned MI = 0; MI < NumMembers; ++MI) {
+      bool IsFloat = pick(2) != 0;
+      std::string Name = "f" + num(SI) + "_" + num(MI);
+      Src += std::string("  ") + (IsFloat ? "double " : "int ") + Name +
+             ";\n";
+      S.Members.emplace_back(Name, IsFloat);
+    }
+    Src += "};\n";
+    Structs.push_back(std::move(S));
+  }
+
+  // --- Globals: fixed names the statement menu can rely on.
+  Src += "int gi[16];\n";
+  Src += "double gf[16];\n";
+  Src += "struct S0 gs;\n";
+  Src += "\n";
+
+  // Indexing expressions: loop counters and positive constants only,
+  // wrapped into range. \p Counters lists the in-scope counters.
+  auto indexExpr = [&](const std::vector<std::string> &Counters) {
+    std::string E = Counters[pick(Counters.size())];
+    if (pick(2))
+      E += " * " + num(1 + pick(5));
+    if (pick(2))
+      E += " + " + num(pick(8));
+    return "(" + E + ") % 16";
+  };
+
+  // Integer expression over the in-scope int atoms.
+  std::vector<std::string> IntAtoms;
+  std::vector<std::string> FloatAtoms;
+  std::function<std::string(unsigned)> intExpr =
+      [&](unsigned Depth) -> std::string {
+    if (Depth == 0 || pick(3) == 0)
+      return pick(2) ? IntAtoms[pick(IntAtoms.size())] : num(1 + pick(9));
+    switch (pick(6)) {
+    case 0:
+      return "(" + intExpr(Depth - 1) + " + " + intExpr(Depth - 1) + ")";
+    case 1:
+      return "(" + intExpr(Depth - 1) + " - " + intExpr(Depth - 1) + ")";
+    case 2:
+      return "(" + intExpr(Depth - 1) + " * " + num(1 + pick(7)) + ")";
+    case 3:
+      return "min(" + intExpr(Depth - 1) + ", " + intExpr(Depth - 1) + ")";
+    case 4:
+      return "max(" + intExpr(Depth - 1) + ", " + intExpr(Depth - 1) + ")";
+    default:
+      return "abs(" + intExpr(Depth - 1) + ")";
+    }
+  };
+  std::function<std::string(unsigned)> floatExpr =
+      [&](unsigned Depth) -> std::string {
+    if (Depth == 0 || pick(3) == 0) {
+      if (pick(2) && !FloatAtoms.empty())
+        return FloatAtoms[pick(FloatAtoms.size())];
+      return "0." + num(25 * (1 + pick(3)));
+    }
+    switch (pick(6)) {
+    case 0:
+      return "(" + floatExpr(Depth - 1) + " + " + floatExpr(Depth - 1) + ")";
+    case 1:
+      return "(" + floatExpr(Depth - 1) + " - " + floatExpr(Depth - 1) + ")";
+    case 2:
+      return "(" + floatExpr(Depth - 1) + " * " + floatExpr(Depth - 1) + ")";
+    case 3:
+      return "fabs(" + floatExpr(Depth - 1) + ")";
+    case 4:
+      return "sqrt(fabs(" + floatExpr(Depth - 1) + "))";
+    default:
+      return (pick(2) ? "sin(" : "cos(") + floatExpr(Depth - 1) + ")";
+    }
+  };
+  auto condExpr = [&](const char *Counter) {
+    static const char *Rel[] = {"<", "<=", ">", ">=", "==", "!="};
+    return std::string(Counter) + " " + Rel[pick(6)] + " " +
+           num(1 + pick(12));
+  };
+
+  // One loop body statement. \p Counters are the in-scope counters,
+  // \p SP the struct parameter's shape, \p InFor whether continue is
+  // legal here.
+  auto bodyStmt = [&](const std::vector<std::string> &Counters,
+                      const StructShape &SP, bool InFor,
+                      const std::string &Ind) {
+    switch (pick(7)) {
+    case 0:
+      return Ind + "s = s + " + intExpr(2) + ";\n";
+    case 1:
+      return Ind + "fs = fs + " + floatExpr(2) + ";\n";
+    case 2:
+      return Ind + "gi[" + indexExpr(Counters) + "] = gi[" +
+             indexExpr(Counters) + "] + " + intExpr(1) + ";\n";
+    case 3:
+      return Ind + "gf[" + indexExpr(Counters) + "] = gf[" +
+             indexExpr(Counters) + "] * 0.5 + " + floatExpr(1) + ";\n";
+    case 4: {
+      // Struct member update through the by-reference parameter.
+      const auto &Mem = SP.Members[pick(SP.Members.size())];
+      std::string Lhs = "p->" + Mem.first;
+      if (Mem.second)
+        return Ind + Lhs + " = " + Lhs + " + " + floatExpr(1) + ";\n";
+      return Ind + Lhs + " = " + Lhs + " + " + intExpr(1) + ";\n";
+    }
+    case 5: {
+      std::string S = Ind + "if (" +
+                      condExpr(Counters[pick(Counters.size())].c_str()) +
+                      ")\n";
+      S += Ind + "  s = s + " + intExpr(1) + ";\n";
+      if (pick(2)) {
+        S += Ind + "else\n";
+        S += Ind + "  fs = fs + " + floatExpr(1) + ";\n";
+      }
+      return S;
+    }
+    default:
+      if (InFor && pick(2))
+        return Ind + "if (" +
+               condExpr(Counters[pick(Counters.size())].c_str()) +
+               ") continue;\n";
+      return Ind + "if (" +
+             condExpr(Counters[pick(Counters.size())].c_str()) +
+             ") break;\n";
+    }
+  };
+
+  // --- Workers: forward declarations first (multi-function units with
+  // prototypes are part of the grammar under test).
+  unsigned NumWorkers = 1 + pick(3);
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Src += "int work" + num(W) + "(int n, struct S0 p);\n";
+  Src += "\n";
+
+  const StructShape &S0 = Structs[0];
+  for (unsigned W = 0; W < NumWorkers; ++W) {
+    Src += "int work" + num(W) + "(int n, struct S0 p) {\n";
+    Src += "  int s;\n  double fs;\n  int i;\n  int j;\n";
+    Src += "  s = n;\n  fs = 0.5;\n";
+    IntAtoms = {"s", "i", "n"};
+    FloatAtoms = {"fs"};
+
+    // Outer for loop with a constant bound; optionally a nested for
+    // or a bounded while inside.
+    unsigned Trip = 8 + pick(25);
+    Src += "  for (i = 0; i < " + num(Trip) + "; i = i + 1) {\n";
+    unsigned Steps = 2 + pick(4);
+    for (unsigned St = 0; St < Steps; ++St)
+      Src += bodyStmt({"i"}, S0, /*InFor=*/true, "    ");
+    if (pick(2)) {
+      IntAtoms.push_back("j");
+      if (pick(2)) {
+        Src += "    for (j = 0; j < " + num(4 + pick(8)) +
+               "; j = j + 1) {\n";
+        unsigned Inner = 1 + pick(3);
+        for (unsigned St = 0; St < Inner; ++St)
+          Src += bodyStmt({"i", "j"}, S0, /*InFor=*/true, "      ");
+        Src += "    }\n";
+      } else {
+        Src += "    j = 0;\n";
+        Src += "    while (j < " + num(4 + pick(8)) + ") {\n";
+        unsigned Inner = 1 + pick(2);
+        for (unsigned St = 0; St < Inner; ++St)
+          Src += bodyStmt({"i", "j"}, S0, /*InFor=*/false, "      ");
+        Src += "      j = j + 1;\n";
+        Src += "    }\n";
+      }
+      IntAtoms.pop_back();
+    }
+    Src += "  }\n";
+
+    // Fold the float accumulator in branch-wise (no float-to-int
+    // conversion), optionally chain into an earlier worker.
+    Src += "  if (fs < 100.0)\n    s = s + 1;\n";
+    if (W > 0 && pick(2))
+      Src += "  s = s + work" + num(pick(W)) + "(" + num(1 + pick(4)) +
+             ", p);\n";
+    Src += "  return s % " + num(100 + pick(900)) + ";\n";
+    Src += "}\n\n";
+  }
+
+  // --- main: seed the globals, drive every worker, print, return.
+  Src += "int main() {\n";
+  Src += "  int i;\n  int t;\n";
+  Src += "  t = 0;\n";
+  Src += "  for (i = 0; i < 16; i = i + 1) {\n";
+  Src += "    gi[i] = " + num(1 + pick(9)) + " * i + " + num(pick(5)) +
+         ";\n";
+  Src += "    gf[i] = 0.25 * i + 0." + num(125 * (1 + pick(7))) + ";\n";
+  Src += "  }\n";
+  for (const auto &Mem : S0.Members)
+    Src += "  gs." + Mem.first + " = " +
+           (Mem.second ? "0." + num(5 * (1 + pick(9))) : num(pick(20))) +
+           ";\n";
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Src += "  t = t + work" + num(W) + "(" + num(2 + pick(10)) + ", gs);\n";
+  Src += "  print_i64(t);\n";
+  Src += "  print_i64(gi[" + num(pick(16)) + "]);\n";
+  Src += "  print_f64(gf[" + num(pick(16)) + "]);\n";
+  for (const auto &Mem : S0.Members) {
+    Src += std::string("  ") + (Mem.second ? "print_f64" : "print_i64") +
+           "(gs." + Mem.first + ");\n";
+    if (pick(2))
+      break;
+  }
+  Src += "  return t % 97;\n";
+  Src += "}\n";
+  return Src;
+}
+
+} // namespace test
+} // namespace gr
+
+#endif // GR_TESTS_RANDOMMINIC_H
