@@ -58,6 +58,32 @@ private:
   }
 
   //===--------------------------------------------------------------===//
+  // Recursion guard
+  //===--------------------------------------------------------------===//
+
+  /// Nesting ceiling for statements and expressions together. The
+  /// parser (and the lowering walk after it) recurses per nesting
+  /// level, so pathological inputs — thousands of '(' or '{' — must
+  /// fail with a diagnostic, not exhaust the native stack.
+  static constexpr unsigned MaxNestingDepth = 200;
+
+  struct DepthGuard {
+    Parser &P;
+    explicit DepthGuard(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthGuard() { --P.Depth; }
+  };
+
+  /// True (after recording the diagnostic) when the current nesting
+  /// exceeds the ceiling.
+  bool tooDeep() {
+    if (Depth <= MaxNestingDepth)
+      return false;
+    fail("nesting too deep (limit " + std::to_string(MaxNestingDepth) +
+         " levels)");
+    return true;
+  }
+
+  //===--------------------------------------------------------------===//
   // Types and declarations
   //===--------------------------------------------------------------===//
 
@@ -277,6 +303,9 @@ private:
   }
 
   StmtPtr parseStmt() {
+    DepthGuard Guard(*this);
+    if (tooDeep())
+      return nullptr;
     unsigned Line = peek().Line;
     unsigned Col = peek().Col;
     StmtPtr S = parseStmtInner();
@@ -591,6 +620,12 @@ private:
   }
 
   ExprPtr parseUnary() {
+    // Every expression nesting level — parenthesised groups, unary
+    // chains, subscripts, calls — passes through here, so one guard
+    // bounds them all.
+    DepthGuard Guard(*this);
+    if (tooDeep())
+      return nullptr;
     Token Start = peek();
     if (accept(TokenKind::Minus)) {
       ExprPtr Sub = parseUnary();
@@ -714,6 +749,8 @@ private:
   FrontendDiag *Diag;
   size_t Pos = 0;
   bool Failed = false;
+  /// Current statement + expression nesting (see MaxNestingDepth).
+  unsigned Depth = 0;
 };
 
 } // namespace

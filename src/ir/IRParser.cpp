@@ -597,6 +597,22 @@ private:
   //===--------------------------------------------------------------------===//
 
   Type *parseType() {
+    // Array and struct types recurse per nesting level; cap the depth
+    // so pathological inputs ("[1 x [1 x [1 x ..." thousands deep)
+    // fail with a diagnostic instead of exhausting the native stack.
+    static constexpr unsigned MaxTypeDepth = 64;
+    if (++TypeDepth > MaxTypeDepth) {
+      --TypeDepth;
+      fail(peek(), "type nesting too deep (limit " +
+                       std::to_string(MaxTypeDepth) + " levels)");
+      return nullptr;
+    }
+    Type *Result = parseTypeInner();
+    --TypeDepth;
+    return Result;
+  }
+
+  Type *parseTypeInner() {
     TypeContext &Ctx = M->getTypeContext();
     const Token &T = peek();
     Type *Base = nullptr;
@@ -1436,6 +1452,8 @@ private:
   size_t Pos = 0;
   IRParseError Error;
   bool Failed = false;
+  /// Current type-grammar nesting (see parseType's MaxTypeDepth).
+  unsigned TypeDepth = 0;
 
   // Placeholders must outlive the module on the error path: the
   // module's destructor drops instruction operands (removing their

@@ -88,6 +88,48 @@ TEST(Parser, RejectsMultiDimArrayParams) {
   EXPECT_FALSE(TU.has_value());
 }
 
+// Pathological nesting must produce a diagnostic, never a native
+// stack overflow (the fuzzer's hostile-input contract). Three
+// recursion vectors: parenthesised expressions, unary chains, blocks.
+TEST(Parser, DeepNestingFailsGracefully) {
+  for (const char *Shape : {"(", "!", "{"}) {
+    std::string Src = "int main() { int x; x = ";
+    if (Shape[0] == '{') {
+      Src = "int main() { ";
+      for (int I = 0; I < 5000; ++I)
+        Src += "{";
+      for (int I = 0; I < 5000; ++I)
+        Src += "}";
+      Src += " return 0; }";
+    } else {
+      for (int I = 0; I < 5000; ++I)
+        Src += Shape;
+      Src += "1";
+      if (Shape[0] == '(')
+        Src.append(5000, ')');
+      Src += "; return x; }";
+    }
+    FrontendDiag Diag;
+    auto TU = parseMiniC(Src, &Diag);
+    EXPECT_FALSE(TU.has_value());
+    EXPECT_NE(Diag.Message.find("nesting too deep"), std::string::npos)
+        << Shape << ": " << Diag.str();
+    EXPECT_GT(Diag.Col, 0u);
+  }
+}
+
+TEST(Parser, ReasonableNestingStillParses) {
+  std::string Src = "int main() { int x; x = ";
+  for (int I = 0; I < 60; ++I)
+    Src += "(";
+  Src += "7";
+  Src.append(60, ')');
+  Src += "; return x; }";
+  std::string Error;
+  auto M = compileMiniC(Src, "t", &Error);
+  ASSERT_NE(M, nullptr) << Error;
+}
+
 //===----------------------------------------------------------------------===//
 // End-to-end codegen behaviour, validated through the interpreter.
 //===----------------------------------------------------------------------===//

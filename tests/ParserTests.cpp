@@ -582,6 +582,29 @@ TEST(ParserDiagnostics, RejectsStructReturnType) {
                    "return type must be void, scalar or pointer", 1);
 }
 
+TEST(ParserDiagnostics, DeepTypeNestingFailsGracefully) {
+  // "[1 x [1 x ..." thousands deep must diagnose, not overflow the
+  // native stack through parseType's recursion.
+  std::string Text = "@g = global ";
+  for (int I = 0; I < 5000; ++I)
+    Text += "[1 x ";
+  Text += "i64";
+  Text.append(5000, ']');
+  Text += "\n";
+  expectParseError(Text, "type nesting too deep", 1);
+}
+
+TEST(ParserDiagnostics, ReasonableTypeNestingStillParses) {
+  std::string Text = "@g = global ";
+  for (int I = 0; I < 16; ++I)
+    Text += "[1 x ";
+  Text += "i64";
+  Text.append(16, ']');
+  Text += "\n";
+  auto M = parseOrFail(Text);
+  ASSERT_NE(M, nullptr);
+}
+
 TEST(ParserDiagnostics, RejectsOutOfRangeLiterals) {
   // Integer literals beyond i64 must not be silently clamped.
   expectParseError("define i64 @main() {\n"
