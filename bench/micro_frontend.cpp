@@ -1,0 +1,120 @@
+//===- micro_frontend.cpp - MiniC compile throughput ----------*- C++ -*-===//
+///
+/// \file
+/// Frontend-throughput benchmark over the embedded corpus: times
+/// repeated full compilations (lex -> parse -> lower -> mem2reg/CSE/
+/// DCE -> verify) of all 40 MiniC benchmark programs, reporting
+/// source lines per second and modules per second. Doubles as a
+/// parity harness — before timing, every program's compiled module
+/// must print to the same .gr text as a second independent
+/// compilation (compilation is deterministic), and the printed text
+/// must reparse to the bitwise fixed point; the binary exits 1
+/// otherwise, so ci.sh can run it as the frontend bench smoke.
+///
+/// Emits BENCH_micro_frontend.json (env-gated via GR_BENCH_JSON_DIR):
+/// corpus size in lines and bytes, iterations, total wall time,
+/// klines/s and modules/s. The recorded baseline lives in
+/// bench/baselines/.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "corpus/Corpus.h"
+#include "frontend/Compiler.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "support/OStream.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace gr;
+using bench::BenchJson;
+using bench::nowMs;
+
+static uint64_t countLines(const char *Text) {
+  uint64_t Lines = 0;
+  for (const char *P = Text; *P; ++P)
+    if (*P == '\n')
+      ++Lines;
+  return Lines;
+}
+
+int main() {
+  OStream &OS = outs();
+
+  // Parity sweep: deterministic compilation + printer/parser fixed
+  // point for every benchmark, before anything is timed.
+  uint64_t TotalLines = 0, TotalBytes = 0;
+  for (const BenchmarkProgram &B : corpus()) {
+    std::string E1, E2;
+    auto M1 = compileMiniC(B.Source, B.Name, &E1);
+    auto M2 = compileMiniC(B.Source, B.Name, &E2);
+    if (!M1 || !M2) {
+      errs() << "micro_frontend: " << B.Name << ": "
+             << (M1 ? E2 : E1) << '\n';
+      return 1;
+    }
+    std::string T1 = moduleToString(*M1);
+    if (T1 != moduleToString(*M2)) {
+      errs() << "micro_frontend: nondeterministic compile for "
+             << B.Name << '\n';
+      return 1;
+    }
+    IRParseError Err;
+    auto Parsed = parseIR(T1, &Err);
+    if (!Parsed || moduleToString(*Parsed) != T1) {
+      errs() << "micro_frontend: round-trip failed for " << B.Name
+             << (Parsed ? "" : (": " + Err.str())) << '\n';
+      return 1;
+    }
+    TotalLines += countLines(B.Source);
+    TotalBytes += std::string(B.Source).size();
+  }
+
+  // Throughput: repeated full-corpus compilations.
+  const unsigned Iters = 25;
+  double Start = nowMs();
+  uint64_t ModulesCompiled = 0;
+  for (unsigned K = 0; K < Iters; ++K) {
+    for (const BenchmarkProgram &B : corpus()) {
+      std::string Error;
+      auto M = compileMiniC(B.Source, B.Name, &Error);
+      if (!M) {
+        errs() << "micro_frontend: compile failed during timing loop\n";
+        return 1;
+      }
+      ++ModulesCompiled;
+    }
+  }
+  double TotalMs = nowMs() - Start;
+  double KLinesPerS =
+      TotalMs > 0 ? (static_cast<double>(TotalLines) * Iters / 1.0e3) /
+                        (TotalMs / 1.0e3)
+                  : 0.0;
+  double ModulesPerS =
+      TotalMs > 0 ? ModulesCompiled / (TotalMs / 1.0e3) : 0.0;
+
+  OS << "micro_frontend: corpus=" << TotalLines << " lines ("
+     << TotalBytes << " bytes) over "
+     << static_cast<uint64_t>(corpus().size()) << " modules\n"
+     << "  " << static_cast<uint64_t>(Iters) << " iterations in "
+     << static_cast<uint64_t>(TotalMs) << " ms: "
+     << static_cast<uint64_t>(KLinesPerS) << " klines/s, "
+     << static_cast<uint64_t>(ModulesPerS) << " modules/s\n"
+     << "micro_frontend: parity OK\n";
+
+  BenchJson Json;
+  Json.setInt("corpus_lines", TotalLines);
+  Json.setInt("corpus_bytes", TotalBytes);
+  Json.setInt("modules", corpus().size());
+  Json.setInt("iterations", Iters);
+  Json.setDouble("total_ms", TotalMs);
+  Json.setDouble("klines_per_s", KLinesPerS);
+  Json.setDouble("modules_per_s", ModulesPerS);
+  Json.writeIfEnabled("micro_frontend");
+  return 0;
+}
