@@ -17,15 +17,17 @@
 # GR_POOL_THREADS/GR_FAULTS/GR_BENCH_REPS env validation smokes,
 # --deadline-ms/--max-mem flag validation, gropt/grd cache smokes, a
 # grd serving smoke, a grd deadline-degradation + recovery smoke, a
-# threaded-run smoke, an ASan+UBSan lane (robustness battery by
-# default, the full suite under GR_CI_SANITIZERS=1), the textual-IR
-# round-trip
+# threaded-run smoke, an ASan+UBSan lane (robustness + MiniC fuzz
+# batteries by default, the full suite under GR_CI_SANITIZERS=1), the
+# textual-IR round-trip
 # gate (corpus dump -> reparse -> differential detection/execution
-# check) with a gropt smoke over the checked-in examples/sum.gr, and
-# the micro_solver / micro_interp / micro_parser / fig15_speedup
-# bench smokes (each compiled engine must match its reference oracle
-# bitwise; fused dispatch must beat switch). Fails on the first
-# error.
+# check) with a gropt smoke over the checked-in examples/sum.gr, a
+# MiniC frontend lane (the grammar fuzzer at 200 programs across all
+# three engines, plus a gropt smoke compiling corpus/minic/hotspot.mc
+# from disk), and the micro_solver / micro_interp / micro_parser /
+# micro_frontend / fig15_speedup bench smokes (each compiled engine
+# must match its reference oracle bitwise; fused dispatch must beat
+# switch). Fails on the first error.
 set -eu
 
 cd "$(dirname "$0")"
@@ -448,6 +450,61 @@ grep -q 'result: 499500' "$gropt_out" || {
 }
 rm -f "$gropt_out"
 
+# MiniC corpus smoke: gropt must compile a .mc kernel from disk
+# through the frontend pipeline, detect its reduction, and execute it.
+minic_out=$(mktemp)
+./build/gropt corpus/minic/hotspot.mc --detect --run > "$minic_out" || {
+  echo "ci.sh: gropt MiniC smoke run failed" >&2
+  cat "$minic_out" >&2
+  rm -f "$minic_out"
+  exit 1
+}
+grep -q 'scalar reductions:    1' "$minic_out" || {
+  echo "ci.sh: gropt MiniC smoke did not detect the scalar reduction" >&2
+  cat "$minic_out" >&2
+  rm -f "$minic_out"
+  exit 1
+}
+grep -q 'result: 0' "$minic_out" || {
+  echo "ci.sh: gropt MiniC smoke produced the wrong result" >&2
+  cat "$minic_out" >&2
+  rm -f "$minic_out"
+  exit 1
+}
+rm -f "$minic_out"
+
+# A MiniC compile error must surface as a positioned diagnostic and
+# exit 1, never a crash or a silent pass.
+if printf 'int main() { return x; }' | ./build/gropt - --minic >/dev/null 2>&1; then
+  echo "ci.sh: gropt accepted a MiniC program with an undefined name" >&2
+  exit 1
+fi
+printf 'int main() { return x; }' | ./build/gropt - --minic 2>&1 \
+  | grep -qE '1:[0-9]+:' || {
+  echo "ci.sh: gropt MiniC error did not carry a line:col position" >&2
+  exit 1
+}
+
+# MiniC fuzz lane: 200 random well-typed programs per CI run, each
+# compiled, verified, round-tripped through the .gr printer/parser
+# bitwise, and executed under the reference walker plus all three
+# bytecode dispatch tiers with full ExecProfile parity. Non-vacuous:
+# the filter must actually match the fuzz battery.
+fuzz_out=$(mktemp)
+GR_FUZZ_MINIC_ITERS=200 ./build/gr_tests --gtest_filter='MiniCFuzz.*' \
+  > "$fuzz_out" || {
+  echo "ci.sh: MiniC fuzz lane failed" >&2
+  cat "$fuzz_out" >&2
+  rm -f "$fuzz_out"
+  exit 1
+}
+grep -qE '\[  PASSED  \] [1-9][0-9]* tests?' "$fuzz_out" || {
+  echo "ci.sh: MiniC fuzz filter matched no tests (vacuous gate)" >&2
+  rm -f "$fuzz_out"
+  exit 1
+}
+rm -f "$fuzz_out"
+
 # Threaded-run smoke: a parallelized module must execute on real pool
 # threads, agree with the simulated runtime (checked inside gropt),
 # and report the thread count it ran on.
@@ -583,6 +640,18 @@ GR_BENCH_JSON_DIR=./build ./build/micro_parser >/dev/null || {
   exit 1
 }
 
+# Bench smoke: micro_frontend compiles the whole corpus through the
+# MiniC pipeline (exits nonzero on any compile failure, nondeterminism
+# or round-trip violation) and records the compile-throughput trail.
+GR_BENCH_JSON_DIR=./build ./build/micro_frontend >/dev/null || {
+  echo "ci.sh: micro_frontend parity smoke failed" >&2
+  exit 1
+}
+[ -f ./build/BENCH_micro_frontend.json ] || {
+  echo "ci.sh: BENCH_micro_frontend.json was not produced" >&2
+  exit 1
+}
+
 # Bench smoke: micro_interp runs every kernel on both execution
 # engines and exits nonzero when results, output or the ExecProfile
 # diverge, or when the bytecode VM's arithmetic-kernel speedup over
@@ -649,20 +718,23 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 
 # Sanitizer lane: an ASan+UBSan build of the test suite. By default
-# only the robustness battery runs under it — the fault/budget paths
-# (exception unwind, retry loops, inline degradation, cache I/O
-# fallbacks) are where lifetime bugs would hide, and the battery is
-# cheap. GR_CI_SANITIZERS=1 runs the full suite instrumented.
+# the robustness battery and the MiniC grammar fuzzer run under it —
+# the fault/budget paths (exception unwind, retry loops, inline
+# degradation, cache I/O fallbacks) are where lifetime bugs would
+# hide, and the fuzzer drives the frontend/VM over randomized
+# well-typed programs where UB would hide. GR_CI_SANITIZERS=1 runs
+# the full suite instrumented.
 cmake -B build-san -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   >/dev/null
 cmake --build build-san -j "$(nproc 2>/dev/null || echo 2)" \
   --target gr_tests >/dev/null
-san_filter='FaultSites.*:FaultSweep.*:BudgetGov.*'
+san_filter='FaultSites.*:FaultSweep.*:BudgetGov.*:MiniCFuzz.*'
 if [ "${GR_CI_SANITIZERS:-0}" = "1" ]; then
   san_filter='*'
 fi
-./build-san/gr_tests --gtest_filter="$san_filter" >/dev/null || {
+GR_FUZZ_MINIC_ITERS=50 ./build-san/gr_tests --gtest_filter="$san_filter" \
+  >/dev/null || {
   echo "ci.sh: sanitizer lane failed (filter: $san_filter)" >&2
   exit 1
 }
